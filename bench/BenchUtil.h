@@ -1,0 +1,100 @@
+//===- bench/BenchUtil.h - Shared benchmark fixtures ------------*- C++ -*-===//
+///
+/// \file
+/// Shared setup for the experiment harnesses: a workload = a program
+/// (interpreter), its entry point, a division, its static input (the
+/// interpreted program), and a dynamic input for running generated code.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PECOMP_BENCH_BENCHUTIL_H
+#define PECOMP_BENCH_BENCHUTIL_H
+
+#include "compiler/AnfCompiler.h"
+#include "support/LargeStack.h"
+#include "compiler/DirectAnfCompiler.h"
+#include "compiler/StockCompiler.h"
+#include "eval/Interp.h"
+#include "frontend/Pipeline.h"
+#include "pgg/Pgg.h"
+#include "sexp/Reader.h"
+#include "vm/Convert.h"
+#include "workloads/Workloads.h"
+
+#include <benchmark/benchmark.h>
+
+namespace pecomp {
+namespace bench {
+
+/// Runs a whole benchmark body on the large-stack worker thread: the
+/// generator calls inside then run inline (re-entrant), so loop timings
+/// carry no cross-thread handoff. Use for any body that calls
+/// generateSource/generateObject.
+template <typename F> void onLargeStack(F &&Body) {
+  runOnLargeStack([&]() -> int {
+    Body();
+    return 0;
+  });
+}
+
+/// Aborts the benchmark on error — benches run on known-good inputs.
+template <typename T> T unwrap(Result<T> R) {
+  if (!R.ok()) {
+    fprintf(stderr, "bench setup failed: %s\n", R.error().render().c_str());
+    abort();
+  }
+  return std::move(*R);
+}
+
+/// One of the paper's two interpreter workloads, fully prepared: the
+/// generating extension exists (BTA already done, as in Fig. 6, which
+/// times only generation), and the static program value is pinned.
+class InterpreterWorkload {
+public:
+  static InterpreterWorkload mixwell() {
+    return InterpreterWorkload(workloads::mixwellInterpreter(), "mixwell-run",
+                               workloads::mixwellSampleProgram(),
+                               "(12 (3 41 6 8))");
+  }
+
+  static InterpreterWorkload lazy() {
+    return InterpreterWorkload(workloads::lazyInterpreter(), "lazy-run",
+                               workloads::lazySampleProgram(), "25");
+  }
+
+  static InterpreterWorkload imp() {
+    return InterpreterWorkload(workloads::impInterpreter(), "imp-run",
+                               workloads::impSampleProgram(), "(252 105 9)");
+  }
+
+  vm::Heap Heap;
+  std::unique_ptr<pgg::GeneratingExtension> Gen;
+  vm::Value StaticProgram; // the interpreted program (static input)
+  vm::Value DynamicInput;  // argument for running generated code
+  std::string_view InterpreterSource;
+  const char *Entry;
+
+  std::vector<std::optional<vm::Value>> specArgs() const {
+    return {StaticProgram, std::nullopt};
+  }
+
+private:
+  InterpreterWorkload(std::string_view Source, const char *Entry,
+                      std::string_view ProgramText, const char *InputText)
+      : InterpreterSource(Source), Entry(Entry) {
+    Gen = unwrap(
+        pgg::GeneratingExtension::create(Heap, Source, Entry, "SD"));
+    Arena A;
+    DatumFactory DF(A);
+    StaticProgram =
+        vm::valueFromDatum(Heap, unwrap(readDatum(ProgramText, DF)));
+    Heap.pin(StaticProgram);
+    DynamicInput = vm::valueFromDatum(Heap, unwrap(readDatum(InputText, DF)));
+    Heap.pin(DynamicInput);
+  }
+};
+
+} // namespace bench
+} // namespace pecomp
+
+#endif // PECOMP_BENCH_BENCHUTIL_H

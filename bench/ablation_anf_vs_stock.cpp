@@ -1,0 +1,111 @@
+//===- bench/ablation_anf_vs_stock.cpp - Ablation A2 -----------------------===//
+///
+/// \file
+/// Ablation for Sec. 6.1's design choice: "ANF already makes control flow
+/// explicit ... hence, the propagation of a compile-time continuation is
+/// unnecessary, and it is sensible to make do with a drastically cut-down
+/// version of the compiler. Removing the compile-time continuation
+/// simplifies the compiler, and also speeds up later code generation."
+///
+/// Compares the stock compiler (compile-time continuation, arbitrary CS)
+/// against the ANF compiler on pre-normalized input, over both interpreter
+/// workloads. The normalization cost itself is reported separately so the
+/// comparison stays honest about where the time goes.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "frontend/AnfConvert.h"
+
+using namespace pecomp;
+using namespace pecomp::bench;
+
+namespace {
+
+struct Subject {
+  vm::Heap Heap;
+  Arena AstArena;
+  std::unique_ptr<ExprFactory> Exprs;
+  std::unique_ptr<DatumFactory> Datums;
+  Program Cs;  // assignment-free Core Scheme
+  Program Anf; // the same program, normalized
+
+  explicit Subject(std::string_view Source) {
+    Exprs = std::make_unique<ExprFactory>(AstArena);
+    Datums = std::make_unique<DatumFactory>(AstArena);
+    Cs = unwrap(frontendProgram(Source, *Exprs, *Datums));
+    Anf = anfConvert(Cs, *Exprs);
+  }
+};
+
+void stockBody(benchmark::State &State, Subject &S) {
+  for (auto _ : State) {
+    vm::CodeStore Store(S.Heap);
+    vm::GlobalTable Globals;
+    compiler::Compilators Comp(Store, Globals);
+    compiler::StockCompiler SC(Comp);
+    compiler::CompiledProgram CP = SC.compileProgram(S.Cs);
+    benchmark::DoNotOptimize(CP.Defs.data());
+  }
+}
+
+void anfBody(benchmark::State &State, Subject &S) {
+  for (auto _ : State) {
+    vm::CodeStore Store(S.Heap);
+    vm::GlobalTable Globals;
+    compiler::Compilators Comp(Store, Globals);
+    compiler::AnfCompiler AC(Comp);
+    compiler::CompiledProgram CP = AC.compileProgram(S.Anf);
+    benchmark::DoNotOptimize(CP.Defs.data());
+  }
+}
+
+void normalizeBody(benchmark::State &State, Subject &S) {
+  for (auto _ : State) {
+    Arena Scratch;
+    ExprFactory Exprs(Scratch);
+    Program Anf = anfConvert(S.Cs, Exprs);
+    benchmark::DoNotOptimize(Anf.Defs.data());
+  }
+}
+
+void BM_A2_StockCompiler_MIXWELL(benchmark::State &State) {
+  static Subject S(workloads::mixwellInterpreter());
+  onLargeStack([&] { stockBody(State, S); });
+}
+BENCHMARK(BM_A2_StockCompiler_MIXWELL);
+
+void BM_A2_AnfCompiler_MIXWELL(benchmark::State &State) {
+  static Subject S(workloads::mixwellInterpreter());
+  onLargeStack([&] { anfBody(State, S); });
+}
+BENCHMARK(BM_A2_AnfCompiler_MIXWELL);
+
+void BM_A2_AnfConversion_MIXWELL(benchmark::State &State) {
+  static Subject S(workloads::mixwellInterpreter());
+  onLargeStack([&] { normalizeBody(State, S); });
+}
+BENCHMARK(BM_A2_AnfConversion_MIXWELL);
+
+void BM_A2_StockCompiler_LAZY(benchmark::State &State) {
+  static Subject S(workloads::lazyInterpreter());
+  onLargeStack([&] { stockBody(State, S); });
+}
+BENCHMARK(BM_A2_StockCompiler_LAZY);
+
+void BM_A2_AnfCompiler_LAZY(benchmark::State &State) {
+  static Subject S(workloads::lazyInterpreter());
+  onLargeStack([&] { anfBody(State, S); });
+}
+BENCHMARK(BM_A2_AnfCompiler_LAZY);
+
+void BM_A2_AnfConversion_LAZY(benchmark::State &State) {
+  static Subject S(workloads::lazyInterpreter());
+  onLargeStack([&] { normalizeBody(State, S); });
+}
+BENCHMARK(BM_A2_AnfConversion_LAZY);
+
+} // namespace
+
+BENCHMARK_MAIN();

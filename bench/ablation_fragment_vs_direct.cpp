@@ -1,0 +1,98 @@
+//===- bench/ablation_fragment_vs_direct.cpp - Ablation A1 -----------------===//
+///
+/// \file
+/// Ablation for the design choice the paper blames for Fig. 6's slowdown:
+/// the higher-order object-code representation ("Scheme 48 uses a
+/// higher-order representation for the object code that still needs to be
+/// converted to actual byte codes") versus its proposed fix ("a future
+/// step would be emitting byte code directly").
+///
+/// Compares compiling the same ANF programs through Fragments + assembly
+/// (AnfCompiler) against direct streaming byte emission with backpatching
+/// (DirectAnfCompiler). Both produce byte-identical code objects (tested
+/// in CompilerTest); only the representation differs.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+using namespace pecomp;
+using namespace pecomp::bench;
+
+namespace {
+
+/// The compiled subject: the residual program of the MIXWELL or LAZY
+/// specialization (a realistic machine-generated ANF program), or the
+/// interpreter itself.
+struct Subject {
+  vm::Heap Heap;
+  Arena AstArena;
+  std::unique_ptr<ExprFactory> Exprs;
+  std::unique_ptr<DatumFactory> Datums;
+  Program Anf;
+
+  explicit Subject(bool UseLazy) {
+    Exprs = std::make_unique<ExprFactory>(AstArena);
+    Datums = std::make_unique<DatumFactory>(AstArena);
+    InterpreterWorkload W = UseLazy ? InterpreterWorkload::lazy()
+                                    : InterpreterWorkload::mixwell();
+    auto Args = W.specArgs();
+    pgg::ResidualSource Res =
+        unwrap(W.Gen->generateSource(Args, *Exprs, *Datums));
+    // Migrate the residual text into our own heap-independent world.
+    std::string Text = Res.Residual.print();
+    Anf = unwrap(anfProgram(Text, *Exprs, *Datums));
+  }
+};
+
+void fragmentBody(benchmark::State &State, Subject &S) {
+  size_t Fragments = 0;
+  for (auto _ : State) {
+    vm::CodeStore Store(S.Heap);
+    vm::GlobalTable Globals;
+    compiler::Compilators Comp(Store, Globals);
+    compiler::AnfCompiler AC(Comp);
+    compiler::CompiledProgram CP = AC.compileProgram(S.Anf);
+    benchmark::DoNotOptimize(CP.Defs.data());
+    Fragments = Comp.frags().fragmentsCreated();
+  }
+  State.counters["fragments"] = static_cast<double>(Fragments);
+}
+
+void directBody(benchmark::State &State, Subject &S) {
+  for (auto _ : State) {
+    vm::CodeStore Store(S.Heap);
+    vm::GlobalTable Globals;
+    compiler::DirectAnfCompiler DC(Store, Globals);
+    compiler::CompiledProgram CP = DC.compileProgram(S.Anf);
+    benchmark::DoNotOptimize(CP.Defs.data());
+  }
+}
+
+void BM_A1_FragmentsAndAssembly_MIXWELL(benchmark::State &State) {
+  static Subject S(false);
+  onLargeStack([&] { fragmentBody(State, S); });
+}
+BENCHMARK(BM_A1_FragmentsAndAssembly_MIXWELL);
+
+void BM_A1_DirectEmission_MIXWELL(benchmark::State &State) {
+  static Subject S(false);
+  onLargeStack([&] { directBody(State, S); });
+}
+BENCHMARK(BM_A1_DirectEmission_MIXWELL);
+
+void BM_A1_FragmentsAndAssembly_LAZY(benchmark::State &State) {
+  static Subject S(true);
+  onLargeStack([&] { fragmentBody(State, S); });
+}
+BENCHMARK(BM_A1_FragmentsAndAssembly_LAZY);
+
+void BM_A1_DirectEmission_LAZY(benchmark::State &State) {
+  static Subject S(true);
+  onLargeStack([&] { directBody(State, S); });
+}
+BENCHMARK(BM_A1_DirectEmission_LAZY);
+
+} // namespace
+
+BENCHMARK_MAIN();

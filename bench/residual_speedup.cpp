@@ -1,0 +1,181 @@
+//===- bench/residual_speedup.cpp - Ablation A3 ----------------------------===//
+///
+/// \file
+/// The point of the whole exercise: "often, the residual program is
+/// faster than the source program" (Sec. 3). Runs the MIXWELL and LAZY
+/// sample programs two ways on the same VM:
+///
+///   interpreted — the compiled *interpreter* interprets the program
+///   specialized — the residual object code from the fused path
+///
+/// The speedup is the interpretive overhead removed by specialization
+/// (dispatch, environment lookup). Also measures the specialized
+/// straight-line dot product against its general version.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "frontend/AnfConvert.h"
+
+using namespace pecomp;
+using namespace pecomp::bench;
+
+namespace {
+
+/// Runs the interpreter (compiled by the stock compiler) on the sample
+/// program: the "before" side.
+void interpretedBody(benchmark::State &State, InterpreterWorkload &W) {
+  Arena Scratch;
+  ExprFactory Exprs(Scratch);
+  DatumFactory Datums(Scratch);
+  Program P = unwrap(frontendProgram(W.InterpreterSource, Exprs, Datums));
+  vm::CodeStore Store(W.Heap);
+  vm::GlobalTable Globals;
+  compiler::Compilators Comp(Store, Globals);
+  compiler::StockCompiler SC(Comp);
+  compiler::CompiledProgram CP = SC.compileProgram(P);
+  vm::Machine M(W.Heap);
+  compiler::linkProgram(M, Globals, CP);
+  std::vector<vm::Value> Args = {W.StaticProgram, W.DynamicInput};
+  for (auto _ : State) {
+    vm::Value R = unwrap(
+        compiler::callGlobal(M, Globals, Symbol::intern(W.Entry), Args));
+    benchmark::DoNotOptimize(R.raw());
+  }
+}
+
+/// Runs the residual object code: the "after" side.
+void specializedBody(benchmark::State &State, InterpreterWorkload &W) {
+  vm::CodeStore Store(W.Heap);
+  vm::GlobalTable Globals;
+  compiler::Compilators Comp(Store, Globals);
+  auto SpecArgs = W.specArgs();
+  pgg::ResidualObject Obj = unwrap(W.Gen->generateObject(Comp, SpecArgs));
+  vm::Machine M(W.Heap);
+  compiler::linkProgram(M, Globals, Obj.Residual);
+  std::vector<vm::Value> Args = {W.DynamicInput};
+  for (auto _ : State) {
+    vm::Value R =
+        unwrap(compiler::callGlobal(M, Globals, Obj.Entry, Args));
+    benchmark::DoNotOptimize(R.raw());
+  }
+}
+
+void BM_A3_Interpreted_MIXWELL(benchmark::State &State) {
+  static InterpreterWorkload W = InterpreterWorkload::mixwell();
+  onLargeStack([&] { interpretedBody(State, W); });
+}
+BENCHMARK(BM_A3_Interpreted_MIXWELL);
+
+void BM_A3_Specialized_MIXWELL(benchmark::State &State) {
+  static InterpreterWorkload W = InterpreterWorkload::mixwell();
+  onLargeStack([&] { specializedBody(State, W); });
+}
+BENCHMARK(BM_A3_Specialized_MIXWELL);
+
+void BM_A3_Interpreted_LAZY(benchmark::State &State) {
+  static InterpreterWorkload W = InterpreterWorkload::lazy();
+  onLargeStack([&] { interpretedBody(State, W); });
+}
+BENCHMARK(BM_A3_Interpreted_LAZY);
+
+void BM_A3_Specialized_LAZY(benchmark::State &State) {
+  static InterpreterWorkload W = InterpreterWorkload::lazy();
+  onLargeStack([&] { specializedBody(State, W); });
+}
+BENCHMARK(BM_A3_Specialized_LAZY);
+
+void BM_A3_Interpreted_IMP(benchmark::State &State) {
+  static InterpreterWorkload W = InterpreterWorkload::imp();
+  onLargeStack([&] { interpretedBody(State, W); });
+}
+BENCHMARK(BM_A3_Interpreted_IMP);
+
+void BM_A3_Specialized_IMP(benchmark::State &State) {
+  static InterpreterWorkload W = InterpreterWorkload::imp();
+  onLargeStack([&] { specializedBody(State, W); });
+}
+BENCHMARK(BM_A3_Specialized_IMP);
+
+// -- Dot product: straight-line residual vs. the general loop --------------
+
+struct DotWorld {
+  vm::Heap Heap;
+  vm::CodeStore Store{Heap};
+  vm::GlobalTable Globals;
+  compiler::Compilators Comp{Store, Globals};
+  std::unique_ptr<vm::Machine> M;
+  Symbol GeneralEntry = Symbol::intern("dot");
+  Symbol SpecEntry;
+  vm::Value StaticVec, DynVec;
+
+  DotWorld() {
+    Arena Scratch;
+    ExprFactory Exprs(Scratch);
+    DatumFactory Datums(Scratch);
+    // A 16-element static vector.
+    std::string Vec = "(", Dyn = "(";
+    for (int I = 0; I != 16; ++I) {
+      Vec += std::to_string(I % 7) + " ";
+      Dyn += std::to_string(I * 3 + 1) + " ";
+    }
+    Vec += ")";
+    Dyn += ")";
+
+    auto Gen = unwrap(pgg::GeneratingExtension::create(
+        Heap, workloads::dotProductProgram(), "dot", "SD"));
+    StaticVec = vm::valueFromDatum(Heap, unwrap(readDatum(Vec, Datums)));
+    Heap.pin(StaticVec);
+    DynVec = vm::valueFromDatum(Heap, unwrap(readDatum(Dyn, Datums)));
+    Heap.pin(DynVec);
+
+    std::vector<std::optional<vm::Value>> Args = {StaticVec, std::nullopt};
+    pgg::ResidualObject Obj = unwrap(Gen->generateObject(Comp, Args));
+    SpecEntry = Obj.Entry;
+
+    Program P =
+        unwrap(frontendProgram(workloads::dotProductProgram(), Exprs, Datums));
+    compiler::AnfCompiler AC(Comp);
+    compiler::CompiledProgram General =
+        AC.compileProgram(anfConvert(P, Exprs));
+
+    M = std::make_unique<vm::Machine>(Heap);
+    compiler::linkProgram(*M, Globals, Obj.Residual);
+    compiler::linkProgram(*M, Globals, General);
+  }
+};
+
+void dotGeneralBody(benchmark::State &State, DotWorld &W);
+void BM_A3_DotGeneral(benchmark::State &State) {
+  static DotWorld W;
+  onLargeStack([&] { dotGeneralBody(State, W); });
+}
+void dotGeneralBody(benchmark::State &State, DotWorld &W) {
+  std::vector<vm::Value> Args = {W.StaticVec, W.DynVec};
+  for (auto _ : State) {
+    vm::Value R =
+        unwrap(compiler::callGlobal(*W.M, W.Globals, W.GeneralEntry, Args));
+    benchmark::DoNotOptimize(R.raw());
+  }
+}
+BENCHMARK(BM_A3_DotGeneral);
+
+void dotSpecializedBody(benchmark::State &State, DotWorld &W);
+void BM_A3_DotSpecialized(benchmark::State &State) {
+  static DotWorld W;
+  onLargeStack([&] { dotSpecializedBody(State, W); });
+}
+void dotSpecializedBody(benchmark::State &State, DotWorld &W) {
+  std::vector<vm::Value> Args = {W.DynVec};
+  for (auto _ : State) {
+    vm::Value R =
+        unwrap(compiler::callGlobal(*W.M, W.Globals, W.SpecEntry, Args));
+    benchmark::DoNotOptimize(R.raw());
+  }
+}
+BENCHMARK(BM_A3_DotSpecialized);
+
+} // namespace
+
+BENCHMARK_MAIN();

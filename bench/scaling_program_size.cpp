@@ -1,0 +1,105 @@
+//===- bench/scaling_program_size.cpp - Generation-cost scaling ------------===//
+///
+/// \file
+/// How generation cost scales with the size of the interpreted program:
+/// MIXWELL programs with N chained functions (each with one dynamic
+/// conditional, hence one residual function) are compiled by
+/// specialization on both paths. The per-residual-function cost should be
+/// roughly flat — generation is linear in residual size — which is the
+/// property that lets RTCG replace a compiler (the paper's Fig. 8 use).
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include <map>
+
+using namespace pecomp;
+using namespace pecomp::bench;
+
+namespace {
+
+/// Builds a MIXWELL program with \p N chained functions:
+///   f_i(x) = if x < 1 then i else x + f_{i+1}(x - 1)
+std::string chainProgram(int N) {
+  std::string P = "((main (x) (call f0 (var x)))";
+  for (int I = 0; I != N; ++I) {
+    std::string Next = I + 1 == N
+                           ? "(const 0)"
+                           : "(call f" + std::to_string(I + 1) +
+                                 " (op2 - (var x) (const 1)))";
+    P += " (f" + std::to_string(I) +
+         " (x) (if (op2 < (var x) (const 1)) (const " + std::to_string(I) +
+         ") (op2 + (var x) " + Next + ")))";
+  }
+  P += ")";
+  return P;
+}
+
+struct ScalingWorkload {
+  vm::Heap Heap;
+  std::unique_ptr<pgg::GeneratingExtension> Gen;
+  vm::Value Program;
+
+  explicit ScalingWorkload(int N) {
+    Gen = unwrap(pgg::GeneratingExtension::create(
+        Heap, workloads::mixwellInterpreter(), "mixwell-run", "SD"));
+    Arena A;
+    DatumFactory DF(A);
+    Program = vm::valueFromDatum(Heap, unwrap(readDatum(chainProgram(N), DF)));
+    Heap.pin(Program);
+  }
+};
+
+ScalingWorkload &workloadFor(int N) {
+  // One prepared workload per size, kept for the whole process.
+  static std::map<int, std::unique_ptr<ScalingWorkload>> Cache;
+  auto It = Cache.find(N);
+  if (It == Cache.end())
+    It = Cache.emplace(N, std::make_unique<ScalingWorkload>(N)).first;
+  return *It->second;
+}
+
+void scalingObjectBody(benchmark::State &State) {
+  ScalingWorkload &W = workloadFor(static_cast<int>(State.range(0)));
+  std::vector<std::optional<vm::Value>> Args = {W.Program, std::nullopt};
+  size_t Defs = 0;
+  for (auto _ : State) {
+    vm::CodeStore Store(W.Heap);
+    vm::GlobalTable Globals;
+    compiler::Compilators Comp(Store, Globals);
+    pgg::ResidualObject Obj = unwrap(W.Gen->generateObject(Comp, Args));
+    benchmark::DoNotOptimize(Obj.Residual.Defs.data());
+    Defs = Obj.Residual.Defs.size();
+  }
+  State.counters["residual_defs"] = static_cast<double>(Defs);
+  State.counters["us_per_def"] = benchmark::Counter(
+      static_cast<double>(Defs) * 1e6,
+      benchmark::Counter::kIsIterationInvariantRate |
+          benchmark::Counter::kInvert);
+}
+void BM_Scaling_GenerateObject(benchmark::State &State) {
+  onLargeStack([&] { scalingObjectBody(State); });
+}
+BENCHMARK(BM_Scaling_GenerateObject)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void scalingSourceBody(benchmark::State &State) {
+  ScalingWorkload &W = workloadFor(static_cast<int>(State.range(0)));
+  std::vector<std::optional<vm::Value>> Args = {W.Program, std::nullopt};
+  for (auto _ : State) {
+    Arena Scratch;
+    ExprFactory Exprs(Scratch);
+    DatumFactory Datums(Scratch);
+    pgg::ResidualSource Res =
+        unwrap(W.Gen->generateSource(Args, Exprs, Datums));
+    benchmark::DoNotOptimize(Res.Residual.Defs.data());
+  }
+}
+void BM_Scaling_GenerateSource(benchmark::State &State) {
+  onLargeStack([&] { scalingSourceBody(State); });
+}
+BENCHMARK(BM_Scaling_GenerateSource)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+} // namespace
+
+BENCHMARK_MAIN();

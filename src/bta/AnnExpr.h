@@ -1,0 +1,298 @@
+//===- bta/AnnExpr.h - Annotated Core Scheme (ACS) --------------*- C++ -*-===//
+///
+/// \file
+/// The two-level syntax the binding-time analysis produces and the
+/// specializer consumes — the paper's ACS (Sec. 4): each construct exists
+/// in a static variant (executed at specialization time) and a dynamic
+/// variant (generating residual code), plus `lift`, which coerces a static
+/// first-order value into code.
+///
+/// Additions over the paper's Fig. 3 core, which it refers to standard
+/// treatments for: call annotations. A call to a known top-level function
+/// is annotated either Unfold (inline its body at specialization time) or
+/// Memo (a specialization point: generate a residual function, memoized on
+/// the static argument values).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PECOMP_BTA_ANNEXPR_H
+#define PECOMP_BTA_ANNEXPR_H
+
+#include "syntax/Expr.h"
+
+namespace pecomp {
+namespace bta {
+
+/// Binding times: the two-point lattice S ⊑ D.
+enum class BT : uint8_t { Static, Dynamic };
+
+inline BT join(BT A, BT B) {
+  return (A == BT::Dynamic || B == BT::Dynamic) ? BT::Dynamic : BT::Static;
+}
+
+class AnnExpr {
+public:
+  enum class Kind : uint8_t {
+    Const,   ///< static constant
+    Var,     ///< variable (environment decides static/dynamic)
+    Lift,    ///< static first-order value coerced to residual code
+    DLambda, ///< dynamic lambda: residual abstraction
+    SLet,    ///< static let: bound at specialization time
+    DLet,    ///< dynamic let: names a residual value
+    SIf,     ///< static conditional: decided at specialization time
+    DIf,     ///< dynamic conditional: residual if
+    Beta,    ///< ((lambda ...) args): unfolded at specialization time
+    Unfold,  ///< call to a known function, inlined at specialization time
+    Memo,    ///< call to a known function, residualized + memoized
+    DApp,    ///< dynamic application: residual call
+    SPrim,   ///< primitive executed at specialization time
+    DPrim,   ///< residual primitive application
+  };
+
+  Kind kind() const { return K; }
+
+protected:
+  explicit AnnExpr(Kind K) : K(K) {}
+
+private:
+  Kind K;
+};
+
+class AConst : public AnnExpr {
+public:
+  explicit AConst(const Datum *Value) : AnnExpr(Kind::Const), Value(Value) {}
+  const Datum *value() const { return Value; }
+  static bool classof(const AnnExpr *E) { return E->kind() == Kind::Const; }
+
+private:
+  const Datum *Value;
+};
+
+class AVar : public AnnExpr {
+public:
+  explicit AVar(Symbol Name) : AnnExpr(Kind::Var), Name(Name) {}
+  Symbol name() const { return Name; }
+  static bool classof(const AnnExpr *E) { return E->kind() == Kind::Var; }
+
+private:
+  Symbol Name;
+};
+
+class ALift : public AnnExpr {
+public:
+  explicit ALift(const AnnExpr *Body) : AnnExpr(Kind::Lift), Body(Body) {}
+  const AnnExpr *body() const { return Body; }
+  static bool classof(const AnnExpr *E) { return E->kind() == Kind::Lift; }
+
+private:
+  const AnnExpr *Body;
+};
+
+class ADLambda : public AnnExpr {
+public:
+  ADLambda(std::vector<Symbol> Params, const AnnExpr *Body)
+      : AnnExpr(Kind::DLambda), Params(std::move(Params)), Body(Body) {}
+  const std::vector<Symbol> &params() const { return Params; }
+  const AnnExpr *body() const { return Body; }
+  static bool classof(const AnnExpr *E) { return E->kind() == Kind::DLambda; }
+
+private:
+  std::vector<Symbol> Params;
+  const AnnExpr *Body;
+};
+
+/// Shared shape of the two let variants.
+class ALetBase : public AnnExpr {
+public:
+  Symbol name() const { return Name; }
+  const AnnExpr *init() const { return Init; }
+  const AnnExpr *body() const { return Body; }
+  static bool classof(const AnnExpr *E) {
+    return E->kind() == Kind::SLet || E->kind() == Kind::DLet;
+  }
+
+protected:
+  ALetBase(Kind K, Symbol Name, const AnnExpr *Init, const AnnExpr *Body)
+      : AnnExpr(K), Name(Name), Init(Init), Body(Body) {}
+
+private:
+  Symbol Name;
+  const AnnExpr *Init;
+  const AnnExpr *Body;
+};
+
+class ASLet : public ALetBase {
+public:
+  ASLet(Symbol Name, const AnnExpr *Init, const AnnExpr *Body)
+      : ALetBase(Kind::SLet, Name, Init, Body) {}
+  static bool classof(const AnnExpr *E) { return E->kind() == Kind::SLet; }
+};
+
+class ADLet : public ALetBase {
+public:
+  ADLet(Symbol Name, const AnnExpr *Init, const AnnExpr *Body)
+      : ALetBase(Kind::DLet, Name, Init, Body) {}
+  static bool classof(const AnnExpr *E) { return E->kind() == Kind::DLet; }
+};
+
+/// Shared shape of the two conditional variants.
+class AIfBase : public AnnExpr {
+public:
+  const AnnExpr *test() const { return Test; }
+  const AnnExpr *thenBranch() const { return Then; }
+  const AnnExpr *elseBranch() const { return Else; }
+  static bool classof(const AnnExpr *E) {
+    return E->kind() == Kind::SIf || E->kind() == Kind::DIf;
+  }
+
+protected:
+  AIfBase(Kind K, const AnnExpr *Test, const AnnExpr *Then,
+          const AnnExpr *Else)
+      : AnnExpr(K), Test(Test), Then(Then), Else(Else) {}
+
+private:
+  const AnnExpr *Test;
+  const AnnExpr *Then;
+  const AnnExpr *Else;
+};
+
+class ASIf : public AIfBase {
+public:
+  ASIf(const AnnExpr *Test, const AnnExpr *Then, const AnnExpr *Else)
+      : AIfBase(Kind::SIf, Test, Then, Else) {}
+  static bool classof(const AnnExpr *E) { return E->kind() == Kind::SIf; }
+};
+
+class ADIf : public AIfBase {
+public:
+  ADIf(const AnnExpr *Test, const AnnExpr *Then, const AnnExpr *Else)
+      : AIfBase(Kind::DIf, Test, Then, Else) {}
+  static bool classof(const AnnExpr *E) { return E->kind() == Kind::DIf; }
+};
+
+class ABeta : public AnnExpr {
+public:
+  ABeta(std::vector<Symbol> Params, std::vector<const AnnExpr *> Args,
+        const AnnExpr *Body)
+      : AnnExpr(Kind::Beta), Params(std::move(Params)),
+        Args(std::move(Args)), Body(Body) {}
+  const std::vector<Symbol> &params() const { return Params; }
+  const std::vector<const AnnExpr *> &args() const { return Args; }
+  const AnnExpr *body() const { return Body; }
+  static bool classof(const AnnExpr *E) { return E->kind() == Kind::Beta; }
+
+private:
+  std::vector<Symbol> Params;
+  std::vector<const AnnExpr *> Args;
+  const AnnExpr *Body;
+};
+
+/// Shared shape of the two known-call variants.
+class ACallBase : public AnnExpr {
+public:
+  Symbol callee() const { return Callee; }
+  const std::vector<const AnnExpr *> &args() const { return Args; }
+  static bool classof(const AnnExpr *E) {
+    return E->kind() == Kind::Unfold || E->kind() == Kind::Memo;
+  }
+
+protected:
+  ACallBase(Kind K, Symbol Callee, std::vector<const AnnExpr *> Args)
+      : AnnExpr(K), Callee(Callee), Args(std::move(Args)) {}
+
+private:
+  Symbol Callee;
+  std::vector<const AnnExpr *> Args;
+};
+
+class AUnfold : public ACallBase {
+public:
+  AUnfold(Symbol Callee, std::vector<const AnnExpr *> Args)
+      : ACallBase(Kind::Unfold, Callee, std::move(Args)) {}
+  static bool classof(const AnnExpr *E) { return E->kind() == Kind::Unfold; }
+};
+
+class AMemo : public ACallBase {
+public:
+  AMemo(Symbol Callee, std::vector<const AnnExpr *> Args)
+      : ACallBase(Kind::Memo, Callee, std::move(Args)) {}
+  static bool classof(const AnnExpr *E) { return E->kind() == Kind::Memo; }
+};
+
+class ADApp : public AnnExpr {
+public:
+  ADApp(const AnnExpr *Callee, std::vector<const AnnExpr *> Args)
+      : AnnExpr(Kind::DApp), Callee(Callee), Args(std::move(Args)) {}
+  const AnnExpr *callee() const { return Callee; }
+  const std::vector<const AnnExpr *> &args() const { return Args; }
+  static bool classof(const AnnExpr *E) { return E->kind() == Kind::DApp; }
+
+private:
+  const AnnExpr *Callee;
+  std::vector<const AnnExpr *> Args;
+};
+
+/// Shared shape of the two primitive variants.
+class APrimBase : public AnnExpr {
+public:
+  PrimOp op() const { return Op; }
+  const std::vector<const AnnExpr *> &args() const { return Args; }
+  static bool classof(const AnnExpr *E) {
+    return E->kind() == Kind::SPrim || E->kind() == Kind::DPrim;
+  }
+
+protected:
+  APrimBase(Kind K, PrimOp Op, std::vector<const AnnExpr *> Args)
+      : AnnExpr(K), Op(Op), Args(std::move(Args)) {}
+
+private:
+  PrimOp Op;
+  std::vector<const AnnExpr *> Args;
+};
+
+class ASPrim : public APrimBase {
+public:
+  ASPrim(PrimOp Op, std::vector<const AnnExpr *> Args)
+      : APrimBase(Kind::SPrim, Op, std::move(Args)) {}
+  static bool classof(const AnnExpr *E) { return E->kind() == Kind::SPrim; }
+};
+
+class ADPrim : public APrimBase {
+public:
+  ADPrim(PrimOp Op, std::vector<const AnnExpr *> Args)
+      : APrimBase(Kind::DPrim, Op, std::move(Args)) {}
+  static bool classof(const AnnExpr *E) { return E->kind() == Kind::DPrim; }
+};
+
+/// An annotated top-level definition.
+struct AnnDefinition {
+  Symbol Name;
+  std::vector<Symbol> Params;
+  std::vector<BT> ParamBTs;
+  const AnnExpr *Body = nullptr;
+  BT BodyBT = BT::Static;
+  bool IsMemoPoint = false;
+};
+
+/// The annotated program: the output of the BTA, the input of the
+/// specializer.
+struct AnnProgram {
+  std::vector<AnnDefinition> Defs;
+  Symbol Entry;
+
+  const AnnDefinition *find(Symbol Name) const {
+    for (const AnnDefinition &D : Defs)
+      if (D.Name == Name)
+        return &D;
+    return nullptr;
+  }
+
+  /// Renders the two-level program with the paper's notation (liftD,
+  /// ifD, letD, underlined calls). For tests and debugging.
+  std::string print() const;
+};
+
+} // namespace bta
+} // namespace pecomp
+
+#endif // PECOMP_BTA_ANNEXPR_H

@@ -1,0 +1,148 @@
+//===- bta/AnnPrint.cpp - Printing annotated programs ----------------------===//
+///
+/// \file
+/// Renders two-level programs in the paper's notation: dynamic constructs
+/// carry a D suffix (ifD, letD, lambdaD, opD), static-time calls print as
+/// (unfold f ...) and specialization points as (memo f ...).
+///
+//===----------------------------------------------------------------------===//
+
+#include "bta/AnnExpr.h"
+
+#include "support/Casting.h"
+
+using namespace pecomp;
+using namespace pecomp::bta;
+
+namespace {
+
+void printAnn(const AnnExpr *E, std::string &Out) {
+  switch (E->kind()) {
+  case AnnExpr::Kind::Const: {
+    const Datum *D = cast<AConst>(E)->value();
+    if (D->kind() == Datum::Kind::Symbol || D->isPair() || D->isNil())
+      Out.push_back('\'');
+    Out += D->write();
+    return;
+  }
+  case AnnExpr::Kind::Var:
+    Out += cast<AVar>(E)->name().str();
+    return;
+  case AnnExpr::Kind::Lift:
+    Out += "(lift ";
+    printAnn(cast<ALift>(E)->body(), Out);
+    Out.push_back(')');
+    return;
+  case AnnExpr::Kind::DLambda: {
+    const auto *L = cast<ADLambda>(E);
+    Out += "(lambdaD (";
+    for (size_t I = 0; I != L->params().size(); ++I) {
+      if (I)
+        Out.push_back(' ');
+      Out += L->params()[I].str();
+    }
+    Out += ") ";
+    printAnn(L->body(), Out);
+    Out.push_back(')');
+    return;
+  }
+  case AnnExpr::Kind::SLet:
+  case AnnExpr::Kind::DLet: {
+    const auto *L = cast<ALetBase>(E);
+    Out += E->kind() == AnnExpr::Kind::SLet ? "(let (" : "(letD (";
+    Out += L->name().str();
+    Out.push_back(' ');
+    printAnn(L->init(), Out);
+    Out += ") ";
+    printAnn(L->body(), Out);
+    Out.push_back(')');
+    return;
+  }
+  case AnnExpr::Kind::SIf:
+  case AnnExpr::Kind::DIf: {
+    const auto *I = cast<AIfBase>(E);
+    Out += E->kind() == AnnExpr::Kind::SIf ? "(if " : "(ifD ";
+    printAnn(I->test(), Out);
+    Out.push_back(' ');
+    printAnn(I->thenBranch(), Out);
+    Out.push_back(' ');
+    printAnn(I->elseBranch(), Out);
+    Out.push_back(')');
+    return;
+  }
+  case AnnExpr::Kind::Beta: {
+    const auto *B = cast<ABeta>(E);
+    Out += "((lambda (";
+    for (size_t I = 0; I != B->params().size(); ++I) {
+      if (I)
+        Out.push_back(' ');
+      Out += B->params()[I].str();
+    }
+    Out += ") ";
+    printAnn(B->body(), Out);
+    Out.push_back(')');
+    for (const AnnExpr *Arg : B->args()) {
+      Out.push_back(' ');
+      printAnn(Arg, Out);
+    }
+    Out.push_back(')');
+    return;
+  }
+  case AnnExpr::Kind::Unfold:
+  case AnnExpr::Kind::Memo: {
+    const auto *C = cast<ACallBase>(E);
+    Out += E->kind() == AnnExpr::Kind::Unfold ? "(unfold " : "(memo ";
+    Out += C->callee().str();
+    for (const AnnExpr *Arg : C->args()) {
+      Out.push_back(' ');
+      printAnn(Arg, Out);
+    }
+    Out.push_back(')');
+    return;
+  }
+  case AnnExpr::Kind::DApp: {
+    const auto *C = cast<ADApp>(E);
+    Out += "(appD ";
+    printAnn(C->callee(), Out);
+    for (const AnnExpr *Arg : C->args()) {
+      Out.push_back(' ');
+      printAnn(Arg, Out);
+    }
+    Out.push_back(')');
+    return;
+  }
+  case AnnExpr::Kind::SPrim:
+  case AnnExpr::Kind::DPrim: {
+    const auto *Prim = cast<APrimBase>(E);
+    Out.push_back('(');
+    Out += primName(Prim->op());
+    if (E->kind() == AnnExpr::Kind::DPrim)
+      Out += "D";
+    for (const AnnExpr *Arg : Prim->args()) {
+      Out.push_back(' ');
+      printAnn(Arg, Out);
+    }
+    Out.push_back(')');
+    return;
+  }
+  }
+}
+
+} // namespace
+
+std::string AnnProgram::print() const {
+  std::string Out;
+  for (const AnnDefinition &D : Defs) {
+    Out += D.IsMemoPoint ? "(defineM (" : "(define (";
+    Out += D.Name.str();
+    for (size_t I = 0; I != D.Params.size(); ++I) {
+      Out.push_back(' ');
+      Out += D.Params[I].str();
+      Out += D.ParamBTs[I] == BT::Static ? ":S" : ":D";
+    }
+    Out += ") ";
+    printAnn(D.Body, Out);
+    Out += ")\n";
+  }
+  return Out;
+}

@@ -1,0 +1,441 @@
+//===- bta/Bta.cpp - Binding-time analysis ---------------------------------===//
+
+#include "bta/Bta.h"
+
+#include "support/Casting.h"
+
+#include <unordered_map>
+
+using namespace pecomp;
+using namespace pecomp::bta;
+
+namespace {
+
+class Analyzer {
+public:
+  Analyzer(const Program &P, Symbol Entry, const std::vector<BT> &EntryMask,
+           Arena &A, const BtaOptions &Opts)
+      : P(P), Entry(Entry), EntryMask(EntryMask), A(A), Opts(Opts) {}
+
+  Result<AnnProgram> run() {
+    const Definition *EntryDef = P.find(Entry);
+    if (!EntryDef)
+      return makeError("entry function '" + Entry.str() + "' is not defined");
+    if (EntryDef->Fn->params().size() != EntryMask.size())
+      return makeError("entry division has " +
+                       std::to_string(EntryMask.size()) + " entries but '" +
+                       Entry.str() + "' has " +
+                       std::to_string(EntryDef->Fn->params().size()) +
+                       " parameters");
+    for (const Definition &D : P.Defs)
+      DefIndex.emplace(D.Name, &D);
+
+    // Seed the entry division.
+    for (size_t I = 0; I != EntryMask.size(); ++I)
+      joinVar(EntryDef->Fn->params()[I], EntryMask[I]);
+
+    // User-forced generalizations.
+    for (const auto &[Fn, Index] : Opts.ForceDynamic) {
+      const Definition *D = P.find(Fn);
+      if (!D)
+        return makeError("ForceDynamic names unknown function '" + Fn.str() +
+                         "'");
+      if (Index >= D->Fn->params().size())
+        return makeError("ForceDynamic index " + std::to_string(Index) +
+                         " out of range for '" + Fn.str() + "'");
+      joinVar(D->Fn->params()[Index], BT::Dynamic);
+    }
+
+    computeRecursive();
+
+    // Alternate binding-time fixpoints with memoization-point selection
+    // until both stabilize. Both only grow, so this terminates.
+    Memo = Opts.ForceMemo;
+    for (Symbol F : Opts.ForceUnfold)
+      Memo.erase(F);
+    for (;;) {
+      if (auto Err = fixpoint())
+        return *Err;
+      size_t Before = Memo.size();
+      for (const Definition &D : P.Defs) {
+        if (Opts.ForceUnfold.count(D.Name))
+          continue;
+        if (Recursive.count(D.Name) && DynIf.count(D.Name))
+          Memo.insert(D.Name);
+      }
+      if (Memo.size() == Before)
+        break;
+    }
+
+    return annotateProgram();
+  }
+
+private:
+  // -- Fixpoint over binding times -------------------------------------------
+
+  BT varBT(Symbol S) const {
+    auto It = VarBTs.find(S);
+    return It == VarBTs.end() ? BT::Static : It->second;
+  }
+
+  void joinVar(Symbol S, BT T) {
+    BT &Slot = VarBTs.try_emplace(S, BT::Static).first->second;
+    BT New = join(Slot, T);
+    if (New != Slot) {
+      Slot = New;
+      Changed = true;
+    }
+  }
+
+  BT resultBT(Symbol F) const {
+    auto It = ResultBTs.find(F);
+    return It == ResultBTs.end() ? BT::Static : It->second;
+  }
+
+  void joinResult(Symbol F, BT T) {
+    BT &Slot = ResultBTs.try_emplace(F, BT::Static).first->second;
+    BT New = join(Slot, T);
+    if (New != Slot) {
+      Slot = New;
+      Changed = true;
+    }
+  }
+
+  std::optional<Error> fixpoint() {
+    do {
+      Changed = false;
+      FirstError.reset();
+      DynIf.clear();
+      for (const Definition &D : P.Defs) {
+        BT Body = analyze(D.Fn->body(), D.Name);
+        joinResult(D.Name, Body);
+      }
+      if (FirstError)
+        return FirstError;
+    } while (Changed);
+    return std::nullopt;
+  }
+
+  void report(std::string Message, const Expr *At) {
+    if (!FirstError)
+      FirstError = Error(std::move(Message), At->loc());
+  }
+
+  /// True if \p Name refers to a top-level definition (locals never
+  /// collide after alpha renaming).
+  const Definition *asGlobal(Symbol Name) const {
+    auto It = DefIndex.find(Name);
+    return It == DefIndex.end() ? nullptr : It->second;
+  }
+
+  BT analyze(const Expr *E, Symbol InFn) {
+    switch (E->kind()) {
+    case Expr::Kind::Const:
+      return BT::Static;
+    case Expr::Kind::Var: {
+      Symbol Name = cast<VarExpr>(E)->name();
+      if (asGlobal(Name)) {
+        report("top-level function '" + Name.str() +
+                   "' used as a value; first-class references to "
+                   "definitions are not supported by the BTA",
+               E);
+        return BT::Dynamic;
+      }
+      return varBT(Name);
+    }
+    case Expr::Kind::Lambda: {
+      // A lambda in value position is residualized: its parameters are
+      // dynamic, and its body is analyzed under that assumption.
+      const auto *L = cast<LambdaExpr>(E);
+      for (Symbol Param : L->params())
+        joinVar(Param, BT::Dynamic);
+      analyze(L->body(), InFn);
+      return BT::Dynamic;
+    }
+    case Expr::Kind::Let: {
+      const auto *L = cast<LetExpr>(E);
+      joinVar(L->name(), analyze(L->init(), InFn));
+      return analyze(L->body(), InFn);
+    }
+    case Expr::Kind::If: {
+      const auto *I = cast<IfExpr>(E);
+      BT Test = analyze(I->test(), InFn);
+      BT Branches = join(analyze(I->thenBranch(), InFn),
+                         analyze(I->elseBranch(), InFn));
+      if (Test == BT::Dynamic) {
+        DynIf.insert(InFn);
+        return BT::Dynamic;
+      }
+      return Branches;
+    }
+    case Expr::Kind::App: {
+      const auto *App = cast<AppExpr>(E);
+      // Direct lambda application: unfolded; parameters take the argument
+      // binding times.
+      if (const auto *L = dyn_cast<LambdaExpr>(App->callee())) {
+        if (L->params().size() != App->args().size()) {
+          report("direct lambda application with wrong arity", E);
+          return BT::Dynamic;
+        }
+        for (size_t I = 0; I != App->args().size(); ++I)
+          joinVar(L->params()[I], analyze(App->args()[I], InFn));
+        return analyze(L->body(), InFn);
+      }
+      // Call to a known top-level function.
+      if (const auto *V = dyn_cast<VarExpr>(App->callee())) {
+        if (const Definition *Callee = asGlobal(V->name())) {
+          if (Callee->Fn->params().size() != App->args().size()) {
+            report("call to '" + V->name().str() + "' with " +
+                       std::to_string(App->args().size()) +
+                       " argument(s); expected " +
+                       std::to_string(Callee->Fn->params().size()),
+                   E);
+            return BT::Dynamic;
+          }
+          for (size_t I = 0; I != App->args().size(); ++I)
+            joinVar(Callee->Fn->params()[I], analyze(App->args()[I], InFn));
+          return Memo.count(V->name()) ? BT::Dynamic
+                                       : resultBT(V->name());
+        }
+      }
+      // Dynamic application.
+      analyze(App->callee(), InFn);
+      for (const Expr *Arg : App->args())
+        analyze(Arg, InFn);
+      return BT::Dynamic;
+    }
+    case Expr::Kind::PrimApp: {
+      const auto *Prim = cast<PrimAppExpr>(E);
+      BT Args = BT::Static;
+      for (const Expr *Arg : Prim->args())
+        Args = join(Args, analyze(Arg, InFn));
+      if (!primIsPure(Prim->op()))
+        return BT::Dynamic;
+      return Args;
+    }
+    case Expr::Kind::Set:
+      report("set! must be eliminated before binding-time analysis", E);
+      return BT::Dynamic;
+    }
+    return BT::Dynamic;
+  }
+
+  // -- Call graph -------------------------------------------------------------
+
+  void collectCallees(const Expr *E, std::unordered_set<Symbol> &Out) {
+    switch (E->kind()) {
+    case Expr::Kind::Const:
+    case Expr::Kind::Var:
+      return;
+    case Expr::Kind::Lambda:
+      collectCallees(cast<LambdaExpr>(E)->body(), Out);
+      return;
+    case Expr::Kind::Let: {
+      const auto *L = cast<LetExpr>(E);
+      collectCallees(L->init(), Out);
+      collectCallees(L->body(), Out);
+      return;
+    }
+    case Expr::Kind::If: {
+      const auto *I = cast<IfExpr>(E);
+      collectCallees(I->test(), Out);
+      collectCallees(I->thenBranch(), Out);
+      collectCallees(I->elseBranch(), Out);
+      return;
+    }
+    case Expr::Kind::App: {
+      const auto *App = cast<AppExpr>(E);
+      if (const auto *V = dyn_cast<VarExpr>(App->callee()))
+        if (asGlobal(V->name()))
+          Out.insert(V->name());
+      collectCallees(App->callee(), Out);
+      for (const Expr *Arg : App->args())
+        collectCallees(Arg, Out);
+      return;
+    }
+    case Expr::Kind::PrimApp:
+      for (const Expr *Arg : cast<PrimAppExpr>(E)->args())
+        collectCallees(Arg, Out);
+      return;
+    case Expr::Kind::Set:
+      collectCallees(cast<SetExpr>(E)->value(), Out);
+      return;
+    }
+  }
+
+  /// Marks every function that can reach itself through the call graph.
+  void computeRecursive() {
+    std::unordered_map<Symbol, std::unordered_set<Symbol>> Callees;
+    for (const Definition &D : P.Defs)
+      collectCallees(D.Fn->body(), Callees[D.Name]);
+    for (const Definition &D : P.Defs) {
+      // DFS from D's callees looking for D.
+      std::vector<Symbol> Stack(Callees[D.Name].begin(),
+                                Callees[D.Name].end());
+      std::unordered_set<Symbol> Seen;
+      bool Found = false;
+      while (!Stack.empty() && !Found) {
+        Symbol F = Stack.back();
+        Stack.pop_back();
+        if (F == D.Name) {
+          Found = true;
+          break;
+        }
+        if (!Seen.insert(F).second)
+          continue;
+        for (Symbol G : Callees[F])
+          Stack.push_back(G);
+      }
+      if (Found)
+        Recursive.insert(D.Name);
+    }
+  }
+
+  // -- Annotation --------------------------------------------------------------
+
+  struct Annotated {
+    const AnnExpr *E;
+    BT T;
+  };
+
+  Annotated coerceDyn(Annotated In) {
+    if (In.T == BT::Static)
+      return {A.create<ALift>(In.E), BT::Dynamic};
+    return In;
+  }
+
+  Annotated annotate(const Expr *E) {
+    switch (E->kind()) {
+    case Expr::Kind::Const:
+      return {A.create<AConst>(cast<ConstExpr>(E)->value()), BT::Static};
+    case Expr::Kind::Var: {
+      Symbol Name = cast<VarExpr>(E)->name();
+      return {A.create<AVar>(Name), varBT(Name)};
+    }
+    case Expr::Kind::Lambda: {
+      const auto *L = cast<LambdaExpr>(E);
+      Annotated Body = coerceDyn(annotate(L->body()));
+      return {A.create<ADLambda>(L->params(), Body.E), BT::Dynamic};
+    }
+    case Expr::Kind::Let: {
+      const auto *L = cast<LetExpr>(E);
+      Annotated Init = annotate(L->init());
+      Annotated Body = annotate(L->body());
+      if (Init.T == BT::Static)
+        return {A.create<ASLet>(L->name(), Init.E, Body.E), Body.T};
+      return {A.create<ADLet>(L->name(), Init.E, Body.E), Body.T};
+    }
+    case Expr::Kind::If: {
+      const auto *I = cast<IfExpr>(E);
+      Annotated Test = annotate(I->test());
+      Annotated Then = annotate(I->thenBranch());
+      Annotated Else = annotate(I->elseBranch());
+      if (Test.T == BT::Static)
+        return {A.create<ASIf>(Test.E, Then.E, Else.E),
+                join(Then.T, Else.T)};
+      return {A.create<ADIf>(Test.E, coerceDyn(Then).E, coerceDyn(Else).E),
+              BT::Dynamic};
+    }
+    case Expr::Kind::App: {
+      const auto *App = cast<AppExpr>(E);
+      if (const auto *L = dyn_cast<LambdaExpr>(App->callee())) {
+        std::vector<const AnnExpr *> Args;
+        for (const Expr *Arg : App->args())
+          Args.push_back(annotate(Arg).E);
+        Annotated Body = annotate(L->body());
+        return {A.create<ABeta>(L->params(), std::move(Args), Body.E),
+                Body.T};
+      }
+      if (const auto *V = dyn_cast<VarExpr>(App->callee())) {
+        if (const Definition *Callee = asGlobal(V->name())) {
+          bool IsMemo = Memo.count(V->name()) != 0;
+          std::vector<const AnnExpr *> Args;
+          for (size_t I = 0; I != App->args().size(); ++I) {
+            Annotated Arg = annotate(App->args()[I]);
+            BT ParamT = varBT(Callee->Fn->params()[I]);
+            if (IsMemo && ParamT == BT::Dynamic)
+              Arg = coerceDyn(Arg); // passed as a residual argument
+            assert(!(ParamT == BT::Static && Arg.T == BT::Dynamic) &&
+                   "binding-time congruence violated at call site");
+            Args.push_back(Arg.E);
+          }
+          if (IsMemo)
+            return {A.create<AMemo>(V->name(), std::move(Args)),
+                    BT::Dynamic};
+          return {A.create<AUnfold>(V->name(), std::move(Args)),
+                  resultBT(V->name())};
+        }
+      }
+      Annotated Callee = coerceDyn(annotate(App->callee()));
+      std::vector<const AnnExpr *> Args;
+      for (const Expr *Arg : App->args())
+        Args.push_back(coerceDyn(annotate(Arg)).E);
+      return {A.create<ADApp>(Callee.E, std::move(Args)), BT::Dynamic};
+    }
+    case Expr::Kind::PrimApp: {
+      const auto *Prim = cast<PrimAppExpr>(E);
+      std::vector<Annotated> Args;
+      BT ArgsT = BT::Static;
+      for (const Expr *Arg : Prim->args()) {
+        Args.push_back(annotate(Arg));
+        ArgsT = join(ArgsT, Args.back().T);
+      }
+      std::vector<const AnnExpr *> Anns;
+      if (primIsPure(Prim->op()) && ArgsT == BT::Static) {
+        for (const Annotated &Arg : Args)
+          Anns.push_back(Arg.E);
+        return {A.create<ASPrim>(Prim->op(), std::move(Anns)), BT::Static};
+      }
+      for (Annotated &Arg : Args)
+        Anns.push_back(coerceDyn(Arg).E);
+      return {A.create<ADPrim>(Prim->op(), std::move(Anns)), BT::Dynamic};
+    }
+    case Expr::Kind::Set:
+      break;
+    }
+    assert(false && "unexpected expression in annotation");
+    return {nullptr, BT::Dynamic};
+  }
+
+  Result<AnnProgram> annotateProgram() {
+    AnnProgram Out;
+    Out.Entry = Entry;
+    for (const Definition &D : P.Defs) {
+      AnnDefinition AD;
+      AD.Name = D.Name;
+      AD.Params = D.Fn->params();
+      for (Symbol Param : AD.Params)
+        AD.ParamBTs.push_back(varBT(Param));
+      Annotated Body = annotate(D.Fn->body());
+      AD.Body = Body.E;
+      AD.BodyBT = Body.T;
+      AD.IsMemoPoint = Memo.count(D.Name) != 0;
+      Out.Defs.push_back(std::move(AD));
+    }
+    return Out;
+  }
+
+  const Program &P;
+  Symbol Entry;
+  const std::vector<BT> &EntryMask;
+  Arena &A;
+  const BtaOptions &Opts;
+
+  std::unordered_map<Symbol, const Definition *> DefIndex;
+  std::unordered_map<Symbol, BT> VarBTs;
+  std::unordered_map<Symbol, BT> ResultBTs;
+  std::unordered_set<Symbol> Memo;
+  std::unordered_set<Symbol> Recursive;
+  std::unordered_set<Symbol> DynIf;
+  std::optional<Error> FirstError;
+  bool Changed = false;
+};
+
+} // namespace
+
+Result<AnnProgram> bta::analyze(const Program &P, Symbol Entry,
+                                const std::vector<BT> &EntryMask, Arena &A,
+                                const BtaOptions &Opts) {
+  Analyzer An(P, Entry, EntryMask, A, Opts);
+  return An.run();
+}

@@ -1,0 +1,65 @@
+//===- bta/Bta.h - Binding-time analysis ------------------------*- C++ -*-===//
+///
+/// \file
+/// The offline binding-time analysis: given a program, an entry function,
+/// and a division of its parameters into static and dynamic, computes a
+/// congruent two-level annotation (bta/AnnExpr.h) for the whole program.
+/// "The binding-time analysis ... can automatically determine a proper
+/// staging of computations" (Sec. 1).
+///
+/// The analysis is monovariant over the two-point lattice S ⊑ D:
+///  - one binding time per variable (binders are unique after alpha
+///    renaming) and one result binding time per function, computed as a
+///    fixpoint; parameter binding times join over all call sites;
+///  - direct lambda applications (the image of desugared multi-binding
+///    lets) are unfolded (Beta); other lambdas are dynamic (residualized);
+///  - impure primitives are always dynamic;
+///  - lifts are inserted where a static value meets a dynamic context.
+///
+/// Specialization points (Memo) are chosen per function: a function is
+/// memoized iff it is recursive (lies on a call-graph cycle) and its body
+/// contains a dynamic conditional — the classic criterion ensuring that
+/// dynamically controlled loops are residualized while statically
+/// controlled recursion unfolds. Users can override per function
+/// (BtaOptions); the specializer additionally guards unfolding with a
+/// depth limit, since fully static recursion may diverge (the PE
+/// termination problem the paper cites [60]).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PECOMP_BTA_BTA_H
+#define PECOMP_BTA_BTA_H
+
+#include "bta/AnnExpr.h"
+#include "support/Error.h"
+
+#include <unordered_set>
+
+namespace pecomp {
+namespace bta {
+
+struct BtaOptions {
+  /// Functions that must become specialization points.
+  std::unordered_set<Symbol> ForceMemo;
+  /// Functions that must be unfolded even if the heuristic would memoize.
+  std::unordered_set<Symbol> ForceUnfold;
+  /// Parameters (function name, zero-based index) forced dynamic. The
+  /// escape hatch for bounded-static-variation problems: a congruent-but-
+  /// evolving static parameter (e.g. a counter incremented under dynamic
+  /// control) makes every memo key new; generalizing it to dynamic
+  /// restores termination.
+  std::vector<std::pair<Symbol, unsigned>> ForceDynamic;
+};
+
+/// Analyzes \p P for entry point \p Entry whose parameters are divided by
+/// \p EntryMask. Annotated syntax is allocated in \p A, which must outlive
+/// the returned program. \p P must be assignment-free, alpha-renamed Core
+/// Scheme (see frontend::frontendProgram) and must outlive the result.
+Result<AnnProgram> analyze(const Program &P, Symbol Entry,
+                           const std::vector<BT> &EntryMask, Arena &A,
+                           const BtaOptions &Opts = {});
+
+} // namespace bta
+} // namespace pecomp
+
+#endif // PECOMP_BTA_BTA_H

@@ -1,0 +1,144 @@
+//===- compiler/AnfCompiler.cpp - The ANF compiler -------------------------===//
+
+#include "compiler/AnfCompiler.h"
+
+#include "frontend/FreeVars.h"
+#include "support/Casting.h"
+#include "syntax/AnfCheck.h"
+#include "vm/Convert.h"
+
+using namespace pecomp;
+using namespace pecomp::compiler;
+
+bool compiler::letTestIsOnStack(const LetExpr *L) {
+  const auto *If = dyn_cast<IfExpr>(L->body());
+  if (!If)
+    return false;
+  const auto *Test = dyn_cast<VarExpr>(If->test());
+  if (!Test || Test->name() != L->name())
+    return false;
+  return !freeVarSet(If->thenBranch()).count(L->name()) &&
+         !freeVarSet(If->elseBranch()).count(L->name());
+}
+
+CompiledProgram AnfCompiler::compileProgram(const Program &P) {
+  assert(!checkAnf(P) && "AnfCompiler requires ANF input");
+  CompiledProgram Out;
+  for (const Definition &D : P.Defs) {
+    // Claim the global slot before compiling the body so self-references
+    // and forward references resolve to stable indices.
+    C.globals().lookupOrAdd(D.Name);
+    Out.Defs.emplace_back(D.Name, compileFunction(D.Name, D.Fn));
+  }
+  return Out;
+}
+
+const vm::CodeObject *AnfCompiler::compileFunction(Symbol Name,
+                                                   const LambdaExpr *Fn) {
+  return C.makeCodeObject(Name.str(), Fn->params(), {},
+                          [&](const CEnv &Env, uint32_t Depth) {
+                            return tail(Fn->body(), Env, Depth);
+                          });
+}
+
+const Fragment *AnfCompiler::tail(const Expr *E, const CEnv &Env,
+                                  uint32_t Depth) {
+  switch (E->kind()) {
+  case Expr::Kind::Const:
+  case Expr::Kind::Var:
+  case Expr::Kind::Lambda:
+    return C.returnValue(push(E, Env, Depth));
+  case Expr::Kind::Let: {
+    const auto *L = cast<LetExpr>(E);
+    const Fragment *Init = serious(L->init(), Env, Depth);
+    // (let (t I) (if t M1 M2)), t dead in the branches: the conditional
+    // consumes I's value from the stack, saving the slot and the reload.
+    if (letTestIsOnStack(L)) {
+      const auto *If = cast<IfExpr>(L->body());
+      return C.letBinding(Init,
+                          C.ifOnStack(tail(If->thenBranch(), Env, Depth),
+                                      tail(If->elseBranch(), Env, Depth)));
+    }
+    CEnv BodyEnv = Env.bind(C.envArena(), L->name(),
+                            Location::local(static_cast<uint16_t>(Depth)));
+    return C.letBinding(Init, tail(L->body(), BodyEnv, Depth + 1));
+  }
+  case Expr::Kind::If: {
+    const auto *I = cast<IfExpr>(E);
+    return C.ifThenElse(push(I->test(), Env, Depth),
+                        tail(I->thenBranch(), Env, Depth),
+                        tail(I->elseBranch(), Env, Depth));
+  }
+  case Expr::Kind::App: {
+    const auto *A = cast<AppExpr>(E);
+    const Fragment *Callee = push(A->callee(), Env, Depth);
+    std::vector<const Fragment *> Args;
+    for (size_t I = 0; I != A->args().size(); ++I)
+      Args.push_back(
+          push(A->args()[I], Env, Depth + 1 + static_cast<uint32_t>(I)));
+    return C.call(Callee, Args, /*Tail=*/true);
+  }
+  case Expr::Kind::PrimApp: {
+    const auto *P = cast<PrimAppExpr>(E);
+    std::vector<const Fragment *> Args;
+    for (size_t I = 0; I != P->args().size(); ++I)
+      Args.push_back(
+          push(P->args()[I], Env, Depth + static_cast<uint32_t>(I)));
+    return C.returnValue(C.primApp(P->op(), Args));
+  }
+  case Expr::Kind::Set:
+    break;
+  }
+  assert(false && "non-ANF expression reached the ANF compiler");
+  return nullptr;
+}
+
+const Fragment *AnfCompiler::push(const Expr *E, const CEnv &Env,
+                                  uint32_t Depth) {
+  (void)Depth; // trivial pushes address locals by slot, not by depth
+  switch (E->kind()) {
+  case Expr::Kind::Const:
+    return C.pushLiteral(
+        vm::valueFromDatum(C.store().heap(), cast<ConstExpr>(E)->value()));
+  case Expr::Kind::Var:
+    return C.pushVar(Env, cast<VarExpr>(E)->name());
+  case Expr::Kind::Lambda: {
+    const auto *L = cast<LambdaExpr>(E);
+    // Captured variables: lexically visible free variables. Anything not
+    // in the compile-time environment is a global reference.
+    std::vector<Symbol> Captured;
+    for (Symbol Free : freeVars(L))
+      if (Env.lookup(Free))
+        Captured.push_back(Free);
+    const vm::CodeObject *Child = C.makeCodeObject(
+        "lambda", L->params(), Captured,
+        [&](const CEnv &BodyEnv, uint32_t BodyDepth) {
+          return tail(L->body(), BodyEnv, BodyDepth);
+        });
+    return C.pushClosure(Env, Child, Captured);
+  }
+  default:
+    assert(false && "expected a trivial expression");
+    return nullptr;
+  }
+}
+
+const Fragment *AnfCompiler::serious(const Expr *E, const CEnv &Env,
+                                     uint32_t Depth) {
+  if (const auto *A = dyn_cast<AppExpr>(E)) {
+    const Fragment *Callee = push(A->callee(), Env, Depth);
+    std::vector<const Fragment *> Args;
+    for (size_t I = 0; I != A->args().size(); ++I)
+      Args.push_back(
+          push(A->args()[I], Env, Depth + 1 + static_cast<uint32_t>(I)));
+    return C.call(Callee, Args, /*Tail=*/false);
+  }
+  if (const auto *P = dyn_cast<PrimAppExpr>(E)) {
+    std::vector<const Fragment *> Args;
+    for (size_t I = 0; I != P->args().size(); ++I)
+      Args.push_back(
+          push(P->args()[I], Env, Depth + static_cast<uint32_t>(I)));
+    return C.primApp(P->op(), Args);
+  }
+  return push(E, Env, Depth);
+}

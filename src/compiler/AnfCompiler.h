@@ -1,0 +1,57 @@
+//===- compiler/AnfCompiler.h - The ANF compiler ----------------*- C++ -*-===//
+///
+/// \file
+/// The paper's Sec. 6.1 compiler: a recursive-descent compiler for
+/// programs in A-normal form. Because ANF makes control flow explicit —
+/// only applications in let position are non-tail calls, everything else
+/// in tail position is a jump — no compile-time continuation is threaded
+/// (contrast StockCompiler); the compiler just passes a compile-time
+/// environment and a stack depth.
+///
+/// The per-construct work is delegated to the Compilators, which double as
+/// the specializer's code-generation combinators on the fused path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PECOMP_COMPILER_ANFCOMPILER_H
+#define PECOMP_COMPILER_ANFCOMPILER_H
+
+#include "compiler/Compilators.h"
+#include "compiler/Link.h"
+#include "syntax/Expr.h"
+
+namespace pecomp {
+namespace compiler {
+
+/// True for (let (x I) (if x M1 M2)) where x is dead in both branches: the
+/// conditional may then consume I's value from the stack directly. Shared
+/// by every ANF backend (fragment, direct, fused) so their output stays
+/// byte-identical.
+bool letTestIsOnStack(const LetExpr *L);
+
+class AnfCompiler {
+public:
+  explicit AnfCompiler(Compilators &C) : C(C) {}
+
+  /// Compiles every definition, in order. The input must be in ANF
+  /// (asserted via syntax/AnfCheck in debug builds).
+  CompiledProgram compileProgram(const Program &P);
+
+  /// Compiles a single function.
+  const vm::CodeObject *compileFunction(Symbol Name, const LambdaExpr *Fn);
+
+private:
+  /// M in tail position: ends in Return or TailCall.
+  const Fragment *tail(const Expr *E, const CEnv &Env, uint32_t Depth);
+  /// V: pushes one value. (The paper's compile-trivial.)
+  const Fragment *push(const Expr *E, const CEnv &Env, uint32_t Depth);
+  /// Let-bindable RHS: trivial, call, or primitive; pushes its value.
+  const Fragment *serious(const Expr *E, const CEnv &Env, uint32_t Depth);
+
+  Compilators &C;
+};
+
+} // namespace compiler
+} // namespace pecomp
+
+#endif // PECOMP_COMPILER_ANFCOMPILER_H

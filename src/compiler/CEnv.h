@@ -1,0 +1,71 @@
+//===- compiler/CEnv.h - Compile-time environments --------------*- C++ -*-===//
+///
+/// \file
+/// The compile-time environment the paper's compilators thread around:
+/// maps names to stack slots (parameters and let temporaries) or closure
+/// capture indices; anything unmapped is a global, resolved through the
+/// GlobalTable. Environments are persistent (extension shares structure),
+/// which matters on the fused path where one environment prefix is shared
+/// by many residual-code combinators.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PECOMP_COMPILER_CENV_H
+#define PECOMP_COMPILER_CENV_H
+
+#include "sexp/Symbol.h"
+#include "support/Arena.h"
+
+#include <cstdint>
+#include <optional>
+
+namespace pecomp {
+namespace compiler {
+
+/// Where a lexically visible name lives at run time.
+struct Location {
+  enum class Kind : uint8_t {
+    Local, ///< stack slot relative to the frame base
+    Free,  ///< index into the closure's captured values
+  };
+  Kind K;
+  uint16_t Index;
+
+  static Location local(uint16_t Slot) { return {Kind::Local, Slot}; }
+  static Location free(uint16_t Index) { return {Kind::Free, Index}; }
+};
+
+/// Persistent association of names to locations.
+class CEnv {
+public:
+  CEnv() = default;
+
+  /// Returns an extension of this environment binding \p Name. Nodes are
+  /// allocated in \p A, which must outlive every derived environment.
+  CEnv bind(Arena &A, Symbol Name, Location Loc) const {
+    return CEnv(A.create<Node>(Node{Name, Loc, Head}));
+  }
+
+  std::optional<Location> lookup(Symbol Name) const {
+    for (const Node *N = Head; N; N = N->Parent)
+      if (N->Name == Name)
+        return N->Loc;
+    return std::nullopt;
+  }
+
+private:
+  struct Node {
+    Symbol Name;
+    Location Loc;
+    const Node *Parent;
+  };
+
+  explicit CEnv(const Node *Head) : Head(Head) {}
+
+  const Node *Head = nullptr;
+};
+
+} // namespace compiler
+} // namespace pecomp
+
+#endif // PECOMP_COMPILER_CENV_H

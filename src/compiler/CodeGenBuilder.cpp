@@ -1,0 +1,249 @@
+//===- compiler/CodeGenBuilder.cpp - Fused residual-code builder ----------===//
+
+#include "compiler/CodeGenBuilder.h"
+
+#include <unordered_set>
+
+using namespace pecomp;
+using namespace pecomp::compiler;
+
+namespace {
+
+/// One free-name traversal over the combinator graph, mirroring the
+/// traversal order of frontend::freeVars on the equivalent syntax.
+struct FreeNameWalk {
+  std::vector<Symbol> Order;
+  std::unordered_set<Symbol> Seen;
+  std::vector<std::unordered_set<Symbol>> Bound;
+
+  bool isBound(Symbol S) const {
+    for (auto It = Bound.rbegin(), E = Bound.rend(); It != E; ++It)
+      if (It->count(S))
+        return true;
+    return false;
+  }
+
+  void mention(Symbol S) {
+    if (isBound(S) || Seen.count(S))
+      return;
+    Seen.insert(S);
+    Order.push_back(S);
+  }
+
+  void walk(const CodeNode *N) {
+    switch (N->K) {
+    case CodeNode::Kind::Const:
+      return;
+    case CodeNode::Kind::Var:
+      mention(N->Name);
+      return;
+    case CodeNode::Kind::Lambda:
+      // Nested lambdas carry their summary; no need to descend.
+      for (Symbol S : N->FreeNames)
+        mention(S);
+      return;
+    case CodeNode::Kind::Let:
+      walk(N->A);
+      Bound.push_back({N->Name});
+      walk(N->B);
+      Bound.pop_back();
+      return;
+    case CodeNode::Kind::If:
+      walk(N->A);
+      walk(N->B);
+      walk(N->C);
+      return;
+    case CodeNode::Kind::Call:
+      walk(N->A);
+      for (const CodeNode *Arg : N->Args)
+        walk(Arg);
+      return;
+    case CodeNode::Kind::Prim:
+      for (const CodeNode *Arg : N->Args)
+        walk(Arg);
+      return;
+    }
+  }
+};
+
+/// The fused reading of compiler::letTestIsOnStack: (let (t I) (if t ...))
+/// with t dead in both branches.
+bool letTestIsOnStackNode(const CodeNode *Let) {
+  const CodeNode *Body = Let->B;
+  if (Body->K != CodeNode::Kind::If || Body->A->K != CodeNode::Kind::Var ||
+      Body->A->Name != Let->Name)
+    return false;
+  FreeNameWalk W;
+  W.walk(Body->B);
+  W.walk(Body->C);
+  return !W.Seen.count(Let->Name);
+}
+
+} // namespace
+
+std::vector<Symbol> compiler::residualFreeNames(const CodeNode *N) {
+  FreeNameWalk W;
+  W.walk(N);
+  return std::move(W.Order);
+}
+
+CodeGenBuilder::Code CodeGenBuilder::constant(vm::Value V) {
+  ConstRoots.protect(V);
+  CodeNode *N = NodeArena.create<CodeNode>();
+  N->K = CodeNode::Kind::Const;
+  N->ConstV = V;
+  return N;
+}
+
+CodeGenBuilder::Code CodeGenBuilder::variable(Symbol Name) {
+  CodeNode *N = NodeArena.create<CodeNode>();
+  N->K = CodeNode::Kind::Var;
+  N->Name = Name;
+  return N;
+}
+
+CodeGenBuilder::Code CodeGenBuilder::lambda(std::vector<Symbol> Params,
+                                            Code Body) {
+  CodeNode *N = NodeArena.create<CodeNode>();
+  N->K = CodeNode::Kind::Lambda;
+  // The Sec. 6.4 name bookkeeping: summarize the body's free names minus
+  // the parameters, once, at combinator-construction time.
+  FreeNameWalk W;
+  W.Bound.emplace_back(Params.begin(), Params.end());
+  W.walk(Body);
+  N->FreeNames = std::move(W.Order);
+  N->Params = std::move(Params);
+  N->A = Body;
+  return N;
+}
+
+CodeGenBuilder::Code CodeGenBuilder::let(Symbol Var, Code Init, Code Body) {
+  // (let (t I) t) collapses to I: I's tail emission (e.g. TailCall) takes
+  // over, preserving proper tail calls in residual programs. The same
+  // peephole lives in SyntaxBuilder::let, keeping the fused output
+  // byte-identical to compiling the residual source.
+  if (Body->K == CodeNode::Kind::Var && Body->Name == Var)
+    return Init;
+  CodeNode *N = NodeArena.create<CodeNode>();
+  N->K = CodeNode::Kind::Let;
+  N->Name = Var;
+  N->A = Init;
+  N->B = Body;
+  return N;
+}
+
+CodeGenBuilder::Code CodeGenBuilder::ifExpr(Code Test, Code Then, Code Else) {
+  CodeNode *N = NodeArena.create<CodeNode>();
+  N->K = CodeNode::Kind::If;
+  N->A = Test;
+  N->B = Then;
+  N->C = Else;
+  return N;
+}
+
+CodeGenBuilder::Code CodeGenBuilder::call(Code Callee,
+                                          std::vector<Code> Args) {
+  CodeNode *N = NodeArena.create<CodeNode>();
+  N->K = CodeNode::Kind::Call;
+  N->A = Callee;
+  N->Args = std::move(Args);
+  return N;
+}
+
+CodeGenBuilder::Code CodeGenBuilder::primApp(PrimOp Op,
+                                             std::vector<Code> Args) {
+  CodeNode *N = NodeArena.create<CodeNode>();
+  N->K = CodeNode::Kind::Prim;
+  N->Op = Op;
+  N->Args = std::move(Args);
+  return N;
+}
+
+void CodeGenBuilder::define(Symbol Name, std::vector<Symbol> Params,
+                            Code Body) {
+  C.globals().lookupOrAdd(Name);
+  const vm::CodeObject *Code = C.makeCodeObject(
+      Name.str(), Params, {}, [&](const CEnv &Env, uint32_t Depth) {
+        return emitTail(Body, Env, Depth);
+      });
+  Out.Defs.emplace_back(Name, Code);
+}
+
+const Fragment *CodeGenBuilder::emitPush(Code N, const CEnv &Env,
+                                         uint32_t Depth) {
+  switch (N->K) {
+  case CodeNode::Kind::Const:
+    return C.pushLiteral(N->ConstV);
+  case CodeNode::Kind::Var:
+    return C.pushVar(Env, N->Name);
+  case CodeNode::Kind::Lambda: {
+    // The free-name split of Sec. 6.4: lexically visible names are
+    // captured; the rest are globals inside the child.
+    std::vector<Symbol> Captured;
+    for (Symbol Name : N->FreeNames)
+      if (Env.lookup(Name))
+        Captured.push_back(Name);
+    const vm::CodeObject *Child = C.makeCodeObject(
+        "lambda", N->Params, Captured,
+        [&](const CEnv &BodyEnv, uint32_t BodyDepth) {
+          return emitTail(N->A, BodyEnv, BodyDepth);
+        });
+    return C.pushClosure(Env, Child, Captured);
+  }
+  case CodeNode::Kind::Call: {
+    const Fragment *Callee = emitPush(N->A, Env, Depth);
+    std::vector<const Fragment *> ArgFs;
+    for (size_t I = 0; I != N->Args.size(); ++I)
+      ArgFs.push_back(
+          emitPush(N->Args[I], Env, Depth + 1 + static_cast<uint32_t>(I)));
+    return C.call(Callee, ArgFs, /*Tail=*/false);
+  }
+  case CodeNode::Kind::Prim: {
+    std::vector<const Fragment *> ArgFs;
+    for (size_t I = 0; I != N->Args.size(); ++I)
+      ArgFs.push_back(
+          emitPush(N->Args[I], Env, Depth + static_cast<uint32_t>(I)));
+    return C.primApp(N->Op, ArgFs);
+  }
+  case CodeNode::Kind::Let:
+  case CodeNode::Kind::If:
+    break;
+  }
+  assert(false && "control combinators only occur in tail position");
+  return nullptr;
+}
+
+const Fragment *CodeGenBuilder::emitTail(Code N, const CEnv &Env,
+                                         uint32_t Depth) {
+  switch (N->K) {
+  case CodeNode::Kind::Const:
+  case CodeNode::Kind::Var:
+  case CodeNode::Kind::Lambda:
+  case CodeNode::Kind::Prim:
+    return C.returnValue(emitPush(N, Env, Depth));
+  case CodeNode::Kind::Let: {
+    if (letTestIsOnStackNode(N))
+      return C.letBinding(
+          emitPush(N->A, Env, Depth),
+          C.ifOnStack(emitTail(N->B->B, Env, Depth),
+                      emitTail(N->B->C, Env, Depth)));
+    CEnv BodyEnv = Env.bind(C.envArena(), N->Name,
+                            Location::local(static_cast<uint16_t>(Depth)));
+    return C.letBinding(emitPush(N->A, Env, Depth),
+                        emitTail(N->B, BodyEnv, Depth + 1));
+  }
+  case CodeNode::Kind::If:
+    return C.ifThenElse(emitPush(N->A, Env, Depth), emitTail(N->B, Env, Depth),
+                        emitTail(N->C, Env, Depth));
+  case CodeNode::Kind::Call: {
+    const Fragment *Callee = emitPush(N->A, Env, Depth);
+    std::vector<const Fragment *> ArgFs;
+    for (size_t I = 0; I != N->Args.size(); ++I)
+      ArgFs.push_back(
+          emitPush(N->Args[I], Env, Depth + 1 + static_cast<uint32_t>(I)));
+    return C.call(Callee, ArgFs, /*Tail=*/true);
+  }
+  }
+  assert(false && "unknown combinator node");
+  return nullptr;
+}

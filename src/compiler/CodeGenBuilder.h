@@ -1,0 +1,111 @@
+//===- compiler/CodeGenBuilder.h - Fused residual-code builder --*- C++ -*-===//
+///
+/// \file
+/// The deforested composition of the specializer with the compiler
+/// (Sec. 5.4/6.3): a residual-code builder whose constructors are the
+/// compiler's compilators partially applied. Where the ordinary builder
+/// (spec::SyntaxBuilder) constructs residual ANF *syntax*, this builder's
+/// Code values are code-generation combinators awaiting a compile-time
+/// environment and stack depth, so specialization produces object code
+/// directly — no residual Scheme AST exists on this path (that AST is the
+/// intermediate structure deforestation removes).
+///
+/// The combinators are represented defunctionalized (Reynolds): each Code
+/// value is a node recording which compilator was partially applied to
+/// which arguments, and emission interprets the node by invoking that
+/// compilator — operationally identical to the paper's closure-based
+/// `make-residual-*` combinators, but without per-closure allocation
+/// costs. Nodes live in the builder's arena.
+///
+/// The Sec. 6.4 duality (the lambda compilator needs the *names* of its
+/// free variables, but fused code pieces are not named syntax) is
+/// resolved as the paper suggests: every Code value carries its free
+/// residual variable names, maintained compositionally; at emission the
+/// lambda compilator splits them into lexical captures and global
+/// references exactly as the stand-alone compiler would.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PECOMP_COMPILER_CODEGENBUILDER_H
+#define PECOMP_COMPILER_CODEGENBUILDER_H
+
+#include "compiler/Compilators.h"
+#include "compiler/Link.h"
+
+namespace pecomp {
+namespace compiler {
+
+/// A defunctionalized code-generation combinator: a compilator partially
+/// applied to its residual subterms.
+struct CodeNode {
+  enum class Kind : uint8_t { Const, Var, Lambda, Let, If, Call, Prim };
+
+  Kind K;
+  vm::Value ConstV;               ///< Const
+  Symbol Name;                    ///< Var name / Let variable
+  PrimOp Op = PrimOp::Add;        ///< Prim
+  std::vector<Symbol> Params;     ///< Lambda parameters
+  const CodeNode *A = nullptr;    ///< Lambda body / Let init / If test /
+                                  ///< Call callee
+  const CodeNode *B = nullptr;    ///< Let body / If then
+  const CodeNode *C = nullptr;    ///< If else
+  std::vector<const CodeNode *> Args; ///< Call / Prim arguments
+
+  /// Lambda nodes only: free residual variables of the abstraction, in
+  /// first-occurrence order (matching frontend::freeVars on the
+  /// equivalent residual syntax). Computed once when the lambda
+  /// combinator is built; inner nodes carry no free-name sets, keeping
+  /// combinator construction O(1).
+  std::vector<Symbol> FreeNames;
+};
+
+/// Free residual variables of \p N in first-occurrence order. Walks the
+/// combinator graph, using stored summaries at nested lambdas.
+std::vector<Symbol> residualFreeNames(const CodeNode *N);
+
+/// Residual-code builder producing vm::CodeObjects. Models the same
+/// builder concept as spec::SyntaxBuilder, so the specializer is
+/// instantiated with either (the catamorphism parameterization of
+/// Sec. 5).
+class CodeGenBuilder {
+public:
+  /// Cheap handle; null only for default-constructed placeholders.
+  using Code = const CodeNode *;
+
+  explicit CodeGenBuilder(Compilators &C)
+      : C(C), ConstRoots(C.store().heap()) {}
+
+  Code constant(vm::Value V);
+  Code variable(Symbol Name);
+  Code lambda(std::vector<Symbol> Params, Code Body);
+  Code let(Symbol Var, Code Init, Code Body);
+  Code ifExpr(Code Test, Code Then, Code Else);
+  Code call(Code Callee, std::vector<Code> Args);
+  Code primApp(PrimOp Op, std::vector<Code> Args);
+
+  /// Completes one residual top-level definition: emission happens here —
+  /// this is where the generating extension actually generates object
+  /// code.
+  void define(Symbol Name, std::vector<Symbol> Params, Code Body);
+
+  /// The finished residual program (compiled form).
+  CompiledProgram takeProgram() { return std::move(Out); }
+
+  Compilators &compilators() { return C; }
+
+private:
+  /// Applying a combinator: emits the code that pushes the value.
+  const Fragment *emitPush(Code N, const CEnv &Env, uint32_t Depth);
+  /// Applying a combinator in tail position.
+  const Fragment *emitTail(Code N, const CEnv &Env, uint32_t Depth);
+
+  Compilators &C;
+  Arena NodeArena;
+  vm::RootScope ConstRoots; ///< keeps lifted constants alive until emission
+  CompiledProgram Out;
+};
+
+} // namespace compiler
+} // namespace pecomp
+
+#endif // PECOMP_COMPILER_CODEGENBUILDER_H

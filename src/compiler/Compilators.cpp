@@ -1,0 +1,105 @@
+//===- compiler/Compilators.cpp - Per-construct code generators -----------===//
+
+#include "compiler/Compilators.h"
+
+using namespace pecomp;
+using namespace pecomp::compiler;
+using vm::Op;
+
+const Fragment *Compilators::pushLiteral(vm::Value V) {
+  return Frags.instr(Op::Const, {Operand::lit(V)});
+}
+
+const Fragment *Compilators::pushVar(const CEnv &Env, Symbol Name) {
+  if (std::optional<Location> Loc = Env.lookup(Name)) {
+    if (Loc->K == Location::Kind::Local)
+      return Frags.instr(Op::LocalRef, {Operand::imm(Loc->Index)});
+    return Frags.instr(Op::FreeRef, {Operand::imm(Loc->Index)});
+  }
+  return Frags.instr(Op::GlobalRef,
+                     {Operand::imm(Globals.lookupOrAdd(Name))});
+}
+
+const Fragment *Compilators::pushClosure(const CEnv &Env,
+                                         const vm::CodeObject *Child,
+                                         std::span<const Symbol> FreeNames) {
+  std::vector<const Fragment *> Parts;
+  for (Symbol Free : FreeNames)
+    Parts.push_back(pushVar(Env, Free));
+  Parts.push_back(
+      Frags.instr(Op::MakeClosure,
+                  {Operand::child(Child),
+                   Operand::imm(static_cast<uint16_t>(FreeNames.size()))}));
+  return Frags.seq(std::move(Parts));
+}
+
+const Fragment *
+Compilators::call(const Fragment *CalleePush,
+                  std::span<const Fragment *const> ArgPushes, bool Tail) {
+  std::vector<const Fragment *> Parts;
+  Parts.push_back(CalleePush);
+  Parts.insert(Parts.end(), ArgPushes.begin(), ArgPushes.end());
+  Parts.push_back(
+      Frags.instr(Tail ? Op::TailCall : Op::Call,
+                  {Operand::count(static_cast<uint8_t>(ArgPushes.size()))}));
+  return Frags.seq(std::move(Parts));
+}
+
+const Fragment *
+Compilators::primApp(PrimOp Op,
+                     std::span<const Fragment *const> ArgPushes) {
+  std::vector<const Fragment *> Parts(ArgPushes.begin(), ArgPushes.end());
+  Parts.push_back(Frags.instr(vm::Op::Prim, {Operand::prim(Op)}));
+  return Frags.seq(std::move(Parts));
+}
+
+const Fragment *Compilators::ifThenElse(const Fragment *TestPush,
+                                        const Fragment *ThenTail,
+                                        const Fragment *ElseTail) {
+  LabelId AltLabel = Frags.makeLabel();
+  return Frags.seq({
+      TestPush,
+      Frags.instrUsingLabel(Op::JumpIfFalse, AltLabel),
+      ThenTail,
+      Frags.attachLabel(AltLabel, ElseTail),
+  });
+}
+
+const Fragment *Compilators::ifOnStack(const Fragment *ThenTail,
+                                       const Fragment *ElseTail) {
+  LabelId AltLabel = Frags.makeLabel();
+  return Frags.seq({
+      Frags.instrUsingLabel(Op::JumpIfFalse, AltLabel),
+      ThenTail,
+      Frags.attachLabel(AltLabel, ElseTail),
+  });
+}
+
+const Fragment *Compilators::returnValue(const Fragment *Push) {
+  return Frags.seq({Push, Frags.instr(Op::Return)});
+}
+
+const Fragment *Compilators::letBinding(const Fragment *InitPush,
+                                        const Fragment *BodyTail) {
+  return Frags.seq({InitPush, BodyTail});
+}
+
+const vm::CodeObject *
+Compilators::makeCodeObject(std::string Name, std::span<const Symbol> Params,
+                            std::span<const Symbol> FreeNames,
+                            const BodyEmitter &EmitBody) {
+  CEnv Env;
+  uint16_t Slot = 0;
+  for (Symbol P : Params)
+    Env = Env.bind(EnvArena, P, Location::local(Slot++));
+  uint16_t FreeIndex = 0;
+  for (Symbol F : FreeNames)
+    Env = Env.bind(EnvArena, F, Location::free(FreeIndex++));
+
+  vm::CodeObject *Code =
+      Store.create(std::move(Name), static_cast<uint32_t>(Params.size()));
+  const Fragment *Body = EmitBody(Env, static_cast<uint32_t>(Params.size()));
+  assemble(Body, Code);
+  ++NumCodeObjects;
+  return Code;
+}

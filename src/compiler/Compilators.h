@@ -1,0 +1,121 @@
+//===- compiler/Compilators.h - Per-construct code generators ---*- C++ -*-===//
+///
+/// \file
+/// The compilators: one small code generator per Core Scheme construct,
+/// exactly the role of the paper's `define-compilator` procedures
+/// (Sec. 6.1). They are deliberately independent of syntax dispatch so
+/// they can be consumed two ways, which is the paper's central trick
+/// (Sec. 6.3):
+///
+///   1. the stand-alone ANF/stock compilers dispatch on syntax and call a
+///      compilator per node (the "annotations erased" reading), and
+///   2. the fused residual-code builder partially applies them, turning
+///      them into the make-residual-* code-generation combinators the
+///      specializer plugs in (the "combinator" reading).
+///
+/// All compilators produce Fragments (the higher-order object-code
+/// representation); see makeCodeObject for the assembly boundary.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PECOMP_COMPILER_COMPILATORS_H
+#define PECOMP_COMPILER_COMPILATORS_H
+
+#include "compiler/CEnv.h"
+#include "compiler/Fragment.h"
+
+#include <functional>
+#include <span>
+#include <string>
+
+namespace pecomp {
+namespace compiler {
+
+/// Shared state of one compilation session: the fragment factory, the
+/// arena for compile-time environments, the code store receiving
+/// assembled objects, and the global table.
+class Compilators {
+public:
+  Compilators(vm::CodeStore &Store, vm::GlobalTable &Globals)
+      : Store(Store), Globals(Globals), Frags(Store.heap()) {}
+
+  FragmentFactory &frags() { return Frags; }
+  Arena &envArena() { return EnvArena; }
+  vm::GlobalTable &globals() { return Globals; }
+  vm::CodeStore &store() { return Store; }
+
+  // -- Trivial expressions (push one value) ----------------------------------
+
+  /// c — pushes a literal.
+  const Fragment *pushLiteral(vm::Value V);
+
+  /// x — pushes a local, captured, or global variable.
+  const Fragment *pushVar(const CEnv &Env, Symbol Name);
+
+  /// (lambda ...) — pushes the captured values named by \p FreeNames, then
+  /// closes over \p Child.
+  const Fragment *pushClosure(const CEnv &Env, const vm::CodeObject *Child,
+                              std::span<const Symbol> FreeNames);
+
+  // -- Serious expressions ----------------------------------------------------
+
+  /// (V V1 ... Vn) — callee and argument pushes, then Call or TailCall.
+  const Fragment *call(const Fragment *CalleePush,
+                       std::span<const Fragment *const> ArgPushes, bool Tail);
+
+  /// (O V1 ... Vn) — argument pushes, then the primitive.
+  const Fragment *primApp(PrimOp Op,
+                          std::span<const Fragment *const> ArgPushes);
+
+  // -- Control ----------------------------------------------------------------
+
+  /// (if V M1 M2) with both branches in tail position: test, a
+  /// jump-if-false to the alternative, consequent, labelled alternative —
+  /// the jump pattern of the paper's `if` compilator.
+  const Fragment *ifThenElse(const Fragment *TestPush,
+                             const Fragment *ThenTail,
+                             const Fragment *ElseTail);
+
+  /// As ifThenElse, but the test value is already on top of the stack —
+  /// the (let (t I) (if t ...)) peephole where t is dead in the branches:
+  /// the conditional consumes I's result directly.
+  const Fragment *ifOnStack(const Fragment *ThenTail,
+                            const Fragment *ElseTail);
+
+  /// Value in tail position: push it and return.
+  const Fragment *returnValue(const Fragment *Push);
+
+  /// (let (x I) M): I pushes one value at the binding's slot; M follows.
+  const Fragment *letBinding(const Fragment *InitPush,
+                             const Fragment *BodyTail);
+
+  // -- Code objects -----------------------------------------------------------
+
+  /// Emits a fragment tree for a body given its environment and initial
+  /// stack depth.
+  using BodyEmitter =
+      std::function<const Fragment *(const CEnv &BodyEnv, uint32_t Depth)>;
+
+  /// Builds and assembles a code object for a procedure with \p Params and
+  /// captured \p FreeNames: params become locals 0..n-1, captures become
+  /// free refs; the emitted body must be a tail fragment.
+  const vm::CodeObject *makeCodeObject(std::string Name,
+                                       std::span<const Symbol> Params,
+                                       std::span<const Symbol> FreeNames,
+                                       const BodyEmitter &EmitBody);
+
+  /// Code objects assembled in this session (bench accounting).
+  size_t codeObjectsBuilt() const { return NumCodeObjects; }
+
+private:
+  vm::CodeStore &Store;
+  vm::GlobalTable &Globals;
+  FragmentFactory Frags;
+  Arena EnvArena;
+  size_t NumCodeObjects = 0;
+};
+
+} // namespace compiler
+} // namespace pecomp
+
+#endif // PECOMP_COMPILER_COMPILATORS_H

@@ -1,0 +1,227 @@
+//===- compiler/DirectAnfCompiler.cpp - Direct byte emission ---------------===//
+
+#include "compiler/DirectAnfCompiler.h"
+
+#include "compiler/AnfCompiler.h"
+
+#include "frontend/FreeVars.h"
+#include "support/Casting.h"
+#include "syntax/AnfCheck.h"
+#include "vm/Convert.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace pecomp;
+using namespace pecomp::compiler;
+using vm::Op;
+
+CompiledProgram DirectAnfCompiler::compileProgram(const Program &P) {
+  assert(!checkAnf(P) && "DirectAnfCompiler requires ANF input");
+  CompiledProgram Out;
+  for (const Definition &D : P.Defs) {
+    Globals.lookupOrAdd(D.Name);
+    Out.Defs.emplace_back(D.Name, compileFunction(D.Name, D.Fn));
+  }
+  return Out;
+}
+
+const vm::CodeObject *DirectAnfCompiler::compileFunction(Symbol Name,
+                                                         const LambdaExpr *Fn) {
+  return compileLambda(Name.str(), Fn, {});
+}
+
+const vm::CodeObject *
+DirectAnfCompiler::compileLambda(const std::string &Name,
+                                 const LambdaExpr *Fn,
+                                 const std::vector<Symbol> &Captured) {
+  CEnv Env;
+  uint16_t Slot = 0;
+  for (Symbol P : Fn->params())
+    Env = Env.bind(EnvArena, P, Location::local(Slot++));
+  uint16_t FreeIndex = 0;
+  for (Symbol F : Captured)
+    Env = Env.bind(EnvArena, F, Location::free(FreeIndex++));
+
+  Unit U{Store.create(Name, static_cast<uint32_t>(Fn->params().size())),
+         {},
+         {}};
+  tail(U, Fn->body(), Env, static_cast<uint32_t>(Fn->params().size()));
+  return U.Code;
+}
+
+void DirectAnfCompiler::tail(Unit &U, const Expr *E, const CEnv &Env,
+                             uint32_t Depth) {
+  switch (E->kind()) {
+  case Expr::Kind::Const:
+  case Expr::Kind::Var:
+  case Expr::Kind::Lambda:
+    push(U, E, Env);
+    emitOp(U, Op::Return);
+    return;
+  case Expr::Kind::Let: {
+    const auto *L = cast<LetExpr>(E);
+    serious(U, L->init(), Env, Depth);
+    // Same peephole as AnfCompiler: a dead test binding is consumed from
+    // the stack by the conditional.
+    if (letTestIsOnStack(L)) {
+      const auto *If = cast<IfExpr>(L->body());
+      emitOp(U, Op::JumpIfFalse);
+      size_t Site = emitPatchSite(U);
+      tail(U, If->thenBranch(), Env, Depth);
+      patchToHere(U, Site);
+      tail(U, If->elseBranch(), Env, Depth);
+      return;
+    }
+    CEnv BodyEnv = Env.bind(EnvArena, L->name(),
+                            Location::local(static_cast<uint16_t>(Depth)));
+    tail(U, L->body(), BodyEnv, Depth + 1);
+    return;
+  }
+  case Expr::Kind::If: {
+    const auto *I = cast<IfExpr>(E);
+    push(U, I->test(), Env);
+    emitOp(U, Op::JumpIfFalse);
+    size_t Site = emitPatchSite(U);
+    tail(U, I->thenBranch(), Env, Depth);
+    patchToHere(U, Site);
+    tail(U, I->elseBranch(), Env, Depth);
+    return;
+  }
+  case Expr::Kind::App: {
+    const auto *A = cast<AppExpr>(E);
+    push(U, A->callee(), Env);
+    for (const Expr *Arg : A->args())
+      push(U, Arg, Env);
+    emitOp(U, Op::TailCall);
+    emitU8(U, static_cast<uint8_t>(A->args().size()));
+    return;
+  }
+  case Expr::Kind::PrimApp: {
+    const auto *P = cast<PrimAppExpr>(E);
+    for (const Expr *Arg : P->args())
+      push(U, Arg, Env);
+    emitOp(U, Op::Prim);
+    emitU8(U, static_cast<uint8_t>(P->op()));
+    emitOp(U, Op::Return);
+    return;
+  }
+  case Expr::Kind::Set:
+    break;
+  }
+  assert(false && "non-ANF expression reached the direct compiler");
+}
+
+void DirectAnfCompiler::push(Unit &U, const Expr *E, const CEnv &Env) {
+  switch (E->kind()) {
+  case Expr::Kind::Const: {
+    vm::Value V =
+        vm::valueFromDatum(Store.heap(), cast<ConstExpr>(E)->value());
+    emitOp(U, Op::Const);
+    emitU16(U, internLiteral(U, V));
+    return;
+  }
+  case Expr::Kind::Var: {
+    Symbol Name = cast<VarExpr>(E)->name();
+    if (std::optional<Location> Loc = Env.lookup(Name)) {
+      emitOp(U, Loc->K == Location::Kind::Local ? Op::LocalRef : Op::FreeRef);
+      emitU16(U, Loc->Index);
+      return;
+    }
+    emitOp(U, Op::GlobalRef);
+    emitU16(U, Globals.lookupOrAdd(Name));
+    return;
+  }
+  case Expr::Kind::Lambda: {
+    const auto *L = cast<LambdaExpr>(E);
+    std::vector<Symbol> Captured;
+    for (Symbol Free : freeVars(L))
+      if (Env.lookup(Free))
+        Captured.push_back(Free);
+    const vm::CodeObject *Child = compileLambda("lambda", L, Captured);
+    for (Symbol Free : Captured) {
+      std::optional<Location> Loc = Env.lookup(Free);
+      emitOp(U, Loc->K == Location::Kind::Local ? Op::LocalRef : Op::FreeRef);
+      emitU16(U, Loc->Index);
+    }
+    emitOp(U, Op::MakeClosure);
+    emitU16(U, internChild(U, Child));
+    emitU16(U, static_cast<uint16_t>(Captured.size()));
+    return;
+  }
+  default:
+    assert(false && "expected a trivial expression");
+  }
+}
+
+void DirectAnfCompiler::serious(Unit &U, const Expr *E, const CEnv &Env,
+                                uint32_t Depth) {
+  (void)Depth;
+  if (const auto *A = dyn_cast<AppExpr>(E)) {
+    push(U, A->callee(), Env);
+    for (const Expr *Arg : A->args())
+      push(U, Arg, Env);
+    emitOp(U, Op::Call);
+    emitU8(U, static_cast<uint8_t>(A->args().size()));
+    return;
+  }
+  if (const auto *P = dyn_cast<PrimAppExpr>(E)) {
+    for (const Expr *Arg : P->args())
+      push(U, Arg, Env);
+    emitOp(U, Op::Prim);
+    emitU8(U, static_cast<uint8_t>(P->op()));
+    return;
+  }
+  push(U, E, Env);
+}
+
+void DirectAnfCompiler::emitOp(Unit &U, vm::Op Op) {
+  U.Code->mutableCode().push_back(static_cast<uint8_t>(Op));
+}
+
+void DirectAnfCompiler::emitU8(Unit &U, uint8_t V) {
+  U.Code->mutableCode().push_back(V);
+}
+
+void DirectAnfCompiler::emitU16(Unit &U, uint16_t V) {
+  U.Code->mutableCode().push_back(static_cast<uint8_t>(V & 0xff));
+  U.Code->mutableCode().push_back(static_cast<uint8_t>(V >> 8));
+}
+
+size_t DirectAnfCompiler::emitPatchSite(Unit &U) {
+  size_t Site = U.Code->code().size();
+  emitU16(U, 0);
+  return Site;
+}
+
+void DirectAnfCompiler::patchToHere(Unit &U, size_t Site) {
+  // Offset is relative to the pc after the 2-byte operand.
+  long Rel = static_cast<long>(U.Code->code().size()) -
+             static_cast<long>(Site + 2);
+  if (Rel < INT16_MIN || Rel > INT16_MAX) {
+    fprintf(stderr, "pecomp: jump out of i16 range while emitting '%s'\n",
+            U.Code->name().c_str());
+    abort();
+  }
+  uint16_t V = static_cast<uint16_t>(static_cast<int16_t>(Rel));
+  U.Code->mutableCode()[Site] = static_cast<uint8_t>(V & 0xff);
+  U.Code->mutableCode()[Site + 1] = static_cast<uint8_t>(V >> 8);
+}
+
+uint16_t DirectAnfCompiler::internLiteral(Unit &U, vm::Value V) {
+  auto It = U.LitIndex.find({V});
+  if (It != U.LitIndex.end())
+    return It->second;
+  uint16_t I = U.Code->addLiteral(V);
+  U.LitIndex.emplace(vm::StructuralValueKey{V}, I);
+  return I;
+}
+
+uint16_t DirectAnfCompiler::internChild(Unit &U, const vm::CodeObject *Child) {
+  auto It = U.ChildIndex.find(Child);
+  if (It != U.ChildIndex.end())
+    return It->second;
+  uint16_t I = U.Code->addChild(Child);
+  U.ChildIndex.emplace(Child, I);
+  return I;
+}

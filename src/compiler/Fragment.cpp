@@ -1,0 +1,172 @@
+//===- compiler/Fragment.cpp - Higher-order object code -------------------===//
+
+#include "compiler/Fragment.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <unordered_map>
+
+using namespace pecomp;
+using namespace pecomp::compiler;
+
+const Fragment *FragmentFactory::instr(vm::Op Op,
+                                       std::vector<Operand> Operands) {
+  Fragment *F = A.create<Fragment>(Fragment(Fragment::Kind::Instr));
+  F->Opcode = Op;
+  for (const Operand &O : Operands)
+    if (O.K == Operand::Kind::Lit)
+      Literals.push_back(O.Lit);
+  F->Operands = std::move(Operands);
+  ++NumFragments;
+  return F;
+}
+
+const Fragment *FragmentFactory::instrUsingLabel(vm::Op Op, LabelId Label) {
+  return instr(Op, {Operand::label(Label)});
+}
+
+const Fragment *FragmentFactory::seq(std::vector<const Fragment *> Parts) {
+  Fragment *F = A.create<Fragment>(Fragment(Fragment::Kind::Seq));
+  F->Parts = std::move(Parts);
+  ++NumFragments;
+  return F;
+}
+
+const Fragment *FragmentFactory::attachLabel(LabelId Label,
+                                             const Fragment *Rest) {
+  Fragment *Def = A.create<Fragment>(Fragment(Fragment::Kind::LabelDef));
+  Def->Label = Label;
+  ++NumFragments;
+  return seq({Def, Rest});
+}
+
+namespace {
+
+size_t instrSize(const Fragment *F) {
+  size_t S = 1; // opcode
+  for (const Operand &O : F->operands())
+    S += O.size();
+  return S;
+}
+
+/// Pass 1: assign byte offsets to label definitions.
+void layOut(const Fragment *F, size_t &Offset,
+            std::unordered_map<LabelId, size_t> &LabelOffsets) {
+  switch (F->kind()) {
+  case Fragment::Kind::Instr:
+    Offset += instrSize(F);
+    return;
+  case Fragment::Kind::Seq:
+    for (const Fragment *P : F->parts())
+      layOut(P, Offset, LabelOffsets);
+    return;
+  case Fragment::Kind::LabelDef:
+    LabelOffsets[F->label()] = Offset;
+    return;
+  }
+}
+
+void emitU16(std::vector<uint8_t> &Code, uint16_t V) {
+  Code.push_back(static_cast<uint8_t>(V & 0xff));
+  Code.push_back(static_cast<uint8_t>(V >> 8));
+}
+
+struct Emitter {
+  vm::CodeObject *Target;
+  size_t BaseOffset; // bytes already in Target before this assembly
+  const std::unordered_map<LabelId, size_t> &LabelOffsets;
+  std::unordered_map<vm::StructuralValueKey, uint16_t, vm::StructuralValueHash>
+      LitIndex;
+  std::unordered_map<const vm::CodeObject *, uint16_t> ChildIndex;
+
+  void emit(const Fragment *F) {
+    std::vector<uint8_t> &Code = Target->mutableCode();
+    switch (F->kind()) {
+    case Fragment::Kind::Instr: {
+      Code.push_back(static_cast<uint8_t>(F->op()));
+      for (const Operand &O : F->operands()) {
+        switch (O.K) {
+        case Operand::Kind::Imm:
+          emitU16(Code, O.Imm);
+          break;
+        case Operand::Kind::Count:
+          Code.push_back(O.Count);
+          break;
+        case Operand::Kind::Lit: {
+          emitU16(Code, internLiteral(O.Lit));
+          break;
+        }
+        case Operand::Kind::Child: {
+          emitU16(Code, internChild(O.Child));
+          break;
+        }
+        case Operand::Kind::Label: {
+          auto It = LabelOffsets.find(O.Label);
+          assert(It != LabelOffsets.end() && "undefined label");
+          // Offset is relative to the pc after the 2-byte operand.
+          size_t Here = Code.size() - BaseOffset;
+          long Rel = static_cast<long>(It->second) -
+                     static_cast<long>(Here + 2);
+          if (Rel < INT16_MIN || Rel > INT16_MAX) {
+            fprintf(stderr,
+                    "pecomp: jump out of i16 range while assembling '%s'\n",
+                    Target->name().c_str());
+            abort();
+          }
+          emitU16(Code, static_cast<uint16_t>(static_cast<int16_t>(Rel)));
+          break;
+        }
+        case Operand::Kind::PrimRef:
+          Code.push_back(static_cast<uint8_t>(O.Prim));
+          break;
+        }
+      }
+      return;
+    }
+    case Fragment::Kind::Seq:
+      for (const Fragment *P : F->parts())
+        emit(P);
+      return;
+    case Fragment::Kind::LabelDef:
+      assert(Code.size() - BaseOffset == LabelOffsets.at(F->label()) &&
+             "layout/emission disagreement");
+      return;
+    }
+  }
+
+  uint16_t internLiteral(vm::Value V) {
+    // Structural dedup: repeated equal constants share one slot, so both
+    // residual paths (fresh conversions vs. shared static values) agree.
+    auto It = LitIndex.find({V});
+    if (It != LitIndex.end())
+      return It->second;
+    uint16_t I = Target->addLiteral(V);
+    LitIndex.emplace(vm::StructuralValueKey{V}, I);
+    return I;
+  }
+
+  uint16_t internChild(const vm::CodeObject *C) {
+    auto It = ChildIndex.find(C);
+    if (It != ChildIndex.end())
+      return It->second;
+    uint16_t I = Target->addChild(C);
+    ChildIndex.emplace(C, I);
+    return I;
+  }
+};
+
+} // namespace
+
+void compiler::assemble(const Fragment *Root, vm::CodeObject *Target) {
+  std::unordered_map<LabelId, size_t> LabelOffsets;
+  size_t Offset = 0;
+  layOut(Root, Offset, LabelOffsets);
+  Emitter E{Target, Target->code().size(), LabelOffsets, {}, {}};
+  // Pre-seed interning with literals/children already present (assembling
+  // into a partially built object keeps indices consistent).
+  for (uint16_t I = 0; I != Target->literals().size(); ++I)
+    E.LitIndex.emplace(vm::StructuralValueKey{Target->literals()[I]}, I);
+  for (uint16_t I = 0; I != Target->children().size(); ++I)
+    E.ChildIndex.emplace(Target->children()[I], I);
+  E.emit(Root);
+}

@@ -1,0 +1,175 @@
+//===- compiler/Fragment.h - Higher-order object code -----------*- C++ -*-===//
+///
+/// \file
+/// The abstract object-code representation the compilators build: trees of
+/// instructions combined with `sequentially`, with labels created by
+/// `makeLabel` and resolved by a separate assembly (relocation) step — the
+/// same two-stage structure as the Scheme 48 backend the paper uses, and
+/// the structure it holds responsible for direct generation being up to 2x
+/// slower than source generation (Fig. 6; see the ablation bench
+/// ablation_fragment_vs_direct).
+///
+/// Fragments are arena-allocated by a FragmentFactory, which also keeps
+/// literal values alive across garbage collections (code generation runs
+/// interleaved with specialization-time evaluation on the fused path).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PECOMP_COMPILER_FRAGMENT_H
+#define PECOMP_COMPILER_FRAGMENT_H
+
+#include "support/Arena.h"
+#include "syntax/Primitives.h"
+#include "vm/Code.h"
+
+namespace pecomp {
+namespace compiler {
+
+using LabelId = uint32_t;
+
+/// One operand of an instruction fragment.
+struct Operand {
+  enum class Kind : uint8_t {
+    Imm,     ///< u16 immediate (slot numbers, capture counts)
+    Count,   ///< u8 immediate (argument counts)
+    Lit,     ///< a literal value; assembly interns it in the code object
+    Child,   ///< a child code object; assembly adds it to the children
+    Label,   ///< i16 pc-relative label reference, resolved at assembly
+    PrimRef, ///< u8 primitive number
+  };
+
+  Kind K;
+  union {
+    uint16_t Imm;
+    uint8_t Count;
+    const vm::CodeObject *Child;
+    LabelId Label;
+    PrimOp Prim;
+  };
+  vm::Value Lit; // outside the union: Value has no trivial default interplay
+
+  static Operand imm(uint16_t V) {
+    Operand O;
+    O.K = Kind::Imm;
+    O.Imm = V;
+    return O;
+  }
+  static Operand count(uint8_t V) {
+    Operand O;
+    O.K = Kind::Count;
+    O.Count = V;
+    return O;
+  }
+  static Operand lit(vm::Value V) {
+    Operand O;
+    O.K = Kind::Lit;
+    O.Lit = V;
+    return O;
+  }
+  static Operand child(const vm::CodeObject *C) {
+    Operand O;
+    O.K = Kind::Child;
+    O.Child = C;
+    return O;
+  }
+  static Operand label(LabelId L) {
+    Operand O;
+    O.K = Kind::Label;
+    O.Label = L;
+    return O;
+  }
+  static Operand prim(PrimOp P) {
+    Operand O;
+    O.K = Kind::PrimRef;
+    O.Prim = P;
+    return O;
+  }
+
+  /// Encoded size in bytes.
+  size_t size() const {
+    return (K == Kind::Count || K == Kind::PrimRef) ? 1 : 2;
+  }
+
+private:
+  Operand() : K(Kind::Imm), Imm(0) {}
+};
+
+/// A tree of object code: an instruction, a sequence, or a label
+/// definition point.
+class Fragment {
+public:
+  enum class Kind : uint8_t { Instr, Seq, LabelDef };
+
+  Kind kind() const { return K; }
+
+  // Instr payload.
+  vm::Op op() const { return Opcode; }
+  const std::vector<Operand> &operands() const { return Operands; }
+
+  // Seq payload.
+  const std::vector<const Fragment *> &parts() const { return Parts; }
+
+  // LabelDef payload.
+  LabelId label() const { return Label; }
+
+private:
+  friend class FragmentFactory;
+  explicit Fragment(Kind K) : K(K) {}
+
+  Kind K;
+  vm::Op Opcode = vm::Op::Halt;
+  LabelId Label = 0;
+  std::vector<Operand> Operands;
+  std::vector<const Fragment *> Parts;
+};
+
+/// Allocates fragments, issues labels, and roots literal operands. One
+/// factory serves one compilation "session" (it may produce many code
+/// objects).
+class FragmentFactory : public vm::RootProvider {
+public:
+  explicit FragmentFactory(vm::Heap &H) : H(H) { H.addRootProvider(this); }
+  ~FragmentFactory() override { H.removeRootProvider(this); }
+  FragmentFactory(const FragmentFactory &) = delete;
+  FragmentFactory &operator=(const FragmentFactory &) = delete;
+
+  /// The paper's `make-label`.
+  LabelId makeLabel() { return ++LastLabel; }
+
+  /// A plain instruction.
+  const Fragment *instr(vm::Op Op, std::vector<Operand> Operands = {});
+
+  /// The paper's `instruction-using-label` (jumps).
+  const Fragment *instrUsingLabel(vm::Op Op, LabelId Label);
+
+  /// The paper's `sequentially`.
+  const Fragment *seq(std::vector<const Fragment *> Parts);
+
+  /// The paper's `attach-label`: marks the position of \p Label, followed
+  /// by \p Rest.
+  const Fragment *attachLabel(LabelId Label, const Fragment *Rest);
+
+  /// Total fragments created (generation-cost accounting in the benches).
+  size_t fragmentsCreated() const { return NumFragments; }
+
+  void traceRoots(vm::RootVisitor &Visitor) override {
+    for (vm::Value V : Literals)
+      Visitor.visit(V);
+  }
+
+private:
+  vm::Heap &H;
+  Arena A;
+  LabelId LastLabel = 0;
+  size_t NumFragments = 0;
+  std::vector<vm::Value> Literals;
+};
+
+/// Resolves labels and interns literals/children: the "relocation" step.
+/// Appends the encoded bytes of \p Root to \p Target.
+void assemble(const Fragment *Root, vm::CodeObject *Target);
+
+} // namespace compiler
+} // namespace pecomp
+
+#endif // PECOMP_COMPILER_FRAGMENT_H

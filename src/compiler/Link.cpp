@@ -1,0 +1,34 @@
+//===- compiler/Link.cpp - Compiled programs and linking ------------------===//
+
+#include "compiler/Link.h"
+
+#include "vm/Verify.h"
+
+using namespace pecomp;
+using namespace pecomp::compiler;
+
+void compiler::linkProgram(vm::Machine &M, vm::GlobalTable &Globals,
+                           const CompiledProgram &P) {
+  for (const auto &[Name, Code] : P.Defs)
+    M.setGlobal(Globals.lookupOrAdd(Name), M.makeProcedure(Code));
+}
+
+Result<bool> compiler::linkProgramVerified(vm::Machine &M,
+                                           vm::GlobalTable &Globals,
+                                           const CompiledProgram &P) {
+  for (const auto &[Name, Code] : P.Defs)
+    if (auto Err = vm::verifyCode(Code))
+      return Error("refusing to link '" + Name.str() + "': " + *Err);
+  linkProgram(M, Globals, P);
+  return true;
+}
+
+Result<vm::Value> compiler::callGlobal(vm::Machine &M,
+                                       const vm::GlobalTable &Globals,
+                                       Symbol Name,
+                                       std::span<const vm::Value> Args) {
+  std::optional<uint16_t> Index = Globals.lookup(Name);
+  if (!Index)
+    return Error("no global named '" + Name.str() + "'");
+  return M.call(M.getGlobal(*Index), Args);
+}

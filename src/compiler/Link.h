@@ -1,0 +1,48 @@
+//===- compiler/Link.h - Compiled programs and linking ----------*- C++ -*-===//
+///
+/// \file
+/// A compiled program is an ordered list of (name, code object) pairs plus
+/// the global table under which it was compiled. Linking instantiates each
+/// definition as a zero-capture procedure in a machine's global vector.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PECOMP_COMPILER_LINK_H
+#define PECOMP_COMPILER_LINK_H
+
+#include "support/Error.h"
+#include "vm/Machine.h"
+
+#include <vector>
+
+namespace pecomp {
+namespace compiler {
+
+struct CompiledProgram {
+  std::vector<std::pair<Symbol, const vm::CodeObject *>> Defs;
+
+  const vm::CodeObject *find(Symbol Name) const {
+    for (const auto &[N, C] : Defs)
+      if (N == Name)
+        return C;
+    return nullptr;
+  }
+};
+
+/// Installs every definition of \p P into \p M's globals per \p Globals.
+void linkProgram(vm::Machine &M, vm::GlobalTable &Globals,
+                 const CompiledProgram &P);
+
+/// As linkProgram, but runs the byte-code verifier (vm/Verify.h) over
+/// every definition first; nothing is installed if any fails.
+Result<bool> linkProgramVerified(vm::Machine &M, vm::GlobalTable &Globals,
+                                 const CompiledProgram &P);
+
+/// Looks up and calls an installed top-level function.
+Result<vm::Value> callGlobal(vm::Machine &M, const vm::GlobalTable &Globals,
+                             Symbol Name, std::span<const vm::Value> Args);
+
+} // namespace compiler
+} // namespace pecomp
+
+#endif // PECOMP_COMPILER_LINK_H

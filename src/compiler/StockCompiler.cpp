@@ -1,0 +1,105 @@
+//===- compiler/StockCompiler.cpp - The stock compiler ---------------------===//
+
+#include "compiler/StockCompiler.h"
+
+#include "frontend/FreeVars.h"
+#include "support/Casting.h"
+#include "vm/Convert.h"
+
+using namespace pecomp;
+using namespace pecomp::compiler;
+
+CompiledProgram StockCompiler::compileProgram(const Program &P) {
+  CompiledProgram Out;
+  for (const Definition &D : P.Defs) {
+    C.globals().lookupOrAdd(D.Name);
+    Out.Defs.emplace_back(D.Name, compileFunction(D.Name, D.Fn));
+  }
+  return Out;
+}
+
+const vm::CodeObject *StockCompiler::compileFunction(Symbol Name,
+                                                     const LambdaExpr *Fn) {
+  return C.makeCodeObject(Name.str(), Fn->params(), {},
+                          [&](const CEnv &Env, uint32_t Depth) {
+                            return compile(Fn->body(), Env, Depth,
+                                           Cont::Return);
+                          });
+}
+
+const Fragment *StockCompiler::compile(const Expr *E, const CEnv &Env,
+                                       uint32_t Depth, Cont K) {
+  FragmentFactory &F = C.frags();
+  auto Finish = [&](const Fragment *Push) {
+    return K == Cont::Return ? C.returnValue(Push) : Push;
+  };
+
+  switch (E->kind()) {
+  case Expr::Kind::Const:
+    return Finish(C.pushLiteral(
+        vm::valueFromDatum(C.store().heap(), cast<ConstExpr>(E)->value())));
+  case Expr::Kind::Var:
+    return Finish(C.pushVar(Env, cast<VarExpr>(E)->name()));
+  case Expr::Kind::Lambda: {
+    const auto *L = cast<LambdaExpr>(E);
+    std::vector<Symbol> Captured;
+    for (Symbol Free : freeVars(L))
+      if (Env.lookup(Free))
+        Captured.push_back(Free);
+    const vm::CodeObject *Child = C.makeCodeObject(
+        "lambda", L->params(), Captured,
+        [&](const CEnv &BodyEnv, uint32_t BodyDepth) {
+          return compile(L->body(), BodyEnv, BodyDepth, Cont::Return);
+        });
+    return Finish(C.pushClosure(Env, Child, Captured));
+  }
+  case Expr::Kind::Let: {
+    const auto *L = cast<LetExpr>(E);
+    const Fragment *Init = compile(L->init(), Env, Depth, Cont::Fall);
+    CEnv BodyEnv = Env.bind(C.envArena(), L->name(),
+                            Location::local(static_cast<uint16_t>(Depth)));
+    const Fragment *Body = compile(L->body(), BodyEnv, Depth + 1, K);
+    if (K == Cont::Return)
+      return F.seq({Init, Body});
+    // Non-tail: squeeze the binding out from under the result.
+    return F.seq({Init, Body,
+                  F.instr(vm::Op::Slide, {Operand::imm(1)})});
+  }
+  case Expr::Kind::If: {
+    const auto *I = cast<IfExpr>(E);
+    const Fragment *Test = compile(I->test(), Env, Depth, Cont::Fall);
+    const Fragment *Then = compile(I->thenBranch(), Env, Depth, K);
+    const Fragment *Else = compile(I->elseBranch(), Env, Depth, K);
+    if (K == Cont::Return)
+      return C.ifThenElse(Test, Then, Else);
+    LabelId Alt = F.makeLabel();
+    LabelId End = F.makeLabel();
+    return F.seq({Test, F.instrUsingLabel(vm::Op::JumpIfFalse, Alt), Then,
+                  F.instrUsingLabel(vm::Op::Jump, End),
+                  F.attachLabel(Alt, Else),
+                  F.attachLabel(End, F.seq({}))});
+  }
+  case Expr::Kind::App: {
+    const auto *A = cast<AppExpr>(E);
+    const Fragment *Callee = compile(A->callee(), Env, Depth, Cont::Fall);
+    std::vector<const Fragment *> Args;
+    for (size_t I = 0; I != A->args().size(); ++I)
+      Args.push_back(compile(A->args()[I], Env,
+                             Depth + 1 + static_cast<uint32_t>(I),
+                             Cont::Fall));
+    return C.call(Callee, Args, /*Tail=*/K == Cont::Return);
+  }
+  case Expr::Kind::PrimApp: {
+    const auto *P = cast<PrimAppExpr>(E);
+    std::vector<const Fragment *> Args;
+    for (size_t I = 0; I != P->args().size(); ++I)
+      Args.push_back(compile(P->args()[I], Env,
+                             Depth + static_cast<uint32_t>(I), Cont::Fall));
+    return Finish(C.primApp(P->op(), Args));
+  }
+  case Expr::Kind::Set:
+    break;
+  }
+  assert(false && "set! reached the stock compiler");
+  return nullptr;
+}

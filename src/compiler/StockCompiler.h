@@ -1,0 +1,51 @@
+//===- compiler/StockCompiler.h - The stock compiler ------------*- C++ -*-===//
+///
+/// \file
+/// The "stock" compiler the paper starts from (Sec. 6.1): a recursive-
+/// descent compiler for full Core Scheme — arbitrary nesting of serious
+/// expressions — that threads a compile-time continuation to identify
+/// tail calls. The ANF compiler is this compiler "chopped down": on ANF
+/// input the continuation becomes superfluous (see AnfCompiler and the
+/// ablation bench ablation_anf_vs_stock).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PECOMP_COMPILER_STOCKCOMPILER_H
+#define PECOMP_COMPILER_STOCKCOMPILER_H
+
+#include "compiler/Compilators.h"
+#include "compiler/Link.h"
+#include "syntax/Expr.h"
+
+namespace pecomp {
+namespace compiler {
+
+class StockCompiler {
+public:
+  explicit StockCompiler(Compilators &C) : C(C) {}
+
+  /// Compiles every definition, in order. Accepts any assignment-free
+  /// Core Scheme (ANF not required).
+  CompiledProgram compileProgram(const Program &P);
+
+  const vm::CodeObject *compileFunction(Symbol Name, const LambdaExpr *Fn);
+
+private:
+  /// The compile-time continuation: what happens to the value just pushed.
+  enum class Cont {
+    Return, ///< tail position — return it (calls become tail calls)
+    Fall,   ///< leave it on the stack for the enclosing expression
+  };
+
+  /// Compiles \p E so that executing the fragment nets exactly one pushed
+  /// value (Cont::Fall) or returns it (Cont::Return).
+  const Fragment *compile(const Expr *E, const CEnv &Env, uint32_t Depth,
+                          Cont K);
+
+  Compilators &C;
+};
+
+} // namespace compiler
+} // namespace pecomp
+
+#endif // PECOMP_COMPILER_STOCKCOMPILER_H

@@ -1,0 +1,200 @@
+//===- eval/Interp.cpp - Reference interpreter ----------------------------===//
+
+#include "eval/Interp.h"
+
+#include "support/Casting.h"
+#include "vm/Convert.h"
+#include "vm/Prims.h"
+
+using namespace pecomp;
+using namespace pecomp::eval;
+using vm::Value;
+
+namespace pecomp {
+namespace eval {
+
+/// RAII window onto the interpreter's shadow stack: slots pushed in this
+/// scope are GC roots until the scope ends, and remain valid references
+/// (the shadow stack only grows within a scope's lifetime... slots are
+/// indices, not pointers, to survive reallocation).
+class ShadowScope {
+public:
+  explicit ShadowScope(Interp &I) : I(I), Saved(I.Shadow.size()) {}
+  ~ShadowScope() { I.Shadow.resize(Saved); }
+
+  /// Protects \p V; returns its slot index.
+  size_t push(Value V) {
+    I.Shadow.push_back(V);
+    return I.Shadow.size() - 1;
+  }
+
+  Value get(size_t Slot) const { return I.Shadow[Slot]; }
+  void set(size_t Slot, Value V) { I.Shadow[Slot] = V; }
+
+  /// Drops every slot above \p Slot. Called at the top of tail-call loops
+  /// so long-running interpreted loops do not grow the shadow stack.
+  void trimTo(size_t Slot) { I.Shadow.resize(Slot + 1); }
+
+private:
+  Interp &I;
+  size_t Saved;
+};
+
+} // namespace eval
+} // namespace pecomp
+
+Interp::Interp(vm::Heap &H, const Program &P) : H(H) {
+  H.addRootProvider(this);
+  for (const Definition &D : P.Defs)
+    Globals.emplace(D.Name, H.interpClosure(D.Fn, Value::nil()));
+}
+
+Interp::~Interp() { H.removeRootProvider(this); }
+
+void Interp::traceRoots(vm::RootVisitor &Visitor) {
+  for (auto &[Name, V] : Globals)
+    Visitor.visit(V);
+  for (auto &[E, V] : ConstCache)
+    Visitor.visit(V);
+  for (Value V : Shadow)
+    Visitor.visit(V);
+}
+
+Value Interp::constantValue(const ConstExpr *E) {
+  auto It = ConstCache.find(E);
+  if (It != ConstCache.end())
+    return It->second;
+  Value V = vm::valueFromDatum(H, E->value());
+  ConstCache.emplace(E, V);
+  return V;
+}
+
+Result<Value> Interp::lookup(Symbol Name, Value Env) {
+  for (Value Cursor = Env; !Cursor.isNil();) {
+    auto *Frame = cast<vm::PairObject>(Cursor.asObject());
+    auto *Binding = cast<vm::PairObject>(Frame->Car.asObject());
+    if (Binding->Car == Value::symbol(Name))
+      return Binding->Cdr;
+    Cursor = Frame->Cdr;
+  }
+  auto It = Globals.find(Name);
+  if (It != Globals.end())
+    return It->second;
+  return Error("unbound variable '" + Name.str() + "'");
+}
+
+Result<Value> Interp::callFunction(Symbol Name,
+                                   std::span<const Value> Args) {
+  auto It = Globals.find(Name);
+  if (It == Globals.end())
+    return Error("no definition named '" + Name.str() + "'");
+  auto *Clo = cast<vm::InterpClosureObject>(It->second.asObject());
+  if (Clo->Fn->params().size() != Args.size())
+    return Error("'" + Name.str() + "' expects " +
+                 std::to_string(Clo->Fn->params().size()) +
+                 " argument(s), got " + std::to_string(Args.size()));
+  ShadowScope Scope(*this);
+  size_t EnvSlot = Scope.push(Value::nil());
+  for (size_t I = 0; I != Args.size(); ++I) {
+    size_t ArgSlot = Scope.push(Args[I]);
+    Value Binding =
+        H.pair(Value::symbol(Clo->Fn->params()[I]), Scope.get(ArgSlot));
+    size_t BindingSlot = Scope.push(Binding);
+    Scope.set(EnvSlot, H.pair(Scope.get(BindingSlot), Scope.get(EnvSlot)));
+  }
+  return eval(Clo->Fn->body(), Scope.get(EnvSlot));
+}
+
+Result<Value> Interp::evalExpr(const Expr *E) {
+  return eval(E, Value::nil());
+}
+
+Result<Value> Interp::eval(const Expr *E, Value Env) {
+  ShadowScope Scope(*this);
+  size_t EnvSlot = Scope.push(Env);
+
+  for (;;) {
+    Scope.trimTo(EnvSlot);
+    Env = Scope.get(EnvSlot);
+    switch (E->kind()) {
+    case Expr::Kind::Const:
+      return constantValue(cast<ConstExpr>(E));
+    case Expr::Kind::Var:
+      return lookup(cast<VarExpr>(E)->name(), Env);
+    case Expr::Kind::Lambda:
+      return H.interpClosure(cast<LambdaExpr>(E), Env);
+    case Expr::Kind::Let: {
+      const auto *L = cast<LetExpr>(E);
+      Result<Value> Init = eval(L->init(), Env);
+      if (!Init)
+        return Init;
+      size_t InitSlot = Scope.push(*Init);
+      Value Binding = H.pair(Value::symbol(L->name()), Scope.get(InitSlot));
+      size_t BindingSlot = Scope.push(Binding);
+      Scope.set(EnvSlot, H.pair(Scope.get(BindingSlot), Scope.get(EnvSlot)));
+      E = L->body();
+      continue; // tail position
+    }
+    case Expr::Kind::If: {
+      const auto *I = cast<IfExpr>(E);
+      Result<Value> Test = eval(I->test(), Env);
+      if (!Test)
+        return Test;
+      E = Test->isTruthy() ? I->thenBranch() : I->elseBranch();
+      continue; // tail position
+    }
+    case Expr::Kind::App: {
+      const auto *A = cast<AppExpr>(E);
+      Result<Value> Callee = eval(A->callee(), Env);
+      if (!Callee)
+        return Callee;
+      size_t CalleeSlot = Scope.push(*Callee);
+      std::vector<size_t> ArgSlots;
+      for (const Expr *Arg : A->args()) {
+        Result<Value> V = eval(Arg, Scope.get(EnvSlot));
+        if (!V)
+          return V;
+        ArgSlots.push_back(Scope.push(*V));
+      }
+      Value CalleeV = Scope.get(CalleeSlot);
+      if (!CalleeV.isObject() ||
+          !isa<vm::InterpClosureObject>(CalleeV.asObject()))
+        return Error("application of a non-procedure: " +
+                     vm::valueToString(CalleeV));
+      auto *Clo = cast<vm::InterpClosureObject>(CalleeV.asObject());
+      if (Clo->Fn->params().size() != ArgSlots.size())
+        return Error("procedure expects " +
+                     std::to_string(Clo->Fn->params().size()) +
+                     " argument(s), got " + std::to_string(ArgSlots.size()));
+      // Tail call: rebuild the environment and loop.
+      size_t NewEnvSlot = Scope.push(Clo->Env);
+      for (size_t I = 0; I != ArgSlots.size(); ++I) {
+        Value Binding =
+            H.pair(Value::symbol(Clo->Fn->params()[I]), Scope.get(ArgSlots[I]));
+        size_t BindingSlot = Scope.push(Binding);
+        Scope.set(NewEnvSlot,
+                  H.pair(Scope.get(BindingSlot), Scope.get(NewEnvSlot)));
+      }
+      Scope.set(EnvSlot, Scope.get(NewEnvSlot));
+      E = Clo->Fn->body();
+      continue;
+    }
+    case Expr::Kind::PrimApp: {
+      const auto *P = cast<PrimAppExpr>(E);
+      std::vector<size_t> ArgSlots;
+      for (const Expr *Arg : P->args()) {
+        Result<Value> V = eval(Arg, Scope.get(EnvSlot));
+        if (!V)
+          return V;
+        ArgSlots.push_back(Scope.push(*V));
+      }
+      std::vector<Value> Args;
+      for (size_t Slot : ArgSlots)
+        Args.push_back(Scope.get(Slot));
+      return vm::applyPrim(P->op(), H, Args);
+    }
+    case Expr::Kind::Set:
+      return Error("set! reached the evaluator; run assignment elimination");
+    }
+  }
+}

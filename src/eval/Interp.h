@@ -1,0 +1,66 @@
+//===- eval/Interp.h - Reference interpreter --------------------*- C++ -*-===//
+///
+/// \file
+/// A direct (environment-passing) interpreter for Core Scheme. It defines
+/// the reference semantics: the compilers, the specializer, and the fused
+/// RTCG path are all differentially tested against it.
+///
+/// Environments are association lists built from runtime pairs, and
+/// interpreter closures are heap objects, so the garbage collector sees
+/// everything; temporaries held in C++ locals are protected through a
+/// shadow stack.
+///
+/// Calls in tail position iterate rather than recurse, so interpreted loops
+/// run in constant C++ stack space.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PECOMP_EVAL_INTERP_H
+#define PECOMP_EVAL_INTERP_H
+
+#include "support/Error.h"
+#include "syntax/Expr.h"
+#include "vm/Heap.h"
+
+#include <unordered_map>
+
+namespace pecomp {
+namespace eval {
+
+class Interp : public vm::RootProvider {
+public:
+  /// Binds every definition of \p P as a global procedure. The program must
+  /// outlive the interpreter.
+  Interp(vm::Heap &H, const Program &P);
+  ~Interp() override;
+  Interp(const Interp &) = delete;
+  Interp &operator=(const Interp &) = delete;
+
+  /// Applies the top-level function \p Name to \p Args.
+  Result<vm::Value> callFunction(Symbol Name,
+                                 std::span<const vm::Value> Args);
+
+  /// Evaluates an expression in the empty local environment (for tests).
+  Result<vm::Value> evalExpr(const Expr *E);
+
+  void traceRoots(vm::RootVisitor &Visitor) override;
+
+  vm::Heap &heap() { return H; }
+
+private:
+  Result<vm::Value> eval(const Expr *E, vm::Value Env);
+  Result<vm::Value> lookup(Symbol Name, vm::Value Env);
+  vm::Value constantValue(const ConstExpr *E);
+
+  vm::Heap &H;
+  std::unordered_map<Symbol, vm::Value> Globals;
+  std::unordered_map<const Expr *, vm::Value> ConstCache;
+  std::vector<vm::Value> Shadow; ///< GC-visible temporaries
+
+  friend class ShadowScope;
+};
+
+} // namespace eval
+} // namespace pecomp
+
+#endif // PECOMP_EVAL_INTERP_H

@@ -1,0 +1,126 @@
+//===- frontend/Alpha.cpp - Alpha renaming --------------------------------===//
+
+#include "frontend/Alpha.h"
+
+#include "support/Casting.h"
+
+#include <unordered_map>
+
+using namespace pecomp;
+
+namespace {
+
+class Renamer {
+public:
+  explicit Renamer(ExprFactory &F) : F(F) {}
+
+  const Expr *rename(const Expr *E) {
+    switch (E->kind()) {
+    case Expr::Kind::Const:
+      return E;
+    case Expr::Kind::Var: {
+      Symbol Name = cast<VarExpr>(E)->name();
+      Symbol New = lookup(Name);
+      return New == Name ? E : F.var(New, E->loc());
+    }
+    case Expr::Kind::Lambda: {
+      const auto *L = cast<LambdaExpr>(E);
+      Frame Saved = pushParams(L->params());
+      const Expr *Body = rename(L->body());
+      popParams(Saved);
+      return F.lambda(Saved.NewNames, Body, E->loc());
+    }
+    case Expr::Kind::Let: {
+      const auto *L = cast<LetExpr>(E);
+      const Expr *Init = rename(L->init());
+      Frame Saved = pushParams({L->name()});
+      const Expr *Body = rename(L->body());
+      popParams(Saved);
+      return F.let(Saved.NewNames[0], Init, Body, E->loc());
+    }
+    case Expr::Kind::If: {
+      const auto *I = cast<IfExpr>(E);
+      const Expr *Test = rename(I->test());
+      const Expr *Then = rename(I->thenBranch());
+      const Expr *Else = rename(I->elseBranch());
+      return F.ifExpr(Test, Then, Else, E->loc());
+    }
+    case Expr::Kind::App: {
+      const auto *A = cast<AppExpr>(E);
+      const Expr *Callee = rename(A->callee());
+      std::vector<const Expr *> Args;
+      for (const Expr *Arg : A->args())
+        Args.push_back(rename(Arg));
+      return F.app(Callee, std::move(Args), E->loc());
+    }
+    case Expr::Kind::PrimApp: {
+      const auto *P = cast<PrimAppExpr>(E);
+      std::vector<const Expr *> Args;
+      for (const Expr *Arg : P->args())
+        Args.push_back(rename(Arg));
+      return F.primApp(P->op(), std::move(Args), E->loc());
+    }
+    case Expr::Kind::Set: {
+      const auto *S = cast<SetExpr>(E);
+      return F.set(lookup(S->name()), rename(S->value()), E->loc());
+    }
+    }
+    return E;
+  }
+
+private:
+  struct Frame {
+    std::vector<Symbol> OldNames;
+    std::vector<Symbol> NewNames;
+    std::vector<bool> HadPrevious;
+    std::vector<Symbol> Previous;
+  };
+
+  Symbol lookup(Symbol Name) const {
+    auto It = Env.find(Name);
+    return It == Env.end() ? Name : It->second;
+  }
+
+  Frame pushParams(const std::vector<Symbol> &Params) {
+    Frame Saved;
+    for (Symbol P : Params) {
+      Symbol New = Symbol::fresh(P.str());
+      Saved.OldNames.push_back(P);
+      Saved.NewNames.push_back(New);
+      auto It = Env.find(P);
+      Saved.HadPrevious.push_back(It != Env.end());
+      Saved.Previous.push_back(It != Env.end() ? It->second : Symbol());
+      Env[P] = New;
+    }
+    return Saved;
+  }
+
+  void popParams(const Frame &Saved) {
+    for (size_t I = Saved.OldNames.size(); I-- > 0;) {
+      if (Saved.HadPrevious[I])
+        Env[Saved.OldNames[I]] = Saved.Previous[I];
+      else
+        Env.erase(Saved.OldNames[I]);
+    }
+  }
+
+  ExprFactory &F;
+  std::unordered_map<Symbol, Symbol> Env;
+};
+
+} // namespace
+
+const Expr *pecomp::alphaRename(const Expr *E, ExprFactory &F) {
+  Renamer R(F);
+  return R.rename(E);
+}
+
+Program pecomp::alphaRename(const Program &P, ExprFactory &F) {
+  Program Out;
+  for (const Definition &D : P.Defs) {
+    Renamer R(F);
+    const Expr *Fn = R.rename(D.Fn);
+    Out.Defs.push_back({D.Name, cast<LambdaExpr>(Fn)});
+  }
+  return Out;
+}

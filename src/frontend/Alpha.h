@@ -1,0 +1,27 @@
+//===- frontend/Alpha.h - Alpha renaming ------------------------*- C++ -*-===//
+///
+/// \file
+/// Renames every locally bound variable to a globally fresh name. After
+/// this pass, no two binders in a program bind the same symbol and no local
+/// binder shadows a top-level definition, so later passes (assignment
+/// elimination, ANF conversion, the specializer's environments) may treat
+/// names as identities without capture concerns.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PECOMP_FRONTEND_ALPHA_H
+#define PECOMP_FRONTEND_ALPHA_H
+
+#include "syntax/Expr.h"
+
+namespace pecomp {
+
+/// Renames locals in \p E; free variables keep their names.
+const Expr *alphaRename(const Expr *E, ExprFactory &F);
+
+/// Renames locals in every definition body. Top-level names are kept.
+Program alphaRename(const Program &P, ExprFactory &F);
+
+} // namespace pecomp
+
+#endif // PECOMP_FRONTEND_ALPHA_H

@@ -1,0 +1,29 @@
+//===- frontend/AnfConvert.h - CS to A-normal form --------------*- C++ -*-===//
+///
+/// \file
+/// Normalizes arbitrary Core Scheme into the ANF of Fig. 2, the compiler's
+/// input language. Serious subexpressions are let-bound to fresh names (the
+/// same let-insertion the continuation-based specializer performs, Fig. 3);
+/// conditionals in non-tail position are handled by binding the context as
+/// a join-point lambda, which keeps code growth linear.
+///
+/// Precondition: assignment-free, alpha-renamed Core Scheme.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PECOMP_FRONTEND_ANFCONVERT_H
+#define PECOMP_FRONTEND_ANFCONVERT_H
+
+#include "syntax/Expr.h"
+
+namespace pecomp {
+
+/// Converts \p E into ANF.
+const Expr *anfConvert(const Expr *E, ExprFactory &F);
+
+/// Converts every definition body into ANF.
+Program anfConvert(const Program &P, ExprFactory &F);
+
+} // namespace pecomp
+
+#endif // PECOMP_FRONTEND_ANFCONVERT_H

@@ -1,0 +1,161 @@
+//===- frontend/AssignElim.cpp - Assignment elimination -------------------===//
+
+#include "frontend/AssignElim.h"
+
+#include "support/Casting.h"
+
+#include <unordered_set>
+
+using namespace pecomp;
+
+namespace {
+
+/// Collects the set of assigned variables and the set of bound variables.
+void collect(const Expr *E, std::unordered_set<Symbol> &Assigned,
+             std::unordered_set<Symbol> &BoundAnywhere) {
+  switch (E->kind()) {
+  case Expr::Kind::Const:
+  case Expr::Kind::Var:
+    return;
+  case Expr::Kind::Lambda: {
+    const auto *L = cast<LambdaExpr>(E);
+    for (Symbol P : L->params())
+      BoundAnywhere.insert(P);
+    collect(L->body(), Assigned, BoundAnywhere);
+    return;
+  }
+  case Expr::Kind::Let: {
+    const auto *L = cast<LetExpr>(E);
+    BoundAnywhere.insert(L->name());
+    collect(L->init(), Assigned, BoundAnywhere);
+    collect(L->body(), Assigned, BoundAnywhere);
+    return;
+  }
+  case Expr::Kind::If: {
+    const auto *I = cast<IfExpr>(E);
+    collect(I->test(), Assigned, BoundAnywhere);
+    collect(I->thenBranch(), Assigned, BoundAnywhere);
+    collect(I->elseBranch(), Assigned, BoundAnywhere);
+    return;
+  }
+  case Expr::Kind::App: {
+    const auto *A = cast<AppExpr>(E);
+    collect(A->callee(), Assigned, BoundAnywhere);
+    for (const Expr *Arg : A->args())
+      collect(Arg, Assigned, BoundAnywhere);
+    return;
+  }
+  case Expr::Kind::PrimApp:
+    for (const Expr *Arg : cast<PrimAppExpr>(E)->args())
+      collect(Arg, Assigned, BoundAnywhere);
+    return;
+  case Expr::Kind::Set: {
+    const auto *S = cast<SetExpr>(E);
+    Assigned.insert(S->name());
+    collect(S->value(), Assigned, BoundAnywhere);
+    return;
+  }
+  }
+}
+
+class Eliminator {
+public:
+  Eliminator(ExprFactory &F, const std::unordered_set<Symbol> &Boxed)
+      : F(F), Boxed(Boxed) {}
+
+  const Expr *rewrite(const Expr *E) {
+    switch (E->kind()) {
+    case Expr::Kind::Const:
+      return E;
+    case Expr::Kind::Var: {
+      Symbol Name = cast<VarExpr>(E)->name();
+      if (Boxed.count(Name))
+        return F.primApp(PrimOp::BoxRef, {E}, E->loc());
+      return E;
+    }
+    case Expr::Kind::Lambda: {
+      const auto *L = cast<LambdaExpr>(E);
+      const Expr *Body = rewrite(L->body());
+      // Boxed parameters are rebound to boxes on entry.
+      for (size_t I = L->params().size(); I-- > 0;) {
+        Symbol P = L->params()[I];
+        if (Boxed.count(P))
+          Body = F.let(P,
+                       F.primApp(PrimOp::MakeBox, {F.var(P, E->loc())},
+                                 E->loc()),
+                       Body, E->loc());
+      }
+      return F.lambda(L->params(), Body, E->loc());
+    }
+    case Expr::Kind::Let: {
+      const auto *L = cast<LetExpr>(E);
+      const Expr *Init = rewrite(L->init());
+      const Expr *Body = rewrite(L->body());
+      if (Boxed.count(L->name()))
+        Init = F.primApp(PrimOp::MakeBox, {Init}, E->loc());
+      return F.let(L->name(), Init, Body, E->loc());
+    }
+    case Expr::Kind::If: {
+      const auto *I = cast<IfExpr>(E);
+      return F.ifExpr(rewrite(I->test()), rewrite(I->thenBranch()),
+                      rewrite(I->elseBranch()), E->loc());
+    }
+    case Expr::Kind::App: {
+      const auto *A = cast<AppExpr>(E);
+      std::vector<const Expr *> Args;
+      for (const Expr *Arg : A->args())
+        Args.push_back(rewrite(Arg));
+      return F.app(rewrite(A->callee()), std::move(Args), E->loc());
+    }
+    case Expr::Kind::PrimApp: {
+      const auto *P = cast<PrimAppExpr>(E);
+      std::vector<const Expr *> Args;
+      for (const Expr *Arg : P->args())
+        Args.push_back(rewrite(Arg));
+      return F.primApp(P->op(), std::move(Args), E->loc());
+    }
+    case Expr::Kind::Set: {
+      const auto *S = cast<SetExpr>(E);
+      return F.primApp(PrimOp::BoxSet,
+                       {F.var(S->name(), E->loc()), rewrite(S->value())},
+                       E->loc());
+    }
+    }
+    return E;
+  }
+
+private:
+  ExprFactory &F;
+  const std::unordered_set<Symbol> &Boxed;
+};
+
+Result<const Expr *> run(const Expr *E, ExprFactory &F) {
+  std::unordered_set<Symbol> Assigned, BoundAnywhere;
+  collect(E, Assigned, BoundAnywhere);
+  for (Symbol S : Assigned)
+    if (!BoundAnywhere.count(S))
+      return makeError("set! of unbound or global variable '" + S.str() + "'");
+  if (Assigned.empty())
+    return E;
+  Eliminator El(F, Assigned);
+  return El.rewrite(E);
+}
+
+} // namespace
+
+Result<const Expr *> pecomp::eliminateAssignments(const Expr *E,
+                                                  ExprFactory &F) {
+  return run(E, F);
+}
+
+Result<Program> pecomp::eliminateAssignments(const Program &P,
+                                             ExprFactory &F) {
+  Program Out;
+  for (const Definition &D : P.Defs) {
+    Result<const Expr *> Fn = run(D.Fn, F);
+    if (!Fn)
+      return Fn.takeError();
+    Out.Defs.push_back({D.Name, cast<LambdaExpr>(*Fn)});
+  }
+  return Out;
+}

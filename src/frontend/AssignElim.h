@@ -1,0 +1,32 @@
+//===- frontend/AssignElim.h - Assignment elimination -----------*- C++ -*-===//
+///
+/// \file
+/// Removes set! (one of the front-end transformations the paper's
+/// specializer performs, Sec. 4). Every variable that is the target of an
+/// assignment is turned into a box at its binding site; references become
+/// box-ref and assignments become box-set!. The output is assignment-free
+/// Core Scheme.
+///
+/// Precondition: the input is alpha-renamed (binders are unique), so "is
+/// assigned" is a property of the symbol itself.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PECOMP_FRONTEND_ASSIGNELIM_H
+#define PECOMP_FRONTEND_ASSIGNELIM_H
+
+#include "support/Error.h"
+#include "syntax/Expr.h"
+
+namespace pecomp {
+
+/// Eliminates assignments in \p E. Fails if a set! targets a variable that
+/// is not locally bound (globals are immutable).
+Result<const Expr *> eliminateAssignments(const Expr *E, ExprFactory &F);
+
+/// Eliminates assignments in every definition body.
+Result<Program> eliminateAssignments(const Program &P, ExprFactory &F);
+
+} // namespace pecomp
+
+#endif // PECOMP_FRONTEND_ASSIGNELIM_H

@@ -1,0 +1,94 @@
+//===- frontend/FreeVars.cpp - Free-variable analysis ---------------------===//
+
+#include "frontend/FreeVars.h"
+
+#include "support/Casting.h"
+
+using namespace pecomp;
+
+namespace {
+
+struct Collector {
+  const std::unordered_set<Symbol> &Exclude;
+  std::vector<Symbol> Order;
+  std::unordered_set<Symbol> Seen;
+  std::vector<std::unordered_set<Symbol>> Bound;
+
+  bool isBound(Symbol S) const {
+    for (auto It = Bound.rbegin(), E = Bound.rend(); It != E; ++It)
+      if (It->count(S))
+        return true;
+    return false;
+  }
+
+  void mention(Symbol S) {
+    if (isBound(S) || Exclude.count(S) || Seen.count(S))
+      return;
+    Seen.insert(S);
+    Order.push_back(S);
+  }
+
+  void walk(const Expr *E) {
+    switch (E->kind()) {
+    case Expr::Kind::Const:
+      return;
+    case Expr::Kind::Var:
+      mention(cast<VarExpr>(E)->name());
+      return;
+    case Expr::Kind::Lambda: {
+      const auto *L = cast<LambdaExpr>(E);
+      Bound.emplace_back(L->params().begin(), L->params().end());
+      walk(L->body());
+      Bound.pop_back();
+      return;
+    }
+    case Expr::Kind::Let: {
+      const auto *L = cast<LetExpr>(E);
+      walk(L->init());
+      Bound.push_back({L->name()});
+      walk(L->body());
+      Bound.pop_back();
+      return;
+    }
+    case Expr::Kind::If: {
+      const auto *I = cast<IfExpr>(E);
+      walk(I->test());
+      walk(I->thenBranch());
+      walk(I->elseBranch());
+      return;
+    }
+    case Expr::Kind::App: {
+      const auto *A = cast<AppExpr>(E);
+      walk(A->callee());
+      for (const Expr *Arg : A->args())
+        walk(Arg);
+      return;
+    }
+    case Expr::Kind::PrimApp:
+      for (const Expr *Arg : cast<PrimAppExpr>(E)->args())
+        walk(Arg);
+      return;
+    case Expr::Kind::Set: {
+      const auto *S = cast<SetExpr>(E);
+      mention(S->name());
+      walk(S->value());
+      return;
+    }
+    }
+  }
+};
+
+} // namespace
+
+std::vector<Symbol>
+pecomp::freeVars(const Expr *E, const std::unordered_set<Symbol> &Exclude) {
+  Collector C{Exclude, {}, {}, {}};
+  C.walk(E);
+  return std::move(C.Order);
+}
+
+std::unordered_set<Symbol>
+pecomp::freeVarSet(const Expr *E, const std::unordered_set<Symbol> &Exclude) {
+  std::vector<Symbol> Order = freeVars(E, Exclude);
+  return std::unordered_set<Symbol>(Order.begin(), Order.end());
+}

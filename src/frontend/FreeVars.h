@@ -1,0 +1,35 @@
+//===- frontend/FreeVars.h - Free-variable analysis -------------*- C++ -*-===//
+///
+/// \file
+/// Free variables of Core Scheme expressions, in deterministic first-
+/// occurrence order. Used by assignment elimination, lambda lifting, the
+/// compilers (closure capture lists), and the specializer (the paper's
+/// Sec. 6.4 duality: the lambda compilator needs the names of its free
+/// variables).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PECOMP_FRONTEND_FREEVARS_H
+#define PECOMP_FRONTEND_FREEVARS_H
+
+#include "syntax/Expr.h"
+
+#include <unordered_set>
+#include <vector>
+
+namespace pecomp {
+
+/// Returns the free variables of \p E in first-occurrence order, excluding
+/// any symbols in \p Exclude (typically the top-level definition names,
+/// which are globals rather than closure-captured).
+std::vector<Symbol>
+freeVars(const Expr *E,
+         const std::unordered_set<Symbol> &Exclude = {});
+
+/// Convenience set membership form.
+std::unordered_set<Symbol>
+freeVarSet(const Expr *E, const std::unordered_set<Symbol> &Exclude = {});
+
+} // namespace pecomp
+
+#endif // PECOMP_FRONTEND_FREEVARS_H

@@ -1,0 +1,188 @@
+//===- frontend/LambdaLift.cpp - Lambda lifting ----------------------------===//
+
+#include "frontend/LambdaLift.h"
+
+#include "frontend/FreeVars.h"
+#include "support/Casting.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace pecomp;
+
+namespace {
+
+/// Checks that every occurrence of \p Name in \p E is the callee of an
+/// application with \p Arity arguments.
+bool onlyDirectCalls(const Expr *E, Symbol Name, size_t Arity) {
+  switch (E->kind()) {
+  case Expr::Kind::Const:
+    return true;
+  case Expr::Kind::Var:
+    return cast<VarExpr>(E)->name() != Name;
+  case Expr::Kind::Lambda:
+    // Unique binders: no shadowing to worry about.
+    return onlyDirectCalls(cast<LambdaExpr>(E)->body(), Name, Arity);
+  case Expr::Kind::Let: {
+    const auto *L = cast<LetExpr>(E);
+    return onlyDirectCalls(L->init(), Name, Arity) &&
+           onlyDirectCalls(L->body(), Name, Arity);
+  }
+  case Expr::Kind::If: {
+    const auto *I = cast<IfExpr>(E);
+    return onlyDirectCalls(I->test(), Name, Arity) &&
+           onlyDirectCalls(I->thenBranch(), Name, Arity) &&
+           onlyDirectCalls(I->elseBranch(), Name, Arity);
+  }
+  case Expr::Kind::App: {
+    const auto *A = cast<AppExpr>(E);
+    if (const auto *V = dyn_cast<VarExpr>(A->callee());
+        V && V->name() == Name && A->args().size() != Arity)
+      return false;
+    // The callee position itself is fine; check only non-callee parts and
+    // recurse into arguments.
+    if (!isa<VarExpr>(A->callee()) &&
+        !onlyDirectCalls(A->callee(), Name, Arity))
+      return false;
+    for (const Expr *Arg : A->args())
+      if (!onlyDirectCalls(Arg, Name, Arity))
+        return false;
+    return true;
+  }
+  case Expr::Kind::PrimApp:
+    for (const Expr *Arg : cast<PrimAppExpr>(E)->args())
+      if (!onlyDirectCalls(Arg, Name, Arity))
+        return false;
+    return true;
+  case Expr::Kind::Set:
+    return cast<SetExpr>(E)->name() != Name &&
+           onlyDirectCalls(cast<SetExpr>(E)->value(), Name, Arity);
+  }
+  return true;
+}
+
+class Lifter {
+public:
+  Lifter(ExprFactory &F, std::unordered_set<Symbol> Globals,
+         LambdaLiftStats *Stats)
+      : F(F), Globals(std::move(Globals)), Stats(Stats) {}
+
+  /// Rewrites call sites of lifted functions: (f a...) becomes
+  /// (f' fv... a...).
+  struct LiftInfo {
+    Symbol NewName;
+    std::vector<Symbol> ExtraArgs;
+  };
+
+  const Expr *rewrite(const Expr *E) {
+    switch (E->kind()) {
+    case Expr::Kind::Const:
+      return E;
+    case Expr::Kind::Var:
+      return E;
+    case Expr::Kind::Lambda: {
+      const auto *L = cast<LambdaExpr>(E);
+      const Expr *Body = rewrite(L->body());
+      if (Stats)
+        ++Stats->KeptAsClosures;
+      return Body == L->body() ? E : F.lambda(L->params(), Body, E->loc());
+    }
+    case Expr::Kind::Let: {
+      const auto *L = cast<LetExpr>(E);
+      // Candidate: a lambda bound by let, used only in direct calls.
+      if (const auto *Fn = dyn_cast<LambdaExpr>(L->init())) {
+        if (onlyDirectCalls(L->body(), L->name(), Fn->params().size())) {
+          // Lift bottom-up: inner lambdas inside Fn's body first.
+          const Expr *FnBody = rewrite(Fn->body());
+          std::vector<Symbol> Free;
+          for (Symbol S :
+               freeVars(F.lambda(Fn->params(), FnBody, Fn->loc()), Globals))
+            if (!Lifted.count(S)) // references to lifted fns are global now
+              Free.push_back(S);
+
+          Symbol NewName = Symbol::fresh(L->name().str() + "$lifted");
+          Globals.insert(NewName);
+          Lifted.insert(NewName);
+          std::vector<Symbol> Params = Free;
+          Params.insert(Params.end(), Fn->params().begin(),
+                        Fn->params().end());
+          NewDefs.push_back(
+              {NewName, F.lambda(std::move(Params), FnBody, Fn->loc())});
+          Rewrites.emplace(L->name(), LiftInfo{NewName, Free});
+          if (Stats)
+            ++Stats->Lifted;
+          return rewrite(L->body());
+        }
+      }
+      const Expr *Init = rewrite(L->init());
+      const Expr *Body = rewrite(L->body());
+      return F.let(L->name(), Init, Body, E->loc());
+    }
+    case Expr::Kind::If: {
+      const auto *I = cast<IfExpr>(E);
+      return F.ifExpr(rewrite(I->test()), rewrite(I->thenBranch()),
+                      rewrite(I->elseBranch()), E->loc());
+    }
+    case Expr::Kind::App: {
+      const auto *A = cast<AppExpr>(E);
+      std::vector<const Expr *> Args;
+      // Lifted callee: prepend the free variables.
+      if (const auto *V = dyn_cast<VarExpr>(A->callee())) {
+        auto It = Rewrites.find(V->name());
+        if (It != Rewrites.end()) {
+          for (Symbol Extra : It->second.ExtraArgs)
+            Args.push_back(F.var(Extra, E->loc()));
+          for (const Expr *Arg : A->args())
+            Args.push_back(rewrite(Arg));
+          return F.app(F.var(It->second.NewName, E->loc()), std::move(Args),
+                       E->loc());
+        }
+      }
+      for (const Expr *Arg : A->args())
+        Args.push_back(rewrite(Arg));
+      return F.app(rewrite(A->callee()), std::move(Args), E->loc());
+    }
+    case Expr::Kind::PrimApp: {
+      const auto *P = cast<PrimAppExpr>(E);
+      std::vector<const Expr *> Args;
+      for (const Expr *Arg : P->args())
+        Args.push_back(rewrite(Arg));
+      return F.primApp(P->op(), std::move(Args), E->loc());
+    }
+    case Expr::Kind::Set: {
+      const auto *S = cast<SetExpr>(E);
+      return F.set(S->name(), rewrite(S->value()), E->loc());
+    }
+    }
+    return E;
+  }
+
+  std::vector<Definition> takeNewDefs() { return std::move(NewDefs); }
+
+private:
+  ExprFactory &F;
+  std::unordered_set<Symbol> Globals;
+  std::unordered_set<Symbol> Lifted;
+  LambdaLiftStats *Stats;
+  std::unordered_map<Symbol, LiftInfo> Rewrites;
+  std::vector<Definition> NewDefs;
+};
+
+} // namespace
+
+Program pecomp::liftLambdas(const Program &P, ExprFactory &F,
+                            LambdaLiftStats *Stats) {
+  std::unordered_set<Symbol> Globals;
+  for (const Definition &D : P.Defs)
+    Globals.insert(D.Name);
+
+  Lifter L(F, std::move(Globals), Stats);
+  Program Out;
+  for (const Definition &D : P.Defs) {
+    const Expr *Fn = L.rewrite(D.Fn);
+    Out.Defs.push_back({D.Name, cast<LambdaExpr>(Fn)});
+  }
+  for (Definition &D : L.takeNewDefs())
+    Out.Defs.push_back(std::move(D));
+  return Out;
+}

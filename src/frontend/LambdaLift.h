@@ -1,0 +1,38 @@
+//===- frontend/LambdaLift.h - Lambda lifting -------------------*- C++ -*-===//
+///
+/// \file
+/// Lambda lifting [Johnsson 85], one of the transformations the paper's
+/// specializer applies (Sec. 4). The conservative variant implemented
+/// here lifts let-bound lambdas whose every use is a direct, arity-
+/// correct call: the lambda becomes a new top-level definition taking its
+/// free variables as extra leading parameters, and call sites pass them
+/// explicitly — eliminating the closure allocation entirely.
+///
+/// Lambdas that escape (are passed, returned, or stored) keep their
+/// closure representation. Correctness relies on alpha-renamed input: with
+/// unique binders, a free variable visible at the binding site is the same
+/// binding at every call site, and mutable state was already boxed by
+/// assignment elimination (the box value is what gets passed).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PECOMP_FRONTEND_LAMBDALIFT_H
+#define PECOMP_FRONTEND_LAMBDALIFT_H
+
+#include "syntax/Expr.h"
+
+namespace pecomp {
+
+struct LambdaLiftStats {
+  size_t Lifted = 0;
+  size_t KeptAsClosures = 0;
+};
+
+/// Lifts direct-called let-bound lambdas in \p P to new top-level
+/// definitions. Input must be alpha-renamed, assignment-free Core Scheme.
+Program liftLambdas(const Program &P, ExprFactory &F,
+                    LambdaLiftStats *Stats = nullptr);
+
+} // namespace pecomp
+
+#endif // PECOMP_FRONTEND_LAMBDALIFT_H

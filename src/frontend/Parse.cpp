@@ -1,0 +1,687 @@
+//===- frontend/Parse.cpp - Surface syntax to Core Scheme -----------------===//
+
+#include "frontend/Parse.h"
+
+#include "sexp/Reader.h"
+#include "sexp/WellKnown.h"
+#include "support/Casting.h"
+
+#include <unordered_set>
+
+using namespace pecomp;
+
+namespace {
+
+class Parser {
+public:
+  explicit Parser(ExprFactory &F) : F(F) {
+    for (const char *K :
+         {"define", "lambda", "let", "let*", "letrec", "if", "cond", "else",
+          "and", "or", "begin", "when", "unless", "quote", "set!", "list"})
+      Keywords.insert(Symbol::intern(K));
+  }
+
+  Result<const Expr *> parse(const Datum *D) {
+    switch (D->kind()) {
+    case Datum::Kind::Fixnum:
+    case Datum::Kind::Boolean:
+    case Datum::Kind::String:
+    case Datum::Kind::Char:
+      return asExpr(F.constant(D, D->loc()));
+    case Datum::Kind::Symbol:
+      return parseVariable(cast<SymbolDatum>(D)->symbol(), D->loc());
+    case Datum::Kind::Nil:
+      return fail("() is not an expression", D);
+    case Datum::Kind::Pair:
+      return parseForm(D);
+    }
+    return fail("unknown datum", D);
+  }
+
+  Result<Program> parseProgram(const std::vector<const Datum *> &Forms) {
+    Program P;
+    std::unordered_set<Symbol> Names;
+    for (const Datum *Form : Forms) {
+      Result<Definition> D = parseDefine(Form);
+      if (!D)
+        return D.takeError();
+      if (!Names.insert(D->Name).second)
+        return Error("duplicate definition of '" + D->Name.str() + "'",
+                     Form->loc());
+      P.Defs.push_back(*D);
+    }
+    return P;
+  }
+
+private:
+  // -- Helpers ------------------------------------------------------------
+
+  static Result<const Expr *> asExpr(const Expr *E) { return E; }
+
+  Error fail(std::string Message, const Datum *At) {
+    return Error(std::move(Message), At->loc());
+  }
+
+  bool isKeyword(Symbol S) const { return Keywords.count(S) != 0; }
+
+  bool isBound(Symbol S) const {
+    for (auto It = Scopes.rbegin(), E = Scopes.rend(); It != E; ++It)
+      if (It->count(S))
+        return true;
+    return Globals.count(S) != 0;
+  }
+
+  class ScopeGuard {
+  public:
+    ScopeGuard(Parser &P, const std::vector<Symbol> &Names) : P(P) {
+      P.Scopes.emplace_back(Names.begin(), Names.end());
+    }
+    ~ScopeGuard() { P.Scopes.pop_back(); }
+
+  private:
+    Parser &P;
+  };
+
+  Result<Symbol> bindableName(const Datum *D) {
+    const auto *S = dyn_cast<SymbolDatum>(D);
+    if (!S)
+      return fail("expected an identifier, found: " + D->write(), D);
+    if (isKeyword(S->symbol()))
+      return fail("cannot bind keyword '" + S->symbol().str() + "'", D);
+    return S->symbol();
+  }
+
+  // -- Variables and primitives -------------------------------------------
+
+  Result<const Expr *> parseVariable(Symbol Name, SourceLoc Loc) {
+    if (isKeyword(Name))
+      return Error("keyword '" + Name.str() + "' used as an expression", Loc);
+    if (!isBound(Name)) {
+      // A first-class reference to a primitive eta-expands so that later
+      // stages only meet primitives in operator position.
+      if (std::optional<PrimOp> Op = primByName(Name)) {
+        std::vector<Symbol> Params;
+        std::vector<const Expr *> Args;
+        for (unsigned I = 0, N = primArity(*Op); I != N; ++I) {
+          Symbol P = Symbol::fresh("eta");
+          Params.push_back(P);
+          Args.push_back(F.var(P, Loc));
+        }
+        return asExpr(F.lambda(std::move(Params),
+                               F.primApp(*Op, std::move(Args), Loc), Loc));
+      }
+    }
+    return asExpr(F.var(Name, Loc));
+  }
+
+  // -- Compound forms ------------------------------------------------------
+
+  Result<const Expr *> parseForm(const Datum *D) {
+    std::vector<const Datum *> Items;
+    if (!listElements(D, Items))
+      return fail("improper list in expression position", D);
+    assert(!Items.empty() && "pairs always have at least one element");
+
+    if (const auto *Head = dyn_cast<SymbolDatum>(Items[0])) {
+      Symbol H = Head->symbol();
+      if (isKeyword(H) || (!isBound(H) && primByName(H))) {
+        if (H == Symbol::intern("quote"))
+          return parseQuote(D, Items);
+        if (H == Symbol::intern("lambda"))
+          return parseLambda(D, Items);
+        if (H == Symbol::intern("let"))
+          return parseLet(D, Items);
+        if (H == Symbol::intern("let*"))
+          return parseLetStar(D, Items);
+        if (H == Symbol::intern("letrec"))
+          return parseLetrec(D, Items);
+        if (H == Symbol::intern("if"))
+          return parseIf(D, Items);
+        if (H == Symbol::intern("cond"))
+          return parseCond(D, Items);
+        if (H == Symbol::intern("and"))
+          return parseAnd(D, Items);
+        if (H == Symbol::intern("or"))
+          return parseOr(D, Items);
+        if (H == Symbol::intern("begin"))
+          return parseBegin(D, Items);
+        if (H == Symbol::intern("when") || H == Symbol::intern("unless"))
+          return parseWhenUnless(D, Items, H == Symbol::intern("when"));
+        if (H == Symbol::intern("set!"))
+          return parseSet(D, Items);
+        if (H == Symbol::intern("list"))
+          return parseList(D, Items);
+        if (H == Symbol::intern("define") || H == Symbol::intern("else"))
+          return fail("'" + H.str() + "' not allowed here", D);
+        if (std::optional<PrimOp> Op = primByName(H))
+          return parsePrimApp(D, Items, *Op);
+      }
+    }
+
+    // Ordinary application.
+    if (Items.size() > 256)
+      return fail("more than 255 arguments (byte-code arity limit)", D);
+    Result<const Expr *> Callee = parse(Items[0]);
+    if (!Callee)
+      return Callee;
+    std::vector<const Expr *> Args;
+    for (size_t I = 1; I != Items.size(); ++I) {
+      Result<const Expr *> Arg = parse(Items[I]);
+      if (!Arg)
+        return Arg;
+      Args.push_back(*Arg);
+    }
+    return asExpr(F.app(*Callee, std::move(Args), D->loc()));
+  }
+
+  Result<const Expr *> parseQuote(const Datum *D,
+                                  const std::vector<const Datum *> &Items) {
+    if (Items.size() != 2)
+      return fail("quote takes exactly one argument", D);
+    return asExpr(F.constant(Items[1], D->loc()));
+  }
+
+  Result<std::vector<Symbol>> parseParams(const Datum *ParamList) {
+    std::vector<const Datum *> ParamItems;
+    if (!listElements(ParamList, ParamItems))
+      return fail("expected a parameter list", ParamList);
+    if (ParamItems.size() > 255)
+      return fail("more than 255 parameters (byte-code arity limit)",
+                  ParamList);
+    std::vector<Symbol> Params;
+    std::unordered_set<Symbol> Seen;
+    for (const Datum *PD : ParamItems) {
+      Result<Symbol> Name = bindableName(PD);
+      if (!Name)
+        return Name.takeError();
+      if (!Seen.insert(*Name).second)
+        return fail("duplicate parameter '" + Name->str() + "'", PD);
+      Params.push_back(*Name);
+    }
+    return Params;
+  }
+
+  Result<const Expr *> parseBody(const Datum *D,
+                                 const std::vector<const Datum *> &Items,
+                                 size_t From) {
+    if (From >= Items.size())
+      return fail("empty body", D);
+    // Multi-expression bodies are an implicit begin.
+    return parseSequence(D, Items, From);
+  }
+
+  Result<const Expr *> parseSequence(const Datum *D,
+                                     const std::vector<const Datum *> &Items,
+                                     size_t From) {
+    Result<const Expr *> Last = parse(Items[From]);
+    if (!Last || From + 1 == Items.size())
+      return Last;
+    Result<const Expr *> Rest = parseSequence(D, Items, From + 1);
+    if (!Rest)
+      return Rest;
+    return asExpr(F.let(Symbol::fresh("ignored"), *Last, *Rest, D->loc()));
+  }
+
+  Result<const Expr *> parseLambda(const Datum *D,
+                                   const std::vector<const Datum *> &Items) {
+    if (Items.size() < 3)
+      return fail("lambda needs a parameter list and a body", D);
+    Result<std::vector<Symbol>> Params = parseParams(Items[1]);
+    if (!Params)
+      return Params.takeError();
+    ScopeGuard Guard(*this, *Params);
+    Result<const Expr *> Body = parseBody(D, Items, 2);
+    if (!Body)
+      return Body;
+    return asExpr(F.lambda(std::move(*Params), *Body, D->loc()));
+  }
+
+  struct Binding {
+    Symbol Name;
+    const Datum *Init;
+  };
+
+  Result<std::vector<Binding>> parseBindings(const Datum *BindingList) {
+    std::vector<const Datum *> Items;
+    if (!listElements(BindingList, Items))
+      return fail("expected a binding list", BindingList);
+    std::vector<Binding> Bindings;
+    for (const Datum *BD : Items) {
+      std::vector<const Datum *> Parts;
+      if (!listElements(BD, Parts) || Parts.size() != 2)
+        return fail("binding must have the form (name init)", BD);
+      Result<Symbol> Name = bindableName(Parts[0]);
+      if (!Name)
+        return Name.takeError();
+      Bindings.push_back({*Name, Parts[1]});
+    }
+    return Bindings;
+  }
+
+  Result<const Expr *> parseLet(const Datum *D,
+                                const std::vector<const Datum *> &Items) {
+    if (Items.size() < 3)
+      return fail("let needs bindings and a body", D);
+    // Core Scheme single-binding form (Fig. 1), as the printer emits it:
+    // (let (x init) body).
+    if (Items[1]->isPair() &&
+        isa<SymbolDatum>(cast<PairDatum>(Items[1])->car())) {
+      std::vector<const Datum *> Parts;
+      if (!listElements(Items[1], Parts) || Parts.size() != 2)
+        return fail("core let binding must have the form (name init)",
+                    Items[1]);
+      Result<Symbol> Name = bindableName(Parts[0]);
+      if (!Name)
+        return Name.takeError();
+      Result<const Expr *> Init = parse(Parts[1]);
+      if (!Init)
+        return Init;
+      std::vector<Symbol> Names = {*Name};
+      ScopeGuard Guard(*this, Names);
+      Result<const Expr *> Body = parseBody(D, Items, 2);
+      if (!Body)
+        return Body;
+      return asExpr(F.let(*Name, *Init, *Body, D->loc()));
+    }
+    Result<std::vector<Binding>> Bindings = parseBindings(Items[1]);
+    if (!Bindings)
+      return Bindings.takeError();
+
+    // Single binding maps to the core let; multiple bindings desugar to an
+    // immediately applied lambda so initializers see only the outer scope.
+    if (Bindings->size() == 1) {
+      Result<const Expr *> Init = parse((*Bindings)[0].Init);
+      if (!Init)
+        return Init;
+      std::vector<Symbol> Names = {(*Bindings)[0].Name};
+      ScopeGuard Guard(*this, Names);
+      Result<const Expr *> Body = parseBody(D, Items, 2);
+      if (!Body)
+        return Body;
+      return asExpr(F.let(Names[0], *Init, *Body, D->loc()));
+    }
+
+    std::vector<Symbol> Names;
+    std::vector<const Expr *> Inits;
+    for (const Binding &B : *Bindings) {
+      Result<const Expr *> Init = parse(B.Init);
+      if (!Init)
+        return Init;
+      Names.push_back(B.Name);
+      Inits.push_back(*Init);
+    }
+    ScopeGuard Guard(*this, Names);
+    Result<const Expr *> Body = parseBody(D, Items, 2);
+    if (!Body)
+      return Body;
+    return asExpr(F.app(F.lambda(std::move(Names), *Body, D->loc()),
+                        std::move(Inits), D->loc()));
+  }
+
+  Result<const Expr *> parseLetStar(const Datum *D,
+                                    const std::vector<const Datum *> &Items) {
+    if (Items.size() < 3)
+      return fail("let* needs bindings and a body", D);
+    Result<std::vector<Binding>> Bindings = parseBindings(Items[1]);
+    if (!Bindings)
+      return Bindings.takeError();
+    return parseLetStarRest(D, Items, *Bindings, 0);
+  }
+
+  Result<const Expr *>
+  parseLetStarRest(const Datum *D, const std::vector<const Datum *> &Items,
+                   const std::vector<Binding> &Bindings, size_t Index) {
+    if (Index == Bindings.size())
+      return parseBody(D, Items, 2);
+    Result<const Expr *> Init = parse(Bindings[Index].Init);
+    if (!Init)
+      return Init;
+    std::vector<Symbol> Names = {Bindings[Index].Name};
+    ScopeGuard Guard(*this, Names);
+    Result<const Expr *> Rest = parseLetStarRest(D, Items, Bindings, Index + 1);
+    if (!Rest)
+      return Rest;
+    return asExpr(F.let(Names[0], *Init, *Rest, D->loc()));
+  }
+
+  /// (letrec ((f e) ...) body) desugars to assignments over placeholder
+  /// bindings; AssignElim later turns the assigned variables into boxes.
+  Result<const Expr *> parseLetrec(const Datum *D,
+                                   const std::vector<const Datum *> &Items) {
+    if (Items.size() < 3)
+      return fail("letrec needs bindings and a body", D);
+    Result<std::vector<Binding>> Bindings = parseBindings(Items[1]);
+    if (!Bindings)
+      return Bindings.takeError();
+
+    std::vector<Symbol> Names;
+    for (const Binding &B : *Bindings)
+      Names.push_back(B.Name);
+    ScopeGuard Guard(*this, Names);
+
+    std::vector<const Expr *> Inits;
+    for (const Binding &B : *Bindings) {
+      Result<const Expr *> Init = parse(B.Init);
+      if (!Init)
+        return Init;
+      Inits.push_back(*Init);
+    }
+    Result<const Expr *> Body = parseBody(D, Items, 2);
+    if (!Body)
+      return Body;
+
+    // (let (f1 #f) ... (let (fn #f) (set! f1 e1) ... body))
+    const Expr *Acc = *Body;
+    for (size_t I = Bindings->size(); I-- > 0;)
+      Acc = F.let(Symbol::fresh("ignored"), F.set(Names[I], Inits[I], D->loc()),
+                  Acc, D->loc());
+    const Datum *False = wellknown::falseDatum();
+    for (size_t I = Names.size(); I-- > 0;)
+      Acc = F.let(Names[I], F.constant(False, D->loc()), Acc, D->loc());
+    return asExpr(Acc);
+  }
+
+  Result<const Expr *> parseIf(const Datum *D,
+                               const std::vector<const Datum *> &Items) {
+    if (Items.size() != 4)
+      return fail("if takes a test, a consequent, and an alternative", D);
+    Result<const Expr *> Test = parse(Items[1]);
+    if (!Test)
+      return Test;
+    Result<const Expr *> Then = parse(Items[2]);
+    if (!Then)
+      return Then;
+    Result<const Expr *> Else = parse(Items[3]);
+    if (!Else)
+      return Else;
+    return asExpr(F.ifExpr(*Test, *Then, *Else, D->loc()));
+  }
+
+  Result<const Expr *> parseCond(const Datum *D,
+                                 const std::vector<const Datum *> &Items) {
+    if (Items.size() < 2)
+      return fail("cond needs at least one clause", D);
+    return parseCondClauses(D, Items, 1);
+  }
+
+  Result<const Expr *> parseCondClauses(const Datum *D,
+                                        const std::vector<const Datum *> &Items,
+                                        size_t Index) {
+    if (Index == Items.size())
+      return asExpr(
+          F.primApp(PrimOp::Error,
+                    {F.constant(makeCondFellThrough(), D->loc())}, D->loc()));
+    std::vector<const Datum *> Clause;
+    if (!listElements(Items[Index], Clause) || Clause.size() < 2)
+      return fail("cond clause must have the form (test body ...)", Items[Index]);
+    const auto *TestSym = dyn_cast<SymbolDatum>(Clause[0]);
+    if (TestSym && TestSym->symbol() == Symbol::intern("else")) {
+      if (Index + 1 != Items.size())
+        return fail("else clause must be last", Items[Index]);
+      return parseSequenceOf(D, Clause, 1);
+    }
+    Result<const Expr *> Test = parse(Clause[0]);
+    if (!Test)
+      return Test;
+    Result<const Expr *> Then = parseSequenceOf(D, Clause, 1);
+    if (!Then)
+      return Then;
+    Result<const Expr *> Rest = parseCondClauses(D, Items, Index + 1);
+    if (!Rest)
+      return Rest;
+    return asExpr(F.ifExpr(*Test, *Then, *Rest, D->loc()));
+  }
+
+  const Datum *makeCondFellThrough() {
+    static const Datum *Message =
+        wellknown::factory().string("cond: no clause matched");
+    return Message;
+  }
+
+  Result<const Expr *> parseSequenceOf(const Datum *D,
+                                       const std::vector<const Datum *> &Items,
+                                       size_t From) {
+    return parseSequence(D, Items, From);
+  }
+
+  Result<const Expr *> parseAnd(const Datum *D,
+                                const std::vector<const Datum *> &Items) {
+    if (Items.size() == 1)
+      return asExpr(F.constant(wellknown::trueDatum(), D->loc()));
+    return parseAndRest(D, Items, 1);
+  }
+
+  Result<const Expr *> parseAndRest(const Datum *D,
+                                    const std::vector<const Datum *> &Items,
+                                    size_t Index) {
+    Result<const Expr *> Head = parse(Items[Index]);
+    if (!Head || Index + 1 == Items.size())
+      return Head;
+    Result<const Expr *> Rest = parseAndRest(D, Items, Index + 1);
+    if (!Rest)
+      return Rest;
+    return asExpr(F.ifExpr(
+        *Head, *Rest, F.constant(wellknown::falseDatum(), D->loc()),
+        D->loc()));
+  }
+
+  Result<const Expr *> parseOr(const Datum *D,
+                               const std::vector<const Datum *> &Items) {
+    if (Items.size() == 1)
+      return asExpr(F.constant(wellknown::falseDatum(), D->loc()));
+    return parseOrRest(D, Items, 1);
+  }
+
+  Result<const Expr *> parseOrRest(const Datum *D,
+                                   const std::vector<const Datum *> &Items,
+                                   size_t Index) {
+    Result<const Expr *> Head = parse(Items[Index]);
+    if (!Head || Index + 1 == Items.size())
+      return Head;
+    Result<const Expr *> Rest = parseOrRest(D, Items, Index + 1);
+    if (!Rest)
+      return Rest;
+    // (or a b) -> (let (t a) (if t t b)); the temp avoids re-evaluating a.
+    Symbol T = Symbol::fresh("or");
+    return asExpr(F.let(
+        T, *Head,
+        F.ifExpr(F.var(T, D->loc()), F.var(T, D->loc()), *Rest, D->loc()),
+        D->loc()));
+  }
+
+  Result<const Expr *> parseBegin(const Datum *D,
+                                  const std::vector<const Datum *> &Items) {
+    if (Items.size() < 2)
+      return fail("begin needs at least one expression", D);
+    return parseSequence(D, Items, 1);
+  }
+
+  Result<const Expr *> parseWhenUnless(const Datum *D,
+                                       const std::vector<const Datum *> &Items,
+                                       bool IsWhen) {
+    if (Items.size() < 3)
+      return fail("when/unless need a test and a body", D);
+    Result<const Expr *> Test = parse(Items[1]);
+    if (!Test)
+      return Test;
+    Result<const Expr *> Body = parseSequence(D, Items, 2);
+    if (!Body)
+      return Body;
+    const Expr *False = F.constant(wellknown::falseDatum(), D->loc());
+    if (IsWhen)
+      return asExpr(F.ifExpr(*Test, *Body, False, D->loc()));
+    return asExpr(F.ifExpr(*Test, False, *Body, D->loc()));
+  }
+
+  Result<const Expr *> parseSet(const Datum *D,
+                                const std::vector<const Datum *> &Items) {
+    if (Items.size() != 3)
+      return fail("set! takes a variable and a value", D);
+    Result<Symbol> Name = bindableName(Items[1]);
+    if (!Name)
+      return Name.takeError();
+    Result<const Expr *> Value = parse(Items[2]);
+    if (!Value)
+      return Value;
+    return asExpr(F.set(*Name, *Value, D->loc()));
+  }
+
+  Result<const Expr *> parseList(const Datum *D,
+                                 const std::vector<const Datum *> &Items) {
+    return parseListRest(D, Items, 1);
+  }
+
+  Result<const Expr *> parseListRest(const Datum *D,
+                                     const std::vector<const Datum *> &Items,
+                                     size_t Index) {
+    if (Index == Items.size())
+      return asExpr(F.constant(wellknown::nil(), D->loc()));
+    Result<const Expr *> Head = parse(Items[Index]);
+    if (!Head)
+      return Head;
+    Result<const Expr *> Rest = parseListRest(D, Items, Index + 1);
+    if (!Rest)
+      return Rest;
+    return asExpr(F.primApp(PrimOp::Cons, {*Head, *Rest}, D->loc()));
+  }
+
+  Result<const Expr *> parsePrimApp(const Datum *D,
+                                    const std::vector<const Datum *> &Items,
+                                    PrimOp Op) {
+    std::vector<const Expr *> Args;
+    for (size_t I = 1; I != Items.size(); ++I) {
+      Result<const Expr *> Arg = parse(Items[I]);
+      if (!Arg)
+        return Arg;
+      Args.push_back(*Arg);
+    }
+
+    unsigned Arity = primArity(Op);
+    if (Args.size() == Arity)
+      return asExpr(F.primApp(Op, std::move(Args), D->loc()));
+
+    // N-ary sugar for the associative arithmetic/comparison operators.
+    if (Arity == 2 && Args.size() > 2 &&
+        (Op == PrimOp::Add || Op == PrimOp::Mul || Op == PrimOp::Sub)) {
+      const Expr *Acc = Args[0];
+      for (size_t I = 1; I != Args.size(); ++I)
+        Acc = F.primApp(Op, {Acc, Args[I]}, D->loc());
+      return asExpr(Acc);
+    }
+    // Unary minus.
+    if (Op == PrimOp::Sub && Args.size() == 1)
+      return asExpr(F.primApp(
+          PrimOp::Sub, {F.constant(wellknown::fixnum(0), D->loc()), Args[0]},
+          D->loc()));
+    return fail(std::string(primName(Op)) + " expects " +
+                    std::to_string(Arity) + " argument(s), got " +
+                    std::to_string(Args.size()),
+                D);
+  }
+
+  // -- Definitions ----------------------------------------------------------
+
+  Result<Definition> parseDefine(const Datum *Form) {
+    std::vector<const Datum *> Items;
+    if (!listElements(Form, Items) || Items.size() < 3 ||
+        !isa<SymbolDatum>(Items[0]) ||
+        cast<SymbolDatum>(Items[0])->symbol() != Symbol::intern("define"))
+      return fail("expected (define (name params ...) body ...)", Form);
+
+    // (define (f x ...) body ...)
+    if (Items[1]->isPair()) {
+      std::vector<const Datum *> Header;
+      if (!listElements(Items[1], Header) || Header.empty())
+        return fail("malformed define header", Items[1]);
+      Result<Symbol> Name = bindableName(Header[0]);
+      if (!Name)
+        return Name.takeError();
+      if (primByName(*Name))
+        return fail("cannot redefine primitive '" + Name->str() + "'",
+                    Header[0]);
+      std::vector<Symbol> Params;
+      std::unordered_set<Symbol> Seen;
+      for (size_t I = 1; I != Header.size(); ++I) {
+        Result<Symbol> P = bindableName(Header[I]);
+        if (!P)
+          return P.takeError();
+        if (!Seen.insert(*P).second)
+          return fail("duplicate parameter '" + P->str() + "'", Header[I]);
+        Params.push_back(*P);
+      }
+      ScopeGuard Guard(*this, Params);
+      Result<const Expr *> Body = parseBody(Form, Items, 2);
+      if (!Body)
+        return Body.takeError();
+      return Definition{*Name,
+                        F.lambda(std::move(Params), *Body, Form->loc())};
+    }
+
+    // (define x (lambda ...)) — value definitions must be lambdas so the
+    // whole program is a set of functions.
+    Result<Symbol> Name = bindableName(Items[1]);
+    if (!Name)
+      return Name.takeError();
+    if (primByName(*Name))
+      return fail("cannot redefine primitive '" + Name->str() + "'", Items[1]);
+    if (Items.size() != 3)
+      return fail("(define name value) takes exactly one value", Form);
+    Result<const Expr *> Value = parse(Items[2]);
+    if (!Value)
+      return Value.takeError();
+    const auto *Fn = dyn_cast<LambdaExpr>(*Value);
+    if (!Fn)
+      return fail("top-level value definitions must be lambdas", Items[2]);
+    return Definition{*Name, Fn};
+  }
+
+public:
+  /// Pre-registers the given names as globally bound (so definition bodies
+  /// can reference every top-level function, including later ones).
+  void registerGlobals(const std::vector<const Datum *> &Forms) {
+    for (const Datum *Form : Forms) {
+      std::vector<const Datum *> Items;
+      if (!listElements(Form, Items) || Items.size() < 2)
+        continue;
+      const auto *Head = dyn_cast<SymbolDatum>(Items[0]);
+      if (!Head || Head->symbol() != Symbol::intern("define"))
+        continue;
+      const Datum *Target = Items[1];
+      if (Target->isPair()) {
+        std::vector<const Datum *> HeaderItems;
+        if (listElements(Target, HeaderItems) && !HeaderItems.empty())
+          Target = HeaderItems[0];
+      }
+      if (const auto *Name = dyn_cast<SymbolDatum>(Target))
+        Globals.insert(Name->symbol());
+    }
+  }
+
+private:
+  ExprFactory &F;
+  std::unordered_set<Symbol> Keywords;
+  std::unordered_set<Symbol> Globals;
+  std::vector<std::unordered_set<Symbol>> Scopes;
+};
+
+} // namespace
+
+Result<const Expr *> pecomp::parseExpr(const Datum *D, ExprFactory &F) {
+  Parser P(F);
+  return P.parse(D);
+}
+
+Result<Program> pecomp::parseProgram(const std::vector<const Datum *> &Forms,
+                                     ExprFactory &F) {
+  Parser P(F);
+  P.registerGlobals(Forms);
+  return P.parseProgram(Forms);
+}
+
+Result<Program> pecomp::parseProgramText(std::string_view Text, ExprFactory &F,
+                                         DatumFactory &DF) {
+  Result<std::vector<const Datum *>> Forms = readAll(Text, DF);
+  if (!Forms)
+    return Forms.takeError();
+  return parseProgram(*Forms, F);
+}

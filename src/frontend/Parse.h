@@ -1,0 +1,42 @@
+//===- frontend/Parse.h - Surface syntax to Core Scheme ---------*- C++ -*-===//
+///
+/// \file
+/// Parses and desugars the surface Scheme subset into Core Scheme (Fig. 1).
+/// This is the desugaring the paper attributes to the specializer front end
+/// (Sec. 4). Supported surface forms beyond the core:
+///
+///   (define (f x ...) body ...), (define x e)
+///   let with multiple bindings, let*, letrec (lambda initializers),
+///   begin, cond/else, and, or, when, unless, set!, (list e ...),
+///   n-ary and unary -, n-ary + * and comparisons, quote, 'd
+///
+/// First-class references to primitives eta-expand ((lambda (x) (car x))),
+/// so later stages only see primitives in operator position.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PECOMP_FRONTEND_PARSE_H
+#define PECOMP_FRONTEND_PARSE_H
+
+#include "sexp/Datum.h"
+#include "support/Error.h"
+#include "syntax/Expr.h"
+
+#include <string_view>
+
+namespace pecomp {
+
+/// Parses one expression (no definitions).
+Result<const Expr *> parseExpr(const Datum *D, ExprFactory &F);
+
+/// Parses a whole program: a sequence of (define ...) forms.
+Result<Program> parseProgram(const std::vector<const Datum *> &Forms,
+                             ExprFactory &F);
+
+/// Convenience: reads and parses program text in one go.
+Result<Program> parseProgramText(std::string_view Text, ExprFactory &F,
+                                 DatumFactory &DF);
+
+} // namespace pecomp
+
+#endif // PECOMP_FRONTEND_PARSE_H

@@ -1,0 +1,30 @@
+//===- frontend/Pipeline.cpp - Front-end driver ---------------------------===//
+
+#include "frontend/Pipeline.h"
+
+#include "frontend/Alpha.h"
+#include "frontend/AnfConvert.h"
+#include "frontend/AssignElim.h"
+#include "frontend/Parse.h"
+#include "syntax/AnfCheck.h"
+
+using namespace pecomp;
+
+Result<Program> pecomp::frontendProgram(std::string_view Text, ExprFactory &F,
+                                        DatumFactory &DF) {
+  Result<Program> Parsed = parseProgramText(Text, F, DF);
+  if (!Parsed)
+    return Parsed;
+  Program Renamed = alphaRename(*Parsed, F);
+  return eliminateAssignments(Renamed, F);
+}
+
+Result<Program> pecomp::anfProgram(std::string_view Text, ExprFactory &F,
+                                   DatumFactory &DF) {
+  Result<Program> P = frontendProgram(Text, F, DF);
+  if (!P)
+    return P;
+  Program Anf = anfConvert(*P, F);
+  assert(!checkAnf(Anf) && "ANF conversion produced non-ANF output");
+  return Anf;
+}

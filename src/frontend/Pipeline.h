@@ -1,0 +1,35 @@
+//===- frontend/Pipeline.h - Front-end driver -------------------*- C++ -*-===//
+///
+/// \file
+/// Chains the front-end passes the paper's specializer applies to its input
+/// (Sec. 4): read, parse/desugar, alpha-rename, eliminate assignments. The
+/// result is pure Core Scheme; anfProgram additionally normalizes to ANF.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PECOMP_FRONTEND_PIPELINE_H
+#define PECOMP_FRONTEND_PIPELINE_H
+
+#include "support/Error.h"
+#include "syntax/Expr.h"
+
+#include <string_view>
+
+namespace pecomp {
+
+class DatumFactory;
+
+/// Parses \p Text and runs desugaring, alpha renaming, and assignment
+/// elimination. The result is assignment-free Core Scheme with unique
+/// local binders.
+Result<Program> frontendProgram(std::string_view Text, ExprFactory &F,
+                                DatumFactory &DF);
+
+/// frontendProgram followed by ANF conversion; asserts the result passes
+/// the ANF checker.
+Result<Program> anfProgram(std::string_view Text, ExprFactory &F,
+                           DatumFactory &DF);
+
+} // namespace pecomp
+
+#endif // PECOMP_FRONTEND_PIPELINE_H

@@ -1,0 +1,26 @@
+//===- pgg/CompilerGenerator.cpp - Generated compilers ---------------------===//
+
+#include "pgg/CompilerGenerator.h"
+
+using namespace pecomp;
+using namespace pecomp::pgg;
+
+Result<std::unique_ptr<GeneratedCompiler>>
+GeneratedCompiler::create(vm::Heap &H, std::string_view InterpreterSource,
+                          std::string_view Entry, PggOptions Opts) {
+  Result<std::unique_ptr<GeneratingExtension>> Gen =
+      GeneratingExtension::create(H, InterpreterSource, Entry, "SD",
+                                  std::move(Opts));
+  if (!Gen)
+    return Gen.takeError();
+  return std::unique_ptr<GeneratedCompiler>(
+      new GeneratedCompiler(std::move(*Gen), H));
+}
+
+Result<GeneratedCompiler::Unit> GeneratedCompiler::compile(vm::Value Program) {
+  std::optional<vm::Value> Args[] = {Program, std::nullopt};
+  Result<ResidualObject> Obj = Gen->generateObject(Comp, Args);
+  if (!Obj)
+    return Obj.takeError();
+  return Unit{std::move(Obj->Residual), Obj->Entry, Obj->Stats};
+}

@@ -1,0 +1,75 @@
+//===- pgg/CompilerGenerator.h - Generated compilers ------------*- C++ -*-===//
+///
+/// \file
+/// The paper's headline application (Sec. 1): "the automatic construction
+/// of true compilers: it maps a language description (an interpreter) to
+/// a compiler that directly generates low-level object code." This is the
+/// first Futamura projection packaged as an object: construct a
+/// GeneratedCompiler from an interpreter once (front end + BTA), then
+/// compile any number of programs of the interpreted language straight to
+/// byte code, all linkable into one machine.
+///
+/// \code
+///   auto CC = pgg::GeneratedCompiler::create(
+///       Heap, workloads::mixwellInterpreter(), "mixwell-run");
+///   auto Unit = (*CC)->compile(mixwellProgramValue);
+///   vm::Machine M(Heap);
+///   (*CC)->link(M, Unit->Module);
+///   auto R = compiler::callGlobal(M, (*CC)->globals(), Unit->Entry, {input});
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PECOMP_PGG_COMPILERGENERATOR_H
+#define PECOMP_PGG_COMPILERGENERATOR_H
+
+#include "pgg/Pgg.h"
+
+namespace pecomp {
+namespace pgg {
+
+/// A compiler generated from an interpreter. The interpreter's entry must
+/// take (program input): the program becomes static, the input dynamic.
+class GeneratedCompiler {
+public:
+  /// One compiled program of the interpreted language.
+  struct Unit {
+    compiler::CompiledProgram Module;
+    Symbol Entry; ///< takes the interpreter's dynamic input
+    spec::SpecStats Stats;
+  };
+
+  /// Builds the compiler: front end + BTA of \p InterpreterSource for
+  /// entry \p Entry under the division "SD".
+  static Result<std::unique_ptr<GeneratedCompiler>>
+  create(vm::Heap &H, std::string_view InterpreterSource,
+         std::string_view Entry, PggOptions Opts = {});
+
+  /// Compiles \p Program (a value of the interpreted language's program
+  /// representation) to byte code. May be called repeatedly; residual
+  /// names are globally fresh, so all units share this compiler's global
+  /// table and may be linked into one machine.
+  Result<Unit> compile(vm::Value Program);
+
+  /// Installs a unit's definitions into \p M.
+  void link(vm::Machine &M, const compiler::CompiledProgram &Module) {
+    compiler::linkProgram(M, Globals, Module);
+  }
+
+  vm::GlobalTable &globals() { return Globals; }
+  vm::Heap &heap() { return Gen->heap(); }
+
+private:
+  GeneratedCompiler(std::unique_ptr<GeneratingExtension> Gen, vm::Heap &H)
+      : Gen(std::move(Gen)), Store(H), Comp(Store, Globals) {}
+
+  std::unique_ptr<GeneratingExtension> Gen;
+  vm::CodeStore Store;
+  vm::GlobalTable Globals;
+  compiler::Compilators Comp;
+};
+
+} // namespace pgg
+} // namespace pecomp
+
+#endif // PECOMP_PGG_COMPILERGENERATOR_H

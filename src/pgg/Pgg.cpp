@@ -1,0 +1,92 @@
+//===- pgg/Pgg.cpp - Program-generator generator driver --------------------===//
+
+#include "pgg/Pgg.h"
+
+#include "frontend/Pipeline.h"
+#include "support/LargeStack.h"
+#include "syntax/AnfCheck.h"
+
+using namespace pecomp;
+using namespace pecomp::pgg;
+
+Result<std::vector<bta::BT>> pgg::parseDivision(std::string_view Mask) {
+  std::vector<bta::BT> Out;
+  for (char C : Mask) {
+    if (C == 'S' || C == 's')
+      Out.push_back(bta::BT::Static);
+    else if (C == 'D' || C == 'd')
+      Out.push_back(bta::BT::Dynamic);
+    else
+      return makeError(std::string("division must be over {S, D}, got '") +
+                       C + "'");
+  }
+  return Out;
+}
+
+Result<std::unique_ptr<GeneratingExtension>>
+GeneratingExtension::create(vm::Heap &H, std::string_view ProgramText,
+                            std::string_view Entry,
+                            std::string_view Division, PggOptions Opts) {
+  Result<std::vector<bta::BT>> Mask = parseDivision(Division);
+  if (!Mask)
+    return Mask.takeError();
+
+  std::unique_ptr<GeneratingExtension> G(new GeneratingExtension(H));
+  G->Opts = std::move(Opts);
+
+  Result<Program> Source = frontendProgram(ProgramText, G->Exprs, G->Datums);
+  if (!Source)
+    return Source.takeError();
+  G->Source = std::move(*Source);
+
+  Result<bta::AnnProgram> Ann =
+      bta::analyze(G->Source, Symbol::intern(Entry), *Mask, G->AstArena,
+                   G->Opts.Bta);
+  if (!Ann)
+    return Ann.takeError();
+  G->Ann = std::move(*Ann);
+  return G;
+}
+
+std::vector<bta::BT> GeneratingExtension::effectiveDivision() const {
+  const bta::AnnDefinition *Entry = Ann.find(Ann.Entry);
+  assert(Entry && "entry disappeared from the annotated program");
+  return Entry->ParamBTs;
+}
+
+Result<ResidualSource> GeneratingExtension::generateSource(
+    std::span<const std::optional<vm::Value>> Args) {
+  return generateSource(Args, Exprs, Datums);
+}
+
+Result<ResidualSource> GeneratingExtension::generateSource(
+    std::span<const std::optional<vm::Value>> Args, ExprFactory &OutExprs,
+    DatumFactory &OutDatums) {
+  // The CPS specializer's host-stack use grows with unfolding depth; run
+  // it on a dedicated large-stack thread (support/LargeStack.h).
+  return runOnLargeStack([&]() -> Result<ResidualSource> {
+    spec::SyntaxBuilder Builder(OutExprs, OutDatums);
+    spec::Specializer<spec::SyntaxBuilder> S(Builder, Ann, H, Opts.Spec);
+    Result<Symbol> Entry = S.specializeEntry(Args);
+    if (!Entry)
+      return Entry.takeError();
+    ResidualSource Out{Builder.takeProgram(), *Entry, S.stats()};
+    assert(!checkAnf(Out.Residual) &&
+           "the specializer must produce ANF residual programs");
+    return Out;
+  });
+}
+
+Result<ResidualObject> GeneratingExtension::generateObject(
+    compiler::Compilators &Comp,
+    std::span<const std::optional<vm::Value>> Args) {
+  return runOnLargeStack([&]() -> Result<ResidualObject> {
+    compiler::CodeGenBuilder Builder(Comp);
+    spec::Specializer<compiler::CodeGenBuilder> S(Builder, Ann, H,
+                                                  Opts.Spec);
+    Result<Symbol> Entry = S.specializeEntry(Args);
+    if (!Entry)
+      return Entry.takeError();
+    return ResidualObject{Builder.takeProgram(), *Entry, S.stats()};
+  });
+}

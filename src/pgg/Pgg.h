@@ -1,0 +1,113 @@
+//===- pgg/Pgg.h - Program-generator generator driver -----------*- C++ -*-===//
+///
+/// \file
+/// The user-facing PGG: builds generating extensions and runs them.
+///
+/// A GeneratingExtension packages the result of the "cogen" phase — front
+/// end + binding-time analysis of a program for one entry division (the
+/// BTA column of the paper's Fig. 8). Running it with static values
+/// produces the residual program, on either of the paper's two paths:
+///
+///   generateSource  — residual ANF *source* (the ordinary PGG),
+///   generateObject  — *object code* directly, via the fused
+///                     specializer × compiler (the paper's contribution).
+///
+/// Typical use (see examples/quickstart.cpp):
+///
+/// \code
+///   vm::Heap Heap;
+///   auto Gen = pgg::GeneratingExtension::create(Heap, Source, "power", "DS");
+///   auto Obj = (*Gen)->generateObject(Comp, {{std::nullopt,
+///                                             vm::Value::fixnum(5)}});
+///   // link Obj->Residual, call Obj->Entry with the dynamic arguments
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PECOMP_PGG_PGG_H
+#define PECOMP_PGG_PGG_H
+
+#include "bta/Bta.h"
+#include "compiler/CodeGenBuilder.h"
+#include "spec/Specializer.h"
+#include "spec/SyntaxBuilder.h"
+
+#include <memory>
+
+namespace pecomp {
+namespace pgg {
+
+struct PggOptions {
+  bta::BtaOptions Bta;
+  spec::SpecOptions Spec;
+};
+
+/// Parses "SD..."-style divisions: 'S'/'s' static, 'D'/'d' dynamic.
+Result<std::vector<bta::BT>> parseDivision(std::string_view Mask);
+
+/// Residual program in source form.
+struct ResidualSource {
+  Program Residual;
+  Symbol Entry;
+  spec::SpecStats Stats;
+};
+
+/// Residual program in object-code form.
+struct ResidualObject {
+  compiler::CompiledProgram Residual;
+  Symbol Entry;
+  spec::SpecStats Stats;
+};
+
+class GeneratingExtension {
+public:
+  /// Runs the front end and the BTA on \p ProgramText for \p Entry under
+  /// \p Division ("S"/"D" per parameter). \p H hosts all static values and
+  /// must outlive the extension and anything it generates.
+  static Result<std::unique_ptr<GeneratingExtension>>
+  create(vm::Heap &H, std::string_view ProgramText, std::string_view Entry,
+         std::string_view Division, PggOptions Opts = {});
+
+  /// Produces residual ANF source. \p Args: one slot per entry parameter;
+  /// engaged = static value, nullopt = stays a parameter.
+  Result<ResidualSource>
+  generateSource(std::span<const std::optional<vm::Value>> Args);
+
+  /// As above, but allocating residual syntax through caller-supplied
+  /// factories (benchmarks scope the residual program's memory per run).
+  Result<ResidualSource>
+  generateSource(std::span<const std::optional<vm::Value>> Args,
+                 ExprFactory &OutExprs, DatumFactory &OutDatums);
+
+  /// Produces object code directly through the fused builder, emitting
+  /// into \p Comp's code store / global table.
+  Result<ResidualObject>
+  generateObject(compiler::Compilators &Comp,
+                 std::span<const std::optional<vm::Value>> Args);
+
+  /// The analyzed two-level program (for inspection and tests).
+  const bta::AnnProgram &annotated() const { return Ann; }
+  /// The front-end output the BTA ran on.
+  const Program &source() const { return Source; }
+  /// The effective division of the entry parameters after analysis (the
+  /// BTA may promote declared-static parameters to dynamic via joins).
+  std::vector<bta::BT> effectiveDivision() const;
+
+  vm::Heap &heap() { return H; }
+
+private:
+  GeneratingExtension(vm::Heap &H) : H(H), Exprs(AstArena), Datums(AstArena) {}
+
+  vm::Heap &H;
+  Arena AstArena;
+  ExprFactory Exprs;
+  DatumFactory Datums;
+  Program Source;
+  bta::AnnProgram Ann;
+  PggOptions Opts;
+};
+
+} // namespace pgg
+} // namespace pecomp
+
+#endif // PECOMP_PGG_PGG_H

@@ -1,0 +1,61 @@
+//===- sexp/Datum.cpp - S-expression data ---------------------------------===//
+
+#include "sexp/Datum.h"
+
+using namespace pecomp;
+
+bool Datum::isList() const {
+  const Datum *D = this;
+  while (D->isPair())
+    D = cast<PairDatum>(D)->cdr();
+  return D->isNil();
+}
+
+bool Datum::equals(const Datum *Other) const {
+  if (this == Other)
+    return true;
+  if (K != Other->kind())
+    return false;
+  switch (K) {
+  case Kind::Fixnum:
+    return cast<FixnumDatum>(this)->value() ==
+           cast<FixnumDatum>(Other)->value();
+  case Kind::Boolean:
+    return cast<BooleanDatum>(this)->value() ==
+           cast<BooleanDatum>(Other)->value();
+  case Kind::Symbol:
+    return cast<SymbolDatum>(this)->symbol() ==
+           cast<SymbolDatum>(Other)->symbol();
+  case Kind::String:
+    return cast<StringDatum>(this)->value() ==
+           cast<StringDatum>(Other)->value();
+  case Kind::Char:
+    return cast<CharDatum>(this)->value() == cast<CharDatum>(Other)->value();
+  case Kind::Nil:
+    return true;
+  case Kind::Pair: {
+    const auto *A = cast<PairDatum>(this);
+    const auto *B = cast<PairDatum>(Other);
+    return A->car()->equals(B->car()) && A->cdr()->equals(B->cdr());
+  }
+  }
+  return false;
+}
+
+bool pecomp::listElements(const Datum *D, std::vector<const Datum *> &Out) {
+  while (D->isPair()) {
+    const auto *P = cast<PairDatum>(D);
+    Out.push_back(P->car());
+    D = P->cdr();
+  }
+  return D->isNil();
+}
+
+int pecomp::listLength(const Datum *D) {
+  int N = 0;
+  while (D->isPair()) {
+    ++N;
+    D = cast<PairDatum>(D)->cdr();
+  }
+  return D->isNil() ? N : -1;
+}

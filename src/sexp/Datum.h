@@ -1,0 +1,186 @@
+//===- sexp/Datum.h - S-expression data -------------------------*- C++ -*-===//
+///
+/// \file
+/// External representation of Scheme data: what the reader produces and what
+/// quoted constants denote. Datums are immutable and arena-allocated; a
+/// DatumFactory hash-conses atoms so equal atoms are pointer-equal.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PECOMP_SEXP_DATUM_H
+#define PECOMP_SEXP_DATUM_H
+
+#include "sexp/Symbol.h"
+#include "support/Arena.h"
+#include "support/Casting.h"
+#include "support/SourceLoc.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pecomp {
+
+/// Immutable s-expression node.
+class Datum {
+public:
+  enum class Kind : uint8_t {
+    Fixnum,
+    Boolean,
+    Symbol,
+    String,
+    Char,
+    Nil,   ///< the empty list ()
+    Pair,
+  };
+
+  Kind kind() const { return K; }
+  SourceLoc loc() const { return Loc; }
+  void setLoc(SourceLoc L) { Loc = L; }
+
+  bool isNil() const { return K == Kind::Nil; }
+  bool isPair() const { return K == Kind::Pair; }
+  bool isList() const;
+
+  /// Structural equality (Scheme equal?).
+  bool equals(const Datum *Other) const;
+
+  /// Renders the external representation (see sexp/Writer.cpp).
+  std::string write() const;
+
+protected:
+  explicit Datum(Kind K) : K(K) {}
+
+private:
+  Kind K;
+  SourceLoc Loc;
+};
+
+class FixnumDatum : public Datum {
+public:
+  explicit FixnumDatum(int64_t Value) : Datum(Kind::Fixnum), Value(Value) {}
+  int64_t value() const { return Value; }
+  static bool classof(const Datum *D) { return D->kind() == Kind::Fixnum; }
+
+private:
+  int64_t Value;
+};
+
+class BooleanDatum : public Datum {
+public:
+  explicit BooleanDatum(bool Value) : Datum(Kind::Boolean), Value(Value) {}
+  bool value() const { return Value; }
+  static bool classof(const Datum *D) { return D->kind() == Kind::Boolean; }
+
+private:
+  bool Value;
+};
+
+class SymbolDatum : public Datum {
+public:
+  explicit SymbolDatum(Symbol Sym) : Datum(Kind::Symbol), Sym(Sym) {}
+  Symbol symbol() const { return Sym; }
+  static bool classof(const Datum *D) { return D->kind() == Kind::Symbol; }
+
+private:
+  Symbol Sym;
+};
+
+class StringDatum : public Datum {
+public:
+  explicit StringDatum(std::string Value)
+      : Datum(Kind::String), Value(std::move(Value)) {}
+  const std::string &value() const { return Value; }
+  static bool classof(const Datum *D) { return D->kind() == Kind::String; }
+
+private:
+  std::string Value;
+};
+
+class CharDatum : public Datum {
+public:
+  explicit CharDatum(char Value) : Datum(Kind::Char), Value(Value) {}
+  char value() const { return Value; }
+  static bool classof(const Datum *D) { return D->kind() == Kind::Char; }
+
+private:
+  char Value;
+};
+
+class NilDatum : public Datum {
+public:
+  NilDatum() : Datum(Kind::Nil) {}
+  static bool classof(const Datum *D) { return D->kind() == Kind::Nil; }
+};
+
+class PairDatum : public Datum {
+public:
+  PairDatum(const Datum *Car, const Datum *Cdr)
+      : Datum(Kind::Pair), Car(Car), Cdr(Cdr) {}
+  const Datum *car() const { return Car; }
+  const Datum *cdr() const { return Cdr; }
+  static bool classof(const Datum *D) { return D->kind() == Kind::Pair; }
+
+private:
+  const Datum *Car;
+  const Datum *Cdr;
+};
+
+/// Allocates datums in an arena; the singleton nil and the two booleans are
+/// shared.
+class DatumFactory {
+public:
+  explicit DatumFactory(Arena &A) : A(A) {}
+
+  const Datum *fixnum(int64_t Value) { return A.create<FixnumDatum>(Value); }
+  const Datum *boolean(bool Value) {
+    if (!True) {
+      True = A.create<BooleanDatum>(true);
+      False = A.create<BooleanDatum>(false);
+    }
+    return Value ? True : False;
+  }
+  const Datum *symbol(Symbol Sym) { return A.create<SymbolDatum>(Sym); }
+  const Datum *symbol(std::string_view Name) {
+    return symbol(Symbol::intern(Name));
+  }
+  const Datum *string(std::string Value) {
+    return A.create<StringDatum>(std::move(Value));
+  }
+  const Datum *charDatum(char Value) { return A.create<CharDatum>(Value); }
+  const Datum *nil() {
+    if (!Nil)
+      Nil = A.create<NilDatum>();
+    return Nil;
+  }
+  const Datum *pair(const Datum *Car, const Datum *Cdr) {
+    return A.create<PairDatum>(Car, Cdr);
+  }
+
+  /// Builds a proper list from \p Elements.
+  const Datum *list(const std::vector<const Datum *> &Elements) {
+    const Datum *Acc = nil();
+    for (auto It = Elements.rbegin(), E = Elements.rend(); It != E; ++It)
+      Acc = pair(*It, Acc);
+    return Acc;
+  }
+
+  Arena &arena() { return A; }
+
+private:
+  Arena &A;
+  const Datum *True = nullptr;
+  const Datum *False = nullptr;
+  const Datum *Nil = nullptr;
+};
+
+/// Collects the elements of a proper list into a vector. Returns false (and
+/// leaves \p Out partially filled) if \p D is not a proper list.
+bool listElements(const Datum *D, std::vector<const Datum *> &Out);
+
+/// Length of a proper list, or -1 if \p D is improper.
+int listLength(const Datum *D);
+
+} // namespace pecomp
+
+#endif // PECOMP_SEXP_DATUM_H

@@ -1,0 +1,288 @@
+//===- sexp/Reader.cpp - S-expression reader ------------------------------===//
+
+#include "sexp/Reader.h"
+
+#include <cctype>
+
+using namespace pecomp;
+
+namespace {
+
+/// Character class of symbol constituents. Scheme identifiers are liberal;
+/// we accept everything except whitespace, parens, quote, and string/char
+/// introducers.
+bool isSymbolChar(char C) {
+  if (std::isspace(static_cast<unsigned char>(C)))
+    return false;
+  switch (C) {
+  case '(':
+  case ')':
+  case '\'':
+  case '"':
+  case ';':
+    return false;
+  default:
+    return true;
+  }
+}
+
+class Reader {
+public:
+  Reader(std::string_view Text, DatumFactory &Factory)
+      : Text(Text), Factory(Factory) {}
+
+  Result<const Datum *> readOne() {
+    skipAtmosphere();
+    if (atEnd())
+      return makeError("unexpected end of input", here());
+    return readDatum();
+  }
+
+  Result<std::vector<const Datum *>> readMany() {
+    std::vector<const Datum *> Out;
+    for (;;) {
+      skipAtmosphere();
+      if (atEnd())
+        return Out;
+      Result<const Datum *> D = readDatum();
+      if (!D)
+        return D.takeError();
+      Out.push_back(*D);
+    }
+  }
+
+  void skipAtmosphere() {
+    while (!atEnd()) {
+      char C = peek();
+      if (C == ';') {
+        while (!atEnd() && peek() != '\n')
+          advance();
+      } else if (std::isspace(static_cast<unsigned char>(C))) {
+        advance();
+      } else {
+        return;
+      }
+    }
+  }
+
+  bool atEnd() const { return Pos >= Text.size(); }
+
+private:
+  char peek() const { return Text[Pos]; }
+  char peekAt(size_t Offset) const {
+    return Pos + Offset < Text.size() ? Text[Pos + Offset] : '\0';
+  }
+
+  void advance() {
+    if (Text[Pos] == '\n') {
+      ++Line;
+      Column = 1;
+    } else {
+      ++Column;
+    }
+    ++Pos;
+  }
+
+  SourceLoc here() const { return SourceLoc(Line, Column); }
+
+  Result<const Datum *> readDatum() {
+    SourceLoc Loc = here();
+    char C = peek();
+
+    if (C == '(')
+      return readList(Loc);
+    if (C == ')')
+      return makeError("unexpected ')'", Loc);
+    if (C == '\'') {
+      advance();
+      skipAtmosphere();
+      if (atEnd())
+        return makeError("unexpected end of input after quote", here());
+      Result<const Datum *> Quoted = readDatum();
+      if (!Quoted)
+        return Quoted;
+      return located(Factory.list({Factory.symbol("quote"), *Quoted}), Loc);
+    }
+    if (C == '"')
+      return readString(Loc);
+    if (C == '#')
+      return readHash(Loc);
+    if (std::isdigit(static_cast<unsigned char>(C)) ||
+        ((C == '-' || C == '+') &&
+         std::isdigit(static_cast<unsigned char>(peekAt(1)))))
+      return readNumber(Loc);
+    if (isSymbolChar(C))
+      return readSymbol(Loc);
+    return makeError(std::string("unexpected character '") + C + "'", Loc);
+  }
+
+  Result<const Datum *> readList(SourceLoc Loc) {
+    advance(); // consume '('
+    std::vector<const Datum *> Elements;
+    const Datum *Tail = Factory.nil();
+    for (;;) {
+      skipAtmosphere();
+      if (atEnd())
+        return makeError("unterminated list", Loc);
+      if (peek() == ')') {
+        advance();
+        break;
+      }
+      // Dotted tail: "." followed by a delimiter.
+      if (peek() == '.' && !isSymbolChar(peekAt(1))) {
+        advance();
+        skipAtmosphere();
+        if (atEnd())
+          return makeError("unterminated dotted list", Loc);
+        Result<const Datum *> TailDatum = readDatum();
+        if (!TailDatum)
+          return TailDatum;
+        Tail = *TailDatum;
+        skipAtmosphere();
+        if (atEnd() || peek() != ')')
+          return makeError("expected ')' after dotted tail", here());
+        advance();
+        break;
+      }
+      Result<const Datum *> Element = readDatum();
+      if (!Element)
+        return Element;
+      Elements.push_back(*Element);
+    }
+    const Datum *Acc = Tail;
+    for (auto It = Elements.rbegin(), E = Elements.rend(); It != E; ++It)
+      Acc = Factory.pair(*It, Acc);
+    return located(Acc, Loc);
+  }
+
+  Result<const Datum *> readString(SourceLoc Loc) {
+    advance(); // consume '"'
+    std::string Value;
+    for (;;) {
+      if (atEnd())
+        return makeError("unterminated string", Loc);
+      char C = peek();
+      advance();
+      if (C == '"')
+        break;
+      if (C == '\\') {
+        if (atEnd())
+          return makeError("unterminated string escape", Loc);
+        char E = peek();
+        advance();
+        switch (E) {
+        case 'n':
+          Value.push_back('\n');
+          break;
+        case 't':
+          Value.push_back('\t');
+          break;
+        case '\\':
+          Value.push_back('\\');
+          break;
+        case '"':
+          Value.push_back('"');
+          break;
+        default:
+          return makeError(std::string("unknown string escape '\\") + E + "'",
+                           Loc);
+        }
+      } else {
+        Value.push_back(C);
+      }
+    }
+    return located(Factory.string(std::move(Value)), Loc);
+  }
+
+  Result<const Datum *> readHash(SourceLoc Loc) {
+    advance(); // consume '#'
+    if (atEnd())
+      return makeError("unexpected end of input after '#'", Loc);
+    char C = peek();
+    if (C == 't' || C == 'f') {
+      advance();
+      return located(Factory.boolean(C == 't'), Loc);
+    }
+    if (C == '\\') {
+      advance();
+      if (atEnd())
+        return makeError("unexpected end of input in character literal", Loc);
+      // Read the run of symbol characters; single char or a named char.
+      std::string Name;
+      Name.push_back(peek());
+      advance();
+      while (!atEnd() && isSymbolChar(peek()) && peek() != '.') {
+        Name.push_back(peek());
+        advance();
+      }
+      if (Name.size() == 1)
+        return located(Factory.charDatum(Name[0]), Loc);
+      if (Name == "space")
+        return located(Factory.charDatum(' '), Loc);
+      if (Name == "newline")
+        return located(Factory.charDatum('\n'), Loc);
+      if (Name == "tab")
+        return located(Factory.charDatum('\t'), Loc);
+      return makeError("unknown character name '" + Name + "'", Loc);
+    }
+    return makeError(std::string("unknown '#' syntax '#") + C + "'", Loc);
+  }
+
+  Result<const Datum *> readNumber(SourceLoc Loc) {
+    bool Negative = false;
+    if (peek() == '-' || peek() == '+') {
+      Negative = peek() == '-';
+      advance();
+    }
+    int64_t Value = 0;
+    while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek()))) {
+      Value = Value * 10 + (peek() - '0');
+      advance();
+    }
+    if (!atEnd() && isSymbolChar(peek()))
+      return makeError("malformed number", Loc);
+    return located(Factory.fixnum(Negative ? -Value : Value), Loc);
+  }
+
+  Result<const Datum *> readSymbol(SourceLoc Loc) {
+    std::string Name;
+    while (!atEnd() && isSymbolChar(peek())) {
+      Name.push_back(peek());
+      advance();
+    }
+    return located(Factory.symbol(Name), Loc);
+  }
+
+  const Datum *located(const Datum *D, SourceLoc Loc) {
+    // Atoms may be shared (booleans, nil); only stamp fresh nodes.
+    if (!D->loc().isValid())
+      const_cast<Datum *>(D)->setLoc(Loc);
+    return D;
+  }
+
+  std::string_view Text;
+  DatumFactory &Factory;
+  size_t Pos = 0;
+  uint32_t Line = 1;
+  uint32_t Column = 1;
+};
+
+} // namespace
+
+Result<const Datum *> pecomp::readDatum(std::string_view Text,
+                                        DatumFactory &Factory) {
+  Reader R(Text, Factory);
+  Result<const Datum *> D = R.readOne();
+  if (!D)
+    return D;
+  R.skipAtmosphere();
+  if (!R.atEnd())
+    return makeError("trailing input after datum");
+  return D;
+}
+
+Result<std::vector<const Datum *>> pecomp::readAll(std::string_view Text,
+                                                   DatumFactory &Factory) {
+  Reader R(Text, Factory);
+  return R.readMany();
+}

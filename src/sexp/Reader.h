@@ -1,0 +1,31 @@
+//===- sexp/Reader.h - S-expression reader ----------------------*- C++ -*-===//
+///
+/// \file
+/// Parses the external representation into Datums. Supports fixnums,
+/// booleans (#t/#f), characters (#\x, #\space, #\newline), strings with
+/// escapes, symbols, proper and dotted lists, quote ('d reads as (quote d)),
+/// and ;-to-end-of-line comments.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PECOMP_SEXP_READER_H
+#define PECOMP_SEXP_READER_H
+
+#include "sexp/Datum.h"
+#include "support/Error.h"
+
+#include <string_view>
+#include <vector>
+
+namespace pecomp {
+
+/// Reads a single datum from \p Text (trailing input is an error).
+Result<const Datum *> readDatum(std::string_view Text, DatumFactory &Factory);
+
+/// Reads all datums in \p Text (e.g. a file of top-level definitions).
+Result<std::vector<const Datum *>> readAll(std::string_view Text,
+                                           DatumFactory &Factory);
+
+} // namespace pecomp
+
+#endif // PECOMP_SEXP_READER_H

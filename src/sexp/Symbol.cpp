@@ -1,0 +1,54 @@
+//===- sexp/Symbol.cpp - Interned symbols ---------------------------------===//
+
+#include "sexp/Symbol.h"
+
+#include <cassert>
+#include <deque>
+#include <unordered_map>
+
+using namespace pecomp;
+
+namespace {
+
+/// The process-wide intern table. Id 0 is reserved for the invalid Symbol.
+struct InternTable {
+  std::unordered_map<std::string, uint32_t> Ids;
+  std::deque<std::string> Names; // index Id-1
+  uint64_t FreshCounter = 0;
+
+  uint32_t intern(std::string_view Name) {
+    auto It = Ids.find(std::string(Name));
+    if (It != Ids.end())
+      return It->second;
+    Names.emplace_back(Name);
+    uint32_t Id = static_cast<uint32_t>(Names.size());
+    Ids.emplace(Names.back(), Id);
+    return Id;
+  }
+};
+
+InternTable &table() {
+  static InternTable Table;
+  return Table;
+}
+
+} // namespace
+
+Symbol Symbol::intern(std::string_view Name) {
+  return Symbol(table().intern(Name));
+}
+
+Symbol Symbol::fresh(std::string_view Base) {
+  InternTable &T = table();
+  for (;;) {
+    std::string Candidate =
+        std::string(Base) + "." + std::to_string(++T.FreshCounter);
+    if (!T.Ids.count(Candidate))
+      return Symbol(T.intern(Candidate));
+  }
+}
+
+const std::string &Symbol::str() const {
+  assert(isValid() && "str() on the invalid symbol");
+  return table().Names[Id - 1];
+}

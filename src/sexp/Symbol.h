@@ -1,0 +1,57 @@
+//===- sexp/Symbol.h - Interned symbols -------------------------*- C++ -*-===//
+///
+/// \file
+/// Interned identifiers. A Symbol is a 32-bit handle into a process-wide
+/// intern table, so symbol comparison is integer comparison — the property
+/// every pass (alpha renaming, environments, BTA constraint keys) relies on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PECOMP_SEXP_SYMBOL_H
+#define PECOMP_SEXP_SYMBOL_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace pecomp {
+
+class Symbol {
+public:
+  Symbol() = default;
+
+  /// Interns \p Name, returning its canonical Symbol.
+  static Symbol intern(std::string_view Name);
+
+  /// Makes a fresh symbol "<Base>.N" guaranteed distinct from every symbol
+  /// interned so far. Used for gensym in alpha renaming and let insertion.
+  static Symbol fresh(std::string_view Base);
+
+  /// Rebuilds a Symbol from a previously obtained id() (e.g. one packed
+  /// into an immediate vm::Value). \p Id must come from a live Symbol.
+  static Symbol fromId(uint32_t Id) { return Symbol(Id); }
+
+  const std::string &str() const;
+
+  bool isValid() const { return Id != 0; }
+  uint32_t id() const { return Id; }
+
+  friend bool operator==(Symbol A, Symbol B) { return A.Id == B.Id; }
+  friend bool operator!=(Symbol A, Symbol B) { return A.Id != B.Id; }
+  friend bool operator<(Symbol A, Symbol B) { return A.Id < B.Id; }
+
+private:
+  explicit Symbol(uint32_t Id) : Id(Id) {}
+  uint32_t Id = 0;
+};
+
+} // namespace pecomp
+
+namespace std {
+template <> struct hash<pecomp::Symbol> {
+  size_t operator()(pecomp::Symbol S) const { return S.id(); }
+};
+} // namespace std
+
+#endif // PECOMP_SEXP_SYMBOL_H

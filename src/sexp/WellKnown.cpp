@@ -1,0 +1,40 @@
+//===- sexp/WellKnown.cpp - Shared well-known datums ----------------------===//
+
+#include "sexp/WellKnown.h"
+
+#include <array>
+
+using namespace pecomp;
+
+DatumFactory &wellknown::factory() {
+  static Arena PersistentArena;
+  static DatumFactory Factory(PersistentArena);
+  return Factory;
+}
+
+const Datum *wellknown::nil() {
+  static const Datum *Nil = factory().nil();
+  return Nil;
+}
+
+const Datum *wellknown::trueDatum() {
+  static const Datum *True = factory().boolean(true);
+  return True;
+}
+
+const Datum *wellknown::falseDatum() {
+  static const Datum *False = factory().boolean(false);
+  return False;
+}
+
+const Datum *wellknown::fixnum(int64_t Value) {
+  static constexpr int64_t CacheMin = -16, CacheMax = 256;
+  static std::array<const Datum *, CacheMax - CacheMin + 1> Cache = {};
+  if (Value >= CacheMin && Value <= CacheMax) {
+    const Datum *&Slot = Cache[static_cast<size_t>(Value - CacheMin)];
+    if (!Slot)
+      Slot = factory().fixnum(Value);
+    return Slot;
+  }
+  return factory().fixnum(Value);
+}

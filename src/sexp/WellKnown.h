@@ -1,0 +1,32 @@
+//===- sexp/WellKnown.h - Shared well-known datums --------------*- C++ -*-===//
+///
+/// \file
+/// Process-lifetime singleton datums (nil, #t, #f, small fixnums) for code
+/// that needs a constant datum without owning a DatumFactory — desugaring
+/// expansions, specializer-produced constants, and tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PECOMP_SEXP_WELLKNOWN_H
+#define PECOMP_SEXP_WELLKNOWN_H
+
+#include "sexp/Datum.h"
+
+namespace pecomp {
+namespace wellknown {
+
+/// The shared empty list.
+const Datum *nil();
+/// The shared booleans.
+const Datum *trueDatum();
+const Datum *falseDatum();
+/// A shared fixnum (cached for small values).
+const Datum *fixnum(int64_t Value);
+/// A datum factory whose arena lives for the whole process; for interned
+/// constant structures (error messages, desugaring helpers).
+DatumFactory &factory();
+
+} // namespace wellknown
+} // namespace pecomp
+
+#endif // PECOMP_SEXP_WELLKNOWN_H

@@ -1,0 +1,92 @@
+//===- sexp/Writer.cpp - S-expression writer ------------------------------===//
+///
+/// \file
+/// Renders Datums back to their external representation (Datum::write).
+///
+//===----------------------------------------------------------------------===//
+
+#include "sexp/Datum.h"
+
+using namespace pecomp;
+
+namespace {
+
+void writeDatum(const Datum *D, std::string &Out) {
+  switch (D->kind()) {
+  case Datum::Kind::Fixnum:
+    Out += std::to_string(cast<FixnumDatum>(D)->value());
+    return;
+  case Datum::Kind::Boolean:
+    Out += cast<BooleanDatum>(D)->value() ? "#t" : "#f";
+    return;
+  case Datum::Kind::Symbol:
+    Out += cast<SymbolDatum>(D)->symbol().str();
+    return;
+  case Datum::Kind::String: {
+    Out.push_back('"');
+    for (char C : cast<StringDatum>(D)->value()) {
+      switch (C) {
+      case '"':
+        Out += "\\\"";
+        break;
+      case '\\':
+        Out += "\\\\";
+        break;
+      case '\n':
+        Out += "\\n";
+        break;
+      case '\t':
+        Out += "\\t";
+        break;
+      default:
+        Out.push_back(C);
+      }
+    }
+    Out.push_back('"');
+    return;
+  }
+  case Datum::Kind::Char: {
+    char C = cast<CharDatum>(D)->value();
+    Out += "#\\";
+    if (C == ' ')
+      Out += "space";
+    else if (C == '\n')
+      Out += "newline";
+    else if (C == '\t')
+      Out += "tab";
+    else
+      Out.push_back(C);
+    return;
+  }
+  case Datum::Kind::Nil:
+    Out += "()";
+    return;
+  case Datum::Kind::Pair: {
+    Out.push_back('(');
+    const Datum *Cursor = D;
+    bool First = true;
+    while (Cursor->isPair()) {
+      if (!First)
+        Out.push_back(' ');
+      First = false;
+      const auto *P = cast<PairDatum>(Cursor);
+      writeDatum(P->car(), Out);
+      Cursor = P->cdr();
+    }
+    if (!Cursor->isNil()) {
+      Out += " . ";
+      writeDatum(Cursor, Out);
+    }
+    Out.push_back(')');
+    return;
+  }
+  }
+}
+
+} // namespace
+
+std::string Datum::write() const {
+  std::string Out;
+  writeDatum(this, Out);
+  return Out;
+}

@@ -1,0 +1,533 @@
+//===- spec/Specializer.h - Continuation-based specializer ------*- C++ -*-===//
+///
+/// \file
+/// The specialization phase of the offline partial evaluator, following
+/// the paper's Fig. 3: a continuation-based specializer over annotated
+/// Core Scheme that emits residual code in A-normal form. Every serious
+/// residual computation (call or primitive) is let-bound to a fresh
+/// variable before the continuation proceeds — the let insertion that
+/// makes ANF "the natural target language of the PGG" (Sec. 4).
+///
+/// The specializer is a catamorphism parameterized over a residual-code
+/// builder B (Sec. 5's parameterized ev-X family):
+///
+///   - spec::SyntaxBuilder      residual ANF source (ordinary PE)
+///   - compiler::CodeGenBuilder object code directly (the fused system)
+///
+/// Memoization (Sec. 4 calls it standard and omits it): calls annotated
+/// Memo are specialization points. The callee is specialized with respect
+/// to the values of its static-signature arguments, memoized on
+/// (function, static values) so each variant is generated once; recursive
+/// encounters of a pending key emit a residual call to the (not yet
+/// finished) residual function, which is what makes loops in the residual
+/// program.
+///
+/// Dynamic conditionals duplicate the continuation into both branches,
+/// exactly as in Fig. 3's ev-dif rule.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PECOMP_SPEC_SPECIALIZER_H
+#define PECOMP_SPEC_SPECIALIZER_H
+
+#include "bta/AnnExpr.h"
+#include "support/Casting.h"
+#include "support/Error.h"
+#include "vm/Convert.h"
+#include "vm/Prims.h"
+
+#include <functional>
+#include <unordered_map>
+
+namespace pecomp {
+namespace spec {
+
+/// Statistics exposed for the experiment harnesses.
+struct SpecStats {
+  size_t UnfoldedCalls = 0;
+  size_t MemoizedCalls = 0;
+  size_t ResidualFunctions = 0;
+  size_t StaticPrims = 0;
+  size_t ResidualPrims = 0;
+};
+
+struct SpecOptions {
+  /// Maximum nesting of unfolded calls; exceeding it aborts specialization
+  /// (the classic PE-termination safety net). Each unfolding level
+  /// occupies several host stack frames (the specializer is written in
+  /// continuation-passing style); the default is calibrated against the
+  /// large specializer stack the PGG driver provides
+  /// (support/LargeStack.h). Callers invoking the Specializer directly on
+  /// an ordinary 8 MiB thread should lower this to ~800.
+  uint32_t MaxUnfoldDepth = 50000;
+  /// Maximum number of residual functions; exceeding it aborts — the
+  /// other face of PE nontermination, where a static value evolves under
+  /// dynamic control and every memo key is new.
+  size_t MaxResidualFunctions = 20000;
+  /// Maximum nesting of in-progress memo specializations (they occupy the
+  /// host stack while their bodies specialize; same calibration as
+  /// MaxUnfoldDepth).
+  uint32_t MaxMemoDepth = 10000;
+};
+
+template <typename B> class Specializer {
+public:
+  using Code = typename B::Code;
+
+  Specializer(B &Builder, const bta::AnnProgram &P, vm::Heap &H,
+              SpecOptions Opts = {})
+      : Builder(Builder), P(P), H(H), Opts(Opts), Roots(H) {}
+
+  /// Specializes the entry function. \p Args has one entry per parameter:
+  /// an engaged value makes the parameter static, nullopt leaves it
+  /// dynamic (a parameter of the residual function). Parameters the BTA
+  /// classified static must receive values. Returns the residual entry
+  /// function's name; the builder holds the residual program.
+  Result<Symbol> specializeEntry(std::span<const std::optional<vm::Value>> Args) {
+    const bta::AnnDefinition *Entry = P.find(P.Entry);
+    assert(Entry && "BTA guaranteed the entry exists");
+    if (Args.size() != Entry->Params.size())
+      return makeError("expected " + std::to_string(Entry->Params.size()) +
+                       " entry argument slot(s), got " +
+                       std::to_string(Args.size()));
+
+    // The common case — static values exactly for the static signature —
+    // goes through the memo table, so recursive calls back to the entry
+    // share this very specialization.
+    bool MatchesSignature = true;
+    for (size_t I = 0; I != Args.size(); ++I) {
+      bool WantStatic = Entry->ParamBTs[I] == bta::BT::Static;
+      if (WantStatic && !Args[I])
+        return makeError("parameter '" + Entry->Params[I].str() +
+                         "' is static in the division but no value was "
+                         "supplied");
+      if (!WantStatic && Args[I])
+        MatchesSignature = false; // promotion of a dynamic parameter
+    }
+
+    Symbol Name;
+    if (MatchesSignature) {
+      std::vector<vm::Value> StaticVals;
+      for (const auto &Arg : Args)
+        if (Arg)
+          StaticVals.push_back(Roots.protect(*Arg));
+      Name = memoFunction(Entry, std::move(StaticVals));
+    } else {
+      Name = freshName(Entry->Name);
+      Env E = nullptr;
+      std::vector<Symbol> DynParams;
+      for (size_t I = 0; I != Args.size(); ++I) {
+        if (Args[I]) {
+          E = bind(E, Entry->Params[I], staticValue(Roots.protect(*Args[I])));
+        } else {
+          Symbol Fresh = Symbol::fresh(Entry->Params[I].str());
+          DynParams.push_back(Fresh);
+          E = bind(E, Entry->Params[I], dynValue(Builder.variable(Fresh)));
+        }
+      }
+      Code Body = specTail(Entry->Body, E);
+      if (!Err)
+        Builder.define(Name, DynParams, Body);
+      ++Stats.ResidualFunctions;
+    }
+
+    if (Err)
+      return *Err;
+    return Name;
+  }
+
+  const SpecStats &stats() const { return Stats; }
+
+private:
+  // -- Specialization-time values ---------------------------------------------
+
+  /// A value at specialization time: a static (ordinary runtime) value or
+  /// a piece of residual code. Dynamic codes held here are always trivial
+  /// (a variable, constant, or lambda) because serious residual code is
+  /// let-bound on creation.
+  struct SValue {
+    bool IsStatic;
+    vm::Value S;
+    Code D;
+  };
+
+  static SValue staticValue(vm::Value V) { return {true, V, Code()}; }
+  static SValue dynValue(Code C) { return {false, vm::Value(), std::move(C)}; }
+
+  /// Coerces to residual code, lifting static values. The paper's `lift`
+  /// is explicit in the annotations; this also covers values that became
+  /// static through entry-parameter promotion.
+  Code toCode(const SValue &V) {
+    if (!V.IsStatic)
+      return V.D;
+    if (V.S.isObject() && (isa<vm::ClosureObject>(V.S.asObject()) ||
+                           isa<vm::InterpClosureObject>(V.S.asObject()) ||
+                           isa<vm::BoxObject>(V.S.asObject()))) {
+      fail("cannot lift a procedure or box into residual code");
+      return Builder.constant(vm::Value::nil());
+    }
+    return Builder.constant(V.S);
+  }
+
+  // -- Environments (persistent) -----------------------------------------------
+
+  struct EnvNode {
+    Symbol Name;
+    SValue V;
+    const EnvNode *Parent;
+  };
+  using Env = const EnvNode *;
+
+  Env bind(Env E, Symbol Name, SValue V) {
+    return EnvArena.create<EnvNode>(EnvNode{Name, std::move(V), E});
+  }
+
+  const SValue *lookup(Env E, Symbol Name) const {
+    for (; E; E = E->Parent)
+      if (E->Name == Name)
+        return &E->V;
+    return nullptr;
+  }
+
+  // -- Error handling -----------------------------------------------------------
+
+  Code fail(std::string Message) {
+    if (!Err)
+      Err = Error(std::move(Message));
+    return Builder.constant(vm::Value::nil());
+  }
+
+  // -- The specializer proper ----------------------------------------------------
+
+  using K = std::function<Code(const SValue &)>;
+
+  /// Final continuation: the expression's value becomes the residual body.
+  Code specTail(const bta::AnnExpr *E, Env Rho) {
+    return spec(E, Rho, [this](const SValue &V) { return toCode(V); });
+  }
+
+  Code spec(const bta::AnnExpr *E, Env Rho, const K &Kont) {
+    if (Err)
+      return Builder.constant(vm::Value::nil());
+
+    using bta::AnnExpr;
+    switch (E->kind()) {
+    case AnnExpr::Kind::Const: {
+      vm::Value V =
+          Roots.protect(vm::valueFromDatum(H, cast<bta::AConst>(E)->value()));
+      return Kont(staticValue(V));
+    }
+    case AnnExpr::Kind::Var: {
+      Symbol Name = cast<bta::AVar>(E)->name();
+      const SValue *V = lookup(Rho, Name);
+      if (!V)
+        return fail("internal: unbound variable '" + Name.str() +
+                    "' during specialization");
+      return Kont(*V);
+    }
+    case AnnExpr::Kind::Lift:
+      return spec(cast<bta::ALift>(E)->body(), Rho,
+                  [this, &Kont](const SValue &V) {
+                    return Kont(dynValue(toCode(V)));
+                  });
+    case AnnExpr::Kind::DLambda: {
+      const auto *L = cast<bta::ADLambda>(E);
+      std::vector<Symbol> Fresh;
+      Env Inner = Rho;
+      for (Symbol Param : L->params()) {
+        Symbol FreshParam = Symbol::fresh(Param.str());
+        Fresh.push_back(FreshParam);
+        Inner = bind(Inner, Param, dynValue(Builder.variable(FreshParam)));
+      }
+      Code Body = specTail(L->body(), Inner);
+      return Kont(dynValue(Builder.lambda(std::move(Fresh), Body)));
+    }
+    case AnnExpr::Kind::SLet:
+    case AnnExpr::Kind::DLet: {
+      // Fig. 3: S[(let (x E1) E2)] = λk. S[E1](λy. S[E2]ρ[y/x] k).
+      // Serious dynamic initializers were already let-bound by the time y
+      // arrives, so no residual let is needed here.
+      const auto *L = cast<bta::ALetBase>(E);
+      return spec(L->init(), Rho, [this, L, Rho, &Kont](const SValue &V) {
+        return spec(L->body(), bind(Rho, L->name(), V), Kont);
+      });
+    }
+    case AnnExpr::Kind::SIf: {
+      const auto *I = cast<bta::ASIf>(E);
+      return spec(I->test(), Rho, [this, I, Rho, &Kont](const SValue &V) {
+        if (!V.IsStatic)
+          return fail("internal: dynamic value in a static conditional");
+        return V.S.isTruthy() ? spec(I->thenBranch(), Rho, Kont)
+                              : spec(I->elseBranch(), Rho, Kont);
+      });
+    }
+    case AnnExpr::Kind::DIf: {
+      // ev-dif: the continuation is duplicated into both branches.
+      const auto *I = cast<bta::ADIf>(E);
+      return spec(I->test(), Rho, [this, I, Rho, &Kont](const SValue &V) {
+        Code Test = toCode(V);
+        Code Then = spec(I->thenBranch(), Rho, Kont);
+        Code Else = spec(I->elseBranch(), Rho, Kont);
+        return Builder.ifExpr(std::move(Test), std::move(Then),
+                              std::move(Else));
+      });
+    }
+    case AnnExpr::Kind::Beta: {
+      const auto *Beta = cast<bta::ABeta>(E);
+      return specArgs(Beta->args(), Rho, [this, Beta, Rho, &Kont](
+                                             std::vector<SValue> Args) {
+        Env Inner = Rho;
+        for (size_t I = 0; I != Args.size(); ++I)
+          Inner = bind(Inner, Beta->params()[I], std::move(Args[I]));
+        return spec(Beta->body(), Inner, Kont);
+      });
+    }
+    case AnnExpr::Kind::Unfold: {
+      const auto *Call = cast<bta::AUnfold>(E);
+      const bta::AnnDefinition *Callee = P.find(Call->callee());
+      assert(Callee && "BTA resolved the callee");
+      return specArgs(Call->args(), Rho, [this, Callee, &Kont](
+                                             std::vector<SValue> Args) {
+        if (Depth >= Opts.MaxUnfoldDepth)
+          return fail("unfolding depth limit exceeded in '" +
+                      Callee->Name.str() +
+                      "'; probable static loop — mark the function as a "
+                      "specialization point (ForceMemo)");
+        ++Stats.UnfoldedCalls;
+        ++Depth;
+        Env Inner = nullptr; // function bodies see only their parameters
+        for (size_t I = 0; I != Args.size(); ++I)
+          Inner = bind(Inner, Callee->Params[I], std::move(Args[I]));
+        Code Out = spec(Callee->Body, Inner, Kont);
+        --Depth;
+        return Out;
+      });
+    }
+    case AnnExpr::Kind::Memo: {
+      const auto *Call = cast<bta::AMemo>(E);
+      const bta::AnnDefinition *Callee = P.find(Call->callee());
+      assert(Callee && "BTA resolved the callee");
+      return specArgs(Call->args(), Rho, [this, Callee, &Kont](
+                                             std::vector<SValue> Args) {
+        ++Stats.MemoizedCalls;
+        std::vector<vm::Value> StaticVals;
+        std::vector<Code> DynArgs;
+        for (size_t I = 0; I != Args.size(); ++I) {
+          if (Callee->ParamBTs[I] == bta::BT::Static) {
+            if (!Args[I].IsStatic)
+              return fail("internal: dynamic argument for static parameter "
+                          "of '" +
+                          Callee->Name.str() + "'");
+            StaticVals.push_back(Args[I].S);
+          } else {
+            DynArgs.push_back(toCode(Args[I]));
+          }
+        }
+        Symbol Target = memoFunction(Callee, std::move(StaticVals));
+        return seriousBind(
+            Builder.call(Builder.variable(Target), std::move(DynArgs)),
+            Kont);
+      });
+    }
+    case AnnExpr::Kind::DApp: {
+      const auto *App = cast<bta::ADApp>(E);
+      return spec(App->callee(), Rho, [this, App, Rho, &Kont](
+                                          const SValue &CalleeV) {
+        Code Callee = toCode(CalleeV);
+        return specArgs(App->args(), Rho,
+                        [this, Callee = std::move(Callee),
+                         &Kont](std::vector<SValue> Args) {
+                          std::vector<Code> ArgCodes;
+                          for (SValue &Arg : Args)
+                            ArgCodes.push_back(toCode(Arg));
+                          return seriousBind(
+                              Builder.call(Callee, std::move(ArgCodes)),
+                              Kont);
+                        });
+      });
+    }
+    case AnnExpr::Kind::SPrim: {
+      const auto *Prim = cast<bta::ASPrim>(E);
+      return specArgs(Prim->args(), Rho, [this, Prim, &Kont](
+                                             std::vector<SValue> Args) {
+        std::vector<vm::Value> Vals;
+        for (const SValue &Arg : Args) {
+          if (!Arg.IsStatic)
+            return fail("internal: dynamic argument to a static primitive");
+          Vals.push_back(Arg.S);
+        }
+        Result<vm::Value> R = vm::applyPrim(Prim->op(), H, Vals);
+        if (!R)
+          return fail("specialization-time primitive failed: " +
+                      R.error().message());
+        ++Stats.StaticPrims;
+        return Kont(staticValue(Roots.protect(*R)));
+      });
+    }
+    case AnnExpr::Kind::DPrim: {
+      const auto *Prim = cast<bta::ADPrim>(E);
+      return specArgs(Prim->args(), Rho, [this, Prim, &Kont](
+                                             std::vector<SValue> Args) {
+        std::vector<Code> ArgCodes;
+        for (SValue &Arg : Args)
+          ArgCodes.push_back(toCode(Arg));
+        ++Stats.ResidualPrims;
+        return seriousBind(Builder.primApp(Prim->op(), std::move(ArgCodes)),
+                           Kont);
+      });
+    }
+    }
+    return fail("internal: unknown annotated expression");
+  }
+
+  /// The let insertion of Fig. 3: wraps serious residual code in a let
+  /// binding a fresh variable, which is what the continuation sees. (The
+  /// builders collapse (let (t I) t) back to I in tail position.)
+  Code seriousBind(Code Serious, const K &Kont) {
+    Symbol T = Symbol::fresh("t");
+    Code Rest = Kont(dynValue(Builder.variable(T)));
+    return Builder.let(T, std::move(Serious), std::move(Rest));
+  }
+
+  /// CPS left-to-right evaluation of argument lists.
+  Code specArgs(const std::vector<const bta::AnnExpr *> &Args, Env Rho,
+                const std::function<Code(std::vector<SValue>)> &Done) {
+    std::vector<SValue> Acc;
+    return specArgsFrom(Args, 0, Rho, std::move(Acc), Done);
+  }
+
+  Code specArgsFrom(const std::vector<const bta::AnnExpr *> &Args,
+                    size_t Index, Env Rho, std::vector<SValue> Acc,
+                    const std::function<Code(std::vector<SValue>)> &Done) {
+    if (Index == Args.size())
+      return Done(std::move(Acc));
+    // NOTE: continuations must be re-runnable — a dynamic conditional in
+    // Args[Index] invokes this continuation once per branch — so the
+    // accumulator is copied, never moved out of the closure.
+    return spec(Args[Index], Rho,
+                [this, &Args, Index, Rho, Acc = std::move(Acc),
+                 &Done](const SValue &V) {
+                  std::vector<SValue> Next = Acc;
+                  Next.push_back(V);
+                  return specArgsFrom(Args, Index + 1, Rho, std::move(Next),
+                                      Done);
+                });
+  }
+
+  // -- Memoization -----------------------------------------------------------
+
+  struct MemoKey {
+    Symbol Fn;
+    std::vector<vm::Value> StaticArgs;
+
+    bool operator==(const MemoKey &O) const {
+      if (Fn != O.Fn || StaticArgs.size() != O.StaticArgs.size())
+        return false;
+      for (size_t I = 0; I != StaticArgs.size(); ++I)
+        if (!vm::valueEquals(StaticArgs[I], O.StaticArgs[I]))
+          return false;
+      return true;
+    }
+  };
+
+  /// Hashes memo keys. Static values are immutable, so structural hashes
+  /// are cached by object identity: without this, every memo call re-walks
+  /// the entire static input (e.g. the whole interpreted program), making
+  /// specialization quadratic in program size.
+  struct MemoKeyHash {
+    Specializer *S;
+    size_t operator()(const MemoKey &K) const {
+      uint64_t H = K.Fn.id() * 0x9e3779b97f4a7c15ull;
+      for (vm::Value V : K.StaticArgs)
+        H = (H ^ S->cachedHash(V)) * 0x100000001b3ull;
+      return static_cast<size_t>(H);
+    }
+  };
+
+  uint64_t cachedHash(vm::Value V) {
+    if (!V.isObject())
+      return vm::valueHash(V);
+    auto It = HashCache.find(V.raw());
+    if (It != HashCache.end())
+      return It->second;
+    uint64_t H = vm::valueHash(V);
+    HashCache.emplace(V.raw(), H);
+    return H;
+  }
+
+  /// Names a residual function. Globally fresh so that several
+  /// specializations (e.g. a generated compiler run on many programs) can
+  /// be linked into one machine without global-name collisions; code
+  /// equality across builder runs depends only on the order of global
+  /// slot allocation, never on the names.
+  Symbol freshName(Symbol Base) {
+    return Symbol::fresh(Base.str() + "_" + std::to_string(++NameCounter));
+  }
+
+  /// Returns the residual function for (Fn, StaticVals), specializing the
+  /// body the first time the key is seen. Registering the name before
+  /// specializing the body ties recursive knots.
+  Symbol memoFunction(const bta::AnnDefinition *D,
+                      std::vector<vm::Value> StaticVals) {
+    MemoKey Key{D->Name, std::move(StaticVals)};
+    auto It = Memo.find(Key);
+    if (It != Memo.end())
+      return It->second;
+
+    if (Memo.size() >= Opts.MaxResidualFunctions) {
+      fail("residual function limit exceeded while specializing '" +
+           D->Name.str() +
+           "'; probable unbounded static data under dynamic control");
+      return Symbol::intern("$aborted");
+    }
+    if (MemoDepth >= Opts.MaxMemoDepth) {
+      fail("memo nesting limit exceeded while specializing '" +
+           D->Name.str() +
+           "'; probable unbounded static data under dynamic control");
+      return Symbol::intern("$aborted");
+    }
+
+    Symbol Name = freshName(D->Name);
+    Memo.emplace(Key, Name);
+    ++MemoDepth;
+
+    Env E = nullptr;
+    std::vector<Symbol> DynParams;
+    size_t StaticIndex = 0;
+    for (size_t I = 0; I != D->Params.size(); ++I) {
+      if (D->ParamBTs[I] == bta::BT::Static) {
+        E = bind(E, D->Params[I], staticValue(Key.StaticArgs[StaticIndex++]));
+      } else {
+        Symbol Fresh = Symbol::fresh(D->Params[I].str());
+        DynParams.push_back(Fresh);
+        E = bind(E, D->Params[I], dynValue(Builder.variable(Fresh)));
+      }
+    }
+    Code Body = specTail(D->Body, E);
+    --MemoDepth;
+    if (!Err)
+      Builder.define(Name, std::move(DynParams), std::move(Body));
+    ++Stats.ResidualFunctions;
+    return Name;
+  }
+
+  B &Builder;
+  const bta::AnnProgram &P;
+  vm::Heap &H;
+  SpecOptions Opts;
+  vm::RootScope Roots;
+  Arena EnvArena;
+  std::unordered_map<uint64_t, uint64_t> HashCache;
+  std::unordered_map<MemoKey, Symbol, MemoKeyHash> Memo{
+      0, MemoKeyHash{this}};
+  SpecStats Stats;
+  std::optional<Error> Err;
+  uint32_t Depth = 0;
+  uint32_t MemoDepth = 0;
+  uint64_t NameCounter = 0;
+};
+
+} // namespace spec
+} // namespace pecomp
+
+#endif // PECOMP_SPEC_SPECIALIZER_H

@@ -1,0 +1,29 @@
+//===- spec/SyntaxBuilder.cpp - Residual source builder --------------------===//
+
+#include "spec/SyntaxBuilder.h"
+
+#include "support/Casting.h"
+#include "vm/Convert.h"
+
+using namespace pecomp;
+using namespace pecomp::spec;
+
+SyntaxBuilder::Code SyntaxBuilder::constant(vm::Value V) {
+  const Datum *D = vm::datumFromValue(DF, V);
+  assert(D && "lifted a value with no external representation");
+  return F.constant(D);
+}
+
+SyntaxBuilder::Code SyntaxBuilder::let(Symbol Var, Code Init, Code Body) {
+  // Same peephole as CodeGenBuilder::let — (let (t I) t) collapses to I —
+  // so the residual source compiles to exactly the fused builder's code.
+  if (const auto *V = dyn_cast<VarExpr>(Body))
+    if (V->name() == Var)
+      return Init;
+  return F.let(Var, Init, Body);
+}
+
+void SyntaxBuilder::define(Symbol Name, std::vector<Symbol> Params,
+                           Code Body) {
+  Out.Defs.push_back({Name, F.lambda(std::move(Params), Body)});
+}

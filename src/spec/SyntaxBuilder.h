@@ -1,0 +1,58 @@
+//===- spec/SyntaxBuilder.h - Residual source builder -----------*- C++ -*-===//
+///
+/// \file
+/// The ordinary residual-code builder: constructs residual *syntax* (ANF
+/// Core Scheme), which can be printed, reloaded, and compiled separately —
+/// the source-to-source partial evaluator of the paper's Fig. 3. The
+/// specializer is a catamorphism parameterized over a builder; swapping
+/// this builder for compiler::CodeGenBuilder is the paper's fusion.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PECOMP_SPEC_SYNTAXBUILDER_H
+#define PECOMP_SPEC_SYNTAXBUILDER_H
+
+#include "syntax/Expr.h"
+#include "vm/Value.h"
+
+namespace pecomp {
+namespace spec {
+
+class SyntaxBuilder {
+public:
+  using Code = const Expr *;
+
+  /// Residual syntax is allocated in \p F's arena; lifted constants become
+  /// datums in \p DF's arena.
+  SyntaxBuilder(ExprFactory &F, DatumFactory &DF) : F(F), DF(DF) {}
+
+  Code constant(vm::Value V);
+  Code variable(Symbol Name) { return F.var(Name); }
+  Code lambda(std::vector<Symbol> Params, Code Body) {
+    return F.lambda(std::move(Params), Body);
+  }
+  Code let(Symbol Var, Code Init, Code Body);
+  Code ifExpr(Code Test, Code Then, Code Else) {
+    return F.ifExpr(Test, Then, Else);
+  }
+  Code call(Code Callee, std::vector<Code> Args) {
+    return F.app(Callee, std::move(Args));
+  }
+  Code primApp(PrimOp Op, std::vector<Code> Args) {
+    return F.primApp(Op, std::move(Args));
+  }
+  void define(Symbol Name, std::vector<Symbol> Params, Code Body);
+
+  /// The finished residual program (ANF source).
+  Program takeProgram() { return std::move(Out); }
+
+private:
+  ExprFactory &F;
+  DatumFactory &DF;
+  Program Out;
+};
+
+} // namespace spec
+} // namespace pecomp
+
+#endif // PECOMP_SPEC_SYNTAXBUILDER_H

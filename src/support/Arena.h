@@ -1,0 +1,87 @@
+//===- support/Arena.h - Bump-pointer allocation ----------------*- C++ -*-===//
+///
+/// \file
+/// A bump-pointer arena for AST nodes and other objects whose lifetime is
+/// "the whole pipeline run". Objects allocated with create<T>() have their
+/// destructors run when the arena is destroyed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PECOMP_SUPPORT_ARENA_H
+#define PECOMP_SUPPORT_ARENA_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace pecomp {
+
+/// Chunked bump allocator. Not thread safe.
+class Arena {
+public:
+  Arena() = default;
+  Arena(const Arena &) = delete;
+  Arena &operator=(const Arena &) = delete;
+  ~Arena() {
+    for (auto It = Dtors.rbegin(), E = Dtors.rend(); It != E; ++It)
+      It->Destroy(It->Object);
+  }
+
+  /// Allocates raw storage with the given size and alignment.
+  void *allocate(size_t Size, size_t Align) {
+    assert((Align & (Align - 1)) == 0 && "alignment must be a power of two");
+    uintptr_t P = reinterpret_cast<uintptr_t>(Cursor);
+    uintptr_t Aligned = (P + Align - 1) & ~(Align - 1);
+    if (Aligned + Size > reinterpret_cast<uintptr_t>(End)) {
+      newChunk(Size + Align);
+      P = reinterpret_cast<uintptr_t>(Cursor);
+      Aligned = (P + Align - 1) & ~(Align - 1);
+    }
+    Cursor = reinterpret_cast<char *>(Aligned + Size);
+    BytesUsed += Size;
+    return reinterpret_cast<void *>(Aligned);
+  }
+
+  /// Constructs a T in the arena; its destructor runs at arena teardown.
+  template <typename T, typename... Args> T *create(Args &&...CtorArgs) {
+    void *Mem = allocate(sizeof(T), alignof(T));
+    T *Obj = new (Mem) T(std::forward<Args>(CtorArgs)...);
+    if constexpr (!std::is_trivially_destructible_v<T>)
+      Dtors.push_back({Obj, [](void *P) { static_cast<T *>(P)->~T(); }});
+    return Obj;
+  }
+
+  size_t bytesUsed() const { return BytesUsed; }
+
+private:
+  void newChunk(size_t AtLeast) {
+    size_t Size = ChunkSize;
+    while (Size < AtLeast)
+      Size *= 2;
+    Chunks.push_back(std::make_unique<char[]>(Size));
+    Cursor = Chunks.back().get();
+    End = Cursor + Size;
+    ChunkSize = Size * 2 <= MaxChunkSize ? Size * 2 : MaxChunkSize;
+  }
+
+  struct DtorRecord {
+    void *Object;
+    void (*Destroy)(void *);
+  };
+
+  static constexpr size_t MaxChunkSize = 1 << 20;
+
+  std::vector<std::unique_ptr<char[]>> Chunks;
+  std::vector<DtorRecord> Dtors;
+  char *Cursor = nullptr;
+  char *End = nullptr;
+  size_t ChunkSize = 4096;
+  size_t BytesUsed = 0;
+};
+
+} // namespace pecomp
+
+#endif // PECOMP_SUPPORT_ARENA_H

@@ -1,0 +1,48 @@
+//===- support/Casting.h - LLVM-style isa/cast/dyn_cast ---------*- C++ -*-===//
+///
+/// \file
+/// A minimal reimplementation of LLVM's checked-cast templates. A class
+/// hierarchy opts in by exposing a discriminator (typically a Kind enum via
+/// getKind()) and providing a static classof(const Base *) predicate on each
+/// derived class. This avoids C++ RTTI while keeping downcasts checked.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PECOMP_SUPPORT_CASTING_H
+#define PECOMP_SUPPORT_CASTING_H
+
+#include <cassert>
+
+namespace pecomp {
+
+/// Returns true if \p Val is an instance of To (per To::classof).
+template <typename To, typename From> bool isa(const From *Val) {
+  assert(Val && "isa<> used on a null pointer");
+  return To::classof(Val);
+}
+
+/// Checked downcast: asserts that \p Val really is a To.
+template <typename To, typename From> To *cast(From *Val) {
+  assert(Val && "cast<> used on a null pointer");
+  assert(To::classof(Val) && "cast<> argument of incompatible type");
+  return static_cast<To *>(Val);
+}
+
+template <typename To, typename From> const To *cast(const From *Val) {
+  assert(Val && "cast<> used on a null pointer");
+  assert(To::classof(Val) && "cast<> argument of incompatible type");
+  return static_cast<const To *>(Val);
+}
+
+/// Checking downcast: returns null when \p Val is not a To.
+template <typename To, typename From> To *dyn_cast(From *Val) {
+  return (Val && To::classof(Val)) ? static_cast<To *>(Val) : nullptr;
+}
+
+template <typename To, typename From> const To *dyn_cast(const From *Val) {
+  return (Val && To::classof(Val)) ? static_cast<const To *>(Val) : nullptr;
+}
+
+} // namespace pecomp
+
+#endif // PECOMP_SUPPORT_CASTING_H

@@ -1,0 +1,89 @@
+//===- support/Error.h - Recoverable error handling -------------*- C++ -*-===//
+///
+/// \file
+/// Exception-free recoverable error handling. Library code that can fail on
+/// user input (the reader, the front end, the BTA) returns Result<T>; code
+/// that can only fail on programmer error asserts instead.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PECOMP_SUPPORT_ERROR_H
+#define PECOMP_SUPPORT_ERROR_H
+
+#include "support/SourceLoc.h"
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace pecomp {
+
+/// A diagnostic attached to an optional source location.
+class Error {
+public:
+  Error() = default;
+  explicit Error(std::string Message) : Message(std::move(Message)) {}
+  Error(std::string Message, SourceLoc Loc)
+      : Message(std::move(Message)), Loc(Loc) {}
+
+  const std::string &message() const { return Message; }
+  SourceLoc loc() const { return Loc; }
+
+  /// Renders "line:col: message" (or just the message without a location).
+  std::string render() const {
+    if (!Loc.isValid())
+      return Message;
+    return std::to_string(Loc.Line) + ":" + std::to_string(Loc.Column) + ": " +
+           Message;
+  }
+
+private:
+  std::string Message;
+  SourceLoc Loc;
+};
+
+/// Either a value or an Error. Callers must check ok() (or operator bool)
+/// before dereferencing.
+template <typename T> class Result {
+public:
+  Result(T Value) : Storage(std::move(Value)) {}
+  Result(Error E) : Storage(std::move(E)) {}
+
+  bool ok() const { return std::holds_alternative<T>(Storage); }
+  explicit operator bool() const { return ok(); }
+
+  T &value() {
+    assert(ok() && "Result::value() on error");
+    return std::get<T>(Storage);
+  }
+  const T &value() const {
+    assert(ok() && "Result::value() on error");
+    return std::get<T>(Storage);
+  }
+  T &operator*() { return value(); }
+  const T &operator*() const { return value(); }
+  T *operator->() { return &value(); }
+  const T *operator->() const { return &value(); }
+
+  const Error &error() const {
+    assert(!ok() && "Result::error() on success");
+    return std::get<Error>(Storage);
+  }
+  Error takeError() {
+    assert(!ok() && "Result::takeError() on success");
+    return std::move(std::get<Error>(Storage));
+  }
+
+private:
+  std::variant<T, Error> Storage;
+};
+
+/// Convenience constructor mirroring createStringError.
+inline Error makeError(std::string Message, SourceLoc Loc = SourceLoc()) {
+  return Error(std::move(Message), Loc);
+}
+
+} // namespace pecomp
+
+#endif // PECOMP_SUPPORT_ERROR_H

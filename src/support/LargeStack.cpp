@@ -1,0 +1,89 @@
+//===- support/LargeStack.cpp - Run work on a big-stack thread ------------===//
+
+#include "support/LargeStack.h"
+
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <pthread.h>
+
+using namespace pecomp;
+
+namespace {
+
+/// True while executing on the large-stack worker; nested uses run
+/// inline (the PGG's generators may be invoked from code that is already
+/// on the worker, e.g. a benchmark loop timing many generator runs).
+thread_local bool OnWorkerThread = false;
+
+/// One persistent worker with a large stack: thread creation is paid once
+/// per process, so per-specialization overhead is a mutex round trip (the
+/// experiment harnesses time individual generator runs). Tasks run
+/// strictly one at a time. The state is intentionally leaked so the
+/// detached worker never races static destruction at exit.
+struct Worker {
+  std::mutex M;
+  std::condition_variable Cv;
+  std::function<void()> *Task = nullptr; // null = idle
+  bool Done = false;
+
+  static void *loop(void *Arg) {
+    auto *W = static_cast<Worker *>(Arg);
+    OnWorkerThread = true;
+    std::unique_lock<std::mutex> Lock(W->M);
+    for (;;) {
+      W->Cv.wait(Lock, [&] { return W->Task != nullptr; });
+      (*W->Task)();
+      W->Task = nullptr;
+      W->Done = true;
+      W->Cv.notify_all();
+    }
+    return nullptr;
+  }
+
+  /// Starts the worker; null on failure (caller falls back to its own
+  /// stack, where the conservative guards still apply).
+  static Worker *start() {
+    pthread_attr_t Attr;
+    if (pthread_attr_init(&Attr) != 0)
+      return nullptr;
+    if (pthread_attr_setstacksize(&Attr, LargeStackBytes) != 0) {
+      pthread_attr_destroy(&Attr);
+      return nullptr;
+    }
+    auto *W = new Worker;
+    pthread_t Thread;
+    if (pthread_create(&Thread, &Attr, loop, W) != 0) {
+      pthread_attr_destroy(&Attr);
+      delete W;
+      return nullptr;
+    }
+    pthread_detach(Thread);
+    pthread_attr_destroy(&Attr);
+    return W;
+  }
+
+  void run(std::function<void()> &Work) {
+    std::unique_lock<std::mutex> Lock(M);
+    Task = &Work;
+    Done = false;
+    Cv.notify_all();
+    Cv.wait(Lock, [&] { return Done; });
+  }
+};
+
+} // namespace
+
+void pecomp::runOnLargeStackImpl(std::function<void()> Work) {
+  if (OnWorkerThread) {
+    Work();
+    return;
+  }
+  static Worker *W = Worker::start();
+  if (!W) {
+    Work();
+    return;
+  }
+  W->run(Work);
+}

@@ -1,0 +1,40 @@
+//===- support/LargeStack.h - Run work on a big-stack thread ----*- C++ -*-===//
+///
+/// \file
+/// Runs a callable on a thread with a large stack. The specializer is
+/// written in continuation-passing style, so its host-stack use grows
+/// with unfolding depth and with chains of nested memo specializations;
+/// legitimate workloads (compiling large interpreted programs) need far
+/// more than the default 8 MiB thread stack. The depth guards in
+/// spec::SpecOptions are calibrated against this stack size.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PECOMP_SUPPORT_LARGESTACK_H
+#define PECOMP_SUPPORT_LARGESTACK_H
+
+#include <functional>
+
+namespace pecomp {
+
+/// The stack size used by runOnLargeStack (512 MiB of reserve; pages are
+/// only committed as used).
+constexpr size_t LargeStackBytes = 512u << 20;
+
+/// Invokes \p Work on a dedicated large-stack thread and waits for it.
+void runOnLargeStackImpl(std::function<void()> Work);
+
+/// Typed wrapper: returns Work()'s result.
+template <typename F> auto runOnLargeStack(F &&Work) {
+  using R = decltype(Work());
+  alignas(R) unsigned char Storage[sizeof(R)];
+  R *Slot = reinterpret_cast<R *>(Storage);
+  runOnLargeStackImpl([&] { new (Slot) R(Work()); });
+  R Out = std::move(*Slot);
+  Slot->~R();
+  return Out;
+}
+
+} // namespace pecomp
+
+#endif // PECOMP_SUPPORT_LARGESTACK_H

@@ -1,0 +1,27 @@
+//===- support/SourceLoc.h - Source locations -------------------*- C++ -*-===//
+///
+/// \file
+/// A 1-based line/column source position; line 0 means "no location".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PECOMP_SUPPORT_SOURCELOC_H
+#define PECOMP_SUPPORT_SOURCELOC_H
+
+#include <cstdint>
+
+namespace pecomp {
+
+struct SourceLoc {
+  uint32_t Line = 0;
+  uint32_t Column = 0;
+
+  SourceLoc() = default;
+  SourceLoc(uint32_t Line, uint32_t Column) : Line(Line), Column(Column) {}
+
+  bool isValid() const { return Line != 0; }
+};
+
+} // namespace pecomp
+
+#endif // PECOMP_SUPPORT_SOURCELOC_H

@@ -1,0 +1,35 @@
+//===- support/Timer.h - Wall-clock timing ----------------------*- C++ -*-===//
+///
+/// \file
+/// Minimal wall-clock timer used by the PGG driver and the experiment
+/// harnesses to report per-phase times (BTA / Load / Generate / Compile,
+/// matching the columns of the paper's Figure 8).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PECOMP_SUPPORT_TIMER_H
+#define PECOMP_SUPPORT_TIMER_H
+
+#include <chrono>
+
+namespace pecomp {
+
+class Timer {
+public:
+  Timer() : Start(Clock::now()) {}
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+  void reset() { Start = Clock::now(); }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+} // namespace pecomp
+
+#endif // PECOMP_SUPPORT_TIMER_H

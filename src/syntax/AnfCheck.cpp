@@ -1,0 +1,97 @@
+//===- syntax/AnfCheck.cpp - A-normal form checker ------------------------===//
+
+#include "syntax/AnfCheck.h"
+
+#include "support/Casting.h"
+
+using namespace pecomp;
+
+namespace {
+
+std::optional<std::string> checkTail(const Expr *E);
+
+std::optional<std::string> checkValue(const Expr *E) {
+  switch (E->kind()) {
+  case Expr::Kind::Const:
+  case Expr::Kind::Var:
+    return std::nullopt;
+  case Expr::Kind::Lambda:
+    return checkTail(cast<LambdaExpr>(E)->body());
+  default:
+    return "expected a trivial expression (constant, variable, or lambda), "
+           "found: " +
+           E->print();
+  }
+}
+
+std::optional<std::string> checkArgs(const std::vector<const Expr *> &Args) {
+  for (const Expr *Arg : Args)
+    if (auto Err = checkValue(Arg))
+      return Err;
+  return std::nullopt;
+}
+
+/// Checks the right-hand side of a let binding: a trivial value, a call, or
+/// a primitive application over trivial arguments (Fig. 2 allows all
+/// three).
+std::optional<std::string> checkSerious(const Expr *E) {
+  if (E->isTrivial())
+    return checkValue(E);
+  if (const auto *App = dyn_cast<AppExpr>(E)) {
+    if (auto Err = checkValue(App->callee()))
+      return Err;
+    return checkArgs(App->args());
+  }
+  if (const auto *Prim = dyn_cast<PrimAppExpr>(E))
+    return checkArgs(Prim->args());
+  return "let binding must bind a value, call, or primitive application, "
+         "found: " +
+         E->print();
+}
+
+std::optional<std::string> checkTail(const Expr *E) {
+  switch (E->kind()) {
+  case Expr::Kind::Const:
+  case Expr::Kind::Var:
+  case Expr::Kind::Lambda:
+    return checkValue(E);
+  case Expr::Kind::Let: {
+    const auto *Let = cast<LetExpr>(E);
+    if (auto Err = checkSerious(Let->init()))
+      return Err;
+    return checkTail(Let->body());
+  }
+  case Expr::Kind::If: {
+    const auto *If = cast<IfExpr>(E);
+    if (auto Err = checkValue(If->test()))
+      return Err;
+    if (auto Err = checkTail(If->thenBranch()))
+      return Err;
+    return checkTail(If->elseBranch());
+  }
+  case Expr::Kind::App: {
+    const auto *App = cast<AppExpr>(E);
+    if (auto Err = checkValue(App->callee()))
+      return Err;
+    return checkArgs(App->args());
+  }
+  case Expr::Kind::PrimApp:
+    return checkArgs(cast<PrimAppExpr>(E)->args());
+  case Expr::Kind::Set:
+    return "set! must be eliminated before ANF: " + E->print();
+  }
+  return "unknown expression kind";
+}
+
+} // namespace
+
+std::optional<std::string> pecomp::checkAnf(const Expr *E) {
+  return checkTail(E);
+}
+
+std::optional<std::string> pecomp::checkAnf(const Program &P) {
+  for (const Definition &D : P.Defs)
+    if (auto Err = checkTail(D.Fn->body()))
+      return "in " + D.Name.str() + ": " + *Err;
+  return std::nullopt;
+}

@@ -1,0 +1,40 @@
+//===- syntax/AnfCheck.h - A-normal form checker ----------------*- C++ -*-===//
+///
+/// \file
+/// Checks conformance with the ANF grammar of the paper's Fig. 2:
+///
+///   M ::= V
+///       | (let (x V) M)                  trivial binding
+///       | (let (x (V V1 ... Vn)) M)      non-tail call
+///       | (let (x (O V1 ... Vn)) M)      primitive
+///       | (if V M1 M2)
+///       | (V V1 ... Vn)                  tail call
+///       | (O V1 ... Vn)                  tail primitive
+///   V ::= c | x | (lambda (x1 ... xn) M)
+///
+/// This is the contract between the specializer (which promises to emit ANF)
+/// and the ANF compiler (which exploits it: control flow is explicit, so no
+/// compile-time continuation is needed).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PECOMP_SYNTAX_ANFCHECK_H
+#define PECOMP_SYNTAX_ANFCHECK_H
+
+#include "syntax/Expr.h"
+
+#include <optional>
+#include <string>
+
+namespace pecomp {
+
+/// Returns std::nullopt if \p E is in ANF, otherwise a description of the
+/// first violation found.
+std::optional<std::string> checkAnf(const Expr *E);
+
+/// Checks every definition body of \p P.
+std::optional<std::string> checkAnf(const Program &P);
+
+} // namespace pecomp
+
+#endif // PECOMP_SYNTAX_ANFCHECK_H

@@ -1,0 +1,66 @@
+//===- syntax/Expr.cpp - Core Scheme abstract syntax ----------------------===//
+
+#include "syntax/Expr.h"
+
+#include "support/Casting.h"
+
+using namespace pecomp;
+
+bool Expr::equals(const Expr *Other) const {
+  if (this == Other)
+    return true;
+  if (K != Other->kind())
+    return false;
+  switch (K) {
+  case Kind::Const:
+    return cast<ConstExpr>(this)->value()->equals(
+        cast<ConstExpr>(Other)->value());
+  case Kind::Var:
+    return cast<VarExpr>(this)->name() == cast<VarExpr>(Other)->name();
+  case Kind::Lambda: {
+    const auto *A = cast<LambdaExpr>(this);
+    const auto *B = cast<LambdaExpr>(Other);
+    return A->params() == B->params() && A->body()->equals(B->body());
+  }
+  case Kind::Let: {
+    const auto *A = cast<LetExpr>(this);
+    const auto *B = cast<LetExpr>(Other);
+    return A->name() == B->name() && A->init()->equals(B->init()) &&
+           A->body()->equals(B->body());
+  }
+  case Kind::If: {
+    const auto *A = cast<IfExpr>(this);
+    const auto *B = cast<IfExpr>(Other);
+    return A->test()->equals(B->test()) &&
+           A->thenBranch()->equals(B->thenBranch()) &&
+           A->elseBranch()->equals(B->elseBranch());
+  }
+  case Kind::App: {
+    const auto *A = cast<AppExpr>(this);
+    const auto *B = cast<AppExpr>(Other);
+    if (!A->callee()->equals(B->callee()) ||
+        A->args().size() != B->args().size())
+      return false;
+    for (size_t I = 0, E = A->args().size(); I != E; ++I)
+      if (!A->args()[I]->equals(B->args()[I]))
+        return false;
+    return true;
+  }
+  case Kind::PrimApp: {
+    const auto *A = cast<PrimAppExpr>(this);
+    const auto *B = cast<PrimAppExpr>(Other);
+    if (A->op() != B->op() || A->args().size() != B->args().size())
+      return false;
+    for (size_t I = 0, E = A->args().size(); I != E; ++I)
+      if (!A->args()[I]->equals(B->args()[I]))
+        return false;
+    return true;
+  }
+  case Kind::Set: {
+    const auto *A = cast<SetExpr>(this);
+    const auto *B = cast<SetExpr>(Other);
+    return A->name() == B->name() && A->value()->equals(B->value());
+  }
+  }
+  return false;
+}

@@ -1,0 +1,241 @@
+//===- syntax/Expr.h - Core Scheme abstract syntax --------------*- C++ -*-===//
+///
+/// \file
+/// Core Scheme (CS) abstract syntax, exactly the grammar of the paper's
+/// Fig. 1:
+///
+///   M ::= V | (if V M1 M2)* | (let (x M1) M2) | (M M1 ... Mn)
+///       | (O M1 ... Mn)
+///   V ::= c | x | (lambda (x1 ... xn) M)
+///
+/// (In full CS, if/application/primitive subterms are arbitrary expressions;
+/// the ANF restriction of Fig. 2 is enforced separately by AnfCheck.)
+///
+/// Nodes are immutable and arena-allocated through ExprFactory; passes build
+/// fresh trees instead of mutating. Downcasts use the LLVM-style
+/// isa/cast/dyn_cast machinery via each node's Kind.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PECOMP_SYNTAX_EXPR_H
+#define PECOMP_SYNTAX_EXPR_H
+
+#include "sexp/Datum.h"
+#include "syntax/Primitives.h"
+
+#include <string>
+#include <vector>
+
+namespace pecomp {
+
+/// Base class of all Core Scheme expressions.
+class Expr {
+public:
+  enum class Kind : uint8_t {
+    Const,   ///< c — a literal datum
+    Var,     ///< x
+    Lambda,  ///< (lambda (x1 ... xn) M)
+    Let,     ///< (let (x M1) M2) — single binding, per Fig. 1
+    If,      ///< (if M1 M2 M3)
+    App,     ///< (M0 M1 ... Mn)
+    PrimApp, ///< (O M1 ... Mn)
+    Set,     ///< (set! x M) — surface syntax only; removed by AssignElim
+  };
+
+  Kind kind() const { return K; }
+  SourceLoc loc() const { return Loc; }
+
+  /// True for the V (value / trivial) productions of the grammar:
+  /// constants, variables, and lambda abstractions.
+  bool isTrivial() const {
+    return K == Kind::Const || K == Kind::Var || K == Kind::Lambda;
+  }
+
+  /// Structural equality up to source locations.
+  bool equals(const Expr *Other) const;
+
+  /// Unparses to concrete syntax (via syntax/Printer.cpp).
+  std::string print() const;
+
+protected:
+  Expr(Kind K, SourceLoc Loc) : K(K), Loc(Loc) {}
+
+private:
+  Kind K;
+  SourceLoc Loc;
+};
+
+class ConstExpr : public Expr {
+public:
+  ConstExpr(const Datum *Value, SourceLoc Loc)
+      : Expr(Kind::Const, Loc), Value(Value) {}
+  const Datum *value() const { return Value; }
+  static bool classof(const Expr *E) { return E->kind() == Kind::Const; }
+
+private:
+  const Datum *Value;
+};
+
+class VarExpr : public Expr {
+public:
+  VarExpr(Symbol Name, SourceLoc Loc) : Expr(Kind::Var, Loc), Name(Name) {}
+  Symbol name() const { return Name; }
+  static bool classof(const Expr *E) { return E->kind() == Kind::Var; }
+
+private:
+  Symbol Name;
+};
+
+class LambdaExpr : public Expr {
+public:
+  LambdaExpr(std::vector<Symbol> Params, const Expr *Body, SourceLoc Loc)
+      : Expr(Kind::Lambda, Loc), Params(std::move(Params)), Body(Body) {}
+  const std::vector<Symbol> &params() const { return Params; }
+  const Expr *body() const { return Body; }
+  static bool classof(const Expr *E) { return E->kind() == Kind::Lambda; }
+
+private:
+  std::vector<Symbol> Params;
+  const Expr *Body;
+};
+
+class LetExpr : public Expr {
+public:
+  LetExpr(Symbol Name, const Expr *Init, const Expr *Body, SourceLoc Loc)
+      : Expr(Kind::Let, Loc), Name(Name), Init(Init), Body(Body) {}
+  Symbol name() const { return Name; }
+  const Expr *init() const { return Init; }
+  const Expr *body() const { return Body; }
+  static bool classof(const Expr *E) { return E->kind() == Kind::Let; }
+
+private:
+  Symbol Name;
+  const Expr *Init;
+  const Expr *Body;
+};
+
+class IfExpr : public Expr {
+public:
+  IfExpr(const Expr *Test, const Expr *Then, const Expr *Else, SourceLoc Loc)
+      : Expr(Kind::If, Loc), Test(Test), Then(Then), Else(Else) {}
+  const Expr *test() const { return Test; }
+  const Expr *thenBranch() const { return Then; }
+  const Expr *elseBranch() const { return Else; }
+  static bool classof(const Expr *E) { return E->kind() == Kind::If; }
+
+private:
+  const Expr *Test;
+  const Expr *Then;
+  const Expr *Else;
+};
+
+class AppExpr : public Expr {
+public:
+  AppExpr(const Expr *Callee, std::vector<const Expr *> Args, SourceLoc Loc)
+      : Expr(Kind::App, Loc), Callee(Callee), Args(std::move(Args)) {}
+  const Expr *callee() const { return Callee; }
+  const std::vector<const Expr *> &args() const { return Args; }
+  static bool classof(const Expr *E) { return E->kind() == Kind::App; }
+
+private:
+  const Expr *Callee;
+  std::vector<const Expr *> Args;
+};
+
+class PrimAppExpr : public Expr {
+public:
+  PrimAppExpr(PrimOp Op, std::vector<const Expr *> Args, SourceLoc Loc)
+      : Expr(Kind::PrimApp, Loc), Op(Op), Args(std::move(Args)) {}
+  PrimOp op() const { return Op; }
+  const std::vector<const Expr *> &args() const { return Args; }
+  static bool classof(const Expr *E) { return E->kind() == Kind::PrimApp; }
+
+private:
+  PrimOp Op;
+  std::vector<const Expr *> Args;
+};
+
+/// An assignment (set! Name Value). Present only between parsing and
+/// assignment elimination; every later stage (ANF, BTA, compilers, the
+/// evaluator) works on assignment-free Core Scheme where mutable variables
+/// have been turned into boxes (make-box / box-ref / box-set!).
+class SetExpr : public Expr {
+public:
+  SetExpr(Symbol Name, const Expr *Value, SourceLoc Loc)
+      : Expr(Kind::Set, Loc), Name(Name), Value(Value) {}
+  Symbol name() const { return Name; }
+  const Expr *value() const { return Value; }
+  static bool classof(const Expr *E) { return E->kind() == Kind::Set; }
+
+private:
+  Symbol Name;
+  const Expr *Value;
+};
+
+/// A top-level definition (define (Name Params...) Body), represented after
+/// desugaring as Name bound to a LambdaExpr.
+struct Definition {
+  Symbol Name;
+  const LambdaExpr *Fn = nullptr;
+};
+
+/// A whole program: an ordered set of mutually recursive top-level function
+/// definitions. Evaluation starts by applying a named entry function.
+struct Program {
+  std::vector<Definition> Defs;
+
+  const Definition *find(Symbol Name) const {
+    for (const Definition &D : Defs)
+      if (D.Name == Name)
+        return &D;
+    return nullptr;
+  }
+
+  std::string print() const;
+};
+
+/// Arena-backed allocator for expressions.
+class ExprFactory {
+public:
+  explicit ExprFactory(Arena &A) : A(A) {}
+
+  const ConstExpr *constant(const Datum *Value, SourceLoc Loc = SourceLoc()) {
+    return A.create<ConstExpr>(Value, Loc);
+  }
+  const VarExpr *var(Symbol Name, SourceLoc Loc = SourceLoc()) {
+    return A.create<VarExpr>(Name, Loc);
+  }
+  const LambdaExpr *lambda(std::vector<Symbol> Params, const Expr *Body,
+                           SourceLoc Loc = SourceLoc()) {
+    return A.create<LambdaExpr>(std::move(Params), Body, Loc);
+  }
+  const LetExpr *let(Symbol Name, const Expr *Init, const Expr *Body,
+                     SourceLoc Loc = SourceLoc()) {
+    return A.create<LetExpr>(Name, Init, Body, Loc);
+  }
+  const IfExpr *ifExpr(const Expr *Test, const Expr *Then, const Expr *Else,
+                       SourceLoc Loc = SourceLoc()) {
+    return A.create<IfExpr>(Test, Then, Else, Loc);
+  }
+  const AppExpr *app(const Expr *Callee, std::vector<const Expr *> Args,
+                     SourceLoc Loc = SourceLoc()) {
+    return A.create<AppExpr>(Callee, std::move(Args), Loc);
+  }
+  const PrimAppExpr *primApp(PrimOp Op, std::vector<const Expr *> Args,
+                             SourceLoc Loc = SourceLoc()) {
+    return A.create<PrimAppExpr>(Op, std::move(Args), Loc);
+  }
+  const SetExpr *set(Symbol Name, const Expr *Value,
+                     SourceLoc Loc = SourceLoc()) {
+    return A.create<SetExpr>(Name, Value, Loc);
+  }
+
+  Arena &arena() { return A; }
+
+private:
+  Arena &A;
+};
+
+} // namespace pecomp
+
+#endif // PECOMP_SYNTAX_EXPR_H

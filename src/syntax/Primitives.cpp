@@ -1,0 +1,48 @@
+//===- syntax/Primitives.cpp - Primitive operations -----------------------===//
+
+#include "syntax/Primitives.h"
+
+#include <unordered_map>
+
+using namespace pecomp;
+
+namespace {
+
+struct PrimInfo {
+  const char *Name;
+  unsigned Arity;
+  bool Pure;
+};
+
+constexpr PrimInfo PrimTable[] = {
+#define PECOMP_PRIM(Id, Name, Arity, Pure) {Name, Arity, Pure},
+    PECOMP_PRIMITIVES(PECOMP_PRIM)
+#undef PECOMP_PRIM
+};
+
+} // namespace
+
+const char *pecomp::primName(PrimOp Op) {
+  return PrimTable[static_cast<unsigned>(Op)].Name;
+}
+
+unsigned pecomp::primArity(PrimOp Op) {
+  return PrimTable[static_cast<unsigned>(Op)].Arity;
+}
+
+bool pecomp::primIsPure(PrimOp Op) {
+  return PrimTable[static_cast<unsigned>(Op)].Pure;
+}
+
+std::optional<PrimOp> pecomp::primByName(Symbol Name) {
+  static const std::unordered_map<Symbol, PrimOp> ByName = [] {
+    std::unordered_map<Symbol, PrimOp> M;
+    for (unsigned I = 0; I != NumPrimOps; ++I)
+      M.emplace(Symbol::intern(PrimTable[I].Name), static_cast<PrimOp>(I));
+    return M;
+  }();
+  auto It = ByName.find(Name);
+  if (It == ByName.end())
+    return std::nullopt;
+  return It->second;
+}

@@ -1,0 +1,82 @@
+//===- syntax/Primitives.h - Primitive operations ----------------*- C++ -*-===//
+///
+/// \file
+/// The primitive operations of Core Scheme (the O of Fig. 1). One table,
+/// shared by the parser, the reference interpreter, the VM, the compiler,
+/// and the specializer, so the five agree on names and arities.
+///
+/// PECOMP_PRIM(Id, SchemeName, Arity, Pure)
+///   Arity is fixed (variadic surface forms like n-ary + are desugared to
+///   nests of binary applications by the front end). Pure primitives can be
+///   executed at specialization time when all arguments are static; impure
+///   ones (error) are always residualized.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PECOMP_SYNTAX_PRIMITIVES_H
+#define PECOMP_SYNTAX_PRIMITIVES_H
+
+#include "sexp/Symbol.h"
+
+#include <cstdint>
+#include <optional>
+
+#define PECOMP_PRIMITIVES(PECOMP_PRIM)                                        \
+  PECOMP_PRIM(Add, "+", 2, true)                                              \
+  PECOMP_PRIM(Sub, "-", 2, true)                                              \
+  PECOMP_PRIM(Mul, "*", 2, true)                                              \
+  PECOMP_PRIM(Quotient, "quotient", 2, true)                                  \
+  PECOMP_PRIM(Remainder, "remainder", 2, true)                                \
+  PECOMP_PRIM(NumEq, "=", 2, true)                                            \
+  PECOMP_PRIM(Lt, "<", 2, true)                                               \
+  PECOMP_PRIM(Gt, ">", 2, true)                                               \
+  PECOMP_PRIM(Le, "<=", 2, true)                                              \
+  PECOMP_PRIM(Ge, ">=", 2, true)                                              \
+  PECOMP_PRIM(EqP, "eq?", 2, true)                                            \
+  PECOMP_PRIM(EqualP, "equal?", 2, true)                                      \
+  PECOMP_PRIM(Cons, "cons", 2, true)                                          \
+  PECOMP_PRIM(Car, "car", 1, true)                                            \
+  PECOMP_PRIM(Cdr, "cdr", 1, true)                                            \
+  PECOMP_PRIM(NullP, "null?", 1, true)                                        \
+  PECOMP_PRIM(PairP, "pair?", 1, true)                                        \
+  PECOMP_PRIM(ZeroP, "zero?", 1, true)                                        \
+  PECOMP_PRIM(Not, "not", 1, true)                                            \
+  PECOMP_PRIM(NumberP, "number?", 1, true)                                    \
+  PECOMP_PRIM(SymbolP, "symbol?", 1, true)                                    \
+  PECOMP_PRIM(BooleanP, "boolean?", 1, true)                                  \
+  PECOMP_PRIM(ProcedureP, "procedure?", 1, true)                              \
+  PECOMP_PRIM(Error, "error", 1, false)                                       \
+  PECOMP_PRIM(MakeBox, "make-box", 1, false)                                  \
+  PECOMP_PRIM(BoxRef, "box-ref", 1, false)                                    \
+  PECOMP_PRIM(BoxSet, "box-set!", 2, false)
+
+namespace pecomp {
+
+enum class PrimOp : uint8_t {
+#define PECOMP_PRIM(Id, Name, Arity, Pure) Id,
+  PECOMP_PRIMITIVES(PECOMP_PRIM)
+#undef PECOMP_PRIM
+};
+
+constexpr unsigned NumPrimOps = 0
+#define PECOMP_PRIM(Id, Name, Arity, Pure) +1
+    PECOMP_PRIMITIVES(PECOMP_PRIM)
+#undef PECOMP_PRIM
+    ;
+
+/// The Scheme-level name of \p Op.
+const char *primName(PrimOp Op);
+
+/// The fixed arity of \p Op.
+unsigned primArity(PrimOp Op);
+
+/// True if \p Op is side-effect free (and thus executable at
+/// specialization time).
+bool primIsPure(PrimOp Op);
+
+/// Looks up a primitive by its (interned) Scheme name.
+std::optional<PrimOp> primByName(Symbol Name);
+
+} // namespace pecomp
+
+#endif // PECOMP_SYNTAX_PRIMITIVES_H

@@ -1,0 +1,140 @@
+//===- syntax/Printer.cpp - Unparsing Core Scheme -------------------------===//
+///
+/// \file
+/// Renders expressions and programs back to concrete syntax. The output
+/// round-trips through the front end (tested), which is how residual
+/// programs are "loaded" on the source-code path of the experiments.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/Casting.h"
+#include "syntax/Expr.h"
+
+using namespace pecomp;
+
+namespace {
+
+void printExpr(const Expr *E, std::string &Out, unsigned Indent);
+
+void newline(std::string &Out, unsigned Indent) {
+  Out.push_back('\n');
+  Out.append(Indent, ' ');
+}
+
+void printExpr(const Expr *E, std::string &Out, unsigned Indent) {
+  switch (E->kind()) {
+  case Expr::Kind::Const: {
+    const Datum *D = cast<ConstExpr>(E)->value();
+    // Self-evaluating atoms print as themselves; structured data and
+    // symbols need a quote.
+    switch (D->kind()) {
+    case Datum::Kind::Fixnum:
+    case Datum::Kind::Boolean:
+    case Datum::Kind::String:
+    case Datum::Kind::Char:
+      Out += D->write();
+      return;
+    default:
+      Out.push_back('\'');
+      Out += D->write();
+      return;
+    }
+  }
+  case Expr::Kind::Var:
+    Out += cast<VarExpr>(E)->name().str();
+    return;
+  case Expr::Kind::Lambda: {
+    const auto *L = cast<LambdaExpr>(E);
+    Out += "(lambda (";
+    for (size_t I = 0, N = L->params().size(); I != N; ++I) {
+      if (I)
+        Out.push_back(' ');
+      Out += L->params()[I].str();
+    }
+    Out += ")";
+    newline(Out, Indent + 2);
+    printExpr(L->body(), Out, Indent + 2);
+    Out.push_back(')');
+    return;
+  }
+  case Expr::Kind::Let: {
+    const auto *L = cast<LetExpr>(E);
+    Out += "(let (";
+    Out += L->name().str();
+    Out.push_back(' ');
+    printExpr(L->init(), Out, Indent + 8);
+    Out.push_back(')');
+    newline(Out, Indent + 2);
+    printExpr(L->body(), Out, Indent + 2);
+    Out.push_back(')');
+    return;
+  }
+  case Expr::Kind::If: {
+    const auto *I = cast<IfExpr>(E);
+    Out += "(if ";
+    printExpr(I->test(), Out, Indent + 4);
+    newline(Out, Indent + 4);
+    printExpr(I->thenBranch(), Out, Indent + 4);
+    newline(Out, Indent + 4);
+    printExpr(I->elseBranch(), Out, Indent + 4);
+    Out.push_back(')');
+    return;
+  }
+  case Expr::Kind::App: {
+    const auto *A = cast<AppExpr>(E);
+    Out.push_back('(');
+    printExpr(A->callee(), Out, Indent + 1);
+    for (const Expr *Arg : A->args()) {
+      Out.push_back(' ');
+      printExpr(Arg, Out, Indent + 1);
+    }
+    Out.push_back(')');
+    return;
+  }
+  case Expr::Kind::PrimApp: {
+    const auto *P = cast<PrimAppExpr>(E);
+    Out.push_back('(');
+    Out += primName(P->op());
+    for (const Expr *Arg : P->args()) {
+      Out.push_back(' ');
+      printExpr(Arg, Out, Indent + 1);
+    }
+    Out.push_back(')');
+    return;
+  }
+  case Expr::Kind::Set: {
+    const auto *S = cast<SetExpr>(E);
+    Out += "(set! ";
+    Out += S->name().str();
+    Out.push_back(' ');
+    printExpr(S->value(), Out, Indent + 1);
+    Out.push_back(')');
+    return;
+  }
+  }
+}
+
+} // namespace
+
+std::string Expr::print() const {
+  std::string Out;
+  printExpr(this, Out, 0);
+  return Out;
+}
+
+std::string Program::print() const {
+  std::string Out;
+  for (const Definition &D : Defs) {
+    Out += "(define (";
+    Out += D.Name.str();
+    for (Symbol P : D.Fn->params()) {
+      Out.push_back(' ');
+      Out += P.str();
+    }
+    Out += ")";
+    newline(Out, 2);
+    printExpr(D.Fn->body(), Out, 2);
+    Out += ")\n\n";
+  }
+  return Out;
+}

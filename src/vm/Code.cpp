@@ -1,0 +1,113 @@
+//===- vm/Code.cpp - Byte code objects ------------------------------------===//
+
+#include "vm/Code.h"
+
+#include "syntax/Primitives.h"
+
+using namespace pecomp;
+using namespace pecomp::vm;
+
+namespace {
+
+uint16_t readU16(const std::vector<uint8_t> &Code, size_t &PC) {
+  uint16_t V = static_cast<uint16_t>(Code[PC] | (Code[PC + 1] << 8));
+  PC += 2;
+  return V;
+}
+
+int16_t readI16(const std::vector<uint8_t> &Code, size_t &PC) {
+  return static_cast<int16_t>(readU16(Code, PC));
+}
+
+void disassembleInto(const CodeObject *C, std::string &Out,
+                     const std::string &Label) {
+  Out += Label + " " + (C->name().empty() ? "<anonymous>" : C->name()) +
+         " (arity " + std::to_string(C->arity()) + ")\n";
+  const std::vector<uint8_t> &Code = C->code();
+  size_t PC = 0;
+  while (PC < Code.size()) {
+    size_t At = PC;
+    Op O = static_cast<Op>(Code[PC++]);
+    Out += "  " + std::to_string(At) + ": ";
+    switch (O) {
+    case Op::Const: {
+      uint16_t I = readU16(Code, PC);
+      Out += "const " + std::to_string(I) + " ; " +
+             valueToString(C->literals()[I]);
+      break;
+    }
+    case Op::LocalRef:
+      Out += "local " + std::to_string(readU16(Code, PC));
+      break;
+    case Op::FreeRef:
+      Out += "free " + std::to_string(readU16(Code, PC));
+      break;
+    case Op::GlobalRef:
+      Out += "global " + std::to_string(readU16(Code, PC));
+      break;
+    case Op::MakeClosure: {
+      uint16_t Child = readU16(Code, PC);
+      uint16_t N = readU16(Code, PC);
+      Out += "closure child=" + std::to_string(Child) +
+             " captures=" + std::to_string(N);
+      break;
+    }
+    case Op::Call:
+      Out += "call " + std::to_string(Code[PC++]);
+      break;
+    case Op::TailCall:
+      Out += "tail-call " + std::to_string(Code[PC++]);
+      break;
+    case Op::Return:
+      Out += "return";
+      break;
+    case Op::Jump: {
+      int16_t Off = readI16(Code, PC);
+      Out += "jump " + std::to_string(static_cast<long>(PC) + Off);
+      break;
+    }
+    case Op::JumpIfFalse: {
+      int16_t Off = readI16(Code, PC);
+      Out += "jump-if-false " + std::to_string(static_cast<long>(PC) + Off);
+      break;
+    }
+    case Op::Prim:
+      Out += std::string("prim ") + primName(static_cast<PrimOp>(Code[PC++]));
+      break;
+    case Op::Slide:
+      Out += "slide " + std::to_string(readU16(Code, PC));
+      break;
+    case Op::Halt:
+      Out += "halt";
+      break;
+    }
+    Out.push_back('\n');
+  }
+  for (size_t I = 0; I != C->children().size(); ++I)
+    disassembleInto(C->children()[I], Out,
+                    Label + "." + std::to_string(I));
+}
+
+} // namespace
+
+std::string CodeObject::disassemble() const {
+  std::string Out;
+  disassembleInto(this, Out, "code");
+  return Out;
+}
+
+bool vm::codeEquals(const CodeObject *A, const CodeObject *B) {
+  if (A == B)
+    return true;
+  if (A->arity() != B->arity() || A->code() != B->code() ||
+      A->literals().size() != B->literals().size() ||
+      A->children().size() != B->children().size())
+    return false;
+  for (size_t I = 0, E = A->literals().size(); I != E; ++I)
+    if (!valueEquals(A->literals()[I], B->literals()[I]))
+      return false;
+  for (size_t I = 0, E = A->children().size(); I != E; ++I)
+    if (!codeEquals(A->children()[I], B->children()[I]))
+      return false;
+  return true;
+}

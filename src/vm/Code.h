@@ -1,0 +1,164 @@
+//===- vm/Code.h - Byte code objects ----------------------------*- C++ -*-===//
+///
+/// \file
+/// The object-code representation executed by the virtual machine: compiled
+/// code objects (byte code + literal table + child code objects for nested
+/// lambdas) and the global table linking top-level names to indices.
+///
+/// The instruction set is a compact stack-machine design in the spirit of
+/// the Scheme 48 VM the paper builds on: direct support for closures,
+/// proper tail calls, and stack-relative local addressing (the compiler
+/// threads a stack depth, exactly as described in Sec. 4/6.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PECOMP_VM_CODE_H
+#define PECOMP_VM_CODE_H
+
+#include "vm/Heap.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace pecomp {
+namespace vm {
+
+/// Byte-code opcodes. Operands are little-endian u16 unless noted.
+enum class Op : uint8_t {
+  Const,       ///< u16 literal index; pushes literals[i]
+  LocalRef,    ///< u16 slot; pushes stack[base + slot]
+  FreeRef,     ///< u16 index; pushes current closure's captured value
+  GlobalRef,   ///< u16 global index; pushes globals[i]
+  MakeClosure, ///< u16 child code index, u16 n: pops n captures, pushes
+               ///< a closure over children[i]
+  Call,        ///< u8 n: stack holds callee a1..an; pushes a frame
+  TailCall,    ///< u8 n: like Call but replaces the current frame
+  Return,      ///< pops the result, discards the frame, pushes the result
+  Jump,        ///< i16 offset relative to the next instruction
+  JumpIfFalse, ///< i16 offset; pops the test
+  Prim,        ///< u8 primop; pops its arity, pushes the result
+  Slide,       ///< u16 n: stack[top-n] = stack[top], pop n (stock compiler
+               ///< cleanup of expression temporaries)
+  Halt,        ///< stops execution; top of stack is the result
+};
+
+/// A compiled procedure body.
+class CodeObject {
+public:
+  CodeObject(std::string Name, uint32_t Arity)
+      : Name(std::move(Name)), Arity(Arity) {}
+
+  const std::string &name() const { return Name; }
+  uint32_t arity() const { return Arity; }
+
+  const std::vector<uint8_t> &code() const { return Code; }
+  const std::vector<Value> &literals() const { return Literals; }
+  const std::vector<const CodeObject *> &children() const { return Children; }
+
+  /// Mutation is confined to assembly time (the compiler backends).
+  std::vector<uint8_t> &mutableCode() { return Code; }
+  uint16_t addLiteral(Value V) {
+    checkLimit(Literals.size(), "literal table");
+    Literals.push_back(V);
+    return static_cast<uint16_t>(Literals.size() - 1);
+  }
+  uint16_t addChild(const CodeObject *Child) {
+    checkLimit(Children.size(), "child table");
+    Children.push_back(Child);
+    return static_cast<uint16_t>(Children.size() - 1);
+  }
+
+  /// Human-readable disassembly (recursive over children).
+  std::string disassemble() const;
+
+private:
+  /// Encoding limits are hard errors in every build configuration:
+  /// truncating an index would produce silently wrong code.
+  void checkLimit(size_t Size, const char *What) {
+    if (Size >= 65535) {
+      fprintf(stderr, "pecomp: %s overflow in code object '%s'\n", What,
+              Name.c_str());
+      abort();
+    }
+  }
+
+  std::string Name;
+  uint32_t Arity;
+  std::vector<uint8_t> Code;
+  std::vector<Value> Literals;
+  std::vector<const CodeObject *> Children;
+};
+
+/// Byte-for-byte structural equality of code objects (code bytes, literals
+/// by valueEquals, children recursively). This is the strong form of the
+/// paper's fusion theorem checked in the tests: the fused generating
+/// extension must produce exactly the code that compiling the residual
+/// source produces.
+bool codeEquals(const CodeObject *A, const CodeObject *B);
+
+/// Owns code objects and keeps their literal tables alive across GCs.
+class CodeStore : public RootProvider {
+public:
+  explicit CodeStore(Heap &H) : H(H) { H.addRootProvider(this); }
+  ~CodeStore() override { H.removeRootProvider(this); }
+  CodeStore(const CodeStore &) = delete;
+  CodeStore &operator=(const CodeStore &) = delete;
+
+  CodeObject *create(std::string Name, uint32_t Arity) {
+    Store.push_back(std::make_unique<CodeObject>(std::move(Name), Arity));
+    return Store.back().get();
+  }
+
+  void traceRoots(RootVisitor &Visitor) override {
+    for (const auto &Code : Store)
+      for (Value V : Code->literals())
+        Visitor.visit(V);
+  }
+
+  size_t size() const { return Store.size(); }
+  Heap &heap() { return H; }
+
+private:
+  Heap &H;
+  std::vector<std::unique_ptr<CodeObject>> Store;
+};
+
+/// Maps top-level definition names to global slots. Shared vocabulary
+/// between compile time (emitting GlobalRef) and run time (the machine's
+/// global vector).
+class GlobalTable {
+public:
+  uint16_t lookupOrAdd(Symbol Name) {
+    auto It = Index.find(Name);
+    if (It != Index.end())
+      return It->second;
+    Names.push_back(Name);
+    uint16_t I = static_cast<uint16_t>(Names.size() - 1);
+    Index.emplace(Name, I);
+    return I;
+  }
+
+  std::optional<uint16_t> lookup(Symbol Name) const {
+    auto It = Index.find(Name);
+    if (It == Index.end())
+      return std::nullopt;
+    return It->second;
+  }
+
+  size_t size() const { return Names.size(); }
+  Symbol name(uint16_t I) const { return Names[I]; }
+
+private:
+  std::vector<Symbol> Names;
+  std::unordered_map<Symbol, uint16_t> Index;
+};
+
+} // namespace vm
+} // namespace pecomp
+
+#endif // PECOMP_VM_CODE_H

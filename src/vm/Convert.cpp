@@ -1,0 +1,59 @@
+//===- vm/Convert.cpp - Datum/value conversion ----------------------------===//
+
+#include "vm/Convert.h"
+
+#include "support/Casting.h"
+
+using namespace pecomp;
+using namespace pecomp::vm;
+
+Value vm::valueFromDatum(Heap &H, const Datum *D) {
+  switch (D->kind()) {
+  case Datum::Kind::Fixnum:
+    return Value::fixnum(cast<FixnumDatum>(D)->value());
+  case Datum::Kind::Boolean:
+    return Value::boolean(cast<BooleanDatum>(D)->value());
+  case Datum::Kind::Symbol:
+    return Value::symbol(cast<SymbolDatum>(D)->symbol());
+  case Datum::Kind::String:
+    return H.string(cast<StringDatum>(D)->value());
+  case Datum::Kind::Char:
+    return Value::character(cast<CharDatum>(D)->value());
+  case Datum::Kind::Nil:
+    return Value::nil();
+  case Datum::Kind::Pair: {
+    const auto *P = cast<PairDatum>(D);
+    RootScope Scope(H);
+    Value &Car = Scope.protect(valueFromDatum(H, P->car()));
+    Value Cdr = valueFromDatum(H, P->cdr());
+    return H.pair(Car, Cdr);
+  }
+  }
+  return Value::unspecified();
+}
+
+const Datum *vm::datumFromValue(DatumFactory &F, Value V) {
+  if (V.isFixnum())
+    return F.fixnum(V.asFixnum());
+  if (V.isBoolean())
+    return F.boolean(V.asBoolean());
+  if (V.isSymbol())
+    return F.symbol(V.asSymbol());
+  if (V.isChar())
+    return F.charDatum(V.asChar());
+  if (V.isNil())
+    return F.nil();
+  if (V.isObject()) {
+    HeapObject *O = V.asObject();
+    if (auto *S = dyn_cast<StringObject>(O))
+      return F.string(S->Text);
+    if (auto *P = dyn_cast<PairObject>(O)) {
+      const Datum *Car = datumFromValue(F, P->Car);
+      const Datum *Cdr = datumFromValue(F, P->Cdr);
+      if (!Car || !Cdr)
+        return nullptr;
+      return F.pair(Car, Cdr);
+    }
+  }
+  return nullptr;
+}

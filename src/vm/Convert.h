@@ -1,0 +1,28 @@
+//===- vm/Convert.h - Datum/value conversion --------------------*- C++ -*-===//
+///
+/// \file
+/// Converts between syntax-level Datums (quoted constants, test inputs)
+/// and runtime Values.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PECOMP_VM_CONVERT_H
+#define PECOMP_VM_CONVERT_H
+
+#include "sexp/Datum.h"
+#include "vm/Heap.h"
+
+namespace pecomp {
+namespace vm {
+
+/// Builds the runtime value denoted by \p D.
+Value valueFromDatum(Heap &H, const Datum *D);
+
+/// Reads a runtime value back as a datum. Closures and boxes cannot be
+/// converted and yield nullptr.
+const Datum *datumFromValue(DatumFactory &F, Value V);
+
+} // namespace vm
+} // namespace pecomp
+
+#endif // PECOMP_VM_CONVERT_H

@@ -1,0 +1,174 @@
+//===- vm/Heap.cpp - Mark-sweep garbage-collected heap --------------------===//
+
+#include "vm/Heap.h"
+
+#include "support/Casting.h"
+
+#include <algorithm>
+
+using namespace pecomp;
+using namespace pecomp::vm;
+
+void RootVisitor::visit(Value V) { H.mark(V); }
+
+Heap::~Heap() {
+  HeapObject *O = Objects;
+  while (O) {
+    HeapObject *Next = O->Next;
+    destroy(O);
+    O = Next;
+  }
+}
+
+HeapObject *Heap::track(HeapObject *O) {
+  O->Next = Objects;
+  Objects = O;
+  ++NumObjects;
+  return O;
+}
+
+Value Heap::pair(Value Car, Value Cdr) {
+  TempRoots.assign({Car, Cdr});
+  maybeCollect();
+  TempRoots.clear();
+  return Value::object(track(new PairObject(Car, Cdr)));
+}
+
+Value Heap::string(std::string Text) {
+  maybeCollect();
+  return Value::object(track(new StringObject(std::move(Text))));
+}
+
+Value Heap::closure(const CodeObject *Code, std::span<const Value> Free) {
+  TempRoots.assign(Free.begin(), Free.end());
+  maybeCollect();
+  TempRoots.clear();
+  return Value::object(
+      track(new ClosureObject(Code, std::vector<Value>(Free.begin(),
+                                                       Free.end()))));
+}
+
+Value Heap::interpClosure(const LambdaExpr *Fn, Value Env) {
+  TempRoots.assign({Env});
+  maybeCollect();
+  TempRoots.clear();
+  return Value::object(track(new InterpClosureObject(Fn, Env)));
+}
+
+Value Heap::box(Value Contents) {
+  TempRoots.assign({Contents});
+  maybeCollect();
+  TempRoots.clear();
+  return Value::object(track(new BoxObject(Contents)));
+}
+
+Value Heap::list(std::span<const Value> Elements) {
+  // Build back to front; the accumulator must survive the next allocation.
+  RootScope Scope(*this);
+  Value &Acc = Scope.protect(Value::nil());
+  for (size_t I = Elements.size(); I-- > 0;)
+    Acc = pair(Elements[I], Acc);
+  return Acc;
+}
+
+void Heap::addRootProvider(RootProvider *Provider) {
+  Providers.push_back(Provider);
+}
+
+void Heap::removeRootProvider(RootProvider *Provider) {
+  auto It = std::find(Providers.rbegin(), Providers.rend(), Provider);
+  assert(It != Providers.rend() && "provider was not registered");
+  Providers.erase(std::next(It).base());
+}
+
+void Heap::maybeCollect() {
+  if (Stress || NumObjects >= NextGcThreshold)
+    collect();
+}
+
+void Heap::collect() {
+  ++NumCollections;
+  RootVisitor Visitor(*this);
+  for (RootProvider *P : Providers)
+    P->traceRoots(Visitor);
+  for (Value V : Pinned)
+    mark(V);
+  for (Value V : TempRoots)
+    mark(V);
+  sweep();
+  NextGcThreshold = std::max<size_t>(4096, NumObjects * 2);
+}
+
+void Heap::mark(Value V) {
+  if (!V.isObject())
+    return;
+  // Iterative marking with an explicit worklist; recursion would overflow
+  // on long lists.
+  std::vector<HeapObject *> Worklist;
+  auto Push = [&Worklist](Value W) {
+    if (W.isObject() && !W.asObject()->Marked) {
+      W.asObject()->Marked = true;
+      Worklist.push_back(W.asObject());
+    }
+  };
+  Push(V);
+  while (!Worklist.empty()) {
+    HeapObject *O = Worklist.back();
+    Worklist.pop_back();
+    switch (O->Kind) {
+    case ObjectKind::Pair: {
+      auto *P = static_cast<PairObject *>(O);
+      Push(P->Car);
+      Push(P->Cdr);
+      break;
+    }
+    case ObjectKind::String:
+      break;
+    case ObjectKind::Closure:
+      for (Value F : static_cast<ClosureObject *>(O)->Free)
+        Push(F);
+      break;
+    case ObjectKind::InterpClosure:
+      Push(static_cast<InterpClosureObject *>(O)->Env);
+      break;
+    case ObjectKind::Box:
+      Push(static_cast<BoxObject *>(O)->Contents);
+      break;
+    }
+  }
+}
+
+void Heap::sweep() {
+  HeapObject **Link = &Objects;
+  while (*Link) {
+    HeapObject *O = *Link;
+    if (O->Marked) {
+      O->Marked = false;
+      Link = &O->Next;
+    } else {
+      *Link = O->Next;
+      destroy(O);
+      --NumObjects;
+    }
+  }
+}
+
+void Heap::destroy(HeapObject *O) {
+  switch (O->Kind) {
+  case ObjectKind::Pair:
+    delete static_cast<PairObject *>(O);
+    return;
+  case ObjectKind::String:
+    delete static_cast<StringObject *>(O);
+    return;
+  case ObjectKind::Closure:
+    delete static_cast<ClosureObject *>(O);
+    return;
+  case ObjectKind::InterpClosure:
+    delete static_cast<InterpClosureObject *>(O);
+    return;
+  case ObjectKind::Box:
+    delete static_cast<BoxObject *>(O);
+    return;
+  }
+}

@@ -1,0 +1,129 @@
+//===- vm/Heap.h - Mark-sweep garbage-collected heap ------------*- C++ -*-===//
+///
+/// \file
+/// The runtime heap. Allocation may trigger a mark-sweep collection;
+/// arguments to the allocation functions themselves are protected for the
+/// duration of the call. Everything else must be reachable from a
+/// registered RootProvider or a Rooted handle.
+///
+/// A stress mode (collect on every allocation) exists for the GC-safety
+/// property tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PECOMP_VM_HEAP_H
+#define PECOMP_VM_HEAP_H
+
+#include "vm/Value.h"
+
+#include <cstddef>
+#include <deque>
+#include <span>
+#include <vector>
+
+namespace pecomp {
+namespace vm {
+
+/// Marking callback handed to root providers during collection.
+class RootVisitor {
+public:
+  explicit RootVisitor(class Heap &H) : H(H) {}
+  void visit(Value V);
+
+private:
+  Heap &H;
+};
+
+/// Anything holding Values that must survive collection implements this and
+/// registers with the heap.
+class RootProvider {
+public:
+  virtual ~RootProvider() = default;
+  virtual void traceRoots(RootVisitor &Visitor) = 0;
+};
+
+class Heap {
+public:
+  Heap() = default;
+  Heap(const Heap &) = delete;
+  Heap &operator=(const Heap &) = delete;
+  ~Heap();
+
+  // -- Allocation -------------------------------------------------------------
+
+  Value pair(Value Car, Value Cdr);
+  Value string(std::string Text);
+  Value closure(const CodeObject *Code, std::span<const Value> Free);
+  Value interpClosure(const LambdaExpr *Fn, Value Env);
+  Value box(Value Contents);
+
+  /// Builds a proper list from \p Elements.
+  Value list(std::span<const Value> Elements);
+
+  // -- Roots ------------------------------------------------------------------
+
+  void addRootProvider(RootProvider *Provider);
+  void removeRootProvider(RootProvider *Provider);
+
+  /// Pins a value forever (literal tables, interned constants).
+  void pin(Value V) { Pinned.push_back(V); }
+
+  // -- Collection --------------------------------------------------------------
+
+  /// Forces a full collection now.
+  void collect();
+
+  /// Collect on every allocation (GC stress testing).
+  void setStressMode(bool Enabled) { Stress = Enabled; }
+
+  size_t liveObjects() const { return NumObjects; }
+  size_t totalCollections() const { return NumCollections; }
+
+private:
+  friend class RootVisitor;
+
+  void maybeCollect();
+  HeapObject *track(HeapObject *O);
+  void mark(Value V);
+  void sweep();
+  static void destroy(HeapObject *O);
+
+  HeapObject *Objects = nullptr;
+  size_t NumObjects = 0;
+  size_t NumCollections = 0;
+  size_t NextGcThreshold = 4096;
+  bool Stress = false;
+
+  std::vector<RootProvider *> Providers;
+  std::vector<Value> Pinned;
+
+  // Arguments of an in-flight allocation, protected during maybeCollect.
+  std::vector<Value> TempRoots;
+};
+
+/// RAII root for a handful of values held in C++ locals across allocations.
+class RootScope : public RootProvider {
+public:
+  explicit RootScope(Heap &H) : H(H) { H.addRootProvider(this); }
+  ~RootScope() override { H.removeRootProvider(this); }
+
+  /// Registers a value and returns a stable reference to its slot.
+  Value &protect(Value V) {
+    Slots.push_back(V);
+    return Slots.back();
+  }
+
+  void traceRoots(RootVisitor &Visitor) override {
+    for (Value V : Slots)
+      Visitor.visit(V);
+  }
+
+private:
+  Heap &H;
+  std::deque<Value> Slots; // deque: protect() hands out stable references
+};
+
+} // namespace vm
+} // namespace pecomp
+
+#endif // PECOMP_VM_HEAP_H

@@ -1,0 +1,196 @@
+//===- vm/Machine.cpp - Byte-code virtual machine -------------------------===//
+
+#include "vm/Machine.h"
+
+#include "support/Casting.h"
+#include "vm/Prims.h"
+
+using namespace pecomp;
+using namespace pecomp::vm;
+
+void Machine::setGlobal(uint16_t Index, Value V) {
+  // Gaps are filled with the invalid value so that referencing a global
+  // that was allocated a slot but never defined reports "undefined
+  // global" rather than yielding #<unspecified>.
+  if (Globals.size() <= Index)
+    Globals.resize(Index + 1, Value());
+  Globals[Index] = V;
+}
+
+Value Machine::getGlobal(uint16_t Index) const {
+  assert(Index < Globals.size() && "undefined global");
+  return Globals[Index];
+}
+
+Value Machine::makeProcedure(const CodeObject *Code) {
+  return H.closure(Code, {});
+}
+
+void Machine::traceRoots(RootVisitor &Visitor) {
+  for (Value V : Globals)
+    Visitor.visit(V);
+  for (Value V : Stack)
+    Visitor.visit(V);
+  for (const Frame &F : Frames)
+    if (F.Closure)
+      Visitor.visit(Value::object(F.Closure));
+}
+
+Error Machine::runtimeError(std::string Message) const {
+  if (!Frames.empty() && !Frames.back().Code->name().empty())
+    Message += " (in " + Frames.back().Code->name() + ")";
+  return Error(std::move(Message));
+}
+
+Result<Value> Machine::call(Value Callee, std::span<const Value> Args) {
+  assert(Frames.empty() && "Machine::call is not reentrant");
+  Stack.clear();
+
+  if (!Callee.isObject() || !isa<ClosureObject>(Callee.asObject()))
+    return Error("call: not a procedure: " + valueToString(Callee));
+  auto *Clo = cast<ClosureObject>(Callee.asObject());
+  if (Clo->Code->arity() != Args.size())
+    return Error("call: " + Clo->Code->name() + " expects " +
+                 std::to_string(Clo->Code->arity()) + " argument(s), got " +
+                 std::to_string(Args.size()));
+
+  Stack.push_back(Callee);
+  for (Value A : Args)
+    Stack.push_back(A);
+  Frames.push_back(Frame{Clo->Code, 0, Stack.size() - Args.size(), Clo});
+
+  Result<Value> R = run();
+  Frames.clear();
+  Stack.clear();
+  return R;
+}
+
+Result<Value> Machine::run() {
+  for (;;) {
+    Frame &F = Frames.back();
+    const std::vector<uint8_t> &Code = F.Code->code();
+    assert(F.PC < Code.size() && "ran off the end of a code object");
+
+    if (Fuel && ++Executed > Fuel)
+      return runtimeError("fuel exhausted");
+    if (!Fuel)
+      ++Executed;
+
+    Op O = static_cast<Op>(Code[F.PC++]);
+    auto ReadU16 = [&]() {
+      uint16_t V = static_cast<uint16_t>(Code[F.PC] | (Code[F.PC + 1] << 8));
+      F.PC += 2;
+      return V;
+    };
+
+    switch (O) {
+    case Op::Const:
+      Stack.push_back(F.Code->literals()[ReadU16()]);
+      break;
+    case Op::LocalRef:
+      Stack.push_back(Stack[F.Base + ReadU16()]);
+      break;
+    case Op::FreeRef: {
+      assert(F.Closure && "FreeRef without a closure");
+      Stack.push_back(F.Closure->Free[ReadU16()]);
+      break;
+    }
+    case Op::GlobalRef: {
+      uint16_t I = ReadU16();
+      if (I >= Globals.size() || !Globals[I].isValid())
+        return runtimeError("undefined global #" + std::to_string(I));
+      Stack.push_back(Globals[I]);
+      break;
+    }
+    case Op::MakeClosure: {
+      uint16_t Child = ReadU16();
+      uint16_t N = ReadU16();
+      const CodeObject *Target = F.Code->children()[Child];
+      std::span<const Value> Captured(Stack.data() + Stack.size() - N, N);
+      Value Clo = H.closure(Target, Captured);
+      Stack.resize(Stack.size() - N);
+      Stack.push_back(Clo);
+      break;
+    }
+    case Op::Call: {
+      uint8_t N = Code[F.PC++];
+      Value Callee = Stack[Stack.size() - N - 1];
+      if (!Callee.isObject() || !isa<ClosureObject>(Callee.asObject()))
+        return runtimeError("call: not a procedure: " +
+                            valueToString(Callee));
+      auto *Clo = cast<ClosureObject>(Callee.asObject());
+      if (Clo->Code->arity() != N)
+        return runtimeError("call: " + Clo->Code->name() + " expects " +
+                            std::to_string(Clo->Code->arity()) +
+                            " argument(s), got " + std::to_string(N));
+      Frames.push_back(Frame{Clo->Code, 0, Stack.size() - N, Clo});
+      break;
+    }
+    case Op::TailCall: {
+      uint8_t N = Code[F.PC++];
+      Value Callee = Stack[Stack.size() - N - 1];
+      if (!Callee.isObject() || !isa<ClosureObject>(Callee.asObject()))
+        return runtimeError("call: not a procedure: " +
+                            valueToString(Callee));
+      auto *Clo = cast<ClosureObject>(Callee.asObject());
+      if (Clo->Code->arity() != N)
+        return runtimeError("call: " + Clo->Code->name() + " expects " +
+                            std::to_string(Clo->Code->arity()) +
+                            " argument(s), got " + std::to_string(N));
+      // Slide callee + args down over the current frame.
+      size_t Src = Stack.size() - N - 1;
+      size_t Dst = F.Base - 1;
+      for (size_t I = 0; I <= N; ++I)
+        Stack[Dst + I] = Stack[Src + I];
+      Stack.resize(Dst + N + 1);
+      F.Code = Clo->Code;
+      F.PC = 0;
+      F.Closure = Clo;
+      // F.Base unchanged.
+      break;
+    }
+    case Op::Return: {
+      Value Result = Stack.back();
+      Stack.resize(Frames.back().Base - 1);
+      Stack.push_back(Result);
+      Frames.pop_back();
+      if (Frames.empty())
+        return Result;
+      break;
+    }
+    case Op::Jump: {
+      int16_t Off = static_cast<int16_t>(ReadU16());
+      F.PC = static_cast<size_t>(static_cast<long>(F.PC) + Off);
+      break;
+    }
+    case Op::JumpIfFalse: {
+      int16_t Off = static_cast<int16_t>(ReadU16());
+      Value Test = Stack.back();
+      Stack.pop_back();
+      if (!Test.isTruthy())
+        F.PC = static_cast<size_t>(static_cast<long>(F.PC) + Off);
+      break;
+    }
+    case Op::Prim: {
+      PrimOp P = static_cast<PrimOp>(Code[F.PC++]);
+      unsigned N = primArity(P);
+      std::span<const Value> Args(Stack.data() + Stack.size() - N, N);
+      Result<Value> R = applyPrim(P, H, Args);
+      if (!R)
+        return runtimeError(R.error().message());
+      Stack.resize(Stack.size() - N);
+      Stack.push_back(*R);
+      break;
+    }
+    case Op::Slide: {
+      uint16_t N = ReadU16();
+      Value Top = Stack.back();
+      Stack.resize(Stack.size() - N - 1);
+      Stack.push_back(Top);
+      break;
+    }
+    case Op::Halt:
+      return Stack.back();
+    }
+  }
+}

@@ -1,0 +1,73 @@
+//===- vm/Machine.h - Byte-code virtual machine -----------------*- C++ -*-===//
+///
+/// \file
+/// The byte-code interpreter: a stack machine with flat closures, proper
+/// tail calls, and a global vector for top-level definitions. This is the
+/// substrate standing in for the Scheme 48 VM of the paper (see DESIGN.md,
+/// substitution 1).
+///
+/// A Machine registers itself as a GC root provider: its value stack,
+/// frames, and globals survive collections triggered by allocating
+/// primitives.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PECOMP_VM_MACHINE_H
+#define PECOMP_VM_MACHINE_H
+
+#include "support/Error.h"
+#include "vm/Code.h"
+
+namespace pecomp {
+namespace vm {
+
+class Machine : public RootProvider {
+public:
+  explicit Machine(Heap &H) : H(H) { H.addRootProvider(this); }
+  ~Machine() override { H.removeRootProvider(this); }
+  Machine(const Machine &) = delete;
+  Machine &operator=(const Machine &) = delete;
+
+  /// Defines global \p Index (growing the global vector as needed).
+  void setGlobal(uint16_t Index, Value V);
+  Value getGlobal(uint16_t Index) const;
+
+  /// Instantiates a zero-capture closure for \p Code.
+  Value makeProcedure(const CodeObject *Code);
+
+  /// Applies \p Callee (a closure) to \p Args and runs to completion.
+  Result<Value> call(Value Callee, std::span<const Value> Args);
+
+  /// Caps the number of executed instructions (for tests on possibly
+  /// divergent inputs). 0 means unlimited.
+  void setFuel(uint64_t MaxInstructions) { Fuel = MaxInstructions; }
+
+  uint64_t instructionsExecuted() const { return Executed; }
+
+  void traceRoots(RootVisitor &Visitor) override;
+
+  Heap &heap() { return H; }
+
+private:
+  struct Frame {
+    const CodeObject *Code;
+    size_t PC;
+    size_t Base;
+    ClosureObject *Closure; // null for zero-capture procedures
+  };
+
+  Result<Value> run();
+  Error runtimeError(std::string Message) const;
+
+  Heap &H;
+  std::vector<Value> Globals;
+  std::vector<Value> Stack;
+  std::vector<Frame> Frames;
+  uint64_t Fuel = 0;
+  uint64_t Executed = 0;
+};
+
+} // namespace vm
+} // namespace pecomp
+
+#endif // PECOMP_VM_MACHINE_H

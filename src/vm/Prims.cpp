@@ -1,0 +1,166 @@
+//===- vm/Prims.cpp - Primitive execution ---------------------------------===//
+
+#include "vm/Prims.h"
+
+#include "support/Casting.h"
+
+using namespace pecomp;
+using namespace pecomp::vm;
+
+namespace {
+
+Error typeError(PrimOp Op, const char *Expected, Value Got) {
+  return Error(std::string(primName(Op)) + ": expected " + Expected +
+               ", got " + valueToString(Got));
+}
+
+Result<int64_t> wantFixnum(PrimOp Op, Value V) {
+  if (!V.isFixnum())
+    return typeError(Op, "a number", V);
+  return V.asFixnum();
+}
+
+Result<PairObject *> wantPair(PrimOp Op, Value V) {
+  if (V.isObject())
+    if (auto *P = dyn_cast<PairObject>(V.asObject()))
+      return P;
+  return typeError(Op, "a pair", V);
+}
+
+Result<BoxObject *> wantBox(PrimOp Op, Value V) {
+  if (V.isObject())
+    if (auto *B = dyn_cast<BoxObject>(V.asObject()))
+      return B;
+  return typeError(Op, "a box", V);
+}
+
+} // namespace
+
+Result<Value> vm::applyPrim(PrimOp Op, Heap &H, std::span<const Value> Args) {
+  assert(Args.size() == primArity(Op) && "arity mismatch in applyPrim");
+  switch (Op) {
+  case PrimOp::Add:
+  case PrimOp::Sub:
+  case PrimOp::Mul:
+  case PrimOp::Quotient:
+  case PrimOp::Remainder: {
+    Result<int64_t> A = wantFixnum(Op, Args[0]);
+    if (!A)
+      return A.takeError();
+    Result<int64_t> B = wantFixnum(Op, Args[1]);
+    if (!B)
+      return B.takeError();
+    switch (Op) {
+    case PrimOp::Add:
+      return Value::fixnum(*A + *B);
+    case PrimOp::Sub:
+      return Value::fixnum(*A - *B);
+    case PrimOp::Mul:
+      return Value::fixnum(*A * *B);
+    case PrimOp::Quotient:
+      if (*B == 0)
+        return Error("quotient: division by zero");
+      return Value::fixnum(*A / *B);
+    case PrimOp::Remainder:
+      if (*B == 0)
+        return Error("remainder: division by zero");
+      return Value::fixnum(*A % *B);
+    default:
+      break;
+    }
+    break;
+  }
+  case PrimOp::NumEq:
+  case PrimOp::Lt:
+  case PrimOp::Gt:
+  case PrimOp::Le:
+  case PrimOp::Ge: {
+    Result<int64_t> A = wantFixnum(Op, Args[0]);
+    if (!A)
+      return A.takeError();
+    Result<int64_t> B = wantFixnum(Op, Args[1]);
+    if (!B)
+      return B.takeError();
+    bool R = false;
+    switch (Op) {
+    case PrimOp::NumEq:
+      R = *A == *B;
+      break;
+    case PrimOp::Lt:
+      R = *A < *B;
+      break;
+    case PrimOp::Gt:
+      R = *A > *B;
+      break;
+    case PrimOp::Le:
+      R = *A <= *B;
+      break;
+    case PrimOp::Ge:
+      R = *A >= *B;
+      break;
+    default:
+      break;
+    }
+    return Value::boolean(R);
+  }
+  case PrimOp::EqP:
+    return Value::boolean(Args[0] == Args[1]);
+  case PrimOp::EqualP:
+    return Value::boolean(valueEquals(Args[0], Args[1]));
+  case PrimOp::Cons:
+    return H.pair(Args[0], Args[1]);
+  case PrimOp::Car: {
+    Result<PairObject *> P = wantPair(Op, Args[0]);
+    if (!P)
+      return P.takeError();
+    return (*P)->Car;
+  }
+  case PrimOp::Cdr: {
+    Result<PairObject *> P = wantPair(Op, Args[0]);
+    if (!P)
+      return P.takeError();
+    return (*P)->Cdr;
+  }
+  case PrimOp::NullP:
+    return Value::boolean(Args[0].isNil());
+  case PrimOp::PairP:
+    return Value::boolean(Args[0].isObject() &&
+                          isa<PairObject>(Args[0].asObject()));
+  case PrimOp::ZeroP: {
+    Result<int64_t> A = wantFixnum(Op, Args[0]);
+    if (!A)
+      return A.takeError();
+    return Value::boolean(*A == 0);
+  }
+  case PrimOp::Not:
+    return Value::boolean(!Args[0].isTruthy());
+  case PrimOp::NumberP:
+    return Value::boolean(Args[0].isFixnum());
+  case PrimOp::SymbolP:
+    return Value::boolean(Args[0].isSymbol());
+  case PrimOp::BooleanP:
+    return Value::boolean(Args[0].isBoolean());
+  case PrimOp::ProcedureP:
+    return Value::boolean(
+        Args[0].isObject() && (isa<ClosureObject>(Args[0].asObject()) ||
+                               isa<InterpClosureObject>(Args[0].asObject())));
+  case PrimOp::Error:
+    return Error("error: " + valueToString(Args[0]));
+  case PrimOp::MakeBox:
+    return H.box(Args[0]);
+  case PrimOp::BoxRef: {
+    Result<BoxObject *> B = wantBox(Op, Args[0]);
+    if (!B)
+      return B.takeError();
+    return (*B)->Contents;
+  }
+  case PrimOp::BoxSet: {
+    Result<BoxObject *> B = wantBox(Op, Args[0]);
+    if (!B)
+      return B.takeError();
+    (*B)->Contents = Args[1];
+    return Value::unspecified();
+  }
+  }
+  return Error("unknown primitive");
+}

@@ -1,0 +1,30 @@
+//===- vm/Prims.h - Primitive execution -------------------------*- C++ -*-===//
+///
+/// \file
+/// Executes a primitive operation over runtime values. One implementation,
+/// shared by the byte-code machine, the reference interpreter, and the
+/// specializer (which runs static primitives at specialization time).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PECOMP_VM_PRIMS_H
+#define PECOMP_VM_PRIMS_H
+
+#include "support/Error.h"
+#include "syntax/Primitives.h"
+#include "vm/Heap.h"
+
+#include <span>
+
+namespace pecomp {
+namespace vm {
+
+/// Applies \p Op to \p Args (whose size must equal primArity(Op)).
+/// Allocating primitives (cons, make-box) use \p H. Type errors and the
+/// error primitive produce an Error result.
+Result<Value> applyPrim(PrimOp Op, Heap &H, std::span<const Value> Args);
+
+} // namespace vm
+} // namespace pecomp
+
+#endif // PECOMP_VM_PRIMS_H

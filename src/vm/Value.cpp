@@ -1,0 +1,160 @@
+//===- vm/Value.cpp - Runtime values --------------------------------------===//
+
+#include "vm/Value.h"
+
+#include "support/Casting.h"
+#include "vm/Code.h"
+
+using namespace pecomp;
+using namespace pecomp::vm;
+
+Symbol Value::asSymbol() const {
+  assert(isSymbol() && "not a symbol");
+  return Symbol::fromId(static_cast<uint32_t>(Bits >> 4));
+}
+
+bool vm::valueEquals(Value A, Value B) {
+  if (A == B)
+    return true;
+  if (!A.isObject() || !B.isObject())
+    return false;
+  HeapObject *OA = A.asObject(), *OB = B.asObject();
+  if (OA->Kind != OB->Kind)
+    return false;
+  switch (OA->Kind) {
+  case ObjectKind::Pair: {
+    auto *PA = static_cast<PairObject *>(OA);
+    auto *PB = static_cast<PairObject *>(OB);
+    return valueEquals(PA->Car, PB->Car) && valueEquals(PA->Cdr, PB->Cdr);
+  }
+  case ObjectKind::String:
+    return static_cast<StringObject *>(OA)->Text ==
+           static_cast<StringObject *>(OB)->Text;
+  case ObjectKind::Closure:
+  case ObjectKind::InterpClosure:
+  case ObjectKind::Box:
+    return false; // identity only
+  }
+  return false;
+}
+
+uint64_t vm::valueHash(Value V) {
+  constexpr uint64_t Mix = 0x9e3779b97f4a7c15ull;
+  if (!V.isObject())
+    return V.raw() * Mix;
+  HeapObject *O = V.asObject();
+  switch (O->Kind) {
+  case ObjectKind::Pair: {
+    auto *P = static_cast<PairObject *>(O);
+    uint64_t H = valueHash(P->Car);
+    H = (H ^ valueHash(P->Cdr)) * Mix + 0x2545F4914F6CDD1Dull;
+    return H;
+  }
+  case ObjectKind::String: {
+    uint64_t H = 1469598103934665603ull;
+    for (char C : static_cast<StringObject *>(O)->Text)
+      H = (H ^ static_cast<unsigned char>(C)) * 1099511628211ull;
+    return H;
+  }
+  case ObjectKind::Closure:
+  case ObjectKind::InterpClosure:
+  case ObjectKind::Box:
+    return reinterpret_cast<uint64_t>(O) * Mix;
+  }
+  return 0;
+}
+
+namespace {
+
+void writeValue(Value V, std::string &Out) {
+  if (V.isFixnum()) {
+    Out += std::to_string(V.asFixnum());
+    return;
+  }
+  if (V.isBoolean()) {
+    Out += V.asBoolean() ? "#t" : "#f";
+    return;
+  }
+  if (V.isNil()) {
+    Out += "()";
+    return;
+  }
+  if (V.isUnspecified()) {
+    Out += "#<unspecified>";
+    return;
+  }
+  if (V.isSymbol()) {
+    Out += V.asSymbol().str();
+    return;
+  }
+  if (V.isChar()) {
+    char C = V.asChar();
+    Out += "#\\";
+    if (C == ' ')
+      Out += "space";
+    else if (C == '\n')
+      Out += "newline";
+    else
+      Out.push_back(C);
+    return;
+  }
+  if (!V.isValid()) {
+    Out += "#<invalid>";
+    return;
+  }
+  HeapObject *O = V.asObject();
+  switch (O->Kind) {
+  case ObjectKind::Pair: {
+    Out.push_back('(');
+    Value Cursor = V;
+    bool First = true;
+    while (Cursor.isObject() &&
+           Cursor.asObject()->Kind == ObjectKind::Pair) {
+      if (!First)
+        Out.push_back(' ');
+      First = false;
+      auto *P = static_cast<PairObject *>(Cursor.asObject());
+      writeValue(P->Car, Out);
+      Cursor = P->Cdr;
+    }
+    if (!Cursor.isNil()) {
+      Out += " . ";
+      writeValue(Cursor, Out);
+    }
+    Out.push_back(')');
+    return;
+  }
+  case ObjectKind::String: {
+    Out.push_back('"');
+    Out += static_cast<StringObject *>(O)->Text;
+    Out.push_back('"');
+    return;
+  }
+  case ObjectKind::Closure: {
+    auto *C = static_cast<ClosureObject *>(O);
+    Out += "#<procedure";
+    if (C->Code && !C->Code->name().empty()) {
+      Out.push_back(' ');
+      Out += C->Code->name();
+    }
+    Out.push_back('>');
+    return;
+  }
+  case ObjectKind::InterpClosure:
+    Out += "#<procedure>";
+    return;
+  case ObjectKind::Box:
+    Out += "#<box ";
+    writeValue(static_cast<BoxObject *>(O)->Contents, Out);
+    Out.push_back('>');
+    return;
+  }
+}
+
+} // namespace
+
+std::string vm::valueToString(Value V) {
+  std::string Out;
+  writeValue(V, Out);
+  return Out;
+}

@@ -1,0 +1,214 @@
+//===- vm/Value.h - Runtime values ------------------------------*- C++ -*-===//
+///
+/// \file
+/// The runtime value representation shared by the virtual machine, the
+/// reference interpreter, and the specializer (whose static data are
+/// ordinary runtime values). A Value is one 64-bit word:
+///
+///   ...xxx1  fixnum (63-bit, two's complement)
+///   ...0000  heap object pointer (8-byte aligned), or 0 = invalid
+///   ...0010  immediate: false/true/nil/unspecified
+///   ...0100  symbol (intern id in the upper bits)
+///   ...0110  character
+///
+/// Heap objects (pairs, strings, closures, boxes) live in vm::Heap and are
+/// reclaimed by its mark-sweep collector.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PECOMP_VM_VALUE_H
+#define PECOMP_VM_VALUE_H
+
+#include "sexp/Symbol.h"
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pecomp {
+
+class LambdaExpr;
+
+namespace vm {
+
+class CodeObject;
+struct HeapObject;
+
+class Value {
+public:
+  Value() = default;
+
+  // -- Constructors ---------------------------------------------------------
+
+  static Value fixnum(int64_t N) {
+    return Value((static_cast<uint64_t>(N) << 1) | 1);
+  }
+  static Value boolean(bool B) { return Value(B ? TrueBits : FalseBits); }
+  static Value nil() { return Value(NilBits); }
+  static Value unspecified() { return Value(UnspecifiedBits); }
+  static Value symbol(Symbol S) {
+    return Value((static_cast<uint64_t>(S.id()) << 4) | SymbolTag);
+  }
+  static Value character(char C) {
+    return Value((static_cast<uint64_t>(static_cast<unsigned char>(C)) << 4) |
+                 CharTag);
+  }
+  static Value object(HeapObject *O) {
+    assert((reinterpret_cast<uint64_t>(O) & 7) == 0 && "unaligned object");
+    return Value(reinterpret_cast<uint64_t>(O));
+  }
+
+  // -- Predicates -------------------------------------------------------------
+
+  bool isValid() const { return Bits != 0; }
+  bool isFixnum() const { return Bits & 1; }
+  bool isBoolean() const { return Bits == TrueBits || Bits == FalseBits; }
+  bool isNil() const { return Bits == NilBits; }
+  bool isUnspecified() const { return Bits == UnspecifiedBits; }
+  bool isSymbol() const { return (Bits & 15) == SymbolTag; }
+  bool isChar() const { return (Bits & 15) == CharTag; }
+  bool isObject() const { return Bits != 0 && (Bits & 7) == 0; }
+
+  /// Scheme truth: everything except #f is true.
+  bool isTruthy() const { return Bits != FalseBits; }
+
+  // -- Accessors --------------------------------------------------------------
+
+  int64_t asFixnum() const {
+    assert(isFixnum() && "not a fixnum");
+    return static_cast<int64_t>(Bits) >> 1;
+  }
+  bool asBoolean() const {
+    assert(isBoolean() && "not a boolean");
+    return Bits == TrueBits;
+  }
+  Symbol asSymbol() const;
+  char asChar() const {
+    assert(isChar() && "not a character");
+    return static_cast<char>(Bits >> 4);
+  }
+  HeapObject *asObject() const {
+    assert(isObject() && "not a heap object");
+    return reinterpret_cast<HeapObject *>(Bits);
+  }
+
+  /// Identity (Scheme eq?): same bits.
+  friend bool operator==(Value A, Value B) { return A.Bits == B.Bits; }
+  friend bool operator!=(Value A, Value B) { return A.Bits != B.Bits; }
+
+  uint64_t raw() const { return Bits; }
+
+private:
+  explicit Value(uint64_t Bits) : Bits(Bits) {}
+
+  static constexpr uint64_t FalseBits = 0x02;       // 0 << 4 | 0010
+  static constexpr uint64_t TrueBits = 0x12;        // 1 << 4 | 0010
+  static constexpr uint64_t NilBits = 0x22;         // 2 << 4 | 0010
+  static constexpr uint64_t UnspecifiedBits = 0x32; // 3 << 4 | 0010
+  static constexpr uint64_t SymbolTag = 0x4;
+  static constexpr uint64_t CharTag = 0x6;
+
+  uint64_t Bits = 0;
+};
+
+/// Heap object kinds.
+enum class ObjectKind : uint8_t {
+  Pair,
+  String,
+  Closure,       ///< compiled: code object + captured values
+  InterpClosure, ///< interpreted: lambda expression + environment
+  Box,
+};
+
+/// Common header of all heap objects. Objects form an intrusive list for
+/// the sweep phase.
+struct HeapObject {
+  ObjectKind Kind;
+  bool Marked = false;
+  HeapObject *Next = nullptr;
+
+  explicit HeapObject(ObjectKind Kind) : Kind(Kind) {}
+};
+
+struct PairObject : HeapObject {
+  Value Car, Cdr;
+  PairObject(Value Car, Value Cdr)
+      : HeapObject(ObjectKind::Pair), Car(Car), Cdr(Cdr) {}
+  static bool classof(const HeapObject *O) {
+    return O->Kind == ObjectKind::Pair;
+  }
+};
+
+struct StringObject : HeapObject {
+  std::string Text;
+  explicit StringObject(std::string Text)
+      : HeapObject(ObjectKind::String), Text(std::move(Text)) {}
+  static bool classof(const HeapObject *O) {
+    return O->Kind == ObjectKind::String;
+  }
+};
+
+struct ClosureObject : HeapObject {
+  const CodeObject *Code;
+  std::vector<Value> Free;
+  ClosureObject(const CodeObject *Code, std::vector<Value> Free)
+      : HeapObject(ObjectKind::Closure), Code(Code), Free(std::move(Free)) {}
+  static bool classof(const HeapObject *O) {
+    return O->Kind == ObjectKind::Closure;
+  }
+};
+
+/// A closure of the reference interpreter (src/eval): the lambda's syntax
+/// plus the captured environment, which is itself a runtime value (an
+/// association list), so the collector traces it like any other data.
+struct InterpClosureObject : HeapObject {
+  const LambdaExpr *Fn;
+  Value Env;
+  InterpClosureObject(const LambdaExpr *Fn, Value Env)
+      : HeapObject(ObjectKind::InterpClosure), Fn(Fn), Env(Env) {}
+  static bool classof(const HeapObject *O) {
+    return O->Kind == ObjectKind::InterpClosure;
+  }
+};
+
+struct BoxObject : HeapObject {
+  Value Contents;
+  explicit BoxObject(Value Contents)
+      : HeapObject(ObjectKind::Box), Contents(Contents) {}
+  static bool classof(const HeapObject *O) {
+    return O->Kind == ObjectKind::Box;
+  }
+};
+
+/// Structural equality (Scheme equal?): recursive over pairs and strings,
+/// identity elsewhere.
+bool valueEquals(Value A, Value B);
+
+/// Structural hash consistent with valueEquals. Used as the specializer's
+/// memoization key over static argument values.
+uint64_t valueHash(Value V);
+
+/// Renders the external representation of \p V (Scheme write).
+std::string valueToString(Value V);
+
+/// Hash-map key wrapper comparing values structurally (valueEquals /
+/// valueHash). Used by the literal-interning tables so repeated equal
+/// constants share one literal slot regardless of identity.
+struct StructuralValueKey {
+  Value V;
+  bool operator==(const StructuralValueKey &O) const {
+    return valueEquals(V, O.V);
+  }
+};
+
+struct StructuralValueHash {
+  size_t operator()(const StructuralValueKey &K) const {
+    return static_cast<size_t>(valueHash(K.V));
+  }
+};
+
+} // namespace vm
+} // namespace pecomp
+
+#endif // PECOMP_VM_VALUE_H

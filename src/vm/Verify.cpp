@@ -1,0 +1,253 @@
+//===- vm/Verify.cpp - Byte-code verifier ----------------------------------===//
+
+#include "vm/Verify.h"
+
+#include "syntax/Primitives.h"
+
+#include <map>
+#include <vector>
+
+using namespace pecomp;
+using namespace pecomp::vm;
+
+namespace {
+
+/// Decoded form of one instruction.
+struct Decoded {
+  Op Opcode;
+  uint32_t A = 0; // first operand
+  uint32_t B = 0; // second operand
+  size_t Next = 0;    // offset of the following instruction
+  long JumpTarget = -1; // absolute target for Jump/JumpIfFalse
+};
+
+class Verifier {
+public:
+  explicit Verifier(const CodeObject *Code, size_t NumFree)
+      : Code(Code), NumFree(NumFree), Bytes(Code->code()) {}
+
+  std::optional<std::string> run() {
+    if (Bytes.empty())
+      return fail(0, "empty code object");
+
+    // Worklist over (offset, stack depth). Parameters occupy the frame's
+    // first slots, so execution starts at depth = arity.
+    Work.push_back({0, Code->arity()});
+    while (!Work.empty()) {
+      auto [Offset, Depth] = Work.back();
+      Work.pop_back();
+      if (auto Err = visit(Offset, Depth))
+        return Err;
+    }
+
+    // Children are valid for the capture counts their MakeClosure sites
+    // promise them.
+    for (const auto &[Child, Captures] : ChildUses)
+      if (auto Err = verifyCode(Child, Captures))
+        return Err;
+    return std::nullopt;
+  }
+
+private:
+  std::optional<std::string> fail(size_t Offset, const std::string &What) {
+    return "verify " +
+           (Code->name().empty() ? std::string("<anonymous>")
+                                 : Code->name()) +
+           " @" + std::to_string(Offset) + ": " + What;
+  }
+
+  /// Reads and bounds-checks one instruction at \p Offset.
+  std::optional<std::string> decode(size_t Offset, Decoded &Out) {
+    size_t PC = Offset;
+    auto NeedBytes = [&](size_t N) { return PC + N <= Bytes.size(); };
+    auto ReadU16 = [&]() {
+      uint16_t V = static_cast<uint16_t>(Bytes[PC] | (Bytes[PC + 1] << 8));
+      PC += 2;
+      return V;
+    };
+
+    if (!NeedBytes(1))
+      return fail(Offset, "truncated opcode");
+    Out.Opcode = static_cast<Op>(Bytes[PC++]);
+    switch (Out.Opcode) {
+    case Op::Const:
+    case Op::LocalRef:
+    case Op::FreeRef:
+    case Op::GlobalRef:
+    case Op::Slide:
+      if (!NeedBytes(2))
+        return fail(Offset, "truncated u16 operand");
+      Out.A = ReadU16();
+      break;
+    case Op::MakeClosure:
+      if (!NeedBytes(4))
+        return fail(Offset, "truncated MakeClosure operands");
+      Out.A = ReadU16();
+      Out.B = ReadU16();
+      break;
+    case Op::Call:
+    case Op::TailCall:
+    case Op::Prim:
+      if (!NeedBytes(1))
+        return fail(Offset, "truncated u8 operand");
+      Out.A = Bytes[PC++];
+      break;
+    case Op::Jump:
+    case Op::JumpIfFalse: {
+      if (!NeedBytes(2))
+        return fail(Offset, "truncated jump offset");
+      int16_t Rel = static_cast<int16_t>(ReadU16());
+      Out.JumpTarget = static_cast<long>(PC) + Rel;
+      break;
+    }
+    case Op::Return:
+    case Op::Halt:
+      break;
+    default:
+      return fail(Offset, "unknown opcode " +
+                              std::to_string(static_cast<unsigned>(
+                                  Out.Opcode)));
+    }
+    Out.Next = PC;
+    return std::nullopt;
+  }
+
+  /// Records that control reaches \p Offset with \p Depth, queueing it if
+  /// new; errors if a previous visit saw a different depth.
+  std::optional<std::string> flow(size_t From, long Offset, size_t Depth) {
+    if (Offset < 0 || static_cast<size_t>(Offset) > Bytes.size())
+      return fail(From, "jump target " + std::to_string(Offset) +
+                            " out of range");
+    if (static_cast<size_t>(Offset) == Bytes.size())
+      return fail(From, "control flows off the end of the code");
+    auto [It, New] = DepthAt.emplace(static_cast<size_t>(Offset), Depth);
+    if (!New && It->second != Depth)
+      return fail(From, "inconsistent stack depth at " +
+                            std::to_string(Offset) + ": " +
+                            std::to_string(It->second) + " vs " +
+                            std::to_string(Depth));
+    if (New)
+      Work.push_back({static_cast<size_t>(Offset), Depth});
+    return std::nullopt;
+  }
+
+  std::optional<std::string> visit(size_t Offset, size_t Depth) {
+    // Follow straight-line flow until a terminator; branches re-enter via
+    // the worklist.
+    for (;;) {
+      DepthAt.emplace(Offset, Depth); // self-consistent by construction
+      Decoded I;
+      if (auto Err = decode(Offset, I))
+        return Err;
+
+      auto Pop = [&](size_t N, const char *What) -> std::optional<std::string> {
+        if (Depth < N)
+          return fail(Offset, std::string("stack underflow in ") + What +
+                                  " (depth " + std::to_string(Depth) +
+                                  ", needs " + std::to_string(N) + ")");
+        Depth -= N;
+        return std::nullopt;
+      };
+
+      switch (I.Opcode) {
+      case Op::Const:
+        if (I.A >= Code->literals().size())
+          return fail(Offset, "literal index out of range");
+        ++Depth;
+        break;
+      case Op::LocalRef:
+        if (I.A >= Depth)
+          return fail(Offset, "local slot " + std::to_string(I.A) +
+                                  " beyond stack depth " +
+                                  std::to_string(Depth));
+        ++Depth;
+        break;
+      case Op::FreeRef:
+        if (I.A >= NumFree)
+          return fail(Offset, "free index " + std::to_string(I.A) +
+                                  " beyond capture count " +
+                                  std::to_string(NumFree));
+        ++Depth;
+        break;
+      case Op::GlobalRef:
+        // Global slots are bound at link time; any index is well formed
+        // (the machine checks definedness at run time).
+        ++Depth;
+        break;
+      case Op::MakeClosure: {
+        if (I.A >= Code->children().size())
+          return fail(Offset, "child index out of range");
+        if (auto Err = Pop(I.B, "MakeClosure"))
+          return Err;
+        const CodeObject *Child = Code->children()[I.A];
+        auto [It, New] = ChildUses.emplace(Child, I.B);
+        if (!New && It->second != I.B)
+          return fail(Offset, "child used with differing capture counts");
+        ++Depth;
+        break;
+      }
+      case Op::Call:
+        if (auto Err = Pop(I.A + 1, "Call"))
+          return Err;
+        ++Depth; // the result
+        break;
+      case Op::TailCall:
+        if (auto Err = Pop(I.A + 1, "TailCall"))
+          return Err;
+        return std::nullopt; // terminal
+      case Op::Return:
+        if (auto Err = Pop(1, "Return"))
+          return Err;
+        return std::nullopt; // terminal
+      case Op::Jump:
+        return flow(Offset, I.JumpTarget, Depth); // terminal fallthrough
+      case Op::JumpIfFalse: {
+        if (auto Err = Pop(1, "JumpIfFalse"))
+          return Err;
+        if (auto Err = flow(Offset, I.JumpTarget, Depth))
+          return Err;
+        break; // fall through to the consequent
+      }
+      case Op::Prim: {
+        if (I.A >= NumPrimOps)
+          return fail(Offset, "unknown primitive number");
+        if (auto Err = Pop(primArity(static_cast<PrimOp>(I.A)), "Prim"))
+          return Err;
+        ++Depth;
+        break;
+      }
+      case Op::Halt:
+        if (auto Err = Pop(1, "Halt"))
+          return Err;
+        return std::nullopt; // terminal
+      }
+
+      if (auto Err = flow(Offset, static_cast<long>(I.Next), Depth))
+        return Err;
+      // flow() queued it; but for straight-line speed, continue directly
+      // when we are the first visitor.
+      if (!Work.empty() && Work.back().first == I.Next &&
+          Work.back().second == Depth) {
+        Work.pop_back();
+        Offset = I.Next;
+        continue;
+      }
+      return std::nullopt;
+    }
+  }
+
+  const CodeObject *Code;
+  size_t NumFree;
+  const std::vector<uint8_t> &Bytes;
+  std::map<size_t, size_t> DepthAt;
+  std::vector<std::pair<size_t, size_t>> Work;
+  std::map<const CodeObject *, uint32_t> ChildUses;
+};
+
+} // namespace
+
+std::optional<std::string> vm::verifyCode(const CodeObject *Code,
+                                          size_t NumFree) {
+  Verifier V(Code, NumFree);
+  return V.run();
+}

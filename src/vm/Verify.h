@@ -1,0 +1,37 @@
+//===- vm/Verify.h - Byte-code verifier -------------------------*- C++ -*-===//
+///
+/// \file
+/// Static verification of code objects before execution: every operand
+/// index in range, every jump landing on an instruction boundary, and a
+/// consistent stack depth at every program point (abstract interpretation
+/// over the one thing the type-free VM can check — the shape of the
+/// stack). The machine itself omits these checks from its hot loop; the
+/// verifier makes "generated code cannot crash the VM" a checkable
+/// property, and the test suite runs it over everything the compilers and
+/// the fused generating extensions emit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PECOMP_VM_VERIFY_H
+#define PECOMP_VM_VERIFY_H
+
+#include "vm/Code.h"
+
+#include <optional>
+#include <string>
+
+namespace pecomp {
+namespace vm {
+
+/// Verifies \p Code and, recursively, its children (each child is checked
+/// against the capture count its MakeClosure sites supply). \p NumFree is
+/// the number of captured values the running closure will carry (0 for
+/// top-level procedures). Returns std::nullopt on success, or a
+/// description of the first problem found.
+std::optional<std::string> verifyCode(const CodeObject *Code,
+                                      size_t NumFree = 0);
+
+} // namespace vm
+} // namespace pecomp
+
+#endif // PECOMP_VM_VERIFY_H

@@ -1,0 +1,156 @@
+//===- workloads/Imp.cpp - The IMP interpreter ------------------*- C++ -*-===//
+///
+/// \file
+/// IMP: a small imperative while-language, the other classic
+/// compilation-by-PE subject (alongside the functional MIXWELL). Programs
+/// are s-expression data:
+///
+///   program ::= ((param ...) (local ...) (stmt ...) result-expr)
+///   stmt    ::= (assign x e) | (if e (stmt ...) (stmt ...))
+///             | (while e (stmt ...))
+///   expr    ::= (const c) | (var x) | (op1 p e) | (op2 p e1 e2)
+///
+/// The store is a pair of parallel lists: names (static) and values
+/// (dynamic), so assignment rebuilds the value list at a statically known
+/// position. Loops live in imp-while, whose dynamic test makes it the
+/// memoization point: each source while-loop becomes one residual
+/// function looping over the store.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+using namespace pecomp;
+
+std::string_view workloads::impInterpreter() {
+  return R"scheme(
+(define (imp-cadr x) (car (cdr x)))
+(define (imp-caddr x) (car (cdr (cdr x))))
+(define (imp-cadddr x) (car (cdr (cdr (cdr x)))))
+
+(define (imp-run program args)
+  (imp-eval (imp-names program)
+            (imp-exec (imp-names program)
+                      (imp-init-store (imp-cadr program) args)
+                      (imp-caddr program))
+            (imp-cadddr program)))
+
+;; The store's name list: locals first (statically prepended), then the
+;; parameters (whose values arrive in the dynamic args list).
+(define (imp-names program)
+  (imp-append (imp-cadr program) (car program)))
+
+(define (imp-append xs ys)
+  (if (null? xs) ys (cons (car xs) (imp-append (cdr xs) ys))))
+
+;; Locals start at 0, consed statically onto the dynamic argument list.
+(define (imp-init-store locals args)
+  (if (null? locals)
+      args
+      (cons 0 (imp-init-store (cdr locals) args))))
+
+;; Statement lists thread the store.
+(define (imp-exec names vals stmts)
+  (if (null? stmts)
+      vals
+      (imp-exec names (imp-stmt names vals (car stmts)) (cdr stmts))))
+
+(define (imp-stmt names vals s)
+  (let ((tag (car s)))
+    (cond
+      ((eq? tag 'assign)
+       (imp-update names vals (imp-cadr s)
+                   (imp-eval names vals (imp-caddr s))))
+      ((eq? tag 'if)
+       (imp-branch names vals (imp-cadr s) (imp-caddr s) (imp-cadddr s)))
+      ((eq? tag 'while)
+       (imp-while names vals (imp-cadr s) (imp-caddr s)))
+      (else (error "imp: unknown statement")))))
+
+;; Dynamic control points: both are memoized by the BTA (recursive, with
+;; a dynamic conditional), so they shape the residual program.
+(define (imp-branch names vals e thens elses)
+  (if (imp-eval names vals e)
+      (imp-exec names vals thens)
+      (imp-exec names vals elses)))
+
+(define (imp-while names vals e body)
+  (if (imp-eval names vals e)
+      (imp-while names (imp-exec names vals body) e body)
+      vals))
+
+;; Store update at a statically known position.
+(define (imp-update names vals x v)
+  (if (null? names)
+      (error "imp: assignment to undeclared variable")
+      (if (eq? x (car names))
+          (cons v (cdr vals))
+          (cons (car vals) (imp-update (cdr names) (cdr vals) x v)))))
+
+(define (imp-lookup names vals x)
+  (if (null? names)
+      (error "imp: unbound variable")
+      (if (eq? x (car names))
+          (car vals)
+          (imp-lookup (cdr names) (cdr vals) x))))
+
+(define (imp-eval names vals e)
+  (let ((tag (car e)))
+    (cond
+      ((eq? tag 'const) (imp-cadr e))
+      ((eq? tag 'var) (imp-lookup names vals (imp-cadr e)))
+      ((eq? tag 'op1)
+       (imp-prim1 (imp-cadr e) (imp-eval names vals (imp-caddr e))))
+      ((eq? tag 'op2)
+       (imp-prim2 (imp-cadr e)
+                  (imp-eval names vals (imp-caddr e))
+                  (imp-eval names vals (imp-cadddr e))))
+      (else (error "imp: unknown expression")))))
+
+(define (imp-prim1 p a)
+  (cond
+    ((eq? p 'zero?) (zero? a))
+    ((eq? p 'not) (not a))
+    (else (error "imp: unknown unary operator"))))
+
+(define (imp-prim2 p a b)
+  (cond
+    ((eq? p '+) (+ a b))
+    ((eq? p '-) (- a b))
+    ((eq? p '*) (* a b))
+    ((eq? p 'quotient) (quotient a b))
+    ((eq? p 'remainder) (remainder a b))
+    ((eq? p '=) (= a b))
+    ((eq? p '<) (< a b))
+    ((eq? p '>) (> a b))
+    (else (error "imp: unknown binary operator"))))
+)scheme";
+}
+
+std::string_view workloads::impSampleProgram() {
+  // gcd(a, b) * factorial(n) + sum of 1..n via three while loops.
+  // Entry store: params (a b n), locals (acc i t res).
+  return R"scheme(
+((a b n)
+ (acc i t res)
+ ((while (op2 > (var b) (const 0))
+    ((assign t (op2 remainder (var a) (var b)))
+     (assign a (var b))
+     (assign b (var t))))
+  (assign acc (const 1))
+  (assign i (const 0))
+  (while (op2 < (var i) (var n))
+    ((assign i (op2 + (var i) (const 1)))
+     (assign acc (op2 * (var acc) (var i)))))
+  (assign res (op2 * (var a) (var acc)))
+  (assign i (const 0))
+  (assign t (const 0))
+  (while (op2 < (var i) (var n))
+    ((assign i (op2 + (var i) (const 1)))
+     (if (op2 = (op2 remainder (var i) (const 2)) (const 0))
+         ((assign t (op2 + (var t) (var i))))
+         ())))
+  (assign res (op2 + (var res) (var t))))
+ (var res))
+)scheme";
+}

@@ -1,0 +1,125 @@
+//===- workloads/Lazy.cpp - The LAZY interpreter ---------------------------===//
+///
+/// \file
+/// LAZY: a small call-by-name functional language (Sec. 7's second
+/// workload). The expression language matches MIXWELL's, but arguments
+/// are passed as thunks and forced at variable references, so unused
+/// arguments are never evaluated. Under specialization the thunks become
+/// residual closures — the generated code is a lazy program running on
+/// the strict VM.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+using namespace pecomp;
+
+std::string_view workloads::lazyInterpreter() {
+  return R"scheme(
+(define (lz-cadr x) (car (cdr x)))
+(define (lz-caddr x) (car (cdr (cdr x))))
+(define (lz-cadddr x) (car (cdr (cdr (cdr x)))))
+(define (lz-cddr x) (cdr (cdr x)))
+
+(define (lazy-run program a)
+  (lz-apply program (car program) (cons (lambda () a) '())))
+
+(define (lz-lookup-fun program f)
+  (if (null? program)
+      '()
+      (if (eq? f (car (car program)))
+          (car program)
+          (lz-lookup-fun (cdr program) f))))
+
+(define (lz-apply program fdef thunks)
+  (lz-eval program (lz-cadr fdef) thunks (lz-caddr fdef)))
+
+(define (lz-eval program names thunks e)
+  (let ((tag (car e)))
+    (cond
+      ((eq? tag 'const) (lz-cadr e))
+      ((eq? tag 'var) ((lz-lookup names thunks (lz-cadr e))))
+      ((eq? tag 'if)
+       (lz-eval-if program names thunks
+                   (lz-cadr e) (lz-caddr e) (lz-cadddr e)))
+      ((eq? tag 'call)
+       (lz-apply program
+                 (lz-lookup-fun program (lz-cadr e))
+                 (lz-thunkify program names thunks (lz-cddr e))))
+      ((eq? tag 'op1)
+       (lz-prim1 (lz-cadr e) (lz-eval program names thunks (lz-caddr e))))
+      ((eq? tag 'op2)
+       (lz-prim2 (lz-cadr e)
+                 (lz-eval program names thunks (lz-caddr e))
+                 (lz-eval program names thunks (lz-cadddr e))))
+      (else (error "lazy: unknown expression")))))
+
+(define (lz-eval-if program names thunks e1 e2 e3)
+  (if (lz-eval program names thunks e1)
+      (lz-eval program names thunks e2)
+      (lz-eval program names thunks e3)))
+
+(define (lz-thunkify program names thunks es)
+  (if (null? es)
+      '()
+      (cons (lambda () (lz-eval program names thunks (car es)))
+            (lz-thunkify program names thunks (cdr es)))))
+
+(define (lz-lookup names thunks x)
+  (if (null? names)
+      (error "lazy: unbound variable")
+      (if (eq? x (car names))
+          (car thunks)
+          (lz-lookup (cdr names) (cdr thunks) x))))
+
+(define (lz-prim1 p a)
+  (cond
+    ((eq? p 'car) (car a))
+    ((eq? p 'cdr) (cdr a))
+    ((eq? p 'null?) (null? a))
+    ((eq? p 'not) (not a))
+    ((eq? p 'zero?) (zero? a))
+    ((eq? p 'pair?) (pair? a))
+    (else (error "lazy: unknown unary operator"))))
+
+(define (lz-prim2 p a b)
+  (cond
+    ((eq? p '+) (+ a b))
+    ((eq? p '-) (- a b))
+    ((eq? p '*) (* a b))
+    ((eq? p 'quotient) (quotient a b))
+    ((eq? p 'remainder) (remainder a b))
+    ((eq? p '=) (= a b))
+    ((eq? p '<) (< a b))
+    ((eq? p '>) (> a b))
+    ((eq? p 'cons) (cons a b))
+    ((eq? p 'eq?) (eq? a b))
+    ((eq? p 'equal?) (equal? a b))
+    (else (error "lazy: unknown binary operator"))))
+)scheme";
+}
+
+std::string_view workloads::lazySampleProgram() {
+  // A LAZY program in the size class of the paper's 26-line input. Uses
+  // call-by-name in an essential way: choose only forces the selected
+  // branch, so safe-div never divides by zero and main's unused
+  // alternative is never computed. Entry: (main n).
+  return R"scheme(
+((main (n)
+   (call plus (call sum-to (call clamp (var n)))
+              (call safe-div (const 100) (var n))))
+ (plus (a b) (op2 + (var a) (var b)))
+ (clamp (n)
+   (call choose (op2 < (var n) (const 0)) (const 0) (var n)))
+ (choose (c a b)
+   (if (var c) (var a) (var b)))
+ (safe-div (a b)
+   (call choose (op2 = (var b) (const 0))
+         (const 0)
+         (op2 quotient (var a) (var b))))
+ (sum-to (n)
+   (if (op2 = (var n) (const 0))
+       (const 0)
+       (op2 + (var n) (call sum-to (op2 - (var n) (const 1)))))))
+)scheme";
+}

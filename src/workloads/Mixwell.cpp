@@ -1,0 +1,212 @@
+//===- workloads/Mixwell.cpp - The MIXWELL interpreter ---------------------===//
+///
+/// \file
+/// MIXWELL: a small first-order strict functional language (the classic
+/// compilation-by-PE subject, Sec. 7). Programs are s-expression data:
+///
+///   program ::= ((fname (param ...) body) ...)        first fn is main
+///   expr    ::= (const c) | (var x) | (if e1 e2 e3)
+///             | (call f e ...) | (op1 p e) | (op2 p e1 e2)
+///
+/// The interpreter is written so the binding-time division works out:
+/// program and name lists static, value lists dynamic; the dynamic
+/// conditional is isolated in mw-eval-if, which the BTA memoizes, so the
+/// generated code breaks exactly at conditionals — each interpreted
+/// function body becomes straight-line residual code.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+using namespace pecomp;
+
+std::string_view workloads::mixwellInterpreter() {
+  return R"scheme(
+(define (cadr x) (car (cdr x)))
+(define (caddr x) (car (cdr (cdr x))))
+(define (cadddr x) (car (cdr (cdr (cdr x)))))
+(define (cddr x) (cdr (cdr x)))
+
+(define (mixwell-run program args)
+  (mw-apply program (car program) args))
+
+(define (mw-lookup-fun program f)
+  (if (null? program)
+      '()
+      (if (eq? f (car (car program)))
+          (car program)
+          (mw-lookup-fun (cdr program) f))))
+
+(define (mw-apply program fdef args)
+  (mw-eval program (cadr fdef) args (caddr fdef)))
+
+(define (mw-eval program names vals e)
+  (let ((tag (car e)))
+    (cond
+      ((eq? tag 'const) (cadr e))
+      ((eq? tag 'var) (mw-lookup names vals (cadr e)))
+      ((eq? tag 'if)
+       (mw-eval-if program names vals (cadr e) (caddr e) (cadddr e)))
+      ((eq? tag 'call)
+       (mw-apply program
+                 (mw-lookup-fun program (cadr e))
+                 (mw-evlist program names vals (cddr e))))
+      ((eq? tag 'op1)
+       (mw-prim1 (cadr e) (mw-eval program names vals (caddr e))))
+      ((eq? tag 'op2)
+       (mw-prim2 (cadr e)
+                 (mw-eval program names vals (caddr e))
+                 (mw-eval program names vals (cadddr e))))
+      (else (error "mixwell: unknown expression")))))
+
+(define (mw-eval-if program names vals e1 e2 e3)
+  (if (mw-eval program names vals e1)
+      (mw-eval program names vals e2)
+      (mw-eval program names vals e3)))
+
+(define (mw-evlist program names vals es)
+  (if (null? es)
+      '()
+      (cons (mw-eval program names vals (car es))
+            (mw-evlist program names vals (cdr es)))))
+
+(define (mw-lookup names vals x)
+  (if (null? names)
+      (error "mixwell: unbound variable")
+      (if (eq? x (car names))
+          (car vals)
+          (mw-lookup (cdr names) (cdr vals) x))))
+
+(define (mw-prim1 p a)
+  (cond
+    ((eq? p 'car) (car a))
+    ((eq? p 'cdr) (cdr a))
+    ((eq? p 'null?) (null? a))
+    ((eq? p 'not) (not a))
+    ((eq? p 'zero?) (zero? a))
+    ((eq? p 'pair?) (pair? a))
+    (else (error "mixwell: unknown unary operator"))))
+
+(define (mw-prim2 p a b)
+  (cond
+    ((eq? p '+) (+ a b))
+    ((eq? p '-) (- a b))
+    ((eq? p '*) (* a b))
+    ((eq? p 'quotient) (quotient a b))
+    ((eq? p 'remainder) (remainder a b))
+    ((eq? p '=) (= a b))
+    ((eq? p '<) (< a b))
+    ((eq? p '>) (> a b))
+    ((eq? p 'cons) (cons a b))
+    ((eq? p 'eq?) (eq? a b))
+    ((eq? p 'equal?) (equal? a b))
+    (else (error "mixwell: unknown binary operator"))))
+)scheme";
+}
+
+std::string_view workloads::mixwellSampleProgram() {
+  // A medium-sized MIXWELL program in the size class of the paper's
+  // 62-line input: list utilities, an insertion sort, and Fibonacci,
+  // combined by main. Entry: (main n xs).
+  return R"scheme(
+((main (n xs)
+   (call pair (call sum-list (call sort (call append (call iota (var n))
+                                                     (call double-all (var xs)))))
+              (call fib (var n))))
+ (pair (a b)
+   (op2 cons (var a) (op2 cons (var b) (const ()))))
+ (iota (n)
+   (if (op2 = (var n) (const 0))
+       (const ())
+       (op2 cons (var n) (call iota (op2 - (var n) (const 1))))))
+ (append (xs ys)
+   (if (op1 null? (var xs))
+       (var ys)
+       (op2 cons (op1 car (var xs))
+                 (call append (op1 cdr (var xs)) (var ys)))))
+ (double-all (xs)
+   (if (op1 null? (var xs))
+       (const ())
+       (op2 cons (op2 * (const 2) (op1 car (var xs)))
+                 (call double-all (op1 cdr (var xs))))))
+ (sum-list (xs)
+   (if (op1 null? (var xs))
+       (const 0)
+       (op2 + (op1 car (var xs)) (call sum-list (op1 cdr (var xs))))))
+ (sort (xs)
+   (if (op1 null? (var xs))
+       (const ())
+       (call insert (op1 car (var xs)) (call sort (op1 cdr (var xs))))))
+ (insert (x ys)
+   (if (op1 null? (var ys))
+       (op2 cons (var x) (const ()))
+       (if (op2 < (var x) (op1 car (var ys)))
+           (op2 cons (var x) (var ys))
+           (op2 cons (op1 car (var ys))
+                     (call insert (var x) (op1 cdr (var ys)))))))
+ (fib (n)
+   (if (op2 < (var n) (const 2))
+       (var n)
+       (op2 + (call fib (op2 - (var n) (const 1)))
+              (call fib (op2 - (var n) (const 2)))))))
+)scheme";
+}
+
+std::string_view workloads::powerProgram() {
+  return R"scheme(
+(define (power x n)
+  (if (zero? n)
+      1
+      (* x (power x (- n 1)))))
+)scheme";
+}
+
+std::string_view workloads::dotProductProgram() {
+  return R"scheme(
+(define (dot xs ys)
+  (if (null? xs)
+      0
+      (+ (* (car xs) (car ys))
+         (dot (cdr xs) (cdr ys)))))
+)scheme";
+}
+
+std::string_view workloads::matcherProgram() {
+  // The classic string-matcher subject: with the pattern static, prefix?
+  // is memoized per pattern *suffix*, so the residual matcher hard-codes
+  // the pattern's elements into a cascade of comparisons. (Full
+  // KMP-by-specialization needs positive-information propagation beyond
+  // this monovariant BTA; see README caveats.) Lists of symbols stand in
+  // for strings; returns the first match index or -1.
+  //
+  // Note the classic *binding-time improvement* in match: the position
+  // counter must be dynamic — as a congruent static value it would evolve
+  // under dynamic control (0, 1, 2, ...), giving every memo key a new
+  // static part and infinitely many specializations. match-dyn0
+  // manufactures a dynamic zero from the text. (Equivalently, BtaOptions::
+  // ForceDynamic can generalize the parameter without touching the code;
+  // see BtaTest.ForceDynamicGeneralizesEvolvingCounters.)
+  return R"scheme(
+(define (match pat text)
+  (match-search pat text (match-dyn0 text)))
+
+(define (match-dyn0 text)
+  (if (null? text) 0 0))
+
+(define (match-search pat text i)
+  (if (match-prefix? pat text)
+      i
+      (if (null? text)
+          (- 0 1)
+          (match-search pat (cdr text) (+ i 1)))))
+
+(define (match-prefix? pat text)
+  (if (null? pat)
+      #t
+      (if (null? text)
+          #f
+          (if (eq? (car pat) (car text))
+              (match-prefix? (cdr pat) (cdr text))
+              #f))))
+)scheme";
+}

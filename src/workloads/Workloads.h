@@ -1,0 +1,63 @@
+//===- workloads/Workloads.h - Benchmark workloads --------------*- C++ -*-===//
+///
+/// \file
+/// The paper's Sec. 7 workloads, rebuilt: an interpreter for MIXWELL (a
+/// small first-order strict functional language) and one for LAZY (a
+/// small call-by-name functional language), both written in the Scheme
+/// subset this system processes, plus medium-sized input programs in each
+/// language. (The originals ship with the Similix distribution, which is
+/// not available; see DESIGN.md, substitution 4.)
+///
+/// Both interpreters follow the structure that makes compilation by
+/// partial evaluation work: the program and the variable-name lists are
+/// static; the value (or thunk) lists are dynamic; the dynamic conditional
+/// lives in a dedicated eval-if function, which becomes the memoization
+/// point, so residual programs break exactly at conditionals.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PECOMP_WORKLOADS_WORKLOADS_H
+#define PECOMP_WORKLOADS_WORKLOADS_H
+
+#include <string_view>
+
+namespace pecomp {
+namespace workloads {
+
+/// The MIXWELL interpreter (Scheme source). Entry: (mixwell-run program
+/// args), program static, args dynamic.
+std::string_view mixwellInterpreter();
+
+/// A medium-sized MIXWELL input program (an s-expression datum): list
+/// utilities, arithmetic, and a small sort — exercises calls,
+/// conditionals, recursion, and primitives. First function is the entry:
+/// (main n xs).
+std::string_view mixwellSampleProgram();
+
+/// The LAZY interpreter (Scheme source). Entry: (lazy-run program args),
+/// program static, args dynamic. Arguments and calls are call-by-name
+/// (thunks).
+std::string_view lazyInterpreter();
+
+/// A LAZY input program (an s-expression datum) in the 26-line class of
+/// the paper's input. First function is the entry: (main n).
+std::string_view lazySampleProgram();
+
+/// The IMP interpreter (Scheme source): a small imperative while-language
+/// (programs: ((param...) (local...) (stmt...) result)). Entry:
+/// (imp-run program args), program static, args dynamic.
+std::string_view impInterpreter();
+
+/// An IMP program exercising while loops, branches, and assignments:
+/// gcd(a,b) * n! + sum of even numbers up to n. Entry args: (a b n).
+std::string_view impSampleProgram();
+
+/// Classic specialization subjects used by the examples and tests.
+std::string_view powerProgram();      ///< (power x n), specialize on n
+std::string_view dotProductProgram(); ///< (dot xs ys), specialize on xs
+std::string_view matcherProgram();    ///< (match pat text), specialize on pat
+
+} // namespace workloads
+} // namespace pecomp
+
+#endif // PECOMP_WORKLOADS_WORKLOADS_H

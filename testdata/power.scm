@@ -1,0 +1,5 @@
+;; The canonical first specialization subject.
+(define (power x n)
+  (if (zero? n)
+      1
+      (* x (power x (- n 1)))))

@@ -1,0 +1,9 @@
+;; List utilities for the CLI integration tests.
+(define (sum xs)
+  (if (null? xs) 0 (+ (car xs) (sum (cdr xs)))))
+
+(define (rev xs acc)
+  (if (null? xs) acc (rev (cdr xs) (cons (car xs) acc))))
+
+(define (main xs)
+  (cons (sum xs) (rev xs '())))

@@ -1,0 +1,255 @@
+//===- tests/BtaTest.cpp - Binding-time analysis unit tests ----------------===//
+
+#include "TestUtil.h"
+
+using namespace pecomp;
+using namespace pecomp::test;
+using bta::BT;
+
+namespace {
+
+/// Runs the front end + BTA and returns the annotated program's printout
+/// (the paper-style two-level notation), for structure assertions.
+std::string annotate(World &W, std::string_view Source,
+                     std::string_view Entry, std::string_view Division,
+                     const bta::BtaOptions &Opts = {}) {
+  pgg::PggOptions POpts;
+  POpts.Bta = Opts;
+  auto Gen =
+      pgg::GeneratingExtension::create(W.Heap, Source, Entry, Division, POpts);
+  EXPECT_TRUE(Gen.ok()) << (Gen.ok() ? "" : Gen.error().render());
+  if (!Gen.ok())
+    return "";
+  return (*Gen)->annotated().print();
+}
+
+TEST(BtaTest, FullyStaticComputationStaysStatic) {
+  World W;
+  std::string Ann = annotate(W, "(define (f s d) (+ d (* s s)))", "f", "SD");
+  // The static multiplication is unannotated; the dynamic addition is +D
+  // with a lift on the static operand.
+  EXPECT_NE(Ann.find("(* s"), std::string::npos) << Ann;
+  EXPECT_NE(Ann.find("+D"), std::string::npos) << Ann;
+  EXPECT_NE(Ann.find("(lift (* "), std::string::npos) << Ann;
+}
+
+TEST(BtaTest, StaticConditionalStaysStatic) {
+  World W;
+  std::string Ann =
+      annotate(W, "(define (f s d) (if (zero? s) d (+ d 1)))", "f", "SD");
+  EXPECT_EQ(Ann.find("ifD"), std::string::npos) << Ann;
+}
+
+TEST(BtaTest, DynamicConditionalIsAnnotatedDynamic) {
+  World W;
+  std::string Ann =
+      annotate(W, "(define (f s d) (if (zero? d) s 2))", "f", "SD");
+  EXPECT_NE(Ann.find("(ifD"), std::string::npos) << Ann;
+  // Both branches are static values lifted into the dynamic conditional.
+  EXPECT_NE(Ann.find("(lift s"), std::string::npos) << Ann;
+  EXPECT_NE(Ann.find("(lift 2)"), std::string::npos) << Ann;
+}
+
+TEST(BtaTest, ImpurePrimitivesAreAlwaysDynamic) {
+  World W;
+  std::string Ann =
+      annotate(W, "(define (f s d) (if (zero? s) (error \"x\") d))", "f",
+               "SD");
+  EXPECT_NE(Ann.find("errorD"), std::string::npos) << Ann;
+}
+
+TEST(BtaTest, BoxesAreAlwaysDynamic) {
+  World W;
+  std::string Ann = annotate(
+      W, "(define (f s) (let ((b s)) (begin (set! b 1) b)))", "f", "S");
+  EXPECT_NE(Ann.find("make-boxD"), std::string::npos) << Ann;
+  EXPECT_NE(Ann.find("box-refD"), std::string::npos) << Ann;
+}
+
+TEST(BtaTest, RecursiveFunctionWithDynamicIfIsMemoized) {
+  World W;
+  std::string Ann = annotate(
+      W, "(define (loop s d) (if (zero? d) s (loop s (- d 1))))", "loop",
+      "SD");
+  EXPECT_NE(Ann.find("(defineM (loop"), std::string::npos) << Ann;
+  EXPECT_NE(Ann.find("(memo loop"), std::string::npos) << Ann;
+}
+
+TEST(BtaTest, StaticRecursionUnfolds) {
+  World W;
+  std::string Ann = annotate(
+      W, "(define (len s d) (if (null? s) d (len (cdr s) d)))", "len", "SD");
+  EXPECT_EQ(Ann.find("defineM"), std::string::npos) << Ann;
+  EXPECT_NE(Ann.find("(unfold len"), std::string::npos) << Ann;
+}
+
+TEST(BtaTest, NonRecursiveHelpersUnfold) {
+  World W;
+  std::string Ann = annotate(
+      W,
+      "(define (helper x) (+ x 1))"
+      "(define (f s d) (if (zero? d) (helper s) (f s (- d 1))))",
+      "f", "SD");
+  EXPECT_NE(Ann.find("(unfold helper"), std::string::npos) << Ann;
+  EXPECT_NE(Ann.find("(defineM (f"), std::string::npos) << Ann;
+}
+
+TEST(BtaTest, ParameterBindingTimesJoinAcrossCallSites) {
+  World W;
+  // g is called with a static value in one place and a dynamic one in
+  // another; its parameter must be dynamic everywhere.
+  std::string Ann = annotate(W,
+                             "(define (g x) (+ x 1))"
+                             "(define (f s d) (+ (g s) (g d)))",
+                             "f", "SD");
+  EXPECT_NE(Ann.find("(define (g x.1:D)"), std::string::npos) << Ann;
+}
+
+TEST(BtaTest, DynamicLambdaParametersAreDynamic) {
+  World W;
+  std::string Ann = annotate(
+      W, "(define (f s) ((lambda (k) (+ k 1)) s))", "f", "S");
+  // The direct application is a beta redex, so k keeps s's binding time
+  // (static). A *residualized* lambda's parameter is dynamic:
+  std::string Ann2 = annotate(
+      W, "(define (apply1 g x) (g x))"
+         "(define (f s) (apply1 (lambda (k) (+ k 1)) s))",
+      "f", "S");
+  EXPECT_NE(Ann2.find("lambdaD"), std::string::npos) << Ann2;
+}
+
+TEST(BtaTest, ForceMemoOverridesHeuristic) {
+  World W;
+  bta::BtaOptions Opts;
+  Opts.ForceMemo.insert(Symbol::intern("helper"));
+  std::string Ann = annotate(W,
+                             "(define (helper x) (+ x 1))"
+                             "(define (f d) (helper d))",
+                             "f", "D", Opts);
+  EXPECT_NE(Ann.find("(memo helper"), std::string::npos) << Ann;
+}
+
+TEST(BtaTest, ForceUnfoldOverridesHeuristic) {
+  World W;
+  bta::BtaOptions Opts;
+  Opts.ForceUnfold.insert(Symbol::intern("loop"));
+  std::string Ann = annotate(
+      W, "(define (loop s d) (if (zero? d) s (loop s (- d 1))))", "loop",
+      "SD", Opts);
+  EXPECT_EQ(Ann.find("defineM"), std::string::npos) << Ann;
+}
+
+TEST(BtaTest, EntryDivisionSizeMustMatchArity) {
+  World W;
+  auto Gen = pgg::GeneratingExtension::create(
+      W.Heap, "(define (f x y) (+ x y))", "f", "S");
+  ASSERT_FALSE(Gen.ok());
+  EXPECT_NE(Gen.error().message().find("parameters"), std::string::npos);
+}
+
+TEST(BtaTest, UnknownEntryIsAnError) {
+  World W;
+  auto Gen = pgg::GeneratingExtension::create(
+      W.Heap, "(define (f x) x)", "nope", "S");
+  ASSERT_FALSE(Gen.ok());
+  EXPECT_NE(Gen.error().message().find("not defined"), std::string::npos);
+}
+
+TEST(BtaTest, BadDivisionCharacterIsAnError) {
+  World W;
+  auto Gen = pgg::GeneratingExtension::create(
+      W.Heap, "(define (f x) x)", "f", "Q");
+  ASSERT_FALSE(Gen.ok());
+}
+
+TEST(BtaTest, KnownCallArityMismatchIsAnError) {
+  World W;
+  auto Gen = pgg::GeneratingExtension::create(
+      W.Heap, "(define (g x) x)(define (f d) (g d d))", "f", "D");
+  ASSERT_FALSE(Gen.ok());
+  EXPECT_NE(Gen.error().message().find("argument"), std::string::npos);
+}
+
+TEST(BtaTest, EffectiveDivisionReportsPromotions) {
+  World W;
+  // s is declared static but joins with a dynamic call-site argument.
+  auto Gen = pgg::GeneratingExtension::create(
+      W.Heap,
+      "(define (g x) (+ x 1))"
+      "(define (f s d) (+ (g s) (g d)))",
+      "f", "SD");
+  ASSERT_TRUE(Gen.ok());
+  std::vector<BT> Division = (*Gen)->effectiveDivision();
+  ASSERT_EQ(Division.size(), 2u);
+  // f's own parameters keep their declared binding times here...
+  EXPECT_EQ(Division[0], BT::Static);
+  EXPECT_EQ(Division[1], BT::Dynamic);
+}
+
+TEST(BtaTest, StaticValueFlowsThroughLet) {
+  World W;
+  std::string Ann = annotate(
+      W, "(define (f s d) (let ((t (* s 2))) (+ d t)))", "f", "SD");
+  // The let is static (no letD); its use inside +D is lifted.
+  EXPECT_EQ(Ann.find("letD"), std::string::npos) << Ann;
+  EXPECT_NE(Ann.find("(lift t"), std::string::npos) << Ann;
+}
+
+TEST(BtaTest, DynamicLetNamesResidualValue) {
+  World W;
+  std::string Ann = annotate(
+      W, "(define (f s d) (let ((t (* d 2))) (+ t s)))", "f", "SD");
+  EXPECT_NE(Ann.find("(letD"), std::string::npos) << Ann;
+}
+
+TEST(BtaTest, ForceDynamicGeneralizesEvolvingCounters) {
+  // The counter i is congruent-but-evolving static (bounded static
+  // variation): without generalization every memo key is new and the
+  // guard aborts; with ForceDynamic the specialization terminates.
+  World W;
+  const char *Src =
+      "(define (walk s d i)"
+      "  (if (null? d) i (walk s (cdr d) (+ i 1))))";
+
+  pgg::PggOptions Diverging;
+  Diverging.Spec.MaxResidualFunctions = 30;
+  PECOMP_UNWRAP(Bad, pgg::GeneratingExtension::create(W.Heap, Src, "walk",
+                                                      "SDS", Diverging));
+  std::optional<vm::Value> BadArgs[] = {W.num(7), std::nullopt, W.num(0)};
+  EXPECT_FALSE(Bad->generateSource(BadArgs).ok());
+
+  pgg::PggOptions Opts;
+  Opts.Bta.ForceDynamic.emplace_back(Symbol::intern("walk"), 2u);
+  PECOMP_UNWRAP(Gen, pgg::GeneratingExtension::create(W.Heap, Src, "walk",
+                                                      "SDS", Opts));
+  std::optional<vm::Value> Args[] = {W.num(7), std::nullopt, W.num(0)};
+  PECOMP_UNWRAP(Res, Gen->generateSource(Args));
+  PECOMP_UNWRAP(R, W.runAnf(Res.Residual, Res.Entry.str(),
+                            {W.value("(a b c)")}));
+  expectValueEq(R, W.num(3));
+}
+
+TEST(BtaTest, ForceDynamicValidatesItsTargets) {
+  World W;
+  pgg::PggOptions Opts;
+  Opts.Bta.ForceDynamic.emplace_back(Symbol::intern("nope"), 0u);
+  EXPECT_FALSE(pgg::GeneratingExtension::create(
+                   W.Heap, "(define (f x) x)", "f", "D", Opts)
+                   .ok());
+  pgg::PggOptions Opts2;
+  Opts2.Bta.ForceDynamic.emplace_back(Symbol::intern("f"), 5u);
+  EXPECT_FALSE(pgg::GeneratingExtension::create(
+                   W.Heap, "(define (f x) x)", "f", "D", Opts2)
+                   .ok());
+}
+
+TEST(BtaTest, AnnotatedProgramPrintsMemoMarkers) {
+  World W;
+  std::string Ann = annotate(
+      W, "(define (f s d) (if (zero? d) s (f s (- d 1))))", "f", "SD");
+  // Division markers on parameters.
+  EXPECT_NE(Ann.find(":S"), std::string::npos) << Ann;
+  EXPECT_NE(Ann.find(":D"), std::string::npos) << Ann;
+}
+
+} // namespace

@@ -1,0 +1,246 @@
+//===- tests/CompilerTest.cpp - Compiler unit tests ------------------------===//
+
+#include "TestUtil.h"
+
+#include "compiler/DirectAnfCompiler.h"
+#include "frontend/AnfConvert.h"
+
+using namespace pecomp;
+using namespace pecomp::test;
+
+namespace {
+
+// -- Direct emission vs. fragments + assembly ---------------------------------
+
+struct CompileCase {
+  const char *Name;
+  const char *Source;
+};
+
+const CompileCase CompileCases[] = {
+    {"trivial", "(define (f x) x)"},
+    {"constant", "(define (f x) 42)"},
+    {"prim_tail", "(define (f x y) (+ x y))"},
+    {"let_chain",
+     "(define (f x) (let ((a (+ x 1))) (let ((b (* a a))) (- b a))))"},
+    {"conditionals",
+     "(define (f x) (if (zero? x) 'z (if (> x 0) 'p 'n)))"},
+    {"calls",
+     "(define (g x) (+ x 1))(define (f x) (g (g x)))"},
+    {"tail_calls", "(define (f x) (if (zero? x) 0 (f (- x 1))))"},
+    {"closures",
+     "(define (f x) (let ((g (lambda (y) (+ x y)))) (g 10)))"},
+    {"nested_closures",
+     "(define (f a) (lambda (b) (lambda (c) (+ a (+ b c)))))"},
+    {"quoted_structure", "(define (f) '(1 (2 3) \"s\"))"},
+    {"repeated_literals", "(define (f x) (+ (+ x 7) (+ x 7)))"},
+};
+
+class DirectVsFragment : public ::testing::TestWithParam<CompileCase> {};
+
+TEST_P(DirectVsFragment, ByteIdenticalCodeObjects) {
+  // The direct byte emitter is an optimization of the fragment path; the
+  // object code must be byte-for-byte the same.
+  World W;
+  PECOMP_UNWRAP(P, W.parse(GetParam().Source));
+  Program Anf = anfConvert(P, W.Exprs);
+
+  vm::CodeStore StoreA(W.Heap);
+  vm::GlobalTable GlobalsA;
+  compiler::Compilators Comp(StoreA, GlobalsA);
+  compiler::AnfCompiler AC(Comp);
+  compiler::CompiledProgram Fragments = AC.compileProgram(Anf);
+
+  vm::CodeStore StoreB(W.Heap);
+  vm::GlobalTable GlobalsB;
+  compiler::DirectAnfCompiler DC(StoreB, GlobalsB);
+  compiler::CompiledProgram Direct = DC.compileProgram(Anf);
+
+  ASSERT_EQ(Fragments.Defs.size(), Direct.Defs.size());
+  for (size_t I = 0; I != Fragments.Defs.size(); ++I)
+    EXPECT_TRUE(
+        vm::codeEquals(Fragments.Defs[I].second, Direct.Defs[I].second))
+        << "definition #" << I << "\n--- fragments:\n"
+        << Fragments.Defs[I].second->disassemble() << "--- direct:\n"
+        << Direct.Defs[I].second->disassemble();
+}
+
+INSTANTIATE_TEST_SUITE_P(Compiler, DirectVsFragment,
+                         ::testing::ValuesIn(CompileCases),
+                         [](const auto &Info) {
+                           return std::string(Info.param.Name);
+                         });
+
+// -- Stock compiler specifics ----------------------------------------------------
+
+TEST(StockCompilerTest, NonTailLetCleansTheStack) {
+  // Values bound by lets in non-tail position must be squeezed out
+  // (Slide); deep non-tail nesting would otherwise leak stack slots.
+  World W;
+  std::string Source = "(define (f x) (+ ";
+  // (+ (let (a ..) a) (let (b ..) b)) nested several levels deep.
+  Source += "(let ((a (+ x 1))) (let ((b (+ a 1))) (+ a b)))";
+  Source += " (let ((c (* x 2))) c)))";
+  PECOMP_UNWRAP(P, W.parse(Source));
+  PECOMP_UNWRAP(R, W.runStock(P, "f", {W.num(10)}));
+  expectValueEq(R, W.num(43)); // (11 + 12) + 20
+}
+
+TEST(StockCompilerTest, IfInNonTailPositionJoins) {
+  World W;
+  PECOMP_UNWRAP(P, W.parse("(define (f x) (* 2 (if (> x 0) x (- 0 x))))"));
+  PECOMP_UNWRAP(Pos, W.runStock(P, "f", {W.num(21)}));
+  expectValueEq(Pos, W.num(42));
+  PECOMP_UNWRAP(Neg, W.runStock(P, "f", {W.num(-21)}));
+  expectValueEq(Neg, W.num(42));
+}
+
+TEST(StockCompilerTest, HandlesArbitraryNesting) {
+  World W;
+  PECOMP_UNWRAP(P, W.parse(
+      "(define (f x) (+ (if (zero? (remainder x 2)) (let ((h (quotient x 2)))"
+      " (* h h)) (+ (* 3 x) 1)) (if (> x 100) 1 0)))"));
+  PECOMP_UNWRAP(R1, W.runStock(P, "f", {W.num(10)}));
+  expectValueEq(R1, W.num(25));
+  PECOMP_UNWRAP(R2, W.runStock(P, "f", {W.num(7)}));
+  expectValueEq(R2, W.num(22));
+}
+
+// -- Closure capture -----------------------------------------------------------------
+
+TEST(ClosureTest, CapturesLocalsAndParameters) {
+  World W;
+  PECOMP_UNWRAP(P, W.parse(
+      "(define (f a) (let ((b (* a 10))) (lambda (c) (+ a (+ b c)))))"
+      "(define (go a c) ((f a) c))"));
+  PECOMP_UNWRAP(R, W.runAnf(P, "go", {W.num(1), W.num(100)}));
+  expectValueEq(R, W.num(111));
+}
+
+TEST(ClosureTest, CapturesThroughNestedLambdas) {
+  World W;
+  PECOMP_UNWRAP(P, W.parse(
+      "(define (f a) (lambda (b) (lambda (c) (+ a (+ b c)))))"
+      "(define (go) (((f 100) 20) 3))"));
+  PECOMP_UNWRAP(R, W.runStock(P, "go", {}));
+  expectValueEq(R, W.num(123));
+  PECOMP_UNWRAP(R2, W.runAnf(P, "go", {}));
+  expectValueEq(R2, W.num(123));
+}
+
+TEST(ClosureTest, GlobalReferencesAreNotCaptured) {
+  // A lambda referring to a top-level function uses GlobalRef, not a
+  // capture: its code object must have zero captured values.
+  World W;
+  PECOMP_UNWRAP(P, W.parse("(define (h x) (+ x 1))"
+                           "(define (f) (lambda (y) (h y)))"));
+  Program Anf = anfConvert(P, W.Exprs);
+  vm::CodeStore Store(W.Heap);
+  vm::GlobalTable Globals;
+  compiler::Compilators Comp(Store, Globals);
+  compiler::AnfCompiler AC(Comp);
+  compiler::CompiledProgram CP = AC.compileProgram(Anf);
+  const vm::CodeObject *F = CP.find(Symbol::intern("f"));
+  ASSERT_NE(F, nullptr);
+  ASSERT_EQ(F->children().size(), 1u);
+  std::string Dis = F->disassemble();
+  EXPECT_NE(Dis.find("captures=0"), std::string::npos) << Dis;
+}
+
+// -- Global table ----------------------------------------------------------------------
+
+TEST(GlobalTableTest, LookupOrAddIsStable) {
+  vm::GlobalTable T;
+  uint16_t A = T.lookupOrAdd(Symbol::intern("a"));
+  uint16_t B = T.lookupOrAdd(Symbol::intern("b"));
+  EXPECT_NE(A, B);
+  EXPECT_EQ(T.lookupOrAdd(Symbol::intern("a")), A);
+  EXPECT_EQ(*T.lookup(Symbol::intern("b")), B);
+  EXPECT_FALSE(T.lookup(Symbol::intern("c")).has_value());
+  EXPECT_EQ(T.name(A), Symbol::intern("a"));
+}
+
+TEST(GlobalTableTest, UndefinedGlobalIsARuntimeError) {
+  World W;
+  PECOMP_UNWRAP(P, W.parse("(define (f) (mystery))"));
+  // "mystery" is not defined anywhere; compilation succeeds (late
+  // binding), execution reports the undefined global.
+  Result<vm::Value> R = W.runStock(P, "f", {});
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.error().message().find("undefined global"), std::string::npos);
+}
+
+// -- Fragment assembly --------------------------------------------------------------------
+
+TEST(FragmentTest, JumpTargetsResolveAcrossNestedIfs) {
+  // Deeply nested conditionals exercise label resolution in both
+  // directions.
+  World W;
+  std::string Source = "(define (f x) ";
+  for (int I = 0; I != 20; ++I)
+    Source += "(if (= x " + std::to_string(I) + ") " + std::to_string(I * 10) +
+              " ";
+  Source += "-1";
+  Source += std::string(20, ')');
+  Source += ")";
+  PECOMP_UNWRAP(P, W.parse(Source));
+  PECOMP_UNWRAP(R0, W.runAnf(P, "f", {W.num(0)}));
+  expectValueEq(R0, W.num(0));
+  PECOMP_UNWRAP(R7, W.runAnf(P, "f", {W.num(7)}));
+  expectValueEq(R7, W.num(70));
+  PECOMP_UNWRAP(R19, W.runAnf(P, "f", {W.num(19)}));
+  expectValueEq(R19, W.num(190));
+  PECOMP_UNWRAP(RMiss, W.runAnf(P, "f", {W.num(99)}));
+  expectValueEq(RMiss, W.value("-1"));
+}
+
+TEST(FragmentTest, LiteralsAreDedupedStructurally) {
+  World W;
+  PECOMP_UNWRAP(P, W.parse("(define (f) (cons '(a b) (cons '(a b) '())))"));
+  Program Anf = anfConvert(P, W.Exprs);
+  vm::CodeStore Store(W.Heap);
+  vm::GlobalTable Globals;
+  compiler::Compilators Comp(Store, Globals);
+  compiler::AnfCompiler AC(Comp);
+  compiler::CompiledProgram CP = AC.compileProgram(Anf);
+  // '(a b) twice and '() once; '(a b) shares a slot.
+  EXPECT_EQ(CP.Defs[0].second->literals().size(), 2u)
+      << CP.Defs[0].second->disassemble();
+}
+
+TEST(FragmentTest, FragmentCountingWorks) {
+  World W;
+  PECOMP_UNWRAP(P, W.parse("(define (f x) (+ x 1))"));
+  Program Anf = anfConvert(P, W.Exprs);
+  vm::CodeStore Store(W.Heap);
+  vm::GlobalTable Globals;
+  compiler::Compilators Comp(Store, Globals);
+  compiler::AnfCompiler AC(Comp);
+  AC.compileProgram(Anf);
+  EXPECT_GT(Comp.frags().fragmentsCreated(), 0u);
+  EXPECT_EQ(Comp.codeObjectsBuilt(), 1u);
+}
+
+// -- Machine/compiler integration: deep recursion ---------------------------------------------
+
+TEST(IntegrationTest, NonTailRecursionUsesVmStackNotCppStack) {
+  // 100k-deep non-tail recursion: the VM's frame vector grows, the C++
+  // stack does not.
+  World W;
+  PECOMP_UNWRAP(P, W.parse("(define (sum n) (if (zero? n) 0 "
+                           "(+ n (sum (- n 1)))))"));
+  PECOMP_UNWRAP(R, W.runAnf(P, "sum", {W.num(100000)}));
+  expectValueEq(R, W.num(5000050000));
+}
+
+TEST(IntegrationTest, MutualRecursionAcrossGlobals) {
+  World W;
+  PECOMP_UNWRAP(P, W.parse(
+      "(define (a n acc) (if (zero? n) acc (b (- n 1) (+ acc 1))))"
+      "(define (b n acc) (if (zero? n) acc (a (- n 1) (+ acc 2))))"
+      "(define (go n) (a n 0))"));
+  PECOMP_UNWRAP(R, W.runStock(P, "go", {W.num(10)}));
+  expectValueEq(R, W.num(15));
+}
+
+} // namespace

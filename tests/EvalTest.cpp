@@ -1,0 +1,132 @@
+//===- tests/EvalTest.cpp - Reference interpreter unit tests ---------------===//
+
+#include "TestUtil.h"
+
+#include "frontend/Parse.h"
+
+using namespace pecomp;
+using namespace pecomp::test;
+
+namespace {
+
+TEST(EvalTest, EvaluatesLiterals) {
+  World W;
+  PECOMP_UNWRAP(P, W.parse("(define (f) 42)"));
+  eval::Interp I(W.Heap, P);
+  PECOMP_UNWRAP(R, I.callFunction(Symbol::intern("f"), {}));
+  expectValueEq(R, W.num(42));
+}
+
+TEST(EvalTest, EvalExprOnStandaloneExpressions) {
+  World W;
+  Program Empty;
+  eval::Interp I(W.Heap, Empty);
+  Result<const Datum *> D = readDatum("(+ 1 (* 2 3))", W.Datums);
+  Result<const Expr *> E = parseExpr(*D, W.Exprs);
+  PECOMP_UNWRAP(R, W.pinned(I.evalExpr(*E)));
+  expectValueEq(R, W.num(7));
+}
+
+TEST(EvalTest, UnboundVariableIsAnError) {
+  World W;
+  Program Empty;
+  eval::Interp I(W.Heap, Empty);
+  Result<const Datum *> D = readDatum("((lambda (x) y) 1)", W.Datums);
+  Result<const Expr *> E = parseExpr(*D, W.Exprs);
+  Result<vm::Value> R = I.evalExpr(*E);
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.error().message().find("unbound variable 'y'"),
+            std::string::npos);
+}
+
+TEST(EvalTest, UnknownFunctionIsAnError) {
+  World W;
+  PECOMP_UNWRAP(P, W.parse("(define (f) 1)"));
+  eval::Interp I(W.Heap, P);
+  Result<vm::Value> R = I.callFunction(Symbol::intern("g"), {});
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.error().message().find("no definition"), std::string::npos);
+}
+
+TEST(EvalTest, ArityMismatchIsAnError) {
+  World W;
+  PECOMP_UNWRAP(P, W.parse("(define (f x) x)"));
+  eval::Interp I(W.Heap, P);
+  Result<vm::Value> R = I.callFunction(Symbol::intern("f"), {});
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.error().message().find("expects 1"), std::string::npos);
+}
+
+TEST(EvalTest, ClosuresCaptureTheirEnvironment) {
+  World W;
+  PECOMP_UNWRAP(P, W.parse(
+      "(define (counter-pair)"
+      "  (let ((a 1))"
+      "    (let ((f (lambda () a)))"
+      "      (let ((a 99))"
+      "        (cons (f) a)))))"));
+  PECOMP_UNWRAP(R, W.evalCall(P, "counter-pair", {}));
+  expectValueEq(R, W.value("(1 . 99)"));
+}
+
+TEST(EvalTest, TailCallsRunInConstantCppStack) {
+  // One million iterations: would overflow the host stack if eval
+  // recursed per tail call.
+  World W;
+  PECOMP_UNWRAP(P, W.parse(
+      "(define (loop i acc) (if (zero? i) acc (loop (- i 1) (+ acc 1))))"));
+  PECOMP_UNWRAP(R, W.evalCall(P, "loop", {W.num(1000000), W.num(0)}));
+  expectValueEq(R, W.num(1000000));
+}
+
+TEST(EvalTest, MutualTailCallsAlsoConstantStack) {
+  World W;
+  PECOMP_UNWRAP(P, W.parse(
+      "(define (pong n) (if (zero? n) 'pong (ping (- n 1))))"
+      "(define (ping n) (if (zero? n) 'ping (pong (- n 1))))"));
+  PECOMP_UNWRAP(R, W.evalCall(P, "ping", {W.num(500001)}));
+  expectValueEq(R, W.value("pong"));
+}
+
+TEST(EvalTest, ShadowStackSurvivesCollectionMidExpression) {
+  // Arguments already evaluated must survive a GC triggered by a later
+  // argument's allocation.
+  World W;
+  W.Heap.setStressMode(true);
+  PECOMP_UNWRAP(P, W.parse(
+      "(define (f) (cons (cons 1 2) (cons 3 (cons 4 5))))"));
+  PECOMP_UNWRAP(R, W.evalCall(P, "f", {}));
+  expectValueEq(R, W.value("((1 . 2) 3 4 . 5)"));
+}
+
+TEST(EvalTest, ErrorsPropagateOutOfDeepRecursion) {
+  World W;
+  PECOMP_UNWRAP(P, W.parse(
+      "(define (f n) (if (zero? n) (car 'boom) (f (- n 1))))"));
+  Result<vm::Value> R = W.evalCall(P, "f", {W.num(100)});
+  ASSERT_FALSE(R.ok());
+}
+
+TEST(EvalTest, BoxesShareStateAcrossClosures) {
+  World W;
+  PECOMP_UNWRAP(P, W.parse(
+      "(define (f)"
+      "  (let ((cell 10))"
+      "    (let ((w (lambda (v) (set! cell v)))"
+      "          (r (lambda () cell)))"
+      "      (begin (w 42) (r)))))"));
+  PECOMP_UNWRAP(R, W.evalCall(P, "f", {}));
+  expectValueEq(R, W.num(42));
+}
+
+TEST(EvalTest, ConstantsAreCachedAcrossCalls) {
+  // Quoted constants convert to values once; identity is stable within
+  // one interpreter (eq? on the same quoted list is true across calls).
+  World W;
+  PECOMP_UNWRAP(P, W.parse("(define (k) '(a b))"
+                           "(define (f) (eq? (k) (k)))"));
+  PECOMP_UNWRAP(R, W.evalCall(P, "f", {}));
+  expectValueEq(R, W.value("#t"));
+}
+
+} // namespace

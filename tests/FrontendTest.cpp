@@ -1,0 +1,420 @@
+//===- tests/FrontendTest.cpp - Front-end pass unit tests ------------------===//
+
+#include "TestUtil.h"
+
+#include "frontend/Alpha.h"
+#include "frontend/AssignElim.h"
+#include "frontend/FreeVars.h"
+#include "frontend/Parse.h"
+#include "support/Casting.h"
+#include "syntax/AnfCheck.h"
+
+#include <unordered_set>
+
+using namespace pecomp;
+using namespace pecomp::test;
+
+namespace {
+
+// -- Parsing and desugaring ---------------------------------------------------
+
+class ParseTest : public ::testing::Test {
+protected:
+  const Expr *parseOne(std::string_view Text) {
+    Result<const Datum *> D = readDatum(Text, W.Datums);
+    EXPECT_TRUE(D.ok());
+    Result<const Expr *> E = parseExpr(*D, W.Exprs);
+    EXPECT_TRUE(E.ok()) << (E.ok() ? "" : E.error().render());
+    return E.ok() ? *E : nullptr;
+  }
+
+  Error parseError(std::string_view Text) {
+    Result<const Datum *> D = readDatum(Text, W.Datums);
+    EXPECT_TRUE(D.ok());
+    Result<const Expr *> E = parseExpr(*D, W.Exprs);
+    EXPECT_FALSE(E.ok()) << "expected a parse error for: " << Text;
+    return E.ok() ? Error("") : E.error();
+  }
+
+  World W;
+};
+
+TEST_F(ParseTest, SelfEvaluatingLiterals) {
+  EXPECT_TRUE(isa<ConstExpr>(parseOne("42")));
+  EXPECT_TRUE(isa<ConstExpr>(parseOne("#t")));
+  EXPECT_TRUE(isa<ConstExpr>(parseOne("\"s\"")));
+  EXPECT_TRUE(isa<ConstExpr>(parseOne("#\\c")));
+  EXPECT_TRUE(isa<ConstExpr>(parseOne("'(1 2)")));
+}
+
+TEST_F(ParseTest, PrimsInOperatorPositionBecomePrimApps) {
+  const auto *P = cast<PrimAppExpr>(parseOne("(+ 1 2)"));
+  EXPECT_EQ(P->op(), PrimOp::Add);
+  EXPECT_EQ(P->args().size(), 2u);
+}
+
+TEST_F(ParseTest, NAryArithmeticFoldsToBinary) {
+  // (+ 1 2 3 4) => (+ (+ (+ 1 2) 3) 4)
+  const auto *P = cast<PrimAppExpr>(parseOne("(+ 1 2 3 4)"));
+  EXPECT_EQ(P->op(), PrimOp::Add);
+  EXPECT_TRUE(isa<PrimAppExpr>(P->args()[0]));
+}
+
+TEST_F(ParseTest, UnaryMinusBecomesSubtractionFromZero) {
+  const auto *P = cast<PrimAppExpr>(parseOne("(- 5)"));
+  EXPECT_EQ(P->op(), PrimOp::Sub);
+  EXPECT_EQ(cast<FixnumDatum>(cast<ConstExpr>(P->args()[0])->value())->value(),
+            0);
+}
+
+TEST_F(ParseTest, FirstClassPrimReferenceEtaExpands) {
+  const auto *L = cast<LambdaExpr>(parseOne("car"));
+  EXPECT_EQ(L->params().size(), 1u);
+  EXPECT_TRUE(isa<PrimAppExpr>(L->body()));
+}
+
+TEST_F(ParseTest, ShadowedPrimNameIsAVariable) {
+  // Inside (lambda (car) (car 1)), car is an ordinary variable.
+  const auto *L = cast<LambdaExpr>(parseOne("(lambda (car) (car 1))"));
+  EXPECT_TRUE(isa<AppExpr>(L->body()));
+}
+
+TEST_F(ParseTest, SingleLetIsCoreLet) {
+  EXPECT_TRUE(isa<LetExpr>(parseOne("(let ((x 1)) x)")));
+  EXPECT_TRUE(isa<LetExpr>(parseOne("(let (x 1) x)"))); // core syntax
+}
+
+TEST_F(ParseTest, MultiBindingLetBecomesLambdaApplication) {
+  const auto *App = cast<AppExpr>(parseOne("(let ((x 1) (y 2)) (+ x y))"));
+  EXPECT_TRUE(isa<LambdaExpr>(App->callee()));
+  EXPECT_EQ(App->args().size(), 2u);
+}
+
+TEST_F(ParseTest, LetStarNests) {
+  const auto *Outer = cast<LetExpr>(parseOne("(let* ((x 1) (y x)) y)"));
+  EXPECT_TRUE(isa<LetExpr>(Outer->body()));
+}
+
+TEST_F(ParseTest, BeginSequencesThroughLets) {
+  const auto *L = cast<LetExpr>(parseOne("(begin 1 2 3)"));
+  EXPECT_TRUE(isa<ConstExpr>(L->init()));
+}
+
+TEST_F(ParseTest, CondBecomesNestedIfs) {
+  const auto *I = cast<IfExpr>(
+      parseOne("(cond ((= 1 2) 'a) ((= 1 1) 'b) (else 'c))"));
+  EXPECT_TRUE(isa<IfExpr>(I->elseBranch()));
+}
+
+TEST_F(ParseTest, CondWithoutElseFallsThroughToError) {
+  const auto *I = cast<IfExpr>(parseOne("(cond ((= 1 2) 'a))"));
+  EXPECT_TRUE(isa<PrimAppExpr>(I->elseBranch()));
+  EXPECT_EQ(cast<PrimAppExpr>(I->elseBranch())->op(), PrimOp::Error);
+}
+
+TEST_F(ParseTest, AndOrExpand) {
+  EXPECT_TRUE(isa<IfExpr>(parseOne("(and 1 2)")));
+  EXPECT_TRUE(isa<LetExpr>(parseOne("(or 1 2)"))); // temp for the head
+  EXPECT_TRUE(isa<ConstExpr>(parseOne("(and)")));
+  EXPECT_TRUE(isa<ConstExpr>(parseOne("(or)")));
+}
+
+TEST_F(ParseTest, ListBuildsConses) {
+  const auto *P = cast<PrimAppExpr>(parseOne("(list 1 2)"));
+  EXPECT_EQ(P->op(), PrimOp::Cons);
+}
+
+TEST_F(ParseTest, SetBecomesSetExpr) {
+  const auto *L = cast<LambdaExpr>(parseOne("(lambda (x) (set! x 1))"));
+  EXPECT_TRUE(isa<SetExpr>(L->body()));
+}
+
+TEST_F(ParseTest, RejectsKeywordAbuse) {
+  parseError("(lambda (if) if)");
+  parseError("(let ((lambda 1)) lambda)");
+  parseError("if");
+  parseError("(quote)");
+  parseError("(if 1 2)");
+  parseError("()");
+}
+
+TEST_F(ParseTest, RejectsArityErrorsOnPrims) {
+  parseError("(car 1 2)");
+  parseError("(cons 1)");
+  parseError("(< 1 2 3)"); // comparisons are strictly binary
+}
+
+TEST_F(ParseTest, RejectsDuplicateParameters) {
+  parseError("(lambda (x x) x)");
+}
+
+TEST(ProgramParseTest, DuplicateDefinitionRejected) {
+  World W;
+  Result<Program> P = W.parse("(define (f) 1)(define (f) 2)");
+  ASSERT_FALSE(P.ok());
+  EXPECT_NE(P.error().message().find("duplicate"), std::string::npos);
+}
+
+TEST(ProgramParseTest, CannotRedefinePrimitive) {
+  World W;
+  Result<Program> P = W.parse("(define (car x) x)");
+  ASSERT_FALSE(P.ok());
+}
+
+TEST(ProgramParseTest, ForwardReferencesResolve) {
+  World W;
+  PECOMP_UNWRAP(P, W.parse("(define (f n) (g n))(define (g n) (+ n 1))"));
+  PECOMP_UNWRAP(R, W.evalCall(P, "f", {W.num(1)}));
+  expectValueEq(R, W.num(2));
+}
+
+TEST(ProgramParseTest, ValueDefinitionsMustBeLambdas) {
+  World W;
+  EXPECT_FALSE(W.parse("(define x 42)").ok());
+  EXPECT_TRUE(W.parse("(define f (lambda (x) x))").ok());
+}
+
+// -- Alpha renaming --------------------------------------------------------------
+
+void collectBinders(const Expr *E, std::vector<Symbol> &Out) {
+  switch (E->kind()) {
+  case Expr::Kind::Const:
+  case Expr::Kind::Var:
+    return;
+  case Expr::Kind::Lambda: {
+    const auto *L = cast<LambdaExpr>(E);
+    for (Symbol P : L->params())
+      Out.push_back(P);
+    collectBinders(L->body(), Out);
+    return;
+  }
+  case Expr::Kind::Let: {
+    const auto *L = cast<LetExpr>(E);
+    Out.push_back(L->name());
+    collectBinders(L->init(), Out);
+    collectBinders(L->body(), Out);
+    return;
+  }
+  case Expr::Kind::If: {
+    const auto *I = cast<IfExpr>(E);
+    collectBinders(I->test(), Out);
+    collectBinders(I->thenBranch(), Out);
+    collectBinders(I->elseBranch(), Out);
+    return;
+  }
+  case Expr::Kind::App: {
+    const auto *A = cast<AppExpr>(E);
+    collectBinders(A->callee(), Out);
+    for (const Expr *Arg : A->args())
+      collectBinders(Arg, Out);
+    return;
+  }
+  case Expr::Kind::PrimApp:
+    for (const Expr *Arg : cast<PrimAppExpr>(E)->args())
+      collectBinders(Arg, Out);
+    return;
+  case Expr::Kind::Set:
+    collectBinders(cast<SetExpr>(E)->value(), Out);
+    return;
+  }
+}
+
+TEST(AlphaTest, AllBindersUniqueAfterRenaming) {
+  World W;
+  PECOMP_UNWRAP(
+      P, W.parse("(define (f x) (let ((x (+ x 1))) (lambda (x) "
+                 "(let ((y x)) (lambda (y) (+ x y))))))"
+                 "(define (g x) (f x))"));
+  std::vector<Symbol> Binders;
+  for (const Definition &D : P.Defs)
+    collectBinders(D.Fn, Binders);
+  std::unordered_set<Symbol> Unique(Binders.begin(), Binders.end());
+  EXPECT_EQ(Unique.size(), Binders.size());
+}
+
+TEST(AlphaTest, SemanticsPreserved) {
+  World W;
+  // Heavy shadowing; all three engines agree (they all run post-alpha).
+  PECOMP_UNWRAP(P, W.parse("(define (f x) (let ((x (* x 2)))"
+                           " (let ((x (+ x 1))) x)))"));
+  PECOMP_UNWRAP(R, W.evalCall(P, "f", {W.num(5)}));
+  expectValueEq(R, W.num(11));
+}
+
+TEST(AlphaTest, GlobalNamesAreStable) {
+  World W;
+  PECOMP_UNWRAP(P, W.parse("(define (f x) (f x))"));
+  EXPECT_EQ(P.Defs[0].Name.str(), "f");
+  const auto *App = cast<AppExpr>(P.Defs[0].Fn->body());
+  EXPECT_EQ(cast<VarExpr>(App->callee())->name().str(), "f");
+}
+
+// -- Assignment elimination ---------------------------------------------------------
+
+TEST(AssignElimTest, OutputIsAssignmentFree) {
+  World W;
+  PECOMP_UNWRAP(P, W.parse("(define (f x) (begin (set! x (+ x 1)) x))"));
+  struct {
+    bool HasSet = false;
+    void walk(const Expr *E) {
+      if (isa<SetExpr>(E))
+        HasSet = true;
+      switch (E->kind()) {
+      case Expr::Kind::Lambda:
+        walk(cast<LambdaExpr>(E)->body());
+        break;
+      case Expr::Kind::Let:
+        walk(cast<LetExpr>(E)->init());
+        walk(cast<LetExpr>(E)->body());
+        break;
+      default:
+        break;
+      }
+    }
+  } Checker;
+  Checker.walk(P.Defs[0].Fn);
+  EXPECT_FALSE(Checker.HasSet);
+}
+
+TEST(AssignElimTest, MutatedParameterBehaviour) {
+  World W;
+  PECOMP_UNWRAP(P, W.parse("(define (f x) (begin (set! x (+ x 10)) x))"));
+  PECOMP_UNWRAP(R, W.runStock(P, "f", {W.num(5)}));
+  expectValueEq(R, W.num(15));
+}
+
+TEST(AssignElimTest, ClosuresShareMutableState) {
+  World W;
+  PECOMP_UNWRAP(P, W.parse(
+      "(define (f)"
+      "  (let ((n 0))"
+      "    (let ((inc (lambda () (set! n (+ n 1))))"
+      "          (get (lambda () n)))"
+      "      (begin (inc) (inc) (inc) (get)))))"));
+  PECOMP_UNWRAP(R, W.runAnf(P, "f", {}));
+  expectValueEq(R, W.num(3));
+  PECOMP_UNWRAP(R2, W.evalCall(P, "f", {}));
+  expectValueEq(R2, W.num(3));
+}
+
+TEST(AssignElimTest, SetOfGlobalIsRejected) {
+  World W;
+  Result<Program> P = W.parse("(define (f) (set! f 1))");
+  ASSERT_FALSE(P.ok());
+  EXPECT_NE(P.error().message().find("unbound or global"), std::string::npos);
+}
+
+TEST(AssignElimTest, UnassignedVariablesAreNotBoxed) {
+  World W;
+  PECOMP_UNWRAP(P, W.parse("(define (f x y) (begin (set! x 1) (+ x y)))"));
+  // y is never assigned: no box-ref should guard it.
+  std::string Printed = P.Defs[0].Fn->body()->print();
+  EXPECT_NE(Printed.find("box-ref"), std::string::npos);
+  // Count the box-refs: only x's single read.
+  size_t Count = 0;
+  for (size_t At = Printed.find("box-ref"); At != std::string::npos;
+       At = Printed.find("box-ref", At + 1))
+    ++Count;
+  EXPECT_EQ(Count, 1u);
+}
+
+// -- Free variables -------------------------------------------------------------------
+
+TEST(FreeVarsTest, FirstOccurrenceOrder) {
+  World W;
+  Result<const Datum *> D =
+      readDatum("(lambda (a) (+ (+ b a) (+ c (+ b d))))", W.Datums);
+  Result<const Expr *> E = parseExpr(*D, W.Exprs);
+  std::vector<Symbol> Free = freeVars(*E);
+  ASSERT_EQ(Free.size(), 3u);
+  EXPECT_EQ(Free[0].str(), "b");
+  EXPECT_EQ(Free[1].str(), "c");
+  EXPECT_EQ(Free[2].str(), "d");
+}
+
+TEST(FreeVarsTest, BindersRemoveOccurrences) {
+  World W;
+  Result<const Datum *> D =
+      readDatum("(let ((x y)) (lambda (z) (+ x (+ y z))))", W.Datums);
+  Result<const Expr *> E = parseExpr(*D, W.Exprs);
+  std::vector<Symbol> Free = freeVars(*E);
+  ASSERT_EQ(Free.size(), 1u);
+  EXPECT_EQ(Free[0].str(), "y");
+}
+
+TEST(FreeVarsTest, ExcludeSetFiltersGlobals) {
+  World W;
+  Result<const Datum *> D = readDatum("(f x)", W.Datums);
+  Result<const Expr *> E = parseExpr(*D, W.Exprs);
+  std::unordered_set<Symbol> Globals = {Symbol::intern("f")};
+  std::vector<Symbol> Free = freeVars(*E, Globals);
+  ASSERT_EQ(Free.size(), 1u);
+  EXPECT_EQ(Free[0].str(), "x");
+}
+
+// -- ANF conversion -----------------------------------------------------------------
+
+struct AnfCase {
+  const char *Name;
+  const char *Source;
+  const char *Fn;
+  std::vector<int64_t> Args;
+};
+
+class AnfConvertTest : public ::testing::TestWithParam<AnfCase> {};
+
+TEST_P(AnfConvertTest, OutputIsAnfAndSemanticsPreserved) {
+  const AnfCase &C = GetParam();
+  World W;
+  PECOMP_UNWRAP(P, W.parse(C.Source));
+  Program Anf = anfConvert(P, W.Exprs);
+  EXPECT_FALSE(checkAnf(Anf)) << *checkAnf(Anf);
+
+  std::vector<vm::Value> Args;
+  for (int64_t A : C.Args)
+    Args.push_back(W.num(A));
+  PECOMP_UNWRAP(Before, W.evalCall(P, C.Fn, Args));
+  PECOMP_UNWRAP(After, W.evalCall(Anf, C.Fn, Args));
+  expectValueEq(Before, After);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Frontend, AnfConvertTest,
+    ::testing::Values(
+        AnfCase{"nested_calls",
+                "(define (f x) (+ (* x (+ x 1)) (* x (- x 1))))", "f", {7}},
+        AnfCase{"if_in_argument",
+                "(define (f x) (+ 1 (if (zero? x) 10 20)))", "f", {0}},
+        AnfCase{"if_in_let_rhs",
+                "(define (f x) (let ((y (if (> x 0) x (- 0 x)))) (* y 2)))",
+                "f", {-4}},
+        AnfCase{"nested_ifs_nontail",
+                "(define (f x) (* (if (> x 5) (if (> x 8) 1 2) 3) 10))", "f",
+                {9}},
+        AnfCase{"let_chain",
+                "(define (f x) (let ((a (+ x 1))) (let ((b (+ a 1))) "
+                "(let ((c (+ b 1))) c))))",
+                "f", {0}},
+        AnfCase{"lambda_in_if",
+                "(define (f x) ((if (zero? x) (lambda (k) (+ k 1)) "
+                "(lambda (k) (- k 1))) 10))",
+                "f", {0}},
+        AnfCase{"deep_nesting",
+                "(define (f x) (+ (+ (+ (+ x 1) (+ x 2)) (+ (+ x 3) (+ x 4)))"
+                " (+ x 5)))",
+                "f", {1}}),
+    [](const auto &Info) { return std::string(Info.param.Name); });
+
+TEST(AnfConvertIdempotence, AnfInputIsStable) {
+  // Converting twice gives a program that still checks and agrees.
+  World W;
+  PECOMP_UNWRAP(P, W.parse("(define (f x) (+ (* x x) 1))"));
+  Program A1 = anfConvert(P, W.Exprs);
+  Program A2 = anfConvert(A1, W.Exprs);
+  EXPECT_FALSE(checkAnf(A2));
+  PECOMP_UNWRAP(R1, W.evalCall(A1, "f", {W.num(6)}));
+  PECOMP_UNWRAP(R2, W.evalCall(A2, "f", {W.num(6)}));
+  expectValueEq(R1, R2);
+}
+
+} // namespace

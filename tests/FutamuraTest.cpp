@@ -1,0 +1,200 @@
+//===- tests/FutamuraTest.cpp - Interpreter specialization tests -----------===//
+///
+/// \file
+/// Compiler generation by the first Futamura projection, over a battery
+/// of MIXWELL and LAZY programs: for every interpreted program p and
+/// input d,
+///
+///     vm(specialize(interp, p), d) == eval(interp, p ++ d)
+///
+/// on both residual paths. Also checks the "RTCG as normal compilation"
+/// reading (everything dynamic, the paper's Fig. 8 semantics).
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+using namespace pecomp;
+using namespace pecomp::test;
+
+namespace {
+
+struct InterpCase {
+  const char *Name;
+  const char *Language; // "mixwell" or "lazy"
+  const char *Program;  // datum text
+  std::vector<std::pair<const char *, const char *>> InputsAndOutputs;
+};
+
+std::vector<InterpCase> interpCases() {
+  return {
+      {"mw_identity", "mixwell", "((main (x) (var x)))",
+       {{"(5)", "5"}, {"((a b))", "(a b)"}}},
+      {"mw_const", "mixwell", "((main (x) (const 42)))", {{"(0)", "42"}}},
+      {"mw_arith", "mixwell",
+       "((main (x y) (op2 + (op2 * (var x) (var x)) (var y))))",
+       {{"(3 4)", "13"}, {"(0 7)", "7"}}},
+      {"mw_factorial", "mixwell",
+       "((main (n) (call fact (var n)))"
+       " (fact (n) (if (op2 = (var n) (const 0)) (const 1)"
+       "             (op2 * (var n) (call fact (op2 - (var n) (const 1)))))))",
+       {{"(0)", "1"}, {"(5)", "120"}, {"(10)", "3628800"}}},
+      {"mw_ackermann_small", "mixwell",
+       "((main (m n) (call ack (var m) (var n)))"
+       " (ack (m n)"
+       "  (if (op2 = (var m) (const 0)) (op2 + (var n) (const 1))"
+       "   (if (op2 = (var n) (const 0))"
+       "       (call ack (op2 - (var m) (const 1)) (const 1))"
+       "       (call ack (op2 - (var m) (const 1))"
+       "                 (call ack (var m) (op2 - (var n) (const 1))))))))",
+       {{"(2 3)", "9"}, {"(1 5)", "7"}}},
+      {"mw_list_ops", "mixwell",
+       "((main (xs) (call rev (var xs) (const ())))"
+       " (rev (xs acc) (if (op1 null? (var xs)) (var acc)"
+       "   (call rev (op1 cdr (var xs)) (op2 cons (op1 car (var xs))"
+       "                                          (var acc))))))",
+       {{"((1 2 3))", "(3 2 1)"}, {"(())", "()"}}},
+      {"mw_even_odd", "mixwell",
+       "((main (n) (call even (var n)))"
+       " (even (n) (if (op2 = (var n) (const 0)) (const #t)"
+       "              (call odd (op2 - (var n) (const 1)))))"
+       " (odd (n) (if (op2 = (var n) (const 0)) (const #f)"
+       "             (call even (op2 - (var n) (const 1))))))",
+       {{"(10)", "#t"}, {"(7)", "#f"}}},
+      {"lz_identity", "lazy", "((main (x) (var x)))", {{"9", "9"}}},
+      {"lz_unused_error_arg", "lazy",
+       // Call-by-name: the bad division is never forced.
+       "((main (x) (call pick (var x) (op2 quotient (const 1) (const 0))))"
+       " (pick (a b) (var a)))",
+       {{"11", "11"}}},
+      {"lz_countdown", "lazy",
+       "((main (n) (call count (var n)))"
+       " (count (n) (if (op2 = (var n) (const 0)) (const done)"
+       "               (call count (op2 - (var n) (const 1))))))",
+       {{"6", "done"}}},
+      {"lz_double_use_reevaluates", "lazy",
+       // Call-by-name (no memoization): b is evaluated twice — still the
+       // same value here, but exercises multiple forcing.
+       "((main (n) (call twice (op2 + (var n) (const 1))))"
+       " (twice (b) (op2 + (var b) (var b))))",
+       {{"20", "42"}}},
+  };
+}
+
+class FutamuraCase : public ::testing::TestWithParam<InterpCase> {};
+
+TEST_P(FutamuraCase, CompiledAgreesWithInterpreted) {
+  const InterpCase &C = GetParam();
+  World W;
+  bool IsMixwell = std::string(C.Language) == "mixwell";
+  std::string_view InterpSource = IsMixwell ? workloads::mixwellInterpreter()
+                                            : workloads::lazyInterpreter();
+  const char *Entry = IsMixwell ? "mixwell-run" : "lazy-run";
+
+  vm::Value ProgramValue = W.value(C.Program);
+
+  PECOMP_UNWRAP(Gen, pgg::GeneratingExtension::create(W.Heap, InterpSource,
+                                                      Entry, "SD"));
+  std::optional<vm::Value> SpecArgs[] = {ProgramValue, std::nullopt};
+
+  // Source path.
+  PECOMP_UNWRAP(Res, Gen->generateSource(SpecArgs));
+  // Fused path.
+  vm::CodeStore Store(W.Heap);
+  vm::GlobalTable Globals;
+  compiler::Compilators Comp(Store, Globals);
+  PECOMP_UNWRAP(Obj, Gen->generateObject(Comp, SpecArgs));
+
+  PECOMP_UNWRAP(Interp, W.parse(InterpSource));
+
+  for (const auto &[Input, Output] : C.InputsAndOutputs) {
+    vm::Value In = W.value(Input);
+    vm::Value Expected = W.value(Output);
+
+    PECOMP_UNWRAP(Direct, W.evalCall(Interp, Entry, {ProgramValue, In}));
+    expectValueEq(Direct, Expected);
+
+    PECOMP_UNWRAP(ViaSource, W.runAnf(Res.Residual, Res.Entry.str(), {In}));
+    expectValueEq(ViaSource, Expected);
+
+    PECOMP_UNWRAP(ViaObject,
+                  W.runCompiled(Globals, Obj.Residual, Obj.Entry, {In}));
+    expectValueEq(ViaObject, Expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Futamura, FutamuraCase,
+                         ::testing::ValuesIn(interpCases()),
+                         [](const auto &Info) {
+                           return std::string(Info.param.Name);
+                         });
+
+TEST(Fig8Semantics, AllDynamicResidualizationIsCompilation) {
+  // With everything dynamic, the generating extension residualizes the
+  // interpreter one-to-one: the output still interprets any program.
+  World W;
+  PECOMP_UNWRAP(Gen, pgg::GeneratingExtension::create(
+                         W.Heap, workloads::mixwellInterpreter(),
+                         "mixwell-run", "DD"));
+  vm::CodeStore Store(W.Heap);
+  vm::GlobalTable Globals;
+  compiler::Compilators Comp(Store, Globals);
+  std::optional<vm::Value> SpecArgs[] = {std::nullopt, std::nullopt};
+  PECOMP_UNWRAP(Obj, Gen->generateObject(Comp, SpecArgs));
+
+  vm::Value Program = W.value("((main (n) (op2 * (var n) (var n))))");
+  vm::Value In = W.value("(12)");
+  PECOMP_UNWRAP(R, W.runCompiled(Globals, Obj.Residual, Obj.Entry,
+                                 {Program, In}));
+  expectValueEq(R, W.num(144));
+}
+
+TEST(FutamuraErrors, InterpretedErrorsSurfaceThroughResidualCode) {
+  // The interpreted program hits the unbound-variable error path; the
+  // residualized code must raise the same error.
+  World W;
+  vm::Value Program = W.value("((main (x) (var nope)))");
+  PECOMP_UNWRAP(Gen, pgg::GeneratingExtension::create(
+                         W.Heap, workloads::mixwellInterpreter(),
+                         "mixwell-run", "SD"));
+  std::optional<vm::Value> SpecArgs[] = {Program, std::nullopt};
+  PECOMP_UNWRAP(Res, Gen->generateSource(SpecArgs));
+  Result<vm::Value> R =
+      W.runAnf(Res.Residual, Res.Entry.str(), {W.value("(1)")});
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.error().message().find("unbound variable"), std::string::npos);
+}
+
+TEST(FutamuraStats, SpecializationStatisticsAreSane) {
+  World W;
+  vm::Value Program = W.value(std::string(workloads::mixwellSampleProgram()));
+  PECOMP_UNWRAP(Gen, pgg::GeneratingExtension::create(
+                         W.Heap, workloads::mixwellInterpreter(),
+                         "mixwell-run", "SD"));
+  std::optional<vm::Value> SpecArgs[] = {Program, std::nullopt};
+  PECOMP_UNWRAP(Res, Gen->generateSource(SpecArgs));
+  EXPECT_GT(Res.Stats.UnfoldedCalls, Res.Stats.MemoizedCalls);
+  EXPECT_EQ(Res.Stats.ResidualFunctions, Res.Residual.Defs.size());
+  EXPECT_GT(Res.Stats.StaticPrims, 0u);  // interpreter dispatch ran
+  EXPECT_GT(Res.Stats.ResidualPrims, 0u); // object-level arithmetic remains
+}
+
+TEST(FutamuraSharing, SameStaticProgramSharesResidualFunctions) {
+  // Specializing the same interpreter twice within one extension must not
+  // duplicate work across runs (each run gets a fresh memo table, so
+  // function counts match exactly).
+  World W;
+  vm::Value Program = W.value("((main (n) (call f (var n)))"
+                              " (f (n) (if (op2 = (var n) (const 0))"
+                              "   (const 0) (call f (op2 - (var n) "
+                              "(const 1))))))");
+  PECOMP_UNWRAP(Gen, pgg::GeneratingExtension::create(
+                         W.Heap, workloads::mixwellInterpreter(),
+                         "mixwell-run", "SD"));
+  std::optional<vm::Value> SpecArgs[] = {Program, std::nullopt};
+  PECOMP_UNWRAP(First, Gen->generateSource(SpecArgs));
+  PECOMP_UNWRAP(Second, Gen->generateSource(SpecArgs));
+  EXPECT_EQ(First.Residual.Defs.size(), Second.Residual.Defs.size());
+}
+
+} // namespace

@@ -1,0 +1,123 @@
+//===- tests/GcStressTest.cpp - GC safety under stress ----------------------===//
+///
+/// \file
+/// The DESIGN.md GC invariant: collecting at every allocation must not
+/// change any observable result — across the evaluator, both compilers,
+/// the specializer, and the fused path.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+using namespace pecomp;
+using namespace pecomp::test;
+
+namespace {
+
+struct StressCase {
+  const char *Name;
+  const char *Source;
+  const char *Fn;
+  const char *Arg;      // datum
+  const char *Expected; // datum
+};
+
+const StressCase StressCases[] = {
+    {"list_building",
+     "(define (iota n) (if (zero? n) '() (cons n (iota (- n 1)))))"
+     "(define (go n) (iota n))",
+     "go", "20", "(20 19 18 17 16 15 14 13 12 11 10 9 8 7 6 5 4 3 2 1)"},
+    {"closure_churn",
+     "(define (make n) (lambda (x) (+ x n)))"
+     "(define (go n) (if (zero? n) 0 (+ ((make n) 1) (go (- n 1)))))",
+     "go", "30", "495"},
+    {"boxes",
+     "(define (go n)"
+     "  (let ((acc 0))"
+     "    (letrec ((loop (lambda (i)"
+     "        (if (zero? i) acc"
+     "            (begin (set! acc (+ acc i)) (loop (- i 1)))))))"
+     "      (loop n))))",
+     "go", "50", "1275"},
+};
+
+class GcStress : public ::testing::TestWithParam<StressCase> {};
+
+TEST_P(GcStress, EvalUnderStress) {
+  const StressCase &C = GetParam();
+  World W;
+  W.Heap.setStressMode(true);
+  PECOMP_UNWRAP(P, W.parse(C.Source));
+  PECOMP_UNWRAP(R, W.evalCall(P, C.Fn, {W.value(C.Arg)}));
+  expectValueEq(R, W.value(C.Expected));
+  EXPECT_GT(W.Heap.totalCollections(), 0u);
+}
+
+TEST_P(GcStress, CompiledUnderStress) {
+  const StressCase &C = GetParam();
+  World W;
+  W.Heap.setStressMode(true);
+  PECOMP_UNWRAP(P, W.parse(C.Source));
+  PECOMP_UNWRAP(R, W.runStock(P, C.Fn, {W.value(C.Arg)}));
+  expectValueEq(R, W.value(C.Expected));
+  PECOMP_UNWRAP(R2, W.runAnf(P, C.Fn, {W.value(C.Arg)}));
+  expectValueEq(R2, W.value(C.Expected));
+}
+
+INSTANTIATE_TEST_SUITE_P(Gc, GcStress, ::testing::ValuesIn(StressCases),
+                         [](const auto &Info) {
+                           return std::string(Info.param.Name);
+                         });
+
+TEST(GcStressSpec, SpecializationUnderStress) {
+  // The specializer allocates static values while residual code is being
+  // generated; stress collections must not disturb either.
+  World W;
+  W.Heap.setStressMode(true);
+  PECOMP_UNWRAP(Gen, pgg::GeneratingExtension::create(
+                         W.Heap, workloads::dotProductProgram(), "dot",
+                         "SD"));
+  std::optional<vm::Value> Args[] = {W.value("(1 2 3 4)"), std::nullopt};
+  PECOMP_UNWRAP(Res, Gen->generateSource(Args));
+  PECOMP_UNWRAP(R, W.evalCall(Res.Residual, Res.Entry.str(),
+                              {W.value("(10 20 30 40)")}));
+  expectValueEq(R, W.num(300));
+  EXPECT_GT(W.Heap.totalCollections(), 0u);
+}
+
+TEST(GcStressSpec, FusedPathUnderStress) {
+  World W;
+  W.Heap.setStressMode(true);
+  PECOMP_UNWRAP(Gen, pgg::GeneratingExtension::create(
+                         W.Heap, workloads::dotProductProgram(), "dot",
+                         "SD"));
+  vm::CodeStore Store(W.Heap);
+  vm::GlobalTable Globals;
+  compiler::Compilators Comp(Store, Globals);
+  std::optional<vm::Value> Args[] = {W.value("(5 0 5)"), std::nullopt};
+  PECOMP_UNWRAP(Obj, Gen->generateObject(Comp, Args));
+  PECOMP_UNWRAP(R, W.runCompiled(Globals, Obj.Residual, Obj.Entry,
+                                 {W.value("(1 2 3)")}));
+  expectValueEq(R, W.num(20));
+}
+
+TEST(GcStressSpec, MixwellEndToEndUnderStress) {
+  World W;
+  W.Heap.setStressMode(true);
+  PECOMP_UNWRAP(Gen, pgg::GeneratingExtension::create(
+                         W.Heap, workloads::mixwellInterpreter(),
+                         "mixwell-run", "SD"));
+  vm::Value Program =
+      W.value(std::string(workloads::mixwellSampleProgram()));
+  vm::CodeStore Store(W.Heap);
+  vm::GlobalTable Globals;
+  compiler::Compilators Comp(Store, Globals);
+  std::optional<vm::Value> Args[] = {Program, std::nullopt};
+  PECOMP_UNWRAP(Obj, Gen->generateObject(Comp, Args));
+  PECOMP_UNWRAP(R, W.runCompiled(Globals, Obj.Residual, Obj.Entry,
+                                 {W.value("(4 (9 5))")}));
+  expectValueEq(R, W.value("(38 3)"));
+  EXPECT_GT(W.Heap.totalCollections(), 100u);
+}
+
+} // namespace

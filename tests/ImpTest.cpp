@@ -1,0 +1,178 @@
+//===- tests/ImpTest.cpp - IMP interpreter specialization -------------------===//
+///
+/// \file
+/// Compiling the imperative while-language by specialization, plus the
+/// GeneratedCompiler facade (the paper's "automatic construction of true
+/// compilers").
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "pgg/CompilerGenerator.h"
+
+using namespace pecomp;
+using namespace pecomp::test;
+
+namespace {
+
+struct ImpCase {
+  const char *Name;
+  const char *Program;
+  std::vector<std::pair<const char *, int64_t>> ArgsAndResults;
+};
+
+std::vector<ImpCase> impCases() {
+  return {
+      {"straight_line",
+       "((x) () ((assign x (op2 + (var x) (const 1)))) (var x))",
+       {{"(41)", 42}, {"(-1)", 0}}},
+      {"countdown",
+       "((n) (acc)"
+       " ((assign acc (const 0))"
+       "  (while (op2 > (var n) (const 0))"
+       "    ((assign acc (op2 + (var acc) (var n)))"
+       "     (assign n (op2 - (var n) (const 1))))))"
+       " (var acc))",
+       {{"(5)", 15}, {"(0)", 0}, {"(100)", 5050}}},
+      {"branching",
+       "((x) (r)"
+       " ((if (op2 < (var x) (const 0))"
+       "      ((assign r (op2 - (const 0) (var x))))"
+       "      ((assign r (var x)))))"
+       " (var r))",
+       {{"(-7)", 7}, {"(7)", 7}, {"(0)", 0}}},
+      {"nested_loops",
+       "((n) (i j acc)"
+       " ((assign i (const 0))"
+       "  (while (op2 < (var i) (var n))"
+       "    ((assign j (const 0))"
+       "     (while (op2 < (var j) (var n))"
+       "       ((assign acc (op2 + (var acc) (const 1)))"
+       "        (assign j (op2 + (var j) (const 1)))))"
+       "     (assign i (op2 + (var i) (const 1))))))"
+       " (var acc))",
+       {{"(4)", 16}, {"(0)", 0}, {"(7)", 49}}},
+      {"sample_program", "", {}}, // resolved to impSampleProgram() below
+  };
+}
+
+class ImpSweep : public ::testing::TestWithParam<ImpCase> {};
+
+TEST_P(ImpSweep, CompiledAgreesWithInterpreted) {
+  const ImpCase &C = GetParam();
+  World W;
+  std::string ProgramText = std::string(C.Name) == "sample_program"
+                                ? std::string(workloads::impSampleProgram())
+                                : C.Program;
+  vm::Value Program = W.value(ProgramText);
+
+  PECOMP_UNWRAP(CC, pgg::GeneratedCompiler::create(
+                        W.Heap, workloads::impInterpreter(), "imp-run"));
+  PECOMP_UNWRAP(Unit, CC->compile(Program));
+  vm::Machine M(W.Heap);
+  CC->link(M, Unit.Module);
+
+  PECOMP_UNWRAP(Interp, W.parse(workloads::impInterpreter()));
+
+  auto Cases = C.ArgsAndResults;
+  if (Cases.empty()) // the sample program: check against the oracle only
+    Cases = {{"(12 18 5)", 726}, {"(9 6 3)", 20}, {"(1 1 0)", 1}};
+
+  for (const auto &[Args, Expected] : Cases) {
+    vm::Value In = W.value(Args);
+    PECOMP_UNWRAP(Direct, W.evalCall(Interp, "imp-run", {Program, In}));
+    expectValueEq(Direct, W.num(Expected));
+    PECOMP_UNWRAP(R, W.pinned(compiler::callGlobal(M, CC->globals(),
+                                                   Unit.Entry, {{In}})));
+    expectValueEq(R, W.num(Expected));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Imp, ImpSweep, ::testing::ValuesIn(impCases()),
+                         [](const auto &Info) {
+                           return std::string(Info.param.Name);
+                         });
+
+TEST(GeneratedCompilerTest, CompilesManyProgramsIntoOneMachine) {
+  // The point of globally fresh residual names: several compiled units
+  // coexist in one machine without clobbering each other's globals.
+  World W;
+  PECOMP_UNWRAP(CC, pgg::GeneratedCompiler::create(
+                        W.Heap, workloads::impInterpreter(), "imp-run"));
+
+  vm::Value Inc = W.value(
+      "((x) () ((assign x (op2 + (var x) (const 1)))) (var x))");
+  vm::Value Dbl = W.value(
+      "((x) () ((assign x (op2 * (var x) (const 2)))) (var x))");
+  PECOMP_UNWRAP(UnitInc, CC->compile(Inc));
+  PECOMP_UNWRAP(UnitDbl, CC->compile(Dbl));
+  EXPECT_NE(UnitInc.Entry, UnitDbl.Entry);
+
+  vm::Machine M(W.Heap);
+  CC->link(M, UnitInc.Module);
+  CC->link(M, UnitDbl.Module);
+
+  vm::Value In = W.value("(10)");
+  PECOMP_UNWRAP(A, W.pinned(compiler::callGlobal(M, CC->globals(),
+                                                 UnitInc.Entry, {{In}})));
+  expectValueEq(A, W.num(11));
+  PECOMP_UNWRAP(B, W.pinned(compiler::callGlobal(M, CC->globals(),
+                                                 UnitDbl.Entry, {{In}})));
+  expectValueEq(B, W.num(20));
+  // The first unit still works after linking the second.
+  PECOMP_UNWRAP(A2, W.pinned(compiler::callGlobal(M, CC->globals(),
+                                                  UnitInc.Entry, {{In}})));
+  expectValueEq(A2, W.num(11));
+}
+
+TEST(GeneratedCompilerTest, RecompilationIsStructurallyStable) {
+  // Compiling the same program value twice yields the same shape (same
+  // number of residual functions, same code sizes and literals) and the
+  // same behaviour. Exact bytes differ only in global-slot numbers, since
+  // both units share one global table under fresh names.
+  World W;
+  PECOMP_UNWRAP(CC, pgg::GeneratedCompiler::create(
+                        W.Heap, workloads::impInterpreter(), "imp-run"));
+  vm::Value P = W.value(
+      "((x) (r) ((while (op2 > (var x) (const 0))"
+      " ((assign r (op2 + (var r) (var x)))"
+      "  (assign x (op2 - (var x) (const 1)))))) (var r))");
+  PECOMP_UNWRAP(U1, CC->compile(P));
+  PECOMP_UNWRAP(U2, CC->compile(P));
+  ASSERT_EQ(U1.Module.Defs.size(), U2.Module.Defs.size());
+  for (size_t I = 0; I != U1.Module.Defs.size(); ++I) {
+    EXPECT_EQ(U1.Module.Defs[I].second->code().size(),
+              U2.Module.Defs[I].second->code().size());
+    EXPECT_EQ(U1.Module.Defs[I].second->literals().size(),
+              U2.Module.Defs[I].second->literals().size());
+  }
+  vm::Machine M(W.Heap);
+  CC->link(M, U1.Module);
+  CC->link(M, U2.Module);
+  vm::Value In = W.value("(6)");
+  PECOMP_UNWRAP(A, W.pinned(compiler::callGlobal(M, CC->globals(),
+                                                 U1.Entry, {{In}})));
+  PECOMP_UNWRAP(B, W.pinned(compiler::callGlobal(M, CC->globals(),
+                                                 U2.Entry, {{In}})));
+  expectValueEq(A, B);
+  expectValueEq(A, W.num(21));
+}
+
+TEST(ImpStructure, WhileLoopsBecomeResidualFunctions) {
+  World W;
+  vm::Value Program = W.value(std::string(workloads::impSampleProgram()));
+  PECOMP_UNWRAP(Gen, pgg::GeneratingExtension::create(
+                         W.Heap, workloads::impInterpreter(), "imp-run",
+                         "SD"));
+  std::optional<vm::Value> Args[] = {Program, std::nullopt};
+  PECOMP_UNWRAP(Res, Gen->generateSource(Args));
+  // Three while loops in the sample: three imp-while specializations.
+  size_t WhileFns = 0;
+  for (const Definition &D : Res.Residual.Defs)
+    if (D.Name.str().find("imp-while") == 0)
+      ++WhileFns;
+  EXPECT_EQ(WhileFns, 3u) << Res.Residual.print();
+}
+
+} // namespace

@@ -1,0 +1,171 @@
+//===- tests/LambdaLiftTest.cpp - Lambda lifting unit tests ----------------===//
+
+#include "TestUtil.h"
+
+#include "frontend/LambdaLift.h"
+#include "support/Casting.h"
+
+using namespace pecomp;
+using namespace pecomp::test;
+
+namespace {
+
+/// Counts lambda expressions remaining anywhere in the program.
+size_t countLambdas(const Expr *E) {
+  switch (E->kind()) {
+  case Expr::Kind::Const:
+  case Expr::Kind::Var:
+    return 0;
+  case Expr::Kind::Lambda:
+    return 1 + countLambdas(cast<LambdaExpr>(E)->body());
+  case Expr::Kind::Let: {
+    const auto *L = cast<LetExpr>(E);
+    return countLambdas(L->init()) + countLambdas(L->body());
+  }
+  case Expr::Kind::If: {
+    const auto *I = cast<IfExpr>(E);
+    return countLambdas(I->test()) + countLambdas(I->thenBranch()) +
+           countLambdas(I->elseBranch());
+  }
+  case Expr::Kind::App: {
+    const auto *A = cast<AppExpr>(E);
+    size_t N = countLambdas(A->callee());
+    for (const Expr *Arg : A->args())
+      N += countLambdas(Arg);
+    return N;
+  }
+  case Expr::Kind::PrimApp: {
+    size_t N = 0;
+    for (const Expr *Arg : cast<PrimAppExpr>(E)->args())
+      N += countLambdas(Arg);
+    return N;
+  }
+  case Expr::Kind::Set:
+    return countLambdas(cast<SetExpr>(E)->value());
+  }
+  return 0;
+}
+
+size_t countLambdas(const Program &P) {
+  size_t N = 0;
+  for (const Definition &D : P.Defs)
+    N += countLambdas(D.Fn->body()); // exclude the definitions themselves
+  return N;
+}
+
+struct LiftCase {
+  const char *Name;
+  const char *Source;
+  const char *Fn;
+  std::vector<int64_t> Args;
+  size_t ExpectedLifted;
+};
+
+const LiftCase LiftCases[] = {
+    {"direct_called_closure",
+     "(define (f x) (let ((g (lambda (y) (+ y x)))) (g 10)))", "f", {5}, 1},
+    {"capture_chain",
+     "(define (f a) (let ((g (lambda (x) (+ x a))))"
+     "  (let ((h (lambda (y) (g (* y 2))))) (h 3))))",
+     "f", {100}, 2},
+    {"multiple_calls",
+     "(define (f x) (let ((sq (lambda (n) (* n n))))"
+     "  (+ (sq x) (sq (+ x 1)))))",
+     "f", {4}, 1},
+    {"no_free_vars",
+     "(define (f x) (let ((inc (lambda (n) (+ n 1)))) (inc (inc x))))", "f",
+     {10}, 1},
+    {"escaping_lambda_kept",
+     "(define (apply1 g x) (g x))"
+     "(define (f x) (let ((g (lambda (y) (+ y 1)))) (apply1 g x)))",
+     "f", {7}, 0},
+    {"arity_mismatch_never_happens_but_misuse_kept",
+     "(define (f x) (let ((g (lambda (y) y))) (if (procedure? g) 1 (g x))))",
+     "f", {3}, 0},
+    {"call_inside_inner_lambda",
+     "(define (apply1 g x) (g x))"
+     "(define (f a b) (let ((add (lambda (x) (+ x a))))"
+     "  (apply1 (lambda (y) (add (* y 2))) b)))",
+     "f", {10, 3}, 1},
+};
+
+class LambdaLiftCase : public ::testing::TestWithParam<LiftCase> {};
+
+TEST_P(LambdaLiftCase, SemanticsPreservedAndLambdasLifted) {
+  const LiftCase &C = GetParam();
+  World W;
+  PECOMP_UNWRAP(P, W.parse(C.Source));
+
+  LambdaLiftStats Stats;
+  Program Lifted = liftLambdas(P, W.Exprs, &Stats);
+  EXPECT_EQ(Stats.Lifted, C.ExpectedLifted);
+
+  std::vector<vm::Value> Args;
+  for (int64_t A : C.Args)
+    Args.push_back(W.num(A));
+
+  PECOMP_UNWRAP(Before, W.evalCall(P, C.Fn, Args));
+  PECOMP_UNWRAP(After, W.evalCall(Lifted, C.Fn, Args));
+  expectValueEq(Before, After);
+
+  // The lifted program also compiles and runs identically.
+  PECOMP_UNWRAP(Compiled, W.runAnf(Lifted, C.Fn, Args));
+  expectValueEq(Compiled, Before);
+}
+
+INSTANTIATE_TEST_SUITE_P(Frontend, LambdaLiftCase,
+                         ::testing::ValuesIn(LiftCases),
+                         [](const auto &Info) {
+                           return std::string(Info.param.Name);
+                         });
+
+TEST(LambdaLiftTest, LiftedLambdasDisappearFromBodies) {
+  World W;
+  PECOMP_UNWRAP(P, W.parse(
+      "(define (f x) (let ((g (lambda (y) (+ y x)))) (g 10)))"));
+  Program Lifted = liftLambdas(P, W.Exprs);
+  EXPECT_EQ(countLambdas(Lifted), 0u);
+  EXPECT_EQ(Lifted.Defs.size(), 2u);
+}
+
+TEST(LambdaLiftTest, EscapingLambdasKeepClosures) {
+  World W;
+  PECOMP_UNWRAP(P, W.parse("(define (f x) (lambda (y) (+ x y)))"));
+  Program Lifted = liftLambdas(P, W.Exprs);
+  EXPECT_EQ(countLambdas(Lifted), 1u);
+  EXPECT_EQ(Lifted.Defs.size(), 1u);
+}
+
+TEST(LambdaLiftTest, BoxedStateIsSharedThroughLifting) {
+  // The lifted function receives the *box*, so mutation stays shared.
+  World W;
+  PECOMP_UNWRAP(P, W.parse(
+      "(define (f)"
+      "  (let ((n 0))"
+      "    (let ((bump (lambda () (set! n (+ n 1)))))"
+      "      (begin (bump) (bump) n))))"));
+  Program Lifted = liftLambdas(P, W.Exprs);
+  PECOMP_UNWRAP(R, W.runAnf(Lifted, "f", {}));
+  expectValueEq(R, W.num(2));
+}
+
+TEST(LambdaLiftTest, InteractsWithPartialEvaluation) {
+  // Lifting before specialization must not change residual behaviour.
+  World W;
+  const char *Src =
+      "(define (f s d) (let ((scale (lambda (k) (* k s)))) "
+      "(+ (scale 2) (scale d))))";
+  PECOMP_UNWRAP(P, W.parse(Src));
+  Program Lifted = liftLambdas(P, W.Exprs);
+  std::string LiftedText = Lifted.print();
+
+  PECOMP_UNWRAP(Gen,
+                pgg::GeneratingExtension::create(W.Heap, LiftedText, "f",
+                                                 "SD"));
+  std::optional<vm::Value> SpecArgs[] = {W.num(10), std::nullopt};
+  PECOMP_UNWRAP(Res, Gen->generateSource(SpecArgs));
+  PECOMP_UNWRAP(R, W.runAnf(Res.Residual, Res.Entry.str(), {W.num(7)}));
+  expectValueEq(R, W.num(90));
+}
+
+} // namespace

@@ -1,0 +1,210 @@
+//===- tests/MachineOpsTest.cpp - Instruction-level VM tests ----------------===//
+///
+/// \file
+/// Exercises each opcode through hand-built code objects (via the
+/// Compilators/Fragment layer), independent of any compiler front end:
+/// operand encoding, jump resolution in both directions, closure capture,
+/// tail-call frame reuse, and stack-slide cleanup.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "compiler/Compilators.h"
+
+using namespace pecomp;
+using namespace pecomp::test;
+using namespace pecomp::compiler;
+using vm::Op;
+using vm::Value;
+
+namespace {
+
+class MachineOps : public ::testing::Test {
+protected:
+  MachineOps()
+      : Store(W.Heap), Comp(Store, Globals), M(W.Heap) {}
+
+  /// Runs a code object with \p Args.
+  Result<Value> run(const vm::CodeObject *Code, std::vector<Value> Args) {
+    M.setFuel(1'000'000);
+    return M.call(M.makeProcedure(Code), Args);
+  }
+
+  World W;
+  vm::CodeStore Store;
+  vm::GlobalTable Globals;
+  Compilators Comp;
+  vm::Machine M;
+};
+
+TEST_F(MachineOps, ConstAndReturn) {
+  const vm::CodeObject *Code = Comp.makeCodeObject(
+      "k", {}, {}, [&](const CEnv &, uint32_t) {
+        return Comp.returnValue(Comp.pushLiteral(Value::fixnum(99)));
+      });
+  PECOMP_UNWRAP(R, run(Code, {}));
+  expectValueEq(R, Value::fixnum(99));
+}
+
+TEST_F(MachineOps, LocalRefFetchesParameters) {
+  Symbol A = Symbol::intern("a"), B = Symbol::intern("b");
+  std::vector<Symbol> Params = {A, B};
+  const vm::CodeObject *Code = Comp.makeCodeObject(
+      "second", Params, {}, [&](const CEnv &Env, uint32_t) {
+        return Comp.returnValue(Comp.pushVar(Env, B));
+      });
+  PECOMP_UNWRAP(R, run(Code, {Value::fixnum(1), Value::fixnum(2)}));
+  expectValueEq(R, Value::fixnum(2));
+}
+
+TEST_F(MachineOps, PrimPopsArgsAndPushesResult) {
+  Symbol A = Symbol::intern("a");
+  std::vector<Symbol> Params = {A};
+  const vm::CodeObject *Code = Comp.makeCodeObject(
+      "inc", Params, {}, [&](const CEnv &Env, uint32_t) {
+        const Fragment *Args[] = {Comp.pushVar(Env, A),
+                                  Comp.pushLiteral(Value::fixnum(1))};
+        return Comp.returnValue(Comp.primApp(PrimOp::Add, Args));
+      });
+  PECOMP_UNWRAP(R, run(Code, {Value::fixnum(41)}));
+  expectValueEq(R, Value::fixnum(42));
+}
+
+TEST_F(MachineOps, JumpIfFalseTakesTheRightBranch) {
+  Symbol A = Symbol::intern("a");
+  std::vector<Symbol> Params = {A};
+  const vm::CodeObject *Code = Comp.makeCodeObject(
+      "sign", Params, {}, [&](const CEnv &Env, uint32_t) {
+        const Fragment *Test[] = {Comp.pushVar(Env, A),
+                                  Comp.pushLiteral(Value::fixnum(0))};
+        return Comp.ifThenElse(
+            Comp.primApp(PrimOp::Lt, Test),
+            Comp.returnValue(
+                Comp.pushLiteral(Value::symbol(Symbol::intern("neg")))),
+            Comp.returnValue(
+                Comp.pushLiteral(Value::symbol(Symbol::intern("pos")))));
+      });
+  PECOMP_UNWRAP(Neg, run(Code, {Value::fixnum(-5)}));
+  expectValueEq(Neg, Value::symbol(Symbol::intern("neg")));
+  PECOMP_UNWRAP(Pos, run(Code, {Value::fixnum(5)}));
+  expectValueEq(Pos, Value::symbol(Symbol::intern("pos")));
+}
+
+TEST_F(MachineOps, MakeClosureCapturesValues) {
+  // child: () -> captured value; parent(a): ((closure-over a))
+  Symbol A = Symbol::intern("a");
+  std::vector<Symbol> Params = {A};
+  std::vector<Symbol> Captured = {A};
+  const vm::CodeObject *Child = Comp.makeCodeObject(
+      "child", {}, Captured, [&](const CEnv &Env, uint32_t) {
+        return Comp.returnValue(Comp.pushVar(Env, A)); // FreeRef
+      });
+  const vm::CodeObject *Parent = Comp.makeCodeObject(
+      "parent", Params, {}, [&](const CEnv &Env, uint32_t) {
+        return Comp.call(Comp.pushClosure(Env, Child, Captured), {},
+                         /*Tail=*/true);
+      });
+  PECOMP_UNWRAP(R, run(Parent, {Value::fixnum(123)}));
+  expectValueEq(R, Value::fixnum(123));
+}
+
+TEST_F(MachineOps, GlobalRefReadsTheGlobalVector) {
+  uint16_t Slot = Globals.lookupOrAdd(Symbol::intern("the-global"));
+  M.setGlobal(Slot, Value::fixnum(7));
+  const vm::CodeObject *Code = Comp.makeCodeObject(
+      "g", {}, {}, [&](const CEnv &Env, uint32_t) {
+        return Comp.returnValue(
+            Comp.pushVar(Env, Symbol::intern("the-global")));
+      });
+  PECOMP_UNWRAP(R, run(Code, {}));
+  expectValueEq(R, Value::fixnum(7));
+}
+
+TEST_F(MachineOps, TailCallReusesTheFrame) {
+  // loop(n): if n == 0 then 'done else loop(n-1) — frame count must not
+  // grow, which the fuel ceiling indirectly checks (a million iterations
+  // with non-reused frames would exhaust memory long before fuel).
+  Symbol N = Symbol::intern("n");
+  Symbol LoopName = Symbol::intern("op-loop");
+  std::vector<Symbol> Params = {N};
+  uint16_t Slot = Globals.lookupOrAdd(LoopName);
+  const vm::CodeObject *Loop = Comp.makeCodeObject(
+      "op-loop", Params, {}, [&](const CEnv &Env, uint32_t) {
+        const Fragment *TestArgs[] = {Comp.pushVar(Env, N)};
+        const Fragment *DecArgs[] = {Comp.pushVar(Env, N),
+                                     Comp.pushLiteral(Value::fixnum(1))};
+        const Fragment *CallArgs[] = {Comp.primApp(PrimOp::Sub, DecArgs)};
+        return Comp.ifThenElse(
+            Comp.primApp(PrimOp::ZeroP, TestArgs),
+            Comp.returnValue(
+                Comp.pushLiteral(Value::symbol(Symbol::intern("done")))),
+            Comp.call(Comp.pushVar(Env, LoopName), CallArgs, /*Tail=*/true));
+      });
+  M.setGlobal(Slot, M.makeProcedure(Loop));
+  M.setFuel(100'000'000);
+  PECOMP_UNWRAP(R, M.call(M.getGlobal(Slot), {{Value::fixnum(300000)}}));
+  expectValueEq(R, Value::symbol(Symbol::intern("done")));
+}
+
+TEST_F(MachineOps, BackwardJumpsResolve) {
+  // A hand-assembled countdown loop using an explicit backward Jump and a
+  // Slide that overwrites the parameter slot in place:
+  //
+  //   start: (zero? local0) ; JumpIfFalse else ; 'ok ; Return
+  //   else:  (local0 - 1) ; Slide 1 ; Jump start
+  Symbol N = Symbol::intern("n");
+  std::vector<Symbol> Params = {N};
+  FragmentFactory &F = Comp.frags();
+  const vm::CodeObject *Code = Comp.makeCodeObject(
+      "raw-loop", Params, {}, [&](const CEnv &Env, uint32_t) {
+        LabelId Start = F.makeLabel();
+        LabelId Else = F.makeLabel();
+        const Fragment *TestArgs[] = {Comp.pushVar(Env, N)};
+        const Fragment *DecArgs[] = {Comp.pushVar(Env, N),
+                                     Comp.pushLiteral(Value::fixnum(1))};
+        return F.attachLabel(
+            Start,
+            F.seq({
+                Comp.primApp(PrimOp::ZeroP, TestArgs),
+                F.instrUsingLabel(Op::JumpIfFalse, Else),
+                Comp.returnValue(
+                    Comp.pushLiteral(Value::symbol(Symbol::intern("ok")))),
+                F.attachLabel(
+                    Else, F.seq({Comp.primApp(PrimOp::Sub, DecArgs),
+                                 F.instr(Op::Slide, {Operand::imm(1)}),
+                                 F.instrUsingLabel(Op::Jump, Start)})),
+            }));
+      });
+  PECOMP_UNWRAP(R, run(Code, {Value::fixnum(10000)}));
+  expectValueEq(R, Value::symbol(Symbol::intern("ok")));
+}
+
+TEST_F(MachineOps, SlideDropsBeneathTheTop) {
+  // Slide is emitted by the stock compiler for non-tail lets; drive it
+  // through that path and check stack hygiene with deep nesting.
+  World W2;
+  std::string Source = "(define (f x) (+ 0 ";
+  for (int I = 0; I != 30; ++I)
+    Source += "(let ((t" + std::to_string(I) + " (+ x " +
+              std::to_string(I) + "))) ";
+  Source += "x";
+  Source += std::string(30, ')');
+  Source += "))";
+  PECOMP_UNWRAP(P, W2.parse(Source));
+  PECOMP_UNWRAP(R, W2.runStock(P, "f", {W2.num(5)}));
+  expectValueEq(R, W2.num(5));
+}
+
+TEST_F(MachineOps, CallArityIsCheckedAtRuntime) {
+  const vm::CodeObject *Two = Comp.makeCodeObject(
+      "two", std::vector<Symbol>{Symbol::intern("x"), Symbol::intern("y")},
+      {}, [&](const CEnv &, uint32_t) {
+        return Comp.returnValue(Comp.pushLiteral(Value::fixnum(0)));
+      });
+  Result<Value> R = run(Two, {Value::fixnum(1)});
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.error().message().find("expects 2"), std::string::npos);
+}
+
+} // namespace

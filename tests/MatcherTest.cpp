@@ -1,0 +1,121 @@
+//===- tests/MatcherTest.cpp - String-matcher specialization ---------------===//
+///
+/// \file
+/// The classic matcher-by-PE subject: specializing the naive substring
+/// matcher with respect to a static pattern hard-codes the pattern into a
+/// cascade of comparisons. Swept over patterns and texts against the
+/// unspecialized matcher.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+using namespace pecomp;
+using namespace pecomp::test;
+
+namespace {
+
+struct MatcherCase {
+  const char *Name;
+  const char *Pattern; // datum: list of symbols
+  std::vector<std::pair<const char *, int64_t>> TextsAndIndices;
+};
+
+std::vector<MatcherCase> matcherCases() {
+  return {
+      {"empty_pattern", "()", {{"(a b c)", 0}, {"()", 0}}},
+      {"single", "(a)", {{"(a)", 0}, {"(b a)", 1}, {"(b c)", -1}, {"()", -1}}},
+      {"word",
+       "(a b a)",
+       {{"(a b a)", 0},
+        {"(x a b a y)", 1},
+        {"(a b x a b a)", 3},
+        {"(a b a b a)", 0},
+        {"(a b)", -1}}},
+      {"self_overlapping",
+       "(a a b)",
+       {{"(a a a b)", 1}, {"(a a a a)", -1}, {"(a a b)", 0}}},
+      {"longer",
+       "(t h e space c a t)",
+       {{"(x t h e space c a t y)", 1}, {"(t h e space c a r)", -1}}},
+  };
+}
+
+class MatcherSweep : public ::testing::TestWithParam<MatcherCase> {};
+
+TEST_P(MatcherSweep, SpecializedMatcherAgreesWithGeneral) {
+  const MatcherCase &C = GetParam();
+  World W;
+
+  PECOMP_UNWRAP(Gen, pgg::GeneratingExtension::create(
+                         W.Heap, workloads::matcherProgram(), "match",
+                         "SD"));
+  std::optional<vm::Value> SpecArgs[] = {W.value(C.Pattern), std::nullopt};
+  PECOMP_UNWRAP(Res, Gen->generateSource(SpecArgs));
+
+  vm::CodeStore Store(W.Heap);
+  vm::GlobalTable Globals;
+  compiler::Compilators Comp(Store, Globals);
+  PECOMP_UNWRAP(Obj, Gen->generateObject(Comp, SpecArgs));
+
+  PECOMP_UNWRAP(General, W.parse(workloads::matcherProgram()));
+
+  for (const auto &[Text, Index] : C.TextsAndIndices) {
+    vm::Value In = W.value(Text);
+    PECOMP_UNWRAP(Expected,
+                  W.evalCall(General, "match", {W.value(C.Pattern), In}));
+    expectValueEq(Expected, W.num(Index));
+
+    PECOMP_UNWRAP(ViaSource, W.runAnf(Res.Residual, Res.Entry.str(), {In}));
+    expectValueEq(ViaSource, W.num(Index));
+
+    PECOMP_UNWRAP(ViaObject,
+                  W.runCompiled(Globals, Obj.Residual, Obj.Entry, {In}));
+    expectValueEq(ViaObject, W.num(Index));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Matcher, MatcherSweep,
+                         ::testing::ValuesIn(matcherCases()),
+                         [](const auto &Info) {
+                           return std::string(Info.param.Name);
+                         });
+
+TEST(MatcherStructure, PatternIsHardCodedIntoResidual) {
+  World W;
+  PECOMP_UNWRAP(Gen, pgg::GeneratingExtension::create(
+                         W.Heap, workloads::matcherProgram(), "match",
+                         "SD"));
+  std::optional<vm::Value> SpecArgs[] = {W.value("(a b c)"), std::nullopt};
+  PECOMP_UNWRAP(Res, Gen->generateSource(SpecArgs));
+  std::string Printed = Res.Residual.print();
+
+  // The pattern characters appear as embedded constants...
+  EXPECT_NE(Printed.find("'a"), std::string::npos) << Printed;
+  EXPECT_NE(Printed.find("'b"), std::string::npos) << Printed;
+  EXPECT_NE(Printed.find("'c"), std::string::npos) << Printed;
+  // ...and no general pattern traversal remains: residual functions take
+  // only the dynamic data (text, and the counter for the search loop) —
+  // no pattern parameter survives.
+  for (const Definition &D : Res.Residual.Defs)
+    EXPECT_LE(D.Fn->params().size(), 2u) << Printed;
+}
+
+TEST(MatcherStructure, OneResidualPrefixFunctionPerPatternSuffix) {
+  World W;
+  PECOMP_UNWRAP(Gen, pgg::GeneratingExtension::create(
+                         W.Heap, workloads::matcherProgram(), "match",
+                         "SD"));
+  std::optional<vm::Value> SpecArgs[] = {W.value("(a b c d)"), std::nullopt};
+  PECOMP_UNWRAP(Res, Gen->generateSource(SpecArgs));
+  // match-prefix? memoizes per static pattern suffix: (a b c d), (b c d),
+  // (c d), (d), and () — memo calls are residualized even when the body
+  // folds statically, so the empty suffix is a one-liner returning #t.
+  size_t PrefixFns = 0;
+  for (const Definition &D : Res.Residual.Defs)
+    if (D.Name.str().find("match-prefix?") == 0)
+      ++PrefixFns;
+  EXPECT_EQ(PrefixFns, 5u) << Res.Residual.print();
+}
+
+} // namespace

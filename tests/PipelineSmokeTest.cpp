@@ -1,0 +1,151 @@
+//===- tests/PipelineSmokeTest.cpp - End-to-end pipeline smoke tests -------===//
+///
+/// \file
+/// Differential tests over small programs: the reference interpreter, the
+/// stock compiler, and the ANF compiler must agree (DESIGN.md invariant
+/// "semantics preservation").
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+using namespace pecomp;
+using namespace pecomp::test;
+
+namespace {
+
+struct Case {
+  const char *Name;
+  const char *Source;
+  const char *Fn;
+  std::vector<int64_t> Args;
+  const char *Expected; // datum text
+};
+
+const Case Cases[] = {
+    {"factorial",
+     "(define (fact n) (if (zero? n) 1 (* n (fact (- n 1)))))", "fact", {10},
+     "3628800"},
+    {"fib",
+     "(define (fib n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))",
+     "fib", {15}, "610"},
+    {"even-odd",
+     "(define (even? n) (if (zero? n) #t (odd? (- n 1))))"
+     "(define (odd? n) (if (zero? n) #f (even? (- n 1))))",
+     "even?", {100}, "#t"},
+    {"tail-loop",
+     "(define (loop i acc) (if (zero? i) acc (loop (- i 1) (+ acc 2))))",
+     "loop", {100000, 0}, "200000"},
+    {"iota-sum",
+     "(define (iota n) (if (zero? n) '() (cons n (iota (- n 1)))))"
+     "(define (sum xs) (if (null? xs) 0 (+ (car xs) (sum (cdr xs)))))"
+     "(define (go n) (sum (iota n)))",
+     "go", {100}, "5050"},
+    {"closures",
+     "(define (adder n) (lambda (x) (+ x n)))"
+     "(define (go a b) (let ((f (adder a)) (g (adder b))) (+ (f 10) (g 20))))",
+     "go", {1, 2}, "33"},
+    {"higher-order",
+     "(define (compose f g) (lambda (x) (f (g x))))"
+     "(define (go n) ((compose (lambda (x) (* x 2)) (lambda (x) (+ x 1))) n))",
+     "go", {5}, "12"},
+    {"let-star-and-cond",
+     "(define (classify n)"
+     "  (cond ((< n 0) 'negative) ((= n 0) 'zero) (else 'positive)))"
+     "(define (go a) (let* ((x (classify a)) (y (if (eq? x 'zero) 1 2)))"
+     "  (cons x y)))",
+     "go", {0}, "(zero . 1)"},
+    {"and-or-when",
+     "(define (go n) (if (and (> n 0) (or (= n 5) (> n 10))) 'big 'small))",
+     "go", {12}, "big"},
+    {"letrec-mutual",
+     "(define (go n)"
+     "  (letrec ((ev? (lambda (k) (if (zero? k) #t (od? (- k 1)))))"
+     "           (od? (lambda (k) (if (zero? k) #f (ev? (- k 1))))))"
+     "    (ev? n)))",
+     "go", {8}, "#t"},
+    {"set-boxes",
+     "(define (go n)"
+     "  (let ((counter 0))"
+     "    (let ((bump (lambda () (set! counter (+ counter 1)))))"
+     "      (begin (bump) (bump) (when (> n 0) (bump)) counter))))",
+     "go", {1}, "3"},
+    {"quoted-data",
+     "(define (go n) (cons n '(a (b 2) \"s\" #\\x #t ())))", "go", {7},
+     "(7 a (b 2) \"s\" #\\x #t ())"},
+    {"deep-lists",
+     "(define (rev xs acc) (if (null? xs) acc"
+     "  (rev (cdr xs) (cons (car xs) acc))))"
+     "(define (iota n) (if (zero? n) '() (cons n (iota (- n 1)))))"
+     "(define (go n) (rev (iota n) '()))",
+     "go", {5}, "(1 2 3 4 5)"},
+    {"arith-ops",
+     "(define (go a b) (list (+ a b) (- a b) (* a b) (quotient a b)"
+     "  (remainder a b) (< a b) (>= a b) (equal? a b)))",
+     "go", {17, 5}, "(22 12 85 3 2 #f #t #f)"},
+};
+
+class PipelineCase : public ::testing::TestWithParam<Case> {};
+
+TEST_P(PipelineCase, EvalStockAnfAgree) {
+  const Case &C = GetParam();
+  World W;
+  PECOMP_UNWRAP(P, W.parse(C.Source));
+
+  std::vector<vm::Value> Args;
+  for (int64_t A : C.Args)
+    Args.push_back(W.num(A));
+  vm::Value Expected = W.value(C.Expected);
+
+  PECOMP_UNWRAP(EvalResult, W.evalCall(P, C.Fn, Args));
+  expectValueEq(EvalResult, Expected);
+
+  PECOMP_UNWRAP(StockResult, W.runStock(P, C.Fn, Args));
+  expectValueEq(StockResult, Expected);
+
+  PECOMP_UNWRAP(AnfResult, W.runAnf(P, C.Fn, Args));
+  expectValueEq(AnfResult, Expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Pipeline, PipelineCase, ::testing::ValuesIn(Cases),
+                         [](const auto &Info) {
+                           std::string Name = Info.param.Name;
+                           for (char &C : Name)
+                             if (C == '-')
+                               C = '_';
+                           return Name;
+                         });
+
+TEST(PipelineErrors, RuntimeTypeErrorSurfaces) {
+  World W;
+  PECOMP_UNWRAP(P, W.parse("(define (go n) (car n))"));
+  Result<vm::Value> R = W.runStock(P, "go", {W.num(1)});
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.error().message().find("expected a pair"), std::string::npos);
+}
+
+TEST(PipelineErrors, UserErrorPrimitive) {
+  World W;
+  PECOMP_UNWRAP(P, W.parse("(define (go n) (error \"boom\"))"));
+  Result<vm::Value> R = W.runAnf(P, "go", {W.num(1)});
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.error().message().find("boom"), std::string::npos);
+}
+
+TEST(PipelineErrors, DivisionByZero) {
+  World W;
+  PECOMP_UNWRAP(P, W.parse("(define (go n) (quotient 1 n))"));
+  Result<vm::Value> R = W.evalCall(P, "go", {W.num(0)});
+  ASSERT_FALSE(R.ok());
+}
+
+TEST(PipelineTailCalls, ConstantStackDepth) {
+  // A million tail-recursive iterations must complete on the VM.
+  World W;
+  PECOMP_UNWRAP(
+      P, W.parse("(define (loop i) (if (zero? i) 'done (loop (- i 1))))"));
+  PECOMP_UNWRAP(R, W.runAnf(P, "loop", {W.num(1000000)}));
+  expectValueEq(R, W.value("done"));
+}
+
+} // namespace

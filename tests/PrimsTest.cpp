@@ -1,0 +1,133 @@
+//===- tests/PrimsTest.cpp - Per-primitive differential tests --------------===//
+///
+/// \file
+/// Every primitive, exercised through source programs on all three
+/// engines (reference interpreter, stock compiler, ANF compiler), for
+/// both successful applications and type/domain errors — the engines
+/// must agree on the result or on the fact of failure.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+using namespace pecomp;
+using namespace pecomp::test;
+
+namespace {
+
+struct PrimCase {
+  const char *Name;
+  const char *Call;     // body of (define (go a b) <Call>)
+  const char *A;        // datum
+  const char *B;        // datum
+  const char *Expected; // datum, or nullptr when an error is expected
+};
+
+const PrimCase PrimCases[] = {
+    {"add", "(+ a b)", "3", "4", "7"},
+    {"add_negative", "(+ a b)", "-3", "-4", "-7"},
+    {"sub", "(- a b)", "3", "10", "-7"},
+    {"mul", "(* a b)", "-6", "7", "-42"},
+    {"quotient", "(quotient a b)", "17", "5", "3"},
+    {"quotient_negative", "(quotient a b)", "-17", "5", "-3"},
+    {"remainder", "(remainder a b)", "17", "5", "2"},
+    {"remainder_negative", "(remainder a b)", "-17", "5", "-2"},
+    {"quotient_by_zero", "(quotient a b)", "1", "0", nullptr},
+    {"remainder_by_zero", "(remainder a b)", "1", "0", nullptr},
+    {"add_type_error", "(+ a b)", "1", "(2)", nullptr},
+    {"numeq_true", "(= a b)", "5", "5", "#t"},
+    {"numeq_false", "(= a b)", "5", "6", "#f"},
+    {"lt", "(< a b)", "5", "6", "#t"},
+    {"gt", "(> a b)", "5", "6", "#f"},
+    {"le_equal", "(<= a b)", "6", "6", "#t"},
+    {"ge", "(>= a b)", "7", "6", "#t"},
+    {"compare_type_error", "(< a b)", "1", "x", nullptr},
+    {"eq_symbols", "(eq? a b)", "foo", "foo", "#t"},
+    {"eq_numbers", "(eq? a b)", "12", "12", "#t"},
+    {"eq_distinct_lists", "(eq? a b)", "(1)", "(1)", "#f"},
+    {"equal_lists", "(equal? a b)", "(1 (2) x)", "(1 (2) x)", "#t"},
+    {"equal_strings", "(equal? a b)", "\"hi\"", "\"hi\"", "#t"},
+    {"equal_differs", "(equal? a b)", "(1 2)", "(1 3)", "#f"},
+    {"cons_car", "(car (cons a b))", "1", "2", "1"},
+    {"cons_cdr", "(cdr (cons a b))", "1", "2", "2"},
+    {"car_of_list", "(car a)", "(x y)", "0", "x"},
+    {"cdr_of_list", "(cdr a)", "(x y)", "0", "(y)"},
+    {"car_type_error", "(car a)", "7", "0", nullptr},
+    {"cdr_type_error", "(cdr a)", "#t", "0", nullptr},
+    {"nullp_true", "(null? a)", "()", "0", "#t"},
+    {"nullp_false", "(null? a)", "(1)", "0", "#f"},
+    {"pairp_true", "(pair? a)", "(1 . 2)", "0", "#t"},
+    {"pairp_nil_is_not_pair", "(pair? a)", "()", "0", "#f"},
+    {"zerop", "(zero? a)", "0", "0", "#t"},
+    {"zerop_false", "(zero? a)", "-1", "0", "#f"},
+    {"zerop_type_error", "(zero? a)", "(0)", "0", nullptr},
+    {"not_false", "(not a)", "#f", "0", "#t"},
+    {"not_everything_else", "(not a)", "0", "0", "#f"},
+    {"numberp", "(number? a)", "3", "0", "#t"},
+    {"numberp_false", "(number? a)", "three", "0", "#f"},
+    {"symbolp", "(symbol? a)", "sym", "0", "#t"},
+    {"symbolp_false", "(symbol? a)", "\"sym\"", "0", "#f"},
+    {"booleanp", "(boolean? a)", "#f", "0", "#t"},
+    {"booleanp_false", "(boolean? a)", "()", "0", "#f"},
+    {"procedurep_false", "(procedure? a)", "5", "0", "#f"},
+    {"procedurep_lambda", "(procedure? (lambda (x) x))", "0", "0", "#t"},
+    {"error_aborts", "(error a)", "\"boom\"", "0", nullptr},
+};
+
+class PrimDifferential : public ::testing::TestWithParam<PrimCase> {};
+
+TEST_P(PrimDifferential, EnginesAgreeOnResultOrFailure) {
+  const PrimCase &C = GetParam();
+  World W;
+  std::string Source =
+      std::string("(define (go a b) ") + C.Call + ")";
+  PECOMP_UNWRAP(P, W.parse(Source));
+  std::vector<vm::Value> Args = {W.value(C.A), W.value(C.B)};
+
+  Result<vm::Value> Ref = W.evalCall(P, "go", Args);
+  Result<vm::Value> Stock = W.runStock(P, "go", Args);
+  Result<vm::Value> Anf = W.runAnf(P, "go", Args);
+
+  if (C.Expected) {
+    vm::Value Expected = W.value(C.Expected);
+    ASSERT_TRUE(Ref.ok()) << Ref.error().render();
+    expectValueEq(*Ref, Expected);
+    ASSERT_TRUE(Stock.ok()) << Stock.error().render();
+    expectValueEq(*Stock, Expected);
+    ASSERT_TRUE(Anf.ok()) << Anf.error().render();
+    expectValueEq(*Anf, Expected);
+  } else {
+    EXPECT_FALSE(Ref.ok()) << vm::valueToString(*Ref);
+    EXPECT_FALSE(Stock.ok());
+    EXPECT_FALSE(Anf.ok());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Prims, PrimDifferential,
+                         ::testing::ValuesIn(PrimCases),
+                         [](const auto &Info) {
+                           return std::string(Info.param.Name);
+                         });
+
+TEST(BoxPrims, BoxLifecycleOnAllEngines) {
+  World W;
+  PECOMP_UNWRAP(P, W.parse(
+      "(define (go v)"
+      "  (let ((b (make-box v)))"
+      "    (let ((before (box-ref b)))"
+      "      (begin (box-set! b (+ before 1))"
+      "             (cons before (box-ref b))))))"));
+  for (auto Run : {&World::evalCall, &World::runStock, &World::runAnf}) {
+    PECOMP_UNWRAP(R, (W.*Run)(P, "go", {W.num(10)}));
+    expectValueEq(R, W.value("(10 . 11)"));
+  }
+}
+
+TEST(BoxPrims, BoxTypeErrors) {
+  World W;
+  PECOMP_UNWRAP(P, W.parse("(define (go v) (box-ref v))"));
+  EXPECT_FALSE(W.evalCall(P, "go", {W.num(1)}).ok());
+  EXPECT_FALSE(W.runAnf(P, "go", {W.num(1)}).ok());
+}
+
+} // namespace

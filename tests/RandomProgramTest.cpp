@@ -1,0 +1,238 @@
+//===- tests/RandomProgramTest.cpp - Differential fuzzing -------------------===//
+///
+/// \file
+/// Seeded random-program differential testing. The generator produces
+/// terminating, error-free integer programs (non-recursive call DAGs over
+/// +, -, *, comparisons, lets, conditionals, and directly applied
+/// lambdas), so every engine must produce the *same fixnum*:
+///
+///   reference interpreter ≡ stock compiler ≡ ANF compiler ≡ direct
+///   emitter ≡ residual program under any division (mix equation), and
+///   fused object code ≡ compiled residual source, byte for byte.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "compiler/DirectAnfCompiler.h"
+#include "sexp/WellKnown.h"
+#include "syntax/AnfCheck.h"
+#include "vm/Verify.h"
+
+#include <random>
+
+using namespace pecomp;
+using namespace pecomp::test;
+
+namespace {
+
+/// Generates random integer-valued Core Scheme programs.
+class ProgramGen {
+public:
+  ProgramGen(uint32_t Seed, ExprFactory &F) : Rng(Seed), F(F) {}
+
+  Program generate() {
+    Program P;
+    size_t NumDefs = 2 + Rng() % 4;
+    for (size_t I = 0; I != NumDefs; ++I) {
+      std::vector<Symbol> Params;
+      size_t NumParams = 1 + Rng() % 3;
+      for (size_t J = 0; J != NumParams; ++J)
+        Params.push_back(Symbol::intern("p" + std::to_string(I) + "_" +
+                                        std::to_string(J)));
+      // Bodies may call only *earlier* definitions: the call graph is a
+      // DAG, so everything terminates.
+      const Expr *Body = genInt(3, Params, P);
+      Symbol Name = Symbol::intern("fn" + std::to_string(I));
+      P.Defs.push_back({Name, F.lambda(Params, Body)});
+    }
+    return P;
+  }
+
+  int64_t randomArg() { return static_cast<int64_t>(Rng() % 41) - 20; }
+
+private:
+  /// An integer-valued expression.
+  const Expr *genInt(unsigned Depth, const std::vector<Symbol> &Scope,
+                     const Program &Defined) {
+    if (Depth == 0)
+      return genLeaf(Scope);
+    switch (Rng() % 8) {
+    case 0:
+      return genLeaf(Scope);
+    case 1:
+    case 2: {
+      PrimOp Op = std::array{PrimOp::Add, PrimOp::Sub,
+                             PrimOp::Mul}[Rng() % 3];
+      return F.primApp(Op, {genInt(Depth - 1, Scope, Defined),
+                            genInt(Depth - 1, Scope, Defined)});
+    }
+    case 3: {
+      // (if <comparison> e1 e2)
+      PrimOp Cmp = std::array{PrimOp::Lt, PrimOp::NumEq, PrimOp::Ge,
+                              PrimOp::ZeroP}[Rng() % 4];
+      const Expr *Test =
+          Cmp == PrimOp::ZeroP
+              ? F.primApp(Cmp, {genInt(Depth - 1, Scope, Defined)})
+              : F.primApp(Cmp, {genInt(Depth - 1, Scope, Defined),
+                                genInt(Depth - 1, Scope, Defined)});
+      return F.ifExpr(Test, genInt(Depth - 1, Scope, Defined),
+                      genInt(Depth - 1, Scope, Defined));
+    }
+    case 4: {
+      // (let (x e1) e2)
+      Symbol X = Symbol::fresh("v");
+      std::vector<Symbol> Inner = Scope;
+      Inner.push_back(X);
+      return F.let(X, genInt(Depth - 1, Scope, Defined),
+                   genInt(Depth - 1, Inner, Defined));
+    }
+    case 5: {
+      // Directly applied lambda.
+      size_t N = 1 + Rng() % 2;
+      std::vector<Symbol> Params;
+      std::vector<const Expr *> Args;
+      std::vector<Symbol> Inner = Scope;
+      for (size_t I = 0; I != N; ++I) {
+        Symbol X = Symbol::fresh("a");
+        Params.push_back(X);
+        Inner.push_back(X);
+        Args.push_back(genInt(Depth - 1, Scope, Defined));
+      }
+      return F.app(F.lambda(Params, genInt(Depth - 1, Inner, Defined)),
+                   std::move(Args));
+    }
+    case 6: {
+      // Call an earlier definition, if any.
+      if (Defined.Defs.empty())
+        return genLeaf(Scope);
+      const Definition &Callee =
+          Defined.Defs[Rng() % Defined.Defs.size()];
+      std::vector<const Expr *> Args;
+      for (size_t I = 0; I != Callee.Fn->params().size(); ++I)
+        Args.push_back(genInt(Depth - 1, Scope, Defined));
+      return F.app(F.var(Callee.Name), std::move(Args));
+    }
+    default:
+      return genLeaf(Scope);
+    }
+  }
+
+  const Expr *genLeaf(const std::vector<Symbol> &Scope) {
+    if (!Scope.empty() && Rng() % 2)
+      return F.var(Scope[Rng() % Scope.size()]);
+    return F.constant(
+        wellknown::fixnum(static_cast<int64_t>(Rng() % 21) - 10));
+  }
+
+  std::mt19937 Rng;
+  ExprFactory &F;
+};
+
+class RandomDifferential : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(RandomDifferential, AllEnginesAgree) {
+  World W;
+  ProgramGen G(GetParam(), W.Exprs);
+  Program P = G.generate();
+  const Definition &Entry = P.Defs.back();
+
+  std::vector<vm::Value> Args;
+  for (size_t I = 0; I != Entry.Fn->params().size(); ++I)
+    Args.push_back(W.num(G.randomArg()));
+
+  PECOMP_UNWRAP(Ref, W.evalCall(P, Entry.Name.str(), Args));
+  ASSERT_TRUE(Ref.isFixnum());
+
+  PECOMP_UNWRAP(Stock, W.runStock(P, Entry.Name.str(), Args));
+  expectValueEq(Stock, Ref);
+
+  PECOMP_UNWRAP(Anf, W.runAnf(P, Entry.Name.str(), Args));
+  expectValueEq(Anf, Ref);
+
+  // Direct emitter: byte-identical to the ANF compiler, and runs.
+  Program AnfP = anfConvert(P, W.Exprs);
+  vm::CodeStore StoreA(W.Heap);
+  vm::GlobalTable GlobalsA;
+  compiler::Compilators CompA(StoreA, GlobalsA);
+  compiler::AnfCompiler AC(CompA);
+  compiler::CompiledProgram CpA = AC.compileProgram(AnfP);
+  vm::CodeStore StoreB(W.Heap);
+  vm::GlobalTable GlobalsB;
+  compiler::DirectAnfCompiler DC(StoreB, GlobalsB);
+  compiler::CompiledProgram CpB = DC.compileProgram(AnfP);
+  ASSERT_EQ(CpA.Defs.size(), CpB.Defs.size());
+  for (size_t I = 0; I != CpA.Defs.size(); ++I) {
+    EXPECT_TRUE(vm::codeEquals(CpA.Defs[I].second, CpB.Defs[I].second));
+    auto Err = vm::verifyCode(CpA.Defs[I].second);
+    EXPECT_FALSE(Err.has_value()) << *Err;
+  }
+  PECOMP_UNWRAP(Direct, W.runCompiled(GlobalsB, CpB, Entry.Name, Args));
+  expectValueEq(Direct, Ref);
+}
+
+TEST_P(RandomDifferential, MixEquationUnderRandomDivision) {
+  World W;
+  ProgramGen G(GetParam(), W.Exprs);
+  Program P = G.generate();
+  const Definition &Entry = P.Defs.back();
+  std::string Source = P.print();
+
+  // A random division: each parameter independently static or dynamic.
+  std::mt19937 Rng(GetParam() * 7919 + 13);
+  std::string Division;
+  std::vector<std::optional<vm::Value>> SpecArgs;
+  std::vector<vm::Value> FullArgs, DynArgs;
+  for (size_t I = 0; I != Entry.Fn->params().size(); ++I) {
+    vm::Value V = W.num(static_cast<int64_t>(Rng() % 31) - 15);
+    FullArgs.push_back(V);
+    if (Rng() % 2) {
+      Division += 'S';
+      SpecArgs.push_back(V);
+    } else {
+      Division += 'D';
+      SpecArgs.push_back(std::nullopt);
+      DynArgs.push_back(V);
+    }
+  }
+
+  PECOMP_UNWRAP(Ref, W.evalCall(P, Entry.Name.str(), FullArgs));
+
+  PECOMP_UNWRAP(Gen, pgg::GeneratingExtension::create(
+                         W.Heap, Source, Entry.Name.str(), Division));
+  PECOMP_UNWRAP(Res, Gen->generateSource(SpecArgs));
+  EXPECT_FALSE(checkAnf(Res.Residual));
+  PECOMP_UNWRAP(ViaSource,
+                W.runAnf(Res.Residual, Res.Entry.str(), DynArgs));
+  expectValueEq(ViaSource, Ref);
+
+  // Fused path, byte-compared against the compiled residual.
+  vm::CodeStore StoreA(W.Heap);
+  vm::GlobalTable GlobalsA;
+  compiler::Compilators CompA(StoreA, GlobalsA);
+  compiler::AnfCompiler AC(CompA);
+  compiler::CompiledProgram FromSource = AC.compileProgram(Res.Residual);
+
+  PECOMP_UNWRAP(Gen2, pgg::GeneratingExtension::create(
+                          W.Heap, Source, Entry.Name.str(), Division));
+  vm::CodeStore StoreB(W.Heap);
+  vm::GlobalTable GlobalsB;
+  compiler::Compilators CompB(StoreB, GlobalsB);
+  PECOMP_UNWRAP(Obj, Gen2->generateObject(CompB, SpecArgs));
+
+  ASSERT_EQ(FromSource.Defs.size(), Obj.Residual.Defs.size());
+  for (size_t I = 0; I != FromSource.Defs.size(); ++I) {
+    EXPECT_TRUE(vm::codeEquals(FromSource.Defs[I].second,
+                               Obj.Residual.Defs[I].second));
+    auto Err = vm::verifyCode(Obj.Residual.Defs[I].second);
+    EXPECT_FALSE(Err.has_value()) << *Err;
+  }
+  PECOMP_UNWRAP(ViaObject, W.runCompiled(GlobalsB, Obj.Residual, Obj.Entry,
+                                         DynArgs));
+  expectValueEq(ViaObject, Ref);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fuzz, RandomDifferential,
+                         ::testing::Range(0u, 40u));
+
+} // namespace

@@ -1,0 +1,254 @@
+//===- tests/SexpTest.cpp - Reader/writer/datum unit tests -----------------===//
+
+#include "sexp/Reader.h"
+#include "sexp/WellKnown.h"
+#include "support/Casting.h"
+
+#include <gtest/gtest.h>
+
+using namespace pecomp;
+
+namespace {
+
+class SexpTest : public ::testing::Test {
+protected:
+  const Datum *read(std::string_view Text) {
+    Result<const Datum *> D = readDatum(Text, Factory);
+    EXPECT_TRUE(D.ok()) << (D.ok() ? "" : D.error().render());
+    return D.ok() ? *D : Factory.nil();
+  }
+
+  std::string roundTrip(std::string_view Text) { return read(Text)->write(); }
+
+  Arena A;
+  DatumFactory Factory{A};
+};
+
+// -- Symbols -------------------------------------------------------------
+
+TEST(SymbolTest, InterningIsIdempotent) {
+  Symbol A = Symbol::intern("hello");
+  Symbol B = Symbol::intern("hello");
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(A.str(), "hello");
+}
+
+TEST(SymbolTest, DistinctNamesDistinctSymbols) {
+  EXPECT_NE(Symbol::intern("a"), Symbol::intern("b"));
+}
+
+TEST(SymbolTest, FreshNeverCollides) {
+  Symbol Base = Symbol::intern("x");
+  Symbol F1 = Symbol::fresh("x");
+  Symbol F2 = Symbol::fresh("x");
+  EXPECT_NE(F1, Base);
+  EXPECT_NE(F1, F2);
+}
+
+TEST(SymbolTest, FreshSkipsExistingInternedNames) {
+  // Pre-intern a name fresh() would otherwise produce.
+  Symbol F1 = Symbol::fresh("collide");
+  std::string Taken = F1.str();
+  Symbol Pre = Symbol::intern(Taken);
+  EXPECT_EQ(F1, Pre);
+  EXPECT_NE(Symbol::fresh("collide"), Pre);
+}
+
+TEST(SymbolTest, FromIdRoundTrips) {
+  Symbol S = Symbol::intern("round-trip");
+  EXPECT_EQ(Symbol::fromId(S.id()), S);
+}
+
+TEST(SymbolTest, DefaultSymbolIsInvalid) {
+  EXPECT_FALSE(Symbol().isValid());
+  EXPECT_TRUE(Symbol::intern("x").isValid());
+}
+
+// -- Reading atoms ---------------------------------------------------------
+
+TEST_F(SexpTest, ReadsFixnums) {
+  EXPECT_EQ(cast<FixnumDatum>(read("42"))->value(), 42);
+  EXPECT_EQ(cast<FixnumDatum>(read("-17"))->value(), -17);
+  EXPECT_EQ(cast<FixnumDatum>(read("+5"))->value(), 5);
+  EXPECT_EQ(cast<FixnumDatum>(read("0"))->value(), 0);
+}
+
+TEST_F(SexpTest, ReadsBooleans) {
+  EXPECT_TRUE(cast<BooleanDatum>(read("#t"))->value());
+  EXPECT_FALSE(cast<BooleanDatum>(read("#f"))->value());
+}
+
+TEST_F(SexpTest, ReadsSymbols) {
+  EXPECT_EQ(cast<SymbolDatum>(read("foo"))->symbol().str(), "foo");
+  EXPECT_EQ(cast<SymbolDatum>(read("set!"))->symbol().str(), "set!");
+  EXPECT_EQ(cast<SymbolDatum>(read("+"))->symbol().str(), "+");
+  EXPECT_EQ(cast<SymbolDatum>(read("list->vector"))->symbol().str(),
+            "list->vector");
+}
+
+TEST_F(SexpTest, ReadsStringsWithEscapes) {
+  EXPECT_EQ(cast<StringDatum>(read("\"hi\""))->value(), "hi");
+  EXPECT_EQ(cast<StringDatum>(read("\"a\\nb\""))->value(), "a\nb");
+  EXPECT_EQ(cast<StringDatum>(read("\"q\\\"q\""))->value(), "q\"q");
+  EXPECT_EQ(cast<StringDatum>(read("\"t\\tt\""))->value(), "t\tt");
+  EXPECT_EQ(cast<StringDatum>(read("\"b\\\\b\""))->value(), "b\\b");
+}
+
+TEST_F(SexpTest, ReadsCharacters) {
+  EXPECT_EQ(cast<CharDatum>(read("#\\a"))->value(), 'a');
+  EXPECT_EQ(cast<CharDatum>(read("#\\space"))->value(), ' ');
+  EXPECT_EQ(cast<CharDatum>(read("#\\newline"))->value(), '\n');
+  EXPECT_EQ(cast<CharDatum>(read("#\\tab"))->value(), '\t');
+}
+
+// -- Reading structures ------------------------------------------------------
+
+TEST_F(SexpTest, ReadsProperLists) {
+  const Datum *D = read("(1 2 3)");
+  std::vector<const Datum *> Items;
+  ASSERT_TRUE(listElements(D, Items));
+  ASSERT_EQ(Items.size(), 3u);
+  EXPECT_EQ(cast<FixnumDatum>(Items[1])->value(), 2);
+  EXPECT_EQ(listLength(D), 3);
+}
+
+TEST_F(SexpTest, ReadsNestedLists) {
+  EXPECT_EQ(roundTrip("(a (b (c)) d)"), "(a (b (c)) d)");
+}
+
+TEST_F(SexpTest, ReadsDottedPairs) {
+  const Datum *D = read("(1 . 2)");
+  ASSERT_TRUE(isa<PairDatum>(D));
+  EXPECT_EQ(listLength(D), -1);
+  EXPECT_EQ(D->write(), "(1 . 2)");
+}
+
+TEST_F(SexpTest, ReadsImproperListTails) {
+  EXPECT_EQ(roundTrip("(1 2 . 3)"), "(1 2 . 3)");
+}
+
+TEST_F(SexpTest, ReadsEmptyList) {
+  EXPECT_TRUE(read("()")->isNil());
+  EXPECT_TRUE(read("()")->isList());
+}
+
+TEST_F(SexpTest, QuoteExpandsToQuoteForm) {
+  EXPECT_EQ(roundTrip("'x"), "(quote x)");
+  EXPECT_EQ(roundTrip("'(1 2)"), "(quote (1 2))");
+  EXPECT_EQ(roundTrip("''a"), "(quote (quote a))");
+}
+
+TEST_F(SexpTest, SkipsCommentsAndWhitespace) {
+  EXPECT_EQ(roundTrip("; leading comment\n  ( 1 ; mid\n 2 )\n"), "(1 2)");
+}
+
+TEST_F(SexpTest, ReadAllReadsASequence) {
+  Result<std::vector<const Datum *>> Ds = readAll("1 (2) three", Factory);
+  ASSERT_TRUE(Ds.ok());
+  EXPECT_EQ(Ds->size(), 3u);
+}
+
+TEST_F(SexpTest, ReadAllOnEmptyInputIsEmpty) {
+  Result<std::vector<const Datum *>> Ds = readAll("  ; nothing\n", Factory);
+  ASSERT_TRUE(Ds.ok());
+  EXPECT_TRUE(Ds->empty());
+}
+
+// -- Reader errors ------------------------------------------------------------
+
+TEST_F(SexpTest, RejectsUnterminatedList) {
+  EXPECT_FALSE(readDatum("(1 2", Factory).ok());
+}
+
+TEST_F(SexpTest, RejectsUnterminatedString) {
+  EXPECT_FALSE(readDatum("\"abc", Factory).ok());
+}
+
+TEST_F(SexpTest, RejectsStrayCloseParen) {
+  EXPECT_FALSE(readDatum(")", Factory).ok());
+}
+
+TEST_F(SexpTest, RejectsTrailingInput) {
+  EXPECT_FALSE(readDatum("1 2", Factory).ok());
+}
+
+TEST_F(SexpTest, RejectsMalformedNumbers) {
+  EXPECT_FALSE(readDatum("12abc", Factory).ok());
+}
+
+TEST_F(SexpTest, RejectsUnknownCharacterNames) {
+  EXPECT_FALSE(readDatum("#\\bogus", Factory).ok());
+}
+
+TEST_F(SexpTest, RejectsUnknownHashSyntax) {
+  EXPECT_FALSE(readDatum("#q", Factory).ok());
+}
+
+TEST_F(SexpTest, RejectsBadStringEscape) {
+  EXPECT_FALSE(readDatum("\"\\q\"", Factory).ok());
+}
+
+TEST_F(SexpTest, ErrorsCarrySourceLocations) {
+  Result<const Datum *> R = readDatum("(1\n   \"oops", Factory);
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.error().loc().Line, 2u);
+}
+
+// -- Structural equality -------------------------------------------------------
+
+TEST_F(SexpTest, EqualsIsStructural) {
+  EXPECT_TRUE(read("(1 (a) \"s\")")->equals(read("(1 (a) \"s\")")));
+  EXPECT_FALSE(read("(1 2)")->equals(read("(1 2 3)")));
+  EXPECT_FALSE(read("(1 . 2)")->equals(read("(1 2)")));
+  EXPECT_FALSE(read("1")->equals(read("#t")));
+  EXPECT_FALSE(read("a")->equals(read("b")));
+}
+
+// -- Writer round trips ---------------------------------------------------------
+
+struct RoundTripCase {
+  const char *Text;
+};
+
+class WriterRoundTrip : public ::testing::TestWithParam<RoundTripCase> {};
+
+TEST_P(WriterRoundTrip, ParseWriteParseIsIdentity) {
+  Arena A;
+  DatumFactory F(A);
+  Result<const Datum *> First = readDatum(GetParam().Text, F);
+  ASSERT_TRUE(First.ok()) << First.error().render();
+  std::string Written = (*First)->write();
+  Result<const Datum *> Second = readDatum(Written, F);
+  ASSERT_TRUE(Second.ok()) << "re-reading '" << Written
+                           << "': " << Second.error().render();
+  EXPECT_TRUE((*First)->equals(*Second)) << Written;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sexp, WriterRoundTrip,
+    ::testing::Values(RoundTripCase{"42"}, RoundTripCase{"-7"},
+                      RoundTripCase{"#t"}, RoundTripCase{"#f"},
+                      RoundTripCase{"sym"}, RoundTripCase{"()"},
+                      RoundTripCase{"(1 2 3)"}, RoundTripCase{"(1 . 2)"},
+                      RoundTripCase{"(a (b . c) (d))"},
+                      RoundTripCase{"\"str \\\"esc\\\" \\n\""},
+                      RoundTripCase{"#\\x"}, RoundTripCase{"#\\space"},
+                      RoundTripCase{"'quoted"},
+                      RoundTripCase{"((deep (nest (ing))) fine)"}));
+
+// -- Well-known datums -----------------------------------------------------------
+
+TEST(WellKnownTest, SingletonsAreShared) {
+  EXPECT_EQ(wellknown::nil(), wellknown::nil());
+  EXPECT_EQ(wellknown::trueDatum(), wellknown::trueDatum());
+  EXPECT_EQ(wellknown::fixnum(5), wellknown::fixnum(5));
+  EXPECT_TRUE(wellknown::trueDatum()->equals(wellknown::trueDatum()));
+}
+
+TEST(WellKnownTest, FixnumCacheCoversSmallRange) {
+  EXPECT_EQ(cast<FixnumDatum>(wellknown::fixnum(-16))->value(), -16);
+  EXPECT_EQ(cast<FixnumDatum>(wellknown::fixnum(256))->value(), 256);
+  EXPECT_EQ(cast<FixnumDatum>(wellknown::fixnum(1 << 20))->value(), 1 << 20);
+}
+
+} // namespace

@@ -1,0 +1,259 @@
+//===- tests/SpecPropertyTest.cpp - Property sweeps over the PE ------------===//
+///
+/// \file
+/// Parameterized property sweeps of the central correctness statement
+/// (mix equation): for program p, static s, dynamic d,
+///
+///     run(specialize(p, s), d) == eval(p, s, d)
+///
+/// swept over grids of static and dynamic inputs, on both residual paths,
+/// plus residual-ANF and fusion (byte-equality) invariants at every
+/// point.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "syntax/AnfCheck.h"
+
+using namespace pecomp;
+using namespace pecomp::test;
+
+namespace {
+
+// -- power: sweep the static exponent and the dynamic base -------------------
+
+class PowerSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PowerSweep, MixEquationHolds) {
+  int N = GetParam();
+  World W;
+  PECOMP_UNWRAP(Gen, pgg::GeneratingExtension::create(
+                         W.Heap, workloads::powerProgram(), "power", "DS"));
+  std::optional<vm::Value> SpecArgs[] = {std::nullopt, W.num(N)};
+  PECOMP_UNWRAP(Res, Gen->generateSource(SpecArgs));
+  EXPECT_FALSE(checkAnf(Res.Residual));
+
+  vm::CodeStore Store(W.Heap);
+  vm::GlobalTable Globals;
+  compiler::Compilators Comp(Store, Globals);
+  PECOMP_UNWRAP(Obj, Gen->generateObject(Comp, SpecArgs));
+
+  PECOMP_UNWRAP(P, W.parse(workloads::powerProgram()));
+  for (int64_t X : {-3, -1, 0, 1, 2, 5}) {
+    PECOMP_UNWRAP(Expected, W.evalCall(P, "power", {W.num(X), W.num(N)}));
+    PECOMP_UNWRAP(ViaSource, W.runAnf(Res.Residual, Res.Entry.str(),
+                                      {W.num(X)}));
+    expectValueEq(ViaSource, Expected);
+    PECOMP_UNWRAP(ViaObject, W.runCompiled(Globals, Obj.Residual, Obj.Entry,
+                                           {W.num(X)}));
+    expectValueEq(ViaObject, Expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Spec, PowerSweep, ::testing::Range(0, 9));
+
+// -- dot product: sweep the static vector --------------------------------------
+
+class DotSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DotSweep, MixEquationHoldsForAllLengths) {
+  int Len = GetParam();
+  World W;
+
+  std::string StaticVec = "(";
+  std::string DynVec = "(";
+  for (int I = 0; I != Len; ++I) {
+    StaticVec += std::to_string((I * 5 + 2) % 7 - 3) + " ";
+    DynVec += std::to_string(I * I + 1) + " ";
+  }
+  StaticVec += ")";
+  DynVec += ")";
+
+  PECOMP_UNWRAP(Gen, pgg::GeneratingExtension::create(
+                         W.Heap, workloads::dotProductProgram(), "dot",
+                         "SD"));
+  std::optional<vm::Value> SpecArgs[] = {W.value(StaticVec), std::nullopt};
+  PECOMP_UNWRAP(Res, Gen->generateSource(SpecArgs));
+  EXPECT_FALSE(checkAnf(Res.Residual));
+
+  PECOMP_UNWRAP(P, W.parse(workloads::dotProductProgram()));
+  PECOMP_UNWRAP(Expected,
+                W.evalCall(P, "dot", {W.value(StaticVec), W.value(DynVec)}));
+  PECOMP_UNWRAP(Actual,
+                W.runAnf(Res.Residual, Res.Entry.str(), {W.value(DynVec)}));
+  expectValueEq(Actual, Expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Spec, DotSweep, ::testing::Range(0, 8));
+
+// -- loops with mixed static/dynamic accumulators -------------------------------
+
+struct LoopCase {
+  int64_t S;
+  int64_t D;
+};
+
+class LoopSweep : public ::testing::TestWithParam<LoopCase> {};
+
+TEST_P(LoopSweep, MemoizedLoopAgrees) {
+  const LoopCase &C = GetParam();
+  World W;
+  const char *Src =
+      "(define (loop s d acc)"
+      "  (if (zero? d) (+ acc s) (loop (* s 1) (- d 1) (+ acc d))))";
+  PECOMP_UNWRAP(Gen,
+                pgg::GeneratingExtension::create(W.Heap, Src, "loop", "SDD"));
+  std::optional<vm::Value> SpecArgs[] = {W.num(C.S), std::nullopt,
+                                         std::nullopt};
+  PECOMP_UNWRAP(Res, Gen->generateSource(SpecArgs));
+
+  PECOMP_UNWRAP(P, W.parse(Src));
+  PECOMP_UNWRAP(Expected, W.evalCall(P, "loop",
+                                     {W.num(C.S), W.num(C.D), W.num(0)}));
+  PECOMP_UNWRAP(Actual, W.runAnf(Res.Residual, Res.Entry.str(),
+                                 {W.num(C.D), W.num(0)}));
+  expectValueEq(Actual, Expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Spec, LoopSweep,
+                         ::testing::Values(LoopCase{0, 0}, LoopCase{0, 5},
+                                           LoopCase{3, 1}, LoopCase{7, 10},
+                                           LoopCase{-2, 4}, LoopCase{100, 2}));
+
+// -- fusion invariant over a family of generated programs ------------------------
+
+class FusionSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(FusionSweep, ByteEqualityOverGeneratedPrograms) {
+  // A family of programs with varying mixes of static/dynamic work.
+  int K = GetParam();
+  World W;
+  std::string Src = "(define (f s d) ";
+  for (int I = 0; I != K; ++I)
+    Src += "(+ (* s " + std::to_string(I + 1) + ") (if (> d " +
+           std::to_string(I) + ") ";
+  Src += "d";
+  for (int I = 0; I != K; ++I)
+    Src += " s))";
+  Src += ")";
+
+  PECOMP_UNWRAP(Gen1,
+                pgg::GeneratingExtension::create(W.Heap, Src, "f", "SD"));
+  std::optional<vm::Value> SpecArgs[] = {W.num(3), std::nullopt};
+  PECOMP_UNWRAP(Res, Gen1->generateSource(SpecArgs));
+
+  vm::CodeStore StoreA(W.Heap);
+  vm::GlobalTable GlobalsA;
+  compiler::Compilators CompA(StoreA, GlobalsA);
+  compiler::AnfCompiler AC(CompA);
+  compiler::CompiledProgram FromSource = AC.compileProgram(Res.Residual);
+
+  PECOMP_UNWRAP(Gen2,
+                pgg::GeneratingExtension::create(W.Heap, Src, "f", "SD"));
+  vm::CodeStore StoreB(W.Heap);
+  vm::GlobalTable GlobalsB;
+  compiler::Compilators CompB(StoreB, GlobalsB);
+  PECOMP_UNWRAP(Obj, Gen2->generateObject(CompB, SpecArgs));
+
+  ASSERT_EQ(FromSource.Defs.size(), Obj.Residual.Defs.size());
+  for (size_t I = 0; I != FromSource.Defs.size(); ++I)
+    EXPECT_TRUE(vm::codeEquals(FromSource.Defs[I].second,
+                               Obj.Residual.Defs[I].second));
+
+  // And both compute what the original does.
+  PECOMP_UNWRAP(P, W.parse(Src));
+  for (int64_t D : {-1, 0, 1, 2, 5}) {
+    PECOMP_UNWRAP(Expected, W.evalCall(P, "f", {W.num(3), W.num(D)}));
+    PECOMP_UNWRAP(R1, W.runCompiled(GlobalsA, FromSource, Res.Entry,
+                                    {W.num(D)}));
+    expectValueEq(R1, Expected);
+    PECOMP_UNWRAP(R2, W.runCompiled(GlobalsB, Obj.Residual, Obj.Entry,
+                                    {W.num(D)}));
+    expectValueEq(R2, Expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Spec, FusionSweep, ::testing::Range(0, 6));
+
+// -- Termination guards -----------------------------------------------------------
+
+TEST(SpecGuards, UnboundedStaticDataUnderDynamicControlIsCaught) {
+  // The static argument grows on every memoized recursion, so every memo
+  // key is new: infinitely many residual functions. The guard must turn
+  // this into an error, not a crash.
+  World W;
+  const char *Src =
+      "(define (loop s d) (if (zero? d) s (loop (+ s 1) (- d 1))))";
+  pgg::PggOptions Opts;
+  Opts.Spec.MaxResidualFunctions = 50;
+  PECOMP_UNWRAP(Gen, pgg::GeneratingExtension::create(W.Heap, Src, "loop",
+                                                      "SD", Opts));
+  std::optional<vm::Value> SpecArgs[] = {W.num(0), std::nullopt};
+  Result<pgg::ResidualSource> R = Gen->generateSource(SpecArgs);
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.error().message().find("unbounded static data"),
+            std::string::npos);
+}
+
+TEST(SpecGuards, ConfiguredDepthLimitFiresCleanly) {
+  // With a small configured limit, deep static recursion produces the
+  // depth-limit error — never a crash.
+  World W;
+  vm::RootScope Scope(W.Heap);
+  vm::Value &List = Scope.protect(vm::Value::nil());
+  for (int I = 0; I != 10000; ++I)
+    List = W.Heap.pair(vm::Value::fixnum(I), List);
+  pgg::PggOptions Opts;
+  Opts.Spec.MaxUnfoldDepth = 1000;
+  PECOMP_UNWRAP(Gen, pgg::GeneratingExtension::create(
+                         W.Heap,
+                         "(define (len s d) (if (null? s) d "
+                         "(len (cdr s) (+ d 0))))",
+                         "len", "SD", Opts));
+  std::optional<vm::Value> Args[] = {List, std::nullopt};
+  Result<pgg::ResidualSource> R = Gen->generateSource(Args);
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.error().message().find("depth limit"), std::string::npos);
+}
+
+TEST(SpecGuards, DeepUnfoldingSucceedsOnTheLargeSpecializerStack) {
+  // 20000 unfolding levels: far beyond an 8 MiB thread stack's capacity
+  // for the CPS specializer, comfortably inside the dedicated large
+  // stack the PGG driver runs it on.
+  World W;
+  vm::RootScope Scope(W.Heap);
+  vm::Value &List = Scope.protect(vm::Value::nil());
+  for (int I = 0; I != 20000; ++I)
+    List = W.Heap.pair(vm::Value::fixnum(I), List);
+  PECOMP_UNWRAP(Gen, pgg::GeneratingExtension::create(
+                         W.Heap,
+                         "(define (len s d) (if (null? s) d "
+                         "(len (cdr s) (+ d 1))))",
+                         "len", "SD"));
+  std::optional<vm::Value> Args[] = {List, std::nullopt};
+  PECOMP_UNWRAP(Res, Gen->generateSource(Args));
+  EXPECT_GE(Res.Stats.UnfoldedCalls, 20000u);
+  // Check the 20000-let residual through the evaluator, whose let
+  // handling is iterative (the tree-walking compilers would recurse on
+  // the *caller's* ordinary stack).
+  PECOMP_UNWRAP(R, W.evalCall(Res.Residual, Res.Entry.str(), {W.num(0)}));
+  expectValueEq(R, W.num(20000));
+}
+
+TEST(SpecGuards, DeepButBoundedSpecializationSucceeds) {
+  // Bounded static evolution is fine: s cycles through a finite set.
+  World W;
+  const char *Src = "(define (loop s d) (if (zero? d) s "
+                    "(loop (remainder (+ s 1) 3) (- d 1))))";
+  PECOMP_UNWRAP(Gen,
+                pgg::GeneratingExtension::create(W.Heap, Src, "loop", "SD"));
+  std::optional<vm::Value> SpecArgs[] = {W.num(0), std::nullopt};
+  PECOMP_UNWRAP(Res, Gen->generateSource(SpecArgs));
+  // One residual function per distinct static value (0, 1, 2).
+  EXPECT_EQ(Res.Residual.Defs.size(), 3u) << Res.Residual.print();
+  PECOMP_UNWRAP(R, W.runAnf(Res.Residual, Res.Entry.str(), {W.num(7)}));
+  expectValueEq(R, W.num(1)); // 7 mod 3 steps from 0
+}
+
+} // namespace

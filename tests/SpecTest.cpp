@@ -1,0 +1,234 @@
+//===- tests/SpecTest.cpp - Specializer (source path) tests ----------------===//
+///
+/// \file
+/// Tests of the ordinary partial evaluator: BTA + specializer with the
+/// SyntaxBuilder. Checks the first Futamura-style property
+/// vm(residual_p_s, d) == eval(p, s ++ d), that residual programs are in
+/// ANF, and the shapes of classic specializations.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+using namespace pecomp;
+using namespace pecomp::test;
+
+namespace {
+
+TEST(Spec, PowerUnfoldsCompletely) {
+  World W;
+  PECOMP_UNWRAP(Gen, pgg::GeneratingExtension::create(
+                         W.Heap, workloads::powerProgram(), "power", "DS"));
+
+  std::optional<vm::Value> Args[] = {std::nullopt, W.num(5)};
+  PECOMP_UNWRAP(Res, Gen->generateSource(Args));
+
+  // The residual program is in ANF (checked by the driver too) and
+  // consists of exactly one function of one parameter.
+  ASSERT_EQ(Res.Residual.Defs.size(), 1u);
+  EXPECT_EQ(Res.Residual.Defs[0].Fn->params().size(), 1u);
+
+  // No residual conditionals or calls: power with a static exponent
+  // specializes to a straight line of multiplications.
+  std::string Printed = Res.Residual.print();
+  EXPECT_EQ(Printed.find("(if"), std::string::npos) << Printed;
+  EXPECT_EQ(Printed.find("power"), Printed.find(Res.Residual.Defs[0].Name.str()))
+      << Printed;
+
+  // It computes x^5.
+  PECOMP_UNWRAP(R, W.evalCall(Res.Residual, Res.Entry.str(), {W.num(3)}));
+  expectValueEq(R, W.num(243));
+
+  // And it agrees with the unspecialized program on other inputs.
+  PECOMP_UNWRAP(R2, W.runAnf(Res.Residual, Res.Entry.str(), {W.num(7)}));
+  expectValueEq(R2, W.num(16807));
+}
+
+TEST(Spec, PowerDynamicExponentResidualizesLoop) {
+  World W;
+  PECOMP_UNWRAP(Gen, pgg::GeneratingExtension::create(
+                         W.Heap, workloads::powerProgram(), "power", "DD"));
+  std::optional<vm::Value> Args[] = {std::nullopt, std::nullopt};
+  PECOMP_UNWRAP(Res, Gen->generateSource(Args));
+
+  // All-dynamic specialization reproduces the program (one recursive
+  // residual function).
+  PECOMP_UNWRAP(R, W.runAnf(Res.Residual, Res.Entry.str(),
+                            {W.num(2), W.num(10)}));
+  expectValueEq(R, W.num(1024));
+}
+
+TEST(Spec, DotProductSpecializesOnStaticVector) {
+  World W;
+  PECOMP_UNWRAP(Gen,
+                pgg::GeneratingExtension::create(
+                    W.Heap, workloads::dotProductProgram(), "dot", "SD"));
+  std::optional<vm::Value> Args[] = {W.value("(2 0 3)"), std::nullopt};
+  PECOMP_UNWRAP(Res, Gen->generateSource(Args));
+
+  std::string Printed = Res.Residual.print();
+  EXPECT_EQ(Printed.find("(if"), std::string::npos) << Printed;
+
+  PECOMP_UNWRAP(R, W.evalCall(Res.Residual, Res.Entry.str(),
+                              {W.value("(10 100 1000)")}));
+  expectValueEq(R, W.num(3020));
+}
+
+TEST(Spec, ResidualSourceRoundTripsThroughPrinter) {
+  // Residual source must reload through the front end — this is the
+  // "load residual program" path of the paper's Fig. 7.
+  World W;
+  PECOMP_UNWRAP(Gen, pgg::GeneratingExtension::create(
+                         W.Heap, workloads::powerProgram(), "power", "DS"));
+  std::optional<vm::Value> Args[] = {std::nullopt, W.num(8)};
+  PECOMP_UNWRAP(Res, Gen->generateSource(Args));
+
+  std::string Printed = Res.Residual.print();
+  PECOMP_UNWRAP(Reloaded, W.parse(Printed));
+  PECOMP_UNWRAP(R, W.runStock(Reloaded, Res.Entry.str(), {W.num(2)}));
+  expectValueEq(R, W.num(256));
+}
+
+TEST(Spec, StaticComputationDisappears) {
+  // Everything static evaluates away: the residual body is a constant.
+  World W;
+  const char *Src = "(define (f s d) (+ d (* s (+ s 1))))";
+  PECOMP_UNWRAP(Gen,
+                pgg::GeneratingExtension::create(W.Heap, Src, "f", "SD"));
+  std::optional<vm::Value> Args[] = {W.num(6), std::nullopt};
+  PECOMP_UNWRAP(Res, Gen->generateSource(Args));
+  std::string Printed = Res.Residual.print();
+  EXPECT_NE(Printed.find("42"), std::string::npos) << Printed;
+  PECOMP_UNWRAP(R, W.evalCall(Res.Residual, Res.Entry.str(), {W.num(1)}));
+  expectValueEq(R, W.num(43));
+}
+
+TEST(Spec, DynamicConditionalDuplicatesContinuation) {
+  World W;
+  const char *Src =
+      "(define (f s d) (+ s (if (zero? d) 1 2)))";
+  PECOMP_UNWRAP(Gen,
+                pgg::GeneratingExtension::create(W.Heap, Src, "f", "SD"));
+  std::optional<vm::Value> Args[] = {W.num(10), std::nullopt};
+  PECOMP_UNWRAP(Res, Gen->generateSource(Args));
+
+  PECOMP_UNWRAP(R0, W.evalCall(Res.Residual, Res.Entry.str(), {W.num(0)}));
+  expectValueEq(R0, W.num(11));
+  PECOMP_UNWRAP(R1, W.evalCall(Res.Residual, Res.Entry.str(), {W.num(9)}));
+  expectValueEq(R1, W.num(12));
+}
+
+TEST(Spec, MemoizationSharesSpecializations) {
+  // Two call sites with the same static argument share one residual
+  // function; different static arguments get different ones.
+  World W;
+  const char *Src =
+      "(define (f s d) (if (zero? d) (* s d) (f s (- d 1))))"
+      "(define (main d) (+ (f 3 d) (+ (f 3 d) (f 4 d))))";
+  PECOMP_UNWRAP(Gen,
+                pgg::GeneratingExtension::create(W.Heap, Src, "main", "D"));
+  std::optional<vm::Value> Args[] = {std::nullopt};
+  PECOMP_UNWRAP(Res, Gen->generateSource(Args));
+
+  // main + f@3 + f@4 = 3 residual functions.
+  EXPECT_EQ(Res.Residual.Defs.size(), 3u) << Res.Residual.print();
+
+  PECOMP_UNWRAP(R, W.runAnf(Res.Residual, Res.Entry.str(), {W.num(2)}));
+  expectValueEq(R, W.num(0));
+}
+
+TEST(Spec, RecursiveDynamicLoopTerminatesViaMemo) {
+  World W;
+  const char *Src =
+      "(define (loop s d) (if (zero? d) s (loop (+ s 0) (- d 1))))";
+  PECOMP_UNWRAP(Gen,
+                pgg::GeneratingExtension::create(W.Heap, Src, "loop", "SD"));
+  std::optional<vm::Value> Args[] = {W.num(99), std::nullopt};
+  PECOMP_UNWRAP(Res, Gen->generateSource(Args));
+  PECOMP_UNWRAP(R, W.runAnf(Res.Residual, Res.Entry.str(), {W.num(5)}));
+  expectValueEq(R, W.num(99));
+}
+
+TEST(Spec, StaticInfiniteUnfoldingIsCaught) {
+  // A static loop that never terminates: the depth guard must kick in
+  // rather than hanging (the PE termination problem).
+  World W;
+  const char *Src = "(define (f s d) (if (zero? s) d (f s d)))";
+  pgg::PggOptions Opts;
+  Opts.Spec.MaxUnfoldDepth = 100;
+  PECOMP_UNWRAP(Gen, pgg::GeneratingExtension::create(W.Heap, Src, "f", "SD",
+                                                      Opts));
+  std::optional<vm::Value> Args[] = {W.num(1), std::nullopt};
+  Result<pgg::ResidualSource> R = Gen->generateSource(Args);
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.error().message().find("depth limit"), std::string::npos);
+}
+
+TEST(Spec, ForceMemoBreaksStaticLoops) {
+  // The same program specializes fine when the user marks the function as
+  // a specialization point.
+  World W;
+  const char *Src = "(define (f s d) (if (zero? s) d (f s d)))";
+  pgg::PggOptions Opts;
+  Opts.Bta.ForceMemo.insert(Symbol::intern("f"));
+  PECOMP_UNWRAP(Gen, pgg::GeneratingExtension::create(W.Heap, Src, "f", "SD",
+                                                      Opts));
+  std::optional<vm::Value> Args[] = {W.num(1), std::nullopt};
+  PECOMP_UNWRAP(Res, Gen->generateSource(Args));
+  // The residual program is an infinite loop — but *specialization*
+  // terminated, producing a recursive residual function.
+  EXPECT_GE(Res.Residual.Defs.size(), 1u);
+}
+
+TEST(Spec, MissingStaticValueIsAnError) {
+  World W;
+  PECOMP_UNWRAP(Gen, pgg::GeneratingExtension::create(
+                         W.Heap, workloads::powerProgram(), "power", "DS"));
+  std::optional<vm::Value> Args[] = {std::nullopt, std::nullopt};
+  Result<pgg::ResidualSource> R = Gen->generateSource(Args);
+  ASSERT_FALSE(R.ok());
+}
+
+TEST(Spec, EntryPromotionEmbedsExtraStatics) {
+  // Supplying a value for a declared-dynamic parameter embeds it.
+  World W;
+  PECOMP_UNWRAP(Gen, pgg::GeneratingExtension::create(
+                         W.Heap, workloads::powerProgram(), "power", "DS"));
+  std::optional<vm::Value> Args[] = {W.num(2), W.num(10)};
+  PECOMP_UNWRAP(Res, Gen->generateSource(Args));
+  PECOMP_UNWRAP(R, W.evalCall(Res.Residual, Res.Entry.str(), {}));
+  expectValueEq(R, W.num(1024));
+}
+
+TEST(Spec, BtaRejectsFirstClassGlobalReference) {
+  World W;
+  const char *Src = "(define (f x) x)"
+                    "(define (main d) (let ((g f)) (g d)))";
+  Result<std::unique_ptr<pgg::GeneratingExtension>> Gen =
+      pgg::GeneratingExtension::create(W.Heap, Src, "main", "D");
+  ASSERT_FALSE(Gen.ok());
+  EXPECT_NE(Gen.error().message().find("first-class"), std::string::npos);
+}
+
+TEST(Spec, LazyThunksResidualizeAsClosures) {
+  // Dynamic lambdas: residual code contains closures (thunks), and
+  // call-by-name semantics survive specialization.
+  World W;
+  const char *Src =
+      "(define (force th) (th))"
+      "(define (choose c a b) (if c (a) (b)))"
+      "(define (main s d)"
+      "  (choose (zero? d)"
+      "          (lambda () s)"
+      "          (lambda () (quotient s d))))";
+  PECOMP_UNWRAP(Gen,
+                pgg::GeneratingExtension::create(W.Heap, Src, "main", "SD"));
+  std::optional<vm::Value> Args[] = {W.num(100), std::nullopt};
+  PECOMP_UNWRAP(Res, Gen->generateSource(Args));
+  PECOMP_UNWRAP(R0, W.runAnf(Res.Residual, Res.Entry.str(), {W.num(0)}));
+  expectValueEq(R0, W.num(100));
+  PECOMP_UNWRAP(R4, W.runAnf(Res.Residual, Res.Entry.str(), {W.num(4)}));
+  expectValueEq(R4, W.num(25));
+}
+
+} // namespace

@@ -1,0 +1,190 @@
+//===- tests/SyntaxTest.cpp - AST, printer, ANF checker, support -----------===//
+
+#include "TestUtil.h"
+
+#include "frontend/Parse.h"
+#include "support/Arena.h"
+#include "support/Casting.h"
+#include "syntax/AnfCheck.h"
+
+using namespace pecomp;
+using namespace pecomp::test;
+
+namespace {
+
+// -- Primitives table ------------------------------------------------------------
+
+TEST(PrimitivesTest, TableIsConsistent) {
+  for (unsigned I = 0; I != NumPrimOps; ++I) {
+    PrimOp Op = static_cast<PrimOp>(I);
+    std::optional<PrimOp> Found = primByName(Symbol::intern(primName(Op)));
+    ASSERT_TRUE(Found.has_value()) << primName(Op);
+    EXPECT_EQ(*Found, Op);
+    EXPECT_GE(primArity(Op), 1u);
+    EXPECT_LE(primArity(Op), 2u);
+  }
+  EXPECT_FALSE(primByName(Symbol::intern("frobnicate")).has_value());
+}
+
+TEST(PrimitivesTest, PurityClassification) {
+  EXPECT_TRUE(primIsPure(PrimOp::Add));
+  EXPECT_TRUE(primIsPure(PrimOp::Car));
+  EXPECT_FALSE(primIsPure(PrimOp::Error));
+  EXPECT_FALSE(primIsPure(PrimOp::MakeBox));
+  EXPECT_FALSE(primIsPure(PrimOp::BoxSet));
+  EXPECT_FALSE(primIsPure(PrimOp::BoxRef));
+}
+
+// -- Structural equality -------------------------------------------------------------
+
+TEST(ExprEqualsTest, DistinguishesStructure) {
+  World W;
+  auto Parse = [&](const char *Text) {
+    Result<const Datum *> D = readDatum(Text, W.Datums);
+    Result<const Expr *> E = parseExpr(*D, W.Exprs);
+    EXPECT_TRUE(E.ok());
+    return *E;
+  };
+  EXPECT_TRUE(Parse("(+ 1 2)")->equals(Parse("(+ 1 2)")));
+  EXPECT_FALSE(Parse("(+ 1 2)")->equals(Parse("(+ 2 1)")));
+  EXPECT_FALSE(Parse("(+ 1 2)")->equals(Parse("(- 1 2)")));
+  EXPECT_TRUE(Parse("(lambda (q) q)")->equals(Parse("(lambda (q) q)")));
+  EXPECT_FALSE(Parse("(lambda (q) q)")->equals(Parse("(lambda (r) r)")));
+  EXPECT_TRUE(Parse("(if 1 2 3)")->equals(Parse("(if 1 2 3)")));
+  EXPECT_FALSE(Parse("(if 1 2 3)")->equals(Parse("(if 1 2 4)")));
+  EXPECT_TRUE(Parse("'(a b)")->equals(Parse("'(a b)")));
+}
+
+// -- Printer ----------------------------------------------------------------------------
+
+TEST(PrinterTest, ProgramsRoundTripThroughTheFrontEnd) {
+  World W;
+  const char *Sources[] = {
+      "(define (f x) (+ x 1))",
+      "(define (f x) (if (zero? x) '(a \"s\" #\\c #t) (f (- x 1))))",
+      "(define (f x) (let ((g (lambda (y) (* y y)))) (g (g x))))",
+      "(define (f x y) (cons 'pair (cons x (cons y '()))))",
+  };
+  for (const char *Source : Sources) {
+    PECOMP_UNWRAP(P, W.parse(Source));
+    std::string Printed = P.print();
+    PECOMP_UNWRAP(Reparsed, W.parse(Printed));
+    PECOMP_UNWRAP(A, W.evalCall(P, "f",
+                                P.Defs[0].Fn->params().size() == 1
+                                    ? std::vector<vm::Value>{W.num(3)}
+                                    : std::vector<vm::Value>{W.num(3),
+                                                             W.num(4)}));
+    PECOMP_UNWRAP(B, W.evalCall(Reparsed, "f",
+                                P.Defs[0].Fn->params().size() == 1
+                                    ? std::vector<vm::Value>{W.num(3)}
+                                    : std::vector<vm::Value>{W.num(3),
+                                                             W.num(4)}));
+    expectValueEq(A, B);
+  }
+}
+
+// -- ANF checker ----------------------------------------------------------------------------
+
+TEST(AnfCheckTest, AcceptsAnfForms) {
+  World W;
+  PECOMP_UNWRAP(P, W.parseAnf(
+      "(define (f x) (let ((t (+ x 1))) (if (zero? t) (f t) (* t 2))))"));
+  EXPECT_FALSE(checkAnf(P));
+}
+
+TEST(AnfCheckTest, RejectsNestedSeriousArguments) {
+  World W;
+  Result<const Datum *> D = readDatum("(+ (+ 1 2) 3)", W.Datums);
+  Result<const Expr *> E = parseExpr(*D, W.Exprs);
+  auto Err = checkAnf(*E);
+  ASSERT_TRUE(Err.has_value());
+  EXPECT_NE(Err->find("trivial"), std::string::npos);
+}
+
+TEST(AnfCheckTest, RejectsNonTrivialIfTest) {
+  World W;
+  Result<const Datum *> D =
+      readDatum("(lambda (x) (if (+ x 1) 1 2))", W.Datums);
+  Result<const Expr *> E = parseExpr(*D, W.Exprs);
+  EXPECT_TRUE(checkAnf(*E).has_value());
+}
+
+TEST(AnfCheckTest, RejectsLetOfLet) {
+  World W;
+  Result<const Datum *> D =
+      readDatum("(lambda (x) (let (a (let (b x) b)) a))", W.Datums);
+  Result<const Expr *> E = parseExpr(*D, W.Exprs);
+  auto Err = checkAnf(*E);
+  ASSERT_TRUE(Err.has_value());
+}
+
+TEST(AnfCheckTest, ChecksInsideLambdas) {
+  World W;
+  Result<const Datum *> D =
+      readDatum("(lambda (x) (lambda (y) (+ (+ y 1) x)))", W.Datums);
+  Result<const Expr *> E = parseExpr(*D, W.Exprs);
+  EXPECT_TRUE(checkAnf(*E).has_value());
+}
+
+TEST(AnfCheckTest, ReportsTheOffendingDefinition) {
+  World W;
+  PECOMP_UNWRAP(P, W.parse("(define (good x) x)"
+                           "(define (bad x) (+ (+ x 1) 2))"));
+  auto Err = checkAnf(P);
+  ASSERT_TRUE(Err.has_value());
+  EXPECT_NE(Err->find("bad"), std::string::npos);
+}
+
+// -- Arena ------------------------------------------------------------------------------------
+
+TEST(ArenaTest, RunsDestructorsInReverseOrder) {
+  std::vector<int> Order;
+  struct Tracker {
+    std::vector<int> *Order;
+    int Id;
+    ~Tracker() { Order->push_back(Id); }
+  };
+  {
+    Arena A;
+    A.create<Tracker>(Tracker{&Order, 1});
+    A.create<Tracker>(Tracker{&Order, 2});
+    A.create<Tracker>(Tracker{&Order, 3});
+  }
+  // Each create() constructs a temporary too; only check relative order of
+  // the arena-owned objects: the last-created is destroyed first.
+  ASSERT_GE(Order.size(), 3u);
+  std::vector<int> ArenaOrder;
+  for (size_t I = Order.size() - 3; I != Order.size(); ++I)
+    ArenaOrder.push_back(Order[I]);
+  EXPECT_EQ(ArenaOrder, (std::vector<int>{3, 2, 1}));
+}
+
+TEST(ArenaTest, HandlesLargeAllocations) {
+  Arena A;
+  void *P = A.allocate(1 << 21, 8); // bigger than the max chunk size
+  ASSERT_NE(P, nullptr);
+  memset(P, 0xAB, 1 << 21);
+  EXPECT_GE(A.bytesUsed(), size_t(1) << 21);
+}
+
+TEST(ArenaTest, RespectsAlignment) {
+  Arena A;
+  A.allocate(1, 1);
+  void *P = A.allocate(8, 64);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(P) % 64, 0u);
+}
+
+// -- Result/Error -----------------------------------------------------------------------------
+
+TEST(ResultTest, HoldsValueOrError) {
+  Result<int> Ok(42);
+  EXPECT_TRUE(Ok.ok());
+  EXPECT_EQ(*Ok, 42);
+
+  Result<int> Bad(Error("nope", SourceLoc(3, 7)));
+  EXPECT_FALSE(Bad.ok());
+  EXPECT_EQ(Bad.error().render(), "3:7: nope");
+  EXPECT_EQ(Error("plain").render(), "plain");
+}
+
+} // namespace

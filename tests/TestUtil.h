@@ -1,0 +1,132 @@
+//===- tests/TestUtil.h - Shared test fixtures ------------------*- C++ -*-===//
+///
+/// \file
+/// One-stop world for tests: heap, factories, front end, both compilers,
+/// the reference interpreter, and the PGG, with ASSERT-style unwrapping
+/// of Result values.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PECOMP_TESTS_TESTUTIL_H
+#define PECOMP_TESTS_TESTUTIL_H
+
+#include "compiler/AnfCompiler.h"
+#include "compiler/StockCompiler.h"
+#include "eval/Interp.h"
+#include "frontend/AnfConvert.h"
+#include "frontend/Pipeline.h"
+#include "pgg/Pgg.h"
+#include "sexp/Reader.h"
+#include "vm/Convert.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+namespace pecomp {
+namespace test {
+
+/// Unwraps a Result, failing the test with the error message otherwise.
+#define PECOMP_UNWRAP(Var, ResultExpr)                                        \
+  auto Var##Result = (ResultExpr);                                            \
+  ASSERT_TRUE(Var##Result.ok()) << Var##Result.error().render();              \
+  auto &Var = *Var##Result
+
+/// A self-contained universe for one test.
+class World {
+public:
+  World() : Datums(AstArena), Exprs(AstArena) {}
+
+  vm::Heap Heap;
+  Arena AstArena;
+  DatumFactory Datums;
+  ExprFactory Exprs;
+
+  /// Reads one datum from text and converts it to a runtime value. The
+  /// value is pinned: tests hold values in C++ locals across VM runs,
+  /// which the collector cannot see.
+  vm::Value value(std::string_view Text) {
+    Result<const Datum *> D = readDatum(Text, Datums);
+    EXPECT_TRUE(D.ok()) << (D.ok() ? "" : D.error().render());
+    vm::Value V = vm::valueFromDatum(Heap, *D);
+    Heap.pin(V);
+    return V;
+  }
+
+  vm::Value num(int64_t N) { return vm::Value::fixnum(N); }
+
+  /// Front end: text to pure Core Scheme.
+  Result<Program> parse(std::string_view Text) {
+    return frontendProgram(Text, Exprs, Datums);
+  }
+
+  /// Front end + ANF conversion.
+  Result<Program> parseAnf(std::string_view Text) {
+    return anfProgram(Text, Exprs, Datums);
+  }
+
+  /// Pins a result value so the test may hold it in a C++ local across
+  /// further allocations (e.g. while building the expected value).
+  Result<vm::Value> pinned(Result<vm::Value> R) {
+    if (R.ok())
+      Heap.pin(*R);
+    return R;
+  }
+
+  /// Runs (Fn Args...) under the reference interpreter.
+  Result<vm::Value> evalCall(const Program &P, std::string_view Fn,
+                             std::vector<vm::Value> Args) {
+    eval::Interp I(Heap, P);
+    return pinned(I.callFunction(Symbol::intern(Fn), Args));
+  }
+
+  /// Compiles with the stock compiler and runs (Fn Args...) on the VM.
+  Result<vm::Value> runStock(const Program &P, std::string_view Fn,
+                             std::vector<vm::Value> Args) {
+    vm::CodeStore Store(Heap);
+    vm::GlobalTable Globals;
+    compiler::Compilators Comp(Store, Globals);
+    compiler::StockCompiler SC(Comp);
+    compiler::CompiledProgram CP = SC.compileProgram(P);
+    vm::Machine M(Heap);
+    M.setFuel(50'000'000);
+    compiler::linkProgram(M, Globals, CP);
+    return pinned(compiler::callGlobal(M, Globals, Symbol::intern(Fn), Args));
+  }
+
+  /// ANF-converts, compiles with the ANF compiler, runs on the VM.
+  Result<vm::Value> runAnf(const Program &P, std::string_view Fn,
+                           std::vector<vm::Value> Args) {
+    Program Anf = anfConvert(P, Exprs);
+    vm::CodeStore Store(Heap);
+    vm::GlobalTable Globals;
+    compiler::Compilators Comp(Store, Globals);
+    compiler::AnfCompiler AC(Comp);
+    compiler::CompiledProgram CP = AC.compileProgram(Anf);
+    vm::Machine M(Heap);
+    M.setFuel(50'000'000);
+    compiler::linkProgram(M, Globals, CP);
+    return pinned(compiler::callGlobal(M, Globals, Symbol::intern(Fn), Args));
+  }
+
+  /// Runs a compiled program on a fresh machine.
+  Result<vm::Value> runCompiled(vm::GlobalTable &Globals,
+                                const compiler::CompiledProgram &CP,
+                                Symbol Fn, std::vector<vm::Value> Args) {
+    vm::Machine M(Heap);
+    M.setFuel(50'000'000);
+    compiler::linkProgram(M, Globals, CP);
+    return pinned(compiler::callGlobal(M, Globals, Fn, Args));
+  }
+};
+
+/// Expects two runtime values to be structurally equal.
+inline void expectValueEq(vm::Value A, vm::Value B) {
+  EXPECT_TRUE(vm::valueEquals(A, B))
+      << "  left: " << vm::valueToString(A)
+      << "\n right: " << vm::valueToString(B);
+}
+
+} // namespace test
+} // namespace pecomp
+
+#endif // PECOMP_TESTS_TESTUTIL_H

@@ -1,0 +1,190 @@
+//===- tests/VerifyTest.cpp - Byte-code verifier tests ----------------------===//
+
+#include "TestUtil.h"
+
+#include "vm/Verify.h"
+
+using namespace pecomp;
+using namespace pecomp::test;
+using vm::Op;
+
+namespace {
+
+/// Everything the compilers emit must verify.
+TEST(VerifyTest, CompiledProgramsVerify) {
+  World W;
+  const char *Sources[] = {
+      "(define (f x) x)",
+      "(define (fact n) (if (zero? n) 1 (* n (fact (- n 1)))))",
+      "(define (f x) (let ((g (lambda (y) (+ x y)))) (g (g x))))",
+      "(define (f a) (lambda (b) (lambda (c) (+ a (+ b c)))))",
+      "(define (f x) (cond ((< x 0) 'neg) ((= x 0) 'zero) (else 'pos)))",
+      "(define (go n) (letrec ((e? (lambda (k) (if (zero? k) #t "
+      "(o? (- k 1))))) (o? (lambda (k) (if (zero? k) #f (e? (- k 1))))))"
+      " (e? n)))",
+  };
+  for (const char *Source : Sources) {
+    PECOMP_UNWRAP(P, W.parse(Source));
+    // Stock path.
+    {
+      vm::CodeStore Store(W.Heap);
+      vm::GlobalTable Globals;
+      compiler::Compilators Comp(Store, Globals);
+      compiler::StockCompiler SC(Comp);
+      for (auto &[Name, Code] : SC.compileProgram(P).Defs) {
+        auto Err = vm::verifyCode(Code);
+        EXPECT_FALSE(Err.has_value())
+            << *Err << "\n" << Code->disassemble();
+      }
+    }
+    // ANF path.
+    {
+      Program Anf = anfConvert(P, W.Exprs);
+      vm::CodeStore Store(W.Heap);
+      vm::GlobalTable Globals;
+      compiler::Compilators Comp(Store, Globals);
+      compiler::AnfCompiler AC(Comp);
+      for (auto &[Name, Code] : AC.compileProgram(Anf).Defs) {
+        auto Err = vm::verifyCode(Code);
+        EXPECT_FALSE(Err.has_value())
+            << *Err << "\n" << Code->disassemble();
+      }
+    }
+  }
+}
+
+TEST(VerifyTest, FusedGeneratingExtensionOutputVerifies) {
+  World W;
+  vm::Value Program = W.value(std::string(workloads::mixwellSampleProgram()));
+  PECOMP_UNWRAP(Gen, pgg::GeneratingExtension::create(
+                         W.Heap, workloads::mixwellInterpreter(),
+                         "mixwell-run", "SD"));
+  vm::CodeStore Store(W.Heap);
+  vm::GlobalTable Globals;
+  compiler::Compilators Comp(Store, Globals);
+  std::optional<vm::Value> Args[] = {Program, std::nullopt};
+  PECOMP_UNWRAP(Obj, Gen->generateObject(Comp, Args));
+  for (auto &[Name, Code] : Obj.Residual.Defs) {
+    auto Err = vm::verifyCode(Code);
+    EXPECT_FALSE(Err.has_value()) << *Err << "\n" << Code->disassemble();
+  }
+}
+
+/// Hand-corrupted code objects must be rejected with a useful message.
+class BadCode : public ::testing::Test {
+protected:
+  BadCode() : Store(W.Heap) {}
+
+  vm::CodeObject *fresh(uint32_t Arity) {
+    return Store.create("bad", Arity);
+  }
+
+  static void emit(vm::CodeObject *C, std::initializer_list<uint8_t> Bytes) {
+    for (uint8_t B : Bytes)
+      C->mutableCode().push_back(B);
+  }
+
+  void expectError(const vm::CodeObject *C, const char *Needle,
+                   size_t NumFree = 0) {
+    auto Err = vm::verifyCode(C, NumFree);
+    ASSERT_TRUE(Err.has_value()) << C->disassemble();
+    EXPECT_NE(Err->find(Needle), std::string::npos) << *Err;
+  }
+
+  World W;
+  vm::CodeStore Store;
+};
+
+TEST_F(BadCode, EmptyCode) { expectError(fresh(0), "empty"); }
+
+TEST_F(BadCode, TruncatedOperand) {
+  vm::CodeObject *C = fresh(0);
+  emit(C, {static_cast<uint8_t>(Op::Const), 0x00}); // missing one byte
+  expectError(C, "truncated");
+}
+
+TEST_F(BadCode, LiteralIndexOutOfRange) {
+  vm::CodeObject *C = fresh(0);
+  emit(C, {static_cast<uint8_t>(Op::Const), 0x05, 0x00,
+           static_cast<uint8_t>(Op::Return)});
+  expectError(C, "literal index");
+}
+
+TEST_F(BadCode, LocalBeyondDepth) {
+  vm::CodeObject *C = fresh(1);
+  emit(C, {static_cast<uint8_t>(Op::LocalRef), 0x07, 0x00,
+           static_cast<uint8_t>(Op::Return)});
+  expectError(C, "beyond stack depth");
+}
+
+TEST_F(BadCode, FreeRefWithoutCaptures) {
+  vm::CodeObject *C = fresh(0);
+  emit(C, {static_cast<uint8_t>(Op::FreeRef), 0x00, 0x00,
+           static_cast<uint8_t>(Op::Return)});
+  expectError(C, "capture count");
+}
+
+TEST_F(BadCode, FreeRefWithinCapturesVerifies) {
+  vm::CodeObject *C = fresh(0);
+  emit(C, {static_cast<uint8_t>(Op::FreeRef), 0x00, 0x00,
+           static_cast<uint8_t>(Op::Return)});
+  EXPECT_FALSE(vm::verifyCode(C, /*NumFree=*/1).has_value());
+}
+
+TEST_F(BadCode, StackUnderflowOnReturn) {
+  vm::CodeObject *C = fresh(0);
+  emit(C, {static_cast<uint8_t>(Op::Return)});
+  expectError(C, "underflow");
+}
+
+TEST_F(BadCode, StackUnderflowOnCall) {
+  vm::CodeObject *C = fresh(1);
+  emit(C, {static_cast<uint8_t>(Op::Call), 0x03,
+           static_cast<uint8_t>(Op::Return)});
+  expectError(C, "underflow");
+}
+
+TEST_F(BadCode, JumpOutOfRange) {
+  vm::CodeObject *C = fresh(1);
+  emit(C, {static_cast<uint8_t>(Op::Jump), 0x40, 0x00});
+  expectError(C, "out of range");
+}
+
+TEST_F(BadCode, FallingOffTheEnd) {
+  vm::CodeObject *C = fresh(1);
+  emit(C, {static_cast<uint8_t>(Op::LocalRef), 0x00, 0x00});
+  expectError(C, "off the end");
+}
+
+TEST_F(BadCode, InconsistentDepthAtJoin) {
+  // if-false jump to a point reached with a different stack depth.
+  vm::CodeObject *C = fresh(1);
+  // 0: LocalRef 0 (depth 2), 3: JumpIfFalse +3 -> target 8 at depth 1
+  // 6: LocalRef 0 (depth 2) ... falls to 8 wait compute: layout:
+  //  0: LocalRef 0        depth 1 -> 2
+  //  3: JumpIfFalse -> 9  pops -> depth 1; target 9 expects depth 1
+  //  6: LocalRef 0        depth 1 -> 2
+  //  9: Return            reached with depth 2 (fallthrough) and 1 (jump)
+  emit(C, {static_cast<uint8_t>(Op::LocalRef), 0x00, 0x00,
+           static_cast<uint8_t>(Op::JumpIfFalse), 0x03, 0x00,
+           static_cast<uint8_t>(Op::LocalRef), 0x00, 0x00,
+           static_cast<uint8_t>(Op::Return)});
+  expectError(C, "inconsistent stack depth");
+}
+
+TEST_F(BadCode, UnknownPrimitiveNumber) {
+  vm::CodeObject *C = fresh(1);
+  emit(C, {static_cast<uint8_t>(Op::LocalRef), 0x00, 0x00,
+           static_cast<uint8_t>(Op::Prim), 0xEE,
+           static_cast<uint8_t>(Op::Return)});
+  expectError(C, "unknown primitive");
+}
+
+TEST_F(BadCode, ChildIndexOutOfRange) {
+  vm::CodeObject *C = fresh(0);
+  emit(C, {static_cast<uint8_t>(Op::MakeClosure), 0x00, 0x00, 0x00, 0x00,
+           static_cast<uint8_t>(Op::Return)});
+  expectError(C, "child index");
+}
+
+} // namespace

@@ -1,0 +1,283 @@
+//===- tests/VmTest.cpp - Value, heap/GC, and machine unit tests -----------===//
+
+#include "TestUtil.h"
+
+#include "support/Casting.h"
+
+using namespace pecomp;
+using namespace pecomp::test;
+using vm::Value;
+
+namespace {
+
+// -- Value tagging ------------------------------------------------------------
+
+TEST(ValueTest, FixnumRoundTrip) {
+  for (int64_t N : {0L, 1L, -1L, 1234567L, -9876543L,
+                    (1L << 60), -(1L << 60)}) {
+    Value V = Value::fixnum(N);
+    EXPECT_TRUE(V.isFixnum());
+    EXPECT_EQ(V.asFixnum(), N);
+    EXPECT_FALSE(V.isObject());
+    EXPECT_FALSE(V.isSymbol());
+  }
+}
+
+TEST(ValueTest, ImmediatesAreDistinct) {
+  EXPECT_NE(Value::boolean(true), Value::boolean(false));
+  EXPECT_NE(Value::nil(), Value::boolean(false));
+  EXPECT_NE(Value::unspecified(), Value::nil());
+  EXPECT_TRUE(Value::nil().isNil());
+  EXPECT_TRUE(Value::unspecified().isUnspecified());
+}
+
+TEST(ValueTest, TruthinessFollowsScheme) {
+  EXPECT_FALSE(Value::boolean(false).isTruthy());
+  EXPECT_TRUE(Value::boolean(true).isTruthy());
+  EXPECT_TRUE(Value::fixnum(0).isTruthy());
+  EXPECT_TRUE(Value::nil().isTruthy());
+}
+
+TEST(ValueTest, SymbolRoundTrip) {
+  Symbol S = Symbol::intern("a-symbol");
+  Value V = Value::symbol(S);
+  EXPECT_TRUE(V.isSymbol());
+  EXPECT_EQ(V.asSymbol(), S);
+}
+
+TEST(ValueTest, CharRoundTrip) {
+  Value V = Value::character('Z');
+  EXPECT_TRUE(V.isChar());
+  EXPECT_EQ(V.asChar(), 'Z');
+}
+
+TEST(ValueTest, DefaultValueIsInvalid) {
+  EXPECT_FALSE(Value().isValid());
+  EXPECT_TRUE(Value::fixnum(0).isValid());
+}
+
+// -- Structural equality and hashing ---------------------------------------------
+
+TEST(ValueTest, StructuralEqualityOnLists) {
+  vm::Heap H;
+  Value A = H.pair(Value::fixnum(1), H.pair(Value::fixnum(2), Value::nil()));
+  Value B = H.pair(Value::fixnum(1), H.pair(Value::fixnum(2), Value::nil()));
+  EXPECT_NE(A, B); // different identities
+  EXPECT_TRUE(vm::valueEquals(A, B));
+  EXPECT_EQ(vm::valueHash(A), vm::valueHash(B));
+}
+
+TEST(ValueTest, StructuralEqualityOnStrings) {
+  vm::Heap H;
+  EXPECT_TRUE(vm::valueEquals(H.string("abc"), H.string("abc")));
+  EXPECT_FALSE(vm::valueEquals(H.string("abc"), H.string("abd")));
+}
+
+TEST(ValueTest, UnequalStructuresDiffer) {
+  vm::Heap H;
+  Value A = H.pair(Value::fixnum(1), Value::nil());
+  Value B = H.pair(Value::fixnum(2), Value::nil());
+  EXPECT_FALSE(vm::valueEquals(A, B));
+  Value C = H.pair(Value::fixnum(1), Value::fixnum(1));
+  EXPECT_FALSE(vm::valueEquals(A, C));
+}
+
+TEST(ValueTest, BoxesCompareByIdentity) {
+  vm::Heap H;
+  Value A = H.box(Value::fixnum(1));
+  Value B = H.box(Value::fixnum(1));
+  EXPECT_TRUE(vm::valueEquals(A, A));
+  EXPECT_FALSE(vm::valueEquals(A, B));
+}
+
+TEST(ValueTest, ValueToStringMatchesWriter) {
+  vm::Heap H;
+  Value V = H.pair(Value::fixnum(1),
+                   H.pair(Value::symbol(Symbol::intern("x")), Value::nil()));
+  EXPECT_EQ(vm::valueToString(V), "(1 x)");
+  EXPECT_EQ(vm::valueToString(Value::boolean(false)), "#f");
+  EXPECT_EQ(vm::valueToString(H.pair(Value::fixnum(1), Value::fixnum(2))),
+            "(1 . 2)");
+}
+
+// -- Heap and GC ----------------------------------------------------------------
+
+TEST(HeapTest, CollectReclaimsUnreachableObjects) {
+  vm::Heap H;
+  for (int I = 0; I != 1000; ++I)
+    H.pair(Value::fixnum(I), Value::nil());
+  EXPECT_EQ(H.liveObjects(), 1000u);
+  H.collect();
+  EXPECT_EQ(H.liveObjects(), 0u);
+}
+
+TEST(HeapTest, PinnedObjectsSurvive) {
+  vm::Heap H;
+  Value Kept = H.pair(Value::fixnum(1), Value::nil());
+  H.pin(Kept);
+  H.pair(Value::fixnum(2), Value::nil()); // garbage
+  H.collect();
+  EXPECT_EQ(H.liveObjects(), 1u);
+  EXPECT_EQ(cast<vm::PairObject>(Kept.asObject())->Car, Value::fixnum(1));
+}
+
+TEST(HeapTest, RootScopeProtectsAndReleases) {
+  vm::Heap H;
+  {
+    vm::RootScope Scope(H);
+    Scope.protect(H.pair(Value::fixnum(1), Value::nil()));
+    H.collect();
+    EXPECT_EQ(H.liveObjects(), 1u);
+  }
+  H.collect();
+  EXPECT_EQ(H.liveObjects(), 0u);
+}
+
+TEST(HeapTest, MarkTracesDeepStructures) {
+  // A 100k-element list must be fully traced without C++ stack overflow.
+  vm::Heap H;
+  vm::RootScope Scope(H);
+  Value &List = Scope.protect(Value::nil());
+  for (int I = 0; I != 100000; ++I)
+    List = H.pair(Value::fixnum(I), List);
+  H.collect();
+  EXPECT_EQ(H.liveObjects(), 100000u);
+}
+
+TEST(HeapTest, TracesThroughBoxesAndClosures) {
+  vm::Heap H;
+  vm::RootScope Scope(H);
+  Value Inner = H.pair(Value::fixnum(7), Value::nil());
+  Scope.protect(H.box(Inner));
+  H.collect();
+  EXPECT_EQ(H.liveObjects(), 2u);
+}
+
+TEST(HeapTest, AllocationArgumentsSurviveStressCollection) {
+  // In stress mode every allocation collects; the arguments of the
+  // in-flight allocation must be protected by the heap itself.
+  vm::Heap H;
+  H.setStressMode(true);
+  vm::RootScope Scope(H);
+  Value &List = Scope.protect(Value::nil());
+  for (int I = 0; I != 100; ++I)
+    List = H.pair(Value::fixnum(I), List);
+  // Verify the whole list is intact.
+  Value Cursor = List;
+  for (int I = 99; I >= 0; --I) {
+    auto *P = cast<vm::PairObject>(Cursor.asObject());
+    EXPECT_EQ(P->Car, Value::fixnum(I));
+    Cursor = P->Cdr;
+  }
+  EXPECT_GE(H.totalCollections(), 100u);
+}
+
+TEST(HeapTest, ListBuilderProtectsItsSpine) {
+  vm::Heap H;
+  H.setStressMode(true);
+  std::vector<Value> Elems = {Value::fixnum(1), Value::fixnum(2),
+                              Value::fixnum(3)};
+  Value L = H.list(Elems);
+  EXPECT_EQ(vm::valueToString(L), "(1 2 3)");
+}
+
+// -- Machine behaviour -------------------------------------------------------------
+
+TEST(MachineTest, ReportsArityMismatch) {
+  World W;
+  PECOMP_UNWRAP(P, W.parse("(define (f x y) (+ x y))"));
+  Result<vm::Value> R = W.runAnf(P, "f", {W.num(1)});
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.error().message().find("expects 2"), std::string::npos);
+}
+
+TEST(MachineTest, ReportsCallOfNonProcedure) {
+  World W;
+  PECOMP_UNWRAP(P, W.parse("(define (f x) (x 1))"));
+  Result<vm::Value> R = W.runAnf(P, "f", {W.num(3)});
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.error().message().find("not a procedure"), std::string::npos);
+}
+
+TEST(MachineTest, FuelLimitStopsRunawayLoops) {
+  World W;
+  vm::Heap &H = W.Heap;
+  PECOMP_UNWRAP(P, W.parse("(define (spin) (spin))"));
+  Program Anf = anfConvert(P, W.Exprs);
+  vm::CodeStore Store(H);
+  vm::GlobalTable Globals;
+  compiler::Compilators Comp(Store, Globals);
+  compiler::AnfCompiler AC(Comp);
+  compiler::CompiledProgram CP = AC.compileProgram(Anf);
+  vm::Machine M(H);
+  M.setFuel(10000);
+  compiler::linkProgram(M, Globals, CP);
+  Result<vm::Value> R =
+      compiler::callGlobal(M, Globals, Symbol::intern("spin"), {});
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.error().message().find("fuel"), std::string::npos);
+}
+
+TEST(MachineTest, RuntimeErrorNamesTheFunction) {
+  World W;
+  PECOMP_UNWRAP(P, W.parse("(define (oops x) (car x))"));
+  Result<vm::Value> R = W.runAnf(P, "oops", {W.num(1)});
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.error().message().find("oops"), std::string::npos);
+}
+
+TEST(MachineTest, GcRunsDuringExecutionWithoutCorruption) {
+  // Build a large list at run time with a stressed heap.
+  World W;
+  W.Heap.setStressMode(true);
+  PECOMP_UNWRAP(P, W.parse("(define (iota n) (if (zero? n) '() "
+                           "(cons n (iota (- n 1)))))"
+                           "(define (len xs) (if (null? xs) 0 "
+                           "(+ 1 (len (cdr xs)))))"
+                           "(define (go n) (len (iota n)))"));
+  PECOMP_UNWRAP(R, W.runAnf(P, "go", {W.num(200)}));
+  expectValueEq(R, W.num(200));
+  EXPECT_GT(W.Heap.totalCollections(), 0u);
+}
+
+// -- Code objects --------------------------------------------------------------------
+
+TEST(CodeTest, DisassemblerCoversEveryOpcode) {
+  World W;
+  PECOMP_UNWRAP(P, W.parse("(define (f x) (if (zero? x) (g (lambda (y) "
+                           "(+ y x))) '(a b)))"
+                           "(define (g h) (h 1))"));
+  vm::CodeStore Store(W.Heap);
+  vm::GlobalTable Globals;
+  compiler::Compilators Comp(Store, Globals);
+  compiler::StockCompiler SC(Comp);
+  compiler::CompiledProgram CP = SC.compileProgram(P);
+  std::string Dis = CP.Defs[0].second->disassemble();
+  for (const char *Expected :
+       {"local", "global", "closure", "jump-if-false", "prim", "return"})
+    EXPECT_NE(Dis.find(Expected), std::string::npos) << Dis;
+}
+
+TEST(CodeTest, CodeEqualsDistinguishesPrograms) {
+  World W;
+  PECOMP_UNWRAP(P1, W.parse("(define (f x) (+ x 1))"));
+  PECOMP_UNWRAP(P2, W.parse("(define (f x) (+ x 2))"));
+  PECOMP_UNWRAP(P3, W.parse("(define (f x) (+ x 1))"));
+
+  vm::CodeStore Store(W.Heap); // one store outlives the comparisons
+  auto Compile = [&](const Program &P) {
+    vm::GlobalTable Globals;
+    compiler::Compilators Comp(Store, Globals);
+    compiler::AnfCompiler AC(Comp);
+    Program Anf = anfConvert(P, W.Exprs);
+    return AC.compileProgram(Anf).Defs[0].second;
+  };
+
+  const vm::CodeObject *C1 = Compile(P1);
+  const vm::CodeObject *C2 = Compile(P2);
+  const vm::CodeObject *C3 = Compile(P3);
+  EXPECT_FALSE(vm::codeEquals(C1, C2));
+  EXPECT_TRUE(vm::codeEquals(C1, C3));
+}
+
+} // namespace

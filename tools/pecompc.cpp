@@ -1,0 +1,291 @@
+//===- tools/pecompc.cpp - Command-line driver ------------------*- C++ -*-===//
+///
+/// \file
+/// File-based driver over the whole system:
+///
+///   pecompc run <file> <entry> [datum...]
+///       compile (ANF path) and call entry on the given arguments
+///   pecompc compile <file> [--stock|--anf|--direct]
+///       print the disassembly of every definition
+///   pecompc anf <file>
+///       print the A-normal-form conversion
+///   pecompc bta <file> <entry> <division>
+///       print the two-level (binding-time annotated) program
+///   pecompc spec <file> <entry> <division> [datum|_ ...]
+///       specialize; '_' marks dynamic parameters; prints residual source
+///   pecompc specrun <file> <entry> <division> [datum|_ ...] -- [datum...]
+///       fused path: generate object code directly and run it on the
+///       arguments after '--'
+///
+/// Divisions are strings over {S, D}, one letter per entry parameter.
+///
+//===----------------------------------------------------------------------===//
+
+#include "compiler/AnfCompiler.h"
+#include "compiler/DirectAnfCompiler.h"
+#include "compiler/StockCompiler.h"
+#include "frontend/AnfConvert.h"
+#include "frontend/Pipeline.h"
+#include "pgg/Pgg.h"
+#include "sexp/Reader.h"
+#include "vm/Convert.h"
+
+#include <cstdio>
+#include <fstream>
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace pecomp;
+
+namespace {
+
+int usage() {
+  fprintf(stderr,
+          "usage:\n"
+          "  pecompc run <file> <entry> [datum...]\n"
+          "  pecompc compile <file> [--stock|--anf|--direct]\n"
+          "  pecompc anf <file>\n"
+          "  pecompc bta <file> <entry> <division>\n"
+          "  pecompc spec <file> <entry> <division> [datum|_ ...]\n"
+          "  pecompc specrun <file> <entry> <division> [datum|_ ...] -- "
+          "[datum...]\n");
+  return 2;
+}
+
+int fail(const Error &E) {
+  fprintf(stderr, "pecompc: error: %s\n", E.render().c_str());
+  return 1;
+}
+
+Result<std::string> readFile(const std::string &Path) {
+  std::ifstream In(Path);
+  if (!In)
+    return makeError("cannot open '" + Path + "'");
+  std::ostringstream Out;
+  Out << In.rdbuf();
+  return Out.str();
+}
+
+/// Shared state of one invocation.
+struct Session {
+  vm::Heap Heap;
+  Arena AstArena;
+  DatumFactory Datums{AstArena};
+  ExprFactory Exprs{AstArena};
+
+  Result<vm::Value> parseValue(const std::string &Text) {
+    Result<const Datum *> D = readDatum(Text, Datums);
+    if (!D)
+      return D.takeError();
+    vm::Value V = vm::valueFromDatum(Heap, *D);
+    Heap.pin(V);
+    return V;
+  }
+
+  Result<std::vector<vm::Value>> parseValues(const std::vector<std::string> &
+                                                 Texts) {
+    std::vector<vm::Value> Out;
+    for (const std::string &T : Texts) {
+      Result<vm::Value> V = parseValue(T);
+      if (!V)
+        return V.takeError();
+      Out.push_back(*V);
+    }
+    return Out;
+  }
+};
+
+int cmdRun(Session &S, const std::string &File, const std::string &Entry,
+           const std::vector<std::string> &ArgTexts) {
+  Result<std::string> Text = readFile(File);
+  if (!Text)
+    return fail(Text.error());
+  Result<Program> P = anfProgram(*Text, S.Exprs, S.Datums);
+  if (!P)
+    return fail(P.error());
+  Result<std::vector<vm::Value>> Args = S.parseValues(ArgTexts);
+  if (!Args)
+    return fail(Args.error());
+
+  vm::CodeStore Store(S.Heap);
+  vm::GlobalTable Globals;
+  compiler::Compilators Comp(Store, Globals);
+  compiler::AnfCompiler AC(Comp);
+  compiler::CompiledProgram CP = AC.compileProgram(*P);
+  vm::Machine M(S.Heap);
+  Result<bool> Linked = compiler::linkProgramVerified(M, Globals, CP);
+  if (!Linked)
+    return fail(Linked.error());
+  Result<vm::Value> R =
+      compiler::callGlobal(M, Globals, Symbol::intern(Entry), *Args);
+  if (!R)
+    return fail(R.error());
+  printf("%s\n", vm::valueToString(*R).c_str());
+  return 0;
+}
+
+int cmdCompile(Session &S, const std::string &File,
+               const std::string &Flavor) {
+  Result<std::string> Text = readFile(File);
+  if (!Text)
+    return fail(Text.error());
+
+  vm::CodeStore Store(S.Heap);
+  vm::GlobalTable Globals;
+  compiler::CompiledProgram CP;
+  if (Flavor == "--stock") {
+    Result<Program> P = frontendProgram(*Text, S.Exprs, S.Datums);
+    if (!P)
+      return fail(P.error());
+    compiler::Compilators Comp(Store, Globals);
+    compiler::StockCompiler SC(Comp);
+    CP = SC.compileProgram(*P);
+  } else {
+    Result<Program> P = anfProgram(*Text, S.Exprs, S.Datums);
+    if (!P)
+      return fail(P.error());
+    if (Flavor == "--direct") {
+      compiler::DirectAnfCompiler DC(Store, Globals);
+      CP = DC.compileProgram(*P);
+    } else {
+      compiler::Compilators Comp(Store, Globals);
+      compiler::AnfCompiler AC(Comp);
+      CP = AC.compileProgram(*P);
+    }
+  }
+  for (const auto &[Name, Code] : CP.Defs)
+    printf("%s", Code->disassemble().c_str());
+  return 0;
+}
+
+int cmdAnf(Session &S, const std::string &File) {
+  Result<std::string> Text = readFile(File);
+  if (!Text)
+    return fail(Text.error());
+  Result<Program> P = anfProgram(*Text, S.Exprs, S.Datums);
+  if (!P)
+    return fail(P.error());
+  printf("%s", P->print().c_str());
+  return 0;
+}
+
+int cmdBta(Session &S, const std::string &File, const std::string &Entry,
+           const std::string &Division) {
+  Result<std::string> Text = readFile(File);
+  if (!Text)
+    return fail(Text.error());
+  auto Gen =
+      pgg::GeneratingExtension::create(S.Heap, *Text, Entry, Division);
+  if (!Gen)
+    return fail(Gen.error());
+  printf("%s", (*Gen)->annotated().print().c_str());
+  return 0;
+}
+
+Result<std::vector<std::optional<vm::Value>>>
+parseSpecArgs(Session &S, const std::vector<std::string> &Texts) {
+  std::vector<std::optional<vm::Value>> Out;
+  for (const std::string &T : Texts) {
+    if (T == "_") {
+      Out.push_back(std::nullopt);
+      continue;
+    }
+    Result<vm::Value> V = S.parseValue(T);
+    if (!V)
+      return V.takeError();
+    Out.push_back(*V);
+  }
+  return Out;
+}
+
+int cmdSpec(Session &S, const std::string &File, const std::string &Entry,
+            const std::string &Division,
+            const std::vector<std::string> &ArgTexts) {
+  Result<std::string> Text = readFile(File);
+  if (!Text)
+    return fail(Text.error());
+  auto Gen =
+      pgg::GeneratingExtension::create(S.Heap, *Text, Entry, Division);
+  if (!Gen)
+    return fail(Gen.error());
+  auto Args = parseSpecArgs(S, ArgTexts);
+  if (!Args)
+    return fail(Args.error());
+  Result<pgg::ResidualSource> Res = (*Gen)->generateSource(*Args);
+  if (!Res)
+    return fail(Res.error());
+  printf(";; residual entry: %s\n%s", Res->Entry.str().c_str(),
+         Res->Residual.print().c_str());
+  return 0;
+}
+
+int cmdSpecRun(Session &S, const std::string &File, const std::string &Entry,
+               const std::string &Division,
+               const std::vector<std::string> &StaticTexts,
+               const std::vector<std::string> &DynTexts) {
+  Result<std::string> Text = readFile(File);
+  if (!Text)
+    return fail(Text.error());
+  auto Gen =
+      pgg::GeneratingExtension::create(S.Heap, *Text, Entry, Division);
+  if (!Gen)
+    return fail(Gen.error());
+  auto Args = parseSpecArgs(S, StaticTexts);
+  if (!Args)
+    return fail(Args.error());
+
+  vm::CodeStore Store(S.Heap);
+  vm::GlobalTable Globals;
+  compiler::Compilators Comp(Store, Globals);
+  Result<pgg::ResidualObject> Obj = (*Gen)->generateObject(Comp, *Args);
+  if (!Obj)
+    return fail(Obj.error());
+
+  Result<std::vector<vm::Value>> DynArgs = S.parseValues(DynTexts);
+  if (!DynArgs)
+    return fail(DynArgs.error());
+  vm::Machine M(S.Heap);
+  Result<bool> Linked = compiler::linkProgramVerified(M, Globals,
+                                                      Obj->Residual);
+  if (!Linked)
+    return fail(Linked.error());
+  Result<vm::Value> R =
+      compiler::callGlobal(M, Globals, Obj->Entry, *DynArgs);
+  if (!R)
+    return fail(R.error());
+  printf("%s\n", vm::valueToString(*R).c_str());
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::vector<std::string> Args(Argv + 1, Argv + Argc);
+  if (Args.empty())
+    return usage();
+  Session S;
+  const std::string &Cmd = Args[0];
+
+  if (Cmd == "run" && Args.size() >= 3)
+    return cmdRun(S, Args[1], Args[2],
+                  std::vector<std::string>(Args.begin() + 3, Args.end()));
+  if (Cmd == "compile" && (Args.size() == 2 || Args.size() == 3))
+    return cmdCompile(S, Args[1], Args.size() == 3 ? Args[2] : "--anf");
+  if (Cmd == "anf" && Args.size() == 2)
+    return cmdAnf(S, Args[1]);
+  if (Cmd == "bta" && Args.size() == 4)
+    return cmdBta(S, Args[1], Args[2], Args[3]);
+  if (Cmd == "spec" && Args.size() >= 4)
+    return cmdSpec(S, Args[1], Args[2], Args[3],
+                   std::vector<std::string>(Args.begin() + 4, Args.end()));
+  if (Cmd == "specrun" && Args.size() >= 4) {
+    auto Sep = std::find(Args.begin() + 4, Args.end(), "--");
+    std::vector<std::string> Statics(Args.begin() + 4, Sep);
+    std::vector<std::string> Dyns(Sep == Args.end() ? Args.end() : Sep + 1,
+                                  Args.end());
+    return cmdSpecRun(S, Args[1], Args[2], Args[3], Statics, Dyns);
+  }
+  return usage();
+}
