@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_anf_vs_stock.dir/ablation_anf_vs_stock.cpp.o"
+  "CMakeFiles/ablation_anf_vs_stock.dir/ablation_anf_vs_stock.cpp.o.d"
+  "ablation_anf_vs_stock"
+  "ablation_anf_vs_stock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_anf_vs_stock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_anf_vs_stock.
+# This may be replaced when dependencies are built.

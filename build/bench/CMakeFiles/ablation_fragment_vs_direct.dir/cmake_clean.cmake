@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fragment_vs_direct.dir/ablation_fragment_vs_direct.cpp.o"
+  "CMakeFiles/ablation_fragment_vs_direct.dir/ablation_fragment_vs_direct.cpp.o.d"
+  "ablation_fragment_vs_direct"
+  "ablation_fragment_vs_direct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fragment_vs_direct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

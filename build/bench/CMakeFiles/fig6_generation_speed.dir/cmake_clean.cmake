@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_generation_speed.dir/fig6_generation_speed.cpp.o"
+  "CMakeFiles/fig6_generation_speed.dir/fig6_generation_speed.cpp.o.d"
+  "fig6_generation_speed"
+  "fig6_generation_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_generation_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

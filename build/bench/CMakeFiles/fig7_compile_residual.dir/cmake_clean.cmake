@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_compile_residual.dir/fig7_compile_residual.cpp.o"
+  "CMakeFiles/fig7_compile_residual.dir/fig7_compile_residual.cpp.o.d"
+  "fig7_compile_residual"
+  "fig7_compile_residual.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_compile_residual.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

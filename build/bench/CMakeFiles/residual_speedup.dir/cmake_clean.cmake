@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/residual_speedup.dir/residual_speedup.cpp.o"
+  "CMakeFiles/residual_speedup.dir/residual_speedup.cpp.o.d"
+  "residual_speedup"
+  "residual_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/residual_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

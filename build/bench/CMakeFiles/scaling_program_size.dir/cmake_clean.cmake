@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaling_program_size.dir/scaling_program_size.cpp.o"
+  "CMakeFiles/scaling_program_size.dir/scaling_program_size.cpp.o.d"
+  "scaling_program_size"
+  "scaling_program_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaling_program_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

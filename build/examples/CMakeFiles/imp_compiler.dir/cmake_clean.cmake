@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imp_compiler.dir/imp_compiler.cpp.o"
+  "CMakeFiles/imp_compiler.dir/imp_compiler.cpp.o.d"
+  "imp_compiler"
+  "imp_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imp_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for imp_compiler.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lazy_compiler.dir/lazy_compiler.cpp.o"
+  "CMakeFiles/lazy_compiler.dir/lazy_compiler.cpp.o.d"
+  "lazy_compiler"
+  "lazy_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lazy_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mixwell_compiler.dir/mixwell_compiler.cpp.o"
+  "CMakeFiles/mixwell_compiler.dir/mixwell_compiler.cpp.o.d"
+  "mixwell_compiler"
+  "mixwell_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mixwell_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

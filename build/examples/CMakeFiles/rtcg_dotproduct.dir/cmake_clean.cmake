@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtcg_dotproduct.dir/rtcg_dotproduct.cpp.o"
+  "CMakeFiles/rtcg_dotproduct.dir/rtcg_dotproduct.cpp.o.d"
+  "rtcg_dotproduct"
+  "rtcg_dotproduct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtcg_dotproduct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

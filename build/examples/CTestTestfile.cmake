@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  PASS_REGULAR_EXPRESSION "power_5\\(10\\) = 100000" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_mixwell_compiler "/root/repo/build/examples/mixwell_compiler")
+set_tests_properties(example_mixwell_compiler PROPERTIES  FAIL_REGULAR_EXPRESSION "MISMATCH" PASS_REGULAR_EXPRESSION "\\(agree\\)" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_lazy_compiler "/root/repo/build/examples/lazy_compiler")
+set_tests_properties(example_lazy_compiler PROPERTIES  PASS_REGULAR_EXPRESSION "main\\(10\\) = 65" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_imp_compiler "/root/repo/build/examples/imp_compiler")
+set_tests_properties(example_imp_compiler PROPERTIES  PASS_REGULAR_EXPRESSION "gcd\\(252 105\\) = 21" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_rtcg_dotproduct "/root/repo/build/examples/rtcg_dotproduct")
+set_tests_properties(example_rtcg_dotproduct PROPERTIES  FAIL_REGULAR_EXPRESSION "MISMATCH" PASS_REGULAR_EXPRESSION "results agree" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;27;add_test;/root/repo/examples/CMakeLists.txt;0;")

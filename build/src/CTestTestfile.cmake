@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("sexp")
+subdirs("syntax")
+subdirs("frontend")
+subdirs("eval")
+subdirs("vm")
+subdirs("compiler")
+subdirs("bta")
+subdirs("spec")
+subdirs("pgg")
+subdirs("workloads")

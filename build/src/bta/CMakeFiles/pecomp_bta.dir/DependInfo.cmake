@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bta/AnnPrint.cpp" "src/bta/CMakeFiles/pecomp_bta.dir/AnnPrint.cpp.o" "gcc" "src/bta/CMakeFiles/pecomp_bta.dir/AnnPrint.cpp.o.d"
+  "/root/repo/src/bta/Bta.cpp" "src/bta/CMakeFiles/pecomp_bta.dir/Bta.cpp.o" "gcc" "src/bta/CMakeFiles/pecomp_bta.dir/Bta.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/syntax/CMakeFiles/pecomp_syntax.dir/DependInfo.cmake"
+  "/root/repo/build/src/sexp/CMakeFiles/pecomp_sexp.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pecomp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

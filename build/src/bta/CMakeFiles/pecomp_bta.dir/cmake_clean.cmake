@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pecomp_bta.dir/AnnPrint.cpp.o"
+  "CMakeFiles/pecomp_bta.dir/AnnPrint.cpp.o.d"
+  "CMakeFiles/pecomp_bta.dir/Bta.cpp.o"
+  "CMakeFiles/pecomp_bta.dir/Bta.cpp.o.d"
+  "libpecomp_bta.a"
+  "libpecomp_bta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pecomp_bta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compiler/AnfCompiler.cpp" "src/compiler/CMakeFiles/pecomp_compiler.dir/AnfCompiler.cpp.o" "gcc" "src/compiler/CMakeFiles/pecomp_compiler.dir/AnfCompiler.cpp.o.d"
+  "/root/repo/src/compiler/CodeGenBuilder.cpp" "src/compiler/CMakeFiles/pecomp_compiler.dir/CodeGenBuilder.cpp.o" "gcc" "src/compiler/CMakeFiles/pecomp_compiler.dir/CodeGenBuilder.cpp.o.d"
+  "/root/repo/src/compiler/Compilators.cpp" "src/compiler/CMakeFiles/pecomp_compiler.dir/Compilators.cpp.o" "gcc" "src/compiler/CMakeFiles/pecomp_compiler.dir/Compilators.cpp.o.d"
+  "/root/repo/src/compiler/DirectAnfCompiler.cpp" "src/compiler/CMakeFiles/pecomp_compiler.dir/DirectAnfCompiler.cpp.o" "gcc" "src/compiler/CMakeFiles/pecomp_compiler.dir/DirectAnfCompiler.cpp.o.d"
+  "/root/repo/src/compiler/Fragment.cpp" "src/compiler/CMakeFiles/pecomp_compiler.dir/Fragment.cpp.o" "gcc" "src/compiler/CMakeFiles/pecomp_compiler.dir/Fragment.cpp.o.d"
+  "/root/repo/src/compiler/Link.cpp" "src/compiler/CMakeFiles/pecomp_compiler.dir/Link.cpp.o" "gcc" "src/compiler/CMakeFiles/pecomp_compiler.dir/Link.cpp.o.d"
+  "/root/repo/src/compiler/StockCompiler.cpp" "src/compiler/CMakeFiles/pecomp_compiler.dir/StockCompiler.cpp.o" "gcc" "src/compiler/CMakeFiles/pecomp_compiler.dir/StockCompiler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vm/CMakeFiles/pecomp_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/pecomp_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/syntax/CMakeFiles/pecomp_syntax.dir/DependInfo.cmake"
+  "/root/repo/build/src/sexp/CMakeFiles/pecomp_sexp.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pecomp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

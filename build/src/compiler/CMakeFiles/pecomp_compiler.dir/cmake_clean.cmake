@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pecomp_compiler.dir/AnfCompiler.cpp.o"
+  "CMakeFiles/pecomp_compiler.dir/AnfCompiler.cpp.o.d"
+  "CMakeFiles/pecomp_compiler.dir/CodeGenBuilder.cpp.o"
+  "CMakeFiles/pecomp_compiler.dir/CodeGenBuilder.cpp.o.d"
+  "CMakeFiles/pecomp_compiler.dir/Compilators.cpp.o"
+  "CMakeFiles/pecomp_compiler.dir/Compilators.cpp.o.d"
+  "CMakeFiles/pecomp_compiler.dir/DirectAnfCompiler.cpp.o"
+  "CMakeFiles/pecomp_compiler.dir/DirectAnfCompiler.cpp.o.d"
+  "CMakeFiles/pecomp_compiler.dir/Fragment.cpp.o"
+  "CMakeFiles/pecomp_compiler.dir/Fragment.cpp.o.d"
+  "CMakeFiles/pecomp_compiler.dir/Link.cpp.o"
+  "CMakeFiles/pecomp_compiler.dir/Link.cpp.o.d"
+  "CMakeFiles/pecomp_compiler.dir/StockCompiler.cpp.o"
+  "CMakeFiles/pecomp_compiler.dir/StockCompiler.cpp.o.d"
+  "libpecomp_compiler.a"
+  "libpecomp_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pecomp_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

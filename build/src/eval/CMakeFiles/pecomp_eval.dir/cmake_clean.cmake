@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pecomp_eval.dir/Interp.cpp.o"
+  "CMakeFiles/pecomp_eval.dir/Interp.cpp.o.d"
+  "libpecomp_eval.a"
+  "libpecomp_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pecomp_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/frontend/Alpha.cpp" "src/frontend/CMakeFiles/pecomp_frontend.dir/Alpha.cpp.o" "gcc" "src/frontend/CMakeFiles/pecomp_frontend.dir/Alpha.cpp.o.d"
+  "/root/repo/src/frontend/AnfConvert.cpp" "src/frontend/CMakeFiles/pecomp_frontend.dir/AnfConvert.cpp.o" "gcc" "src/frontend/CMakeFiles/pecomp_frontend.dir/AnfConvert.cpp.o.d"
+  "/root/repo/src/frontend/AssignElim.cpp" "src/frontend/CMakeFiles/pecomp_frontend.dir/AssignElim.cpp.o" "gcc" "src/frontend/CMakeFiles/pecomp_frontend.dir/AssignElim.cpp.o.d"
+  "/root/repo/src/frontend/FreeVars.cpp" "src/frontend/CMakeFiles/pecomp_frontend.dir/FreeVars.cpp.o" "gcc" "src/frontend/CMakeFiles/pecomp_frontend.dir/FreeVars.cpp.o.d"
+  "/root/repo/src/frontend/LambdaLift.cpp" "src/frontend/CMakeFiles/pecomp_frontend.dir/LambdaLift.cpp.o" "gcc" "src/frontend/CMakeFiles/pecomp_frontend.dir/LambdaLift.cpp.o.d"
+  "/root/repo/src/frontend/Parse.cpp" "src/frontend/CMakeFiles/pecomp_frontend.dir/Parse.cpp.o" "gcc" "src/frontend/CMakeFiles/pecomp_frontend.dir/Parse.cpp.o.d"
+  "/root/repo/src/frontend/Pipeline.cpp" "src/frontend/CMakeFiles/pecomp_frontend.dir/Pipeline.cpp.o" "gcc" "src/frontend/CMakeFiles/pecomp_frontend.dir/Pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/syntax/CMakeFiles/pecomp_syntax.dir/DependInfo.cmake"
+  "/root/repo/build/src/sexp/CMakeFiles/pecomp_sexp.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pecomp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

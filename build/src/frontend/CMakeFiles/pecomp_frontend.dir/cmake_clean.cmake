@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pecomp_frontend.dir/Alpha.cpp.o"
+  "CMakeFiles/pecomp_frontend.dir/Alpha.cpp.o.d"
+  "CMakeFiles/pecomp_frontend.dir/AnfConvert.cpp.o"
+  "CMakeFiles/pecomp_frontend.dir/AnfConvert.cpp.o.d"
+  "CMakeFiles/pecomp_frontend.dir/AssignElim.cpp.o"
+  "CMakeFiles/pecomp_frontend.dir/AssignElim.cpp.o.d"
+  "CMakeFiles/pecomp_frontend.dir/FreeVars.cpp.o"
+  "CMakeFiles/pecomp_frontend.dir/FreeVars.cpp.o.d"
+  "CMakeFiles/pecomp_frontend.dir/LambdaLift.cpp.o"
+  "CMakeFiles/pecomp_frontend.dir/LambdaLift.cpp.o.d"
+  "CMakeFiles/pecomp_frontend.dir/Parse.cpp.o"
+  "CMakeFiles/pecomp_frontend.dir/Parse.cpp.o.d"
+  "CMakeFiles/pecomp_frontend.dir/Pipeline.cpp.o"
+  "CMakeFiles/pecomp_frontend.dir/Pipeline.cpp.o.d"
+  "libpecomp_frontend.a"
+  "libpecomp_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pecomp_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pecomp_pgg.dir/CompilerGenerator.cpp.o"
+  "CMakeFiles/pecomp_pgg.dir/CompilerGenerator.cpp.o.d"
+  "CMakeFiles/pecomp_pgg.dir/Pgg.cpp.o"
+  "CMakeFiles/pecomp_pgg.dir/Pgg.cpp.o.d"
+  "libpecomp_pgg.a"
+  "libpecomp_pgg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pecomp_pgg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpecomp_pgg.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sexp/Datum.cpp" "src/sexp/CMakeFiles/pecomp_sexp.dir/Datum.cpp.o" "gcc" "src/sexp/CMakeFiles/pecomp_sexp.dir/Datum.cpp.o.d"
+  "/root/repo/src/sexp/Reader.cpp" "src/sexp/CMakeFiles/pecomp_sexp.dir/Reader.cpp.o" "gcc" "src/sexp/CMakeFiles/pecomp_sexp.dir/Reader.cpp.o.d"
+  "/root/repo/src/sexp/Symbol.cpp" "src/sexp/CMakeFiles/pecomp_sexp.dir/Symbol.cpp.o" "gcc" "src/sexp/CMakeFiles/pecomp_sexp.dir/Symbol.cpp.o.d"
+  "/root/repo/src/sexp/WellKnown.cpp" "src/sexp/CMakeFiles/pecomp_sexp.dir/WellKnown.cpp.o" "gcc" "src/sexp/CMakeFiles/pecomp_sexp.dir/WellKnown.cpp.o.d"
+  "/root/repo/src/sexp/Writer.cpp" "src/sexp/CMakeFiles/pecomp_sexp.dir/Writer.cpp.o" "gcc" "src/sexp/CMakeFiles/pecomp_sexp.dir/Writer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/pecomp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

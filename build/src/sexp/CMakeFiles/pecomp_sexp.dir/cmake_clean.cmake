@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pecomp_sexp.dir/Datum.cpp.o"
+  "CMakeFiles/pecomp_sexp.dir/Datum.cpp.o.d"
+  "CMakeFiles/pecomp_sexp.dir/Reader.cpp.o"
+  "CMakeFiles/pecomp_sexp.dir/Reader.cpp.o.d"
+  "CMakeFiles/pecomp_sexp.dir/Symbol.cpp.o"
+  "CMakeFiles/pecomp_sexp.dir/Symbol.cpp.o.d"
+  "CMakeFiles/pecomp_sexp.dir/WellKnown.cpp.o"
+  "CMakeFiles/pecomp_sexp.dir/WellKnown.cpp.o.d"
+  "CMakeFiles/pecomp_sexp.dir/Writer.cpp.o"
+  "CMakeFiles/pecomp_sexp.dir/Writer.cpp.o.d"
+  "libpecomp_sexp.a"
+  "libpecomp_sexp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pecomp_sexp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

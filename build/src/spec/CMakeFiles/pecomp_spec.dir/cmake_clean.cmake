@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pecomp_spec.dir/SyntaxBuilder.cpp.o"
+  "CMakeFiles/pecomp_spec.dir/SyntaxBuilder.cpp.o.d"
+  "libpecomp_spec.a"
+  "libpecomp_spec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pecomp_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pecomp_support.dir/LargeStack.cpp.o"
+  "CMakeFiles/pecomp_support.dir/LargeStack.cpp.o.d"
+  "libpecomp_support.a"
+  "libpecomp_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pecomp_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

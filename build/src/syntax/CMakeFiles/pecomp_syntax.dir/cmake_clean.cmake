@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pecomp_syntax.dir/AnfCheck.cpp.o"
+  "CMakeFiles/pecomp_syntax.dir/AnfCheck.cpp.o.d"
+  "CMakeFiles/pecomp_syntax.dir/Expr.cpp.o"
+  "CMakeFiles/pecomp_syntax.dir/Expr.cpp.o.d"
+  "CMakeFiles/pecomp_syntax.dir/Primitives.cpp.o"
+  "CMakeFiles/pecomp_syntax.dir/Primitives.cpp.o.d"
+  "CMakeFiles/pecomp_syntax.dir/Printer.cpp.o"
+  "CMakeFiles/pecomp_syntax.dir/Printer.cpp.o.d"
+  "libpecomp_syntax.a"
+  "libpecomp_syntax.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pecomp_syntax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

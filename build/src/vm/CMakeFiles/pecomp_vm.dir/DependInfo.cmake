@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/Code.cpp" "src/vm/CMakeFiles/pecomp_vm.dir/Code.cpp.o" "gcc" "src/vm/CMakeFiles/pecomp_vm.dir/Code.cpp.o.d"
+  "/root/repo/src/vm/Convert.cpp" "src/vm/CMakeFiles/pecomp_vm.dir/Convert.cpp.o" "gcc" "src/vm/CMakeFiles/pecomp_vm.dir/Convert.cpp.o.d"
+  "/root/repo/src/vm/Heap.cpp" "src/vm/CMakeFiles/pecomp_vm.dir/Heap.cpp.o" "gcc" "src/vm/CMakeFiles/pecomp_vm.dir/Heap.cpp.o.d"
+  "/root/repo/src/vm/Machine.cpp" "src/vm/CMakeFiles/pecomp_vm.dir/Machine.cpp.o" "gcc" "src/vm/CMakeFiles/pecomp_vm.dir/Machine.cpp.o.d"
+  "/root/repo/src/vm/Prims.cpp" "src/vm/CMakeFiles/pecomp_vm.dir/Prims.cpp.o" "gcc" "src/vm/CMakeFiles/pecomp_vm.dir/Prims.cpp.o.d"
+  "/root/repo/src/vm/Value.cpp" "src/vm/CMakeFiles/pecomp_vm.dir/Value.cpp.o" "gcc" "src/vm/CMakeFiles/pecomp_vm.dir/Value.cpp.o.d"
+  "/root/repo/src/vm/Verify.cpp" "src/vm/CMakeFiles/pecomp_vm.dir/Verify.cpp.o" "gcc" "src/vm/CMakeFiles/pecomp_vm.dir/Verify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/syntax/CMakeFiles/pecomp_syntax.dir/DependInfo.cmake"
+  "/root/repo/build/src/sexp/CMakeFiles/pecomp_sexp.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pecomp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

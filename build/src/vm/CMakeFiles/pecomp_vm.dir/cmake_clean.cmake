@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pecomp_vm.dir/Code.cpp.o"
+  "CMakeFiles/pecomp_vm.dir/Code.cpp.o.d"
+  "CMakeFiles/pecomp_vm.dir/Convert.cpp.o"
+  "CMakeFiles/pecomp_vm.dir/Convert.cpp.o.d"
+  "CMakeFiles/pecomp_vm.dir/Heap.cpp.o"
+  "CMakeFiles/pecomp_vm.dir/Heap.cpp.o.d"
+  "CMakeFiles/pecomp_vm.dir/Machine.cpp.o"
+  "CMakeFiles/pecomp_vm.dir/Machine.cpp.o.d"
+  "CMakeFiles/pecomp_vm.dir/Prims.cpp.o"
+  "CMakeFiles/pecomp_vm.dir/Prims.cpp.o.d"
+  "CMakeFiles/pecomp_vm.dir/Value.cpp.o"
+  "CMakeFiles/pecomp_vm.dir/Value.cpp.o.d"
+  "CMakeFiles/pecomp_vm.dir/Verify.cpp.o"
+  "CMakeFiles/pecomp_vm.dir/Verify.cpp.o.d"
+  "libpecomp_vm.a"
+  "libpecomp_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pecomp_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pecomp_workloads.dir/Imp.cpp.o"
+  "CMakeFiles/pecomp_workloads.dir/Imp.cpp.o.d"
+  "CMakeFiles/pecomp_workloads.dir/Lazy.cpp.o"
+  "CMakeFiles/pecomp_workloads.dir/Lazy.cpp.o.d"
+  "CMakeFiles/pecomp_workloads.dir/Mixwell.cpp.o"
+  "CMakeFiles/pecomp_workloads.dir/Mixwell.cpp.o.d"
+  "libpecomp_workloads.a"
+  "libpecomp_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pecomp_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "BtaTest"
+  "BtaTest.pdb"
+  "BtaTest[1]_tests.cmake"
+  "CMakeFiles/BtaTest.dir/BtaTest.cpp.o"
+  "CMakeFiles/BtaTest.dir/BtaTest.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/BtaTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for BtaTest.
+# This may be replaced when dependencies are built.

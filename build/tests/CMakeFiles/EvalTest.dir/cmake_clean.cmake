@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/EvalTest.dir/EvalTest.cpp.o"
+  "CMakeFiles/EvalTest.dir/EvalTest.cpp.o.d"
+  "EvalTest"
+  "EvalTest.pdb"
+  "EvalTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/EvalTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for EvalTest.
+# This may be replaced when dependencies are built.

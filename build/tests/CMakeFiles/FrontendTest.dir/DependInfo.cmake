@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/FrontendTest.cpp" "tests/CMakeFiles/FrontendTest.dir/FrontendTest.cpp.o" "gcc" "tests/CMakeFiles/FrontendTest.dir/FrontendTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pgg/CMakeFiles/pecomp_pgg.dir/DependInfo.cmake"
+  "/root/repo/build/src/spec/CMakeFiles/pecomp_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/pecomp_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/pecomp_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/bta/CMakeFiles/pecomp_bta.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/pecomp_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/pecomp_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/syntax/CMakeFiles/pecomp_syntax.dir/DependInfo.cmake"
+  "/root/repo/build/src/sexp/CMakeFiles/pecomp_sexp.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/pecomp_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pecomp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

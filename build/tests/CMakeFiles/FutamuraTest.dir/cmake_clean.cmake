@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/FutamuraTest.dir/FutamuraTest.cpp.o"
+  "CMakeFiles/FutamuraTest.dir/FutamuraTest.cpp.o.d"
+  "FutamuraTest"
+  "FutamuraTest.pdb"
+  "FutamuraTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/FutamuraTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

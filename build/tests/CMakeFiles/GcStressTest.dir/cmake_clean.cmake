@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/GcStressTest.dir/GcStressTest.cpp.o"
+  "CMakeFiles/GcStressTest.dir/GcStressTest.cpp.o.d"
+  "GcStressTest"
+  "GcStressTest.pdb"
+  "GcStressTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/GcStressTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ImpTest.dir/ImpTest.cpp.o"
+  "CMakeFiles/ImpTest.dir/ImpTest.cpp.o.d"
+  "ImpTest"
+  "ImpTest.pdb"
+  "ImpTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ImpTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/LambdaLiftTest.dir/LambdaLiftTest.cpp.o"
+  "CMakeFiles/LambdaLiftTest.dir/LambdaLiftTest.cpp.o.d"
+  "LambdaLiftTest"
+  "LambdaLiftTest.pdb"
+  "LambdaLiftTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/LambdaLiftTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

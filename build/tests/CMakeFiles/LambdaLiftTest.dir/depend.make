@@ -1,0 +1,2 @@
+# Empty dependencies file for LambdaLiftTest.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/MachineOpsTest.dir/MachineOpsTest.cpp.o"
+  "CMakeFiles/MachineOpsTest.dir/MachineOpsTest.cpp.o.d"
+  "MachineOpsTest"
+  "MachineOpsTest.pdb"
+  "MachineOpsTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/MachineOpsTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/MatcherTest.dir/MatcherTest.cpp.o"
+  "CMakeFiles/MatcherTest.dir/MatcherTest.cpp.o.d"
+  "MatcherTest"
+  "MatcherTest.pdb"
+  "MatcherTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/MatcherTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

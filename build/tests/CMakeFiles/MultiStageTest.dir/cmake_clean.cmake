@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/MultiStageTest.dir/MultiStageTest.cpp.o"
+  "CMakeFiles/MultiStageTest.dir/MultiStageTest.cpp.o.d"
+  "MultiStageTest"
+  "MultiStageTest.pdb"
+  "MultiStageTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/MultiStageTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for MultiStageTest.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/PrimsTest.dir/PrimsTest.cpp.o"
+  "CMakeFiles/PrimsTest.dir/PrimsTest.cpp.o.d"
+  "PrimsTest"
+  "PrimsTest.pdb"
+  "PrimsTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/PrimsTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/SexpTest.dir/SexpTest.cpp.o"
+  "CMakeFiles/SexpTest.dir/SexpTest.cpp.o.d"
+  "SexpTest"
+  "SexpTest.pdb"
+  "SexpTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/SexpTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

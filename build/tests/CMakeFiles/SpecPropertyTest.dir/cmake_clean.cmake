@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/SpecPropertyTest.dir/SpecPropertyTest.cpp.o"
+  "CMakeFiles/SpecPropertyTest.dir/SpecPropertyTest.cpp.o.d"
+  "SpecPropertyTest"
+  "SpecPropertyTest.pdb"
+  "SpecPropertyTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/SpecPropertyTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

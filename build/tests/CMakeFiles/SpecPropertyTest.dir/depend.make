@@ -1,0 +1,2 @@
+# Empty dependencies file for SpecPropertyTest.
+# This may be replaced when dependencies are built.

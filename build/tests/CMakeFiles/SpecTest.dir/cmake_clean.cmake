@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/SpecTest.dir/SpecTest.cpp.o"
+  "CMakeFiles/SpecTest.dir/SpecTest.cpp.o.d"
+  "SpecTest"
+  "SpecTest.pdb"
+  "SpecTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/SpecTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for SpecTest.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/SyntaxTest.dir/SyntaxTest.cpp.o"
+  "CMakeFiles/SyntaxTest.dir/SyntaxTest.cpp.o.d"
+  "SyntaxTest"
+  "SyntaxTest.pdb"
+  "SyntaxTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/SyntaxTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

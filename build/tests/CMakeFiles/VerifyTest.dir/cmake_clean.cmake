@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/VerifyTest.dir/VerifyTest.cpp.o"
+  "CMakeFiles/VerifyTest.dir/VerifyTest.cpp.o.d"
+  "VerifyTest"
+  "VerifyTest.pdb"
+  "VerifyTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/VerifyTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

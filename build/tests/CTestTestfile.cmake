@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/PipelineSmokeTest[1]_include.cmake")
+include("/root/repo/build/tests/SpecTest[1]_include.cmake")
+include("/root/repo/build/tests/FusionTest[1]_include.cmake")
+include("/root/repo/build/tests/SexpTest[1]_include.cmake")
+include("/root/repo/build/tests/VmTest[1]_include.cmake")
+include("/root/repo/build/tests/FrontendTest[1]_include.cmake")
+include("/root/repo/build/tests/BtaTest[1]_include.cmake")
+include("/root/repo/build/tests/CompilerTest[1]_include.cmake")
+include("/root/repo/build/tests/GcStressTest[1]_include.cmake")
+include("/root/repo/build/tests/FutamuraTest[1]_include.cmake")
+include("/root/repo/build/tests/SpecPropertyTest[1]_include.cmake")
+include("/root/repo/build/tests/LambdaLiftTest[1]_include.cmake")
+include("/root/repo/build/tests/MatcherTest[1]_include.cmake")
+include("/root/repo/build/tests/EvalTest[1]_include.cmake")
+include("/root/repo/build/tests/SyntaxTest[1]_include.cmake")
+include("/root/repo/build/tests/RandomProgramTest[1]_include.cmake")
+include("/root/repo/build/tests/MachineOpsTest[1]_include.cmake")
+include("/root/repo/build/tests/MultiStageTest[1]_include.cmake")
+include("/root/repo/build/tests/ImpTest[1]_include.cmake")
+include("/root/repo/build/tests/PrimsTest[1]_include.cmake")
+include("/root/repo/build/tests/VerifyTest[1]_include.cmake")

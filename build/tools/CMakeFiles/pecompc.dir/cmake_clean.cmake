@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pecompc.dir/pecompc.cpp.o"
+  "CMakeFiles/pecompc.dir/pecompc.cpp.o.d"
+  "pecompc"
+  "pecompc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pecompc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_run "/root/repo/build/tools/pecompc" "run" "/root/repo/testdata/power.scm" "power" "2" "10")
+set_tests_properties(cli_run PROPERTIES  PASS_REGULAR_EXPRESSION "^1024" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_run_lists "/root/repo/build/tools/pecompc" "run" "/root/repo/testdata/sumlist.scm" "main" "(1 2 3 4)")
+set_tests_properties(cli_run_lists PROPERTIES  PASS_REGULAR_EXPRESSION "\\(10 4 3 2 1\\)" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_spec "/root/repo/build/tools/pecompc" "spec" "/root/repo/testdata/power.scm" "power" "DS" "_" "3")
+set_tests_properties(cli_spec PROPERTIES  PASS_REGULAR_EXPRESSION "residual entry: power_1" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_specrun "/root/repo/build/tools/pecompc" "specrun" "/root/repo/testdata/power.scm" "power" "DS" "_" "4" "--" "3")
+set_tests_properties(cli_specrun PROPERTIES  PASS_REGULAR_EXPRESSION "^81" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_bta "/root/repo/build/tools/pecompc" "bta" "/root/repo/testdata/power.scm" "power" "DS")
+set_tests_properties(cli_bta PROPERTIES  PASS_REGULAR_EXPRESSION "unfold power" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_compile "/root/repo/build/tools/pecompc" "compile" "/root/repo/testdata/power.scm" "--direct")
+set_tests_properties(cli_compile PROPERTIES  PASS_REGULAR_EXPRESSION "call 2" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;19;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_anf "/root/repo/build/tools/pecompc" "anf" "/root/repo/testdata/sumlist.scm")
+set_tests_properties(cli_anf PROPERTIES  PASS_REGULAR_EXPRESSION "define \\(main" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;21;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_bad_file "/root/repo/build/tools/pecompc" "run" "/nonexistent.scm" "f")
+set_tests_properties(cli_bad_file PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;23;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_usage "/root/repo/build/tools/pecompc")
+set_tests_properties(cli_usage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;25;add_test;/root/repo/tools/CMakeLists.txt;0;")
