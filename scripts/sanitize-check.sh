@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Builds the tree under AddressSanitizer + UndefinedBehaviorSanitizer and
+# runs the full tier-1 test suite. Any sanitizer report aborts the run
+# (-fno-sanitize-recover=all) and therefore fails the corresponding test.
+#
+# Usage: scripts/sanitize-check.sh [--ndebug] [ctest-args...]
+#   --ndebug   additionally compile with -DNDEBUG kept, proving the trap
+#              model never leans on assert() (the RTCG trust requirement).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=build-sanitize
+CMAKE_ARGS=(-DCMAKE_BUILD_TYPE=RelWithDebInfo -DPECOMP_SANITIZE=ON)
+if [[ "${1:-}" == "--ndebug" ]]; then
+  shift
+  BUILD_DIR=build-sanitize-ndebug
+  CMAKE_ARGS+=(-DPECOMP_NDEBUG=ON)
+fi
+
+cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]}"
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+# halt_on_error makes every ASan/UBSan finding a hard test failure; leak
+# detection stays on (the heap's destructor must free every object).
+export ASAN_OPTIONS=halt_on_error=1:detect_leaks=1
+export UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1
+
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" "$@"

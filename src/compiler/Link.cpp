@@ -2,6 +2,7 @@
 
 #include "compiler/Link.h"
 
+#include "vm/Trap.h"
 #include "vm/Verify.h"
 
 using namespace pecomp;
@@ -16,8 +17,13 @@ void compiler::linkProgram(vm::Machine &M, vm::GlobalTable &Globals,
 Result<bool> compiler::linkProgramVerified(vm::Machine &M,
                                            vm::GlobalTable &Globals,
                                            const CompiledProgram &P) {
+  // Code produced while the heap was faulted may be truncated; refuse it
+  // the same way the generators that produced it report the fault.
+  if (M.heap().faulted())
+    return vm::trapError(vm::TrapKind::HeapExhausted,
+                         "refusing to link: " + M.heap().faultMessage());
   for (const auto &[Name, Code] : P.Defs)
-    if (auto Err = vm::verifyCode(Code))
+    if (auto Err = vm::verifyCode(Code, 0, M.limits().MaxStackDepth))
       return Error("refusing to link '" + Name.str() + "': " + *Err);
   linkProgram(M, Globals, P);
   return true;

@@ -5,6 +5,7 @@
 #include "support/Casting.h"
 #include "vm/Convert.h"
 #include "vm/Prims.h"
+#include "vm/Trap.h"
 
 using namespace pecomp;
 using namespace pecomp::eval;
@@ -80,7 +81,10 @@ Result<Value> Interp::lookup(Symbol Name, Value Env) {
   auto It = Globals.find(Name);
   if (It != Globals.end())
     return It->second;
-  return Error("unbound variable '" + Name.str() + "'");
+  // Same class as the machine's UndefinedGlobal trap, so differential
+  // tests can compare error codes across the two engines.
+  return vm::trapError(vm::TrapKind::UndefinedGlobal,
+                       "unbound variable '" + Name.str() + "'");
 }
 
 Result<Value> Interp::callFunction(Symbol Name,
@@ -90,9 +94,12 @@ Result<Value> Interp::callFunction(Symbol Name,
     return Error("no definition named '" + Name.str() + "'");
   auto *Clo = cast<vm::InterpClosureObject>(It->second.asObject());
   if (Clo->Fn->params().size() != Args.size())
-    return Error("'" + Name.str() + "' expects " +
-                 std::to_string(Clo->Fn->params().size()) +
-                 " argument(s), got " + std::to_string(Args.size()));
+    return vm::trapError(vm::TrapKind::ArityMismatch,
+                         "'" + Name.str() + "' expects " +
+                             std::to_string(Clo->Fn->params().size()) +
+                             " argument(s), got " +
+                             std::to_string(Args.size()));
+  Steps = 0; // fresh fuel budget per top-level call
   ShadowScope Scope(*this);
   size_t EnvSlot = Scope.push(Value::nil());
   for (size_t I = 0; I != Args.size(); ++I) {
@@ -106,14 +113,37 @@ Result<Value> Interp::callFunction(Symbol Name,
 }
 
 Result<Value> Interp::evalExpr(const Expr *E) {
+  Steps = 0;
   return eval(E, Value::nil());
 }
 
+namespace {
+/// RAII non-tail nesting counter for the depth governor.
+struct DepthGuard {
+  size_t &Depth;
+  explicit DepthGuard(size_t &Depth) : Depth(Depth) { ++Depth; }
+  ~DepthGuard() { --Depth; }
+};
+} // namespace
+
 Result<Value> Interp::eval(const Expr *E, Value Env) {
+  DepthGuard Guard(Depth);
+  if (MaxDepth && Depth > MaxDepth)
+    return vm::trapError(vm::TrapKind::FrameOverflow,
+                         "evaluation depth limit of " +
+                             std::to_string(MaxDepth) + " exceeded");
   ShadowScope Scope(*this);
   size_t EnvSlot = Scope.push(Env);
 
   for (;;) {
+    if (H.faulted())
+      return vm::trapError(vm::TrapKind::HeapExhausted,
+                           "heap exhausted during evaluation: " +
+                               H.faultMessage());
+    if (Fuel && ++Steps > Fuel)
+      return vm::trapError(vm::TrapKind::FuelExhausted,
+                           "fuel exhausted after " + std::to_string(Fuel) +
+                               " steps");
     Scope.trimTo(EnvSlot);
     Env = Scope.get(EnvSlot);
     switch (E->kind()) {
@@ -159,13 +189,16 @@ Result<Value> Interp::eval(const Expr *E, Value Env) {
       Value CalleeV = Scope.get(CalleeSlot);
       if (!CalleeV.isObject() ||
           !isa<vm::InterpClosureObject>(CalleeV.asObject()))
-        return Error("application of a non-procedure: " +
-                     vm::valueToString(CalleeV));
+        return vm::trapError(vm::TrapKind::TypeError,
+                             "application of a non-procedure: " +
+                                 vm::valueToString(CalleeV));
       auto *Clo = cast<vm::InterpClosureObject>(CalleeV.asObject());
       if (Clo->Fn->params().size() != ArgSlots.size())
-        return Error("procedure expects " +
-                     std::to_string(Clo->Fn->params().size()) +
-                     " argument(s), got " + std::to_string(ArgSlots.size()));
+        return vm::trapError(vm::TrapKind::ArityMismatch,
+                             "procedure expects " +
+                                 std::to_string(Clo->Fn->params().size()) +
+                                 " argument(s), got " +
+                                 std::to_string(ArgSlots.size()));
       // Tail call: rebuild the environment and loop.
       size_t NewEnvSlot = Scope.push(Clo->Env);
       for (size_t I = 0; I != ArgSlots.size(); ++I) {

@@ -43,6 +43,16 @@ public:
   /// Evaluates an expression in the empty local environment (for tests).
   Result<vm::Value> evalExpr(const Expr *E);
 
+  /// Caps the number of evaluation steps (0 = unlimited). Exceeding it
+  /// unwinds with a FuelExhausted-coded error, mirroring the machine's
+  /// fuel governor so divergence surfaces identically on both engines.
+  void setFuel(uint64_t MaxSteps) { Fuel = MaxSteps; }
+
+  /// Caps the non-tail evaluation depth (0 = unlimited). Exceeding it
+  /// unwinds with a FrameOverflow-coded error, the oracle analogue of
+  /// vm::Limits::MaxFrames.
+  void setMaxDepth(size_t Max) { MaxDepth = Max; }
+
   void traceRoots(vm::RootVisitor &Visitor) override;
 
   vm::Heap &heap() { return H; }
@@ -56,6 +66,10 @@ private:
   std::unordered_map<Symbol, vm::Value> Globals;
   std::unordered_map<const Expr *, vm::Value> ConstCache;
   std::vector<vm::Value> Shadow; ///< GC-visible temporaries
+  uint64_t Fuel = 0;            ///< step limit; 0 = unlimited
+  uint64_t Steps = 0;           ///< steps taken by the current call
+  size_t MaxDepth = 0;          ///< non-tail depth limit; 0 = unlimited
+  size_t Depth = 0;             ///< current non-tail eval() nesting
 
   friend class ShadowScope;
 };

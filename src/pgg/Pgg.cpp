@@ -5,6 +5,7 @@
 #include "frontend/Pipeline.h"
 #include "support/LargeStack.h"
 #include "syntax/AnfCheck.h"
+#include "vm/Trap.h"
 
 using namespace pecomp;
 using namespace pecomp::pgg;
@@ -70,6 +71,12 @@ Result<ResidualSource> GeneratingExtension::generateSource(
     Result<Symbol> Entry = S.specializeEntry(Args);
     if (!Entry)
       return Entry.takeError();
+    // A ceiling breached on the very last allocation is only observable
+    // here; never hand out a residual program built over a faulted heap.
+    if (H.faulted())
+      return vm::trapError(vm::TrapKind::HeapExhausted,
+                           "heap exhausted during specialization: " +
+                               H.faultMessage());
     ResidualSource Out{Builder.takeProgram(), *Entry, S.stats()};
     assert(!checkAnf(Out.Residual) &&
            "the specializer must produce ANF residual programs");
@@ -87,6 +94,10 @@ Result<ResidualObject> GeneratingExtension::generateObject(
     Result<Symbol> Entry = S.specializeEntry(Args);
     if (!Entry)
       return Entry.takeError();
+    if (H.faulted())
+      return vm::trapError(vm::TrapKind::HeapExhausted,
+                           "heap exhausted during specialization: " +
+                               H.faultMessage());
     return ResidualObject{Builder.takeProgram(), *Entry, S.stats()};
   });
 }

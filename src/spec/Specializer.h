@@ -35,6 +35,7 @@
 #include "support/Error.h"
 #include "vm/Convert.h"
 #include "vm/Prims.h"
+#include "vm/Trap.h"
 
 #include <functional>
 #include <unordered_map>
@@ -207,6 +208,13 @@ private:
   }
 
   Code spec(const bta::AnnExpr *E, Env Rho, const K &Kont) {
+    // The heap governor's fault flag is sticky (vm/Heap.h): allocation
+    // never physically fails, so a breached ceiling surfaces here, at the
+    // next specialization step, and unwinds as a coded error.
+    if (!Err && H.faulted())
+      Err = vm::trapError(vm::TrapKind::HeapExhausted,
+                          "heap exhausted during specialization: " +
+                              H.faultMessage());
     if (Err)
       return Builder.constant(vm::Value::nil());
 

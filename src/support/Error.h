@@ -30,6 +30,16 @@ public:
   const std::string &message() const { return Message; }
   SourceLoc loc() const { return Loc; }
 
+  /// Machine-readable error class. 0 means "unclassified"; the VM stores
+  /// its vm::TrapKind here and the reference evaluator mirrors it, so
+  /// differential tests can assert that both engines fail the same way
+  /// without parsing messages.
+  int code() const { return Code; }
+  Error &setCode(int C) {
+    Code = C;
+    return *this;
+  }
+
   /// Renders "line:col: message" (or just the message without a location).
   std::string render() const {
     if (!Loc.isValid())
@@ -41,6 +51,7 @@ public:
 private:
   std::string Message;
   SourceLoc Loc;
+  int Code = 0;
 };
 
 /// Either a value or an Error. Callers must check ok() (or operator bool)

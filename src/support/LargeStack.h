@@ -17,9 +17,19 @@
 
 namespace pecomp {
 
-/// The stack size used by runOnLargeStack (512 MiB of reserve; pages are
-/// only committed as used).
+#ifndef __has_feature
+#define __has_feature(x) 0
+#endif
+
+/// The stack size used by runOnLargeStack (virtual reserve; pages are
+/// only committed as used). AddressSanitizer redzones inflate frame
+/// sizes several-fold, so the reserve scales with instrumentation to
+/// keep the depth guards' calibration valid.
+#if defined(__SANITIZE_ADDRESS__) || __has_feature(address_sanitizer)
+constexpr size_t LargeStackBytes = size_t(2048) << 20;
+#else
 constexpr size_t LargeStackBytes = 512u << 20;
+#endif
 
 /// Invokes \p Work on a dedicated large-stack thread and waits for it.
 void runOnLargeStackImpl(std::function<void()> Work);

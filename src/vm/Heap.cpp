@@ -20,11 +20,39 @@ Heap::~Heap() {
   }
 }
 
+size_t Heap::objectSize(const HeapObject *O) {
+  // Payload sizes are fixed at construction (strings and closure capture
+  // vectors are never grown), so one measurement at track() time stays
+  // correct until the sweep that reclaims the object.
+  switch (O->Kind) {
+  case ObjectKind::Pair:
+    return sizeof(PairObject);
+  case ObjectKind::String:
+    return sizeof(StringObject) +
+           static_cast<const StringObject *>(O)->Text.capacity();
+  case ObjectKind::Closure:
+    return sizeof(ClosureObject) +
+           static_cast<const ClosureObject *>(O)->Free.capacity() *
+               sizeof(Value);
+  case ObjectKind::InterpClosure:
+    return sizeof(InterpClosureObject);
+  case ObjectKind::Box:
+    return sizeof(BoxObject);
+  }
+  return sizeof(HeapObject);
+}
+
 HeapObject *Heap::track(HeapObject *O) {
   O->Next = Objects;
   Objects = O;
   ++NumObjects;
+  LiveBytes += objectSize(O);
   return O;
+}
+
+void Heap::setFault(std::string Why) {
+  Faulted = true;
+  FaultMessage = std::move(Why);
 }
 
 Value Heap::pair(Value Car, Value Cdr) {
@@ -82,8 +110,31 @@ void Heap::removeRootProvider(RootProvider *Provider) {
 }
 
 void Heap::maybeCollect() {
-  if (Stress || NumObjects >= NextGcThreshold)
+  // Runs before the object is constructed (TempRoots protect the
+  // allocation's arguments), so collecting here can never reclaim the
+  // value being allocated.
+  ++NumAllocations;
+  if (Plan.CollectEveryAlloc || NumObjects >= NextGcThreshold)
     collect();
+  if (Faulted)
+    return; // already poisoned; checkpoints will unwind shortly
+  if (Plan.FailAtAllocation && NumAllocations == Plan.FailAtAllocation) {
+    setFault("fault plan: allocation #" +
+             std::to_string(Plan.FailAtAllocation) + " failed");
+    return;
+  }
+  if (Plan.FailAboveLiveBytes && LiveBytes > Plan.FailAboveLiveBytes) {
+    setFault("fault plan: live bytes " + std::to_string(LiveBytes) +
+             " above watermark " + std::to_string(Plan.FailAboveLiveBytes));
+    return;
+  }
+  if (MaxBytes && LiveBytes >= MaxBytes) {
+    collect();
+    if (LiveBytes >= MaxBytes)
+      setFault("heap limit of " + std::to_string(MaxBytes) +
+               " bytes exceeded (" + std::to_string(LiveBytes) +
+               " live after collection)");
+  }
 }
 
 void Heap::collect() {
@@ -147,8 +198,9 @@ void Heap::sweep() {
       Link = &O->Next;
     } else {
       *Link = O->Next;
-      destroy(O);
       --NumObjects;
+      LiveBytes -= objectSize(O);
+      destroy(O);
     }
   }
 }

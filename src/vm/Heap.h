@@ -6,8 +6,19 @@
 /// duration of the call. Everything else must be reachable from a
 /// registered RootProvider or a Rooted handle.
 ///
-/// A stress mode (collect on every allocation) exists for the GC-safety
-/// property tests.
+/// Resource governance: the heap tracks live bytes and can enforce a byte
+/// ceiling (setMaxBytes). Exceeding the ceiling — after attempting a
+/// collection — does NOT fail the allocation (callers hold raw Values, so
+/// a null would be undefined behavior downstream); instead the heap goes
+/// into a sticky *faulted* state. Memory is still physically allocated,
+/// so every outstanding Value stays valid, and the machine, evaluator,
+/// and specializer check faulted() at their loop heads and unwind with a
+/// HeapExhausted trap within a bounded number of allocations. clearFault()
+/// plus a collection makes the heap reusable.
+///
+/// A FaultPlan supports deterministic fault injection for tests: fail the
+/// Nth allocation, fail above a live-byte watermark, or collect on every
+/// allocation (the GC-safety stress mode).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -19,10 +30,23 @@
 #include <cstddef>
 #include <deque>
 #include <span>
+#include <string>
 #include <vector>
 
 namespace pecomp {
 namespace vm {
+
+/// Deterministic allocation-fault injection (tests). All triggers leave
+/// the heap in the same sticky faulted state a real ceiling breach does.
+struct FaultPlan {
+  /// Fault when the running allocation count reaches this 1-based ordinal.
+  /// One-shot by construction (the count only passes it once). 0 = never.
+  uint64_t FailAtAllocation = 0;
+  /// Fault any allocation performed while live bytes exceed this. 0 = off.
+  size_t FailAboveLiveBytes = 0;
+  /// Collect on every allocation (GC stress testing).
+  bool CollectEveryAlloc = false;
+};
 
 /// Marking callback handed to root providers during collection.
 class RootVisitor {
@@ -74,25 +98,55 @@ public:
   void collect();
 
   /// Collect on every allocation (GC stress testing).
-  void setStressMode(bool Enabled) { Stress = Enabled; }
+  void setStressMode(bool Enabled) { Plan.CollectEveryAlloc = Enabled; }
+
+  // -- Resource governance -----------------------------------------------------
+
+  /// Caps live heap bytes. An allocation that would exceed the cap first
+  /// collects; if still over, the heap enters the sticky faulted state
+  /// (the allocation itself still succeeds — see the file comment).
+  /// 0 = unlimited.
+  void setMaxBytes(size_t Max) { MaxBytes = Max; }
+  size_t maxBytes() const { return MaxBytes; }
+
+  /// Installs a deterministic fault-injection plan.
+  void setFaultPlan(const FaultPlan &P) { Plan = P; }
+
+  /// True once an allocation breached the ceiling or tripped the fault
+  /// plan. Sticky until clearFault().
+  bool faulted() const { return Faulted; }
+  const std::string &faultMessage() const { return FaultMessage; }
+  void clearFault() {
+    Faulted = false;
+    FaultMessage.clear();
+  }
 
   size_t liveObjects() const { return NumObjects; }
+  size_t liveBytes() const { return LiveBytes; }
+  uint64_t totalAllocations() const { return NumAllocations; }
   size_t totalCollections() const { return NumCollections; }
 
 private:
   friend class RootVisitor;
 
   void maybeCollect();
+  void setFault(std::string Why);
   HeapObject *track(HeapObject *O);
+  static size_t objectSize(const HeapObject *O);
   void mark(Value V);
   void sweep();
   static void destroy(HeapObject *O);
 
   HeapObject *Objects = nullptr;
   size_t NumObjects = 0;
+  size_t LiveBytes = 0;
+  uint64_t NumAllocations = 0;
   size_t NumCollections = 0;
   size_t NextGcThreshold = 4096;
-  bool Stress = false;
+  size_t MaxBytes = 0;
+  FaultPlan Plan;
+  bool Faulted = false;
+  std::string FaultMessage;
 
   std::vector<RootProvider *> Providers;
   std::vector<Value> Pinned;

@@ -18,7 +18,8 @@ void Machine::setGlobal(uint16_t Index, Value V) {
 }
 
 Value Machine::getGlobal(uint16_t Index) const {
-  assert(Index < Globals.size() && "undefined global");
+  if (Index >= Globals.size())
+    return Value();
   return Globals[Index];
 }
 
@@ -36,23 +37,78 @@ void Machine::traceRoots(RootVisitor &Visitor) {
       Visitor.visit(Value::object(F.Closure));
 }
 
-Error Machine::runtimeError(std::string Message) const {
+Error Machine::trap(TrapKind K, std::string Detail) {
+  Trap T;
+  T.Kind = K;
+  T.Detail = std::move(Detail);
+  if (!Frames.empty())
+    T.Function = Frames.back().Code->name();
+  T.PC = TrapPC;
+  T.Opcode = TrapOp;
+  LastTrap = T;
+  return T.toError();
+}
+
+Error Machine::primError(Error E) {
+  TrapKind K = trapKindOf(E);
+  if (K != TrapKind::None)
+    return trap(K, E.message());
+  // User-level error (the `error` primitive): unclassified, but still
+  // report where it happened.
+  std::string Msg = E.message();
   if (!Frames.empty() && !Frames.back().Code->name().empty())
-    Message += " (in " + Frames.back().Code->name() + ")";
-  return Error(std::move(Message));
+    Msg += " (in " + Frames.back().Code->name() + ")";
+  return Error(std::move(Msg));
 }
 
 Result<Value> Machine::call(Value Callee, std::span<const Value> Args) {
-  assert(Frames.empty() && "Machine::call is not reentrant");
-  Stack.clear();
+  // Reentrancy is an API-misuse fault, not an assert: compiled prim calls
+  // or embedders could reach here while a call is running, and the outer
+  // call's state must not be destroyed.
+  if (!Frames.empty())
+    return trap(TrapKind::ReentrantCall,
+                "Machine::call while a call is already running");
 
-  if (!Callee.isObject() || !isa<ClosureObject>(Callee.asObject()))
-    return Error("call: not a procedure: " + valueToString(Callee));
+  Stack.clear();
+  LastTrap.reset();
+  TrapPC = Trap::NoPC;
+  TrapOp = -1;
+  FuelUsed = 0;
+
+  auto Reset = [this] {
+    Frames.clear();
+    Stack.clear();
+    TrapPC = Trap::NoPC;
+    TrapOp = -1;
+    if (H.faulted()) {
+      // Drop the dead program's garbage and un-poison the heap so the
+      // next request starts clean (graceful degradation for a serving
+      // loop). The byte ceiling itself stays in force.
+      H.collect();
+      H.clearFault();
+    }
+  };
+
+  if (!Callee.isValid()) {
+    Error E = trap(TrapKind::UndefinedGlobal, "call: undefined global value");
+    Reset();
+    return E;
+  }
+  if (!Callee.isObject() || !isa<ClosureObject>(Callee.asObject())) {
+    Error E = trap(TrapKind::TypeError,
+                   "call: not a procedure: " + valueToString(Callee));
+    Reset();
+    return E;
+  }
   auto *Clo = cast<ClosureObject>(Callee.asObject());
-  if (Clo->Code->arity() != Args.size())
-    return Error("call: " + Clo->Code->name() + " expects " +
-                 std::to_string(Clo->Code->arity()) + " argument(s), got " +
-                 std::to_string(Args.size()));
+  if (Clo->Code->arity() != Args.size()) {
+    Error E = trap(TrapKind::ArityMismatch,
+                   "call: " + Clo->Code->name() + " expects " +
+                       std::to_string(Clo->Code->arity()) +
+                       " argument(s), got " + std::to_string(Args.size()));
+    Reset();
+    return E;
+  }
 
   Stack.push_back(Callee);
   for (Value A : Args)
@@ -60,8 +116,7 @@ Result<Value> Machine::call(Value Callee, std::span<const Value> Args) {
   Frames.push_back(Frame{Clo->Code, 0, Stack.size() - Args.size(), Clo});
 
   Result<Value> R = run();
-  Frames.clear();
-  Stack.clear();
+  Reset();
   return R;
 }
 
@@ -69,42 +124,123 @@ Result<Value> Machine::run() {
   for (;;) {
     Frame &F = Frames.back();
     const std::vector<uint8_t> &Code = F.Code->code();
-    assert(F.PC < Code.size() && "ran off the end of a code object");
 
-    if (Fuel && ++Executed > Fuel)
-      return runtimeError("fuel exhausted");
-    if (!Fuel)
-      ++Executed;
+    TrapPC = F.PC;
+    TrapOp = -1;
+
+    // -- Per-instruction governance ------------------------------------------
+    if (F.PC >= Code.size())
+      return trap(TrapKind::PcOutOfRange,
+                  "pc " + std::to_string(F.PC) + " outside code of size " +
+                      std::to_string(Code.size()));
+    if (H.faulted())
+      return trap(TrapKind::HeapExhausted, H.faultMessage());
+    // Each instruction grows the value stack by at most one slot, so a
+    // single check per dispatch bounds the overshoot to one.
+    if (Lim.MaxStackDepth && Stack.size() > Lim.MaxStackDepth)
+      return trap(TrapKind::StackOverflow,
+                  "value stack overflow (depth " +
+                      std::to_string(Stack.size()) + ", limit " +
+                      std::to_string(Lim.MaxStackDepth) + ")");
+    ++Executed;
+    if (Lim.Fuel && ++FuelUsed > Lim.Fuel)
+      return trap(TrapKind::FuelExhausted,
+                  "fuel exhausted after " + std::to_string(Lim.Fuel) +
+                      " instructions");
 
     Op O = static_cast<Op>(Code[F.PC++]);
+    TrapOp = static_cast<int>(O);
+
+    // Operand widths; decoding past the end of the code object is a trap,
+    // not a read of adjacent memory.
+    size_t OperandBytes;
+    switch (O) {
+    case Op::Const:
+    case Op::LocalRef:
+    case Op::FreeRef:
+    case Op::GlobalRef:
+    case Op::Slide:
+    case Op::Jump:
+    case Op::JumpIfFalse:
+      OperandBytes = 2;
+      break;
+    case Op::MakeClosure:
+      OperandBytes = 4;
+      break;
+    case Op::Call:
+    case Op::TailCall:
+    case Op::Prim:
+      OperandBytes = 1;
+      break;
+    case Op::Return:
+    case Op::Halt:
+      OperandBytes = 0;
+      break;
+    default:
+      return trap(TrapKind::IllegalInstruction,
+                  "unknown opcode " +
+                      std::to_string(static_cast<unsigned>(O)));
+    }
+    if (F.PC + OperandBytes > Code.size())
+      return trap(TrapKind::PcOutOfRange, "truncated operands");
+
     auto ReadU16 = [&]() {
       uint16_t V = static_cast<uint16_t>(Code[F.PC] | (Code[F.PC + 1] << 8));
       F.PC += 2;
       return V;
     };
+    /// Live slots of the current frame above any containing frames.
+    auto Underflow = [&](size_t Need, const char *What) {
+      return trap(TrapKind::StackUnderflow,
+                  std::string("stack underflow in ") + What + " (have " +
+                      std::to_string(Stack.size()) + ", need " +
+                      std::to_string(Need) + ")");
+    };
 
     switch (O) {
-    case Op::Const:
-      Stack.push_back(F.Code->literals()[ReadU16()]);
+    case Op::Const: {
+      uint16_t I = ReadU16();
+      if (I >= F.Code->literals().size())
+        return trap(TrapKind::IllegalInstruction,
+                    "literal index " + std::to_string(I) + " out of range");
+      Stack.push_back(F.Code->literals()[I]);
       break;
-    case Op::LocalRef:
-      Stack.push_back(Stack[F.Base + ReadU16()]);
+    }
+    case Op::LocalRef: {
+      uint16_t I = ReadU16();
+      if (F.Base + I >= Stack.size())
+        return trap(TrapKind::StackUnderflow,
+                    "local slot " + std::to_string(I) +
+                        " beyond the live stack");
+      Stack.push_back(Stack[F.Base + I]);
       break;
+    }
     case Op::FreeRef: {
-      assert(F.Closure && "FreeRef without a closure");
-      Stack.push_back(F.Closure->Free[ReadU16()]);
+      uint16_t I = ReadU16();
+      if (!F.Closure || I >= F.Closure->Free.size())
+        return trap(TrapKind::IllegalInstruction,
+                    "free index " + std::to_string(I) +
+                        " beyond the closure's captures");
+      Stack.push_back(F.Closure->Free[I]);
       break;
     }
     case Op::GlobalRef: {
       uint16_t I = ReadU16();
       if (I >= Globals.size() || !Globals[I].isValid())
-        return runtimeError("undefined global #" + std::to_string(I));
+        return trap(TrapKind::UndefinedGlobal,
+                    "undefined global #" + std::to_string(I));
       Stack.push_back(Globals[I]);
       break;
     }
     case Op::MakeClosure: {
       uint16_t Child = ReadU16();
       uint16_t N = ReadU16();
+      if (Child >= F.Code->children().size())
+        return trap(TrapKind::IllegalInstruction,
+                    "child index " + std::to_string(Child) +
+                        " out of range");
+      if (N > Stack.size())
+        return Underflow(N, "MakeClosure");
       const CodeObject *Target = F.Code->children()[Child];
       std::span<const Value> Captured(Stack.data() + Stack.size() - N, N);
       Value Clo = H.closure(Target, Captured);
@@ -114,29 +250,39 @@ Result<Value> Machine::run() {
     }
     case Op::Call: {
       uint8_t N = Code[F.PC++];
+      if (Stack.size() < static_cast<size_t>(N) + 1)
+        return Underflow(N + 1, "Call");
       Value Callee = Stack[Stack.size() - N - 1];
       if (!Callee.isObject() || !isa<ClosureObject>(Callee.asObject()))
-        return runtimeError("call: not a procedure: " +
-                            valueToString(Callee));
+        return trap(TrapKind::TypeError,
+                    "call: not a procedure: " + valueToString(Callee));
       auto *Clo = cast<ClosureObject>(Callee.asObject());
       if (Clo->Code->arity() != N)
-        return runtimeError("call: " + Clo->Code->name() + " expects " +
-                            std::to_string(Clo->Code->arity()) +
-                            " argument(s), got " + std::to_string(N));
+        return trap(TrapKind::ArityMismatch,
+                    "call: " + Clo->Code->name() + " expects " +
+                        std::to_string(Clo->Code->arity()) +
+                        " argument(s), got " + std::to_string(N));
+      if (Lim.MaxFrames && Frames.size() >= Lim.MaxFrames)
+        return trap(TrapKind::FrameOverflow,
+                    "call depth exceeds the frame limit of " +
+                        std::to_string(Lim.MaxFrames));
       Frames.push_back(Frame{Clo->Code, 0, Stack.size() - N, Clo});
       break;
     }
     case Op::TailCall: {
       uint8_t N = Code[F.PC++];
+      if (Stack.size() < static_cast<size_t>(N) + 1)
+        return Underflow(N + 1, "TailCall");
       Value Callee = Stack[Stack.size() - N - 1];
       if (!Callee.isObject() || !isa<ClosureObject>(Callee.asObject()))
-        return runtimeError("call: not a procedure: " +
-                            valueToString(Callee));
+        return trap(TrapKind::TypeError,
+                    "call: not a procedure: " + valueToString(Callee));
       auto *Clo = cast<ClosureObject>(Callee.asObject());
       if (Clo->Code->arity() != N)
-        return runtimeError("call: " + Clo->Code->name() + " expects " +
-                            std::to_string(Clo->Code->arity()) +
-                            " argument(s), got " + std::to_string(N));
+        return trap(TrapKind::ArityMismatch,
+                    "call: " + Clo->Code->name() + " expects " +
+                        std::to_string(Clo->Code->arity()) +
+                        " argument(s), got " + std::to_string(N));
       // Slide callee + args down over the current frame.
       size_t Src = Stack.size() - N - 1;
       size_t Dst = F.Base - 1;
@@ -150,8 +296,10 @@ Result<Value> Machine::run() {
       break;
     }
     case Op::Return: {
+      if (Stack.size() < F.Base || Stack.empty())
+        return Underflow(1, "Return");
       Value Result = Stack.back();
-      Stack.resize(Frames.back().Base - 1);
+      Stack.resize(F.Base - 1);
       Stack.push_back(Result);
       Frames.pop_back();
       if (Frames.empty())
@@ -161,10 +309,13 @@ Result<Value> Machine::run() {
     case Op::Jump: {
       int16_t Off = static_cast<int16_t>(ReadU16());
       F.PC = static_cast<size_t>(static_cast<long>(F.PC) + Off);
+      // A wild target is caught by the pc range check at the next dispatch.
       break;
     }
     case Op::JumpIfFalse: {
       int16_t Off = static_cast<int16_t>(ReadU16());
+      if (Stack.empty())
+        return Underflow(1, "JumpIfFalse");
       Value Test = Stack.back();
       Stack.pop_back();
       if (!Test.isTruthy())
@@ -172,24 +323,34 @@ Result<Value> Machine::run() {
       break;
     }
     case Op::Prim: {
-      PrimOp P = static_cast<PrimOp>(Code[F.PC++]);
+      uint8_t Raw = Code[F.PC++];
+      if (Raw >= NumPrimOps)
+        return trap(TrapKind::IllegalInstruction,
+                    "unknown primitive number " + std::to_string(Raw));
+      PrimOp P = static_cast<PrimOp>(Raw);
       unsigned N = primArity(P);
+      if (Stack.size() < N)
+        return Underflow(N, "Prim");
       std::span<const Value> Args(Stack.data() + Stack.size() - N, N);
       Result<Value> R = applyPrim(P, H, Args);
       if (!R)
-        return runtimeError(R.error().message());
+        return primError(R.takeError());
       Stack.resize(Stack.size() - N);
       Stack.push_back(*R);
       break;
     }
     case Op::Slide: {
       uint16_t N = ReadU16();
+      if (Stack.size() < static_cast<size_t>(N) + 1)
+        return Underflow(N + 1, "Slide");
       Value Top = Stack.back();
       Stack.resize(Stack.size() - N - 1);
       Stack.push_back(Top);
       break;
     }
     case Op::Halt:
+      if (Stack.empty())
+        return Underflow(1, "Halt");
       return Stack.back();
     }
   }

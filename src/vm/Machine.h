@@ -10,6 +10,13 @@
 /// frames, and globals survive collections triggered by allocating
 /// primitives.
 ///
+/// Fault model (vm/Trap.h): every runtime invariant — operand decoding,
+/// stack shape, resource ceilings, heap state — is checked in the dispatch
+/// loop and violations return a structured Trap through Result, in every
+/// build configuration. After any trap, call() leaves the machine in a
+/// reusable empty state (and un-faults the heap), so a serving loop can
+/// run the next program on the same instance.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PECOMP_VM_MACHINE_H
@@ -17,6 +24,9 @@
 
 #include "support/Error.h"
 #include "vm/Code.h"
+#include "vm/Trap.h"
+
+#include <optional>
 
 namespace pecomp {
 namespace vm {
@@ -30,19 +40,39 @@ public:
 
   /// Defines global \p Index (growing the global vector as needed).
   void setGlobal(uint16_t Index, Value V);
+
+  /// The value of global \p Index, or the invalid Value for a slot that
+  /// was never allocated (call() traps on invalid callees).
   Value getGlobal(uint16_t Index) const;
 
   /// Instantiates a zero-capture closure for \p Code.
   Value makeProcedure(const CodeObject *Code);
 
   /// Applies \p Callee (a closure) to \p Args and runs to completion.
+  /// On failure the returned Error carries the TrapKind in code() and
+  /// lastTrap() holds the structured context; the machine is reset to a
+  /// reusable empty state either way.
   Result<Value> call(Value Callee, std::span<const Value> Args);
 
-  /// Caps the number of executed instructions (for tests on possibly
-  /// divergent inputs). 0 means unlimited.
-  void setFuel(uint64_t MaxInstructions) { Fuel = MaxInstructions; }
+  /// Installs resource ceilings. MaxHeapBytes is forwarded to the heap
+  /// (which may be shared between machines).
+  void setLimits(const Limits &L) {
+    Lim = L;
+    H.setMaxBytes(L.MaxHeapBytes);
+  }
+  const Limits &limits() const { return Lim; }
 
+  /// Caps the number of executed instructions (for tests on possibly
+  /// divergent inputs). 0 means unlimited. Shorthand for Limits::Fuel.
+  /// The budget is per call(): a fuel trap does not starve later calls.
+  void setFuel(uint64_t MaxInstructions) { Lim.Fuel = MaxInstructions; }
+
+  /// Cumulative across the machine's lifetime.
   uint64_t instructionsExecuted() const { return Executed; }
+
+  /// The structured context of the most recent trap, cleared at the start
+  /// of every call().
+  const std::optional<Trap> &lastTrap() const { return LastTrap; }
 
   void traceRoots(RootVisitor &Visitor) override;
 
@@ -57,14 +87,26 @@ private:
   };
 
   Result<Value> run();
-  Error runtimeError(std::string Message) const;
+
+  /// Records \p K with the current execution context (function, pc of the
+  /// faulting instruction, opcode) in LastTrap and returns it as an Error.
+  Error trap(TrapKind K, std::string Detail);
+
+  /// Wraps a primitive's Error with execution context, preserving its
+  /// trap class (TypeError, DivideByZero, ...); unclassified errors (the
+  /// `error` primitive) pass through with context appended.
+  Error primError(Error E);
 
   Heap &H;
+  Limits Lim;
   std::vector<Value> Globals;
   std::vector<Value> Stack;
   std::vector<Frame> Frames;
-  uint64_t Fuel = 0;
   uint64_t Executed = 0;
+  uint64_t FuelUsed = 0; ///< instructions charged to the current call()
+  std::optional<Trap> LastTrap;
+  size_t TrapPC = Trap::NoPC; ///< pc of the instruction being executed
+  int TrapOp = -1;            ///< its raw opcode byte, -1 before decode
 };
 
 } // namespace vm

@@ -3,6 +3,7 @@
 #include "vm/Prims.h"
 
 #include "support/Casting.h"
+#include "vm/Trap.h"
 
 using namespace pecomp;
 using namespace pecomp::vm;
@@ -10,8 +11,10 @@ using namespace pecomp::vm;
 namespace {
 
 Error typeError(PrimOp Op, const char *Expected, Value Got) {
-  return Error(std::string(primName(Op)) + ": expected " + Expected +
-               ", got " + valueToString(Got));
+  return trapError(TrapKind::TypeError,
+                   std::string(primName(Op)) + ": expected " + Expected +
+                       ", got " + valueTypeName(Got) + " " +
+                       valueToString(Got));
 }
 
 Result<int64_t> wantFixnum(PrimOp Op, Value V) {
@@ -37,7 +40,14 @@ Result<BoxObject *> wantBox(PrimOp Op, Value V) {
 } // namespace
 
 Result<Value> vm::applyPrim(PrimOp Op, Heap &H, std::span<const Value> Args) {
-  assert(Args.size() == primArity(Op) && "arity mismatch in applyPrim");
+  // The arity of compiled prim calls comes from generated code, so a
+  // mismatch is a runtime fault of that code, not a programmer error.
+  if (Args.size() != primArity(Op))
+    return trapError(TrapKind::ArityMismatch,
+                     std::string(primName(Op)) + ": expects " +
+                         std::to_string(primArity(Op)) +
+                         " argument(s), got " +
+                         std::to_string(Args.size()));
   switch (Op) {
   case PrimOp::Add:
   case PrimOp::Sub:
@@ -50,20 +60,27 @@ Result<Value> vm::applyPrim(PrimOp Op, Heap &H, std::span<const Value> Args) {
     Result<int64_t> B = wantFixnum(Op, Args[1]);
     if (!B)
       return B.takeError();
+    // Fixnum arithmetic wraps (two's complement over the 63-bit payload);
+    // computing in uint64_t keeps the wraparound well-defined C++.
     switch (Op) {
     case PrimOp::Add:
-      return Value::fixnum(*A + *B);
+      return Value::fixnum(static_cast<int64_t>(static_cast<uint64_t>(*A) +
+                                                static_cast<uint64_t>(*B)));
     case PrimOp::Sub:
-      return Value::fixnum(*A - *B);
+      return Value::fixnum(static_cast<int64_t>(static_cast<uint64_t>(*A) -
+                                                static_cast<uint64_t>(*B)));
     case PrimOp::Mul:
-      return Value::fixnum(*A * *B);
+      return Value::fixnum(static_cast<int64_t>(static_cast<uint64_t>(*A) *
+                                                static_cast<uint64_t>(*B)));
     case PrimOp::Quotient:
       if (*B == 0)
-        return Error("quotient: division by zero");
+        return trapError(TrapKind::DivideByZero,
+                         "quotient: division by zero");
       return Value::fixnum(*A / *B);
     case PrimOp::Remainder:
       if (*B == 0)
-        return Error("remainder: division by zero");
+        return trapError(TrapKind::DivideByZero,
+                         "remainder: division by zero");
       return Value::fixnum(*A % *B);
     default:
       break;
@@ -162,5 +179,5 @@ Result<Value> vm::applyPrim(PrimOp Op, Heap &H, std::span<const Value> Args) {
     return Value::unspecified();
   }
   }
-  return Error("unknown primitive");
+  return trapError(TrapKind::IllegalInstruction, "unknown primitive");
 }

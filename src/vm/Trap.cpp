@@ -1,0 +1,104 @@
+//===- vm/Trap.cpp - Structured VM fault model ----------------------------===//
+
+#include "vm/Trap.h"
+
+#include "vm/Code.h"
+
+using namespace pecomp;
+using namespace pecomp::vm;
+
+const char *vm::trapKindName(TrapKind K) {
+  switch (K) {
+  case TrapKind::None:
+    return "None";
+  case TrapKind::UndefinedGlobal:
+    return "UndefinedGlobal";
+  case TrapKind::PcOutOfRange:
+    return "PcOutOfRange";
+  case TrapKind::StackOverflow:
+    return "StackOverflow";
+  case TrapKind::StackUnderflow:
+    return "StackUnderflow";
+  case TrapKind::FrameOverflow:
+    return "FrameOverflow";
+  case TrapKind::HeapExhausted:
+    return "HeapExhausted";
+  case TrapKind::TypeError:
+    return "TypeError";
+  case TrapKind::ArityMismatch:
+    return "ArityMismatch";
+  case TrapKind::DivideByZero:
+    return "DivideByZero";
+  case TrapKind::FuelExhausted:
+    return "FuelExhausted";
+  case TrapKind::ReentrantCall:
+    return "ReentrantCall";
+  case TrapKind::IllegalInstruction:
+    return "IllegalInstruction";
+  }
+  return "Unknown";
+}
+
+namespace {
+
+/// Mnemonic for a raw opcode byte; mirrors the disassembler's vocabulary.
+const char *opcodeName(int Raw) {
+  switch (static_cast<Op>(Raw)) {
+  case Op::Const:
+    return "const";
+  case Op::LocalRef:
+    return "local";
+  case Op::FreeRef:
+    return "free";
+  case Op::GlobalRef:
+    return "global";
+  case Op::MakeClosure:
+    return "closure";
+  case Op::Call:
+    return "call";
+  case Op::TailCall:
+    return "tail-call";
+  case Op::Return:
+    return "return";
+  case Op::Jump:
+    return "jump";
+  case Op::JumpIfFalse:
+    return "jump-if-false";
+  case Op::Prim:
+    return "prim";
+  case Op::Slide:
+    return "slide";
+  case Op::Halt:
+    return "halt";
+  }
+  return "<bad-op>";
+}
+
+} // namespace
+
+std::string Trap::render() const {
+  std::string Out = "[trap ";
+  Out += trapKindName(Kind);
+  Out += "] ";
+  Out += Detail;
+  if (!Function.empty() || PC != NoPC || Opcode >= 0) {
+    Out += " (";
+    bool First = true;
+    if (!Function.empty()) {
+      Out += "in " + Function;
+      First = false;
+    }
+    if (PC != NoPC) {
+      Out += (First ? "" : ", ");
+      Out += "@pc " + std::to_string(PC);
+      First = false;
+    }
+    if (Opcode >= 0) {
+      Out += (First ? "" : ", ");
+      Out += "op ";
+      Out += opcodeName(Opcode);
+    }
+    Out += ")";
+  }
+  return Out;
+}

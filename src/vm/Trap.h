@@ -1,0 +1,122 @@
+//===- vm/Trap.h - Structured VM fault model --------------------*- C++ -*-===//
+///
+/// \file
+/// The VM's fault model. Generating extensions emit object code that runs
+/// immediately with no human in the loop (the RTCG trust problem the
+/// byte-code verifier exists for), so every runtime invariant violation
+/// must become a structured, recoverable value instead of an assert that
+/// compiles away under NDEBUG and turns into undefined behavior.
+///
+/// A Trap records what went wrong (TrapKind), where (code object name,
+/// byte offset of the faulting instruction, raw opcode), and a
+/// human-readable detail string. Traps travel through the ordinary
+/// Result<T> machinery: Trap::toError() renders the context into the
+/// message and stores the kind in Error::code(), so callers that only
+/// understand Error keep working while tests and serving loops can
+/// classify the failure without parsing text. The reference evaluator
+/// (src/eval) tags its errors with the same kinds, which is what makes
+/// trap *parity* differentially testable.
+///
+/// Limits is the resource governor enforced by Machine (value stack,
+/// frames, fuel) and Heap (bytes). After any trap, Machine::call restores
+/// the machine to a reusable empty state — one bad specialized program
+/// cannot poison the next request.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PECOMP_VM_TRAP_H
+#define PECOMP_VM_TRAP_H
+
+#include "support/Error.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace pecomp {
+namespace vm {
+
+/// Classes of runtime fault. Stable numeric values: they are carried in
+/// Error::code() (0 is reserved for "not a trap" / user-level errors such
+/// as the `error` primitive).
+enum class TrapKind : uint8_t {
+  None = 0,           ///< not a trap
+  UndefinedGlobal,    ///< GlobalRef of an unbound slot / unbound variable
+  PcOutOfRange,       ///< pc escaped the code object (also truncated operands)
+  StackOverflow,      ///< value stack exceeded Limits::MaxStackDepth
+  StackUnderflow,     ///< malformed code popped more than it pushed
+  FrameOverflow,      ///< call depth exceeded Limits::MaxFrames
+  HeapExhausted,      ///< heap byte ceiling or injected allocation fault
+  TypeError,          ///< operand of the wrong runtime type
+  ArityMismatch,      ///< call/prim with the wrong argument count
+  DivideByZero,       ///< quotient/remainder by zero
+  FuelExhausted,      ///< instruction budget exceeded
+  ReentrantCall,      ///< Machine::call while a call is already running
+  IllegalInstruction, ///< unknown opcode or out-of-range encoded index
+};
+
+/// Human-readable kind name ("UndefinedGlobal", ...).
+const char *trapKindName(TrapKind K);
+
+/// Resource ceilings for one Machine (and, via MaxHeapBytes, its Heap).
+/// Zero always means "unlimited". The defaults are deliberately generous —
+/// they exist to keep a runaway residual program from taking down the
+/// process, not to constrain well-behaved ones.
+struct Limits {
+  /// Live-heap ceiling in bytes, enforced by Heap on every allocation
+  /// (after attempting a collection). 0 = unlimited.
+  size_t MaxHeapBytes = 0;
+  /// Value-stack ceiling in slots, checked once per instruction (each
+  /// instruction grows the stack by at most one slot). The default admits
+  /// the deep non-tail recursion the VM is specifically built to support
+  /// (frames live on the heap-allocated value stack, not the C++ stack).
+  size_t MaxStackDepth = 4u << 20;
+  /// Call-frame ceiling, checked at every non-tail call.
+  size_t MaxFrames = 1u << 20;
+  /// Instruction budget. 0 = unlimited.
+  uint64_t Fuel = 0;
+
+  static Limits unlimited() { return Limits{0, 0, 0, 0}; }
+};
+
+/// A structured runtime fault with its execution context.
+struct Trap {
+  static constexpr size_t NoPC = static_cast<size_t>(-1);
+
+  TrapKind Kind = TrapKind::None;
+  std::string Detail;   ///< what happened, human-readable
+  std::string Function; ///< name of the faulting code object, if any
+  size_t PC = NoPC;     ///< byte offset of the faulting instruction
+  int Opcode = -1;      ///< raw opcode byte, -1 when not executing
+
+  /// "[trap Kind] detail (in fn @pc N, op name)".
+  std::string render() const;
+
+  /// Converts to an Error carrying the kind in code().
+  Error toError() const {
+    Error E(render());
+    E.setCode(static_cast<int>(Kind));
+    return E;
+  }
+};
+
+/// The trap class of \p E (TrapKind::None for unclassified errors).
+inline TrapKind trapKindOf(const Error &E) {
+  int C = E.code();
+  if (C < 0 || C > static_cast<int>(TrapKind::IllegalInstruction))
+    return TrapKind::None;
+  return static_cast<TrapKind>(C);
+}
+
+/// Builds a context-free trap error (for faults raised outside the
+/// dispatch loop: the evaluator, the specializer, the linker).
+inline Error trapError(TrapKind K, std::string Message) {
+  Error E(std::move(Message));
+  E.setCode(static_cast<int>(K));
+  return E;
+}
+
+} // namespace vm
+} // namespace pecomp
+
+#endif // PECOMP_VM_TRAP_H

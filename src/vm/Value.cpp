@@ -13,6 +13,36 @@ Symbol Value::asSymbol() const {
   return Symbol::fromId(static_cast<uint32_t>(Bits >> 4));
 }
 
+const char *vm::valueTypeName(Value V) {
+  if (!V.isValid())
+    return "undefined";
+  if (V.isFixnum())
+    return "fixnum";
+  if (V.isBoolean())
+    return "boolean";
+  if (V.isNil())
+    return "nil";
+  if (V.isUnspecified())
+    return "unspecified";
+  if (V.isSymbol())
+    return "symbol";
+  if (V.isChar())
+    return "character";
+  switch (V.asObject()->Kind) {
+  case ObjectKind::Pair:
+    return "pair";
+  case ObjectKind::String:
+    return "string";
+  case ObjectKind::Closure:
+    return "closure";
+  case ObjectKind::InterpClosure:
+    return "closure";
+  case ObjectKind::Box:
+    return "box";
+  }
+  return "object";
+}
+
 bool vm::valueEquals(Value A, Value B) {
   if (A == B)
     return true;

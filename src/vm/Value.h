@@ -192,6 +192,10 @@ uint64_t valueHash(Value V);
 /// Renders the external representation of \p V (Scheme write).
 std::string valueToString(Value V);
 
+/// Human-readable runtime type name ("fixnum", "pair", "closure", ...),
+/// for trap diagnostics.
+const char *valueTypeName(Value V);
+
 /// Hash-map key wrapper comparing values structurally (valueEquals /
 /// valueHash). Used by the literal-interning tables so repeated equal
 /// constants share one literal slot regardless of identity.

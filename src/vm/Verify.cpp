@@ -23,12 +23,16 @@ struct Decoded {
 
 class Verifier {
 public:
-  explicit Verifier(const CodeObject *Code, size_t NumFree)
-      : Code(Code), NumFree(NumFree), Bytes(Code->code()) {}
+  Verifier(const CodeObject *Code, size_t NumFree, size_t MaxDepth)
+      : Code(Code), NumFree(NumFree), MaxDepth(MaxDepth),
+        Bytes(Code->code()) {}
 
   std::optional<std::string> run() {
     if (Bytes.empty())
       return fail(0, "empty code object");
+
+    if (MaxDepth && Code->arity() > MaxDepth)
+      return fail(0, "arity exceeds the stack depth limit");
 
     // Worklist over (offset, stack depth). Parameters occupy the frame's
     // first slots, so execution starts at depth = arity.
@@ -43,7 +47,7 @@ public:
     // Children are valid for the capture counts their MakeClosure sites
     // promise them.
     for (const auto &[Child, Captures] : ChildUses)
-      if (auto Err = verifyCode(Child, Captures))
+      if (auto Err = verifyCode(Child, Captures, MaxDepth))
         return Err;
     return std::nullopt;
   }
@@ -120,6 +124,10 @@ private:
                             " out of range");
     if (static_cast<size_t>(Offset) == Bytes.size())
       return fail(From, "control flows off the end of the code");
+    if (MaxDepth && Depth > MaxDepth)
+      return fail(From, "stack depth " + std::to_string(Depth) +
+                            " exceeds the limit of " +
+                            std::to_string(MaxDepth));
     auto [It, New] = DepthAt.emplace(static_cast<size_t>(Offset), Depth);
     if (!New && It->second != Depth)
       return fail(From, "inconsistent stack depth at " +
@@ -216,6 +224,12 @@ private:
         ++Depth;
         break;
       }
+      case Op::Slide:
+        // Keeps the top value, drops A beneath it.
+        if (auto Err = Pop(I.A + 1, "Slide"))
+          return Err;
+        ++Depth;
+        break;
       case Op::Halt:
         if (auto Err = Pop(1, "Halt"))
           return Err;
@@ -238,6 +252,7 @@ private:
 
   const CodeObject *Code;
   size_t NumFree;
+  size_t MaxDepth;
   const std::vector<uint8_t> &Bytes;
   std::map<size_t, size_t> DepthAt;
   std::vector<std::pair<size_t, size_t>> Work;
@@ -247,7 +262,8 @@ private:
 } // namespace
 
 std::optional<std::string> vm::verifyCode(const CodeObject *Code,
-                                          size_t NumFree) {
-  Verifier V(Code, NumFree);
+                                          size_t NumFree,
+                                          size_t MaxStackDepth) {
+  Verifier V(Code, NumFree, MaxStackDepth);
   return V.run();
 }

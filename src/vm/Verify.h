@@ -26,10 +26,15 @@ namespace vm {
 /// Verifies \p Code and, recursively, its children (each child is checked
 /// against the capture count its MakeClosure sites supply). \p NumFree is
 /// the number of captured values the running closure will carry (0 for
-/// top-level procedures). Returns std::nullopt on success, or a
-/// description of the first problem found.
+/// top-level procedures). \p MaxStackDepth, when nonzero, additionally
+/// rejects code whose abstract stack depth exceeds it at any program
+/// point — proving up front that the per-frame stack use respects
+/// Limits::MaxStackDepth (total use still depends on call depth, which
+/// the machine governs at run time). Returns std::nullopt on success, or
+/// a description of the first problem found.
 std::optional<std::string> verifyCode(const CodeObject *Code,
-                                      size_t NumFree = 0);
+                                      size_t NumFree = 0,
+                                      size_t MaxStackDepth = 0);
 
 } // namespace vm
 } // namespace pecomp

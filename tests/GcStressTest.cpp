@@ -9,6 +9,8 @@
 
 #include "TestUtil.h"
 
+#include "vm/Trap.h"
+
 using namespace pecomp;
 using namespace pecomp::test;
 
@@ -99,6 +101,91 @@ TEST(GcStressSpec, FusedPathUnderStress) {
   PECOMP_UNWRAP(R, W.runCompiled(Globals, Obj.Residual, Obj.Entry,
                                  {W.value("(1 2 3)")}));
   expectValueEq(R, W.num(20));
+}
+
+// -- Deterministic OOM injection over the RTCG pipeline -----------------------------------
+//
+// The trust problem of run-time code generation includes resource faults:
+// the generating extension, the code generator, and the linker must
+// surface heap exhaustion mid-generation as an Error — never crash, never
+// hand out a truncated program as if it were whole.
+
+/// One full fused-path run (specialize → object code → link → call) with
+/// the heap set to fault at absolute allocation ordinal \p FailAt.
+/// Returns the final result; every stage's error is funneled through.
+Result<vm::Value> fusedRunWithInjectedOom(uint64_t FailAt) {
+  World W;
+  vm::FaultPlan Plan;
+  Plan.FailAtAllocation = FailAt;
+  W.Heap.setFaultPlan(Plan);
+
+  auto Gen = pgg::GeneratingExtension::create(
+      W.Heap, workloads::dotProductProgram(), "dot", "SD");
+  if (!Gen)
+    return Gen.takeError();
+  vm::CodeStore Store(W.Heap);
+  vm::GlobalTable Globals;
+  compiler::Compilators Comp(Store, Globals);
+  std::optional<vm::Value> Args[] = {W.value("(5 0 5)"), std::nullopt};
+  auto Obj = (*Gen)->generateObject(Comp, Args);
+  if (!Obj)
+    return Obj.takeError();
+  vm::Machine M(W.Heap);
+  M.setFuel(50'000'000);
+  auto Linked = compiler::linkProgramVerified(M, Globals, Obj->Residual);
+  if (!Linked)
+    return Linked.takeError();
+  return compiler::callGlobal(M, Globals, Obj->Entry, {{W.value("(1 2 3)")}});
+}
+
+TEST(GcStressFault, OomAtEveryEarlyAllocationIsAnErrorNeverACrash) {
+  // Sweep the fault ordinal across the pipeline's early life, plus a
+  // spread of later points. Each run must either complete with the right
+  // value or return an Error whose class is HeapExhausted.
+  size_t Completed = 0, Faulted = 0;
+  std::vector<uint64_t> Ordinals;
+  for (uint64_t N = 1; N <= 40; ++N)
+    Ordinals.push_back(N);
+  for (uint64_t N : {50u, 75u, 100u, 150u, 250u, 500u, 1000u, 2500u, 5000u})
+    Ordinals.push_back(N);
+  for (uint64_t N : Ordinals) {
+    Result<vm::Value> R = fusedRunWithInjectedOom(N);
+    if (R.ok()) {
+      expectValueEq(*R, vm::Value::fixnum(20));
+      ++Completed;
+    } else {
+      EXPECT_EQ(vm::trapKindOf(R.error()), vm::TrapKind::HeapExhausted)
+          << "ordinal " << N << ": " << R.error().render();
+      ++Faulted;
+    }
+  }
+  // The sweep must actually exercise both outcomes: early ordinals fault
+  // mid-generation, ordinals past the pipeline's total allocation count
+  // complete untouched.
+  EXPECT_GT(Faulted, 0u);
+  EXPECT_GT(Completed, 0u);
+}
+
+TEST(GcStressFault, SourcePathSurfacesMidSpecializationOom) {
+  // The ordinary-PE path (residual source) reports the same class. The
+  // workload builds a 500-element list entirely statically, so the
+  // specializer itself must perform hundreds of allocations; arming the
+  // plan right before generateSource guarantees the fault lands inside
+  // specialization proper.
+  World W;
+  auto Gen = pgg::GeneratingExtension::create(
+      W.Heap,
+      "(define (build n) (if (zero? n) '() (cons n (build (- n 1)))))",
+      "build", "S");
+  ASSERT_TRUE(Gen.ok()) << Gen.error().render();
+  std::optional<vm::Value> Args[] = {W.num(500)};
+  vm::FaultPlan Plan;
+  Plan.FailAtAllocation = W.Heap.totalAllocations() + 100;
+  W.Heap.setFaultPlan(Plan);
+  auto Res = (*Gen)->generateSource(Args);
+  ASSERT_FALSE(Res.ok()) << "expected the injected fault to surface";
+  EXPECT_EQ(vm::trapKindOf(Res.error()), vm::TrapKind::HeapExhausted)
+      << Res.error().render();
 }
 
 TEST(GcStressSpec, MixwellEndToEndUnderStress) {

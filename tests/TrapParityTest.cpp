@@ -1,0 +1,182 @@
+//===- tests/TrapParityTest.cpp - VM/oracle error-class parity --------------===//
+///
+/// \file
+/// Differential testing of the fault model: for programs that fail, the
+/// compiled path (VM) and the reference interpreter must report the same
+/// error *class* (the TrapKind carried in Error::code()), even though
+/// their messages differ. This extends the repo's semantic-equivalence
+/// testing from values to faults — a residual program that traps must
+/// trap for the same reason the source program does under the oracle.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "support/LargeStack.h"
+#include "vm/Trap.h"
+
+using namespace pecomp;
+using namespace pecomp::test;
+using vm::TrapKind;
+using vm::Value;
+
+namespace {
+
+/// Governor settings applied to both engines (0 = unlimited).
+struct Governors {
+  uint64_t Fuel = 0;
+  size_t MaxFramesOrDepth = 0;
+  size_t MaxHeapBytes = 0;
+};
+
+/// Runs (Fn Arg) compiled on the VM; fresh world per run for isolation.
+Result<Value> runVm(const std::string &Source, const char *Fn,
+                    const char *Arg, const Governors &G) {
+  World W;
+  auto P = W.parseAnf(Source);
+  if (!P)
+    return P.takeError();
+  vm::CodeStore Store(W.Heap);
+  vm::GlobalTable Globals;
+  compiler::Compilators Comp(Store, Globals);
+  compiler::AnfCompiler AC(Comp);
+  compiler::CompiledProgram CP = AC.compileProgram(*P);
+  vm::Machine M(W.Heap);
+  vm::Limits Lim;
+  Lim.Fuel = G.Fuel ? G.Fuel : 50'000'000;
+  if (G.MaxFramesOrDepth)
+    Lim.MaxFrames = G.MaxFramesOrDepth;
+  Lim.MaxHeapBytes = G.MaxHeapBytes;
+  M.setLimits(Lim);
+  auto Linked = compiler::linkProgramVerified(M, Globals, CP);
+  if (!Linked)
+    return Linked.takeError();
+  return compiler::callGlobal(M, Globals, Symbol::intern(Fn),
+                              {{W.value(Arg)}});
+}
+
+/// Runs (Fn Arg) under the reference interpreter with matching governors.
+/// The interpreter recurses on the C++ stack, and the heap-exhaustion
+/// case legitimately reaches thousands of frames before faulting, so the
+/// evaluation runs on the dedicated large stack (like the specializer).
+Result<Value> runOracle(const std::string &Source, const char *Fn,
+                        const char *Arg, const Governors &G) {
+  World W;
+  auto P = W.parse(Source);
+  if (!P)
+    return P.takeError();
+  if (G.MaxHeapBytes)
+    W.Heap.setMaxBytes(G.MaxHeapBytes);
+  eval::Interp I(W.Heap, *P);
+  if (G.Fuel)
+    I.setFuel(G.Fuel);
+  if (G.MaxFramesOrDepth)
+    I.setMaxDepth(G.MaxFramesOrDepth);
+  return runOnLargeStack([&]() -> Result<Value> {
+    return I.callFunction(Symbol::intern(Fn), {{W.value(Arg)}});
+  });
+}
+
+struct ParityCase {
+  const char *Name;
+  const char *Source;
+  const char *Fn;
+  const char *Arg; // datum
+  TrapKind Expected;
+  Governors G;
+};
+
+const ParityCase ParityCases[] = {
+    {"undefined_global",
+     "(define (f x) (mystery x))", "f", "1",
+     TrapKind::UndefinedGlobal, {}},
+    {"non_procedure_application",
+     "(define (f x) (x 1))", "f", "5",
+     TrapKind::TypeError, {}},
+    {"internal_arity_mismatch",
+     "(define (g a b) a)"
+     "(define (f x) ((lambda (p) (p x)) g))",
+     "f", "1", TrapKind::ArityMismatch, {}},
+    {"car_of_a_number",
+     "(define (f x) (car x))", "f", "5",
+     TrapKind::TypeError, {}},
+    {"quotient_by_zero",
+     "(define (f x) (quotient 10 x))", "f", "0",
+     TrapKind::DivideByZero, {}},
+    {"remainder_by_zero",
+     "(define (f x) (remainder 10 x))", "f", "0",
+     TrapKind::DivideByZero, {}},
+    {"divergence_exhausts_fuel",
+     "(define (f x) (f x))", "f", "0",
+     TrapKind::FuelExhausted, {/*Fuel=*/20'000, 0, 0}},
+    {"deep_recursion_overflows_frames",
+     "(define (f n) (if (zero? n) 0 (+ 1 (f (- n 1)))))", "f", "100000",
+     TrapKind::FrameOverflow, {0, /*MaxFramesOrDepth=*/128, 0}},
+    {"allocation_exhausts_heap",
+     "(define (f n) (if (zero? n) '() (cons n (f (- n 1)))))", "f", "200000",
+     TrapKind::HeapExhausted, {0, 0, /*MaxHeapBytes=*/256 * 1024}},
+};
+
+class TrapParity : public ::testing::TestWithParam<ParityCase> {};
+
+TEST_P(TrapParity, VmAndOracleReportTheSameErrorClass) {
+  const ParityCase &C = GetParam();
+  Result<Value> Vm = runVm(C.Source, C.Fn, C.Arg, C.G);
+  Result<Value> Oracle = runOracle(C.Source, C.Fn, C.Arg, C.G);
+
+  ASSERT_FALSE(Vm.ok()) << "VM unexpectedly succeeded";
+  ASSERT_FALSE(Oracle.ok()) << "oracle unexpectedly succeeded";
+  EXPECT_EQ(vm::trapKindOf(Vm.error()), C.Expected)
+      << "vm: " << Vm.error().render();
+  EXPECT_EQ(vm::trapKindOf(Oracle.error()), C.Expected)
+      << "oracle: " << Oracle.error().render();
+}
+
+INSTANTIATE_TEST_SUITE_P(Traps, TrapParity, ::testing::ValuesIn(ParityCases),
+                         [](const auto &Info) {
+                           return std::string(Info.param.Name);
+                         });
+
+TEST(TrapParityUser, UserErrorsStayUnclassifiedOnBothEngines) {
+  // The `error` primitive is a user-level failure, not a trap: both
+  // engines must report it with code 0 so callers can tell "the program
+  // said error" apart from "the program is broken".
+  const char *Source = "(define (f x) (error 'boom))";
+  Result<Value> Vm = runVm(Source, "f", "1", {});
+  Result<Value> Oracle = runOracle(Source, "f", "1", {});
+  ASSERT_FALSE(Vm.ok());
+  ASSERT_FALSE(Oracle.ok());
+  EXPECT_EQ(vm::trapKindOf(Vm.error()), TrapKind::None)
+      << Vm.error().render();
+  EXPECT_EQ(vm::trapKindOf(Oracle.error()), TrapKind::None)
+      << Oracle.error().render();
+  EXPECT_NE(Vm.error().message().find("boom"), std::string::npos);
+  EXPECT_NE(Oracle.error().message().find("boom"), std::string::npos);
+}
+
+TEST(TrapParityResidual, ResidualProgramsPreserveFaultClasses) {
+  // Specialization must not change *why* a program fails: the residual
+  // of a faulting program faults with the same class on both engines.
+  World W;
+  PECOMP_UNWRAP(Gen, pgg::GeneratingExtension::create(
+                         W.Heap,
+                         "(define (f s d) (quotient s (car d)))",
+                         "f", "SD"));
+  std::optional<vm::Value> SpecArgs[] = {W.num(10), std::nullopt};
+  PECOMP_UNWRAP(Res, Gen->generateSource(SpecArgs));
+
+  // (car d) of a number: TypeError from the residual under the oracle.
+  Result<Value> Oracle =
+      W.evalCall(Res.Residual, Res.Entry.str(), {W.num(3)});
+  ASSERT_FALSE(Oracle.ok());
+  EXPECT_EQ(vm::trapKindOf(Oracle.error()), TrapKind::TypeError)
+      << Oracle.error().render();
+
+  // And the same class compiled on the VM.
+  Result<Value> Vm = W.runAnf(Res.Residual, Res.Entry.str(), {W.num(3)});
+  ASSERT_FALSE(Vm.ok());
+  EXPECT_EQ(vm::trapKindOf(Vm.error()), TrapKind::TypeError)
+      << Vm.error().render();
+}
+
+} // namespace

@@ -1,0 +1,442 @@
+//===- tests/TrapTest.cpp - Structured trap model and resource governor -----===//
+///
+/// \file
+/// The fault model of vm/Trap.h, exercised in every build configuration:
+/// each runtime invariant violation must surface as a classified,
+/// clean-unwinding trap (never an assert or undefined behavior), the trap
+/// must carry its execution context (function, pc, opcode), and after any
+/// trap the same Machine instance must run a well-formed program — the
+/// recovery guarantee a serving loop depends on.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "compiler/Compilators.h"
+#include "vm/Trap.h"
+#include "vm/Verify.h"
+
+using namespace pecomp;
+using namespace pecomp::test;
+using vm::Op;
+using vm::TrapKind;
+using vm::Value;
+
+namespace {
+
+/// Appends a little-endian u16 operand.
+void emitU16(std::vector<uint8_t> &Code, uint16_t V) {
+  Code.push_back(static_cast<uint8_t>(V & 0xff));
+  Code.push_back(static_cast<uint8_t>(V >> 8));
+}
+
+class TrapTest : public ::testing::Test {
+protected:
+  TrapTest() : Store(W.Heap), M(W.Heap) {}
+
+  /// Hand-assembles a code object from raw bytes (bypassing the verifier:
+  /// these tests prove the machine survives code the verifier would
+  /// reject).
+  const vm::CodeObject *raw(const char *Name, uint32_t Arity,
+                            std::vector<uint8_t> Bytes,
+                            std::vector<Value> Literals = {}) {
+    vm::CodeObject *Code = Store.create(Name, Arity);
+    Code->mutableCode() = std::move(Bytes);
+    for (Value V : Literals)
+      Code->addLiteral(V);
+    return Code;
+  }
+
+  /// Expects \p R to be a trap of kind \p K whose message contains
+  /// \p Substring, and checks Error::code() agrees with lastTrap().
+  void expectTrap(const Result<Value> &R, TrapKind K,
+                  const char *Substring) {
+    ASSERT_FALSE(R.ok()) << "expected a " << vm::trapKindName(K) << " trap";
+    EXPECT_EQ(vm::trapKindOf(R.error()), K) << R.error().render();
+    EXPECT_NE(R.error().message().find(Substring), std::string::npos)
+        << R.error().message();
+    ASSERT_TRUE(M.lastTrap().has_value());
+    EXPECT_EQ(M.lastTrap()->Kind, K);
+  }
+
+  /// The recovery guarantee: the same machine runs a well-formed program
+  /// after whatever the test just did to it.
+  void expectMachineStillWorks() {
+    const vm::CodeObject *Ok = raw(
+        "ok", 0,
+        [] {
+          std::vector<uint8_t> B;
+          B.push_back(static_cast<uint8_t>(Op::Const));
+          emitU16(B, 0);
+          B.push_back(static_cast<uint8_t>(Op::Return));
+          return B;
+        }(),
+        {Value::fixnum(42)});
+    Result<Value> R = M.call(M.makeProcedure(Ok), {});
+    ASSERT_TRUE(R.ok()) << R.error().render();
+    expectValueEq(*R, Value::fixnum(42));
+  }
+
+  World W;
+  vm::CodeStore Store;
+  vm::Machine M;
+};
+
+// -- Trap classification and context ------------------------------------------------------
+
+TEST_F(TrapTest, UndefinedGlobalTrapsWithContext) {
+  std::vector<uint8_t> B;
+  B.push_back(static_cast<uint8_t>(Op::GlobalRef));
+  emitU16(B, 500); // never defined
+  B.push_back(static_cast<uint8_t>(Op::Return));
+  Result<Value> R = M.call(M.makeProcedure(raw("g-undef", 0, std::move(B))), {});
+  expectTrap(R, TrapKind::UndefinedGlobal, "undefined global");
+  EXPECT_EQ(M.lastTrap()->Function, "g-undef");
+  EXPECT_EQ(M.lastTrap()->PC, 0u);
+  EXPECT_EQ(M.lastTrap()->Opcode, static_cast<int>(Op::GlobalRef));
+  expectMachineStillWorks();
+}
+
+TEST_F(TrapTest, CallingAnUnsetGlobalSlotTraps) {
+  // getGlobal of a slot that was never allocated yields the invalid
+  // value; calling it is a trap, not an assert.
+  Result<Value> R = M.call(M.getGlobal(999), {});
+  expectTrap(R, TrapKind::UndefinedGlobal, "undefined global");
+  expectMachineStillWorks();
+}
+
+TEST_F(TrapTest, CallingANonProcedureTraps) {
+  Result<Value> R = M.call(Value::fixnum(7), {});
+  expectTrap(R, TrapKind::TypeError, "not a procedure");
+  expectMachineStillWorks();
+}
+
+TEST_F(TrapTest, EntryArityMismatchTraps) {
+  std::vector<uint8_t> B;
+  B.push_back(static_cast<uint8_t>(Op::LocalRef));
+  emitU16(B, 0);
+  B.push_back(static_cast<uint8_t>(Op::Return));
+  const vm::CodeObject *Two = raw("two", 2, std::move(B));
+  Result<Value> R = M.call(M.makeProcedure(Two), {{Value::fixnum(1)}});
+  expectTrap(R, TrapKind::ArityMismatch, "expects 2");
+  expectMachineStillWorks();
+}
+
+TEST_F(TrapTest, RunningOffTheEndTraps) {
+  std::vector<uint8_t> B;
+  B.push_back(static_cast<uint8_t>(Op::Const));
+  emitU16(B, 0); // no Return: pc runs off the end
+  Result<Value> R = M.call(
+      M.makeProcedure(raw("off-end", 0, std::move(B), {Value::fixnum(1)})),
+      {});
+  expectTrap(R, TrapKind::PcOutOfRange, "outside code");
+  expectMachineStillWorks();
+}
+
+TEST_F(TrapTest, TruncatedOperandsTrap) {
+  // A Const opcode with only one of its two operand bytes.
+  Result<Value> R = M.call(
+      M.makeProcedure(raw("trunc", 0,
+                          {static_cast<uint8_t>(Op::Const), 0x00})),
+      {});
+  expectTrap(R, TrapKind::PcOutOfRange, "truncated");
+  expectMachineStillWorks();
+}
+
+TEST_F(TrapTest, UnknownOpcodeTraps) {
+  Result<Value> R = M.call(M.makeProcedure(raw("bad-op", 0, {0xff})), {});
+  expectTrap(R, TrapKind::IllegalInstruction, "unknown opcode");
+  expectMachineStillWorks();
+}
+
+TEST_F(TrapTest, LiteralIndexOutOfRangeTraps) {
+  std::vector<uint8_t> B;
+  B.push_back(static_cast<uint8_t>(Op::Const));
+  emitU16(B, 9); // literal table is empty
+  B.push_back(static_cast<uint8_t>(Op::Return));
+  Result<Value> R = M.call(M.makeProcedure(raw("bad-lit", 0, std::move(B))), {});
+  expectTrap(R, TrapKind::IllegalInstruction, "literal index");
+  expectMachineStillWorks();
+}
+
+TEST_F(TrapTest, StackUnderflowInPrimTraps) {
+  // Add needs two operands; the stack holds none of them.
+  std::vector<uint8_t> B;
+  B.push_back(static_cast<uint8_t>(Op::Prim));
+  B.push_back(static_cast<uint8_t>(PrimOp::Add));
+  B.push_back(static_cast<uint8_t>(Op::Return));
+  Result<Value> R = M.call(M.makeProcedure(raw("underflow", 0, std::move(B))), {});
+  expectTrap(R, TrapKind::StackUnderflow, "stack underflow");
+  expectMachineStillWorks();
+}
+
+TEST_F(TrapTest, WildJumpIsCaughtAtNextDispatch) {
+  std::vector<uint8_t> B;
+  B.push_back(static_cast<uint8_t>(Op::Jump));
+  emitU16(B, 0x4000); // far past the end
+  Result<Value> R = M.call(M.makeProcedure(raw("wild", 0, std::move(B))), {});
+  expectTrap(R, TrapKind::PcOutOfRange, "outside code");
+  expectMachineStillWorks();
+}
+
+TEST_F(TrapTest, DivideByZeroTrapsWithPrimContext) {
+  std::vector<uint8_t> B;
+  B.push_back(static_cast<uint8_t>(Op::Const));
+  emitU16(B, 0);
+  B.push_back(static_cast<uint8_t>(Op::Const));
+  emitU16(B, 1);
+  B.push_back(static_cast<uint8_t>(Op::Prim));
+  B.push_back(static_cast<uint8_t>(PrimOp::Quotient));
+  B.push_back(static_cast<uint8_t>(Op::Return));
+  Result<Value> R = M.call(
+      M.makeProcedure(raw("div", 0, std::move(B),
+                          {Value::fixnum(1), Value::fixnum(0)})),
+      {});
+  expectTrap(R, TrapKind::DivideByZero, "division by zero");
+  EXPECT_EQ(M.lastTrap()->Function, "div");
+  EXPECT_EQ(M.lastTrap()->Opcode, static_cast<int>(Op::Prim));
+  expectMachineStillWorks();
+}
+
+TEST_F(TrapTest, TypeErrorNamesTheOffendingValue) {
+  std::vector<uint8_t> B;
+  B.push_back(static_cast<uint8_t>(Op::Const));
+  emitU16(B, 0);
+  B.push_back(static_cast<uint8_t>(Op::Prim));
+  B.push_back(static_cast<uint8_t>(PrimOp::Car));
+  B.push_back(static_cast<uint8_t>(Op::Return));
+  Result<Value> R = M.call(
+      M.makeProcedure(raw("car5", 0, std::move(B), {Value::fixnum(5)})), {});
+  expectTrap(R, TrapKind::TypeError, "expected a pair");
+  EXPECT_NE(R.error().message().find("fixnum 5"), std::string::npos);
+  expectMachineStillWorks();
+}
+
+// -- Resource governor ---------------------------------------------------------------------
+
+/// Compiles \p Source with the ANF compiler and links it into \p M.
+void compileInto(World &W, vm::Machine &M, vm::GlobalTable &Globals,
+                 vm::CodeStore &Store, const std::string &Source) {
+  auto P = W.parseAnf(Source);
+  ASSERT_TRUE(P.ok()) << P.error().render();
+  compiler::Compilators Comp(Store, Globals);
+  compiler::AnfCompiler AC(Comp);
+  compiler::CompiledProgram CP = AC.compileProgram(*P);
+  auto Linked = compiler::linkProgramVerified(M, Globals, CP);
+  ASSERT_TRUE(Linked.ok()) << Linked.error().render();
+}
+
+TEST_F(TrapTest, HeapCeilingTrapsAndMachineRecovers) {
+  vm::GlobalTable Globals;
+  compileInto(W, M, Globals, Store,
+              "(define (blow n) (if (zero? n) '() (cons n (blow (- n 1)))))"
+              "(define (ok x) (+ x 1))");
+  if (HasFatalFailure())
+    return;
+
+  vm::Limits Lim;
+  Lim.MaxHeapBytes = 256 * 1024;
+  Lim.Fuel = 50'000'000;
+  M.setLimits(Lim);
+
+  // 100k pairs is ~3 MB live — far over the 256 KB ceiling.
+  Result<Value> R = compiler::callGlobal(
+      M, Globals, Symbol::intern("blow"), {{Value::fixnum(100000)}});
+  expectTrap(R, TrapKind::HeapExhausted, "heap limit");
+
+  // call() collected and un-faulted the heap; the ceiling stays in force
+  // and a well-behaved program runs on the very same machine.
+  EXPECT_FALSE(W.Heap.faulted());
+  EXPECT_EQ(W.Heap.maxBytes(), 256u * 1024u);
+  Result<Value> Ok = compiler::callGlobal(M, Globals, Symbol::intern("ok"),
+                                          {{Value::fixnum(41)}});
+  ASSERT_TRUE(Ok.ok()) << Ok.error().render();
+  expectValueEq(*Ok, Value::fixnum(42));
+}
+
+TEST_F(TrapTest, FrameLimitTrapsAndMachineRecovers) {
+  vm::GlobalTable Globals;
+  compileInto(W, M, Globals, Store,
+              "(define (down n) (if (zero? n) 0 (+ 1 (down (- n 1)))))");
+  if (HasFatalFailure())
+    return;
+
+  vm::Limits Lim;
+  Lim.MaxFrames = 64;
+  Lim.Fuel = 50'000'000;
+  M.setLimits(Lim);
+
+  Result<Value> R = compiler::callGlobal(M, Globals, Symbol::intern("down"),
+                                         {{Value::fixnum(1000)}});
+  expectTrap(R, TrapKind::FrameOverflow, "frame limit");
+
+  // Shallow recursion on the same machine still works.
+  Result<Value> Ok = compiler::callGlobal(M, Globals, Symbol::intern("down"),
+                                          {{Value::fixnum(10)}});
+  ASSERT_TRUE(Ok.ok()) << Ok.error().render();
+  expectValueEq(*Ok, Value::fixnum(10));
+}
+
+TEST_F(TrapTest, ValueStackLimitTraps) {
+  vm::GlobalTable Globals;
+  compileInto(W, M, Globals, Store,
+              "(define (down n) (if (zero? n) 0 (+ 1 (down (- n 1)))))");
+  if (HasFatalFailure())
+    return;
+
+  vm::Limits Lim;
+  Lim.MaxStackDepth = 64;
+  Lim.Fuel = 50'000'000;
+  M.setLimits(Lim);
+
+  Result<Value> R = compiler::callGlobal(M, Globals, Symbol::intern("down"),
+                                         {{Value::fixnum(1000)}});
+  expectTrap(R, TrapKind::StackOverflow, "stack overflow");
+  expectMachineStillWorks();
+}
+
+TEST_F(TrapTest, FuelExhaustionIsAClassifiedTrap) {
+  vm::GlobalTable Globals;
+  compileInto(W, M, Globals, Store, "(define (spin n) (spin n))");
+  if (HasFatalFailure())
+    return;
+
+  M.setFuel(10'000);
+  Result<Value> R = compiler::callGlobal(M, Globals, Symbol::intern("spin"),
+                                         {{Value::fixnum(0)}});
+  expectTrap(R, TrapKind::FuelExhausted, "fuel exhausted");
+  expectMachineStillWorks();
+}
+
+TEST_F(TrapTest, UnlimitedLimitsDisableEveryCeiling) {
+  vm::Limits Lim = vm::Limits::unlimited();
+  EXPECT_EQ(Lim.MaxHeapBytes, 0u);
+  EXPECT_EQ(Lim.MaxStackDepth, 0u);
+  EXPECT_EQ(Lim.MaxFrames, 0u);
+  EXPECT_EQ(Lim.Fuel, 0u);
+  M.setLimits(Lim);
+  expectMachineStillWorks();
+}
+
+// -- Verifier stack-depth bound ------------------------------------------------------------
+
+TEST_F(TrapTest, VerifierEnforcesAStaticStackDepthLimit) {
+  // (+ 1 (+ 2 3)) needs 3 simultaneous stack slots; a limit of 2 must be
+  // rejected statically, a limit of 8 accepted.
+  std::vector<uint8_t> B;
+  for (int I = 0; I != 3; ++I) {
+    B.push_back(static_cast<uint8_t>(Op::Const));
+    emitU16(B, static_cast<uint16_t>(I));
+  }
+  B.push_back(static_cast<uint8_t>(Op::Prim));
+  B.push_back(static_cast<uint8_t>(PrimOp::Add));
+  B.push_back(static_cast<uint8_t>(Op::Prim));
+  B.push_back(static_cast<uint8_t>(PrimOp::Add));
+  B.push_back(static_cast<uint8_t>(Op::Return));
+  const vm::CodeObject *Code =
+      raw("sum3", 0, std::move(B),
+          {Value::fixnum(1), Value::fixnum(2), Value::fixnum(3)});
+
+  EXPECT_FALSE(vm::verifyCode(Code, 0, 8).has_value());
+  auto Err = vm::verifyCode(Code, 0, 2);
+  ASSERT_TRUE(Err.has_value());
+  EXPECT_NE(Err->find("exceeds the limit"), std::string::npos) << *Err;
+}
+
+TEST_F(TrapTest, VerifierChecksSlideDepth) {
+  // Slide 2 with only one value on the stack underflows; the seed
+  // verifier silently ignored Slide entirely.
+  std::vector<uint8_t> B;
+  B.push_back(static_cast<uint8_t>(Op::Const));
+  emitU16(B, 0);
+  B.push_back(static_cast<uint8_t>(Op::Slide));
+  emitU16(B, 2);
+  B.push_back(static_cast<uint8_t>(Op::Return));
+  const vm::CodeObject *Code = raw("slide", 0, std::move(B), {Value::nil()});
+  auto Err = vm::verifyCode(Code);
+  ASSERT_TRUE(Err.has_value());
+  EXPECT_NE(Err->find("underflow"), std::string::npos) << *Err;
+}
+
+// -- Heap fault injection ------------------------------------------------------------------
+
+TEST(HeapFaultTest, FailAtNthAllocationIsSticky) {
+  vm::Heap H;
+  vm::FaultPlan Plan;
+  Plan.FailAtAllocation = 5;
+  H.setFaultPlan(Plan);
+  vm::RootScope Roots(H);
+  for (int I = 0; I != 4; ++I)
+    Roots.protect(H.pair(Value::fixnum(I), Value::nil()));
+  EXPECT_FALSE(H.faulted());
+  Roots.protect(H.pair(Value::fixnum(4), Value::nil()));
+  EXPECT_TRUE(H.faulted());
+  EXPECT_FALSE(H.faultMessage().empty());
+  // Sticky: later allocations stay faulted, and still yield usable values.
+  Value V = Roots.protect(H.pair(Value::fixnum(9), Value::nil()));
+  EXPECT_TRUE(V.isObject());
+  EXPECT_TRUE(H.faulted());
+  H.clearFault();
+  EXPECT_FALSE(H.faulted());
+}
+
+TEST(HeapFaultTest, FailAboveLiveBytesWatermark) {
+  vm::Heap H;
+  vm::FaultPlan Plan;
+  Plan.FailAboveLiveBytes = 1024;
+  H.setFaultPlan(Plan);
+  vm::RootScope Roots(H);
+  while (!H.faulted())
+    Roots.protect(H.pair(Value::fixnum(1), Value::nil()));
+  EXPECT_GT(H.liveBytes(), 1024u);
+  EXPECT_NE(H.faultMessage().find("above watermark"), std::string::npos)
+      << H.faultMessage();
+}
+
+TEST(HeapFaultTest, ByteCeilingRecoversAfterCollect) {
+  vm::Heap H;
+  H.setMaxBytes(2048);
+  {
+    vm::RootScope Roots(H);
+    while (!H.faulted())
+      Roots.protect(H.pair(Value::fixnum(1), Value::nil()));
+  }
+  // The roots are gone; a collection frees the garbage and the fault can
+  // be cleared — the heap is reusable with the ceiling still in force.
+  H.collect();
+  H.clearFault();
+  EXPECT_FALSE(H.faulted());
+  EXPECT_LT(H.liveBytes(), 2048u);
+  Value V = H.pair(Value::fixnum(1), Value::nil());
+  EXPECT_TRUE(V.isObject());
+  EXPECT_FALSE(H.faulted());
+}
+
+TEST(HeapFaultTest, MachineSurfacesInjectedFaultAsHeapExhausted) {
+  World W;
+  vm::CodeStore Store(W.Heap);
+  vm::GlobalTable Globals;
+  vm::Machine M(W.Heap);
+  auto P = W.parseAnf(
+      "(define (blow n) (if (zero? n) '() (cons n (blow (- n 1)))))");
+  ASSERT_TRUE(P.ok()) << P.error().render();
+  compiler::Compilators Comp(Store, Globals);
+  compiler::AnfCompiler AC(Comp);
+  compiler::CompiledProgram CP = AC.compileProgram(*P);
+  auto Linked = compiler::linkProgramVerified(M, Globals, CP);
+  ASSERT_TRUE(Linked.ok()) << Linked.error().render();
+
+  vm::FaultPlan Plan;
+  Plan.FailAtAllocation = W.Heap.totalAllocations() + 50;
+  W.Heap.setFaultPlan(Plan);
+  M.setFuel(50'000'000);
+  Result<Value> R = compiler::callGlobal(
+      M, Globals, Symbol::intern("blow"), {{Value::fixnum(100000)}});
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(vm::trapKindOf(R.error()), TrapKind::HeapExhausted)
+      << R.error().render();
+  // call() recovered the heap; the plan's one-shot ordinal has passed.
+  EXPECT_FALSE(W.Heap.faulted());
+}
+
+} // namespace

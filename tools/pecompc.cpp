@@ -29,10 +29,14 @@
 #include "pgg/Pgg.h"
 #include "sexp/Reader.h"
 #include "vm/Convert.h"
+#include "vm/Trap.h"
 
-#include <cstdio>
-#include <fstream>
 #include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -43,19 +47,29 @@ namespace {
 
 int usage() {
   fprintf(stderr,
-          "usage:\n"
+          "usage: pecompc [--fuel=N] [--max-heap=BYTES] <command> ...\n"
+          "\n"
           "  pecompc run <file> <entry> [datum...]\n"
           "  pecompc compile <file> [--stock|--anf|--direct]\n"
           "  pecompc anf <file>\n"
           "  pecompc bta <file> <entry> <division>\n"
           "  pecompc spec <file> <entry> <division> [datum|_ ...]\n"
           "  pecompc specrun <file> <entry> <division> [datum|_ ...] -- "
-          "[datum...]\n");
+          "[datum...]\n"
+          "\n"
+          "  --fuel=N       cap executed VM instructions (0 = unlimited)\n"
+          "  --max-heap=N   cap live heap bytes (0 = unlimited)\n");
   return 2;
 }
 
 int fail(const Error &E) {
-  fprintf(stderr, "pecompc: error: %s\n", E.render().c_str());
+  // Classified faults (vm/Trap.h) print their trap kind so scripts can
+  // distinguish resource exhaustion from ordinary user errors.
+  if (vm::TrapKind K = vm::trapKindOf(E); K != vm::TrapKind::None)
+    fprintf(stderr, "pecompc: trap[%s]: %s\n", vm::trapKindName(K),
+            E.render().c_str());
+  else
+    fprintf(stderr, "pecompc: error: %s\n", E.render().c_str());
   return 1;
 }
 
@@ -74,6 +88,7 @@ struct Session {
   Arena AstArena;
   DatumFactory Datums{AstArena};
   ExprFactory Exprs{AstArena};
+  vm::Limits Lim; ///< applied to every machine this invocation creates
 
   Result<vm::Value> parseValue(const std::string &Text) {
     Result<const Datum *> D = readDatum(Text, Datums);
@@ -115,6 +130,7 @@ int cmdRun(Session &S, const std::string &File, const std::string &Entry,
   compiler::AnfCompiler AC(Comp);
   compiler::CompiledProgram CP = AC.compileProgram(*P);
   vm::Machine M(S.Heap);
+  M.setLimits(S.Lim);
   Result<bool> Linked = compiler::linkProgramVerified(M, Globals, CP);
   if (!Linked)
     return fail(Linked.error());
@@ -247,6 +263,7 @@ int cmdSpecRun(Session &S, const std::string &File, const std::string &Entry,
   if (!DynArgs)
     return fail(DynArgs.error());
   vm::Machine M(S.Heap);
+  M.setLimits(S.Lim);
   Result<bool> Linked = compiler::linkProgramVerified(M, Globals,
                                                       Obj->Residual);
   if (!Linked)
@@ -263,9 +280,40 @@ int cmdSpecRun(Session &S, const std::string &File, const std::string &Entry,
 
 int main(int Argc, char **Argv) {
   std::vector<std::string> Args(Argv + 1, Argv + Argc);
+  Session S;
+
+  // Resource-governor options precede the command.
+  while (!Args.empty() && Args[0].rfind("--", 0) == 0) {
+    const std::string &Opt = Args[0];
+    auto NumberAfter = [&](size_t Prefix) -> std::optional<uint64_t> {
+      errno = 0;
+      char *End = nullptr;
+      unsigned long long N = strtoull(Opt.c_str() + Prefix, &End, 10);
+      if (errno || *End != '\0' || End == Opt.c_str() + Prefix)
+        return std::nullopt;
+      return N;
+    };
+    if (Opt.rfind("--fuel=", 0) == 0) {
+      auto N = NumberAfter(7);
+      if (!N)
+        return usage();
+      S.Lim.Fuel = *N;
+    } else if (Opt.rfind("--max-heap=", 0) == 0) {
+      auto N = NumberAfter(11);
+      if (!N)
+        return usage();
+      S.Lim.MaxHeapBytes = static_cast<size_t>(*N);
+      // Applies to the whole invocation, including code generation
+      // phases that run before any machine exists.
+      S.Heap.setMaxBytes(S.Lim.MaxHeapBytes);
+    } else {
+      return usage();
+    }
+    Args.erase(Args.begin());
+  }
+
   if (Args.empty())
     return usage();
-  Session S;
   const std::string &Cmd = Args[0];
 
   if (Cmd == "run" && Args.size() >= 3)
