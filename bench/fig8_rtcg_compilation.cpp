@@ -133,6 +133,54 @@ void compileBody(benchmark::State &State, const Fig8Workload &W) {
 PECOMP_FIG8(MIXWELL, mixwell)
 PECOMP_FIG8(LAZY, lazy)
 
+// -- Run: executing the compiled interpreter, by dispatch strategy ----------
+//
+// The paper's Figure 8 measures the compilation pipeline; these companions
+// measure what the compiled code *runs on*. Same workload (the compiled
+// interpreter interpreting its sample program), same Machine semantics,
+// two instruction-fetch strategies: the pre-decoded fast loop (the
+// default) against the byte-at-a-time interpreter it replaces. The ratio
+// is the dispatch speedup every Figure-8 consumer inherits.
+
+void runBody(benchmark::State &State, InterpreterWorkload &W, bool Decoded) {
+  Arena Scratch;
+  ExprFactory Exprs(Scratch);
+  DatumFactory Datums(Scratch);
+  Program P = unwrap(frontendProgram(W.InterpreterSource, Exprs, Datums));
+  vm::CodeStore Store(W.Heap);
+  vm::GlobalTable Globals;
+  compiler::Compilators Comp(Store, Globals);
+  compiler::StockCompiler SC(Comp);
+  compiler::CompiledProgram CP = SC.compileProgram(P);
+  vm::Machine M(W.Heap);
+  M.setDecodedDispatch(Decoded);
+  compiler::linkProgram(M, Globals, CP);
+  std::vector<vm::Value> Args = {W.StaticProgram, W.DynamicInput};
+  for (auto _ : State) {
+    vm::Value R = unwrap(
+        compiler::callGlobal(M, Globals, Symbol::intern(W.Entry), Args));
+    benchmark::DoNotOptimize(R.raw());
+  }
+}
+
+#define PECOMP_FIG8_RUN(Lang, Make)                                           \
+  void BM_Fig8_Run_Decoded_##Lang(benchmark::State &State) {                  \
+    static InterpreterWorkload W = InterpreterWorkload::Make();               \
+    onLargeStack([&] { runBody(State, W, /*Decoded=*/true); });               \
+  }                                                                           \
+  BENCHMARK(BM_Fig8_Run_Decoded_##Lang);                                      \
+  void BM_Fig8_Run_Bytes_##Lang(benchmark::State &State) {                    \
+    static InterpreterWorkload W = InterpreterWorkload::Make();               \
+    onLargeStack([&] { runBody(State, W, /*Decoded=*/false); });              \
+  }                                                                           \
+  BENCHMARK(BM_Fig8_Run_Bytes_##Lang);
+
+PECOMP_FIG8_RUN(MIXWELL, mixwell)
+PECOMP_FIG8_RUN(LAZY, lazy)
+PECOMP_FIG8_RUN(IMP, imp)
+
+#undef PECOMP_FIG8_RUN
+
 } // namespace
 
 BENCHMARK_MAIN();

@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# Builds the paper-figure benchmark harnesses, runs each with JSON output,
+# and merges the results into one machine-readable file (BENCH_pr3.json by
+# default) that also reports the Figure-8 dispatch speedup: byte-loop time
+# over pre-decoded time for the compiled interpreter workloads.
+#
+# Usage: scripts/bench-run.sh [--quick] [--build-dir DIR] [--out FILE]
+#   --quick       near-zero measuring budget (smoke the harnesses, numbers
+#                 not meaningful)
+#   --build-dir   build tree to use (default: build)
+#   --out         merged output file (default: BENCH_pr3.json)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=build
+OUT=BENCH_pr3.json
+MIN_TIME=0.2
+while [[ "${1:-}" == --* ]]; do
+  case "$1" in
+  --quick)
+    MIN_TIME=0.005
+    shift
+    ;;
+  --build-dir)
+    BUILD_DIR=$2
+    shift 2
+    ;;
+  --out)
+    OUT=$2
+    shift 2
+    ;;
+  *)
+    echo "bench-run.sh: unknown flag $1" >&2
+    exit 2
+    ;;
+  esac
+done
+
+HARNESSES=(fig6_generation_speed fig7_compile_residual fig8_rtcg_compilation
+           residual_speedup)
+
+cmake -B "$BUILD_DIR" -S . >/dev/null
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target "${HARNESSES[@]}"
+
+RAW_DIR="$BUILD_DIR/bench-json"
+mkdir -p "$RAW_DIR"
+for H in "${HARNESSES[@]}"; do
+  echo "== $H (min_time=${MIN_TIME}s)" >&2
+  "$BUILD_DIR/bench/$H" --benchmark_format=json \
+    --benchmark_min_time="$MIN_TIME" >"$RAW_DIR/$H.json"
+done
+
+# Merge the per-harness JSON into one document. The fig8_run_speedup block
+# divides byte-loop time by decoded time (cpu_time, ns) per workload.
+if command -v jq >/dev/null 2>&1; then
+  jq -s '
+    def t(n): (map(.benchmarks[]) | map(select(.name == n)) | .[0].cpu_time);
+    {
+      schema: "pecomp-bench-pr3/v1",
+      context: .[0].context,
+      fig8_run_speedup: ({
+        MIXWELL: (t("BM_Fig8_Run_Bytes_MIXWELL") / t("BM_Fig8_Run_Decoded_MIXWELL")),
+        LAZY: (t("BM_Fig8_Run_Bytes_LAZY") / t("BM_Fig8_Run_Decoded_LAZY")),
+        IMP: (t("BM_Fig8_Run_Bytes_IMP") / t("BM_Fig8_Run_Decoded_IMP"))
+      }),
+      benchmarks: (map(.benchmarks) | add)
+    }' "$RAW_DIR"/fig6_generation_speed.json \
+       "$RAW_DIR"/fig7_compile_residual.json \
+       "$RAW_DIR"/fig8_rtcg_compilation.json \
+       "$RAW_DIR"/residual_speedup.json >"$OUT"
+else
+  python3 - "$RAW_DIR" "$OUT" <<'EOF'
+import json, sys
+raw_dir, out = sys.argv[1], sys.argv[2]
+harnesses = ["fig6_generation_speed", "fig7_compile_residual",
+             "fig8_rtcg_compilation", "residual_speedup"]
+docs = [json.load(open(f"{raw_dir}/{h}.json")) for h in harnesses]
+benches = [b for d in docs for b in d["benchmarks"]]
+times = {b["name"]: b["cpu_time"] for b in benches}
+speedup = {
+    lang: times[f"BM_Fig8_Run_Bytes_{lang}"] /
+          times[f"BM_Fig8_Run_Decoded_{lang}"]
+    for lang in ("MIXWELL", "LAZY", "IMP")
+}
+json.dump({"schema": "pecomp-bench-pr3/v1", "context": docs[0]["context"],
+           "fig8_run_speedup": speedup, "benchmarks": benches},
+          open(out, "w"), indent=1)
+open(out, "a").write("\n")
+EOF
+fi
+
+echo "wrote $OUT" >&2
+if command -v jq >/dev/null 2>&1; then
+  jq '.fig8_run_speedup' "$OUT" >&2
+fi

@@ -3,20 +3,36 @@
 # runs the full tier-1 test suite. Any sanitizer report aborts the run
 # (-fno-sanitize-recover=all) and therefore fails the corresponding test.
 #
-# Usage: scripts/sanitize-check.sh [--ndebug] [ctest-args...]
-#   --ndebug   additionally compile with -DNDEBUG kept, proving the trap
-#              model never leans on assert() (the RTCG trust requirement).
+# Usage: scripts/sanitize-check.sh [--ndebug] [--switch-dispatch] [ctest-args...]
+#   --ndebug           additionally compile with -DNDEBUG kept, proving the
+#                      trap model never leans on assert() (the RTCG trust
+#                      requirement).
+#   --switch-dispatch  build the portable switch-based VM dispatch loop
+#                      instead of computed goto, so the sanitizers cover
+#                      the fallback dispatch path too.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 BUILD_DIR=build-sanitize
 CMAKE_ARGS=(-DCMAKE_BUILD_TYPE=RelWithDebInfo -DPECOMP_SANITIZE=ON)
-if [[ "${1:-}" == "--ndebug" ]]; then
-  shift
-  BUILD_DIR=build-sanitize-ndebug
-  CMAKE_ARGS+=(-DPECOMP_NDEBUG=ON)
-fi
+while [[ "${1:-}" == --* ]]; do
+  case "$1" in
+  --ndebug)
+    BUILD_DIR="${BUILD_DIR}-ndebug"
+    CMAKE_ARGS+=(-DPECOMP_NDEBUG=ON)
+    shift
+    ;;
+  --switch-dispatch)
+    BUILD_DIR="${BUILD_DIR}-switch"
+    CMAKE_ARGS+=(-DPECOMP_FORCE_SWITCH_DISPATCH=ON)
+    shift
+    ;;
+  *)
+    break
+    ;;
+  esac
+done
 
 cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]}"
 cmake --build "$BUILD_DIR" -j "$(nproc)"

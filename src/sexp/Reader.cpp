@@ -11,6 +11,15 @@ namespace {
 /// Character class of symbol constituents. Scheme identifiers are liberal;
 /// we accept everything except whitespace, parens, quote, and string/char
 /// introducers.
+/// Value of a character isxdigit() has accepted.
+unsigned hexValue(char C) {
+  if (C >= '0' && C <= '9')
+    return static_cast<unsigned>(C - '0');
+  if (C >= 'a' && C <= 'f')
+    return static_cast<unsigned>(C - 'a' + 10);
+  return static_cast<unsigned>(C - 'A' + 10);
+}
+
 bool isSymbolChar(char C) {
   if (std::isspace(static_cast<unsigned char>(C)))
     return false;
@@ -177,12 +186,32 @@ private:
         case 't':
           Value.push_back('\t');
           break;
+        case 'r':
+          Value.push_back('\r');
+          break;
         case '\\':
           Value.push_back('\\');
           break;
         case '"':
           Value.push_back('"');
           break;
+        case 'x': {
+          // Inline hex escape \xNN; (what the Writer emits for bytes
+          // with no printable or named form).
+          unsigned Byte = 0;
+          unsigned Digits = 0;
+          while (!atEnd() && std::isxdigit(static_cast<unsigned char>(peek()))) {
+            Byte = Byte * 16 + hexValue(peek());
+            advance();
+            if (++Digits > 2)
+              return makeError("hex string escape out of byte range", Loc);
+          }
+          if (Digits == 0 || atEnd() || peek() != ';')
+            return makeError("malformed hex string escape", Loc);
+          advance(); // consume ';'
+          Value.push_back(static_cast<char>(Byte));
+          break;
+        }
         default:
           return makeError(std::string("unknown string escape '\\") + E + "'",
                            Loc);
@@ -223,6 +252,22 @@ private:
         return located(Factory.charDatum('\n'), Loc);
       if (Name == "tab")
         return located(Factory.charDatum('\t'), Loc);
+      if (Name == "return")
+        return located(Factory.charDatum('\r'), Loc);
+      // #\xNN hex form (size >= 2, so the plain letter #\x is unaffected).
+      if (Name[0] == 'x' && Name.size() <= 3) {
+        unsigned Byte = 0;
+        bool AllHex = true;
+        for (size_t I = 1; I < Name.size(); ++I) {
+          if (!std::isxdigit(static_cast<unsigned char>(Name[I]))) {
+            AllHex = false;
+            break;
+          }
+          Byte = Byte * 16 + hexValue(Name[I]);
+        }
+        if (AllHex)
+          return located(Factory.charDatum(static_cast<char>(Byte)), Loc);
+      }
       return makeError("unknown character name '" + Name + "'", Loc);
     }
     return makeError(std::string("unknown '#' syntax '#") + C + "'", Loc);
@@ -234,14 +279,31 @@ private:
       Negative = peek() == '-';
       advance();
     }
-    int64_t Value = 0;
+    // Accumulate the magnitude in uint64_t so the boundary literals
+    // (notably INT64_MIN, whose magnitude does not fit int64_t) parse
+    // without signed overflow, and anything past the int64 range is a
+    // diagnostic instead of a silently wrapped value.
+    const uint64_t Limit =
+        Negative ? (uint64_t{1} << 63) : (uint64_t{1} << 63) - 1;
+    uint64_t Magnitude = 0;
+    bool Overflow = false;
     while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek()))) {
-      Value = Value * 10 + (peek() - '0');
+      uint64_t D = static_cast<uint64_t>(peek() - '0');
+      if (Magnitude > (Limit - D) / 10)
+        Overflow = true;
+      else
+        Magnitude = Magnitude * 10 + D;
       advance();
     }
     if (!atEnd() && isSymbolChar(peek()))
       return makeError("malformed number", Loc);
-    return located(Factory.fixnum(Negative ? -Value : Value), Loc);
+    if (Overflow)
+      return makeError("number literal out of fixnum range", Loc);
+    // Unsigned negation is the two's-complement wrap, so -2^63 maps onto
+    // INT64_MIN without ever negating a signed value that can't take it.
+    int64_t Value = Negative ? static_cast<int64_t>(0 - Magnitude)
+                             : static_cast<int64_t>(Magnitude);
+    return located(Factory.fixnum(Value), Loc);
   }
 
   Result<const Datum *> readSymbol(SourceLoc Loc) {

@@ -7,9 +7,24 @@
 
 #include "sexp/Datum.h"
 
+#include <cstdio>
+
 using namespace pecomp;
 
 namespace {
+
+/// ASCII-printable characters are written raw; everything else needs an
+/// escape or the output no longer round-trips through the Reader.
+bool isPrintableAscii(char C) {
+  unsigned char U = static_cast<unsigned char>(C);
+  return U >= 0x20 && U < 0x7f;
+}
+
+void appendHexByte(char C, std::string &Out) {
+  char Buf[3];
+  snprintf(Buf, sizeof(Buf), "%02x", static_cast<unsigned char>(C));
+  Out += Buf;
+}
 
 void writeDatum(const Datum *D, std::string &Out) {
   switch (D->kind()) {
@@ -38,8 +53,19 @@ void writeDatum(const Datum *D, std::string &Out) {
       case '\t':
         Out += "\\t";
         break;
+      case '\r':
+        Out += "\\r";
+        break;
       default:
-        Out.push_back(C);
+        if (isPrintableAscii(C)) {
+          Out.push_back(C);
+        } else {
+          // R7RS-style inline hex escape; the ';' terminator keeps a
+          // following literal digit unambiguous.
+          Out += "\\x";
+          appendHexByte(C, Out);
+          Out.push_back(';');
+        }
       }
     }
     Out.push_back('"');
@@ -54,8 +80,16 @@ void writeDatum(const Datum *D, std::string &Out) {
       Out += "newline";
     else if (C == '\t')
       Out += "tab";
-    else
+    else if (C == '\r')
+      Out += "return";
+    else if (isPrintableAscii(C))
       Out.push_back(C);
+    else {
+      // #\xNN (always two hex digits, so it never collides with the
+      // one-character name #\x meaning the letter x).
+      Out.push_back('x');
+      appendHexByte(C, Out);
+    }
     return;
   }
   case Datum::Kind::Nil:

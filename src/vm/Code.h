@@ -17,6 +17,7 @@
 
 #include "vm/Heap.h"
 
+#include <cassert>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -47,6 +48,48 @@ enum class Op : uint8_t {
   Halt,        ///< stops execution; top of stack is the result
 };
 
+/// Number of defined opcodes (Profile counter array size, dispatch tables).
+inline constexpr size_t NumOpcodes = static_cast<size_t>(Op::Halt) + 1;
+
+/// The opcode's mnemonic ("Const", "Jump", ...), or "?" out of range.
+const char *opMnemonic(Op O);
+
+/// One pre-decoded instruction: the opcode plus its fully-extracted
+/// operands in fixed-width slots, so the hot loop never re-derives operand
+/// widths or re-reads little-endian bytes. Byte offsets are kept alongside
+/// so traps report the same faulting PC the byte interpreter would.
+struct DecodedInsn {
+  Op Opcode;
+  uint8_t C = 0;       ///< u8 operand (Call/TailCall argc, Prim number)
+  uint16_t A = 0;      ///< first u16 operand (index / slot / count)
+  uint16_t B = 0;      ///< second u16 operand (MakeClosure capture count);
+                       ///< for Prim, the pre-looked-up arity
+  uint32_t PC = 0;     ///< byte offset of this instruction's opcode
+  uint32_t NextPC = 0; ///< byte offset of the fall-through successor
+  int32_t Target = -1; ///< decoded index of the jump target (Jump/JumpIfFalse)
+};
+
+/// The pre-decoded form of one CodeObject: a dense instruction array plus
+/// the byte-offset -> instruction-index map used to resume a frame whose
+/// saved PC is (by design) always a byte offset.
+class DecodedStream {
+public:
+  std::vector<DecodedInsn> Insns;
+  /// ByteToIndex[pc] is the decoded index of the instruction starting at
+  /// byte pc, or -1 for mid-instruction offsets. One extra slot maps
+  /// code.size() (a frame parked exactly at the end) to -1.
+  std::vector<int32_t> ByteToIndex;
+
+  /// Decoded index for a byte offset known to be an instruction start
+  /// (frame PCs only ever hold 0, a Call fall-through, or a jump target,
+  /// all of which decode() verified).
+  size_t indexOf(size_t BytePC) const {
+    assert(BytePC < ByteToIndex.size() && ByteToIndex[BytePC] >= 0 &&
+           "frame pc does not start an instruction");
+    return static_cast<size_t>(ByteToIndex[BytePC]);
+  }
+};
+
 /// A compiled procedure body.
 class CodeObject {
 public:
@@ -60,8 +103,23 @@ public:
   const std::vector<Value> &literals() const { return Literals; }
   const std::vector<const CodeObject *> &children() const { return Children; }
 
-  /// Mutation is confined to assembly time (the compiler backends).
+  /// Mutation is confined to assembly time (the compiler backends): the
+  /// machine caches a pre-decoded form on first execution, so bytes must
+  /// not change after the object has run (linkProgramVerified pre-decodes
+  /// eagerly, making late mutation an assertion failure in decode order).
   std::vector<uint8_t> &mutableCode() { return Code; }
+
+  /// The pre-decoded instruction stream, built and cached on first use.
+  /// Returns null when the byte stream does not decode cleanly as one
+  /// linear instruction sequence (unknown opcode, truncated operands,
+  /// mid-instruction jump target, out-of-range static index, or control
+  /// flow that can run off the end): such code objects permanently run on
+  /// the byte interpreter, which reproduces the seed trap for them.
+  const DecodedStream *decoded() const;
+
+  /// Whether decoded() has been computed yet (used by the machine to
+  /// attribute first-decode latency to Profile::DecodeNanos).
+  bool decodeAttempted() const { return DState != DecodeState::Unknown; }
   uint16_t addLiteral(Value V) {
     checkLimit(Literals.size(), "literal table");
     Literals.push_back(V);
@@ -92,6 +150,12 @@ private:
   std::vector<uint8_t> Code;
   std::vector<Value> Literals;
   std::vector<const CodeObject *> Children;
+
+  /// Decode cache. Logically const: the decoded form is a pure function
+  /// of the (assembly-frozen) bytes above.
+  enum class DecodeState : uint8_t { Unknown, Ready, Fallback };
+  mutable DecodeState DState = DecodeState::Unknown;
+  mutable std::unique_ptr<DecodedStream> Decoded;
 };
 
 /// Byte-for-byte structural equality of code objects (code bytes, literals

@@ -1,0 +1,182 @@
+//===- vm/Decode.cpp - Pre-decoding byte code into fixed-width insns ------===//
+///
+/// \file
+/// Builds the DecodedStream cache the fast dispatch loop runs on. The
+/// decoder is deliberately strict: any irregularity that the byte
+/// interpreter would (or might) turn into a trap — unknown opcode,
+/// truncated operands, a jump into the middle of an instruction, a
+/// static index past its table, control flow that can fall off the end —
+/// makes the whole code object a Fallback, and the machine keeps running
+/// it through the original byte loop so trap kind, faulting PC, and
+/// opcode stay byte-for-byte identical to the seed interpreter.
+///
+//===----------------------------------------------------------------------===//
+
+#include "vm/Code.h"
+#include "vm/Prims.h"
+
+using namespace pecomp;
+using namespace pecomp::vm;
+
+const char *pecomp::vm::opMnemonic(Op O) {
+  switch (O) {
+  case Op::Const:
+    return "Const";
+  case Op::LocalRef:
+    return "LocalRef";
+  case Op::FreeRef:
+    return "FreeRef";
+  case Op::GlobalRef:
+    return "GlobalRef";
+  case Op::MakeClosure:
+    return "MakeClosure";
+  case Op::Call:
+    return "Call";
+  case Op::TailCall:
+    return "TailCall";
+  case Op::Return:
+    return "Return";
+  case Op::Jump:
+    return "Jump";
+  case Op::JumpIfFalse:
+    return "JumpIfFalse";
+  case Op::Prim:
+    return "Prim";
+  case Op::Slide:
+    return "Slide";
+  case Op::Halt:
+    return "Halt";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Whether control never falls through to the next byte offset.
+bool isTerminator(Op O) {
+  return O == Op::Jump || O == Op::Return || O == Op::TailCall ||
+         O == Op::Halt;
+}
+
+/// One linear decoding pass; returns null on any irregularity.
+std::unique_ptr<DecodedStream> decodeLinear(const CodeObject &C) {
+  const std::vector<uint8_t> &Code = C.code();
+  // The empty code object traps PcOutOfRange on its first dispatch.
+  if (Code.empty())
+    return nullptr;
+
+  auto DS = std::make_unique<DecodedStream>();
+  DS->ByteToIndex.assign(Code.size() + 1, -1);
+
+  size_t PC = 0;
+  while (PC < Code.size()) {
+    Op O = static_cast<Op>(Code[PC]);
+    DecodedInsn I;
+    I.Opcode = O;
+    I.PC = static_cast<uint32_t>(PC);
+
+    size_t OperandBytes;
+    switch (O) {
+    case Op::Const:
+    case Op::LocalRef:
+    case Op::FreeRef:
+    case Op::GlobalRef:
+    case Op::Slide:
+    case Op::Jump:
+    case Op::JumpIfFalse:
+      OperandBytes = 2;
+      break;
+    case Op::MakeClosure:
+      OperandBytes = 4;
+      break;
+    case Op::Call:
+    case Op::TailCall:
+    case Op::Prim:
+      OperandBytes = 1;
+      break;
+    case Op::Return:
+    case Op::Halt:
+      OperandBytes = 0;
+      break;
+    default:
+      return nullptr; // unknown opcode
+    }
+    if (PC + 1 + OperandBytes > Code.size())
+      return nullptr; // truncated operands
+
+    auto U16At = [&](size_t Off) {
+      return static_cast<uint16_t>(Code[Off] | (Code[Off + 1] << 8));
+    };
+    switch (OperandBytes) {
+    case 1:
+      I.C = Code[PC + 1];
+      break;
+    case 2:
+      I.A = U16At(PC + 1);
+      break;
+    case 4:
+      I.A = U16At(PC + 1);
+      I.B = U16At(PC + 3);
+      break;
+    default:
+      break;
+    }
+
+    // Validate the static indices the byte loop checks per execution, so
+    // the fast loop can index the tables unchecked.
+    switch (O) {
+    case Op::Const:
+      if (I.A >= C.literals().size())
+        return nullptr;
+      break;
+    case Op::MakeClosure:
+      if (I.A >= C.children().size())
+        return nullptr;
+      break;
+    case Op::Prim:
+      if (I.C >= NumPrimOps)
+        return nullptr;
+      I.B = static_cast<uint16_t>(primArity(static_cast<PrimOp>(I.C)));
+      break;
+    default:
+      break;
+    }
+
+    PC += 1 + OperandBytes;
+    I.NextPC = static_cast<uint32_t>(PC);
+    // Falling off the end is a PcOutOfRange trap at the next dispatch in
+    // the byte loop; the fast loop has no pc-range check, so such code
+    // stays on the byte interpreter.
+    if (!isTerminator(O) && I.NextPC >= Code.size())
+      return nullptr;
+
+    DS->ByteToIndex[I.PC] = static_cast<int32_t>(DS->Insns.size());
+    DS->Insns.push_back(I);
+  }
+
+  // Resolve jump targets now that every instruction boundary is known.
+  for (DecodedInsn &I : DS->Insns) {
+    if (I.Opcode != Op::Jump && I.Opcode != Op::JumpIfFalse)
+      continue;
+    int64_t Target = static_cast<int64_t>(I.NextPC) +
+                     static_cast<int16_t>(I.A);
+    if (Target < 0 || Target >= static_cast<int64_t>(Code.size()))
+      return nullptr; // wild jump: byte loop traps PcOutOfRange
+    int32_t Index = DS->ByteToIndex[static_cast<size_t>(Target)];
+    if (Index < 0)
+      return nullptr; // mid-instruction target: only the byte loop can run it
+    I.Target = Index;
+  }
+
+  return DS;
+}
+
+} // namespace
+
+const DecodedStream *CodeObject::decoded() const {
+  if (DState == DecodeState::Unknown) {
+    Decoded = decodeLinear(*this);
+    DState = Decoded ? DecodeState::Ready : DecodeState::Fallback;
+  }
+  return Decoded.get();
+}

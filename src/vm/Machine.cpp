@@ -1,12 +1,51 @@
 //===- vm/Machine.cpp - Byte-code virtual machine -------------------------===//
+//
+// Two dispatch loops over the same semantics:
+//
+//  * runDecoded<Profiling> — the fast path. Runs the pre-decoded
+//    fixed-width instruction stream (vm/Decode.cpp) with computed-goto
+//    dispatch under GCC/Clang (portable switch otherwise), operand reads
+//    reduced to struct-field loads, and the heap-fault/stack-ceiling
+//    probes hoisted out of the dispatch prologue to the few opcodes that
+//    can actually trip them (allocating and pushing ones). Fuel stays
+//    charged per instruction so back-edges can never skip the meter.
+//
+//  * runBytes — the original byte-at-a-time interpreter, kept verbatim as
+//    the semantic reference and as the fallback for code objects that do
+//    not pre-decode cleanly (Decode.cpp lists the irregularities). It is
+//    also the seed baseline the benchmarks compare against
+//    (setDecodedDispatch(false)).
+//
+// run() bounces between the two at frame switches, so a decoded caller
+// can call a fallback callee and vice versa. Both loops report identical
+// traps: same TrapKind, same faulting byte PC, same opcode. Frame::PC is
+// always a byte offset; the fast loop keeps its own decoded index and
+// converts at frame boundaries only.
+//
+//===----------------------------------------------------------------------===//
 
 #include "vm/Machine.h"
 
 #include "support/Casting.h"
+#include "support/Timer.h"
 #include "vm/Prims.h"
+
+#include <climits>
+#include <cstdint>
 
 using namespace pecomp;
 using namespace pecomp::vm;
+
+// Computed goto is a GNU extension; PECOMP_FORCE_SWITCH_DISPATCH (CMake
+// option of the same name) pins the portable switch loop so sanitizer and
+// portability runs cover it too.
+#if defined(PECOMP_FORCE_SWITCH_DISPATCH)
+#define PECOMP_COMPUTED_GOTO 0
+#elif defined(__GNUC__) || defined(__clang__)
+#define PECOMP_COMPUTED_GOTO 1
+#else
+#define PECOMP_COMPUTED_GOTO 0
+#endif
 
 void Machine::setGlobal(uint16_t Index, Value V) {
   // Gaps are filled with the invalid value so that referencing a global
@@ -59,6 +98,16 @@ Error Machine::primError(Error E) {
   if (!Frames.empty() && !Frames.back().Code->name().empty())
     Msg += " (in " + Frames.back().Code->name() + ")";
   return Error(std::move(Msg));
+}
+
+const DecodedStream *Machine::decodedFor(const CodeObject &C) {
+  if (Prof && !C.decodeAttempted()) {
+    Timer T;
+    const DecodedStream *DS = C.decoded();
+    Prof->DecodeNanos += static_cast<uint64_t>(T.seconds() * 1e9);
+    return DS;
+  }
+  return C.decoded();
 }
 
 Result<Value> Machine::call(Value Callee, std::span<const Value> Args) {
@@ -115,12 +164,334 @@ Result<Value> Machine::call(Value Callee, std::span<const Value> Args) {
     Stack.push_back(A);
   Frames.push_back(Frame{Clo->Code, 0, Stack.size() - Args.size(), Clo});
 
+  std::optional<Timer> ExecTimer;
+  if (Prof)
+    ExecTimer.emplace();
   Result<Value> R = run();
+  if (Prof) {
+    Prof->ExecNanos += static_cast<uint64_t>(ExecTimer->seconds() * 1e9);
+    ++Prof->Calls;
+    if (!R.ok())
+      ++Prof->Traps;
+  }
   Reset();
   return R;
 }
 
 Result<Value> Machine::run() {
+  // Bounce loop: each inner loop runs until it produces a result or the
+  // top frame's code switched dispatch mode (nullopt).
+  for (;;) {
+    std::optional<Result<Value>> R;
+    if (UseDecoded && decodedFor(*Frames.back().Code))
+      R = Prof ? runDecoded<true>() : runDecoded<false>();
+    else
+      R = runBytes();
+    if (R)
+      return std::move(*R);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Fast loop over the pre-decoded stream
+//===----------------------------------------------------------------------===//
+
+template <bool Profiling>
+std::optional<Result<Value>> Machine::runDecoded() {
+  // Ceilings folded to constants so the hoisted probes are one unsigned
+  // compare with no "is the limit configured?" branch.
+  const uint64_t FuelCeiling = Lim.Fuel ? Lim.Fuel : UINT64_MAX;
+  const size_t StackCeiling = Lim.MaxStackDepth ? Lim.MaxStackDepth : SIZE_MAX;
+
+  Frame *F = &Frames.back();
+  const DecodedStream *DS = F->Code->decoded(); // cached: run() ensured Ready
+  const DecodedInsn *Insns = DS->Insns.data();
+  const Value *Lits = F->Code->literals().data();
+  size_t IP = DS->indexOf(F->PC);
+  const DecodedInsn *I = nullptr;
+
+  auto Underflow = [&](size_t Need, const char *What) {
+    return trap(TrapKind::StackUnderflow,
+                std::string("stack underflow in ") + What + " (have " +
+                    std::to_string(Stack.size()) + ", need " +
+                    std::to_string(Need) + ")");
+  };
+  auto StackTrap = [&]() {
+    return trap(TrapKind::StackOverflow,
+                "value stack overflow (depth " + std::to_string(Stack.size()) +
+                    ", limit " + std::to_string(Lim.MaxStackDepth) + ")");
+  };
+  // Re-resolves the cached frame pointers after a frame switch; null
+  // means the new top frame is byte-loop-only and we must bounce.
+  auto EnterTop = [&]() -> const DecodedStream * {
+    F = &Frames.back();
+    const DecodedStream *NDS = decodedFor(*F->Code);
+    if (NDS) {
+      DS = NDS;
+      Insns = DS->Insns.data();
+      Lits = F->Code->literals().data();
+    }
+    return NDS;
+  };
+
+  // Entry governance. The byte loop probes the heap and the stack ceiling
+  // at every dispatch; in this loop those states change only at the
+  // allocation/push opcodes (probed there), leaving loop entry as the one
+  // other point where a pre-existing fault or overdeep stack must be
+  // reported — with the same context the byte loop's first dispatch would
+  // attach.
+  if (H.faulted()) {
+    TrapPC = Insns[IP].PC;
+    TrapOp = -1;
+    return trap(TrapKind::HeapExhausted, H.faultMessage());
+  }
+  if (Stack.size() > StackCeiling) {
+    TrapPC = Insns[IP].PC;
+    TrapOp = -1;
+    return StackTrap();
+  }
+
+// Per-dispatch prologue: trap context, fuel, optional counters. Fuel is
+// deliberately NOT hoisted to back-edges — per-instruction charging is
+// what makes the "same faulting PC" guarantee hold (see DESIGN.md).
+#define PECOMP_PROLOGUE()                                                      \
+  I = &Insns[IP];                                                              \
+  TrapPC = I->PC;                                                              \
+  TrapOp = static_cast<int>(I->Opcode);                                        \
+  ++Executed;                                                                  \
+  if (++FuelUsed > FuelCeiling)                                                \
+    goto fuel_trap;                                                            \
+  if constexpr (Profiling)                                                     \
+    ++Prof->OpCount[static_cast<size_t>(I->Opcode)];
+
+// Post-push probe shared by every opcode that can grow the value stack:
+// the byte loop bounds the overshoot to one slot by probing each
+// dispatch; probing after each push-ing opcode is the same bound.
+#define PECOMP_PUSH_CHECK()                                                    \
+  do {                                                                         \
+    if (Stack.size() > StackCeiling)                                           \
+      goto stack_trap_next;                                                    \
+    ++IP;                                                                      \
+  } while (0)
+
+#if PECOMP_COMPUTED_GOTO
+  static const void *const OpTable[NumOpcodes] = {
+      &&Lbl_Const,    &&Lbl_LocalRef, &&Lbl_FreeRef,     &&Lbl_GlobalRef,
+      &&Lbl_MakeClosure, &&Lbl_Call,  &&Lbl_TailCall,    &&Lbl_Return,
+      &&Lbl_Jump,     &&Lbl_JumpIfFalse, &&Lbl_Prim,     &&Lbl_Slide,
+      &&Lbl_Halt};
+#define PECOMP_DISPATCH()                                                      \
+  do {                                                                         \
+    PECOMP_PROLOGUE();                                                         \
+    goto *OpTable[static_cast<size_t>(I->Opcode)];                             \
+  } while (0)
+#define PECOMP_OP(Name) Lbl_##Name
+
+  PECOMP_DISPATCH();
+
+#else // portable switch dispatch
+#define PECOMP_DISPATCH() continue
+#define PECOMP_OP(Name) case Op::Name
+
+  for (;;) {
+    PECOMP_PROLOGUE();
+    switch (I->Opcode) {
+#endif
+
+  PECOMP_OP(Const) : {
+    Stack.push_back(Lits[I->A]); // index pre-validated by the decoder
+    PECOMP_PUSH_CHECK();
+    PECOMP_DISPATCH();
+  }
+  PECOMP_OP(LocalRef) : {
+    if (F->Base + I->A >= Stack.size())
+      return trap(TrapKind::StackUnderflow,
+                  "local slot " + std::to_string(I->A) +
+                      " beyond the live stack");
+    Stack.push_back(Stack[F->Base + I->A]);
+    PECOMP_PUSH_CHECK();
+    PECOMP_DISPATCH();
+  }
+  PECOMP_OP(FreeRef) : {
+    if (!F->Closure || I->A >= F->Closure->Free.size())
+      return trap(TrapKind::IllegalInstruction,
+                  "free index " + std::to_string(I->A) +
+                      " beyond the closure's captures");
+    Stack.push_back(F->Closure->Free[I->A]);
+    PECOMP_PUSH_CHECK();
+    PECOMP_DISPATCH();
+  }
+  PECOMP_OP(GlobalRef) : {
+    if (I->A >= Globals.size() || !Globals[I->A].isValid())
+      return trap(TrapKind::UndefinedGlobal,
+                  "undefined global #" + std::to_string(I->A));
+    Stack.push_back(Globals[I->A]);
+    PECOMP_PUSH_CHECK();
+    PECOMP_DISPATCH();
+  }
+  PECOMP_OP(MakeClosure) : {
+    const uint16_t N = I->B;
+    if (N > Stack.size())
+      return Underflow(N, "MakeClosure");
+    const CodeObject *Target = F->Code->children()[I->A]; // pre-validated
+    std::span<const Value> Captured(Stack.data() + Stack.size() - N, N);
+    Value Clo = H.closure(Target, Captured);
+    Stack.resize(Stack.size() - N);
+    Stack.push_back(Clo);
+    if (H.faulted())
+      goto alloc_trap;
+    PECOMP_PUSH_CHECK();
+    PECOMP_DISPATCH();
+  }
+  PECOMP_OP(Call) : {
+    const size_t N = I->C;
+    if (Stack.size() < N + 1)
+      return Underflow(N + 1, "Call");
+    Value Callee = Stack[Stack.size() - N - 1];
+    if (!Callee.isObject() || !isa<ClosureObject>(Callee.asObject()))
+      return trap(TrapKind::TypeError,
+                  "call: not a procedure: " + valueToString(Callee));
+    auto *Clo = cast<ClosureObject>(Callee.asObject());
+    if (Clo->Code->arity() != N)
+      return trap(TrapKind::ArityMismatch,
+                  "call: " + Clo->Code->name() + " expects " +
+                      std::to_string(Clo->Code->arity()) +
+                      " argument(s), got " + std::to_string(N));
+    if (Lim.MaxFrames && Frames.size() >= Lim.MaxFrames)
+      return trap(TrapKind::FrameOverflow,
+                  "call depth exceeds the frame limit of " +
+                      std::to_string(Lim.MaxFrames));
+    F->PC = I->NextPC; // resume point (byte offset, as always)
+    Frames.push_back(Frame{Clo->Code, 0, Stack.size() - N, Clo});
+    if (!EnterTop())
+      return std::nullopt;
+    IP = 0;
+    PECOMP_DISPATCH();
+  }
+  PECOMP_OP(TailCall) : {
+    const size_t N = I->C;
+    if (Stack.size() < N + 1)
+      return Underflow(N + 1, "TailCall");
+    Value Callee = Stack[Stack.size() - N - 1];
+    if (!Callee.isObject() || !isa<ClosureObject>(Callee.asObject()))
+      return trap(TrapKind::TypeError,
+                  "call: not a procedure: " + valueToString(Callee));
+    auto *Clo = cast<ClosureObject>(Callee.asObject());
+    if (Clo->Code->arity() != N)
+      return trap(TrapKind::ArityMismatch,
+                  "call: " + Clo->Code->name() + " expects " +
+                      std::to_string(Clo->Code->arity()) +
+                      " argument(s), got " + std::to_string(N));
+    // Slide callee + args down over the current frame.
+    size_t Src = Stack.size() - N - 1;
+    size_t Dst = F->Base - 1;
+    for (size_t K = 0; K <= N; ++K)
+      Stack[Dst + K] = Stack[Src + K];
+    Stack.resize(Dst + N + 1);
+    F->Code = Clo->Code;
+    F->PC = 0;
+    F->Closure = Clo;
+    // F->Base unchanged.
+    if (!EnterTop())
+      return std::nullopt;
+    IP = 0;
+    PECOMP_DISPATCH();
+  }
+  PECOMP_OP(Return) : {
+    if (Stack.size() < F->Base || Stack.empty())
+      return Underflow(1, "Return");
+    Value Ret = Stack.back();
+    Stack.resize(F->Base - 1);
+    Stack.push_back(Ret);
+    Frames.pop_back();
+    if (Frames.empty())
+      return Ret;
+    if (!EnterTop())
+      return std::nullopt;
+    IP = DS->indexOf(F->PC);
+    PECOMP_DISPATCH();
+  }
+  PECOMP_OP(Jump) : {
+    IP = static_cast<size_t>(I->Target); // target pre-validated
+    PECOMP_DISPATCH();
+  }
+  PECOMP_OP(JumpIfFalse) : {
+    if (Stack.empty())
+      return Underflow(1, "JumpIfFalse");
+    Value Test = Stack.back();
+    Stack.pop_back();
+    IP = Test.isTruthy() ? IP + 1 : static_cast<size_t>(I->Target);
+    PECOMP_DISPATCH();
+  }
+  PECOMP_OP(Prim) : {
+    const PrimOp P = static_cast<PrimOp>(I->C); // number pre-validated
+    const size_t N = I->B;                      // arity cached at decode
+    if (Stack.size() < N)
+      return Underflow(N, "Prim");
+    std::span<const Value> Args(Stack.data() + Stack.size() - N, N);
+    Result<Value> R = applyPrim(P, H, Args);
+    if (!R)
+      return primError(R.takeError());
+    Stack.resize(Stack.size() - N);
+    Stack.push_back(*R);
+    if (H.faulted())
+      goto alloc_trap;
+    PECOMP_PUSH_CHECK();
+    PECOMP_DISPATCH();
+  }
+  PECOMP_OP(Slide) : {
+    const size_t N = I->A;
+    if (Stack.size() < N + 1)
+      return Underflow(N + 1, "Slide");
+    Value Top = Stack.back();
+    Stack.resize(Stack.size() - N - 1);
+    Stack.push_back(Top);
+    ++IP; // net shrink: no push probe needed
+    PECOMP_DISPATCH();
+  }
+  PECOMP_OP(Halt) : {
+    if (Stack.empty())
+      return Underflow(1, "Halt");
+    return Stack.back();
+  }
+
+#if !PECOMP_COMPUTED_GOTO
+    default: // unreachable: the decoder rejects unknown opcodes
+      return trap(TrapKind::IllegalInstruction,
+                  "unknown opcode in decoded stream");
+    }
+  }
+#endif
+
+  // Shared trap tails (reached only by goto). The byte loop reports all
+  // three from its dispatch prologue, i.e. with the pc of the *next*
+  // instruction and no opcode; fuel traps fire before decode, so the pc
+  // is the instruction that would have run.
+fuel_trap:
+  TrapOp = -1;
+  return trap(TrapKind::FuelExhausted,
+              "fuel exhausted after " + std::to_string(Lim.Fuel) +
+                  " instructions");
+alloc_trap:
+  TrapPC = I->NextPC;
+  TrapOp = -1;
+  return trap(TrapKind::HeapExhausted, H.faultMessage());
+stack_trap_next:
+  TrapPC = I->NextPC;
+  TrapOp = -1;
+  return StackTrap();
+
+#undef PECOMP_PROLOGUE
+#undef PECOMP_PUSH_CHECK
+#undef PECOMP_DISPATCH
+#undef PECOMP_OP
+}
+
+//===----------------------------------------------------------------------===//
+// Byte-at-a-time fallback loop (the seed interpreter, semantics frozen)
+//===----------------------------------------------------------------------===//
+
+std::optional<Result<Value>> Machine::runBytes() {
   for (;;) {
     Frame &F = Frames.back();
     const std::vector<uint8_t> &Code = F.Code->code();
@@ -181,6 +552,8 @@ Result<Value> Machine::run() {
                   "unknown opcode " +
                       std::to_string(static_cast<unsigned>(O)));
     }
+    if (Prof)
+      ++Prof->OpCount[static_cast<size_t>(O)];
     if (F.PC + OperandBytes > Code.size())
       return trap(TrapKind::PcOutOfRange, "truncated operands");
 
@@ -267,6 +640,9 @@ Result<Value> Machine::run() {
                     "call depth exceeds the frame limit of " +
                         std::to_string(Lim.MaxFrames));
       Frames.push_back(Frame{Clo->Code, 0, Stack.size() - N, Clo});
+      // The callee may be decodable even though the caller was not.
+      if (UseDecoded && decodedFor(*Frames.back().Code))
+        return std::nullopt;
       break;
     }
     case Op::TailCall: {
@@ -293,6 +669,8 @@ Result<Value> Machine::run() {
       F.PC = 0;
       F.Closure = Clo;
       // F.Base unchanged.
+      if (UseDecoded && decodedFor(*F.Code))
+        return std::nullopt;
       break;
     }
     case Op::Return: {
@@ -304,6 +682,8 @@ Result<Value> Machine::run() {
       Frames.pop_back();
       if (Frames.empty())
         return Result;
+      if (UseDecoded && decodedFor(*Frames.back().Code))
+        return std::nullopt;
       break;
     }
     case Op::Jump: {

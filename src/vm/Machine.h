@@ -24,6 +24,7 @@
 
 #include "support/Error.h"
 #include "vm/Code.h"
+#include "vm/Profile.h"
 #include "vm/Trap.h"
 
 #include <optional>
@@ -70,6 +71,20 @@ public:
   /// Cumulative across the machine's lifetime.
   uint64_t instructionsExecuted() const { return Executed; }
 
+  /// Selects the dispatch strategy. On (the default), frames whose code
+  /// pre-decodes cleanly run on the fixed-width fast loop; anything else
+  /// falls back to the byte interpreter per code object. Off reproduces
+  /// the original byte-at-a-time loop for every frame (the seed baseline
+  /// the benchmarks compare against). Both paths report identical traps.
+  void setDecodedDispatch(bool On) { UseDecoded = On; }
+  bool decodedDispatch() const { return UseDecoded; }
+
+  /// Attaches (or detaches, with null) an execution profile. The pointer
+  /// must outlive the machine or a later setProfile(nullptr). Counters
+  /// accumulate across calls; the caller resets them.
+  void setProfile(Profile *P) { Prof = P; }
+  Profile *profile() const { return Prof; }
+
   /// The structured context of the most recent trap, cleared at the start
   /// of every call().
   const std::optional<Trap> &lastTrap() const { return LastTrap; }
@@ -86,7 +101,23 @@ private:
     ClosureObject *Closure; // null for zero-capture procedures
   };
 
+  /// Outer dispatcher: picks the loop matching the top frame's decode
+  /// state and bounces between them at frame switches.
   Result<Value> run();
+
+  /// The original byte-at-a-time interpreter (exact seed semantics).
+  /// Returns nullopt when the top frame switched to pre-decoded code and
+  /// decoded dispatch is on (the dispatcher re-enters the fast loop).
+  std::optional<Result<Value>> runBytes();
+
+  /// The fast loop over pre-decoded instructions; Profiling selects a
+  /// counter-updating instantiation so the default build pays nothing.
+  /// Returns nullopt when the top frame switched to fallback code.
+  template <bool Profiling> std::optional<Result<Value>> runDecoded();
+
+  /// CodeObject::decoded() with first-decode latency attributed to the
+  /// profile when one is attached.
+  const DecodedStream *decodedFor(const CodeObject &C);
 
   /// Records \p K with the current execution context (function, pc of the
   /// faulting instruction, opcode) in LastTrap and returns it as an Error.
@@ -107,6 +138,8 @@ private:
   std::optional<Trap> LastTrap;
   size_t TrapPC = Trap::NoPC; ///< pc of the instruction being executed
   int TrapOp = -1;            ///< its raw opcode byte, -1 before decode
+  bool UseDecoded = true;     ///< dispatch strategy (see setDecodedDispatch)
+  Profile *Prof = nullptr;    ///< optional counters, not owned
 };
 
 } // namespace vm

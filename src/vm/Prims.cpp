@@ -76,12 +76,12 @@ Result<Value> vm::applyPrim(PrimOp Op, Heap &H, std::span<const Value> Args) {
       if (*B == 0)
         return trapError(TrapKind::DivideByZero,
                          "quotient: division by zero");
-      return Value::fixnum(*A / *B);
+      return Value::fixnum(fixnumWrapQuotient(*A, *B));
     case PrimOp::Remainder:
       if (*B == 0)
         return trapError(TrapKind::DivideByZero,
                          "remainder: division by zero");
-      return Value::fixnum(*A % *B);
+      return Value::fixnum(fixnumWrapRemainder(*A, *B));
     default:
       break;
     }

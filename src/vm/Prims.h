@@ -24,6 +24,25 @@ namespace vm {
 /// error primitive produce an Error result.
 Result<Value> applyPrim(PrimOp Op, Heap &H, std::span<const Value> Args);
 
+/// Truncating division with the same wraparound convention Add/Sub/Mul
+/// use: the one overflowing pair, INT64_MIN / -1, yields the wrapped
+/// INT64_MIN instead of undefined behavior. \p B must be nonzero (the
+/// caller traps DivideByZero first).
+inline int64_t fixnumWrapQuotient(int64_t A, int64_t B) {
+  if (B == -1)
+    return static_cast<int64_t>(-static_cast<uint64_t>(A));
+  return A / B;
+}
+
+/// Remainder counterpart: INT64_MIN % -1 is mathematically 0 but still
+/// undefined behavior on x86 (the paired idiv traps), so it is special-
+/// cased. \p B must be nonzero.
+inline int64_t fixnumWrapRemainder(int64_t A, int64_t B) {
+  if (B == -1)
+    return 0;
+  return A % B;
+}
+
 } // namespace vm
 } // namespace pecomp
 

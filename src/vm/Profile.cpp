@@ -1,0 +1,47 @@
+//===- vm/Profile.cpp - VM execution profiling ----------------------------===//
+
+#include "vm/Profile.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace pecomp;
+using namespace pecomp::vm;
+
+std::string Profile::report() const {
+  const uint64_t Total = instructions();
+
+  // Opcodes sorted by execution count, zero rows omitted.
+  std::array<size_t, NumOpcodes> Order;
+  for (size_t I = 0; I < NumOpcodes; ++I)
+    Order[I] = I;
+  std::stable_sort(Order.begin(), Order.end(),
+                   [&](size_t A, size_t B) { return OpCount[A] > OpCount[B]; });
+
+  std::string Out = "vm profile:\n";
+  char Line[128];
+  for (size_t I : Order) {
+    if (!OpCount[I])
+      continue;
+    double Pct = Total ? 100.0 * static_cast<double>(OpCount[I]) /
+                             static_cast<double>(Total)
+                       : 0.0;
+    snprintf(Line, sizeof(Line), "  %-12s %12llu  %5.1f%%\n",
+             opMnemonic(static_cast<Op>(I)),
+             static_cast<unsigned long long>(OpCount[I]), Pct);
+    Out += Line;
+  }
+  snprintf(Line, sizeof(Line),
+           "  total        %12llu instruction(s)\n",
+           static_cast<unsigned long long>(Total));
+  Out += Line;
+  snprintf(Line, sizeof(Line), "  calls %llu, traps %llu\n",
+           static_cast<unsigned long long>(Calls),
+           static_cast<unsigned long long>(Traps));
+  Out += Line;
+  snprintf(Line, sizeof(Line), "  decode %.3f ms, exec %.3f ms\n",
+           static_cast<double>(DecodeNanos) / 1e6,
+           static_cast<double>(ExecNanos) / 1e6);
+  Out += Line;
+  return Out;
+}

@@ -1,0 +1,414 @@
+//===- tests/DecodedDispatchTest.cpp - Pre-decoded dispatch parity ----------===//
+///
+/// \file
+/// The pre-decoded fast loop (vm/Decode.cpp + Machine::runDecoded) against
+/// the byte interpreter it replaces: both dispatch strategies must produce
+/// identical values, identical trap contexts (kind, faulting pc, opcode),
+/// and identical instruction counts; code that does not decode cleanly must
+/// fall back to the byte loop and interoperate with decoded callers in the
+/// same call stack.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "vm/Prims.h"
+#include "vm/Profile.h"
+#include "vm/Trap.h"
+
+using namespace pecomp;
+using namespace pecomp::test;
+using vm::Op;
+using vm::TrapKind;
+using vm::Value;
+
+namespace {
+
+/// Appends a little-endian u16 operand.
+void emitU16(std::vector<uint8_t> &Code, uint16_t V) {
+  Code.push_back(static_cast<uint8_t>(V & 0xff));
+  Code.push_back(static_cast<uint8_t>(V >> 8));
+}
+
+/// Everything one engine run produces, for cross-mode comparison.
+struct RunOutcome {
+  Result<Value> R = Result<Value>(Value::nil());
+  std::optional<vm::Trap> Trap;
+  uint64_t Instructions = 0;
+};
+
+struct RunLimits {
+  uint64_t Fuel = 50'000'000;
+  size_t MaxFrames = 0;
+  size_t MaxHeapBytes = 0;
+};
+
+/// Compiles \p Source (ANF pipeline, verified link) and calls (Fn Arg) on a
+/// machine pinned to one dispatch strategy, with a profile attached so the
+/// comparison covers instruction counts as well as results.
+RunOutcome runWithDispatch(World &W, const std::string &Source, const char *Fn,
+                           Value Arg, const RunLimits &Lim, bool Decoded) {
+  RunOutcome Out;
+  auto P = W.parseAnf(Source);
+  if (!P) {
+    Out.R = P.takeError();
+    return Out;
+  }
+  vm::CodeStore Store(W.Heap);
+  vm::GlobalTable Globals;
+  compiler::Compilators Comp(Store, Globals);
+  compiler::AnfCompiler AC(Comp);
+  compiler::CompiledProgram CP = AC.compileProgram(*P);
+  vm::Machine M(W.Heap);
+  vm::Limits L;
+  L.Fuel = Lim.Fuel;
+  if (Lim.MaxFrames)
+    L.MaxFrames = Lim.MaxFrames;
+  L.MaxHeapBytes = Lim.MaxHeapBytes;
+  M.setLimits(L);
+  M.setDecodedDispatch(Decoded);
+  vm::Profile Prof;
+  M.setProfile(&Prof);
+  auto Linked = compiler::linkProgramVerified(M, Globals, CP);
+  if (!Linked) {
+    Out.R = Linked.takeError();
+    return Out;
+  }
+  Out.R = W.pinned(
+      compiler::callGlobal(M, Globals, Symbol::intern(Fn), {{Arg}}));
+  Out.Trap = M.lastTrap();
+  Out.Instructions = Prof.instructions();
+  return Out;
+}
+
+// -- Value parity -----------------------------------------------------------
+
+struct ValueCase {
+  const char *Name;
+  const char *Source;
+  const char *Fn;
+  int64_t Arg;
+  const char *Expected; // datum
+};
+
+const ValueCase ValueCases[] = {
+    {"fib",
+     "(define (fib n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))",
+     "fib", 15, "610"},
+    {"tail_loop",
+     "(define (count n acc) (if (zero? n) acc (count (- n 1) (+ acc 1))))"
+     "(define (go n) (count n 0))",
+     "go", 10000, "10000"},
+    {"closures",
+     "(define (adder k) (lambda (x) (+ x k)))"
+     "(define (go n) (+ ((adder 1) n) ((adder 2) n)))",
+     "go", 10, "23"},
+    {"list_build",
+     "(define (iota n) (if (zero? n) '() (cons n (iota (- n 1)))))"
+     "(define (go n) (car (iota n)))",
+     "go", 64, "64"},
+    {"higher_order",
+     "(define (twice f x) (f (f x)))"
+     "(define (go n) (twice (lambda (x) (* x x)) n))",
+     "go", 3, "81"},
+};
+
+class ValueParity : public ::testing::TestWithParam<ValueCase> {};
+
+TEST_P(ValueParity, BothDispatchModesAgreeOnValueAndInsnCount) {
+  const ValueCase &C = GetParam();
+  World W;
+  RunOutcome Fast =
+      runWithDispatch(W, C.Source, C.Fn, W.num(C.Arg), {}, true);
+  RunOutcome Bytes =
+      runWithDispatch(W, C.Source, C.Fn, W.num(C.Arg), {}, false);
+  ASSERT_TRUE(Fast.R.ok()) << Fast.R.error().render();
+  ASSERT_TRUE(Bytes.R.ok()) << Bytes.R.error().render();
+  expectValueEq(*Fast.R, W.value(C.Expected));
+  expectValueEq(*Bytes.R, *Fast.R);
+  // Pre-decoding changes how instructions are fetched, never how many run.
+  EXPECT_EQ(Fast.Instructions, Bytes.Instructions);
+  EXPECT_GT(Fast.Instructions, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Decoded, ValueParity, ::testing::ValuesIn(ValueCases),
+                         [](const auto &Info) {
+                           return std::string(Info.param.Name);
+                         });
+
+// -- Trap parity ------------------------------------------------------------
+
+struct TrapCase {
+  const char *Name;
+  const char *Source;
+  const char *Fn;
+  int64_t Arg;
+  TrapKind Expected;
+  RunLimits Lim;
+};
+
+const TrapCase TrapCases[] = {
+    {"undefined_global",
+     "(define (f x) (mystery x))", "f", 1,
+     TrapKind::UndefinedGlobal, {}},
+    {"non_procedure_application",
+     "(define (f x) (x 1))", "f", 5,
+     TrapKind::TypeError, {}},
+    {"car_of_a_number",
+     "(define (f x) (car x))", "f", 5,
+     TrapKind::TypeError, {}},
+    {"quotient_by_zero",
+     "(define (f x) (quotient 10 x))", "f", 0,
+     TrapKind::DivideByZero, {}},
+    {"divergence_exhausts_fuel",
+     "(define (f x) (f x))", "f", 0,
+     TrapKind::FuelExhausted, {/*Fuel=*/20'000}},
+    {"deep_recursion_overflows_frames",
+     "(define (f n) (if (zero? n) 0 (+ 1 (f (- n 1)))))", "f", 100000,
+     TrapKind::FrameOverflow, {50'000'000, /*MaxFrames=*/128, 0}},
+    {"allocation_exhausts_heap",
+     "(define (f n) (if (zero? n) '() (cons n (f (- n 1)))))", "f", 200000,
+     TrapKind::HeapExhausted, {50'000'000, 0, /*MaxHeapBytes=*/256 * 1024}},
+};
+
+class TrapParity : public ::testing::TestWithParam<TrapCase> {};
+
+TEST_P(TrapParity, BothDispatchModesReportTheSameTrapContext) {
+  const TrapCase &C = GetParam();
+  World W;
+  RunOutcome Fast =
+      runWithDispatch(W, C.Source, C.Fn, W.num(C.Arg), C.Lim, true);
+  RunOutcome Bytes =
+      runWithDispatch(W, C.Source, C.Fn, W.num(C.Arg), C.Lim, false);
+
+  ASSERT_FALSE(Fast.R.ok()) << "decoded loop unexpectedly succeeded";
+  ASSERT_FALSE(Bytes.R.ok()) << "byte loop unexpectedly succeeded";
+  ASSERT_TRUE(Fast.Trap.has_value());
+  ASSERT_TRUE(Bytes.Trap.has_value());
+  EXPECT_EQ(Fast.Trap->Kind, C.Expected) << Fast.R.error().render();
+
+  // The exact trap context — not just the class — must match: kind,
+  // faulting function, byte pc, and raw opcode.
+  EXPECT_EQ(Fast.Trap->Kind, Bytes.Trap->Kind);
+  EXPECT_EQ(Fast.Trap->Function, Bytes.Trap->Function);
+  EXPECT_EQ(Fast.Trap->PC, Bytes.Trap->PC);
+  EXPECT_EQ(Fast.Trap->Opcode, Bytes.Trap->Opcode);
+  EXPECT_EQ(Fast.R.error().message(), Bytes.R.error().message());
+  EXPECT_EQ(Fast.Instructions, Bytes.Instructions);
+}
+
+INSTANTIATE_TEST_SUITE_P(Decoded, TrapParity, ::testing::ValuesIn(TrapCases),
+                         [](const auto &Info) {
+                           return std::string(Info.param.Name);
+                         });
+
+// -- Decoder strictness and fallback ----------------------------------------
+
+class DecodedDispatchTest : public ::testing::Test {
+protected:
+  DecodedDispatchTest() : Store(W.Heap), M(W.Heap) { M.setFuel(1'000'000); }
+
+  const vm::CodeObject *raw(const char *Name, uint32_t Arity,
+                            std::vector<uint8_t> Bytes,
+                            std::vector<Value> Literals = {}) {
+    vm::CodeObject *Code = Store.create(Name, Arity);
+    Code->mutableCode() = std::move(Bytes);
+    for (Value V : Literals)
+      Code->addLiteral(V);
+    return Code;
+  }
+
+  World W;
+  vm::CodeStore Store;
+  vm::Machine M;
+};
+
+TEST_F(DecodedDispatchTest, DecoderRejectsIrregularStreams) {
+  // Each of these must refuse to pre-decode; the cache must remember the
+  // refusal (Fallback state) rather than re-attempting.
+  const vm::CodeObject *Empty = raw("empty", 0, {});
+  EXPECT_EQ(Empty->decoded(), nullptr);
+  EXPECT_TRUE(Empty->decodeAttempted());
+  EXPECT_EQ(Empty->decoded(), nullptr);
+
+  // Unknown opcode byte.
+  EXPECT_EQ(raw("junk", 0, {0xff})->decoded(), nullptr);
+
+  // Truncated operand: Const wants a u16 but only one byte follows.
+  EXPECT_EQ(raw("trunc", 0,
+                {static_cast<uint8_t>(Op::Const), 0x00})
+                ->decoded(),
+            nullptr);
+
+  // Const literal index beyond the literal table.
+  {
+    std::vector<uint8_t> B;
+    B.push_back(static_cast<uint8_t>(Op::Const));
+    emitU16(B, 3);
+    B.push_back(static_cast<uint8_t>(Op::Return));
+    EXPECT_EQ(raw("badlit", 0, std::move(B), {Value::fixnum(1)})->decoded(),
+              nullptr);
+  }
+
+  // Jump target landing inside another instruction's operand bytes.
+  {
+    std::vector<uint8_t> B;
+    B.push_back(static_cast<uint8_t>(Op::Jump));
+    emitU16(B, 1); // next pc 3, target 4: inside the Const below
+    B.push_back(static_cast<uint8_t>(Op::Const));
+    emitU16(B, 0);
+    B.push_back(static_cast<uint8_t>(Op::Return));
+    EXPECT_EQ(raw("midjump", 0, std::move(B), {Value::fixnum(1)})->decoded(),
+              nullptr);
+  }
+
+  // Fall-through off the end of the stream (non-terminator last insn).
+  {
+    std::vector<uint8_t> B;
+    B.push_back(static_cast<uint8_t>(Op::Const));
+    emitU16(B, 0);
+    EXPECT_EQ(raw("falloff", 0, std::move(B), {Value::fixnum(1)})->decoded(),
+              nullptr);
+  }
+}
+
+TEST_F(DecodedDispatchTest, WellFormedStreamsDecodeWithResolvedTargets) {
+  std::vector<uint8_t> B;
+  B.push_back(static_cast<uint8_t>(Op::Const)); // pc 0 -> index 0
+  emitU16(B, 0);
+  B.push_back(static_cast<uint8_t>(Op::JumpIfFalse)); // pc 3 -> index 1
+  emitU16(B, 4);                                      // target pc 10
+  B.push_back(static_cast<uint8_t>(Op::Const)); // pc 6 -> index 2
+  emitU16(B, 0);
+  B.push_back(static_cast<uint8_t>(Op::Return)); // pc 9 -> index 3
+  B.push_back(static_cast<uint8_t>(Op::Const));  // pc 10 -> index 4
+  emitU16(B, 1);
+  B.push_back(static_cast<uint8_t>(Op::Return)); // pc 13 -> index 5
+
+  const vm::CodeObject *Code = raw("wf", 0, std::move(B),
+                                   {Value::boolean(false), Value::fixnum(9)});
+  const vm::DecodedStream *DS = Code->decoded();
+  ASSERT_NE(DS, nullptr);
+  ASSERT_EQ(DS->Insns.size(), 6u);
+  EXPECT_EQ(DS->Insns[1].Opcode, Op::JumpIfFalse);
+  EXPECT_EQ(DS->Insns[1].Target, 4); // resolved to a decoded index
+  EXPECT_EQ(DS->Insns[1].NextPC, 6u);
+  EXPECT_EQ(DS->indexOf(10), 4u);
+  // The cache hands back the same stream on every query.
+  EXPECT_EQ(Code->decoded(), DS);
+
+  // And the machine runs it to the jump-taken answer.
+  Result<Value> R = M.call(M.makeProcedure(Code), {});
+  ASSERT_TRUE(R.ok()) << R.error().render();
+  expectValueEq(*R, Value::fixnum(9));
+}
+
+TEST_F(DecodedDispatchTest, FallbackCalleeInteroperatesWithDecodedCaller) {
+  // The callee is perfectly runnable but carries a junk byte after its
+  // Return, so linear pre-decode refuses it and it must execute on the
+  // byte loop — while its caller runs on the decoded fast path.
+  std::vector<uint8_t> CB;
+  CB.push_back(static_cast<uint8_t>(Op::LocalRef));
+  emitU16(CB, 0);
+  CB.push_back(static_cast<uint8_t>(Op::Return));
+  CB.push_back(0xff); // unreachable junk: decode-fail, run-fine
+  const vm::CodeObject *Callee = raw("callee", 1, std::move(CB));
+  ASSERT_EQ(Callee->decoded(), nullptr);
+
+  std::vector<uint8_t> B;
+  B.push_back(static_cast<uint8_t>(Op::Const)); // push callee closure
+  emitU16(B, 0);
+  B.push_back(static_cast<uint8_t>(Op::Const)); // push the argument
+  emitU16(B, 1);
+  B.push_back(static_cast<uint8_t>(Op::Call));
+  B.push_back(1);
+  B.push_back(static_cast<uint8_t>(Op::Return));
+  const vm::CodeObject *Caller =
+      raw("caller", 0, std::move(B),
+          {M.makeProcedure(Callee), Value::fixnum(42)});
+  ASSERT_NE(Caller->decoded(), nullptr);
+
+  vm::Profile Prof;
+  M.setProfile(&Prof);
+  Result<Value> R = M.call(M.makeProcedure(Caller), {});
+  M.setProfile(nullptr);
+  ASSERT_TRUE(R.ok()) << R.error().render();
+  expectValueEq(*R, Value::fixnum(42));
+
+  // Both halves of the mixed-mode run are visible in one profile:
+  // caller Const,Const,Call,Return on the fast loop; callee
+  // LocalRef,Return on the byte loop.
+  EXPECT_EQ(Prof.instructions(), 6u);
+  EXPECT_EQ(Prof.OpCount[static_cast<size_t>(Op::Const)], 2u);
+  EXPECT_EQ(Prof.OpCount[static_cast<size_t>(Op::Call)], 1u);
+  EXPECT_EQ(Prof.OpCount[static_cast<size_t>(Op::LocalRef)], 1u);
+  EXPECT_EQ(Prof.OpCount[static_cast<size_t>(Op::Return)], 2u);
+  EXPECT_EQ(Prof.Calls, 1u);
+  EXPECT_EQ(Prof.Traps, 0u);
+
+  // The report names the opcodes it counted.
+  std::string Report = Prof.report();
+  EXPECT_NE(Report.find("Const"), std::string::npos);
+  EXPECT_NE(Report.find("Return"), std::string::npos);
+}
+
+TEST_F(DecodedDispatchTest, FallbackCallerCanCallDecodedCallee) {
+  // The inverse mixing: a byte-loop caller (junk tail) invoking a cleanly
+  // decodable callee, round-tripping through both dispatch loops.
+  std::vector<uint8_t> CB;
+  CB.push_back(static_cast<uint8_t>(Op::LocalRef));
+  emitU16(CB, 0);
+  CB.push_back(static_cast<uint8_t>(Op::Prim));
+  CB.push_back(static_cast<uint8_t>(PrimOp::ZeroP));
+  CB.push_back(static_cast<uint8_t>(Op::Return));
+  const vm::CodeObject *Callee = raw("callee", 1, std::move(CB));
+  ASSERT_NE(Callee->decoded(), nullptr);
+
+  std::vector<uint8_t> B;
+  B.push_back(static_cast<uint8_t>(Op::Const));
+  emitU16(B, 0);
+  B.push_back(static_cast<uint8_t>(Op::Const));
+  emitU16(B, 1);
+  B.push_back(static_cast<uint8_t>(Op::Call));
+  B.push_back(1);
+  B.push_back(static_cast<uint8_t>(Op::Return));
+  B.push_back(0xff); // decode-fail tail
+  const vm::CodeObject *Caller =
+      raw("caller", 0, std::move(B),
+          {M.makeProcedure(Callee), Value::fixnum(0)});
+  ASSERT_EQ(Caller->decoded(), nullptr);
+
+  Result<Value> R = M.call(M.makeProcedure(Caller), {});
+  ASSERT_TRUE(R.ok()) << R.error().render();
+  expectValueEq(*R, Value::boolean(true));
+}
+
+TEST_F(DecodedDispatchTest, ProfilePhaseTimersAccumulate) {
+  // Timing is wall-clock and can legitimately round to zero for tiny
+  // runs; what must hold is that the exec timer is engaged by call() and
+  // that reset() clears everything.
+  vm::Profile Prof;
+  Prof.OpCount[0] = 7;
+  Prof.Calls = 2;
+  Prof.ExecNanos = 5;
+  Prof.reset();
+  EXPECT_EQ(Prof.instructions(), 0u);
+  EXPECT_EQ(Prof.Calls, 0u);
+  EXPECT_EQ(Prof.ExecNanos, 0u);
+
+  M.setProfile(&Prof);
+  std::vector<uint8_t> B;
+  B.push_back(static_cast<uint8_t>(Op::Const));
+  emitU16(B, 0);
+  B.push_back(static_cast<uint8_t>(Op::Return));
+  Result<Value> R =
+      M.call(M.makeProcedure(raw("tiny", 0, std::move(B),
+                                 {Value::fixnum(1)})),
+             {});
+  M.setProfile(nullptr);
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(Prof.Calls, 1u);
+  EXPECT_EQ(Prof.instructions(), 2u);
+}
+
+} // namespace

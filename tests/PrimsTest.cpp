@@ -10,6 +10,11 @@
 
 #include "TestUtil.h"
 
+#include "vm/Prims.h"
+
+#include <cstdint>
+#include <limits>
+
 using namespace pecomp;
 using namespace pecomp::test;
 
@@ -108,6 +113,78 @@ INSTANTIATE_TEST_SUITE_P(Prims, PrimDifferential,
                          [](const auto &Info) {
                            return std::string(Info.param.Name);
                          });
+
+// -- Fixnum edge cases ------------------------------------------------------
+
+// The INT64_MIN / -1 quotient is the one int64 division with no
+// representable result; the wrap helpers must pin its value (two's
+// complement negation, remainder zero) instead of leaving it undefined.
+// These call the helpers directly because 63-bit fixnum payloads can
+// never deliver INT64_MIN to applyPrim at runtime.
+TEST(FixnumEdges, WrapHelpersPinInt64MinOverMinusOne) {
+  constexpr int64_t Min = std::numeric_limits<int64_t>::min();
+  constexpr int64_t Max = std::numeric_limits<int64_t>::max();
+  EXPECT_EQ(vm::fixnumWrapQuotient(Min, -1), Min);
+  EXPECT_EQ(vm::fixnumWrapRemainder(Min, -1), 0);
+  // -1 divisors away from the singular point still mean plain negation.
+  EXPECT_EQ(vm::fixnumWrapQuotient(Max, -1), -Max);
+  EXPECT_EQ(vm::fixnumWrapRemainder(Max, -1), 0);
+  EXPECT_EQ(vm::fixnumWrapQuotient(7, -1), -7);
+  // And ordinary divisions are untouched by the wrap convention.
+  EXPECT_EQ(vm::fixnumWrapQuotient(-17, 5), -3);
+  EXPECT_EQ(vm::fixnumWrapRemainder(-17, 5), -2);
+  EXPECT_EQ(vm::fixnumWrapQuotient(Min, 2), Min / 2);
+  EXPECT_EQ(vm::fixnumWrapRemainder(Min + 1, -1), 0);
+}
+
+// Sweeps every pair of 63-bit payload edges through all five arithmetic
+// prims on all three engines. The engines share applyPrim, so this pins
+// the wrap behavior (including quotient at the fixnum minimum over -1,
+// which overflows the 63-bit payload and must wrap identically
+// everywhere) rather than letting each path drift.
+TEST(FixnumEdges, EdgeSweepAgreesAcrossEngines) {
+  constexpr int64_t FixMin = -(int64_t{1} << 62);
+  constexpr int64_t FixMax = (int64_t{1} << 62) - 1;
+  const int64_t Edges[] = {FixMin, FixMin + 1, -17, -2, -1, 0,
+                           1,      2,          17,  FixMax - 1, FixMax};
+  const struct {
+    const char *Name;
+    const char *Source;
+  } Ops[] = {
+      {"+", "(define (go a b) (+ a b))"},
+      {"-", "(define (go a b) (- a b))"},
+      {"*", "(define (go a b) (* a b))"},
+      {"quotient", "(define (go a b) (quotient a b))"},
+      {"remainder", "(define (go a b) (remainder a b))"},
+  };
+
+  World W;
+  for (const auto &OpCase : Ops) {
+    PECOMP_UNWRAP(P, W.parse(OpCase.Source));
+    for (int64_t A : Edges) {
+      for (int64_t B : Edges) {
+        SCOPED_TRACE(std::string("(") + OpCase.Name + " " +
+                     std::to_string(A) + " " + std::to_string(B) + ")");
+        std::vector<vm::Value> Args = {W.num(A), W.num(B)};
+        Result<vm::Value> Ref = W.evalCall(P, "go", Args);
+        Result<vm::Value> Stock = W.runStock(P, "go", Args);
+        Result<vm::Value> Anf = W.runAnf(P, "go", Args);
+        ASSERT_EQ(Ref.ok(), Stock.ok());
+        ASSERT_EQ(Ref.ok(), Anf.ok());
+        if (!Ref.ok())
+          continue; // division by zero — all three agreed on failure
+        expectValueEq(*Stock, *Ref);
+        expectValueEq(*Anf, *Ref);
+        // Quotient/remainder results must equal the wrap helpers after
+        // 63-bit payload truncation.
+        if (OpCase.Name[0] == 'q')
+          expectValueEq(*Ref, W.num(vm::fixnumWrapQuotient(A, B)));
+        else if (OpCase.Name[0] == 'r')
+          expectValueEq(*Ref, W.num(vm::fixnumWrapRemainder(A, B)));
+      }
+    }
+  }
+}
 
 TEST(BoxPrims, BoxLifecycleOnAllEngines) {
   World W;

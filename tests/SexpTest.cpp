@@ -6,6 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cctype>
+#include <cstdint>
+#include <iterator>
+
 using namespace pecomp;
 
 namespace {
@@ -235,6 +239,170 @@ INSTANTIATE_TEST_SUITE_P(
                       RoundTripCase{"#\\x"}, RoundTripCase{"#\\space"},
                       RoundTripCase{"'quoted"},
                       RoundTripCase{"((deep (nest (ing))) fine)"}));
+
+// -- Writer escaping regressions ------------------------------------------------
+//
+// The seed writer emitted \r and other control bytes raw inside string
+// literals and after #\, so write() output did not re-read. These pin
+// the escaped forms.
+
+TEST_F(SexpTest, WritesCarriageReturnEscaped) {
+  EXPECT_EQ(Factory.string("a\rb")->write(), "\"a\\rb\"");
+  EXPECT_EQ(cast<StringDatum>(read("\"a\\rb\""))->value(), "a\rb");
+}
+
+TEST_F(SexpTest, WritesControlBytesAsHexEscapes) {
+  EXPECT_EQ(Factory.string(std::string("\x01\x02", 2))->write(),
+            "\"\\x01;\\x02;\"");
+  EXPECT_EQ(Factory.string("\x7f")->write(), "\"\\x7f;\"");
+  EXPECT_EQ(Factory.string(std::string(1, '\0'))->write(), "\"\\x00;\"");
+  EXPECT_EQ(cast<StringDatum>(read("\"\\x41;\""))->value(), "A");
+  // The ';' terminator keeps a following digit out of the escape.
+  EXPECT_EQ(cast<StringDatum>(read("\"\\x41;7\""))->value(), "A7");
+}
+
+TEST_F(SexpTest, StringWithControlBytesRoundTrips) {
+  std::string Bytes;
+  for (int C = 0; C < 256; ++C)
+    Bytes.push_back(static_cast<char>(C));
+  const Datum *D = Factory.string(Bytes);
+  Result<const Datum *> Back = readDatum(D->write(), Factory);
+  ASSERT_TRUE(Back.ok()) << Back.error().render();
+  EXPECT_EQ(cast<StringDatum>(*Back)->value(), Bytes);
+}
+
+TEST_F(SexpTest, WritesNonPrintableCharsAsHex) {
+  EXPECT_EQ(Factory.charDatum('\r')->write(), "#\\return");
+  EXPECT_EQ(Factory.charDatum('\0')->write(), "#\\x00");
+  EXPECT_EQ(Factory.charDatum('\x1b')->write(), "#\\x1b");
+  EXPECT_EQ(Factory.charDatum('\x7f')->write(), "#\\x7f");
+  EXPECT_EQ(cast<CharDatum>(read("#\\return"))->value(), '\r');
+  EXPECT_EQ(cast<CharDatum>(read("#\\x1b"))->value(), '\x1b');
+  // One-character #\x still reads as the letter x.
+  EXPECT_EQ(cast<CharDatum>(read("#\\x"))->value(), 'x');
+}
+
+TEST_F(SexpTest, EveryCharDatumRoundTrips) {
+  for (int C = 0; C < 256; ++C) {
+    const Datum *D = Factory.charDatum(static_cast<char>(C));
+    Result<const Datum *> Back = readDatum(D->write(), Factory);
+    ASSERT_TRUE(Back.ok()) << "char " << C << " wrote '" << D->write()
+                           << "': " << Back.error().render();
+    EXPECT_EQ(cast<CharDatum>(*Back)->value(), static_cast<char>(C))
+        << "char " << C;
+  }
+}
+
+// -- Reader fixnum range --------------------------------------------------------
+//
+// The seed reader accumulated digits in int64_t, which is signed-overflow
+// UB for INT64_MIN and silently wrapped for longer literals.
+
+TEST_F(SexpTest, ReadsInt64BoundaryLiterals) {
+  EXPECT_EQ(cast<FixnumDatum>(read("9223372036854775807"))->value(),
+            INT64_MAX);
+  EXPECT_EQ(cast<FixnumDatum>(read("-9223372036854775808"))->value(),
+            INT64_MIN);
+}
+
+TEST_F(SexpTest, RejectsOutOfRangeNumberLiterals) {
+  EXPECT_FALSE(readDatum("9223372036854775808", Factory).ok());
+  EXPECT_FALSE(readDatum("-9223372036854775809", Factory).ok());
+  EXPECT_FALSE(readDatum("99999999999999999999999", Factory).ok());
+  EXPECT_FALSE(readDatum("-99999999999999999999999", Factory).ok());
+}
+
+TEST_F(SexpTest, Int64BoundaryLiteralsRoundTrip) {
+  EXPECT_EQ(roundTrip("9223372036854775807"), "9223372036854775807");
+  EXPECT_EQ(roundTrip("-9223372036854775808"), "-9223372036854775808");
+}
+
+// -- Randomized write -> read round-trip property -------------------------------
+
+/// Deterministic xorshift64* so failures reproduce; the standard <random>
+/// engines are distribution-unstable across libstdc++ versions.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed ? Seed : 0x9e3779b97f4a7c15ull) {}
+  uint64_t next() {
+    State ^= State >> 12;
+    State ^= State << 25;
+    State ^= State >> 27;
+    return State * 0x2545f4914f6cdd1dull;
+  }
+  /// Uniform-ish in [0, N).
+  uint64_t below(uint64_t N) { return next() % N; }
+
+private:
+  uint64_t State;
+};
+
+const Datum *randomDatum(Rng &R, DatumFactory &F, unsigned Depth) {
+  // Leaves only at the bottom; shallow trees stay mixed.
+  unsigned Kind = static_cast<unsigned>(R.below(Depth == 0 ? 6 : 8));
+  switch (Kind) {
+  case 0:
+    return F.fixnum(static_cast<int64_t>(R.next()));
+  case 1: {
+    // Boundary-biased fixnums.
+    static const int64_t Edges[] = {0,         1,          -1,
+                                    INT64_MAX, INT64_MIN,  INT64_MIN + 1,
+                                    42,        -123456789, INT64_MAX - 1};
+    return F.fixnum(Edges[R.below(std::size(Edges))]);
+  }
+  case 2:
+    return F.boolean(R.below(2) == 0);
+  case 3: {
+    // Symbols over a conservative alphabet (the writer never escapes
+    // symbol names, so exotic ones are out of round-trip scope).
+    static const char Alphabet[] =
+        "abcdefghijklmnopqrstuvwxyz0123456789-+*/<=>!?";
+    std::string Name(1 + R.below(8), 'a');
+    for (char &C : Name)
+      C = Alphabet[R.below(sizeof(Alphabet) - 1)];
+    if (std::isdigit(static_cast<unsigned char>(Name[0])) ||
+        ((Name[0] == '-' || Name[0] == '+') && Name.size() > 1 &&
+         std::isdigit(static_cast<unsigned char>(Name[1]))))
+      Name.insert(Name.begin(), 'a'); // don't collide with number syntax
+    return F.symbol(Name);
+  }
+  case 4: {
+    // Strings over the full byte range, including NUL and controls.
+    std::string S(R.below(12), '\0');
+    for (char &C : S)
+      C = static_cast<char>(R.below(256));
+    return F.string(std::move(S));
+  }
+  case 5:
+    return F.charDatum(static_cast<char>(R.below(256)));
+  case 6:
+    return F.nil();
+  default: {
+    // Proper or dotted list of up to 4 elements.
+    const Datum *Tail =
+        R.below(4) == 0 ? randomDatum(R, F, 0) : F.nil();
+    for (uint64_t N = R.below(4); N > 0; --N)
+      Tail = F.pair(randomDatum(R, F, Depth - 1), Tail);
+    // A dotted tail needs at least one leading element to be writable
+    // as a list.
+    if (!Tail->isPair() && !Tail->isNil())
+      Tail = F.pair(randomDatum(R, F, Depth - 1), Tail);
+    return Tail;
+  }
+  }
+}
+
+TEST_F(SexpTest, RandomDatumsSurviveWriteReadRoundTrip) {
+  Rng R(20260805);
+  for (int Trial = 0; Trial < 500; ++Trial) {
+    const Datum *D = randomDatum(R, Factory, 3);
+    std::string Written = D->write();
+    Result<const Datum *> Back = readDatum(Written, Factory);
+    ASSERT_TRUE(Back.ok()) << "trial " << Trial << ": '" << Written
+                           << "': " << Back.error().render();
+    EXPECT_TRUE(D->equals(*Back)) << "trial " << Trial << ": " << Written;
+  }
+}
 
 // -- Well-known datums -----------------------------------------------------------
 

@@ -308,6 +308,69 @@ TEST_F(TrapTest, FuelExhaustionIsAClassifiedTrap) {
   expectMachineStillWorks();
 }
 
+TEST_F(TrapTest, FuelBudgetResetsPerCall) {
+  // The documented contract: Fuel is a per-call() budget, so two
+  // successive calls each get the full allowance — the first call's
+  // spending must not starve the second.
+  vm::GlobalTable Globals;
+  compileInto(W, M, Globals, Store,
+              "(define (down n) (if (zero? n) 0 (down (- n 1))))");
+  if (HasFatalFailure())
+    return;
+
+  M.setFuel(5'000);
+  for (int Round = 0; Round < 2; ++Round) {
+    // Each call burns well over half the budget; if FuelUsed carried
+    // over, the second one would trap.
+    Result<Value> R = compiler::callGlobal(
+        M, Globals, Symbol::intern("down"), {{Value::fixnum(400)}});
+    ASSERT_TRUE(R.ok()) << "round " << Round << ": " << R.error().render();
+  }
+
+  // Exhaustion still trips within one call...
+  Result<Value> Spin = compiler::callGlobal(
+      M, Globals, Symbol::intern("down"), {{Value::fixnum(100000)}});
+  expectTrap(Spin, TrapKind::FuelExhausted, "fuel exhausted");
+
+  // ...and the trap does not poison the next call's budget either.
+  Result<Value> After = compiler::callGlobal(
+      M, Globals, Symbol::intern("down"), {{Value::fixnum(400)}});
+  ASSERT_TRUE(After.ok()) << After.error().render();
+}
+
+TEST_F(TrapTest, BackEdgeOnlyLoopsStillChargeFuel) {
+  // A loop made of nothing but a backward jump — no calls, no returns —
+  // must exhaust fuel on both dispatch strategies: the fast loop hoists
+  // the heap/stack probes but deliberately keeps fuel charged per
+  // instruction, so a back-edge can never skip the meter.
+  auto Build = [&](const char *Name) {
+    std::vector<uint8_t> B;
+    B.push_back(static_cast<uint8_t>(Op::Const));
+    emitU16(B, 0);
+    B.push_back(static_cast<uint8_t>(Op::Jump)); // pc 3: jump to itself
+    emitU16(B, static_cast<uint16_t>(-3));
+    return raw(Name, 0, std::move(B), {Value::fixnum(1)});
+  };
+
+  M.setFuel(1'000);
+  Result<Value> Fast = M.call(M.makeProcedure(Build("spin-fast")), {});
+  expectTrap(Fast, TrapKind::FuelExhausted, "fuel exhausted");
+  vm::Trap FastTrap = *M.lastTrap();
+
+  M.setDecodedDispatch(false);
+  Result<Value> Bytes = M.call(M.makeProcedure(Build("spin-bytes")), {});
+  M.setDecodedDispatch(true);
+  expectTrap(Bytes, TrapKind::FuelExhausted, "fuel exhausted");
+
+  // Identical trap context on both loops: the jump instruction's pc,
+  // no opcode (governance fires before decode).
+  EXPECT_EQ(FastTrap.PC, M.lastTrap()->PC);
+  EXPECT_EQ(FastTrap.Opcode, M.lastTrap()->Opcode);
+  EXPECT_EQ(FastTrap.Opcode, -1);
+  EXPECT_EQ(FastTrap.PC, 3u);
+  expectMachineStillWorks();
+}
+
 TEST_F(TrapTest, UnlimitedLimitsDisableEveryCeiling) {
   vm::Limits Lim = vm::Limits::unlimited();
   EXPECT_EQ(Lim.MaxHeapBytes, 0u);

@@ -29,6 +29,7 @@
 #include "pgg/Pgg.h"
 #include "sexp/Reader.h"
 #include "vm/Convert.h"
+#include "vm/Profile.h"
 #include "vm/Trap.h"
 
 #include <algorithm>
@@ -58,7 +59,11 @@ int usage() {
           "[datum...]\n"
           "\n"
           "  --fuel=N       cap executed VM instructions (0 = unlimited)\n"
-          "  --max-heap=N   cap live heap bytes (0 = unlimited)\n");
+          "  --max-heap=N   cap live heap bytes (0 = unlimited)\n"
+          "  --profile      print per-opcode execution counters and phase\n"
+          "                 timings to stderr after run/specrun\n"
+          "  --no-decode    force the byte-at-a-time dispatch loop (the\n"
+          "                 pre-decoded fast loop is the default)\n");
   return 2;
 }
 
@@ -89,6 +94,24 @@ struct Session {
   DatumFactory Datums{AstArena};
   ExprFactory Exprs{AstArena};
   vm::Limits Lim; ///< applied to every machine this invocation creates
+  bool Profiling = false;
+  bool DecodedDispatch = true;
+  vm::Profile Prof;
+
+  /// Applies the session's machine-wide settings.
+  void configure(vm::Machine &M) {
+    M.setLimits(Lim);
+    M.setDecodedDispatch(DecodedDispatch);
+    if (Profiling)
+      M.setProfile(&Prof);
+  }
+
+  /// Prints the accumulated profile to stderr (after the result, so
+  /// stdout stays parseable).
+  void reportProfile() const {
+    if (Profiling)
+      fprintf(stderr, "%s", Prof.report().c_str());
+  }
 
   Result<vm::Value> parseValue(const std::string &Text) {
     Result<const Datum *> D = readDatum(Text, Datums);
@@ -130,15 +153,18 @@ int cmdRun(Session &S, const std::string &File, const std::string &Entry,
   compiler::AnfCompiler AC(Comp);
   compiler::CompiledProgram CP = AC.compileProgram(*P);
   vm::Machine M(S.Heap);
-  M.setLimits(S.Lim);
+  S.configure(M);
   Result<bool> Linked = compiler::linkProgramVerified(M, Globals, CP);
   if (!Linked)
     return fail(Linked.error());
   Result<vm::Value> R =
       compiler::callGlobal(M, Globals, Symbol::intern(Entry), *Args);
-  if (!R)
+  if (!R) {
+    S.reportProfile();
     return fail(R.error());
+  }
   printf("%s\n", vm::valueToString(*R).c_str());
+  S.reportProfile();
   return 0;
 }
 
@@ -263,16 +289,19 @@ int cmdSpecRun(Session &S, const std::string &File, const std::string &Entry,
   if (!DynArgs)
     return fail(DynArgs.error());
   vm::Machine M(S.Heap);
-  M.setLimits(S.Lim);
+  S.configure(M);
   Result<bool> Linked = compiler::linkProgramVerified(M, Globals,
                                                       Obj->Residual);
   if (!Linked)
     return fail(Linked.error());
   Result<vm::Value> R =
       compiler::callGlobal(M, Globals, Obj->Entry, *DynArgs);
-  if (!R)
+  if (!R) {
+    S.reportProfile();
     return fail(R.error());
+  }
   printf("%s\n", vm::valueToString(*R).c_str());
+  S.reportProfile();
   return 0;
 }
 
@@ -306,6 +335,10 @@ int main(int Argc, char **Argv) {
       // Applies to the whole invocation, including code generation
       // phases that run before any machine exists.
       S.Heap.setMaxBytes(S.Lim.MaxHeapBytes);
+    } else if (Opt == "--profile") {
+      S.Profiling = true;
+    } else if (Opt == "--no-decode") {
+      S.DecodedDispatch = false;
     } else {
       return usage();
     }
