@@ -1,20 +1,26 @@
 #!/usr/bin/env bash
 # Builds the paper-figure benchmark harnesses, runs each with JSON output,
-# and merges the results into one machine-readable file (BENCH_pr3.json by
-# default) that also reports the Figure-8 dispatch speedup: byte-loop time
-# over pre-decoded time for the compiled interpreter workloads.
+# and merges the results into one machine-readable file (BENCH_pr4.json by
+# default). The merged document carries two derived blocks next to the raw
+# benchmarks:
+#
+#   fig8_run_speedup    — byte-loop time over pre-decoded time for the
+#                         compiled interpreter workloads (PR 3), and
+#   cache_amortization  — cold generation time over cache-hit time
+#                         (key + lookup + instantiate) per workload (PR 4);
+#                         the acceptance bar is >= 5x on every workload.
 #
 # Usage: scripts/bench-run.sh [--quick] [--build-dir DIR] [--out FILE]
 #   --quick       near-zero measuring budget (smoke the harnesses, numbers
 #                 not meaningful)
 #   --build-dir   build tree to use (default: build)
-#   --out         merged output file (default: BENCH_pr3.json)
+#   --out         merged output file (default: BENCH_pr4.json)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 BUILD_DIR=build
-OUT=BENCH_pr3.json
+OUT=BENCH_pr4.json
 MIN_TIME=0.2
 while [[ "${1:-}" == --* ]]; do
   case "$1" in
@@ -38,7 +44,7 @@ while [[ "${1:-}" == --* ]]; do
 done
 
 HARNESSES=(fig6_generation_speed fig7_compile_residual fig8_rtcg_compilation
-           residual_speedup)
+           residual_speedup amortized_generation rtcg_service_scaling)
 
 cmake -B "$BUILD_DIR" -S . >/dev/null
 cmake --build "$BUILD_DIR" -j "$(nproc)" --target "${HARNESSES[@]}"
@@ -51,30 +57,38 @@ for H in "${HARNESSES[@]}"; do
     --benchmark_min_time="$MIN_TIME" >"$RAW_DIR/$H.json"
 done
 
-# Merge the per-harness JSON into one document. The fig8_run_speedup block
-# divides byte-loop time by decoded time (cpu_time, ns) per workload.
+# Merge the per-harness JSON into one document with the derived ratio
+# blocks (cpu_time, ns, per workload).
 if command -v jq >/dev/null 2>&1; then
   jq -s '
     def t(n): (map(.benchmarks[]) | map(select(.name == n)) | .[0].cpu_time);
     {
-      schema: "pecomp-bench-pr3/v1",
+      schema: "pecomp-bench-pr4/v1",
       context: .[0].context,
       fig8_run_speedup: ({
         MIXWELL: (t("BM_Fig8_Run_Bytes_MIXWELL") / t("BM_Fig8_Run_Decoded_MIXWELL")),
         LAZY: (t("BM_Fig8_Run_Bytes_LAZY") / t("BM_Fig8_Run_Decoded_LAZY")),
         IMP: (t("BM_Fig8_Run_Bytes_IMP") / t("BM_Fig8_Run_Decoded_IMP"))
       }),
+      cache_amortization: ({
+        MIXWELL: (t("BM_Amortized_ColdGeneration_MIXWELL") / t("BM_Amortized_CacheHit_MIXWELL")),
+        LAZY: (t("BM_Amortized_ColdGeneration_LAZY") / t("BM_Amortized_CacheHit_LAZY")),
+        IMP: (t("BM_Amortized_ColdGeneration_IMP") / t("BM_Amortized_CacheHit_IMP"))
+      }),
       benchmarks: (map(.benchmarks) | add)
     }' "$RAW_DIR"/fig6_generation_speed.json \
        "$RAW_DIR"/fig7_compile_residual.json \
        "$RAW_DIR"/fig8_rtcg_compilation.json \
-       "$RAW_DIR"/residual_speedup.json >"$OUT"
+       "$RAW_DIR"/residual_speedup.json \
+       "$RAW_DIR"/amortized_generation.json \
+       "$RAW_DIR"/rtcg_service_scaling.json >"$OUT"
 else
   python3 - "$RAW_DIR" "$OUT" <<'EOF'
 import json, sys
 raw_dir, out = sys.argv[1], sys.argv[2]
 harnesses = ["fig6_generation_speed", "fig7_compile_residual",
-             "fig8_rtcg_compilation", "residual_speedup"]
+             "fig8_rtcg_compilation", "residual_speedup",
+             "amortized_generation", "rtcg_service_scaling"]
 docs = [json.load(open(f"{raw_dir}/{h}.json")) for h in harnesses]
 benches = [b for d in docs for b in d["benchmarks"]]
 times = {b["name"]: b["cpu_time"] for b in benches}
@@ -83,8 +97,14 @@ speedup = {
           times[f"BM_Fig8_Run_Decoded_{lang}"]
     for lang in ("MIXWELL", "LAZY", "IMP")
 }
-json.dump({"schema": "pecomp-bench-pr3/v1", "context": docs[0]["context"],
-           "fig8_run_speedup": speedup, "benchmarks": benches},
+amortization = {
+    lang: times[f"BM_Amortized_ColdGeneration_{lang}"] /
+          times[f"BM_Amortized_CacheHit_{lang}"]
+    for lang in ("MIXWELL", "LAZY", "IMP")
+}
+json.dump({"schema": "pecomp-bench-pr4/v1", "context": docs[0]["context"],
+           "fig8_run_speedup": speedup, "cache_amortization": amortization,
+           "benchmarks": benches},
           open(out, "w"), indent=1)
 open(out, "a").write("\n")
 EOF
@@ -92,5 +112,5 @@ fi
 
 echo "wrote $OUT" >&2
 if command -v jq >/dev/null 2>&1; then
-  jq '.fig8_run_speedup' "$OUT" >&2
+  jq '{fig8_run_speedup, cache_amortization}' "$OUT" >&2
 fi

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Verifies that every repo path named in the documentation exists: a doc
+# that points at src/vm/Machine.h after a rename (or a typo'd test name)
+# is worse than no doc at all. Scans README.md, DESIGN.md, EXPERIMENTS.md,
+# ROADMAP.md, and docs/*.md for path-like tokens under the repo's source
+# directories and checks each against the working tree.
+#
+# A token matches as a file, a directory, or a C++ basename (the docs say
+# "src/pgg/SpecCache" where both SpecCache.h and SpecCache.cpp exist).
+# Generated artifacts (build/, BENCH_*.json) are intentionally out of
+# scope: docs may name outputs that exist only after a build.
+#
+# Usage: scripts/docs-check.sh   (exit 0 = all paths resolve)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+DOCS=(README.md DESIGN.md EXPERIMENTS.md ROADMAP.md docs/*.md)
+
+STATUS=0
+CHECKED=0
+for DOC in "${DOCS[@]}"; do
+  [ -f "$DOC" ] || continue
+  # Path-like tokens rooted at a known source directory. Trailing
+  # punctuation (sentence periods, commas, markdown backticks/parens)
+  # is stripped by the tighter character class + cleanup below.
+  while IFS= read -r P; do
+    # Strip trailing characters that are valid in the regex but are
+    # really sentence punctuation when they end the token.
+    P="${P%.}"
+    CHECKED=$((CHECKED + 1))
+    if [ -e "$P" ] || [ -e "$P.cpp" ] || [ -e "$P.h" ]; then
+      continue
+    fi
+    echo "docs-check: $DOC names missing path: $P" >&2
+    STATUS=1
+  done < <(grep -oE '(src|tests|docs|scripts|bench|tools|examples|testdata)/[A-Za-z0-9_./-]*[A-Za-z0-9_]' "$DOC" | sort -u)
+done
+
+if [ "$CHECKED" -eq 0 ]; then
+  echo "docs-check: no path tokens found — pattern broken?" >&2
+  exit 1
+fi
+echo "docs-check: $CHECKED path references resolve" >&2
+exit "$STATUS"

@@ -3,8 +3,12 @@
 #include "compiler/Link.h"
 
 #include "support/Timer.h"
+#include "vm/Convert.h"
 #include "vm/Trap.h"
 #include "vm/Verify.h"
+
+#include <functional>
+#include <unordered_map>
 
 using namespace pecomp;
 using namespace pecomp::compiler;
@@ -62,4 +66,149 @@ Result<vm::Value> compiler::callGlobal(vm::Machine &M,
   if (!Index)
     return Error("no global named '" + Name.str() + "'");
   return M.call(M.getGlobal(*Index), Args);
+}
+
+//===----------------------------------------------------------------------===//
+// Portable snapshots
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Rough retained-byte estimate of one portable unit. Exactness does not
+/// matter — the cache budget only needs to scale with reality — but the
+/// estimate must count everything that grows (bytes, tables, datum trees).
+size_t datumBytes(const Datum *D) {
+  if (!D)
+    return sizeof(PortableCode::Literal);
+  switch (D->kind()) {
+  case Datum::Kind::String:
+    return sizeof(StringDatum) + cast<StringDatum>(D)->value().size();
+  case Datum::Kind::Pair:
+    return sizeof(PairDatum) + datumBytes(cast<PairDatum>(D)->car()) +
+           datumBytes(cast<PairDatum>(D)->cdr());
+  default:
+    return sizeof(FixnumDatum);
+  }
+}
+
+size_t unitBytes(const PortableCode &U) {
+  size_t N = sizeof(PortableCode) + U.Name.size() + U.Code.size() +
+             U.Children.size() * sizeof(uint32_t) +
+             U.GlobalRelocs.size() * sizeof(uint32_t);
+  for (const PortableCode::Literal &L : U.Literals)
+    N += sizeof(PortableCode::Literal) + datumBytes(L.D);
+  return N;
+}
+
+} // namespace
+
+Result<std::shared_ptr<const PortableProgram>>
+PortableProgram::capture(const CompiledProgram &P,
+                         const vm::GlobalTable &Globals) {
+  std::shared_ptr<PortableProgram> Out(new PortableProgram());
+
+  for (size_t I = 0; I != Globals.size(); ++I)
+    Out->GlobalNames.push_back(Globals.name(static_cast<uint16_t>(I)));
+
+  // Depth-first over the code-object graph; children may be shared, so
+  // each object is captured once and referenced by index.
+  std::unordered_map<const vm::CodeObject *, uint32_t> Index;
+  std::function<Result<uint32_t>(const vm::CodeObject *)> Snapshot =
+      [&](const vm::CodeObject *C) -> Result<uint32_t> {
+    auto It = Index.find(C);
+    if (It != Index.end())
+      return It->second;
+
+    // The decoder doubles as the relocation scanner: it knows every
+    // operand width and rejects exactly the irregular byte streams whose
+    // GlobalRef sites we could not find reliably.
+    const vm::DecodedStream *DS = C->decoded();
+    if (!DS)
+      return makeError("cannot capture '" + C->name() +
+                       "': code does not decode as one instruction stream");
+
+    uint32_t Slot = static_cast<uint32_t>(Out->Units.size());
+    Index.emplace(C, Slot);
+    Out->Units.emplace_back();
+
+    PortableCode U;
+    U.Name = C->name();
+    U.Arity = C->arity();
+    U.Code = C->code();
+    for (vm::Value V : C->literals()) {
+      PortableCode::Literal L;
+      if (!V.isUnspecified()) {
+        L.D = vm::datumFromValue(Out->Datums, V);
+        if (!L.D)
+          return makeError("cannot capture '" + C->name() +
+                           "': literal is not portable data (" +
+                           vm::valueTypeName(V) + ")");
+      }
+      U.Literals.push_back(L);
+    }
+    for (const vm::DecodedInsn &I : DS->Insns) {
+      if (I.Opcode != vm::Op::GlobalRef)
+        continue;
+      if (I.A >= Out->GlobalNames.size())
+        return makeError("cannot capture '" + C->name() +
+                         "': GlobalRef past the global table");
+      U.GlobalRelocs.push_back(I.PC + 1);
+    }
+    for (const vm::CodeObject *Child : C->children()) {
+      Result<uint32_t> ChildSlot = Snapshot(Child);
+      if (!ChildSlot)
+        return ChildSlot.takeError();
+      U.Children.push_back(*ChildSlot);
+    }
+
+    Out->Bytes += unitBytes(U);
+    Out->Units[Slot] = std::move(U);
+    return Slot;
+  };
+
+  for (const auto &[Name, Code] : P.Defs) {
+    Result<uint32_t> Slot = Snapshot(Code);
+    if (!Slot)
+      return Slot.takeError();
+    Out->Defs.emplace_back(Name, *Slot);
+  }
+  Out->Bytes += Out->GlobalNames.size() * sizeof(Symbol) +
+                Out->Defs.size() * sizeof(Out->Defs[0]);
+  return std::shared_ptr<const PortableProgram>(std::move(Out));
+}
+
+CompiledProgram PortableProgram::instantiate(vm::CodeStore &Store,
+                                             vm::GlobalTable &Globals) const {
+  // Pass 1: create every code object so child links can point anywhere.
+  std::vector<vm::CodeObject *> Built;
+  Built.reserve(Units.size());
+  for (const PortableCode &U : Units)
+    Built.push_back(Store.create(U.Name, U.Arity));
+
+  vm::Heap &H = Store.heap();
+  for (size_t I = 0; I != Units.size(); ++I) {
+    const PortableCode &U = Units[I];
+    vm::CodeObject *C = Built[I];
+    C->mutableCode() = U.Code;
+    for (uint32_t Off : U.GlobalRelocs) {
+      uint16_t Old = static_cast<uint16_t>(C->mutableCode()[Off] |
+                                           (C->mutableCode()[Off + 1] << 8));
+      uint16_t New = Globals.lookupOrAdd(GlobalNames[Old]);
+      C->mutableCode()[Off] = static_cast<uint8_t>(New & 0xff);
+      C->mutableCode()[Off + 1] = static_cast<uint8_t>(New >> 8);
+    }
+    for (const PortableCode::Literal &L : U.Literals)
+      // The value is reachable through the code object (already in the
+      // store, whose literals are GC roots) as soon as addLiteral returns,
+      // and no allocation happens in between.
+      C->addLiteral(L.D ? vm::valueFromDatum(H, L.D)
+                        : vm::Value::unspecified());
+    for (uint32_t Child : U.Children)
+      C->addChild(Built[Child]);
+  }
+
+  CompiledProgram Out;
+  for (const auto &[Name, Slot] : Defs)
+    Out.Defs.emplace_back(Name, Built[Slot]);
+  return Out;
 }

@@ -5,14 +5,26 @@
 /// the global table under which it was compiled. Linking instantiates each
 /// definition as a zero-capture procedure in a machine's global vector.
 ///
+/// PortableProgram is the sharable form of a linked unit: a heap- and
+/// machine-independent snapshot (code bytes, literals as datums, global
+/// references by *name*) that can be instantiated into any fresh
+/// CodeStore/GlobalTable/Heap. It is what the cross-run specialization
+/// cache (pgg/SpecCache.h) stores: CodeObjects themselves hold literal
+/// Values owned by one heap and a lazily built decode cache, so they must
+/// not be shared across machines on different heaps or threads — the
+/// portable snapshot is immutable after capture and safe to read
+/// concurrently.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PECOMP_COMPILER_LINK_H
 #define PECOMP_COMPILER_LINK_H
 
+#include "sexp/Datum.h"
 #include "support/Error.h"
 #include "vm/Machine.h"
 
+#include <memory>
 #include <vector>
 
 namespace pecomp {
@@ -41,6 +53,67 @@ Result<bool> linkProgramVerified(vm::Machine &M, vm::GlobalTable &Globals,
 /// Looks up and calls an installed top-level function.
 Result<vm::Value> callGlobal(vm::Machine &M, const vm::GlobalTable &Globals,
                              Symbol Name, std::span<const vm::Value> Args);
+
+/// One code object in portable form: everything needed to rebuild it in a
+/// fresh code store, with no pointers into any heap or machine.
+struct PortableCode {
+  /// A literal slot: a datum in the owning PortableProgram's arena, or
+  /// the unspecified immediate (which has no datum spelling).
+  struct Literal {
+    const Datum *D = nullptr; ///< null means unspecified
+  };
+
+  std::string Name;
+  uint32_t Arity = 0;
+  std::vector<uint8_t> Code;
+  std::vector<Literal> Literals;
+  std::vector<uint32_t> Children; ///< indices into PortableProgram's units
+  /// Byte offsets of GlobalRef u16 operands — the relocation sites whose
+  /// indices are rewritten against the target GlobalTable at
+  /// instantiation (global *names* are the stable vocabulary; slot
+  /// numbers are per-table).
+  std::vector<uint32_t> GlobalRelocs;
+};
+
+/// An immutable, heap-independent snapshot of a CompiledProgram. Capture
+/// once, instantiate any number of times into different machines, heaps,
+/// and threads; concurrent instantiation of one snapshot is safe (it is
+/// read-only after capture).
+class PortableProgram {
+public:
+  /// Snapshots \p P, which must have been compiled under \p Globals (its
+  /// GlobalRef operands index that table). Fails — leaving the program
+  /// uncacheable, not broken — when a definition does not decode as one
+  /// linear instruction stream or carries a non-datum literal (a closure
+  /// or box smuggled into a literal table; the compilers never emit
+  /// those).
+  static Result<std::shared_ptr<const PortableProgram>>
+  capture(const CompiledProgram &P, const vm::GlobalTable &Globals);
+
+  /// Rebuilds the program: fresh CodeObjects in \p Store, literal values
+  /// allocated in \p Store's heap, global references relocated through
+  /// \p Globals (names not yet present are added). The result links and
+  /// runs exactly like the captured original.
+  CompiledProgram instantiate(vm::CodeStore &Store,
+                              vm::GlobalTable &Globals) const;
+
+  /// Approximate retained bytes (code, literals, tables) — the unit the
+  /// specialization cache's byte budget is accounted in.
+  size_t byteSize() const { return Bytes; }
+
+  /// Number of code objects across all definitions (children included).
+  size_t unitCount() const { return Units.size(); }
+
+private:
+  PortableProgram() : Datums(DatumArena) {}
+
+  Arena DatumArena;
+  DatumFactory Datums;
+  std::vector<PortableCode> Units;
+  std::vector<std::pair<Symbol, uint32_t>> Defs; ///< name, root unit index
+  std::vector<Symbol> GlobalNames; ///< the capture-time global table
+  size_t Bytes = 0;
+};
 
 } // namespace compiler
 } // namespace pecomp

@@ -1,0 +1,221 @@
+//===- pgg/RtcgService.cpp - Concurrent specialize-and-run service --------===//
+
+#include "pgg/RtcgService.h"
+
+#include "compiler/Compilators.h"
+#include "sexp/Reader.h"
+#include "support/LargeStack.h"
+#include "vm/Convert.h"
+#include "vm/Trap.h"
+
+#include <unordered_map>
+
+using namespace pecomp;
+using namespace pecomp::pgg;
+
+namespace {
+
+RtcgResponse failResponse(const Error &E, size_t Worker) {
+  RtcgResponse R;
+  R.ErrorText = E.render();
+  R.TrapCode = static_cast<int>(vm::trapKindOf(E));
+  R.Worker = Worker;
+  return R;
+}
+
+} // namespace
+
+/// Everything one worker thread owns. Created on the worker's own thread
+/// so the Heap, the Machine registered on it, and the generating
+/// extensions it hosts never cross a thread boundary; only portable
+/// snapshots do, through the shared cache.
+struct RtcgService::WorkerState {
+  explicit WorkerState(size_t Index) : Index(Index) {}
+
+  size_t Index;
+  vm::Heap Heap;
+  vm::Machine Machine{Heap};
+  /// Cogen results (front end + BTA) reused across this worker's requests
+  /// for the same (program, entry, division); keyed by the same
+  /// fingerprint the shared cache uses. Bounded by the number of distinct
+  /// programs the worker sees.
+  std::unordered_map<uint64_t, std::unique_ptr<GeneratingExtension>> Gens;
+};
+
+RtcgService::RtcgService(RtcgOptions O)
+    : Opts(std::move(O)), Cache(Opts.CacheBytes, Opts.CacheShards) {
+  size_t N = std::max<size_t>(Opts.Threads, 1);
+  Workers.reserve(N);
+  for (size_t I = 0; I != N; ++I)
+    Workers.push_back(
+        std::make_unique<LargeStackThread>([this, I] { workerLoop(I); }));
+}
+
+RtcgService::~RtcgService() {
+  std::deque<Job> Orphans;
+  {
+    std::lock_guard<std::mutex> Lock(QueueM);
+    Stopping = true;
+    Orphans.swap(Queue);
+  }
+  QueueCv.notify_all();
+  for (Job &J : Orphans)
+    J.Promise.set_value(failResponse(makeError("service stopped"), 0));
+  for (auto &W : Workers)
+    W->join();
+}
+
+std::future<RtcgResponse> RtcgService::submit(RtcgRequest Req) {
+  Job J;
+  J.Req = std::move(Req);
+  std::future<RtcgResponse> F = J.Promise.get_future();
+  {
+    std::lock_guard<std::mutex> Lock(QueueM);
+    Queue.push_back(std::move(J));
+  }
+  QueueCv.notify_one();
+  return F;
+}
+
+std::vector<RtcgResponse> RtcgService::serveAll(std::vector<RtcgRequest> Reqs) {
+  std::vector<std::future<RtcgResponse>> Futures;
+  Futures.reserve(Reqs.size());
+  for (RtcgRequest &R : Reqs)
+    Futures.push_back(submit(std::move(R)));
+  std::vector<RtcgResponse> Out;
+  Out.reserve(Futures.size());
+  for (std::future<RtcgResponse> &F : Futures)
+    Out.push_back(F.get());
+  return Out;
+}
+
+void RtcgService::workerLoop(size_t Index) {
+  WorkerState W(Index);
+  W.Machine.setLimits(Opts.Limits);
+  for (;;) {
+    Job J;
+    {
+      std::unique_lock<std::mutex> Lock(QueueM);
+      QueueCv.wait(Lock, [&] { return Stopping || !Queue.empty(); });
+      if (Queue.empty())
+        return; // Stopping, and nothing left to serve
+      J = std::move(Queue.front());
+      Queue.pop_front();
+    }
+    J.Promise.set_value(process(W, J.Req));
+  }
+}
+
+RtcgResponse RtcgService::process(WorkerState &W, const RtcgRequest &Req) {
+  RtcgResponse Resp;
+  Resp.Worker = W.Index;
+
+  // Per-request parse arena; the worker's heap persists across requests,
+  // so request values are rooted only for the request's duration.
+  Arena RequestArena;
+  DatumFactory Datums(RequestArena);
+  vm::RootScope Roots(W.Heap);
+
+  auto ParseValue = [&](const std::string &Text) -> Result<vm::Value> {
+    Result<const Datum *> D = readDatum(Text, Datums);
+    if (!D)
+      return D.takeError();
+    return Roots.protect(vm::valueFromDatum(W.Heap, *D));
+  };
+
+  std::vector<std::optional<vm::Value>> SpecArgs;
+  SpecArgs.reserve(Req.SpecArgs.size());
+  for (const std::string &T : Req.SpecArgs) {
+    if (T == "_") {
+      SpecArgs.emplace_back(std::nullopt);
+      continue;
+    }
+    Result<vm::Value> V = ParseValue(T);
+    if (!V)
+      return failResponse(V.error(), W.Index);
+    SpecArgs.emplace_back(*V);
+  }
+
+  uint64_t Fp = fingerprintProgram(Req.ProgramText, Req.Entry, Req.Division);
+  SpecKey Key = makeSpecKey(Fp, SpecArgs);
+
+  // The request's own code universe: a fresh store and global table, torn
+  // down with the request. The machine's global vector is cleared on
+  // every exit path so nothing outlives the store it points into.
+  vm::CodeStore Store(W.Heap);
+  vm::GlobalTable Globals;
+  struct GlobalsReset {
+    vm::Machine &M;
+    ~GlobalsReset() { M.resetGlobals(); }
+  } ResetG{W.Machine};
+
+  compiler::CompiledProgram CP;
+  Symbol Entry;
+  if (std::shared_ptr<const CachedSpecialization> Hit = Cache.lookup(Key)) {
+    CP = Hit->Residual->instantiate(Store, Globals);
+    Entry = Hit->Entry;
+    Resp.CacheHit = true;
+    Resp.Gen = Hit->Stats;
+  } else {
+    GeneratingExtension *Gen;
+    if (auto It = W.Gens.find(Fp); It != W.Gens.end()) {
+      Gen = It->second.get();
+    } else {
+      Result<std::unique_ptr<GeneratingExtension>> G =
+          GeneratingExtension::create(W.Heap, Req.ProgramText, Req.Entry,
+                                      Req.Division, Opts.Pgg);
+      if (!G)
+        return failResponse(G.error(), W.Index);
+      Gen = (W.Gens[Fp] = std::move(*G)).get();
+    }
+
+    compiler::Compilators Comp(Store, Globals);
+    Result<ResidualObject> Obj = Gen->generateObject(Comp, SpecArgs);
+    if (!Obj) {
+      // A specialization-time heap fault is sticky; restore the worker's
+      // heap so the failure stays confined to this request.
+      if (W.Heap.faulted()) {
+        W.Heap.clearFault();
+        W.Heap.collect();
+      }
+      return failResponse(Obj.error(), W.Index);
+    }
+    Entry = Obj->Entry;
+    Resp.Gen = Obj->Stats;
+    CP = std::move(Obj->Residual);
+
+    // Publish for every worker (and later requests). A program that does
+    // not capture — non-datum literal, irregular code — is simply served
+    // uncached each time.
+    if (Result<std::shared_ptr<const compiler::PortableProgram>> Port =
+            compiler::PortableProgram::capture(CP, Globals)) {
+      auto Cached = std::make_shared<CachedSpecialization>();
+      Cached->Residual = *Port;
+      Cached->Entry = Entry;
+      Cached->Stats = Obj->Stats;
+      Cache.insert(Key, std::move(Cached));
+    }
+  }
+
+  if (Result<bool> Linked =
+          compiler::linkProgramVerified(W.Machine, Globals, CP);
+      !Linked)
+    return failResponse(Linked.error(), W.Index);
+
+  std::vector<vm::Value> RunArgs;
+  RunArgs.reserve(Req.RunArgs.size());
+  for (const std::string &T : Req.RunArgs) {
+    Result<vm::Value> V = ParseValue(T);
+    if (!V)
+      return failResponse(V.error(), W.Index);
+    RunArgs.push_back(*V);
+  }
+
+  Result<vm::Value> R = compiler::callGlobal(W.Machine, Globals, Entry,
+                                             RunArgs);
+  if (!R)
+    return failResponse(R.error(), W.Index);
+  Resp.Ok = true;
+  Resp.Value = vm::valueToString(*R);
+  return Resp;
+}

@@ -1,0 +1,111 @@
+//===- pgg/RtcgService.h - Concurrent specialize-and-run service -*- C++ -*-===//
+///
+/// \file
+/// The serving loop the north star asks for: N specialize-and-run
+/// requests over M worker threads. Each worker owns a full execution
+/// universe — its own vm::Heap, vm::Machine (reused across requests, with
+/// vm::Limits in force), and per-program generating extensions — so
+/// workers share *no* mutable runtime state; the one shared structure is
+/// the SpecCache, whose entries are immutable PortableProgram snapshots
+/// under sharded locks.
+///
+/// A request is fully self-contained text (program, entry, division,
+/// datum arguments), exactly what `pecompc serve` reads per line: the
+/// service parses into the worker's heap, consults the cache, either
+/// relinks the cached unit or runs the generating extension (and
+/// publishes the capture), executes, and renders the result — one cached
+/// specialization serving many executions across many threads.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PECOMP_PGG_RTCGSERVICE_H
+#define PECOMP_PGG_RTCGSERVICE_H
+
+#include "pgg/Pgg.h"
+#include "pgg/SpecCache.h"
+
+#include <deque>
+#include <future>
+#include <memory>
+#include <vector>
+
+namespace pecomp {
+
+class LargeStackThread;
+
+namespace pgg {
+
+/// One specialize-and-run request, all in external (text) form.
+struct RtcgRequest {
+  std::string ProgramText;
+  std::string Entry;
+  std::string Division; ///< "S"/"D" per entry parameter
+  /// One slot per entry parameter: a datum text (static value) or "_"
+  /// (stays a parameter of the residual program).
+  std::vector<std::string> SpecArgs;
+  /// Datum texts for the residual entry's (dynamic) parameters.
+  std::vector<std::string> RunArgs;
+};
+
+struct RtcgResponse {
+  bool Ok = false;
+  std::string Value;     ///< external representation of the result
+  std::string ErrorText; ///< when !Ok
+  int TrapCode = 0;      ///< vm::TrapKind of the failure (0 = none)
+  bool CacheHit = false; ///< specialization served from the cache
+  spec::SpecStats Gen;   ///< generation stats (the cached ones on a hit)
+  size_t Worker = 0;     ///< index of the worker that served it
+};
+
+struct RtcgOptions {
+  size_t Threads = 4;
+  size_t CacheBytes = 64u << 20; ///< 0 = unlimited
+  size_t CacheShards = 8;
+  vm::Limits Limits;             ///< per-worker machine/heap ceilings
+  PggOptions Pgg;
+};
+
+/// Thread-pool driver. submit() never blocks on the work itself; the
+/// destructor drains nothing — outstanding futures are failed with
+/// "service stopped" and workers are joined.
+class RtcgService {
+public:
+  explicit RtcgService(RtcgOptions Opts = {});
+  ~RtcgService();
+  RtcgService(const RtcgService &) = delete;
+  RtcgService &operator=(const RtcgService &) = delete;
+
+  std::future<RtcgResponse> submit(RtcgRequest Req);
+
+  /// Submits every request and waits; responses are in request order.
+  std::vector<RtcgResponse> serveAll(std::vector<RtcgRequest> Reqs);
+
+  SpecCache &cache() { return Cache; }
+  CacheStats cacheStats() const { return Cache.stats(); }
+  size_t threads() const { return Workers.size(); }
+
+private:
+  struct Job {
+    RtcgRequest Req;
+    std::promise<RtcgResponse> Promise;
+  };
+  struct WorkerState; // worker-owned universe, defined in the .cpp
+
+  void workerLoop(size_t Index);
+  RtcgResponse process(WorkerState &W, const RtcgRequest &Req);
+
+  RtcgOptions Opts;
+  SpecCache Cache;
+
+  std::mutex QueueM;
+  std::condition_variable QueueCv;
+  std::deque<Job> Queue;
+  bool Stopping = false;
+
+  std::vector<std::unique_ptr<LargeStackThread>> Workers;
+};
+
+} // namespace pgg
+} // namespace pecomp
+
+#endif // PECOMP_PGG_RTCGSERVICE_H

@@ -1,0 +1,157 @@
+//===- pgg/SpecCache.cpp - Cross-run specialization code cache ------------===//
+
+#include "pgg/SpecCache.h"
+
+#include <cstdio>
+
+using namespace pecomp;
+using namespace pecomp::pgg;
+
+namespace {
+
+constexpr uint64_t FnvOffset = 1469598103934665603ull;
+constexpr uint64_t FnvPrime = 1099511628211ull;
+
+uint64_t fnv1a(uint64_t H, std::string_view Bytes) {
+  for (unsigned char C : Bytes) {
+    H ^= C;
+    H *= FnvPrime;
+  }
+  return H;
+}
+
+uint64_t fnv1aByte(uint64_t H, uint8_t B) {
+  H ^= B;
+  H *= FnvPrime;
+  return H;
+}
+
+} // namespace
+
+uint64_t pgg::fingerprintProgram(std::string_view ProgramText,
+                                 std::string_view Entry,
+                                 std::string_view Division) {
+  uint64_t H = FnvOffset;
+  H = fnv1a(H, ProgramText);
+  H = fnv1aByte(H, 0); // unambiguous field separators
+  H = fnv1a(H, Entry);
+  H = fnv1aByte(H, 0);
+  H = fnv1a(H, Division);
+  return H;
+}
+
+SpecKey pgg::makeSpecKey(uint64_t ProgramFp,
+                         std::span<const std::optional<vm::Value>> Args) {
+  SpecKey K;
+  K.ProgramFp = ProgramFp;
+  K.BtSig.reserve(Args.size());
+  for (const std::optional<vm::Value> &A : Args) {
+    K.BtSig.push_back(A ? 'S' : 'D');
+    if (A) {
+      K.StaticSig += vm::valueToString(*A);
+      K.StaticSig.push_back('\n'); // writes never contain a raw newline
+    }
+  }
+  uint64_t H = FnvOffset;
+  for (int Shift = 0; Shift < 64; Shift += 8)
+    H = fnv1aByte(H, static_cast<uint8_t>(ProgramFp >> Shift));
+  H = fnv1a(H, K.BtSig);
+  H = fnv1aByte(H, 0);
+  H = fnv1a(H, K.StaticSig);
+  K.Hash = H;
+  return K;
+}
+
+std::string CacheStats::report() const {
+  char Buf[256];
+  snprintf(Buf, sizeof(Buf),
+           "spec-cache: %llu hits, %llu misses (%.1f%% hit rate), "
+           "%llu insertions, %llu evictions, %zu entries, %zu/%zu bytes\n",
+           static_cast<unsigned long long>(Hits),
+           static_cast<unsigned long long>(Misses), hitRate() * 100.0,
+           static_cast<unsigned long long>(Insertions),
+           static_cast<unsigned long long>(Evictions), Entries, Bytes,
+           MaxBytes);
+  return Buf;
+}
+
+SpecCache::SpecCache(size_t MaxBytes, size_t NumShards) : MaxBytes(MaxBytes) {
+  if (NumShards == 0)
+    NumShards = 1;
+  ShardBudget = MaxBytes ? std::max<size_t>(MaxBytes / NumShards, 1) : 0;
+  for (size_t I = 0; I != NumShards; ++I)
+    Shards.push_back(std::make_unique<Shard>());
+}
+
+std::shared_ptr<const CachedSpecialization>
+SpecCache::lookup(const SpecKey &Key) {
+  Shard &S = shardFor(Key);
+  std::lock_guard<std::mutex> Lock(S.M);
+  auto It = S.Map.find(Key);
+  if (It == S.Map.end()) {
+    Misses.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  S.Lru.splice(S.Lru.begin(), S.Lru, It->second); // refresh recency
+  Hits.fetch_add(1, std::memory_order_relaxed);
+  return It->second->Value;
+}
+
+void SpecCache::insert(const SpecKey &Key,
+                       std::shared_ptr<const CachedSpecialization> Value) {
+  size_t Bytes = Value ? Value->byteSize() : 0;
+  Shard &S = shardFor(Key);
+  std::lock_guard<std::mutex> Lock(S.M);
+  auto It = S.Map.find(Key);
+  if (It != S.Map.end()) {
+    // Replacement (two threads raced on the same miss): keep the newer
+    // unit, it is the one the inserting thread will run.
+    S.Bytes -= It->second->Bytes;
+    It->second->Value = std::move(Value);
+    It->second->Bytes = Bytes;
+    S.Bytes += Bytes;
+    S.Lru.splice(S.Lru.begin(), S.Lru, It->second);
+  } else {
+    S.Lru.push_front(Entry{Key, std::move(Value), Bytes});
+    S.Map.emplace(Key, S.Lru.begin());
+    S.Bytes += Bytes;
+  }
+  Insertions.fetch_add(1, std::memory_order_relaxed);
+  evictOverBudgetLocked(S);
+}
+
+void SpecCache::evictOverBudgetLocked(Shard &S) {
+  if (!ShardBudget)
+    return;
+  while (S.Bytes > ShardBudget && !S.Lru.empty()) {
+    Entry &Victim = S.Lru.back();
+    S.Bytes -= Victim.Bytes;
+    S.Map.erase(Victim.Key);
+    S.Lru.pop_back();
+    Evictions.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void SpecCache::clear() {
+  for (auto &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S->M);
+    S->Lru.clear();
+    S->Map.clear();
+    S->Bytes = 0;
+  }
+}
+
+CacheStats SpecCache::stats() const {
+  CacheStats Out;
+  Out.Hits = Hits.load(std::memory_order_relaxed);
+  Out.Misses = Misses.load(std::memory_order_relaxed);
+  Out.Insertions = Insertions.load(std::memory_order_relaxed);
+  Out.Evictions = Evictions.load(std::memory_order_relaxed);
+  Out.MaxBytes = MaxBytes;
+  for (const auto &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S->M);
+    Out.Bytes += S->Bytes;
+    Out.Entries += S->Lru.size();
+  }
+  return Out;
+}

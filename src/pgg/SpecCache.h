@@ -1,0 +1,162 @@
+//===- pgg/SpecCache.h - Cross-run specialization code cache ----*- C++ -*-===//
+///
+/// \file
+/// The cross-run, cross-thread memo table over *generating-extension
+/// outputs*. The specializer's internal memoization (Sec. 4's "standard
+/// [30,60]" table) lives for one specialization; a serving RTCG system
+/// re-specializes the same static inputs across requests, so the win has
+/// to persist. This cache stores each specialization's object code as an
+/// immutable compiler::PortableProgram keyed on
+///
+///     (program fingerprint, BT signature, static-value fingerprint)
+///
+/// and hands it back as a sharable unit that relinks into any fresh
+/// Machine/Heap (a cached variant serves many executions). Eviction is
+/// LRU under a byte budget; the table is sharded by key hash so the
+/// RtcgService's workers contend only per shard.
+///
+/// Counters mirror spec::SpecStats in spirit: where SpecStats describes
+/// one generation (unfolds, memoized calls), CacheStats describes the
+/// population of generations (hits, misses, evictions, retained bytes).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PECOMP_PGG_SPECCACHE_H
+#define PECOMP_PGG_SPECCACHE_H
+
+#include "compiler/Link.h"
+#include "spec/Specializer.h"
+
+#include <atomic>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace pecomp {
+namespace pgg {
+
+/// Stable 64-bit fingerprint (FNV-1a) of the program-side of a cache key:
+/// source text, entry name, and requested division. Everything downstream
+/// of these inputs (front end, BTA, effective division) is deterministic,
+/// so they identify the generating extension.
+uint64_t fingerprintProgram(std::string_view ProgramText,
+                            std::string_view Entry,
+                            std::string_view Division);
+
+/// A fully resolved cache key. The static values are keyed by their
+/// canonical external representation (vm::valueToString is injective on
+/// the datum-like values that can be static), so structurally equal
+/// inputs hit regardless of heap identity — including across runs.
+struct SpecKey {
+  uint64_t ProgramFp = 0;
+  std::string BtSig;     ///< division signature, e.g. "SD"
+  std::string StaticSig; ///< canonical writes of the static values
+  uint64_t Hash = 0;     ///< precomputed over all of the above
+
+  bool operator==(const SpecKey &O) const {
+    return ProgramFp == O.ProgramFp && BtSig == O.BtSig &&
+           StaticSig == O.StaticSig;
+  }
+};
+
+/// Builds the key for one request. \p Args follows the
+/// GeneratingExtension convention: engaged = static value, nullopt =
+/// dynamic parameter (the BT signature is derived as S/D per slot).
+SpecKey makeSpecKey(uint64_t ProgramFp,
+                    std::span<const std::optional<vm::Value>> Args);
+
+/// One cached specialization: the relinkable object code plus the
+/// generation-time statistics (so a hit can still report what the
+/// generation it short-circuits had cost).
+struct CachedSpecialization {
+  std::shared_ptr<const compiler::PortableProgram> Residual;
+  Symbol Entry;
+  spec::SpecStats Stats;
+  size_t byteSize() const { return Residual ? Residual->byteSize() : 0; }
+};
+
+/// Aggregate counters, surfaced next to spec::SpecStats by the service
+/// and `pecompc --cache-stats`.
+struct CacheStats {
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  uint64_t Insertions = 0;
+  uint64_t Evictions = 0;
+  size_t Bytes = 0;    ///< currently retained
+  size_t Entries = 0;  ///< currently resident
+  size_t MaxBytes = 0; ///< configured budget (0 = unlimited)
+
+  double hitRate() const {
+    uint64_t Total = Hits + Misses;
+    return Total ? static_cast<double>(Hits) / static_cast<double>(Total) : 0;
+  }
+  /// Multi-line human-readable rendering.
+  std::string report() const;
+};
+
+/// Sharded, byte-budgeted LRU cache of specializations. All methods are
+/// thread safe; entries are immutable and shared out by shared_ptr, so an
+/// eviction never invalidates a unit another thread is instantiating.
+class SpecCache {
+public:
+  /// \p MaxBytes of 0 means unlimited (no eviction). The budget is split
+  /// evenly across \p Shards independent LRU lists.
+  explicit SpecCache(size_t MaxBytes, size_t Shards = 8);
+
+  /// Returns the cached specialization (refreshing its LRU position), or
+  /// null on miss. Counts a hit or a miss.
+  std::shared_ptr<const CachedSpecialization> lookup(const SpecKey &Key);
+
+  /// Inserts (or replaces) \p Value, then evicts least-recently-used
+  /// entries from the shard until it is back under budget. An entry
+  /// larger than a whole shard budget is inserted and immediately
+  /// evicted — the insert still counts, so the stats expose the thrash.
+  void insert(const SpecKey &Key,
+              std::shared_ptr<const CachedSpecialization> Value);
+
+  /// Drops every entry (stats counters are preserved).
+  void clear();
+
+  CacheStats stats() const;
+  size_t maxBytes() const { return MaxBytes; }
+
+private:
+  struct KeyHash {
+    size_t operator()(const SpecKey &K) const {
+      return static_cast<size_t>(K.Hash);
+    }
+  };
+  struct Entry {
+    SpecKey Key;
+    std::shared_ptr<const CachedSpecialization> Value;
+    size_t Bytes;
+  };
+  struct Shard {
+    mutable std::mutex M;
+    std::list<Entry> Lru; ///< front = most recent
+    std::unordered_map<SpecKey, std::list<Entry>::iterator, KeyHash> Map;
+    size_t Bytes = 0;
+  };
+
+  Shard &shardFor(const SpecKey &Key) {
+    return *Shards[Key.Hash % Shards.size()];
+  }
+  void evictOverBudgetLocked(Shard &S);
+
+  size_t MaxBytes;
+  size_t ShardBudget; ///< MaxBytes / shard count (0 = unlimited)
+  std::vector<std::unique_ptr<Shard>> Shards;
+
+  mutable std::atomic<uint64_t> Hits{0}, Misses{0}, Insertions{0},
+      Evictions{0};
+};
+
+} // namespace pgg
+} // namespace pecomp
+
+#endif // PECOMP_PGG_SPECCACHE_H

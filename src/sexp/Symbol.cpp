@@ -4,6 +4,7 @@
 
 #include <cassert>
 #include <deque>
+#include <mutex>
 #include <unordered_map>
 
 using namespace pecomp;
@@ -11,12 +12,17 @@ using namespace pecomp;
 namespace {
 
 /// The process-wide intern table. Id 0 is reserved for the invalid Symbol.
+/// Guarded by a mutex: the RTCG service interns from its worker threads
+/// (parsing requests, gensym during specialization) concurrently. Names
+/// live in a deque, so the reference str() hands out stays valid while
+/// other threads keep interning.
 struct InternTable {
+  std::mutex M;
   std::unordered_map<std::string, uint32_t> Ids;
   std::deque<std::string> Names; // index Id-1
   uint64_t FreshCounter = 0;
 
-  uint32_t intern(std::string_view Name) {
+  uint32_t internLocked(std::string_view Name) {
     auto It = Ids.find(std::string(Name));
     if (It != Ids.end())
       return It->second;
@@ -35,20 +41,25 @@ InternTable &table() {
 } // namespace
 
 Symbol Symbol::intern(std::string_view Name) {
-  return Symbol(table().intern(Name));
+  InternTable &T = table();
+  std::lock_guard<std::mutex> Lock(T.M);
+  return Symbol(T.internLocked(Name));
 }
 
 Symbol Symbol::fresh(std::string_view Base) {
   InternTable &T = table();
+  std::lock_guard<std::mutex> Lock(T.M);
   for (;;) {
     std::string Candidate =
         std::string(Base) + "." + std::to_string(++T.FreshCounter);
     if (!T.Ids.count(Candidate))
-      return Symbol(T.intern(Candidate));
+      return Symbol(T.internLocked(Candidate));
   }
 }
 
 const std::string &Symbol::str() const {
   assert(isValid() && "str() on the invalid symbol");
-  return table().Names[Id - 1];
+  InternTable &T = table();
+  std::lock_guard<std::mutex> Lock(T.M);
+  return T.Names[Id - 1];
 }

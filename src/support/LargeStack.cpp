@@ -65,12 +65,19 @@ struct Worker {
   }
 
   void run(std::function<void()> &Work) {
+    // One caller at a time: without this, a second caller could overwrite
+    // Task while the first waits for Done, and both would then observe the
+    // second task's completion — the first task silently never runs.
+    std::lock_guard<std::mutex> Serial(CallerM);
     std::unique_lock<std::mutex> Lock(M);
     Task = &Work;
     Done = false;
     Cv.notify_all();
     Cv.wait(Lock, [&] { return Done; });
   }
+
+private:
+  std::mutex CallerM;
 };
 
 } // namespace
@@ -86,4 +93,44 @@ void pecomp::runOnLargeStackImpl(std::function<void()> Work) {
     return;
   }
   W->run(Work);
+}
+
+struct LargeStackThread::State {
+  std::function<void()> Body;
+  pthread_t Thread;
+
+  static void *entry(void *Arg) {
+    auto *S = static_cast<State *>(Arg);
+    OnWorkerThread = true; // nested runOnLargeStack runs inline
+    S->Body();
+    return nullptr;
+  }
+};
+
+LargeStackThread::LargeStackThread(std::function<void()> Body) {
+  auto *St = new State{std::move(Body), {}};
+  pthread_attr_t Attr;
+  bool HaveAttr = pthread_attr_init(&Attr) == 0;
+  if (HaveAttr)
+    (void)pthread_attr_setstacksize(&Attr, LargeStackBytes);
+  int Rc = pthread_create(&St->Thread, HaveAttr ? &Attr : nullptr,
+                          State::entry, St);
+  if (HaveAttr)
+    pthread_attr_destroy(&Attr);
+  if (Rc != 0) {
+    // Could not start even a default thread; run the body synchronously
+    // so the caller's control flow still happens exactly once.
+    St->Body();
+    delete St;
+    return;
+  }
+  S = St;
+}
+
+void LargeStackThread::join() {
+  if (!S)
+    return;
+  pthread_join(S->Thread, nullptr);
+  delete S;
+  S = nullptr;
 }

@@ -32,7 +32,32 @@ constexpr size_t LargeStackBytes = 512u << 20;
 #endif
 
 /// Invokes \p Work on a dedicated large-stack thread and waits for it.
+/// Concurrent callers are serialized through one shared worker; services
+/// that need parallel specialization run each of their workers as a
+/// LargeStackThread instead.
 void runOnLargeStackImpl(std::function<void()> Work);
+
+/// A joinable thread whose stack is LargeStackBytes. The body counts as
+/// being "on the large stack": nested runOnLargeStack calls (the PGG's
+/// generators) run inline rather than bouncing to the shared worker, so
+/// threads created this way can specialize in parallel.
+class LargeStackThread {
+public:
+  /// Starts the thread; falls back to a plain default-stack thread if the
+  /// large reserve cannot be set up (nested runOnLargeStack still runs
+  /// inline — callers must size their depth guards accordingly there).
+  explicit LargeStackThread(std::function<void()> Body);
+  ~LargeStackThread() { join(); }
+  LargeStackThread(const LargeStackThread &) = delete;
+  LargeStackThread &operator=(const LargeStackThread &) = delete;
+
+  /// Waits for the body to return. Idempotent.
+  void join();
+
+private:
+  struct State;
+  State *S = nullptr; // owned until join
+};
 
 /// Typed wrapper: returns Work()'s result.
 template <typename F> auto runOnLargeStack(F &&Work) {

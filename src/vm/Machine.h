@@ -49,6 +49,12 @@ public:
   /// Instantiates a zero-capture closure for \p Code.
   Value makeProcedure(const CodeObject *Code);
 
+  /// Drops every global binding. A serving loop that relinks a fresh
+  /// program per request calls this after each one, so stale globals
+  /// neither root the previous request's values nor outlive the
+  /// per-request CodeStore their procedures point into.
+  void resetGlobals() { Globals.clear(); }
+
   /// Applies \p Callee (a closure) to \p Args and runs to completion.
   /// On failure the returned Error carries the TrapKind in code() and
   /// lastTrap() holds the structured context; the machine is reset to a

@@ -1,0 +1,265 @@
+//===- tests/CacheDifferentialTest.cpp - Randomized cache parity ----------===//
+///
+/// \file
+/// Seeded random differential testing of the specialization cache: for
+/// random (program text, division, static input) triples, the cached-hit
+/// path — capture, insert, lookup, instantiate into a *fresh* heap — must
+/// produce exactly what the cold path and the reference interpreter
+/// produce, on both VM dispatch loops. This is the PR 4 analogue of
+/// RandomProgramTest's mix-equation check, aimed at the snapshot /
+/// relocation machinery instead of the specializer.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "compiler/Link.h"
+#include "pgg/SpecCache.h"
+
+#include <array>
+#include <random>
+#include <set>
+
+using namespace pecomp;
+using namespace pecomp::test;
+
+namespace {
+
+/// Generates terminating, error-free integer programs as *source text*
+/// (the cache is keyed on text, so the generator stays at the external
+/// boundary). Calls form a DAG over earlier definitions; operators are
+/// total on fixnums (+, -, *, comparisons), so every engine must agree.
+class TextProgramGen {
+public:
+  explicit TextProgramGen(uint32_t Seed) : Rng(Seed) {}
+
+  struct Def {
+    std::string Name;
+    unsigned Arity;
+  };
+
+  std::string program() {
+    Defs.clear();
+    std::string Out;
+    size_t NumDefs = 2 + Rng() % 3;
+    for (size_t I = 0; I != NumDefs; ++I) {
+      unsigned Arity = 1 + Rng() % 3;
+      std::vector<std::string> Params;
+      for (unsigned J = 0; J != Arity; ++J)
+        Params.push_back("p" + std::to_string(I) + "_" + std::to_string(J));
+      std::string Body = expr(3, Params);
+      std::string Name = "fn" + std::to_string(I);
+      Out += "(define (" + Name;
+      for (const std::string &P : Params)
+        Out += " " + P;
+      Out += ") " + Body + ")\n";
+      Defs.push_back({Name, Arity});
+    }
+    return Out;
+  }
+
+  const Def &entry() const { return Defs.back(); }
+
+  int64_t randomArg() { return static_cast<int64_t>(Rng() % 41) - 20; }
+  uint32_t random() { return Rng(); }
+
+private:
+  std::string expr(unsigned Depth, const std::vector<std::string> &Params) {
+    if (Depth == 0)
+      return leaf(Params);
+    switch (Rng() % 8) {
+    case 0:
+      return leaf(Params);
+    case 1:
+    case 2: {
+      const char *Op = std::array{"+", "-", "*"}[Rng() % 3];
+      return std::string("(") + Op + " " + expr(Depth - 1, Params) + " " +
+             expr(Depth - 1, Params) + ")";
+    }
+    case 3: {
+      std::string Test;
+      switch (Rng() % 4) {
+      case 0:
+        Test = "(zero? " + expr(Depth - 1, Params) + ")";
+        break;
+      case 1:
+        Test = "(< " + expr(Depth - 1, Params) + " " +
+               expr(Depth - 1, Params) + ")";
+        break;
+      case 2:
+        Test = "(= " + expr(Depth - 1, Params) + " " +
+               expr(Depth - 1, Params) + ")";
+        break;
+      default:
+        Test = "(>= " + expr(Depth - 1, Params) + " " +
+               expr(Depth - 1, Params) + ")";
+      }
+      return "(if " + Test + " " + expr(Depth - 1, Params) + " " +
+             expr(Depth - 1, Params) + ")";
+    }
+    case 4:
+    case 5: {
+      // Call an earlier definition (keeps the call graph a DAG).
+      if (Defs.empty())
+        return leaf(Params);
+      const Def &Callee = Defs[Rng() % Defs.size()];
+      std::string Out = "(" + Callee.Name;
+      for (unsigned I = 0; I != Callee.Arity; ++I)
+        Out += " " + expr(Depth - 1, Params);
+      return Out + ")";
+    }
+    default:
+      return leaf(Params);
+    }
+  }
+
+  std::string leaf(const std::vector<std::string> &Params) {
+    if (!Params.empty() && Rng() % 2)
+      return Params[Rng() % Params.size()];
+    return std::to_string(static_cast<int64_t>(Rng() % 21) - 10);
+  }
+
+  std::mt19937 Rng;
+  std::vector<Def> Defs;
+};
+
+/// Instantiates \p Port into a fresh world and runs its entry on \p Dyn
+/// under the requested dispatch strategy.
+Result<vm::Value> runCached(const compiler::PortableProgram &Port,
+                            Symbol Entry, const std::vector<int64_t> &Dyn,
+                            bool DecodedDispatch) {
+  World W;
+  vm::CodeStore Store(W.Heap);
+  vm::GlobalTable Globals;
+  compiler::CompiledProgram CP = Port.instantiate(Store, Globals);
+  std::vector<vm::Value> Args;
+  for (int64_t D : Dyn)
+    Args.push_back(vm::Value::fixnum(D));
+  vm::Machine M(W.Heap);
+  M.setFuel(50'000'000);
+  M.setDecodedDispatch(DecodedDispatch);
+  if (Result<bool> Linked = compiler::linkProgramVerified(M, Globals, CP);
+      !Linked)
+    return Linked.takeError();
+  return compiler::callGlobal(M, Globals, Entry, Args);
+}
+
+TEST(CacheDifferential, HitEqualsColdEqualsOracleAcrossLoops) {
+  // Fixnum results only, so cross-world comparison needs no shared heap.
+  for (uint32_t Seed = 1; Seed <= 40; ++Seed) {
+    TextProgramGen G(Seed);
+    std::string Src = G.program();
+    const std::string Entry = G.entry().Name;
+    unsigned Arity = G.entry().Arity;
+    SCOPED_TRACE("seed " + std::to_string(Seed) + "\n" + Src);
+
+    // Random requested division; the BTA may promote parameters, so the
+    // static/dynamic split below follows the *effective* division (the
+    // same one the residual entry's parameter list follows).
+    std::string Division;
+    for (unsigned I = 0; I != Arity; ++I)
+      Division += (G.random() % 2) ? 'S' : 'D';
+
+    World W;
+    PECOMP_UNWRAP(P, W.parse(Src));
+    auto GenR =
+        pgg::GeneratingExtension::create(W.Heap, Src, Entry, Division);
+    ASSERT_TRUE(GenR.ok()) << GenR.error().render();
+    std::vector<bta::BT> Eff = (*GenR)->effectiveDivision();
+    ASSERT_EQ(Eff.size(), Arity);
+
+    std::vector<std::optional<vm::Value>> SpecArgs;
+    std::vector<int64_t> DynArgs;
+    std::vector<vm::Value> OracleArgs;
+    for (unsigned I = 0; I != Arity; ++I) {
+      int64_t A = G.randomArg();
+      OracleArgs.push_back(vm::Value::fixnum(A));
+      if (Eff[I] == bta::BT::Static) {
+        SpecArgs.emplace_back(vm::Value::fixnum(A));
+      } else {
+        SpecArgs.emplace_back(std::nullopt);
+        DynArgs.push_back(A);
+      }
+    }
+
+    PECOMP_UNWRAP(Oracle, W.evalCall(P, Entry, OracleArgs));
+    ASSERT_TRUE(Oracle.isFixnum());
+
+    // Cold fused path.
+    vm::CodeStore Store(W.Heap);
+    vm::GlobalTable Globals;
+    compiler::Compilators Comp(Store, Globals);
+    auto ObjR = (*GenR)->generateObject(Comp, SpecArgs);
+    ASSERT_TRUE(ObjR.ok()) << ObjR.error().render();
+    std::vector<vm::Value> DynVals;
+    for (int64_t D : DynArgs)
+      DynVals.push_back(vm::Value::fixnum(D));
+    PECOMP_UNWRAP(Cold, W.runCompiled(Globals, ObjR->Residual, ObjR->Entry,
+                                      DynVals));
+    expectValueEq(Cold, Oracle);
+
+    // Cache the capture, then serve the hit into fresh heaps: the decoded
+    // loop and the byte loop must both reproduce the oracle.
+    auto PortR = compiler::PortableProgram::capture(ObjR->Residual, Globals);
+    ASSERT_TRUE(PortR.ok()) << PortR.error().render();
+    pgg::SpecCache Cache(/*MaxBytes=*/0);
+    pgg::SpecKey Key = pgg::makeSpecKey(
+        pgg::fingerprintProgram(Src, Entry, Division), SpecArgs);
+    auto Cached = std::make_shared<pgg::CachedSpecialization>();
+    Cached->Residual = *PortR;
+    Cached->Entry = ObjR->Entry;
+    Cache.insert(Key, Cached);
+
+    auto Hit = Cache.lookup(pgg::makeSpecKey(
+        pgg::fingerprintProgram(Src, Entry, Division), SpecArgs));
+    ASSERT_NE(Hit, nullptr);
+    PECOMP_UNWRAP(Decoded, runCached(*Hit->Residual, Hit->Entry, DynArgs,
+                                     /*DecodedDispatch=*/true));
+    expectValueEq(Decoded, Oracle);
+    PECOMP_UNWRAP(Bytes, runCached(*Hit->Residual, Hit->Entry, DynArgs,
+                                   /*DecodedDispatch=*/false));
+    expectValueEq(Bytes, Oracle);
+  }
+}
+
+TEST(CacheDifferential, DistinctStaticsNeverCollide) {
+  // Same program, same division, different static values: the keys must
+  // differ (a collision would serve the wrong specialization, the worst
+  // failure mode a code cache can have).
+  TextProgramGen G(7);
+  std::string Src = G.program();
+  const std::string Entry = G.entry().Name;
+  unsigned Arity = G.entry().Arity;
+  std::string Division(Arity, 'S');
+  uint64_t Fp = pgg::fingerprintProgram(Src, Entry, Division);
+
+  std::set<std::string> SigsSeen;
+  std::mt19937 Rng(99);
+  for (int Trial = 0; Trial != 200; ++Trial) {
+    std::vector<std::optional<vm::Value>> Args;
+    std::string Spelled;
+    for (unsigned I = 0; I != Arity; ++I) {
+      int64_t A = static_cast<int64_t>(Rng() % 1000) - 500;
+      Args.emplace_back(vm::Value::fixnum(A));
+      Spelled += std::to_string(A) + ",";
+    }
+    pgg::SpecKey K = pgg::makeSpecKey(Fp, Args);
+    // Distinct argument tuples yield distinct StaticSigs; equal tuples
+    // yield equal keys (set semantics check both directions).
+    bool NewTuple = SigsSeen.insert(Spelled).second;
+    pgg::SpecKey K2 = pgg::makeSpecKey(Fp, Args);
+    EXPECT_TRUE(K == K2);
+    (void)NewTuple;
+    EXPECT_EQ(K.StaticSig.empty(), Arity == 0);
+  }
+  // Direct pairwise check on a small sample.
+  std::vector<std::optional<vm::Value>> A{vm::Value::fixnum(1)};
+  std::vector<std::optional<vm::Value>> B{vm::Value::fixnum(-1)};
+  while (A.size() < Arity) {
+    A.emplace_back(vm::Value::fixnum(0));
+    B.emplace_back(vm::Value::fixnum(0));
+  }
+  EXPECT_FALSE(pgg::makeSpecKey(Fp, A) == pgg::makeSpecKey(Fp, B));
+}
+
+} // namespace

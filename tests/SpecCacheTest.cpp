@@ -1,0 +1,292 @@
+//===- tests/SpecCacheTest.cpp - Portable units and the spec cache --------===//
+///
+/// \file
+/// PR 4 core guarantees: a PortableProgram round-trips byte-for-byte and
+/// observationally into a *different* heap; the cache discriminates keys,
+/// reports honest stats, and eviction followed by regeneration yields an
+/// identical specialization.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "compiler/Link.h"
+#include "pgg/SpecCache.h"
+
+using namespace pecomp;
+using namespace pecomp::test;
+
+namespace {
+
+const char *PowerSrc = R"((define (power x n)
+  (if (= n 0) 1 (* x (power x (- n 1))))))";
+
+/// Generates object code for power specialized to n = \p N in \p W.
+Result<pgg::ResidualObject> specializePower(World &W, vm::CodeStore &Store,
+                                            vm::GlobalTable &Globals,
+                                            int64_t N) {
+  auto Gen = pgg::GeneratingExtension::create(W.Heap, PowerSrc, "power", "DS");
+  if (!Gen)
+    return Gen.takeError();
+  compiler::Compilators Comp(Store, Globals);
+  std::vector<std::optional<vm::Value>> Args{std::nullopt,
+                                             vm::Value::fixnum(N)};
+  return (*Gen)->generateObject(Comp, Args);
+}
+
+TEST(PortableProgram, RoundTripsIntoSameHeap) {
+  World W;
+  vm::CodeStore Store(W.Heap);
+  vm::GlobalTable Globals;
+  PECOMP_UNWRAP(Obj, specializePower(W, Store, Globals, 5));
+
+  PECOMP_UNWRAP(Port, compiler::PortableProgram::capture(Obj.Residual,
+                                                         Globals));
+  EXPECT_GT(Port->byteSize(), 0u);
+  EXPECT_GE(Port->unitCount(), Obj.Residual.Defs.size());
+
+  // Instantiate into a fresh store under the same global table: every
+  // definition must come back byte-identical (same names resolve to the
+  // same slots, so even the relocated operands match).
+  vm::CodeStore Store2(W.Heap);
+  compiler::CompiledProgram CP2 = Port->instantiate(Store2, Globals);
+  ASSERT_EQ(CP2.Defs.size(), Obj.Residual.Defs.size());
+  for (size_t I = 0; I != CP2.Defs.size(); ++I) {
+    EXPECT_EQ(CP2.Defs[I].first, Obj.Residual.Defs[I].first);
+    EXPECT_TRUE(vm::codeEquals(CP2.Defs[I].second, Obj.Residual.Defs[I].second));
+  }
+}
+
+TEST(PortableProgram, InstantiatesIntoFreshHeapAndRuns) {
+  // Capture in one world, instantiate and execute in a second world with
+  // its own heap, machine, and *empty* global table — the cross-thread /
+  // cross-run sharing model of the cache.
+  std::shared_ptr<const compiler::PortableProgram> Port;
+  Symbol Entry;
+  {
+    World W1;
+    vm::CodeStore Store(W1.Heap);
+    vm::GlobalTable Globals;
+    PECOMP_UNWRAP(Obj, specializePower(W1, Store, Globals, 5));
+    PECOMP_UNWRAP(P, compiler::PortableProgram::capture(Obj.Residual,
+                                                        Globals));
+    Port = P;
+    Entry = Obj.Entry;
+    PECOMP_UNWRAP(Fresh, W1.runCompiled(Globals, Obj.Residual, Entry,
+                                        {W1.num(2)}));
+    expectValueEq(Fresh, vm::Value::fixnum(32));
+  } // W1 (heap, store, machine) is gone; Port must stand alone.
+
+  World W2;
+  vm::CodeStore Store2(W2.Heap);
+  vm::GlobalTable Globals2;
+  compiler::CompiledProgram CP = Port->instantiate(Store2, Globals2);
+  PECOMP_UNWRAP(R, W2.runCompiled(Globals2, CP, Entry, {W2.num(2)}));
+  expectValueEq(R, vm::Value::fixnum(32));
+  PECOMP_UNWRAP(R3, W2.runCompiled(Globals2, CP, Entry, {W2.num(3)}));
+  expectValueEq(R3, vm::Value::fixnum(243));
+}
+
+TEST(PortableProgram, RelocatesGlobalsIntoPopulatedTable) {
+  // The target table already has unrelated names, so every relocated
+  // GlobalRef index differs from its capture-time value.
+  std::shared_ptr<const compiler::PortableProgram> Port;
+  Symbol Entry;
+  {
+    World W1;
+    vm::CodeStore Store(W1.Heap);
+    vm::GlobalTable Globals;
+    PECOMP_UNWRAP(Obj, specializePower(W1, Store, Globals, 4));
+    PECOMP_UNWRAP(P, compiler::PortableProgram::capture(Obj.Residual,
+                                                        Globals));
+    Port = P;
+    Entry = Obj.Entry;
+  }
+
+  World W2;
+  vm::GlobalTable Globals2;
+  for (int I = 0; I != 17; ++I)
+    Globals2.lookupOrAdd(Symbol::intern("unrelated-" + std::to_string(I)));
+  vm::CodeStore Store2(W2.Heap);
+  compiler::CompiledProgram CP = Port->instantiate(Store2, Globals2);
+  PECOMP_UNWRAP(R, W2.runCompiled(Globals2, CP, Entry, {W2.num(3)}));
+  expectValueEq(R, vm::Value::fixnum(81));
+}
+
+TEST(SpecCache, KeyDiscriminatesProgramDivisionAndStatics) {
+  uint64_t FpA = pgg::fingerprintProgram("(define (f x) x)", "f", "S");
+  uint64_t FpB = pgg::fingerprintProgram("(define (f x) x)", "f", "D");
+  uint64_t FpC = pgg::fingerprintProgram("(define (g x) x)", "f", "S");
+  EXPECT_NE(FpA, FpB);
+  EXPECT_NE(FpA, FpC);
+
+  World W;
+  std::vector<std::optional<vm::Value>> A{vm::Value::fixnum(1), std::nullopt};
+  std::vector<std::optional<vm::Value>> B{vm::Value::fixnum(2), std::nullopt};
+  std::vector<std::optional<vm::Value>> C{std::nullopt, vm::Value::fixnum(1)};
+  pgg::SpecKey KA = pgg::makeSpecKey(FpA, A);
+  pgg::SpecKey KB = pgg::makeSpecKey(FpA, B);
+  pgg::SpecKey KC = pgg::makeSpecKey(FpA, C);
+  EXPECT_FALSE(KA == KB); // same signature, different static value
+  EXPECT_FALSE(KA == KC); // different BT signature
+  EXPECT_EQ(KA.BtSig, "SD");
+  EXPECT_EQ(KC.BtSig, "DS");
+  EXPECT_TRUE(KA == pgg::makeSpecKey(FpA, A)); // deterministic
+
+  // Structural, not identity: an equal list built separately keys the same.
+  std::vector<std::optional<vm::Value>> L1{W.value("(1 2 3)")};
+  std::vector<std::optional<vm::Value>> L2{W.value("(1 2 3)")};
+  EXPECT_TRUE(pgg::makeSpecKey(FpA, L1) == pgg::makeSpecKey(FpA, L2));
+}
+
+TEST(SpecCache, HitReturnsInsertedEntryAndCountsStats) {
+  World W;
+  vm::CodeStore Store(W.Heap);
+  vm::GlobalTable Globals;
+  PECOMP_UNWRAP(Obj, specializePower(W, Store, Globals, 5));
+  PECOMP_UNWRAP(Port, compiler::PortableProgram::capture(Obj.Residual,
+                                                         Globals));
+
+  pgg::SpecCache Cache(/*MaxBytes=*/0);
+  uint64_t Fp = pgg::fingerprintProgram(PowerSrc, "power", "DS");
+  std::vector<std::optional<vm::Value>> Args{std::nullopt,
+                                             vm::Value::fixnum(5)};
+  pgg::SpecKey Key = pgg::makeSpecKey(Fp, Args);
+
+  EXPECT_EQ(Cache.lookup(Key), nullptr);
+  auto Entry = std::make_shared<pgg::CachedSpecialization>();
+  Entry->Residual = Port;
+  Entry->Entry = Obj.Entry;
+  Entry->Stats = Obj.Stats;
+  Cache.insert(Key, Entry);
+
+  auto Hit = Cache.lookup(Key);
+  ASSERT_NE(Hit, nullptr);
+  EXPECT_EQ(Hit->Residual.get(), Port.get());
+  EXPECT_EQ(Hit->Entry, Obj.Entry);
+
+  pgg::CacheStats CS = Cache.stats();
+  EXPECT_EQ(CS.Hits, 1u);
+  EXPECT_EQ(CS.Misses, 1u);
+  EXPECT_EQ(CS.Insertions, 1u);
+  EXPECT_EQ(CS.Evictions, 0u);
+  EXPECT_EQ(CS.Entries, 1u);
+  EXPECT_EQ(CS.Bytes, Port->byteSize());
+  EXPECT_DOUBLE_EQ(CS.hitRate(), 0.5);
+  EXPECT_NE(CS.report().find("1 hits, 1 misses"), std::string::npos);
+}
+
+TEST(SpecCache, EvictionThenRegenerationIsIdentical) {
+  World W;
+
+  // A one-shard cache sized to hold exactly one power specialization:
+  // inserting a second evicts the first.
+  vm::CodeStore Store(W.Heap);
+  vm::GlobalTable Globals;
+  PECOMP_UNWRAP(Obj5, specializePower(W, Store, Globals, 5));
+  PECOMP_UNWRAP(Port5, compiler::PortableProgram::capture(Obj5.Residual,
+                                                          Globals));
+  pgg::SpecCache Cache(Port5->byteSize() + Port5->byteSize() / 2,
+                       /*Shards=*/1);
+
+  uint64_t Fp = pgg::fingerprintProgram(PowerSrc, "power", "DS");
+  auto KeyFor = [&](int64_t N) {
+    std::vector<std::optional<vm::Value>> Args{std::nullopt,
+                                               vm::Value::fixnum(N)};
+    return pgg::makeSpecKey(Fp, Args);
+  };
+  auto EntryFor = [&](const pgg::ResidualObject &Obj,
+                      std::shared_ptr<const compiler::PortableProgram> P) {
+    auto E = std::make_shared<pgg::CachedSpecialization>();
+    E->Residual = std::move(P);
+    E->Entry = Obj.Entry;
+    E->Stats = Obj.Stats;
+    return E;
+  };
+
+  Cache.insert(KeyFor(5), EntryFor(Obj5, Port5));
+  ASSERT_NE(Cache.lookup(KeyFor(5)), nullptr);
+
+  vm::CodeStore Store7(W.Heap);
+  vm::GlobalTable Globals7;
+  PECOMP_UNWRAP(Obj7, specializePower(W, Store7, Globals7, 7));
+  PECOMP_UNWRAP(Port7, compiler::PortableProgram::capture(Obj7.Residual,
+                                                          Globals7));
+  Cache.insert(KeyFor(7), EntryFor(Obj7, Port7));
+
+  // n=5 was least recently used and the budget holds only one entry.
+  EXPECT_EQ(Cache.lookup(KeyFor(5)), nullptr);
+  ASSERT_NE(Cache.lookup(KeyFor(7)), nullptr);
+  EXPECT_GE(Cache.stats().Evictions, 1u);
+
+  // Regenerate the evicted specialization from scratch: byte-identical
+  // code, identical behavior.
+  vm::CodeStore StoreR(W.Heap);
+  vm::GlobalTable GlobalsR;
+  PECOMP_UNWRAP(ObjR, specializePower(W, StoreR, GlobalsR, 5));
+  ASSERT_EQ(ObjR.Residual.Defs.size(), Obj5.Residual.Defs.size());
+  for (size_t I = 0; I != ObjR.Residual.Defs.size(); ++I)
+    EXPECT_TRUE(vm::codeEquals(ObjR.Residual.Defs[I].second,
+                               Obj5.Residual.Defs[I].second));
+  Cache.insert(KeyFor(5), EntryFor(ObjR, *compiler::PortableProgram::capture(
+                                             ObjR.Residual, GlobalsR)));
+  auto Hit = Cache.lookup(KeyFor(5));
+  ASSERT_NE(Hit, nullptr);
+  vm::CodeStore StoreX(W.Heap);
+  vm::GlobalTable GlobalsX;
+  compiler::CompiledProgram CP = Hit->Residual->instantiate(StoreX, GlobalsX);
+  PECOMP_UNWRAP(R, W.runCompiled(GlobalsX, CP, Hit->Entry, {W.num(2)}));
+  expectValueEq(R, vm::Value::fixnum(32));
+}
+
+TEST(SpecCache, LruRefreshOnLookup) {
+  // With a two-entry budget, touching A before inserting C makes B the
+  // eviction victim.
+  World W;
+  uint64_t Fp = pgg::fingerprintProgram(PowerSrc, "power", "DS");
+  auto KeyFor = [&](int64_t N) {
+    std::vector<std::optional<vm::Value>> Args{std::nullopt,
+                                               vm::Value::fixnum(N)};
+    return pgg::makeSpecKey(Fp, Args);
+  };
+  auto MakeEntry = [&](int64_t N) {
+    vm::CodeStore Store(W.Heap);
+    vm::GlobalTable Globals;
+    auto Obj = specializePower(W, Store, Globals, N);
+    EXPECT_TRUE(Obj.ok());
+    auto Port = compiler::PortableProgram::capture(Obj->Residual, Globals);
+    EXPECT_TRUE(Port.ok());
+    auto E = std::make_shared<pgg::CachedSpecialization>();
+    E->Residual = *Port;
+    E->Entry = Obj->Entry;
+    return E;
+  };
+
+  auto A = MakeEntry(3), B = MakeEntry(4), C = MakeEntry(5);
+  // Budget sized so A and C fit together but A, B, and C do not.
+  pgg::SpecCache Sized(A->byteSize() + C->byteSize(), /*Shards=*/1);
+  Sized.insert(KeyFor(3), A);
+  Sized.insert(KeyFor(4), B);
+  ASSERT_NE(Sized.lookup(KeyFor(3)), nullptr); // refresh A
+  Sized.insert(KeyFor(5), C);                  // evicts B, not A
+  EXPECT_NE(Sized.lookup(KeyFor(3)), nullptr);
+  EXPECT_EQ(Sized.lookup(KeyFor(4)), nullptr);
+  EXPECT_NE(Sized.lookup(KeyFor(5)), nullptr);
+}
+
+TEST(SpecCache, ClearDropsEntriesKeepsCounters) {
+  pgg::SpecCache Cache(0);
+  pgg::SpecKey K = pgg::makeSpecKey(1234, {});
+  Cache.insert(K, std::make_shared<pgg::CachedSpecialization>());
+  ASSERT_NE(Cache.lookup(K), nullptr);
+  Cache.clear();
+  EXPECT_EQ(Cache.lookup(K), nullptr);
+  pgg::CacheStats CS = Cache.stats();
+  EXPECT_EQ(CS.Entries, 0u);
+  EXPECT_EQ(CS.Bytes, 0u);
+  EXPECT_EQ(CS.Insertions, 1u);
+  EXPECT_EQ(CS.Hits, 1u);
+  EXPECT_EQ(CS.Misses, 1u); // the post-clear lookup
+}
+
+} // namespace

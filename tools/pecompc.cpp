@@ -16,6 +16,10 @@
 ///   pecompc specrun <file> <entry> <division> [datum|_ ...] -- [datum...]
 ///       fused path: generate object code directly and run it on the
 ///       arguments after '--'
+///   pecompc serve <file> <entry> <division>
+///       RTCG service mode: read one request per line from stdin
+///       ("static... -- dynamic...", '_' for dynamic slots) and serve
+///       them over a worker pool sharing the specialization cache
 ///
 /// Divisions are strings over {S, D}, one letter per entry parameter.
 ///
@@ -27,6 +31,7 @@
 #include "frontend/AnfConvert.h"
 #include "frontend/Pipeline.h"
 #include "pgg/Pgg.h"
+#include "pgg/RtcgService.h"
 #include "sexp/Reader.h"
 #include "vm/Convert.h"
 #include "vm/Profile.h"
@@ -37,6 +42,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <iostream>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -57,13 +63,20 @@ int usage() {
           "  pecompc spec <file> <entry> <division> [datum|_ ...]\n"
           "  pecompc specrun <file> <entry> <division> [datum|_ ...] -- "
           "[datum...]\n"
+          "  pecompc serve <file> <entry> <division>   (requests on stdin)\n"
           "\n"
           "  --fuel=N       cap executed VM instructions (0 = unlimited)\n"
           "  --max-heap=N   cap live heap bytes (0 = unlimited)\n"
           "  --profile      print per-opcode execution counters and phase\n"
           "                 timings to stderr after run/specrun\n"
           "  --no-decode    force the byte-at-a-time dispatch loop (the\n"
-          "                 pre-decoded fast loop is the default)\n");
+          "                 pre-decoded fast loop is the default)\n"
+          "  --cache[=N]    memoize specializations (specrun/serve) under\n"
+          "                 an N-byte LRU budget (default 64 MiB, 0 = "
+          "unlimited)\n"
+          "  --cache-stats  print cache hit/miss/eviction counters to\n"
+          "                 stderr after specrun/serve\n"
+          "  --threads=M    serve worker threads (default 4)\n");
   return 2;
 }
 
@@ -97,6 +110,26 @@ struct Session {
   bool Profiling = false;
   bool DecodedDispatch = true;
   vm::Profile Prof;
+  bool CacheEnabled = false;
+  bool CacheStatsWanted = false;
+  size_t CacheBytes = 64u << 20;
+  size_t Threads = 4;
+  std::optional<pgg::SpecCache> Cache;
+
+  /// The invocation-wide specialization cache, or null when --cache was
+  /// not given.
+  pgg::SpecCache *cache() {
+    if (!CacheEnabled)
+      return nullptr;
+    if (!Cache)
+      Cache.emplace(CacheBytes);
+    return &*Cache;
+  }
+
+  void reportCacheStats(const pgg::CacheStats &CS) const {
+    if (CacheStatsWanted)
+      fprintf(stderr, "%s", CS.report().c_str());
+  }
 
   /// Applies the session's machine-wide settings.
   void configure(vm::Machine &M) {
@@ -270,39 +303,132 @@ int cmdSpecRun(Session &S, const std::string &File, const std::string &Entry,
   Result<std::string> Text = readFile(File);
   if (!Text)
     return fail(Text.error());
-  auto Gen =
-      pgg::GeneratingExtension::create(S.Heap, *Text, Entry, Division);
-  if (!Gen)
-    return fail(Gen.error());
   auto Args = parseSpecArgs(S, StaticTexts);
   if (!Args)
     return fail(Args.error());
 
   vm::CodeStore Store(S.Heap);
   vm::GlobalTable Globals;
-  compiler::Compilators Comp(Store, Globals);
-  Result<pgg::ResidualObject> Obj = (*Gen)->generateObject(Comp, *Args);
-  if (!Obj)
-    return fail(Obj.error());
+  compiler::CompiledProgram CP;
+  Symbol ResEntry;
+
+  // With --cache, the (program, division, statics) key may short-circuit
+  // generation entirely; the cached unit relinks into this invocation's
+  // store and global table.
+  pgg::SpecKey Key;
+  if (S.cache())
+    Key = pgg::makeSpecKey(
+        pgg::fingerprintProgram(*Text, Entry, Division), *Args);
+  std::shared_ptr<const pgg::CachedSpecialization> Hit =
+      S.cache() ? S.cache()->lookup(Key) : nullptr;
+  if (Hit) {
+    CP = Hit->Residual->instantiate(Store, Globals);
+    ResEntry = Hit->Entry;
+  } else {
+    auto Gen =
+        pgg::GeneratingExtension::create(S.Heap, *Text, Entry, Division);
+    if (!Gen)
+      return fail(Gen.error());
+    compiler::Compilators Comp(Store, Globals);
+    Result<pgg::ResidualObject> Obj = (*Gen)->generateObject(Comp, *Args);
+    if (!Obj)
+      return fail(Obj.error());
+    CP = std::move(Obj->Residual);
+    ResEntry = Obj->Entry;
+    if (S.cache()) {
+      if (auto Port = compiler::PortableProgram::capture(CP, Globals)) {
+        auto Cached = std::make_shared<pgg::CachedSpecialization>();
+        Cached->Residual = *Port;
+        Cached->Entry = ResEntry;
+        Cached->Stats = Obj->Stats;
+        S.cache()->insert(Key, std::move(Cached));
+      }
+    }
+  }
 
   Result<std::vector<vm::Value>> DynArgs = S.parseValues(DynTexts);
   if (!DynArgs)
     return fail(DynArgs.error());
   vm::Machine M(S.Heap);
   S.configure(M);
-  Result<bool> Linked = compiler::linkProgramVerified(M, Globals,
-                                                      Obj->Residual);
+  Result<bool> Linked = compiler::linkProgramVerified(M, Globals, CP);
   if (!Linked)
     return fail(Linked.error());
   Result<vm::Value> R =
-      compiler::callGlobal(M, Globals, Obj->Entry, *DynArgs);
+      compiler::callGlobal(M, Globals, ResEntry, *DynArgs);
   if (!R) {
     S.reportProfile();
     return fail(R.error());
   }
   printf("%s\n", vm::valueToString(*R).c_str());
   S.reportProfile();
+  if (S.cache())
+    S.reportCacheStats(S.cache()->stats());
   return 0;
+}
+
+/// serve: one request per stdin line, "static... -- dynamic..." in the
+/// entry's parameter order ('_' marks a dynamic slot; blank and ;-comment
+/// lines are skipped). Results print in request order, one line each:
+/// the value, or "!trap[KIND]: message" / "!error: message".
+int cmdServe(Session &S, const std::string &File, const std::string &Entry,
+             const std::string &Division) {
+  Result<std::string> Text = readFile(File);
+  if (!Text)
+    return fail(Text.error());
+
+  std::vector<pgg::RtcgRequest> Reqs;
+  std::string Line;
+  size_t LineNo = 0;
+  while (std::getline(std::cin, Line)) {
+    ++LineNo;
+    // The reader tokenizes the request line, so datums with internal
+    // whitespace ("(1 2)") work; '_' and '--' read as symbols.
+    Result<std::vector<const Datum *>> Ds = readAll(Line, S.Datums);
+    if (!Ds)
+      return fail(Error("stdin:" + std::to_string(LineNo) + ": " +
+                        Ds.error().render()));
+    if (Ds->empty())
+      continue;
+    pgg::RtcgRequest R;
+    R.ProgramText = *Text;
+    R.Entry = Entry;
+    R.Division = Division;
+    bool Dynamic = false;
+    for (const Datum *D : *Ds) {
+      std::string W = D->write();
+      if (W == "--") {
+        Dynamic = true;
+        continue;
+      }
+      (Dynamic ? R.RunArgs : R.SpecArgs).push_back(std::move(W));
+    }
+    Reqs.push_back(std::move(R));
+  }
+
+  // serve always caches (sharing specializations across requests is the
+  // point of the service); --cache=N only adjusts the budget.
+  pgg::RtcgOptions O;
+  O.Threads = S.Threads;
+  O.CacheBytes = S.CacheBytes;
+  O.Limits = S.Lim;
+  pgg::RtcgService Service(O);
+  int Failures = 0;
+  for (const pgg::RtcgResponse &R : Service.serveAll(std::move(Reqs))) {
+    if (R.Ok) {
+      printf("%s\n", R.Value.c_str());
+    } else {
+      ++Failures;
+      if (R.TrapCode)
+        printf("!trap[%s]: %s\n",
+               vm::trapKindName(static_cast<vm::TrapKind>(R.TrapCode)),
+               R.ErrorText.c_str());
+      else
+        printf("!error: %s\n", R.ErrorText.c_str());
+    }
+  }
+  S.reportCacheStats(Service.cacheStats());
+  return Failures ? 1 : 0;
 }
 
 } // namespace
@@ -339,6 +465,21 @@ int main(int Argc, char **Argv) {
       S.Profiling = true;
     } else if (Opt == "--no-decode") {
       S.DecodedDispatch = false;
+    } else if (Opt == "--cache") {
+      S.CacheEnabled = true;
+    } else if (Opt.rfind("--cache=", 0) == 0) {
+      auto N = NumberAfter(8);
+      if (!N)
+        return usage();
+      S.CacheEnabled = true;
+      S.CacheBytes = static_cast<size_t>(*N);
+    } else if (Opt == "--cache-stats") {
+      S.CacheStatsWanted = true;
+    } else if (Opt.rfind("--threads=", 0) == 0) {
+      auto N = NumberAfter(10);
+      if (!N || *N == 0)
+        return usage();
+      S.Threads = static_cast<size_t>(*N);
     } else {
       return usage();
     }
@@ -368,5 +509,7 @@ int main(int Argc, char **Argv) {
                                   Args.end());
     return cmdSpecRun(S, Args[1], Args[2], Args[3], Statics, Dyns);
   }
+  if (Cmd == "serve" && Args.size() == 4)
+    return cmdServe(S, Args[1], Args[2], Args[3]);
   return usage();
 }
