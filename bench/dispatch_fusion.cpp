@@ -1,0 +1,93 @@
+//===- bench/dispatch_fusion.cpp - Peephole + superinstruction fusion ------===//
+///
+/// \file
+/// The PR 5 experiment: what the byte-code peephole pass and the decoded
+/// loop's profile-guided superinstruction fusion buy on the paper's Run
+/// workloads (the stock-compiled interpreter interpreting its sample
+/// program — the same body as fig8's Run companions).
+///
+/// The grid is {Bytes, Decoded, Fused} x {NoPeep, Peep} per workload:
+///
+///   Bytes    — byte-at-a-time dispatch (the floor)
+///   Decoded  — pre-decoded fast loop, one source instruction per
+///              dispatch (the PR 3 configuration)
+///   Fused    — pre-decoded fast loop dispatching superinstructions
+///              (Local+Local+Prim, Const+Prim, Local+Prim,
+///              Cmp+JumpIfFalse, Local+Return, Prim+Return)
+///   NoPeep   — verified link with the peephole pass disabled
+///   Peep     — jump threading, branch inversion, Slide collapsing, dead
+///              code removal before pre-decoding
+///
+/// The headline ratio is Decoded_NoPeep / Fused_Peep — the PR 3 baseline
+/// against both layers together (scripts/bench-run.sh derives it into
+/// BENCH_pr5.json as dispatch_fusion_speedup).
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+using namespace pecomp;
+using namespace pecomp::bench;
+
+namespace {
+
+struct Engine {
+  bool Decoded;
+  bool Fused;
+};
+
+void fusionRunBody(benchmark::State &State, InterpreterWorkload &W,
+                   Engine E, bool Peephole) {
+  Arena Scratch;
+  ExprFactory Exprs(Scratch);
+  DatumFactory Datums(Scratch);
+  Program P = unwrap(frontendProgram(W.InterpreterSource, Exprs, Datums));
+  vm::CodeStore Store(W.Heap);
+  vm::GlobalTable Globals;
+  compiler::Compilators Comp(Store, Globals);
+  compiler::StockCompiler SC(Comp);
+  compiler::CompiledProgram CP = SC.compileProgram(P);
+  vm::Machine M(W.Heap);
+  M.setDecodedDispatch(E.Decoded);
+  M.setFusion(E.Fused);
+  compiler::LinkOptions LO;
+  LO.Peephole = Peephole;
+  unwrap(compiler::linkProgramVerified(M, Globals, CP, LO));
+  std::vector<vm::Value> Args = {W.StaticProgram, W.DynamicInput};
+  for (auto _ : State) {
+    vm::Value R = unwrap(
+        compiler::callGlobal(M, Globals, Symbol::intern(W.Entry), Args));
+    benchmark::DoNotOptimize(R.raw());
+  }
+}
+
+constexpr Engine BytesEngine{/*Decoded=*/false, /*Fused=*/false};
+constexpr Engine DecodedEngine{/*Decoded=*/true, /*Fused=*/false};
+constexpr Engine FusedEngine{/*Decoded=*/true, /*Fused=*/true};
+
+#define PECOMP_FUSION_ONE(Eng, Peep, PeepFlag, Lang, Make)                    \
+  void BM_DispatchFusion_##Eng##_##Peep##_##Lang(benchmark::State &State) {   \
+    static InterpreterWorkload W = InterpreterWorkload::Make();               \
+    onLargeStack(                                                             \
+        [&] { fusionRunBody(State, W, Eng##Engine, PeepFlag); });             \
+  }                                                                           \
+  BENCHMARK(BM_DispatchFusion_##Eng##_##Peep##_##Lang);
+
+#define PECOMP_FUSION(Lang, Make)                                             \
+  PECOMP_FUSION_ONE(Bytes, NoPeep, false, Lang, Make)                         \
+  PECOMP_FUSION_ONE(Bytes, Peep, true, Lang, Make)                            \
+  PECOMP_FUSION_ONE(Decoded, NoPeep, false, Lang, Make)                       \
+  PECOMP_FUSION_ONE(Decoded, Peep, true, Lang, Make)                          \
+  PECOMP_FUSION_ONE(Fused, NoPeep, false, Lang, Make)                         \
+  PECOMP_FUSION_ONE(Fused, Peep, true, Lang, Make)
+
+PECOMP_FUSION(MIXWELL, mixwell)
+PECOMP_FUSION(LAZY, lazy)
+PECOMP_FUSION(IMP, imp)
+
+#undef PECOMP_FUSION
+#undef PECOMP_FUSION_ONE
+
+} // namespace
+
+BENCHMARK_MAIN();

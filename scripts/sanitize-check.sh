@@ -3,13 +3,18 @@
 # runs the full tier-1 test suite. Any sanitizer report aborts the run
 # (-fno-sanitize-recover=all) and therefore fails the corresponding test.
 #
-# Usage: scripts/sanitize-check.sh [--ndebug] [--switch-dispatch] [ctest-args...]
+# Usage: scripts/sanitize-check.sh [--ndebug] [--switch-dispatch]
+#                                  [--no-fuse] [--no-peephole] [ctest-args...]
 #   --ndebug           additionally compile with -DNDEBUG kept, proving the
 #                      trap model never leans on assert() (the RTCG trust
 #                      requirement).
 #   --switch-dispatch  build the portable switch-based VM dispatch loop
 #                      instead of computed goto, so the sanitizers cover
 #                      the fallback dispatch path too.
+#   --no-fuse          default superinstruction fusion off, so the suite
+#                      exercises the one-source-instruction decoded loop.
+#   --no-peephole      default the link-time peephole pass off, covering
+#                      the unoptimized byte streams.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -26,6 +31,16 @@ while [[ "${1:-}" == --* ]]; do
   --switch-dispatch)
     BUILD_DIR="${BUILD_DIR}-switch"
     CMAKE_ARGS+=(-DPECOMP_FORCE_SWITCH_DISPATCH=ON)
+    shift
+    ;;
+  --no-fuse)
+    BUILD_DIR="${BUILD_DIR}-nofuse"
+    CMAKE_ARGS+=(-DPECOMP_NO_FUSE=ON)
+    shift
+    ;;
+  --no-peephole)
+    BUILD_DIR="${BUILD_DIR}-nopeep"
+    CMAKE_ARGS+=(-DPECOMP_NO_PEEPHOLE=ON)
     shift
     ;;
   *)

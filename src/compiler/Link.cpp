@@ -2,6 +2,7 @@
 
 #include "compiler/Link.h"
 
+#include "compiler/Peephole.h"
 #include "support/Timer.h"
 #include "vm/Convert.h"
 #include "vm/Trap.h"
@@ -35,7 +36,8 @@ void compiler::linkProgram(vm::Machine &M, vm::GlobalTable &Globals,
 
 Result<bool> compiler::linkProgramVerified(vm::Machine &M,
                                            vm::GlobalTable &Globals,
-                                           const CompiledProgram &P) {
+                                           const CompiledProgram &P,
+                                           const LinkOptions &Opts) {
   // Code produced while the heap was faulted may be truncated; refuse it
   // the same way the generators that produced it report the fault.
   if (M.heap().faulted())
@@ -44,6 +46,10 @@ Result<bool> compiler::linkProgramVerified(vm::Machine &M,
   for (const auto &[Name, Code] : P.Defs)
     if (auto Err = vm::verifyCode(Code, 0, M.limits().MaxStackDepth))
       return Error("refusing to link '" + Name.str() + "': " + *Err);
+  // Rewrites only verified code, and strictly before the bytes freeze:
+  // already-processed objects (cache hits, relinks) are skipped inside.
+  if (Opts.Peephole)
+    peepholeProgram(P);
   // Verified code always pre-decodes cleanly; do it eagerly so the first
   // call runs on the fast loop with no decode hiccup.
   {
@@ -135,6 +141,7 @@ PortableProgram::capture(const CompiledProgram &P,
     U.Name = C->name();
     U.Arity = C->arity();
     U.Code = C->code();
+    U.Peepholed = C->peepholed();
     for (vm::Value V : C->literals()) {
       PortableCode::Literal L;
       if (!V.isUnspecified()) {
@@ -190,6 +197,8 @@ CompiledProgram PortableProgram::instantiate(vm::CodeStore &Store,
     const PortableCode &U = Units[I];
     vm::CodeObject *C = Built[I];
     C->mutableCode() = U.Code;
+    if (U.Peepholed)
+      C->markPeepholed(); // snapshot already optimized: hits skip the pass
     for (uint32_t Off : U.GlobalRelocs) {
       uint16_t Old = static_cast<uint16_t>(C->mutableCode()[Off] |
                                            (C->mutableCode()[Off + 1] << 8));

@@ -45,10 +45,25 @@ struct CompiledProgram {
 void linkProgram(vm::Machine &M, vm::GlobalTable &Globals,
                  const CompiledProgram &P);
 
+/// Knobs for the verified link pipeline.
+struct LinkOptions {
+  /// Run the byte-code peephole pass (compiler/Peephole.h) between
+  /// verification and pre-decoding. The build option PECOMP_NO_PEEPHOLE
+  /// pins the default off for pass-disabled sanitizer/baseline runs.
+#ifdef PECOMP_NO_PEEPHOLE
+  bool Peephole = false;
+#else
+  bool Peephole = true;
+#endif
+};
+
 /// As linkProgram, but runs the byte-code verifier (vm/Verify.h) over
-/// every definition first; nothing is installed if any fails.
+/// every definition first; nothing is installed if any fails. Verified
+/// code is then peephole-optimized (unless disabled) and eagerly
+/// pre-decoded so first calls run on the fast loop.
 Result<bool> linkProgramVerified(vm::Machine &M, vm::GlobalTable &Globals,
-                                 const CompiledProgram &P);
+                                 const CompiledProgram &P,
+                                 const LinkOptions &Opts = {});
 
 /// Looks up and calls an installed top-level function.
 Result<vm::Value> callGlobal(vm::Machine &M, const vm::GlobalTable &Globals,
@@ -68,6 +83,10 @@ struct PortableCode {
   std::vector<uint8_t> Code;
   std::vector<Literal> Literals;
   std::vector<uint32_t> Children; ///< indices into PortableProgram's units
+  /// Whether the peephole pass had processed the captured object; carried
+  /// into instantiated copies so cache hits are not re-optimized (and not
+  /// spuriously marked optimized when the capture predates the pass).
+  bool Peepholed = false;
   /// Byte offsets of GlobalRef u16 operands — the relocation sites whose
   /// indices are rewritten against the target GlobalTable at
   /// instantiation (global *names* are the stable vocabulary; slot

@@ -1,0 +1,383 @@
+//===- compiler/Peephole.cpp - Byte-code peephole optimizer ---------------===//
+//
+// The pass works on a private decoded form (instruction list with jump
+// targets as instruction indices), applies the rewrites to a fixpoint by
+// marking instructions removed in place, and re-emits bytes with every
+// relative offset recomputed. Deleted instructions forward their incoming
+// edges to the next live instruction, which is always well-defined: only
+// no-ops and unreachable code are deleted, and a live non-terminator
+// always has a live successor.
+//
+//===----------------------------------------------------------------------===//
+
+#include "compiler/Peephole.h"
+
+#include <cstdint>
+
+using namespace pecomp;
+using namespace pecomp::compiler;
+using vm::Op;
+
+namespace {
+
+struct PInsn {
+  Op O;
+  uint32_t A = 0;     // first operand
+  uint32_t B = 0;     // second operand (MakeClosure capture count)
+  int32_t Target = -1; // instruction index, for the three jump forms
+  bool Removed = false;
+};
+
+bool isJump(Op O) {
+  return O == Op::Jump || O == Op::JumpIfFalse || O == Op::JumpIfTrue;
+}
+
+bool isTerminator(Op O) {
+  return O == Op::Jump || O == Op::Return || O == Op::TailCall ||
+         O == Op::Halt;
+}
+
+size_t insnSize(const PInsn &I) {
+  switch (I.O) {
+  case Op::Const:
+  case Op::LocalRef:
+  case Op::FreeRef:
+  case Op::GlobalRef:
+  case Op::Slide:
+  case Op::Jump:
+  case Op::JumpIfFalse:
+  case Op::JumpIfTrue:
+    return 3;
+  case Op::MakeClosure:
+    return 5;
+  case Op::Call:
+  case Op::TailCall:
+  case Op::Prim:
+    return 2;
+  default: // Return, Halt
+    return 1;
+  }
+}
+
+/// Structural decode mirroring vm/Decode.cpp's strictness: any stream the
+/// fast-loop decoder would refuse is left to the byte interpreter
+/// untouched (returns false). Static table indices are not checked here —
+/// the pass never moves or retargets them.
+bool decodeAll(const std::vector<uint8_t> &Code, std::vector<PInsn> &Out) {
+  if (Code.empty())
+    return false;
+  std::vector<int32_t> ByteToIndex(Code.size(), -1);
+  std::vector<std::pair<size_t, int64_t>> Jumps; // insn index, target byte
+  size_t PC = 0;
+  while (PC < Code.size()) {
+    Op O = static_cast<Op>(Code[PC]);
+    PInsn I;
+    I.O = O;
+    size_t OperandBytes;
+    switch (O) {
+    case Op::Const:
+    case Op::LocalRef:
+    case Op::FreeRef:
+    case Op::GlobalRef:
+    case Op::Slide:
+    case Op::Jump:
+    case Op::JumpIfFalse:
+    case Op::JumpIfTrue:
+      OperandBytes = 2;
+      break;
+    case Op::MakeClosure:
+      OperandBytes = 4;
+      break;
+    case Op::Call:
+    case Op::TailCall:
+    case Op::Prim:
+      OperandBytes = 1;
+      break;
+    case Op::Return:
+    case Op::Halt:
+      OperandBytes = 0;
+      break;
+    default:
+      return false; // unknown opcode
+    }
+    if (PC + 1 + OperandBytes > Code.size())
+      return false; // truncated operands
+
+    auto U16At = [&](size_t Off) {
+      return static_cast<uint16_t>(Code[Off] | (Code[Off + 1] << 8));
+    };
+    if (OperandBytes >= 1)
+      I.A = OperandBytes == 1 ? Code[PC + 1] : U16At(PC + 1);
+    if (OperandBytes == 4)
+      I.B = U16At(PC + 3);
+
+    size_t Next = PC + 1 + OperandBytes;
+    if (!isTerminator(O) && Next >= Code.size())
+      return false; // control can run off the end
+    if (isJump(O)) {
+      int64_t T = static_cast<int64_t>(Next) +
+                  static_cast<int16_t>(static_cast<uint16_t>(I.A));
+      if (T < 0 || T >= static_cast<int64_t>(Code.size()))
+        return false; // wild jump
+      Jumps.emplace_back(Out.size(), T);
+    }
+    ByteToIndex[PC] = static_cast<int32_t>(Out.size());
+    Out.push_back(I);
+    PC = Next;
+  }
+  for (auto [Idx, T] : Jumps) {
+    int32_t TI = ByteToIndex[static_cast<size_t>(T)];
+    if (TI < 0)
+      return false; // mid-instruction target
+    Out[Idx].Target = TI;
+  }
+  return true;
+}
+
+/// First live instruction at or after \p I, or -1 past the end.
+int32_t nextLive(const std::vector<PInsn> &L, size_t I) {
+  for (; I < L.size(); ++I)
+    if (!L[I].Removed)
+      return static_cast<int32_t>(I);
+  return -1;
+}
+
+/// Jump threading: retarget any jump through a chain of unconditional
+/// Jumps, then fold an unconditional Jump landing on Return/Halt into
+/// that terminator.
+bool threadJumps(std::vector<PInsn> &L, PeepholeStats &S) {
+  bool Changed = false;
+  for (PInsn &I : L) {
+    if (I.Removed || !isJump(I.O))
+      continue;
+    int32_t T = I.Target;
+    // Deleted targets forward to the next live instruction first.
+    T = nextLive(L, static_cast<size_t>(T));
+    int Hops = 0;
+    while (Hops < 8 && L[T].O == Op::Jump && L[T].Target != T) {
+      T = nextLive(L, static_cast<size_t>(L[T].Target));
+      ++Hops;
+    }
+    if (T != I.Target) {
+      I.Target = T;
+      ++S.ThreadedJumps;
+      Changed = true;
+    }
+    if (I.O == Op::Jump &&
+        (L[T].O == Op::Return || L[T].O == Op::Halt)) {
+      I.O = L[T].O;
+      I.A = 0;
+      I.Target = -1;
+      ++S.FoldedTerminators;
+      Changed = true;
+    }
+  }
+  return Changed;
+}
+
+std::vector<bool> jumpTargets(const std::vector<PInsn> &L) {
+  std::vector<bool> IsTarget(L.size(), false);
+  for (const PInsn &I : L)
+    if (!I.Removed && I.Target >= 0)
+      IsTarget[static_cast<size_t>(I.Target)] = true;
+  return IsTarget;
+}
+
+/// Branch inversion: a conditional jump over an unconditional Jump whose
+/// taken edge is the Jump's fall-through collapses into the inverted
+/// conditional aimed at the Jump's target.
+bool invertBranches(std::vector<PInsn> &L, PeepholeStats &S) {
+  bool Changed = false;
+  std::vector<bool> IsTarget = jumpTargets(L);
+  for (size_t I = 0; I < L.size(); ++I) {
+    PInsn &C = L[I];
+    if (C.Removed || (C.O != Op::JumpIfFalse && C.O != Op::JumpIfTrue))
+      continue;
+    int32_t J = nextLive(L, I + 1);
+    if (J < 0 || L[J].O != Op::Jump || IsTarget[static_cast<size_t>(J)])
+      continue;
+    int32_t FallThrough = nextLive(L, static_cast<size_t>(J) + 1);
+    if (FallThrough < 0 ||
+        nextLive(L, static_cast<size_t>(C.Target)) != FallThrough)
+      continue;
+    C.O = C.O == Op::JumpIfFalse ? Op::JumpIfTrue : Op::JumpIfFalse;
+    C.Target = L[J].Target;
+    L[J].Removed = true;
+    ++S.InvertedBranches;
+    Changed = true;
+  }
+  return Changed;
+}
+
+/// Slide cleanup: Slide 0 is a no-op; back-to-back Slides merge (second
+/// one must not be a jump target — an incoming edge would skip the first
+/// half of the merged drop count).
+bool optimizeSlides(std::vector<PInsn> &L, PeepholeStats &S) {
+  bool Changed = false;
+  std::vector<bool> IsTarget = jumpTargets(L);
+  for (size_t I = 0; I < L.size(); ++I) {
+    PInsn &C = L[I];
+    if (C.Removed || C.O != Op::Slide)
+      continue;
+    if (C.A == 0) {
+      C.Removed = true;
+      ++S.DroppedSlides;
+      Changed = true;
+      continue;
+    }
+    int32_t J = nextLive(L, I + 1);
+    if (J >= 0 && L[J].O == Op::Slide && !IsTarget[static_cast<size_t>(J)] &&
+        C.A + L[J].A <= 65535) {
+      C.A += L[J].A;
+      L[J].Removed = true;
+      ++S.CollapsedSlides;
+      Changed = true;
+    }
+  }
+  return Changed;
+}
+
+/// Unreachable-code removal: anything not reached from instruction 0 via
+/// fall-through and jump edges is deleted. Live jumps always target live
+/// code afterwards, so re-emission never needs a dangling-edge fixup.
+bool removeDead(std::vector<PInsn> &L, PeepholeStats &S) {
+  std::vector<bool> Live(L.size(), false);
+  std::vector<size_t> Work;
+  int32_t Entry = nextLive(L, 0);
+  if (Entry >= 0) {
+    Live[static_cast<size_t>(Entry)] = true;
+    Work.push_back(static_cast<size_t>(Entry));
+  }
+  auto Visit = [&](int32_t I) {
+    if (I >= 0 && !Live[static_cast<size_t>(I)]) {
+      Live[static_cast<size_t>(I)] = true;
+      Work.push_back(static_cast<size_t>(I));
+    }
+  };
+  while (!Work.empty()) {
+    size_t I = Work.back();
+    Work.pop_back();
+    const PInsn &C = L[I];
+    if (!isTerminator(C.O))
+      Visit(nextLive(L, I + 1));
+    if (C.Target >= 0)
+      Visit(nextLive(L, static_cast<size_t>(C.Target)));
+  }
+  bool Changed = false;
+  for (size_t I = 0; I < L.size(); ++I)
+    if (!L[I].Removed && !Live[I]) {
+      L[I].Removed = true;
+      ++S.DeadInsns;
+      Changed = true;
+    }
+  return Changed;
+}
+
+/// Re-emits the live instructions; false when a recomputed jump offset
+/// does not fit i16 (caller keeps the original bytes).
+bool emit(const std::vector<PInsn> &L, std::vector<uint8_t> &Out) {
+  std::vector<size_t> NewPC(L.size(), 0);
+  size_t PC = 0;
+  for (size_t I = 0; I < L.size(); ++I) {
+    if (L[I].Removed)
+      continue;
+    NewPC[I] = PC;
+    PC += insnSize(L[I]);
+  }
+  Out.clear();
+  Out.reserve(PC);
+  auto PushU16 = [&](uint32_t V) {
+    Out.push_back(static_cast<uint8_t>(V & 0xff));
+    Out.push_back(static_cast<uint8_t>((V >> 8) & 0xff));
+  };
+  for (size_t I = 0; I < L.size(); ++I) {
+    const PInsn &C = L[I];
+    if (C.Removed)
+      continue;
+    Out.push_back(static_cast<uint8_t>(C.O));
+    if (isJump(C.O)) {
+      int32_t T = nextLive(L, static_cast<size_t>(C.Target));
+      if (T < 0)
+        return false; // cannot happen for live jumps; refuse rather than trust
+      int64_t Rel = static_cast<int64_t>(NewPC[static_cast<size_t>(T)]) -
+                    static_cast<int64_t>(NewPC[I] + 3);
+      if (Rel < INT16_MIN || Rel > INT16_MAX)
+        return false;
+      PushU16(static_cast<uint16_t>(static_cast<int16_t>(Rel)));
+      continue;
+    }
+    switch (insnSize(C)) {
+    case 3:
+      PushU16(C.A);
+      break;
+    case 5:
+      PushU16(C.A);
+      PushU16(C.B);
+      break;
+    case 2:
+      Out.push_back(static_cast<uint8_t>(C.A));
+      break;
+    default: // Return, Halt: no operands
+      break;
+    }
+  }
+  return true;
+}
+
+void optimizeObject(vm::CodeObject &C, PeepholeStats &S) {
+  std::vector<PInsn> L;
+  if (!decodeAll(C.code(), L))
+    return; // irregular stream: the byte interpreter owns it, verbatim
+
+  PeepholeStats Local;
+  bool Any = false;
+  for (int Pass = 0; Pass < 8; ++Pass) {
+    bool Changed = false;
+    Changed |= threadJumps(L, Local);
+    Changed |= invertBranches(L, Local);
+    Changed |= optimizeSlides(L, Local);
+    Changed |= removeDead(L, Local);
+    if (!Changed)
+      break;
+    Any = true;
+  }
+  if (!Any)
+    return;
+
+  std::vector<uint8_t> NewCode;
+  if (!emit(L, NewCode))
+    return; // an offset overflowed i16: keep the original
+  Local.BytesSaved = C.code().size() - NewCode.size();
+  Local.ObjectsChanged = 1;
+  S += Local;
+  C.mutableCode() = std::move(NewCode);
+}
+
+void peepholeRec(vm::CodeObject *C, PeepholeStats &S) {
+  // Processed once per object; decoded objects have frozen bytes and are
+  // left alone (their children may still be fresh, so recurse anyway).
+  if (!C->peepholed() && !C->decodeAttempted()) {
+    C->markPeepholed();
+    ++S.ObjectsVisited;
+    optimizeObject(*C, S);
+  }
+  for (const vm::CodeObject *Child : C->children())
+    // CodeStore hands out mutable objects; CompiledProgram/child tables
+    // only carry const views of them.
+    peepholeRec(const_cast<vm::CodeObject *>(Child), S);
+}
+
+} // namespace
+
+PeepholeStats compiler::peepholeCode(vm::CodeObject *C) {
+  PeepholeStats S;
+  peepholeRec(C, S);
+  return S;
+}
+
+PeepholeStats compiler::peepholeProgram(const CompiledProgram &P) {
+  PeepholeStats S;
+  for (const auto &[Name, Code] : P.Defs)
+    peepholeRec(const_cast<vm::CodeObject *>(Code), S);
+  return S;
+}

@@ -1,0 +1,79 @@
+//===- compiler/Peephole.h - Byte-code peephole optimizer ------*- C++ -*-===//
+///
+/// \file
+/// A post-compilation cleanup pass over byte code (DESIGN.md Sec. 9). The
+/// stock compiler and the generating extensions both emit structurally
+/// naive control flow — jump chains from nested conditionals, branches
+/// over unconditional jumps, adjacent stack-cleanup Slides — and this pass
+/// rewrites those idioms in place before the code is pre-decoded:
+///
+///   * jump-to-jump threading (and folding a Jump that lands on a
+///     Return/Halt into that terminator),
+///   * branch inversion: JumpIfFalse L1 over Jump L2 where L1 is the
+///     fall-through becomes JumpIfTrue L2 (the pass is the only emitter
+///     of Op::JumpIfTrue),
+///   * collapsing adjacent Slides and dropping Slide 0,
+///   * removing unreachable instructions.
+///
+/// The pass runs strictly before a code object's first decode (it refuses
+/// objects whose bytes are frozen) and re-emits byte offsets exactly, so
+/// the verifier's invariants and the decoder's strictness are preserved:
+/// peepholed code verifies and pre-decodes iff it did before. Each object
+/// is processed at most once (CodeObject::peepholed), making repeated
+/// links idempotent and letting PortableProgram snapshots carry the
+/// already-optimized form (cache hits pay no re-optimization).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PECOMP_COMPILER_PEEPHOLE_H
+#define PECOMP_COMPILER_PEEPHOLE_H
+
+#include "compiler/Link.h"
+
+namespace pecomp {
+namespace compiler {
+
+/// What one peephole run did, summed over every object it visited.
+struct PeepholeStats {
+  size_t ObjectsVisited = 0;  ///< objects actually processed this run
+  size_t ObjectsChanged = 0;  ///< objects whose bytes were rewritten
+  size_t ThreadedJumps = 0;   ///< jumps retargeted through Jump chains
+  size_t FoldedTerminators = 0; ///< Jumps replaced by their Return/Halt target
+  size_t InvertedBranches = 0;  ///< branch-over-Jump pairs inverted
+  size_t CollapsedSlides = 0;   ///< adjacent Slide pairs merged
+  size_t DroppedSlides = 0;     ///< Slide 0 no-ops removed
+  size_t DeadInsns = 0;         ///< unreachable instructions removed
+  size_t BytesSaved = 0;        ///< total code-size reduction
+
+  size_t rewrites() const {
+    return ThreadedJumps + FoldedTerminators + InvertedBranches +
+           CollapsedSlides + DroppedSlides + DeadInsns;
+  }
+  void operator+=(const PeepholeStats &O) {
+    ObjectsVisited += O.ObjectsVisited;
+    ObjectsChanged += O.ObjectsChanged;
+    ThreadedJumps += O.ThreadedJumps;
+    FoldedTerminators += O.FoldedTerminators;
+    InvertedBranches += O.InvertedBranches;
+    CollapsedSlides += O.CollapsedSlides;
+    DroppedSlides += O.DroppedSlides;
+    DeadInsns += O.DeadInsns;
+    BytesSaved += O.BytesSaved;
+  }
+};
+
+/// Optimizes \p C and, recursively, its children. Objects already
+/// processed or already pre-decoded (bytes frozen) are skipped; every
+/// processed object is marked via CodeObject::markPeepholed whether or
+/// not a rewrite applied. Irregular byte streams (anything vm/Decode.cpp
+/// would refuse) and rewrites whose re-emitted jump offsets would not fit
+/// i16 are left byte-for-byte unchanged.
+PeepholeStats peepholeCode(vm::CodeObject *C);
+
+/// peepholeCode over every definition of \p P.
+PeepholeStats peepholeProgram(const CompiledProgram &P);
+
+} // namespace compiler
+} // namespace pecomp
+
+#endif // PECOMP_COMPILER_PEEPHOLE_H

@@ -3,6 +3,7 @@
 #include "pgg/RtcgService.h"
 
 #include "compiler/Compilators.h"
+#include "compiler/Peephole.h"
 #include "sexp/Reader.h"
 #include "support/LargeStack.h"
 #include "vm/Convert.h"
@@ -92,6 +93,7 @@ std::vector<RtcgResponse> RtcgService::serveAll(std::vector<RtcgRequest> Reqs) {
 void RtcgService::workerLoop(size_t Index) {
   WorkerState W(Index);
   W.Machine.setLimits(Opts.Limits);
+  W.Machine.setFusion(Opts.Fusion);
   for (;;) {
     Job J;
     {
@@ -184,6 +186,11 @@ RtcgResponse RtcgService::process(WorkerState &W, const RtcgRequest &Req) {
     Resp.Gen = Obj->Stats;
     CP = std::move(Obj->Residual);
 
+    // Optimize before capture so the published snapshot stores peepholed
+    // bytes; every worker's hits then skip the pass entirely.
+    if (Opts.Peephole)
+      compiler::peepholeProgram(CP);
+
     // Publish for every worker (and later requests). A program that does
     // not capture — non-datum literal, irregular code — is simply served
     // uncached each time.
@@ -197,8 +204,10 @@ RtcgResponse RtcgService::process(WorkerState &W, const RtcgRequest &Req) {
     }
   }
 
+  compiler::LinkOptions LO;
+  LO.Peephole = Opts.Peephole;
   if (Result<bool> Linked =
-          compiler::linkProgramVerified(W.Machine, Globals, CP);
+          compiler::linkProgramVerified(W.Machine, Globals, CP, LO);
       !Linked)
     return failResponse(Linked.error(), W.Index);
 

@@ -62,6 +62,21 @@ struct RtcgOptions {
   size_t CacheBytes = 64u << 20; ///< 0 = unlimited
   size_t CacheShards = 8;
   vm::Limits Limits;             ///< per-worker machine/heap ceilings
+  /// Superinstruction fusion in each worker's decoded dispatch loop
+  /// (vm::Machine::setFusion); build option PECOMP_NO_FUSE pins the
+  /// default off.
+#ifdef PECOMP_NO_FUSE
+  bool Fusion = false;
+#else
+  bool Fusion = true;
+#endif
+  /// Peephole-optimize residual code before capture/link, so cached
+  /// snapshots store optimized bytes and hits pay no per-hit pass.
+#ifdef PECOMP_NO_PEEPHOLE
+  bool Peephole = false;
+#else
+  bool Peephole = true;
+#endif
   PggOptions Pgg;
 };
 

@@ -71,6 +71,11 @@ void disassembleInto(const CodeObject *C, std::string &Out,
       Out += "jump-if-false " + std::to_string(static_cast<long>(PC) + Off);
       break;
     }
+    case Op::JumpIfTrue: {
+      int16_t Off = readI16(Code, PC);
+      Out += "jump-if-true " + std::to_string(static_cast<long>(PC) + Off);
+      break;
+    }
     case Op::Prim:
       Out += std::string("prim ") + primName(static_cast<PrimOp>(Code[PC++]));
       break;
@@ -80,6 +85,11 @@ void disassembleInto(const CodeObject *C, std::string &Out,
     case Op::Halt:
       Out += "halt";
       break;
+    default:
+      // Not a byte opcode (fused superinstructions live only in decoded
+      // streams); stop rather than misread operand bytes.
+      Out += "??? " + std::to_string(static_cast<unsigned>(O)) + "\n";
+      return;
     }
     Out.push_back('\n');
   }

@@ -46,10 +46,35 @@ enum class Op : uint8_t {
   Slide,       ///< u16 n: stack[top-n] = stack[top], pop n (stock compiler
                ///< cleanup of expression temporaries)
   Halt,        ///< stops execution; top of stack is the result
+  JumpIfTrue,  ///< i16 offset; pops the test (emitted only by the peephole
+               ///< pass, for JumpIfFalse-over-Jump branch inversion)
+
+  // -- Decoded-only superinstructions --------------------------------------
+  // The opcodes below never appear in byte code (the byte interpreter and
+  // the verifier reject them); they exist only in a DecodedStream's fused
+  // instruction array, where the decoder patches them over the *first*
+  // instruction of a recognized straight-line idiom. The constituent
+  // instructions keep their original entries at the same indices, so jump
+  // targets, byte-offset maps, fuel escapes, and trap PCs are unaffected.
+  FuseLocalLocalPrim, ///< LocalRef a; LocalRef b; Prim p (arity 2)
+  FuseConstPrim,      ///< Const i; Prim p
+  FuseLocalPrim,      ///< LocalRef a; Prim p
+  FuseCmpJumpIfFalse, ///< Prim p (predicate); JumpIfFalse off
+  FuseLocalReturn,    ///< LocalRef a; Return
+  FusePrimReturn,     ///< Prim p; Return
 };
 
-/// Number of defined opcodes (Profile counter array size, dispatch tables).
-inline constexpr size_t NumOpcodes = static_cast<size_t>(Op::Halt) + 1;
+/// Number of *byte-code* opcodes (Profile counter array size, operand
+/// tables, verifier): everything a byte stream may legally contain.
+inline constexpr size_t NumOpcodes = static_cast<size_t>(Op::JumpIfTrue) + 1;
+
+/// Number of opcodes the decoded dispatch loop can see — byte opcodes plus
+/// the fused superinstructions (dispatch-table size of the fast loop).
+inline constexpr size_t NumDecodedOps =
+    static_cast<size_t>(Op::FusePrimReturn) + 1;
+
+/// How many fused superinstruction forms exist (Profile::FusedCount size).
+inline constexpr size_t NumFusedOps = NumDecodedOps - NumOpcodes;
 
 /// The opcode's mnemonic ("Const", "Jump", ...), or "?" out of range.
 const char *opMnemonic(Op O);
@@ -60,13 +85,19 @@ const char *opMnemonic(Op O);
 /// so traps report the same faulting PC the byte interpreter would.
 struct DecodedInsn {
   Op Opcode;
+  Op SrcOp;            ///< the byte opcode at PC. Equal to Opcode except in
+                       ///< the fused array, where a fusion head's Opcode is
+                       ///< the superinstruction and SrcOp the idiom's first
+                       ///< source opcode (trap/profile context stays
+                       ///< source-accurate)
   uint8_t C = 0;       ///< u8 operand (Call/TailCall argc, Prim number)
   uint16_t A = 0;      ///< first u16 operand (index / slot / count)
   uint16_t B = 0;      ///< second u16 operand (MakeClosure capture count);
                        ///< for Prim, the pre-looked-up arity
   uint32_t PC = 0;     ///< byte offset of this instruction's opcode
   uint32_t NextPC = 0; ///< byte offset of the fall-through successor
-  int32_t Target = -1; ///< decoded index of the jump target (Jump/JumpIfFalse)
+  int32_t Target = -1; ///< decoded index of the jump target
+                       ///< (Jump/JumpIfFalse/JumpIfTrue)
 };
 
 /// The pre-decoded form of one CodeObject: a dense instruction array plus
@@ -75,6 +106,12 @@ struct DecodedInsn {
 class DecodedStream {
 public:
   std::vector<DecodedInsn> Insns;
+  /// The superinstruction view: a copy of Insns in which the head of each
+  /// fused idiom carries the fused Opcode (constituents are untouched, so
+  /// the two arrays index identically and share ByteToIndex/Target).
+  /// Empty when the stream contains no fusable idiom — the machine then
+  /// runs Insns regardless of its fusion setting.
+  std::vector<DecodedInsn> Fused;
   /// ByteToIndex[pc] is the decoded index of the instruction starting at
   /// byte pc, or -1 for mid-instruction offsets. One extra slot maps
   /// code.size() (a frame parked exactly at the end) to -1.
@@ -120,6 +157,14 @@ public:
   /// Whether decoded() has been computed yet (used by the machine to
   /// attribute first-decode latency to Profile::DecodeNanos).
   bool decodeAttempted() const { return DState != DecodeState::Unknown; }
+
+  /// Whether the byte-code peephole pass (compiler/Peephole.h) has already
+  /// processed this object. Set by the pass itself and by
+  /// PortableProgram::instantiate for snapshots captured after the pass,
+  /// so cache hits pay no re-optimization cost and repeated links are
+  /// idempotent.
+  bool peepholed() const { return PeepholeDone; }
+  void markPeepholed() { PeepholeDone = true; }
   uint16_t addLiteral(Value V) {
     checkLimit(Literals.size(), "literal table");
     Literals.push_back(V);
@@ -156,6 +201,7 @@ private:
   enum class DecodeState : uint8_t { Unknown, Ready, Fallback };
   mutable DecodeState DState = DecodeState::Unknown;
   mutable std::unique_ptr<DecodedStream> Decoded;
+  bool PeepholeDone = false;
 };
 
 /// Byte-for-byte structural equality of code objects (code bytes, literals

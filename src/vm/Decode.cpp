@@ -46,6 +46,20 @@ const char *pecomp::vm::opMnemonic(Op O) {
     return "Slide";
   case Op::Halt:
     return "Halt";
+  case Op::JumpIfTrue:
+    return "JumpIfTrue";
+  case Op::FuseLocalLocalPrim:
+    return "Local+Local+Prim";
+  case Op::FuseConstPrim:
+    return "Const+Prim";
+  case Op::FuseLocalPrim:
+    return "Local+Prim";
+  case Op::FuseCmpJumpIfFalse:
+    return "Prim+JumpIfFalse";
+  case Op::FuseLocalReturn:
+    return "Local+Return";
+  case Op::FusePrimReturn:
+    return "Prim+Return";
   }
   return "?";
 }
@@ -56,6 +70,110 @@ namespace {
 bool isTerminator(Op O) {
   return O == Op::Jump || O == Op::Return || O == Op::TailCall ||
          O == Op::Halt;
+}
+
+/// Prims whose Prim+JumpIfFalse sequences fuse: pure predicates that
+/// cannot allocate, so the fused handler's fault surface matches the
+/// unfused pair exactly (the check is kept anyway, but the restriction
+/// keeps the fusion aligned with the "compare feeding a branch" idiom).
+bool isPredicatePrim(PrimOp P) {
+  switch (P) {
+  case PrimOp::NumEq:
+  case PrimOp::Lt:
+  case PrimOp::Gt:
+  case PrimOp::Le:
+  case PrimOp::Ge:
+  case PrimOp::EqP:
+  case PrimOp::EqualP:
+  case PrimOp::ZeroP:
+  case PrimOp::NullP:
+  case PrimOp::PairP:
+  case PrimOp::Not:
+  case PrimOp::NumberP:
+  case PrimOp::SymbolP:
+  case PrimOp::BooleanP:
+  case PrimOp::ProcedureP:
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// Builds DS.Fused: a greedy left-to-right scan over the decoded stream
+/// patching superinstruction opcodes over the heads of recognized idioms.
+/// A fusion is taken only when every non-head constituent stays inside
+/// the head's basic block — no jump target and no call-return resume
+/// point may land mid-fusion (conservative: constituents keep their
+/// original entries, but the rule keeps every entry point a sequence
+/// head). Widest pattern wins at each position; fusions never overlap.
+void selectFusions(DecodedStream &DS) {
+  const size_t N = DS.Insns.size();
+
+  // Entry points: the function start, every jump target, and every Call's
+  // fall-through (a Return resumes there).
+  std::vector<bool> IsEntry(N, false);
+  if (N)
+    IsEntry[0] = true;
+  for (const DecodedInsn &I : DS.Insns) {
+    if (I.Target >= 0)
+      IsEntry[static_cast<size_t>(I.Target)] = true;
+    if (I.Opcode == Op::Call)
+      IsEntry[DS.indexOf(I.NextPC)] = true;
+  }
+
+  auto OpAt = [&](size_t I) { return DS.Insns[I].Opcode; };
+  bool Any = false;
+  std::vector<Op> Head(N, Op::Halt);
+  std::vector<bool> HasHead(N, false);
+  size_t I = 0;
+  while (I < N) {
+    size_t Width = 1;
+    Op F = Op::Halt;
+    if (OpAt(I) == Op::LocalRef) {
+      if (I + 2 < N && OpAt(I + 1) == Op::LocalRef &&
+          OpAt(I + 2) == Op::Prim && DS.Insns[I + 2].B == 2 &&
+          !IsEntry[I + 1] && !IsEntry[I + 2]) {
+        F = Op::FuseLocalLocalPrim;
+        Width = 3;
+      } else if (I + 1 < N && OpAt(I + 1) == Op::Prim &&
+                 DS.Insns[I + 1].B <= 2 && !IsEntry[I + 1]) {
+        F = Op::FuseLocalPrim;
+        Width = 2;
+      } else if (I + 1 < N && OpAt(I + 1) == Op::Return && !IsEntry[I + 1]) {
+        F = Op::FuseLocalReturn;
+        Width = 2;
+      }
+    } else if (OpAt(I) == Op::Const) {
+      if (I + 1 < N && OpAt(I + 1) == Op::Prim &&
+          DS.Insns[I + 1].B <= 2 && !IsEntry[I + 1]) {
+        F = Op::FuseConstPrim;
+        Width = 2;
+      }
+    } else if (OpAt(I) == Op::Prim) {
+      if (I + 1 < N && OpAt(I + 1) == Op::JumpIfFalse && !IsEntry[I + 1] &&
+          isPredicatePrim(static_cast<PrimOp>(DS.Insns[I].C))) {
+        F = Op::FuseCmpJumpIfFalse;
+        Width = 2;
+      } else if (I + 1 < N && OpAt(I + 1) == Op::Return && !IsEntry[I + 1]) {
+        F = Op::FusePrimReturn;
+        Width = 2;
+      }
+    }
+    if (Width > 1) {
+      Head[I] = F;
+      HasHead[I] = true;
+      Any = true;
+    }
+    I += Width;
+  }
+
+  if (!Any)
+    return; // Fused stays empty; the machine runs Insns either way
+
+  DS.Fused = DS.Insns;
+  for (size_t K = 0; K != N; ++K)
+    if (HasHead[K])
+      DS.Fused[K].Opcode = Head[K]; // SrcOp keeps the source opcode
 }
 
 /// One linear decoding pass; returns null on any irregularity.
@@ -73,6 +191,7 @@ std::unique_ptr<DecodedStream> decodeLinear(const CodeObject &C) {
     Op O = static_cast<Op>(Code[PC]);
     DecodedInsn I;
     I.Opcode = O;
+    I.SrcOp = O;
     I.PC = static_cast<uint32_t>(PC);
 
     size_t OperandBytes;
@@ -84,6 +203,7 @@ std::unique_ptr<DecodedStream> decodeLinear(const CodeObject &C) {
     case Op::Slide:
     case Op::Jump:
     case Op::JumpIfFalse:
+    case Op::JumpIfTrue:
       OperandBytes = 2;
       break;
     case Op::MakeClosure:
@@ -156,7 +276,8 @@ std::unique_ptr<DecodedStream> decodeLinear(const CodeObject &C) {
 
   // Resolve jump targets now that every instruction boundary is known.
   for (DecodedInsn &I : DS->Insns) {
-    if (I.Opcode != Op::Jump && I.Opcode != Op::JumpIfFalse)
+    if (I.Opcode != Op::Jump && I.Opcode != Op::JumpIfFalse &&
+        I.Opcode != Op::JumpIfTrue)
       continue;
     int64_t Target = static_cast<int64_t>(I.NextPC) +
                      static_cast<int16_t>(I.A);
@@ -168,6 +289,7 @@ std::unique_ptr<DecodedStream> decodeLinear(const CodeObject &C) {
     I.Target = Index;
   }
 
+  selectFusions(*DS);
   return DS;
 }
 

@@ -205,7 +205,14 @@ std::optional<Result<Value>> Machine::runDecoded() {
 
   Frame *F = &Frames.back();
   const DecodedStream *DS = F->Code->decoded(); // cached: run() ensured Ready
-  const DecodedInsn *Insns = DS->Insns.data();
+  // The superinstruction view shares indices, byte offsets, and jump
+  // targets with the plain array, so every IP/resume computation below is
+  // oblivious to which one is active.
+  auto ActiveInsns = [this](const DecodedStream *S) {
+    return (UseFusion && !S->Fused.empty()) ? S->Fused.data()
+                                            : S->Insns.data();
+  };
+  const DecodedInsn *Insns = ActiveInsns(DS);
   const Value *Lits = F->Code->literals().data();
   size_t IP = DS->indexOf(F->PC);
   const DecodedInsn *I = nullptr;
@@ -228,10 +235,28 @@ std::optional<Result<Value>> Machine::runDecoded() {
     const DecodedStream *NDS = decodedFor(*F->Code);
     if (NDS) {
       DS = NDS;
-      Insns = DS->Insns.data();
+      Insns = ActiveInsns(DS);
       Lits = F->Code->literals().data();
     }
     return NDS;
+  };
+
+  // Profiling digram state: the previously executed source opcode, seeded
+  // with the start-of-run sentinel row.
+  [[maybe_unused]] size_t PrevOp = Profile::PairStart;
+  // Charges one fused constituent exactly as its unfused dispatch
+  // prologue would have: fuel (pre-cleared by the handler's escape
+  // check, so it can never trap here), the executed-instruction count,
+  // and the profile counters.
+  auto Charge = [&](const DecodedInsn *C) {
+    ++Executed;
+    ++FuelUsed;
+    if constexpr (Profiling) {
+      const size_t CurOp = static_cast<size_t>(C->SrcOp);
+      ++Prof->OpCount[CurOp];
+      ++Prof->PairCount[PrevOp * NumOpcodes + CurOp];
+      PrevOp = CurOp;
+    }
   };
 
   // Entry governance. The byte loop probes the heap and the stack ceiling
@@ -254,15 +279,22 @@ std::optional<Result<Value>> Machine::runDecoded() {
 // Per-dispatch prologue: trap context, fuel, optional counters. Fuel is
 // deliberately NOT hoisted to back-edges — per-instruction charging is
 // what makes the "same faulting PC" guarantee hold (see DESIGN.md).
+// Context and counters key on SrcOp, the source byte opcode, so a fused
+// superinstruction head reports and profiles exactly like its first
+// constituent (SrcOp == Opcode everywhere else).
 #define PECOMP_PROLOGUE()                                                      \
   I = &Insns[IP];                                                              \
   TrapPC = I->PC;                                                              \
-  TrapOp = static_cast<int>(I->Opcode);                                        \
+  TrapOp = static_cast<int>(I->SrcOp);                                         \
   ++Executed;                                                                  \
   if (++FuelUsed > FuelCeiling)                                                \
     goto fuel_trap;                                                            \
-  if constexpr (Profiling)                                                     \
-    ++Prof->OpCount[static_cast<size_t>(I->Opcode)];
+  if constexpr (Profiling) {                                                   \
+    const size_t CurOp = static_cast<size_t>(I->SrcOp);                        \
+    ++Prof->OpCount[CurOp];                                                    \
+    ++Prof->PairCount[PrevOp * NumOpcodes + CurOp];                            \
+    PrevOp = CurOp;                                                            \
+  }
 
 // Post-push probe shared by every opcode that can grow the value stack:
 // the byte loop bounds the overshoot to one slot by probing each
@@ -275,11 +307,13 @@ std::optional<Result<Value>> Machine::runDecoded() {
   } while (0)
 
 #if PECOMP_COMPUTED_GOTO
-  static const void *const OpTable[NumOpcodes] = {
+  static const void *const OpTable[NumDecodedOps] = {
       &&Lbl_Const,    &&Lbl_LocalRef, &&Lbl_FreeRef,     &&Lbl_GlobalRef,
       &&Lbl_MakeClosure, &&Lbl_Call,  &&Lbl_TailCall,    &&Lbl_Return,
       &&Lbl_Jump,     &&Lbl_JumpIfFalse, &&Lbl_Prim,     &&Lbl_Slide,
-      &&Lbl_Halt};
+      &&Lbl_Halt,     &&Lbl_JumpIfTrue,
+      &&Lbl_FuseLocalLocalPrim, &&Lbl_FuseConstPrim, &&Lbl_FuseLocalPrim,
+      &&Lbl_FuseCmpJumpIfFalse, &&Lbl_FuseLocalReturn, &&Lbl_FusePrimReturn};
 #define PECOMP_DISPATCH()                                                      \
   do {                                                                         \
     PECOMP_PROLOGUE();                                                         \
@@ -298,12 +332,19 @@ std::optional<Result<Value>> Machine::runDecoded() {
     switch (I->Opcode) {
 #endif
 
+  // The unfused_* labels let a fused handler bail out to its head's
+  // one-instruction handler when the fuel budget cannot cover the whole
+  // idiom: the head runs alone (already charged by the prologue) and the
+  // next dispatch lands on the constituent's untouched entry, so the fuel
+  // trap fires at exactly the source instruction it would have unfused.
   PECOMP_OP(Const) : {
+  unfused_Const:
     Stack.push_back(Lits[I->A]); // index pre-validated by the decoder
     PECOMP_PUSH_CHECK();
     PECOMP_DISPATCH();
   }
   PECOMP_OP(LocalRef) : {
+  unfused_LocalRef:
     if (F->Base + I->A >= Stack.size())
       return trap(TrapKind::StackUnderflow,
                   "local slot " + std::to_string(I->A) +
@@ -424,6 +465,7 @@ std::optional<Result<Value>> Machine::runDecoded() {
     PECOMP_DISPATCH();
   }
   PECOMP_OP(Prim) : {
+  unfused_Prim:
     const PrimOp P = static_cast<PrimOp>(I->C); // number pre-validated
     const size_t N = I->B;                      // arity cached at decode
     if (Stack.size() < N)
@@ -453,6 +495,256 @@ std::optional<Result<Value>> Machine::runDecoded() {
     if (Stack.empty())
       return Underflow(1, "Halt");
     return Stack.back();
+  }
+  PECOMP_OP(JumpIfTrue) : {
+    if (Stack.empty())
+      return Underflow(1, "JumpIfTrue");
+    Value Test = Stack.back();
+    Stack.pop_back();
+    IP = Test.isTruthy() ? static_cast<size_t>(I->Target) : IP + 1;
+    PECOMP_DISPATCH();
+  }
+
+  // -- Fused superinstructions ----------------------------------------------
+  //
+  // Each handler replays its idiom's unfused checks in the unfused order,
+  // with each probe repointed at the constituent whose dispatch (or
+  // push-probe) would have fired it — so TrapKind, faulting byte PC,
+  // opcode, message, and executed-instruction count are bit-for-bit what
+  // the unfused loop reports. Values the unfused sequence would have
+  // pushed between constituents stay in locals ("virtual pushes"); on a
+  // trap path they are materialized first, so even the overflow message's
+  // depth matches. The GC never moves objects, and every virtual value is
+  // a copy of one still rooted through the stack or a literal table, so
+  // holding them in locals across an allocating primitive is safe.
+
+  PECOMP_OP(FuseLocalLocalPrim) : { // LocalRef a; LocalRef b; Prim(2)
+    if (FuelUsed + 2 > FuelCeiling)
+      goto unfused_LocalRef;
+    if (F->Base + I->A >= Stack.size())
+      return trap(TrapKind::StackUnderflow,
+                  "local slot " + std::to_string(I->A) +
+                      " beyond the live stack");
+    const size_t S = Stack.size();
+    Value V1 = Stack[F->Base + I->A];
+    if (S + 1 > StackCeiling) {
+      Stack.push_back(V1);
+      goto stack_trap_next;
+    }
+    const DecodedInsn *I1 = I + 1;
+    Charge(I1);
+    // The second LocalRef sees the stack with V1 (virtually) pushed; slot
+    // S names that push itself.
+    const size_t Idx2 = F->Base + I1->A;
+    if (Idx2 >= S + 1) {
+      TrapPC = I1->PC;
+      TrapOp = static_cast<int>(Op::LocalRef);
+      return trap(TrapKind::StackUnderflow,
+                  "local slot " + std::to_string(I1->A) +
+                      " beyond the live stack");
+    }
+    Value V2 = Idx2 == S ? V1 : Stack[Idx2];
+    if (S + 2 > StackCeiling) {
+      Stack.push_back(V1);
+      Stack.push_back(V2);
+      I = I1;
+      goto stack_trap_next;
+    }
+    const DecodedInsn *I2 = I1 + 1;
+    Charge(I2);
+    Value Tmp[2] = {V1, V2};
+    Result<Value> R = applyPrim(static_cast<PrimOp>(I2->C), H, {Tmp, 2});
+    if (!R) {
+      TrapPC = I2->PC;
+      TrapOp = static_cast<int>(Op::Prim);
+      return primError(R.takeError());
+    }
+    Stack.push_back(*R);
+    if (H.faulted()) {
+      I = I2;
+      goto alloc_trap;
+    }
+    // Final depth S+1 was probed above; no push check needed.
+    if constexpr (Profiling)
+      ++Prof->FusedCount[static_cast<size_t>(Op::FuseLocalLocalPrim) -
+                         NumOpcodes];
+    IP += 3;
+    PECOMP_DISPATCH();
+  }
+  PECOMP_OP(FuseConstPrim) : { // Const i; Prim(1|2)
+    if (FuelUsed + 1 > FuelCeiling)
+      goto unfused_Const;
+    Value V = Lits[I->A];
+    const size_t S = Stack.size();
+    if (S + 1 > StackCeiling) {
+      Stack.push_back(V);
+      goto stack_trap_next;
+    }
+    const DecodedInsn *I1 = I + 1;
+    Charge(I1);
+    const size_t N = I1->B;
+    if (S + 1 < N) { // unverified raw code: binary prim on an empty stack
+      TrapPC = I1->PC;
+      TrapOp = static_cast<int>(Op::Prim);
+      return trap(TrapKind::StackUnderflow,
+                  "stack underflow in Prim (have " + std::to_string(S + 1) +
+                      ", need " + std::to_string(N) + ")");
+    }
+    Value Tmp[2];
+    Tmp[0] = N == 2 ? Stack[S - 1] : V;
+    Tmp[1] = V;
+    Result<Value> R = applyPrim(static_cast<PrimOp>(I1->C), H, {Tmp, N});
+    if (!R) {
+      TrapPC = I1->PC;
+      TrapOp = static_cast<int>(Op::Prim);
+      return primError(R.takeError());
+    }
+    if (N == 2)
+      Stack.pop_back();
+    Stack.push_back(*R);
+    if (H.faulted()) {
+      I = I1;
+      goto alloc_trap;
+    }
+    if constexpr (Profiling)
+      ++Prof->FusedCount[static_cast<size_t>(Op::FuseConstPrim) - NumOpcodes];
+    IP += 2;
+    PECOMP_DISPATCH();
+  }
+  PECOMP_OP(FuseLocalPrim) : { // LocalRef a; Prim(1|2)
+    if (FuelUsed + 1 > FuelCeiling)
+      goto unfused_LocalRef;
+    if (F->Base + I->A >= Stack.size())
+      return trap(TrapKind::StackUnderflow,
+                  "local slot " + std::to_string(I->A) +
+                      " beyond the live stack");
+    Value V = Stack[F->Base + I->A];
+    const size_t S = Stack.size();
+    if (S + 1 > StackCeiling) {
+      Stack.push_back(V);
+      goto stack_trap_next;
+    }
+    const DecodedInsn *I1 = I + 1;
+    Charge(I1);
+    // No Prim underflow check: the LocalRef bounds check implies S >= 1,
+    // so the virtual depth S+1 covers any arity <= 2.
+    const size_t N = I1->B;
+    Value Tmp[2];
+    Tmp[0] = N == 2 ? Stack[S - 1] : V;
+    Tmp[1] = V;
+    Result<Value> R = applyPrim(static_cast<PrimOp>(I1->C), H, {Tmp, N});
+    if (!R) {
+      TrapPC = I1->PC;
+      TrapOp = static_cast<int>(Op::Prim);
+      return primError(R.takeError());
+    }
+    if (N == 2)
+      Stack.pop_back();
+    Stack.push_back(*R);
+    if (H.faulted()) {
+      I = I1;
+      goto alloc_trap;
+    }
+    if constexpr (Profiling)
+      ++Prof->FusedCount[static_cast<size_t>(Op::FuseLocalPrim) - NumOpcodes];
+    IP += 2;
+    PECOMP_DISPATCH();
+  }
+  PECOMP_OP(FuseCmpJumpIfFalse) : { // Prim(predicate); JumpIfFalse off
+    if (FuelUsed + 1 > FuelCeiling)
+      goto unfused_Prim;
+    const size_t N = I->B;
+    if (Stack.size() < N)
+      return Underflow(N, "Prim");
+    std::span<const Value> Args(Stack.data() + Stack.size() - N, N);
+    Result<Value> R = applyPrim(static_cast<PrimOp>(I->C), H, Args);
+    if (!R)
+      return primError(R.takeError());
+    Stack.resize(Stack.size() - N);
+    if (H.faulted()) {
+      Stack.push_back(*R);
+      goto alloc_trap;
+    }
+    if (Stack.size() + 1 > StackCeiling) {
+      Stack.push_back(*R);
+      goto stack_trap_next;
+    }
+    Charge(I + 1);
+    // The branch consumes the result without it ever touching the stack.
+    if constexpr (Profiling)
+      ++Prof->FusedCount[static_cast<size_t>(Op::FuseCmpJumpIfFalse) -
+                         NumOpcodes];
+    IP = R->isTruthy() ? IP + 2 : static_cast<size_t>((I + 1)->Target);
+    PECOMP_DISPATCH();
+  }
+  PECOMP_OP(FuseLocalReturn) : { // LocalRef a; Return
+    if (FuelUsed + 1 > FuelCeiling)
+      goto unfused_LocalRef;
+    if (F->Base + I->A >= Stack.size())
+      return trap(TrapKind::StackUnderflow,
+                  "local slot " + std::to_string(I->A) +
+                      " beyond the live stack");
+    Value Ret = Stack[F->Base + I->A];
+    if (Stack.size() + 1 > StackCeiling) {
+      Stack.push_back(Ret);
+      goto stack_trap_next;
+    }
+    Charge(I + 1);
+    // No Return underflow check: the bounds check implies depth > Base.
+    if constexpr (Profiling)
+      ++Prof->FusedCount[static_cast<size_t>(Op::FuseLocalReturn) -
+                         NumOpcodes];
+    Stack.resize(F->Base - 1);
+    Stack.push_back(Ret);
+    Frames.pop_back();
+    if (Frames.empty())
+      return Ret;
+    if (!EnterTop())
+      return std::nullopt;
+    IP = DS->indexOf(F->PC);
+    PECOMP_DISPATCH();
+  }
+  PECOMP_OP(FusePrimReturn) : { // Prim p; Return
+    if (FuelUsed + 1 > FuelCeiling)
+      goto unfused_Prim;
+    const size_t N = I->B;
+    if (Stack.size() < N)
+      return Underflow(N, "Prim");
+    std::span<const Value> Args(Stack.data() + Stack.size() - N, N);
+    Result<Value> R = applyPrim(static_cast<PrimOp>(I->C), H, Args);
+    if (!R)
+      return primError(R.takeError());
+    Stack.resize(Stack.size() - N);
+    if (H.faulted()) {
+      Stack.push_back(*R);
+      goto alloc_trap;
+    }
+    if (Stack.size() + 1 > StackCeiling) {
+      Stack.push_back(*R);
+      goto stack_trap_next;
+    }
+    const DecodedInsn *I1 = I + 1;
+    Charge(I1);
+    if (Stack.size() + 1 < F->Base) { // unverified raw code only
+      TrapPC = I1->PC;
+      TrapOp = static_cast<int>(Op::Return);
+      return trap(TrapKind::StackUnderflow,
+                  "stack underflow in Return (have " +
+                      std::to_string(Stack.size() + 1) + ", need 1)");
+    }
+    if constexpr (Profiling)
+      ++Prof->FusedCount[static_cast<size_t>(Op::FusePrimReturn) -
+                         NumOpcodes];
+    Value Ret = *R;
+    Stack.resize(F->Base - 1);
+    Stack.push_back(Ret);
+    Frames.pop_back();
+    if (Frames.empty())
+      return Ret;
+    if (!EnterTop())
+      return std::nullopt;
+    IP = DS->indexOf(F->PC);
+    PECOMP_DISPATCH();
   }
 
 #if !PECOMP_COMPUTED_GOTO
@@ -492,6 +784,10 @@ stack_trap_next:
 //===----------------------------------------------------------------------===//
 
 std::optional<Result<Value>> Machine::runBytes() {
+  // Digram chain for the profile; each entry into the loop starts a fresh
+  // run from the sentinel (matching the decoded loop's convention at
+  // bounce boundaries).
+  size_t PrevOp = Profile::PairStart;
   for (;;) {
     Frame &F = Frames.back();
     const std::vector<uint8_t> &Code = F.Code->code();
@@ -533,6 +829,7 @@ std::optional<Result<Value>> Machine::runBytes() {
     case Op::Slide:
     case Op::Jump:
     case Op::JumpIfFalse:
+    case Op::JumpIfTrue:
       OperandBytes = 2;
       break;
     case Op::MakeClosure:
@@ -552,8 +849,11 @@ std::optional<Result<Value>> Machine::runBytes() {
                   "unknown opcode " +
                       std::to_string(static_cast<unsigned>(O)));
     }
-    if (Prof)
+    if (Prof) {
       ++Prof->OpCount[static_cast<size_t>(O)];
+      ++Prof->PairCount[PrevOp * NumOpcodes + static_cast<size_t>(O)];
+      PrevOp = static_cast<size_t>(O);
+    }
     if (F.PC + OperandBytes > Code.size())
       return trap(TrapKind::PcOutOfRange, "truncated operands");
 
@@ -702,6 +1002,16 @@ std::optional<Result<Value>> Machine::runBytes() {
         F.PC = static_cast<size_t>(static_cast<long>(F.PC) + Off);
       break;
     }
+    case Op::JumpIfTrue: {
+      int16_t Off = static_cast<int16_t>(ReadU16());
+      if (Stack.empty())
+        return Underflow(1, "JumpIfTrue");
+      Value Test = Stack.back();
+      Stack.pop_back();
+      if (Test.isTruthy())
+        F.PC = static_cast<size_t>(static_cast<long>(F.PC) + Off);
+      break;
+    }
     case Op::Prim: {
       uint8_t Raw = Code[F.PC++];
       if (Raw >= NumPrimOps)
@@ -732,6 +1042,10 @@ std::optional<Result<Value>> Machine::runBytes() {
       if (Stack.empty())
         return Underflow(1, "Halt");
       return Stack.back();
+    default: // fused pseudo-opcodes: the width switch above rejected them
+      return trap(TrapKind::IllegalInstruction,
+                  "unknown opcode " +
+                      std::to_string(static_cast<unsigned>(O)));
     }
   }
 }

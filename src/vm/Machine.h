@@ -85,6 +85,15 @@ public:
   void setDecodedDispatch(bool On) { UseDecoded = On; }
   bool decodedDispatch() const { return UseDecoded; }
 
+  /// Selects the superinstruction view of decoded streams: on, the fast
+  /// loop runs each stream's fused instruction array (when the decoder
+  /// found any fusable idiom), dispatching multi-instruction idioms in one
+  /// step; off, it runs the plain one-to-one array. Either way traps,
+  /// fuel accounting, and profiles are byte-for-byte identical to the
+  /// unfused decoded loop. No effect on byte-loop frames.
+  void setFusion(bool On) { UseFusion = On; }
+  bool fusion() const { return UseFusion; }
+
   /// Attaches (or detaches, with null) an execution profile. The pointer
   /// must outlive the machine or a later setProfile(nullptr). Counters
   /// accumulate across calls; the caller resets them.
@@ -145,6 +154,11 @@ private:
   size_t TrapPC = Trap::NoPC; ///< pc of the instruction being executed
   int TrapOp = -1;            ///< its raw opcode byte, -1 before decode
   bool UseDecoded = true;     ///< dispatch strategy (see setDecodedDispatch)
+#ifdef PECOMP_NO_FUSE
+  bool UseFusion = false;     ///< build-pinned default (see setFusion)
+#else
+  bool UseFusion = true;      ///< superinstruction view (see setFusion)
+#endif
   Profile *Prof = nullptr;    ///< optional counters, not owned
 };
 

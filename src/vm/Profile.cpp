@@ -8,6 +8,21 @@
 using namespace pecomp;
 using namespace pecomp::vm;
 
+std::vector<Profile::OpPair> Profile::topPairs(size_t N) const {
+  std::vector<OpPair> Pairs;
+  for (size_t Prev = 0; Prev < NumOpcodes; ++Prev)
+    for (size_t Cur = 0; Cur < NumOpcodes; ++Cur)
+      if (uint64_t C = PairCount[Prev * NumOpcodes + Cur])
+        Pairs.push_back({static_cast<Op>(Prev), static_cast<Op>(Cur), C});
+  std::stable_sort(Pairs.begin(), Pairs.end(),
+                   [](const OpPair &A, const OpPair &B) {
+                     return A.Count > B.Count;
+                   });
+  if (Pairs.size() > N)
+    Pairs.resize(N);
+  return Pairs;
+}
+
 std::string Profile::report() const {
   const uint64_t Total = instructions();
 
@@ -35,6 +50,28 @@ std::string Profile::report() const {
            "  total        %12llu instruction(s)\n",
            static_cast<unsigned long long>(Total));
   Out += Line;
+  std::vector<OpPair> Pairs = topPairs(8);
+  if (!Pairs.empty()) {
+    Out += "  hottest opcode pairs:\n";
+    for (const OpPair &P : Pairs) {
+      std::string Name =
+          std::string(opMnemonic(P.Prev)) + "+" + opMnemonic(P.Cur);
+      snprintf(Line, sizeof(Line), "    %-24s %12llu\n", Name.c_str(),
+               static_cast<unsigned long long>(P.Count));
+      Out += Line;
+    }
+  }
+  if (fusedExecutions()) {
+    Out += "  fused dispatches:\n";
+    for (size_t I = 0; I < NumFusedOps; ++I) {
+      if (!FusedCount[I])
+        continue;
+      snprintf(Line, sizeof(Line), "    %-24s %12llu\n",
+               opMnemonic(static_cast<Op>(NumOpcodes + I)),
+               static_cast<unsigned long long>(FusedCount[I]));
+      Out += Line;
+    }
+  }
   snprintf(Line, sizeof(Line), "  calls %llu, traps %llu\n",
            static_cast<unsigned long long>(Calls),
            static_cast<unsigned long long>(Traps));

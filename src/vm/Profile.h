@@ -23,13 +23,30 @@
 #include <array>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace pecomp {
 namespace vm {
 
 struct Profile {
+  /// Row index of PairCount for "no previous opcode" (start of a dispatch
+  /// run: call entry, or resuming after a bounce between loops).
+  static constexpr size_t PairStart = NumOpcodes;
+
   /// Executed-instruction count per opcode (fast and byte loop alike).
+  /// Fused superinstructions are attributed to their *source* opcodes, so
+  /// the counts are dispatch-strategy independent.
   std::array<uint64_t, NumOpcodes> OpCount{};
+  /// Opcode-pair (digram) counters over consecutively executed source
+  /// opcodes: PairCount[prev * NumOpcodes + cur]. Row PairStart counts
+  /// first-of-run opcodes. The digram profile is what justifies (and
+  /// tunes) the superinstruction set — see topPairs().
+  std::array<uint64_t, (NumOpcodes + 1) * NumOpcodes> PairCount{};
+  /// Executions of each fused superinstruction's fast path, indexed by
+  /// Op value minus NumOpcodes (escapes to the unfused path — fuel
+  /// boundary — are not counted here; their constituents still land in
+  /// OpCount/PairCount either way).
+  std::array<uint64_t, NumFusedOps> FusedCount{};
   /// Completed Machine::call invocations, and how many of them trapped.
   uint64_t Calls = 0;
   uint64_t Traps = 0;
@@ -44,10 +61,30 @@ struct Profile {
     return N;
   }
 
+  uint64_t fusedExecutions() const {
+    uint64_t N = 0;
+    for (uint64_t C : FusedCount)
+      N += C;
+    return N;
+  }
+
+  /// One executed-digram row: Prev -> Cur happened Count times.
+  struct OpPair {
+    Op Prev;
+    Op Cur;
+    uint64_t Count;
+  };
+
+  /// The \p N most frequent executed opcode pairs, descending (ties in
+  /// row-major order); start-of-run sentinel rows excluded. Fewer than
+  /// \p N entries when fewer distinct pairs executed.
+  std::vector<OpPair> topPairs(size_t N) const;
+
   void reset() { *this = Profile(); }
 
   /// Multi-line human-readable report: one row per executed opcode
-  /// (descending by count), then the call/trap and timing summary.
+  /// (descending by count), the hottest opcode pairs, fused-dispatch
+  /// counts, then the call/trap and timing summary.
   std::string report() const;
 };
 

@@ -70,6 +70,10 @@ const char *opcodeName(int Raw) {
     return "slide";
   case Op::Halt:
     return "halt";
+  case Op::JumpIfTrue:
+    return "jump-if-true";
+  default: // fused pseudo-opcodes never reach trap context (SrcOp only)
+    break;
   }
   return "<bad-op>";
 }

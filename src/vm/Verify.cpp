@@ -97,7 +97,8 @@ private:
       Out.A = Bytes[PC++];
       break;
     case Op::Jump:
-    case Op::JumpIfFalse: {
+    case Op::JumpIfFalse:
+    case Op::JumpIfTrue: {
       if (!NeedBytes(2))
         return fail(Offset, "truncated jump offset");
       int16_t Rel = static_cast<int16_t>(ReadU16());
@@ -216,6 +217,13 @@ private:
           return Err;
         break; // fall through to the consequent
       }
+      case Op::JumpIfTrue: {
+        if (auto Err = Pop(1, "JumpIfTrue"))
+          return Err;
+        if (auto Err = flow(Offset, I.JumpTarget, Depth))
+          return Err;
+        break; // fall through to the alternative
+      }
       case Op::Prim: {
         if (I.A >= NumPrimOps)
           return fail(Offset, "unknown primitive number");
@@ -234,6 +242,8 @@ private:
         if (auto Err = Pop(1, "Halt"))
           return Err;
         return std::nullopt; // terminal
+      default: // fused pseudo-opcodes: rejected by decode() already
+        return fail(Offset, "unknown opcode");
       }
 
       if (auto Err = flow(Offset, static_cast<long>(I.Next), Depth))

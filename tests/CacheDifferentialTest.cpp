@@ -14,6 +14,7 @@
 #include "TestUtil.h"
 
 #include "compiler/Link.h"
+#include "compiler/Peephole.h"
 #include "pgg/SpecCache.h"
 
 #include <array>
@@ -127,7 +128,7 @@ private:
 /// under the requested dispatch strategy.
 Result<vm::Value> runCached(const compiler::PortableProgram &Port,
                             Symbol Entry, const std::vector<int64_t> &Dyn,
-                            bool DecodedDispatch) {
+                            bool DecodedDispatch, bool Fusion = false) {
   World W;
   vm::CodeStore Store(W.Heap);
   vm::GlobalTable Globals;
@@ -138,6 +139,7 @@ Result<vm::Value> runCached(const compiler::PortableProgram &Port,
   vm::Machine M(W.Heap);
   M.setFuel(50'000'000);
   M.setDecodedDispatch(DecodedDispatch);
+  M.setFusion(Fusion);
   if (Result<bool> Linked = compiler::linkProgramVerified(M, Globals, CP);
       !Linked)
     return Linked.takeError();
@@ -216,9 +218,66 @@ TEST(CacheDifferential, HitEqualsColdEqualsOracleAcrossLoops) {
     PECOMP_UNWRAP(Decoded, runCached(*Hit->Residual, Hit->Entry, DynArgs,
                                      /*DecodedDispatch=*/true));
     expectValueEq(Decoded, Oracle);
+    PECOMP_UNWRAP(Fused, runCached(*Hit->Residual, Hit->Entry, DynArgs,
+                                   /*DecodedDispatch=*/true,
+                                   /*Fusion=*/true));
+    expectValueEq(Fused, Oracle);
     PECOMP_UNWRAP(Bytes, runCached(*Hit->Residual, Hit->Entry, DynArgs,
                                    /*DecodedDispatch=*/false));
     expectValueEq(Bytes, Oracle);
+  }
+}
+
+TEST(CacheDifferential, HitsInstantiatePeepholedCodeWithoutReoptimizing) {
+  // A snapshot captured *after* the peephole pass must hand hits the
+  // already-optimized bytes: the instantiated objects carry the flag, a
+  // second pass finds nothing to visit, and the code still answers like
+  // the oracle on every dispatch strategy.
+  TextProgramGen G(11);
+  std::string Src = G.program();
+  const std::string Entry = G.entry().Name;
+  unsigned Arity = G.entry().Arity;
+  std::string Division(Arity, 'D');
+
+  World W;
+  PECOMP_UNWRAP(P, W.parse(Src));
+  auto GenR = pgg::GeneratingExtension::create(W.Heap, Src, Entry, Division);
+  ASSERT_TRUE(GenR.ok()) << GenR.error().render();
+
+  std::vector<std::optional<vm::Value>> SpecArgs(Arity, std::nullopt);
+  std::vector<int64_t> DynArgs;
+  std::vector<vm::Value> OracleArgs;
+  for (unsigned I = 0; I != Arity; ++I) {
+    int64_t A = G.randomArg();
+    DynArgs.push_back(A);
+    OracleArgs.push_back(vm::Value::fixnum(A));
+  }
+  PECOMP_UNWRAP(Oracle, W.evalCall(P, Entry, OracleArgs));
+
+  vm::CodeStore Store(W.Heap);
+  vm::GlobalTable Globals;
+  compiler::Compilators Comp(Store, Globals);
+  auto ObjR = (*GenR)->generateObject(Comp, SpecArgs);
+  ASSERT_TRUE(ObjR.ok()) << ObjR.error().render();
+  compiler::peepholeProgram(ObjR->Residual);
+  auto PortR = compiler::PortableProgram::capture(ObjR->Residual, Globals);
+  ASSERT_TRUE(PortR.ok()) << PortR.error().render();
+
+  World Fresh;
+  vm::CodeStore FreshStore(Fresh.Heap);
+  vm::GlobalTable FreshGlobals;
+  compiler::CompiledProgram CP =
+      (*PortR)->instantiate(FreshStore, FreshGlobals);
+  for (const auto &[Name, Code] : CP.Defs)
+    EXPECT_TRUE(Code->peepholed()) << Name.str();
+  compiler::PeepholeStats Again = compiler::peepholeProgram(CP);
+  EXPECT_EQ(Again.ObjectsVisited, 0u);
+  EXPECT_EQ(Again.rewrites(), 0u);
+
+  for (bool Fusion : {false, true}) {
+    PECOMP_UNWRAP(R, runCached(**PortR, ObjR->Entry, DynArgs,
+                               /*DecodedDispatch=*/true, Fusion));
+    expectValueEq(R, Oracle);
   }
 }
 

@@ -43,11 +43,18 @@ struct RunLimits {
   size_t MaxHeapBytes = 0;
 };
 
+/// The three dispatch strategies under comparison: the byte interpreter,
+/// the pre-decoded loop one source instruction at a time, and the
+/// pre-decoded loop with superinstruction fusion.
+enum class Mode { Bytes, Decoded, Fused };
+
+constexpr Mode AllModes[] = {Mode::Bytes, Mode::Decoded, Mode::Fused};
+
 /// Compiles \p Source (ANF pipeline, verified link) and calls (Fn Arg) on a
 /// machine pinned to one dispatch strategy, with a profile attached so the
 /// comparison covers instruction counts as well as results.
 RunOutcome runWithDispatch(World &W, const std::string &Source, const char *Fn,
-                           Value Arg, const RunLimits &Lim, bool Decoded) {
+                           Value Arg, const RunLimits &Lim, Mode DispatchMode) {
   RunOutcome Out;
   auto P = W.parseAnf(Source);
   if (!P) {
@@ -66,7 +73,8 @@ RunOutcome runWithDispatch(World &W, const std::string &Source, const char *Fn,
     L.MaxFrames = Lim.MaxFrames;
   L.MaxHeapBytes = Lim.MaxHeapBytes;
   M.setLimits(L);
-  M.setDecodedDispatch(Decoded);
+  M.setDecodedDispatch(DispatchMode != Mode::Bytes);
+  M.setFusion(DispatchMode == Mode::Fused);
   vm::Profile Prof;
   M.setProfile(&Prof);
   auto Linked = compiler::linkProgramVerified(M, Globals, CP);
@@ -115,20 +123,26 @@ const ValueCase ValueCases[] = {
 
 class ValueParity : public ::testing::TestWithParam<ValueCase> {};
 
-TEST_P(ValueParity, BothDispatchModesAgreeOnValueAndInsnCount) {
+TEST_P(ValueParity, AllDispatchModesAgreeOnValueAndInsnCount) {
   const ValueCase &C = GetParam();
   World W;
-  RunOutcome Fast =
-      runWithDispatch(W, C.Source, C.Fn, W.num(C.Arg), {}, true);
-  RunOutcome Bytes =
-      runWithDispatch(W, C.Source, C.Fn, W.num(C.Arg), {}, false);
-  ASSERT_TRUE(Fast.R.ok()) << Fast.R.error().render();
-  ASSERT_TRUE(Bytes.R.ok()) << Bytes.R.error().render();
-  expectValueEq(*Fast.R, W.value(C.Expected));
-  expectValueEq(*Bytes.R, *Fast.R);
-  // Pre-decoding changes how instructions are fetched, never how many run.
-  EXPECT_EQ(Fast.Instructions, Bytes.Instructions);
-  EXPECT_GT(Fast.Instructions, 0u);
+  RunOutcome First;
+  bool HaveFirst = false;
+  for (Mode M : AllModes) {
+    RunOutcome Out = runWithDispatch(W, C.Source, C.Fn, W.num(C.Arg), {}, M);
+    ASSERT_TRUE(Out.R.ok()) << Out.R.error().render();
+    expectValueEq(*Out.R, W.value(C.Expected));
+    if (!HaveFirst) {
+      First = Out;
+      HaveFirst = true;
+      EXPECT_GT(First.Instructions, 0u);
+      continue;
+    }
+    expectValueEq(*Out.R, *First.R);
+    // Neither pre-decoding nor fusion changes how many source
+    // instructions run — fused dispatches charge each constituent.
+    EXPECT_EQ(Out.Instructions, First.Instructions);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Decoded, ValueParity, ::testing::ValuesIn(ValueCases),
@@ -173,28 +187,31 @@ const TrapCase TrapCases[] = {
 
 class TrapParity : public ::testing::TestWithParam<TrapCase> {};
 
-TEST_P(TrapParity, BothDispatchModesReportTheSameTrapContext) {
+TEST_P(TrapParity, AllDispatchModesReportTheSameTrapContext) {
   const TrapCase &C = GetParam();
   World W;
-  RunOutcome Fast =
-      runWithDispatch(W, C.Source, C.Fn, W.num(C.Arg), C.Lim, true);
   RunOutcome Bytes =
-      runWithDispatch(W, C.Source, C.Fn, W.num(C.Arg), C.Lim, false);
-
-  ASSERT_FALSE(Fast.R.ok()) << "decoded loop unexpectedly succeeded";
+      runWithDispatch(W, C.Source, C.Fn, W.num(C.Arg), C.Lim, Mode::Bytes);
   ASSERT_FALSE(Bytes.R.ok()) << "byte loop unexpectedly succeeded";
-  ASSERT_TRUE(Fast.Trap.has_value());
   ASSERT_TRUE(Bytes.Trap.has_value());
-  EXPECT_EQ(Fast.Trap->Kind, C.Expected) << Fast.R.error().render();
+  EXPECT_EQ(Bytes.Trap->Kind, C.Expected) << Bytes.R.error().render();
 
-  // The exact trap context — not just the class — must match: kind,
-  // faulting function, byte pc, and raw opcode.
-  EXPECT_EQ(Fast.Trap->Kind, Bytes.Trap->Kind);
-  EXPECT_EQ(Fast.Trap->Function, Bytes.Trap->Function);
-  EXPECT_EQ(Fast.Trap->PC, Bytes.Trap->PC);
-  EXPECT_EQ(Fast.Trap->Opcode, Bytes.Trap->Opcode);
-  EXPECT_EQ(Fast.R.error().message(), Bytes.R.error().message());
-  EXPECT_EQ(Fast.Instructions, Bytes.Instructions);
+  for (Mode M : {Mode::Decoded, Mode::Fused}) {
+    RunOutcome Fast =
+        runWithDispatch(W, C.Source, C.Fn, W.num(C.Arg), C.Lim, M);
+    ASSERT_FALSE(Fast.R.ok()) << "fast loop unexpectedly succeeded";
+    ASSERT_TRUE(Fast.Trap.has_value());
+
+    // The exact trap context — not just the class — must match: kind,
+    // faulting function, byte pc, and raw opcode. Fused dispatches must
+    // attribute the fault to the constituent the byte loop would blame.
+    EXPECT_EQ(Fast.Trap->Kind, Bytes.Trap->Kind);
+    EXPECT_EQ(Fast.Trap->Function, Bytes.Trap->Function);
+    EXPECT_EQ(Fast.Trap->PC, Bytes.Trap->PC);
+    EXPECT_EQ(Fast.Trap->Opcode, Bytes.Trap->Opcode);
+    EXPECT_EQ(Fast.R.error().message(), Bytes.R.error().message());
+    EXPECT_EQ(Fast.Instructions, Bytes.Instructions);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Decoded, TrapParity, ::testing::ValuesIn(TrapCases),
@@ -409,6 +426,116 @@ TEST_F(DecodedDispatchTest, ProfilePhaseTimersAccumulate) {
   ASSERT_TRUE(R.ok());
   EXPECT_EQ(Prof.Calls, 1u);
   EXPECT_EQ(Prof.instructions(), 2u);
+}
+
+// -- Superinstruction fusion ------------------------------------------------
+
+TEST_F(DecodedDispatchTest, FusionSelectsStraightLineIdioms) {
+  // LocalRef 0; LocalRef 0; Prim Add; Return — the widest idiom wins
+  // (Local+Local+Prim), its constituents keep their entries, and the
+  // plain view is untouched.
+  std::vector<uint8_t> B;
+  B.push_back(static_cast<uint8_t>(Op::LocalRef));
+  emitU16(B, 0);
+  B.push_back(static_cast<uint8_t>(Op::LocalRef));
+  emitU16(B, 0);
+  B.push_back(static_cast<uint8_t>(Op::Prim));
+  B.push_back(static_cast<uint8_t>(PrimOp::Add));
+  B.push_back(static_cast<uint8_t>(Op::Return));
+  const vm::CodeObject *Code = raw("dbl", 1, std::move(B));
+  const vm::DecodedStream *DS = Code->decoded();
+  ASSERT_NE(DS, nullptr);
+  ASSERT_EQ(DS->Insns.size(), 4u);
+  ASSERT_EQ(DS->Fused.size(), 4u);
+  EXPECT_EQ(DS->Fused[0].Opcode, Op::FuseLocalLocalPrim);
+  EXPECT_EQ(DS->Fused[0].SrcOp, Op::LocalRef);
+  EXPECT_EQ(DS->Fused[1].Opcode, Op::LocalRef); // constituent untouched
+  EXPECT_EQ(DS->Fused[2].Opcode, Op::Prim);
+  EXPECT_EQ(DS->Fused[3].Opcode, Op::Return);
+  EXPECT_EQ(DS->Insns[0].Opcode, Op::LocalRef); // plain view untouched
+
+  // Fused and unfused execution agree on the value, the per-opcode
+  // profile, and the instruction count; only the fused run reports a
+  // fused dispatch.
+  vm::Profile FusedProf, PlainProf;
+  M.setFusion(true);
+  M.setProfile(&FusedProf);
+  Result<Value> RF =
+      M.call(M.makeProcedure(Code), {{Value::fixnum(21)}});
+  M.setFusion(false);
+  M.setProfile(&PlainProf);
+  Result<Value> RP =
+      M.call(M.makeProcedure(Code), {{Value::fixnum(21)}});
+  M.setProfile(nullptr);
+  ASSERT_TRUE(RF.ok()) << RF.error().render();
+  ASSERT_TRUE(RP.ok()) << RP.error().render();
+  expectValueEq(*RF, Value::fixnum(42));
+  expectValueEq(*RP, *RF);
+  EXPECT_EQ(FusedProf.instructions(), PlainProf.instructions());
+  EXPECT_EQ(FusedProf.OpCount, PlainProf.OpCount);
+  EXPECT_EQ(FusedProf.fusedExecutions(), 1u);
+  EXPECT_EQ(PlainProf.fusedExecutions(), 0u);
+  EXPECT_EQ(
+      FusedProf.FusedCount[static_cast<size_t>(Op::FuseLocalLocalPrim) -
+                           vm::NumOpcodes],
+      1u);
+}
+
+TEST_F(DecodedDispatchTest, FusionStopsAtJumpTargets) {
+  // The Prim below is a branch target: the LocalRef before it must not
+  // fuse across the basic-block boundary (the incoming edge would land
+  // mid-idiom), while the Prim itself may still head its own idiom.
+  std::vector<uint8_t> B;
+  B.push_back(static_cast<uint8_t>(Op::Const)); // idx 0, pc 0
+  emitU16(B, 0);
+  B.push_back(static_cast<uint8_t>(Op::JumpIfFalse)); // idx 1, pc 3 -> pc 9
+  emitU16(B, 3);
+  B.push_back(static_cast<uint8_t>(Op::LocalRef)); // idx 2, pc 6
+  emitU16(B, 0);
+  B.push_back(static_cast<uint8_t>(Op::Prim)); // idx 3, pc 9: jump target
+  B.push_back(static_cast<uint8_t>(PrimOp::ZeroP));
+  B.push_back(static_cast<uint8_t>(Op::Return)); // idx 4, pc 11
+  const vm::CodeObject *Code =
+      raw("bb", 1, std::move(B), {Value::boolean(true)});
+  const vm::DecodedStream *DS = Code->decoded();
+  ASSERT_NE(DS, nullptr);
+  ASSERT_EQ(DS->Fused.size(), 5u);
+  EXPECT_EQ(DS->Fused[2].Opcode, Op::LocalRef); // no fuse across the edge
+  EXPECT_EQ(DS->Fused[3].Opcode, Op::FusePrimReturn); // entry may head one
+
+  M.setFusion(true);
+  Result<Value> R = M.call(M.makeProcedure(Code), {{Value::fixnum(0)}});
+  ASSERT_TRUE(R.ok()) << R.error().render();
+  expectValueEq(*R, Value::boolean(true));
+}
+
+TEST_F(DecodedDispatchTest, DigramProfileCountsOpcodePairs) {
+  vm::Profile Prof;
+  M.setProfile(&Prof);
+  std::vector<uint8_t> B;
+  B.push_back(static_cast<uint8_t>(Op::Const));
+  emitU16(B, 0);
+  B.push_back(static_cast<uint8_t>(Op::Return));
+  Result<Value> R = M.call(
+      M.makeProcedure(raw("pair", 0, std::move(B), {Value::fixnum(1)})), {});
+  M.setProfile(nullptr);
+  ASSERT_TRUE(R.ok());
+
+  // Start-of-run sentinel -> Const, then Const -> Return.
+  EXPECT_EQ(Prof.PairCount[vm::Profile::PairStart * vm::NumOpcodes +
+                           static_cast<size_t>(Op::Const)],
+            1u);
+  EXPECT_EQ(Prof.PairCount[static_cast<size_t>(Op::Const) * vm::NumOpcodes +
+                           static_cast<size_t>(Op::Return)],
+            1u);
+  auto Pairs = Prof.topPairs(4);
+  ASSERT_EQ(Pairs.size(), 1u); // the sentinel row is not a pair
+  EXPECT_EQ(Pairs[0].Prev, Op::Const);
+  EXPECT_EQ(Pairs[0].Cur, Op::Return);
+  EXPECT_EQ(Pairs[0].Count, 1u);
+  std::string Report = Prof.report();
+  EXPECT_NE(Report.find("hottest opcode pairs"), std::string::npos);
+  EXPECT_NE(Report.find("Const+Return"), std::string::npos);
 }
 
 } // namespace

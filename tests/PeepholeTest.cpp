@@ -1,0 +1,327 @@
+//===- tests/PeepholeTest.cpp - Byte-code peephole optimizer tests ---------===//
+///
+/// \file
+/// The peephole pass (compiler/Peephole.h) against its contract: each
+/// rewrite fires on the idiom it names, the rewritten bytes still verify
+/// and pre-decode (offsets were recomputed, nothing lands mid-instruction),
+/// behavior is unchanged under both dispatch loops, the pass is idempotent
+/// and refuses frozen objects, and real compiler output both triggers the
+/// rewrites and keeps its answers.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "compiler/DirectAnfCompiler.h"
+#include "compiler/Peephole.h"
+#include "vm/Prims.h"
+#include "vm/Verify.h"
+
+using namespace pecomp;
+using namespace pecomp::test;
+using compiler::PeepholeStats;
+using vm::Op;
+using vm::Value;
+
+namespace {
+
+class PeepholeTest : public ::testing::Test {
+protected:
+  PeepholeTest() : Store(W.Heap) {}
+
+  vm::CodeObject *raw(const char *Name, uint32_t Arity,
+                      std::vector<uint8_t> Bytes,
+                      std::vector<Value> Literals = {}) {
+    vm::CodeObject *Code = Store.create(Name, Arity);
+    Code->mutableCode() = std::move(Bytes);
+    for (Value V : Literals)
+      Code->addLiteral(V);
+    return Code;
+  }
+
+  static void op(std::vector<uint8_t> &B, Op O) {
+    B.push_back(static_cast<uint8_t>(O));
+  }
+  static void u16(std::vector<uint8_t> &B, uint16_t V) {
+    B.push_back(static_cast<uint8_t>(V & 0xff));
+    B.push_back(static_cast<uint8_t>(V >> 8));
+  }
+  static void i16(std::vector<uint8_t> &B, int16_t V) {
+    u16(B, static_cast<uint16_t>(V));
+  }
+
+  /// Runs \p Code on a fresh machine pinned to one dispatch loop. The
+  /// byte loop never touches the decode cache, so pre-rewrite runs do not
+  /// freeze the bytes.
+  Result<Value> run(const vm::CodeObject *Code, std::vector<Value> Args,
+                    bool Decoded) {
+    vm::Machine M(W.Heap);
+    M.setFuel(1'000'000);
+    M.setDecodedDispatch(Decoded);
+    return W.pinned(M.call(M.makeProcedure(Code), Args));
+  }
+
+  /// The post-conditions every rewritten object must satisfy.
+  void expectWellFormed(const vm::CodeObject *Code) {
+    auto Err = vm::verifyCode(Code);
+    EXPECT_FALSE(Err.has_value()) << *Err << "\n" << Code->disassemble();
+    EXPECT_NE(Code->decoded(), nullptr) << Code->disassemble();
+  }
+
+  World W;
+  vm::CodeStore Store;
+};
+
+TEST_F(PeepholeTest, ThreadsJumpChainsAndFoldsTerminators) {
+  // Const; Jump -> Jump -> Return, with a dead Const stranded between:
+  // threading retargets through the chain, the Jump-to-Return folds into
+  // a Return, and the now-unreachable middle disappears.
+  std::vector<uint8_t> B;
+  op(B, Op::Const); // pc 0
+  u16(B, 0);
+  op(B, Op::Jump); // pc 3 -> pc 9
+  i16(B, 3);
+  op(B, Op::Const); // pc 6: unreachable
+  u16(B, 1);
+  op(B, Op::Jump); // pc 9 -> pc 12
+  i16(B, 0);
+  op(B, Op::Return); // pc 12
+  vm::CodeObject *C =
+      raw("chain", 0, std::move(B), {Value::fixnum(42), Value::fixnum(7)});
+
+  PECOMP_UNWRAP(Before, run(C, {}, /*Decoded=*/false));
+  PeepholeStats S = compiler::peepholeCode(C);
+  EXPECT_GE(S.ThreadedJumps, 1u);
+  EXPECT_GE(S.FoldedTerminators, 1u);
+  EXPECT_GE(S.DeadInsns, 1u);
+  EXPECT_GT(S.BytesSaved, 0u);
+  // Only the straight-line answer remains: Const; Return.
+  EXPECT_EQ(C->code().size(), 4u);
+
+  expectWellFormed(C);
+  PECOMP_UNWRAP(AfterBytes, run(C, {}, false));
+  PECOMP_UNWRAP(AfterFast, run(C, {}, true));
+  expectValueEq(Before, AfterBytes);
+  expectValueEq(Before, AfterFast);
+  expectValueEq(AfterFast, Value::fixnum(42));
+}
+
+TEST_F(PeepholeTest, InvertsBranchOverJump) {
+  // JumpIfFalse L1 over Jump L2 where L1 is the Jump's fall-through:
+  // becomes JumpIfTrue L2, and the only emitter of JumpIfTrue is here.
+  std::vector<uint8_t> B;
+  op(B, Op::LocalRef); // pc 0
+  u16(B, 0);
+  op(B, Op::JumpIfFalse); // pc 3 -> pc 9 (the false branch, fall-through
+  i16(B, 3);              // of the Jump below)
+  op(B, Op::Jump); // pc 6 -> pc 13 (the true branch)
+  i16(B, 4);
+  op(B, Op::Const); // pc 9: false arm
+  u16(B, 0);
+  op(B, Op::Return); // pc 12
+  op(B, Op::Const); // pc 13: true arm
+  u16(B, 1);
+  op(B, Op::Return); // pc 16
+  vm::CodeObject *C =
+      raw("inv", 1, std::move(B), {Value::fixnum(10), Value::fixnum(20)});
+
+  PECOMP_UNWRAP(TrueBefore, run(C, {Value::boolean(true)}, false));
+  PECOMP_UNWRAP(FalseBefore, run(C, {Value::boolean(false)}, false));
+
+  PeepholeStats S = compiler::peepholeCode(C);
+  EXPECT_EQ(S.InvertedBranches, 1u);
+  bool HasJumpIfTrue = false;
+  for (uint8_t Byte : C->code())
+    HasJumpIfTrue |= Byte == static_cast<uint8_t>(Op::JumpIfTrue);
+  EXPECT_TRUE(HasJumpIfTrue) << C->disassemble();
+
+  expectWellFormed(C);
+  PECOMP_UNWRAP(TrueAfter, run(C, {Value::boolean(true)}, false));
+  PECOMP_UNWRAP(FalseAfter, run(C, {Value::boolean(false)}, false));
+  PECOMP_UNWRAP(TrueFast, run(C, {Value::boolean(true)}, true));
+  PECOMP_UNWRAP(FalseFast, run(C, {Value::boolean(false)}, true));
+  expectValueEq(TrueBefore, TrueAfter);
+  expectValueEq(FalseBefore, FalseAfter);
+  expectValueEq(TrueFast, Value::fixnum(20));
+  expectValueEq(FalseFast, Value::fixnum(10));
+}
+
+TEST_F(PeepholeTest, CollapsesAdjacentSlidesAndDropsSlideZero) {
+  std::vector<uint8_t> B;
+  op(B, Op::Const); // pc 0
+  u16(B, 0);
+  op(B, Op::Const); // pc 3
+  u16(B, 1);
+  op(B, Op::Const); // pc 6: the surviving top value
+  u16(B, 2);
+  op(B, Op::Slide); // pc 9
+  u16(B, 1);
+  op(B, Op::Slide); // pc 12
+  u16(B, 1);
+  op(B, Op::Slide); // pc 15: no-op
+  u16(B, 0);
+  op(B, Op::Return); // pc 18
+  vm::CodeObject *C =
+      raw("slides", 0, std::move(B),
+          {Value::fixnum(1), Value::fixnum(2), Value::fixnum(99)});
+
+  PECOMP_UNWRAP(Before, run(C, {}, false));
+  PeepholeStats S = compiler::peepholeCode(C);
+  EXPECT_EQ(S.CollapsedSlides, 1u);
+  EXPECT_EQ(S.DroppedSlides, 1u);
+  // Const x3, one merged Slide 2, Return.
+  EXPECT_EQ(C->code().size(), 13u);
+
+  expectWellFormed(C);
+  PECOMP_UNWRAP(After, run(C, {}, true));
+  expectValueEq(Before, After);
+  expectValueEq(After, Value::fixnum(99));
+}
+
+TEST_F(PeepholeTest, RemovesUnreachableTail) {
+  std::vector<uint8_t> B;
+  op(B, Op::Const); // pc 0
+  u16(B, 0);
+  op(B, Op::Return); // pc 3
+  op(B, Op::Const); // pc 4: unreachable
+  u16(B, 1);
+  op(B, Op::Return); // pc 7: unreachable
+  vm::CodeObject *C =
+      raw("dead", 0, std::move(B), {Value::fixnum(5), Value::fixnum(6)});
+
+  PeepholeStats S = compiler::peepholeCode(C);
+  EXPECT_EQ(S.DeadInsns, 2u);
+  EXPECT_EQ(S.BytesSaved, 4u);
+  EXPECT_EQ(C->code().size(), 4u);
+  expectWellFormed(C);
+  PECOMP_UNWRAP(R, run(C, {}, true));
+  expectValueEq(R, Value::fixnum(5));
+}
+
+TEST_F(PeepholeTest, RefusesFrozenObjectsAndRunsOnce) {
+  std::vector<uint8_t> Bytes;
+  op(Bytes, Op::Const);
+  u16(Bytes, 0);
+  op(Bytes, Op::Jump); // a rewrite opportunity the pass must NOT take
+  i16(Bytes, 0);       // once the bytes are frozen
+  op(Bytes, Op::Return);
+  std::vector<uint8_t> Copy = Bytes;
+
+  // Frozen: pre-decoding pins the byte-offset map, so the pass skips.
+  vm::CodeObject *Frozen = raw("frozen", 0, std::move(Copy),
+                               {Value::fixnum(1)});
+  ASSERT_NE(Frozen->decoded(), nullptr);
+  PeepholeStats S1 = compiler::peepholeCode(Frozen);
+  EXPECT_EQ(S1.ObjectsVisited, 0u);
+  EXPECT_EQ(Frozen->code().size(), 7u);
+
+  // Fresh: processed exactly once; the second run is a no-op even though
+  // the first one rewrote the code.
+  vm::CodeObject *Fresh = raw("fresh", 0, std::move(Bytes),
+                              {Value::fixnum(1)});
+  EXPECT_FALSE(Fresh->peepholed());
+  PeepholeStats S2 = compiler::peepholeCode(Fresh);
+  EXPECT_EQ(S2.ObjectsVisited, 1u);
+  EXPECT_TRUE(Fresh->peepholed());
+  PeepholeStats S3 = compiler::peepholeCode(Fresh);
+  EXPECT_EQ(S3.ObjectsVisited, 0u);
+  EXPECT_EQ(S3.rewrites(), 0u);
+}
+
+/// Real compiler output: the pass must fire on it (the stock compiler's
+/// nested conditionals and expression cleanup are exactly the idioms it
+/// targets) and must not change any answer.
+TEST_F(PeepholeTest, CompiledProgramsKeepTheirAnswers) {
+  struct Case {
+    const char *Source;
+    const char *Fn;
+    int64_t Arg;
+    const char *Expected;
+  };
+  const Case Cases[] = {
+      // Nested if in non-tail position: the inner arms' join jumps land
+      // on the outer join jump — a jump-to-jump chain.
+      {"(define (f x) (+ 1 (if (< x 0) (if (> x -5) 10 20) 30)))", "f", -2,
+       "11"},
+      // Nested lets unwound together: back-to-back Slide cleanup.
+      {"(define (f x) (* 2 (let ((a (+ x 1))) (let ((b (+ a 1))) "
+       "(+ a b)))))",
+       "f", 3, "18"},
+      // Tail-position control flow is already tight; the pass must leave
+      // these answers (and ideally their bytes) alone.
+      {"(define (f x) (cond ((< x 0) 'neg) ((= x 0) 'zero) (else 'pos)))",
+       "f", 5, "pos"},
+      {"(define (f n) (if (zero? n) 1 (* n (f (- n 1)))))", "f", 10,
+       "3628800"},
+  };
+  size_t TotalRewrites = 0;
+  for (const Case &C : Cases) {
+    PECOMP_UNWRAP(P, W.parse(C.Source));
+    // Both compiler back ends, since they emit different shapes.
+    for (int Flavor = 0; Flavor != 2; ++Flavor) {
+      vm::CodeStore S(W.Heap);
+      vm::GlobalTable Globals;
+      compiler::Compilators Comp(S, Globals);
+      compiler::CompiledProgram CP;
+      if (Flavor == 0) {
+        compiler::StockCompiler SC(Comp);
+        CP = SC.compileProgram(P);
+      } else {
+        compiler::AnfCompiler AC(Comp);
+        CP = AC.compileProgram(anfConvert(P, W.Exprs));
+      }
+
+      vm::Machine M1(W.Heap);
+      M1.setFuel(1'000'000);
+      M1.setDecodedDispatch(false);
+      compiler::linkProgram(M1, Globals, CP);
+      PECOMP_UNWRAP(Before, W.pinned(compiler::callGlobal(
+                                M1, Globals, Symbol::intern(C.Fn),
+                                {{W.num(C.Arg)}})));
+
+      PeepholeStats PS = compiler::peepholeProgram(CP);
+      TotalRewrites += PS.rewrites();
+      for (const auto &[Name, Code] : CP.Defs)
+        expectWellFormed(Code);
+
+      vm::Machine M2(W.Heap);
+      M2.setFuel(1'000'000);
+      compiler::linkProgram(M2, Globals, CP);
+      PECOMP_UNWRAP(After, W.pinned(compiler::callGlobal(
+                               M2, Globals, Symbol::intern(C.Fn),
+                               {{W.num(C.Arg)}})));
+      expectValueEq(Before, After);
+      expectValueEq(After, W.value(C.Expected));
+    }
+  }
+  EXPECT_GT(TotalRewrites, 0u)
+      << "the pass never fired on real compiler output";
+}
+
+/// The verified link pipeline with the pass on vs. off: same answers, and
+/// the flag records which objects were processed.
+TEST_F(PeepholeTest, LinkPipelineParity) {
+  const char *Source =
+      "(define (f n) (if (zero? n) 1 (* n (f (- n 1)))))";
+  for (bool Peephole : {true, false}) {
+    PECOMP_UNWRAP(P, W.parseAnf(Source));
+    vm::CodeStore S(W.Heap);
+    vm::GlobalTable Globals;
+    compiler::Compilators Comp(S, Globals);
+    compiler::AnfCompiler AC(Comp);
+    compiler::CompiledProgram CP = AC.compileProgram(P);
+    vm::Machine M(W.Heap);
+    M.setFuel(1'000'000);
+    compiler::LinkOptions LO;
+    LO.Peephole = Peephole;
+    PECOMP_UNWRAP(Linked, compiler::linkProgramVerified(M, Globals, CP, LO));
+    (void)Linked;
+    for (const auto &[Name, Code] : CP.Defs)
+      EXPECT_EQ(Code->peepholed(), Peephole);
+    PECOMP_UNWRAP(R, W.pinned(compiler::callGlobal(
+                         M, Globals, Symbol::intern("f"), {{W.num(10)}})));
+    expectValueEq(R, W.value("3628800"));
+  }
+}
+
+} // namespace

@@ -27,6 +27,7 @@
 
 #include "compiler/AnfCompiler.h"
 #include "compiler/DirectAnfCompiler.h"
+#include "compiler/Peephole.h"
 #include "compiler/StockCompiler.h"
 #include "frontend/AnfConvert.h"
 #include "frontend/Pipeline.h"
@@ -71,6 +72,10 @@ int usage() {
           "                 timings to stderr after run/specrun\n"
           "  --no-decode    force the byte-at-a-time dispatch loop (the\n"
           "                 pre-decoded fast loop is the default)\n"
+          "  --no-fuse      dispatch the decoded stream one source\n"
+          "                 instruction at a time (superinstruction fusion\n"
+          "                 is the default)\n"
+          "  --no-peephole  skip the byte-code peephole pass at link time\n"
           "  --cache[=N]    memoize specializations (specrun/serve) under\n"
           "                 an N-byte LRU budget (default 64 MiB, 0 = "
           "unlimited)\n"
@@ -109,6 +114,12 @@ struct Session {
   vm::Limits Lim; ///< applied to every machine this invocation creates
   bool Profiling = false;
   bool DecodedDispatch = true;
+#ifdef PECOMP_NO_FUSE
+  bool Fusion = false;
+#else
+  bool Fusion = true;
+#endif
+  bool Peephole = compiler::LinkOptions{}.Peephole;
   vm::Profile Prof;
   bool CacheEnabled = false;
   bool CacheStatsWanted = false;
@@ -135,8 +146,16 @@ struct Session {
   void configure(vm::Machine &M) {
     M.setLimits(Lim);
     M.setDecodedDispatch(DecodedDispatch);
+    M.setFusion(Fusion);
     if (Profiling)
       M.setProfile(&Prof);
+  }
+
+  /// The session's link-pipeline knobs.
+  compiler::LinkOptions linkOptions() const {
+    compiler::LinkOptions O;
+    O.Peephole = Peephole;
+    return O;
   }
 
   /// Prints the accumulated profile to stderr (after the result, so
@@ -187,7 +206,8 @@ int cmdRun(Session &S, const std::string &File, const std::string &Entry,
   compiler::CompiledProgram CP = AC.compileProgram(*P);
   vm::Machine M(S.Heap);
   S.configure(M);
-  Result<bool> Linked = compiler::linkProgramVerified(M, Globals, CP);
+  Result<bool> Linked =
+      compiler::linkProgramVerified(M, Globals, CP, S.linkOptions());
   if (!Linked)
     return fail(Linked.error());
   Result<vm::Value> R =
@@ -335,6 +355,10 @@ int cmdSpecRun(Session &S, const std::string &File, const std::string &Entry,
       return fail(Obj.error());
     CP = std::move(Obj->Residual);
     ResEntry = Obj->Entry;
+    // Optimize before capture so the snapshot stores peepholed bytes:
+    // cache hits then instantiate optimized code with no per-hit pass.
+    if (S.Peephole)
+      compiler::peepholeProgram(CP);
     if (S.cache()) {
       if (auto Port = compiler::PortableProgram::capture(CP, Globals)) {
         auto Cached = std::make_shared<pgg::CachedSpecialization>();
@@ -351,7 +375,8 @@ int cmdSpecRun(Session &S, const std::string &File, const std::string &Entry,
     return fail(DynArgs.error());
   vm::Machine M(S.Heap);
   S.configure(M);
-  Result<bool> Linked = compiler::linkProgramVerified(M, Globals, CP);
+  Result<bool> Linked =
+      compiler::linkProgramVerified(M, Globals, CP, S.linkOptions());
   if (!Linked)
     return fail(Linked.error());
   Result<vm::Value> R =
@@ -412,6 +437,8 @@ int cmdServe(Session &S, const std::string &File, const std::string &Entry,
   O.Threads = S.Threads;
   O.CacheBytes = S.CacheBytes;
   O.Limits = S.Lim;
+  O.Fusion = S.Fusion;
+  O.Peephole = S.Peephole;
   pgg::RtcgService Service(O);
   int Failures = 0;
   for (const pgg::RtcgResponse &R : Service.serveAll(std::move(Reqs))) {
@@ -465,6 +492,10 @@ int main(int Argc, char **Argv) {
       S.Profiling = true;
     } else if (Opt == "--no-decode") {
       S.DecodedDispatch = false;
+    } else if (Opt == "--no-fuse") {
+      S.Fusion = false;
+    } else if (Opt == "--no-peephole") {
+      S.Peephole = false;
     } else if (Opt == "--cache") {
       S.CacheEnabled = true;
     } else if (Opt.rfind("--cache=", 0) == 0) {
