@@ -1,0 +1,119 @@
+//===- fuzz/Case.cpp - Fuzz-case serialization ----------------------------===//
+
+#include "fuzz/Case.h"
+
+#include <charconv>
+#include <sstream>
+
+namespace pecomp {
+namespace fuzz {
+
+namespace {
+
+/// Splits "key v1 v2 ..." after the ";;" marker.
+bool parseHeaderLine(std::string_view Line, std::string &Key,
+                     std::vector<std::string> &Words) {
+  size_t P = Line.find_first_not_of(" \t", 2); // past ";;"
+  if (P == std::string_view::npos)
+    return false;
+  std::istringstream In{std::string(Line.substr(P))};
+  if (!(In >> Key))
+    return false;
+  Words.clear();
+  std::string W;
+  while (In >> W)
+    Words.push_back(W);
+  return true;
+}
+
+template <typename T> bool parseNum(const std::string &W, T &Out) {
+  auto [Ptr, Ec] = std::from_chars(W.data(), W.data() + W.size(), Out);
+  return Ec == std::errc() && Ptr == W.data() + W.size();
+}
+
+} // namespace
+
+std::string FuzzCase::serialize() const {
+  std::string Out = ";; pecomp-fuzz-case v1\n";
+  Out += ";; entry " + Entry + "\n";
+  Out += ";; division " + (Division.empty() ? "-" : Division) + "\n";
+  Out += ";; args";
+  for (int64_t A : Args)
+    Out += " " + std::to_string(A);
+  Out += "\n";
+  if (Perturb.any()) {
+    Out += ";; limits " + std::to_string(Perturb.Fuel) + " " +
+           std::to_string(Perturb.MaxStack) + " " +
+           std::to_string(Perturb.MaxFrames) + " " +
+           std::to_string(Perturb.MaxHeapBytes) + " " +
+           std::to_string(Perturb.FailAtAllocation) + " " +
+           std::to_string(Perturb.FailAboveLiveBytes) + "\n";
+  }
+  Out += Source;
+  if (!Source.empty() && Source.back() != '\n')
+    Out += "\n";
+  return Out;
+}
+
+Result<FuzzCase> FuzzCase::deserialize(std::string_view Text) {
+  FuzzCase C;
+  bool SawMagic = false;
+  size_t Pos = 0;
+  while (Pos < Text.size()) {
+    size_t Eol = Text.find('\n', Pos);
+    std::string_view Line =
+        Text.substr(Pos, Eol == std::string_view::npos ? Eol : Eol - Pos);
+    if (Line.size() < 2 || Line.substr(0, 2) != ";;")
+      break; // program text starts here
+    Pos = Eol == std::string_view::npos ? Text.size() : Eol + 1;
+
+    std::string Key;
+    std::vector<std::string> Words;
+    if (!parseHeaderLine(Line, Key, Words))
+      continue;
+    if (Key == "pecomp-fuzz-case") {
+      SawMagic = true;
+    } else if (Key == "entry" && !Words.empty()) {
+      C.Entry = Words[0];
+    } else if (Key == "division" && !Words.empty()) {
+      C.Division = Words[0] == "-" ? "" : Words[0];
+    } else if (Key == "args") {
+      for (const std::string &W : Words) {
+        int64_t V;
+        if (!parseNum(W, V))
+          return Error("fuzz case: bad argument '" + W + "'");
+        C.Args.push_back(V);
+      }
+    } else if (Key == "limits") {
+      if (Words.size() != 6)
+        return Error("fuzz case: limits header needs 6 fields");
+      if (!parseNum(Words[0], C.Perturb.Fuel) ||
+          !parseNum(Words[1], C.Perturb.MaxStack) ||
+          !parseNum(Words[2], C.Perturb.MaxFrames) ||
+          !parseNum(Words[3], C.Perturb.MaxHeapBytes) ||
+          !parseNum(Words[4], C.Perturb.FailAtAllocation) ||
+          !parseNum(Words[5], C.Perturb.FailAboveLiveBytes))
+        return Error("fuzz case: bad limits header");
+    } // unknown keys are ignored: forward compatibility
+  }
+  if (!SawMagic)
+    return Error("fuzz case: missing ';; pecomp-fuzz-case v1' header");
+  if (C.Entry.empty())
+    return Error("fuzz case: missing entry header");
+  C.Source = std::string(Text.substr(Pos));
+  if (C.Source.find('(') == std::string::npos)
+    return Error("fuzz case: no program text after headers");
+  return C;
+}
+
+uint64_t FuzzCase::fingerprint() const {
+  uint64_t H = 1469598103934665603ull; // FNV offset basis
+  for (char Ch : serialize()) {
+    H ^= static_cast<uint8_t>(Ch);
+    H *= 1099511628211ull; // FNV prime
+  }
+  return H;
+}
+
+} // namespace fuzz
+} // namespace pecomp

@@ -1,0 +1,68 @@
+//===- fuzz/Case.h - One differential-fuzzing input -------------*- C++ -*-===//
+///
+/// \file
+/// A FuzzCase is everything one differential execution needs, in a form
+/// that survives the process: program source text (the external boundary
+/// the whole pipeline — and the specialization cache key — is defined
+/// over), the entry point, the requested binding-time division, concrete
+/// fixnum arguments, and a Perturbation (resource-limit / heap-fault
+/// schedule). Cases serialize to a small self-describing text format so
+/// the corpus under testdata/fuzz-corpus/ is diffable, minimizable by
+/// hand, and deterministic to replay.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PECOMP_FUZZ_CASE_H
+#define PECOMP_FUZZ_CASE_H
+
+#include "support/Error.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pecomp {
+namespace fuzz {
+
+/// A randomized vm::Limits / Heap::FaultPlan schedule under which the VM
+/// tiers must still agree bit-for-bit (values, traps, trap PCs, fuel).
+/// Zero always means "unperturbed".
+struct Perturbation {
+  uint64_t Fuel = 0;             ///< vm::Limits::Fuel
+  size_t MaxStack = 0;           ///< vm::Limits::MaxStackDepth
+  size_t MaxFrames = 0;          ///< vm::Limits::MaxFrames
+  size_t MaxHeapBytes = 0;       ///< vm::Limits::MaxHeapBytes
+  uint64_t FailAtAllocation = 0; ///< vm::FaultPlan::FailAtAllocation
+  size_t FailAboveLiveBytes = 0; ///< vm::FaultPlan::FailAboveLiveBytes
+
+  /// True when the schedule depends on heap allocation history — those
+  /// runs execute every tier from a freshly instantiated snapshot so the
+  /// allocation ordinals line up across tiers.
+  bool heapSensitive() const {
+    return MaxHeapBytes || FailAtAllocation || FailAboveLiveBytes;
+  }
+  bool any() const { return Fuel || MaxStack || MaxFrames || heapSensitive(); }
+  bool operator==(const Perturbation &O) const = default;
+};
+
+struct FuzzCase {
+  std::string Source;        ///< whole-program text
+  std::string Entry;         ///< entry definition name
+  std::string Division;      ///< 'S'/'D' per entry parameter
+  std::vector<int64_t> Args; ///< one fixnum per entry parameter
+  Perturbation Perturb;
+
+  /// Canonical text form (";; pecomp-fuzz-case v1" header + program).
+  std::string serialize() const;
+  /// Inverse of serialize(); tolerant of extra whitespace.
+  static Result<FuzzCase> deserialize(std::string_view Text);
+
+  /// FNV-1a over the canonical serialization: the corpus dedup key and
+  /// the persisted filename stem.
+  uint64_t fingerprint() const;
+};
+
+} // namespace fuzz
+} // namespace pecomp
+
+#endif // PECOMP_FUZZ_CASE_H

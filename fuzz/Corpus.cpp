@@ -1,0 +1,72 @@
+//===- fuzz/Corpus.cpp - On-disk fuzz-case corpus -------------------------===//
+
+#include "fuzz/Corpus.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace pecomp {
+namespace fuzz {
+
+size_t Corpus::loadDirectory(const std::string &Dir) {
+  namespace fs = std::filesystem;
+  std::error_code Ec;
+  if (!fs::is_directory(Dir, Ec))
+    return 0;
+  // Sort paths so corpus iteration order — and with it every seeded run —
+  // is independent of directory-entry order.
+  std::vector<fs::path> Paths;
+  for (const fs::directory_entry &E : fs::directory_iterator(Dir, Ec))
+    if (E.is_regular_file() && E.path().extension() == ".scm")
+      Paths.push_back(E.path());
+  std::sort(Paths.begin(), Paths.end());
+
+  size_t Loaded = 0;
+  for (const fs::path &P : Paths) {
+    std::ifstream In(P);
+    std::ostringstream Text;
+    Text << In.rdbuf();
+    Result<FuzzCase> C = FuzzCase::deserialize(Text.str());
+    if (!C.ok()) {
+      ++Skipped;
+      continue;
+    }
+    if (add(*C))
+      ++Loaded;
+  }
+  return Loaded;
+}
+
+bool Corpus::add(const FuzzCase &C) {
+  if (!Seen.insert(C.fingerprint()).second)
+    return false;
+  Cases.push_back(C);
+  return true;
+}
+
+Result<std::string> Corpus::saveEntry(const std::string &Dir,
+                                      const FuzzCase &C) {
+  namespace fs = std::filesystem;
+  std::error_code Ec;
+  fs::create_directories(Dir, Ec);
+  if (Ec)
+    return Error("corpus: cannot create " + Dir + ": " + Ec.message());
+  char Name[32];
+  snprintf(Name, sizeof(Name), "case-%016" PRIx64 ".scm", C.fingerprint());
+  std::string Path = (fs::path(Dir) / Name).string();
+  std::ofstream Out(Path, std::ios::trunc);
+  if (!Out)
+    return Error("corpus: cannot write " + Path);
+  Out << C.serialize();
+  Out.close();
+  if (!Out)
+    return Error("corpus: write failed for " + Path);
+  return Path;
+}
+
+} // namespace fuzz
+} // namespace pecomp

@@ -1,0 +1,57 @@
+//===- fuzz/Corpus.h - On-disk fuzz-case corpus -----------------*- C++ -*-===//
+///
+/// \file
+/// The persisted population of interesting cases under
+/// testdata/fuzz-corpus/: seeds checked into the tree, coverage-novel
+/// cases a run decided to keep, and (under regressions/) the minimized
+/// witnesses of fixed divergences, replayed as a permanent tier-1 gate.
+/// Entries are deduplicated by FuzzCase::fingerprint() and written as
+/// self-describing `case-<fingerprint>.scm` files, so corpus merges are
+/// just directory merges.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PECOMP_FUZZ_CORPUS_H
+#define PECOMP_FUZZ_CORPUS_H
+
+#include "fuzz/Case.h"
+
+#include <unordered_set>
+
+namespace pecomp {
+namespace fuzz {
+
+class Corpus {
+public:
+  /// In-memory corpus; add() dedups, nothing touches disk.
+  Corpus() = default;
+
+  /// Loads every *.scm case file under \p Dir (non-recursive; a missing
+  /// directory is just an empty corpus). Returns how many loaded;
+  /// unparsable files are counted in skipped() and left alone.
+  size_t loadDirectory(const std::string &Dir);
+
+  /// Adds \p C unless an identical case (by fingerprint) is present.
+  /// Returns true when the case was new.
+  bool add(const FuzzCase &C);
+
+  /// Writes \p C to \p Dir as case-<fingerprint>.scm (creating the
+  /// directory as needed) and returns the path, or an error.
+  static Result<std::string> saveEntry(const std::string &Dir,
+                                       const FuzzCase &C);
+
+  const std::vector<FuzzCase> &cases() const { return Cases; }
+  size_t size() const { return Cases.size(); }
+  bool empty() const { return Cases.empty(); }
+  size_t skipped() const { return Skipped; }
+
+private:
+  std::vector<FuzzCase> Cases;
+  std::unordered_set<uint64_t> Seen;
+  size_t Skipped = 0;
+};
+
+} // namespace fuzz
+} // namespace pecomp
+
+#endif // PECOMP_FUZZ_CORPUS_H

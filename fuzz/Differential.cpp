@@ -1,0 +1,503 @@
+//===- fuzz/Differential.cpp - Five-tier differential executor ------------===//
+
+#include "fuzz/Differential.h"
+
+#include "compiler/Compilators.h"
+#include "compiler/Link.h"
+#include "compiler/Peephole.h"
+#include "eval/Interp.h"
+#include "frontend/Pipeline.h"
+#include "pgg/Pgg.h"
+#include "pgg/SpecCache.h"
+#include "vm/Machine.h"
+#include "vm/Profile.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace pecomp {
+namespace fuzz {
+
+namespace {
+
+/// A self-contained heap + AST world for one compilation or execution.
+struct Universe {
+  Universe() : Datums(AstArena), Exprs(AstArena) {}
+  vm::Heap Heap;
+  Arena AstArena;
+  DatumFactory Datums;
+  ExprFactory Exprs;
+};
+
+vm::Limits limitsFor(const Perturbation &P, uint64_t FuelAdjust) {
+  vm::Limits L;
+  L.MaxHeapBytes = P.MaxHeapBytes;
+  if (P.MaxStack)
+    L.MaxStackDepth = P.MaxStack;
+  if (P.MaxFrames)
+    L.MaxFrames = P.MaxFrames;
+  // A generous default budget keeps even pathological mutants terminating
+  // without ever firing on honest generated programs. Sized for fuzzing
+  // throughput: a non-terminating mutant burns this on each VM tier.
+  uint64_t Fuel = P.Fuel ? P.Fuel : 2'000'000;
+  L.Fuel = Fuel > FuelAdjust ? Fuel - FuelAdjust : 1;
+  return L;
+}
+
+/// Byte sizes of each byte-code instruction (opcode byte + operands),
+/// for the injected-bug byte scanner only; the real pipeline decodes
+/// through vm/Decode.cpp.
+size_t insnByteSize(vm::Op O) {
+  using vm::Op;
+  switch (O) {
+  case Op::Const:
+  case Op::LocalRef:
+  case Op::FreeRef:
+  case Op::GlobalRef:
+  case Op::Jump:
+  case Op::JumpIfFalse:
+  case Op::JumpIfTrue:
+  case Op::Slide:
+    return 3;
+  case Op::MakeClosure:
+    return 5;
+  case Op::Call:
+  case Op::TailCall:
+  case Op::Prim:
+    return 2;
+  case Op::Return:
+  case Op::Halt:
+    return 1;
+  default:
+    return 0; // fused opcodes never appear in byte code
+  }
+}
+
+/// Flips the polarity of the first conditional branch found in \p P —
+/// the shape of a peephole branch-inversion rewrite done wrong. Returns
+/// true if a branch was patched.
+bool injectBranchPolarityBug(const compiler::CompiledProgram &P) {
+  for (const auto &[Name, Code] : P.Defs) {
+    auto *C = const_cast<vm::CodeObject *>(Code);
+    std::vector<uint8_t> &Bytes = C->mutableCode();
+    size_t PC = 0;
+    while (PC < Bytes.size()) {
+      vm::Op O = static_cast<vm::Op>(Bytes[PC]);
+      size_t Sz = insnByteSize(O);
+      if (Sz == 0 || PC + Sz > Bytes.size())
+        break; // irregular stream; leave this object alone
+      if (O == vm::Op::JumpIfFalse || O == vm::Op::JumpIfTrue) {
+        Bytes[PC] = static_cast<uint8_t>(O == vm::Op::JumpIfFalse
+                                             ? vm::Op::JumpIfTrue
+                                             : vm::Op::JumpIfFalse);
+        return true;
+      }
+      PC += Sz;
+    }
+  }
+  return false;
+}
+
+/// Runs \p Entry from \p CP (already compiled under \p Globals) on a
+/// machine with the requested dispatch strategy, limits, and fault plan.
+TierOutcome runVmTier(Universe &W, vm::GlobalTable &Globals,
+                      const compiler::CompiledProgram &CP, Symbol Entry,
+                      const std::vector<int64_t> &DynArgs,
+                      const Perturbation &Perturb, bool Decoded, bool Fusion,
+                      uint64_t FuelAdjust, bool InstallFaultPlan,
+                      support::CoverageMap *Coverage, size_t *NewCoverage) {
+  TierOutcome Out;
+  Out.Ran = true;
+
+  vm::Machine M(W.Heap);
+  M.setDecodedDispatch(Decoded);
+  M.setFusion(Fusion);
+  M.setLimits(limitsFor(Perturb, FuelAdjust));
+  vm::Profile Prof;
+  M.setProfile(&Prof);
+
+  if (Result<bool> Linked = compiler::linkProgramVerified(M, Globals, CP);
+      !Linked) {
+    Out.Ok = false;
+    Out.Err = Linked.error().render();
+    Out.Kind = vm::trapKindOf(Linked.error());
+    return Out;
+  }
+
+  if (InstallFaultPlan) {
+    vm::FaultPlan Plan;
+    Plan.FailAtAllocation = Perturb.FailAtAllocation;
+    Plan.FailAboveLiveBytes = Perturb.FailAboveLiveBytes;
+    W.Heap.setFaultPlan(Plan);
+  }
+
+  std::vector<vm::Value> Args;
+  for (int64_t A : DynArgs)
+    Args.push_back(vm::Value::fixnum(A));
+  Result<vm::Value> R = compiler::callGlobal(M, Globals, Entry, Args);
+
+  if (InstallFaultPlan) {
+    W.Heap.setFaultPlan(vm::FaultPlan());
+    W.Heap.clearFault();
+  }
+
+  Out.Instructions = Prof.instructions();
+  if (R.ok()) {
+    Out.Ok = true;
+    Out.Value = vm::valueToString(*R);
+  } else {
+    Out.Ok = false;
+    Out.Err = R.error().render();
+    Out.Kind = vm::trapKindOf(R.error());
+    if (const std::optional<vm::Trap> &T = M.lastTrap()) {
+      Out.TrapPC = T->PC;
+      Out.TrapFn = T->Function;
+    }
+  }
+  if (Coverage) {
+    size_t New = Prof.addCoverage(*Coverage);
+    New += Coverage->add(support::CovTrapKind, static_cast<uint64_t>(Out.Kind));
+    if (NewCoverage)
+      *NewCoverage += New;
+  }
+  return Out;
+}
+
+/// Instantiates \p Port into a fresh universe and runs it there.
+TierOutcome runSnapshotTier(const compiler::PortableProgram &Port, Symbol Entry,
+                            const std::vector<int64_t> &DynArgs,
+                            const Perturbation &Perturb, bool Decoded,
+                            bool Fusion, uint64_t FuelAdjust,
+                            support::CoverageMap *Coverage,
+                            size_t *NewCoverage) {
+  Universe W;
+  vm::CodeStore Store(W.Heap);
+  vm::GlobalTable Globals;
+  compiler::CompiledProgram CP = Port.instantiate(Store, Globals);
+  return runVmTier(W, Globals, CP, Entry, DynArgs, Perturb, Decoded, Fusion,
+                   FuelAdjust, Perturb.heapSensitive(), Coverage, NewCoverage);
+}
+
+/// Drops a trailing Symbol::fresh ".N" suffix: residual function names
+/// are freshened per compile session, so the injected-bug re-compile's
+/// "f_1.9" is the same logical function as the cold path's "f_1".
+std::string_view stripFreshSuffix(std::string_view Name) {
+  size_t Dot = Name.rfind('.');
+  if (Dot == std::string_view::npos || Dot + 1 == Name.size())
+    return Name;
+  for (size_t I = Dot + 1; I != Name.size(); ++I)
+    if (!std::isdigit(static_cast<unsigned char>(Name[I])))
+      return Name;
+  return Name.substr(0, Dot);
+}
+
+/// First divergence between the reference VM tier and \p T, if any.
+std::optional<Divergence> compareVmTiers(Tier RefTier, const TierOutcome &Ref,
+                                         Tier T, const TierOutcome &O) {
+  auto Diverge = [&](const char *Aspect, std::string Detail) {
+    return Divergence{RefTier, T, Aspect, std::move(Detail)};
+  };
+  if (Ref.Ok != O.Ok)
+    return Diverge("ok", Ref.Ok ? "value vs " + O.Err : Ref.Err + " vs value");
+  if (Ref.Ok) {
+    if (Ref.Value != O.Value)
+      return Diverge("value", Ref.Value + " vs " + O.Value);
+  } else {
+    if (Ref.Kind != O.Kind)
+      return Diverge("trap-kind", std::string(vm::trapKindName(Ref.Kind)) +
+                                      " vs " + vm::trapKindName(O.Kind));
+    if (Ref.TrapPC != O.TrapPC)
+      return Diverge("trap-pc", std::to_string(Ref.TrapPC) + " vs " +
+                                    std::to_string(O.TrapPC) + " [" + Ref.Err +
+                                    " vs " + O.Err + "]");
+    if (stripFreshSuffix(Ref.TrapFn) != stripFreshSuffix(O.TrapFn))
+      return Diverge("trap-fn", Ref.TrapFn + " vs " + O.TrapFn);
+  }
+  if (Ref.Instructions != O.Instructions)
+    return Diverge("insn-count", std::to_string(Ref.Instructions) + " vs " +
+                                     std::to_string(O.Instructions));
+  return std::nullopt;
+}
+
+} // namespace
+
+const char *tierName(Tier T) {
+  switch (T) {
+  case Tier::Oracle:
+    return "oracle";
+  case Tier::Bytes:
+    return "bytes";
+  case Tier::Decoded:
+    return "decoded";
+  case Tier::Fused:
+    return "fused";
+  case Tier::Cached:
+    return "cached";
+  }
+  return "?";
+}
+
+std::string Divergence::render() const {
+  return std::string(tierName(A)) + " vs " + tierName(B) + " on " + Aspect +
+         ": " + Detail;
+}
+
+/// Specializer guards sized for the fuzzer's ordinary 8 MiB thread. The
+/// PGG defaults are calibrated for support/LargeStack.h's big reserve;
+/// mutated cases routinely make a static argument drive unbounded
+/// unfolding, which must abort as a clean spec-time skip well before the
+/// host stack runs out (Specializer.h recommends ~800 there).
+static pgg::PggOptions fuzzPggOptions() {
+  pgg::PggOptions PO;
+  PO.Spec.MaxUnfoldDepth = 800;
+  PO.Spec.MaxMemoDepth = 400;
+  PO.Spec.MaxResidualFunctions = 2000;
+  // Nested dynamic conditionals across unfolded calls explode residual
+  // code exponentially without moving any of the depth guards; the step
+  // budget keeps such mutants to a bounded (sub-second) spec-time abort.
+  PO.Spec.MaxSpecSteps = 2'000'000;
+  return PO;
+}
+
+DiffResult runCase(const FuzzCase &C, const DiffOptions &Opts) {
+  DiffResult R;
+  auto Skip = [&](std::string Why) {
+    R.Skipped = true;
+    R.SkipReason = std::move(Why);
+    return R;
+  };
+
+  // The front end, the BTA, and the oracle all recurse on the host stack
+  // in proportion to expression nesting; an adversarial corpus file a few
+  // thousand parens deep segfaults the parser before any governor can
+  // fire. The generator never nests past ~15, so a flat cap loses nothing.
+  {
+    size_t Depth = 0, MaxNest = 0;
+    for (char Ch : C.Source) {
+      if (Ch == '(')
+        MaxNest = std::max(MaxNest, ++Depth);
+      else if (Ch == ')' && Depth)
+        --Depth;
+    }
+    if (MaxNest > 600)
+      return Skip("source nesting depth " + std::to_string(MaxNest) +
+                  " exceeds the harness cap (600)");
+  }
+
+  Universe W;
+  Result<Program> P = frontendProgram(C.Source, W.Exprs, W.Datums);
+  if (!P)
+    return Skip("front end: " + P.error().render());
+  const Definition *Entry = P->find(Symbol::intern(C.Entry));
+  if (!Entry)
+    return Skip("no entry definition " + C.Entry);
+  size_t Arity = Entry->Fn->params().size();
+  if (C.Args.size() != Arity || C.Division.size() != Arity)
+    return Skip("arity mismatch: " + std::to_string(Arity) + " parameter(s)");
+
+  auto Gen = pgg::GeneratingExtension::create(W.Heap, C.Source, C.Entry,
+                                              C.Division, fuzzPggOptions());
+  if (!Gen.ok())
+    return Skip("cogen: " + Gen.error().render());
+
+  // The BTA may promote declared-static parameters; the static/dynamic
+  // argument split follows the *effective* division, exactly like the
+  // residual entry's parameter list does.
+  std::vector<bta::BT> Eff = (*Gen)->effectiveDivision();
+  std::vector<std::optional<vm::Value>> SpecArgs;
+  std::vector<int64_t> DynArgs;
+  std::vector<vm::Value> FullArgs;
+  for (size_t I = 0; I != Arity; ++I) {
+    FullArgs.push_back(vm::Value::fixnum(C.Args[I]));
+    if (Eff[I] == bta::BT::Static) {
+      SpecArgs.emplace_back(vm::Value::fixnum(C.Args[I]));
+    } else {
+      SpecArgs.emplace_back(std::nullopt);
+      DynArgs.push_back(C.Args[I]);
+    }
+  }
+
+  // -- Oracle (unperturbed runs only: it has neither byte PCs nor the
+  // VM's step/allocation accounting, so resource schedules don't map).
+  TierOutcome &Oracle = R.Tiers[static_cast<size_t>(Tier::Oracle)];
+  if (!C.Perturb.any()) {
+    eval::Interp I(W.Heap, *P);
+    I.setFuel(5'000'000);
+    // The oracle evaluates non-tail calls on the host C++ stack; a mutant
+    // that turns a corpus seed's recursion non-tail would blow the 8 MiB
+    // thread stack (and ASan inflates frames further) long before the
+    // fuel guard fires. Legitimate generated programs nest tens deep.
+    I.setMaxDepth(512);
+    Result<vm::Value> OR = I.callFunction(Symbol::intern(C.Entry), FullArgs);
+    Oracle.Ran = true;
+    if (OR.ok()) {
+      Oracle.Ok = true;
+      Oracle.Value = vm::valueToString(*OR);
+      if (Oracle.Value.find("#<procedure") != std::string::npos)
+        // Procedure renderings are name-based and oracle closure names
+        // can't match residual code-object names; ok-ness still compares.
+        Oracle.Value.clear();
+    } else {
+      Oracle.Kind = vm::trapKindOf(OR.error());
+      Oracle.Err = OR.error().render();
+      if (Oracle.Kind == vm::TrapKind::FuelExhausted)
+        return Skip("oracle exhausted its safety fuel");
+      if (Oracle.Kind == vm::TrapKind::FrameOverflow)
+        // The depth cap is a harness artifact (host-stack safety), not a
+        // semantic limit; the VM tiers would run the case fine.
+        return Skip("oracle exhausted its safety depth");
+    }
+  }
+
+  // -- Specialize and compile the residual object code (cold path).
+  vm::CodeStore Store(W.Heap);
+  vm::GlobalTable Globals;
+  compiler::Compilators Comp(Store, Globals);
+  auto Obj = (*Gen)->generateObject(Comp, SpecArgs);
+  if (!Obj.ok())
+    // Spec-time traps (a static zero divisor the oracle's control flow
+    // never reaches, say) are legitimate offline-PE behavior, not
+    // divergences.
+    return Skip("specialize: " + Obj.error().render());
+
+  compiler::PeepholeStats PeepStats;
+  if (compiler::LinkOptions().Peephole)
+    PeepStats = compiler::peepholeProgram(Obj->Residual);
+
+  if (Opts.Coverage) {
+    R.NewCoverage += Obj->Stats.addCoverage(*Opts.Coverage);
+    R.NewCoverage += PeepStats.addCoverage(*Opts.Coverage);
+  }
+
+  // -- Snapshot for the cached tier (and for heap-sensitive runs, where
+  // every tier starts from an identical fresh-heap instantiation).
+  auto Port = compiler::PortableProgram::capture(Obj->Residual, Globals);
+  if (!Port.ok())
+    return Skip("capture: " + Port.error().render());
+
+  // Serve the cached tier through a real SpecCache insert/lookup cycle so
+  // the differential covers the cache plumbing, not just the snapshot.
+  pgg::SpecCache Cache(/*MaxBytes=*/0);
+  pgg::SpecKey Key = pgg::makeSpecKey(
+      pgg::fingerprintProgram(C.Source, C.Entry, C.Division), SpecArgs);
+  {
+    auto Cached = std::make_shared<pgg::CachedSpecialization>();
+    Cached->Residual = *Port;
+    Cached->Entry = Obj->Entry;
+    Cached->Stats = Obj->Stats;
+    Cache.insert(Key, Cached);
+  }
+  auto Hit = Cache.lookup(Key);
+  if (!Hit)
+    return Skip("cache lookup missed its own insert"); // would be a bug
+  if (Opts.Coverage)
+    R.NewCoverage += Cache.stats().addCoverage(*Opts.Coverage);
+
+  std::shared_ptr<const compiler::PortableProgram> CachedPort = Hit->Residual;
+  Symbol CachedEntry = Hit->Entry;
+  if (Opts.Inject == InjectedBug::BranchPolarity) {
+    // Re-derive the residual in a scratch universe, break one branch the
+    // way a wrong peephole inversion would, and capture *that* for the
+    // cached tier only.
+    Universe W2;
+    auto Gen2 = pgg::GeneratingExtension::create(
+        W2.Heap, C.Source, C.Entry, C.Division, fuzzPggOptions());
+    if (Gen2.ok()) {
+      vm::CodeStore Store2(W2.Heap);
+      vm::GlobalTable Globals2;
+      compiler::Compilators Comp2(Store2, Globals2);
+      auto Obj2 = (*Gen2)->generateObject(Comp2, SpecArgs);
+      if (Obj2.ok()) {
+        if (compiler::LinkOptions().Peephole)
+          compiler::peepholeProgram(Obj2->Residual);
+        if (injectBranchPolarityBug(Obj2->Residual)) {
+          auto Port2 = compiler::PortableProgram::capture(Obj2->Residual,
+                                                          Globals2);
+          if (Port2.ok()) {
+            CachedPort = *Port2;
+            // Residual names are freshened per compile; the broken
+            // snapshot answers to its own entry symbol.
+            CachedEntry = Obj2->Entry;
+          }
+        }
+      }
+    }
+  }
+
+  const uint64_t CachedFuelAdjust =
+      Opts.Inject == InjectedBug::FuelOffByOne ? 1 : 0;
+
+  // -- The four VM tiers.
+  TierOutcome &Bytes = R.Tiers[static_cast<size_t>(Tier::Bytes)];
+  TierOutcome &Decoded = R.Tiers[static_cast<size_t>(Tier::Decoded)];
+  TierOutcome &Fused = R.Tiers[static_cast<size_t>(Tier::Fused)];
+  TierOutcome &Cached = R.Tiers[static_cast<size_t>(Tier::Cached)];
+  if (C.Perturb.heapSensitive()) {
+    // Allocation ordinals must line up: run every tier from an identical
+    // fresh-universe instantiation of the same snapshot.
+    Bytes = runSnapshotTier(**Port, Obj->Entry, DynArgs, C.Perturb,
+                            /*Decoded=*/false, /*Fusion=*/false, 0,
+                            Opts.Coverage, &R.NewCoverage);
+    Decoded = runSnapshotTier(**Port, Obj->Entry, DynArgs, C.Perturb,
+                              /*Decoded=*/true, /*Fusion=*/false, 0,
+                              Opts.Coverage, &R.NewCoverage);
+    Fused = runSnapshotTier(**Port, Obj->Entry, DynArgs, C.Perturb,
+                            /*Decoded=*/true, /*Fusion=*/true, 0,
+                            Opts.Coverage, &R.NewCoverage);
+  } else {
+    Bytes = runVmTier(W, Globals, Obj->Residual, Obj->Entry, DynArgs, C.Perturb,
+                      /*Decoded=*/false, /*Fusion=*/false, 0, false,
+                      Opts.Coverage, &R.NewCoverage);
+    Decoded = runVmTier(W, Globals, Obj->Residual, Obj->Entry, DynArgs,
+                        C.Perturb, /*Decoded=*/true, /*Fusion=*/false, 0, false,
+                        Opts.Coverage, &R.NewCoverage);
+    Fused = runVmTier(W, Globals, Obj->Residual, Obj->Entry, DynArgs, C.Perturb,
+                      /*Decoded=*/true, /*Fusion=*/true, 0, false,
+                      Opts.Coverage, &R.NewCoverage);
+  }
+  Cached = runSnapshotTier(*CachedPort, CachedEntry, DynArgs, C.Perturb,
+                           /*Decoded=*/true, /*Fusion=*/true, CachedFuelAdjust,
+                           Opts.Coverage, &R.NewCoverage);
+
+  // -- Size metric for minimization: the residual entry's decoded length.
+  if (const vm::CodeObject *EC = Obj->Residual.find(Obj->Entry)) {
+    if (const vm::DecodedStream *DS = EC->decoded())
+      R.EntryInsns = DS->Insns.size();
+    else
+      R.EntryInsns = EC->code().size();
+  }
+
+  // -- Cross-check. Bytes is the reference VM tier (seed semantics).
+  for (Tier T : {Tier::Decoded, Tier::Fused, Tier::Cached}) {
+    if (auto D = compareVmTiers(Tier::Bytes, Bytes,
+                                T, R.Tiers[static_cast<size_t>(T)])) {
+      R.Diverged = std::move(D);
+      return R;
+    }
+  }
+  // Oracle steps and VM instructions are different units, so when the VM
+  // tiers burn their whole *default* budget (a non-terminating mutant; the
+  // tiers still agreed with each other above) there is no meaningful
+  // oracle comparison — its fuel would bound a different prefix.
+  if (Oracle.Ran && !(!Bytes.Ok && Bytes.Kind == vm::TrapKind::FuelExhausted &&
+                      !C.Perturb.Fuel)) {
+    if (Oracle.Ok != Bytes.Ok) {
+      R.Diverged = Divergence{Tier::Oracle, Tier::Bytes, "ok",
+                              (Oracle.Ok ? "value" : Oracle.Err) + " vs " +
+                                  (Bytes.Ok ? "value" : Bytes.Err)};
+    } else if (Oracle.Ok) {
+      if (!Oracle.Value.empty() && Oracle.Value != Bytes.Value)
+        R.Diverged = Divergence{Tier::Oracle, Tier::Bytes, "value",
+                                Oracle.Value + " vs " + Bytes.Value};
+    } else if (Oracle.Kind != Bytes.Kind) {
+      R.Diverged = Divergence{
+          Tier::Oracle, Tier::Bytes, "trap-kind",
+          std::string(vm::trapKindName(Oracle.Kind)) + " vs " +
+              vm::trapKindName(Bytes.Kind)};
+    }
+  }
+  return R;
+}
+
+} // namespace fuzz
+} // namespace pecomp

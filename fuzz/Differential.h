@@ -1,0 +1,105 @@
+//===- fuzz/Differential.h - Five-tier differential executor ----*- C++ -*-===//
+///
+/// \file
+/// Runs one FuzzCase through every execution configuration the RTCG
+/// pipeline ships — the oracle interpreter, the byte loop, the decoded
+/// computed-goto loop, the fused superinstruction loop, and a cached
+/// PortableProgram hit instantiated into a fresh heap — and compares the
+/// outcomes bit-for-bit: result value, trap kind, faulting PC and
+/// function, and executed-instruction counts. Any disagreement is a
+/// Divergence, the fuzzer's unit of finding.
+///
+/// Comparison discipline:
+///   * The four VM tiers must agree exactly, under any Perturbation —
+///     fuel, stack, frame, and heap schedules included. Heap-sensitive
+///     schedules run every tier from a freshly instantiated snapshot so
+///     allocation ordinals line up.
+///   * The oracle has no byte PCs and different step/allocation counts,
+///     so it participates only on unperturbed runs, where it must agree
+///     on ok-ness, value, and trap kind.
+///
+/// InjectedBug deliberately breaks one tier (a wrong branch-polarity
+/// "peephole" rewrite, or an off-by-one fuel budget) to mutation-test the
+/// harness itself: a fuzzer that cannot catch a planted bug proves
+/// nothing when it reports silence.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PECOMP_FUZZ_DIFFERENTIAL_H
+#define PECOMP_FUZZ_DIFFERENTIAL_H
+
+#include "fuzz/Case.h"
+#include "support/CoverageMap.h"
+#include "vm/Trap.h"
+
+#include <array>
+#include <optional>
+
+namespace pecomp {
+namespace fuzz {
+
+enum class Tier : uint8_t { Oracle, Bytes, Decoded, Fused, Cached };
+inline constexpr size_t NumTiers = 5;
+const char *tierName(Tier T);
+
+/// Everything one tier's execution produced.
+struct TierOutcome {
+  bool Ran = false;
+  bool Ok = false;
+  std::string Value; ///< canonical rendering (vm::valueToString) when Ok
+  vm::TrapKind Kind = vm::TrapKind::None;
+  size_t TrapPC = static_cast<size_t>(-1);
+  std::string TrapFn;
+  std::string Err;           ///< rendered error when !Ok
+  uint64_t Instructions = 0; ///< VM tiers only (oracle counts steps, not insns)
+};
+
+/// Deliberate single-tier defects for harness mutation testing.
+enum class InjectedBug : uint8_t {
+  None,
+  /// The cached tier's snapshot gets one conditional branch's polarity
+  /// flipped after the peephole pass — the exact shape of a wrong
+  /// JumpIfFalse-over-Jump inversion.
+  BranchPolarity,
+  /// The cached tier runs with one unit less fuel than requested.
+  FuelOffByOne,
+};
+
+struct DiffOptions {
+  InjectedBug Inject = InjectedBug::None;
+  /// When set, opcode/digram/fused/trap/peephole/spec features observed
+  /// during the run are folded in; DiffResult::NewCoverage reports how
+  /// many were new.
+  support::CoverageMap *Coverage = nullptr;
+};
+
+struct Divergence {
+  Tier A = Tier::Oracle, B = Tier::Oracle;
+  std::string Aspect; ///< "ok", "value", "trap-kind", "trap-pc", "insn-count"
+  std::string Detail;
+  std::string render() const;
+};
+
+struct DiffResult {
+  /// True when the case never reached execution (front-end rejection,
+  /// arity/division mismatch, spec-time trap on the static inputs). Not a
+  /// finding: mutants are allowed to be invalid.
+  bool Skipped = false;
+  std::string SkipReason;
+
+  std::array<TierOutcome, NumTiers> Tiers;
+  std::optional<Divergence> Diverged;
+
+  size_t NewCoverage = 0;
+  /// Decoded instruction count of the residual entry's code object — the
+  /// size metric minimized findings are measured by.
+  size_t EntryInsns = 0;
+};
+
+/// Runs \p C through all five configurations and cross-checks.
+DiffResult runCase(const FuzzCase &C, const DiffOptions &Opts = {});
+
+} // namespace fuzz
+} // namespace pecomp
+
+#endif // PECOMP_FUZZ_DIFFERENTIAL_H

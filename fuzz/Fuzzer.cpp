@@ -1,0 +1,138 @@
+//===- fuzz/Fuzzer.cpp - Coverage-guided differential fuzzing loop --------===//
+
+#include "fuzz/Fuzzer.h"
+
+#include "fuzz/Mutate.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace pecomp {
+namespace fuzz {
+
+std::string FuzzerStats::json() const {
+  char Buf[512];
+  snprintf(Buf, sizeof(Buf),
+           "{\"executed\": %zu, \"skipped\": %zu, \"generated\": %zu, "
+           "\"mutated\": %zu, \"coverage_features\": %zu, "
+           "\"novel_cases\": %zu, \"findings\": %zu}",
+           Executed, Skipped, Generated, Mutated, CoverageFeatures, NovelCases,
+           Findings);
+  return Buf;
+}
+
+Fuzzer::Fuzzer(FuzzerOptions Opts) : Opts(std::move(Opts)), Rng(this->Opts.Seed) {
+  GOpts.PartialOps = this->Opts.PartialOps;
+  if (!this->Opts.CorpusDir.empty())
+    Pool.loadDirectory(this->Opts.CorpusDir);
+}
+
+FuzzCase Fuzzer::freshCase() {
+  Arena A;
+  ExprFactory Exprs(A);
+  ProgramGen Gen(Rng(), Exprs, GOpts);
+  Program P = Gen.generate();
+
+  FuzzCase C;
+  C.Source = P.print();
+  const Definition &Entry = P.Defs.back(); // conventional entry: last def
+  C.Entry = Entry.Name.str();
+  for (size_t I = 0; I != Entry.Fn->params().size(); ++I) {
+    C.Division.push_back(Rng() % 2 ? 'S' : 'D');
+    C.Args.push_back(Gen.randomArg());
+  }
+  if (Opts.Perturb && Rng() % 3 == 0) {
+    // Start life under a random resource schedule (the PerturbLimits
+    // mutation draws one); the other two-thirds stay unperturbed so the
+    // oracle participates.
+    if (Result<FuzzCase> M =
+            mutateCase(C, Mutation::PerturbLimits, Rng, GOpts))
+      C = *M;
+  }
+  return C;
+}
+
+const FuzzerStats &Fuzzer::run() {
+  DiffOptions DOpts;
+  DOpts.Inject = Opts.Inject;
+  DOpts.Coverage = &Coverage;
+
+  for (size_t Iter = 0; Iter != Opts.Iterations; ++Iter) {
+    if (Found.size() >= Opts.MaxFindings)
+      break;
+
+    // Mutation stock: ~40% of iterations mutate a corpus case once the
+    // corpus has anything to mutate; the rest generate fresh.
+    FuzzCase C;
+    bool FromMutation = !Pool.empty() && Rng() % 10 < 4;
+    if (FromMutation) {
+      const FuzzCase &Base = Pool.cases()[Rng() % Pool.size()];
+      Result<FuzzCase> M = mutateCase(Base, Rng, GOpts);
+      if (M.ok() && (Opts.Perturb || !M->Perturb.any())) {
+        C = *M;
+        ++Stats.Mutated;
+      } else {
+        C = freshCase();
+        ++Stats.Generated;
+        FromMutation = false;
+      }
+    } else {
+      C = freshCase();
+      ++Stats.Generated;
+    }
+
+    if (std::getenv("PECOMP_FUZZ_TRACE"))
+      // Dumping before the run means a crashing or wedged case is the
+      // last one printed — the point of the hook.
+      fprintf(stderr, "--- iter %zu (%s)\n%s", Iter,
+              FromMutation ? "mutated" : "generated", C.serialize().c_str());
+
+    DiffResult R = runCase(C, DOpts);
+    if (R.Skipped) {
+      ++Stats.Skipped;
+      continue;
+    }
+    ++Stats.Executed;
+
+    if (R.NewCoverage) {
+      // Coverage novelty earns a place in the mutation stock.
+      if (Pool.add(C)) {
+        ++Stats.NovelCases;
+        if (Opts.SaveNovel && !Opts.CorpusDir.empty())
+          (void)Corpus::saveEntry(Opts.CorpusDir, C);
+      }
+    }
+
+    if (!R.Diverged)
+      continue;
+
+    Finding F;
+    F.Case = C;
+    F.Diverged = *R.Diverged;
+    F.EntryInsns = R.EntryInsns;
+    if (Opts.Minimize) {
+      ReduceOptions ROpts;
+      ROpts.MaxAttempts = Opts.ReduceMaxAttempts;
+      ReduceOutcome Min = reduceCase(C, DOpts, ROpts);
+      F.ReduceAttempts = Min.Attempts;
+      if (Min.Diverged) {
+        F.Case = Min.Minimized;
+        F.Diverged = *Min.Diverged;
+        F.EntryInsns = Min.EntryInsns;
+      }
+    }
+    if (!FindingFps.insert(F.Case.fingerprint()).second)
+      continue; // same minimized witness as an earlier finding
+    if (!Opts.FindingsDir.empty())
+      if (Result<std::string> Path = Corpus::saveEntry(Opts.FindingsDir, F.Case))
+        F.SavedPath = *Path;
+    Found.push_back(std::move(F));
+    ++Stats.Findings;
+  }
+
+  Stats.CoverageFeatures = Coverage.features();
+  return Stats;
+}
+
+} // namespace fuzz
+} // namespace pecomp

@@ -1,0 +1,86 @@
+//===- fuzz/Fuzzer.h - Coverage-guided differential fuzzing loop -*- C++-*-===//
+///
+/// \file
+/// The main loop tying the subsystem together: generate or mutate a case,
+/// run the five-tier differential (fuzz/Differential.h), feed the
+/// coverage map, keep coverage-novel cases in the corpus as future
+/// mutation stock, and minimize any divergence with the delta-debugging
+/// reducer. Fully deterministic for a given (seed, options, corpus): all
+/// randomness flows from one std::mt19937, so every finding replays.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PECOMP_FUZZ_FUZZER_H
+#define PECOMP_FUZZ_FUZZER_H
+
+#include "fuzz/Corpus.h"
+#include "fuzz/Differential.h"
+#include "fuzz/ProgramGen.h"
+#include "fuzz/Reduce.h"
+
+namespace pecomp {
+namespace fuzz {
+
+struct FuzzerOptions {
+  uint32_t Seed = 1;
+  size_t Iterations = 500;
+  /// Fraction knobs are fixed; these gate whole feature classes.
+  bool Perturb = true;    ///< include resource-limit / heap-fault schedules
+  bool PartialOps = true; ///< quotient/remainder (trap surface) in grammar
+  InjectedBug Inject = InjectedBug::None;
+  bool Minimize = true;
+  size_t MaxFindings = 8; ///< stop early after this many distinct findings
+  std::string CorpusDir;   ///< seed corpus to load (may be empty/missing)
+  std::string FindingsDir; ///< where minimized findings are persisted
+  bool SaveNovel = false;  ///< persist coverage-novel cases to CorpusDir
+  size_t ReduceMaxAttempts = 2000;
+};
+
+struct Finding {
+  FuzzCase Case; ///< minimized when FuzzerOptions::Minimize
+  Divergence Diverged;
+  size_t EntryInsns = 0;      ///< decoded size of the minimized entry
+  size_t ReduceAttempts = 0;  ///< differential runs the reducer spent
+  std::string SavedPath;      ///< on-disk location, when FindingsDir is set
+};
+
+struct FuzzerStats {
+  size_t Executed = 0;  ///< cases that reached the differential
+  size_t Skipped = 0;   ///< rejected before execution (invalid mutants etc.)
+  size_t Generated = 0; ///< fresh grammar-generated cases
+  size_t Mutated = 0;   ///< corpus-mutation cases
+  size_t CoverageFeatures = 0; ///< distinct features at end of run
+  size_t NovelCases = 0;       ///< cases kept for coverage novelty
+  size_t Findings = 0;
+  std::string json() const; ///< one-line machine-readable summary
+};
+
+class Fuzzer {
+public:
+  explicit Fuzzer(FuzzerOptions Opts);
+
+  /// Runs the configured number of iterations (or until MaxFindings).
+  const FuzzerStats &run();
+
+  const FuzzerStats &stats() const { return Stats; }
+  const std::vector<Finding> &findings() const { return Found; }
+  const Corpus &corpus() const { return Pool; }
+  const support::CoverageMap &coverage() const { return Coverage; }
+
+private:
+  FuzzCase freshCase();
+
+  FuzzerOptions Opts;
+  std::mt19937 Rng;
+  GenOptions GOpts;
+  Corpus Pool;
+  support::CoverageMap Coverage;
+  FuzzerStats Stats;
+  std::vector<Finding> Found;
+  std::unordered_set<uint64_t> FindingFps; ///< dedup minimized findings
+};
+
+} // namespace fuzz
+} // namespace pecomp
+
+#endif // PECOMP_FUZZ_FUZZER_H

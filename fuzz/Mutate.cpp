@@ -1,0 +1,208 @@
+//===- fuzz/Mutate.cpp - Grammar-aware fuzz-case mutations ----------------===//
+
+#include "fuzz/Mutate.h"
+
+#include "frontend/Parse.h"
+
+#include <cctype>
+
+namespace pecomp {
+namespace fuzz {
+
+namespace {
+
+/// Regenerates one definition body under the ProgramGen grammar. The
+/// replacement may reference the definition's own parameters and call only
+/// *earlier* definitions (the prefix program), preserving the DAG call
+/// graph and therefore termination.
+Result<FuzzCase> spliceBody(const FuzzCase &C, std::mt19937 &Rng,
+                            const GenOptions &GOpts) {
+  Arena A;
+  DatumFactory Datums(A);
+  ExprFactory Exprs(A);
+  Result<Program> P = parseProgramText(C.Source, Exprs, Datums);
+  if (!P)
+    return Error("splice: " + P.error().render());
+  if (P->Defs.empty())
+    return Error("splice: no definitions");
+
+  size_t D = Rng() % P->Defs.size();
+  Definition &Def = P->Defs[D];
+  Program Prefix;
+  Prefix.Defs.assign(P->Defs.begin(), P->Defs.begin() + D);
+
+  ProgramGen Gen(Rng(), Exprs, GOpts);
+  const Expr *Body = Gen.genExpr(GOpts.Depth, Def.Fn->params(), Prefix);
+  Def.Fn = Exprs.lambda(Def.Fn->params(), Body);
+
+  FuzzCase Out = C;
+  Out.Source = P->print();
+  return Out;
+}
+
+/// Nudges one integer literal in the program text. Token-level: an
+/// optionally signed digit run delimited by whitespace or parentheses is
+/// an integer literal in this grammar and nothing else.
+Result<FuzzCase> tweakConstant(const FuzzCase &C, std::mt19937 &Rng) {
+  struct Tok {
+    size_t Pos, Len;
+  };
+  std::vector<Tok> Ints;
+  const std::string &S = C.Source;
+  for (size_t I = 0; I < S.size();) {
+    bool Signed = S[I] == '-' && I + 1 < S.size() && std::isdigit(S[I + 1]);
+    if (Signed || std::isdigit(static_cast<unsigned char>(S[I]))) {
+      bool Delim = I == 0 || S[I - 1] == '(' || S[I - 1] == ')' ||
+                   std::isspace(static_cast<unsigned char>(S[I - 1]));
+      size_t J = I + (Signed ? 1 : 0);
+      while (J < S.size() && std::isdigit(static_cast<unsigned char>(S[J])))
+        ++J;
+      bool EndsClean = J == S.size() || S[J] == '(' || S[J] == ')' ||
+                       std::isspace(static_cast<unsigned char>(S[J]));
+      if (Delim && EndsClean)
+        Ints.push_back({I, J - I});
+      I = J;
+    } else {
+      ++I;
+    }
+  }
+  if (Ints.empty())
+    return Error("tweak-constant: no integer literals");
+
+  Tok T = Ints[Rng() % Ints.size()];
+  int64_t V = std::stoll(S.substr(T.Pos, T.Len));
+  // Boundary-seeking nudges: zero (divisors!), sign flips, off-by-ones,
+  // and magnitude jumps that stress fixnum arithmetic.
+  switch (Rng() % 6) {
+  case 0:
+    V = 0;
+    break;
+  case 1:
+    V = -V;
+    break;
+  case 2:
+    V += 1;
+    break;
+  case 3:
+    V -= 1;
+    break;
+  case 4:
+    V *= 3;
+    break;
+  default:
+    V = static_cast<int64_t>(Rng() % 41) - 20;
+    break;
+  }
+  FuzzCase Out = C;
+  Out.Source = S.substr(0, T.Pos) + std::to_string(V) + S.substr(T.Pos + T.Len);
+  return Out;
+}
+
+Result<FuzzCase> flipDivision(const FuzzCase &C, std::mt19937 &Rng) {
+  if (C.Division.empty())
+    return Error("flip-division: empty division");
+  FuzzCase Out = C;
+  size_t I = Rng() % Out.Division.size();
+  Out.Division[I] = Out.Division[I] == 'S' ? 'D' : 'S';
+  return Out;
+}
+
+Result<FuzzCase> tweakArg(const FuzzCase &C, std::mt19937 &Rng) {
+  if (C.Args.empty())
+    return Error("tweak-arg: no arguments");
+  FuzzCase Out = C;
+  size_t I = Rng() % Out.Args.size();
+  switch (Rng() % 4) {
+  case 0:
+    Out.Args[I] = 0;
+    break;
+  case 1:
+    Out.Args[I] = -Out.Args[I];
+    break;
+  case 2:
+    Out.Args[I] += 1;
+    break;
+  default:
+    Out.Args[I] = static_cast<int64_t>(Rng() % 41) - 20;
+    break;
+  }
+  return Out;
+}
+
+Result<FuzzCase> perturbLimits(const FuzzCase &C, std::mt19937 &Rng) {
+  FuzzCase Out = C;
+  Perturbation &P = Out.Perturb;
+  switch (Rng() % 6) {
+  case 0: // clear: back to the unperturbed differential
+    P = Perturbation();
+    break;
+  case 1: // fuel low enough to starve mid-execution
+    P.Fuel = 1 + Rng() % 256;
+    break;
+  case 2: // value-stack ceiling around realistic evaluation depths
+    P.MaxStack = 4 + Rng() % 64;
+    break;
+  case 3: // call-frame ceiling
+    P.MaxFrames = 1 + Rng() % 16;
+    break;
+  case 4: // heap byte ceiling (tight enough that closures/boxes trip it)
+    P.MaxHeapBytes = 256 + Rng() % (64u << 10);
+    break;
+  default: // injected allocation fault schedule
+    if (Rng() % 2)
+      P.FailAtAllocation = 1 + Rng() % 512;
+    else
+      P.FailAboveLiveBytes = 256 + Rng() % (16u << 10);
+    break;
+  }
+  return Out;
+}
+
+} // namespace
+
+const char *mutationName(Mutation M) {
+  switch (M) {
+  case Mutation::SpliceBody:
+    return "splice-body";
+  case Mutation::TweakConstant:
+    return "tweak-constant";
+  case Mutation::FlipDivision:
+    return "flip-division";
+  case Mutation::TweakArg:
+    return "tweak-arg";
+  case Mutation::PerturbLimits:
+    return "perturb-limits";
+  }
+  return "?";
+}
+
+Result<FuzzCase> mutateCase(const FuzzCase &C, Mutation M, std::mt19937 &Rng,
+                            const GenOptions &GOpts) {
+  switch (M) {
+  case Mutation::SpliceBody:
+    return spliceBody(C, Rng, GOpts);
+  case Mutation::TweakConstant:
+    return tweakConstant(C, Rng);
+  case Mutation::FlipDivision:
+    return flipDivision(C, Rng);
+  case Mutation::TweakArg:
+    return tweakArg(C, Rng);
+  case Mutation::PerturbLimits:
+    return perturbLimits(C, Rng);
+  }
+  return Error("unknown mutation");
+}
+
+Result<FuzzCase> mutateCase(const FuzzCase &C, std::mt19937 &Rng,
+                            const GenOptions &GOpts) {
+  for (int Attempt = 0; Attempt != 8; ++Attempt) {
+    auto M = static_cast<Mutation>(Rng() % NumMutations);
+    Result<FuzzCase> Out = mutateCase(C, M, Rng, GOpts);
+    if (Out.ok())
+      return Out;
+  }
+  return Error("no applicable mutation");
+}
+
+} // namespace fuzz
+} // namespace pecomp

@@ -1,0 +1,49 @@
+//===- fuzz/Mutate.h - Grammar-aware fuzz-case mutations --------*- C++ -*-===//
+///
+/// \file
+/// Structured mutations over FuzzCases. Every mutation preserves the
+/// invariants the differential relies on: programs stay inside the
+/// ProgramGen grammar (splices regenerate a definition body under the same
+/// rules, calling only earlier definitions so the call graph stays a DAG),
+/// integer literals stay integers, and divisions stay one 'S'/'D' per
+/// entry parameter. A mutant may still be *semantically* rejected
+/// downstream (a spec-time trap, say) — that is a skip, not a bug.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PECOMP_FUZZ_MUTATE_H
+#define PECOMP_FUZZ_MUTATE_H
+
+#include "fuzz/Case.h"
+#include "fuzz/ProgramGen.h"
+
+#include <random>
+
+namespace pecomp {
+namespace fuzz {
+
+enum class Mutation : uint8_t {
+  SpliceBody,    ///< regenerate one definition's body under the grammar
+  TweakConstant, ///< nudge one integer literal in the program text
+  FlipDivision,  ///< flip one entry parameter between static and dynamic
+  TweakArg,      ///< change one concrete argument value
+  PerturbLimits, ///< install or clear a resource-limit / heap-fault schedule
+};
+inline constexpr size_t NumMutations = 5;
+const char *mutationName(Mutation M);
+
+/// Applies \p M to \p C, drawing randomness from \p Rng. Returns the
+/// mutated case, or an error when the mutation does not apply (no
+/// constants to tweak, un-parsable source, ...) — callers just pick
+/// another mutation or another case.
+Result<FuzzCase> mutateCase(const FuzzCase &C, Mutation M, std::mt19937 &Rng,
+                            const GenOptions &GOpts = {});
+
+/// Applies a randomly chosen applicable mutation (bounded retries).
+Result<FuzzCase> mutateCase(const FuzzCase &C, std::mt19937 &Rng,
+                            const GenOptions &GOpts = {});
+
+} // namespace fuzz
+} // namespace pecomp
+
+#endif // PECOMP_FUZZ_MUTATE_H

@@ -1,0 +1,108 @@
+//===- fuzz/ProgramGen.cpp - Random Core Scheme program generator ---------===//
+
+#include "fuzz/ProgramGen.h"
+
+#include "sexp/WellKnown.h"
+
+#include <array>
+
+namespace pecomp {
+namespace fuzz {
+
+Program ProgramGen::generate() {
+  Program P;
+  size_t NumDefs = Opts.MinDefs + (Opts.ExtraDefs ? Rng() % Opts.ExtraDefs : 0);
+  for (size_t I = 0; I != NumDefs; ++I) {
+    std::vector<Symbol> Params;
+    size_t NumParams = 1 + Rng() % Opts.MaxParams;
+    for (size_t J = 0; J != NumParams; ++J)
+      Params.push_back(
+          Symbol::intern("p" + std::to_string(I) + "_" + std::to_string(J)));
+    // Bodies may call only *earlier* definitions: the call graph is a
+    // DAG, so everything terminates.
+    const Expr *Body = genExpr(Opts.Depth, Params, P);
+    Symbol Name = Symbol::intern("fn" + std::to_string(I));
+    P.Defs.push_back({Name, F.lambda(Params, Body)});
+  }
+  return P;
+}
+
+const Expr *ProgramGen::genExpr(unsigned Depth,
+                                const std::vector<Symbol> &Scope,
+                                const Program &Defined) {
+  if (Depth == 0)
+    return genLeaf(Scope);
+  switch (Rng() % 8) {
+  case 0:
+    return genLeaf(Scope);
+  case 1:
+  case 2: {
+    PrimOp Op;
+    if (Opts.PartialOps) {
+      Op = std::array{PrimOp::Add,      PrimOp::Sub,
+                      PrimOp::Mul,      PrimOp::Quotient,
+                      PrimOp::Remainder}[Rng() % 5];
+    } else {
+      Op = std::array{PrimOp::Add, PrimOp::Sub, PrimOp::Mul}[Rng() % 3];
+    }
+    return F.primApp(Op, {genExpr(Depth - 1, Scope, Defined),
+                          genExpr(Depth - 1, Scope, Defined)});
+  }
+  case 3: {
+    // (if <comparison> e1 e2)
+    PrimOp Cmp = std::array{PrimOp::Lt, PrimOp::NumEq, PrimOp::Ge,
+                            PrimOp::ZeroP}[Rng() % 4];
+    const Expr *Test =
+        Cmp == PrimOp::ZeroP
+            ? F.primApp(Cmp, {genExpr(Depth - 1, Scope, Defined)})
+            : F.primApp(Cmp, {genExpr(Depth - 1, Scope, Defined),
+                              genExpr(Depth - 1, Scope, Defined)});
+    return F.ifExpr(Test, genExpr(Depth - 1, Scope, Defined),
+                    genExpr(Depth - 1, Scope, Defined));
+  }
+  case 4: {
+    // (let (x e1) e2)
+    Symbol X = freshLocal("v");
+    std::vector<Symbol> Inner = Scope;
+    Inner.push_back(X);
+    return F.let(X, genExpr(Depth - 1, Scope, Defined),
+                 genExpr(Depth - 1, Inner, Defined));
+  }
+  case 5: {
+    // Directly applied lambda.
+    size_t N = 1 + Rng() % 2;
+    std::vector<Symbol> Params;
+    std::vector<const Expr *> Args;
+    std::vector<Symbol> Inner = Scope;
+    for (size_t I = 0; I != N; ++I) {
+      Symbol X = freshLocal("a");
+      Params.push_back(X);
+      Inner.push_back(X);
+      Args.push_back(genExpr(Depth - 1, Scope, Defined));
+    }
+    return F.app(F.lambda(Params, genExpr(Depth - 1, Inner, Defined)),
+                 std::move(Args));
+  }
+  case 6: {
+    // Call an earlier definition, if any.
+    if (Defined.Defs.empty())
+      return genLeaf(Scope);
+    const Definition &Callee = Defined.Defs[Rng() % Defined.Defs.size()];
+    std::vector<const Expr *> Args;
+    for (size_t I = 0; I != Callee.Fn->params().size(); ++I)
+      Args.push_back(genExpr(Depth - 1, Scope, Defined));
+    return F.app(F.var(Callee.Name), std::move(Args));
+  }
+  default:
+    return genLeaf(Scope);
+  }
+}
+
+const Expr *ProgramGen::genLeaf(const std::vector<Symbol> &Scope) {
+  if (!Scope.empty() && Rng() % 2)
+    return F.var(Scope[Rng() % Scope.size()]);
+  return F.constant(wellknown::fixnum(static_cast<int64_t>(Rng() % 21) - 10));
+}
+
+} // namespace fuzz
+} // namespace pecomp

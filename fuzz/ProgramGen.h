@@ -1,0 +1,84 @@
+//===- fuzz/ProgramGen.h - Random Core Scheme program generator -*- C++ -*-===//
+///
+/// \file
+/// The grammar-aware random-program generator shared by the coverage-guided
+/// differential fuzzer (fuzz/Fuzzer.h) and the seeded randomized tests
+/// (tests/RandomProgramTest.cpp) — one grammar, two consumers.
+///
+/// Generated programs are integer-valued Core Scheme: non-recursive call
+/// DAGs over arithmetic, comparisons, lets, conditionals, and directly
+/// applied lambdas. With the default options every operator is total on
+/// fixnums, so all engines must produce the *same fixnum*; enabling
+/// PartialOps adds quotient/remainder, whose zero divisors make the trap
+/// taxonomy (DivideByZero, and under perturbed vm::Limits every resource
+/// trap) part of the differential surface as well.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PECOMP_FUZZ_PROGRAMGEN_H
+#define PECOMP_FUZZ_PROGRAMGEN_H
+
+#include "syntax/Expr.h"
+
+#include <random>
+
+namespace pecomp {
+namespace fuzz {
+
+/// Generator knobs. The defaults reproduce the grammar the randomized
+/// differential tests have always used.
+struct GenOptions {
+  unsigned MinDefs = 2;   ///< at least this many top-level definitions
+  unsigned ExtraDefs = 4; ///< plus Rng() % ExtraDefs more
+  unsigned MaxParams = 3; ///< 1..MaxParams parameters per definition
+  unsigned Depth = 3;     ///< expression nesting budget
+  /// Include quotient/remainder in the binary-operator pool. These are
+  /// partial (zero divisors trap), so only the fuzzer — which compares
+  /// trap outcomes, not just values — turns them on.
+  bool PartialOps = false;
+};
+
+/// Generates random integer-valued Core Scheme programs. Bodies may call
+/// only *earlier* definitions, so the call graph is a DAG and every
+/// generated program terminates on every input.
+class ProgramGen {
+public:
+  ProgramGen(uint32_t Seed, ExprFactory &F, GenOptions Opts = {})
+      : Rng(Seed), F(F), Opts(Opts) {}
+
+  /// A whole program; the conventional entry point is the last definition.
+  Program generate();
+
+  /// An integer-valued expression of at most \p Depth nesting over the
+  /// variables in \p Scope, calling only definitions already in
+  /// \p Defined. Public so the mutator can splice fresh subtrees into
+  /// existing programs under the exact same grammar.
+  const Expr *genExpr(unsigned Depth, const std::vector<Symbol> &Scope,
+                      const Program &Defined);
+
+  /// A small argument value for driving a generated entry point.
+  int64_t randomArg() { return static_cast<int64_t>(Rng() % 41) - 20; }
+
+  std::mt19937 &rng() { return Rng; }
+
+private:
+  const Expr *genLeaf(const std::vector<Symbol> &Scope);
+  /// Deterministic gensym: Symbol::fresh draws on the process-global
+  /// symbol table, which would make the generated *text* depend on what
+  /// ran before — this generator must reproduce byte-identical programs
+  /// from a seed alone.
+  Symbol freshLocal(const char *Base) {
+    return Symbol::intern(std::string(Base) + "_g" +
+                          std::to_string(NextLocal++));
+  }
+
+  std::mt19937 Rng;
+  ExprFactory &F;
+  GenOptions Opts;
+  unsigned NextLocal = 0;
+};
+
+} // namespace fuzz
+} // namespace pecomp
+
+#endif // PECOMP_FUZZ_PROGRAMGEN_H

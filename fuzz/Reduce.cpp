@@ -1,0 +1,327 @@
+//===- fuzz/Reduce.cpp - Delta-debugging reducer for findings -------------===//
+
+#include "fuzz/Reduce.h"
+
+#include "frontend/Parse.h"
+#include "sexp/WellKnown.h"
+#include "support/Casting.h"
+
+namespace pecomp {
+namespace fuzz {
+
+namespace {
+
+/// How a node-rewrite candidate transforms the targeted node. Children
+/// are tried one index at a time so (if t a b) can shrink to t, a, or b.
+struct NodeEdit {
+  enum Kind { ToConst, ToChild } K;
+  int64_t Const = 0; ///< ToConst: the replacement literal
+  size_t Child = 0;  ///< ToChild: which child to hoist
+};
+
+/// Pre-order node count of an expression tree.
+size_t countNodes(const Expr *E) {
+  size_t N = 1;
+  switch (E->kind()) {
+  case Expr::Kind::Const:
+  case Expr::Kind::Var:
+    break;
+  case Expr::Kind::Lambda:
+    N += countNodes(cast<LambdaExpr>(E)->body());
+    break;
+  case Expr::Kind::Let:
+    N += countNodes(cast<LetExpr>(E)->init());
+    N += countNodes(cast<LetExpr>(E)->body());
+    break;
+  case Expr::Kind::If:
+    N += countNodes(cast<IfExpr>(E)->test());
+    N += countNodes(cast<IfExpr>(E)->thenBranch());
+    N += countNodes(cast<IfExpr>(E)->elseBranch());
+    break;
+  case Expr::Kind::App:
+    N += countNodes(cast<AppExpr>(E)->callee());
+    for (const Expr *A : cast<AppExpr>(E)->args())
+      N += countNodes(A);
+    break;
+  case Expr::Kind::PrimApp:
+    for (const Expr *A : cast<PrimAppExpr>(E)->args())
+      N += countNodes(A);
+    break;
+  case Expr::Kind::Set:
+    N += countNodes(cast<SetExpr>(E)->value());
+    break;
+  }
+  return N;
+}
+
+/// The node's direct subexpressions (hoist candidates).
+std::vector<const Expr *> childrenOf(const Expr *E) {
+  switch (E->kind()) {
+  case Expr::Kind::Const:
+  case Expr::Kind::Var:
+    return {};
+  case Expr::Kind::Lambda:
+    return {cast<LambdaExpr>(E)->body()};
+  case Expr::Kind::Let:
+    return {cast<LetExpr>(E)->init(), cast<LetExpr>(E)->body()};
+  case Expr::Kind::If:
+    return {cast<IfExpr>(E)->test(), cast<IfExpr>(E)->thenBranch(),
+            cast<IfExpr>(E)->elseBranch()};
+  case Expr::Kind::App: {
+    std::vector<const Expr *> C{cast<AppExpr>(E)->callee()};
+    for (const Expr *A : cast<AppExpr>(E)->args())
+      C.push_back(A);
+    return C;
+  }
+  case Expr::Kind::PrimApp: {
+    std::vector<const Expr *> C;
+    for (const Expr *A : cast<PrimAppExpr>(E)->args())
+      C.push_back(A);
+    return C;
+  }
+  case Expr::Kind::Set:
+    return {cast<SetExpr>(E)->value()};
+  }
+  return {};
+}
+
+/// Rebuilds \p E with the node at pre-order index \p Target edited per
+/// \p Edit. \p Idx threads the pre-order position; \p Ok reports whether
+/// the edit applied (a ToChild out of range, or a ToConst of a node that
+/// is already that constant, does not).
+const Expr *rewrite(const Expr *E, ExprFactory &F, size_t &Idx, size_t Target,
+                    const NodeEdit &Edit, bool &Ok) {
+  size_t Here = Idx++;
+  if (Here == Target) {
+    if (Edit.K == NodeEdit::ToChild) {
+      std::vector<const Expr *> C = childrenOf(E);
+      if (Edit.Child < C.size() && !isa<LambdaExpr>(C[Edit.Child])) {
+        Ok = true;
+        return C[Edit.Child];
+      }
+      return E; // nothing hoistable here
+    }
+    // ToConst applies only to non-constants: every accepted edit then
+    // strictly shrinks the tree (or retires a non-constant leaf), so the
+    // sweep cannot livelock toggling one literal between values.
+    if (isa<ConstExpr>(E))
+      return E;
+    if (isa<LambdaExpr>(E))
+      return E; // a lambda in operator position must stay a lambda
+    Ok = true;
+    return F.constant(wellknown::fixnum(Edit.Const));
+  }
+  switch (E->kind()) {
+  case Expr::Kind::Const:
+  case Expr::Kind::Var:
+    return E;
+  case Expr::Kind::Lambda: {
+    const auto *L = cast<LambdaExpr>(E);
+    return F.lambda(L->params(), rewrite(L->body(), F, Idx, Target, Edit, Ok));
+  }
+  case Expr::Kind::Let: {
+    const auto *L = cast<LetExpr>(E);
+    const Expr *Init = rewrite(L->init(), F, Idx, Target, Edit, Ok);
+    return F.let(L->name(), Init, rewrite(L->body(), F, Idx, Target, Edit, Ok));
+  }
+  case Expr::Kind::If: {
+    const auto *I = cast<IfExpr>(E);
+    const Expr *T = rewrite(I->test(), F, Idx, Target, Edit, Ok);
+    const Expr *Th = rewrite(I->thenBranch(), F, Idx, Target, Edit, Ok);
+    return F.ifExpr(T, Th, rewrite(I->elseBranch(), F, Idx, Target, Edit, Ok));
+  }
+  case Expr::Kind::App: {
+    const auto *A = cast<AppExpr>(E);
+    const Expr *Callee = rewrite(A->callee(), F, Idx, Target, Edit, Ok);
+    std::vector<const Expr *> Args;
+    for (const Expr *Arg : A->args())
+      Args.push_back(rewrite(Arg, F, Idx, Target, Edit, Ok));
+    return F.app(Callee, std::move(Args));
+  }
+  case Expr::Kind::PrimApp: {
+    const auto *P = cast<PrimAppExpr>(E);
+    std::vector<const Expr *> Args;
+    for (const Expr *Arg : P->args())
+      Args.push_back(rewrite(Arg, F, Idx, Target, Edit, Ok));
+    return F.primApp(P->op(), std::move(Args));
+  }
+  case Expr::Kind::Set: {
+    const auto *S = cast<SetExpr>(E);
+    return F.set(S->name(), rewrite(S->value(), F, Idx, Target, Edit, Ok));
+  }
+  }
+  return E;
+}
+
+/// Shared reduction state: the current smallest diverging case and the
+/// bounded still-diverges predicate.
+struct Reducer {
+  const DiffOptions &Opts;
+  const ReduceOptions &ROpts;
+  ReduceOutcome Out;
+
+  bool budget() const { return Out.Attempts < ROpts.MaxAttempts; }
+
+  /// Runs \p Cand; adopts it as the new current case when it still shows
+  /// a divergence. Returns whether it was adopted.
+  bool tryAdopt(const FuzzCase &Cand) {
+    if (!budget())
+      return false;
+    ++Out.Attempts;
+    DiffResult R = runCase(Cand, Opts);
+    if (R.Skipped || !R.Diverged)
+      return false;
+    Out.Minimized = Cand;
+    Out.EntryInsns = R.EntryInsns;
+    Out.Diverged = R.Diverged;
+    return true;
+  }
+};
+
+/// One sweep of definition drops; true when any candidate was adopted.
+bool sweepDropDefs(Reducer &R) {
+  bool Progress = false;
+  bool Adopted = true;
+  while (Adopted && R.budget()) {
+    Adopted = false;
+    Arena A;
+    DatumFactory Datums(A);
+    ExprFactory Exprs(A);
+    Result<Program> P = parseProgramText(R.Out.Minimized.Source, Exprs, Datums);
+    if (!P || P->Defs.size() < 2)
+      return Progress;
+    for (size_t D = 0; D != P->Defs.size() && R.budget(); ++D) {
+      if (P->Defs[D].Name == Symbol::intern(R.Out.Minimized.Entry))
+        continue;
+      Program Q;
+      for (size_t I = 0; I != P->Defs.size(); ++I)
+        if (I != D)
+          Q.Defs.push_back(P->Defs[I]);
+      FuzzCase Cand = R.Out.Minimized;
+      Cand.Source = Q.print();
+      if (R.tryAdopt(Cand)) {
+        Progress = Adopted = true;
+        break; // defs shifted; re-parse and restart the sweep
+      }
+    }
+  }
+  return Progress;
+}
+
+/// One sweep of subexpression rewrites across every definition body.
+bool sweepRewriteNodes(Reducer &R) {
+  bool Progress = false;
+  bool Adopted = true;
+  while (Adopted && R.budget()) {
+    Adopted = false;
+    Arena A;
+    DatumFactory Datums(A);
+    ExprFactory Exprs(A);
+    Result<Program> P = parseProgramText(R.Out.Minimized.Source, Exprs, Datums);
+    if (!P)
+      return Progress;
+    for (size_t D = 0; D != P->Defs.size() && !Adopted; ++D) {
+      const LambdaExpr *Fn = P->Defs[D].Fn;
+      size_t N = countNodes(Fn->body());
+      for (size_t Node = 0; Node != N && !Adopted && R.budget(); ++Node) {
+        // Hoisting a child loses more nodes than constant-folding the
+        // same target, so try the children first.
+        std::vector<NodeEdit> Edits;
+        for (size_t C = 0; C != 3; ++C)
+          Edits.push_back({NodeEdit::ToChild, 0, C});
+        Edits.push_back({NodeEdit::ToConst, 0, 0});
+        Edits.push_back({NodeEdit::ToConst, 1, 0});
+        for (const NodeEdit &Edit : Edits) {
+          if (!R.budget())
+            break;
+          size_t Idx = 0;
+          bool Applied = false;
+          const Expr *Body =
+              rewrite(Fn->body(), Exprs, Idx, Node, Edit, Applied);
+          if (!Applied)
+            continue;
+          Program Q = *P;
+          Q.Defs[D].Fn = Exprs.lambda(Fn->params(), Body);
+          FuzzCase Cand = R.Out.Minimized;
+          Cand.Source = Q.print();
+          if (R.tryAdopt(Cand)) {
+            Progress = Adopted = true;
+            break; // tree changed; re-parse and restart
+          }
+        }
+      }
+    }
+  }
+  return Progress;
+}
+
+/// Division → all-dynamic, arguments → 0, perturbation fields → off.
+bool sweepScalars(Reducer &R) {
+  bool Progress = false;
+  for (size_t I = 0; I != R.Out.Minimized.Division.size() && R.budget(); ++I) {
+    if (R.Out.Minimized.Division[I] != 'S')
+      continue;
+    FuzzCase Cand = R.Out.Minimized;
+    Cand.Division[I] = 'D';
+    Progress |= R.tryAdopt(Cand);
+  }
+  for (size_t I = 0; I != R.Out.Minimized.Args.size() && R.budget(); ++I) {
+    if (R.Out.Minimized.Args[I] == 0)
+      continue;
+    FuzzCase Cand = R.Out.Minimized;
+    Cand.Args[I] = 0;
+    Progress |= R.tryAdopt(Cand);
+  }
+  const Perturbation Zero;
+  if (R.Out.Minimized.Perturb.any() && R.budget()) {
+    FuzzCase Cand = R.Out.Minimized;
+    Cand.Perturb = Zero;
+    if (R.tryAdopt(Cand))
+      Progress = true;
+    else {
+      // Whole-schedule drop failed; retire one field at a time.
+      auto TryField = [&](auto Perturbation::*Field) {
+        if (R.Out.Minimized.Perturb.*Field == 0 || !R.budget())
+          return;
+        FuzzCase C2 = R.Out.Minimized;
+        C2.Perturb.*Field = 0;
+        Progress |= R.tryAdopt(C2);
+      };
+      TryField(&Perturbation::Fuel);
+      TryField(&Perturbation::MaxStack);
+      TryField(&Perturbation::MaxFrames);
+      TryField(&Perturbation::MaxHeapBytes);
+      TryField(&Perturbation::FailAtAllocation);
+      TryField(&Perturbation::FailAboveLiveBytes);
+    }
+  }
+  return Progress;
+}
+
+} // namespace
+
+ReduceOutcome reduceCase(const FuzzCase &C, const DiffOptions &Opts,
+                         const ReduceOptions &ROpts) {
+  Reducer R{Opts, ROpts, {}};
+  R.Out.Minimized = C;
+
+  // Establish the baseline: no divergence means nothing to reduce.
+  ++R.Out.Attempts;
+  DiffResult Base = runCase(C, Opts);
+  if (Base.Skipped || !Base.Diverged)
+    return R.Out;
+  R.Out.EntryInsns = Base.EntryInsns;
+  R.Out.Diverged = Base.Diverged;
+
+  bool Progress = true;
+  while (Progress && R.budget()) {
+    Progress = false;
+    Progress |= sweepDropDefs(R);
+    Progress |= sweepRewriteNodes(R);
+    Progress |= sweepScalars(R);
+  }
+  return R.Out;
+}
+
+} // namespace fuzz
+} // namespace pecomp

@@ -1,0 +1,47 @@
+//===- fuzz/Reduce.h - Delta-debugging reducer for findings -----*- C++ -*-===//
+///
+/// \file
+/// Shrinks a diverging FuzzCase to something a human can read. Greedy
+/// delta debugging over the case structure: drop whole definitions,
+/// replace subexpressions with constants, hoist children over their
+/// parents, simplify the division toward all-dynamic, zero arguments, and
+/// drop perturbation fields — adopting any candidate that still diverges
+/// under the same DiffOptions, until a full sweep makes no progress or the
+/// attempt budget runs out. Every transformation strictly shrinks the
+/// case, so the loop terminates well before the budget on real findings.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PECOMP_FUZZ_REDUCE_H
+#define PECOMP_FUZZ_REDUCE_H
+
+#include "fuzz/Differential.h"
+
+namespace pecomp {
+namespace fuzz {
+
+struct ReduceOptions {
+  /// Ceiling on differential executions (the expensive unit of work).
+  size_t MaxAttempts = 2000;
+};
+
+struct ReduceOutcome {
+  FuzzCase Minimized;
+  /// Differential executions spent.
+  size_t Attempts = 0;
+  /// Decoded size of the minimized residual entry (the "≤ N instructions"
+  /// metric findings are reported in).
+  size_t EntryInsns = 0;
+  /// The divergence the minimized case still exhibits. Disengaged only if
+  /// the input never diverged in the first place (nothing to reduce).
+  std::optional<Divergence> Diverged;
+};
+
+/// Minimizes \p C, which is expected to diverge under \p Opts.
+ReduceOutcome reduceCase(const FuzzCase &C, const DiffOptions &Opts,
+                         const ReduceOptions &ROpts = {});
+
+} // namespace fuzz
+} // namespace pecomp
+
+#endif // PECOMP_FUZZ_REDUCE_H

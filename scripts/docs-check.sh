@@ -34,7 +34,7 @@ for DOC in "${DOCS[@]}"; do
     fi
     echo "docs-check: $DOC names missing path: $P" >&2
     STATUS=1
-  done < <(grep -oE '(src|tests|docs|scripts|bench|tools|examples|testdata)/[A-Za-z0-9_./-]*[A-Za-z0-9_]' "$DOC" | sort -u)
+  done < <(grep -oE '(src|tests|docs|scripts|bench|tools|examples|testdata|fuzz)/[A-Za-z0-9_./-]*[A-Za-z0-9_]' "$DOC" | sort -u)
 done
 
 if [ "$CHECKED" -eq 0 ]; then

@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# Long-run divergence hunt: sweeps the differential fuzzer across many
+# seeds, persists minimized findings (deduplicated by case fingerprint —
+# the corpus filename is the fingerprint, so reruns never duplicate), and
+# writes a JSON summary of every per-seed run plus the finding files.
+#
+# Usage: scripts/fuzz-run.sh [--seeds N] [--iters N] [--build DIR]
+#                            [--out DIR] [--save-novel]
+#   --seeds N      number of consecutive seeds to run, starting at 1
+#                  (default 20)
+#   --iters N      iterations per seed (default 2000)
+#   --build DIR    build tree containing tools/pecomp-fuzz (default build)
+#   --out DIR      where findings and the summary land
+#                  (default fuzz-out)
+#   --save-novel   also persist coverage-novel cases into the out-dir
+#                  corpus copy, growing mutation stock across seeds
+#
+# Exits nonzero iff any run produced a finding (or failed outright), so
+# the script doubles as a CI-friendly extended gate.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SEEDS=20
+ITERS=2000
+BUILD_DIR=build
+OUT_DIR=fuzz-out
+SAVE_NOVEL=0
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+  --seeds) SEEDS=$2; shift 2 ;;
+  --iters) ITERS=$2; shift 2 ;;
+  --build) BUILD_DIR=$2; shift 2 ;;
+  --out) OUT_DIR=$2; shift 2 ;;
+  --save-novel) SAVE_NOVEL=1; shift ;;
+  *) echo "unknown option: $1" >&2; exit 2 ;;
+  esac
+done
+
+FUZZ="$BUILD_DIR/tools/pecomp-fuzz"
+if [[ ! -x "$FUZZ" ]]; then
+  echo "fuzz-run: $FUZZ not built (cmake --build $BUILD_DIR)" >&2
+  exit 2
+fi
+
+mkdir -p "$OUT_DIR/findings" "$OUT_DIR/corpus"
+# Work on a copy of the checked-in corpus so --save-novel growth (and any
+# future dedup pruning) never dirties the repository.
+cp -n testdata/fuzz-corpus/*.scm "$OUT_DIR/corpus/" 2>/dev/null || true
+
+SUMMARY="$OUT_DIR/summary.json"
+STATUS=0
+{
+  echo '{"runs": ['
+  FIRST=1
+  for ((S = 1; S <= SEEDS; S++)); do
+    ARGS=(--seed="$S" --iters="$ITERS" --corpus="$OUT_DIR/corpus"
+          --findings="$OUT_DIR/findings" --json)
+    [[ $SAVE_NOVEL == 1 ]] && ARGS+=(--save-novel)
+    echo "== seed $S ($ITERS iters)" >&2
+    if LINE=$("$FUZZ" "${ARGS[@]}" 2>"$OUT_DIR/seed-$S.log"); then
+      RC=0
+    else
+      RC=$?
+      STATUS=1
+      cat "$OUT_DIR/seed-$S.log" >&2
+    fi
+    [[ $FIRST == 1 ]] || echo ','
+    FIRST=0
+    printf '{"seed": %d, "exit": %d, "stats": %s}' \
+      "$S" "$RC" "${LINE:-null}"
+  done
+  echo
+  echo '],'
+  echo '"findings": ['
+  FIRST=1
+  for F in "$OUT_DIR"/findings/*.scm; do
+    [[ -e "$F" ]] || break
+    [[ $FIRST == 1 ]] || echo ','
+    FIRST=0
+    printf '{"file": "%s"}' "$F"
+  done
+  echo
+  echo ']}'
+} >"$SUMMARY"
+
+COUNT=$(ls "$OUT_DIR"/findings/*.scm 2>/dev/null | wc -l)
+echo "fuzz-run: $SEEDS seed(s) x $ITERS iteration(s); $COUNT finding file(s); summary: $SUMMARY"
+exit $STATUS

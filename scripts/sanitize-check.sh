@@ -4,7 +4,8 @@
 # (-fno-sanitize-recover=all) and therefore fails the corresponding test.
 #
 # Usage: scripts/sanitize-check.sh [--ndebug] [--switch-dispatch]
-#                                  [--no-fuse] [--no-peephole] [ctest-args...]
+#                                  [--no-fuse] [--no-peephole] [--fuzz-smoke]
+#                                  [ctest-args...]
 #   --ndebug           additionally compile with -DNDEBUG kept, proving the
 #                      trap model never leans on assert() (the RTCG trust
 #                      requirement).
@@ -15,6 +16,9 @@
 #                      exercises the one-source-instruction decoded loop.
 #   --no-peephole      default the link-time peephole pass off, covering
 #                      the unoptimized byte streams.
+#   --fuzz-smoke       run only the fuzz-labelled ctest entries (seeded
+#                      differential smoke, injected-bug self-tests,
+#                      regression-corpus replay) under the sanitizers.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -43,6 +47,14 @@ while [[ "${1:-}" == --* ]]; do
     CMAKE_ARGS+=(-DPECOMP_NO_PEEPHOLE=ON)
     shift
     ;;
+  --fuzz-smoke)
+    # Only the fuzz-labelled ctest entries: the seeded differential smoke,
+    # the injected-bug self-tests, and the regression-corpus replay, all
+    # under ASan/UBSan — the fuzzer exercises allocation-fault schedules
+    # and snapshot instantiation paths the unit tests cannot reach.
+    FUZZ_SMOKE=1
+    shift
+    ;;
   *)
     break
     ;;
@@ -57,4 +69,8 @@ cmake --build "$BUILD_DIR" -j "$(nproc)"
 export ASAN_OPTIONS=halt_on_error=1:detect_leaks=1
 export UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1
 
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" "$@"
+if [[ "${FUZZ_SMOKE:-0}" == 1 ]]; then
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -L fuzz -j "$(nproc)" "$@"
+else
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" "$@"
+fi

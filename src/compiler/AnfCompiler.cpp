@@ -7,6 +7,9 @@
 #include "syntax/AnfCheck.h"
 #include "vm/Convert.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 using namespace pecomp;
 using namespace pecomp::compiler;
 
@@ -29,6 +32,14 @@ CompiledProgram AnfCompiler::compileProgram(const Program &P) {
     // and forward references resolve to stable indices.
     C.globals().lookupOrAdd(D.Name);
     Out.Defs.emplace_back(D.Name, compileFunction(D.Name, D.Fn));
+  }
+  if (!C.overflowedFunction().empty()) {
+    // This entry point has no error channel; a poisoned object must not
+    // escape silently. (The PGG's generateObject path reports the same
+    // condition as a recoverable error instead.)
+    fprintf(stderr, "pecomp: jump out of i16 range while assembling '%s'\n",
+            C.overflowedFunction().c_str());
+    abort();
   }
   return Out;
 }

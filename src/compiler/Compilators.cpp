@@ -99,7 +99,8 @@ Compilators::makeCodeObject(std::string Name, std::span<const Symbol> Params,
   vm::CodeObject *Code =
       Store.create(std::move(Name), static_cast<uint32_t>(Params.size()));
   const Fragment *Body = EmitBody(Env, static_cast<uint32_t>(Params.size()));
-  assemble(Body, Code);
+  if (!assemble(Body, Code) && OverflowFn.empty())
+    OverflowFn = Code->name();
   ++NumCodeObjects;
   return Code;
 }

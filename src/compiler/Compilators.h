@@ -107,12 +107,20 @@ public:
   /// Code objects assembled in this session (bench accounting).
   size_t codeObjectsBuilt() const { return NumCodeObjects; }
 
+  /// Name of the first code object whose body outgrew the i16 jump range
+  /// (empty when none did). Sticky: once set, every object built in this
+  /// session is suspect and the whole compilation must be rejected —
+  /// makeCodeObject has no error channel of its own, so drivers check
+  /// this after the final object is built.
+  const std::string &overflowedFunction() const { return OverflowFn; }
+
 private:
   vm::CodeStore &Store;
   vm::GlobalTable &Globals;
   FragmentFactory Frags;
   Arena EnvArena;
   size_t NumCodeObjects = 0;
+  std::string OverflowFn;
 };
 
 } // namespace compiler

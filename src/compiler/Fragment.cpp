@@ -78,6 +78,7 @@ struct Emitter {
   std::unordered_map<vm::StructuralValueKey, uint16_t, vm::StructuralValueHash>
       LitIndex;
   std::unordered_map<const vm::CodeObject *, uint16_t> ChildIndex;
+  bool Overflow = false; ///< a label offset left the i16 jump range
 
   void emit(const Fragment *F) {
     std::vector<uint8_t> &Code = Target->mutableCode();
@@ -108,10 +109,10 @@ struct Emitter {
           long Rel = static_cast<long>(It->second) -
                      static_cast<long>(Here + 2);
           if (Rel < INT16_MIN || Rel > INT16_MAX) {
-            fprintf(stderr,
-                    "pecomp: jump out of i16 range while assembling '%s'\n",
-                    Target->name().c_str());
-            abort();
+            // Keep emitting (offsets stay layout-consistent) but poison
+            // the result; assemble()'s caller discards the object.
+            Overflow = true;
+            Rel = 0;
           }
           emitU16(Code, static_cast<uint16_t>(static_cast<int16_t>(Rel)));
           break;
@@ -157,7 +158,7 @@ struct Emitter {
 
 } // namespace
 
-void compiler::assemble(const Fragment *Root, vm::CodeObject *Target) {
+bool compiler::assemble(const Fragment *Root, vm::CodeObject *Target) {
   std::unordered_map<LabelId, size_t> LabelOffsets;
   size_t Offset = 0;
   layOut(Root, Offset, LabelOffsets);
@@ -169,4 +170,5 @@ void compiler::assemble(const Fragment *Root, vm::CodeObject *Target) {
   for (uint16_t I = 0; I != Target->children().size(); ++I)
     E.ChildIndex.emplace(Target->children()[I], I);
   E.emit(Root);
+  return !E.Overflow;
 }

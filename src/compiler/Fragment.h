@@ -166,8 +166,11 @@ private:
 };
 
 /// Resolves labels and interns literals/children: the "relocation" step.
-/// Appends the encoded bytes of \p Root to \p Target.
-void assemble(const Fragment *Root, vm::CodeObject *Target);
+/// Appends the encoded bytes of \p Root to \p Target. Returns false when
+/// a label offset exceeds the i16 jump range (a body too large for the
+/// encoding — e.g. residual code explosion at specialization time); the
+/// target's bytes are then unusable and the caller must not install it.
+bool assemble(const Fragment *Root, vm::CodeObject *Target);
 
 } // namespace compiler
 } // namespace pecomp

@@ -13,6 +13,7 @@
 #include "compiler/Peephole.h"
 
 #include <cstdint>
+#include <iterator>
 
 using namespace pecomp;
 using namespace pecomp::compiler;
@@ -368,6 +369,20 @@ void peepholeRec(vm::CodeObject *C, PeepholeStats &S) {
 }
 
 } // namespace
+
+size_t PeepholeStats::addCoverage(support::CoverageMap &M) const {
+  const size_t Rules[] = {ThreadedJumps,   FoldedTerminators, InvertedBranches,
+                          CollapsedSlides, DroppedSlides,     DeadInsns};
+  size_t New = 0;
+  for (size_t R = 0; R != std::size(Rules); ++R) {
+    if (!Rules[R])
+      continue;
+    New += M.add(support::CovPeepholeRule, R);
+    New += M.add(support::CovPeepholeRule,
+                 64 + R * 64 + support::coverageBucket(Rules[R]));
+  }
+  return New;
+}
 
 PeepholeStats compiler::peepholeCode(vm::CodeObject *C) {
   PeepholeStats S;

@@ -29,6 +29,7 @@
 #define PECOMP_COMPILER_PEEPHOLE_H
 
 #include "compiler/Link.h"
+#include "support/CoverageMap.h"
 
 namespace pecomp {
 namespace compiler {
@@ -49,6 +50,12 @@ struct PeepholeStats {
     return ThreadedJumps + FoldedTerminators + InvertedBranches +
            CollapsedSlides + DroppedSlides + DeadInsns;
   }
+  /// Folds "which rewrite rules fired" into \p M as CovPeepholeRule
+  /// features (one per rule with a nonzero counter, plus a graded
+  /// magnitude bucket per rule so unusually rewrite-heavy programs count
+  /// as new coverage). Returns how many features were new.
+  size_t addCoverage(support::CoverageMap &M) const;
+
   void operator+=(const PeepholeStats &O) {
     ObjectsVisited += O.ObjectsVisited;
     ObjectsChanged += O.ObjectsChanged;

@@ -98,6 +98,10 @@ Result<ResidualObject> GeneratingExtension::generateObject(
       return vm::trapError(vm::TrapKind::HeapExhausted,
                            "heap exhausted during specialization: " +
                                H.faultMessage());
+    if (!Comp.overflowedFunction().empty())
+      return makeError("residual function '" + Comp.overflowedFunction() +
+                       "' outgrew the i16 jump range; the residual program "
+                       "is too large for the byte-code encoding");
     return ResidualObject{Builder.takeProgram(), *Entry, S.stats()};
   });
 }

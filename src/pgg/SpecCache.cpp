@@ -62,6 +62,15 @@ SpecKey pgg::makeSpecKey(uint64_t ProgramFp,
   return K;
 }
 
+size_t CacheStats::addCoverage(support::CoverageMap &M) const {
+  const uint64_t Events[] = {Hits, Misses, Insertions, Evictions};
+  size_t New = 0;
+  for (size_t E = 0; E != sizeof(Events) / sizeof(Events[0]); ++E)
+    if (Events[E])
+      New += M.add(support::CovCacheEvent, E);
+  return New;
+}
+
 std::string CacheStats::report() const {
   char Buf[256];
   snprintf(Buf, sizeof(Buf),

@@ -26,6 +26,7 @@
 
 #include "compiler/Link.h"
 #include "spec/Specializer.h"
+#include "support/CoverageMap.h"
 
 #include <atomic>
 #include <list>
@@ -97,6 +98,11 @@ struct CacheStats {
   }
   /// Multi-line human-readable rendering.
   std::string report() const;
+
+  /// Folds "which cache behaviors have occurred" into \p M as
+  /// CovCacheEvent features (hit / miss / insertion / eviction observed).
+  /// Returns how many features were new.
+  size_t addCoverage(support::CoverageMap &M) const;
 };
 
 /// Sharded, byte-budgeted LRU cache of specializations. All methods are

@@ -32,6 +32,7 @@
 
 #include "bta/AnnExpr.h"
 #include "support/Casting.h"
+#include "support/CoverageMap.h"
 #include "support/Error.h"
 #include "vm/Convert.h"
 #include "vm/Prims.h"
@@ -50,6 +51,21 @@ struct SpecStats {
   size_t ResidualFunctions = 0;
   size_t StaticPrims = 0;
   size_t ResidualPrims = 0;
+
+  /// Folds this generation's statistics into \p M as graded CovSpecEvent
+  /// features: each counter contributes one feature per magnitude bucket
+  /// it reaches, so a program that makes the specializer unfold, memoize,
+  /// or residualize an order of magnitude more than anything before it
+  /// counts as new coverage. Returns how many features were new.
+  size_t addCoverage(support::CoverageMap &M) const {
+    const size_t Counters[] = {UnfoldedCalls, MemoizedCalls, ResidualFunctions,
+                               StaticPrims, ResidualPrims};
+    size_t New = 0;
+    for (size_t C = 0; C != sizeof(Counters) / sizeof(Counters[0]); ++C)
+      New += M.add(support::CovSpecEvent,
+                   C * 64 + support::coverageBucket(Counters[C]));
+    return New;
+  }
 };
 
 struct SpecOptions {
@@ -69,6 +85,13 @@ struct SpecOptions {
   /// host stack while their bodies specialize; same calibration as
   /// MaxUnfoldDepth).
   uint32_t MaxMemoDepth = 10000;
+  /// Total specialization-step budget (0 = unlimited); exceeding it
+  /// aborts. This is the guard the depth/count limits cannot provide:
+  /// residualizing a dynamic conditional duplicates the continuation into
+  /// both arms, so nested dynamic tests across unfolded calls can blow up
+  /// residual code exponentially while unfold depth, memo nesting, and
+  /// the residual function count all stay small.
+  uint64_t MaxSpecSteps = 50'000'000;
 };
 
 template <typename B> class Specializer {
@@ -217,6 +240,10 @@ private:
                               H.faultMessage());
     if (Err)
       return Builder.constant(vm::Value::nil());
+    if (Opts.MaxSpecSteps && ++StepsTaken > Opts.MaxSpecSteps)
+      return fail("specialization step budget exceeded; probable residual "
+                  "code explosion (dynamic conditionals duplicating their "
+                  "continuation)");
 
     using bta::AnnExpr;
     switch (E->kind()) {
@@ -532,6 +559,7 @@ private:
   std::optional<Error> Err;
   uint32_t Depth = 0;
   uint32_t MemoDepth = 0;
+  uint64_t StepsTaken = 0; ///< spec() invocations, against MaxSpecSteps
   uint64_t NameCounter = 0;
 };
 

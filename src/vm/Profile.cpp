@@ -23,6 +23,21 @@ std::vector<Profile::OpPair> Profile::topPairs(size_t N) const {
   return Pairs;
 }
 
+size_t Profile::addCoverage(support::CoverageMap &M) const {
+  size_t New = 0;
+  for (size_t I = 0; I < NumOpcodes; ++I)
+    if (OpCount[I])
+      New += M.add(support::CovOpcode, I);
+  for (size_t Row = 0; Row <= NumOpcodes; ++Row)
+    for (size_t Cur = 0; Cur < NumOpcodes; ++Cur)
+      if (PairCount[Row * NumOpcodes + Cur])
+        New += M.add(support::CovDigram, Row * NumOpcodes + Cur);
+  for (size_t I = 0; I < NumFusedOps; ++I)
+    if (FusedCount[I])
+      New += M.add(support::CovFusedOp, I);
+  return New;
+}
+
 std::string Profile::report() const {
   const uint64_t Total = instructions();
 

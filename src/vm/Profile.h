@@ -18,6 +18,7 @@
 #ifndef PECOMP_VM_PROFILE_H
 #define PECOMP_VM_PROFILE_H
 
+#include "support/CoverageMap.h"
 #include "vm/Code.h"
 
 #include <array>
@@ -81,6 +82,14 @@ struct Profile {
   std::vector<OpPair> topPairs(size_t N) const;
 
   void reset() { *this = Profile(); }
+
+  /// Folds this profile's hit bitmaps into \p M: one CovOpcode feature per
+  /// executed opcode, one CovDigram feature per executed opcode pair
+  /// (start-of-run sentinel rows included — "op X opened a dispatch run"
+  /// is a path of its own), one CovFusedOp feature per dispatched
+  /// superinstruction. Returns how many features were new — the fuzzer's
+  /// coverage-feedback signal.
+  size_t addCoverage(support::CoverageMap &M) const;
 
   /// Multi-line human-readable report: one row per executed opcode
   /// (descending by count), the hottest opcode pairs, fused-dispatch

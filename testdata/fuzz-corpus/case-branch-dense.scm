@@ -1,0 +1,9 @@
+;; pecomp-fuzz-case v1
+;; entry g
+;; division SD
+;; args 3 -4
+(define (pick a b) (if (< a b) (- b a) (- a b)))
+(define (g s x)
+  (if (zero? s)
+      (pick x 0)
+      (if (< x s) (pick s x) (* x (pick x s)))))

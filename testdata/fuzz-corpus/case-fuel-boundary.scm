@@ -1,0 +1,7 @@
+;; pecomp-fuzz-case v1
+;; entry loop
+;; division DS
+;; args 5 6
+;; limits 40 0 0 0 0 0
+(define (loop acc n)
+  (if (zero? n) acc (loop (+ acc n) (- n 1))))

@@ -1,0 +1,6 @@
+;; pecomp-fuzz-case v1
+;; entry power
+;; division DS
+;; args 2 8
+(define (power base exp)
+  (if (zero? exp) 1 (* base (power base (- exp 1)))))

@@ -1,0 +1,5 @@
+;; pecomp-fuzz-case v1
+;; entry f
+;; division DD
+;; args 17 0
+(define (f a b) (+ (quotient a b) (remainder a b)))

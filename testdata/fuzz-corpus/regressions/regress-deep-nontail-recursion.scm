@@ -1,0 +1,12 @@
+;; pecomp-fuzz-case v1
+;; entry sum
+;; division DD
+;; args 300 0
+;; Non-tail recursion 300 frames deep: the oracle evaluates these on the
+;; host C++ stack, which used to segfault for unbounded mutants before the
+;; harness engaged Interp's depth governor. 300 sits safely under the
+;; harness cap (512) and must agree across the oracle and all VM tiers.
+(define (sum n acc)
+  (if (< n 1)
+      acc
+      (+ n (sum (- n 1) acc))))

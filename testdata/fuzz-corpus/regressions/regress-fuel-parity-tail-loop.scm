@@ -1,0 +1,12 @@
+;; pecomp-fuzz-case v1
+;; entry spin
+;; division DD
+;; args 100000 1
+;; limits 64 0 0 0 0 0
+;; Fuel exhaustion mid-loop under a tight budget: every VM tier must trap
+;; FuelExhausted at the same PC with the same instruction count (the
+;; fused tier burns fuel per source instruction, not per superinstruction).
+(define (spin n acc)
+  (if (< n 1)
+      acc
+      (spin (- n 1) (* acc 3))))

@@ -1,0 +1,25 @@
+;; pecomp-fuzz-case v1
+;; entry main
+;; division SD
+;; args 3 -4
+;; Continuation duplication: every dynamic conditional residualizes its
+;; continuation into both arms, so nesting them across an unfolded call
+;; multiplies residual paths. This case keeps the blowup bounded (it must
+;; RUN, not skip) while pinning value agreement across all five tiers on
+;; exactly the shape that triggered the specializer's step-budget guard.
+(define (leaf a b)
+  (if (< a b)
+      (- (* a 3) b)
+      (+ (* b 2) a)))
+
+(define (mid k x)
+  (if (>= x 0)
+      (leaf (+ k x) (- x 7))
+      (leaf (- k x) (+ x 9))))
+
+(define (main s d)
+  (if (= (remainder d 2) 0)
+      (mid s (+ d 1))
+      (if (< d s)
+          (mid (+ s 1) (- d 3))
+          (mid (- s 2) (* d 2)))))

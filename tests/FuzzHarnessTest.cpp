@@ -1,0 +1,417 @@
+//===- tests/FuzzHarnessTest.cpp - Tests for the fuzzing subsystem --------===//
+///
+/// \file
+/// The fuzzer is a trust anchor — a silent run is only meaningful if the
+/// harness itself is known to work. These tests pin down each piece: the
+/// coverage map's feature algebra, case serialization round-trips, the
+/// five-tier differential on known programs (agreement where it must
+/// agree, detection when a bug is planted), bounded convergence of the
+/// delta-debugging reducer to a known minimal core, corpus deduplication,
+/// and mutation validity.
+///
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Corpus.h"
+#include "fuzz/Differential.h"
+#include "fuzz/Fuzzer.h"
+#include "fuzz/Mutate.h"
+#include "fuzz/ProgramGen.h"
+#include "fuzz/Reduce.h"
+#include "support/CoverageMap.h"
+
+#include <gtest/gtest.h>
+
+using namespace pecomp;
+using namespace pecomp::fuzz;
+
+namespace {
+
+const char *PowerSource =
+    "(define (power base exp)\n"
+    "  (if (zero? exp) 1 (* base (power base (- exp 1)))))\n";
+
+FuzzCase powerCase() {
+  FuzzCase C;
+  C.Source = PowerSource;
+  C.Entry = "power";
+  C.Division = "DS";
+  C.Args = {2, 5};
+  return C;
+}
+
+// -- CoverageMap ----------------------------------------------------------
+
+TEST(CoverageMap, FeatureEncodingSeparatesDomains) {
+  using support::CoverageMap;
+  EXPECT_NE(CoverageMap::feature(support::CovOpcode, 3),
+            CoverageMap::feature(support::CovDigram, 3));
+  EXPECT_NE(CoverageMap::feature(support::CovOpcode, 3),
+            CoverageMap::feature(support::CovOpcode, 4));
+}
+
+TEST(CoverageMap, AddIsIdempotentPerFeature) {
+  support::CoverageMap M;
+  EXPECT_TRUE(M.add(support::CovOpcode, 1));
+  EXPECT_FALSE(M.add(support::CovOpcode, 1));
+  EXPECT_TRUE(M.add(support::CovDigram, 1));
+  EXPECT_EQ(M.features(), 2u);
+  EXPECT_EQ(M.probes(), 3u);
+  M.clear();
+  EXPECT_EQ(M.features(), 0u);
+  EXPECT_TRUE(M.add(support::CovOpcode, 1));
+}
+
+TEST(CoverageMap, BucketsGradeCounters) {
+  EXPECT_EQ(support::coverageBucket(0), 0u);
+  EXPECT_EQ(support::coverageBucket(1), 1u);
+  EXPECT_EQ(support::coverageBucket(2), 2u);
+  EXPECT_EQ(support::coverageBucket(3), 2u);
+  EXPECT_LT(support::coverageBucket(100), support::coverageBucket(100000));
+}
+
+// -- Case serialization ---------------------------------------------------
+
+TEST(FuzzCase, SerializationRoundTrips) {
+  FuzzCase C = powerCase();
+  C.Perturb.Fuel = 37;
+  C.Perturb.FailAtAllocation = 5;
+
+  auto Back = FuzzCase::deserialize(C.serialize());
+  ASSERT_TRUE(Back.ok()) << Back.error().render();
+  EXPECT_EQ(Back->Source, C.Source);
+  EXPECT_EQ(Back->Entry, C.Entry);
+  EXPECT_EQ(Back->Division, C.Division);
+  EXPECT_EQ(Back->Args, C.Args);
+  EXPECT_TRUE(Back->Perturb == C.Perturb);
+  EXPECT_EQ(Back->fingerprint(), C.fingerprint());
+}
+
+TEST(FuzzCase, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(FuzzCase::deserialize("(define (f x) x)").ok());
+  EXPECT_FALSE(FuzzCase::deserialize(";; pecomp-fuzz-case v1\n").ok());
+  EXPECT_FALSE(
+      FuzzCase::deserialize(";; pecomp-fuzz-case v1\n;; entry f\n").ok());
+}
+
+TEST(FuzzCase, FingerprintSeesEveryField) {
+  FuzzCase A = powerCase();
+  FuzzCase B = A;
+  B.Args[0] = 3;
+  EXPECT_NE(A.fingerprint(), B.fingerprint());
+  FuzzCase D = A;
+  D.Division = "DD";
+  EXPECT_NE(A.fingerprint(), D.fingerprint());
+  FuzzCase P = A;
+  P.Perturb.Fuel = 10;
+  EXPECT_NE(A.fingerprint(), P.fingerprint());
+}
+
+// -- Differential executor ------------------------------------------------
+
+TEST(Differential, AllTiersAgreeOnPower) {
+  support::CoverageMap Cov;
+  DiffOptions Opts;
+  Opts.Coverage = &Cov;
+  DiffResult R = runCase(powerCase(), Opts);
+  ASSERT_FALSE(R.Skipped) << R.SkipReason;
+  ASSERT_FALSE(R.Diverged) << R.Diverged->render();
+  for (Tier T : {Tier::Oracle, Tier::Bytes, Tier::Decoded, Tier::Fused,
+                 Tier::Cached}) {
+    const TierOutcome &O = R.Tiers[static_cast<size_t>(T)];
+    EXPECT_TRUE(O.Ran) << tierName(T);
+    EXPECT_TRUE(O.Ok) << tierName(T) << ": " << O.Err;
+  }
+  EXPECT_EQ(R.Tiers[static_cast<size_t>(Tier::Bytes)].Value, "32");
+  EXPECT_GT(R.EntryInsns, 0u);
+  EXPECT_GT(Cov.features(), 0u);
+  EXPECT_GT(R.NewCoverage, 0u);
+}
+
+TEST(Differential, PerturbedRunSkipsOracleButStaysConsistent) {
+  FuzzCase C = powerCase();
+  C.Perturb.Fuel = 3; // starves every VM tier mid-execution
+  DiffResult R = runCase(C);
+  ASSERT_FALSE(R.Skipped) << R.SkipReason;
+  EXPECT_FALSE(R.Tiers[static_cast<size_t>(Tier::Oracle)].Ran);
+  ASSERT_FALSE(R.Diverged) << R.Diverged->render();
+  const TierOutcome &B = R.Tiers[static_cast<size_t>(Tier::Bytes)];
+  EXPECT_FALSE(B.Ok);
+  EXPECT_EQ(B.Kind, vm::TrapKind::FuelExhausted);
+}
+
+TEST(Differential, HeapFaultScheduleStaysConsistent) {
+  FuzzCase C = powerCase();
+  C.Perturb.FailAtAllocation = 2;
+  DiffResult R = runCase(C);
+  if (R.Skipped)
+    GTEST_SKIP() << R.SkipReason;
+  EXPECT_FALSE(R.Diverged) << R.Diverged->render();
+}
+
+TEST(Differential, InvalidCasesSkipNotDiverge) {
+  FuzzCase C = powerCase();
+  C.Entry = "nosuch";
+  EXPECT_TRUE(runCase(C).Skipped);
+  C = powerCase();
+  C.Division = "D"; // arity mismatch
+  EXPECT_TRUE(runCase(C).Skipped);
+  C = powerCase();
+  C.Source = "(define (power base exp";
+  EXPECT_TRUE(runCase(C).Skipped);
+}
+
+TEST(Differential, CatchesInjectedBranchPolarityBug) {
+  FuzzCase C;
+  C.Source = "(define (f x) (if (< x 0) 1 2))\n";
+  C.Entry = "f";
+  C.Division = "D";
+  C.Args = {5};
+  DiffOptions Opts;
+  Opts.Inject = InjectedBug::BranchPolarity;
+  DiffResult R = runCase(C, Opts);
+  ASSERT_FALSE(R.Skipped) << R.SkipReason;
+  ASSERT_TRUE(R.Diverged);
+  EXPECT_EQ(R.Diverged->B, Tier::Cached);
+  // Sanity: without the injection the same case agrees.
+  DiffResult Clean = runCase(C);
+  EXPECT_FALSE(Clean.Diverged) << Clean.Diverged->render();
+}
+
+TEST(Differential, CatchesInjectedFuelOffByOne) {
+  FuzzCase C = powerCase();
+  C.Perturb.Fuel = 10; // both budgets exhaust; counts must differ
+  DiffOptions Opts;
+  Opts.Inject = InjectedBug::FuelOffByOne;
+  DiffResult R = runCase(C, Opts);
+  ASSERT_FALSE(R.Skipped) << R.SkipReason;
+  ASSERT_TRUE(R.Diverged);
+  EXPECT_EQ(R.Diverged->B, Tier::Cached);
+}
+
+// -- Robustness: pathological cases must abort cleanly, not wedge ----------
+
+TEST(Differential, SpecCodeExplosionAbortsAsSkip) {
+  // Shaken out by the first corpus run (seed 7, iteration 84): a DAG
+  // program whose nested dynamic conditionals duplicate the specializer's
+  // continuation into both arms across unfolded calls — exponential
+  // residual growth with unfold depth, memo nesting, and function count
+  // all tiny. Before SpecOptions::MaxSpecSteps this wedged the process at
+  // tens of GB of residual code; it must now abort as a spec-time skip.
+  FuzzCase C;
+  C.Source =
+      "(define (fn0 p0_0 p0_1 p0_2)\n"
+      "  (remainder (if (< (if (>= p0_1 -2) p0_1 p0_1)\n"
+      "                    ((lambda (a b) a) 1 p0_1))\n"
+      "                 (if (>= p0_2 4) 2 -6)\n"
+      "                 -3)\n"
+      "             (quotient 1 p0_0)))\n"
+      "(define (fn1 p1_0 p1_1 p1_2)\n"
+      "  (if (< (let (v (let (w p1_1) p1_2)) (remainder 8 v))\n"
+      "         (fn0 (fn0 -7 p1_2 p1_2) (- -8 -2) (fn0 10 1 -3)))\n"
+      "      -2\n"
+      "      ((lambda (a b) (let (v -7) 10)) (if (= -8 10) 2 3) p1_1)))\n"
+      "(define (fn2 p2_0 p2_1 p2_2)\n"
+      "  (fn0 (let (v (+ p2_0 1)) p2_1)\n"
+      "       (fn1 p2_2 (fn1 6 p2_1 -2) (- p2_1 7))\n"
+      "       (fn1 p2_0 7 (if (= 6 7) p2_1 6))))\n";
+  C.Entry = "fn2";
+  C.Division = "SDD";
+  C.Args = {-7, 17, 11};
+  DiffResult R = runCase(C);
+  ASSERT_TRUE(R.Skipped);
+  EXPECT_NE(R.SkipReason.find("step budget"), std::string::npos)
+      << R.SkipReason;
+}
+
+TEST(Differential, DeepNonTailRecursionSkipsInsteadOfSmashingStack) {
+  // The oracle evaluates non-tail calls on the host C++ stack; without
+  // its depth governor a recursive mutant segfaulted the harness. Past
+  // the cap the case is skipped — the cap is a harness artifact, not a
+  // semantic limit, so it must not read as a divergence.
+  FuzzCase C;
+  C.Source = "(define (sum n) (if (< n 1) 0 (+ n (sum (- n 1)))))\n";
+  C.Entry = "sum";
+  C.Division = "D";
+  C.Args = {100000};
+  DiffResult R = runCase(C);
+  ASSERT_TRUE(R.Skipped);
+  EXPECT_NE(R.SkipReason.find("depth"), std::string::npos) << R.SkipReason;
+}
+
+TEST(Differential, ResidualJumpOverflowIsRecoverable) {
+  // A residual body whose conditional must jump across more bytes than an
+  // i16 offset can express. The source stays shallow (tail recursion, so
+  // the oracle iterates and the front end barely nests); the *specializer*
+  // manufactures the bulk by unfolding 750 fat iterations into each arm
+  // of the dynamic conditional. The assembler used to abort() the
+  // process; generateObject now reports it and the case skips.
+  FuzzCase C;
+  C.Source =
+      "(define (go n acc)\n"
+      "  (if (= n 0)\n"
+      "      acc\n"
+      "      (go (- n 1)\n"
+      "          (- (* (+ acc 3) 5)\n"
+      "             (+ (quotient acc 7)\n"
+      "                (- (* acc 11) (remainder acc 13)))))))\n"
+      "(define (big n d) (if (< d 0) (go n d) (go n (- 0 d))))\n";
+  C.Entry = "big";
+  C.Division = "SD";
+  C.Args = {750, 4};
+  DiffResult R = runCase(C);
+  ASSERT_TRUE(R.Skipped);
+  EXPECT_NE(R.SkipReason.find("jump range"), std::string::npos)
+      << R.SkipReason;
+}
+
+TEST(Differential, DeeplyNestedSourceSkipsBeforeTheFrontEnd) {
+  // 1500-deep nesting used to segfault the recursive-descent front end
+  // when replaying an adversarial corpus file; the harness now rejects it
+  // up front.
+  std::string Body = "x";
+  for (int I = 0; I != 1500; ++I)
+    Body = "(+ " + Body + " 1)";
+  FuzzCase C;
+  C.Source = "(define (deep x) " + Body + ")\n";
+  C.Entry = "deep";
+  C.Division = "D";
+  C.Args = {1};
+  DiffResult R = runCase(C);
+  ASSERT_TRUE(R.Skipped);
+  EXPECT_NE(R.SkipReason.find("nesting"), std::string::npos) << R.SkipReason;
+}
+
+// -- Reducer --------------------------------------------------------------
+
+TEST(Reducer, ConvergesToKnownMinimalCoreWithinBudget) {
+  // Bloated divergent case: dead helper definitions, a fat arithmetic
+  // wrapper around the one conditional the planted bug actually flips.
+  FuzzCase C;
+  C.Source =
+      "(define (pad a) (+ (* a a) (- a 7)))\n"
+      "(define (noise b c) (* (pad b) (+ c 3)))\n"
+      "(define (f x) (+ (* 0 (noise x x)) (if (< x 0) 1 2)))\n";
+  C.Entry = "f";
+  C.Division = "D";
+  C.Args = {5};
+  DiffOptions Opts;
+  Opts.Inject = InjectedBug::BranchPolarity;
+  ASSERT_TRUE(runCase(C, Opts).Diverged);
+
+  ReduceOptions ROpts;
+  ROpts.MaxAttempts = 400;
+  ReduceOutcome Out = reduceCase(C, Opts, ROpts);
+  ASSERT_TRUE(Out.Diverged);
+  EXPECT_LE(Out.Attempts, ROpts.MaxAttempts);
+  // The dead helpers must be gone and the arithmetic shell stripped: the
+  // divergence needs only the conditional, so the residual entry fits in
+  // a handful of instructions.
+  EXPECT_EQ(Out.Minimized.Source.find("pad"), std::string::npos);
+  EXPECT_EQ(Out.Minimized.Source.find("noise"), std::string::npos);
+  EXPECT_LE(Out.EntryInsns, 10u);
+  // The minimized case still diverges — by construction of adoption.
+  DiffResult Still = runCase(Out.Minimized, Opts);
+  ASSERT_TRUE(Still.Diverged);
+}
+
+TEST(Reducer, NonDivergingInputReturnsImmediately) {
+  ReduceOutcome Out = reduceCase(powerCase(), DiffOptions{});
+  EXPECT_FALSE(Out.Diverged);
+  EXPECT_EQ(Out.Attempts, 1u);
+}
+
+// -- Corpus ---------------------------------------------------------------
+
+TEST(Corpus, DeduplicatesByFingerprint) {
+  Corpus P;
+  EXPECT_TRUE(P.add(powerCase()));
+  EXPECT_FALSE(P.add(powerCase()));
+  FuzzCase Other = powerCase();
+  Other.Args[1] = 6;
+  EXPECT_TRUE(P.add(Other));
+  EXPECT_EQ(P.size(), 2u);
+}
+
+TEST(Corpus, SaveAndLoadRoundTrips) {
+  std::string Dir = ::testing::TempDir() + "/pecomp-fuzz-corpus";
+  FuzzCase C = powerCase();
+  auto Path = Corpus::saveEntry(Dir, C);
+  ASSERT_TRUE(Path.ok()) << Path.error().render();
+  (void)Corpus::saveEntry(Dir, C); // same fingerprint, same file
+
+  Corpus P;
+  EXPECT_EQ(P.loadDirectory(Dir), 1u);
+  ASSERT_EQ(P.size(), 1u);
+  EXPECT_EQ(P.cases()[0].fingerprint(), C.fingerprint());
+}
+
+// -- Mutator --------------------------------------------------------------
+
+TEST(Mutator, MutationsPreserveCaseValidity) {
+  std::mt19937 Rng(42);
+  FuzzCase C = powerCase();
+  for (Mutation M : {Mutation::SpliceBody, Mutation::TweakConstant,
+                     Mutation::FlipDivision, Mutation::TweakArg,
+                     Mutation::PerturbLimits}) {
+    Result<FuzzCase> Out = mutateCase(C, M, Rng);
+    ASSERT_TRUE(Out.ok()) << mutationName(M) << ": " << Out.error().render();
+    // Whatever the mutation did, the case either runs or skips cleanly —
+    // the differential itself must never be the thing that breaks.
+    DiffResult R = runCase(*Out);
+    if (!R.Skipped)
+      EXPECT_FALSE(R.Diverged)
+          << mutationName(M) << ": " << R.Diverged->render();
+  }
+}
+
+TEST(Mutator, FlipDivisionTogglesOneSlot) {
+  std::mt19937 Rng(1);
+  FuzzCase C = powerCase();
+  auto Out = mutateCase(C, Mutation::FlipDivision, Rng);
+  ASSERT_TRUE(Out.ok());
+  EXPECT_EQ(Out->Division.size(), C.Division.size());
+  size_t Differs = 0;
+  for (size_t I = 0; I != C.Division.size(); ++I)
+    Differs += Out->Division[I] != C.Division[I];
+  EXPECT_EQ(Differs, 1u);
+}
+
+// -- Generator and fuzzer loop -------------------------------------------
+
+TEST(ProgramGen, DeterministicForSeed) {
+  Arena A1, A2;
+  ExprFactory F1(A1), F2(A2);
+  Program P1 = ProgramGen(99, F1).generate();
+  Program P2 = ProgramGen(99, F2).generate();
+  EXPECT_EQ(P1.print(), P2.print());
+  Program P3 = ProgramGen(100, F1).generate();
+  EXPECT_NE(P1.print(), P3.print());
+}
+
+TEST(Fuzzer, CleanPipelineProducesNoFindings) {
+  FuzzerOptions Opts;
+  Opts.Seed = 5;
+  Opts.Iterations = 25;
+  Fuzzer F(Opts);
+  const FuzzerStats &S = F.run();
+  EXPECT_EQ(S.Findings, 0u);
+  EXPECT_GT(S.Executed, 0u);
+  EXPECT_GT(S.CoverageFeatures, 0u);
+  EXPECT_GT(F.corpus().size(), 0u); // coverage novelty fed the corpus
+  EXPECT_NE(S.json().find("\"findings\": 0"), std::string::npos);
+}
+
+TEST(Fuzzer, FindsInjectedBugAndMinimizesIt) {
+  FuzzerOptions Opts;
+  Opts.Seed = 11;
+  Opts.Iterations = 150;
+  Opts.Perturb = false;
+  Opts.Inject = InjectedBug::BranchPolarity;
+  Opts.MaxFindings = 1;
+  Fuzzer F(Opts);
+  const FuzzerStats &S = F.run();
+  ASSERT_GE(S.Findings, 1u);
+  EXPECT_LE(F.findings()[0].EntryInsns, 10u);
+}
+
+} // namespace

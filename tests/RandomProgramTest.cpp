@@ -15,7 +15,7 @@
 #include "TestUtil.h"
 
 #include "compiler/DirectAnfCompiler.h"
-#include "sexp/WellKnown.h"
+#include "fuzz/ProgramGen.h"
 #include "syntax/AnfCheck.h"
 #include "vm/Verify.h"
 
@@ -23,111 +23,9 @@
 
 using namespace pecomp;
 using namespace pecomp::test;
+using fuzz::ProgramGen;
 
 namespace {
-
-/// Generates random integer-valued Core Scheme programs.
-class ProgramGen {
-public:
-  ProgramGen(uint32_t Seed, ExprFactory &F) : Rng(Seed), F(F) {}
-
-  Program generate() {
-    Program P;
-    size_t NumDefs = 2 + Rng() % 4;
-    for (size_t I = 0; I != NumDefs; ++I) {
-      std::vector<Symbol> Params;
-      size_t NumParams = 1 + Rng() % 3;
-      for (size_t J = 0; J != NumParams; ++J)
-        Params.push_back(Symbol::intern("p" + std::to_string(I) + "_" +
-                                        std::to_string(J)));
-      // Bodies may call only *earlier* definitions: the call graph is a
-      // DAG, so everything terminates.
-      const Expr *Body = genInt(3, Params, P);
-      Symbol Name = Symbol::intern("fn" + std::to_string(I));
-      P.Defs.push_back({Name, F.lambda(Params, Body)});
-    }
-    return P;
-  }
-
-  int64_t randomArg() { return static_cast<int64_t>(Rng() % 41) - 20; }
-
-private:
-  /// An integer-valued expression.
-  const Expr *genInt(unsigned Depth, const std::vector<Symbol> &Scope,
-                     const Program &Defined) {
-    if (Depth == 0)
-      return genLeaf(Scope);
-    switch (Rng() % 8) {
-    case 0:
-      return genLeaf(Scope);
-    case 1:
-    case 2: {
-      PrimOp Op = std::array{PrimOp::Add, PrimOp::Sub,
-                             PrimOp::Mul}[Rng() % 3];
-      return F.primApp(Op, {genInt(Depth - 1, Scope, Defined),
-                            genInt(Depth - 1, Scope, Defined)});
-    }
-    case 3: {
-      // (if <comparison> e1 e2)
-      PrimOp Cmp = std::array{PrimOp::Lt, PrimOp::NumEq, PrimOp::Ge,
-                              PrimOp::ZeroP}[Rng() % 4];
-      const Expr *Test =
-          Cmp == PrimOp::ZeroP
-              ? F.primApp(Cmp, {genInt(Depth - 1, Scope, Defined)})
-              : F.primApp(Cmp, {genInt(Depth - 1, Scope, Defined),
-                                genInt(Depth - 1, Scope, Defined)});
-      return F.ifExpr(Test, genInt(Depth - 1, Scope, Defined),
-                      genInt(Depth - 1, Scope, Defined));
-    }
-    case 4: {
-      // (let (x e1) e2)
-      Symbol X = Symbol::fresh("v");
-      std::vector<Symbol> Inner = Scope;
-      Inner.push_back(X);
-      return F.let(X, genInt(Depth - 1, Scope, Defined),
-                   genInt(Depth - 1, Inner, Defined));
-    }
-    case 5: {
-      // Directly applied lambda.
-      size_t N = 1 + Rng() % 2;
-      std::vector<Symbol> Params;
-      std::vector<const Expr *> Args;
-      std::vector<Symbol> Inner = Scope;
-      for (size_t I = 0; I != N; ++I) {
-        Symbol X = Symbol::fresh("a");
-        Params.push_back(X);
-        Inner.push_back(X);
-        Args.push_back(genInt(Depth - 1, Scope, Defined));
-      }
-      return F.app(F.lambda(Params, genInt(Depth - 1, Inner, Defined)),
-                   std::move(Args));
-    }
-    case 6: {
-      // Call an earlier definition, if any.
-      if (Defined.Defs.empty())
-        return genLeaf(Scope);
-      const Definition &Callee =
-          Defined.Defs[Rng() % Defined.Defs.size()];
-      std::vector<const Expr *> Args;
-      for (size_t I = 0; I != Callee.Fn->params().size(); ++I)
-        Args.push_back(genInt(Depth - 1, Scope, Defined));
-      return F.app(F.var(Callee.Name), std::move(Args));
-    }
-    default:
-      return genLeaf(Scope);
-    }
-  }
-
-  const Expr *genLeaf(const std::vector<Symbol> &Scope) {
-    if (!Scope.empty() && Rng() % 2)
-      return F.var(Scope[Rng() % Scope.size()]);
-    return F.constant(
-        wellknown::fixnum(static_cast<int64_t>(Rng() % 21) - 10));
-  }
-
-  std::mt19937 Rng;
-  ExprFactory &F;
-};
 
 class RandomDifferential : public ::testing::TestWithParam<uint32_t> {};
 

@@ -1,0 +1,227 @@
+//===- tools/pecomp-fuzz.cpp - Differential fuzzer driver -----------------===//
+///
+/// \file
+/// Command-line front end for the fuzz/ subsystem. Two modes:
+///
+///   pecomp-fuzz [options]            coverage-guided fuzzing run
+///   pecomp-fuzz --replay PATH...     re-run saved cases (files or dirs)
+///
+/// Fuzzing exits nonzero when a divergence is found — unless
+/// --expect-finding inverts the contract (the injected-bug self-test:
+/// the run *must* find the planted bug, minimized under the instruction
+/// bound, or the harness itself is broken). Replay exits nonzero when any
+/// saved case diverges, which is how the regression corpus gates CI.
+///
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Fuzzer.h"
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace pecomp;
+using namespace pecomp::fuzz;
+
+namespace {
+
+int usage() {
+  fprintf(stderr,
+          "usage: pecomp-fuzz [options]\n"
+          "       pecomp-fuzz [options] --replay PATH...\n"
+          "\n"
+          "fuzzing options:\n"
+          "  --seed=N                 PRNG seed (default 1)\n"
+          "  --iters=N                iterations (default 500)\n"
+          "  --corpus=DIR             seed corpus to load and mutate\n"
+          "  --findings=DIR           persist minimized findings here\n"
+          "  --save-novel             persist coverage-novel cases to corpus\n"
+          "  --max-findings=N         stop after N distinct findings\n"
+          "  --no-minimize            report raw findings unreduced\n"
+          "  --no-perturb             skip resource-limit/heap-fault schedules\n"
+          "  --no-partial-ops         exclude quotient/remainder from grammar\n"
+          "  --inject-bug=KIND        plant a bug: branch-flip | fuel\n"
+          "  --expect-finding         exit 0 iff the run found a divergence\n"
+          "  --max-minimized-insns=N  with --expect-finding: require the\n"
+          "                           minimized entry to be <= N instructions\n"
+          "  --json                   print a JSON summary line to stdout\n");
+  return 2;
+}
+
+bool parseSizeOpt(const char *Arg, const char *Name, size_t &Out) {
+  size_t Len = strlen(Name);
+  if (strncmp(Arg, Name, Len) != 0 || Arg[Len] != '=')
+    return false;
+  Out = strtoull(Arg + Len + 1, nullptr, 10);
+  return true;
+}
+
+/// Collects case files from a path that may be a file or a directory.
+std::vector<std::string> casePaths(const std::string &Path) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> Out;
+  std::error_code Ec;
+  if (fs::is_directory(Path, Ec)) {
+    for (const fs::directory_entry &E : fs::directory_iterator(Path, Ec))
+      if (E.is_regular_file() && E.path().extension() == ".scm")
+        Out.push_back(E.path().string());
+    std::sort(Out.begin(), Out.end());
+  } else {
+    Out.push_back(Path);
+  }
+  return Out;
+}
+
+int replay(const std::vector<std::string> &Paths, bool Json) {
+  size_t Ran = 0, Diverged = 0, Skipped = 0, Bad = 0;
+  for (const std::string &Root : Paths) {
+    for (const std::string &File : casePaths(Root)) {
+      std::ifstream In(File);
+      if (!In) {
+        fprintf(stderr, "pecomp-fuzz: cannot read %s\n", File.c_str());
+        ++Bad;
+        continue;
+      }
+      std::ostringstream Text;
+      Text << In.rdbuf();
+      Result<FuzzCase> C = FuzzCase::deserialize(Text.str());
+      if (!C.ok()) {
+        fprintf(stderr, "pecomp-fuzz: %s: %s\n", File.c_str(),
+                C.error().render().c_str());
+        ++Bad;
+        continue;
+      }
+      DiffResult R = runCase(*C);
+      ++Ran;
+      if (R.Skipped) {
+        // A replayed case must still exercise the pipeline: a skip means
+        // the corpus entry rotted (grammar drift, renamed entry, ...).
+        fprintf(stderr, "pecomp-fuzz: %s: skipped: %s\n", File.c_str(),
+                R.SkipReason.c_str());
+        ++Skipped;
+      } else if (R.Diverged) {
+        fprintf(stderr, "pecomp-fuzz: %s: DIVERGENCE: %s\n", File.c_str(),
+                R.Diverged->render().c_str());
+        ++Diverged;
+      }
+    }
+  }
+  if (Json)
+    printf("{\"replayed\": %zu, \"diverged\": %zu, \"skipped\": %zu, "
+           "\"unreadable\": %zu}\n",
+           Ran, Diverged, Skipped, Bad);
+  else
+    printf("replayed %zu case(s): %zu divergence(s), %zu skip(s), "
+           "%zu unreadable\n",
+           Ran, Diverged, Skipped, Bad);
+  return (Diverged || Skipped || Bad || Ran == 0) ? 1 : 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  FuzzerOptions Opts;
+  bool ExpectFinding = false, Json = false, Replay = false;
+  size_t MaxMinimizedInsns = 0;
+  std::vector<std::string> ReplayPaths;
+
+  for (int I = 1; I < argc; ++I) {
+    const char *A = argv[I];
+    size_t N;
+    if (Replay) {
+      ReplayPaths.push_back(A);
+    } else if (parseSizeOpt(A, "--seed", N)) {
+      Opts.Seed = static_cast<uint32_t>(N);
+    } else if (parseSizeOpt(A, "--iters", N)) {
+      Opts.Iterations = N;
+    } else if (parseSizeOpt(A, "--max-findings", N)) {
+      Opts.MaxFindings = N;
+    } else if (parseSizeOpt(A, "--max-minimized-insns", N)) {
+      MaxMinimizedInsns = N;
+    } else if (strncmp(A, "--corpus=", 9) == 0) {
+      Opts.CorpusDir = A + 9;
+    } else if (strncmp(A, "--findings=", 11) == 0) {
+      Opts.FindingsDir = A + 11;
+    } else if (strcmp(A, "--save-novel") == 0) {
+      Opts.SaveNovel = true;
+    } else if (strcmp(A, "--no-minimize") == 0) {
+      Opts.Minimize = false;
+    } else if (strcmp(A, "--no-perturb") == 0) {
+      Opts.Perturb = false;
+    } else if (strcmp(A, "--no-partial-ops") == 0) {
+      Opts.PartialOps = false;
+    } else if (strcmp(A, "--inject-bug=branch-flip") == 0) {
+      Opts.Inject = InjectedBug::BranchPolarity;
+    } else if (strcmp(A, "--inject-bug=fuel") == 0) {
+      Opts.Inject = InjectedBug::FuelOffByOne;
+    } else if (strcmp(A, "--expect-finding") == 0) {
+      ExpectFinding = true;
+    } else if (strcmp(A, "--json") == 0) {
+      Json = true;
+    } else if (strcmp(A, "--replay") == 0) {
+      Replay = true;
+    } else {
+      return usage();
+    }
+  }
+
+  if (Replay) {
+    if (ReplayPaths.empty())
+      return usage();
+    return replay(ReplayPaths, Json);
+  }
+
+  Fuzzer F(Opts);
+  const FuzzerStats &Stats = F.run();
+
+  for (const Finding &Fi : F.findings()) {
+    fprintf(stderr, "-- finding: %s\n", Fi.Diverged.render().c_str());
+    fprintf(stderr, "   minimized entry: %zu insn(s), reducer spent %zu "
+                    "attempt(s)%s%s\n",
+            Fi.EntryInsns, Fi.ReduceAttempts,
+            Fi.SavedPath.empty() ? "" : ", saved to ",
+            Fi.SavedPath.c_str());
+    fputs(Fi.Case.serialize().c_str(), stderr);
+  }
+
+  if (Json) {
+    std::string S = Stats.json();
+    S.pop_back(); // reopen the object for the findings array
+    S += ", \"minimized_insns\": [";
+    for (size_t I = 0; I != F.findings().size(); ++I)
+      S += (I ? ", " : "") + std::to_string(F.findings()[I].EntryInsns);
+    S += "]}";
+    printf("%s\n", S.c_str());
+  } else {
+    printf("%zu executed, %zu skipped, %zu coverage feature(s), "
+           "%zu finding(s)\n",
+           Stats.Executed, Stats.Skipped, Stats.CoverageFeatures,
+           Stats.Findings);
+  }
+
+  if (ExpectFinding) {
+    if (F.findings().empty()) {
+      fprintf(stderr, "pecomp-fuzz: expected a finding, found none -- the "
+                      "harness failed its self-test\n");
+      return 1;
+    }
+    if (MaxMinimizedInsns) {
+      size_t Best = static_cast<size_t>(-1);
+      for (const Finding &Fi : F.findings())
+        Best = std::min(Best, Fi.EntryInsns);
+      if (Best > MaxMinimizedInsns) {
+        fprintf(stderr,
+                "pecomp-fuzz: best minimized entry is %zu insns, wanted "
+                "<= %zu -- the reducer failed its self-test\n",
+                Best, MaxMinimizedInsns);
+        return 1;
+      }
+    }
+    return 0;
+  }
+  return F.findings().empty() ? 0 : 1;
+}
