@@ -1,0 +1,148 @@
+//===- bench/warm_start.cpp - Persistent-store warm start (PR 7) -----------===//
+///
+/// \file
+/// Prices the first request of a fresh process with and without the
+/// persistent code-cache store:
+///
+///   ColdFirstRequest — what a process with no store pays: one fused
+///                      generateObject run, capture of the portable
+///                      snapshot, and instantiation (the RtcgService
+///                      cold-serve path minus the run itself), and
+///   WarmFirstRequest — the same request served by a cold memory cache
+///                      backed by a populated DiskStore: key
+///                      construction, the disk-tier load (file read,
+///                      header/body checksums, deserialization, sandbox
+///                      verify-on-load), and instantiation.
+///
+/// The acceptance bar for PR 7 is WarmFirstRequest >= 5x cheaper than
+/// ColdFirstRequest on MIXWELL, LAZY, and IMP; scripts/bench-run.sh
+/// computes the ratios into BENCH_pr7.json (warm_start_speedup block).
+/// Note the warm path deliberately includes full verify-on-load — the
+/// store is adversarial input, so the 5x must survive paying for the
+/// checksums and the byte-code verifier on every warm start.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "compiler/Link.h"
+#include "pgg/DiskStore.h"
+#include "pgg/SpecCache.h"
+
+#include <cstdlib>
+#include <filesystem>
+
+using namespace pecomp;
+using namespace pecomp::bench;
+
+namespace {
+
+/// Scratch store directory under TMPDIR, removed when the harness exits.
+struct TempStore {
+  std::string Path;
+  TempStore() {
+    const char *T = getenv("TMPDIR");
+    std::string Tpl =
+        std::string(T && *T ? T : "/tmp") + "/pecomp-warmstart-XXXXXX";
+    std::vector<char> Buf(Tpl.begin(), Tpl.end());
+    Buf.push_back('\0');
+    if (!mkdtemp(Buf.data())) {
+      perror("bench setup: mkdtemp");
+      abort();
+    }
+    Path = Buf.data();
+  }
+  ~TempStore() {
+    std::error_code Ec;
+    std::filesystem::remove_all(Path, Ec);
+  }
+};
+
+void coldFirstRequestBody(benchmark::State &State, InterpreterWorkload &W) {
+  auto Args = W.specArgs();
+  for (auto _ : State) {
+    vm::CodeStore Store(W.Heap);
+    vm::GlobalTable Globals;
+    compiler::Compilators Comp(Store, Globals);
+    pgg::ResidualObject Obj = unwrap(W.Gen->generateObject(Comp, Args));
+    auto Port =
+        unwrap(compiler::PortableProgram::capture(Obj.Residual, Globals));
+    vm::CodeStore RunStore(W.Heap);
+    vm::GlobalTable RunGlobals;
+    compiler::CompiledProgram CP = Port->instantiate(RunStore, RunGlobals);
+    benchmark::DoNotOptimize(CP.Defs.data());
+  }
+}
+
+void warmFirstRequestBody(benchmark::State &State, InterpreterWorkload &W,
+                          const std::string &StoreDir) {
+  auto Args = W.specArgs();
+  uint64_t Fp = pgg::fingerprintProgram(W.InterpreterSource, W.Entry, "SD");
+
+  // Populate the store once — the cold generation some earlier process
+  // paid for. Everything inside the timed loop is a fresh process's view.
+  {
+    auto St = unwrap(pgg::DiskStore::open(StoreDir));
+    vm::CodeStore Store(W.Heap);
+    vm::GlobalTable Globals;
+    compiler::Compilators Comp(Store, Globals);
+    pgg::ResidualObject Obj = unwrap(W.Gen->generateObject(Comp, Args));
+    auto Port =
+        unwrap(compiler::PortableProgram::capture(Obj.Residual, Globals));
+    auto Entry = std::make_shared<pgg::CachedSpecialization>();
+    Entry->Residual = Port;
+    Entry->Entry = Obj.Entry;
+    Entry->Stats = Obj.Stats;
+    if (St->put(pgg::makeSpecKey(Fp, Args), *Entry) !=
+        pgg::StoreError::None) {
+      fprintf(stderr, "bench setup failed: store put\n");
+      abort();
+    }
+  }
+
+  for (auto _ : State) {
+    // A fresh process: empty memory tier, shared disk tier. The honest
+    // warm first request rebuilds the key, loads through checksums +
+    // deserialize + verify-on-load, and instantiates the snapshot.
+    auto St = unwrap(pgg::DiskStore::open(StoreDir));
+    pgg::SpecCache Cache(/*MaxBytes=*/0);
+    Cache.attachDisk(St);
+    pgg::SpecKey Key = pgg::makeSpecKey(Fp, Args);
+    pgg::LookupOutcome Tier;
+    auto Hit = Cache.lookup(Key, Tier);
+    if (!Hit || !Tier.DiskHit) {
+      fprintf(stderr, "bench invariant violated: no disk hit on warm path\n");
+      abort();
+    }
+    vm::CodeStore RunStore(W.Heap);
+    vm::GlobalTable RunGlobals;
+    compiler::CompiledProgram CP = Hit->Residual->instantiate(RunStore,
+                                                              RunGlobals);
+    benchmark::DoNotOptimize(CP.Defs.data());
+  }
+}
+
+#define PECOMP_WARMSTART_BENCH(NAME, FACTORY)                                 \
+  void BM_WarmStart_ColdFirstRequest_##NAME(benchmark::State &State) {        \
+    static InterpreterWorkload W = InterpreterWorkload::FACTORY();            \
+    onLargeStack([&] { coldFirstRequestBody(State, W); });                    \
+  }                                                                           \
+  BENCHMARK(BM_WarmStart_ColdFirstRequest_##NAME);                            \
+  void BM_WarmStart_WarmFirstRequest_##NAME(benchmark::State &State) {        \
+    static InterpreterWorkload W = InterpreterWorkload::FACTORY();            \
+    static TempStore Dir;                                                     \
+    onLargeStack([&] {                                                        \
+      warmFirstRequestBody(State, W, Dir.Path + "/" #NAME);                   \
+    });                                                                       \
+  }                                                                           \
+  BENCHMARK(BM_WarmStart_WarmFirstRequest_##NAME);
+
+PECOMP_WARMSTART_BENCH(MIXWELL, mixwell)
+PECOMP_WARMSTART_BENCH(LAZY, lazy)
+PECOMP_WARMSTART_BENCH(IMP, imp)
+
+#undef PECOMP_WARMSTART_BENCH
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -7,6 +7,7 @@
 #include "compiler/Peephole.h"
 #include "eval/Interp.h"
 #include "frontend/Pipeline.h"
+#include "pgg/DiskStore.h"
 #include "pgg/Pgg.h"
 #include "pgg/SpecCache.h"
 #include "vm/Machine.h"
@@ -421,6 +422,45 @@ DiffResult runCase(const FuzzCase &C, const DiffOptions &Opts) {
           }
         }
       }
+    }
+  }
+
+  // -- Persistence round trip: the cached tier runs its snapshot after a
+  // serialize -> deserialize cycle, so the differential also covers the
+  // payload codec the disk store persists (pgg/DiskStore). Any loss —
+  // a decode rejection of our own encoder's output, or a semantic drift
+  // the tier comparison below would catch — is a divergence, not a skip.
+  {
+    std::vector<uint8_t> Wire = CachedPort->serialize();
+    auto Back = compiler::PortableProgram::deserialize(Wire);
+    if (!Back.ok()) {
+      R.Diverged = Divergence{Tier::Cached, Tier::Cached, "snapshot-roundtrip",
+                              Back.error().render()};
+      return R;
+    }
+    CachedPort = *Back;
+  }
+
+  // -- Disk-store round trip (optional): hammer the persistence layer the
+  // way the perturbation schedules hammer the VM. The caller owns the
+  // store and its fault plan; a classified failure anywhere in put/load
+  // degrades to the in-memory snapshot exactly as SpecCache's disk tier
+  // degrades to cold specialization — only an unclassified error, a
+  // crash, or a verified load whose semantics drift counts against us.
+  if (Opts.Store) {
+    pgg::CachedSpecialization ToStore;
+    ToStore.Residual = CachedPort;
+    ToStore.Entry = CachedEntry;
+    ToStore.Stats = Obj->Stats;
+    (void)Opts.Store->put(Key, ToStore); // may fail under the plan
+    auto Loaded = Opts.Store->load(Key);
+    if (Loaded.ok()) {
+      CachedPort = (*Loaded)->Residual;
+      CachedEntry = (*Loaded)->Entry;
+    } else if (pgg::storeErrorOf(Loaded.error()) == pgg::StoreError::None) {
+      R.Diverged = Divergence{Tier::Cached, Tier::Cached, "store-roundtrip",
+                              Loaded.error().render()};
+      return R;
     }
   }
 

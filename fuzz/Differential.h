@@ -36,6 +36,9 @@
 #include <optional>
 
 namespace pecomp {
+namespace pgg {
+class DiskStore;
+}
 namespace fuzz {
 
 enum class Tier : uint8_t { Oracle, Bytes, Decoded, Fused, Cached };
@@ -71,6 +74,14 @@ struct DiffOptions {
   /// during the run are folded in; DiffResult::NewCoverage reports how
   /// many were new.
   support::CoverageMap *Coverage = nullptr;
+  /// When set, the cached tier's snapshot additionally round-trips
+  /// through this persistent store (put, then verified load), under
+  /// whatever StoreFaultPlan the caller installed. Production semantics
+  /// hold: a classified store failure silently degrades to the in-memory
+  /// snapshot; an unclassified load failure is a "store-roundtrip"
+  /// divergence, and a load that *succeeds* with drifted semantics is
+  /// caught by the ordinary tier comparison.
+  pgg::DiskStore *Store = nullptr;
 };
 
 struct Divergence {

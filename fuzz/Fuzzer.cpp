@@ -3,6 +3,7 @@
 #include "fuzz/Fuzzer.h"
 
 #include "fuzz/Mutate.h"
+#include "pgg/DiskStore.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -25,6 +26,17 @@ Fuzzer::Fuzzer(FuzzerOptions Opts) : Opts(std::move(Opts)), Rng(this->Opts.Seed)
   GOpts.PartialOps = this->Opts.PartialOps;
   if (!this->Opts.CorpusDir.empty())
     Pool.loadDirectory(this->Opts.CorpusDir);
+  if (!this->Opts.StoreDir.empty()) {
+    Result<std::shared_ptr<pgg::DiskStore>> St =
+        pgg::DiskStore::open(this->Opts.StoreDir);
+    if (St.ok())
+      Store = *St;
+    else
+      // A hammer that cannot open its anvil is a setup error worth
+      // surfacing, but not worth aborting the differential run over.
+      fprintf(stderr, "fuzzer: store hammer disabled: %s\n",
+              St.error().render().c_str());
+  }
 }
 
 FuzzCase Fuzzer::freshCase() {
@@ -56,6 +68,7 @@ const FuzzerStats &Fuzzer::run() {
   DiffOptions DOpts;
   DOpts.Inject = Opts.Inject;
   DOpts.Coverage = &Coverage;
+  DOpts.Store = Store.get();
 
   for (size_t Iter = 0; Iter != Opts.Iterations; ++Iter) {
     if (Found.size() >= Opts.MaxFindings)
@@ -79,6 +92,27 @@ const FuzzerStats &Fuzzer::run() {
     } else {
       C = freshCase();
       ++Stats.Generated;
+    }
+
+    if (Store) {
+      // Per-case I/O fault schedule: most cases round-trip clean, the
+      // rest exercise one injected failure mode each. Every mode must
+      // degrade to the in-memory snapshot — never crash, never serve a
+      // corrupted program (the tier comparison below would catch it).
+      pgg::StoreFaultPlan P;
+      switch (Rng() % 10) {
+      case 0:
+        P.CorruptAtWrite = 1;
+        P.CorruptOffset = Rng() % 4096;
+        break;
+      case 1: P.FailAtWrite = 1; break;
+      case 2: P.ShortWriteAt = 1; break;
+      case 3: P.FailAtRead = 1; break;
+      case 4: P.ShortReadAt = 1; break;
+      case 5: P.FailFsync = true; break;
+      default: break; // clean put/load round trip
+      }
+      Store->setFaultPlan(P);
     }
 
     if (std::getenv("PECOMP_FUZZ_TRACE"))
@@ -111,6 +145,10 @@ const FuzzerStats &Fuzzer::run() {
     F.Diverged = *R.Diverged;
     F.EntryInsns = R.EntryInsns;
     if (Opts.Minimize) {
+      if (Store)
+        // Reduce under a clean store: the reducer needs the divergence to
+        // reproduce case-intrinsically, not via a one-shot I/O fault.
+        Store->setFaultPlan(pgg::StoreFaultPlan{});
       ReduceOptions ROpts;
       ROpts.MaxAttempts = Opts.ReduceMaxAttempts;
       ReduceOutcome Min = reduceCase(C, DOpts, ROpts);

@@ -18,6 +18,8 @@
 #include "fuzz/ProgramGen.h"
 #include "fuzz/Reduce.h"
 
+#include <memory>
+
 namespace pecomp {
 namespace fuzz {
 
@@ -34,6 +36,13 @@ struct FuzzerOptions {
   std::string FindingsDir; ///< where minimized findings are persisted
   bool SaveNovel = false;  ///< persist coverage-novel cases to CorpusDir
   size_t ReduceMaxAttempts = 2000;
+  /// When set, every executed case round-trips its cached snapshot
+  /// through a DiskStore at this directory, under a per-case random
+  /// StoreFaultPlan (short/failed reads and writes, fsync failure,
+  /// corruption-at-offset) — the persistence-layer hammer. Callers
+  /// should point this somewhere under TMPDIR; the store grows one
+  /// entry per distinct case key.
+  std::string StoreDir;
 };
 
 struct Finding {
@@ -73,6 +82,7 @@ private:
   FuzzerOptions Opts;
   std::mt19937 Rng;
   GenOptions GOpts;
+  std::shared_ptr<pgg::DiskStore> Store; ///< open iff Opts.StoreDir set
   Corpus Pool;
   support::CoverageMap Coverage;
   FuzzerStats Stats;

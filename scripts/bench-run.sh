@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Builds the paper-figure benchmark harnesses, runs each with JSON output,
-# and merges the results into one machine-readable file (BENCH_pr5.json by
+# and merges the results into one machine-readable file (BENCH_pr7.json by
 # default). The merged document carries derived blocks next to the raw
 # benchmarks:
 #
@@ -9,23 +9,28 @@
 #   cache_amortization      — cold generation time over cache-hit time
 #                             (key + lookup + instantiate) per workload
 #                             (PR 4); the acceptance bar is >= 5x on every
-#                             workload, and
+#                             workload,
 #   dispatch_fusion_speedup — the PR 3 decoded loop (no peephole) over
 #                             decoded+fused+peepholed per workload (PR 5);
 #                             the acceptance bar is >= 1.10x on at least
-#                             two of MIXWELL/LAZY/IMP.
+#                             two of MIXWELL/LAZY/IMP, and
+#   warm_start_speedup      — cold first-request time (generate + capture
+#                             + instantiate) over disk-warm first-request
+#                             time (store load + checksums + verify +
+#                             instantiate) per workload (PR 7); the
+#                             acceptance bar is >= 5x on every workload.
 #
 # Usage: scripts/bench-run.sh [--quick] [--build-dir DIR] [--out FILE]
 #   --quick       near-zero measuring budget (smoke the harnesses, numbers
 #                 not meaningful)
 #   --build-dir   build tree to use (default: build)
-#   --out         merged output file (default: BENCH_pr5.json)
+#   --out         merged output file (default: BENCH_pr7.json)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 BUILD_DIR=build
-OUT=BENCH_pr5.json
+OUT=BENCH_pr7.json
 MIN_TIME=0.2
 while [[ "${1:-}" == --* ]]; do
   case "$1" in
@@ -50,7 +55,7 @@ done
 
 HARNESSES=(fig6_generation_speed fig7_compile_residual fig8_rtcg_compilation
            residual_speedup amortized_generation rtcg_service_scaling
-           dispatch_fusion)
+           dispatch_fusion warm_start)
 
 cmake -B "$BUILD_DIR" -S . >/dev/null
 cmake --build "$BUILD_DIR" -j "$(nproc)" --target "${HARNESSES[@]}"
@@ -69,7 +74,7 @@ if command -v jq >/dev/null 2>&1; then
   jq -s '
     def t(n): (map(.benchmarks[]) | map(select(.name == n)) | .[0].cpu_time);
     {
-      schema: "pecomp-bench-pr5/v1",
+      schema: "pecomp-bench-pr7/v1",
       context: .[0].context,
       fig8_run_speedup: ({
         MIXWELL: (t("BM_Fig8_Run_Bytes_MIXWELL") / t("BM_Fig8_Run_Decoded_MIXWELL")),
@@ -86,6 +91,11 @@ if command -v jq >/dev/null 2>&1; then
         LAZY: (t("BM_DispatchFusion_Decoded_NoPeep_LAZY") / t("BM_DispatchFusion_Fused_Peep_LAZY")),
         IMP: (t("BM_DispatchFusion_Decoded_NoPeep_IMP") / t("BM_DispatchFusion_Fused_Peep_IMP"))
       }),
+      warm_start_speedup: ({
+        MIXWELL: (t("BM_WarmStart_ColdFirstRequest_MIXWELL") / t("BM_WarmStart_WarmFirstRequest_MIXWELL")),
+        LAZY: (t("BM_WarmStart_ColdFirstRequest_LAZY") / t("BM_WarmStart_WarmFirstRequest_LAZY")),
+        IMP: (t("BM_WarmStart_ColdFirstRequest_IMP") / t("BM_WarmStart_WarmFirstRequest_IMP"))
+      }),
       benchmarks: (map(.benchmarks) | add)
     }' "$RAW_DIR"/fig6_generation_speed.json \
        "$RAW_DIR"/fig7_compile_residual.json \
@@ -93,7 +103,8 @@ if command -v jq >/dev/null 2>&1; then
        "$RAW_DIR"/residual_speedup.json \
        "$RAW_DIR"/amortized_generation.json \
        "$RAW_DIR"/rtcg_service_scaling.json \
-       "$RAW_DIR"/dispatch_fusion.json >"$OUT"
+       "$RAW_DIR"/dispatch_fusion.json \
+       "$RAW_DIR"/warm_start.json >"$OUT"
 else
   python3 - "$RAW_DIR" "$OUT" <<'EOF'
 import json, sys
@@ -101,7 +112,7 @@ raw_dir, out = sys.argv[1], sys.argv[2]
 harnesses = ["fig6_generation_speed", "fig7_compile_residual",
              "fig8_rtcg_compilation", "residual_speedup",
              "amortized_generation", "rtcg_service_scaling",
-             "dispatch_fusion"]
+             "dispatch_fusion", "warm_start"]
 docs = [json.load(open(f"{raw_dir}/{h}.json")) for h in harnesses]
 benches = [b for d in docs for b in d["benchmarks"]]
 times = {b["name"]: b["cpu_time"] for b in benches}
@@ -120,9 +131,14 @@ fusion = {
           times[f"BM_DispatchFusion_Fused_Peep_{lang}"]
     for lang in ("MIXWELL", "LAZY", "IMP")
 }
-json.dump({"schema": "pecomp-bench-pr5/v1", "context": docs[0]["context"],
+warm = {
+    lang: times[f"BM_WarmStart_ColdFirstRequest_{lang}"] /
+          times[f"BM_WarmStart_WarmFirstRequest_{lang}"]
+    for lang in ("MIXWELL", "LAZY", "IMP")
+}
+json.dump({"schema": "pecomp-bench-pr7/v1", "context": docs[0]["context"],
            "fig8_run_speedup": speedup, "cache_amortization": amortization,
-           "dispatch_fusion_speedup": fusion,
+           "dispatch_fusion_speedup": fusion, "warm_start_speedup": warm,
            "benchmarks": benches},
           open(out, "w"), indent=1)
 open(out, "a").write("\n")
@@ -131,5 +147,5 @@ fi
 
 echo "wrote $OUT" >&2
 if command -v jq >/dev/null 2>&1; then
-  jq '{fig8_run_speedup, cache_amortization, dispatch_fusion_speedup}' "$OUT" >&2
+  jq '{fig8_run_speedup, cache_amortization, dispatch_fusion_speedup, warm_start_speedup}' "$OUT" >&2
 fi

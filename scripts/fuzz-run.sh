@@ -5,7 +5,7 @@
 # writes a JSON summary of every per-seed run plus the finding files.
 #
 # Usage: scripts/fuzz-run.sh [--seeds N] [--iters N] [--build DIR]
-#                            [--out DIR] [--save-novel]
+#                            [--out DIR] [--save-novel] [--no-store-hammer]
 #   --seeds N      number of consecutive seeds to run, starting at 1
 #                  (default 20)
 #   --iters N      iterations per seed (default 2000)
@@ -14,6 +14,10 @@
 #                  (default fuzz-out)
 #   --save-novel   also persist coverage-novel cases into the out-dir
 #                  corpus copy, growing mutation stock across seeds
+#   --no-store-hammer
+#                  skip the per-case DiskStore round trip (on by default;
+#                  the hammer's scratch stores live under TMPDIR only and
+#                  are removed when each seed's run exits)
 #
 # Exits nonzero iff any run produced a finding (or failed outright), so
 # the script doubles as a CI-friendly extended gate.
@@ -26,6 +30,7 @@ ITERS=2000
 BUILD_DIR=build
 OUT_DIR=fuzz-out
 SAVE_NOVEL=0
+STORE_HAMMER=1
 while [[ $# -gt 0 ]]; do
   case "$1" in
   --seeds) SEEDS=$2; shift 2 ;;
@@ -33,6 +38,7 @@ while [[ $# -gt 0 ]]; do
   --build) BUILD_DIR=$2; shift 2 ;;
   --out) OUT_DIR=$2; shift 2 ;;
   --save-novel) SAVE_NOVEL=1; shift ;;
+  --no-store-hammer) STORE_HAMMER=0; shift ;;
   *) echo "unknown option: $1" >&2; exit 2 ;;
   esac
 done
@@ -57,6 +63,7 @@ STATUS=0
     ARGS=(--seed="$S" --iters="$ITERS" --corpus="$OUT_DIR/corpus"
           --findings="$OUT_DIR/findings" --json)
     [[ $SAVE_NOVEL == 1 ]] && ARGS+=(--save-novel)
+    [[ $STORE_HAMMER == 1 ]] && ARGS+=(--store-hammer)
     echo "== seed $S ($ITERS iters)" >&2
     if LINE=$("$FUZZ" "${ARGS[@]}" 2>"$OUT_DIR/seed-$S.log"); then
       RC=0

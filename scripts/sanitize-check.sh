@@ -5,7 +5,7 @@
 #
 # Usage: scripts/sanitize-check.sh [--ndebug] [--switch-dispatch]
 #                                  [--no-fuse] [--no-peephole] [--fuzz-smoke]
-#                                  [ctest-args...]
+#                                  [--store-smoke] [ctest-args...]
 #   --ndebug           additionally compile with -DNDEBUG kept, proving the
 #                      trap model never leans on assert() (the RTCG trust
 #                      requirement).
@@ -19,6 +19,12 @@
 #   --fuzz-smoke       run only the fuzz-labelled ctest entries (seeded
 #                      differential smoke, injected-bug self-tests,
 #                      regression-corpus replay) under the sanitizers.
+#   --store-smoke      run only the store-labelled ctest entries (the
+#                      DiskStore corruption matrix, fault-plan and
+#                      kill-during-write tests, plus the --store /
+#                      cache-fsck CLI tests) under the sanitizers — the
+#                      PR 7 acceptance gate that no corrupt store input
+#                      ever crashes.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -55,6 +61,14 @@ while [[ "${1:-}" == --* ]]; do
     FUZZ_SMOKE=1
     shift
     ;;
+  --store-smoke)
+    # Only the store-labelled ctest entries: every adversarial-store unit
+    # test and the persistent-store CLI tests, under ASan/UBSan — the
+    # corruption matrix's "zero crashes" claim is only meaningful with
+    # the sanitizers watching.
+    STORE_SMOKE=1
+    shift
+    ;;
   *)
     break
     ;;
@@ -71,6 +85,8 @@ export UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1
 
 if [[ "${FUZZ_SMOKE:-0}" == 1 ]]; then
   ctest --test-dir "$BUILD_DIR" --output-on-failure -L fuzz -j "$(nproc)" "$@"
+elif [[ "${STORE_SMOKE:-0}" == 1 ]]; then
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -L store -j "$(nproc)" "$@"
 else
   ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" "$@"
 fi

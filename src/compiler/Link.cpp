@@ -3,11 +3,13 @@
 #include "compiler/Link.h"
 
 #include "compiler/Peephole.h"
+#include "sexp/Reader.h"
 #include "support/Timer.h"
 #include "vm/Convert.h"
 #include "vm/Trap.h"
 #include "vm/Verify.h"
 
+#include <algorithm>
 #include <functional>
 #include <unordered_map>
 
@@ -179,6 +181,276 @@ PortableProgram::capture(const CompiledProgram &P,
       return Slot.takeError();
     Out->Defs.emplace_back(Name, *Slot);
   }
+  Out->Bytes += Out->GlobalNames.size() * sizeof(Symbol) +
+                Out->Defs.size() * sizeof(Out->Defs[0]);
+  return std::shared_ptr<const PortableProgram>(std::move(Out));
+}
+
+//===----------------------------------------------------------------------===//
+// Snapshot serialization (the persistent-store payload)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Little-endian, length-prefixed append-only writer.
+struct PayloadWriter {
+  std::vector<uint8_t> Out;
+
+  void u8(uint8_t V) { Out.push_back(V); }
+  void u32(uint32_t V) {
+    for (int S = 0; S < 32; S += 8)
+      Out.push_back(static_cast<uint8_t>(V >> S));
+  }
+  void str(std::string_view S) {
+    u32(static_cast<uint32_t>(S.size()));
+    Out.insert(Out.end(), S.begin(), S.end());
+  }
+  void bytes(std::span<const uint8_t> B) {
+    u32(static_cast<uint32_t>(B.size()));
+    Out.insert(Out.end(), B.begin(), B.end());
+  }
+};
+
+/// Bounds-checked reader over an untrusted payload. Every accessor
+/// returns false instead of reading past the end; the caller converts
+/// that into one classified error.
+struct PayloadReader {
+  std::span<const uint8_t> In;
+  size_t Pos = 0;
+
+  size_t remaining() const { return In.size() - Pos; }
+  bool u8(uint8_t &V) {
+    if (remaining() < 1)
+      return false;
+    V = In[Pos++];
+    return true;
+  }
+  bool u32(uint32_t &V) {
+    if (remaining() < 4)
+      return false;
+    V = 0;
+    for (int S = 0; S < 32; S += 8)
+      V |= static_cast<uint32_t>(In[Pos++]) << S;
+    return true;
+  }
+  bool str(std::string &S) {
+    uint32_t N;
+    if (!u32(N) || remaining() < N)
+      return false;
+    S.assign(reinterpret_cast<const char *>(In.data()) + Pos, N);
+    Pos += N;
+    return true;
+  }
+  bool bytes(std::vector<uint8_t> &B) {
+    uint32_t N;
+    if (!u32(N) || remaining() < N)
+      return false;
+    B.assign(In.begin() + Pos, In.begin() + Pos + N);
+    Pos += N;
+    return true;
+  }
+  /// Reads an element count that prefixes records of at least
+  /// \p MinElemBytes encoded bytes each — rejecting counts the remaining
+  /// payload cannot possibly hold, so a corrupt length field cannot
+  /// drive a multi-gigabyte reserve.
+  bool count(uint32_t &N, size_t MinElemBytes) {
+    if (!u32(N))
+      return false;
+    return static_cast<size_t>(N) * MinElemBytes <= remaining();
+  }
+};
+
+/// The deepest MakeClosure nesting a snapshot may declare. Real residual
+/// programs nest as deeply as their lambdas, i.e. shallowly; the cap
+/// exists so an adversarial child graph cannot overflow the C++ stack in
+/// the recursive byte-code verifier downstream.
+constexpr size_t MaxChildDepth = 512;
+
+} // namespace
+
+std::vector<uint8_t> PortableProgram::serialize() const {
+  PayloadWriter W;
+  W.u32(static_cast<uint32_t>(Units.size()));
+  W.u32(static_cast<uint32_t>(Defs.size()));
+  W.u32(static_cast<uint32_t>(GlobalNames.size()));
+  for (Symbol G : GlobalNames)
+    W.str(G.str());
+  for (const auto &[Name, Slot] : Defs) {
+    W.str(Name.str());
+    W.u32(Slot);
+  }
+  for (const PortableCode &U : Units) {
+    W.str(U.Name);
+    W.u32(U.Arity);
+    W.u8(U.Peepholed ? 1 : 0);
+    W.bytes(U.Code);
+    W.u32(static_cast<uint32_t>(U.Literals.size()));
+    for (const PortableCode::Literal &L : U.Literals) {
+      W.u8(L.D ? 1 : 0);
+      if (L.D)
+        W.str(L.D->write());
+    }
+    W.u32(static_cast<uint32_t>(U.Children.size()));
+    for (uint32_t C : U.Children)
+      W.u32(C);
+    W.u32(static_cast<uint32_t>(U.GlobalRelocs.size()));
+    for (uint32_t R : U.GlobalRelocs)
+      W.u32(R);
+  }
+  return W.Out;
+}
+
+Result<std::shared_ptr<const PortableProgram>>
+PortableProgram::deserialize(std::span<const uint8_t> Bytes) {
+  auto Bad = [](const std::string &What) {
+    return makeError("snapshot payload: " + What);
+  };
+
+  PayloadReader R{Bytes};
+  uint32_t NumUnits, NumDefs, NumGlobals;
+  // A unit encodes at least name+arity+peep+code+3 counts = 21 bytes; a
+  // def at least 8; a global name at least 4.
+  if (!R.count(NumUnits, 21) || !R.count(NumDefs, 8) ||
+      !R.count(NumGlobals, 4))
+    return Bad("truncated or oversized section counts");
+
+  std::shared_ptr<PortableProgram> Out(new PortableProgram());
+  Out->GlobalNames.reserve(NumGlobals);
+  std::string S;
+  for (uint32_t I = 0; I != NumGlobals; ++I) {
+    if (!R.str(S))
+      return Bad("truncated global-name table");
+    Out->GlobalNames.push_back(Symbol::intern(S));
+  }
+  Out->Defs.reserve(NumDefs);
+  for (uint32_t I = 0; I != NumDefs; ++I) {
+    uint32_t Slot;
+    if (!R.str(S) || !R.u32(Slot))
+      return Bad("truncated definition table");
+    if (Slot >= NumUnits)
+      return Bad("definition '" + S + "' names unit " + std::to_string(Slot) +
+                 " of " + std::to_string(NumUnits));
+    Out->Defs.emplace_back(Symbol::intern(S), Slot);
+  }
+
+  Out->Units.reserve(NumUnits);
+  for (uint32_t I = 0; I != NumUnits; ++I) {
+    PortableCode U;
+    uint8_t Peep;
+    if (!R.str(U.Name) || !R.u32(U.Arity) || !R.u8(Peep) ||
+        !R.bytes(U.Code))
+      return Bad("truncated unit " + std::to_string(I));
+    U.Peepholed = Peep != 0;
+    uint32_t N;
+    if (!R.count(N, 1))
+      return Bad("bad literal count in unit " + std::to_string(I));
+    U.Literals.reserve(N);
+    for (uint32_t L = 0; L != N; ++L) {
+      uint8_t Tag;
+      if (!R.u8(Tag) || Tag > 1)
+        return Bad("bad literal tag in unit " + std::to_string(I));
+      PortableCode::Literal Lit;
+      if (Tag == 1) {
+        if (!R.str(S))
+          return Bad("truncated literal in unit " + std::to_string(I));
+        Result<const Datum *> D = readDatum(S, Out->Datums);
+        if (!D)
+          return Bad("unreadable literal in unit " + std::to_string(I) +
+                     ": " + D.error().render());
+        Lit.D = *D;
+      }
+      U.Literals.push_back(Lit);
+    }
+    if (!R.count(N, 4))
+      return Bad("bad child count in unit " + std::to_string(I));
+    U.Children.reserve(N);
+    for (uint32_t C = 0; C != N; ++C) {
+      uint32_t Child;
+      if (!R.u32(Child))
+        return Bad("truncated child table in unit " + std::to_string(I));
+      if (Child >= NumUnits)
+        return Bad("unit " + std::to_string(I) + " names child " +
+                   std::to_string(Child) + " of " + std::to_string(NumUnits));
+      U.Children.push_back(Child);
+    }
+    if (!R.count(N, 4))
+      return Bad("bad reloc count in unit " + std::to_string(I));
+    U.GlobalRelocs.reserve(N);
+    for (uint32_t G = 0; G != N; ++G) {
+      uint32_t Off;
+      if (!R.u32(Off))
+        return Bad("truncated reloc table in unit " + std::to_string(I));
+      // instantiate() rewrites two bytes at Off and feeds the u16 it finds
+      // there into the global-name table; both must be provably in range
+      // before this snapshot is allowed to exist.
+      if (Off + 2 > U.Code.size() || Off + 2 < Off)
+        return Bad("reloc site past code in unit " + std::to_string(I));
+      uint16_t Slot = static_cast<uint16_t>(U.Code[Off] |
+                                            (U.Code[Off + 1] << 8));
+      if (Slot >= NumGlobals)
+        return Bad("reloc in unit " + std::to_string(I) +
+                   " names global slot " + std::to_string(Slot) + " of " +
+                   std::to_string(NumGlobals));
+      U.GlobalRelocs.push_back(Off);
+    }
+    Out->Bytes += unitBytes(U);
+    Out->Units.push_back(std::move(U));
+  }
+  if (R.remaining() != 0)
+    return Bad(std::to_string(R.remaining()) + " trailing bytes");
+
+  // The child graph must be acyclic, and tame under *expansion*: the
+  // recursive verifier walks children per use with no sharing-awareness,
+  // so a forged cycle, a pathologically deep chain, or a small DAG whose
+  // unrolled tree is exponential (30 units, two shared children each)
+  // must all die here, not downstream. One iterative post-order pass
+  // detects cycles and computes, per unit, the true maximum nesting depth
+  // and the size of the fully expanded child tree.
+  // Colors: 0 = unvisited, 1 = on the current path, 2 = done.
+  std::vector<uint8_t> Color(Out->Units.size(), 0);
+  std::vector<uint64_t> Depth(Out->Units.size(), 0);
+  std::vector<uint64_t> TreeSize(Out->Units.size(), 0);
+  constexpr uint64_t MaxTreeSize = 1u << 20;
+  struct Frame {
+    uint32_t Unit;
+    size_t NextChild;
+  };
+  for (uint32_t Root = 0; Root != Out->Units.size(); ++Root) {
+    if (Color[Root])
+      continue;
+    std::vector<Frame> Stack{{Root, 0}};
+    Color[Root] = 1;
+    while (!Stack.empty()) {
+      Frame &F = Stack.back();
+      const PortableCode &U = Out->Units[F.Unit];
+      if (F.NextChild == U.Children.size()) {
+        uint64_t D = 0, T = 1;
+        for (uint32_t C : U.Children) {
+          D = std::max(D, Depth[C]);
+          T = std::min(T + TreeSize[C], MaxTreeSize + 1);
+        }
+        if (D + 1 > MaxChildDepth)
+          return Bad("child nesting deeper than " +
+                     std::to_string(MaxChildDepth));
+        if (T > MaxTreeSize)
+          return Bad("expanded child tree larger than " +
+                     std::to_string(MaxTreeSize) + " units");
+        Depth[F.Unit] = D + 1;
+        TreeSize[F.Unit] = T;
+        Color[F.Unit] = 2;
+        Stack.pop_back();
+        continue;
+      }
+      uint32_t Child = U.Children[F.NextChild++];
+      if (Color[Child] == 1)
+        return Bad("cycle through unit " + std::to_string(Child));
+      if (Color[Child] == 0) {
+        Color[Child] = 1;
+        Stack.push_back({Child, 0});
+      }
+    }
+  }
+
   Out->Bytes += Out->GlobalNames.size() * sizeof(Symbol) +
                 Out->Defs.size() * sizeof(Out->Defs[0]);
   return std::shared_ptr<const PortableProgram>(std::move(Out));

@@ -24,7 +24,9 @@
 #include "support/Error.h"
 #include "vm/Machine.h"
 
+#include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 namespace pecomp {
@@ -115,6 +117,30 @@ public:
   /// runs exactly like the captured original.
   CompiledProgram instantiate(vm::CodeStore &Store,
                               vm::GlobalTable &Globals) const;
+
+  /// Serializes the snapshot into a self-contained byte payload (the form
+  /// pgg/DiskStore persists). The encoding is little-endian and
+  /// length-prefixed throughout; literals travel as their canonical
+  /// external (datum) spelling, which the reader/writer pair round-trips
+  /// exactly. deserialize() is the inverse.
+  std::vector<uint8_t> serialize() const;
+
+  /// Rebuilds a snapshot from serialize() output. The payload is treated
+  /// as *untrusted*: every length, count, index, and relocation offset is
+  /// bounds-checked, and the structural invariants instantiate() relies
+  /// on (child indices in range and acyclic with bounded nesting, reloc
+  /// sites inside the code bytes, relocated global indices inside the
+  /// name table) are re-established before anything is built — a corrupt
+  /// or forged payload yields a classified error, never undefined
+  /// behavior. The *semantic* trust boundary stays with the byte-code
+  /// verifier, which every load path re-runs before linked code can reach
+  /// a Machine.
+  static Result<std::shared_ptr<const PortableProgram>>
+  deserialize(std::span<const uint8_t> Bytes);
+
+  /// Name and root-unit accessors for store tooling (cache-ls/fsck).
+  size_t defCount() const { return Defs.size(); }
+  Symbol defName(size_t I) const { return Defs[I].first; }
 
   /// Approximate retained bytes (code, literals, tables) — the unit the
   /// specialization cache's byte budget is accounted in.

@@ -1,0 +1,607 @@
+//===- pgg/DiskStore.cpp - Crash-safe persistent code-cache store ---------===//
+
+#include "pgg/DiskStore.h"
+
+#include "vm/Verify.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+using namespace pecomp;
+using namespace pecomp::pgg;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Entry file format
+//
+//   offset size  field
+//        0    4  magic "PPCS"
+//        4    4  format version (currently 1)
+//        8    8  program fingerprint        |
+//       16    4  BT-signature length        |  key fields
+//       20    4  static-signature length    |
+//       24    4  entry-name length
+//       28    4  payload length
+//       32    8  body checksum  (FNV-1a over every byte after the header)
+//       40    8  header checksum (FNV-1a over bytes [0, 40))
+//       48    …  BtSig | StaticSig | EntryName | 5×u64 SpecStats | payload
+//
+// Every byte of the file is covered by exactly one of the two checksums
+// (the header checksum's own bytes are validated by recomputation), so
+// any single-byte corruption anywhere is detected before a length field
+// or payload byte is trusted.
+//===----------------------------------------------------------------------===//
+
+constexpr uint32_t StoreMagic = 0x53435050; // "PPCS" little-endian
+constexpr uint32_t StoreVersion = 1;
+constexpr size_t HeaderSize = 48;
+constexpr size_t StatsSize = 5 * 8;
+/// Per-field and whole-file sanity ceilings: a corrupt length that slips
+/// past its checksum (it cannot, but defense in depth is the point here)
+/// may never drive a multi-gigabyte allocation.
+constexpr uint64_t MaxFieldLen = 1u << 30;
+
+constexpr uint64_t FnvOffset = 1469598103934665603ull;
+constexpr uint64_t FnvPrime = 1099511628211ull;
+
+uint64_t fnv1a(const uint8_t *P, size_t N, uint64_t H = FnvOffset) {
+  for (size_t I = 0; I != N; ++I) {
+    H ^= P[I];
+    H *= FnvPrime;
+  }
+  return H;
+}
+
+void putU32(std::vector<uint8_t> &B, uint32_t V) {
+  for (int S = 0; S < 32; S += 8)
+    B.push_back(static_cast<uint8_t>(V >> S));
+}
+
+void putU64(std::vector<uint8_t> &B, uint64_t V) {
+  for (int S = 0; S < 64; S += 8)
+    B.push_back(static_cast<uint8_t>(V >> S));
+}
+
+uint32_t getU32(const uint8_t *P) {
+  uint32_t V = 0;
+  for (int S = 0; S < 32; S += 8)
+    V |= static_cast<uint32_t>(*P++) << S;
+  return V;
+}
+
+uint64_t getU64(const uint8_t *P) {
+  uint64_t V = 0;
+  for (int S = 0; S < 64; S += 8)
+    V |= static_cast<uint64_t>(*P++) << S;
+  return V;
+}
+
+std::string entryFileName(uint64_t KeyHash) {
+  char Buf[32];
+  snprintf(Buf, sizeof(Buf), "%016llx.ppc",
+           static_cast<unsigned long long>(KeyHash));
+  return Buf;
+}
+
+/// Everything a structurally valid entry file contains.
+struct ParsedEntry {
+  uint64_t ProgramFp = 0;
+  std::string BtSig, StaticSig, EntryName;
+  spec::SpecStats Stats;
+  std::span<const uint8_t> Payload;
+};
+
+/// Validates \p Bytes as one entry file, in strictly escalating trust:
+/// size, magic, version, header checksum, declared lengths, body
+/// checksum. Only then are the key fields and payload span handed out.
+StoreError parseEntry(std::span<const uint8_t> Bytes, ParsedEntry &Out,
+                      std::string &Detail) {
+  const uint8_t *P = Bytes.data();
+  if (Bytes.size() < HeaderSize) {
+    Detail = "file shorter than the " + std::to_string(HeaderSize) +
+             "-byte header (" + std::to_string(Bytes.size()) + " bytes)";
+    return StoreError::Truncated;
+  }
+  if (getU32(P) != StoreMagic) {
+    Detail = "bad magic";
+    return StoreError::BadMagic;
+  }
+  uint32_t Version = getU32(P + 4);
+  if (Version != StoreVersion) {
+    Detail = "format version " + std::to_string(Version) + ", expected " +
+             std::to_string(StoreVersion);
+    return StoreError::BadVersion;
+  }
+  if (getU64(P + 40) != fnv1a(P, 40)) {
+    Detail = "header checksum mismatch";
+    return StoreError::HeaderCorrupt;
+  }
+  // Lengths are now checksum-trusted; cross-check them against the file.
+  uint64_t BtLen = getU32(P + 16), StaticLen = getU32(P + 20),
+           EntryLen = getU32(P + 24), PayloadLen = getU32(P + 28);
+  if (BtLen > MaxFieldLen || StaticLen > MaxFieldLen ||
+      EntryLen > MaxFieldLen || PayloadLen > MaxFieldLen) {
+    Detail = "implausible field length";
+    return StoreError::HeaderCorrupt;
+  }
+  uint64_t Expect = HeaderSize + BtLen + StaticLen + EntryLen + StatsSize +
+                    PayloadLen;
+  if (Bytes.size() < Expect) {
+    Detail = "file holds " + std::to_string(Bytes.size()) +
+             " bytes, header declares " + std::to_string(Expect);
+    return StoreError::Truncated;
+  }
+  if (Bytes.size() > Expect) {
+    Detail = std::to_string(Bytes.size() - Expect) + " trailing bytes";
+    return StoreError::HeaderCorrupt;
+  }
+  if (getU64(P + 32) != fnv1a(P + HeaderSize, Bytes.size() - HeaderSize)) {
+    Detail = "body checksum mismatch";
+    return StoreError::BodyCorrupt;
+  }
+
+  const uint8_t *Q = P + HeaderSize;
+  Out.ProgramFp = getU64(P + 8);
+  Out.BtSig.assign(reinterpret_cast<const char *>(Q), BtLen);
+  Q += BtLen;
+  Out.StaticSig.assign(reinterpret_cast<const char *>(Q), StaticLen);
+  Q += StaticLen;
+  Out.EntryName.assign(reinterpret_cast<const char *>(Q), EntryLen);
+  Q += EntryLen;
+  Out.Stats.UnfoldedCalls = static_cast<size_t>(getU64(Q));
+  Out.Stats.MemoizedCalls = static_cast<size_t>(getU64(Q + 8));
+  Out.Stats.ResidualFunctions = static_cast<size_t>(getU64(Q + 16));
+  Out.Stats.StaticPrims = static_cast<size_t>(getU64(Q + 24));
+  Out.Stats.ResidualPrims = static_cast<size_t>(getU64(Q + 32));
+  Q += StatsSize;
+  Out.Payload = Bytes.subspan(static_cast<size_t>(Q - P),
+                              static_cast<size_t>(PayloadLen));
+  return StoreError::None;
+}
+
+/// The verify-on-load sandbox: instantiate the snapshot into a throwaway
+/// heap/code store (no Machine anywhere near it) and re-run the byte-code
+/// verifier over every definition. A forged payload that survived the
+/// checksums and the structural decoder dies here — before the snapshot
+/// is published to any cache tier.
+std::optional<std::string> verifySnapshot(const compiler::PortableProgram &P,
+                                          Symbol Entry) {
+  vm::Heap Sandbox;
+  vm::CodeStore Store(Sandbox);
+  vm::GlobalTable Globals;
+  compiler::CompiledProgram CP = P.instantiate(Store, Globals);
+  if (!CP.find(Entry))
+    return "entry '" + Entry.str() + "' is not defined by the snapshot";
+  for (const auto &[Name, Code] : CP.Defs)
+    if (auto Err = vm::verifyCode(Code, 0, 0))
+      return Err;
+  return std::nullopt;
+}
+
+/// RAII fd with flock release-on-close semantics.
+struct Fd {
+  int Handle = -1;
+  ~Fd() {
+    if (Handle >= 0)
+      close(Handle);
+  }
+};
+
+bool isEntryName(const std::string &Name) {
+  return Name.size() == 20 && Name.rfind(".ppc") == 16;
+}
+
+bool isTornName(const std::string &Name) {
+  return Name.find(".tmp") != std::string::npos;
+}
+
+} // namespace
+
+const char *pgg::storeErrorName(StoreError E) {
+  switch (E) {
+  case StoreError::None:
+    return "None";
+  case StoreError::IoError:
+    return "IoError";
+  case StoreError::NotFound:
+    return "NotFound";
+  case StoreError::Truncated:
+    return "Truncated";
+  case StoreError::BadMagic:
+    return "BadMagic";
+  case StoreError::BadVersion:
+    return "BadVersion";
+  case StoreError::HeaderCorrupt:
+    return "HeaderCorrupt";
+  case StoreError::BodyCorrupt:
+    return "BodyCorrupt";
+  case StoreError::KeyMismatch:
+    return "KeyMismatch";
+  case StoreError::MalformedPayload:
+    return "MalformedPayload";
+  case StoreError::VerifyRejected:
+    return "VerifyRejected";
+  case StoreError::TornWrite:
+    return "TornWrite";
+  case StoreError::WriteFailed:
+    return "WriteFailed";
+  }
+  return "Unknown";
+}
+
+std::string DiskStoreStats::report() const {
+  char Buf[256];
+  snprintf(Buf, sizeof(Buf),
+           "disk-store: %llu hits, %llu misses, %llu rejects "
+           "(%llu verify), %llu writes (%llu failed), %llu bytes written, "
+           "%llu entries / %llu bytes on disk\n",
+           static_cast<unsigned long long>(Hits),
+           static_cast<unsigned long long>(Misses),
+           static_cast<unsigned long long>(Rejects),
+           static_cast<unsigned long long>(VerifyRejects),
+           static_cast<unsigned long long>(Writes),
+           static_cast<unsigned long long>(WriteFailures),
+           static_cast<unsigned long long>(BytesWritten),
+           static_cast<unsigned long long>(EntriesOnDisk),
+           static_cast<unsigned long long>(BytesOnDisk));
+  return Buf;
+}
+
+Result<std::shared_ptr<DiskStore>> DiskStore::open(std::string Dir,
+                                                   bool ReadOnly) {
+  struct stat St;
+  if (stat(Dir.c_str(), &St) == 0) {
+    if (!S_ISDIR(St.st_mode))
+      return storeError(StoreError::IoError,
+                        "store path '" + Dir + "' is not a directory");
+  } else if (ReadOnly) {
+    return storeError(StoreError::IoError,
+                      "store '" + Dir + "': " + strerror(errno));
+  } else if (mkdir(Dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return storeError(StoreError::IoError,
+                      "cannot create store '" + Dir + "': " +
+                          strerror(errno));
+  }
+  if (!ReadOnly) {
+    // The writer-serialization lock file must exist before the first put.
+    Fd Lock;
+    Lock.Handle =
+        ::open((Dir + "/LOCK").c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+    if (Lock.Handle < 0)
+      return storeError(StoreError::IoError,
+                        "cannot create '" + Dir + "/LOCK': " +
+                            strerror(errno));
+  }
+  return std::shared_ptr<DiskStore>(new DiskStore(std::move(Dir), ReadOnly));
+}
+
+DiskStore::~DiskStore() = default;
+
+Result<std::vector<uint8_t>> DiskStore::readWholeFile(
+    const std::string &Path) {
+  Fd F;
+  F.Handle = ::open(Path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (F.Handle < 0) {
+    if (errno == ENOENT)
+      return storeError(StoreError::NotFound, "no entry file");
+    return storeError(StoreError::IoError,
+                      "open '" + Path + "': " + strerror(errno));
+  }
+  std::vector<uint8_t> Out;
+  uint8_t Buf[1 << 16];
+  for (;;) {
+    uint64_t Ordinal = ReadOrdinal.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (Plan.FailAtRead && Ordinal == Plan.FailAtRead)
+      return storeError(StoreError::IoError, "injected read fault");
+    ssize_t N = ::read(F.Handle, Buf, sizeof(Buf));
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return storeError(StoreError::IoError,
+                        "read '" + Path + "': " + strerror(errno));
+    }
+    if (Plan.ShortReadAt && Ordinal == Plan.ShortReadAt) {
+      // A short read: half the data arrives, the rest of the file is
+      // never seen. Downstream validation must classify the stub.
+      Out.insert(Out.end(), Buf, Buf + N / 2);
+      return Out;
+    }
+    if (N == 0)
+      return Out;
+    Out.insert(Out.end(), Buf, Buf + N);
+  }
+}
+
+Result<std::shared_ptr<const CachedSpecialization>>
+DiskStore::load(const SpecKey &Key) {
+  auto Reject = [&](StoreError E, const std::string &Detail)
+      -> Result<std::shared_ptr<const CachedSpecialization>> {
+    if (E == StoreError::NotFound)
+      Misses.fetch_add(1, std::memory_order_relaxed);
+    else {
+      Rejects.fetch_add(1, std::memory_order_relaxed);
+      if (E == StoreError::VerifyRejected)
+        VerifyRejects.fetch_add(1, std::memory_order_relaxed);
+    }
+    return storeError(E, "store entry " + entryFileName(Key.Hash) + ": " +
+                             Detail);
+  };
+
+  Result<std::vector<uint8_t>> Bytes =
+      readWholeFile(Dir + "/" + entryFileName(Key.Hash));
+  if (!Bytes) {
+    StoreError E = storeErrorOf(Bytes.error());
+    return Reject(E == StoreError::None ? StoreError::IoError : E,
+                  Bytes.error().message());
+  }
+
+  ParsedEntry Entry;
+  std::string Detail;
+  if (StoreError E = parseEntry(*Bytes, Entry, Detail); E != StoreError::None)
+    return Reject(E, Detail);
+  if (Entry.ProgramFp != Key.ProgramFp || Entry.BtSig != Key.BtSig ||
+      Entry.StaticSig != Key.StaticSig)
+    return Reject(StoreError::KeyMismatch,
+                  "entry holds a different cache key (hash collision or "
+                  "renamed blob)");
+
+  Result<std::shared_ptr<const compiler::PortableProgram>> Port =
+      compiler::PortableProgram::deserialize(Entry.Payload);
+  if (!Port)
+    return Reject(StoreError::MalformedPayload, Port.error().render());
+
+  Symbol EntrySym = Symbol::intern(Entry.EntryName);
+  if (auto Err = verifySnapshot(**Port, EntrySym))
+    return Reject(StoreError::VerifyRejected, *Err);
+
+  auto Out = std::make_shared<CachedSpecialization>();
+  Out->Residual = *Port;
+  Out->Entry = EntrySym;
+  Out->Stats = Entry.Stats;
+  Hits.fetch_add(1, std::memory_order_relaxed);
+  return std::shared_ptr<const CachedSpecialization>(std::move(Out));
+}
+
+StoreError DiskStore::put(const SpecKey &Key,
+                          const CachedSpecialization &Value) {
+  auto Fail = [&](StoreError E) {
+    WriteFailures.fetch_add(1, std::memory_order_relaxed);
+    return E;
+  };
+  if (ReadOnly || !Value.Residual)
+    return Fail(StoreError::WriteFailed);
+
+  // Assemble the complete file image first; checksums are computed over
+  // the final bytes, so injected corruption-at-offset below is guaranteed
+  // to be *detectable* corruption, exactly like a real bit flip.
+  std::vector<uint8_t> Payload = Value.Residual->serialize();
+  std::string EntryName = Value.Entry.isValid() ? Value.Entry.str() : "";
+  std::vector<uint8_t> Image;
+  Image.reserve(HeaderSize + Key.BtSig.size() + Key.StaticSig.size() +
+                EntryName.size() + StatsSize + Payload.size());
+  putU32(Image, StoreMagic);
+  putU32(Image, StoreVersion);
+  putU64(Image, Key.ProgramFp);
+  putU32(Image, static_cast<uint32_t>(Key.BtSig.size()));
+  putU32(Image, static_cast<uint32_t>(Key.StaticSig.size()));
+  putU32(Image, static_cast<uint32_t>(EntryName.size()));
+  putU32(Image, static_cast<uint32_t>(Payload.size()));
+  Image.insert(Image.end(), Key.BtSig.begin(), Key.BtSig.end());
+  Image.insert(Image.end(), Key.StaticSig.begin(), Key.StaticSig.end());
+  Image.insert(Image.end(), EntryName.begin(), EntryName.end());
+  const size_t Counters[] = {Value.Stats.UnfoldedCalls,
+                             Value.Stats.MemoizedCalls,
+                             Value.Stats.ResidualFunctions,
+                             Value.Stats.StaticPrims,
+                             Value.Stats.ResidualPrims};
+  for (size_t C : Counters)
+    putU64(Image, C);
+  Image.insert(Image.end(), Payload.begin(), Payload.end());
+  // Splice the two checksums into the header (body first — the header
+  // checksum covers the stored body checksum).
+  uint64_t BodySum = fnv1a(Image.data() + HeaderSize - 16,
+                           Image.size() - (HeaderSize - 16));
+  std::vector<uint8_t> Sum;
+  putU64(Sum, BodySum);
+  Image.insert(Image.begin() + 32, Sum.begin(), Sum.end());
+  Sum.clear();
+  putU64(Sum, fnv1a(Image.data(), 40));
+  Image.insert(Image.begin() + 40, Sum.begin(), Sum.end());
+
+  if (Plan.CorruptAtWrite) {
+    uint64_t Ordinal = WriteOrdinal.load(std::memory_order_relaxed) + 1;
+    if (Ordinal == Plan.CorruptAtWrite && !Image.empty())
+      Image[Plan.CorruptOffset % Image.size()] ^= 0x01;
+  }
+
+  // Single writer: every put (from any thread or process) serializes on
+  // the flock'd LOCK file. Readers never take it — rename atomicity is
+  // their whole consistency story.
+  Fd Lock;
+  Lock.Handle =
+      ::open((Dir + "/LOCK").c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+  if (Lock.Handle < 0 || flock(Lock.Handle, LOCK_EX) != 0)
+    return Fail(StoreError::WriteFailed);
+
+  std::string Final = Dir + "/" + entryFileName(Key.Hash);
+  std::string Tmp = Final + ".tmp";
+  Fd F;
+  F.Handle = ::open(Tmp.c_str(), O_CREAT | O_TRUNC | O_WRONLY | O_CLOEXEC,
+                    0644);
+  if (F.Handle < 0)
+    return Fail(StoreError::WriteFailed);
+
+  uint64_t Ordinal = WriteOrdinal.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (Plan.FailAtWrite && Ordinal == Plan.FailAtWrite) {
+    // A cleanly reported write error: the writer notices and removes its
+    // debris.
+    unlink(Tmp.c_str());
+    return Fail(StoreError::WriteFailed);
+  }
+  if (Plan.ShortWriteAt && Ordinal == Plan.ShortWriteAt) {
+    // A torn write followed by a "crash": half the image lands and the
+    // tmp file is abandoned. Readers never look at tmp names; fsck
+    // reports the debris as TornWrite.
+    (void)!::write(F.Handle, Image.data(), Image.size() / 2);
+    return Fail(StoreError::WriteFailed);
+  }
+  size_t Off = 0;
+  while (Off != Image.size()) {
+    ssize_t N = ::write(F.Handle, Image.data() + Off, Image.size() - Off);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      unlink(Tmp.c_str());
+      return Fail(StoreError::WriteFailed);
+    }
+    Off += static_cast<size_t>(N);
+  }
+  if (Plan.FailFsync || fsync(F.Handle) != 0) {
+    unlink(Tmp.c_str());
+    return Fail(StoreError::WriteFailed);
+  }
+  if (rename(Tmp.c_str(), Final.c_str()) != 0) {
+    unlink(Tmp.c_str());
+    return Fail(StoreError::WriteFailed);
+  }
+  // Make the rename itself durable (best-effort: the entry is already
+  // consistent either way, this only narrows the lost-on-power-cut
+  // window).
+  Fd D;
+  D.Handle = ::open(Dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (D.Handle >= 0)
+    (void)fsync(D.Handle);
+
+  Writes.fetch_add(1, std::memory_order_relaxed);
+  BytesWritten.fetch_add(Image.size(), std::memory_order_relaxed);
+  return StoreError::None;
+}
+
+Result<std::vector<StoreEntryInfo>> DiskStore::walk(const std::string &Dir,
+                                                    bool Deep) {
+  DIR *D = opendir(Dir.c_str());
+  if (!D)
+    return storeError(StoreError::IoError,
+                      "cannot read store '" + Dir + "': " + strerror(errno));
+  std::vector<StoreEntryInfo> Out;
+  time_t Now = time(nullptr);
+  while (struct dirent *E = readdir(D)) {
+    std::string Name = E->d_name;
+    if (Name == "." || Name == ".." || Name == "LOCK")
+      continue;
+    StoreEntryInfo Info;
+    Info.File = Name;
+    std::string Path = Dir + "/" + Name;
+    struct stat St;
+    if (stat(Path.c_str(), &St) == 0) {
+      Info.FileBytes = static_cast<size_t>(St.st_size);
+      Info.AgeSeconds = static_cast<int64_t>(Now - St.st_mtime);
+    }
+    if (isTornName(Name)) {
+      Info.Status = StoreError::TornWrite;
+      Info.Detail = "abandoned tmp file from an interrupted writer "
+                    "(ignored by loads)";
+      Out.push_back(std::move(Info));
+      continue;
+    }
+    if (!isEntryName(Name)) {
+      Info.Status = StoreError::BadMagic;
+      Info.Detail = "not a store entry file";
+      Out.push_back(std::move(Info));
+      continue;
+    }
+
+    // Plain one-shot read; walk is offline tooling with no fault plan.
+    std::vector<uint8_t> Bytes;
+    {
+      Fd F;
+      F.Handle = ::open(Path.c_str(), O_RDONLY | O_CLOEXEC);
+      if (F.Handle < 0) {
+        Info.Status = StoreError::IoError;
+        Info.Detail = strerror(errno);
+        Out.push_back(std::move(Info));
+        continue;
+      }
+      uint8_t Buf[1 << 16];
+      for (;;) {
+        ssize_t N = ::read(F.Handle, Buf, sizeof(Buf));
+        if (N < 0 && errno == EINTR)
+          continue;
+        if (N <= 0)
+          break;
+        Bytes.insert(Bytes.end(), Buf, Buf + N);
+      }
+    }
+
+    ParsedEntry Parsed;
+    std::string Detail;
+    if (StoreError PE = parseEntry(Bytes, Parsed, Detail);
+        PE != StoreError::None) {
+      Info.Status = PE;
+      Info.Detail = Detail;
+      Out.push_back(std::move(Info));
+      continue;
+    }
+    Info.ProgramFp = Parsed.ProgramFp;
+    Info.BtSig = Parsed.BtSig;
+    Info.EntryName = Parsed.EntryName;
+    Info.PayloadBytes = Parsed.Payload.size();
+    // A checksum-valid entry sitting under the wrong file name (a copied
+    // or renamed blob) would answer lookups for a key it does not hold.
+    if (entryFileName(specKeyHash(Parsed.ProgramFp, Parsed.BtSig,
+                                  Parsed.StaticSig)) != Name) {
+      Info.Status = StoreError::KeyMismatch;
+      Info.Detail = "file name does not match the stored key";
+      Out.push_back(std::move(Info));
+      continue;
+    }
+    if (Deep) {
+      Result<std::shared_ptr<const compiler::PortableProgram>> Port =
+          compiler::PortableProgram::deserialize(Parsed.Payload);
+      if (!Port) {
+        Info.Status = StoreError::MalformedPayload;
+        Info.Detail = Port.error().render();
+      } else if (auto Err =
+                     verifySnapshot(**Port, Symbol::intern(Parsed.EntryName))) {
+        Info.Status = StoreError::VerifyRejected;
+        Info.Detail = *Err;
+      }
+    }
+    Out.push_back(std::move(Info));
+  }
+  closedir(D);
+  return Out;
+}
+
+DiskStoreStats DiskStore::stats() const {
+  DiskStoreStats S;
+  S.Hits = Hits.load(std::memory_order_relaxed);
+  S.Misses = Misses.load(std::memory_order_relaxed);
+  S.Rejects = Rejects.load(std::memory_order_relaxed);
+  S.VerifyRejects = VerifyRejects.load(std::memory_order_relaxed);
+  S.Writes = Writes.load(std::memory_order_relaxed);
+  S.WriteFailures = WriteFailures.load(std::memory_order_relaxed);
+  S.BytesWritten = BytesWritten.load(std::memory_order_relaxed);
+  if (DIR *D = opendir(Dir.c_str())) {
+    while (struct dirent *E = readdir(D)) {
+      std::string Name = E->d_name;
+      if (!isEntryName(Name))
+        continue;
+      struct stat St;
+      if (stat((Dir + "/" + Name).c_str(), &St) == 0) {
+        S.EntriesOnDisk += 1;
+        S.BytesOnDisk += static_cast<uint64_t>(St.st_size);
+      }
+    }
+    closedir(D);
+  }
+  return S;
+}

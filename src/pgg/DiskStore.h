@@ -1,0 +1,203 @@
+//===- pgg/DiskStore.h - Crash-safe persistent code-cache store -*- C++ -*-===//
+///
+/// \file
+/// The on-disk tier of the specialization cache: a directory of
+/// checksummed entry blobs, one per (program fingerprint, BT signature,
+/// static-value rendering) cache key, each holding a serialized
+/// compiler::PortableProgram plus its entry symbol and generation stats.
+/// This is what turns the cache's 65–314x cold-vs-hit amortization into a
+/// cross-run, cross-process property: a fresh `pecompc serve --store=DIR`
+/// warm-starts from specializations earlier processes paid for.
+///
+/// Trust boundary — the store is ADVERSARIAL input. A file on disk may be
+/// truncated, bit-flipped, version-skewed, torn by a crashed writer, or
+/// outright forged; none of that may ever crash the VM or execute
+/// unverified code. The defense is layered:
+///
+///   1. Every entry file carries a fixed header (magic, format version,
+///      field lengths, payload length) protected by its own checksum, and
+///      a body checksum over every remaining byte — any single-byte
+///      corruption anywhere in the file is detected before a length field
+///      is trusted.
+///   2. The payload decodes through PortableProgram::deserialize, which
+///      bounds-checks every length, index, and relocation offset and
+///      re-establishes the structural invariants instantiate() needs.
+///   3. The decoded snapshot is instantiated into a throwaway sandbox
+///      (its own Heap/CodeStore, never a Machine) and re-run through the
+///      byte-code verifier; only a snapshot that proves out is handed to
+///      the cache. Load paths additionally re-verify at link time, as
+///      they always have.
+///
+/// Every failure mode is a classified StoreError; callers fall back to
+/// cold specialization and the failure shows up in the disk-tier
+/// counters, never as a request failure.
+///
+/// Crash safety: writes go to a per-process .tmp file, are fsync'd, and
+/// reach their final name by rename(2) — readers either see a complete,
+/// checksummed entry or no entry. Writers serialize on an flock'd LOCK
+/// file (single writer, any number of lock-free readers, across both
+/// threads and processes). A StoreFaultPlan mirrors vm::Heap::FaultPlan:
+/// deterministic injection of failed/short reads and writes, fsync
+/// failure, and corruption-at-offset, so tests and the fuzzer can hammer
+/// the persistence layer the way PR 6 hammered the VM tiers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PECOMP_PGG_DISKSTORE_H
+#define PECOMP_PGG_DISKSTORE_H
+
+#include "pgg/SpecCache.h"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace pecomp {
+namespace pgg {
+
+/// Classified store failure modes. Stable numeric values: they are
+/// carried in Error::code() offset by StoreErrorCodeBase (disjoint from
+/// vm::TrapKind, so trapKindOf() still reports None for store errors and
+/// service responses can classify the two independently).
+enum class StoreError : uint8_t {
+  None = 0,
+  IoError,          ///< open/read/stat failed (or injected read fault)
+  NotFound,         ///< no committed entry for the key
+  Truncated,        ///< file shorter than its header or declared lengths
+  BadMagic,         ///< not a store entry at all
+  BadVersion,       ///< entry written by an incompatible format version
+  HeaderCorrupt,    ///< header checksum mismatch (lengths untrustworthy)
+  BodyCorrupt,      ///< body checksum mismatch (payload untrustworthy)
+  KeyMismatch,      ///< checksums fine but the stored key is not ours
+  MalformedPayload, ///< PortableProgram::deserialize rejected the payload
+  VerifyRejected,   ///< byte-code verifier rejected the loaded snapshot
+  TornWrite,        ///< leftover .tmp debris from a crashed writer
+  WriteFailed,      ///< put() could not commit (I/O error, fsync, RO store)
+};
+
+/// Human-readable class name ("BodyCorrupt", ...).
+const char *storeErrorName(StoreError E);
+
+/// Error::code() base for store errors; vm::TrapKind owns the low values.
+constexpr int StoreErrorCodeBase = 100;
+
+/// Builds a classified store Error.
+inline Error storeError(StoreError K, std::string Message) {
+  Error E(std::move(Message));
+  E.setCode(StoreErrorCodeBase + static_cast<int>(K));
+  return E;
+}
+
+/// The store class of \p E (StoreError::None for non-store errors).
+inline StoreError storeErrorOf(const Error &E) {
+  int C = E.code() - StoreErrorCodeBase;
+  if (C <= 0 || C > static_cast<int>(StoreError::WriteFailed))
+    return StoreError::None;
+  return static_cast<StoreError>(C);
+}
+
+/// Deterministic I/O fault injection, mirroring vm::Heap::FaultPlan.
+/// Ordinals are 1-based and count the store's read()/write() syscalls
+/// since the plan was installed; 0 = never.
+struct StoreFaultPlan {
+  uint64_t FailAtWrite = 0;  ///< this write reports EIO (clean failure)
+  uint64_t ShortWriteAt = 0; ///< this write persists only half its bytes
+                             ///< and then "crashes" (tmp debris remains)
+  uint64_t FailAtRead = 0;   ///< this read reports EIO
+  uint64_t ShortReadAt = 0;  ///< this read returns only half the file
+  bool FailFsync = false;    ///< every fsync reports EIO
+  uint64_t CorruptAtWrite = 0; ///< this write commits with one byte flipped
+  size_t CorruptOffset = 0;    ///< offset of the flipped byte (mod size)
+};
+
+/// Disk-tier counters, surfaced through CacheStats/--cache-stats.
+struct DiskStoreStats {
+  uint64_t Hits = 0;          ///< entries loaded, verified, and served
+  uint64_t Misses = 0;        ///< keys with no committed entry
+  uint64_t Rejects = 0;       ///< classified load rejections (all kinds)
+  uint64_t VerifyRejects = 0; ///< the verify-on-load subset of Rejects
+  uint64_t Writes = 0;        ///< entries committed
+  uint64_t WriteFailures = 0; ///< puts that could not commit
+  uint64_t BytesWritten = 0;  ///< committed entry bytes
+  uint64_t BytesOnDisk = 0;   ///< committed entry bytes currently resident
+  uint64_t EntriesOnDisk = 0; ///< committed entries currently resident
+
+  /// One-line human-readable rendering (appended to CacheStats::report).
+  std::string report() const;
+};
+
+/// One entry's offline status, as reported by walk() (cache-fsck/ls).
+struct StoreEntryInfo {
+  std::string File;  ///< basename within the store directory
+  StoreError Status = StoreError::None;
+  std::string Detail;     ///< failure description when Status != None
+  uint64_t ProgramFp = 0; ///< key fields, valid when the header verified
+  std::string BtSig;
+  std::string EntryName;
+  size_t FileBytes = 0;
+  size_t PayloadBytes = 0;
+  int64_t AgeSeconds = -1; ///< mtime age, -1 when unknown
+};
+
+/// A shared, crash-safe store directory. Thread safe: loads are lock-free
+/// (rename atomicity), puts serialize on the flock'd LOCK file.
+class DiskStore {
+public:
+  /// Opens (creating, unless \p ReadOnly) the store directory. Fails with
+  /// a classified error when the directory cannot be created/accessed.
+  static Result<std::shared_ptr<DiskStore>> open(std::string Dir,
+                                                 bool ReadOnly = false);
+  ~DiskStore();
+  DiskStore(const DiskStore &) = delete;
+  DiskStore &operator=(const DiskStore &) = delete;
+
+  /// Loads, checks, and verifies the entry for \p Key. On success the
+  /// returned specialization has survived checksums, deserialization, and
+  /// the byte-code verifier. Every failure is a classified storeError();
+  /// callers treat any failure as a cache miss.
+  Result<std::shared_ptr<const CachedSpecialization>> load(const SpecKey &Key);
+
+  /// Atomically commits \p Value under \p Key (tmp + fsync + rename under
+  /// the writer lock). Returns the failure class; never throws away the
+  /// in-memory entry — a failed put only costs future processes the warm
+  /// start.
+  StoreError put(const SpecKey &Key, const CachedSpecialization &Value);
+
+  /// Walks a store directory offline, classifying every entry (committed
+  /// and torn). \p Deep additionally deserializes and verifies payloads —
+  /// the cache-fsck mode; shallow stops at the checksums — cache-ls.
+  /// Fails only when the directory itself cannot be read.
+  static Result<std::vector<StoreEntryInfo>> walk(const std::string &Dir,
+                                                  bool Deep);
+
+  DiskStoreStats stats() const;
+  /// Installs \p P and restarts the fault ordinals at zero, so plans
+  /// compose deterministically across test phases.
+  void setFaultPlan(const StoreFaultPlan &P) {
+    Plan = P;
+    ReadOrdinal.store(0, std::memory_order_relaxed);
+    WriteOrdinal.store(0, std::memory_order_relaxed);
+  }
+  const std::string &dir() const { return Dir; }
+  bool readOnly() const { return ReadOnly; }
+
+private:
+  DiskStore(std::string Dir, bool ReadOnly)
+      : Dir(std::move(Dir)), ReadOnly(ReadOnly) {}
+
+  Result<std::vector<uint8_t>> readWholeFile(const std::string &Path);
+
+  std::string Dir;
+  bool ReadOnly;
+  StoreFaultPlan Plan;
+  std::atomic<uint64_t> ReadOrdinal{0}, WriteOrdinal{0};
+  mutable std::atomic<uint64_t> Hits{0}, Misses{0}, Rejects{0},
+      VerifyRejects{0}, Writes{0}, WriteFailures{0}, BytesWritten{0};
+};
+
+} // namespace pgg
+} // namespace pecomp
+
+#endif // PECOMP_PGG_DISKSTORE_H

@@ -45,6 +45,8 @@ struct RtcgService::WorkerState {
 
 RtcgService::RtcgService(RtcgOptions O)
     : Opts(std::move(O)), Cache(Opts.CacheBytes, Opts.CacheShards) {
+  if (Opts.Store)
+    Cache.attachDisk(Opts.Store);
   size_t N = std::max<size_t>(Opts.Threads, 1);
   Workers.reserve(N);
   for (size_t I = 0; I != N; ++I)
@@ -153,10 +155,18 @@ RtcgResponse RtcgService::process(WorkerState &W, const RtcgRequest &Req) {
 
   compiler::CompiledProgram CP;
   Symbol Entry;
-  if (std::shared_ptr<const CachedSpecialization> Hit = Cache.lookup(Key)) {
+  LookupOutcome Tier;
+  std::shared_ptr<const CachedSpecialization> Hit = Cache.lookup(Key, Tier);
+  // A classified store failure (corrupt entry, verifier rejection, I/O
+  // fault) degrades to cold specialization; it is reported on its own
+  // channel, never as a request trap.
+  Resp.StoreCode = Tier.DiskError;
+  Resp.StoreNote = Tier.DiskDetail;
+  if (Hit) {
     CP = Hit->Residual->instantiate(Store, Globals);
     Entry = Hit->Entry;
     Resp.CacheHit = true;
+    Resp.DiskHit = Tier.DiskHit;
     Resp.Gen = Hit->Stats;
   } else {
     GeneratingExtension *Gen;

@@ -53,6 +53,14 @@ struct RtcgResponse {
   std::string ErrorText; ///< when !Ok
   int TrapCode = 0;      ///< vm::TrapKind of the failure (0 = none)
   bool CacheHit = false; ///< specialization served from the cache
+  bool DiskHit = false;  ///< ... specifically from the persistent store
+  /// Classified store failure observed while serving this request
+  /// (StoreErrorCodeBase + pgg::StoreError; 0 = none). Deliberately a
+  /// separate channel from TrapCode: a corrupt/unloadable store entry
+  /// degrades to cold specialization and the request still succeeds, so
+  /// StoreCode can be nonzero while Ok is true and TrapCode is 0.
+  int StoreCode = 0;
+  std::string StoreNote; ///< description of the store failure
   spec::SpecStats Gen;   ///< generation stats (the cached ones on a hit)
   size_t Worker = 0;     ///< index of the worker that served it
 };
@@ -77,6 +85,10 @@ struct RtcgOptions {
 #else
   bool Peephole = true;
 #endif
+  /// Persistent cache tier (pgg/DiskStore.h), attached to the service's
+  /// SpecCache when non-null. The caller opens the store so an open
+  /// failure is reportable up front rather than silently degrading.
+  std::shared_ptr<DiskStore> Store;
   PggOptions Pgg;
 };
 

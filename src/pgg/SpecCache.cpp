@@ -2,6 +2,8 @@
 
 #include "pgg/SpecCache.h"
 
+#include "pgg/DiskStore.h"
+
 #include <cstdio>
 
 using namespace pecomp;
@@ -52,14 +54,19 @@ SpecKey pgg::makeSpecKey(uint64_t ProgramFp,
       K.StaticSig.push_back('\n'); // writes never contain a raw newline
     }
   }
+  K.Hash = specKeyHash(ProgramFp, K.BtSig, K.StaticSig);
+  return K;
+}
+
+uint64_t pgg::specKeyHash(uint64_t ProgramFp, std::string_view BtSig,
+                          std::string_view StaticSig) {
   uint64_t H = FnvOffset;
   for (int Shift = 0; Shift < 64; Shift += 8)
     H = fnv1aByte(H, static_cast<uint8_t>(ProgramFp >> Shift));
-  H = fnv1a(H, K.BtSig);
+  H = fnv1a(H, BtSig);
   H = fnv1aByte(H, 0);
-  H = fnv1a(H, K.StaticSig);
-  K.Hash = H;
-  return K;
+  H = fnv1a(H, StaticSig);
+  return H;
 }
 
 size_t CacheStats::addCoverage(support::CoverageMap &M) const {
@@ -81,7 +88,23 @@ std::string CacheStats::report() const {
            static_cast<unsigned long long>(Insertions),
            static_cast<unsigned long long>(Evictions), Entries, Bytes,
            MaxBytes);
-  return Buf;
+  std::string Out = Buf;
+  if (HasDisk) {
+    snprintf(Buf, sizeof(Buf),
+             "disk-store: %llu hits, %llu misses, %llu rejects "
+             "(%llu verify), %llu writes (%llu failed), "
+             "%llu entries / %llu bytes on disk\n",
+             static_cast<unsigned long long>(DiskHits),
+             static_cast<unsigned long long>(DiskMisses),
+             static_cast<unsigned long long>(DiskRejects),
+             static_cast<unsigned long long>(DiskVerifyRejects),
+             static_cast<unsigned long long>(DiskWrites),
+             static_cast<unsigned long long>(DiskWriteFailures),
+             static_cast<unsigned long long>(DiskEntriesOnDisk),
+             static_cast<unsigned long long>(DiskBytesOnDisk));
+    Out += Buf;
+  }
+  return Out;
 }
 
 SpecCache::SpecCache(size_t MaxBytes, size_t NumShards) : MaxBytes(MaxBytes) {
@@ -106,8 +129,43 @@ SpecCache::lookup(const SpecKey &Key) {
   return It->second->Value;
 }
 
+std::shared_ptr<const CachedSpecialization>
+SpecCache::lookup(const SpecKey &Key, LookupOutcome &Out) {
+  if (std::shared_ptr<const CachedSpecialization> V = lookup(Key)) {
+    Out.MemoryHit = true;
+    return V;
+  }
+  if (!Disk)
+    return nullptr;
+  Result<std::shared_ptr<const CachedSpecialization>> R = Disk->load(Key);
+  if (R) {
+    Out.DiskHit = true;
+    insertMemory(Key, *R); // promote; no write-back to disk
+    return *R;
+  }
+  // A plain miss is the expected cold-store answer; everything else is a
+  // classified failure worth surfacing (the lookup still degrades to a
+  // miss either way).
+  if (storeErrorOf(R.error()) != StoreError::NotFound) {
+    Out.DiskError = R.error().code();
+    Out.DiskDetail = R.error().message();
+  }
+  return nullptr;
+}
+
+void SpecCache::attachDisk(std::shared_ptr<DiskStore> Store) {
+  Disk = std::move(Store);
+}
+
 void SpecCache::insert(const SpecKey &Key,
                        std::shared_ptr<const CachedSpecialization> Value) {
+  if (Disk && !Disk->readOnly() && Value)
+    Disk->put(Key, *Value); // failures tallied in the store's counters
+  insertMemory(Key, std::move(Value));
+}
+
+void SpecCache::insertMemory(
+    const SpecKey &Key, std::shared_ptr<const CachedSpecialization> Value) {
   size_t Bytes = Value ? Value->byteSize() : 0;
   Shard &S = shardFor(Key);
   std::lock_guard<std::mutex> Lock(S.M);
@@ -161,6 +219,18 @@ CacheStats SpecCache::stats() const {
     std::lock_guard<std::mutex> Lock(S->M);
     Out.Bytes += S->Bytes;
     Out.Entries += S->Lru.size();
+  }
+  if (Disk) {
+    DiskStoreStats D = Disk->stats();
+    Out.HasDisk = true;
+    Out.DiskHits = D.Hits;
+    Out.DiskMisses = D.Misses;
+    Out.DiskRejects = D.Rejects;
+    Out.DiskVerifyRejects = D.VerifyRejects;
+    Out.DiskWrites = D.Writes;
+    Out.DiskWriteFailures = D.WriteFailures;
+    Out.DiskBytesOnDisk = D.BytesOnDisk;
+    Out.DiskEntriesOnDisk = D.EntriesOnDisk;
   }
   return Out;
 }

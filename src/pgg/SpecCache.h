@@ -41,6 +41,8 @@
 namespace pecomp {
 namespace pgg {
 
+class DiskStore;
+
 /// Stable 64-bit fingerprint (FNV-1a) of the program-side of a cache key:
 /// source text, entry name, and requested division. Everything downstream
 /// of these inputs (front end, BTA, effective division) is deterministic,
@@ -71,6 +73,12 @@ struct SpecKey {
 SpecKey makeSpecKey(uint64_t ProgramFp,
                     std::span<const std::optional<vm::Value>> Args);
 
+/// The hash makeSpecKey precomputes, as a standalone function: the disk
+/// store names entry files by this value and cache-fsck recomputes it
+/// from an entry's stored key fields to catch renamed/duplicated blobs.
+uint64_t specKeyHash(uint64_t ProgramFp, std::string_view BtSig,
+                     std::string_view StaticSig);
+
 /// One cached specialization: the relinkable object code plus the
 /// generation-time statistics (so a hit can still report what the
 /// generation it short-circuits had cost).
@@ -92,6 +100,18 @@ struct CacheStats {
   size_t Entries = 0;  ///< currently resident
   size_t MaxBytes = 0; ///< configured budget (0 = unlimited)
 
+  /// Disk-tier counters (mirrors pgg::DiskStoreStats; meaningful only
+  /// when HasDisk — the cache has a store attached).
+  bool HasDisk = false;
+  uint64_t DiskHits = 0;          ///< loaded, verified, and served
+  uint64_t DiskMisses = 0;        ///< keys with no committed entry
+  uint64_t DiskRejects = 0;       ///< classified load rejections
+  uint64_t DiskVerifyRejects = 0; ///< the verify-on-load subset
+  uint64_t DiskWrites = 0;        ///< entries committed
+  uint64_t DiskWriteFailures = 0; ///< puts that could not commit
+  uint64_t DiskBytesOnDisk = 0;   ///< committed bytes currently resident
+  uint64_t DiskEntriesOnDisk = 0; ///< committed entries currently resident
+
   double hitRate() const {
     uint64_t Total = Hits + Misses;
     return Total ? static_cast<double>(Hits) / static_cast<double>(Total) : 0;
@@ -105,9 +125,27 @@ struct CacheStats {
   size_t addCoverage(support::CoverageMap &M) const;
 };
 
+/// Where a tiered lookup's answer came from, and how the disk tier
+/// failed when it did. A nonzero DiskError never fails the lookup — the
+/// caller just proceeds to cold specialization — but it is the signal
+/// services surface distinctly from specialization traps.
+struct LookupOutcome {
+  bool MemoryHit = false;
+  bool DiskHit = false;   ///< served (and promoted) from the disk store
+  int DiskError = 0;      ///< classified Error::code() (StoreErrorCodeBase
+                          ///< + pgg::StoreError); 0 = none. A plain miss
+                          ///< (NotFound) is not recorded as an error.
+  std::string DiskDetail; ///< description of the store failure
+};
+
 /// Sharded, byte-budgeted LRU cache of specializations. All methods are
 /// thread safe; entries are immutable and shared out by shared_ptr, so an
 /// eviction never invalidates a unit another thread is instantiating.
+///
+/// With a DiskStore attached the cache is two-tier: lookups fall through
+/// memory to the store (verified loads are promoted into memory), and
+/// inserts write through so later processes warm-start. Store failures of
+/// any kind degrade to a miss.
 class SpecCache {
 public:
   /// \p MaxBytes of 0 means unlimited (no eviction). The budget is split
@@ -115,13 +153,27 @@ public:
   explicit SpecCache(size_t MaxBytes, size_t Shards = 8);
 
   /// Returns the cached specialization (refreshing its LRU position), or
-  /// null on miss. Counts a hit or a miss.
+  /// null on miss. Counts a hit or a miss. Memory tier only.
   std::shared_ptr<const CachedSpecialization> lookup(const SpecKey &Key);
+
+  /// Tiered lookup: memory first, then the attached disk store (if any).
+  /// A disk hit has already survived checksums, deserialization, and the
+  /// byte-code verifier, and is promoted into the memory tier. \p Out
+  /// reports which tier answered and any classified store failure.
+  std::shared_ptr<const CachedSpecialization> lookup(const SpecKey &Key,
+                                                     LookupOutcome &Out);
+
+  /// Attaches the persistent tier. Not thread safe against concurrent
+  /// lookups — attach before the cache is shared (service construction).
+  void attachDisk(std::shared_ptr<DiskStore> Store);
+  DiskStore *disk() const { return Disk.get(); }
 
   /// Inserts (or replaces) \p Value, then evicts least-recently-used
   /// entries from the shard until it is back under budget. An entry
   /// larger than a whole shard budget is inserted and immediately
   /// evicted — the insert still counts, so the stats expose the thrash.
+  /// Writes through to the attached disk store (a failed put only costs
+  /// future processes the warm start; it never unwinds the insert).
   void insert(const SpecKey &Key,
               std::shared_ptr<const CachedSpecialization> Value);
 
@@ -153,10 +205,13 @@ private:
     return *Shards[Key.Hash % Shards.size()];
   }
   void evictOverBudgetLocked(Shard &S);
+  void insertMemory(const SpecKey &Key,
+                    std::shared_ptr<const CachedSpecialization> Value);
 
   size_t MaxBytes;
   size_t ShardBudget; ///< MaxBytes / shard count (0 = unlimited)
   std::vector<std::unique_ptr<Shard>> Shards;
+  std::shared_ptr<DiskStore> Disk; ///< persistent tier (may be null)
 
   mutable std::atomic<uint64_t> Hits{0}, Misses{0}, Insertions{0},
       Evictions{0};

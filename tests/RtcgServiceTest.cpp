@@ -9,8 +9,10 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "StoreTestUtil.h"
 #include "TestUtil.h"
 
+#include "pgg/DiskStore.h"
 #include "pgg/RtcgService.h"
 
 #include <set>
@@ -193,6 +195,84 @@ TEST(RtcgService, SubmitInterfaceAndDestructorDrain) {
   std::future<pgg::RtcgResponse> F2 = S.submit(powerReq(3, 3));
   EXPECT_EQ(F1.get().Value, "8");
   EXPECT_EQ(F2.get().Value, "27");
+}
+
+TEST(RtcgService, WarmStartsFromPersistentStoreAcrossInstances) {
+  // Two service lifetimes over one store directory: the second instance
+  // has a cold memory cache but serves the first's specialization from
+  // disk — the `pecompc serve --store` warm-start path.
+  TempStoreDir Dir;
+  {
+    PECOMP_UNWRAP(St, pgg::DiskStore::open(Dir.Path));
+    pgg::RtcgOptions O;
+    O.Threads = 1;
+    O.Store = St;
+    pgg::RtcgService S(O);
+    auto Rs = S.serveAll({powerReq(6, 2)});
+    ASSERT_TRUE(Rs[0].Ok) << Rs[0].ErrorText;
+    EXPECT_EQ(Rs[0].Value, "64");
+    EXPECT_FALSE(Rs[0].CacheHit);
+    EXPECT_EQ(S.cacheStats().DiskWrites, 1u);
+  } // service and its memory cache destroyed; only the directory remains
+
+  PECOMP_UNWRAP(St2, pgg::DiskStore::open(Dir.Path));
+  pgg::RtcgOptions O2;
+  O2.Threads = 1;
+  O2.Store = St2;
+  pgg::RtcgService S2(O2);
+  auto Rs = S2.serveAll({powerReq(6, 2), powerReq(6, 3)});
+  ASSERT_TRUE(Rs[0].Ok) << Rs[0].ErrorText;
+  EXPECT_EQ(Rs[0].Value, "64");
+  EXPECT_TRUE(Rs[0].CacheHit);
+  EXPECT_TRUE(Rs[0].DiskHit); // served by the store, not regenerated
+  EXPECT_EQ(Rs[0].StoreCode, 0);
+  ASSERT_TRUE(Rs[1].Ok);
+  EXPECT_EQ(Rs[1].Value, "729");
+  EXPECT_TRUE(Rs[1].CacheHit);
+  EXPECT_FALSE(Rs[1].DiskHit); // promoted: second hit is pure memory
+  pgg::CacheStats CS = S2.cacheStats();
+  EXPECT_TRUE(CS.HasDisk);
+  EXPECT_EQ(CS.DiskHits, 1u);
+}
+
+TEST(RtcgService, CorruptStoreEntryDegradesToColdServeWithStoreCode) {
+  // A corrupt store entry must cost only the warm start: the request
+  // still succeeds via cold specialization, TrapCode stays clean, and
+  // the store failure is classified on its own channel.
+  TempStoreDir Dir;
+  {
+    PECOMP_UNWRAP(St, pgg::DiskStore::open(Dir.Path));
+    pgg::RtcgOptions O;
+    O.Threads = 1;
+    O.Store = St;
+    pgg::RtcgService S(O);
+    ASSERT_TRUE(S.serveAll({powerReq(6, 2)})[0].Ok);
+  }
+  // Flip one payload byte in the single committed entry.
+  for (auto &E : std::filesystem::directory_iterator(Dir.Path)) {
+    if (E.path().extension() != ".ppc")
+      continue;
+    std::vector<uint8_t> Image = slurp(E.path().string());
+    Image[Image.size() - 1] ^= 0x08;
+    spit(E.path().string(), Image);
+  }
+
+  PECOMP_UNWRAP(St2, pgg::DiskStore::open(Dir.Path));
+  pgg::RtcgOptions O2;
+  O2.Threads = 1;
+  O2.Store = St2;
+  pgg::RtcgService S2(O2);
+  auto Rs = S2.serveAll({powerReq(6, 2)});
+  ASSERT_TRUE(Rs[0].Ok) << Rs[0].ErrorText; // cold fallback served it
+  EXPECT_EQ(Rs[0].Value, "64");
+  EXPECT_FALSE(Rs[0].DiskHit);
+  EXPECT_EQ(Rs[0].TrapCode, 0); // not a specialization/runtime trap
+  EXPECT_EQ(Rs[0].StoreCode,
+            pgg::StoreErrorCodeBase +
+                static_cast<int>(pgg::StoreError::BodyCorrupt));
+  EXPECT_FALSE(Rs[0].StoreNote.empty());
+  // The cold regeneration wrote through again: the store self-heals.
+  EXPECT_GE(S2.cacheStats().DiskWrites, 1u);
 }
 
 } // namespace

@@ -1,0 +1,59 @@
+//===- tests/StoreTestUtil.h - Persistent-store test helpers ----*- C++ -*-===//
+///
+/// \file
+/// Shared scaffolding for tests that exercise pgg/DiskStore: a
+/// self-cleaning scratch store directory under TMPDIR, and raw file
+/// slurp/spit for corrupting committed entries in place.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PECOMP_TESTS_STORETESTUTIL_H
+#define PECOMP_TESTS_STORETESTUTIL_H
+
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace pecomp {
+namespace test {
+
+/// A scratch store directory under TMPDIR, removed on destruction.
+struct TempStoreDir {
+  std::string Path;
+  TempStoreDir() {
+    const char *T = getenv("TMPDIR");
+    std::string Tpl = std::string(T && *T ? T : "/tmp") +
+                      "/pecomp-store-test-XXXXXX";
+    std::vector<char> Buf(Tpl.begin(), Tpl.end());
+    Buf.push_back('\0');
+    EXPECT_NE(mkdtemp(Buf.data()), nullptr);
+    Path = Buf.data();
+  }
+  ~TempStoreDir() {
+    std::error_code Ec;
+    std::filesystem::remove_all(Path, Ec);
+  }
+};
+
+inline std::vector<uint8_t> slurp(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  EXPECT_TRUE(In.good()) << Path;
+  return std::vector<uint8_t>(std::istreambuf_iterator<char>(In),
+                              std::istreambuf_iterator<char>());
+}
+
+inline void spit(const std::string &Path, const std::vector<uint8_t> &Bytes) {
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  Out.write(reinterpret_cast<const char *>(Bytes.data()),
+            static_cast<std::streamsize>(Bytes.size()));
+}
+
+} // namespace test
+} // namespace pecomp
+
+#endif // PECOMP_TESTS_STORETESTUTIL_H

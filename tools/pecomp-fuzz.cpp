@@ -17,6 +17,7 @@
 #include "fuzz/Fuzzer.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -45,6 +46,12 @@ int usage() {
           "  --no-perturb             skip resource-limit/heap-fault schedules\n"
           "  --no-partial-ops         exclude quotient/remainder from grammar\n"
           "  --inject-bug=KIND        plant a bug: branch-flip | fuel\n"
+          "  --store-hammer           round-trip every case's cached\n"
+          "                           snapshot through a DiskStore in a\n"
+          "                           TMPDIR scratch dir, under random\n"
+          "                           injected I/O faults (removed at exit)\n"
+          "  --store-dir=DIR          like --store-hammer, but at DIR\n"
+          "                           (kept; for post-mortem cache-fsck)\n"
           "  --expect-finding         exit 0 iff the run found a divergence\n"
           "  --max-minimized-insns=N  with --expect-finding: require the\n"
           "                           minimized entry to be <= N instructions\n"
@@ -126,6 +133,7 @@ int replay(const std::vector<std::string> &Paths, bool Json) {
 int main(int argc, char **argv) {
   FuzzerOptions Opts;
   bool ExpectFinding = false, Json = false, Replay = false;
+  bool StoreHammer = false;
   size_t MaxMinimizedInsns = 0;
   std::vector<std::string> ReplayPaths;
 
@@ -154,6 +162,10 @@ int main(int argc, char **argv) {
       Opts.Perturb = false;
     } else if (strcmp(A, "--no-partial-ops") == 0) {
       Opts.PartialOps = false;
+    } else if (strcmp(A, "--store-hammer") == 0) {
+      StoreHammer = true;
+    } else if (strncmp(A, "--store-dir=", 12) == 0) {
+      Opts.StoreDir = A + 12;
     } else if (strcmp(A, "--inject-bug=branch-flip") == 0) {
       Opts.Inject = InjectedBug::BranchPolarity;
     } else if (strcmp(A, "--inject-bug=fuel") == 0) {
@@ -175,8 +187,31 @@ int main(int argc, char **argv) {
     return replay(ReplayPaths, Json);
   }
 
+  // --store-hammer: a throwaway store under TMPDIR — never inside the
+  // source tree — removed when the run ends. --store-dir keeps its store
+  // for a post-mortem `pecompc cache-fsck`.
+  std::string ScratchStore;
+  if (StoreHammer && Opts.StoreDir.empty()) {
+    const char *T = getenv("TMPDIR");
+    std::string Tpl =
+        std::string(T && *T ? T : "/tmp") + "/pecomp-fuzz-store-XXXXXX";
+    std::vector<char> Buf(Tpl.begin(), Tpl.end());
+    Buf.push_back('\0');
+    if (!mkdtemp(Buf.data())) {
+      fprintf(stderr, "pecomp-fuzz: mkdtemp failed for --store-hammer\n");
+      return 2;
+    }
+    ScratchStore = Buf.data();
+    Opts.StoreDir = ScratchStore;
+  }
+
   Fuzzer F(Opts);
   const FuzzerStats &Stats = F.run();
+
+  if (!ScratchStore.empty()) {
+    std::error_code Ec;
+    std::filesystem::remove_all(ScratchStore, Ec);
+  }
 
   for (const Finding &Fi : F.findings()) {
     fprintf(stderr, "-- finding: %s\n", Fi.Diverged.render().c_str());

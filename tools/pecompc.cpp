@@ -20,6 +20,11 @@
 ///       RTCG service mode: read one request per line from stdin
 ///       ("static... -- dynamic...", '_' for dynamic slots) and serve
 ///       them over a worker pool sharing the specialization cache
+///   pecompc cache-fsck <store>
+///       classify every entry of a persistent store directory; exits
+///       nonzero when any committed entry is corrupt
+///   pecompc cache-ls <store>
+///       list the committed entries of a persistent store directory
 ///
 /// Divisions are strings over {S, D}, one letter per entry parameter.
 ///
@@ -31,6 +36,7 @@
 #include "compiler/StockCompiler.h"
 #include "frontend/AnfConvert.h"
 #include "frontend/Pipeline.h"
+#include "pgg/DiskStore.h"
 #include "pgg/Pgg.h"
 #include "pgg/RtcgService.h"
 #include "sexp/Reader.h"
@@ -65,6 +71,8 @@ int usage() {
           "  pecompc specrun <file> <entry> <division> [datum|_ ...] -- "
           "[datum...]\n"
           "  pecompc serve <file> <entry> <division>   (requests on stdin)\n"
+          "  pecompc cache-fsck <store>   (nonzero exit on corruption)\n"
+          "  pecompc cache-ls <store>\n"
           "\n"
           "  --fuel=N       cap executed VM instructions (0 = unlimited)\n"
           "  --max-heap=N   cap live heap bytes (0 = unlimited)\n"
@@ -79,8 +87,14 @@ int usage() {
           "  --cache[=N]    memoize specializations (specrun/serve) under\n"
           "                 an N-byte LRU budget (default 64 MiB, 0 = "
           "unlimited)\n"
-          "  --cache-stats  print cache hit/miss/eviction counters to\n"
-          "                 stderr after specrun/serve\n"
+          "  --cache-stats  print cache hit/miss/eviction counters (and\n"
+          "                 disk-tier counters with --store) to stderr\n"
+          "                 after specrun/serve\n"
+          "  --store=PATH   persistent cache tier (implies --cache):\n"
+          "                 specializations are written to the PATH\n"
+          "                 directory and warm-started from it; every\n"
+          "                 loaded entry is checksummed and re-verified,\n"
+          "                 corrupt entries degrade to cold generation\n"
           "  --threads=M    serve worker threads (default 4)\n");
   return 2;
 }
@@ -125,16 +139,31 @@ struct Session {
   bool CacheStatsWanted = false;
   size_t CacheBytes = 64u << 20;
   size_t Threads = 4;
+  std::string StorePath; ///< --store=PATH (empty = memory tier only)
+  std::shared_ptr<pgg::DiskStore> Store; ///< opened once, up front
   std::optional<pgg::SpecCache> Cache;
 
   /// The invocation-wide specialization cache, or null when --cache was
-  /// not given.
+  /// not given. The persistent tier (--store) is attached on first use.
   pgg::SpecCache *cache() {
     if (!CacheEnabled)
       return nullptr;
-    if (!Cache)
+    if (!Cache) {
       Cache.emplace(CacheBytes);
+      if (Store)
+        Cache->attachDisk(Store);
+    }
     return &*Cache;
+  }
+
+  /// Prints a classified store failure to stderr (stdout stays the
+  /// result protocol; a store failure never fails the request).
+  void reportStoreNote(int StoreCode, const std::string &Note) const {
+    if (StoreCode)
+      fprintf(stderr, "pecompc: store[%s]: %s\n",
+              pgg::storeErrorName(static_cast<pgg::StoreError>(
+                  StoreCode - pgg::StoreErrorCodeBase)),
+              Note.c_str());
   }
 
   void reportCacheStats(const pgg::CacheStats &CS) const {
@@ -339,8 +368,10 @@ int cmdSpecRun(Session &S, const std::string &File, const std::string &Entry,
   if (S.cache())
     Key = pgg::makeSpecKey(
         pgg::fingerprintProgram(*Text, Entry, Division), *Args);
+  pgg::LookupOutcome Tier;
   std::shared_ptr<const pgg::CachedSpecialization> Hit =
-      S.cache() ? S.cache()->lookup(Key) : nullptr;
+      S.cache() ? S.cache()->lookup(Key, Tier) : nullptr;
+  S.reportStoreNote(Tier.DiskError, Tier.DiskDetail);
   if (Hit) {
     CP = Hit->Residual->instantiate(Store, Globals);
     ResEntry = Hit->Entry;
@@ -439,9 +470,11 @@ int cmdServe(Session &S, const std::string &File, const std::string &Entry,
   O.Limits = S.Lim;
   O.Fusion = S.Fusion;
   O.Peephole = S.Peephole;
+  O.Store = S.Store;
   pgg::RtcgService Service(O);
   int Failures = 0;
   for (const pgg::RtcgResponse &R : Service.serveAll(std::move(Reqs))) {
+    S.reportStoreNote(R.StoreCode, R.StoreNote);
     if (R.Ok) {
       printf("%s\n", R.Value.c_str());
     } else {
@@ -456,6 +489,42 @@ int cmdServe(Session &S, const std::string &File, const std::string &Entry,
   }
   S.reportCacheStats(Service.cacheStats());
   return Failures ? 1 : 0;
+}
+
+/// cache-fsck / cache-ls: offline store inspection. fsck walks deep
+/// (checksums, payload decode, byte-code verifier) and exits nonzero when
+/// any committed entry is bad; torn .tmp debris from a crashed writer is
+/// reported but does not fail the check — loads never look at it, so the
+/// store is still fully serviceable. ls walks shallow and lists what a
+/// warm start would see.
+int cmdCacheWalk(const std::string &Dir, bool Fsck) {
+  Result<std::vector<pgg::StoreEntryInfo>> Entries =
+      pgg::DiskStore::walk(Dir, /*Deep=*/Fsck);
+  if (!Entries)
+    return fail(Entries.error());
+  size_t Ok = 0, Torn = 0, Corrupt = 0;
+  for (const pgg::StoreEntryInfo &E : *Entries) {
+    if (E.Status == pgg::StoreError::None) {
+      ++Ok;
+      printf("%s: ok entry=%s fp=%016llx bt=%s payload=%zuB file=%zuB "
+             "age=%llds\n",
+             E.File.c_str(), E.EntryName.c_str(),
+             static_cast<unsigned long long>(E.ProgramFp), E.BtSig.c_str(),
+             E.PayloadBytes, E.FileBytes,
+             static_cast<long long>(E.AgeSeconds));
+    } else if (E.Status == pgg::StoreError::TornWrite) {
+      ++Torn;
+      printf("%s: torn (ignored by loads): %s\n", E.File.c_str(),
+             E.Detail.c_str());
+    } else {
+      ++Corrupt;
+      printf("%s: CORRUPT[%s]: %s\n", E.File.c_str(),
+             pgg::storeErrorName(E.Status), E.Detail.c_str());
+    }
+  }
+  printf("%s: %zu entries ok, %zu corrupt, %zu torn\n",
+         Fsck ? "cache-fsck" : "cache-ls", Ok, Corrupt, Torn);
+  return Fsck && Corrupt ? 1 : 0;
 }
 
 } // namespace
@@ -506,6 +575,11 @@ int main(int Argc, char **Argv) {
       S.CacheBytes = static_cast<size_t>(*N);
     } else if (Opt == "--cache-stats") {
       S.CacheStatsWanted = true;
+    } else if (Opt.rfind("--store=", 0) == 0) {
+      S.StorePath = Opt.substr(8);
+      if (S.StorePath.empty())
+        return usage();
+      S.CacheEnabled = true; // the disk tier rides under the memory tier
     } else if (Opt.rfind("--threads=", 0) == 0) {
       auto N = NumberAfter(10);
       if (!N || *N == 0)
@@ -520,6 +594,21 @@ int main(int Argc, char **Argv) {
   if (Args.empty())
     return usage();
   const std::string &Cmd = Args[0];
+
+  // Open the persistent store up front so an unusable path is a reported
+  // error, not a silent degradation halfway through serving.
+  if (!S.StorePath.empty()) {
+    Result<std::shared_ptr<pgg::DiskStore>> St =
+        pgg::DiskStore::open(S.StorePath);
+    if (!St)
+      return fail(St.error());
+    S.Store = *St;
+  }
+
+  if (Cmd == "cache-fsck" && Args.size() == 2)
+    return cmdCacheWalk(Args[1], /*Fsck=*/true);
+  if (Cmd == "cache-ls" && Args.size() == 2)
+    return cmdCacheWalk(Args[1], /*Fsck=*/false);
 
   if (Cmd == "run" && Args.size() >= 3)
     return cmdRun(S, Args[1], Args[2],
