@@ -1,0 +1,246 @@
+//===- bench/respecialize_skew.cpp - Online re-specialization payoff -------===//
+///
+/// \file
+/// The economics of online profile-guided re-specialization: a serving
+/// loop whose "dynamic" input is Zipf-skewed (s = 2 over 8 values, so the
+/// top value owns ~65% of the draws) re-runs the generating extension on
+/// the observed hot value and serves it behind an argument guard. For the
+/// three interpreter workloads (MIXWELL, LAZY, IMP) the dynamic slot is
+/// the interpreted program's input, so the value-extended residual
+/// collapses the entire hot-input run at generation time — the "two for
+/// the price of one" claim applied a second time, online.
+///
+/// Pairs to read:
+///   BM_RespecSkew_{Off,On}_<workload>   — the payoff: Off/On time ratio
+///     is the re-specialization speedup on the skewed mix (the gate in
+///     scripts/bench-run.sh wants >= 1.15x on at least two workloads).
+///   BM_RespecUniform_{Off,On}_MIXWELL   — the cost: a uniform mix over
+///     the 7 cold values after a variant was force-installed for the hot
+///     one; every measured request fails the guard and deoptimizes, so
+///     On/Off - 1 bounds the guard-miss overhead (gate: <= 5%).
+///
+/// Every service here runs 1 worker: the question is per-request
+/// economics, not scaling (rtcg_service_scaling.cpp measures that).
+/// quiesceRespec() separates the warm-up burst (which triggers and
+/// installs the variants) from the measured burst, so the timed loop
+/// never includes background generation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "pgg/RtcgService.h"
+
+#include <random>
+
+using namespace pecomp;
+using namespace pecomp::bench;
+
+namespace {
+
+/// One interpreter workload: the static program plus 8 candidate dynamic
+/// inputs, index 0 the designated hot value.
+struct SkewWorkload {
+  std::string_view Interp;
+  const char *Entry;
+  std::string_view Program;
+  std::array<const char *, 8> Inputs;
+};
+
+// Index 0 is the designated hot value of each input population, and it
+// is deliberately the expensive one — MIXWELL's main computes fib(n)
+// (exponential), LAZY's sums to n under call-by-name (a thunk per step),
+// IMP's runs its while loops n times (the factorial wraps in defined
+// unsigned arithmetic; both serving modes compute the same residue). A
+// skewed workload whose hot request is also the costly one is exactly
+// where collapsing it to a constant pays.
+const SkewWorkload Mixwell = {
+    {}, // filled by workload() — string_views resolved at first use
+    "mixwell-run",
+    {},
+    {"(24 (3 41 6 8))", "(7 (1 2 3))", "(2 (9 9))", "(5 (4 4 4))",
+     "(9 (8 2 7 1))", "(3 (5 6))", "(11 (2 2 2 2))", "(6 (10 20))"}};
+
+const SkewWorkload Lazy = {
+    {}, "lazy-run", {}, {"400", "10", "12", "8", "14", "6", "16", "4"}};
+
+const SkewWorkload Imp = {
+    {},
+    "imp-run",
+    {},
+    {"(252 105 20000)", "(36 24 5)", "(1000 35 2)", "(81 27 6)", "(64 48 4)",
+     "(17 5 7)", "(120 80 3)", "(9 6 8)"}};
+
+enum class Kind { Mixwell, Lazy, Imp };
+
+SkewWorkload workload(Kind K) {
+  switch (K) {
+  case Kind::Mixwell: {
+    SkewWorkload W = Mixwell;
+    W.Interp = workloads::mixwellInterpreter();
+    W.Program = workloads::mixwellSampleProgram();
+    return W;
+  }
+  case Kind::Lazy: {
+    SkewWorkload W = Lazy;
+    W.Interp = workloads::lazyInterpreter();
+    W.Program = workloads::lazySampleProgram();
+    return W;
+  }
+  case Kind::Imp: {
+    SkewWorkload W = Imp;
+    W.Interp = workloads::impInterpreter();
+    W.Program = workloads::impSampleProgram();
+    return W;
+  }
+  }
+  abort();
+}
+
+pgg::RtcgRequest makeReq(const SkewWorkload &W, const char *Input) {
+  pgg::RtcgRequest R;
+  R.ProgramText = std::string(W.Interp);
+  R.Entry = W.Entry;
+  R.Division = "SD";
+  R.SpecArgs = {std::string(W.Program), "_"};
+  R.RunArgs = {Input};
+  return R;
+}
+
+/// A fixed-length request sequence with Zipf(s=2) draws over the 8
+/// inputs, deterministic across runs (seeded PRNG).
+std::vector<pgg::RtcgRequest> zipfBatch(const SkewWorkload &W, size_t N) {
+  std::array<double, 8> Weights;
+  for (size_t K = 0; K != 8; ++K)
+    Weights[K] = 1.0 / double((K + 1) * (K + 1));
+  std::mt19937 Rng(42);
+  std::discrete_distribution<size_t> Zipf(Weights.begin(), Weights.end());
+  std::vector<pgg::RtcgRequest> Batch;
+  Batch.reserve(N);
+  for (size_t I = 0; I != N; ++I)
+    Batch.push_back(makeReq(W, W.Inputs[Zipf(Rng)]));
+  return Batch;
+}
+
+/// Uniform rotation over the 7 *cold* inputs only: with a variant
+/// installed for input 0, every one of these requests fails the guard,
+/// so the On/Off ratio isolates the pure deopt cost (parse the guard
+/// expectation, compare, fall through to generic) with no constant-serve
+/// wins mixed in.
+std::vector<pgg::RtcgRequest> uniformBatch(const SkewWorkload &W, size_t N) {
+  std::vector<pgg::RtcgRequest> Batch;
+  Batch.reserve(N);
+  for (size_t I = 0; I != N; ++I)
+    Batch.push_back(makeReq(W, W.Inputs[1 + I % 7]));
+  return Batch;
+}
+
+constexpr size_t BatchLen = 48;
+
+pgg::RtcgOptions serviceOptions(bool Respec) {
+  pgg::RtcgOptions O;
+  O.Threads = 1;
+  O.Respec.Enabled = Respec;
+  O.Respec.HotThreshold = 16;
+  return O;
+}
+
+void checkBatch(const std::vector<pgg::RtcgResponse> &Rs) {
+  for (const pgg::RtcgResponse &R : Rs)
+    if (!R.Ok) {
+      fprintf(stderr, "respecialize_skew: request failed: %s\n",
+              R.ErrorText.c_str());
+      abort();
+    }
+}
+
+/// Skewed mix, respec on or off. Warm-up serves the batch once (fills
+/// the generic cache; with respec on, triggers and installs the
+/// variant), then the measured loop re-serves it.
+void runSkew(benchmark::State &State, Kind K, bool Respec) {
+  SkewWorkload W = workload(K);
+  std::vector<pgg::RtcgRequest> Batch = zipfBatch(W, BatchLen);
+  pgg::RtcgService S(serviceOptions(Respec));
+  checkBatch(S.serveAll(Batch));
+  S.quiesceRespec();
+
+  pgg::RespecStats Before = S.respecStats();
+  for (auto _ : State)
+    checkBatch(S.serveAll(Batch));
+  pgg::RespecStats After = S.respecStats();
+
+  State.counters["respec_installed"] = double(After.Installed);
+  uint64_t Guarded = (After.GuardHits - Before.GuardHits) +
+                     (After.GuardMisses - Before.GuardMisses);
+  State.counters["guard_miss_rate"] =
+      Guarded ? double(After.GuardMisses - Before.GuardMisses) / Guarded : 0.0;
+  State.SetItemsProcessed(int64_t(State.iterations()) * BatchLen);
+}
+
+/// Cold-inputs-only uniform mix with a variant force-installed for the
+/// hot input first: every measured request fails the guard, pricing the
+/// deopt path alone.
+void runUniform(benchmark::State &State, Kind K, bool Respec) {
+  SkewWorkload W = workload(K);
+  pgg::RtcgService S(serviceOptions(Respec));
+  // Force-install: hammer the hot value past the threshold.
+  std::vector<pgg::RtcgRequest> Hot;
+  for (size_t I = 0; I != 24; ++I)
+    Hot.push_back(makeReq(W, W.Inputs[0]));
+  checkBatch(S.serveAll(Hot));
+  S.quiesceRespec();
+
+  std::vector<pgg::RtcgRequest> Batch = uniformBatch(W, BatchLen);
+  checkBatch(S.serveAll(Batch)); // warm the generic path too
+  pgg::RespecStats Before = S.respecStats();
+  for (auto _ : State)
+    checkBatch(S.serveAll(Batch));
+  pgg::RespecStats After = S.respecStats();
+
+  State.counters["respec_installed"] = double(After.Installed);
+  uint64_t Guarded = (After.GuardHits - Before.GuardHits) +
+                     (After.GuardMisses - Before.GuardMisses);
+  State.counters["guard_miss_rate"] =
+      Guarded ? double(After.GuardMisses - Before.GuardMisses) / Guarded : 0.0;
+  State.SetItemsProcessed(int64_t(State.iterations()) * BatchLen);
+}
+
+void BM_RespecSkew_Off_MIXWELL(benchmark::State &State) {
+  onLargeStack([&] { runSkew(State, Kind::Mixwell, false); });
+}
+BENCHMARK(BM_RespecSkew_Off_MIXWELL)->UseRealTime();
+void BM_RespecSkew_On_MIXWELL(benchmark::State &State) {
+  onLargeStack([&] { runSkew(State, Kind::Mixwell, true); });
+}
+BENCHMARK(BM_RespecSkew_On_MIXWELL)->UseRealTime();
+
+void BM_RespecSkew_Off_LAZY(benchmark::State &State) {
+  onLargeStack([&] { runSkew(State, Kind::Lazy, false); });
+}
+BENCHMARK(BM_RespecSkew_Off_LAZY)->UseRealTime();
+void BM_RespecSkew_On_LAZY(benchmark::State &State) {
+  onLargeStack([&] { runSkew(State, Kind::Lazy, true); });
+}
+BENCHMARK(BM_RespecSkew_On_LAZY)->UseRealTime();
+
+void BM_RespecSkew_Off_IMP(benchmark::State &State) {
+  onLargeStack([&] { runSkew(State, Kind::Imp, false); });
+}
+BENCHMARK(BM_RespecSkew_Off_IMP)->UseRealTime();
+void BM_RespecSkew_On_IMP(benchmark::State &State) {
+  onLargeStack([&] { runSkew(State, Kind::Imp, true); });
+}
+BENCHMARK(BM_RespecSkew_On_IMP)->UseRealTime();
+
+void BM_RespecUniform_Off_MIXWELL(benchmark::State &State) {
+  onLargeStack([&] { runUniform(State, Kind::Mixwell, false); });
+}
+BENCHMARK(BM_RespecUniform_Off_MIXWELL)->UseRealTime();
+void BM_RespecUniform_On_MIXWELL(benchmark::State &State) {
+  onLargeStack([&] { runUniform(State, Kind::Mixwell, true); });
+}
+BENCHMARK(BM_RespecUniform_On_MIXWELL)->UseRealTime();
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -10,6 +10,7 @@
 #include "pgg/DiskStore.h"
 #include "pgg/Pgg.h"
 #include "pgg/SpecCache.h"
+#include "vm/Guard.h"
 #include "vm/Machine.h"
 #include "vm/Profile.h"
 
@@ -179,6 +180,121 @@ TierOutcome runSnapshotTier(const compiler::PortableProgram &Port, Symbol Entry,
                    FuelAdjust, Perturb.heapSensitive(), Coverage, NewCoverage);
 }
 
+/// Guarded-dispatch leg: instantiate \p GenericPort (and, for the hit
+/// leg, \p VariantPort) into a fresh universe and enter through
+/// vm::callGuarded under \p Plan. \p ExpectHit says which way the guard
+/// must go — the guard decision is deterministic, so going the other way
+/// is itself reported as a failure in Out.Err.
+TierOutcome runGuardedTier(const compiler::PortableProgram &GenericPort,
+                           Symbol GenericEntry,
+                           const compiler::PortableProgram *VariantPort,
+                           Symbol VariantEntry, const vm::GuardPlan &PlanProto,
+                           const std::vector<int64_t> &DynArgs,
+                           const Perturbation &Perturb, bool ExpectHit,
+                           support::CoverageMap *Coverage,
+                           size_t *NewCoverage) {
+  TierOutcome Out;
+  Out.Ran = true;
+
+  Universe W;
+  vm::CodeStore Store(W.Heap);
+  vm::GlobalTable Globals;
+  compiler::CompiledProgram GenericCP = GenericPort.instantiate(Store, Globals);
+  compiler::CompiledProgram VariantCP;
+  if (VariantPort)
+    VariantCP = VariantPort->instantiate(Store, Globals);
+
+  vm::Machine M(W.Heap);
+  M.setDecodedDispatch(true);
+  M.setFusion(true);
+  M.setLimits(limitsFor(Perturb, 0));
+  vm::Profile Prof;
+  M.setProfile(&Prof);
+
+  auto LinkFail = [&](const Error &E) {
+    Out.Ok = false;
+    Out.Err = E.render();
+    Out.Kind = vm::trapKindOf(E);
+    return Out;
+  };
+  if (Result<bool> L = compiler::linkProgramVerified(M, Globals, GenericCP);
+      !L)
+    return LinkFail(L.error());
+  if (VariantPort)
+    if (Result<bool> L = compiler::linkProgramVerified(M, Globals, VariantCP);
+        !L)
+      return LinkFail(L.error());
+
+  std::optional<uint16_t> GenericIdx = Globals.lookup(GenericEntry);
+  if (!GenericIdx) {
+    Out.Err = "guarded tier: no generic entry global";
+    return Out;
+  }
+  vm::Value Generic = M.getGlobal(*GenericIdx);
+  vm::Value Specialized = Generic; // miss leg: never invoked
+  if (VariantPort) {
+    std::optional<uint16_t> VariantIdx = Globals.lookup(VariantEntry);
+    if (!VariantIdx) {
+      Out.Err = "guarded tier: no variant entry global";
+      return Out;
+    }
+    Specialized = M.getGlobal(*VariantIdx);
+  }
+
+  // Expected guard values are heap-free fixnums, so building the plan
+  // after linking perturbs no allocation ordinal.
+  vm::GuardPlan Plan = PlanProto;
+
+  if (Perturb.heapSensitive()) {
+    vm::FaultPlan FP;
+    FP.FailAtAllocation = Perturb.FailAtAllocation;
+    FP.FailAboveLiveBytes = Perturb.FailAboveLiveBytes;
+    W.Heap.setFaultPlan(FP);
+  }
+
+  std::vector<vm::Value> Args;
+  for (int64_t A : DynArgs)
+    Args.push_back(vm::Value::fixnum(A));
+  bool Hit = false;
+  Result<vm::Value> R = vm::callGuarded(M, Specialized, Plan, Generic, Args,
+                                        &Hit);
+
+  if (Perturb.heapSensitive()) {
+    W.Heap.setFaultPlan(vm::FaultPlan());
+    W.Heap.clearFault();
+  }
+
+  Out.Instructions = Prof.instructions();
+  if (Hit != ExpectHit) {
+    // The guard itself misbehaved; surface it through Err so the tier
+    // comparison flags the case instead of silently comparing the wrong
+    // leg.
+    Out.Ok = false;
+    Out.Err = std::string("guarded tier: guard unexpectedly ") +
+              (Hit ? "hit" : "missed");
+    return Out;
+  }
+  if (R.ok()) {
+    Out.Ok = true;
+    Out.Value = vm::valueToString(*R);
+  } else {
+    Out.Ok = false;
+    Out.Err = R.error().render();
+    Out.Kind = vm::trapKindOf(R.error());
+    if (const std::optional<vm::Trap> &T = M.lastTrap()) {
+      Out.TrapPC = T->PC;
+      Out.TrapFn = T->Function;
+    }
+  }
+  if (Coverage) {
+    size_t New = Prof.addCoverage(*Coverage);
+    New += Coverage->add(support::CovTrapKind, static_cast<uint64_t>(Out.Kind));
+    if (NewCoverage)
+      *NewCoverage += New;
+  }
+  return Out;
+}
+
 /// Drops a trailing Symbol::fresh ".N" suffix: residual function names
 /// are freshened per compile session, so the injected-bug re-compile's
 /// "f_1.9" is the same logical function as the cold path's "f_1".
@@ -234,6 +350,8 @@ const char *tierName(Tier T) {
     return "fused";
   case Tier::Cached:
     return "cached";
+  case Tier::Guarded:
+    return "guarded";
   }
   return "?";
 }
@@ -499,6 +617,24 @@ DiffResult runCase(const FuzzCase &C, const DiffOptions &Opts) {
                            /*Decoded=*/true, /*Fusion=*/true, CachedFuelAdjust,
                            Opts.Coverage, &R.NewCoverage);
 
+  // -- Guarded tier, miss leg: a guard that cannot hold (slot 0 expects a
+  // value the argument vector never carries — or lies out of range when
+  // there are no dynamic arguments) must deoptimize to the generic code
+  // with exactly the outcome of calling it directly, under every
+  // perturbation. This is the deopt-parity bar online re-specialization
+  // stands on.
+  TierOutcome &Guarded = R.Tiers[static_cast<size_t>(Tier::Guarded)];
+  if (Opts.Guarded) {
+    vm::GuardPlan MissPlan;
+    MissPlan.Slots = {0};
+    MissPlan.Expected = {
+        vm::Value::fixnum(DynArgs.empty() ? 0 : DynArgs[0] ^ 1)};
+    Guarded = runGuardedTier(**Port, Obj->Entry, /*VariantPort=*/nullptr,
+                             Symbol(), MissPlan, DynArgs, C.Perturb,
+                             /*ExpectHit=*/false, Opts.Coverage,
+                             &R.NewCoverage);
+  }
+
   // -- Size metric for minimization: the residual entry's decoded length.
   if (const vm::CodeObject *EC = Obj->Residual.find(Obj->Entry)) {
     if (const vm::DecodedStream *DS = EC->decoded())
@@ -507,12 +643,106 @@ DiffResult runCase(const FuzzCase &C, const DiffOptions &Opts) {
       R.EntryInsns = EC->code().size();
   }
 
-  // -- Cross-check. Bytes is the reference VM tier (seed semantics).
-  for (Tier T : {Tier::Decoded, Tier::Fused, Tier::Cached}) {
+  // -- Cross-check. Bytes is the reference VM tier (seed semantics). The
+  // guarded tier's miss leg is held to the same full-aspect bar: a deopt
+  // IS a direct generic call, to the instruction.
+  for (Tier T : {Tier::Decoded, Tier::Fused, Tier::Cached, Tier::Guarded}) {
+    if (T == Tier::Guarded && !Opts.Guarded)
+      continue;
     if (auto D = compareVmTiers(Tier::Bytes, Bytes,
                                 T, R.Tiers[static_cast<size_t>(T)])) {
       R.Diverged = std::move(D);
       return R;
+    }
+  }
+
+  // -- Guarded tier, hit leg (unperturbed only): specialize a variant on
+  // the case's own dynamic values — the division fully static, exactly
+  // what the service's re-specializer does with a stable census — and
+  // require the guarded fast path to agree with the reference on
+  // ok-ness, value, and trap kind. Variant generation failing is offline
+  // PE declining, not a finding; resource perturbations don't map (the
+  // variant executes a different instruction stream by design).
+  if (Opts.Guarded && !C.Perturb.any() &&
+      !(!Bytes.Ok && Bytes.Kind == vm::TrapKind::FuelExhausted)) {
+    Universe W3;
+    auto Gen3 = pgg::GeneratingExtension::create(
+        W3.Heap, C.Source, C.Entry, std::string(Arity, 'S'), fuzzPggOptions());
+    if (Gen3.ok()) {
+      std::vector<bta::BT> Eff3 = (*Gen3)->effectiveDivision();
+      // Map the variant's division onto the generic residual's parameter
+      // list: dynamic slot j of the generic entry is guarded iff the
+      // variant consumed it statically. A slot static in the generic
+      // division but dynamic in the variant's would break the mapping
+      // (BTA joins are monotone, so it shouldn't happen — treat it as
+      // "variant declined" if it does).
+      vm::GuardPlan HitPlan;
+      bool MappingOk = Eff3.size() == Arity;
+      for (size_t I = 0, Dyn = 0; MappingOk && I != Arity; ++I) {
+        if (Eff[I] == bta::BT::Static) {
+          MappingOk = Eff3[I] == bta::BT::Static;
+          continue;
+        }
+        if (Eff3[I] == bta::BT::Static) {
+          HitPlan.Slots.push_back(static_cast<uint32_t>(Dyn));
+          HitPlan.Expected.push_back(vm::Value::fixnum(C.Args[I]));
+        }
+        ++Dyn;
+      }
+      std::vector<std::optional<vm::Value>> SpecArgs3;
+      for (size_t I = 0; I != Arity; ++I)
+        SpecArgs3.emplace_back(Eff3.size() == Arity &&
+                                       Eff3[I] == bta::BT::Static
+                                   ? std::optional<vm::Value>(
+                                         vm::Value::fixnum(C.Args[I]))
+                                   : std::nullopt);
+      vm::CodeStore Store3(W3.Heap);
+      vm::GlobalTable Globals3;
+      compiler::Compilators Comp3(Store3, Globals3);
+      auto Obj3 = MappingOk ? (*Gen3)->generateObject(Comp3, SpecArgs3)
+                            : Result<pgg::ResidualObject>(makeError(
+                                  "variant division mapping failed"));
+      if (Obj3.ok()) {
+        if (compiler::LinkOptions().Peephole)
+          compiler::peepholeProgram(Obj3->Residual);
+        auto Port3 = compiler::PortableProgram::capture(Obj3->Residual,
+                                                        Globals3);
+        // Both snapshots link into one machine; freshened residual names
+        // should never collide, but if they do the leg is unrunnable,
+        // not wrong.
+        bool Collision = false;
+        if (Port3.ok())
+          for (const auto &[N3, Code3] : Obj3->Residual.Defs)
+            for (const auto &[N1, Code1] : Obj->Residual.Defs)
+              Collision |= N3 == N1;
+        if (Port3.ok() && !Collision) {
+          TierOutcome HitOut = runGuardedTier(
+              **Port, Obj->Entry, &**Port3, Obj3->Entry, HitPlan,
+              DynArgs, C.Perturb, /*ExpectHit=*/true, Opts.Coverage,
+              &R.NewCoverage);
+          // The variant runs different (shorter) code: ok/value/trap-kind
+          // must agree, PCs and instruction counts legitimately differ.
+          std::optional<Divergence> D;
+          if (HitOut.Ok != Bytes.Ok)
+            D = Divergence{Tier::Bytes, Tier::Guarded, "ok",
+                           (Bytes.Ok ? "value" : Bytes.Err) + " vs " +
+                               (HitOut.Ok ? "value" : HitOut.Err)};
+          else if (Bytes.Ok && Bytes.Value != HitOut.Value)
+            D = Divergence{Tier::Bytes, Tier::Guarded, "value",
+                           Bytes.Value + " vs " + HitOut.Value};
+          else if (!Bytes.Ok && HitOut.Kind != Bytes.Kind &&
+                   HitOut.Kind != vm::TrapKind::FuelExhausted)
+            // The variant may trap at a semantically earlier point only
+            // for fuel (it executes fewer instructions, never more).
+            D = Divergence{Tier::Bytes, Tier::Guarded, "trap-kind",
+                           std::string(vm::trapKindName(Bytes.Kind)) +
+                               " vs " + vm::trapKindName(HitOut.Kind)};
+          if (D) {
+            R.Diverged = std::move(D);
+            return R;
+          }
+        }
+      }
     }
   }
   // Oracle steps and VM instructions are different units, so when the VM

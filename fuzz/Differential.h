@@ -3,17 +3,28 @@
 /// \file
 /// Runs one FuzzCase through every execution configuration the RTCG
 /// pipeline ships — the oracle interpreter, the byte loop, the decoded
-/// computed-goto loop, the fused superinstruction loop, and a cached
-/// PortableProgram hit instantiated into a fresh heap — and compares the
-/// outcomes bit-for-bit: result value, trap kind, faulting PC and
-/// function, and executed-instruction counts. Any disagreement is a
-/// Divergence, the fuzzer's unit of finding.
+/// computed-goto loop, the fused superinstruction loop, a cached
+/// PortableProgram hit instantiated into a fresh heap, and the guarded
+/// re-specialization dispatch (vm/Guard.h) — and compares the outcomes
+/// bit-for-bit: result value, trap kind, faulting PC and function, and
+/// executed-instruction counts. Any disagreement is a Divergence, the
+/// fuzzer's unit of finding.
 ///
 /// Comparison discipline:
-///   * The four VM tiers must agree exactly, under any Perturbation —
-///     fuel, stack, frame, and heap schedules included. Heap-sensitive
-///     schedules run every tier from a freshly instantiated snapshot so
-///     allocation ordinals line up.
+///   * The four plain VM tiers must agree exactly, under any
+///     Perturbation — fuel, stack, frame, and heap schedules included.
+///     Heap-sensitive schedules run every tier from a freshly
+///     instantiated snapshot so allocation ordinals line up.
+///   * The guarded tier's recorded outcome is its *miss leg*: a
+///     deliberately failing argument guard that must deoptimize to the
+///     generic code bit-identically to calling it directly — the full
+///     aspect set (value, trap kind/PC/function, instruction count), and
+///     under every perturbation, because that is exactly the claim a
+///     serving system leans on when it deoptimizes. On unperturbed runs
+///     a *hit leg* additionally specializes a variant on the case's own
+///     argument values and requires the guarded fast path to agree on
+///     ok-ness, value, and trap kind (its instruction count is the whole
+///     point of the optimization, so it is excluded).
 ///   * The oracle has no byte PCs and different step/allocation counts,
 ///     so it participates only on unperturbed runs, where it must agree
 ///     on ok-ness, value, and trap kind.
@@ -41,8 +52,8 @@ class DiskStore;
 }
 namespace fuzz {
 
-enum class Tier : uint8_t { Oracle, Bytes, Decoded, Fused, Cached };
-inline constexpr size_t NumTiers = 5;
+enum class Tier : uint8_t { Oracle, Bytes, Decoded, Fused, Cached, Guarded };
+inline constexpr size_t NumTiers = 6;
 const char *tierName(Tier T);
 
 /// Everything one tier's execution produced.
@@ -74,6 +85,11 @@ struct DiffOptions {
   /// during the run are folded in; DiffResult::NewCoverage reports how
   /// many were new.
   support::CoverageMap *Coverage = nullptr;
+  /// Run the guarded dispatch tier (on by default). The miss leg runs on
+  /// every case; the value-specialized hit leg needs a second generation
+  /// per case, so corpus-throughput-sensitive callers can turn the tier
+  /// off wholesale.
+  bool Guarded = true;
   /// When set, the cached tier's snapshot additionally round-trips
   /// through this persistent store (put, then verified load), under
   /// whatever StoreFaultPlan the caller installed. Production semantics
@@ -107,7 +123,7 @@ struct DiffResult {
   size_t EntryInsns = 0;
 };
 
-/// Runs \p C through all five configurations and cross-checks.
+/// Runs \p C through all six configurations and cross-checks.
 DiffResult runCase(const FuzzCase &C, const DiffOptions &Opts = {});
 
 } // namespace fuzz

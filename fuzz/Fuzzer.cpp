@@ -69,6 +69,7 @@ const FuzzerStats &Fuzzer::run() {
   DOpts.Inject = Opts.Inject;
   DOpts.Coverage = &Coverage;
   DOpts.Store = Store.get();
+  DOpts.Guarded = Opts.Guarded;
 
   for (size_t Iter = 0; Iter != Opts.Iterations; ++Iter) {
     if (Found.size() >= Opts.MaxFindings)

@@ -29,6 +29,7 @@ struct FuzzerOptions {
   /// Fraction knobs are fixed; these gate whole feature classes.
   bool Perturb = true;    ///< include resource-limit / heap-fault schedules
   bool PartialOps = true; ///< quotient/remainder (trap surface) in grammar
+  bool Guarded = true;    ///< run the guarded re-specialization tier
   InjectedBug Inject = InjectedBug::None;
   bool Minimize = true;
   size_t MaxFindings = 8; ///< stop early after this many distinct findings

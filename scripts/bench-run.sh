@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Builds the paper-figure benchmark harnesses, runs each with JSON output,
-# and merges the results into one machine-readable file (BENCH_pr7.json by
+# and merges the results into one machine-readable file (BENCH_pr8.json by
 # default). The merged document carries derived blocks next to the raw
 # benchmarks:
 #
@@ -18,24 +18,36 @@
 #                             + instantiate) over disk-warm first-request
 #                             time (store load + checksums + verify +
 #                             instantiate) per workload (PR 7); the
-#                             acceptance bar is >= 5x on every workload.
+#                             acceptance bar is >= 5x on every workload,
+#   respecialize_speedup    — skewed-mix serving time with re-specialization
+#                             off over the same mix with it on, per workload
+#                             (PR 8); the acceptance bar is >= 1.15x on at
+#                             least two of MIXWELL/LAZY/IMP, and
+#   guard_miss_overhead     — all-miss uniform-mix On/Off - 1 (PR 8): the
+#                             pure deopt cost; the acceptance bar is <= 5%.
+#
+# Unless --quick is given, the PR 8 bars are enforced: the script exits
+# non-zero if the skewed-mix speedup clears 1.15x on fewer than two
+# workloads or the guard-miss overhead exceeds 5%.
 #
 # Usage: scripts/bench-run.sh [--quick] [--build-dir DIR] [--out FILE]
 #   --quick       near-zero measuring budget (smoke the harnesses, numbers
 #                 not meaningful)
 #   --build-dir   build tree to use (default: build)
-#   --out         merged output file (default: BENCH_pr7.json)
+#   --out         merged output file (default: BENCH_pr8.json)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 BUILD_DIR=build
-OUT=BENCH_pr7.json
+OUT=BENCH_pr8.json
 MIN_TIME=0.2
+QUICK=0
 while [[ "${1:-}" == --* ]]; do
   case "$1" in
   --quick)
     MIN_TIME=0.005
+    QUICK=1
     shift
     ;;
   --build-dir)
@@ -55,7 +67,7 @@ done
 
 HARNESSES=(fig6_generation_speed fig7_compile_residual fig8_rtcg_compilation
            residual_speedup amortized_generation rtcg_service_scaling
-           dispatch_fusion warm_start)
+           dispatch_fusion warm_start respecialize_skew)
 
 cmake -B "$BUILD_DIR" -S . >/dev/null
 cmake --build "$BUILD_DIR" -j "$(nproc)" --target "${HARNESSES[@]}"
@@ -73,8 +85,9 @@ done
 if command -v jq >/dev/null 2>&1; then
   jq -s '
     def t(n): (map(.benchmarks[]) | map(select(.name == n)) | .[0].cpu_time);
+    def r(n): (map(.benchmarks[]) | map(select(.name == n)) | .[0].real_time);
     {
-      schema: "pecomp-bench-pr7/v1",
+      schema: "pecomp-bench-pr8/v1",
       context: .[0].context,
       fig8_run_speedup: ({
         MIXWELL: (t("BM_Fig8_Run_Bytes_MIXWELL") / t("BM_Fig8_Run_Decoded_MIXWELL")),
@@ -96,6 +109,12 @@ if command -v jq >/dev/null 2>&1; then
         LAZY: (t("BM_WarmStart_ColdFirstRequest_LAZY") / t("BM_WarmStart_WarmFirstRequest_LAZY")),
         IMP: (t("BM_WarmStart_ColdFirstRequest_IMP") / t("BM_WarmStart_WarmFirstRequest_IMP"))
       }),
+      respecialize_speedup: ({
+        MIXWELL: (r("BM_RespecSkew_Off_MIXWELL/real_time") / r("BM_RespecSkew_On_MIXWELL/real_time")),
+        LAZY: (r("BM_RespecSkew_Off_LAZY/real_time") / r("BM_RespecSkew_On_LAZY/real_time")),
+        IMP: (r("BM_RespecSkew_Off_IMP/real_time") / r("BM_RespecSkew_On_IMP/real_time"))
+      }),
+      guard_miss_overhead: (r("BM_RespecUniform_On_MIXWELL/real_time") / r("BM_RespecUniform_Off_MIXWELL/real_time") - 1),
       benchmarks: (map(.benchmarks) | add)
     }' "$RAW_DIR"/fig6_generation_speed.json \
        "$RAW_DIR"/fig7_compile_residual.json \
@@ -104,7 +123,8 @@ if command -v jq >/dev/null 2>&1; then
        "$RAW_DIR"/amortized_generation.json \
        "$RAW_DIR"/rtcg_service_scaling.json \
        "$RAW_DIR"/dispatch_fusion.json \
-       "$RAW_DIR"/warm_start.json >"$OUT"
+       "$RAW_DIR"/warm_start.json \
+       "$RAW_DIR"/respecialize_skew.json >"$OUT"
 else
   python3 - "$RAW_DIR" "$OUT" <<'EOF'
 import json, sys
@@ -112,10 +132,11 @@ raw_dir, out = sys.argv[1], sys.argv[2]
 harnesses = ["fig6_generation_speed", "fig7_compile_residual",
              "fig8_rtcg_compilation", "residual_speedup",
              "amortized_generation", "rtcg_service_scaling",
-             "dispatch_fusion", "warm_start"]
+             "dispatch_fusion", "warm_start", "respecialize_skew"]
 docs = [json.load(open(f"{raw_dir}/{h}.json")) for h in harnesses]
 benches = [b for d in docs for b in d["benchmarks"]]
 times = {b["name"]: b["cpu_time"] for b in benches}
+real = {b["name"]: b["real_time"] for b in benches}
 speedup = {
     lang: times[f"BM_Fig8_Run_Bytes_{lang}"] /
           times[f"BM_Fig8_Run_Decoded_{lang}"]
@@ -136,9 +157,18 @@ warm = {
           times[f"BM_WarmStart_WarmFirstRequest_{lang}"]
     for lang in ("MIXWELL", "LAZY", "IMP")
 }
-json.dump({"schema": "pecomp-bench-pr7/v1", "context": docs[0]["context"],
+respec = {
+    lang: real[f"BM_RespecSkew_Off_{lang}/real_time"] /
+          real[f"BM_RespecSkew_On_{lang}/real_time"]
+    for lang in ("MIXWELL", "LAZY", "IMP")
+}
+miss_overhead = (real["BM_RespecUniform_On_MIXWELL/real_time"] /
+                 real["BM_RespecUniform_Off_MIXWELL/real_time"]) - 1
+json.dump({"schema": "pecomp-bench-pr8/v1", "context": docs[0]["context"],
            "fig8_run_speedup": speedup, "cache_amortization": amortization,
            "dispatch_fusion_speedup": fusion, "warm_start_speedup": warm,
+           "respecialize_speedup": respec,
+           "guard_miss_overhead": miss_overhead,
            "benchmarks": benches},
           open(out, "w"), indent=1)
 open(out, "a").write("\n")
@@ -147,5 +177,30 @@ fi
 
 echo "wrote $OUT" >&2
 if command -v jq >/dev/null 2>&1; then
-  jq '{fig8_run_speedup, cache_amortization, dispatch_fusion_speedup, warm_start_speedup}' "$OUT" >&2
+  jq '{fig8_run_speedup, cache_amortization, dispatch_fusion_speedup, warm_start_speedup, respecialize_speedup, guard_miss_overhead}' "$OUT" >&2
+fi
+
+# PR 8 acceptance gate. Under --quick the measuring budget is a smoke
+# test and the ratios are noise, so the gate is skipped.
+if [[ $QUICK == 0 ]]; then
+  python3 - "$OUT" <<'GATE'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+speedups = doc["respecialize_speedup"]
+overhead = doc["guard_miss_overhead"]
+passing = [l for l, v in sorted(speedups.items()) if v >= 1.15]
+rounded = {l: round(v, 2) for l, v in sorted(speedups.items())}
+print(f"respecialize gate: speedups {rounded}, "
+      f"guard-miss overhead {overhead * 100:.2f}%", file=sys.stderr)
+ok = True
+if len(passing) < 2:
+    print(f"FAIL: respecialize_speedup >= 1.15x on only {len(passing)} of 3 "
+          f"workloads (need >= 2)", file=sys.stderr)
+    ok = False
+if overhead > 0.05:
+    print(f"FAIL: guard_miss_overhead {overhead * 100:.2f}% exceeds 5%",
+          file=sys.stderr)
+    ok = False
+sys.exit(0 if ok else 1)
+GATE
 fi

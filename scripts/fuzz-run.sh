@@ -3,6 +3,9 @@
 # seeds, persists minimized findings (deduplicated by case fingerprint —
 # the corpus filename is the fingerprint, so reruns never duplicate), and
 # writes a JSON summary of every per-seed run plus the finding files.
+# Every run covers all six execution tiers, including the guarded
+# re-specialization dispatch (deopt leg under perturbations, hit leg on
+# unperturbed cases); pass --no-guarded to drop back to five.
 #
 # Usage: scripts/fuzz-run.sh [--seeds N] [--iters N] [--build DIR]
 #                            [--out DIR] [--save-novel] [--no-store-hammer]
@@ -18,6 +21,7 @@
 #                  skip the per-case DiskStore round trip (on by default;
 #                  the hammer's scratch stores live under TMPDIR only and
 #                  are removed when each seed's run exits)
+#   --no-guarded   skip the guarded-dispatch tier (throughput mode)
 #
 # Exits nonzero iff any run produced a finding (or failed outright), so
 # the script doubles as a CI-friendly extended gate.
@@ -31,6 +35,7 @@ BUILD_DIR=build
 OUT_DIR=fuzz-out
 SAVE_NOVEL=0
 STORE_HAMMER=1
+GUARDED=1
 while [[ $# -gt 0 ]]; do
   case "$1" in
   --seeds) SEEDS=$2; shift 2 ;;
@@ -39,6 +44,7 @@ while [[ $# -gt 0 ]]; do
   --out) OUT_DIR=$2; shift 2 ;;
   --save-novel) SAVE_NOVEL=1; shift ;;
   --no-store-hammer) STORE_HAMMER=0; shift ;;
+  --no-guarded) GUARDED=0; shift ;;
   *) echo "unknown option: $1" >&2; exit 2 ;;
   esac
 done
@@ -64,6 +70,7 @@ STATUS=0
           --findings="$OUT_DIR/findings" --json)
     [[ $SAVE_NOVEL == 1 ]] && ARGS+=(--save-novel)
     [[ $STORE_HAMMER == 1 ]] && ARGS+=(--store-hammer)
+    [[ $GUARDED == 0 ]] && ARGS+=(--no-guarded)
     echo "== seed $S ($ITERS iters)" >&2
     if LINE=$("$FUZZ" "${ARGS[@]}" 2>"$OUT_DIR/seed-$S.log"); then
       RC=0

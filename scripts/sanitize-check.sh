@@ -5,7 +5,8 @@
 #
 # Usage: scripts/sanitize-check.sh [--ndebug] [--switch-dispatch]
 #                                  [--no-fuse] [--no-peephole] [--fuzz-smoke]
-#                                  [--store-smoke] [ctest-args...]
+#                                  [--store-smoke] [--respecialize-smoke]
+#                                  [ctest-args...]
 #   --ndebug           additionally compile with -DNDEBUG kept, proving the
 #                      trap model never leans on assert() (the RTCG trust
 #                      requirement).
@@ -25,6 +26,13 @@
 #                      cache-fsck CLI tests) under the sanitizers — the
 #                      PR 7 acceptance gate that no corrupt store input
 #                      ever crashes.
+#   --respecialize-smoke
+#                      run only the respec-labelled ctest entries (profile
+#                      census, guarded dispatch, online re-specialization,
+#                      service shutdown races) under the sanitizers — the
+#                      PR 8 gate that background generation, the guard shim
+#                      and the start/stop stress are data-race- and
+#                      UB-clean.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -61,6 +69,15 @@ while [[ "${1:-}" == --* ]]; do
     FUZZ_SMOKE=1
     shift
     ;;
+  --respecialize-smoke)
+    # Only the respec-labelled ctest entries: the profile-census unit
+    # tests, the guard shim's hit/miss parity tests, the online
+    # re-specialization service tests and the start-then-destroy stress,
+    # under ASan/UBSan — the respec path runs generation on background
+    # workers, which is exactly where lifetime bugs hide.
+    RESPEC_SMOKE=1
+    shift
+    ;;
   --store-smoke)
     # Only the store-labelled ctest entries: every adversarial-store unit
     # test and the persistent-store CLI tests, under ASan/UBSan — the
@@ -87,6 +104,8 @@ if [[ "${FUZZ_SMOKE:-0}" == 1 ]]; then
   ctest --test-dir "$BUILD_DIR" --output-on-failure -L fuzz -j "$(nproc)" "$@"
 elif [[ "${STORE_SMOKE:-0}" == 1 ]]; then
   ctest --test-dir "$BUILD_DIR" --output-on-failure -L store -j "$(nproc)" "$@"
+elif [[ "${RESPEC_SMOKE:-0}" == 1 ]]; then
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -L respec -j "$(nproc)" "$@"
 else
   ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" "$@"
 fi

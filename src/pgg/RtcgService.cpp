@@ -1,4 +1,24 @@
 //===- pgg/RtcgService.cpp - Concurrent specialize-and-run service --------===//
+//
+// Serving plus the online re-specialization loop. The offline pipeline
+// can only specialize on arguments the request *declared* static; the
+// loop closes the gap for arguments that are declared dynamic but stable
+// in practice: workers sample the entry-argument values of every generic
+// serve (vm::Profile::sampleCall), the per-key censuses are folded into a
+// shared site table, and a key that crosses the policy thresholds gets a
+// background job — an ordinary generation request over the value-extended
+// division (observed-stable 'D' slots flipped to 'S' with the observed
+// values as static arguments) running on the same worker pool and
+// publishing into the same SpecCache under the value-extended key.
+//
+// Once a variant is installed, serving that key checks an argument guard
+// (vm/Guard.h): hold → the variant runs on the residual arguments;
+// miss → the request deoptimizes to the generic code, bit-identically to
+// a service without re-specialization. Nothing about the variant is
+// trusted beyond the guard: a variant evicted from the cache, or a
+// request whose values moved on, just serves generically.
+//
+//===----------------------------------------------------------------------===//
 
 #include "pgg/RtcgService.h"
 
@@ -7,12 +27,26 @@
 #include "sexp/Reader.h"
 #include "support/LargeStack.h"
 #include "vm/Convert.h"
+#include "vm/Guard.h"
 #include "vm/Trap.h"
 
+#include <algorithm>
 #include <unordered_map>
 
 using namespace pecomp;
 using namespace pecomp::pgg;
+
+const char *pgg::serviceErrorName(ServiceError E) {
+  switch (E) {
+  case ServiceError::None:
+    return "None";
+  case ServiceError::Stopped:
+    return "Stopped";
+  case ServiceError::Rejected:
+    return "Rejected";
+  }
+  return "Unknown";
+}
 
 namespace {
 
@@ -20,8 +54,18 @@ RtcgResponse failResponse(const Error &E, size_t Worker) {
   RtcgResponse R;
   R.ErrorText = E.render();
   R.TrapCode = static_cast<int>(vm::trapKindOf(E));
+  R.ServiceCode = serviceErrorOf(E) != ServiceError::None ? E.code() : 0;
   R.Worker = Worker;
   return R;
+}
+
+/// The number of residual ('_') parameter slots of a request.
+size_t dynamicSlots(const RtcgRequest &Req) {
+  size_t N = 0;
+  for (const std::string &T : Req.SpecArgs)
+    if (T == "_")
+      ++N;
+  return N;
 }
 
 } // namespace
@@ -36,6 +80,13 @@ struct RtcgService::WorkerState {
   size_t Index;
   vm::Heap Heap;
   vm::Machine Machine{Heap};
+  /// Attached to the machine only when re-specialization is on: argument
+  /// sampling is the loop's evidence base, and an unattached profile is
+  /// the zero-cost default otherwise. Dispatch counters are reset per
+  /// request (Profile::resetDispatch) so one request's execution never
+  /// bleeds into the next one's numbers; the argument censuses survive
+  /// the reset and are drained into the shared site table instead.
+  vm::Profile Prof;
   /// Cogen results (front end + BTA) reused across this worker's requests
   /// for the same (program, entry, division); keyed by the same
   /// fingerprint the shared cache uses. Bounded by the number of distinct
@@ -54,7 +105,7 @@ RtcgService::RtcgService(RtcgOptions O)
         std::make_unique<LargeStackThread>([this, I] { workerLoop(I); }));
 }
 
-RtcgService::~RtcgService() {
+void RtcgService::stop() {
   std::deque<Job> Orphans;
   {
     std::lock_guard<std::mutex> Lock(QueueM);
@@ -62,8 +113,27 @@ RtcgService::~RtcgService() {
     Orphans.swap(Queue);
   }
   QueueCv.notify_all();
-  for (Job &J : Orphans)
-    J.Promise.set_value(failResponse(makeError("service stopped"), 0));
+  // Fail the orphans from the outside, before (and without) touching any
+  // worker universe: the classified code tells the caller the request
+  // died of shutdown, not of anything it did.
+  for (Job &J : Orphans) {
+    if (J.Respec) {
+      {
+        std::lock_guard<std::mutex> Lock(RespecM);
+        ++RStats.Abandoned;
+      }
+      finishRespecJob();
+      continue;
+    }
+    J.Promise.set_value(failResponse(
+        serviceError(ServiceError::Stopped,
+                     "service stopped before the request was served"),
+        0));
+  }
+}
+
+RtcgService::~RtcgService() {
+  stop();
   for (auto &W : Workers)
     W->join();
 }
@@ -74,6 +144,15 @@ std::future<RtcgResponse> RtcgService::submit(RtcgRequest Req) {
   std::future<RtcgResponse> F = J.Promise.get_future();
   {
     std::lock_guard<std::mutex> Lock(QueueM);
+    if (Stopping) {
+      // Shutdown has begun: the queue has been (or is being) drained and
+      // no worker will ever see this job. Fail it classified, here.
+      J.Promise.set_value(failResponse(
+          serviceError(ServiceError::Rejected,
+                       "request submitted after service shutdown"),
+          0));
+      return F;
+    }
     Queue.push_back(std::move(J));
   }
   QueueCv.notify_one();
@@ -92,10 +171,43 @@ std::vector<RtcgResponse> RtcgService::serveAll(std::vector<RtcgRequest> Reqs) {
   return Out;
 }
 
+RespecStats RtcgService::respecStats() const {
+  std::lock_guard<std::mutex> Lock(RespecM);
+  RespecStats Out = RStats;
+  Out.SitesObserved = Sites.size();
+  return Out;
+}
+
+void RtcgService::quiesceRespec() {
+  std::unique_lock<std::mutex> Lock(RespecM);
+  RespecCv.wait(Lock, [&] { return RespecInFlight == 0; });
+}
+
+void RtcgService::finishRespecJob() {
+  {
+    std::lock_guard<std::mutex> Lock(RespecM);
+    --RespecInFlight;
+  }
+  RespecCv.notify_all();
+}
+
+std::shared_ptr<const RtcgService::Variant>
+RtcgService::installedVariant(uint64_t GenericHash) const {
+  std::lock_guard<std::mutex> Lock(RespecM);
+  auto It = Sites.find(GenericHash);
+  if (It == Sites.end() || It->second.State != SiteState::Installed)
+    return nullptr;
+  return It->second.Live;
+}
+
 void RtcgService::workerLoop(size_t Index) {
   WorkerState W(Index);
   W.Machine.setLimits(Opts.Limits);
   W.Machine.setFusion(Opts.Fusion);
+  if (Opts.Respec.Enabled) {
+    W.Prof.SampleArgs = true;
+    W.Machine.setProfile(&W.Prof);
+  }
   for (;;) {
     Job J;
     {
@@ -106,13 +218,18 @@ void RtcgService::workerLoop(size_t Index) {
       J = std::move(Queue.front());
       Queue.pop_front();
     }
-    J.Promise.set_value(process(W, J.Req));
+    if (J.Respec)
+      processRespec(W, J);
+    else
+      J.Promise.set_value(process(W, J.Req));
   }
 }
 
 RtcgResponse RtcgService::process(WorkerState &W, const RtcgRequest &Req) {
   RtcgResponse Resp;
   Resp.Worker = W.Index;
+  if (Opts.Respec.Enabled)
+    W.Prof.resetDispatch(); // fresh per-request counters, censuses kept
 
   // Per-request parse arena; the worker's heap persists across requests,
   // so request values are rooted only for the request's duration.
@@ -140,6 +257,19 @@ RtcgResponse RtcgService::process(WorkerState &W, const RtcgRequest &Req) {
     SpecArgs.emplace_back(*V);
   }
 
+  // Run arguments are parsed up front (not after linking, as a plain
+  // serve could): the guard decision needs their values before any code
+  // is chosen, and a parse failure should cost neither a lookup nor a
+  // link either way.
+  std::vector<vm::Value> RunArgs;
+  RunArgs.reserve(Req.RunArgs.size());
+  for (const std::string &T : Req.RunArgs) {
+    Result<vm::Value> V = ParseValue(T);
+    if (!V)
+      return failResponse(V.error(), W.Index);
+    RunArgs.push_back(*V);
+  }
+
   uint64_t Fp = fingerprintProgram(Req.ProgramText, Req.Entry, Req.Division);
   SpecKey Key = makeSpecKey(Fp, SpecArgs);
 
@@ -153,6 +283,95 @@ RtcgResponse RtcgService::process(WorkerState &W, const RtcgRequest &Req) {
     ~GlobalsReset() { M.resetGlobals(); }
   } ResetG{W.Machine};
 
+  compiler::LinkOptions LO;
+  LO.Peephole = Opts.Peephole;
+
+  // Guarded serve: if a re-specialized variant is installed for this key,
+  // decide hit/miss on the raw argument texts before instantiating
+  // anything — a hit links *only* the variant, a miss links *only* the
+  // generic code, so neither path pays for the other.
+  //
+  // Restores the worker's sampling flag on every exit path: once a site
+  // is terminal its census is dead weight, so the guarded serve (hit or
+  // miss) suppresses per-call argument sampling — rendering every
+  // argument to text for evidence nobody will read is most of the deopt
+  // cost otherwise.
+  struct SampleArgsRestore {
+    vm::Profile &P;
+    bool Saved;
+    ~SampleArgsRestore() { P.SampleArgs = Saved; }
+  } SampleRestore{W.Prof, W.Prof.SampleArgs};
+  if (Opts.Respec.Enabled) {
+    if (std::shared_ptr<const Variant> V = installedVariant(Key.Hash)) {
+      W.Prof.SampleArgs = false;
+      // The census that selected this variant counts values by their
+      // canonical rendering (vm::valueToString), so comparing the
+      // incoming argument texts against the stored renderings is exactly
+      // as strong as the evidence — and it makes the miss leg one string
+      // compare instead of a datum parse plus heap allocation per
+      // request. A non-canonical spelling of the hot value misses and
+      // deoptimizes, which is always safe; out-of-range slots likewise.
+      bool Held = true;
+      for (size_t J = 0; J != V->GuardSlots.size(); ++J) {
+        uint32_t Slot = V->GuardSlots[J];
+        if (Slot >= Req.RunArgs.size() ||
+            Req.RunArgs[Slot] != V->GuardTexts[J]) {
+          Held = false;
+          break;
+        }
+      }
+      vm::satInc(Held ? W.Prof.GuardHits : W.Prof.GuardMisses);
+      {
+        std::lock_guard<std::mutex> Lock(RespecM);
+        ++(Held ? RStats.GuardHits : RStats.GuardMisses);
+      }
+      if (Held) {
+        LookupOutcome Tier;
+        if (std::shared_ptr<const CachedSpecialization> Hit =
+                Cache.lookup(V->ExtKey, Tier)) {
+          compiler::CompiledProgram CP =
+              Hit->Residual->instantiate(Store, Globals);
+          if (Result<bool> Linked =
+                  compiler::linkProgramVerified(W.Machine, Globals, CP, LO);
+              !Linked)
+            return failResponse(Linked.error(), W.Index);
+          std::vector<vm::Value> Rest;
+          Rest.reserve(RunArgs.size());
+          for (size_t I = 0; I != RunArgs.size(); ++I) {
+            bool Guarded = false;
+            for (uint32_t Slot : V->GuardSlots)
+              Guarded |= Slot == I;
+            if (!Guarded)
+              Rest.push_back(RunArgs[I]);
+          }
+          Result<vm::Value> R =
+              compiler::callGlobal(W.Machine, Globals, Hit->Entry, Rest);
+          // The variant call sampled *residual-of-variant* slots; those
+          // censuses must never be mistaken for generic-entry evidence.
+          W.Prof.CallSites.clear();
+          if (!R)
+            return failResponse(R.error(), W.Index);
+          Resp.Ok = true;
+          Resp.Value = vm::valueToString(*R);
+          Resp.CacheHit = true;
+          Resp.DiskHit = Tier.DiskHit;
+          Resp.Respecialized = true;
+          Resp.Gen = Hit->Stats;
+          Resp.StoreCode = Tier.DiskError;
+          Resp.StoreNote = Tier.DiskDetail;
+          return Resp;
+        }
+        // Variant evicted from both tiers: serve generically. The
+        // write-through on install usually repopulates via the store, so
+        // no re-generation is forced here.
+        Resp.StoreCode = Tier.DiskError;
+        Resp.StoreNote = Tier.DiskDetail;
+      } else {
+        Resp.GuardMiss = true; // deoptimized: generic code, full args
+      }
+    }
+  }
+
   compiler::CompiledProgram CP;
   Symbol Entry;
   LookupOutcome Tier;
@@ -160,8 +379,10 @@ RtcgResponse RtcgService::process(WorkerState &W, const RtcgRequest &Req) {
   // A classified store failure (corrupt entry, verifier rejection, I/O
   // fault) degrades to cold specialization; it is reported on its own
   // channel, never as a request trap.
-  Resp.StoreCode = Tier.DiskError;
-  Resp.StoreNote = Tier.DiskDetail;
+  if (Tier.DiskError) {
+    Resp.StoreCode = Tier.DiskError;
+    Resp.StoreNote = Tier.DiskDetail;
+  }
   if (Hit) {
     CP = Hit->Residual->instantiate(Store, Globals);
     Entry = Hit->Entry;
@@ -214,27 +435,289 @@ RtcgResponse RtcgService::process(WorkerState &W, const RtcgRequest &Req) {
     }
   }
 
-  compiler::LinkOptions LO;
-  LO.Peephole = Opts.Peephole;
   if (Result<bool> Linked =
           compiler::linkProgramVerified(W.Machine, Globals, CP, LO);
       !Linked)
     return failResponse(Linked.error(), W.Index);
 
-  std::vector<vm::Value> RunArgs;
-  RunArgs.reserve(Req.RunArgs.size());
-  for (const std::string &T : Req.RunArgs) {
-    Result<vm::Value> V = ParseValue(T);
-    if (!V)
-      return failResponse(V.error(), W.Index);
-    RunArgs.push_back(*V);
-  }
-
+  // Only the top-level run's samples may reach the site table: anything a
+  // generation step ran through the machine above is not entry evidence.
+  if (Opts.Respec.Enabled)
+    W.Prof.CallSites.clear();
   Result<vm::Value> R = compiler::callGlobal(W.Machine, Globals, Entry,
                                              RunArgs);
-  if (!R)
+  if (!R) {
+    if (Opts.Respec.Enabled)
+      W.Prof.CallSites.clear(); // trapped run: census is suspect, drop it
     return failResponse(R.error(), W.Index);
+  }
   Resp.Ok = true;
   Resp.Value = vm::valueToString(*R);
+
+  if (Opts.Respec.Enabled)
+    observeAndMaybeRespec(W, Req, Key.Hash);
   return Resp;
+}
+
+void RtcgService::observeAndMaybeRespec(WorkerState &W, const RtcgRequest &Req,
+                                        uint64_t GenericHash) {
+  // Drain every census the request's top-level call recorded. Normally
+  // that is exactly one site (Machine::call samples only the outermost
+  // entry), but the site name is the residual entry's freshened name —
+  // not worth matching; the per-request drain is what keeps the counts
+  // single-homed.
+  vm::CallSiteSample Fresh;
+  for (auto &[Name, Site] : W.Prof.CallSites)
+    Fresh.merge(Site);
+  W.Prof.CallSites.clear();
+  if (!Fresh.Calls)
+    return;
+
+  // The censuses index *residual* parameter slots. That mapping is only
+  // trustworthy when the residual arity equals the request's declared
+  // dynamic slots — BTA may promote a declared-static parameter to
+  // dynamic (effective division), and then slot j is no longer the j-th
+  // "_" of SpecArgs. Such requests simply do not feed the loop.
+  if (Fresh.Slots.size() != dynamicSlots(Req) ||
+      Req.Division.size() != Req.SpecArgs.size())
+    return;
+
+  std::optional<Job> NewJob;
+  {
+    std::lock_guard<std::mutex> Lock(RespecM);
+    SiteInfo &Site = Sites[GenericHash];
+    Site.Census.merge(Fresh);
+    if (Site.State != SiteState::Observing ||
+        Site.Census.Calls < Opts.Respec.HotThreshold)
+      return;
+
+    // Stabilize every dynamic slot whose top value clears the bar.
+    std::vector<uint32_t> Slots;
+    std::vector<std::string> Texts;
+    for (size_t I = 0; I != Site.Census.Slots.size(); ++I) {
+      const vm::ArgCensus &C = Site.Census.Slots[I];
+      const vm::ArgCensus::ValueCount *Top = C.top();
+      if (!C.Sampleable || !Top || C.topShare() < Opts.Respec.MinStability)
+        continue;
+      Slots.push_back(static_cast<uint32_t>(I));
+      Texts.push_back(Top->Text);
+    }
+    if (Slots.empty())
+      return; // keep observing; the mix may still settle
+
+    // Synthesize the value-extended request: the j-th dynamic slot is the
+    // j-th "_" of SpecArgs; flip its division letter to 'S' and put the
+    // observed value in its place. RunArgs stay empty — the job only
+    // generates and installs.
+    Job J;
+    J.Respec = true;
+    J.GenericHash = GenericHash;
+    J.GuardSlots = Slots;
+    J.GuardTexts = Texts;
+    J.Req.ProgramText = Req.ProgramText;
+    J.Req.Entry = Req.Entry;
+    J.Req.Division = Req.Division;
+    J.Req.SpecArgs = Req.SpecArgs;
+    size_t Dyn = 0, Next = 0;
+    for (size_t I = 0; I != J.Req.SpecArgs.size(); ++I) {
+      if (J.Req.SpecArgs[I] != "_")
+        continue;
+      if (Next < Slots.size() && Slots[Next] == Dyn) {
+        J.Req.SpecArgs[I] = Texts[Next];
+        J.Req.Division[I] = 'S';
+        ++Next;
+      }
+      ++Dyn;
+    }
+
+    Site.State = SiteState::Queued;
+    ++RStats.JobsQueued;
+    ++RespecInFlight;
+    NewJob.emplace(std::move(J));
+  }
+
+  // Enqueue outside RespecM (lock order: QueueM alone). If shutdown beat
+  // us to the queue, account the job as abandoned right here — the
+  // destructor has already drained its orphans.
+  {
+    std::lock_guard<std::mutex> Lock(QueueM);
+    if (!Stopping) {
+      // Front of the queue, not the back: every user request served
+      // before the variant exists is a hit the loop already paid the
+      // sampling for and didn't get. One generation's head start costs
+      // one request's latency and buys the whole rest of the burst.
+      Queue.push_front(std::move(*NewJob));
+      NewJob.reset();
+    }
+  }
+  if (NewJob) {
+    {
+      std::lock_guard<std::mutex> Lock(RespecM);
+      ++RStats.Abandoned;
+    }
+    finishRespecJob();
+  } else {
+    QueueCv.notify_one();
+  }
+}
+
+void RtcgService::processRespec(WorkerState &W, Job &J) {
+  const RtcgRequest &Req = J.Req;
+  bool Installed = false;
+  // Everything below is the generic cold path minus the run step,
+  // executed in this worker's own universe; failure of any stage just
+  // marks the site Failed (the generic code keeps serving).
+  do {
+    Arena RequestArena;
+    DatumFactory Datums(RequestArena);
+    vm::RootScope Roots(W.Heap);
+
+    std::vector<std::optional<vm::Value>> SpecArgs;
+    bool ParseOk = true;
+    SpecArgs.reserve(Req.SpecArgs.size());
+    for (const std::string &T : Req.SpecArgs) {
+      if (T == "_") {
+        SpecArgs.emplace_back(std::nullopt);
+        continue;
+      }
+      Result<const Datum *> D = readDatum(T, Datums);
+      if (!D) {
+        ParseOk = false;
+        break;
+      }
+      SpecArgs.emplace_back(Roots.protect(vm::valueFromDatum(W.Heap, *D)));
+    }
+    if (!ParseOk)
+      break;
+
+    uint64_t Fp = fingerprintProgram(Req.ProgramText, Req.Entry, Req.Division);
+    SpecKey ExtKey = makeSpecKey(Fp, SpecArgs);
+
+    GeneratingExtension *Gen;
+    if (auto It = W.Gens.find(Fp); It != W.Gens.end()) {
+      Gen = It->second.get();
+    } else {
+      Result<std::unique_ptr<GeneratingExtension>> G =
+          GeneratingExtension::create(W.Heap, Req.ProgramText, Req.Entry,
+                                      Req.Division, Opts.Pgg);
+      if (!G)
+        break;
+      Gen = (W.Gens[Fp] = std::move(*G)).get();
+    }
+
+    // The guard plan assumes every stabilized slot really was consumed by
+    // specialization. If BTA's joins demoted one back to dynamic, the
+    // residual entry would still expect that argument and the hit path's
+    // argument skipping would misalign — refuse the variant instead.
+    std::vector<bta::BT> Eff = Gen->effectiveDivision();
+    bool DivisionHeld = Eff.size() == Req.Division.size();
+    for (size_t I = 0; DivisionHeld && I != Eff.size(); ++I) {
+      char Want = Req.Division[I];
+      char Got = Eff[I] == bta::BT::Static ? 'S' : 'D';
+      DivisionHeld = Want == Got;
+    }
+    if (!DivisionHeld)
+      break;
+
+    vm::CodeStore Store(W.Heap);
+    vm::GlobalTable Globals;
+    struct GlobalsReset {
+      vm::Machine &M;
+      ~GlobalsReset() { M.resetGlobals(); }
+    } ResetG{W.Machine};
+
+    compiler::Compilators Comp(Store, Globals);
+    Result<ResidualObject> Obj = Gen->generateObject(Comp, SpecArgs);
+    if (!Obj) {
+      if (W.Heap.faulted()) {
+        W.Heap.clearFault();
+        W.Heap.collect();
+      }
+      break;
+    }
+    if (Opts.Peephole)
+      compiler::peepholeProgram(Obj->Residual);
+
+    // Fully-stabilized fast path. When every declared-dynamic slot
+    // pinned, the extended division has no 'D' left and the residual
+    // entry is a zero-argument thunk over a closed program:
+    // specialization with all inputs static is evaluation. The thunk as
+    // generated would still recompute the whole run on every guard hit —
+    // the interpreter workloads' error branches lift their results to
+    // dynamic, so BTA's fold stops at the environment lookup — so run it
+    // once here, in this worker's machine under the service limits, and
+    // publish a constant-returning residual in its place. A trapped run
+    // or an unrenderable result refuses the variant (site goes Failed;
+    // the generic code keeps serving, untouched).
+    vm::CodeStore MemoStore(W.Heap);
+    vm::GlobalTable MemoGlobals;
+    std::optional<ResidualObject> Memo;
+    if (Req.Division.find('D') == std::string::npos) {
+      compiler::LinkOptions LO;
+      LO.Peephole = Opts.Peephole;
+      if (Result<bool> Linked = compiler::linkProgramVerified(
+              W.Machine, Globals, Obj->Residual, LO);
+          !Linked)
+        break;
+      Result<vm::Value> R =
+          compiler::callGlobal(W.Machine, Globals, Obj->Entry, {});
+      if (!R) {
+        if (W.Heap.faulted()) {
+          W.Heap.clearFault();
+          W.Heap.collect();
+        }
+        break;
+      }
+      std::string Text = vm::valueToString(*R);
+      if (Text.find("#<") != std::string::npos)
+        break; // closures and the like have no datum form to re-quote
+      std::string MemoSrc = "(define (respec-memo) (quote " + Text + "))";
+      Result<std::unique_ptr<GeneratingExtension>> MG =
+          GeneratingExtension::create(W.Heap, MemoSrc, "respec-memo", "",
+                                      Opts.Pgg);
+      if (!MG)
+        break;
+      compiler::Compilators MemoComp(MemoStore, MemoGlobals);
+      Result<ResidualObject> MO = (*MG)->generateObject(MemoComp, {});
+      if (!MO)
+        break;
+      if (Opts.Peephole)
+        compiler::peepholeProgram(MO->Residual);
+      Memo.emplace(std::move(*MO));
+    }
+
+    compiler::CompiledProgram &PubCP = Memo ? Memo->Residual : Obj->Residual;
+    vm::GlobalTable &PubGlobals = Memo ? MemoGlobals : Globals;
+    Result<std::shared_ptr<const compiler::PortableProgram>> Port =
+        compiler::PortableProgram::capture(PubCP, PubGlobals);
+    if (!Port)
+      break; // uncapturable residual cannot be shared; no variant
+
+    auto Cached = std::make_shared<CachedSpecialization>();
+    Cached->Residual = *Port;
+    Cached->Entry = Memo ? Memo->Entry : Obj->Entry;
+    Cached->Stats = Obj->Stats; // generation cost of the real extension
+    Cache.insert(ExtKey, std::move(Cached));
+
+    auto V = std::make_shared<Variant>();
+    V->ExtKey = ExtKey;
+    V->GuardSlots = J.GuardSlots;
+    V->GuardTexts = J.GuardTexts;
+    {
+      std::lock_guard<std::mutex> Lock(RespecM);
+      SiteInfo &Site = Sites[J.GenericHash];
+      Site.State = SiteState::Installed;
+      Site.Live = std::move(V);
+      ++RStats.Installed;
+    }
+    Installed = true;
+  } while (false);
+
+  if (!Installed) {
+    std::lock_guard<std::mutex> Lock(RespecM);
+    Sites[J.GenericHash].State = SiteState::Failed;
+    ++RStats.Failed;
+  }
+  W.Prof.CallSites.clear(); // generation-time machine activity, not evidence
+  finishRespecJob();
 }

@@ -23,10 +23,14 @@
 
 #include "pgg/Pgg.h"
 #include "pgg/SpecCache.h"
+#include "vm/Profile.h"
 
+#include <condition_variable>
 #include <deque>
 #include <future>
 #include <memory>
+#include <mutex>
+#include <unordered_map>
 #include <vector>
 
 namespace pecomp {
@@ -34,6 +38,41 @@ namespace pecomp {
 class LargeStackThread;
 
 namespace pgg {
+
+/// Classified service-lifecycle failures, carried in Error::code() offset
+/// by ServiceErrorCodeBase — a third code space next to vm::TrapKind
+/// (low values) and pgg::StoreError (base 100). A request failed this way
+/// never reached a worker universe at all, which is precisely what the
+/// classification certifies: at shutdown the workers' heaps and machines
+/// are being (or have been) destroyed, and the one safe way to fail the
+/// outstanding futures is from the outside, without touching them.
+enum class ServiceError : uint8_t {
+  None = 0,
+  Stopped,  ///< service shut down before the request was served
+  Rejected, ///< submitted after shutdown began
+};
+
+/// Human-readable class name ("Stopped", ...).
+const char *serviceErrorName(ServiceError E);
+
+/// Error::code() base for service errors (vm::TrapKind owns the low
+/// values, StoreError base 100).
+constexpr int ServiceErrorCodeBase = 200;
+
+/// Builds a classified service Error.
+inline Error serviceError(ServiceError K, std::string Message) {
+  Error E(std::move(Message));
+  E.setCode(ServiceErrorCodeBase + static_cast<int>(K));
+  return E;
+}
+
+/// The service class of \p E (ServiceError::None for other errors).
+inline ServiceError serviceErrorOf(const Error &E) {
+  int C = E.code() - ServiceErrorCodeBase;
+  if (C <= 0 || C > static_cast<int>(ServiceError::Rejected))
+    return ServiceError::None;
+  return static_cast<ServiceError>(C);
+}
 
 /// One specialize-and-run request, all in external (text) form.
 struct RtcgRequest {
@@ -61,8 +100,43 @@ struct RtcgResponse {
   /// StoreCode can be nonzero while Ok is true and TrapCode is 0.
   int StoreCode = 0;
   std::string StoreNote; ///< description of the store failure
-  spec::SpecStats Gen;   ///< generation stats (the cached ones on a hit)
-  size_t Worker = 0;     ///< index of the worker that served it
+  /// Classified service-lifecycle failure (ServiceErrorCodeBase +
+  /// pgg::ServiceError; 0 = none). Nonzero means the request never
+  /// entered a worker universe (shutdown raced it), so TrapCode and
+  /// StoreCode are meaningless and Worker is unset.
+  int ServiceCode = 0;
+  /// Served by an online re-specialized variant (guards held and the
+  /// value-extended entry ran).
+  bool Respecialized = false;
+  /// A variant was installed for this request's key but its argument
+  /// guards failed — the request deoptimized to the generic code.
+  bool GuardMiss = false;
+  spec::SpecStats Gen; ///< generation stats (the cached ones on a hit)
+  size_t Worker = 0;   ///< index of the worker that served it
+};
+
+/// Online re-specialization policy knobs (the `--respecialize` flag).
+struct RespecOptions {
+  bool Enabled = false;
+  /// Observed calls of one (program, entry, division, static-args) key
+  /// before its censuses are consulted.
+  uint64_t HotThreshold = 16;
+  /// Minimum share the top rendering of a dynamic slot must own for the
+  /// slot to be stabilized (guards on a flakier value miss too often to
+  /// pay).
+  double MinStability = 0.5;
+};
+
+/// Counters for the online re-specialization loop, snapshotted by
+/// RtcgService::respecStats().
+struct RespecStats {
+  uint64_t SitesObserved = 0; ///< distinct keys with census data
+  uint64_t JobsQueued = 0;    ///< background re-specializations started
+  uint64_t Installed = 0;     ///< variants live behind a guard
+  uint64_t Failed = 0;        ///< jobs that could not produce a variant
+  uint64_t Abandoned = 0;     ///< jobs orphaned by shutdown
+  uint64_t GuardHits = 0;     ///< requests served by a variant
+  uint64_t GuardMisses = 0;   ///< requests that deoptimized to generic
 };
 
 struct RtcgOptions {
@@ -89,6 +163,8 @@ struct RtcgOptions {
   /// SpecCache when non-null. The caller opens the store so an open
   /// failure is reportable up front rather than silently degrading.
   std::shared_ptr<DiskStore> Store;
+  /// Online profile-guided re-specialization with guarded deopt.
+  RespecOptions Respec;
   PggOptions Pgg;
 };
 
@@ -104,22 +180,70 @@ public:
 
   std::future<RtcgResponse> submit(RtcgRequest Req);
 
+  /// Begins shutdown: fails every queued request with a classified
+  /// ServiceError::Stopped, accounts queued re-specialization jobs as
+  /// abandoned, and makes all further submit() calls fail with
+  /// ServiceError::Rejected. Idempotent; the destructor calls it and
+  /// then joins the workers (which finish their in-flight request).
+  void stop();
+
   /// Submits every request and waits; responses are in request order.
   std::vector<RtcgResponse> serveAll(std::vector<RtcgRequest> Reqs);
 
   SpecCache &cache() { return Cache; }
   CacheStats cacheStats() const { return Cache.stats(); }
+  RespecStats respecStats() const;
   size_t threads() const { return Workers.size(); }
 
+  /// Blocks until no background re-specialization job is queued or
+  /// running. Deterministic tests and benches call this between the
+  /// warm-up burst (which triggers the jobs) and the measured burst
+  /// (which should hit the installed variants).
+  void quiesceRespec();
+
 private:
+  /// An installed re-specialized variant for one generic key: the
+  /// value-extended cache key plus the guard the serving path must check
+  /// (RunArgs slot indices and the expected datum texts, canonical
+  /// renderings).
+  struct Variant {
+    SpecKey ExtKey;
+    std::vector<uint32_t> GuardSlots;
+    std::vector<std::string> GuardTexts;
+  };
+  /// Per-generic-key re-specialization state machine. Failed is terminal:
+  /// a key whose variant could not be generated is not retried (the
+  /// inputs are deterministic, so neither would the retry be different).
+  enum class SiteState : uint8_t { Observing, Queued, Installed, Failed };
+  struct SiteInfo {
+    SiteState State = SiteState::Observing;
+    vm::CallSiteSample Census;
+    std::shared_ptr<const Variant> Live; ///< set when State == Installed
+  };
+
   struct Job {
     RtcgRequest Req;
     std::promise<RtcgResponse> Promise;
+    /// Background re-specialization job: Req is the synthesized
+    /// value-extended request (generate-only, no RunArgs), Promise is
+    /// unused, and the fields below carry the installation target.
+    bool Respec = false;
+    uint64_t GenericHash = 0;
+    std::vector<uint32_t> GuardSlots;
+    std::vector<std::string> GuardTexts;
   };
   struct WorkerState; // worker-owned universe, defined in the .cpp
 
   void workerLoop(size_t Index);
   RtcgResponse process(WorkerState &W, const RtcgRequest &Req);
+  void processRespec(WorkerState &W, Job &J);
+  /// Folds the worker's fresh argument censuses into the site keyed by
+  /// \p GenericHash and queues a re-specialization job if the site just
+  /// crossed the policy thresholds.
+  void observeAndMaybeRespec(WorkerState &W, const RtcgRequest &Req,
+                             uint64_t GenericHash);
+  std::shared_ptr<const Variant> installedVariant(uint64_t GenericHash) const;
+  void finishRespecJob();
 
   RtcgOptions Opts;
   SpecCache Cache;
@@ -128,6 +252,14 @@ private:
   std::condition_variable QueueCv;
   std::deque<Job> Queue;
   bool Stopping = false;
+
+  /// Re-specialization controller state: site table, counters, and the
+  /// in-flight job count quiesceRespec() waits on.
+  mutable std::mutex RespecM;
+  std::condition_variable RespecCv;
+  std::unordered_map<uint64_t, SiteInfo> Sites;
+  RespecStats RStats;
+  size_t RespecInFlight = 0;
 
   std::vector<std::unique_ptr<LargeStackThread>> Workers;
 };

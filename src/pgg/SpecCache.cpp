@@ -81,11 +81,14 @@ size_t CacheStats::addCoverage(support::CoverageMap &M) const {
 std::string CacheStats::report() const {
   char Buf[256];
   snprintf(Buf, sizeof(Buf),
-           "spec-cache: %llu hits, %llu misses (%.1f%% hit rate), "
-           "%llu insertions, %llu evictions, %zu entries, %zu/%zu bytes\n",
+           "spec-cache: %llu lookups, %llu hits, %llu misses "
+           "(%.1f%% hit rate), %llu insertions (%llu promoted), "
+           "%llu evictions, %zu entries, %zu/%zu bytes\n",
+           static_cast<unsigned long long>(Lookups),
            static_cast<unsigned long long>(Hits),
            static_cast<unsigned long long>(Misses), hitRate() * 100.0,
            static_cast<unsigned long long>(Insertions),
+           static_cast<unsigned long long>(Promotions),
            static_cast<unsigned long long>(Evictions), Entries, Bytes,
            MaxBytes);
   std::string Out = Buf;
@@ -119,13 +122,14 @@ std::shared_ptr<const CachedSpecialization>
 SpecCache::lookup(const SpecKey &Key) {
   Shard &S = shardFor(Key);
   std::lock_guard<std::mutex> Lock(S.M);
+  ++S.Lookups; // outcome recorded below, same critical section
   auto It = S.Map.find(Key);
   if (It == S.Map.end()) {
-    Misses.fetch_add(1, std::memory_order_relaxed);
+    ++S.Misses;
     return nullptr;
   }
   S.Lru.splice(S.Lru.begin(), S.Lru, It->second); // refresh recency
-  Hits.fetch_add(1, std::memory_order_relaxed);
+  ++S.Hits;
   return It->second->Value;
 }
 
@@ -140,7 +144,7 @@ SpecCache::lookup(const SpecKey &Key, LookupOutcome &Out) {
   Result<std::shared_ptr<const CachedSpecialization>> R = Disk->load(Key);
   if (R) {
     Out.DiskHit = true;
-    insertMemory(Key, *R); // promote; no write-back to disk
+    insertMemory(Key, *R, /*Promotion=*/true); // no write-back to disk
     return *R;
   }
   // A plain miss is the expected cold-store answer; everything else is a
@@ -161,11 +165,12 @@ void SpecCache::insert(const SpecKey &Key,
                        std::shared_ptr<const CachedSpecialization> Value) {
   if (Disk && !Disk->readOnly() && Value)
     Disk->put(Key, *Value); // failures tallied in the store's counters
-  insertMemory(Key, std::move(Value));
+  insertMemory(Key, std::move(Value), /*Promotion=*/false);
 }
 
-void SpecCache::insertMemory(
-    const SpecKey &Key, std::shared_ptr<const CachedSpecialization> Value) {
+void SpecCache::insertMemory(const SpecKey &Key,
+                             std::shared_ptr<const CachedSpecialization> Value,
+                             bool Promotion) {
   size_t Bytes = Value ? Value->byteSize() : 0;
   Shard &S = shardFor(Key);
   std::lock_guard<std::mutex> Lock(S.M);
@@ -183,7 +188,9 @@ void SpecCache::insertMemory(
     S.Map.emplace(Key, S.Lru.begin());
     S.Bytes += Bytes;
   }
-  Insertions.fetch_add(1, std::memory_order_relaxed);
+  ++S.Insertions;
+  if (Promotion)
+    ++S.Promotions;
   evictOverBudgetLocked(S);
 }
 
@@ -195,7 +202,7 @@ void SpecCache::evictOverBudgetLocked(Shard &S) {
     S.Bytes -= Victim.Bytes;
     S.Map.erase(Victim.Key);
     S.Lru.pop_back();
-    Evictions.fetch_add(1, std::memory_order_relaxed);
+    ++S.Evictions;
   }
 }
 
@@ -210,13 +217,15 @@ void SpecCache::clear() {
 
 CacheStats SpecCache::stats() const {
   CacheStats Out;
-  Out.Hits = Hits.load(std::memory_order_relaxed);
-  Out.Misses = Misses.load(std::memory_order_relaxed);
-  Out.Insertions = Insertions.load(std::memory_order_relaxed);
-  Out.Evictions = Evictions.load(std::memory_order_relaxed);
   Out.MaxBytes = MaxBytes;
   for (const auto &S : Shards) {
     std::lock_guard<std::mutex> Lock(S->M);
+    Out.Lookups += S->Lookups;
+    Out.Hits += S->Hits;
+    Out.Misses += S->Misses;
+    Out.Insertions += S->Insertions;
+    Out.Promotions += S->Promotions;
+    Out.Evictions += S->Evictions;
     Out.Bytes += S->Bytes;
     Out.Entries += S->Lru.size();
   }

@@ -92,9 +92,21 @@ struct CachedSpecialization {
 /// Aggregate counters, surfaced next to spec::SpecStats by the service
 /// and `pecompc --cache-stats`.
 struct CacheStats {
+  /// Memory-tier lookup episodes. Every lookup records itself and exactly
+  /// one of Hits/Misses inside one shard-locked critical section, and
+  /// stats() snapshots each shard under the same lock, so the invariant
+  ///
+  ///     Lookups == Hits + Misses
+  ///
+  /// holds in every snapshot, however many threads are mid-lookup.
+  uint64_t Lookups = 0;
   uint64_t Hits = 0;
   uint64_t Misses = 0;
   uint64_t Insertions = 0;
+  /// The subset of Insertions that were disk-tier promotions (a verified
+  /// disk hit copied into memory). Disk-served lookups still count as a
+  /// memory Miss — the tiers keep separate books.
+  uint64_t Promotions = 0;
   uint64_t Evictions = 0;
   size_t Bytes = 0;    ///< currently retained
   size_t Entries = 0;  ///< currently resident
@@ -199,6 +211,18 @@ private:
     std::list<Entry> Lru; ///< front = most recent
     std::unordered_map<SpecKey, std::list<Entry>::iterator, KeyHash> Map;
     size_t Bytes = 0;
+    // Counters live under the shard mutex rather than as global atomics:
+    // a lookup's "one lookup, one outcome" pair commits atomically with
+    // respect to stats(), which snapshots each shard under the same lock.
+    // Global relaxed atomics let a reader observe the lookup bump without
+    // its outcome (Hits + Misses != Lookups) — the incoherence
+    // `--cache-stats` used to show under concurrent serving.
+    uint64_t Lookups = 0;
+    uint64_t Hits = 0;
+    uint64_t Misses = 0;
+    uint64_t Insertions = 0;
+    uint64_t Promotions = 0;
+    uint64_t Evictions = 0;
   };
 
   Shard &shardFor(const SpecKey &Key) {
@@ -206,15 +230,13 @@ private:
   }
   void evictOverBudgetLocked(Shard &S);
   void insertMemory(const SpecKey &Key,
-                    std::shared_ptr<const CachedSpecialization> Value);
+                    std::shared_ptr<const CachedSpecialization> Value,
+                    bool Promotion);
 
   size_t MaxBytes;
   size_t ShardBudget; ///< MaxBytes / shard count (0 = unlimited)
   std::vector<std::unique_ptr<Shard>> Shards;
   std::shared_ptr<DiskStore> Disk; ///< persistent tier (may be null)
-
-  mutable std::atomic<uint64_t> Hits{0}, Misses{0}, Insertions{0},
-      Evictions{0};
 };
 
 } // namespace pgg

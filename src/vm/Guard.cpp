@@ -1,0 +1,47 @@
+//===- vm/Guard.cpp - Guarded dispatch to specialized variants ------------===//
+
+#include "vm/Guard.h"
+
+#include "vm/Profile.h"
+
+using namespace pecomp;
+using namespace pecomp::vm;
+
+bool pecomp::vm::guardsHold(const GuardPlan &P, std::span<const Value> Args) {
+  for (size_t I = 0; I != P.Slots.size(); ++I) {
+    if (P.Slots[I] >= Args.size())
+      return false;
+    if (!valueEquals(Args[P.Slots[I]], P.Expected[I]))
+      return false;
+  }
+  return true;
+}
+
+std::vector<Value> pecomp::vm::residualArgs(const GuardPlan &P,
+                                            std::span<const Value> Args) {
+  std::vector<Value> Out;
+  Out.reserve(Args.size() - std::min(Args.size(), P.Slots.size()));
+  size_t Next = 0; // next guarded-slot cursor (Slots is sorted)
+  for (size_t I = 0; I != Args.size(); ++I) {
+    if (Next < P.Slots.size() && P.Slots[Next] == I) {
+      ++Next;
+      continue;
+    }
+    Out.push_back(Args[I]);
+  }
+  return Out;
+}
+
+Result<Value> pecomp::vm::callGuarded(Machine &M, Value Specialized,
+                                      const GuardPlan &P, Value Generic,
+                                      std::span<const Value> Args, bool *Hit) {
+  const bool Held = guardsHold(P, Args);
+  if (Hit)
+    *Hit = Held;
+  if (Profile *Prof = M.profile())
+    satInc(Held ? Prof->GuardHits : Prof->GuardMisses);
+  if (!Held)
+    return M.call(Generic, Args);
+  std::vector<Value> Rest = residualArgs(P, Args);
+  return M.call(Specialized, Rest);
+}

@@ -1,0 +1,67 @@
+//===- vm/Guard.h - Guarded dispatch to specialized variants ----*- C++ -*-===//
+///
+/// \file
+/// The deoptimization half of online re-specialization. A specialized
+/// variant produced from *observed* (not declared) argument values is
+/// only valid for those values, so every entry must be guarded: compare
+/// the guarded argument slots against the expected values and either run
+/// the variant on the remaining arguments (hit) or fall through to the
+/// generic code on the full argument vector (miss).
+///
+/// The shim is deliberately outside the dispatch loops. Guards compare
+/// top-level call arguments, which exist before any frame is pushed, so
+/// the check costs no fuel, touches no VM state, and cannot trap — which
+/// is exactly what makes the parity contract provable: a guard miss is
+/// *bit-identical* to having called the generic code directly (same
+/// value, same TrapKind, same trap PC/function, same executed-instruction
+/// count), and the six-tier differential fuzzer holds it to that.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PECOMP_VM_GUARD_H
+#define PECOMP_VM_GUARD_H
+
+#include "vm/Machine.h"
+#include "vm/Value.h"
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace pecomp {
+namespace vm {
+
+/// Which argument slots of the *generic* entry are guarded, and the value
+/// each must carry for the specialized variant to be applicable. Slots
+/// and Expected are parallel; slot indices are strictly increasing.
+struct GuardPlan {
+  std::vector<uint32_t> Slots;
+  std::vector<Value> Expected;
+
+  bool empty() const { return Slots.empty(); }
+};
+
+/// True iff every guarded slot of \p Args structurally equals its
+/// expected value. Out-of-range slots fail the guard (never trap): a
+/// stale plan must degrade to the generic path, not crash.
+bool guardsHold(const GuardPlan &P, std::span<const Value> Args);
+
+/// The argument vector the specialized variant takes: \p Args with the
+/// guarded slots removed, in order. (Specialization consumed those — they
+/// are compiled into the residual code.)
+std::vector<Value> residualArgs(const GuardPlan &P, std::span<const Value> Args);
+
+/// Guarded call: check \p P against \p Args; on hit call \p Specialized
+/// with the residual arguments, on miss call \p Generic with \p Args
+/// unchanged. Guard-outcome counters land in the machine's attached
+/// Profile (if any); \p Hit (optional) reports which leg ran. The miss
+/// leg performs exactly one Machine::call on the generic closure — no
+/// extra fuel, no extra instructions, no trap-context perturbation.
+Result<Value> callGuarded(Machine &M, Value Specialized, const GuardPlan &P,
+                          Value Generic, std::span<const Value> Args,
+                          bool *Hit = nullptr);
+
+} // namespace vm
+} // namespace pecomp
+
+#endif // PECOMP_VM_GUARD_H

@@ -104,7 +104,7 @@ const DecodedStream *Machine::decodedFor(const CodeObject &C) {
   if (Prof && !C.decodeAttempted()) {
     Timer T;
     const DecodedStream *DS = C.decoded();
-    Prof->DecodeNanos += static_cast<uint64_t>(T.seconds() * 1e9);
+    satInc(Prof->DecodeNanos, static_cast<uint64_t>(T.seconds() * 1e9));
     return DS;
   }
   return C.decoded();
@@ -159,6 +159,11 @@ Result<Value> Machine::call(Value Callee, std::span<const Value> Args) {
     return E;
   }
 
+  // Sample entry arguments before any of them can be consumed: the census
+  // must reflect what the caller passed, not what survived the run.
+  if (Prof && Prof->SampleArgs)
+    Prof->sampleCall(Clo->Code->name(), Args);
+
   Stack.push_back(Callee);
   for (Value A : Args)
     Stack.push_back(A);
@@ -169,10 +174,10 @@ Result<Value> Machine::call(Value Callee, std::span<const Value> Args) {
     ExecTimer.emplace();
   Result<Value> R = run();
   if (Prof) {
-    Prof->ExecNanos += static_cast<uint64_t>(ExecTimer->seconds() * 1e9);
-    ++Prof->Calls;
+    satInc(Prof->ExecNanos, static_cast<uint64_t>(ExecTimer->seconds() * 1e9));
+    satInc(Prof->Calls);
     if (!R.ok())
-      ++Prof->Traps;
+      satInc(Prof->Traps);
   }
   Reset();
   return R;
@@ -253,8 +258,8 @@ std::optional<Result<Value>> Machine::runDecoded() {
     ++FuelUsed;
     if constexpr (Profiling) {
       const size_t CurOp = static_cast<size_t>(C->SrcOp);
-      ++Prof->OpCount[CurOp];
-      ++Prof->PairCount[PrevOp * NumOpcodes + CurOp];
+      satInc(Prof->OpCount[CurOp]);
+      satInc(Prof->PairCount[PrevOp * NumOpcodes + CurOp]);
       PrevOp = CurOp;
     }
   };
@@ -291,8 +296,8 @@ std::optional<Result<Value>> Machine::runDecoded() {
     goto fuel_trap;                                                            \
   if constexpr (Profiling) {                                                   \
     const size_t CurOp = static_cast<size_t>(I->SrcOp);                        \
-    ++Prof->OpCount[CurOp];                                                    \
-    ++Prof->PairCount[PrevOp * NumOpcodes + CurOp];                            \
+    satInc(Prof->OpCount[CurOp]);                                              \
+    satInc(Prof->PairCount[PrevOp * NumOpcodes + CurOp]);                      \
     PrevOp = CurOp;                                                            \
   }
 
@@ -566,8 +571,8 @@ std::optional<Result<Value>> Machine::runDecoded() {
     }
     // Final depth S+1 was probed above; no push check needed.
     if constexpr (Profiling)
-      ++Prof->FusedCount[static_cast<size_t>(Op::FuseLocalLocalPrim) -
-                         NumOpcodes];
+      satInc(Prof->FusedCount[static_cast<size_t>(Op::FuseLocalLocalPrim) -
+                              NumOpcodes]);
     IP += 3;
     PECOMP_DISPATCH();
   }
@@ -607,7 +612,8 @@ std::optional<Result<Value>> Machine::runDecoded() {
       goto alloc_trap;
     }
     if constexpr (Profiling)
-      ++Prof->FusedCount[static_cast<size_t>(Op::FuseConstPrim) - NumOpcodes];
+      satInc(Prof->FusedCount[static_cast<size_t>(Op::FuseConstPrim) -
+                              NumOpcodes]);
     IP += 2;
     PECOMP_DISPATCH();
   }
@@ -646,7 +652,8 @@ std::optional<Result<Value>> Machine::runDecoded() {
       goto alloc_trap;
     }
     if constexpr (Profiling)
-      ++Prof->FusedCount[static_cast<size_t>(Op::FuseLocalPrim) - NumOpcodes];
+      satInc(Prof->FusedCount[static_cast<size_t>(Op::FuseLocalPrim) -
+                              NumOpcodes]);
     IP += 2;
     PECOMP_DISPATCH();
   }
@@ -672,8 +679,8 @@ std::optional<Result<Value>> Machine::runDecoded() {
     Charge(I + 1);
     // The branch consumes the result without it ever touching the stack.
     if constexpr (Profiling)
-      ++Prof->FusedCount[static_cast<size_t>(Op::FuseCmpJumpIfFalse) -
-                         NumOpcodes];
+      satInc(Prof->FusedCount[static_cast<size_t>(Op::FuseCmpJumpIfFalse) -
+                              NumOpcodes]);
     IP = R->isTruthy() ? IP + 2 : static_cast<size_t>((I + 1)->Target);
     PECOMP_DISPATCH();
   }
@@ -692,8 +699,8 @@ std::optional<Result<Value>> Machine::runDecoded() {
     Charge(I + 1);
     // No Return underflow check: the bounds check implies depth > Base.
     if constexpr (Profiling)
-      ++Prof->FusedCount[static_cast<size_t>(Op::FuseLocalReturn) -
-                         NumOpcodes];
+      satInc(Prof->FusedCount[static_cast<size_t>(Op::FuseLocalReturn) -
+                              NumOpcodes]);
     Stack.resize(F->Base - 1);
     Stack.push_back(Ret);
     Frames.pop_back();
@@ -733,8 +740,8 @@ std::optional<Result<Value>> Machine::runDecoded() {
                       std::to_string(Stack.size() + 1) + ", need 1)");
     }
     if constexpr (Profiling)
-      ++Prof->FusedCount[static_cast<size_t>(Op::FusePrimReturn) -
-                         NumOpcodes];
+      satInc(Prof->FusedCount[static_cast<size_t>(Op::FusePrimReturn) -
+                              NumOpcodes]);
     Value Ret = *R;
     Stack.resize(F->Base - 1);
     Stack.push_back(Ret);
@@ -850,8 +857,8 @@ std::optional<Result<Value>> Machine::runBytes() {
                       std::to_string(static_cast<unsigned>(O)));
     }
     if (Prof) {
-      ++Prof->OpCount[static_cast<size_t>(O)];
-      ++Prof->PairCount[PrevOp * NumOpcodes + static_cast<size_t>(O)];
+      satInc(Prof->OpCount[static_cast<size_t>(O)]);
+      satInc(Prof->PairCount[PrevOp * NumOpcodes + static_cast<size_t>(O)]);
       PrevOp = static_cast<size_t>(O);
     }
     if (F.PC + OperandBytes > Code.size())

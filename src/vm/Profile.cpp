@@ -8,6 +8,128 @@
 using namespace pecomp;
 using namespace pecomp::vm;
 
+void ArgCensus::observe(std::string_view Text) {
+  // Values without an injective external rendering (closures, boxes —
+  // anything printed as "#<...>") can never key a cache entry or be
+  // guard-compared across requests, so one of them poisons the slot.
+  if (Text.find("#<") != std::string_view::npos) {
+    Sampleable = false;
+    return;
+  }
+  for (ValueCount &V : Values)
+    if (V.Text == Text) {
+      satInc(V.Count);
+      return;
+    }
+  if (Values.size() < MaxDistinct) {
+    Values.push_back({std::string(Text), 1});
+    return;
+  }
+  satInc(Overflow);
+}
+
+uint64_t ArgCensus::total() const {
+  uint64_t N = Overflow;
+  for (const ValueCount &V : Values)
+    N = (N > UINT64_MAX - V.Count) ? UINT64_MAX : N + V.Count;
+  return N;
+}
+
+const ArgCensus::ValueCount *ArgCensus::top() const {
+  const ValueCount *Best = nullptr;
+  for (const ValueCount &V : Values)
+    if (!Best || V.Count > Best->Count)
+      Best = &V;
+  return Best;
+}
+
+double ArgCensus::topShare() const {
+  if (!Sampleable)
+    return 0;
+  const ValueCount *Best = top();
+  uint64_t Total = total();
+  if (!Best || !Total)
+    return 0;
+  return static_cast<double>(Best->Count) / static_cast<double>(Total);
+}
+
+void ArgCensus::merge(const ArgCensus &O) {
+  if (!O.Sampleable)
+    Sampleable = false;
+  satInc(Overflow, O.Overflow);
+  for (const ValueCount &V : O.Values) {
+    bool Found = false;
+    for (ValueCount &Mine : Values)
+      if (Mine.Text == V.Text) {
+        satInc(Mine.Count, V.Count);
+        Found = true;
+        break;
+      }
+    if (!Found) {
+      if (Values.size() < MaxDistinct)
+        Values.push_back(V);
+      else
+        satInc(Overflow, V.Count);
+    }
+  }
+}
+
+void CallSiteSample::merge(const CallSiteSample &O) {
+  satInc(Calls, O.Calls);
+  if (Slots.size() < O.Slots.size())
+    Slots.resize(O.Slots.size());
+  for (size_t I = 0; I != O.Slots.size(); ++I)
+    Slots[I].merge(O.Slots[I]);
+}
+
+void Profile::sampleCall(std::string_view Callee, std::span<const Value> Args) {
+  auto It = CallSites.find(std::string(Callee));
+  if (It == CallSites.end()) {
+    if (CallSites.size() >= MaxSampledSites)
+      return; // site table full: drop, never grow unboundedly
+    It = CallSites.emplace(std::string(Callee), CallSiteSample{}).first;
+  }
+  CallSiteSample &S = It->second;
+  satInc(S.Calls);
+  if (S.Slots.size() < Args.size())
+    S.Slots.resize(Args.size());
+  for (size_t I = 0; I != Args.size(); ++I)
+    S.Slots[I].observe(valueToString(Args[I]));
+}
+
+CallSiteSample Profile::takeCallSite(const std::string &Callee) {
+  auto It = CallSites.find(Callee);
+  if (It == CallSites.end())
+    return {};
+  CallSiteSample Out = std::move(It->second);
+  CallSites.erase(It);
+  return Out;
+}
+
+void Profile::accumulate(const Profile &O) {
+  for (size_t I = 0; I != NumOpcodes; ++I)
+    satInc(OpCount[I], O.OpCount[I]);
+  for (size_t I = 0; I != PairCount.size(); ++I)
+    satInc(PairCount[I], O.PairCount[I]);
+  for (size_t I = 0; I != NumFusedOps; ++I)
+    satInc(FusedCount[I], O.FusedCount[I]);
+  satInc(Calls, O.Calls);
+  satInc(Traps, O.Traps);
+  satInc(DecodeNanos, O.DecodeNanos);
+  satInc(ExecNanos, O.ExecNanos);
+  satInc(GuardHits, O.GuardHits);
+  satInc(GuardMisses, O.GuardMisses);
+  for (const auto &[Name, Site] : O.CallSites) {
+    auto It = CallSites.find(Name);
+    if (It == CallSites.end()) {
+      if (CallSites.size() < MaxSampledSites)
+        CallSites.emplace(Name, Site);
+      continue;
+    }
+    It->second.merge(Site);
+  }
+}
+
 std::vector<Profile::OpPair> Profile::topPairs(size_t N) const {
   std::vector<OpPair> Pairs;
   for (size_t Prev = 0; Prev < NumOpcodes; ++Prev)
@@ -95,5 +217,51 @@ std::string Profile::report() const {
            static_cast<double>(DecodeNanos) / 1e6,
            static_cast<double>(ExecNanos) / 1e6);
   Out += Line;
+  if (GuardHits || GuardMisses) {
+    const uint64_t G = GuardHits + GuardMisses;
+    snprintf(Line, sizeof(Line),
+             "  guarded dispatches: %llu hits, %llu misses (%.1f%% hit rate)\n",
+             static_cast<unsigned long long>(GuardHits),
+             static_cast<unsigned long long>(GuardMisses),
+             G ? 100.0 * static_cast<double>(GuardHits) /
+                     static_cast<double>(G)
+               : 0.0);
+    Out += Line;
+  }
+  if (!CallSites.empty()) {
+    // Deterministic order (unordered_map iteration is not).
+    std::vector<const std::pair<const std::string, CallSiteSample> *> Sites;
+    for (const auto &KV : CallSites)
+      Sites.push_back(&KV);
+    std::stable_sort(Sites.begin(), Sites.end(), [](auto *A, auto *B) {
+      if (A->second.Calls != B->second.Calls)
+        return A->second.Calls > B->second.Calls;
+      return A->first < B->first;
+    });
+    Out += "  sampled call sites:\n";
+    for (const auto *KV : Sites) {
+      const CallSiteSample &S = KV->second;
+      snprintf(Line, sizeof(Line), "    %-24s %12llu call(s)\n",
+               KV->first.empty() ? "<anonymous>" : KV->first.c_str(),
+               static_cast<unsigned long long>(S.Calls));
+      Out += Line;
+      for (size_t I = 0; I != S.Slots.size(); ++I) {
+        const ArgCensus &C = S.Slots[I];
+        if (!C.Sampleable) {
+          snprintf(Line, sizeof(Line), "      arg %zu: unsampleable\n", I);
+          Out += Line;
+          continue;
+        }
+        const ArgCensus::ValueCount *Top = C.top();
+        if (!Top)
+          continue;
+        snprintf(Line, sizeof(Line),
+                 "      arg %zu: top %.24s (%.1f%% of %llu)\n", I,
+                 Top->Text.c_str(), 100.0 * C.topShare(),
+                 static_cast<unsigned long long>(C.total()));
+        Out += Line;
+      }
+    }
+  }
   return Out;
 }

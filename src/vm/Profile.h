@@ -20,14 +20,70 @@
 
 #include "support/CoverageMap.h"
 #include "vm/Code.h"
+#include "vm/Value.h"
 
 #include <array>
 #include <cstdint>
+#include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace pecomp {
 namespace vm {
+
+/// Saturating counter bump: profile counters must never wrap. A uint64
+/// opcode counter takes centuries to saturate on one machine, but worker
+/// profiles are merged (accumulate()) across requests and workers, where
+/// two near-ceiling rows can legitimately meet; a wrapped row would turn
+/// the hottest digram into the coldest and invert every policy decision
+/// built on it.
+inline void satInc(uint64_t &C, uint64_t By = 1) {
+  C = (C > UINT64_MAX - By) ? UINT64_MAX : C + By;
+}
+
+/// Bounded census of the values one argument slot has been observed to
+/// carry: at most MaxDistinct distinct canonical renderings are tracked,
+/// anything beyond lands in Overflow. This is the evidence base for
+/// online re-specialization (pgg/RtcgService): a "dynamic" slot whose top
+/// rendering owns a large share of the observations is stable in
+/// practice and worth specializing on behind a guard.
+struct ArgCensus {
+  /// Distinct renderings tracked per slot. Small on purpose: a slot with
+  /// more live values than this is not stable, and the overflow share
+  /// already proves it.
+  static constexpr size_t MaxDistinct = 8;
+
+  struct ValueCount {
+    std::string Text; ///< canonical rendering (vm::valueToString)
+    uint64_t Count = 0;
+  };
+  std::vector<ValueCount> Values;
+  uint64_t Overflow = 0; ///< observations of untracked renderings
+  /// False once the slot carried a value with no injective external
+  /// rendering (a closure, say) — such a slot can never be guarded.
+  bool Sampleable = true;
+
+  void observe(std::string_view Text);
+  uint64_t total() const;
+  /// The most-observed tracked rendering, or null when nothing sampled.
+  const ValueCount *top() const;
+  /// top()->Count / total(), 0 when empty or not Sampleable. Overflow
+  /// counts against the share: untracked values are by definition not
+  /// the stable one.
+  double topShare() const;
+  /// Fold \p O into this census (saturating; Sampleable is sticky-false).
+  void merge(const ArgCensus &O);
+};
+
+/// Everything sampled about one call site (keyed by callee name): how
+/// often it was entered and the per-slot argument censuses.
+struct CallSiteSample {
+  uint64_t Calls = 0;
+  std::vector<ArgCensus> Slots;
+
+  void merge(const CallSiteSample &O);
+};
 
 struct Profile {
   /// Row index of PairCount for "no previous opcode" (start of a dispatch
@@ -55,6 +111,33 @@ struct Profile {
   uint64_t DecodeNanos = 0;
   uint64_t ExecNanos = 0;
 
+  /// Guarded-dispatch outcomes (vm/Guard.h): entries whose argument
+  /// guards all held (specialized variant ran) vs. fell through to the
+  /// generic code.
+  uint64_t GuardHits = 0;
+  uint64_t GuardMisses = 0;
+
+  /// Per-call-site argument-value sampling, keyed by callee name. Opt-in
+  /// on top of profiling itself (SampleArgs): rendering every argument
+  /// has a real cost, so only consumers that feed a re-specialization
+  /// policy (pgg/RtcgService) turn it on. Machine::call records the
+  /// entry arguments of each top-level call; at most MaxSampledSites
+  /// distinct callees are tracked (beyond that, samples are dropped —
+  /// never resized mid-serve).
+  static constexpr size_t MaxSampledSites = 64;
+  bool SampleArgs = false;
+  std::unordered_map<std::string, CallSiteSample> CallSites;
+
+  /// Records one observed entry into \p Callee. Non-datum-like values
+  /// (no injective external rendering) mark their slot unsampleable.
+  void sampleCall(std::string_view Callee, std::span<const Value> Args);
+
+  /// Extracts and erases the census for \p Callee (empty sample when the
+  /// site was never observed). This is the delta-handoff a serving loop
+  /// uses to fold worker-local samples into a shared policy without ever
+  /// double-counting: observations live in exactly one place.
+  CallSiteSample takeCallSite(const std::string &Callee);
+
   uint64_t instructions() const {
     uint64_t N = 0;
     for (uint64_t C : OpCount)
@@ -81,7 +164,28 @@ struct Profile {
   /// \p N entries when fewer distinct pairs executed.
   std::vector<OpPair> topPairs(size_t N) const;
 
+  /// Drops everything, argument samples included.
   void reset() { *this = Profile(); }
+
+  /// Drops the per-dispatch counters (opcodes, digrams, fused counts,
+  /// calls/traps, phase timers, guard outcomes) but keeps the argument
+  /// samples. This is the between-requests reset a serving worker needs:
+  /// dispatch counters describe one request's execution and must not
+  /// bleed into the next request's numbers, while the value censuses are
+  /// exactly the cross-request evidence re-specialization feeds on.
+  void resetDispatch() {
+    OpCount.fill(0);
+    PairCount.fill(0);
+    FusedCount.fill(0);
+    Calls = Traps = 0;
+    DecodeNanos = ExecNanos = 0;
+    GuardHits = GuardMisses = 0;
+  }
+
+  /// Folds \p O into this profile, saturating every counter (two merged
+  /// near-ceiling rows must pin at UINT64_MAX, not wrap to zero) and
+  /// merging argument censuses per site.
+  void accumulate(const Profile &O);
 
   /// Folds this profile's hit bitmaps into \p M: one CovOpcode feature per
   /// executed opcode, one CovDigram feature per executed opcode pair

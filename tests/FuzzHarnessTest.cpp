@@ -4,7 +4,7 @@
 /// The fuzzer is a trust anchor — a silent run is only meaningful if the
 /// harness itself is known to work. These tests pin down each piece: the
 /// coverage map's feature algebra, case serialization round-trips, the
-/// five-tier differential on known programs (agreement where it must
+/// six-tier differential on known programs (agreement where it must
 /// agree, detection when a bug is planted), bounded convergence of the
 /// delta-debugging reducer to a known minimal core, corpus deduplication,
 /// and mutation validity.
@@ -116,7 +116,7 @@ TEST(Differential, AllTiersAgreeOnPower) {
   ASSERT_FALSE(R.Skipped) << R.SkipReason;
   ASSERT_FALSE(R.Diverged) << R.Diverged->render();
   for (Tier T : {Tier::Oracle, Tier::Bytes, Tier::Decoded, Tier::Fused,
-                 Tier::Cached}) {
+                 Tier::Cached, Tier::Guarded}) {
     const TierOutcome &O = R.Tiers[static_cast<size_t>(T)];
     EXPECT_TRUE(O.Ran) << tierName(T);
     EXPECT_TRUE(O.Ok) << tierName(T) << ": " << O.Err;
@@ -146,6 +146,46 @@ TEST(Differential, HeapFaultScheduleStaysConsistent) {
   if (R.Skipped)
     GTEST_SKIP() << R.SkipReason;
   EXPECT_FALSE(R.Diverged) << R.Diverged->render();
+}
+
+TEST(Differential, GuardedMissLegMatchesBytesExactly) {
+  // The guarded tier's recorded outcome is its deopt (miss) leg, which
+  // must be bit-identical to the byte-loop reference — value AND
+  // executed-instruction count, since the guard lives outside the
+  // dispatch loops and costs no fuel.
+  DiffResult R = runCase(powerCase());
+  ASSERT_FALSE(R.Skipped) << R.SkipReason;
+  ASSERT_FALSE(R.Diverged) << R.Diverged->render();
+  const TierOutcome &B = R.Tiers[static_cast<size_t>(Tier::Bytes)];
+  const TierOutcome &G = R.Tiers[static_cast<size_t>(Tier::Guarded)];
+  ASSERT_TRUE(G.Ran);
+  EXPECT_TRUE(G.Ok) << G.Err;
+  EXPECT_EQ(G.Value, B.Value);
+  EXPECT_EQ(G.Instructions, B.Instructions);
+}
+
+TEST(Differential, GuardedTierCanBeDisabled) {
+  DiffOptions Opts;
+  Opts.Guarded = false;
+  DiffResult R = runCase(powerCase(), Opts);
+  ASSERT_FALSE(R.Skipped) << R.SkipReason;
+  EXPECT_FALSE(R.Diverged) << R.Diverged->render();
+  EXPECT_FALSE(R.Tiers[static_cast<size_t>(Tier::Guarded)].Ran);
+}
+
+TEST(Differential, GuardedMissLegHoldsUnderFuelStarvation) {
+  // Perturbations run the miss leg only (the hit leg's whole point is a
+  // different instruction stream), and the deopt must trap exactly like
+  // the direct call: same kind, same accounting.
+  FuzzCase C = powerCase();
+  C.Perturb.Fuel = 3;
+  DiffResult R = runCase(C);
+  ASSERT_FALSE(R.Skipped) << R.SkipReason;
+  ASSERT_FALSE(R.Diverged) << R.Diverged->render();
+  const TierOutcome &G = R.Tiers[static_cast<size_t>(Tier::Guarded)];
+  ASSERT_TRUE(G.Ran);
+  EXPECT_FALSE(G.Ok);
+  EXPECT_EQ(G.Kind, vm::TrapKind::FuelExhausted);
 }
 
 TEST(Differential, InvalidCasesSkipNotDiverge) {

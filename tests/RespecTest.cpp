@@ -1,0 +1,464 @@
+//===- tests/RespecTest.cpp - Online re-specialization and guards ---------===//
+///
+/// \file
+/// The online profile-guided re-specialization loop end to end: censuses
+/// trigger a background job, the installed variant serves behind its
+/// argument guard, a mismatched argument deoptimizes to the generic code
+/// with the identical result, and shutdown classifies every way a request
+/// or job can die (Stopped, Rejected, Abandoned) in the service's own
+/// error-code space. Alongside: the vm::callGuarded shim's parity
+/// contract, and regressions for the profile-counter seams (saturation
+/// instead of wrap, censuses surviving the between-requests reset).
+///
+//===----------------------------------------------------------------------===//
+
+#include "StoreTestUtil.h"
+#include "TestUtil.h"
+
+#include "compiler/StockCompiler.h"
+#include "pgg/RtcgService.h"
+#include "vm/Guard.h"
+#include "vm/Profile.h"
+
+#include <thread>
+
+using namespace pecomp;
+using namespace pecomp::test;
+
+namespace {
+
+const char *PowerSrc = R"((define (power x n)
+  (if (= n 0) 1 (* x (power x (- n 1))))))";
+
+pgg::RtcgRequest powerReq(int64_t N, int64_t X) {
+  pgg::RtcgRequest R;
+  R.ProgramText = PowerSrc;
+  R.Entry = "power";
+  R.Division = "DS";
+  R.SpecArgs = {"_", std::to_string(N)};
+  R.RunArgs = {std::to_string(X)};
+  return R;
+}
+
+int64_t ipow(int64_t X, int64_t N) {
+  int64_t R = 1;
+  while (N--)
+    R *= X;
+  return R;
+}
+
+pgg::RtcgOptions respecOptions(uint64_t HotThreshold = 4) {
+  pgg::RtcgOptions O;
+  O.Threads = 1; // deterministic: one worker sees every census
+  O.Respec.Enabled = true;
+  O.Respec.HotThreshold = HotThreshold;
+  return O;
+}
+
+// -- The serving loop.
+
+TEST(Respec, StableWorkloadInstallsAndServesVariant) {
+  pgg::RtcgService S(respecOptions(4));
+  // Warm-up burst: same key, same dynamic argument, past the threshold.
+  std::vector<pgg::RtcgRequest> Warm;
+  for (int I = 0; I != 6; ++I)
+    Warm.push_back(powerReq(5, 2));
+  for (const pgg::RtcgResponse &R : S.serveAll(std::move(Warm))) {
+    ASSERT_TRUE(R.Ok) << R.ErrorText;
+    EXPECT_EQ(R.Value, "32");
+  }
+  S.quiesceRespec();
+
+  pgg::RespecStats RS = S.respecStats();
+  EXPECT_GE(RS.SitesObserved, 1u);
+  EXPECT_EQ(RS.JobsQueued, 1u);
+  ASSERT_EQ(RS.Installed, 1u) << "failed: " << RS.Failed;
+  EXPECT_EQ(RS.Failed, 0u);
+
+  // Measured burst: every request must be served by the variant, with
+  // the same value the generic code produced.
+  std::vector<pgg::RtcgRequest> Hot;
+  for (int I = 0; I != 8; ++I)
+    Hot.push_back(powerReq(5, 2));
+  size_t Respecialized = 0;
+  for (const pgg::RtcgResponse &R : S.serveAll(std::move(Hot))) {
+    ASSERT_TRUE(R.Ok) << R.ErrorText;
+    EXPECT_EQ(R.Value, "32");
+    Respecialized += R.Respecialized;
+    EXPECT_FALSE(R.GuardMiss);
+  }
+  EXPECT_EQ(Respecialized, 8u);
+  EXPECT_GE(S.respecStats().GuardHits, 8u);
+}
+
+TEST(Respec, GuardMissDeoptimizesToGeneric) {
+  pgg::RtcgService S(respecOptions(4));
+  std::vector<pgg::RtcgRequest> Warm;
+  for (int I = 0; I != 6; ++I)
+    Warm.push_back(powerReq(5, 2));
+  S.serveAll(std::move(Warm));
+  S.quiesceRespec();
+  ASSERT_EQ(S.respecStats().Installed, 1u);
+
+  // A different dynamic argument fails the guard and must fall through
+  // to the generic code — correct value, GuardMiss flagged.
+  std::vector<pgg::RtcgResponse> Rs =
+      S.serveAll({powerReq(5, 3), powerReq(5, 2)});
+  ASSERT_TRUE(Rs[0].Ok) << Rs[0].ErrorText;
+  EXPECT_EQ(Rs[0].Value, "243");
+  EXPECT_TRUE(Rs[0].GuardMiss);
+  EXPECT_FALSE(Rs[0].Respecialized);
+  // The stable value still hits.
+  ASSERT_TRUE(Rs[1].Ok) << Rs[1].ErrorText;
+  EXPECT_EQ(Rs[1].Value, "32");
+  EXPECT_TRUE(Rs[1].Respecialized);
+  pgg::RespecStats RS = S.respecStats();
+  EXPECT_GE(RS.GuardMisses, 1u);
+  EXPECT_GE(RS.GuardHits, 1u);
+}
+
+TEST(Respec, UnstableMixKeepsObserving) {
+  // Three values in even rotation never let any slot reach a 0.9
+  // stability bar (the share peaks at 0.5 after the first cycle and
+  // decays toward 1/3), so the site must stay in Observing — no job, no
+  // variant, and every response still correct.
+  pgg::RtcgOptions O = respecOptions(4);
+  O.Respec.MinStability = 0.9;
+  pgg::RtcgService S(O);
+  std::vector<pgg::RtcgRequest> Reqs;
+  std::vector<std::string> Expected;
+  for (int I = 0; I != 12; ++I) {
+    int64_t X = 2 + I % 3;
+    Reqs.push_back(powerReq(4, X));
+    Expected.push_back(std::to_string(ipow(X, 4)));
+  }
+  std::vector<pgg::RtcgResponse> Rs = S.serveAll(std::move(Reqs));
+  S.quiesceRespec();
+  for (size_t I = 0; I != Rs.size(); ++I) {
+    ASSERT_TRUE(Rs[I].Ok) << Rs[I].ErrorText;
+    EXPECT_EQ(Rs[I].Value, Expected[I]);
+    EXPECT_FALSE(Rs[I].Respecialized);
+  }
+  pgg::RespecStats RS = S.respecStats();
+  EXPECT_EQ(RS.JobsQueued, 0u);
+  EXPECT_EQ(RS.Installed, 0u);
+  EXPECT_GE(RS.SitesObserved, 1u);
+}
+
+TEST(Respec, DisabledByDefaultSamplesNothing) {
+  pgg::RtcgOptions O;
+  O.Threads = 1;
+  pgg::RtcgService S(O);
+  std::vector<pgg::RtcgRequest> Reqs;
+  for (int I = 0; I != 8; ++I)
+    Reqs.push_back(powerReq(5, 2));
+  for (const pgg::RtcgResponse &R : S.serveAll(std::move(Reqs))) {
+    ASSERT_TRUE(R.Ok) << R.ErrorText;
+    EXPECT_FALSE(R.Respecialized);
+    EXPECT_FALSE(R.GuardMiss);
+  }
+  S.quiesceRespec(); // must not block with nothing in flight
+  pgg::RespecStats RS = S.respecStats();
+  EXPECT_EQ(RS.SitesObserved, 0u);
+  EXPECT_EQ(RS.JobsQueued, 0u);
+}
+
+TEST(Respec, VariantSharedAcrossWorkers) {
+  // The variant installs once but serves from every worker: the site
+  // table and cache are shared, the guard check is per-request.
+  pgg::RtcgOptions O = respecOptions(4);
+  O.Threads = 4;
+  pgg::RtcgService S(O);
+  std::vector<pgg::RtcgRequest> Warm;
+  for (int I = 0; I != 32; ++I)
+    Warm.push_back(powerReq(5, 2));
+  S.serveAll(std::move(Warm));
+  S.quiesceRespec();
+  if (S.respecStats().Installed == 0)
+    GTEST_SKIP() << "censuses spread too thin across workers this run";
+  std::vector<pgg::RtcgRequest> Hot;
+  for (int I = 0; I != 32; ++I)
+    Hot.push_back(powerReq(5, 2));
+  size_t Respecialized = 0;
+  for (const pgg::RtcgResponse &R : S.serveAll(std::move(Hot))) {
+    ASSERT_TRUE(R.Ok) << R.ErrorText;
+    EXPECT_EQ(R.Value, "32");
+    Respecialized += R.Respecialized;
+  }
+  EXPECT_EQ(Respecialized, 32u);
+}
+
+// -- Shutdown classification (the service's own error-code space).
+
+TEST(Respec, SubmitAfterStopIsRejected) {
+  pgg::RtcgOptions O;
+  O.Threads = 1;
+  pgg::RtcgService S(O);
+  S.stop();
+  pgg::RtcgResponse R = S.submit(powerReq(3, 2)).get();
+  EXPECT_FALSE(R.Ok);
+  EXPECT_EQ(R.ServiceCode, pgg::ServiceErrorCodeBase +
+                               static_cast<int>(pgg::ServiceError::Rejected));
+  EXPECT_EQ(R.TrapCode, 0);
+  EXPECT_EQ(R.StoreCode, 0);
+}
+
+TEST(Respec, ServiceErrorClassification) {
+  Error Stopped = pgg::serviceError(pgg::ServiceError::Stopped, "x");
+  Error Rejected = pgg::serviceError(pgg::ServiceError::Rejected, "y");
+  EXPECT_EQ(pgg::serviceErrorOf(Stopped), pgg::ServiceError::Stopped);
+  EXPECT_EQ(pgg::serviceErrorOf(Rejected), pgg::ServiceError::Rejected);
+  // Other code spaces never alias into this one.
+  Error Plain("plain");
+  EXPECT_EQ(pgg::serviceErrorOf(Plain), pgg::ServiceError::None);
+  Error Trap("trap");
+  Trap.setCode(3); // a vm::TrapKind
+  EXPECT_EQ(pgg::serviceErrorOf(Trap), pgg::ServiceError::None);
+  Error Store("store");
+  Store.setCode(100 + 1); // a pgg::StoreError
+  EXPECT_EQ(pgg::serviceErrorOf(Store), pgg::ServiceError::None);
+  EXPECT_STREQ(pgg::serviceErrorName(pgg::ServiceError::Stopped), "Stopped");
+  EXPECT_STREQ(pgg::serviceErrorName(pgg::ServiceError::Rejected), "Rejected");
+}
+
+TEST(Respec, StartThenImmediatelyDestroyStress) {
+  // The shutdown race, hammered: submit a burst (respec enabled, a
+  // threshold of 1 so jobs queue almost immediately) and destroy the
+  // service without draining. Every future must resolve — served Ok, or
+  // failed with the classified Stopped/Rejected code — and in-flight
+  // re-specialization jobs must be installed or accounted abandoned,
+  // never leaked (quiesceRespec inside the destructor path would hang
+  // otherwise, and ASan/TSan runs of this test patrol the rest).
+  for (int Round = 0; Round != 12; ++Round) {
+    std::vector<std::future<pgg::RtcgResponse>> Futures;
+    {
+      pgg::RtcgOptions O = respecOptions(/*HotThreshold=*/1);
+      O.Threads = 2;
+      pgg::RtcgService S(O);
+      for (int I = 0; I != 24; ++I)
+        Futures.push_back(S.submit(powerReq(3 + I % 3, 2)));
+      // Fall out of scope immediately: some requests served, the rest
+      // must be failed by the destructor.
+    }
+    for (std::future<pgg::RtcgResponse> &F : Futures) {
+      pgg::RtcgResponse R = F.get();
+      if (R.Ok) {
+        EXPECT_EQ(R.ServiceCode, 0);
+        continue;
+      }
+      pgg::ServiceError E = pgg::serviceErrorOf(
+          pgg::serviceError(static_cast<pgg::ServiceError>(
+                                R.ServiceCode - pgg::ServiceErrorCodeBase),
+                            R.ErrorText));
+      EXPECT_TRUE(E == pgg::ServiceError::Stopped ||
+                  E == pgg::ServiceError::Rejected)
+          << "unclassified shutdown failure: " << R.ErrorText;
+    }
+  }
+}
+
+// -- The guard shim itself (vm/Guard.h).
+
+TEST(Guard, HitRunsVariantMissRunsGeneric) {
+  World W;
+  PECOMP_UNWRAP(P, W.parse("(define (gen x y) (+ (* 10 x) y))"
+                           "(define (spec2 y) (+ 20 y))"));
+  vm::CodeStore Store(W.Heap);
+  vm::GlobalTable Globals;
+  compiler::Compilators Comp(Store, Globals);
+  compiler::StockCompiler SC(Comp);
+  compiler::CompiledProgram CP = SC.compileProgram(P);
+  vm::Machine M(W.Heap);
+  M.setFuel(1'000'000);
+  vm::Profile Prof;
+  M.setProfile(&Prof);
+  compiler::linkProgram(M, Globals, CP);
+  vm::Value Gen = M.getGlobal(*Globals.lookup(Symbol::intern("gen")));
+  vm::Value Spec = M.getGlobal(*Globals.lookup(Symbol::intern("spec2")));
+
+  vm::GuardPlan Plan;
+  Plan.Slots = {0};
+  Plan.Expected = {vm::Value::fixnum(2)};
+
+  std::vector<vm::Value> HitArgs = {vm::Value::fixnum(2),
+                                    vm::Value::fixnum(7)};
+  bool Hit = false;
+  PECOMP_UNWRAP(HV, vm::callGuarded(M, Spec, Plan, Gen, HitArgs, &Hit));
+  EXPECT_TRUE(Hit);
+  EXPECT_EQ(vm::valueToString(HV), "27");
+
+  std::vector<vm::Value> MissArgs = {vm::Value::fixnum(3),
+                                     vm::Value::fixnum(7)};
+  PECOMP_UNWRAP(MV, vm::callGuarded(M, Spec, Plan, Gen, MissArgs, &Hit));
+  EXPECT_FALSE(Hit);
+  EXPECT_EQ(vm::valueToString(MV), "37");
+
+  EXPECT_EQ(Prof.GuardHits, 1u);
+  EXPECT_EQ(Prof.GuardMisses, 1u);
+}
+
+TEST(Guard, MissLegMatchesDirectCallExactly) {
+  // The parity contract: a guard miss is bit-identical to calling the
+  // generic code directly — same value AND same executed-instruction
+  // count (the guard lives outside the dispatch loops and costs no
+  // fuel). Two fresh machines over the same snapshot-equivalent program.
+  const char *Src = "(define (gen x y) (if (= x 0) y (+ (* x x) y)))";
+  World W;
+  PECOMP_UNWRAP(P, W.parse(Src));
+  std::vector<vm::Value> Args = {vm::Value::fixnum(4), vm::Value::fixnum(5)};
+
+  auto RunDirect = [&](uint64_t &Insns) {
+    vm::CodeStore Store(W.Heap);
+    vm::GlobalTable Globals;
+    compiler::Compilators Comp(Store, Globals);
+    compiler::StockCompiler SC(Comp);
+    compiler::CompiledProgram CP = SC.compileProgram(P);
+    vm::Machine M(W.Heap);
+    M.setFuel(1'000'000);
+    vm::Profile Prof;
+    M.setProfile(&Prof);
+    compiler::linkProgram(M, Globals, CP);
+    vm::Value Gen = M.getGlobal(*Globals.lookup(Symbol::intern("gen")));
+    Result<vm::Value> R = M.call(Gen, Args);
+    Insns = Prof.instructions();
+    return R;
+  };
+  auto RunGuardedMiss = [&](uint64_t &Insns) {
+    vm::CodeStore Store(W.Heap);
+    vm::GlobalTable Globals;
+    compiler::Compilators Comp(Store, Globals);
+    compiler::StockCompiler SC(Comp);
+    compiler::CompiledProgram CP = SC.compileProgram(P);
+    vm::Machine M(W.Heap);
+    M.setFuel(1'000'000);
+    vm::Profile Prof;
+    M.setProfile(&Prof);
+    compiler::linkProgram(M, Globals, CP);
+    vm::Value Gen = M.getGlobal(*Globals.lookup(Symbol::intern("gen")));
+    vm::GuardPlan Plan;
+    Plan.Slots = {0};
+    Plan.Expected = {vm::Value::fixnum(-99)}; // never matches
+    bool Hit = true;
+    Result<vm::Value> R = vm::callGuarded(M, Gen, Plan, Gen, Args, &Hit);
+    EXPECT_FALSE(Hit);
+    Insns = Prof.instructions();
+    return R;
+  };
+
+  uint64_t DirectInsns = 0, GuardedInsns = 0;
+  PECOMP_UNWRAP(DV, RunDirect(DirectInsns));
+  PECOMP_UNWRAP(GV, RunGuardedMiss(GuardedInsns));
+  expectValueEq(DV, GV);
+  EXPECT_EQ(DirectInsns, GuardedInsns);
+}
+
+TEST(Guard, StalePlanDegradesNeverTraps) {
+  // Out-of-range guard slots fail the guard (generic path) rather than
+  // reading past the argument vector.
+  vm::GuardPlan Plan;
+  Plan.Slots = {5};
+  Plan.Expected = {vm::Value::fixnum(1)};
+  std::vector<vm::Value> Args = {vm::Value::fixnum(1)};
+  EXPECT_FALSE(vm::guardsHold(Plan, Args));
+  // An empty plan holds vacuously (the variant *is* the generic code).
+  EXPECT_TRUE(vm::guardsHold(vm::GuardPlan(), Args));
+}
+
+TEST(Guard, ResidualArgsDropGuardedSlots) {
+  vm::GuardPlan Plan;
+  Plan.Slots = {0, 2};
+  Plan.Expected = {vm::Value::fixnum(1), vm::Value::fixnum(3)};
+  std::vector<vm::Value> Args = {vm::Value::fixnum(1), vm::Value::fixnum(2),
+                                 vm::Value::fixnum(3), vm::Value::fixnum(4)};
+  std::vector<vm::Value> Rest = vm::residualArgs(Plan, Args);
+  ASSERT_EQ(Rest.size(), 2u);
+  EXPECT_EQ(vm::valueToString(Rest[0]), "2");
+  EXPECT_EQ(vm::valueToString(Rest[1]), "4");
+}
+
+// -- Profile-counter seams (the bugfix sweep's regressions).
+
+TEST(Profile, SatIncSaturatesInsteadOfWrapping) {
+  uint64_t C = UINT64_MAX - 1;
+  vm::satInc(C);
+  EXPECT_EQ(C, UINT64_MAX);
+  vm::satInc(C); // at the ceiling: stays, never wraps to 0
+  EXPECT_EQ(C, UINT64_MAX);
+  uint64_t D = UINT64_MAX - 3;
+  vm::satInc(D, 100);
+  EXPECT_EQ(D, UINT64_MAX);
+}
+
+TEST(Profile, AccumulateSaturatesMergedCounters) {
+  // The regression that motivated satInc: two near-ceiling worker
+  // profiles merged across requests must pin at UINT64_MAX, not wrap —
+  // a wrapped row turns the hottest counter into the coldest.
+  vm::Profile A, B;
+  A.OpCount[0] = UINT64_MAX - 10;
+  B.OpCount[0] = 100;
+  A.Calls = UINT64_MAX;
+  B.Calls = 1;
+  A.GuardHits = UINT64_MAX - 1;
+  B.GuardHits = 5;
+  A.accumulate(B);
+  EXPECT_EQ(A.OpCount[0], UINT64_MAX);
+  EXPECT_EQ(A.Calls, UINT64_MAX);
+  EXPECT_EQ(A.GuardHits, UINT64_MAX);
+}
+
+TEST(Profile, ResetDispatchKeepsArgumentCensuses) {
+  // The between-requests reset a serving worker does: dispatch counters
+  // must not bleed into the next request's numbers, but the censuses are
+  // cross-request evidence and must survive.
+  vm::Profile P;
+  P.SampleArgs = true;
+  std::vector<vm::Value> Args = {vm::Value::fixnum(42)};
+  P.sampleCall("site", Args);
+  P.sampleCall("site", Args);
+  P.OpCount[0] = 7;
+  P.Calls = 3;
+  P.GuardHits = 2;
+
+  P.resetDispatch();
+  EXPECT_EQ(P.OpCount[0], 0u);
+  EXPECT_EQ(P.Calls, 0u);
+  EXPECT_EQ(P.GuardHits, 0u);
+  ASSERT_EQ(P.CallSites.count("site"), 1u);
+  EXPECT_EQ(P.CallSites["site"].Calls, 2u);
+  ASSERT_EQ(P.CallSites["site"].Slots.size(), 1u);
+  EXPECT_DOUBLE_EQ(P.CallSites["site"].Slots[0].topShare(), 1.0);
+
+  // The delta-handoff: takeCallSite extracts and erases, so the same
+  // observation can never be folded into the policy twice.
+  vm::CallSiteSample Sample = P.takeCallSite("site");
+  EXPECT_EQ(Sample.Calls, 2u);
+  EXPECT_EQ(P.CallSites.count("site"), 0u);
+  EXPECT_EQ(P.takeCallSite("site").Calls, 0u);
+}
+
+TEST(Profile, CensusPoisonsUnrenderableValues) {
+  vm::ArgCensus C;
+  C.observe("7");
+  C.observe("#<procedure f>"); // no injective rendering: never guardable
+  C.observe("7");
+  EXPECT_FALSE(C.Sampleable);
+  EXPECT_DOUBLE_EQ(C.topShare(), 0.0);
+  // Sticky through merges, in both directions.
+  vm::ArgCensus Clean;
+  Clean.observe("7");
+  Clean.merge(C);
+  EXPECT_FALSE(Clean.Sampleable);
+}
+
+TEST(Profile, CensusOverflowCountsAgainstShare) {
+  vm::ArgCensus C;
+  for (size_t I = 0; I != vm::ArgCensus::MaxDistinct; ++I)
+    C.observe(std::to_string(100 + I));
+  C.observe("999"); // beyond MaxDistinct: lands in Overflow
+  EXPECT_EQ(C.Overflow, 1u);
+  EXPECT_EQ(C.total(), vm::ArgCensus::MaxDistinct + 1);
+  // No tracked value owns more than 1/(MaxDistinct+1).
+  EXPECT_LT(C.topShare(), 0.2);
+}
+
+} // namespace

@@ -13,6 +13,9 @@
 #include "compiler/Link.h"
 #include "pgg/SpecCache.h"
 
+#include <atomic>
+#include <thread>
+
 using namespace pecomp;
 using namespace pecomp::test;
 
@@ -287,6 +290,53 @@ TEST(SpecCache, ClearDropsEntriesKeepsCounters) {
   EXPECT_EQ(CS.Insertions, 1u);
   EXPECT_EQ(CS.Hits, 1u);
   EXPECT_EQ(CS.Misses, 1u); // the post-clear lookup
+}
+
+TEST(SpecCache, StatsStayCoherentUnderConcurrentLookups) {
+  // The episode-accounting regression: with counters bumped as loose
+  // global atomics, a stats() racing a lookup could observe the episode
+  // (Lookups) without its outcome (Hits/Misses) — or, worse, an outcome
+  // classified against a *different* interleaving than the episode — so
+  // Hits + Misses != Lookups in the snapshot. Counters now live per
+  // shard, episode and outcome recorded in one critical section, and
+  // stats() sums under the same locks: the invariant must hold in EVERY
+  // snapshot, not just at quiescence.
+  pgg::SpecCache Cache(/*MaxBytes=*/0, /*Shards=*/4);
+  constexpr int Threads = 6, Keys = 32, Rounds = 400;
+  std::atomic<bool> Stop{false};
+  std::atomic<uint64_t> BadSnapshots{0};
+
+  std::thread Auditor([&] {
+    while (!Stop.load(std::memory_order_relaxed)) {
+      pgg::CacheStats CS = Cache.stats();
+      if (CS.Hits + CS.Misses != CS.Lookups)
+        ++BadSnapshots;
+    }
+  });
+
+  std::vector<std::thread> Workers;
+  for (int T = 0; T != Threads; ++T)
+    Workers.emplace_back([&, T] {
+      for (int R = 0; R != Rounds; ++R) {
+        pgg::SpecKey K = pgg::makeSpecKey(7000 + (T * Rounds + R) % Keys, {});
+        if (!Cache.lookup(K))
+          Cache.insert(K, std::make_shared<pgg::CachedSpecialization>());
+      }
+    });
+  for (std::thread &W : Workers)
+    W.join();
+  Stop = true;
+  Auditor.join();
+
+  EXPECT_EQ(BadSnapshots.load(), 0u);
+  pgg::CacheStats CS = Cache.stats();
+  EXPECT_EQ(CS.Lookups, uint64_t(Threads) * Rounds);
+  EXPECT_EQ(CS.Hits + CS.Misses, CS.Lookups);
+  // Every key misses at least once; racing first-lookups may miss more
+  // than once per key, but never more than once per thread.
+  EXPECT_GE(CS.Misses, uint64_t(Keys));
+  EXPECT_LE(CS.Misses, uint64_t(Keys) * Threads);
+  EXPECT_EQ(CS.Insertions, CS.Misses); // insert iff the lookup missed
 }
 
 } // namespace

@@ -45,6 +45,7 @@ int usage() {
           "  --no-minimize            report raw findings unreduced\n"
           "  --no-perturb             skip resource-limit/heap-fault schedules\n"
           "  --no-partial-ops         exclude quotient/remainder from grammar\n"
+          "  --no-guarded             skip the guarded-dispatch tier\n"
           "  --inject-bug=KIND        plant a bug: branch-flip | fuel\n"
           "  --store-hammer           round-trip every case's cached\n"
           "                           snapshot through a DiskStore in a\n"
@@ -162,6 +163,8 @@ int main(int argc, char **argv) {
       Opts.Perturb = false;
     } else if (strcmp(A, "--no-partial-ops") == 0) {
       Opts.PartialOps = false;
+    } else if (strcmp(A, "--no-guarded") == 0) {
+      Opts.Guarded = false;
     } else if (strcmp(A, "--store-hammer") == 0) {
       StoreHammer = true;
     } else if (strncmp(A, "--store-dir=", 12) == 0) {

@@ -95,7 +95,15 @@ int usage() {
           "                 directory and warm-started from it; every\n"
           "                 loaded entry is checksummed and re-verified,\n"
           "                 corrupt entries degrade to cold generation\n"
-          "  --threads=M    serve worker threads (default 4)\n");
+          "  --threads=M    serve worker threads (default 4)\n"
+          "  --respecialize[=N]\n"
+          "                 online profile-guided re-specialization\n"
+          "                 (serve): sample dynamic-argument values, and\n"
+          "                 once a request key is N calls hot (default 16)\n"
+          "                 with a stable value mix, generate a variant\n"
+          "                 specialized on the observed values behind an\n"
+          "                 argument guard (mismatches fall back to the\n"
+          "                 generic code)\n");
   return 2;
 }
 
@@ -139,6 +147,8 @@ struct Session {
   bool CacheStatsWanted = false;
   size_t CacheBytes = 64u << 20;
   size_t Threads = 4;
+  bool Respec = false;            ///< --respecialize
+  uint64_t RespecThreshold = 16;  ///< --respecialize=N
   std::string StorePath; ///< --store=PATH (empty = memory tier only)
   std::shared_ptr<pgg::DiskStore> Store; ///< opened once, up front
   std::optional<pgg::SpecCache> Cache;
@@ -471,6 +481,8 @@ int cmdServe(Session &S, const std::string &File, const std::string &Entry,
   O.Fusion = S.Fusion;
   O.Peephole = S.Peephole;
   O.Store = S.Store;
+  O.Respec.Enabled = S.Respec;
+  O.Respec.HotThreshold = S.RespecThreshold;
   pgg::RtcgService Service(O);
   int Failures = 0;
   for (const pgg::RtcgResponse &R : Service.serveAll(std::move(Reqs))) {
@@ -485,6 +497,25 @@ int cmdServe(Session &S, const std::string &File, const std::string &Entry,
                R.ErrorText.c_str());
       else
         printf("!error: %s\n", R.ErrorText.c_str());
+    }
+  }
+  if (S.Respec) {
+    // Let in-flight background jobs settle so the counters describe a
+    // finished serve, not a race with it.
+    Service.quiesceRespec();
+    if (S.CacheStatsWanted) {
+      pgg::RespecStats RS = Service.respecStats();
+      fprintf(stderr,
+              "respecialize: %llu sites, %llu jobs, %llu installed, "
+              "%llu failed, %llu abandoned, %llu guard hits, "
+              "%llu guard misses\n",
+              static_cast<unsigned long long>(RS.SitesObserved),
+              static_cast<unsigned long long>(RS.JobsQueued),
+              static_cast<unsigned long long>(RS.Installed),
+              static_cast<unsigned long long>(RS.Failed),
+              static_cast<unsigned long long>(RS.Abandoned),
+              static_cast<unsigned long long>(RS.GuardHits),
+              static_cast<unsigned long long>(RS.GuardMisses));
     }
   }
   S.reportCacheStats(Service.cacheStats());
@@ -585,6 +616,14 @@ int main(int Argc, char **Argv) {
       if (!N || *N == 0)
         return usage();
       S.Threads = static_cast<size_t>(*N);
+    } else if (Opt == "--respecialize") {
+      S.Respec = true;
+    } else if (Opt.rfind("--respecialize=", 0) == 0) {
+      auto N = NumberAfter(15);
+      if (!N || *N == 0)
+        return usage();
+      S.Respec = true;
+      S.RespecThreshold = *N;
     } else {
       return usage();
     }
