@@ -1,0 +1,300 @@
+//===- bench/net_serve.cpp - networked serving load generator -------------===//
+///
+/// \file
+/// Drives the real socket path end to end: a NetServer on a loopback
+/// ephemeral port, fed by hundreds of concurrent client connections from
+/// several threads. Three measured phases:
+///
+///   cold  — every request forces a fresh specialization (distinct
+///           static exponent per request): generation cost through the
+///           wire, one request per connection.
+///   warm  — the same connections hammer a small pre-warmed key set:
+///           cache-hit instantiation through the wire. Per-request
+///           latencies are recorded client-side and reported as
+///           p50/p95/p99.
+///   shed  — a second server with a tiny queue and one worker is
+///           flooded with slow fully-dynamic requests; overload must
+///           surface as classified Overloaded ProtoErrors, never as
+///           protocol desync.
+///
+/// Output is one JSON document on stdout (schema pecomp-bench-net/v1);
+/// scripts/bench-run.sh merges it into BENCH_pr9.json and gates on
+/// warm_over_cold >= 3x, shed > 0, desync == 0. Anything unexpected on
+/// the wire — a receive error, a wrong value, an unclassified failure —
+/// counts as desync.
+///
+//===----------------------------------------------------------------------===//
+
+#include "pgg/NetClient.h"
+#include "pgg/NetServer.h"
+#include "pgg/RtcgService.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace pecomp;
+using namespace pecomp::pgg;
+using namespace pecomp::pgg::net;
+
+namespace {
+
+const char *PowerSrc = "(define (power x n)\n"
+                       "  (if (= n 0) 1 (* x (power x (- n 1)))))";
+
+RtcgRequest powerTemplate() {
+  RtcgRequest T;
+  T.ProgramText = PowerSrc;
+  T.Entry = "power";
+  T.Division = "DS";
+  return T;
+}
+
+/// Specialize-and-run request for exponent \p N (base 1, so the value is
+/// always "1" regardless of exponent — an exact correctness check).
+NetRequest powerReq(int N) {
+  NetRequest R;
+  R.SpecArgs = {"_", std::to_string(N)};
+  R.RunArgs = {"1"};
+  return R;
+}
+
+using Clock = std::chrono::steady_clock;
+
+double secondsSince(Clock::time_point T0) {
+  return std::chrono::duration<double>(Clock::now() - T0).count();
+}
+
+struct PhaseResult {
+  size_t Requests = 0;
+  double Seconds = 0;
+  size_t Desync = 0;
+  std::vector<double> LatUs; ///< per-request latency, microseconds
+};
+
+double percentile(std::vector<double> &V, double Q) {
+  if (V.empty())
+    return 0;
+  std::sort(V.begin(), V.end());
+  size_t I = static_cast<size_t>(Q * static_cast<double>(V.size() - 1) + 0.5);
+  return V[std::min(I, V.size() - 1)];
+}
+
+/// Runs \p PerConn requests on every connection, split across \p Threads
+/// client threads; nextN yields the exponent for each request.
+template <typename NextN>
+PhaseResult drive(std::vector<NetClient> &Conns, size_t Threads,
+                  size_t PerConn, NextN nextN) {
+  PhaseResult Out;
+  Threads = std::max<size_t>(1, std::min(Threads, Conns.size()));
+  std::vector<std::thread> Pool;
+  std::vector<PhaseResult> Parts(Threads);
+  Clock::time_point T0 = Clock::now();
+  for (size_t T = 0; T != Threads; ++T) {
+    Pool.emplace_back([&, T] {
+      PhaseResult &P = Parts[T];
+      for (size_t CI = T; CI < Conns.size(); CI += Threads) {
+        NetClient &C = Conns[CI];
+        for (size_t I = 0; I != PerConn; ++I) {
+          Clock::time_point R0 = Clock::now();
+          Result<RtcgResponse> Resp = C.call(0, powerReq(nextN()));
+          ++P.Requests;
+          if (!Resp.ok() || !Resp->Ok || Resp->Value != "1") {
+            ++P.Desync;
+            continue;
+          }
+          P.LatUs.push_back(secondsSince(R0) * 1e6);
+        }
+      }
+    });
+  }
+  for (std::thread &T : Pool)
+    T.join();
+  Out.Seconds = secondsSince(T0);
+  for (PhaseResult &P : Parts) {
+    Out.Requests += P.Requests;
+    Out.Desync += P.Desync;
+    Out.LatUs.insert(Out.LatUs.end(), P.LatUs.begin(), P.LatUs.end());
+  }
+  return Out;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  size_t Connections = 128, ClientThreads = 8, WarmPerConn = 8, WarmKeys = 16;
+  int ColdBase = 2000; ///< cold exponents start here: generation-dominated
+  for (int I = 1; I < argc; ++I) {
+    const char *A = argv[I];
+    auto Num = [&](const char *Name, size_t &Out) {
+      size_t L = strlen(Name);
+      if (strncmp(A, Name, L) != 0 || A[L] != '=')
+        return false;
+      Out = strtoull(A + L + 1, nullptr, 10);
+      return true;
+    };
+    if (Num("--connections", Connections) ||
+        Num("--client-threads", ClientThreads) ||
+        Num("--warm-per-conn", WarmPerConn) || Num("--warm-keys", WarmKeys))
+      continue;
+    if (strcmp(A, "--quick") == 0) {
+      Connections = 16;
+      WarmPerConn = 2;
+      WarmKeys = 4;
+      ColdBase = 200; // smaller residuals: smoke the path, not the budget
+      continue;
+    }
+    fprintf(stderr,
+            "usage: net_serve [--connections=N] [--client-threads=N]\n"
+            "                 [--warm-per-conn=N] [--warm-keys=N] [--quick]\n");
+    return 2;
+  }
+  Connections = std::max<size_t>(Connections, 1);
+  WarmKeys = std::max<size_t>(WarmKeys, 1);
+
+  // -- Serving phases: one service, real sockets --------------------------
+  RtcgOptions O;
+  O.Threads = std::max(4u, std::thread::hardware_concurrency());
+  auto Service = std::make_unique<RtcgService>(O);
+  NetServerOptions NO;
+  NO.QueueDepth = 4096; // the throughput phases must not shed
+  Result<std::unique_ptr<NetServer>> Srv =
+      NetServer::create(*Service, powerTemplate(), NO);
+  if (!Srv.ok()) {
+    fprintf(stderr, "net_serve: %s\n", Srv.error().message().c_str());
+    return 1;
+  }
+  NetServer &S = **Srv;
+  std::thread Loop([&S] { S.run(); });
+
+  std::vector<NetClient> Conns;
+  for (size_t I = 0; I != Connections; ++I) {
+    Result<NetClient> C = NetClient::connect("127.0.0.1", S.port());
+    if (!C.ok()) {
+      fprintf(stderr, "net_serve: connect: %s\n", C.error().message().c_str());
+      return 1;
+    }
+    Conns.push_back(std::move(*C));
+  }
+  fprintf(stderr, "net_serve: %zu connection(s), %zu client thread(s), "
+                  "server port %u\n",
+          Connections, ClientThreads, S.port());
+
+  // Cold: every request is a fresh key (distinct exponent), one per
+  // connection — generation through the wire.
+  std::atomic<int> ColdN{ColdBase};
+  PhaseResult Cold =
+      drive(Conns, ClientThreads, 1, [&] { return ColdN.fetch_add(1); });
+
+  // Warm the key set once, then hammer it from every connection.
+  {
+    Result<NetClient> W = NetClient::connect("127.0.0.1", S.port());
+    if (!W.ok()) {
+      fprintf(stderr, "net_serve: warm connect failed\n");
+      return 1;
+    }
+    for (size_t K = 0; K != WarmKeys; ++K)
+      (void)W->call(0, powerReq(ColdBase - 1 - static_cast<int>(K)));
+  }
+  std::atomic<size_t> WarmI{0};
+  PhaseResult Warm = drive(Conns, ClientThreads, WarmPerConn, [&] {
+    return ColdBase - 1 - static_cast<int>(WarmI.fetch_add(1) % WarmKeys);
+  });
+
+  Conns.clear(); // close before stopping the loop
+  S.requestStop();
+  Loop.join();
+
+  // -- Shed phase: tiny queue, one worker, slow fully-dynamic work --------
+  RtcgOptions SO;
+  SO.Threads = 1;
+  auto ShedService = std::make_unique<RtcgService>(SO);
+  NetServerOptions SNO;
+  SNO.QueueDepth = 4;
+  Result<std::unique_ptr<NetServer>> SSrv =
+      NetServer::create(*ShedService, powerTemplate(), SNO);
+  if (!SSrv.ok()) {
+    fprintf(stderr, "net_serve: %s\n", SSrv.error().message().c_str());
+    return 1;
+  }
+  NetServer &SS = **SSrv;
+  std::thread ShedLoop([&SS] { SS.run(); });
+  size_t ShedSeen = 0, ShedServed = 0, ShedDesync = 0, ShedTotal = 0;
+  {
+    constexpr size_t ShedConns = 4, PerConn = 16;
+    std::vector<NetClient> SC;
+    std::vector<std::vector<uint64_t>> Ids(ShedConns);
+    for (size_t I = 0; I != ShedConns; ++I) {
+      Result<NetClient> C = NetClient::connect("127.0.0.1", SS.port());
+      if (!C.ok()) {
+        fprintf(stderr, "net_serve: shed connect failed\n");
+        return 1;
+      }
+      SC.push_back(std::move(*C));
+    }
+    NetRequest Slow;
+    Slow.Division = "DD";
+    Slow.SpecArgs = {"_", "_"};
+    for (size_t I = 0; I != ShedConns; ++I)
+      for (size_t J = 0; J != PerConn; ++J) {
+        Slow.RunArgs = {"1", std::to_string(100000 + I * PerConn + J)};
+        Result<uint64_t> Id = SC[I].send(0, Slow);
+        if (Id.ok())
+          Ids[I].push_back(*Id);
+      }
+    const int Overloaded = ServiceErrorCodeBase +
+                           static_cast<int>(ServiceError::Overloaded);
+    for (size_t I = 0; I != ShedConns; ++I)
+      for (uint64_t Id : Ids[I]) {
+        ++ShedTotal;
+        Result<RtcgResponse> R = SC[I].receive(Id);
+        if (!R.ok())
+          ++ShedDesync;
+        else if (R->Ok)
+          ++ShedServed;
+        else if (R->ServiceCode == Overloaded)
+          ++ShedSeen;
+        else
+          ++ShedDesync;
+      }
+  }
+  SS.requestStop();
+  ShedLoop.join();
+
+  // -- Report -------------------------------------------------------------
+  double ColdRps = Cold.Requests / std::max(Cold.Seconds, 1e-9);
+  double WarmRps = Warm.Requests / std::max(Warm.Seconds, 1e-9);
+  double Ratio = WarmRps / std::max(ColdRps, 1e-9);
+  double P50 = percentile(Warm.LatUs, 0.50);
+  double P95 = percentile(Warm.LatUs, 0.95);
+  double P99 = percentile(Warm.LatUs, 0.99);
+  size_t Desync = Cold.Desync + Warm.Desync + ShedDesync;
+
+  fprintf(stderr,
+          "net_serve: cold %zu req in %.3fs (%.0f rps); warm %zu req in "
+          "%.3fs (%.0f rps, p50 %.0fus p95 %.0fus p99 %.0fus); "
+          "warm/cold %.2fx; shed %zu/%zu classified, %zu served; "
+          "%zu desync\n",
+          Cold.Requests, Cold.Seconds, ColdRps, Warm.Requests, Warm.Seconds,
+          WarmRps, P50, P95, P99, Ratio, ShedSeen, ShedTotal, ShedServed,
+          Desync);
+
+  printf("{\"schema\": \"pecomp-bench-net/v1\", "
+         "\"connections\": %zu, \"client_threads\": %zu, "
+         "\"cold\": {\"requests\": %zu, \"seconds\": %.6f, \"rps\": %.2f}, "
+         "\"warm\": {\"requests\": %zu, \"seconds\": %.6f, \"rps\": %.2f, "
+         "\"p50_us\": %.1f, \"p95_us\": %.1f, \"p99_us\": %.1f}, "
+         "\"warm_over_cold\": %.3f, "
+         "\"shed\": {\"requests\": %zu, \"shed\": %zu, \"served\": %zu}, "
+         "\"desync\": %zu}\n",
+         Connections, ClientThreads, Cold.Requests, Cold.Seconds, ColdRps,
+         Warm.Requests, Warm.Seconds, WarmRps, P50, P95, P99, Ratio,
+         ShedTotal, ShedSeen, ShedServed, Desync);
+  return Desync ? 1 : 0;
+}

@@ -24,23 +24,35 @@
 #                             (PR 8); the acceptance bar is >= 1.15x on at
 #                             least two of MIXWELL/LAZY/IMP, and
 #   guard_miss_overhead     — all-miss uniform-mix On/Off - 1 (PR 8): the
-#                             pure deopt cost; the acceptance bar is <= 5%.
+#                             pure deopt cost; the acceptance bar is <= 5%,
+#   net_serve               — the networked serving load generator (PR 9):
+#                             cold/warm throughput over real loopback
+#                             sockets from 128 concurrent connections,
+#                             client-side p50/p95/p99 latency, and the
+#                             overload-shed census. The acceptance bars
+#                             are warm_over_cold >= 3x, shed > 0 (the
+#                             flooded tiny-queue server must refuse with
+#                             classified Overloaded), and desync == 0
+#                             (nothing unclassified ever crosses the
+#                             wire).
 #
-# Unless --quick is given, the PR 8 bars are enforced: the script exits
-# non-zero if the skewed-mix speedup clears 1.15x on fewer than two
-# workloads or the guard-miss overhead exceeds 5%.
+# Unless --quick is given, the PR 8 and PR 9 bars are enforced: the
+# script exits non-zero if the skewed-mix speedup clears 1.15x on fewer
+# than two workloads, the guard-miss overhead exceeds 5%, the warm-cache
+# serving throughput is under 3x cold, no shed was classified, or any
+# protocol desync was observed.
 #
 # Usage: scripts/bench-run.sh [--quick] [--build-dir DIR] [--out FILE]
 #   --quick       near-zero measuring budget (smoke the harnesses, numbers
 #                 not meaningful)
 #   --build-dir   build tree to use (default: build)
-#   --out         merged output file (default: BENCH_pr8.json)
+#   --out         merged output file (default: BENCH_pr9.json)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 BUILD_DIR=build
-OUT=BENCH_pr8.json
+OUT=BENCH_pr9.json
 MIN_TIME=0.2
 QUICK=0
 while [[ "${1:-}" == --* ]]; do
@@ -70,7 +82,7 @@ HARNESSES=(fig6_generation_speed fig7_compile_residual fig8_rtcg_compilation
            dispatch_fusion warm_start respecialize_skew)
 
 cmake -B "$BUILD_DIR" -S . >/dev/null
-cmake --build "$BUILD_DIR" -j "$(nproc)" --target "${HARNESSES[@]}"
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target "${HARNESSES[@]}" net_serve
 
 RAW_DIR="$BUILD_DIR/bench-json"
 mkdir -p "$RAW_DIR"
@@ -79,6 +91,15 @@ for H in "${HARNESSES[@]}"; do
   "$BUILD_DIR/bench/$H" --benchmark_format=json \
     --benchmark_min_time="$MIN_TIME" >"$RAW_DIR/$H.json"
 done
+
+# The networked load generator is its own harness (real sockets,
+# client-side percentiles); it emits one JSON document directly.
+echo "== net_serve$([ "$QUICK" == 1 ] && echo ' (--quick)')" >&2
+if [[ $QUICK == 1 ]]; then
+  "$BUILD_DIR/bench/net_serve" --quick >"$RAW_DIR/net_serve.json"
+else
+  "$BUILD_DIR/bench/net_serve" >"$RAW_DIR/net_serve.json"
+fi
 
 # Merge the per-harness JSON into one document with the derived ratio
 # blocks (cpu_time, ns, per workload).
@@ -175,9 +196,19 @@ open(out, "a").write("\n")
 EOF
 fi
 
+# Graft the net_serve document in and stamp the PR 9 schema.
+python3 - "$OUT" "$RAW_DIR/net_serve.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+doc["schema"] = "pecomp-bench-pr9/v1"
+doc["net_serve"] = json.load(open(sys.argv[2]))
+json.dump(doc, open(sys.argv[1], "w"), indent=1)
+open(sys.argv[1], "a").write("\n")
+EOF
+
 echo "wrote $OUT" >&2
 if command -v jq >/dev/null 2>&1; then
-  jq '{fig8_run_speedup, cache_amortization, dispatch_fusion_speedup, warm_start_speedup, respecialize_speedup, guard_miss_overhead}' "$OUT" >&2
+  jq '{fig8_run_speedup, cache_amortization, dispatch_fusion_speedup, warm_start_speedup, respecialize_speedup, guard_miss_overhead, net_serve: {warm_over_cold: .net_serve.warm_over_cold, warm: .net_serve.warm, shed: .net_serve.shed, desync: .net_serve.desync}}' "$OUT" >&2
 fi
 
 # PR 8 acceptance gate. Under --quick the measuring budget is a smoke
@@ -203,4 +234,31 @@ if overhead > 0.05:
     ok = False
 sys.exit(0 if ok else 1)
 GATE
+
+  # PR 9 acceptance gate: the networked path must amortize generation
+  # (warm-cache throughput >= 3x cold), refuse overload with classified
+  # Overloaded responses, and never desynchronize the protocol.
+  python3 - "$OUT" <<'GATE9'
+import json, sys
+net = json.load(open(sys.argv[1]))["net_serve"]
+warm = net["warm"]
+print(f"net serving gate: warm/cold {net['warm_over_cold']:.2f}x, "
+      f"warm p50 {warm['p50_us']:.0f}us p95 {warm['p95_us']:.0f}us "
+      f"p99 {warm['p99_us']:.0f}us, shed {net['shed']['shed']}/"
+      f"{net['shed']['requests']}, desync {net['desync']}", file=sys.stderr)
+ok = True
+if net["warm_over_cold"] < 3:
+    print(f"FAIL: warm_over_cold {net['warm_over_cold']:.2f}x is under 3x",
+          file=sys.stderr)
+    ok = False
+if net["shed"]["shed"] == 0:
+    print("FAIL: the flooded tiny-queue server shed nothing — overload "
+          "was not classified", file=sys.stderr)
+    ok = False
+if net["desync"] != 0:
+    print(f"FAIL: {net['desync']} protocol desync(s) observed",
+          file=sys.stderr)
+    ok = False
+sys.exit(0 if ok else 1)
+GATE9
 fi

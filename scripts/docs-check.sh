@@ -10,7 +10,15 @@
 # Generated artifacts (build/, BENCH_*.json) are intentionally out of
 # scope: docs may name outputs that exist only after a build.
 #
-# Usage: scripts/docs-check.sh   (exit 0 = all paths resolve)
+# When a pecompc binary is available (env PECOMPC, or the default build
+# tree), the README flag table is additionally cross-checked against the
+# binary's --help in both directions: a flag documented in the table but
+# absent from --help is a doc for a flag that doesn't exist; a flag in
+# --help that the README never mentions is an undocumented knob. Without
+# a binary this check is skipped (docs can be checked before a build).
+#
+# Usage: [PECOMPC=path/to/pecompc] scripts/docs-check.sh
+#        (exit 0 = all paths resolve and the flag tables agree)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -42,4 +50,38 @@ if [ "$CHECKED" -eq 0 ]; then
   exit 1
 fi
 echo "docs-check: $CHECKED path references resolve" >&2
+
+# --- README flag table vs. pecompc --help ------------------------------
+PECOMPC="${PECOMPC:-build/tools/pecompc}"
+if [ -x "$PECOMPC" ]; then
+  HELP="$("$PECOMPC" --help 2>&1 || true)"
+  FLAGS=0
+  # Forward: every flag the README's table documents must exist. Rows
+  # look like "| `--cache[=N]` | specrun, serve | ... |" — the first
+  # cell may name several flags (`--stock` / `--anf` / `--direct`).
+  while IFS= read -r F; do
+    FLAGS=$((FLAGS + 1))
+    if ! grep -qe "$F" <<<"$HELP"; then
+      echo "docs-check: README documents $F but pecompc --help does not list it" >&2
+      STATUS=1
+    fi
+  done < <(grep -E '^\| `--' README.md | cut -d'|' -f2 |
+           grep -oE -- '--[a-z][a-z-]*' | sort -u)
+  if [ "$FLAGS" -eq 0 ]; then
+    echo "docs-check: no flag rows found in README — table moved?" >&2
+    STATUS=1
+  fi
+  # Reverse: every flag --help advertises must be mentioned somewhere in
+  # the README (undocumented knobs rot fastest).
+  while IFS= read -r F; do
+    FLAGS=$((FLAGS + 1))
+    if ! grep -qe "$F" README.md; then
+      echo "docs-check: pecompc --help lists $F but README never mentions it" >&2
+      STATUS=1
+    fi
+  done < <(grep -oE -- '--[a-z][a-z-]*' <<<"$HELP" | sort -u)
+  echo "docs-check: $FLAGS flag references cross-checked against --help" >&2
+else
+  echo "docs-check: pecompc not found at $PECOMPC — flag cross-check skipped" >&2
+fi
 exit "$STATUS"

@@ -6,7 +6,7 @@
 # Usage: scripts/sanitize-check.sh [--ndebug] [--switch-dispatch]
 #                                  [--no-fuse] [--no-peephole] [--fuzz-smoke]
 #                                  [--store-smoke] [--respecialize-smoke]
-#                                  [ctest-args...]
+#                                  [--net-smoke] [ctest-args...]
 #   --ndebug           additionally compile with -DNDEBUG kept, proving the
 #                      trap model never leans on assert() (the RTCG trust
 #                      requirement).
@@ -33,6 +33,13 @@
 #                      PR 8 gate that background generation, the guard shim
 #                      and the start/stop stress are data-race- and
 #                      UB-clean.
+#   --net-smoke        run only the net-labelled ctest entries (the frame
+#                      codec matrix, the loopback server suite, the
+#                      net-frames/net-connect fuzz modes, the serve
+#                      --listen CLI test and the net_serve --quick load
+#                      smoke) under the sanitizers — the PR 9 gate that
+#                      the epoll loop, cross-thread completion handoff and
+#                      untrusted-frame parsing are memory- and UB-clean.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -78,6 +85,15 @@ while [[ "${1:-}" == --* ]]; do
     RESPEC_SMOKE=1
     shift
     ;;
+  --net-smoke)
+    # Only the net-labelled ctest entries: the pure-codec matrix, the
+    # loopback end-to-end suite, both net fuzz modes and the serving
+    # smoke, under ASan/UBSan — the server decodes attacker-controlled
+    # bytes and hands buffers across threads, the two places where the
+    # sanitizers earn their keep.
+    NET_SMOKE=1
+    shift
+    ;;
   --store-smoke)
     # Only the store-labelled ctest entries: every adversarial-store unit
     # test and the persistent-store CLI tests, under ASan/UBSan — the
@@ -106,6 +122,8 @@ elif [[ "${STORE_SMOKE:-0}" == 1 ]]; then
   ctest --test-dir "$BUILD_DIR" --output-on-failure -L store -j "$(nproc)" "$@"
 elif [[ "${RESPEC_SMOKE:-0}" == 1 ]]; then
   ctest --test-dir "$BUILD_DIR" --output-on-failure -L respec -j "$(nproc)" "$@"
+elif [[ "${NET_SMOKE:-0}" == 1 ]]; then
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -L net -j "$(nproc)" "$@"
 else
   ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" "$@"
 fi

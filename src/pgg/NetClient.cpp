@@ -1,0 +1,166 @@
+//===- pgg/NetClient.cpp - blocking client for the RTCG server ------------===//
+
+#include "pgg/NetClient.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace pecomp;
+using namespace pecomp::pgg;
+using namespace pecomp::pgg::net;
+
+namespace {
+
+Error sysError(const std::string &What) {
+  return makeError(What + ": " + std::strerror(errno));
+}
+
+} // namespace
+
+NetClient::~NetClient() {
+  if (Fd >= 0)
+    ::close(Fd);
+}
+
+Result<NetClient> NetClient::connect(const std::string &Host, uint16_t Port,
+                                     int RcvBufBytes) {
+  NetClient C;
+  C.Fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (C.Fd < 0)
+    return sysError("socket");
+  int One = 1;
+  ::setsockopt(C.Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof One);
+  if (RcvBufBytes > 0)
+    ::setsockopt(C.Fd, SOL_SOCKET, SO_RCVBUF, &RcvBufBytes, sizeof RcvBufBytes);
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(Port);
+  if (::inet_pton(AF_INET, Host.c_str(), &Addr.sin_addr) != 1)
+    return makeError("bad address '" + Host + "'");
+  if (::connect(C.Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof Addr) < 0)
+    return sysError("connect " + Host + ":" + std::to_string(Port));
+  return C;
+}
+
+Result<bool> NetClient::sendRaw(const uint8_t *Data, size_t N) {
+  size_t Off = 0;
+  while (Off < N) {
+    ssize_t W = ::send(Fd, Data + Off, N - Off, MSG_NOSIGNAL);
+    if (W < 0) {
+      if (errno == EINTR)
+        continue;
+      return sysError("send");
+    }
+    Off += static_cast<size_t>(W);
+  }
+  return true;
+}
+
+Result<Frame> NetClient::receiveFrame() {
+  if (!Stash.empty()) {
+    Frame F = std::move(Stash.front());
+    Stash.erase(Stash.begin());
+    return F;
+  }
+  return readFrame();
+}
+
+Result<Frame> NetClient::readFrame() {
+  Frame F;
+  for (;;) {
+    FrameDecoder::Status St = Decoder.next(F);
+    if (St == FrameDecoder::Status::Ready)
+      return F;
+    if (St == FrameDecoder::Status::Failed)
+      return Decoder.error();
+    uint8_t Buf[64 * 1024];
+    ssize_t N = ::read(Fd, Buf, sizeof Buf);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return sysError("read");
+    }
+    if (N == 0)
+      return makeError("connection closed by server");
+    Decoder.feed(Buf, static_cast<size_t>(N));
+  }
+}
+
+Result<uint8_t> NetClient::hello(uint8_t MinVersion, uint8_t MaxVersion) {
+  std::vector<uint8_t> B = encodeHello(MinVersion, MaxVersion);
+  if (Result<bool> S = sendRaw(B.data(), B.size()); !S)
+    return S.takeError();
+  Result<Frame> F = receiveFrame();
+  if (!F)
+    return F.takeError();
+  if (F->Header.Type == FrameType::ProtoError) {
+    Result<NetResponse> E = decodeProtoErrorPayload(F->Payload);
+    if (!E)
+      return E.takeError();
+    Error Err(E->Value);
+    Err.setCode(static_cast<int>(E->Code));
+    return Err;
+  }
+  if (F->Header.Type != FrameType::HelloAck)
+    return makeError("expected HelloAck, got frame type " +
+                     std::to_string(static_cast<int>(F->Header.Type)));
+  Result<std::pair<uint8_t, uint8_t>> V =
+      decodeHelloPayload(FrameType::HelloAck, F->Payload);
+  if (!V)
+    return V.takeError();
+  return V->first;
+}
+
+Result<uint64_t> NetClient::send(uint32_t Tenant, const NetRequest &R) {
+  uint64_t Id = NextId++;
+  std::vector<uint8_t> B = encodeRequest(Tenant, Id, R);
+  if (Result<bool> S = sendRaw(B.data(), B.size()); !S)
+    return S.takeError();
+  return Id;
+}
+
+Result<RtcgResponse> NetClient::receive(uint64_t RequestId) {
+  auto Decode = [](Frame &F) -> Result<RtcgResponse> {
+    Result<NetResponse> R = F.Header.Type == FrameType::Response
+                                ? decodeResponsePayload(F.Payload)
+                                : decodeProtoErrorPayload(F.Payload);
+    if (!R)
+      return R.takeError();
+    return toRtcgResponse(F.Header, *R);
+  };
+  // First check frames already set aside by earlier receives.
+  for (size_t I = 0; I != Stash.size(); ++I) {
+    if (Stash[I].Header.RequestId != RequestId)
+      continue;
+    Frame F = std::move(Stash[I]);
+    Stash.erase(Stash.begin() + static_cast<ptrdiff_t>(I));
+    return Decode(F);
+  }
+  // Otherwise read fresh frames, stashing out-of-order completions of
+  // pipelined siblings for the receive() that wants them.
+  for (;;) {
+    Result<Frame> F = readFrame();
+    if (!F)
+      return F.takeError();
+    if (F->Header.Type != FrameType::Response &&
+        F->Header.Type != FrameType::ProtoError)
+      continue; // stray HelloAck (pipelined hello); not a response
+    if (F->Header.RequestId != RequestId) {
+      Stash.push_back(std::move(*F));
+      continue;
+    }
+    return Decode(*F);
+  }
+}
+
+Result<RtcgResponse> NetClient::call(uint32_t Tenant, const NetRequest &R) {
+  Result<uint64_t> Id = send(Tenant, R);
+  if (!Id)
+    return Id.takeError();
+  return receive(*Id);
+}

@@ -1,0 +1,96 @@
+//===- pgg/NetClient.h - blocking client for the RTCG server ----*- C++ -*-===//
+///
+/// \file
+/// A small blocking client for the NetProtocol server: connect, optional
+/// version negotiation, pipelined request submission, and frame receive.
+/// This is the reference client the loopback tests compare against the
+/// in-process service, the load generator underneath bench/net_serve,
+/// and the transport of the fuzzer's --net-connect mode. It is
+/// deliberately synchronous — one FrameDecoder over one blocking socket —
+/// because every caller wants determinism, not throughput tricks;
+/// concurrency comes from running many clients.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PECOMP_PGG_NETCLIENT_H
+#define PECOMP_PGG_NETCLIENT_H
+
+#include "pgg/NetProtocol.h"
+
+#include <cstdint>
+#include <string>
+
+namespace pecomp {
+namespace pgg {
+namespace net {
+
+class NetClient {
+public:
+  NetClient() = default;
+  NetClient(NetClient &&O) noexcept { swap(O); }
+  NetClient &operator=(NetClient &&O) noexcept {
+    swap(O);
+    return *this;
+  }
+  NetClient(const NetClient &) = delete;
+  NetClient &operator=(const NetClient &) = delete;
+  ~NetClient();
+
+  /// \p RcvBufBytes, when nonzero, clamps SO_RCVBUF before connecting
+  /// (it must be set pre-connect to cap the negotiated TCP window) —
+  /// the backpressure tests use this to keep the kernel from absorbing
+  /// the whole response volume.
+  static Result<NetClient> connect(const std::string &Host, uint16_t Port,
+                                   int RcvBufBytes = 0);
+
+  bool connected() const { return Fd >= 0; }
+  int fd() const { return Fd; }
+
+  /// Hello/HelloAck round trip; returns the negotiated version, or the
+  /// server's classified rejection (BadVersion) as an error.
+  Result<uint8_t> hello(uint8_t MinVersion = ProtocolVersion,
+                        uint8_t MaxVersion = ProtocolVersion);
+
+  /// Sends one Request frame without waiting (pipelining); returns the
+  /// request id to correlate the response with.
+  Result<uint64_t> send(uint32_t Tenant, const NetRequest &R);
+
+  /// Writes raw bytes to the socket — the torn-frame and fuzz tests
+  /// speak through this.
+  Result<bool> sendRaw(const uint8_t *Data, size_t N);
+
+  /// Blocks for the next complete frame (of any type). Stashed frames
+  /// (set aside by receive() for other request ids) are replayed first.
+  Result<Frame> receiveFrame();
+
+  /// Blocks until the Response/ProtoError for \p RequestId arrives
+  /// (frames for other ids are queued and replayed in arrival order for
+  /// later receives) and reconstructs the service-level response.
+  Result<RtcgResponse> receive(uint64_t RequestId);
+
+  /// send() + receive(): one synchronous specialize-and-run call.
+  Result<RtcgResponse> call(uint32_t Tenant, const NetRequest &R);
+
+private:
+  /// Reads the next frame from the socket, ignoring the stash.
+  Result<Frame> readFrame();
+
+  void swap(NetClient &O) {
+    std::swap(Fd, O.Fd);
+    std::swap(Decoder, O.Decoder);
+    std::swap(NextId, O.NextId);
+    std::swap(Stash, O.Stash);
+  }
+
+  int Fd = -1;
+  FrameDecoder Decoder;
+  uint64_t NextId = 1;
+  /// Frames received while waiting for a different request id.
+  std::vector<Frame> Stash;
+};
+
+} // namespace net
+} // namespace pgg
+} // namespace pecomp
+
+#endif // PECOMP_PGG_NETCLIENT_H

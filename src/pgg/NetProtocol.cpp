@@ -1,0 +1,338 @@
+//===- pgg/NetProtocol.cpp - RTCG serving wire protocol -------------------===//
+//
+// Hand-rolled little-endian codec. Writers append to a byte vector and
+// backpatch the payload length; readers carry an explicit cursor and
+// bounds-check every read against the payload span, so a malicious
+// length field inside a payload can at worst fail that one request with
+// a classified BadFrame — never read out of bounds, never desync the
+// stream (framing is the header's job, and the header length was already
+// validated against the frame ceiling by the decoder).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pgg/NetProtocol.h"
+
+#include <cstring>
+
+using namespace pecomp;
+using namespace pecomp::pgg;
+using namespace pecomp::pgg::net;
+
+namespace {
+
+void putU8(std::vector<uint8_t> &B, uint8_t V) { B.push_back(V); }
+
+void putU16(std::vector<uint8_t> &B, uint16_t V) {
+  B.push_back(static_cast<uint8_t>(V));
+  B.push_back(static_cast<uint8_t>(V >> 8));
+}
+
+void putU32(std::vector<uint8_t> &B, uint32_t V) {
+  for (int Shift = 0; Shift < 32; Shift += 8)
+    B.push_back(static_cast<uint8_t>(V >> Shift));
+}
+
+void putU64(std::vector<uint8_t> &B, uint64_t V) {
+  for (int Shift = 0; Shift < 64; Shift += 8)
+    B.push_back(static_cast<uint8_t>(V >> Shift));
+}
+
+void putText(std::vector<uint8_t> &B, std::string_view S) {
+  putU32(B, static_cast<uint32_t>(S.size()));
+  B.insert(B.end(), S.begin(), S.end());
+}
+
+/// Emits the 24-byte header with a zero payload length; the length is
+/// backpatched once the payload has been appended.
+void putHeader(std::vector<uint8_t> &B, FrameType Type, uint16_t Flags,
+               uint32_t Tenant, uint64_t RequestId) {
+  putU32(B, FrameMagic);
+  putU8(B, ProtocolVersion);
+  putU8(B, static_cast<uint8_t>(Type));
+  putU16(B, Flags);
+  putU32(B, Tenant);
+  putU64(B, RequestId);
+  putU32(B, 0); // payload length, backpatched by sealFrame
+}
+
+void sealFrame(std::vector<uint8_t> &B) {
+  uint32_t Len = static_cast<uint32_t>(B.size() - FrameHeaderBytes);
+  for (int I = 0; I != 4; ++I)
+    B[20 + I] = static_cast<uint8_t>(Len >> (8 * I));
+}
+
+/// Bounds-checked payload reader.
+struct Cursor {
+  std::span<const uint8_t> P;
+  size_t Pos = 0;
+  bool Ok = true;
+
+  bool need(size_t N) {
+    if (P.size() - Pos < N) {
+      Ok = false;
+      return false;
+    }
+    return true;
+  }
+  uint8_t u8() {
+    if (!need(1))
+      return 0;
+    return P[Pos++];
+  }
+  uint16_t u16() {
+    if (!need(2))
+      return 0;
+    uint16_t V = static_cast<uint16_t>(P[Pos] | (P[Pos + 1] << 8));
+    Pos += 2;
+    return V;
+  }
+  uint32_t u32() {
+    if (!need(4))
+      return 0;
+    uint32_t V = 0;
+    for (int I = 0; I != 4; ++I)
+      V |= static_cast<uint32_t>(P[Pos + I]) << (8 * I);
+    Pos += 4;
+    return V;
+  }
+  std::string text() {
+    uint32_t N = u32();
+    if (!Ok || !need(N))
+      return {};
+    std::string S(reinterpret_cast<const char *>(P.data() + Pos), N);
+    Pos += N;
+    return S;
+  }
+};
+
+Error badFrame(std::string What) {
+  return serviceError(ServiceError::BadFrame, std::move(What));
+}
+
+} // namespace
+
+std::vector<uint8_t> net::encodeHello(uint8_t MinVersion, uint8_t MaxVersion) {
+  std::vector<uint8_t> B;
+  putHeader(B, FrameType::Hello, 0, 0, 0);
+  putU8(B, MinVersion);
+  putU8(B, MaxVersion);
+  sealFrame(B);
+  return B;
+}
+
+std::vector<uint8_t> net::encodeHelloAck(uint8_t ChosenVersion) {
+  std::vector<uint8_t> B;
+  putHeader(B, FrameType::HelloAck, 0, 0, 0);
+  putU8(B, ChosenVersion);
+  sealFrame(B);
+  return B;
+}
+
+std::vector<uint8_t> net::encodeRequest(uint32_t Tenant, uint64_t RequestId,
+                                        const NetRequest &R) {
+  std::vector<uint8_t> B;
+  putHeader(B, FrameType::Request, 0, Tenant, RequestId);
+  putU16(B, static_cast<uint16_t>(R.Division.size()));
+  B.insert(B.end(), R.Division.begin(), R.Division.end());
+  putU16(B, static_cast<uint16_t>(R.SpecArgs.size()));
+  for (const std::string &A : R.SpecArgs)
+    putText(B, A);
+  putU16(B, static_cast<uint16_t>(R.RunArgs.size()));
+  for (const std::string &A : R.RunArgs)
+    putText(B, A);
+  sealFrame(B);
+  return B;
+}
+
+std::vector<uint8_t> net::encodeResponse(uint32_t Tenant, uint64_t RequestId,
+                                         const RtcgResponse &R) {
+  uint16_t Flags = 0;
+  if (R.CacheHit)
+    Flags |= RespCacheHit;
+  if (R.DiskHit)
+    Flags |= RespDiskHit;
+  if (R.Respecialized)
+    Flags |= RespRespecialized;
+  if (R.GuardMiss)
+    Flags |= RespGuardMiss;
+
+  uint8_t Status = R.Ok ? 0 : (R.TrapCode ? 1 : 2);
+  uint32_t Code = 0;
+  if (!R.Ok)
+    Code = static_cast<uint32_t>(R.TrapCode     ? R.TrapCode
+                                 : R.ServiceCode ? R.ServiceCode
+                                 : R.StoreCode   ? R.StoreCode
+                                                 : 0);
+
+  std::vector<uint8_t> B;
+  putHeader(B, FrameType::Response, Flags, Tenant, RequestId);
+  putU8(B, Status);
+  putU32(B, Code);
+  putU32(B, static_cast<uint32_t>(R.StoreCode));
+  putText(B, R.Ok ? R.Value : R.ErrorText);
+  putText(B, R.StoreNote);
+  sealFrame(B);
+  return B;
+}
+
+std::vector<uint8_t> net::encodeProtoError(uint32_t Tenant, uint64_t RequestId,
+                                           uint32_t Code,
+                                           std::string_view Text) {
+  std::vector<uint8_t> B;
+  putHeader(B, FrameType::ProtoError, 0, Tenant, RequestId);
+  putU32(B, Code);
+  putText(B, Text);
+  sealFrame(B);
+  return B;
+}
+
+Result<NetRequest> net::decodeRequestPayload(std::span<const uint8_t> Payload) {
+  Cursor C{Payload};
+  NetRequest R;
+  uint16_t DivLen = C.u16();
+  if (!C.Ok || !C.need(DivLen))
+    return badFrame("request frame: truncated division");
+  R.Division.assign(reinterpret_cast<const char *>(Payload.data() + C.Pos),
+                    DivLen);
+  C.Pos += DivLen;
+  uint16_t NSpec = C.u16();
+  for (uint16_t I = 0; C.Ok && I != NSpec; ++I)
+    R.SpecArgs.push_back(C.text());
+  uint16_t NRun = C.u16();
+  for (uint16_t I = 0; C.Ok && I != NRun; ++I)
+    R.RunArgs.push_back(C.text());
+  if (!C.Ok)
+    return badFrame("request frame: truncated argument list");
+  if (C.Pos != Payload.size())
+    return badFrame("request frame: " +
+                    std::to_string(Payload.size() - C.Pos) +
+                    " trailing bytes after the last argument");
+  return R;
+}
+
+Result<NetResponse>
+net::decodeResponsePayload(std::span<const uint8_t> Payload) {
+  Cursor C{Payload};
+  NetResponse R;
+  R.Status = C.u8();
+  R.Code = C.u32();
+  R.StoreCode = C.u32();
+  R.Value = C.text();
+  R.StoreNote = C.text();
+  if (!C.Ok)
+    return badFrame("response frame: truncated payload");
+  if (C.Pos != Payload.size())
+    return badFrame("response frame: trailing bytes");
+  return R;
+}
+
+Result<NetResponse>
+net::decodeProtoErrorPayload(std::span<const uint8_t> Payload) {
+  Cursor C{Payload};
+  NetResponse R;
+  R.Status = 2;
+  R.Code = C.u32();
+  R.Value = C.text();
+  if (!C.Ok)
+    return badFrame("proto-error frame: truncated payload");
+  if (C.Pos != Payload.size())
+    return badFrame("proto-error frame: trailing bytes");
+  return R;
+}
+
+Result<std::pair<uint8_t, uint8_t>>
+net::decodeHelloPayload(FrameType Type, std::span<const uint8_t> Payload) {
+  Cursor C{Payload};
+  if (Type == FrameType::HelloAck) {
+    uint8_t V = C.u8();
+    if (!C.Ok || C.Pos != Payload.size())
+      return badFrame("hello-ack frame: expected exactly one version byte");
+    return std::pair<uint8_t, uint8_t>{V, V};
+  }
+  uint8_t Min = C.u8();
+  uint8_t Max = C.u8();
+  if (!C.Ok || C.Pos != Payload.size())
+    return badFrame("hello frame: expected exactly two version bytes");
+  return std::pair<uint8_t, uint8_t>{Min, Max};
+}
+
+RtcgResponse net::toRtcgResponse(const FrameHeader &H, const NetResponse &R) {
+  RtcgResponse Out;
+  Out.Ok = R.Status == 0;
+  if (Out.Ok) {
+    Out.Value = R.Value;
+  } else {
+    Out.ErrorText = R.Value;
+    if (R.Status == 1)
+      Out.TrapCode = static_cast<int>(R.Code);
+    else if (R.Code >= static_cast<uint32_t>(ServiceErrorCodeBase))
+      Out.ServiceCode = static_cast<int>(R.Code);
+  }
+  Out.StoreCode = static_cast<int>(R.StoreCode);
+  Out.StoreNote = R.StoreNote;
+  Out.CacheHit = H.Flags & RespCacheHit;
+  Out.DiskHit = H.Flags & RespDiskHit;
+  Out.Respecialized = H.Flags & RespRespecialized;
+  Out.GuardMiss = H.Flags & RespGuardMiss;
+  return Out;
+}
+
+void FrameDecoder::feed(const uint8_t *Data, size_t N) {
+  if (Poisoned)
+    return; // a poisoned stream never yields another frame
+  // Compact consumed bytes before appending, so the buffer stays bounded
+  // by one partial frame plus whatever feed() batch arrived.
+  if (Pos) {
+    Buf.erase(Buf.begin(), Buf.begin() + static_cast<ptrdiff_t>(Pos));
+    Pos = 0;
+  }
+  Buf.insert(Buf.end(), Data, Data + N);
+}
+
+FrameDecoder::Status FrameDecoder::next(Frame &Out) {
+  if (Poisoned)
+    return Status::Failed;
+
+  const uint8_t *H = Buf.data() + Pos;
+  auto RdU32 = [&](size_t Off) {
+    uint32_t V = 0;
+    for (int I = 0; I != 4; ++I)
+      V |= static_cast<uint32_t>(H[Off + I]) << (8 * I);
+    return V;
+  };
+
+  // Check the magic as soon as four bytes are in hand: a desynchronized
+  // (or plain non-protocol) peer gets failed fast instead of being
+  // strung along until a full header accumulates.
+  if (Buf.size() - Pos >= 4 && RdU32(0) != FrameMagic) {
+    Err = serviceError(ServiceError::BadFrame,
+                       "bad frame magic (stream desynchronized)");
+    Poisoned = true;
+    return Status::Failed;
+  }
+  if (Buf.size() - Pos < FrameHeaderBytes)
+    return Status::NeedMore;
+  uint32_t PayloadLen = RdU32(20);
+  if (PayloadLen > MaxFrame) {
+    Err = serviceError(ServiceError::BadFrame,
+                       "frame payload of " + std::to_string(PayloadLen) +
+                           " bytes exceeds the " + std::to_string(MaxFrame) +
+                           "-byte ceiling");
+    Poisoned = true;
+    return Status::Failed;
+  }
+  if (Buf.size() - Pos < FrameHeaderBytes + PayloadLen)
+    return Status::NeedMore;
+
+  Out.Header.Version = H[4];
+  Out.Header.Type = static_cast<FrameType>(H[5]);
+  Out.Header.Flags = static_cast<uint16_t>(H[6] | (H[7] << 8));
+  Out.Header.Tenant = RdU32(8);
+  Out.Header.RequestId = 0;
+  for (int I = 0; I != 8; ++I)
+    Out.Header.RequestId |= static_cast<uint64_t>(H[12 + I]) << (8 * I);
+  Out.Header.PayloadLen = PayloadLen;
+  Out.Payload.assign(H + FrameHeaderBytes, H + FrameHeaderBytes + PayloadLen);
+  Pos += FrameHeaderBytes + PayloadLen;
+  return Status::Ready;
+}

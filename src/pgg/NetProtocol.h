@@ -1,0 +1,177 @@
+//===- pgg/NetProtocol.h - RTCG serving wire protocol -----------*- C++ -*-===//
+///
+/// \file
+/// The length-prefixed binary protocol `pecompc serve --listen` speaks —
+/// the byte layer between remote clients and the RtcgService worker pool.
+/// Everything here is pure bytes-in/bytes-out (no sockets), so the same
+/// codec is exercised by the server, the client, the unit tests, and the
+/// malformed-frame fuzzer.
+///
+/// Every frame is a fixed 24-byte header followed by a payload:
+///
+///   offset  size  field
+///   0       4     magic "PEC1" (0x31434550 as a little-endian u32)
+///   4       1     protocol version (currently 1)
+///   5       1     frame type (FrameType)
+///   6       2     flags (response result bits; 0 elsewhere)
+///   8       4     tenant id
+///   12      8     request id (client-chosen correlator, echoed back)
+///   20      4     payload length in bytes
+///   24      ...   payload
+///
+/// All integers are little-endian. Responses may arrive in any order —
+/// the request id is the correlator; a connection pipelines freely.
+///
+/// Frame types and payloads:
+///
+///   Hello      c->s  u8 min-version, u8 max-version — version negotiation
+///   HelloAck   s->c  u8 chosen-version
+///   Request    c->s  u16 division-len + bytes ('S'/'D' per slot; empty =
+///                    the server's default division), u16 spec-arg count,
+///                    then per arg u32 len + datum text ("_" = dynamic),
+///                    u16 run-arg count, then per arg u32 len + datum text
+///   Response   s->c  u8 status (0 ok, 1 trap, 2 error), u32 code
+///                    (vm::TrapKind for traps, the classified
+///                    service/store code for errors, else 0), u32 store
+///                    code (nonzero = classified store degradation that
+///                    did NOT fail the request), u32 len + value-or-error
+///                    text, u32 len + store note. Header flags carry
+///                    cache-hit/disk-hit/respecialized/guard-miss bits.
+///   ProtoError s->c  u32 classified code (ServiceErrorCodeBase space:
+///                    Overloaded shed, BadFrame, BadVersion,
+///                    UnknownTenant), u32 len + message. Sent for
+///                    requests the service never saw.
+///
+/// Framing errors (bad magic, a length prefix above the negotiated
+/// maximum) poison the connection: the server sends a best-effort
+/// ProtoError and closes — after garbage there is no trustworthy way to
+/// find the next frame boundary. Malformed *payloads* inside a well-
+/// framed request only fail that request.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PECOMP_PGG_NETPROTOCOL_H
+#define PECOMP_PGG_NETPROTOCOL_H
+
+#include "pgg/RtcgService.h"
+#include "support/Error.h"
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace pecomp {
+namespace pgg {
+namespace net {
+
+constexpr uint32_t FrameMagic = 0x31434550; // "PEC1" in little-endian bytes
+constexpr uint8_t ProtocolVersion = 1;
+constexpr size_t FrameHeaderBytes = 24;
+/// Default ceiling on one frame's payload; a length prefix above the
+/// configured ceiling is a framing error (the prefix is untrusted input).
+constexpr size_t DefaultMaxFrameBytes = 16u << 20;
+
+enum class FrameType : uint8_t {
+  Hello = 0,
+  HelloAck = 1,
+  Request = 2,
+  Response = 3,
+  ProtoError = 4,
+};
+
+/// Response header flag bits.
+constexpr uint16_t RespCacheHit = 1u << 0;
+constexpr uint16_t RespDiskHit = 1u << 1;
+constexpr uint16_t RespRespecialized = 1u << 2;
+constexpr uint16_t RespGuardMiss = 1u << 3;
+
+struct FrameHeader {
+  uint8_t Version = ProtocolVersion;
+  FrameType Type = FrameType::Request;
+  uint16_t Flags = 0;
+  uint32_t Tenant = 0;
+  uint64_t RequestId = 0;
+  uint32_t PayloadLen = 0;
+};
+
+struct Frame {
+  FrameHeader Header;
+  std::vector<uint8_t> Payload;
+};
+
+/// A decoded Request payload (the program/entry are server-side state).
+struct NetRequest {
+  std::string Division; ///< empty = the server's default division
+  std::vector<std::string> SpecArgs; ///< "_" marks a dynamic slot
+  std::vector<std::string> RunArgs;
+};
+
+/// A decoded Response or ProtoError payload.
+struct NetResponse {
+  uint8_t Status = 0;   ///< 0 ok, 1 trap, 2 error
+  uint32_t Code = 0;    ///< TrapKind / classified service or store code
+  uint32_t StoreCode = 0;
+  std::string Value;    ///< result datum text, or the error text
+  std::string StoreNote;
+  uint16_t Flags = 0;   ///< RespCacheHit | ... (copied from the header)
+};
+
+/// -- Encoding (always succeeds; output is a complete frame) -------------
+
+std::vector<uint8_t> encodeHello(uint8_t MinVersion, uint8_t MaxVersion);
+std::vector<uint8_t> encodeHelloAck(uint8_t ChosenVersion);
+std::vector<uint8_t> encodeRequest(uint32_t Tenant, uint64_t RequestId,
+                                   const NetRequest &R);
+std::vector<uint8_t> encodeResponse(uint32_t Tenant, uint64_t RequestId,
+                                    const RtcgResponse &R);
+std::vector<uint8_t> encodeProtoError(uint32_t Tenant, uint64_t RequestId,
+                                      uint32_t Code, std::string_view Text);
+
+/// -- Payload decoding (bounds-checked; classified BadFrame on failure) --
+
+Result<NetRequest> decodeRequestPayload(std::span<const uint8_t> Payload);
+Result<NetResponse> decodeResponsePayload(std::span<const uint8_t> Payload);
+Result<NetResponse> decodeProtoErrorPayload(std::span<const uint8_t> Payload);
+/// Hello/HelloAck: returns {min, max} (HelloAck: {chosen, chosen}).
+Result<std::pair<uint8_t, uint8_t>>
+decodeHelloPayload(FrameType Type, std::span<const uint8_t> Payload);
+
+/// Reconstructs the service-level response a NetResponse carries, so
+/// tests can compare a network answer field-by-field against the
+/// in-process RtcgService answer. Generation stats and the worker index
+/// do not travel the wire and stay default.
+RtcgResponse toRtcgResponse(const FrameHeader &H, const NetResponse &R);
+
+/// Incremental frame parser over an untrusted byte stream. feed() bytes
+/// as they arrive; next() yields complete frames until the buffer runs
+/// dry (NeedMore) or the stream is unrecoverable (Error: bad magic, or a
+/// payload length above the ceiling). After Error the decoder stays
+/// poisoned — framing cannot be re-synchronized on a corrupt stream.
+class FrameDecoder {
+public:
+  explicit FrameDecoder(size_t MaxFrameBytes = DefaultMaxFrameBytes)
+      : MaxFrame(MaxFrameBytes) {}
+
+  void feed(const uint8_t *Data, size_t N);
+
+  enum class Status { NeedMore, Ready, Failed };
+  Status next(Frame &Out);
+
+  const Error &error() const { return Err; }
+  /// Bytes buffered but not yet consumed by a complete frame.
+  size_t pending() const { return Buf.size() - Pos; }
+
+private:
+  std::vector<uint8_t> Buf;
+  size_t Pos = 0;
+  size_t MaxFrame;
+  Error Err;
+  bool Poisoned = false;
+};
+
+} // namespace net
+} // namespace pgg
+} // namespace pecomp
+
+#endif // PECOMP_PGG_NETPROTOCOL_H

@@ -1,0 +1,483 @@
+//===- pgg/NetServer.cpp - epoll front end for the RTCG service -----------===//
+//
+// Event-loop mechanics. The invariants the loop maintains:
+//
+//  - A connection's epoll interest set is a pure function of its buffer
+//    state (updateInterest): EPOLLOUT iff output is pending, EPOLLIN iff
+//    it is neither paused by backpressure nor draining toward close.
+//  - Pending counts every admitted request until its completion is
+//    drained, whether or not the connection that sent it still exists —
+//    the shed threshold must see work queued behind dead connections
+//    too, because the workers still have to do it.
+//  - Connection ids are never reused. Worker completions address
+//    connections by id, so a completion racing a close finds nothing
+//    (and drops the response) rather than writing into an unrelated
+//    connection that inherited the fd number.
+//  - Worker callbacks touch only the CompletionBox, which they co-own
+//    through a shared_ptr: a callback firing after the server (or the
+//    loop thread) is gone finds Alive == false under the box lock and
+//    returns. The box owns the completion eventfd, so the fd outlives
+//    every possible writer.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pgg/NetServer.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace pecomp;
+using namespace pecomp::pgg;
+using namespace pecomp::pgg::net;
+
+namespace {
+
+constexpr uint64_t ListenTag = 0;
+constexpr uint64_t StopTag = 1;
+constexpr uint64_t CompletionTag = 2;
+
+Error sysError(const std::string &What) {
+  return makeError(What + ": " + std::strerror(errno));
+}
+
+} // namespace
+
+struct NetServer::CompletionBox {
+  std::mutex M;
+  std::deque<std::pair<uint64_t, std::vector<uint8_t>>> Done;
+  int Efd = -1;
+  bool Alive = true;
+
+  ~CompletionBox() {
+    if (Efd >= 0)
+      ::close(Efd);
+  }
+};
+
+struct NetServer::Conn {
+  int Fd = -1;
+  uint64_t Id = 0;
+  FrameDecoder Decoder;
+  std::vector<uint8_t> Out; ///< pending output; [OutPos, size) unwritten
+  size_t OutPos = 0;
+  uint32_t Interest = 0; ///< epoll events currently registered
+  bool Paused = false;   ///< reading suspended by backpressure
+  bool CloseAfterFlush = false;
+  bool Dead = false; ///< unrecoverable I/O fault; reaped by the caller
+
+  Conn(int Fd, uint64_t Id, size_t MaxFrame)
+      : Fd(Fd), Id(Id), Decoder(MaxFrame) {}
+  ~Conn() {
+    if (Fd >= 0)
+      ::close(Fd);
+  }
+  size_t buffered() const { return Out.size() - OutPos; }
+};
+
+Result<std::unique_ptr<NetServer>> NetServer::create(RtcgService &Service,
+                                                     RtcgRequest Template,
+                                                     NetServerOptions Opts) {
+  std::unique_ptr<NetServer> S(new NetServer());
+  S->Service = &Service;
+  S->Template = std::move(Template);
+  S->Opts = std::move(Opts);
+
+  S->ListenFd =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (S->ListenFd < 0)
+    return sysError("socket");
+  int One = 1;
+  ::setsockopt(S->ListenFd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof One);
+
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(S->Opts.Port);
+  if (::inet_pton(AF_INET, S->Opts.Host.c_str(), &Addr.sin_addr) != 1)
+    return makeError("bad listen address '" + S->Opts.Host + "'");
+  if (::bind(S->ListenFd, reinterpret_cast<sockaddr *>(&Addr), sizeof Addr) <
+      0)
+    return sysError("bind " + S->Opts.Host + ":" +
+                    std::to_string(S->Opts.Port));
+  if (::listen(S->ListenFd, SOMAXCONN) < 0)
+    return sysError("listen");
+
+  socklen_t Len = sizeof Addr;
+  if (::getsockname(S->ListenFd, reinterpret_cast<sockaddr *>(&Addr), &Len) <
+      0)
+    return sysError("getsockname");
+  S->BoundPort = ntohs(Addr.sin_port);
+
+  S->EpollFd = ::epoll_create1(EPOLL_CLOEXEC);
+  S->StopFd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  S->Box = std::make_shared<CompletionBox>();
+  S->Box->Efd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (S->EpollFd < 0 || S->StopFd < 0 || S->Box->Efd < 0)
+    return sysError("epoll/eventfd setup");
+
+  auto Watch = [&](int Fd, uint64_t Tag) {
+    epoll_event Ev{};
+    Ev.events = EPOLLIN;
+    Ev.data.u64 = Tag;
+    return ::epoll_ctl(S->EpollFd, EPOLL_CTL_ADD, Fd, &Ev);
+  };
+  if (Watch(S->ListenFd, ListenTag) < 0 || Watch(S->StopFd, StopTag) < 0 ||
+      Watch(S->Box->Efd, CompletionTag) < 0)
+    return sysError("epoll_ctl");
+  return S;
+}
+
+NetServer::~NetServer() {
+  if (Box) {
+    std::lock_guard<std::mutex> Lock(Box->M);
+    Box->Alive = false; // callbacks still holding the box now no-op
+  }
+  Conns.clear(); // closes every connection fd
+  if (ListenFd >= 0)
+    ::close(ListenFd);
+  if (StopFd >= 0)
+    ::close(StopFd);
+  if (EpollFd >= 0)
+    ::close(EpollFd);
+  // Box->Efd closes when the last worker callback releases the box.
+}
+
+void NetServer::requestStop() {
+  uint64_t OneV = 1;
+  [[maybe_unused]] ssize_t W = ::write(StopFd, &OneV, sizeof OneV);
+}
+
+void NetServer::run() {
+  epoll_event Events[64];
+  while (!Stopping) {
+    int N = ::epoll_wait(EpollFd, Events, 64, -1);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      break; // epoll itself failed; nothing sane left to do
+    }
+    for (int I = 0; I != N && !Stopping; ++I) {
+      uint64_t Tag = Events[I].data.u64;
+      uint32_t Ev = Events[I].events;
+      if (Tag == StopTag) {
+        Stopping = true;
+      } else if (Tag == ListenTag) {
+        acceptReady();
+      } else if (Tag == CompletionTag) {
+        drainCompletions();
+      } else {
+        // The connection may have been closed by an earlier event in
+        // this same batch; a stale tag finds nothing.
+        if (Ev & (EPOLLHUP | EPOLLERR)) {
+          closeConn(Tag);
+          continue;
+        }
+        if (Ev & EPOLLOUT)
+          connWritable(Tag);
+        if (Ev & EPOLLIN)
+          connReadable(Tag);
+      }
+    }
+  }
+}
+
+void NetServer::acceptReady() {
+  for (;;) {
+    int Fd = ::accept4(ListenFd, nullptr, nullptr,
+                       SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (Fd < 0)
+      return; // EAGAIN (or a transient accept error): wait for epoll
+    int One = 1;
+    ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof One);
+    if (Opts.SndBufBytes > 0)
+      ::setsockopt(Fd, SOL_SOCKET, SO_SNDBUF, &Opts.SndBufBytes,
+                   sizeof Opts.SndBufBytes);
+    uint64_t Id = NextConnId++;
+    auto C = std::make_unique<Conn>(Fd, Id, Opts.MaxFrameBytes);
+    epoll_event Ev{};
+    Ev.events = EPOLLIN;
+    Ev.data.u64 = Id;
+    if (::epoll_ctl(EpollFd, EPOLL_CTL_ADD, Fd, &Ev) < 0)
+      continue; // Conn dtor closes the fd
+    C->Interest = EPOLLIN;
+    Conns.emplace(Id, std::move(C));
+    ++Stats.Accepted;
+  }
+}
+
+void NetServer::drainCompletions() {
+  uint64_t Count = 0;
+  [[maybe_unused]] ssize_t R = ::read(Box->Efd, &Count, sizeof Count);
+  std::deque<std::pair<uint64_t, std::vector<uint8_t>>> Done;
+  {
+    std::lock_guard<std::mutex> Lock(Box->M);
+    Done.swap(Box->Done);
+  }
+  for (auto &[Id, Bytes] : Done) {
+    --Pending; // admitted work is done whether or not anyone is listening
+    ++Stats.Responses;
+    auto It = Conns.find(Id);
+    if (It == Conns.end())
+      continue; // connection closed while the request was in flight
+    sendBytes(*It->second, std::move(Bytes));
+    if (It->second->Dead ||
+        (It->second->CloseAfterFlush && It->second->buffered() == 0))
+      closeConn(Id);
+  }
+}
+
+void NetServer::connReadable(uint64_t Id) {
+  auto It = Conns.find(Id);
+  if (It == Conns.end())
+    return;
+  Conn &C = *It->second;
+
+  uint8_t Buf[64 * 1024];
+  bool PeerClosed = false;
+  for (;;) {
+    ssize_t N = ::read(C.Fd, Buf, sizeof Buf);
+    if (N > 0) {
+      C.Decoder.feed(Buf, static_cast<size_t>(N));
+      continue;
+    }
+    if (N == 0) {
+      PeerClosed = true;
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK)
+      break;
+    if (errno == EINTR)
+      continue;
+    C.Dead = true;
+    break;
+  }
+
+  Frame F;
+  while (!C.Dead && !C.CloseAfterFlush) {
+    FrameDecoder::Status St = C.Decoder.next(F);
+    if (St == FrameDecoder::Status::NeedMore)
+      break;
+    if (St == FrameDecoder::Status::Failed) {
+      // Framing is gone; tell the client why (best effort) and close.
+      // RequestId 0: there is no trustworthy request to attribute it to.
+      ++Stats.BadFrames;
+      sendBytes(C, encodeProtoError(
+                       0, 0,
+                       static_cast<uint32_t>(ServiceErrorCodeBase) +
+                           static_cast<uint32_t>(ServiceError::BadFrame),
+                       C.Decoder.error().message()));
+      C.CloseAfterFlush = true;
+      break;
+    }
+    handleFrame(C, F);
+  }
+
+  if (PeerClosed) {
+    // Half-close: the peer is done sending but may still read the
+    // responses already owed to it.
+    C.CloseAfterFlush = true;
+  }
+  if (C.Dead || (C.CloseAfterFlush && C.buffered() == 0)) {
+    closeConn(Id);
+    return;
+  }
+  updateInterest(C);
+}
+
+void NetServer::connWritable(uint64_t Id) {
+  auto It = Conns.find(Id);
+  if (It == Conns.end())
+    return;
+  Conn &C = *It->second;
+  flush(C);
+  if (C.Dead || (C.CloseAfterFlush && C.buffered() == 0)) {
+    closeConn(Id);
+    return;
+  }
+  updateInterest(C);
+}
+
+void NetServer::handleFrame(Conn &C, const Frame &F) {
+  auto ProtoErr = [&](ServiceError K, const std::string &Msg, bool Close) {
+    sendBytes(C, encodeProtoError(F.Header.Tenant, F.Header.RequestId,
+                                  static_cast<uint32_t>(ServiceErrorCodeBase) +
+                                      static_cast<uint32_t>(K),
+                                  Msg));
+    if (Close)
+      C.CloseAfterFlush = true;
+  };
+
+  // The header's version field is authoritative per frame: a client that
+  // skipped Hello and speaks a future version is told so and cut off
+  // before any payload of unknown layout is interpreted.
+  if (F.Header.Version != ProtocolVersion) {
+    ++Stats.BadVersions;
+    ProtoErr(ServiceError::BadVersion,
+             "protocol version " + std::to_string(F.Header.Version) +
+                 " not supported (server speaks " +
+                 std::to_string(ProtocolVersion) + ")",
+             /*Close=*/true);
+    return;
+  }
+
+  switch (F.Header.Type) {
+  case FrameType::Hello: {
+    Result<std::pair<uint8_t, uint8_t>> Range =
+        decodeHelloPayload(FrameType::Hello, F.Payload);
+    if (!Range) {
+      ++Stats.BadFrames;
+      ProtoErr(ServiceError::BadFrame, Range.error().message(),
+               /*Close=*/true);
+      return;
+    }
+    if (Range->first > ProtocolVersion || Range->second < ProtocolVersion) {
+      ++Stats.BadVersions;
+      ProtoErr(ServiceError::BadVersion,
+               "no common protocol version (client speaks " +
+                   std::to_string(Range->first) + ".." +
+                   std::to_string(Range->second) + ", server " +
+                   std::to_string(ProtocolVersion) + ")",
+               /*Close=*/true);
+      return;
+    }
+    sendBytes(C, encodeHelloAck(ProtocolVersion));
+    return;
+  }
+  case FrameType::Request: {
+    if (Pending >= Opts.QueueDepth) {
+      // Shed, classified, without enqueueing; the connection stays up.
+      ++Stats.Shed;
+      ProtoErr(ServiceError::Overloaded,
+               "server overloaded (" + std::to_string(Pending) +
+                   " requests in flight)",
+               /*Close=*/false);
+      return;
+    }
+    Result<NetRequest> NR = decodeRequestPayload(F.Payload);
+    if (!NR) {
+      // Well-framed but malformed payload: fail this request only.
+      ++Stats.BadFrames;
+      ProtoErr(ServiceError::BadFrame, NR.error().message(), /*Close=*/false);
+      return;
+    }
+    RtcgRequest R;
+    R.ProgramText = Template.ProgramText;
+    R.Entry = Template.Entry;
+    R.Division = NR->Division.empty() ? Template.Division : NR->Division;
+    R.SpecArgs = std::move(NR->SpecArgs);
+    R.RunArgs = std::move(NR->RunArgs);
+    R.Tenant = F.Header.Tenant;
+
+    ++Pending;
+    ++Stats.Requests;
+    std::shared_ptr<CompletionBox> B = Box;
+    uint64_t Id = C.Id;
+    uint32_t Tenant = F.Header.Tenant;
+    uint64_t ReqId = F.Header.RequestId;
+    // Runs on the serving worker's thread: encode there (the codec is
+    // pure), post bytes, wake the loop. Never touches Conn state.
+    Service->submit(std::move(R), [B, Id, Tenant, ReqId](RtcgResponse Resp) {
+      std::vector<uint8_t> Bytes = encodeResponse(Tenant, ReqId, Resp);
+      {
+        std::lock_guard<std::mutex> Lock(B->M);
+        if (!B->Alive)
+          return;
+        B->Done.emplace_back(Id, std::move(Bytes));
+      }
+      uint64_t OneV = 1;
+      [[maybe_unused]] ssize_t W = ::write(B->Efd, &OneV, sizeof OneV);
+    });
+    return;
+  }
+  default:
+    // HelloAck/Response/ProtoError are server-to-client only; anything
+    // else is an unknown type. Either way the client is confused.
+    ++Stats.BadFrames;
+    ProtoErr(ServiceError::BadFrame,
+             "unexpected frame type " +
+                 std::to_string(static_cast<int>(F.Header.Type)) +
+                 " from client",
+             /*Close=*/true);
+    return;
+  }
+}
+
+void NetServer::sendBytes(Conn &C, std::vector<uint8_t> Bytes) {
+  if (C.Out.empty()) {
+    C.Out = std::move(Bytes);
+    C.OutPos = 0;
+  } else {
+    C.Out.insert(C.Out.end(), Bytes.begin(), Bytes.end());
+  }
+  flush(C);
+  updateInterest(C);
+}
+
+void NetServer::flush(Conn &C) {
+  while (C.OutPos < C.Out.size()) {
+    ssize_t N = ::send(C.Fd, C.Out.data() + C.OutPos, C.Out.size() - C.OutPos,
+                       MSG_NOSIGNAL);
+    if (N > 0) {
+      C.OutPos += static_cast<size_t>(N);
+      continue;
+    }
+    if (N < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+      break;
+    if (N < 0 && errno == EINTR)
+      continue;
+    C.Dead = true;
+    return;
+  }
+  if (C.OutPos == C.Out.size()) {
+    C.Out.clear();
+    C.OutPos = 0;
+  } else if (C.OutPos > (64u << 10) && C.OutPos > C.Out.size() / 2) {
+    // Compact so the buffer tracks unsent bytes, not session history.
+    C.Out.erase(C.Out.begin(), C.Out.begin() + static_cast<ptrdiff_t>(C.OutPos));
+    C.OutPos = 0;
+  }
+}
+
+void NetServer::updateInterest(Conn &C) {
+  if (C.Dead)
+    return;
+  // Backpressure transitions: pause reading above the high-water mark,
+  // resume below half of it (hysteresis so a boundary-riding connection
+  // does not thrash the interest set).
+  size_t Buffered = C.buffered();
+  if (!C.Paused && Opts.WriteHighWater && Buffered > Opts.WriteHighWater) {
+    C.Paused = true;
+    ++Stats.ReadPauses;
+  } else if (C.Paused && Buffered < Opts.WriteHighWater / 2) {
+    C.Paused = false;
+  }
+
+  uint32_t Want = 0;
+  if (Buffered)
+    Want |= EPOLLOUT;
+  if (!C.Paused && !C.CloseAfterFlush)
+    Want |= EPOLLIN;
+  if (Want == C.Interest)
+    return;
+  epoll_event Ev{};
+  Ev.events = Want;
+  Ev.data.u64 = C.Id;
+  if (::epoll_ctl(EpollFd, EPOLL_CTL_MOD, C.Fd, &Ev) == 0)
+    C.Interest = Want;
+}
+
+void NetServer::closeConn(uint64_t Id) {
+  auto It = Conns.find(Id);
+  if (It == Conns.end())
+    return;
+  ::epoll_ctl(EpollFd, EPOLL_CTL_DEL, It->second->Fd, nullptr);
+  Conns.erase(It); // Conn dtor closes the fd
+}

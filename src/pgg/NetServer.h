@@ -1,0 +1,155 @@
+//===- pgg/NetServer.h - epoll front end for the RTCG service ---*- C++ -*-===//
+///
+/// \file
+/// The networked serving front end (`pecompc serve --listen=PORT`): a
+/// single-threaded epoll event loop that speaks the NetProtocol frame
+/// format on any number of concurrent connections and feeds the
+/// RtcgService worker pool through its callback submit path. The paper's
+/// Sec. 7 cost model says generation cost is amortized across the runs
+/// that reuse a specialization; a network front end is how runs from
+/// *many clients* land on one SpecCache, which is the strongest form of
+/// that amortization.
+///
+/// Threading model: exactly one thread runs the event loop (run()). It
+/// never executes tenant code — requests are handed to RtcgService
+/// workers, whose completion callbacks encode the response bytes on the
+/// worker thread and post them to a completion queue; an eventfd wakes
+/// the loop to flush them out. requestStop() is the only other
+/// thread-safe (and async-signal-safe) entry point.
+///
+/// Flow control, two mechanisms with different scopes:
+///  - Backpressure (per connection): when a connection's buffered
+///    response bytes exceed WriteHighWater, the loop stops *reading*
+///    that connection (EPOLLIN off) until the buffer drains below half
+///    the mark — a slow reader throttles only itself; its unread
+///    requests wait in its socket, not in server memory.
+///  - Load shedding (global): when accepted-but-unanswered requests
+///    reach QueueDepth, new requests are answered immediately with a
+///    classified ServiceError::Overloaded ProtoError frame and never
+///    enqueued — the client sees a fast, classified rejection instead of
+///    unbounded queueing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PECOMP_PGG_NETSERVER_H
+#define PECOMP_PGG_NETSERVER_H
+
+#include "pgg/NetProtocol.h"
+#include "pgg/RtcgService.h"
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+namespace pecomp {
+namespace pgg {
+namespace net {
+
+struct NetServerOptions {
+  std::string Host = "127.0.0.1";
+  uint16_t Port = 0; ///< 0 = ephemeral; the bound port is port()
+  /// Global shed threshold: accepted-but-unanswered requests beyond this
+  /// are refused with a classified Overloaded ProtoError.
+  size_t QueueDepth = 256;
+  /// Per-connection backpressure: stop reading a connection whose
+  /// buffered response bytes exceed this; resume below half of it.
+  size_t WriteHighWater = 1u << 20;
+  size_t MaxFrameBytes = DefaultMaxFrameBytes;
+  /// When nonzero, clamp SO_SNDBUF on accepted sockets. Bounds kernel
+  /// memory per connection and disables sndbuf autotuning, so slow
+  /// readers hit the user-space WriteHighWater (and thus backpressure)
+  /// instead of ballooning kernel buffers. 0 = leave the kernel default.
+  int SndBufBytes = 0;
+};
+
+/// Counters the loop keeps; snapshot with stats() (same thread as run(),
+/// or after run() returned).
+struct NetServerStats {
+  uint64_t Accepted = 0;     ///< connections accepted
+  uint64_t Requests = 0;     ///< well-framed Request frames admitted
+  uint64_t Responses = 0;    ///< Response frames queued for write
+  uint64_t Shed = 0;         ///< requests refused Overloaded
+  uint64_t BadFrames = 0;    ///< framing/payload errors (BadFrame)
+  uint64_t BadVersions = 0;  ///< version-skew rejections
+  uint64_t ReadPauses = 0;   ///< backpressure engagements
+};
+
+/// One server bound to one program: every Request frame specializes/runs
+/// the template's ProgramText+Entry (the frame carries division override,
+/// static values, run arguments, and the tenant id).
+class NetServer {
+public:
+  /// Binds and listens; fails with a rendered errno message when the
+  /// address is unusable. \p Template supplies ProgramText, Entry, and
+  /// the default Division for requests that send an empty one.
+  static Result<std::unique_ptr<NetServer>>
+  create(RtcgService &Service, RtcgRequest Template, NetServerOptions Opts);
+
+  ~NetServer();
+  NetServer(const NetServer &) = delete;
+  NetServer &operator=(const NetServer &) = delete;
+
+  /// The bound port (after create(); meaningful with Opts.Port == 0).
+  uint16_t port() const { return BoundPort; }
+
+  /// Runs the event loop until requestStop(); stats() has the counters
+  /// afterwards. Call from exactly one thread.
+  void run();
+
+  /// Wakes the loop and makes run() return promptly; responses still in
+  /// flight with workers are dropped (their connections are closing
+  /// anyway). Safe from any thread and from signal handlers (one
+  /// eventfd write).
+  void requestStop();
+
+  const NetServerStats &stats() const { return Stats; }
+
+private:
+  NetServer() = default;
+
+  struct Conn;
+  /// Completion queue shared with worker callbacks; shared_ptr-owned so
+  /// a callback that outlives the server finds a poisoned box, not a
+  /// dangling one.
+  struct CompletionBox;
+
+  void acceptReady();
+  void drainCompletions();
+  void connReadable(uint64_t Id);
+  void connWritable(uint64_t Id);
+  void handleFrame(Conn &C, const Frame &F);
+  void sendBytes(Conn &C, std::vector<uint8_t> Bytes);
+  void flush(Conn &C);
+  /// Re-derives the connection's epoll interest set from its buffer
+  /// state (EPOLLOUT while output is pending, EPOLLIN unless paused or
+  /// closing) and applies backpressure transitions.
+  void updateInterest(Conn &C);
+  void closeConn(uint64_t Id);
+
+  int EpollFd = -1;
+  int ListenFd = -1;
+  int StopFd = -1; ///< eventfd; requestStop() writes, the loop exits
+  uint16_t BoundPort = 0;
+  bool Stopping = false;
+
+  RtcgService *Service = nullptr;
+  RtcgRequest Template;
+  NetServerOptions Opts;
+  NetServerStats Stats;
+
+  std::shared_ptr<CompletionBox> Box;
+  /// Live connections by id. Ids are never reused (monotone counter), so
+  /// a completion for a closed connection simply finds nothing — the fd
+  /// number may already belong to a new connection, the id cannot.
+  std::unordered_map<uint64_t, std::unique_ptr<Conn>> Conns;
+  uint64_t NextConnId = 16; ///< ids 0..15 reserved for loop fds
+  /// Accepted-but-unanswered requests across all connections (the shed
+  /// counter compared against Opts.QueueDepth).
+  size_t Pending = 0;
+};
+
+} // namespace net
+} // namespace pgg
+} // namespace pecomp
+
+#endif // PECOMP_PGG_NETSERVER_H

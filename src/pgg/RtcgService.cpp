@@ -44,6 +44,14 @@ const char *pgg::serviceErrorName(ServiceError E) {
     return "Stopped";
   case ServiceError::Rejected:
     return "Rejected";
+  case ServiceError::Overloaded:
+    return "Overloaded";
+  case ServiceError::BadFrame:
+    return "BadFrame";
+  case ServiceError::BadVersion:
+    return "BadVersion";
+  case ServiceError::UnknownTenant:
+    return "UnknownTenant";
   }
   return "Unknown";
 }
@@ -98,6 +106,10 @@ RtcgService::RtcgService(RtcgOptions O)
     : Opts(std::move(O)), Cache(Opts.CacheBytes, Opts.CacheShards) {
   if (Opts.Store)
     Cache.attachDisk(Opts.Store);
+  if (Opts.Tenants)
+    for (const auto &[Id, C] : Opts.Tenants->tenants())
+      if (C.CacheBytes)
+        Cache.setTenantBudget(Id, C.CacheBytes);
   size_t N = std::max<size_t>(Opts.Threads, 1);
   Workers.reserve(N);
   for (size_t I = 0; I != N; ++I)
@@ -111,6 +123,9 @@ void RtcgService::stop() {
     std::lock_guard<std::mutex> Lock(QueueM);
     Stopping = true;
     Orphans.swap(Queue);
+    for (const Job &J : Orphans)
+      if (!J.Respec)
+        --InFlightCount;
   }
   QueueCv.notify_all();
   // Fail the orphans from the outside, before (and without) touching any
@@ -125,10 +140,14 @@ void RtcgService::stop() {
       finishRespecJob();
       continue;
     }
-    J.Promise.set_value(failResponse(
+    RtcgResponse R = failResponse(
         serviceError(ServiceError::Stopped,
                      "service stopped before the request was served"),
-        0));
+        0);
+    if (J.Done)
+      J.Done(std::move(R));
+    else
+      J.Promise.set_value(std::move(R));
   }
 }
 
@@ -154,9 +173,41 @@ std::future<RtcgResponse> RtcgService::submit(RtcgRequest Req) {
       return F;
     }
     Queue.push_back(std::move(J));
+    ++InFlightCount;
   }
   QueueCv.notify_one();
   return F;
+}
+
+void RtcgService::submit(RtcgRequest Req,
+                         std::function<void(RtcgResponse)> Done) {
+  bool Rejected = false;
+  {
+    std::lock_guard<std::mutex> Lock(QueueM);
+    if (Stopping) {
+      Rejected = true;
+    } else {
+      Job J;
+      J.Req = std::move(Req);
+      J.Done = std::move(Done);
+      Queue.push_back(std::move(J));
+      ++InFlightCount;
+    }
+  }
+  if (Rejected) {
+    // Deliver outside QueueM: the callback may re-enter the service
+    // (inFlight(), another submit) and must not deadlock.
+    Done(failResponse(serviceError(ServiceError::Rejected,
+                                   "request submitted after service shutdown"),
+                      0));
+    return;
+  }
+  QueueCv.notify_one();
+}
+
+size_t RtcgService::inFlight() const {
+  std::lock_guard<std::mutex> Lock(QueueM);
+  return InFlightCount;
 }
 
 std::vector<RtcgResponse> RtcgService::serveAll(std::vector<RtcgRequest> Reqs) {
@@ -218,10 +269,19 @@ void RtcgService::workerLoop(size_t Index) {
       J = std::move(Queue.front());
       Queue.pop_front();
     }
-    if (J.Respec)
+    if (J.Respec) {
       processRespec(W, J);
+      continue;
+    }
+    RtcgResponse R = process(W, J.Req);
+    if (J.Done)
+      J.Done(std::move(R));
     else
-      J.Promise.set_value(process(W, J.Req));
+      J.Promise.set_value(std::move(R));
+    {
+      std::lock_guard<std::mutex> Lock(QueueM);
+      --InFlightCount;
+    }
   }
 }
 
@@ -230,6 +290,22 @@ RtcgResponse RtcgService::process(WorkerState &W, const RtcgRequest &Req) {
   Resp.Worker = W.Index;
   if (Opts.Respec.Enabled)
     W.Prof.resetDispatch(); // fresh per-request counters, censuses kept
+
+  // Tenant isolation envelope: install the request's per-tenant ceilings
+  // on this worker's machine for the request's duration. Without a table
+  // the worker keeps the service-wide limits it was born with; with one,
+  // every request sets limits (a tenant-0 request restores the defaults
+  // after a quota'd tenant's request on the same worker).
+  if (Opts.Tenants) {
+    const TenantConfig *TC = Opts.Tenants->find(Req.Tenant);
+    if (!TC && Opts.Tenants->strict())
+      return failResponse(
+          serviceError(ServiceError::UnknownTenant,
+                       "unknown tenant " + std::to_string(Req.Tenant) +
+                           " (strict tenant table)"),
+          W.Index);
+    W.Machine.setLimits(TC ? TC->Limits : Opts.Limits);
+  }
 
   // Per-request parse arena; the worker's heap persists across requests,
   // so request values are rooted only for the request's duration.
@@ -270,7 +346,14 @@ RtcgResponse RtcgService::process(WorkerState &W, const RtcgRequest &Req) {
     RunArgs.push_back(*V);
   }
 
-  uint64_t Fp = fingerprintProgram(Req.ProgramText, Req.Entry, Req.Division);
+  // Cache keys mix the tenant id into the program fingerprint (identity
+  // for tenant 0), so tenants never share cache entries — the partition
+  // accounting relies on every key being single-homed. The cogen memo
+  // stays keyed by the unmixed fingerprint: a generating extension is a
+  // pure function of the program text, safely shared across tenants.
+  uint64_t BaseFp =
+      fingerprintProgram(Req.ProgramText, Req.Entry, Req.Division);
+  uint64_t Fp = tenantFingerprint(BaseFp, Req.Tenant);
   SpecKey Key = makeSpecKey(Fp, SpecArgs);
 
   // The request's own code universe: a fresh store and global table, torn
@@ -328,7 +411,7 @@ RtcgResponse RtcgService::process(WorkerState &W, const RtcgRequest &Req) {
       if (Held) {
         LookupOutcome Tier;
         if (std::shared_ptr<const CachedSpecialization> Hit =
-                Cache.lookup(V->ExtKey, Tier)) {
+                Cache.lookup(V->ExtKey, Tier, Req.Tenant)) {
           compiler::CompiledProgram CP =
               Hit->Residual->instantiate(Store, Globals);
           if (Result<bool> Linked =
@@ -375,7 +458,8 @@ RtcgResponse RtcgService::process(WorkerState &W, const RtcgRequest &Req) {
   compiler::CompiledProgram CP;
   Symbol Entry;
   LookupOutcome Tier;
-  std::shared_ptr<const CachedSpecialization> Hit = Cache.lookup(Key, Tier);
+  std::shared_ptr<const CachedSpecialization> Hit =
+      Cache.lookup(Key, Tier, Req.Tenant);
   // A classified store failure (corrupt entry, verifier rejection, I/O
   // fault) degrades to cold specialization; it is reported on its own
   // channel, never as a request trap.
@@ -391,7 +475,7 @@ RtcgResponse RtcgService::process(WorkerState &W, const RtcgRequest &Req) {
     Resp.Gen = Hit->Stats;
   } else {
     GeneratingExtension *Gen;
-    if (auto It = W.Gens.find(Fp); It != W.Gens.end()) {
+    if (auto It = W.Gens.find(BaseFp); It != W.Gens.end()) {
       Gen = It->second.get();
     } else {
       Result<std::unique_ptr<GeneratingExtension>> G =
@@ -399,7 +483,7 @@ RtcgResponse RtcgService::process(WorkerState &W, const RtcgRequest &Req) {
                                       Req.Division, Opts.Pgg);
       if (!G)
         return failResponse(G.error(), W.Index);
-      Gen = (W.Gens[Fp] = std::move(*G)).get();
+      Gen = (W.Gens[BaseFp] = std::move(*G)).get();
     }
 
     compiler::Compilators Comp(Store, Globals);
@@ -431,7 +515,7 @@ RtcgResponse RtcgService::process(WorkerState &W, const RtcgRequest &Req) {
       Cached->Residual = *Port;
       Cached->Entry = Entry;
       Cached->Stats = Obj->Stats;
-      Cache.insert(Key, std::move(Cached));
+      Cache.insert(Key, std::move(Cached), Req.Tenant);
     }
   }
 
@@ -518,6 +602,7 @@ void RtcgService::observeAndMaybeRespec(WorkerState &W, const RtcgRequest &Req,
     J.Req.Entry = Req.Entry;
     J.Req.Division = Req.Division;
     J.Req.SpecArgs = Req.SpecArgs;
+    J.Req.Tenant = Req.Tenant; // the variant lives in the tenant's partition
     size_t Dyn = 0, Next = 0;
     for (size_t I = 0; I != J.Req.SpecArgs.size(); ++I) {
       if (J.Req.SpecArgs[I] != "_")
@@ -564,6 +649,12 @@ void RtcgService::observeAndMaybeRespec(WorkerState &W, const RtcgRequest &Req,
 void RtcgService::processRespec(WorkerState &W, Job &J) {
   const RtcgRequest &Req = J.Req;
   bool Installed = false;
+  // The memoizing run below executes tenant code; it must burn the
+  // tenant's fuel, not whatever the previous request left installed.
+  if (Opts.Tenants) {
+    const TenantConfig *TC = Opts.Tenants->find(Req.Tenant);
+    W.Machine.setLimits(TC ? TC->Limits : Opts.Limits);
+  }
   // Everything below is the generic cold path minus the run step,
   // executed in this worker's own universe; failure of any stage just
   // marks the site Failed (the generic code keeps serving).
@@ -590,11 +681,13 @@ void RtcgService::processRespec(WorkerState &W, Job &J) {
     if (!ParseOk)
       break;
 
-    uint64_t Fp = fingerprintProgram(Req.ProgramText, Req.Entry, Req.Division);
-    SpecKey ExtKey = makeSpecKey(Fp, SpecArgs);
+    uint64_t BaseFp =
+        fingerprintProgram(Req.ProgramText, Req.Entry, Req.Division);
+    SpecKey ExtKey = makeSpecKey(tenantFingerprint(BaseFp, Req.Tenant),
+                                 SpecArgs);
 
     GeneratingExtension *Gen;
-    if (auto It = W.Gens.find(Fp); It != W.Gens.end()) {
+    if (auto It = W.Gens.find(BaseFp); It != W.Gens.end()) {
       Gen = It->second.get();
     } else {
       Result<std::unique_ptr<GeneratingExtension>> G =
@@ -602,7 +695,7 @@ void RtcgService::processRespec(WorkerState &W, Job &J) {
                                       Req.Division, Opts.Pgg);
       if (!G)
         break;
-      Gen = (W.Gens[Fp] = std::move(*G)).get();
+      Gen = (W.Gens[BaseFp] = std::move(*G)).get();
     }
 
     // The guard plan assumes every stabilized slot really was consumed by
@@ -697,7 +790,7 @@ void RtcgService::processRespec(WorkerState &W, Job &J) {
     Cached->Residual = *Port;
     Cached->Entry = Memo ? Memo->Entry : Obj->Entry;
     Cached->Stats = Obj->Stats; // generation cost of the real extension
-    Cache.insert(ExtKey, std::move(Cached));
+    Cache.insert(ExtKey, std::move(Cached), Req.Tenant);
 
     auto V = std::make_shared<Variant>();
     V->ExtKey = ExtKey;

@@ -23,10 +23,12 @@
 
 #include "pgg/Pgg.h"
 #include "pgg/SpecCache.h"
+#include "pgg/TenantTable.h"
 #include "vm/Profile.h"
 
 #include <condition_variable>
 #include <deque>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -50,6 +52,12 @@ enum class ServiceError : uint8_t {
   None = 0,
   Stopped,  ///< service shut down before the request was served
   Rejected, ///< submitted after shutdown began
+  /// The serving queue hit its high-water mark and the request was shed
+  /// without being enqueued (networked serving backpressure).
+  Overloaded,
+  BadFrame,      ///< malformed wire frame or payload (networked serving)
+  BadVersion,    ///< client spoke an unsupported protocol version
+  UnknownTenant, ///< tenant id not in a strict TenantTable
 };
 
 /// Human-readable class name ("Stopped", ...).
@@ -69,7 +77,7 @@ inline Error serviceError(ServiceError K, std::string Message) {
 /// The service class of \p E (ServiceError::None for other errors).
 inline ServiceError serviceErrorOf(const Error &E) {
   int C = E.code() - ServiceErrorCodeBase;
-  if (C <= 0 || C > static_cast<int>(ServiceError::Rejected))
+  if (C <= 0 || C > static_cast<int>(ServiceError::UnknownTenant))
     return ServiceError::None;
   return static_cast<ServiceError>(C);
 }
@@ -84,6 +92,12 @@ struct RtcgRequest {
   std::vector<std::string> SpecArgs;
   /// Datum texts for the residual entry's (dynamic) parameters.
   std::vector<std::string> RunArgs;
+  /// Originating tenant. 0 (the default) is the anonymous single-tenant
+  /// id: it runs under the service-wide limits and the shared cache key
+  /// space, so embedders that never configure tenants see no change.
+  /// Nonzero ids resolve through RtcgOptions::Tenants for per-request
+  /// vm::Limits and a tenant-partitioned slice of the SpecCache.
+  uint32_t Tenant = 0;
 };
 
 struct RtcgResponse {
@@ -165,6 +179,12 @@ struct RtcgOptions {
   std::shared_ptr<DiskStore> Store;
   /// Online profile-guided re-specialization with guarded deopt.
   RespecOptions Respec;
+  /// Per-tenant quotas and cache partitions (pgg/TenantTable.h). Null
+  /// means single-tenant: every request runs under Limits and the shared
+  /// cache. With a table, a request's tenant id picks its vm::Limits and
+  /// its SpecCache partition budget; a strict table rejects unlisted ids
+  /// with a classified ServiceError::UnknownTenant.
+  std::shared_ptr<const TenantTable> Tenants;
   PggOptions Pgg;
 };
 
@@ -179,6 +199,18 @@ public:
   RtcgService &operator=(const RtcgService &) = delete;
 
   std::future<RtcgResponse> submit(RtcgRequest Req);
+
+  /// Callback form for event-loop callers (the network server): \p Done
+  /// runs exactly once, on the serving worker's thread — or inline when
+  /// the request is rejected after shutdown, or on the stopping thread
+  /// for requests still queued at stop(). The callback must not block
+  /// (post to your own queue and return).
+  void submit(RtcgRequest Req, std::function<void(RtcgResponse)> Done);
+
+  /// Queued jobs not yet picked up by a worker plus jobs currently being
+  /// served; the network front end sheds above its high-water mark on
+  /// this number.
+  size_t inFlight() const;
 
   /// Begins shutdown: fails every queued request with a classified
   /// ServiceError::Stopped, accounts queued re-specialization jobs as
@@ -224,6 +256,9 @@ private:
   struct Job {
     RtcgRequest Req;
     std::promise<RtcgResponse> Promise;
+    /// When set, delivery goes through the callback instead of Promise
+    /// (the callback-form submit()).
+    std::function<void(RtcgResponse)> Done;
     /// Background re-specialization job: Req is the synthesized
     /// value-extended request (generate-only, no RunArgs), Promise is
     /// unused, and the fields below carry the installation target.
@@ -248,10 +283,13 @@ private:
   RtcgOptions Opts;
   SpecCache Cache;
 
-  std::mutex QueueM;
+  mutable std::mutex QueueM;
   std::condition_variable QueueCv;
   std::deque<Job> Queue;
   bool Stopping = false;
+  /// Client requests accepted but not yet delivered (queued + serving);
+  /// excludes background re-specialization jobs. See inFlight().
+  size_t InFlightCount = 0;
 
   /// Re-specialization controller state: site table, counters, and the
   /// in-flight job count quiesceRespec() waits on.

@@ -42,6 +42,15 @@ uint64_t pgg::fingerprintProgram(std::string_view ProgramText,
   return H;
 }
 
+uint64_t pgg::tenantFingerprint(uint64_t ProgramFp, uint32_t Tenant) {
+  if (Tenant == 0)
+    return ProgramFp; // identity: single-tenant keys (and stores) unchanged
+  uint64_t H = ProgramFp;
+  for (int Shift = 0; Shift < 32; Shift += 8)
+    H = fnv1aByte(H * FnvPrime, static_cast<uint8_t>(Tenant >> Shift));
+  return H;
+}
+
 SpecKey pgg::makeSpecKey(uint64_t ProgramFp,
                          std::span<const std::optional<vm::Value>> Args) {
   SpecKey K;
@@ -92,6 +101,25 @@ std::string CacheStats::report() const {
            static_cast<unsigned long long>(Evictions), Entries, Bytes,
            MaxBytes);
   std::string Out = Buf;
+  // Per-tenant lines only for genuinely multi-tenant caches: a lone
+  // tenant 0 with no partition budget is the legacy single-tenant case
+  // and keeps its historical one-line report.
+  bool MultiTenant = false;
+  for (const auto &[Id, T] : Tenants)
+    MultiTenant |= Id != 0 || T.MaxBytes != 0;
+  if (MultiTenant) {
+    for (const auto &[Id, T] : Tenants) {
+      snprintf(Buf, sizeof(Buf),
+               "  tenant %u: %llu hits, %llu misses, %llu insertions, "
+               "%llu evictions, %zu entries, %zu/%zu bytes\n",
+               Id, static_cast<unsigned long long>(T.Hits),
+               static_cast<unsigned long long>(T.Misses),
+               static_cast<unsigned long long>(T.Insertions),
+               static_cast<unsigned long long>(T.Evictions), T.Entries,
+               T.Bytes, T.MaxBytes);
+      Out += Buf;
+    }
+  }
   if (HasDisk) {
     snprintf(Buf, sizeof(Buf),
              "disk-store: %llu hits, %llu misses, %llu rejects "
@@ -119,23 +147,26 @@ SpecCache::SpecCache(size_t MaxBytes, size_t NumShards) : MaxBytes(MaxBytes) {
 }
 
 std::shared_ptr<const CachedSpecialization>
-SpecCache::lookup(const SpecKey &Key) {
+SpecCache::lookup(const SpecKey &Key, uint32_t Tenant) {
   Shard &S = shardFor(Key);
   std::lock_guard<std::mutex> Lock(S.M);
   ++S.Lookups; // outcome recorded below, same critical section
+  TenantShardStats &T = S.Tenants[Tenant];
   auto It = S.Map.find(Key);
   if (It == S.Map.end()) {
     ++S.Misses;
+    ++T.Misses;
     return nullptr;
   }
   S.Lru.splice(S.Lru.begin(), S.Lru, It->second); // refresh recency
   ++S.Hits;
+  ++T.Hits;
   return It->second->Value;
 }
 
 std::shared_ptr<const CachedSpecialization>
-SpecCache::lookup(const SpecKey &Key, LookupOutcome &Out) {
-  if (std::shared_ptr<const CachedSpecialization> V = lookup(Key)) {
+SpecCache::lookup(const SpecKey &Key, LookupOutcome &Out, uint32_t Tenant) {
+  if (std::shared_ptr<const CachedSpecialization> V = lookup(Key, Tenant)) {
     Out.MemoryHit = true;
     return V;
   }
@@ -144,7 +175,7 @@ SpecCache::lookup(const SpecKey &Key, LookupOutcome &Out) {
   Result<std::shared_ptr<const CachedSpecialization>> R = Disk->load(Key);
   if (R) {
     Out.DiskHit = true;
-    insertMemory(Key, *R, /*Promotion=*/true); // no write-back to disk
+    insertMemory(Key, *R, /*Promotion=*/true, Tenant); // no disk write-back
     return *R;
   }
   // A plain miss is the expected cold-store answer; everything else is a
@@ -161,48 +192,94 @@ void SpecCache::attachDisk(std::shared_ptr<DiskStore> Store) {
   Disk = std::move(Store);
 }
 
+void SpecCache::setTenantBudget(uint32_t Tenant, size_t Bytes) {
+  size_t PerShard =
+      Bytes ? std::max<size_t>(Bytes / Shards.size(), 1) : 0;
+  TenantBudgets[Tenant] = {Bytes, PerShard};
+}
+
 void SpecCache::insert(const SpecKey &Key,
-                       std::shared_ptr<const CachedSpecialization> Value) {
+                       std::shared_ptr<const CachedSpecialization> Value,
+                       uint32_t Tenant) {
   if (Disk && !Disk->readOnly() && Value)
     Disk->put(Key, *Value); // failures tallied in the store's counters
-  insertMemory(Key, std::move(Value), /*Promotion=*/false);
+  insertMemory(Key, std::move(Value), /*Promotion=*/false, Tenant);
 }
 
 void SpecCache::insertMemory(const SpecKey &Key,
                              std::shared_ptr<const CachedSpecialization> Value,
-                             bool Promotion) {
+                             bool Promotion, uint32_t Tenant) {
   size_t Bytes = Value ? Value->byteSize() : 0;
   Shard &S = shardFor(Key);
   std::lock_guard<std::mutex> Lock(S.M);
+  TenantShardStats &T = S.Tenants[Tenant];
   auto It = S.Map.find(Key);
   if (It != S.Map.end()) {
     // Replacement (two threads raced on the same miss): keep the newer
     // unit, it is the one the inserting thread will run.
     S.Bytes -= It->second->Bytes;
+    TenantShardStats &Old = S.Tenants[It->second->Tenant];
+    Old.Bytes -= It->second->Bytes;
+    --Old.Entries;
     It->second->Value = std::move(Value);
     It->second->Bytes = Bytes;
+    It->second->Tenant = Tenant;
     S.Bytes += Bytes;
+    T.Bytes += Bytes;
+    ++T.Entries;
     S.Lru.splice(S.Lru.begin(), S.Lru, It->second);
   } else {
-    S.Lru.push_front(Entry{Key, std::move(Value), Bytes});
+    S.Lru.push_front(Entry{Key, std::move(Value), Bytes, Tenant});
     S.Map.emplace(Key, S.Lru.begin());
     S.Bytes += Bytes;
+    T.Bytes += Bytes;
+    ++T.Entries;
   }
   ++S.Insertions;
+  ++T.Insertions;
   if (Promotion)
     ++S.Promotions;
+  evictTenantOverBudgetLocked(S, Tenant);
   evictOverBudgetLocked(S);
+}
+
+void SpecCache::removeEntryLocked(Shard &S, std::list<Entry>::iterator It) {
+  TenantShardStats &T = S.Tenants[It->Tenant];
+  S.Bytes -= It->Bytes;
+  T.Bytes -= It->Bytes;
+  --T.Entries;
+  ++S.Evictions;
+  ++T.Evictions;
+  S.Map.erase(It->Key);
+  S.Lru.erase(It);
 }
 
 void SpecCache::evictOverBudgetLocked(Shard &S) {
   if (!ShardBudget)
     return;
-  while (S.Bytes > ShardBudget && !S.Lru.empty()) {
-    Entry &Victim = S.Lru.back();
-    S.Bytes -= Victim.Bytes;
-    S.Map.erase(Victim.Key);
-    S.Lru.pop_back();
-    ++S.Evictions;
+  while (S.Bytes > ShardBudget && !S.Lru.empty())
+    removeEntryLocked(S, std::prev(S.Lru.end()));
+}
+
+/// Confined eviction: walks the shard's LRU from the cold end evicting
+/// only \p Tenant's entries until the tenant is back under its per-shard
+/// slice. Other tenants' entries are never touched, however hot or cold —
+/// that is the isolation property the partition exists for.
+void SpecCache::evictTenantOverBudgetLocked(Shard &S, uint32_t Tenant) {
+  auto BudgetIt = TenantBudgets.find(Tenant);
+  if (BudgetIt == TenantBudgets.end() || BudgetIt->second.second == 0)
+    return;
+  size_t Budget = BudgetIt->second.second;
+  auto TenIt = S.Tenants.find(Tenant);
+  if (TenIt == S.Tenants.end())
+    return;
+  auto It = S.Lru.end();
+  while (TenIt->second.Bytes > Budget && It != S.Lru.begin()) {
+    --It;
+    if (It->Tenant != Tenant)
+      continue;
+    auto Victim = It++;
+    removeEntryLocked(S, Victim);
   }
 }
 
@@ -212,6 +289,10 @@ void SpecCache::clear() {
     S->Lru.clear();
     S->Map.clear();
     S->Bytes = 0;
+    for (auto &[Id, T] : S->Tenants) {
+      T.Bytes = 0;
+      T.Entries = 0;
+    }
   }
 }
 
@@ -228,7 +309,18 @@ CacheStats SpecCache::stats() const {
     Out.Evictions += S->Evictions;
     Out.Bytes += S->Bytes;
     Out.Entries += S->Lru.size();
+    for (const auto &[Id, T] : S->Tenants) {
+      TenantCacheStats &Agg = Out.Tenants[Id];
+      Agg.Hits += T.Hits;
+      Agg.Misses += T.Misses;
+      Agg.Insertions += T.Insertions;
+      Agg.Evictions += T.Evictions;
+      Agg.Bytes += T.Bytes;
+      Agg.Entries += T.Entries;
+    }
   }
+  for (const auto &[Id, Budget] : TenantBudgets)
+    Out.Tenants[Id].MaxBytes = Budget.first;
   if (Disk) {
     DiskStoreStats D = Disk->stats();
     Out.HasDisk = true;

@@ -30,6 +30,7 @@
 
 #include <atomic>
 #include <list>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -50,6 +51,14 @@ class DiskStore;
 uint64_t fingerprintProgram(std::string_view ProgramText,
                             std::string_view Entry,
                             std::string_view Division);
+
+/// Mixes a tenant id into a program fingerprint, so two tenants
+/// submitting byte-identical programs get disjoint cache keys (and
+/// therefore disjoint disk-store entries — the mixed fingerprint is the
+/// one the store records, keeping cache-fsck's recomputed names
+/// consistent). Tenant 0 is the identity: single-tenant callers keep the
+/// key space (and any existing persistent store) they always had.
+uint64_t tenantFingerprint(uint64_t ProgramFp, uint32_t Tenant);
 
 /// A fully resolved cache key. The static values are keyed by their
 /// canonical external representation (vm::valueToString is injective on
@@ -89,6 +98,20 @@ struct CachedSpecialization {
   size_t byteSize() const { return Residual ? Residual->byteSize() : 0; }
 };
 
+/// Per-tenant slice of the cache counters: the accounting the
+/// multi-tenant server surfaces so an operator can see which tenant owns
+/// the hits, the bytes, and the evictions. MaxBytes is the tenant's
+/// configured partition budget (0 = no private ceiling).
+struct TenantCacheStats {
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  uint64_t Insertions = 0;
+  uint64_t Evictions = 0; ///< evictions charged to this tenant's partition
+  size_t Bytes = 0;       ///< currently retained for this tenant
+  size_t Entries = 0;     ///< currently resident for this tenant
+  size_t MaxBytes = 0;    ///< configured partition budget (0 = none)
+};
+
 /// Aggregate counters, surfaced next to spec::SpecStats by the service
 /// and `pecompc --cache-stats`.
 struct CacheStats {
@@ -123,6 +146,12 @@ struct CacheStats {
   uint64_t DiskWriteFailures = 0; ///< puts that could not commit
   uint64_t DiskBytesOnDisk = 0;   ///< committed bytes currently resident
   uint64_t DiskEntriesOnDisk = 0; ///< committed entries currently resident
+
+  /// Per-tenant accounting (keyed by tenant id). Tenant 0 is the
+  /// single-tenant default; report() prints per-tenant lines only when a
+  /// nonzero tenant or a configured partition budget exists, so legacy
+  /// single-tenant output is unchanged.
+  std::map<uint32_t, TenantCacheStats> Tenants;
 
   double hitRate() const {
     uint64_t Total = Hits + Misses;
@@ -165,15 +194,28 @@ public:
   explicit SpecCache(size_t MaxBytes, size_t Shards = 8);
 
   /// Returns the cached specialization (refreshing its LRU position), or
-  /// null on miss. Counts a hit or a miss. Memory tier only.
-  std::shared_ptr<const CachedSpecialization> lookup(const SpecKey &Key);
+  /// null on miss. Counts a hit or a miss. Memory tier only. \p Tenant
+  /// attributes the lookup in the per-tenant books (0 = the single-tenant
+  /// default).
+  std::shared_ptr<const CachedSpecialization> lookup(const SpecKey &Key,
+                                                     uint32_t Tenant = 0);
 
   /// Tiered lookup: memory first, then the attached disk store (if any).
   /// A disk hit has already survived checksums, deserialization, and the
   /// byte-code verifier, and is promoted into the memory tier. \p Out
   /// reports which tier answered and any classified store failure.
-  std::shared_ptr<const CachedSpecialization> lookup(const SpecKey &Key,
-                                                     LookupOutcome &Out);
+  std::shared_ptr<const CachedSpecialization>
+  lookup(const SpecKey &Key, LookupOutcome &Out, uint32_t Tenant = 0);
+
+  /// Configures tenant \p Tenant's partition: a private byte budget whose
+  /// eviction pressure is confined to the tenant's own entries, so one
+  /// tenant filling its partition can never evict another tenant's
+  /// specializations. Not thread safe against concurrent use — configure
+  /// before the cache is shared (service construction), like attachDisk.
+  /// Operators should keep the partition budgets summing to at most the
+  /// cache-wide budget; the cache-wide LRU remains the backstop either
+  /// way.
+  void setTenantBudget(uint32_t Tenant, size_t Bytes);
 
   /// Attaches the persistent tier. Not thread safe against concurrent
   /// lookups — attach before the cache is shared (service construction).
@@ -186,8 +228,10 @@ public:
   /// evicted — the insert still counts, so the stats expose the thrash.
   /// Writes through to the attached disk store (a failed put only costs
   /// future processes the warm start; it never unwinds the insert).
+  /// \p Tenant charges the entry's bytes to that tenant's partition.
   void insert(const SpecKey &Key,
-              std::shared_ptr<const CachedSpecialization> Value);
+              std::shared_ptr<const CachedSpecialization> Value,
+              uint32_t Tenant = 0);
 
   /// Drops every entry (stats counters are preserved).
   void clear();
@@ -205,6 +249,17 @@ private:
     SpecKey Key;
     std::shared_ptr<const CachedSpecialization> Value;
     size_t Bytes;
+    uint32_t Tenant;
+  };
+  /// Per-shard slice of one tenant's books (bytes/entries are resident
+  /// counts, the rest are cumulative counters), summed by stats().
+  struct TenantShardStats {
+    uint64_t Hits = 0;
+    uint64_t Misses = 0;
+    uint64_t Insertions = 0;
+    uint64_t Evictions = 0;
+    size_t Bytes = 0;
+    size_t Entries = 0;
   };
   struct Shard {
     mutable std::mutex M;
@@ -223,19 +278,26 @@ private:
     uint64_t Insertions = 0;
     uint64_t Promotions = 0;
     uint64_t Evictions = 0;
+    /// Per-tenant books for this shard (tenant 0 included).
+    std::map<uint32_t, TenantShardStats> Tenants;
   };
 
   Shard &shardFor(const SpecKey &Key) {
     return *Shards[Key.Hash % Shards.size()];
   }
   void evictOverBudgetLocked(Shard &S);
+  void evictTenantOverBudgetLocked(Shard &S, uint32_t Tenant);
+  void removeEntryLocked(Shard &S, std::list<Entry>::iterator It);
   void insertMemory(const SpecKey &Key,
                     std::shared_ptr<const CachedSpecialization> Value,
-                    bool Promotion);
+                    bool Promotion, uint32_t Tenant);
 
   size_t MaxBytes;
   size_t ShardBudget; ///< MaxBytes / shard count (0 = unlimited)
   std::vector<std::unique_ptr<Shard>> Shards;
+  /// Tenant id -> {whole-cache budget, per-shard slice}. Immutable once
+  /// the cache is shared (setTenantBudget is construction-time only).
+  std::map<uint32_t, std::pair<size_t, size_t>> TenantBudgets;
   std::shared_ptr<DiskStore> Disk; ///< persistent tier (may be null)
 };
 

@@ -1,0 +1,89 @@
+//===- pgg/TenantTable.cpp - Per-tenant quota configuration ---------------===//
+
+#include "pgg/TenantTable.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <vector>
+
+using namespace pecomp;
+using namespace pecomp::pgg;
+
+namespace {
+
+std::vector<std::string_view> splitOn(std::string_view S, char Sep) {
+  std::vector<std::string_view> Out;
+  while (!S.empty()) {
+    size_t P = S.find(Sep);
+    Out.push_back(S.substr(0, P));
+    if (P == std::string_view::npos)
+      break;
+    S.remove_prefix(P + 1);
+  }
+  return Out;
+}
+
+Result<uint64_t> parseNumber(std::string_view Text, std::string_view What) {
+  std::string Buf(Text);
+  errno = 0;
+  char *End = nullptr;
+  unsigned long long N = strtoull(Buf.c_str(), &End, 10);
+  if (Buf.empty() || errno || *End != '\0')
+    return makeError("tenant spec: bad " + std::string(What) + " value '" +
+                     Buf + "'");
+  return static_cast<uint64_t>(N);
+}
+
+} // namespace
+
+Result<TenantTable> TenantTable::parse(std::string_view Spec,
+                                       const vm::Limits &Defaults) {
+  TenantTable T;
+  for (std::string_view Item : splitOn(Spec, ';')) {
+    if (Item.empty())
+      continue;
+    if (Item == "strict") {
+      T.setStrict(true);
+      continue;
+    }
+    size_t Colon = Item.find(':');
+    Result<uint64_t> Id = parseNumber(Item.substr(0, Colon), "tenant id");
+    if (!Id)
+      return Id.takeError();
+    TenantConfig C;
+    C.Id = static_cast<uint32_t>(*Id);
+    C.Limits = Defaults;
+    if (Colon != std::string_view::npos) {
+      for (std::string_view Kv : splitOn(Item.substr(Colon + 1), ',')) {
+        size_t Eq = Kv.find('=');
+        if (Eq == std::string_view::npos)
+          return makeError("tenant spec: expected key=value, got '" +
+                           std::string(Kv) + "'");
+        std::string_view Key = Kv.substr(0, Eq);
+        std::string_view Val = Kv.substr(Eq + 1);
+        if (Key == "name") {
+          C.Name = std::string(Val);
+          continue;
+        }
+        Result<uint64_t> N = parseNumber(Val, Key);
+        if (!N)
+          return N.takeError();
+        if (Key == "fuel")
+          C.Limits.Fuel = *N;
+        else if (Key == "heap")
+          C.Limits.MaxHeapBytes = static_cast<size_t>(*N);
+        else if (Key == "stack")
+          C.Limits.MaxStackDepth = static_cast<size_t>(*N);
+        else if (Key == "frames")
+          C.Limits.MaxFrames = static_cast<size_t>(*N);
+        else if (Key == "cache")
+          C.CacheBytes = static_cast<size_t>(*N);
+        else
+          return makeError("tenant spec: unknown key '" + std::string(Key) +
+                           "' (fuel, heap, stack, frames, cache, name)");
+      }
+    }
+    T.add(std::move(C));
+  }
+  return T;
+}

@@ -1,0 +1,93 @@
+//===- pgg/TenantTable.h - Per-tenant quota configuration -------*- C++ -*-===//
+///
+/// \file
+/// Multi-tenant isolation policy for the networked RTCG service: a small
+/// immutable table mapping a tenant id to the resource ceilings its
+/// requests run under (vm::Limits — fuel, heap, stack, frames) and the
+/// byte budget of its SpecCache partition. The paper's amortization
+/// argument only works when many clients share one specializer; sharing
+/// is only operable when one tenant's pathological programs cannot burn
+/// another tenant's fuel or evict another tenant's cached
+/// specializations, which is exactly what this table configures.
+///
+/// The table is built once (from `pecompc --tenants=SPEC` or directly by
+/// embedders), then shared read-only by every worker and by the network
+/// front end — no locking, no mutation after construction.
+///
+/// Spec grammar (the `--tenants` flag):
+///
+///   spec   := item (';' item)*
+///   item   := "strict" | id | id ':' kv (',' kv)*
+///   kv     := "fuel" '=' N | "heap" '=' N | "stack" '=' N
+///           | "frames" '=' N | "cache" '=' N | "name" '=' WORD
+///
+/// `strict` makes unknown tenant ids a classified UnknownTenant error
+/// instead of falling back to the service-default limits. Numeric values
+/// follow vm::Limits conventions (0 = unlimited; cache=0 = no private
+/// partition, the tenant shares the global budget only).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PECOMP_PGG_TENANTTABLE_H
+#define PECOMP_PGG_TENANTTABLE_H
+
+#include "support/Error.h"
+#include "vm/Trap.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace pecomp {
+namespace pgg {
+
+/// One tenant's isolation envelope. Limits apply per request (installed
+/// on the serving worker's machine for the request's duration);
+/// CacheBytes is the byte budget of the tenant's SpecCache partition.
+struct TenantConfig {
+  uint32_t Id = 0;
+  std::string Name;  ///< optional operator label (shows in stats reports)
+  vm::Limits Limits; ///< per-request ceilings (0 fields = unlimited)
+  /// SpecCache partition budget in bytes. Eviction under this budget is
+  /// confined to the tenant's own entries; 0 means the tenant has no
+  /// private ceiling and is bounded only by the cache-wide budget.
+  size_t CacheBytes = 0;
+};
+
+/// Immutable after construction; shared by const reference/pointer.
+class TenantTable {
+public:
+  /// Parses the `--tenants` spec. Every tenant's Limits start from
+  /// \p Defaults (the service-wide `--fuel`/`--max-heap` settings) and
+  /// the spec overrides individual fields.
+  static Result<TenantTable> parse(std::string_view Spec,
+                                   const vm::Limits &Defaults);
+
+  /// Adds (or replaces) one tenant entry.
+  void add(TenantConfig C) { Table[C.Id] = std::move(C); }
+
+  /// The tenant's config, or null when the id is not in the table.
+  const TenantConfig *find(uint32_t Id) const {
+    auto It = Table.find(Id);
+    return It == Table.end() ? nullptr : &It->second;
+  }
+
+  /// Strict tables reject requests from unlisted tenant ids with a
+  /// classified ServiceError::UnknownTenant instead of serving them
+  /// under the default limits.
+  bool strict() const { return Strict; }
+  void setStrict(bool S) { Strict = S; }
+
+  size_t size() const { return Table.size(); }
+  const std::map<uint32_t, TenantConfig> &tenants() const { return Table; }
+
+private:
+  std::map<uint32_t, TenantConfig> Table;
+  bool Strict = false;
+};
+
+} // namespace pgg
+} // namespace pecomp
+
+#endif // PECOMP_PGG_TENANTTABLE_H

@@ -1,10 +1,12 @@
 //===- tools/pecomp-fuzz.cpp - Differential fuzzer driver -----------------===//
 ///
 /// \file
-/// Command-line front end for the fuzz/ subsystem. Two modes:
+/// Command-line front end for the fuzz/ subsystem. Four modes:
 ///
 ///   pecomp-fuzz [options]            coverage-guided fuzzing run
 ///   pecomp-fuzz --replay PATH...     re-run saved cases (files or dirs)
+///   pecomp-fuzz --net-frames [...]   hammer the wire-protocol decoder
+///   pecomp-fuzz --net-connect [...]  hammer a live server over sockets
 ///
 /// Fuzzing exits nonzero when a divergence is found — unless
 /// --expect-finding inverts the contract (the injected-bug self-test:
@@ -15,14 +17,20 @@
 //===----------------------------------------------------------------------===//
 
 #include "fuzz/Fuzzer.h"
+#include "pgg/NetClient.h"
+#include "pgg/NetServer.h"
+#include "pgg/RtcgService.h"
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <random>
 #include <sstream>
 #include <string>
+#include <sys/socket.h>
+#include <thread>
 #include <vector>
 
 using namespace pecomp;
@@ -56,7 +64,19 @@ int usage() {
           "  --expect-finding         exit 0 iff the run found a divergence\n"
           "  --max-minimized-insns=N  with --expect-finding: require the\n"
           "                           minimized entry to be <= N instructions\n"
-          "  --json                   print a JSON summary line to stdout\n");
+          "  --json                   print a JSON summary line to stdout\n"
+          "\n"
+          "network modes (use --seed/--iters/--json):\n"
+          "  --net-frames             feed the frame decoder garbage,\n"
+          "                           mutated frames, torn and pipelined\n"
+          "                           streams; any crash, hang, or broken\n"
+          "                           poisoning invariant is a finding\n"
+          "  --net-connect            run a real server on a loopback\n"
+          "                           socket and hammer it with garbage\n"
+          "                           connections, mutated frames, and\n"
+          "                           aborted streams interleaved with\n"
+          "                           valid requests that must still get\n"
+          "                           exact answers\n");
   return 2;
 }
 
@@ -129,12 +149,289 @@ int replay(const std::vector<std::string> &Paths, bool Json) {
   return (Diverged || Skipped || Bad || Ran == 0) ? 1 : 0;
 }
 
+// -- Network fuzzing ------------------------------------------------------
+
+namespace netfuzz {
+
+using namespace pecomp::pgg;
+using namespace pecomp::pgg::net;
+
+/// Builds a structurally valid random frame of a random client-side type.
+std::vector<uint8_t> randomFrame(std::mt19937_64 &R) {
+  auto Text = [&](size_t MaxLen) {
+    std::string S(R() % (MaxLen + 1), '\0');
+    for (char &C : S)
+      C = static_cast<char>('a' + R() % 26);
+    return S;
+  };
+  switch (R() % 3) {
+  case 0:
+    return encodeHello(static_cast<uint8_t>(R() % 4),
+                       static_cast<uint8_t>(R() % 4));
+  case 1: {
+    NetRequest Q;
+    if (R() % 2)
+      Q.Division = Text(4);
+    for (size_t I = 0, N = R() % 4; I != N; ++I)
+      Q.SpecArgs.push_back(R() % 3 ? Text(8) : "_");
+    for (size_t I = 0, N = R() % 4; I != N; ++I)
+      Q.RunArgs.push_back(Text(8));
+    return encodeRequest(static_cast<uint32_t>(R() % 5),
+                         R() % 1000, Q);
+  }
+  default:
+    return encodeProtoError(static_cast<uint32_t>(R() % 5), R() % 1000,
+                            static_cast<uint32_t>(R() % 300), Text(32));
+  }
+}
+
+/// Drives a decoder over \p Bytes delivered in random-size chunks;
+/// returns false (with a message on stderr) on an invariant violation.
+bool driveDecoder(std::mt19937_64 &R, const std::vector<uint8_t> &Bytes,
+                  size_t MaxFrame, size_t &Ready, size_t &Failed) {
+  FrameDecoder D(MaxFrame);
+  bool Poisoned = false;
+  size_t Off = 0;
+  for (;;) {
+    if (Off < Bytes.size()) {
+      size_t Chunk = 1 + R() % 64;
+      Chunk = std::min(Chunk, Bytes.size() - Off);
+      D.feed(Bytes.data() + Off, Chunk);
+      Off += Chunk;
+    }
+    for (;;) {
+      Frame F;
+      FrameDecoder::Status St = D.next(F);
+      if (St == FrameDecoder::Status::NeedMore)
+        break;
+      if (St == FrameDecoder::Status::Failed) {
+        if (D.error().message().empty()) {
+          fprintf(stderr, "net-frames: Failed with an empty error\n");
+          return false;
+        }
+        Poisoned = true;
+        ++Failed;
+        break;
+      }
+      if (Poisoned) {
+        fprintf(stderr, "net-frames: frame decoded after poisoning\n");
+        return false;
+      }
+      if (F.Header.PayloadLen > MaxFrame ||
+          F.Payload.size() != F.Header.PayloadLen) {
+        fprintf(stderr, "net-frames: payload bound violated\n");
+        return false;
+      }
+      ++Ready;
+      // Whatever framed must payload-decode or fail cleanly — every
+      // decoder is bounds-checked, never trusting the length fields.
+      (void)decodeRequestPayload(F.Payload);
+      (void)decodeResponsePayload(F.Payload);
+      (void)decodeProtoErrorPayload(F.Payload);
+      (void)decodeHelloPayload(F.Header.Type, F.Payload);
+    }
+    if (Off >= Bytes.size())
+      break;
+  }
+  return true;
+}
+
+int netFrames(uint32_t Seed, size_t Iters, bool Json) {
+  std::mt19937_64 R(Seed ? Seed : 1);
+  constexpr size_t MaxFrame = 1 << 20;
+  size_t Ready = 0, Failed = 0;
+  for (size_t I = 0; I != Iters; ++I) {
+    std::vector<uint8_t> Bytes;
+    switch (R() % 4) {
+    case 0: { // pure garbage
+      Bytes.resize(R() % 256);
+      for (uint8_t &B : Bytes)
+        B = static_cast<uint8_t>(R());
+      break;
+    }
+    case 1: { // valid frame, a few bytes flipped
+      Bytes = randomFrame(R);
+      for (size_t N = 1 + R() % 4; N; --N)
+        if (!Bytes.empty())
+          Bytes[R() % Bytes.size()] ^= static_cast<uint8_t>(1 + R() % 255);
+      break;
+    }
+    case 2: { // pipelined valid frames, possibly truncated mid-frame
+      for (size_t N = 1 + R() % 4; N; --N) {
+        std::vector<uint8_t> F = randomFrame(R);
+        Bytes.insert(Bytes.end(), F.begin(), F.end());
+      }
+      if (R() % 2)
+        Bytes.resize(R() % (Bytes.size() + 1));
+      break;
+    }
+    default: { // valid frames with garbage spliced between them
+      std::vector<uint8_t> F = randomFrame(R);
+      Bytes.insert(Bytes.end(), F.begin(), F.end());
+      for (size_t N = R() % 16; N; --N)
+        Bytes.push_back(static_cast<uint8_t>(R()));
+      F = randomFrame(R);
+      Bytes.insert(Bytes.end(), F.begin(), F.end());
+      break;
+    }
+    }
+    if (!driveDecoder(R, Bytes, MaxFrame, Ready, Failed))
+      return 1;
+  }
+  if (Json)
+    printf("{\"mode\": \"net-frames\", \"iters\": %zu, \"frames\": %zu, "
+           "\"poisoned\": %zu}\n",
+           Iters, Ready, Failed);
+  else
+    printf("net-frames: %zu stream(s): %zu frame(s) decoded, %zu "
+           "poisoning(s), 0 invariant violations\n",
+           Iters, Ready, Failed);
+  return 0;
+}
+
+long long ipow(long long X, long long N) {
+  long long V = 1;
+  while (N--)
+    V *= X;
+  return V;
+}
+
+int netConnect(uint32_t Seed, size_t Iters, bool Json) {
+  RtcgOptions O;
+  O.Threads = 2;
+  auto Service = std::make_unique<RtcgService>(O);
+  RtcgRequest Template;
+  Template.ProgramText = "(define (power x n)\n"
+                         "  (if (= n 0) 1 (* x (power x (- n 1)))))";
+  Template.Entry = "power";
+  Template.Division = "DS";
+  NetServerOptions NO;
+  Result<std::unique_ptr<NetServer>> Srv =
+      NetServer::create(*Service, Template, NO);
+  if (!Srv.ok()) {
+    fprintf(stderr, "net-connect: %s\n", Srv.error().message().c_str());
+    return 2;
+  }
+  NetServer &S = **Srv;
+  std::thread Loop([&S] { S.run(); });
+
+  auto Connect = [&]() -> Result<NetClient> {
+    Result<NetClient> C = NetClient::connect("127.0.0.1", S.port());
+    if (C.ok()) {
+      // A hung server must fail the run, not wedge it.
+      timeval Tv{10, 0};
+      ::setsockopt(C->fd(), SOL_SOCKET, SO_RCVTIMEO, &Tv, sizeof Tv);
+    }
+    return C;
+  };
+  auto Fail = [&](const char *What, const std::string &Detail) {
+    fprintf(stderr, "net-connect: %s: %s\n", What, Detail.c_str());
+    S.requestStop();
+    Loop.join();
+    return 1;
+  };
+
+  std::mt19937_64 R(Seed ? Seed : 1);
+  size_t Exact = 0, Garbage = 0, Mutated = 0, Aborted = 0;
+  for (size_t I = 0; I != Iters; ++I) {
+    Result<NetClient> C = Connect();
+    if (!C.ok())
+      return Fail("connect", C.error().message());
+    switch (R() % 4) {
+    case 0: { // a valid request must get the exact right answer
+      int N = static_cast<int>(R() % 9), X = 2 + static_cast<int>(R() % 3);
+      NetRequest Q;
+      Q.SpecArgs = {"_", std::to_string(N)};
+      Q.RunArgs = {std::to_string(X)};
+      Result<RtcgResponse> Resp =
+          C->call(static_cast<uint32_t>(R() % 3), Q);
+      if (!Resp.ok())
+        return Fail("call", Resp.error().message());
+      if (!Resp->Ok || Resp->Value != std::to_string(ipow(X, N)))
+        return Fail("wrong answer", Resp->Ok ? Resp->Value : Resp->ErrorText);
+      ++Exact;
+      break;
+    }
+    case 1: { // garbage stream: server must answer or close, promptly
+      std::vector<uint8_t> B(4 + R() % 124);
+      for (uint8_t &V : B)
+        V = static_cast<uint8_t>(R());
+      if (Result<bool> W = C->sendRaw(B.data(), B.size()); !W.ok())
+        break; // early RST: the server already cut us off
+      // Half-close so a truncated stream reads as EOF server-side; the
+      // receive then sees the ProtoError or a prompt close — a timeout
+      // means the server wedged.
+      ::shutdown(C->fd(), SHUT_WR);
+      (void)C->receiveFrame();
+      ++Garbage;
+      break;
+    }
+    case 2: { // mutated valid frame: any classified outcome, no wedge
+      NetRequest Q;
+      Q.SpecArgs = {"_", "3"};
+      Q.RunArgs = {"2"};
+      std::vector<uint8_t> B = encodeRequest(0, 1, Q);
+      for (size_t N = 1 + R() % 3; N; --N)
+        B[R() % B.size()] ^= static_cast<uint8_t>(1 + R() % 255);
+      if (Result<bool> W = C->sendRaw(B.data(), B.size()); !W.ok())
+        break;
+      ::shutdown(C->fd(), SHUT_WR);
+      (void)C->receiveFrame();
+      ++Mutated;
+      break;
+    }
+    default: { // abort mid-frame: the connection just dies
+      NetRequest Q;
+      Q.SpecArgs = {"_", "2"};
+      Q.RunArgs = {"2"};
+      std::vector<uint8_t> B = encodeRequest(0, 1, Q);
+      B.resize(R() % B.size());
+      (void)C->sendRaw(B.data(), B.size());
+      ++Aborted;
+      break;
+    }
+    }
+  }
+
+  // After the abuse, a fresh connection still gets exact service.
+  Result<NetClient> C = Connect();
+  if (!C.ok())
+    return Fail("final connect", C.error().message());
+  NetRequest Q;
+  Q.SpecArgs = {"_", "10"};
+  Q.RunArgs = {"2"};
+  Result<RtcgResponse> Resp = C->call(0, Q);
+  if (!Resp.ok())
+    return Fail("final call", Resp.error().message());
+  if (!Resp->Ok || Resp->Value != "1024")
+    return Fail("final answer", Resp->Ok ? Resp->Value : Resp->ErrorText);
+
+  S.requestStop();
+  Loop.join();
+  NetServerStats St = S.stats();
+  if (Json)
+    printf("{\"mode\": \"net-connect\", \"iters\": %zu, \"exact\": %zu, "
+           "\"garbage\": %zu, \"mutated\": %zu, \"aborted\": %zu, "
+           "\"server_bad_frames\": %llu}\n",
+           Iters, Exact, Garbage, Mutated, Aborted,
+           static_cast<unsigned long long>(St.BadFrames));
+  else
+    printf("net-connect: %zu connection(s): %zu exact, %zu garbage, %zu "
+           "mutated, %zu aborted; server classified %llu bad frame(s) "
+           "and never wedged\n",
+           Iters, Exact, Garbage, Mutated, Aborted,
+           static_cast<unsigned long long>(St.BadFrames));
+  return 0;
+}
+
+} // namespace netfuzz
+
 } // namespace
 
 int main(int argc, char **argv) {
   FuzzerOptions Opts;
   bool ExpectFinding = false, Json = false, Replay = false;
-  bool StoreHammer = false;
+  bool StoreHammer = false, NetFrames = false, NetConnect = false;
   size_t MaxMinimizedInsns = 0;
   std::vector<std::string> ReplayPaths;
 
@@ -167,6 +464,10 @@ int main(int argc, char **argv) {
       Opts.Guarded = false;
     } else if (strcmp(A, "--store-hammer") == 0) {
       StoreHammer = true;
+    } else if (strcmp(A, "--net-frames") == 0) {
+      NetFrames = true;
+    } else if (strcmp(A, "--net-connect") == 0) {
+      NetConnect = true;
     } else if (strncmp(A, "--store-dir=", 12) == 0) {
       Opts.StoreDir = A + 12;
     } else if (strcmp(A, "--inject-bug=branch-flip") == 0) {
@@ -189,6 +490,10 @@ int main(int argc, char **argv) {
       return usage();
     return replay(ReplayPaths, Json);
   }
+  if (NetFrames)
+    return netfuzz::netFrames(Opts.Seed, Opts.Iterations, Json);
+  if (NetConnect)
+    return netfuzz::netConnect(Opts.Seed, Opts.Iterations, Json);
 
   // --store-hammer: a throwaway store under TMPDIR — never inside the
   // source tree — removed when the run ends. --store-dir keeps its store

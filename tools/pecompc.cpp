@@ -37,8 +37,10 @@
 #include "frontend/AnfConvert.h"
 #include "frontend/Pipeline.h"
 #include "pgg/DiskStore.h"
+#include "pgg/NetServer.h"
 #include "pgg/Pgg.h"
 #include "pgg/RtcgService.h"
+#include "pgg/TenantTable.h"
 #include "sexp/Reader.h"
 #include "vm/Convert.h"
 #include "vm/Profile.h"
@@ -46,6 +48,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -59,8 +62,8 @@ using namespace pecomp;
 
 namespace {
 
-int usage() {
-  fprintf(stderr,
+int usageTo(FILE *Out) {
+  fprintf(Out,
           "usage: pecompc [--fuel=N] [--max-heap=BYTES] <command> ...\n"
           "\n"
           "  pecompc run <file> <entry> [datum...]\n"
@@ -70,7 +73,8 @@ int usage() {
           "  pecompc spec <file> <entry> <division> [datum|_ ...]\n"
           "  pecompc specrun <file> <entry> <division> [datum|_ ...] -- "
           "[datum...]\n"
-          "  pecompc serve <file> <entry> <division>   (requests on stdin)\n"
+          "  pecompc serve <file> <entry> <division>   (requests on stdin,\n"
+          "                                             or TCP with --listen)\n"
           "  pecompc cache-fsck <store>   (nonzero exit on corruption)\n"
           "  pecompc cache-ls <store>\n"
           "\n"
@@ -103,9 +107,25 @@ int usage() {
           "                 with a stable value mix, generate a variant\n"
           "                 specialized on the observed values behind an\n"
           "                 argument guard (mismatches fall back to the\n"
-          "                 generic code)\n");
-  return 2;
+          "                 generic code)\n"
+          "  --listen=[HOST:]PORT\n"
+          "                 serve over TCP instead of stdin: an epoll loop\n"
+          "                 accepts any number of connections speaking the\n"
+          "                 PEC1 frame protocol (docs/SERVING.md) and feeds\n"
+          "                 the worker pool; port 0 picks an ephemeral\n"
+          "                 port (printed as 'listening on HOST:PORT')\n"
+          "  --tenants=SPEC per-tenant quotas and cache partitions for\n"
+          "                 networked serving, e.g.\n"
+          "                 '1:fuel=100000,cache=65536;2:heap=1048576;strict'\n"
+          "                 (keys: fuel, heap, stack, frames, cache, name;\n"
+          "                 'strict' rejects unlisted tenant ids)\n"
+          "  --queue-depth=N\n"
+          "                 shed requests (classified Overloaded) once N\n"
+          "                 are in flight in networked serve (default 256)\n");
+  return Out == stdout ? 0 : 2;
 }
+
+int usage() { return usageTo(stderr); }
 
 int fail(const Error &E) {
   // Classified faults (vm/Trap.h) print their trap kind so scripts can
@@ -149,6 +169,9 @@ struct Session {
   size_t Threads = 4;
   bool Respec = false;            ///< --respecialize
   uint64_t RespecThreshold = 16;  ///< --respecialize=N
+  std::string Listen;     ///< --listen=[HOST:]PORT (empty = stdin serve)
+  std::string TenantSpec; ///< --tenants=SPEC
+  size_t QueueDepth = 256; ///< --queue-depth=N (networked serve shed mark)
   std::string StorePath; ///< --store=PATH (empty = memory tier only)
   std::shared_ptr<pgg::DiskStore> Store; ///< opened once, up front
   std::optional<pgg::SpecCache> Cache;
@@ -433,6 +456,99 @@ int cmdSpecRun(Session &S, const std::string &File, const std::string &Entry,
   return 0;
 }
 
+/// The serve-mode service configuration both the stdin and the networked
+/// front ends share. serve always caches (sharing specializations across
+/// requests is the point of the service); --cache=N only adjusts the
+/// budget, and --tenants partitions it.
+Result<pgg::RtcgOptions> serveOptions(Session &S) {
+  pgg::RtcgOptions O;
+  O.Threads = S.Threads;
+  O.CacheBytes = S.CacheBytes;
+  O.Limits = S.Lim;
+  O.Fusion = S.Fusion;
+  O.Peephole = S.Peephole;
+  O.Store = S.Store;
+  O.Respec.Enabled = S.Respec;
+  O.Respec.HotThreshold = S.RespecThreshold;
+  if (!S.TenantSpec.empty()) {
+    Result<pgg::TenantTable> T = pgg::TenantTable::parse(S.TenantSpec, S.Lim);
+    if (!T)
+      return T.takeError();
+    O.Tenants = std::make_shared<const pgg::TenantTable>(std::move(*T));
+  }
+  return O;
+}
+
+/// The running networked server, for the signal handlers. requestStop()
+/// is one eventfd write, which is async-signal-safe.
+pgg::net::NetServer *volatile GServer = nullptr;
+
+extern "C" void serveSignalHandler(int) {
+  if (pgg::net::NetServer *S = GServer)
+    S->requestStop();
+}
+
+/// serve --listen: bind, print the bound address, and run the epoll loop
+/// until SIGINT/SIGTERM. Every connection speaks the PEC1 frame protocol
+/// against this one program/entry (docs/SERVING.md).
+int cmdServeListen(Session &S, const std::string &File,
+                   const std::string &Entry, const std::string &Division) {
+  Result<std::string> Text = readFile(File);
+  if (!Text)
+    return fail(Text.error());
+
+  Result<pgg::RtcgOptions> O = serveOptions(S);
+  if (!O)
+    return fail(O.error());
+
+  pgg::net::NetServerOptions NO;
+  NO.QueueDepth = S.QueueDepth;
+  std::string PortText = S.Listen;
+  if (size_t Colon = S.Listen.rfind(':'); Colon != std::string::npos) {
+    NO.Host = S.Listen.substr(0, Colon);
+    PortText = S.Listen.substr(Colon + 1);
+  }
+  errno = 0;
+  char *End = nullptr;
+  unsigned long Port = strtoul(PortText.c_str(), &End, 10);
+  if (PortText.empty() || errno || *End != '\0' || Port > 65535)
+    return usage();
+  NO.Port = static_cast<uint16_t>(Port);
+
+  pgg::RtcgService Service(*O);
+  pgg::RtcgRequest Template;
+  Template.ProgramText = *Text;
+  Template.Entry = Entry;
+  Template.Division = Division;
+  Result<std::unique_ptr<pgg::net::NetServer>> Srv =
+      pgg::net::NetServer::create(Service, std::move(Template), NO);
+  if (!Srv)
+    return fail(Srv.error());
+
+  GServer = Srv->get();
+  std::signal(SIGINT, serveSignalHandler);
+  std::signal(SIGTERM, serveSignalHandler);
+  printf("listening on %s:%u\n", NO.Host.c_str(), (*Srv)->port());
+  fflush(stdout);
+  (*Srv)->run();
+  GServer = nullptr;
+
+  const pgg::net::NetServerStats &NS = (*Srv)->stats();
+  fprintf(stderr,
+          "pecompc: serve: %llu connections, %llu requests, %llu responses, "
+          "%llu shed, %llu bad frames, %llu version rejections, "
+          "%llu read pauses\n",
+          static_cast<unsigned long long>(NS.Accepted),
+          static_cast<unsigned long long>(NS.Requests),
+          static_cast<unsigned long long>(NS.Responses),
+          static_cast<unsigned long long>(NS.Shed),
+          static_cast<unsigned long long>(NS.BadFrames),
+          static_cast<unsigned long long>(NS.BadVersions),
+          static_cast<unsigned long long>(NS.ReadPauses));
+  S.reportCacheStats(Service.cacheStats());
+  return 0;
+}
+
 /// serve: one request per stdin line, "static... -- dynamic..." in the
 /// entry's parameter order ('_' marks a dynamic slot; blank and ;-comment
 /// lines are skipped). Results print in request order, one line each:
@@ -472,18 +588,10 @@ int cmdServe(Session &S, const std::string &File, const std::string &Entry,
     Reqs.push_back(std::move(R));
   }
 
-  // serve always caches (sharing specializations across requests is the
-  // point of the service); --cache=N only adjusts the budget.
-  pgg::RtcgOptions O;
-  O.Threads = S.Threads;
-  O.CacheBytes = S.CacheBytes;
-  O.Limits = S.Lim;
-  O.Fusion = S.Fusion;
-  O.Peephole = S.Peephole;
-  O.Store = S.Store;
-  O.Respec.Enabled = S.Respec;
-  O.Respec.HotThreshold = S.RespecThreshold;
-  pgg::RtcgService Service(O);
+  Result<pgg::RtcgOptions> O = serveOptions(S);
+  if (!O)
+    return fail(O.error());
+  pgg::RtcgService Service(*O);
   int Failures = 0;
   for (const pgg::RtcgResponse &R : Service.serveAll(std::move(Reqs))) {
     S.reportStoreNote(R.StoreCode, R.StoreNote);
@@ -624,6 +732,21 @@ int main(int Argc, char **Argv) {
         return usage();
       S.Respec = true;
       S.RespecThreshold = *N;
+    } else if (Opt.rfind("--listen=", 0) == 0) {
+      S.Listen = Opt.substr(9);
+      if (S.Listen.empty())
+        return usage();
+    } else if (Opt.rfind("--tenants=", 0) == 0) {
+      S.TenantSpec = Opt.substr(10);
+      if (S.TenantSpec.empty())
+        return usage();
+    } else if (Opt.rfind("--queue-depth=", 0) == 0) {
+      auto N = NumberAfter(14);
+      if (!N || *N == 0)
+        return usage();
+      S.QueueDepth = static_cast<size_t>(*N);
+    } else if (Opt == "--help") {
+      return usageTo(stdout);
     } else {
       return usage();
     }
@@ -669,6 +792,7 @@ int main(int Argc, char **Argv) {
     return cmdSpecRun(S, Args[1], Args[2], Args[3], Statics, Dyns);
   }
   if (Cmd == "serve" && Args.size() == 4)
-    return cmdServe(S, Args[1], Args[2], Args[3]);
+    return S.Listen.empty() ? cmdServe(S, Args[1], Args[2], Args[3])
+                            : cmdServeListen(S, Args[1], Args[2], Args[3]);
   return usage();
 }
