@@ -50,8 +50,13 @@ void fusionRunBody(benchmark::State &State, InterpreterWorkload &W,
   vm::Machine M(W.Heap);
   M.setDecodedDispatch(E.Decoded);
   M.setFusion(E.Fused);
+  // This experiment measures *interpreted* dispatch; the native tier
+  // (default-on) would replace the fused loop entirely and turn the
+  // PR 5 ratio into a JIT benchmark (bench/native_tier.cpp owns that).
+  M.setNativeJit(false);
   compiler::LinkOptions LO;
   LO.Peephole = Peephole;
+  LO.NativeJit = false;
   unwrap(compiler::linkProgramVerified(M, Globals, CP, LO));
   std::vector<vm::Value> Args = {W.StaticProgram, W.DynamicInput};
   for (auto _ : State) {

@@ -1,0 +1,97 @@
+//===- bench/native_tier.cpp - Per-block template JIT vs the loops ---------===//
+///
+/// \file
+/// The PR 10 experiment: what the native tier (vm/Jit.h — per-basic-block
+/// x86-64 templates under the fused dispatch loop) buys on the paper's
+/// Run workloads, measured against every interpreted configuration it
+/// stacks on.
+///
+/// The grid is {Bytes, Decoded, Fused, Native} per workload:
+///
+///   Bytes    — byte-at-a-time dispatch (the floor)
+///   Decoded  — pre-decoded fast loop, one source instruction per dispatch
+///   Fused    — pre-decoded loop dispatching superinstructions (the PR 5
+///              configuration, and the tier the JIT bails back into)
+///   Native   — fused loop + per-block template JIT: straight-line blocks
+///              run as compiled x86-64, call-outs for calls/prims/globals,
+///              MakeClosure blocks interpreted at block granularity
+///
+/// All four run the peephole-optimized link (the production default); the
+/// eager link-time block compile is inside the setup, not the timed loop,
+/// matching how a serving system amortizes it. The headline ratio is
+/// Fused / Native per workload — scripts/bench-run.sh derives it into
+/// BENCH_pr10.json as native_speedup and gates on >= 1.5x for at least
+/// two of the three workloads. On hosts without the tier Native measures
+/// the fused loop twice and the gate is skipped (jitAvailable() false).
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "vm/Jit.h"
+
+using namespace pecomp;
+using namespace pecomp::bench;
+
+namespace {
+
+struct Engine {
+  bool Decoded;
+  bool Fused;
+  bool Native;
+};
+
+void nativeRunBody(benchmark::State &State, InterpreterWorkload &W,
+                   Engine E) {
+  Arena Scratch;
+  ExprFactory Exprs(Scratch);
+  DatumFactory Datums(Scratch);
+  Program P = unwrap(frontendProgram(W.InterpreterSource, Exprs, Datums));
+  vm::CodeStore Store(W.Heap);
+  vm::GlobalTable Globals;
+  compiler::Compilators Comp(Store, Globals);
+  compiler::StockCompiler SC(Comp);
+  compiler::CompiledProgram CP = SC.compileProgram(P);
+  vm::Machine M(W.Heap);
+  M.setDecodedDispatch(E.Decoded);
+  M.setFusion(E.Fused);
+  M.setNativeJit(E.Native);
+  compiler::LinkOptions LO;
+  LO.NativeJit = E.Native; // compile blocks in setup, never in the timed loop
+  unwrap(compiler::linkProgramVerified(M, Globals, CP, LO));
+  std::vector<vm::Value> Args = {W.StaticProgram, W.DynamicInput};
+  for (auto _ : State) {
+    vm::Value R = unwrap(
+        compiler::callGlobal(M, Globals, Symbol::intern(W.Entry), Args));
+    benchmark::DoNotOptimize(R.raw());
+  }
+}
+
+constexpr Engine BytesEngine{false, false, false};
+constexpr Engine DecodedEngine{true, false, false};
+constexpr Engine FusedEngine{true, true, false};
+constexpr Engine NativeEngine{true, true, true};
+
+#define PECOMP_NATIVE_ONE(Eng, Lang, Make)                                    \
+  void BM_NativeTier_##Eng##_##Lang(benchmark::State &State) {                \
+    static InterpreterWorkload W = InterpreterWorkload::Make();               \
+    onLargeStack([&] { nativeRunBody(State, W, Eng##Engine); });              \
+  }                                                                           \
+  BENCHMARK(BM_NativeTier_##Eng##_##Lang);
+
+#define PECOMP_NATIVE(Lang, Make)                                             \
+  PECOMP_NATIVE_ONE(Bytes, Lang, Make)                                        \
+  PECOMP_NATIVE_ONE(Decoded, Lang, Make)                                      \
+  PECOMP_NATIVE_ONE(Fused, Lang, Make)                                        \
+  PECOMP_NATIVE_ONE(Native, Lang, Make)
+
+PECOMP_NATIVE(MIXWELL, mixwell)
+PECOMP_NATIVE(LAZY, lazy)
+PECOMP_NATIVE(IMP, imp)
+
+#undef PECOMP_NATIVE
+#undef PECOMP_NATIVE_ONE
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,4 +1,4 @@
-//===- fuzz/Differential.cpp - Five-tier differential executor ------------===//
+//===- fuzz/Differential.cpp - Seven-tier differential executor -----------===//
 
 #include "fuzz/Differential.h"
 
@@ -106,19 +106,25 @@ TierOutcome runVmTier(Universe &W, vm::GlobalTable &Globals,
                       const compiler::CompiledProgram &CP, Symbol Entry,
                       const std::vector<int64_t> &DynArgs,
                       const Perturbation &Perturb, bool Decoded, bool Fusion,
-                      uint64_t FuelAdjust, bool InstallFaultPlan,
-                      support::CoverageMap *Coverage, size_t *NewCoverage) {
+                      bool NativeJit, uint64_t FuelAdjust,
+                      bool InstallFaultPlan, support::CoverageMap *Coverage,
+                      size_t *NewCoverage) {
   TierOutcome Out;
   Out.Ran = true;
 
   vm::Machine M(W.Heap);
   M.setDecodedDispatch(Decoded);
   M.setFusion(Fusion);
+  // Each tier is exactly what it claims: the interpreted tiers pin the
+  // native JIT off (it defaults on), the native tier pins it on.
+  M.setNativeJit(NativeJit);
   M.setLimits(limitsFor(Perturb, FuelAdjust));
   vm::Profile Prof;
   M.setProfile(&Prof);
 
-  if (Result<bool> Linked = compiler::linkProgramVerified(M, Globals, CP);
+  compiler::LinkOptions LO;
+  LO.NativeJit = NativeJit; // don't pay eager block compiles a tier ignores
+  if (Result<bool> Linked = compiler::linkProgramVerified(M, Globals, CP, LO);
       !Linked) {
     Out.Ok = false;
     Out.Err = Linked.error().render();
@@ -169,7 +175,7 @@ TierOutcome runVmTier(Universe &W, vm::GlobalTable &Globals,
 TierOutcome runSnapshotTier(const compiler::PortableProgram &Port, Symbol Entry,
                             const std::vector<int64_t> &DynArgs,
                             const Perturbation &Perturb, bool Decoded,
-                            bool Fusion, uint64_t FuelAdjust,
+                            bool Fusion, bool NativeJit, uint64_t FuelAdjust,
                             support::CoverageMap *Coverage,
                             size_t *NewCoverage) {
   Universe W;
@@ -177,7 +183,8 @@ TierOutcome runSnapshotTier(const compiler::PortableProgram &Port, Symbol Entry,
   vm::GlobalTable Globals;
   compiler::CompiledProgram CP = Port.instantiate(Store, Globals);
   return runVmTier(W, Globals, CP, Entry, DynArgs, Perturb, Decoded, Fusion,
-                   FuelAdjust, Perturb.heapSensitive(), Coverage, NewCoverage);
+                   NativeJit, FuelAdjust, Perturb.heapSensitive(), Coverage,
+                   NewCoverage);
 }
 
 /// Guarded-dispatch leg: instantiate \p GenericPort (and, for the hit
@@ -207,21 +214,28 @@ TierOutcome runGuardedTier(const compiler::PortableProgram &GenericPort,
   vm::Machine M(W.Heap);
   M.setDecodedDispatch(true);
   M.setFusion(true);
+  // The guarded tier exercises guard dispatch over the *fused* loop; its
+  // miss leg is compared insn-for-insn against the bytes tier, so keep
+  // the execution substrate the one the tier names.
+  M.setNativeJit(false);
   M.setLimits(limitsFor(Perturb, 0));
   vm::Profile Prof;
   M.setProfile(&Prof);
 
+  compiler::LinkOptions LO;
+  LO.NativeJit = false;
   auto LinkFail = [&](const Error &E) {
     Out.Ok = false;
     Out.Err = E.render();
     Out.Kind = vm::trapKindOf(E);
     return Out;
   };
-  if (Result<bool> L = compiler::linkProgramVerified(M, Globals, GenericCP);
+  if (Result<bool> L = compiler::linkProgramVerified(M, Globals, GenericCP, LO);
       !L)
     return LinkFail(L.error());
   if (VariantPort)
-    if (Result<bool> L = compiler::linkProgramVerified(M, Globals, VariantCP);
+    if (Result<bool> L =
+            compiler::linkProgramVerified(M, Globals, VariantCP, LO);
         !L)
       return LinkFail(L.error());
 
@@ -348,6 +362,8 @@ const char *tierName(Tier T) {
     return "decoded";
   case Tier::Fused:
     return "fused";
+  case Tier::Native:
+    return "native";
   case Tier::Cached:
     return "cached";
   case Tier::Guarded:
@@ -585,36 +601,52 @@ DiffResult runCase(const FuzzCase &C, const DiffOptions &Opts) {
   const uint64_t CachedFuelAdjust =
       Opts.Inject == InjectedBug::FuelOffByOne ? 1 : 0;
 
-  // -- The four VM tiers.
+  // -- The five VM tiers.
   TierOutcome &Bytes = R.Tiers[static_cast<size_t>(Tier::Bytes)];
   TierOutcome &Decoded = R.Tiers[static_cast<size_t>(Tier::Decoded)];
   TierOutcome &Fused = R.Tiers[static_cast<size_t>(Tier::Fused)];
+  TierOutcome &Native = R.Tiers[static_cast<size_t>(Tier::Native)];
   TierOutcome &Cached = R.Tiers[static_cast<size_t>(Tier::Cached)];
   if (C.Perturb.heapSensitive()) {
     // Allocation ordinals must line up: run every tier from an identical
     // fresh-universe instantiation of the same snapshot.
     Bytes = runSnapshotTier(**Port, Obj->Entry, DynArgs, C.Perturb,
-                            /*Decoded=*/false, /*Fusion=*/false, 0,
-                            Opts.Coverage, &R.NewCoverage);
+                            /*Decoded=*/false, /*Fusion=*/false,
+                            /*NativeJit=*/false, 0, Opts.Coverage,
+                            &R.NewCoverage);
     Decoded = runSnapshotTier(**Port, Obj->Entry, DynArgs, C.Perturb,
-                              /*Decoded=*/true, /*Fusion=*/false, 0,
-                              Opts.Coverage, &R.NewCoverage);
+                              /*Decoded=*/true, /*Fusion=*/false,
+                              /*NativeJit=*/false, 0, Opts.Coverage,
+                              &R.NewCoverage);
     Fused = runSnapshotTier(**Port, Obj->Entry, DynArgs, C.Perturb,
-                            /*Decoded=*/true, /*Fusion=*/true, 0,
-                            Opts.Coverage, &R.NewCoverage);
+                            /*Decoded=*/true, /*Fusion=*/true,
+                            /*NativeJit=*/false, 0, Opts.Coverage,
+                            &R.NewCoverage);
+    if (Opts.Native)
+      Native = runSnapshotTier(**Port, Obj->Entry, DynArgs, C.Perturb,
+                               /*Decoded=*/true, /*Fusion=*/true,
+                               /*NativeJit=*/true, 0, Opts.Coverage,
+                               &R.NewCoverage);
   } else {
     Bytes = runVmTier(W, Globals, Obj->Residual, Obj->Entry, DynArgs, C.Perturb,
-                      /*Decoded=*/false, /*Fusion=*/false, 0, false,
-                      Opts.Coverage, &R.NewCoverage);
+                      /*Decoded=*/false, /*Fusion=*/false, /*NativeJit=*/false,
+                      0, false, Opts.Coverage, &R.NewCoverage);
     Decoded = runVmTier(W, Globals, Obj->Residual, Obj->Entry, DynArgs,
-                        C.Perturb, /*Decoded=*/true, /*Fusion=*/false, 0, false,
-                        Opts.Coverage, &R.NewCoverage);
+                        C.Perturb, /*Decoded=*/true, /*Fusion=*/false,
+                        /*NativeJit=*/false, 0, false, Opts.Coverage,
+                        &R.NewCoverage);
     Fused = runVmTier(W, Globals, Obj->Residual, Obj->Entry, DynArgs, C.Perturb,
-                      /*Decoded=*/true, /*Fusion=*/true, 0, false,
-                      Opts.Coverage, &R.NewCoverage);
+                      /*Decoded=*/true, /*Fusion=*/true, /*NativeJit=*/false,
+                      0, false, Opts.Coverage, &R.NewCoverage);
+    if (Opts.Native)
+      Native = runVmTier(W, Globals, Obj->Residual, Obj->Entry, DynArgs,
+                         C.Perturb, /*Decoded=*/true, /*Fusion=*/true,
+                         /*NativeJit=*/true, 0, false, Opts.Coverage,
+                         &R.NewCoverage);
   }
   Cached = runSnapshotTier(*CachedPort, CachedEntry, DynArgs, C.Perturb,
-                           /*Decoded=*/true, /*Fusion=*/true, CachedFuelAdjust,
+                           /*Decoded=*/true, /*Fusion=*/true,
+                           /*NativeJit=*/false, CachedFuelAdjust,
                            Opts.Coverage, &R.NewCoverage);
 
   // -- Guarded tier, miss leg: a guard that cannot hold (slot 0 expects a
@@ -646,8 +678,11 @@ DiffResult runCase(const FuzzCase &C, const DiffOptions &Opts) {
   // -- Cross-check. Bytes is the reference VM tier (seed semantics). The
   // guarded tier's miss leg is held to the same full-aspect bar: a deopt
   // IS a direct generic call, to the instruction.
-  for (Tier T : {Tier::Decoded, Tier::Fused, Tier::Cached, Tier::Guarded}) {
+  for (Tier T : {Tier::Decoded, Tier::Fused, Tier::Native, Tier::Cached,
+                 Tier::Guarded}) {
     if (T == Tier::Guarded && !Opts.Guarded)
+      continue;
+    if (T == Tier::Native && !Opts.Native)
       continue;
     if (auto D = compareVmTiers(Tier::Bytes, Bytes,
                                 T, R.Tiers[static_cast<size_t>(T)])) {

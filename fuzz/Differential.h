@@ -1,17 +1,18 @@
-//===- fuzz/Differential.h - Five-tier differential executor ----*- C++ -*-===//
+//===- fuzz/Differential.h - Seven-tier differential executor ---*- C++ -*-===//
 ///
 /// \file
 /// Runs one FuzzCase through every execution configuration the RTCG
 /// pipeline ships — the oracle interpreter, the byte loop, the decoded
-/// computed-goto loop, the fused superinstruction loop, a cached
-/// PortableProgram hit instantiated into a fresh heap, and the guarded
-/// re-specialization dispatch (vm/Guard.h) — and compares the outcomes
-/// bit-for-bit: result value, trap kind, faulting PC and function, and
+/// computed-goto loop, the fused superinstruction loop, the native
+/// per-block template JIT (vm/Jit.h), a cached PortableProgram hit
+/// instantiated into a fresh heap, and the guarded re-specialization
+/// dispatch (vm/Guard.h) — and compares the outcomes bit-for-bit:
+/// result value, trap kind, faulting PC and function, and
 /// executed-instruction counts. Any disagreement is a Divergence, the
 /// fuzzer's unit of finding.
 ///
 /// Comparison discipline:
-///   * The four plain VM tiers must agree exactly, under any
+///   * The five plain VM tiers must agree exactly, under any
 ///     Perturbation — fuel, stack, frame, and heap schedules included.
 ///     Heap-sensitive schedules run every tier from a freshly
 ///     instantiated snapshot so allocation ordinals line up.
@@ -52,8 +53,16 @@ class DiskStore;
 }
 namespace fuzz {
 
-enum class Tier : uint8_t { Oracle, Bytes, Decoded, Fused, Cached, Guarded };
-inline constexpr size_t NumTiers = 6;
+enum class Tier : uint8_t {
+  Oracle,
+  Bytes,
+  Decoded,
+  Fused,
+  Native, ///< fused loop + per-block template JIT (vm::Machine::setNativeJit)
+  Cached,
+  Guarded
+};
+inline constexpr size_t NumTiers = 7;
 const char *tierName(Tier T);
 
 /// Everything one tier's execution produced.
@@ -90,6 +99,13 @@ struct DiffOptions {
   /// per case, so corpus-throughput-sensitive callers can turn the tier
   /// off wholesale.
   bool Guarded = true;
+  /// Run the native-JIT tier (on by default). Held to the same exact bar
+  /// as the interpreted tiers — values, trap kind/PC/function, and
+  /// instruction counts — under every perturbation schedule. On hosts
+  /// without the tier (non-x86-64) the machine knob is a no-op, so the
+  /// leg degenerates to a second fused run and the comparison is vacuous
+  /// but still true.
+  bool Native = true;
   /// When set, the cached tier's snapshot additionally round-trips
   /// through this persistent store (put, then verified load), under
   /// whatever StoreFaultPlan the caller installed. Production semantics
@@ -123,7 +139,7 @@ struct DiffResult {
   size_t EntryInsns = 0;
 };
 
-/// Runs \p C through all six configurations and cross-checks.
+/// Runs \p C through all seven configurations and cross-checks.
 DiffResult runCase(const FuzzCase &C, const DiffOptions &Opts = {});
 
 } // namespace fuzz

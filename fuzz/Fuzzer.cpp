@@ -70,6 +70,7 @@ const FuzzerStats &Fuzzer::run() {
   DOpts.Coverage = &Coverage;
   DOpts.Store = Store.get();
   DOpts.Guarded = Opts.Guarded;
+  DOpts.Native = Opts.Native;
 
   for (size_t Iter = 0; Iter != Opts.Iterations; ++Iter) {
     if (Found.size() >= Opts.MaxFindings)

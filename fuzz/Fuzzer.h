@@ -30,6 +30,7 @@ struct FuzzerOptions {
   bool Perturb = true;    ///< include resource-limit / heap-fault schedules
   bool PartialOps = true; ///< quotient/remainder (trap surface) in grammar
   bool Guarded = true;    ///< run the guarded re-specialization tier
+  bool Native = true;     ///< run the native template-JIT tier
   InjectedBug Inject = InjectedBug::None;
   bool Minimize = true;
   size_t MaxFindings = 8; ///< stop early after this many distinct findings

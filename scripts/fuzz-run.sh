@@ -3,9 +3,10 @@
 # seeds, persists minimized findings (deduplicated by case fingerprint —
 # the corpus filename is the fingerprint, so reruns never duplicate), and
 # writes a JSON summary of every per-seed run plus the finding files.
-# Every run covers all six execution tiers, including the guarded
-# re-specialization dispatch (deopt leg under perturbations, hit leg on
-# unperturbed cases); pass --no-guarded to drop back to five.
+# Every run covers all seven execution tiers, including the native
+# per-block template JIT and the guarded re-specialization dispatch
+# (deopt leg under perturbations, hit leg on unperturbed cases); pass
+# --no-guarded / --no-native to drop tiers for throughput.
 #
 # Usage: scripts/fuzz-run.sh [--seeds N] [--iters N] [--build DIR]
 #                            [--out DIR] [--save-novel] [--no-store-hammer]
@@ -22,6 +23,7 @@
 #                  the hammer's scratch stores live under TMPDIR only and
 #                  are removed when each seed's run exits)
 #   --no-guarded   skip the guarded-dispatch tier (throughput mode)
+#   --no-native    skip the native template-JIT tier
 #
 # Exits nonzero iff any run produced a finding (or failed outright), so
 # the script doubles as a CI-friendly extended gate.
@@ -36,6 +38,7 @@ OUT_DIR=fuzz-out
 SAVE_NOVEL=0
 STORE_HAMMER=1
 GUARDED=1
+NATIVE=1
 while [[ $# -gt 0 ]]; do
   case "$1" in
   --seeds) SEEDS=$2; shift 2 ;;
@@ -45,6 +48,7 @@ while [[ $# -gt 0 ]]; do
   --save-novel) SAVE_NOVEL=1; shift ;;
   --no-store-hammer) STORE_HAMMER=0; shift ;;
   --no-guarded) GUARDED=0; shift ;;
+  --no-native) NATIVE=0; shift ;;
   *) echo "unknown option: $1" >&2; exit 2 ;;
   esac
 done
@@ -71,6 +75,7 @@ STATUS=0
     [[ $SAVE_NOVEL == 1 ]] && ARGS+=(--save-novel)
     [[ $STORE_HAMMER == 1 ]] && ARGS+=(--store-hammer)
     [[ $GUARDED == 0 ]] && ARGS+=(--no-guarded)
+    [[ $NATIVE == 0 ]] && ARGS+=(--no-native)
     echo "== seed $S ($ITERS iters)" >&2
     if LINE=$("$FUZZ" "${ARGS[@]}" 2>"$OUT_DIR/seed-$S.log"); then
       RC=0
@@ -98,6 +103,8 @@ STATUS=0
   echo ']}'
 } >"$SUMMARY"
 
-COUNT=$(ls "$OUT_DIR"/findings/*.scm 2>/dev/null | wc -l)
+# find, not ls: an unmatched glob makes ls exit 2, which pipefail+set -e
+# would turn into a spurious nonzero exit on exactly the clean-hunt case.
+COUNT=$(find "$OUT_DIR/findings" -name '*.scm' | wc -l)
 echo "fuzz-run: $SEEDS seed(s) x $ITERS iteration(s); $COUNT finding file(s); summary: $SUMMARY"
 exit $STATUS

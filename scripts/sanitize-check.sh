@@ -6,7 +6,7 @@
 # Usage: scripts/sanitize-check.sh [--ndebug] [--switch-dispatch]
 #                                  [--no-fuse] [--no-peephole] [--fuzz-smoke]
 #                                  [--store-smoke] [--respecialize-smoke]
-#                                  [--net-smoke] [ctest-args...]
+#                                  [--net-smoke] [--jit-smoke] [ctest-args...]
 #   --ndebug           additionally compile with -DNDEBUG kept, proving the
 #                      trap model never leans on assert() (the RTCG trust
 #                      requirement).
@@ -33,6 +33,20 @@
 #                      PR 8 gate that background generation, the guard shim
 #                      and the start/stop stress are data-race- and
 #                      UB-clean.
+#   --jit-smoke        run only the jit-labelled ctest entries (the native
+#                      tier's compile-shape, fuel-sweep parity, GC-stress
+#                      and profile tests, plus the seven-tier fuzz smoke
+#                      with the native leg) under the sanitizers — the
+#                      PR 10 gate. The JIT's mmap'd code buffers are
+#                      W^X (PROT_READ|PROT_WRITE while emitting, then
+#                      PROT_READ|PROT_EXEC before execution); ASan does
+#                      not instrument the generated code itself, but it
+#                      fully checks both sides of every call-out seam —
+#                      the C++ helpers the templates call into, the
+#                      ExecState the native code shares with the
+#                      interpreter, and the allocation paths reached
+#                      from native frames — which is where the tier's
+#                      memory bugs would live.
 #   --net-smoke        run only the net-labelled ctest entries (the frame
 #                      codec matrix, the loopback server suite, the
 #                      net-frames/net-connect fuzz modes, the serve
@@ -85,6 +99,16 @@ while [[ "${1:-}" == --* ]]; do
     RESPEC_SMOKE=1
     shift
     ;;
+  --jit-smoke)
+    # Only the jit-labelled ctest entries under ASan/UBSan. The generated
+    # x86-64 blocks run un-instrumented (sanitizers can't see into mmap'd
+    # templates), but every path that matters crosses back into C++:
+    # prim/global/call/return call-outs, GC from native frames, trap
+    # construction on bail. Those seams are exactly what this smoke
+    # covers.
+    JIT_SMOKE=1
+    shift
+    ;;
   --net-smoke)
     # Only the net-labelled ctest entries: the pure-codec matrix, the
     # loopback end-to-end suite, both net fuzz modes and the serving
@@ -124,6 +148,8 @@ elif [[ "${RESPEC_SMOKE:-0}" == 1 ]]; then
   ctest --test-dir "$BUILD_DIR" --output-on-failure -L respec -j "$(nproc)" "$@"
 elif [[ "${NET_SMOKE:-0}" == 1 ]]; then
   ctest --test-dir "$BUILD_DIR" --output-on-failure -L net -j "$(nproc)" "$@"
+elif [[ "${JIT_SMOKE:-0}" == 1 ]]; then
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -L jit -j "$(nproc)" "$@"
 else
   ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" "$@"
 fi

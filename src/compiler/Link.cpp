@@ -6,6 +6,7 @@
 #include "sexp/Reader.h"
 #include "support/Timer.h"
 #include "vm/Convert.h"
+#include "vm/Jit.h"
 #include "vm/Trap.h"
 #include "vm/Verify.h"
 
@@ -26,6 +27,15 @@ void predecode(const vm::CodeObject *Code) {
   Code->decoded();
   for (const vm::CodeObject *Child : Code->children())
     predecode(Child);
+}
+
+/// Compiles \p Code and every nested child to native blocks (vm/Jit.h).
+/// Requires predecode() to have run first; a no-op on hosts without the
+/// native tier (CodeObject::jit caches the "no code" answer either way).
+void prejit(const vm::CodeObject *Code) {
+  Code->jit();
+  for (const vm::CodeObject *Child : Code->children())
+    prejit(Child);
 }
 
 } // namespace
@@ -61,6 +71,16 @@ Result<bool> compiler::linkProgramVerified(vm::Machine &M,
     if (vm::Profile *Prof = M.profile())
       Prof->DecodeNanos +=
           static_cast<uint64_t>(DecodeTimer.seconds() * 1e9);
+  }
+  // Same idea one tier up: compile the native blocks at link time so the
+  // first call enters the template JIT directly. Attributed to the same
+  // Profile::JitNanos counter Machine::jitFor uses for lazy compiles.
+  if (Opts.NativeJit && vm::jitAvailable()) {
+    Timer JitTimer;
+    for (const auto &[Name, Code] : P.Defs)
+      prejit(Code);
+    if (vm::Profile *Prof = M.profile())
+      Prof->JitNanos += static_cast<uint64_t>(JitTimer.seconds() * 1e9);
   }
   linkProgram(M, Globals, P);
   return true;

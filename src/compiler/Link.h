@@ -57,6 +57,17 @@ struct LinkOptions {
 #else
   bool Peephole = true;
 #endif
+  /// Eagerly compile each pre-decoded definition's straight-line blocks
+  /// to native code (vm/Jit.h) at link time, so first calls enter the
+  /// native tier without paying the one-shot compile on the hot path.
+  /// On hosts without the tier (non-x86-64) this is a no-op; the
+  /// Machine-side knob (vm::Machine::setNativeJit) still decides whether
+  /// compiled code is *used*. PECOMP_NO_JIT pins the default off.
+#ifdef PECOMP_NO_JIT
+  bool NativeJit = false;
+#else
+  bool NativeJit = true;
+#endif
 };
 
 /// As linkProgram, but runs the byte-code verifier (vm/Verify.h) over

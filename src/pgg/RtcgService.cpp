@@ -255,6 +255,7 @@ void RtcgService::workerLoop(size_t Index) {
   WorkerState W(Index);
   W.Machine.setLimits(Opts.Limits);
   W.Machine.setFusion(Opts.Fusion);
+  W.Machine.setNativeJit(Opts.NativeJit);
   if (Opts.Respec.Enabled) {
     W.Prof.SampleArgs = true;
     W.Machine.setProfile(&W.Prof);
@@ -368,6 +369,7 @@ RtcgResponse RtcgService::process(WorkerState &W, const RtcgRequest &Req) {
 
   compiler::LinkOptions LO;
   LO.Peephole = Opts.Peephole;
+  LO.NativeJit = Opts.NativeJit;
 
   // Guarded serve: if a re-specialized variant is installed for this key,
   // decide hit/miss on the raw argument texts before instantiating
@@ -748,6 +750,7 @@ void RtcgService::processRespec(WorkerState &W, Job &J) {
     if (Req.Division.find('D') == std::string::npos) {
       compiler::LinkOptions LO;
       LO.Peephole = Opts.Peephole;
+      LO.NativeJit = Opts.NativeJit;
       if (Result<bool> Linked = compiler::linkProgramVerified(
               W.Machine, Globals, Obj->Residual, LO);
           !Linked)

@@ -166,6 +166,17 @@ struct RtcgOptions {
 #else
   bool Fusion = true;
 #endif
+  /// Native tier: per-block template JIT under the decoded loop
+  /// (vm::Machine::setNativeJit). Workers both *use* native code and
+  /// compile residual programs' blocks eagerly at link time
+  /// (compiler::LinkOptions::NativeJit), so cached variants serve hot
+  /// requests from native blocks. Harmless no-op on non-x86-64 hosts;
+  /// build option PECOMP_NO_JIT pins the default off.
+#ifdef PECOMP_NO_JIT
+  bool NativeJit = false;
+#else
+  bool NativeJit = true;
+#endif
   /// Peephole-optimize residual code before capture/link, so cached
   /// snapshots store optimized bytes and hits pay no per-hit pass.
 #ifdef PECOMP_NO_PEEPHOLE

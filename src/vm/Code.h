@@ -127,11 +127,18 @@ public:
   }
 };
 
+class JitCode;
+
 /// A compiled procedure body.
 class CodeObject {
 public:
-  CodeObject(std::string Name, uint32_t Arity)
-      : Name(std::move(Name)), Arity(Arity) {}
+  /// Out of line (vm/Jit.cpp): JitCode is incomplete here, and both the
+  /// destructor and the constructor's exception-cleanup path need the
+  /// native cache's deleter.
+  CodeObject(std::string Name, uint32_t Arity);
+  ~CodeObject();
+  CodeObject(const CodeObject &) = delete;
+  CodeObject &operator=(const CodeObject &) = delete;
 
   const std::string &name() const { return Name; }
   uint32_t arity() const { return Arity; }
@@ -157,6 +164,17 @@ public:
   /// Whether decoded() has been computed yet (used by the machine to
   /// attribute first-decode latency to Profile::DecodeNanos).
   bool decodeAttempted() const { return DState != DecodeState::Unknown; }
+
+  /// The native-code form (vm/Jit), built from the decoded stream and
+  /// cached on first use like decoded(). Null when the host has no native
+  /// tier, the bytes do not decode, or no basic block compiled — such
+  /// objects permanently run on the interpreter loops. Defined in
+  /// vm/Jit.cpp.
+  const JitCode *jit() const;
+
+  /// Whether jit() has been computed yet (used by the machine to
+  /// attribute first-compile latency to Profile::JitNanos).
+  bool jitAttempted() const { return JState != JitState::Unknown; }
 
   /// Whether the byte-code peephole pass (compiler/Peephole.h) has already
   /// processed this object. Set by the pass itself and by
@@ -201,6 +219,13 @@ private:
   enum class DecodeState : uint8_t { Unknown, Ready, Fallback };
   mutable DecodeState DState = DecodeState::Unknown;
   mutable std::unique_ptr<DecodedStream> Decoded;
+
+  /// Native-code cache, same discipline as the decode cache above (and
+  /// the same thread-safety caveat: first use races are the caller's to
+  /// prevent — RtcgService machines each own their code objects).
+  enum class JitState : uint8_t { Unknown, Ready, None };
+  mutable JitState JState = JitState::Unknown;
+  mutable std::unique_ptr<JitCode> Jitted;
   bool PeepholeDone = false;
 };
 

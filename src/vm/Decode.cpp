@@ -10,6 +10,29 @@
 /// it through the original byte loop so trap kind, faulting PC, and
 /// opcode stay byte-for-byte identical to the seed interpreter.
 ///
+/// Fuel/profile audit of the tier seams (bytes ↔ decoded ↔ native). The
+/// accounting invariant across every hand-off is "charge exactly once,
+/// at the loop that actually executes the instruction":
+///
+///  - byte ↔ decoded: a Fallback object never has a DecodedStream, so a
+///    frame is owned by exactly one loop for its whole lifetime; the
+///    bounce in Machine::run() transfers at call/return boundaries where
+///    the departing loop has fully charged its last instruction and the
+///    arriving loop starts at a fresh PC. No instruction is visible to
+///    both loops.
+///  - decoded/fused ↔ native: the JIT charges fuel, ES.Executed, and the
+///    per-opcode profile row together, per *source* instruction, as each
+///    one retires. The only mid-block exits are trapping call-outs
+///    (which charged the trapping instruction exactly as the decoded
+///    loop would have) and the block-entry fuel check, which bails
+///    *before executing anything* with nothing charged (JitExit::Bail in
+///    Jit.cpp). The bailed block is re-run by the decoded loop from its
+///    leader under the JitSkipOnce latch, charging fuel and OpCount per
+///    instruction up to the exact fuel trap — so a bailout can neither
+///    double-charge fuel for instructions the native block "almost ran"
+///    nor skip the profile counter for the re-executed ones. JitTest's
+///    fuel sweeps pin this down instruction-by-instruction.
+///
 //===----------------------------------------------------------------------===//
 
 #include "vm/Code.h"

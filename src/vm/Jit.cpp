@@ -1,0 +1,1499 @@
+//===- vm/Jit.cpp - Per-block template JIT --------------------------------===//
+//
+// The native tier: x86-64 templates stitched per basic block over the
+// pre-decoded instruction stream, with the interpreter's exact charging
+// and trap discipline compiled in.
+//
+// Register plan (SysV callee-saved, so C++ call-outs preserve it):
+//
+//   rbx = ExecState*            r14 = current frame base (slots)
+//   r12 = ExecState.Stack.Data  r15 = ExecState.OpCount (profile or sink)
+//   r13 = ExecState.Stack.Size
+//
+// Every source instruction's template begins with three memory
+// increments — FuelUsed, Executed, OpCount[src opcode] — so the meters
+// are exact at any call-out or trap, by construction (satellite: a
+// bail/deopt can then never double-charge, because the decoded loop
+// re-runs only instructions that charged nothing). Fuel is pre-checked
+// per block: entry compares FuelUsed + blocklen against the ceiling and
+// bails to the decoded loop charging nothing when the budget cannot
+// cover the block (the same escape discipline as the fused handlers), so
+// the per-template increments themselves can never overrun the ceiling
+// and the fuel trap always fires in the interpreter at the exact source
+// instruction.
+//
+// Stack discipline: r13 is authoritative while native code runs and is
+// flushed to ExecState.Stack.Size before every call-out and exit; call
+// helpers that can reallocate or reshape the stack are followed by
+// reloads of r12/r13 (and r14 after frame switches). Block entries
+// pre-reserve capacity for the block's inline pushes (Const/LocalRef)
+// via a grow call-out, so the templates themselves never bounds-check
+// capacity; ceiling checks (the *logical* stack limit) still run after
+// every inline push, exactly like the interpreter's push probe.
+//
+// Control flow: branches inside compiled code patch to block entries;
+// edges into uncompiled blocks exit with JitExit::Branch and the decoded
+// index. Call/TailCall/Return are C++ call-outs that mutate the frame
+// stack exactly as the interpreter does and return the next native
+// entry (possibly in another JitCode's buffer — cross-code transfers
+// are indirect jumps, never patched) or null with a status. The VM's
+// frames never consume native stack: one enter() activation jumps
+// between blocks and code objects until something exits.
+//
+// W^X: code is assembled into a std::vector, copied into an anonymous
+// PROT_READ|PROT_WRITE mapping, and the mapping is flipped to
+// PROT_READ|PROT_EXEC before JitCode::compile returns. No mapping is
+// ever writable and executable at once, and failure to flip is a clean
+// "no native code" result, never a fallback to RWX.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/Jit.h"
+
+#include "support/Casting.h"
+#include "support/Timer.h"
+#include "vm/Machine.h"
+#include "vm/Prims.h"
+
+#include <cassert>
+#include <cstddef>
+#include <cstring>
+
+#if defined(__x86_64__) && defined(__linux__)
+#define PECOMP_JIT_HOST 1
+#include <sys/mman.h>
+#else
+#define PECOMP_JIT_HOST 0
+#endif
+
+using namespace pecomp;
+using namespace pecomp::vm;
+
+bool pecomp::vm::jitAvailable() { return PECOMP_JIT_HOST != 0; }
+
+// Out-of-line pieces that must see JitCode complete (Code.h keeps it
+// forward-declared so every holder of a CodeObject does not pull in the
+// JIT surface).
+CodeObject::CodeObject(std::string Name, uint32_t Arity)
+    : Name(std::move(Name)), Arity(Arity) {}
+CodeObject::~CodeObject() = default;
+
+const JitCode *CodeObject::jit() const {
+  if (JState == JitState::Unknown) {
+    Jitted = JitCode::compile(*this);
+    JState = Jitted ? JitState::Ready : JitState::None;
+  }
+  return Jitted.get();
+}
+
+JitCode::~JitCode() {
+#if PECOMP_JIT_HOST
+  if (Mem)
+    ::munmap(Mem, Size);
+#endif
+}
+
+const JitCode *Machine::jitFor(const CodeObject &C) {
+  if (Prof && !C.jitAttempted()) {
+    Timer T;
+    const JitCode *J = C.jit();
+    satInc(Prof->JitNanos, static_cast<uint64_t>(T.seconds() * 1e9));
+    return J;
+  }
+  return C.jit();
+}
+
+//===----------------------------------------------------------------------===//
+// Runtime call-out helpers
+//===----------------------------------------------------------------------===//
+//
+// Two calling classes, both taking (ExecState*, decoded index):
+//  - continue-or-trap: return 1 to fall through to the next template, 0
+//    after recording a trap (emitted code then exits via the epilogue);
+//  - control-transfer: return the next native entry point, or null with
+//    ExecState.Status set (Done / Trap / Switch).
+// Each helper replays its opcode's interpreter checks verbatim — same
+// TrapKind, same message, same faulting PC/opcode — so the four dispatch
+// modes are indistinguishable through the trap surface.
+
+namespace pecomp {
+namespace vm {
+
+class Jit {
+public:
+  static uint64_t prim(ExecState *ES, uint64_t Idx);
+  static uint64_t globalRef(ExecState *ES, uint64_t Idx);
+  static uint64_t freeRef(ExecState *ES, uint64_t Idx);
+  static const void *call(ExecState *ES, uint64_t Idx);
+  static const void *tailCall(ExecState *ES, uint64_t Idx);
+  static const void *ret(ExecState *ES, uint64_t Idx);
+  static void grow(ExecState *ES, uint64_t Need);
+  static void stackTrap(ExecState *ES, uint64_t Idx);
+  static void localTrap(ExecState *ES, uint64_t Idx);
+  static void underflow(ExecState *ES, uint64_t Idx, uint64_t Need,
+                        uint64_t What);
+
+private:
+  /// The instruction being executed: native code always runs the code of
+  /// the *top* frame, and the caller passes its plain-stream index.
+  static const DecodedInsn &insnAt(Machine &M, uint64_t Idx) {
+    return M.Frames.back().Code->decoded()->Insns[Idx];
+  }
+  static Error underflowErr(Machine &M, size_t Need, const char *What) {
+    return M.trap(TrapKind::StackUnderflow,
+                  std::string("stack underflow in ") + What + " (have " +
+                      std::to_string(M.ES.Stack.size()) + ", need " +
+                      std::to_string(Need) + ")");
+  }
+  static Error overflowErr(Machine &M) {
+    return M.trap(TrapKind::StackOverflow,
+                  "value stack overflow (depth " +
+                      std::to_string(M.ES.Stack.size()) + ", limit " +
+                      std::to_string(M.Lim.MaxStackDepth) + ")");
+  }
+  /// Resolves where execution continues after a frame switch: the native
+  /// entry for \p BytePC in \p C, or null + Switch when that code (or
+  /// that block) is not native — the outer dispatcher picks the right
+  /// loop from the already-consistent frame stack.
+  static const void *continueAt(Machine &M, ExecState *ES,
+                                const CodeObject &C, size_t BytePC);
+};
+
+} // namespace vm
+} // namespace pecomp
+
+const void *Jit::continueAt(Machine &M, ExecState *ES, const CodeObject &C,
+                            size_t BytePC) {
+  const DecodedStream *DS = M.decodedFor(C);
+  if (DS && M.UseJit) {
+    if (const JitCode *JC = M.jitFor(C))
+      if (const void *E = JC->blockEntry(DS->indexOf(BytePC))) {
+        // Execution stays native in the (possibly new) top frame:
+        // refresh the captures view the inline FreeRef template reads.
+        const Machine::Frame &F = M.Frames.back();
+        ES->Frees = F.Closure ? F.Closure->Free.data() : nullptr;
+        ES->NumFrees = F.Closure ? F.Closure->Free.size() : 0;
+        return E;
+      }
+  }
+  ES->Status = static_cast<uint64_t>(JitExit::Switch);
+  return nullptr;
+}
+
+uint64_t Jit::prim(ExecState *ES, uint64_t Idx) {
+  Machine &M = *ES->M;
+  const DecodedInsn &I = insnAt(M, Idx);
+  M.TrapPC = I.PC;
+  M.TrapOp = static_cast<int>(I.SrcOp);
+  const PrimOp P = static_cast<PrimOp>(I.C);
+  const size_t N = I.B; // arity cached at decode
+  auto &St = ES->Stack;
+  if (St.size() < N) {
+    M.JitErr = underflowErr(M, N, "Prim");
+    ES->Status = static_cast<uint64_t>(JitExit::Trap);
+    return 0;
+  }
+  std::span<const Value> Args(St.data() + St.size() - N, N);
+  Result<Value> R = applyPrim(P, M.H, Args);
+  if (!R) {
+    M.JitErr = M.primError(R.takeError());
+    ES->Status = static_cast<uint64_t>(JitExit::Trap);
+    return 0;
+  }
+  St.resize(St.size() - N);
+  St.push_back(*R);
+  if (M.H.faulted()) {
+    M.TrapPC = I.NextPC;
+    M.TrapOp = -1;
+    M.JitErr = M.trap(TrapKind::HeapExhausted, M.H.faultMessage());
+    ES->Status = static_cast<uint64_t>(JitExit::Trap);
+    return 0;
+  }
+  if (St.size() > ES->StackCeiling) {
+    M.TrapPC = I.NextPC;
+    M.TrapOp = -1;
+    M.JitErr = overflowErr(M);
+    ES->Status = static_cast<uint64_t>(JitExit::Trap);
+    return 0;
+  }
+  return 1;
+}
+
+uint64_t Jit::globalRef(ExecState *ES, uint64_t Idx) {
+  Machine &M = *ES->M;
+  const DecodedInsn &I = insnAt(M, Idx);
+  M.TrapPC = I.PC;
+  M.TrapOp = static_cast<int>(I.SrcOp);
+  if (I.A >= M.Globals.size() || !M.Globals[I.A].isValid()) {
+    M.JitErr = M.trap(TrapKind::UndefinedGlobal,
+                      "undefined global #" + std::to_string(I.A));
+    ES->Status = static_cast<uint64_t>(JitExit::Trap);
+    return 0;
+  }
+  ES->Stack.push_back(M.Globals[I.A]);
+  if (ES->Stack.size() > ES->StackCeiling) {
+    M.TrapPC = I.NextPC;
+    M.TrapOp = -1;
+    M.JitErr = overflowErr(M);
+    ES->Status = static_cast<uint64_t>(JitExit::Trap);
+    return 0;
+  }
+  return 1;
+}
+
+uint64_t Jit::freeRef(ExecState *ES, uint64_t Idx) {
+  Machine &M = *ES->M;
+  const DecodedInsn &I = insnAt(M, Idx);
+  M.TrapPC = I.PC;
+  M.TrapOp = static_cast<int>(I.SrcOp);
+  Machine::Frame &F = M.Frames.back();
+  if (!F.Closure || I.A >= F.Closure->Free.size()) {
+    M.JitErr = M.trap(TrapKind::IllegalInstruction,
+                      "free index " + std::to_string(I.A) +
+                          " beyond the closure's captures");
+    ES->Status = static_cast<uint64_t>(JitExit::Trap);
+    return 0;
+  }
+  ES->Stack.push_back(F.Closure->Free[I.A]);
+  if (ES->Stack.size() > ES->StackCeiling) {
+    M.TrapPC = I.NextPC;
+    M.TrapOp = -1;
+    M.JitErr = overflowErr(M);
+    ES->Status = static_cast<uint64_t>(JitExit::Trap);
+    return 0;
+  }
+  return 1;
+}
+
+const void *Jit::call(ExecState *ES, uint64_t Idx) {
+  Machine &M = *ES->M;
+  const DecodedInsn &I = insnAt(M, Idx);
+  M.TrapPC = I.PC;
+  M.TrapOp = static_cast<int>(I.SrcOp);
+  auto &St = ES->Stack;
+  const size_t N = I.C;
+  ES->Status = static_cast<uint64_t>(JitExit::Trap); // default for nulls below
+  if (St.size() < N + 1) {
+    M.JitErr = underflowErr(M, N + 1, "Call");
+    return nullptr;
+  }
+  Value Callee = St[St.size() - N - 1];
+  if (!Callee.isObject() || !isa<ClosureObject>(Callee.asObject())) {
+    M.JitErr = M.trap(TrapKind::TypeError,
+                      "call: not a procedure: " + valueToString(Callee));
+    return nullptr;
+  }
+  auto *Clo = cast<ClosureObject>(Callee.asObject());
+  if (Clo->Code->arity() != N) {
+    M.JitErr = M.trap(TrapKind::ArityMismatch,
+                      "call: " + Clo->Code->name() + " expects " +
+                          std::to_string(Clo->Code->arity()) +
+                          " argument(s), got " + std::to_string(N));
+    return nullptr;
+  }
+  if (M.Lim.MaxFrames && M.Frames.size() >= M.Lim.MaxFrames) {
+    M.JitErr = M.trap(TrapKind::FrameOverflow,
+                      "call depth exceeds the frame limit of " +
+                          std::to_string(M.Lim.MaxFrames));
+    return nullptr;
+  }
+  M.Frames.back().PC = I.NextPC; // resume point (byte offset, as always)
+  M.Frames.push_back(Machine::Frame{Clo->Code, 0, St.size() - N, Clo});
+  ES->Base = St.size() - N;
+  return continueAt(M, ES, *Clo->Code, 0);
+}
+
+const void *Jit::tailCall(ExecState *ES, uint64_t Idx) {
+  Machine &M = *ES->M;
+  const DecodedInsn &I = insnAt(M, Idx);
+  M.TrapPC = I.PC;
+  M.TrapOp = static_cast<int>(I.SrcOp);
+  auto &St = ES->Stack;
+  const size_t N = I.C;
+  ES->Status = static_cast<uint64_t>(JitExit::Trap);
+  if (St.size() < N + 1) {
+    M.JitErr = underflowErr(M, N + 1, "TailCall");
+    return nullptr;
+  }
+  Value Callee = St[St.size() - N - 1];
+  if (!Callee.isObject() || !isa<ClosureObject>(Callee.asObject())) {
+    M.JitErr = M.trap(TrapKind::TypeError,
+                      "call: not a procedure: " + valueToString(Callee));
+    return nullptr;
+  }
+  auto *Clo = cast<ClosureObject>(Callee.asObject());
+  if (Clo->Code->arity() != N) {
+    M.JitErr = M.trap(TrapKind::ArityMismatch,
+                      "call: " + Clo->Code->name() + " expects " +
+                          std::to_string(Clo->Code->arity()) +
+                          " argument(s), got " + std::to_string(N));
+    return nullptr;
+  }
+  Machine::Frame &F = M.Frames.back();
+  // Slide callee + args down over the current frame.
+  size_t Src = St.size() - N - 1;
+  size_t Dst = F.Base - 1;
+  for (size_t K = 0; K <= N; ++K)
+    St[Dst + K] = St[Src + K];
+  St.resize(Dst + N + 1);
+  F.Code = Clo->Code;
+  F.PC = 0;
+  F.Closure = Clo;
+  // F.Base (and so ES->Base) unchanged.
+  return continueAt(M, ES, *Clo->Code, 0);
+}
+
+const void *Jit::ret(ExecState *ES, uint64_t Idx) {
+  Machine &M = *ES->M;
+  const DecodedInsn &I = insnAt(M, Idx);
+  M.TrapPC = I.PC;
+  M.TrapOp = static_cast<int>(I.SrcOp);
+  auto &St = ES->Stack;
+  Machine::Frame &F = M.Frames.back();
+  if (St.size() < F.Base || St.empty()) {
+    M.JitErr = underflowErr(M, 1, "Return");
+    ES->Status = static_cast<uint64_t>(JitExit::Trap);
+    return nullptr;
+  }
+  Value R = St.back();
+  St.resize(F.Base - 1);
+  St.push_back(R);
+  M.Frames.pop_back();
+  if (M.Frames.empty()) {
+    ES->Ret = R;
+    ES->Status = static_cast<uint64_t>(JitExit::Done);
+    return nullptr;
+  }
+  Machine::Frame &F2 = M.Frames.back();
+  ES->Base = F2.Base;
+  return continueAt(M, ES, *F2.Code, F2.PC);
+}
+
+void Jit::grow(ExecState *ES, uint64_t Need) { ES->Stack.reserve(Need); }
+
+void Jit::stackTrap(ExecState *ES, uint64_t Idx) {
+  Machine &M = *ES->M;
+  const DecodedInsn &I = insnAt(M, Idx);
+  M.TrapPC = I.NextPC; // the push probe reports the *next* pc, no opcode
+  M.TrapOp = -1;
+  M.JitErr = overflowErr(M);
+  ES->Status = static_cast<uint64_t>(JitExit::Trap);
+}
+
+void Jit::localTrap(ExecState *ES, uint64_t Idx) {
+  Machine &M = *ES->M;
+  const DecodedInsn &I = insnAt(M, Idx);
+  M.TrapPC = I.PC;
+  M.TrapOp = static_cast<int>(I.SrcOp);
+  M.JitErr = M.trap(TrapKind::StackUnderflow,
+                    "local slot " + std::to_string(I.A) +
+                        " beyond the live stack");
+  ES->Status = static_cast<uint64_t>(JitExit::Trap);
+}
+
+void Jit::underflow(ExecState *ES, uint64_t Idx, uint64_t Need,
+                    uint64_t What) {
+  static const char *const Names[] = {"Slide", "JumpIfFalse", "JumpIfTrue",
+                                      "Halt"};
+  Machine &M = *ES->M;
+  const DecodedInsn &I = insnAt(M, Idx);
+  M.TrapPC = I.PC;
+  M.TrapOp = static_cast<int>(I.SrcOp);
+  M.JitErr = underflowErr(M, Need, Names[What]);
+  ES->Status = static_cast<uint64_t>(JitExit::Trap);
+}
+
+//===----------------------------------------------------------------------===//
+// The compiler (host-gated)
+//===----------------------------------------------------------------------===//
+
+#if PECOMP_JIT_HOST
+
+namespace {
+
+// ExecState field offsets baked into the templates. The static_asserts
+// are the whole safety story: if the struct moves, this file stops
+// compiling instead of emitting wild loads.
+constexpr int32_t OffData = 0;
+constexpr int32_t OffSize = 8;
+constexpr int32_t OffCap = 16;
+constexpr int32_t OffBase = 24;
+constexpr int32_t OffFuel = 32;
+constexpr int32_t OffExec = 40;
+constexpr int32_t OffFuelCeil = 48;
+constexpr int32_t OffStackCeil = 56;
+constexpr int32_t OffOpCount = 64;
+constexpr int32_t OffExitIP = 80;
+constexpr int32_t OffRet = 88;
+constexpr int32_t OffStatus = 96;
+constexpr int32_t OffGlobals = 104;
+constexpr int32_t OffNumGlobals = 112;
+constexpr int32_t OffFrees = 120;
+constexpr int32_t OffNumFrees = 128;
+
+static_assert(offsetof(ValueStack, Data) == OffData &&
+                  offsetof(ValueStack, Size) == OffSize &&
+                  offsetof(ValueStack, Cap) == OffCap,
+              "ValueStack layout is part of the native ABI");
+static_assert(offsetof(ExecState, Stack) == 0 &&
+                  offsetof(ExecState, Base) == OffBase &&
+                  offsetof(ExecState, FuelUsed) == OffFuel &&
+                  offsetof(ExecState, Executed) == OffExec &&
+                  offsetof(ExecState, FuelCeiling) == OffFuelCeil &&
+                  offsetof(ExecState, StackCeiling) == OffStackCeil &&
+                  offsetof(ExecState, OpCount) == OffOpCount &&
+                  offsetof(ExecState, ExitIP) == OffExitIP &&
+                  offsetof(ExecState, Ret) == OffRet &&
+                  offsetof(ExecState, Status) == OffStatus &&
+                  offsetof(ExecState, Globals) == OffGlobals &&
+                  offsetof(ExecState, NumGlobals) == OffNumGlobals &&
+                  offsetof(ExecState, Frees) == OffFrees &&
+                  offsetof(ExecState, NumFrees) == OffNumFrees,
+              "ExecState layout is part of the native ABI");
+static_assert(sizeof(Value) == 8 && std::is_trivially_copyable_v<Value>,
+              "stack slots are raw 8-byte moves in native code");
+static_assert(static_cast<uint8_t>(ObjectKind::Pair) == 0,
+              "Car/Cdr templates test the kind byte against zero");
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Winvalid-offsetof"
+static_assert(offsetof(PairObject, Car) == 16 &&
+                  offsetof(PairObject, Cdr) == 24,
+              "Car/Cdr templates load fixed offsets");
+#pragma GCC diagnostic pop
+
+enum Reg : unsigned {
+  RAX = 0,
+  RCX = 1,
+  RDX = 2,
+  RBX = 3,
+  RSP = 4,
+  RBP = 5,
+  RSI = 6,
+  RDI = 7,
+  R12 = 12,
+  R13 = 13,
+  R14 = 14,
+  R15 = 15,
+};
+
+// Condition codes (the tttn field of Jcc/CMOVcc).
+constexpr uint8_t CcB = 0x2;
+constexpr uint8_t CcAE = 0x3;
+constexpr uint8_t CcE = 0x4;
+constexpr uint8_t CcNE = 0x5;
+constexpr uint8_t CcBE = 0x6;
+constexpr uint8_t CcA = 0x7;
+constexpr uint8_t CcL = 0xC;
+constexpr uint8_t CcGE = 0xD;
+constexpr uint8_t CcLE = 0xE;
+constexpr uint8_t CcG = 0xF;
+constexpr uint8_t CcZ = CcE;
+constexpr uint8_t CcNZ = CcNE;
+
+/// Minimal x86-64 assembler over a byte vector: exactly the encodings the
+/// templates need, all 64-bit operations REX.W-prefixed, memory operands
+/// always mod=10 (disp32) so rbp/r13-as-base quirks never arise, SIB
+/// emitted whenever the base register requires it.
+struct Asm {
+  std::vector<uint8_t> B;
+
+  size_t pos() const { return B.size(); }
+  void u8(uint8_t X) { B.push_back(X); }
+  void u32(uint32_t X) {
+    for (int I = 0; I < 4; ++I)
+      u8(static_cast<uint8_t>(X >> (8 * I)));
+  }
+  void u64(uint64_t X) {
+    for (int I = 0; I < 8; ++I)
+      u8(static_cast<uint8_t>(X >> (8 * I)));
+  }
+  void patch32(size_t Pos, uint32_t X) {
+    for (int I = 0; I < 4; ++I)
+      B[Pos + I] = static_cast<uint8_t>(X >> (8 * I));
+  }
+
+  void rexW(unsigned R, unsigned X, unsigned Base) {
+    u8(static_cast<uint8_t>(0x48 | ((R >> 3) << 2) | ((X >> 3) << 1) |
+                            (Base >> 3)));
+  }
+  static uint8_t modrm(unsigned Mod, unsigned R, unsigned Rm) {
+    return static_cast<uint8_t>((Mod << 6) | ((R & 7) << 3) | (Rm & 7));
+  }
+  /// [Base + Disp] operand for the /R field.
+  void memBD(unsigned R, unsigned Base, int32_t Disp) {
+    u8(modrm(2, R, Base));
+    if ((Base & 7) == 4)
+      u8(0x24); // SIB: base only
+    u32(static_cast<uint32_t>(Disp));
+  }
+  /// [Base + Index*8 + Disp] operand for the /R field.
+  void memBIS8(unsigned R, unsigned Base, unsigned Index, int32_t Disp) {
+    u8(modrm(2, R, 4));
+    u8(static_cast<uint8_t>((3u << 6) | ((Index & 7) << 3) | (Base & 7)));
+    u32(static_cast<uint32_t>(Disp));
+  }
+
+  void pushR(unsigned R) {
+    if (R >= 8)
+      u8(0x41);
+    u8(static_cast<uint8_t>(0x50 + (R & 7)));
+  }
+  void popR(unsigned R) {
+    if (R >= 8)
+      u8(0x41);
+    u8(static_cast<uint8_t>(0x58 + (R & 7)));
+  }
+  void movRI64(unsigned R, uint64_t Imm) {
+    rexW(0, 0, R);
+    u8(static_cast<uint8_t>(0xB8 + (R & 7)));
+    u64(Imm);
+  }
+  void movRI32(unsigned R, uint32_t Imm) { // 32-bit move, zero-extends
+    if (R >= 8)
+      u8(0x41);
+    u8(static_cast<uint8_t>(0xB8 + (R & 7)));
+    u32(Imm);
+  }
+  void movRR(unsigned Dst, unsigned Src) {
+    rexW(Src, 0, Dst);
+    u8(0x89);
+    u8(modrm(3, Src, Dst));
+  }
+  void loadRM(unsigned Dst, unsigned Base, int32_t D) {
+    rexW(Dst, 0, Base);
+    u8(0x8B);
+    memBD(Dst, Base, D);
+  }
+  void storeMR(unsigned Base, int32_t D, unsigned Src) {
+    rexW(Src, 0, Base);
+    u8(0x89);
+    memBD(Src, Base, D);
+  }
+  void loadRMI8(unsigned Dst, unsigned Base, unsigned Index, int32_t D) {
+    rexW(Dst, Index, Base);
+    u8(0x8B);
+    memBIS8(Dst, Base, Index, D);
+  }
+  void storeMI8R(unsigned Base, unsigned Index, int32_t D, unsigned Src) {
+    rexW(Src, Index, Base);
+    u8(0x89);
+    memBIS8(Src, Base, Index, D);
+  }
+  void addRI32(unsigned R, int32_t Imm) {
+    rexW(0, 0, R);
+    u8(0x81);
+    u8(modrm(3, 0, R));
+    u32(static_cast<uint32_t>(Imm));
+  }
+  void subRI32(unsigned R, int32_t Imm) {
+    rexW(0, 0, R);
+    u8(0x81);
+    u8(modrm(3, 5, R));
+    u32(static_cast<uint32_t>(Imm));
+  }
+  void cmpRI32(unsigned R, int32_t Imm) {
+    rexW(0, 0, R);
+    u8(0x81);
+    u8(modrm(3, 7, R));
+    u32(static_cast<uint32_t>(Imm));
+  }
+  void cmpRI8(unsigned R, int8_t Imm) {
+    rexW(0, 0, R);
+    u8(0x83);
+    u8(modrm(3, 7, R));
+    u8(static_cast<uint8_t>(Imm));
+  }
+  /// add qword [Base+D], Imm8 — the charging increment.
+  void addMI8(unsigned Base, int32_t D, int8_t Imm) {
+    rexW(0, 0, Base);
+    u8(0x83);
+    memBD(0, Base, D);
+    u8(static_cast<uint8_t>(Imm));
+  }
+  void cmpRM(unsigned R, unsigned Base, int32_t D) {
+    rexW(R, 0, Base);
+    u8(0x3B);
+    memBD(R, Base, D);
+  }
+  void cmpRR(unsigned A, unsigned Bb) { // flags = A - Bb
+    rexW(Bb, 0, A);
+    u8(0x39);
+    u8(modrm(3, Bb, A));
+  }
+  void testRR(unsigned A, unsigned Bb) {
+    rexW(Bb, 0, A);
+    u8(0x85);
+    u8(modrm(3, Bb, A));
+  }
+  void testEaxEax() {
+    u8(0x85);
+    u8(0xC0);
+  }
+  void testAlImm(uint8_t Imm) {
+    u8(0xA8);
+    u8(Imm);
+  }
+  void testClImm(uint8_t Imm) {
+    u8(0xF6);
+    u8(0xC1);
+    u8(Imm);
+  }
+  void testDlImm(uint8_t Imm) {
+    u8(0xF6);
+    u8(0xC2);
+    u8(Imm);
+  }
+  void andRR(unsigned Dst, unsigned Src) {
+    rexW(Src, 0, Dst);
+    u8(0x21);
+    u8(modrm(3, Src, Dst));
+  }
+  void subRR(unsigned Dst, unsigned Src) {
+    rexW(Src, 0, Dst);
+    u8(0x29);
+    u8(modrm(3, Src, Dst));
+  }
+  void leaRM(unsigned Dst, unsigned Base, int32_t D) {
+    rexW(Dst, 0, Base);
+    u8(0x8D);
+    memBD(Dst, Base, D);
+  }
+  void leaRBI1(unsigned Dst, unsigned Base, unsigned Index, int32_t D) {
+    rexW(Dst, Index, Base);
+    u8(0x8D);
+    u8(modrm(2, Dst, 4));
+    u8(static_cast<uint8_t>(((Index & 7) << 3) | (Base & 7))); // scale 1
+    u32(static_cast<uint32_t>(D));
+  }
+  void incR(unsigned R) {
+    rexW(0, 0, R);
+    u8(0xFF);
+    u8(modrm(3, 0, R));
+  }
+  void decR(unsigned R) {
+    rexW(0, 0, R);
+    u8(0xFF);
+    u8(modrm(3, 1, R));
+  }
+  void sarR1(unsigned R) {
+    rexW(0, 0, R);
+    u8(0xD1);
+    u8(modrm(3, 7, R));
+  }
+  void imulRR(unsigned Dst, unsigned Src) {
+    rexW(Dst, 0, Src);
+    u8(0x0F);
+    u8(0xAF);
+    u8(modrm(3, Dst, Src));
+  }
+  void cmovRR(uint8_t CC, unsigned Dst, unsigned Src) {
+    rexW(Dst, 0, Src);
+    u8(0x0F);
+    u8(static_cast<uint8_t>(0x40 + CC));
+    u8(modrm(3, Dst, Src));
+  }
+  /// cmp byte [Base], Imm (Base must not need a SIB — RAX here).
+  void cmpM8I(unsigned Base, uint8_t Imm) {
+    assert((Base & 7) != 4 && (Base & 7) != 5 && Base < 8);
+    u8(0x80);
+    u8(modrm(0, 7, Base));
+    u8(Imm);
+  }
+  void movMI32(unsigned Base, int32_t D, int32_t Imm) {
+    rexW(0, 0, Base);
+    u8(0xC7);
+    memBD(0, Base, D);
+    u32(static_cast<uint32_t>(Imm));
+  }
+  void callR(unsigned R) {
+    if (R >= 8)
+      u8(0x41);
+    u8(0xFF);
+    u8(modrm(3, 2, R));
+  }
+  void jmpR(unsigned R) {
+    if (R >= 8)
+      u8(0x41);
+    u8(0xFF);
+    u8(modrm(3, 4, R));
+  }
+  /// Forward jump: returns the rel32 fixup position.
+  size_t jcc(uint8_t CC) {
+    u8(0x0F);
+    u8(static_cast<uint8_t>(0x80 + CC));
+    size_t P = pos();
+    u32(0);
+    return P;
+  }
+  size_t jmp() {
+    u8(0xE9);
+    size_t P = pos();
+    u32(0);
+    return P;
+  }
+  /// Backward/known-target jumps.
+  void jmpTo(size_t Target) {
+    u8(0xE9);
+    u32(static_cast<uint32_t>(static_cast<int64_t>(Target) -
+                              (static_cast<int64_t>(pos()) + 4)));
+  }
+  void jccTo(uint8_t CC, size_t Target) {
+    u8(0x0F);
+    u8(static_cast<uint8_t>(0x80 + CC));
+    u32(static_cast<uint32_t>(static_cast<int64_t>(Target) -
+                              (static_cast<int64_t>(pos()) + 4)));
+  }
+  void bind(size_t FixPos) { bindTo(FixPos, pos()); }
+  void bindTo(size_t FixPos, size_t Target) {
+    patch32(FixPos, static_cast<uint32_t>(static_cast<int64_t>(Target) -
+                                          (static_cast<int64_t>(FixPos) + 4)));
+  }
+  void subRspI8(int8_t Imm) {
+    u8(0x48);
+    u8(0x83);
+    u8(0xEC);
+    u8(static_cast<uint8_t>(Imm));
+  }
+  void addRspI8(int8_t Imm) {
+    u8(0x48);
+    u8(0x83);
+    u8(0xC4);
+    u8(static_cast<uint8_t>(Imm));
+  }
+  void ret() { u8(0xC3); }
+};
+
+template <typename Fn> uint64_t fnAddr(Fn *F) {
+  return reinterpret_cast<uint64_t>(F);
+}
+
+enum class StubKind : uint8_t { Bail, BranchExit, StackTrap, LocalTrap,
+                                Underflow };
+
+/// A jcc in a template whose out-of-line body is emitted after all
+/// blocks (cold paths off the straight line).
+struct StubReq {
+  size_t JccPos;
+  StubKind K;
+  uint64_t A = 0; ///< decoded index (traps) or exit index (bail/branch)
+  uint64_t Need = 0;
+  uint64_t What = 0;
+};
+
+// Indices into Jit::underflow's name table.
+constexpr uint64_t WhatSlide = 0;
+constexpr uint64_t WhatJumpIfFalse = 1;
+constexpr uint64_t WhatJumpIfTrue = 2;
+constexpr uint64_t WhatHalt = 3;
+
+/// The whole per-code-object compilation: block discovery + emission.
+struct Compiler {
+  const CodeObject &CO;
+  const std::vector<DecodedInsn> &In;
+  Asm A;
+  size_t Epi = 0;
+  std::vector<int64_t> EntryOff;
+  std::vector<StubReq> Stubs;
+  struct BlockFix {
+    size_t Pos;
+    size_t Target;
+  };
+  std::vector<BlockFix> BFix;
+  // Value representation constants (Value keeps them private; the public
+  // constructors are the supported way to obtain them).
+  const uint64_t FalseRaw = Value::boolean(false).raw();
+  const uint64_t TrueRaw = Value::boolean(true).raw();
+  const uint64_t NilRaw = Value::nil().raw();
+  const uint64_t FixnumZeroRaw = Value::fixnum(0).raw();
+
+  Compiler(const CodeObject &CO, const std::vector<DecodedInsn> &In)
+      : CO(CO), In(In) {}
+
+  static bool supported(Op O) {
+    // MakeClosure is the one source opcode left to the interpreter: it
+    // allocates and captures, gains nothing from a template wrapping the
+    // same C++ call, and (deliberately) keeps the block-granularity
+    // fallback path exercised by every closure-creating program.
+    return O != Op::MakeClosure;
+  }
+  static bool terminator(Op O) {
+    switch (O) {
+    case Op::Jump:
+    case Op::JumpIfFalse:
+    case Op::JumpIfTrue:
+    case Op::Call:
+    case Op::TailCall:
+    case Op::Return:
+    case Op::Halt:
+      return true;
+    default:
+      return false;
+    }
+  }
+  /// Ops after which control cannot fall through to the next template in
+  /// this block's straight line.
+  static bool noFallThrough(Op O) {
+    switch (O) {
+    case Op::Jump:
+    case Op::Call:
+    case Op::TailCall:
+    case Op::Return:
+    case Op::Halt:
+      return true;
+    default:
+      return false;
+    }
+  }
+
+  void emitCharge(Op SrcOp) {
+    A.addMI8(RBX, OffFuel, 1);
+    A.addMI8(RBX, OffExec, 1);
+    A.addMI8(R15, 8 * static_cast<int32_t>(SrcOp), 1);
+  }
+
+  /// Status/ExitIP exit used for fuel bails and edges into uncompiled
+  /// blocks: flush the stack pointer and leave through the epilogue.
+  void emitFlagExit(JitExit S, uint64_t ExitIP) {
+    A.movMI32(RBX, OffStatus, static_cast<int32_t>(S));
+    A.movMI32(RBX, OffExitIP, static_cast<int32_t>(ExitIP));
+    A.storeMR(RBX, OffSize, R13);
+    A.jmpTo(Epi);
+  }
+
+  /// continue-or-trap call-out: on 0, the helper has set Status/JitErr
+  /// and we exit; on 1, reload the (possibly reallocated/resized) stack.
+  void emitContinueCall(uint64_t Fn, uint64_t Idx) {
+    A.storeMR(RBX, OffSize, R13);
+    A.movRR(RDI, RBX);
+    A.movRI32(RSI, static_cast<uint32_t>(Idx));
+    A.movRI64(RAX, Fn);
+    A.callR(RAX);
+    A.testEaxEax();
+    A.jccTo(CcZ, Epi);
+    A.loadRM(R12, RBX, OffData);
+    A.loadRM(R13, RBX, OffSize);
+  }
+
+  /// control-transfer call-out: null return exits (status already set);
+  /// otherwise reload the full register plan and jump to the next block,
+  /// possibly in a different JitCode's buffer.
+  void emitControlCall(uint64_t Fn, uint64_t Idx) {
+    A.storeMR(RBX, OffSize, R13);
+    A.movRR(RDI, RBX);
+    A.movRI32(RSI, static_cast<uint32_t>(Idx));
+    A.movRI64(RAX, Fn);
+    A.callR(RAX);
+    A.testRR(RAX, RAX);
+    A.jccTo(CcZ, Epi);
+    A.loadRM(R12, RBX, OffData);
+    A.loadRM(R13, RBX, OffSize);
+    A.loadRM(R14, RBX, OffBase);
+    A.jmpR(RAX);
+  }
+
+  /// Inline templates for the hot prims, each guarded so that any case
+  /// the template cannot reproduce bit-for-bit (wrong types, underflow)
+  /// branches to the generic Jit::prim call-out, which replays the
+  /// interpreter's checks in the interpreter's order.
+  void emitPrim(const DecodedInsn &I, size_t Idx) {
+    std::vector<size_t> Slow;
+    auto ToSlow = [&](uint8_t CC) { Slow.push_back(A.jcc(CC)); };
+    const PrimOp P = static_cast<PrimOp>(I.C);
+    bool Fast = true;
+    switch (P) {
+    case PrimOp::Add:
+    case PrimOp::Sub:
+    case PrimOp::Mul:
+    case PrimOp::NumEq:
+    case PrimOp::Lt:
+    case PrimOp::Gt:
+    case PrimOp::Le:
+    case PrimOp::Ge: {
+      // Two fixnums. Tagged arithmetic identities (t(x) = 2x+1, all
+      // mod 2^64, exactly applyPrim's wrapping uint64 arithmetic):
+      //   add: t(x)+t(y)-1   sub: t(x)-t(y)+1   mul: (t(x)-1)*(t(y)>>1)+1
+      // Ordered compares act on the raw words: t is strictly monotone in
+      // the signed payload, so signed comparison of tags == comparison
+      // of payloads.
+      A.cmpRI8(R13, 2);
+      ToSlow(CcB);
+      A.loadRMI8(RAX, R12, R13, -16);
+      A.loadRMI8(RCX, R12, R13, -8);
+      A.movRR(RDX, RAX);
+      A.andRR(RDX, RCX);
+      A.testDlImm(1);
+      ToSlow(CcZ);
+      switch (P) {
+      case PrimOp::Add:
+        A.leaRBI1(RAX, RAX, RCX, -1);
+        break;
+      case PrimOp::Sub:
+        A.subRR(RAX, RCX);
+        A.incR(RAX);
+        break;
+      case PrimOp::Mul:
+        A.decR(RAX);
+        A.sarR1(RCX);
+        A.imulRR(RAX, RCX);
+        A.incR(RAX);
+        break;
+      default: {
+        A.cmpRR(RAX, RCX);
+        A.movRI32(RAX, static_cast<uint32_t>(FalseRaw));
+        A.movRI32(RDX, static_cast<uint32_t>(TrueRaw));
+        const uint8_t CC = P == PrimOp::NumEq ? CcE
+                           : P == PrimOp::Lt  ? CcL
+                           : P == PrimOp::Gt  ? CcG
+                           : P == PrimOp::Le  ? CcLE
+                                              : CcGE;
+        A.cmovRR(CC, RAX, RDX);
+        break;
+      }
+      }
+      A.storeMI8R(R12, R13, -16, RAX);
+      A.decR(R13);
+      break;
+    }
+    case PrimOp::EqP: {
+      A.cmpRI8(R13, 2);
+      ToSlow(CcB);
+      A.loadRMI8(RAX, R12, R13, -16);
+      A.loadRMI8(RCX, R12, R13, -8);
+      A.cmpRR(RAX, RCX); // eq? is raw-word identity for every value kind
+      A.movRI32(RAX, static_cast<uint32_t>(FalseRaw));
+      A.movRI32(RDX, static_cast<uint32_t>(TrueRaw));
+      A.cmovRR(CcE, RAX, RDX);
+      A.storeMI8R(R12, R13, -16, RAX);
+      A.decR(R13);
+      break;
+    }
+    case PrimOp::NullP:
+    case PrimOp::Not:
+    case PrimOp::NumberP: {
+      A.cmpRI8(R13, 1);
+      ToSlow(CcB);
+      A.loadRMI8(RCX, R12, R13, -8);
+      if (P == PrimOp::NumberP)
+        A.testClImm(1); // fixnums are the only numbers, tagged xxx1
+      else
+        A.cmpRI8(RCX, static_cast<int8_t>(P == PrimOp::NullP ? NilRaw
+                                                             : FalseRaw));
+      A.movRI32(RAX, static_cast<uint32_t>(FalseRaw));
+      A.movRI32(RDX, static_cast<uint32_t>(TrueRaw));
+      A.cmovRR(P == PrimOp::NumberP ? CcNZ : CcE, RAX, RDX);
+      A.storeMI8R(R12, R13, -8, RAX); // pop 1 push 1: replace in place
+      break;
+    }
+    case PrimOp::ZeroP: {
+      A.cmpRI8(R13, 1);
+      ToSlow(CcB);
+      A.loadRMI8(RCX, R12, R13, -8);
+      A.testClImm(1);
+      ToSlow(CcZ); // non-number: the call-out reports the type error
+      A.cmpRI8(RCX, static_cast<int8_t>(FixnumZeroRaw));
+      A.movRI32(RAX, static_cast<uint32_t>(FalseRaw));
+      A.movRI32(RDX, static_cast<uint32_t>(TrueRaw));
+      A.cmovRR(CcE, RAX, RDX);
+      A.storeMI8R(R12, R13, -8, RAX);
+      break;
+    }
+    case PrimOp::Car:
+    case PrimOp::Cdr: {
+      A.cmpRI8(R13, 1);
+      ToSlow(CcB);
+      A.loadRMI8(RAX, R12, R13, -8);
+      A.testRR(RAX, RAX);
+      ToSlow(CcZ); // invalid value: never a pair
+      A.testAlImm(7);
+      ToSlow(CcNZ); // not a heap pointer
+      A.cmpM8I(RAX, 0); // ObjectKind::Pair
+      ToSlow(CcNE);
+      A.loadRM(RAX, RAX, P == PrimOp::Car ? 16 : 24);
+      A.storeMI8R(R12, R13, -8, RAX);
+      break;
+    }
+    default:
+      Fast = false;
+      break;
+    }
+    if (Fast) {
+      size_t Done = A.jmp();
+      for (size_t F : Slow)
+        A.bind(F);
+      emitContinueCall(fnAddr(&Jit::prim), Idx);
+      A.bind(Done);
+    } else {
+      emitContinueCall(fnAddr(&Jit::prim), Idx);
+    }
+  }
+
+  /// One source instruction's template. Every path charges exactly once
+  /// (emitCharge) before any effect or trap branch.
+  void emitInsn(const DecodedInsn &I, size_t Idx,
+                const std::vector<uint8_t> &Compiles) {
+    emitCharge(I.SrcOp);
+    switch (I.Opcode) {
+    case Op::Const: {
+      // The heap is non-moving and the owning CodeStore roots every
+      // literal, so the value's raw bits are a valid immediate forever.
+      A.movRI64(RAX, CO.literals()[I.A].raw());
+      A.storeMI8R(R12, R13, 0, RAX);
+      A.incR(R13);
+      A.cmpRM(R13, RBX, OffStackCeil);
+      Stubs.push_back({A.jcc(CcA), StubKind::StackTrap, Idx});
+      break;
+    }
+    case Op::LocalRef: {
+      A.leaRM(RCX, R14, static_cast<int32_t>(I.A));
+      A.cmpRR(RCX, R13);
+      Stubs.push_back({A.jcc(CcAE), StubKind::LocalTrap, Idx});
+      A.loadRMI8(RAX, R12, RCX, 0);
+      A.storeMI8R(R12, R13, 0, RAX);
+      A.incR(R13);
+      A.cmpRM(R13, RBX, OffStackCeil);
+      Stubs.push_back({A.jcc(CcA), StubKind::StackTrap, Idx});
+      break;
+    }
+    case Op::FreeRef: {
+      // Captures view from ExecState (refreshed at every frame switch
+      // that stays native). NumFrees is 0 for a closure-less frame, so
+      // one unsigned bound check covers both trap shapes; the call-out
+      // replays the checks for the trap message and context.
+      A.loadRM(RAX, RBX, OffNumFrees);
+      A.cmpRI32(RAX, static_cast<int32_t>(I.A));
+      size_t SlowF = A.jcc(CcBE); // NumFrees <= A: trap in the call-out
+      A.loadRM(RAX, RBX, OffFrees);
+      A.loadRM(RAX, RAX, static_cast<int32_t>(8 * I.A));
+      A.storeMI8R(R12, R13, 0, RAX);
+      A.incR(R13);
+      A.cmpRM(R13, RBX, OffStackCeil);
+      Stubs.push_back({A.jcc(CcA), StubKind::StackTrap, Idx});
+      size_t DoneF = A.jmp();
+      A.bind(SlowF);
+      emitContinueCall(fnAddr(&Jit::freeRef), Idx);
+      A.bind(DoneF);
+      break;
+    }
+    case Op::GlobalRef: {
+      // Globals are immutable while the machine runs (no opcode writes
+      // one), so the flat view loaded per native entry stays valid. An
+      // invalid (never-defined) slot is raw zero — compile() asserts it.
+      A.loadRM(RAX, RBX, OffNumGlobals);
+      A.cmpRI32(RAX, static_cast<int32_t>(I.A));
+      size_t SlowG1 = A.jcc(CcBE); // NumGlobals <= A: trap in the call-out
+      A.loadRM(RAX, RBX, OffGlobals);
+      A.loadRM(RAX, RAX, static_cast<int32_t>(8 * I.A));
+      A.testRR(RAX, RAX);
+      size_t SlowG2 = A.jcc(CcZ); // undefined global: trap in the call-out
+      A.storeMI8R(R12, R13, 0, RAX);
+      A.incR(R13);
+      A.cmpRM(R13, RBX, OffStackCeil);
+      Stubs.push_back({A.jcc(CcA), StubKind::StackTrap, Idx});
+      size_t DoneG = A.jmp();
+      A.bind(SlowG1);
+      A.bind(SlowG2);
+      emitContinueCall(fnAddr(&Jit::globalRef), Idx);
+      A.bind(DoneG);
+      break;
+    }
+    case Op::Prim:
+      emitPrim(I, Idx);
+      break;
+    case Op::Slide: {
+      const uint32_t N = I.A;
+      A.cmpRI32(R13, static_cast<int32_t>(N + 1));
+      Stubs.push_back({A.jcc(CcB), StubKind::Underflow, Idx, N + 1,
+                       WhatSlide});
+      A.loadRMI8(RAX, R12, R13, -8);
+      if (N)
+        A.subRI32(R13, static_cast<int32_t>(N));
+      A.storeMI8R(R12, R13, -8, RAX);
+      break;
+    }
+    case Op::Jump: {
+      const size_t T = static_cast<size_t>(I.Target);
+      if (Compiles[T])
+        BFix.push_back({A.jmp(), T});
+      else
+        emitFlagExit(JitExit::Branch, T);
+      break;
+    }
+    case Op::JumpIfFalse:
+    case Op::JumpIfTrue: {
+      const size_t T = static_cast<size_t>(I.Target);
+      A.testRR(R13, R13);
+      Stubs.push_back({A.jcc(CcZ), StubKind::Underflow, Idx, 1,
+                       I.Opcode == Op::JumpIfFalse ? WhatJumpIfFalse
+                                                   : WhatJumpIfTrue});
+      A.decR(R13);
+      A.loadRMI8(RAX, R12, R13, 0);
+      A.cmpRI8(RAX, static_cast<int8_t>(FalseRaw)); // isTruthy == != #f
+      const uint8_t CC = I.Opcode == Op::JumpIfFalse ? CcE : CcNE;
+      if (Compiles[T])
+        BFix.push_back({A.jcc(CC), T});
+      else
+        Stubs.push_back({A.jcc(CC), StubKind::BranchExit, T});
+      break; // fall-through edge handled at block end
+    }
+    case Op::Halt: {
+      A.testRR(R13, R13);
+      Stubs.push_back({A.jcc(CcZ), StubKind::Underflow, Idx, 1, WhatHalt});
+      A.loadRMI8(RAX, R12, R13, -8);
+      A.storeMR(RBX, OffRet, RAX);
+      A.movMI32(RBX, OffStatus, static_cast<int32_t>(JitExit::Done));
+      A.storeMR(RBX, OffSize, R13);
+      A.jmpTo(Epi);
+      break;
+    }
+    case Op::Call:
+      emitControlCall(fnAddr(&Jit::call), Idx);
+      break;
+    case Op::TailCall:
+      emitControlCall(fnAddr(&Jit::tailCall), Idx);
+      break;
+    case Op::Return:
+      emitControlCall(fnAddr(&Jit::ret), Idx);
+      break;
+    default:
+      assert(false && "unsupported opcode reached emission");
+      break;
+    }
+  }
+};
+
+} // namespace
+
+std::unique_ptr<JitCode> JitCode::compile(const CodeObject &CO) {
+  // The GlobalRef template detects a never-defined slot with one
+  // test-for-zero; that is only sound while the invalid Value is raw 0.
+  assert(!Value().isValid() && Value().raw() == 0 &&
+         "GlobalRef template assumes the invalid Value is raw zero");
+  const DecodedStream *DS = CO.decoded();
+  if (!DS || DS->Insns.empty())
+    return nullptr;
+  const std::vector<DecodedInsn> &In = DS->Insns;
+  const size_t N = In.size();
+
+  // Basic-block discovery over the plain (unfused) stream: leaders are
+  // index 0, every jump target, and every successor of an instruction
+  // that transfers or may transfer control.
+  std::vector<uint8_t> Leader(N, 0);
+  Leader[0] = 1;
+  for (size_t I = 0; I < N; ++I) {
+    if (!Compiler::terminator(In[I].Opcode))
+      continue;
+    if (In[I].Target >= 0 && static_cast<size_t>(In[I].Target) < N)
+      Leader[static_cast<size_t>(In[I].Target)] = 1;
+    if (I + 1 < N)
+      Leader[I + 1] = 1;
+  }
+
+  // Block extents, compilability, and the stack headroom each block's
+  // entry must pre-reserve: the maximum prefix growth of the stack over
+  // the block, so every inline push (Const/LocalRef store through the
+  // raw Data pointer) lands inside capacity no matter how the helper
+  // call-outs (which push safely via push_back but still consume the
+  // headroom) interleave with it.
+  std::vector<int32_t> BlockEnd(N, -1);
+  std::vector<uint8_t> Compiles(N, 0);
+  std::vector<uint32_t> InlinePush(N, 0);
+  size_t NumBlocks = 0, NumInsns = 0;
+  for (size_t L = 0; L < N; ++L) {
+    if (!Leader[L])
+      continue;
+    size_t E = L;
+    bool Ok = true;
+    int64_t Delta = 0, MaxExcursion = 0;
+    while (E < N) {
+      const Op O = In[E].Opcode;
+      if (!Compiler::supported(O))
+        Ok = false;
+      switch (O) {
+      case Op::Const:
+      case Op::LocalRef:
+      case Op::GlobalRef:
+      case Op::FreeRef:
+        ++Delta;
+        break;
+      case Op::Prim: // pops arity (cached in B), pushes the result
+        Delta += 1 - static_cast<int64_t>(In[E].B);
+        break;
+      case Op::Slide:
+        Delta -= static_cast<int64_t>(In[E].A);
+        break;
+      case Op::JumpIfFalse:
+      case Op::JumpIfTrue:
+        --Delta;
+        break;
+      default: // terminators and MakeClosure: no inline push after them
+        break;
+      }
+      if (Delta > MaxExcursion)
+        MaxExcursion = Delta;
+      const bool Term = Compiler::terminator(O);
+      ++E;
+      if (Term || (E < N && Leader[E]))
+        break;
+    }
+    const uint32_t Pushes = static_cast<uint32_t>(MaxExcursion);
+    // decode() guarantees control cannot run off the end, but stay
+    // defensive: a block that could is simply not compiled.
+    if (E == N && !Compiler::terminator(In[E - 1].Opcode))
+      Ok = false;
+    BlockEnd[L] = static_cast<int32_t>(E);
+    Compiles[L] = Ok;
+    InlinePush[L] = Pushes;
+    if (Ok) {
+      ++NumBlocks;
+      NumInsns += E - L;
+    }
+  }
+  if (!NumBlocks)
+    return nullptr;
+
+  Compiler C(CO, In);
+  Asm &A = C.A;
+
+  // Entry thunk at offset 0: (ExecState*, block entry) -> run.
+  A.pushR(RBP);
+  A.pushR(RBX);
+  A.pushR(R12);
+  A.pushR(R13);
+  A.pushR(R14);
+  A.pushR(R15);
+  A.subRspI8(8); // 16-byte alignment at the emitted call sites
+  A.movRR(RBX, RDI);
+  A.loadRM(R12, RBX, OffData);
+  A.loadRM(R13, RBX, OffSize);
+  A.loadRM(R14, RBX, OffBase);
+  A.loadRM(R15, RBX, OffOpCount);
+  A.jmpR(RSI);
+
+  // Shared epilogue every exit path jumps to.
+  C.Epi = A.pos();
+  A.addRspI8(8);
+  A.popR(R15);
+  A.popR(R14);
+  A.popR(R13);
+  A.popR(R12);
+  A.popR(RBX);
+  A.popR(RBP);
+  A.ret();
+
+  C.EntryOff.assign(N, -1);
+  for (size_t L = 0; L < N; ++L) {
+    if (!Leader[L] || !Compiles[L])
+      continue;
+    const size_t E = static_cast<size_t>(BlockEnd[L]);
+    C.EntryOff[L] = static_cast<int64_t>(A.pos());
+
+    // Block-entry fuel check: can the budget cover the whole block? If
+    // not, exit with nothing charged; the decoded loop re-runs from this
+    // leader, charging per instruction, and reports the fuel trap at the
+    // exact source instruction (runNative sets JitSkipOnce so the
+    // decoded loop gets one uninterrupted pass at the block).
+    A.loadRM(RAX, RBX, OffFuel);
+    A.addRI32(RAX, static_cast<int32_t>(E - L));
+    A.cmpRM(RAX, RBX, OffFuelCeil);
+    C.Stubs.push_back({A.jcc(CcA), StubKind::Bail, L});
+
+    // Capacity headroom for the block's inline pushes (a grow call-out,
+    // not a trap: the logical stack ceiling is checked per push).
+    if (InlinePush[L]) {
+      A.leaRM(RAX, R13, static_cast<int32_t>(InlinePush[L]));
+      A.cmpRM(RAX, RBX, OffCap);
+      size_t Skip = A.jcc(CcBE);
+      A.storeMR(RBX, OffSize, R13);
+      A.movRR(RDI, RBX);
+      A.movRR(RSI, RAX);
+      A.movRI64(RAX, fnAddr(&Jit::grow));
+      A.callR(RAX);
+      A.loadRM(R12, RBX, OffData);
+      A.bind(Skip);
+    }
+
+    for (size_t I = L; I < E; ++I)
+      C.emitInsn(In[I], I, Compiles);
+
+    // Fall-through edge out of the block (branch-not-taken or a plain
+    // leader cut): the successor block, if compiled, is emitted
+    // immediately after us (leaders are emitted in ascending order), so
+    // control falls into its entry check; otherwise exit to the decoded
+    // loop at the successor.
+    if (!Compiler::noFallThrough(In[E - 1].Opcode)) {
+      if (!(E < N && Compiles[E]))
+        C.emitFlagExit(JitExit::Branch, E);
+    }
+  }
+
+  // Cold stubs, off the straight-line paths.
+  for (const StubReq &S : C.Stubs) {
+    A.bind(S.JccPos);
+    switch (S.K) {
+    case StubKind::Bail:
+      C.emitFlagExit(JitExit::Bail, S.A);
+      break;
+    case StubKind::BranchExit:
+      C.emitFlagExit(JitExit::Branch, S.A);
+      break;
+    case StubKind::StackTrap:
+    case StubKind::LocalTrap: {
+      A.storeMR(RBX, OffSize, R13);
+      A.movRR(RDI, RBX);
+      A.movRI32(RSI, static_cast<uint32_t>(S.A));
+      A.movRI64(RAX, S.K == StubKind::StackTrap ? fnAddr(&Jit::stackTrap)
+                                                : fnAddr(&Jit::localTrap));
+      A.callR(RAX);
+      A.jmpTo(C.Epi);
+      break;
+    }
+    case StubKind::Underflow: {
+      A.storeMR(RBX, OffSize, R13);
+      A.movRR(RDI, RBX);
+      A.movRI32(RSI, static_cast<uint32_t>(S.A));
+      A.movRI32(RDX, static_cast<uint32_t>(S.Need));
+      A.movRI32(RCX, static_cast<uint32_t>(S.What));
+      A.movRI64(RAX, fnAddr(&Jit::underflow));
+      A.callR(RAX);
+      A.jmpTo(C.Epi);
+      break;
+    }
+    }
+  }
+
+  // Patch intra-buffer block-to-block edges.
+  for (const Compiler::BlockFix &F : C.BFix) {
+    assert(C.EntryOff[F.Target] >= 0 && "branch into uncompiled block");
+    A.bindTo(F.Pos, static_cast<size_t>(C.EntryOff[F.Target]));
+  }
+
+  // W^X finalize: RW map, copy, flip to RX. Any failure is "no native
+  // code", never an RWX mapping.
+  const size_t Sz = A.B.size();
+  void *Mem = ::mmap(nullptr, Sz, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (Mem == MAP_FAILED)
+    return nullptr;
+  std::memcpy(Mem, A.B.data(), Sz);
+  if (::mprotect(Mem, Sz, PROT_READ | PROT_EXEC) != 0) {
+    ::munmap(Mem, Sz);
+    return nullptr;
+  }
+
+  std::unique_ptr<JitCode> JC(new JitCode());
+  JC->Mem = static_cast<uint8_t *>(Mem);
+  JC->Size = Sz;
+  JC->Entries.assign(N, nullptr);
+  for (size_t L = 0; L < N; ++L)
+    if (C.EntryOff[L] >= 0)
+      JC->Entries[L] = JC->Mem + C.EntryOff[L];
+  JC->NumBlocks = NumBlocks;
+  JC->NumInsns = NumInsns;
+  return JC;
+}
+
+//===----------------------------------------------------------------------===//
+// Machine::runNative — the driver around one native activation
+//===----------------------------------------------------------------------===//
+
+std::optional<Result<Value>> Machine::runNative(const JitCode &JC,
+                                                const DecodedStream &DS) {
+  const DecodedInsn *In = DS.Insns.data();
+  const size_t IP = DS.indexOf(Frames.back().PC);
+  const void *Entry = JC.blockEntry(IP);
+  assert(Entry && "runNative caller must check blockEntry");
+
+  // Entry governance, mirroring runDecoded: a pre-existing heap fault or
+  // overdeep stack is reported before any instruction runs, with the
+  // context the interpreter's first dispatch would attach.
+  if (H.faulted()) {
+    TrapPC = In[IP].PC;
+    TrapOp = -1;
+    return trap(TrapKind::HeapExhausted, H.faultMessage());
+  }
+  const uint64_t StackCeil = Lim.MaxStackDepth ? Lim.MaxStackDepth : UINT64_MAX;
+  if (ES.Stack.size() > StackCeil) {
+    TrapPC = In[IP].PC;
+    TrapOp = -1;
+    return trap(TrapKind::StackOverflow,
+                "value stack overflow (depth " +
+                    std::to_string(ES.Stack.size()) + ", limit " +
+                    std::to_string(Lim.MaxStackDepth) + ")");
+  }
+
+  ES.FuelCeiling = Lim.Fuel ? Lim.Fuel : UINT64_MAX;
+  ES.StackCeiling = StackCeil;
+  ES.Base = Frames.back().Base;
+  ES.M = this;
+  ES.OpCount = Prof ? Prof->OpCount.data() : OpCountSink.data();
+  ES.ExitIP = 0;
+  ES.Status = 0;
+  ES.Globals = Globals.data();
+  ES.NumGlobals = Globals.size();
+  const Machine::Frame &TopF = Frames.back();
+  ES.Frees = TopF.Closure ? TopF.Closure->Free.data() : nullptr;
+  ES.NumFrees = TopF.Closure ? TopF.Closure->Free.size() : 0;
+  if (Prof)
+    satInc(Prof->JitEnters);
+
+  JC.enter(&ES, Entry);
+
+  switch (static_cast<JitExit>(ES.Status)) {
+  case JitExit::Done: {
+    Value R = ES.Ret;
+    ES.Ret = Value();
+    return R;
+  }
+  case JitExit::Trap: {
+    assert(JitErr && "native trap exit without a pending error");
+    Error E = std::move(*JitErr);
+    JitErr.reset();
+    return Result<Value>(std::move(E));
+  }
+  case JitExit::Bail: {
+    if (Prof)
+      satInc(Prof->JitBails);
+    // Nothing was charged for the bailed block; park the frame on its
+    // leader and let the decoded loop run it once (JitSkipOnce), charging
+    // per instruction up to the fuel trap — or past it, if a non-fuel
+    // trap strikes first.
+    Frame &F = Frames.back();
+    F.PC = F.Code->decoded()->Insns[ES.ExitIP].PC;
+    JitSkipOnce = true;
+    return std::nullopt;
+  }
+  case JitExit::Branch: {
+    if (Prof)
+      satInc(Prof->JitFallbacks);
+    // An edge inside the current frame reached an uncompiled block: park
+    // the frame there; the decoded loop takes over and hands control
+    // back at the next compiled block boundary (PECOMP_JIT_RESUME).
+    Frame &F = Frames.back();
+    F.PC = F.Code->decoded()->Insns[ES.ExitIP].PC;
+    return std::nullopt;
+  }
+  case JitExit::Switch:
+    if (Prof)
+      satInc(Prof->JitFallbacks);
+    // Frame switch into code (or a block) with no native entry; the
+    // helper left frames/PCs consistent for the outer dispatcher.
+    return std::nullopt;
+  }
+  assert(false && "native code exited without a status");
+  return std::nullopt;
+}
+
+#else // !PECOMP_JIT_HOST
+
+std::unique_ptr<JitCode> JitCode::compile(const CodeObject &) {
+  return nullptr;
+}
+
+std::optional<Result<Value>> Machine::runNative(const JitCode &,
+                                                const DecodedStream &) {
+  // Unreachable: jitFor() never produces a JitCode on hosts without the
+  // tier, so run() never selects the native path.
+  return std::nullopt;
+}
+
+#endif // PECOMP_JIT_HOST

@@ -1,0 +1,128 @@
+//===- vm/Jit.h - Per-block template JIT ------------------------*- C++ -*-===//
+///
+/// \file
+/// The native tier under the decoded/fused dispatch loops: a per-basic-block
+/// template JIT over the pre-decoded instruction stream (DecodedInsn). Each
+/// straight-line block whose opcodes are all in the supported subset is
+/// compiled by stitching fixed x86-64 templates — fixnum arithmetic and
+/// compares, local loads, constants, branches, Slide, Halt — plus runtime
+/// call-outs into the Machine for everything that allocates, traps, or
+/// switches frames (prims, globals, Call/TailCall/Return). Blocks containing
+/// an unsupported opcode (MakeClosure) are left to the decoded loop; native
+/// execution re-enters at the next compiled block boundary, and the decoded
+/// loop symmetrically hands control back whenever its instruction pointer
+/// lands on a compiled block (see PECOMP_JIT_RESUME in Machine.cpp).
+///
+/// Parity contract (the whole point): byte-accurate trap PCs, per-source-
+/// instruction fuel accounting, and identical executed-instruction counts
+/// with the byte, decoded, and fused loops. Emitted code charges fuel, the
+/// executed counter, and the per-opcode profile counter before each source
+/// instruction's template (three memory increments), and every block entry
+/// re-checks the fuel ceiling for the whole block — bailing to the decoded
+/// loop with *nothing* charged when the budget cannot cover it, the same
+/// trick the fused handlers use, so the fuel trap always fires on exactly
+/// the source instruction it would have interpreted. Opcode digrams
+/// (Profile::PairCount) are the one counter the native tier does not
+/// maintain: they exist to tune the superinstruction set, which native
+/// blocks bypass entirely.
+///
+/// Code buffers are W^X: templates are assembled into an anonymous RW
+/// mapping which is flipped to RX (mprotect) before the first execution;
+/// the buffer is never writable and executable at the same time.
+///
+/// The tier exists only on x86-64 Linux hosts (jitAvailable()); elsewhere
+/// compile() returns null and every machine runs exactly as before.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PECOMP_VM_JIT_H
+#define PECOMP_VM_JIT_H
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace pecomp {
+namespace vm {
+
+class CodeObject;
+struct ExecState;
+
+/// Why a native frame handed control back to Machine::runNative
+/// (ExecState::Status at exit; 0 only while native code is running).
+enum class JitExit : uint64_t {
+  Done = 1,   ///< Halt, or Return from the last frame: ExecState::Ret holds
+              ///< the result and the stack is exactly as the interpreter
+              ///< would have left it
+  Trap = 2,   ///< a trap was recorded (Machine::JitErr + LastTrap context)
+  Bail = 3,   ///< a block-entry fuel check could not cover the block:
+              ///< nothing was charged; the decoded loop re-runs the block
+              ///< from ExitIP and reports the fuel trap at the exact source
+              ///< instruction
+  Switch = 4, ///< a frame switch (Call/TailCall/Return) reached code with
+              ///< no native block at the resume point; frames and PCs are
+              ///< already consistent for the outer dispatch loop
+  Branch = 5, ///< a branch or fall-through inside the current frame reached
+              ///< an uncompiled block: ExitIP is its decoded index and the
+              ///< driver parks the frame PC there for the decoded loop
+};
+
+/// The compiled native form of one CodeObject: one RX buffer holding an
+/// entry thunk (register prologue) plus the stitched templates of every
+/// compiled basic block, and a per-decoded-index table of block entry
+/// points. Immutable after compile(); lifetime is owned by the CodeObject
+/// it was compiled from (the buffer embeds literal values and assumes the
+/// non-moving heap keeps them rooted via the owning CodeStore).
+class JitCode {
+public:
+  /// Signature of the entry thunk at buffer offset 0: saves the callee-
+  /// saved registers, loads the ExecState register plan, and jumps to a
+  /// block entry obtained from blockEntry().
+  using EnterFn = void (*)(ExecState *, const void *);
+
+  /// Compiles \p CO's decoded stream, or returns null when the host has no
+  /// native tier, the code object has no decoded form, or no block
+  /// compiled (every block contains an unsupported opcode).
+  static std::unique_ptr<JitCode> compile(const CodeObject &CO);
+
+  ~JitCode();
+  JitCode(const JitCode &) = delete;
+  JitCode &operator=(const JitCode &) = delete;
+
+  /// Native entry for the block whose leader is decoded index \p Idx, or
+  /// null when \p Idx does not start a compiled block (mid-block indices
+  /// and fallback blocks alike) — the caller then stays interpreted.
+  const void *blockEntry(size_t Idx) const {
+    return Idx < Entries.size() ? Entries[Idx] : nullptr;
+  }
+
+  /// Runs native code starting at \p Entry (a blockEntry() result) until
+  /// it exits; ExecState::Status then holds a JitExit.
+  void enter(ExecState *ES, const void *Entry) const {
+    reinterpret_cast<EnterFn>(Mem)(ES, Entry);
+  }
+
+  size_t compiledBlocks() const { return NumBlocks; }
+  size_t compiledInsns() const { return NumInsns; }
+  size_t codeBytes() const { return Size; }
+
+private:
+  JitCode() = default;
+
+  uint8_t *Mem = nullptr; ///< RX mapping (W^X: writable only pre-flip)
+  size_t Size = 0;
+  std::vector<const void *> Entries; ///< per decoded index; null = no block
+  size_t NumBlocks = 0;
+  size_t NumInsns = 0;
+};
+
+/// Whether this build/host has the native tier at all (x86-64 Linux).
+/// When false, JitCode::compile() always returns null and every JIT knob
+/// is a no-op — tier-1 behavior is unchanged on any other host.
+bool jitAvailable();
+
+} // namespace vm
+} // namespace pecomp
+
+#endif // PECOMP_VM_JIT_H

@@ -28,6 +28,7 @@
 
 #include "support/Casting.h"
 #include "support/Timer.h"
+#include "vm/Jit.h"
 #include "vm/Prims.h"
 
 #include <climits>
@@ -69,7 +70,7 @@ Value Machine::makeProcedure(const CodeObject *Code) {
 void Machine::traceRoots(RootVisitor &Visitor) {
   for (Value V : Globals)
     Visitor.visit(V);
-  for (Value V : Stack)
+  for (Value V : ES.Stack)
     Visitor.visit(V);
   for (const Frame &F : Frames)
     if (F.Closure)
@@ -118,15 +119,17 @@ Result<Value> Machine::call(Value Callee, std::span<const Value> Args) {
     return trap(TrapKind::ReentrantCall,
                 "Machine::call while a call is already running");
 
-  Stack.clear();
+  ES.Stack.clear();
   LastTrap.reset();
   TrapPC = Trap::NoPC;
   TrapOp = -1;
-  FuelUsed = 0;
+  ES.FuelUsed = 0;
+  JitSkipOnce = false;
+  JitErr.reset();
 
   auto Reset = [this] {
     Frames.clear();
-    Stack.clear();
+    ES.Stack.clear();
     TrapPC = Trap::NoPC;
     TrapOp = -1;
     if (H.faulted()) {
@@ -164,10 +167,10 @@ Result<Value> Machine::call(Value Callee, std::span<const Value> Args) {
   if (Prof && Prof->SampleArgs)
     Prof->sampleCall(Clo->Code->name(), Args);
 
-  Stack.push_back(Callee);
+  ES.Stack.push_back(Callee);
   for (Value A : Args)
-    Stack.push_back(A);
-  Frames.push_back(Frame{Clo->Code, 0, Stack.size() - Args.size(), Clo});
+    ES.Stack.push_back(A);
+  Frames.push_back(Frame{Clo->Code, 0, ES.Stack.size() - Args.size(), Clo});
 
   std::optional<Timer> ExecTimer;
   if (Prof)
@@ -185,13 +188,28 @@ Result<Value> Machine::call(Value Callee, std::span<const Value> Args) {
 
 Result<Value> Machine::run() {
   // Bounce loop: each inner loop runs until it produces a result or the
-  // top frame's code switched dispatch mode (nullopt).
+  // top frame's code switched dispatch mode (nullopt). The native tier
+  // sits on top of decoded dispatch: when the top frame's PC starts a
+  // compiled block, run it natively; otherwise the decoded loop
+  // interprets until its instruction pointer lands on one
+  // (PECOMP_JIT_RESUME below). A fuel bail latches JitSkipOnce so the
+  // decoded loop gets the bailed block (and its fuel trap) to itself.
   for (;;) {
     std::optional<Result<Value>> R;
-    if (UseDecoded && decodedFor(*Frames.back().Code))
-      R = Prof ? runDecoded<true>() : runDecoded<false>();
-    else
+    const DecodedStream *DS =
+        UseDecoded ? decodedFor(*Frames.back().Code) : nullptr;
+    if (DS) {
+      const JitCode *JC = nullptr;
+      if (UseJit && !JitSkipOnce)
+        if (const JitCode *J = jitFor(*Frames.back().Code))
+          if (J->blockEntry(DS->indexOf(Frames.back().PC)))
+            JC = J;
+      JitSkipOnce = false;
+      R = JC ? runNative(*JC, *DS)
+             : (Prof ? runDecoded<true>() : runDecoded<false>());
+    } else {
       R = runBytes();
+    }
     if (R)
       return std::move(*R);
   }
@@ -210,6 +228,14 @@ std::optional<Result<Value>> Machine::runDecoded() {
 
   Frame *F = &Frames.back();
   const DecodedStream *DS = F->Code->decoded(); // cached: run() ensured Ready
+  // Native hand-back: whenever a control transfer lands the instruction
+  // pointer on a compiled block of the current code object, park the
+  // frame and let run() re-enter the native tier (null when the tier is
+  // off, the host has none, or this code compiled no block). Straight-
+  // line flow never checks: a compiled block reachable only by fall-
+  // through keeps interpreting until the next transfer, which is correct
+  // (the tiers are semantically identical) just not native.
+  const JitCode *JC = UseJit ? jitFor(*F->Code) : nullptr;
   // The superinstruction view shares indices, byte offsets, and jump
   // targets with the plain array, so every IP/resume computation below is
   // oblivious to which one is active.
@@ -225,12 +251,12 @@ std::optional<Result<Value>> Machine::runDecoded() {
   auto Underflow = [&](size_t Need, const char *What) {
     return trap(TrapKind::StackUnderflow,
                 std::string("stack underflow in ") + What + " (have " +
-                    std::to_string(Stack.size()) + ", need " +
+                    std::to_string(ES.Stack.size()) + ", need " +
                     std::to_string(Need) + ")");
   };
   auto StackTrap = [&]() {
     return trap(TrapKind::StackOverflow,
-                "value stack overflow (depth " + std::to_string(Stack.size()) +
+                "value stack overflow (depth " + std::to_string(ES.Stack.size()) +
                     ", limit " + std::to_string(Lim.MaxStackDepth) + ")");
   };
   // Re-resolves the cached frame pointers after a frame switch; null
@@ -242,6 +268,7 @@ std::optional<Result<Value>> Machine::runDecoded() {
       DS = NDS;
       Insns = ActiveInsns(DS);
       Lits = F->Code->literals().data();
+      JC = UseJit ? jitFor(*F->Code) : nullptr;
     }
     return NDS;
   };
@@ -254,8 +281,8 @@ std::optional<Result<Value>> Machine::runDecoded() {
   // check, so it can never trap here), the executed-instruction count,
   // and the profile counters.
   auto Charge = [&](const DecodedInsn *C) {
-    ++Executed;
-    ++FuelUsed;
+    ++ES.Executed;
+    ++ES.FuelUsed;
     if constexpr (Profiling) {
       const size_t CurOp = static_cast<size_t>(C->SrcOp);
       satInc(Prof->OpCount[CurOp]);
@@ -275,7 +302,7 @@ std::optional<Result<Value>> Machine::runDecoded() {
     TrapOp = -1;
     return trap(TrapKind::HeapExhausted, H.faultMessage());
   }
-  if (Stack.size() > StackCeiling) {
+  if (ES.Stack.size() > StackCeiling) {
     TrapPC = Insns[IP].PC;
     TrapOp = -1;
     return StackTrap();
@@ -291,8 +318,8 @@ std::optional<Result<Value>> Machine::runDecoded() {
   I = &Insns[IP];                                                              \
   TrapPC = I->PC;                                                              \
   TrapOp = static_cast<int>(I->SrcOp);                                         \
-  ++Executed;                                                                  \
-  if (++FuelUsed > FuelCeiling)                                                \
+  ++ES.Executed;                                                                  \
+  if (++ES.FuelUsed > FuelCeiling)                                                \
     goto fuel_trap;                                                            \
   if constexpr (Profiling) {                                                   \
     const size_t CurOp = static_cast<size_t>(I->SrcOp);                        \
@@ -306,9 +333,24 @@ std::optional<Result<Value>> Machine::runDecoded() {
 // dispatch; probing after each push-ing opcode is the same bound.
 #define PECOMP_PUSH_CHECK()                                                    \
   do {                                                                         \
-    if (Stack.size() > StackCeiling)                                           \
+    if (ES.Stack.size() > StackCeiling)                                           \
       goto stack_trap_next;                                                    \
     ++IP;                                                                      \
+  } while (0)
+
+// Hand control back to the native tier when a control transfer landed on
+// a compiled block (run() re-enters it from the parked byte PC). Placed
+// after every IP update that is a jump, call, or return — i.e. a block
+// boundary of the native tier; plain fall-through (++IP) never re-enters.
+// Safe against the bail latch: JitSkipOnce is consumed by run() before
+// this loop starts, and a bailed block re-runs here wholesale (it fuel-
+// traps before its terminating transfer could resume native code).
+#define PECOMP_JIT_RESUME()                                                    \
+  do {                                                                         \
+    if (JC && JC->blockEntry(IP)) {                                            \
+      F->PC = Insns[IP].PC;                                                    \
+      return std::nullopt;                                                     \
+    }                                                                          \
   } while (0)
 
 #if PECOMP_COMPUTED_GOTO
@@ -344,17 +386,17 @@ std::optional<Result<Value>> Machine::runDecoded() {
   // trap fires at exactly the source instruction it would have unfused.
   PECOMP_OP(Const) : {
   unfused_Const:
-    Stack.push_back(Lits[I->A]); // index pre-validated by the decoder
+    ES.Stack.push_back(Lits[I->A]); // index pre-validated by the decoder
     PECOMP_PUSH_CHECK();
     PECOMP_DISPATCH();
   }
   PECOMP_OP(LocalRef) : {
   unfused_LocalRef:
-    if (F->Base + I->A >= Stack.size())
+    if (F->Base + I->A >= ES.Stack.size())
       return trap(TrapKind::StackUnderflow,
                   "local slot " + std::to_string(I->A) +
                       " beyond the live stack");
-    Stack.push_back(Stack[F->Base + I->A]);
+    ES.Stack.push_back(ES.Stack[F->Base + I->A]);
     PECOMP_PUSH_CHECK();
     PECOMP_DISPATCH();
   }
@@ -363,7 +405,7 @@ std::optional<Result<Value>> Machine::runDecoded() {
       return trap(TrapKind::IllegalInstruction,
                   "free index " + std::to_string(I->A) +
                       " beyond the closure's captures");
-    Stack.push_back(F->Closure->Free[I->A]);
+    ES.Stack.push_back(F->Closure->Free[I->A]);
     PECOMP_PUSH_CHECK();
     PECOMP_DISPATCH();
   }
@@ -371,19 +413,19 @@ std::optional<Result<Value>> Machine::runDecoded() {
     if (I->A >= Globals.size() || !Globals[I->A].isValid())
       return trap(TrapKind::UndefinedGlobal,
                   "undefined global #" + std::to_string(I->A));
-    Stack.push_back(Globals[I->A]);
+    ES.Stack.push_back(Globals[I->A]);
     PECOMP_PUSH_CHECK();
     PECOMP_DISPATCH();
   }
   PECOMP_OP(MakeClosure) : {
     const uint16_t N = I->B;
-    if (N > Stack.size())
+    if (N > ES.Stack.size())
       return Underflow(N, "MakeClosure");
     const CodeObject *Target = F->Code->children()[I->A]; // pre-validated
-    std::span<const Value> Captured(Stack.data() + Stack.size() - N, N);
+    std::span<const Value> Captured(ES.Stack.data() + ES.Stack.size() - N, N);
     Value Clo = H.closure(Target, Captured);
-    Stack.resize(Stack.size() - N);
-    Stack.push_back(Clo);
+    ES.Stack.resize(ES.Stack.size() - N);
+    ES.Stack.push_back(Clo);
     if (H.faulted())
       goto alloc_trap;
     PECOMP_PUSH_CHECK();
@@ -391,9 +433,9 @@ std::optional<Result<Value>> Machine::runDecoded() {
   }
   PECOMP_OP(Call) : {
     const size_t N = I->C;
-    if (Stack.size() < N + 1)
+    if (ES.Stack.size() < N + 1)
       return Underflow(N + 1, "Call");
-    Value Callee = Stack[Stack.size() - N - 1];
+    Value Callee = ES.Stack[ES.Stack.size() - N - 1];
     if (!Callee.isObject() || !isa<ClosureObject>(Callee.asObject()))
       return trap(TrapKind::TypeError,
                   "call: not a procedure: " + valueToString(Callee));
@@ -408,17 +450,18 @@ std::optional<Result<Value>> Machine::runDecoded() {
                   "call depth exceeds the frame limit of " +
                       std::to_string(Lim.MaxFrames));
     F->PC = I->NextPC; // resume point (byte offset, as always)
-    Frames.push_back(Frame{Clo->Code, 0, Stack.size() - N, Clo});
+    Frames.push_back(Frame{Clo->Code, 0, ES.Stack.size() - N, Clo});
     if (!EnterTop())
       return std::nullopt;
     IP = 0;
+    PECOMP_JIT_RESUME();
     PECOMP_DISPATCH();
   }
   PECOMP_OP(TailCall) : {
     const size_t N = I->C;
-    if (Stack.size() < N + 1)
+    if (ES.Stack.size() < N + 1)
       return Underflow(N + 1, "TailCall");
-    Value Callee = Stack[Stack.size() - N - 1];
+    Value Callee = ES.Stack[ES.Stack.size() - N - 1];
     if (!Callee.isObject() || !isa<ClosureObject>(Callee.asObject()))
       return trap(TrapKind::TypeError,
                   "call: not a procedure: " + valueToString(Callee));
@@ -429,11 +472,11 @@ std::optional<Result<Value>> Machine::runDecoded() {
                       std::to_string(Clo->Code->arity()) +
                       " argument(s), got " + std::to_string(N));
     // Slide callee + args down over the current frame.
-    size_t Src = Stack.size() - N - 1;
+    size_t Src = ES.Stack.size() - N - 1;
     size_t Dst = F->Base - 1;
     for (size_t K = 0; K <= N; ++K)
-      Stack[Dst + K] = Stack[Src + K];
-    Stack.resize(Dst + N + 1);
+      ES.Stack[Dst + K] = ES.Stack[Src + K];
+    ES.Stack.resize(Dst + N + 1);
     F->Code = Clo->Code;
     F->PC = 0;
     F->Closure = Clo;
@@ -441,46 +484,50 @@ std::optional<Result<Value>> Machine::runDecoded() {
     if (!EnterTop())
       return std::nullopt;
     IP = 0;
+    PECOMP_JIT_RESUME();
     PECOMP_DISPATCH();
   }
   PECOMP_OP(Return) : {
-    if (Stack.size() < F->Base || Stack.empty())
+    if (ES.Stack.size() < F->Base || ES.Stack.empty())
       return Underflow(1, "Return");
-    Value Ret = Stack.back();
-    Stack.resize(F->Base - 1);
-    Stack.push_back(Ret);
+    Value Ret = ES.Stack.back();
+    ES.Stack.resize(F->Base - 1);
+    ES.Stack.push_back(Ret);
     Frames.pop_back();
     if (Frames.empty())
       return Ret;
     if (!EnterTop())
       return std::nullopt;
     IP = DS->indexOf(F->PC);
+    PECOMP_JIT_RESUME();
     PECOMP_DISPATCH();
   }
   PECOMP_OP(Jump) : {
     IP = static_cast<size_t>(I->Target); // target pre-validated
+    PECOMP_JIT_RESUME();
     PECOMP_DISPATCH();
   }
   PECOMP_OP(JumpIfFalse) : {
-    if (Stack.empty())
+    if (ES.Stack.empty())
       return Underflow(1, "JumpIfFalse");
-    Value Test = Stack.back();
-    Stack.pop_back();
+    Value Test = ES.Stack.back();
+    ES.Stack.pop_back();
     IP = Test.isTruthy() ? IP + 1 : static_cast<size_t>(I->Target);
+    PECOMP_JIT_RESUME();
     PECOMP_DISPATCH();
   }
   PECOMP_OP(Prim) : {
   unfused_Prim:
     const PrimOp P = static_cast<PrimOp>(I->C); // number pre-validated
     const size_t N = I->B;                      // arity cached at decode
-    if (Stack.size() < N)
+    if (ES.Stack.size() < N)
       return Underflow(N, "Prim");
-    std::span<const Value> Args(Stack.data() + Stack.size() - N, N);
+    std::span<const Value> Args(ES.Stack.data() + ES.Stack.size() - N, N);
     Result<Value> R = applyPrim(P, H, Args);
     if (!R)
       return primError(R.takeError());
-    Stack.resize(Stack.size() - N);
-    Stack.push_back(*R);
+    ES.Stack.resize(ES.Stack.size() - N);
+    ES.Stack.push_back(*R);
     if (H.faulted())
       goto alloc_trap;
     PECOMP_PUSH_CHECK();
@@ -488,25 +535,26 @@ std::optional<Result<Value>> Machine::runDecoded() {
   }
   PECOMP_OP(Slide) : {
     const size_t N = I->A;
-    if (Stack.size() < N + 1)
+    if (ES.Stack.size() < N + 1)
       return Underflow(N + 1, "Slide");
-    Value Top = Stack.back();
-    Stack.resize(Stack.size() - N - 1);
-    Stack.push_back(Top);
+    Value Top = ES.Stack.back();
+    ES.Stack.resize(ES.Stack.size() - N - 1);
+    ES.Stack.push_back(Top);
     ++IP; // net shrink: no push probe needed
     PECOMP_DISPATCH();
   }
   PECOMP_OP(Halt) : {
-    if (Stack.empty())
+    if (ES.Stack.empty())
       return Underflow(1, "Halt");
-    return Stack.back();
+    return ES.Stack.back();
   }
   PECOMP_OP(JumpIfTrue) : {
-    if (Stack.empty())
+    if (ES.Stack.empty())
       return Underflow(1, "JumpIfTrue");
-    Value Test = Stack.back();
-    Stack.pop_back();
+    Value Test = ES.Stack.back();
+    ES.Stack.pop_back();
     IP = Test.isTruthy() ? static_cast<size_t>(I->Target) : IP + 1;
+    PECOMP_JIT_RESUME();
     PECOMP_DISPATCH();
   }
 
@@ -524,16 +572,16 @@ std::optional<Result<Value>> Machine::runDecoded() {
   // holding them in locals across an allocating primitive is safe.
 
   PECOMP_OP(FuseLocalLocalPrim) : { // LocalRef a; LocalRef b; Prim(2)
-    if (FuelUsed + 2 > FuelCeiling)
+    if (ES.FuelUsed + 2 > FuelCeiling)
       goto unfused_LocalRef;
-    if (F->Base + I->A >= Stack.size())
+    if (F->Base + I->A >= ES.Stack.size())
       return trap(TrapKind::StackUnderflow,
                   "local slot " + std::to_string(I->A) +
                       " beyond the live stack");
-    const size_t S = Stack.size();
-    Value V1 = Stack[F->Base + I->A];
+    const size_t S = ES.Stack.size();
+    Value V1 = ES.Stack[F->Base + I->A];
     if (S + 1 > StackCeiling) {
-      Stack.push_back(V1);
+      ES.Stack.push_back(V1);
       goto stack_trap_next;
     }
     const DecodedInsn *I1 = I + 1;
@@ -548,10 +596,10 @@ std::optional<Result<Value>> Machine::runDecoded() {
                   "local slot " + std::to_string(I1->A) +
                       " beyond the live stack");
     }
-    Value V2 = Idx2 == S ? V1 : Stack[Idx2];
+    Value V2 = Idx2 == S ? V1 : ES.Stack[Idx2];
     if (S + 2 > StackCeiling) {
-      Stack.push_back(V1);
-      Stack.push_back(V2);
+      ES.Stack.push_back(V1);
+      ES.Stack.push_back(V2);
       I = I1;
       goto stack_trap_next;
     }
@@ -564,7 +612,7 @@ std::optional<Result<Value>> Machine::runDecoded() {
       TrapOp = static_cast<int>(Op::Prim);
       return primError(R.takeError());
     }
-    Stack.push_back(*R);
+    ES.Stack.push_back(*R);
     if (H.faulted()) {
       I = I2;
       goto alloc_trap;
@@ -577,12 +625,12 @@ std::optional<Result<Value>> Machine::runDecoded() {
     PECOMP_DISPATCH();
   }
   PECOMP_OP(FuseConstPrim) : { // Const i; Prim(1|2)
-    if (FuelUsed + 1 > FuelCeiling)
+    if (ES.FuelUsed + 1 > FuelCeiling)
       goto unfused_Const;
     Value V = Lits[I->A];
-    const size_t S = Stack.size();
+    const size_t S = ES.Stack.size();
     if (S + 1 > StackCeiling) {
-      Stack.push_back(V);
+      ES.Stack.push_back(V);
       goto stack_trap_next;
     }
     const DecodedInsn *I1 = I + 1;
@@ -596,7 +644,7 @@ std::optional<Result<Value>> Machine::runDecoded() {
                       ", need " + std::to_string(N) + ")");
     }
     Value Tmp[2];
-    Tmp[0] = N == 2 ? Stack[S - 1] : V;
+    Tmp[0] = N == 2 ? ES.Stack[S - 1] : V;
     Tmp[1] = V;
     Result<Value> R = applyPrim(static_cast<PrimOp>(I1->C), H, {Tmp, N});
     if (!R) {
@@ -605,8 +653,8 @@ std::optional<Result<Value>> Machine::runDecoded() {
       return primError(R.takeError());
     }
     if (N == 2)
-      Stack.pop_back();
-    Stack.push_back(*R);
+      ES.Stack.pop_back();
+    ES.Stack.push_back(*R);
     if (H.faulted()) {
       I = I1;
       goto alloc_trap;
@@ -618,16 +666,16 @@ std::optional<Result<Value>> Machine::runDecoded() {
     PECOMP_DISPATCH();
   }
   PECOMP_OP(FuseLocalPrim) : { // LocalRef a; Prim(1|2)
-    if (FuelUsed + 1 > FuelCeiling)
+    if (ES.FuelUsed + 1 > FuelCeiling)
       goto unfused_LocalRef;
-    if (F->Base + I->A >= Stack.size())
+    if (F->Base + I->A >= ES.Stack.size())
       return trap(TrapKind::StackUnderflow,
                   "local slot " + std::to_string(I->A) +
                       " beyond the live stack");
-    Value V = Stack[F->Base + I->A];
-    const size_t S = Stack.size();
+    Value V = ES.Stack[F->Base + I->A];
+    const size_t S = ES.Stack.size();
     if (S + 1 > StackCeiling) {
-      Stack.push_back(V);
+      ES.Stack.push_back(V);
       goto stack_trap_next;
     }
     const DecodedInsn *I1 = I + 1;
@@ -636,7 +684,7 @@ std::optional<Result<Value>> Machine::runDecoded() {
     // so the virtual depth S+1 covers any arity <= 2.
     const size_t N = I1->B;
     Value Tmp[2];
-    Tmp[0] = N == 2 ? Stack[S - 1] : V;
+    Tmp[0] = N == 2 ? ES.Stack[S - 1] : V;
     Tmp[1] = V;
     Result<Value> R = applyPrim(static_cast<PrimOp>(I1->C), H, {Tmp, N});
     if (!R) {
@@ -645,8 +693,8 @@ std::optional<Result<Value>> Machine::runDecoded() {
       return primError(R.takeError());
     }
     if (N == 2)
-      Stack.pop_back();
-    Stack.push_back(*R);
+      ES.Stack.pop_back();
+    ES.Stack.push_back(*R);
     if (H.faulted()) {
       I = I1;
       goto alloc_trap;
@@ -658,22 +706,22 @@ std::optional<Result<Value>> Machine::runDecoded() {
     PECOMP_DISPATCH();
   }
   PECOMP_OP(FuseCmpJumpIfFalse) : { // Prim(predicate); JumpIfFalse off
-    if (FuelUsed + 1 > FuelCeiling)
+    if (ES.FuelUsed + 1 > FuelCeiling)
       goto unfused_Prim;
     const size_t N = I->B;
-    if (Stack.size() < N)
+    if (ES.Stack.size() < N)
       return Underflow(N, "Prim");
-    std::span<const Value> Args(Stack.data() + Stack.size() - N, N);
+    std::span<const Value> Args(ES.Stack.data() + ES.Stack.size() - N, N);
     Result<Value> R = applyPrim(static_cast<PrimOp>(I->C), H, Args);
     if (!R)
       return primError(R.takeError());
-    Stack.resize(Stack.size() - N);
+    ES.Stack.resize(ES.Stack.size() - N);
     if (H.faulted()) {
-      Stack.push_back(*R);
+      ES.Stack.push_back(*R);
       goto alloc_trap;
     }
-    if (Stack.size() + 1 > StackCeiling) {
-      Stack.push_back(*R);
+    if (ES.Stack.size() + 1 > StackCeiling) {
+      ES.Stack.push_back(*R);
       goto stack_trap_next;
     }
     Charge(I + 1);
@@ -682,18 +730,19 @@ std::optional<Result<Value>> Machine::runDecoded() {
       satInc(Prof->FusedCount[static_cast<size_t>(Op::FuseCmpJumpIfFalse) -
                               NumOpcodes]);
     IP = R->isTruthy() ? IP + 2 : static_cast<size_t>((I + 1)->Target);
+    PECOMP_JIT_RESUME();
     PECOMP_DISPATCH();
   }
   PECOMP_OP(FuseLocalReturn) : { // LocalRef a; Return
-    if (FuelUsed + 1 > FuelCeiling)
+    if (ES.FuelUsed + 1 > FuelCeiling)
       goto unfused_LocalRef;
-    if (F->Base + I->A >= Stack.size())
+    if (F->Base + I->A >= ES.Stack.size())
       return trap(TrapKind::StackUnderflow,
                   "local slot " + std::to_string(I->A) +
                       " beyond the live stack");
-    Value Ret = Stack[F->Base + I->A];
-    if (Stack.size() + 1 > StackCeiling) {
-      Stack.push_back(Ret);
+    Value Ret = ES.Stack[F->Base + I->A];
+    if (ES.Stack.size() + 1 > StackCeiling) {
+      ES.Stack.push_back(Ret);
       goto stack_trap_next;
     }
     Charge(I + 1);
@@ -701,56 +750,58 @@ std::optional<Result<Value>> Machine::runDecoded() {
     if constexpr (Profiling)
       satInc(Prof->FusedCount[static_cast<size_t>(Op::FuseLocalReturn) -
                               NumOpcodes]);
-    Stack.resize(F->Base - 1);
-    Stack.push_back(Ret);
+    ES.Stack.resize(F->Base - 1);
+    ES.Stack.push_back(Ret);
     Frames.pop_back();
     if (Frames.empty())
       return Ret;
     if (!EnterTop())
       return std::nullopt;
     IP = DS->indexOf(F->PC);
+    PECOMP_JIT_RESUME();
     PECOMP_DISPATCH();
   }
   PECOMP_OP(FusePrimReturn) : { // Prim p; Return
-    if (FuelUsed + 1 > FuelCeiling)
+    if (ES.FuelUsed + 1 > FuelCeiling)
       goto unfused_Prim;
     const size_t N = I->B;
-    if (Stack.size() < N)
+    if (ES.Stack.size() < N)
       return Underflow(N, "Prim");
-    std::span<const Value> Args(Stack.data() + Stack.size() - N, N);
+    std::span<const Value> Args(ES.Stack.data() + ES.Stack.size() - N, N);
     Result<Value> R = applyPrim(static_cast<PrimOp>(I->C), H, Args);
     if (!R)
       return primError(R.takeError());
-    Stack.resize(Stack.size() - N);
+    ES.Stack.resize(ES.Stack.size() - N);
     if (H.faulted()) {
-      Stack.push_back(*R);
+      ES.Stack.push_back(*R);
       goto alloc_trap;
     }
-    if (Stack.size() + 1 > StackCeiling) {
-      Stack.push_back(*R);
+    if (ES.Stack.size() + 1 > StackCeiling) {
+      ES.Stack.push_back(*R);
       goto stack_trap_next;
     }
     const DecodedInsn *I1 = I + 1;
     Charge(I1);
-    if (Stack.size() + 1 < F->Base) { // unverified raw code only
+    if (ES.Stack.size() + 1 < F->Base) { // unverified raw code only
       TrapPC = I1->PC;
       TrapOp = static_cast<int>(Op::Return);
       return trap(TrapKind::StackUnderflow,
                   "stack underflow in Return (have " +
-                      std::to_string(Stack.size() + 1) + ", need 1)");
+                      std::to_string(ES.Stack.size() + 1) + ", need 1)");
     }
     if constexpr (Profiling)
       satInc(Prof->FusedCount[static_cast<size_t>(Op::FusePrimReturn) -
                               NumOpcodes]);
     Value Ret = *R;
-    Stack.resize(F->Base - 1);
-    Stack.push_back(Ret);
+    ES.Stack.resize(F->Base - 1);
+    ES.Stack.push_back(Ret);
     Frames.pop_back();
     if (Frames.empty())
       return Ret;
     if (!EnterTop())
       return std::nullopt;
     IP = DS->indexOf(F->PC);
+    PECOMP_JIT_RESUME();
     PECOMP_DISPATCH();
   }
 
@@ -782,6 +833,7 @@ stack_trap_next:
 
 #undef PECOMP_PROLOGUE
 #undef PECOMP_PUSH_CHECK
+#undef PECOMP_JIT_RESUME
 #undef PECOMP_DISPATCH
 #undef PECOMP_OP
 }
@@ -811,13 +863,13 @@ std::optional<Result<Value>> Machine::runBytes() {
       return trap(TrapKind::HeapExhausted, H.faultMessage());
     // Each instruction grows the value stack by at most one slot, so a
     // single check per dispatch bounds the overshoot to one.
-    if (Lim.MaxStackDepth && Stack.size() > Lim.MaxStackDepth)
+    if (Lim.MaxStackDepth && ES.Stack.size() > Lim.MaxStackDepth)
       return trap(TrapKind::StackOverflow,
                   "value stack overflow (depth " +
-                      std::to_string(Stack.size()) + ", limit " +
+                      std::to_string(ES.Stack.size()) + ", limit " +
                       std::to_string(Lim.MaxStackDepth) + ")");
-    ++Executed;
-    if (Lim.Fuel && ++FuelUsed > Lim.Fuel)
+    ++ES.Executed;
+    if (Lim.Fuel && ++ES.FuelUsed > Lim.Fuel)
       return trap(TrapKind::FuelExhausted,
                   "fuel exhausted after " + std::to_string(Lim.Fuel) +
                       " instructions");
@@ -873,7 +925,7 @@ std::optional<Result<Value>> Machine::runBytes() {
     auto Underflow = [&](size_t Need, const char *What) {
       return trap(TrapKind::StackUnderflow,
                   std::string("stack underflow in ") + What + " (have " +
-                      std::to_string(Stack.size()) + ", need " +
+                      std::to_string(ES.Stack.size()) + ", need " +
                       std::to_string(Need) + ")");
     };
 
@@ -883,16 +935,16 @@ std::optional<Result<Value>> Machine::runBytes() {
       if (I >= F.Code->literals().size())
         return trap(TrapKind::IllegalInstruction,
                     "literal index " + std::to_string(I) + " out of range");
-      Stack.push_back(F.Code->literals()[I]);
+      ES.Stack.push_back(F.Code->literals()[I]);
       break;
     }
     case Op::LocalRef: {
       uint16_t I = ReadU16();
-      if (F.Base + I >= Stack.size())
+      if (F.Base + I >= ES.Stack.size())
         return trap(TrapKind::StackUnderflow,
                     "local slot " + std::to_string(I) +
                         " beyond the live stack");
-      Stack.push_back(Stack[F.Base + I]);
+      ES.Stack.push_back(ES.Stack[F.Base + I]);
       break;
     }
     case Op::FreeRef: {
@@ -901,7 +953,7 @@ std::optional<Result<Value>> Machine::runBytes() {
         return trap(TrapKind::IllegalInstruction,
                     "free index " + std::to_string(I) +
                         " beyond the closure's captures");
-      Stack.push_back(F.Closure->Free[I]);
+      ES.Stack.push_back(F.Closure->Free[I]);
       break;
     }
     case Op::GlobalRef: {
@@ -909,7 +961,7 @@ std::optional<Result<Value>> Machine::runBytes() {
       if (I >= Globals.size() || !Globals[I].isValid())
         return trap(TrapKind::UndefinedGlobal,
                     "undefined global #" + std::to_string(I));
-      Stack.push_back(Globals[I]);
+      ES.Stack.push_back(Globals[I]);
       break;
     }
     case Op::MakeClosure: {
@@ -919,20 +971,20 @@ std::optional<Result<Value>> Machine::runBytes() {
         return trap(TrapKind::IllegalInstruction,
                     "child index " + std::to_string(Child) +
                         " out of range");
-      if (N > Stack.size())
+      if (N > ES.Stack.size())
         return Underflow(N, "MakeClosure");
       const CodeObject *Target = F.Code->children()[Child];
-      std::span<const Value> Captured(Stack.data() + Stack.size() - N, N);
+      std::span<const Value> Captured(ES.Stack.data() + ES.Stack.size() - N, N);
       Value Clo = H.closure(Target, Captured);
-      Stack.resize(Stack.size() - N);
-      Stack.push_back(Clo);
+      ES.Stack.resize(ES.Stack.size() - N);
+      ES.Stack.push_back(Clo);
       break;
     }
     case Op::Call: {
       uint8_t N = Code[F.PC++];
-      if (Stack.size() < static_cast<size_t>(N) + 1)
+      if (ES.Stack.size() < static_cast<size_t>(N) + 1)
         return Underflow(N + 1, "Call");
-      Value Callee = Stack[Stack.size() - N - 1];
+      Value Callee = ES.Stack[ES.Stack.size() - N - 1];
       if (!Callee.isObject() || !isa<ClosureObject>(Callee.asObject()))
         return trap(TrapKind::TypeError,
                     "call: not a procedure: " + valueToString(Callee));
@@ -946,7 +998,7 @@ std::optional<Result<Value>> Machine::runBytes() {
         return trap(TrapKind::FrameOverflow,
                     "call depth exceeds the frame limit of " +
                         std::to_string(Lim.MaxFrames));
-      Frames.push_back(Frame{Clo->Code, 0, Stack.size() - N, Clo});
+      Frames.push_back(Frame{Clo->Code, 0, ES.Stack.size() - N, Clo});
       // The callee may be decodable even though the caller was not.
       if (UseDecoded && decodedFor(*Frames.back().Code))
         return std::nullopt;
@@ -954,9 +1006,9 @@ std::optional<Result<Value>> Machine::runBytes() {
     }
     case Op::TailCall: {
       uint8_t N = Code[F.PC++];
-      if (Stack.size() < static_cast<size_t>(N) + 1)
+      if (ES.Stack.size() < static_cast<size_t>(N) + 1)
         return Underflow(N + 1, "TailCall");
-      Value Callee = Stack[Stack.size() - N - 1];
+      Value Callee = ES.Stack[ES.Stack.size() - N - 1];
       if (!Callee.isObject() || !isa<ClosureObject>(Callee.asObject()))
         return trap(TrapKind::TypeError,
                     "call: not a procedure: " + valueToString(Callee));
@@ -967,11 +1019,11 @@ std::optional<Result<Value>> Machine::runBytes() {
                         std::to_string(Clo->Code->arity()) +
                         " argument(s), got " + std::to_string(N));
       // Slide callee + args down over the current frame.
-      size_t Src = Stack.size() - N - 1;
+      size_t Src = ES.Stack.size() - N - 1;
       size_t Dst = F.Base - 1;
       for (size_t I = 0; I <= N; ++I)
-        Stack[Dst + I] = Stack[Src + I];
-      Stack.resize(Dst + N + 1);
+        ES.Stack[Dst + I] = ES.Stack[Src + I];
+      ES.Stack.resize(Dst + N + 1);
       F.Code = Clo->Code;
       F.PC = 0;
       F.Closure = Clo;
@@ -981,11 +1033,11 @@ std::optional<Result<Value>> Machine::runBytes() {
       break;
     }
     case Op::Return: {
-      if (Stack.size() < F.Base || Stack.empty())
+      if (ES.Stack.size() < F.Base || ES.Stack.empty())
         return Underflow(1, "Return");
-      Value Result = Stack.back();
-      Stack.resize(F.Base - 1);
-      Stack.push_back(Result);
+      Value Result = ES.Stack.back();
+      ES.Stack.resize(F.Base - 1);
+      ES.Stack.push_back(Result);
       Frames.pop_back();
       if (Frames.empty())
         return Result;
@@ -1001,20 +1053,20 @@ std::optional<Result<Value>> Machine::runBytes() {
     }
     case Op::JumpIfFalse: {
       int16_t Off = static_cast<int16_t>(ReadU16());
-      if (Stack.empty())
+      if (ES.Stack.empty())
         return Underflow(1, "JumpIfFalse");
-      Value Test = Stack.back();
-      Stack.pop_back();
+      Value Test = ES.Stack.back();
+      ES.Stack.pop_back();
       if (!Test.isTruthy())
         F.PC = static_cast<size_t>(static_cast<long>(F.PC) + Off);
       break;
     }
     case Op::JumpIfTrue: {
       int16_t Off = static_cast<int16_t>(ReadU16());
-      if (Stack.empty())
+      if (ES.Stack.empty())
         return Underflow(1, "JumpIfTrue");
-      Value Test = Stack.back();
-      Stack.pop_back();
+      Value Test = ES.Stack.back();
+      ES.Stack.pop_back();
       if (Test.isTruthy())
         F.PC = static_cast<size_t>(static_cast<long>(F.PC) + Off);
       break;
@@ -1026,29 +1078,29 @@ std::optional<Result<Value>> Machine::runBytes() {
                     "unknown primitive number " + std::to_string(Raw));
       PrimOp P = static_cast<PrimOp>(Raw);
       unsigned N = primArity(P);
-      if (Stack.size() < N)
+      if (ES.Stack.size() < N)
         return Underflow(N, "Prim");
-      std::span<const Value> Args(Stack.data() + Stack.size() - N, N);
+      std::span<const Value> Args(ES.Stack.data() + ES.Stack.size() - N, N);
       Result<Value> R = applyPrim(P, H, Args);
       if (!R)
         return primError(R.takeError());
-      Stack.resize(Stack.size() - N);
-      Stack.push_back(*R);
+      ES.Stack.resize(ES.Stack.size() - N);
+      ES.Stack.push_back(*R);
       break;
     }
     case Op::Slide: {
       uint16_t N = ReadU16();
-      if (Stack.size() < static_cast<size_t>(N) + 1)
+      if (ES.Stack.size() < static_cast<size_t>(N) + 1)
         return Underflow(N + 1, "Slide");
-      Value Top = Stack.back();
-      Stack.resize(Stack.size() - N - 1);
-      Stack.push_back(Top);
+      Value Top = ES.Stack.back();
+      ES.Stack.resize(ES.Stack.size() - N - 1);
+      ES.Stack.push_back(Top);
       break;
     }
     case Op::Halt:
-      if (Stack.empty())
+      if (ES.Stack.empty())
         return Underflow(1, "Halt");
-      return Stack.back();
+      return ES.Stack.back();
     default: // fused pseudo-opcodes: the width switch above rejected them
       return trap(TrapKind::IllegalInstruction,
                   "unknown opcode " +

@@ -27,10 +27,110 @@
 #include "vm/Profile.h"
 #include "vm/Trap.h"
 
+#include <array>
+#include <cstdlib>
 #include <optional>
+#include <type_traits>
 
 namespace pecomp {
 namespace vm {
+
+class Machine;
+
+/// The value stack as a raw standard-layout triple. Functionally the
+/// std::vector subset the dispatch loops use, but with a fixed field
+/// layout so native code (vm/Jit) can address Data/Size directly: a
+/// native frame pushes by storing through Data and bumping Size, and a
+/// GC triggered from one of its call-outs traces exactly the slots it
+/// has pushed, because the interpreter, the collector, and the emitted
+/// code all read the same three words. Value is trivially copyable, so
+/// growth is a realloc and shrinking is a size store.
+struct ValueStack {
+  Value *Data = nullptr;
+  uint64_t Size = 0;
+  uint64_t Cap = 0;
+
+  ValueStack() = default;
+  ValueStack(const ValueStack &) = delete;
+  ValueStack &operator=(const ValueStack &) = delete;
+  ~ValueStack() { std::free(Data); }
+
+  void push_back(Value V) {
+    if (Size == Cap)
+      grow(Size + 1);
+    Data[Size++] = V;
+  }
+  void pop_back() { --Size; }
+  Value &back() { return Data[Size - 1]; }
+  Value &operator[](uint64_t I) { return Data[I]; }
+  Value operator[](uint64_t I) const { return Data[I]; }
+  uint64_t size() const { return Size; }
+  bool empty() const { return Size == 0; }
+  Value *data() { return Data; }
+  const Value *data() const { return Data; }
+  Value *begin() { return Data; }
+  Value *end() { return Data + Size; }
+  void clear() { Size = 0; }
+  void reserve(uint64_t N) {
+    if (N > Cap)
+      grow(N);
+  }
+  void resize(uint64_t N) {
+    if (N > Cap)
+      grow(N);
+    for (uint64_t I = Size; I < N; ++I)
+      Data[I] = Value();
+    Size = N;
+  }
+
+private:
+  void grow(uint64_t Need) {
+    uint64_t NewCap = Cap ? Cap * 2 : 64;
+    if (NewCap < Need)
+      NewCap = Need;
+    void *P = std::realloc(Data, NewCap * sizeof(Value));
+    if (!P)
+      abort(); // host allocator exhausted: not a recoverable VM trap
+    Data = static_cast<Value *>(P);
+    Cap = NewCap;
+  }
+};
+
+/// Machine execution state split into one standard-layout struct shared
+/// by the byte loop, the decoded loop, and native frames (vm/Jit emits
+/// x86-64 that reads and writes these fields by offset — see the
+/// static_asserts in Jit.cpp). The interpreter fields (Stack, FuelUsed,
+/// Executed) are live at all times; the remaining fields are the native
+/// calling convention, refreshed by Machine::runNative per entry and by
+/// the call-out helpers at every boundary where they can change.
+struct ExecState {
+  ValueStack Stack;
+  uint64_t Base = 0;       ///< current frame base while native code runs
+  uint64_t FuelUsed = 0;   ///< instructions charged to the current call()
+  uint64_t Executed = 0;   ///< cumulative across the machine's lifetime
+  uint64_t FuelCeiling = UINT64_MAX;  ///< resolved: 0 limits -> UINT64_MAX
+  uint64_t StackCeiling = UINT64_MAX; ///< resolved: 0 limits -> UINT64_MAX
+  uint64_t *OpCount = nullptr; ///< per-opcode counters (profile or sink)
+  Machine *M = nullptr;        ///< back pointer for native call-outs
+  uint64_t ExitIP = 0;         ///< decoded index at a native-code exit
+  Value Ret;                   ///< result slot for completing exits
+  uint64_t Status = 0;         ///< vm::JitExit value at a native exit
+  /// Flat views for the inline GlobalRef/FreeRef templates. The globals
+  /// vector only changes between runs (no opcode writes a global), so
+  /// runNative refreshes the pair once per entry; the captures view
+  /// changes with the frame's closure, so Jit::continueAt refreshes it
+  /// at every frame switch that stays native. NumFrees is 0 for a
+  /// closure-less frame, letting one unsigned bound check cover both
+  /// "no closure" and "index beyond captures".
+  const Value *Globals = nullptr;
+  uint64_t NumGlobals = 0;
+  const Value *Frees = nullptr;
+  uint64_t NumFrees = 0;
+};
+static_assert(std::is_standard_layout_v<ExecState>,
+              "native code addresses ExecState fields by offset");
+
+class JitCode;
 
 class Machine : public RootProvider {
 public:
@@ -75,7 +175,7 @@ public:
   void setFuel(uint64_t MaxInstructions) { Lim.Fuel = MaxInstructions; }
 
   /// Cumulative across the machine's lifetime.
-  uint64_t instructionsExecuted() const { return Executed; }
+  uint64_t instructionsExecuted() const { return ES.Executed; }
 
   /// Selects the dispatch strategy. On (the default), frames whose code
   /// pre-decodes cleanly run on the fixed-width fast loop; anything else
@@ -93,6 +193,17 @@ public:
   /// unfused decoded loop. No effect on byte-loop frames.
   void setFusion(bool On) { UseFusion = On; }
   bool fusion() const { return UseFusion; }
+
+  /// Selects the native tier (vm/Jit): frames whose code compiled to
+  /// native blocks execute them, falling back to the decoded/fused loop
+  /// at block granularity (and re-entering native code at the next
+  /// compiled block). Traps, fuel accounting, and instruction counts are
+  /// byte-for-byte identical either way. On by default (PECOMP_NO_JIT
+  /// pins the default off); a no-op under setDecodedDispatch(false) and
+  /// on hosts without the tier (jitAvailable() false), where every frame
+  /// simply keeps interpreting.
+  void setNativeJit(bool On) { UseJit = On; }
+  bool nativeJit() const { return UseJit; }
 
   /// Attaches (or detaches, with null) an execution profile. The pointer
   /// must outlive the machine or a later setProfile(nullptr). Counters
@@ -130,6 +241,18 @@ private:
   /// Returns nullopt when the top frame switched to fallback code.
   template <bool Profiling> std::optional<Result<Value>> runDecoded();
 
+  /// Runs native code (vm/Jit.cpp) from the top frame's PC, which must
+  /// start a compiled block of \p JC. Returns nullopt when control left
+  /// native code for the interpreter (fuel bail, uncompiled block, or a
+  /// frame switch into uncompiled code) with frames/PCs already parked at
+  /// the resume point.
+  std::optional<Result<Value>> runNative(const JitCode &JC,
+                                         const DecodedStream &DS);
+
+  /// CodeObject::jit() with first-compile latency attributed to the
+  /// profile when one is attached (mirrors decodedFor()).
+  const JitCode *jitFor(const CodeObject &C);
+
   /// CodeObject::decoded() with first-decode latency attributed to the
   /// profile when one is attached.
   const DecodedStream *decodedFor(const CodeObject &C);
@@ -146,10 +269,8 @@ private:
   Heap &H;
   Limits Lim;
   std::vector<Value> Globals;
-  std::vector<Value> Stack;
+  ExecState ES; ///< value stack + fuel/instruction meters (see ExecState)
   std::vector<Frame> Frames;
-  uint64_t Executed = 0;
-  uint64_t FuelUsed = 0; ///< instructions charged to the current call()
   std::optional<Trap> LastTrap;
   size_t TrapPC = Trap::NoPC; ///< pc of the instruction being executed
   int TrapOp = -1;            ///< its raw opcode byte, -1 before decode
@@ -159,6 +280,27 @@ private:
 #else
   bool UseFusion = true;      ///< superinstruction view (see setFusion)
 #endif
+#ifdef PECOMP_NO_JIT
+  bool UseJit = false;        ///< build-pinned default (see setNativeJit)
+#else
+  bool UseJit = true;         ///< native tier (see setNativeJit)
+#endif
+  /// One-bounce latch set by a native fuel bail: the decoded loop must
+  /// run the bailed block itself (charging per instruction up to the
+  /// fuel trap) instead of re-entering native code at the same block.
+  bool JitSkipOnce = false;
+  /// The pending Error of a native-code trap, built by a call-out helper
+  /// (with LastTrap context) and returned by runNative.
+  std::optional<Error> JitErr;
+  /// Sink for the emitted per-opcode counter increments when no profile
+  /// is attached: native code always bumps ExecState::OpCount[op] so the
+  /// templates are profile-oblivious; pointing the slot here makes the
+  /// unprofiled configuration pay three blind stores instead of a branch.
+  std::array<uint64_t, NumOpcodes> OpCountSink{};
+
+  /// Native call-out helpers (vm/Jit.cpp) mutate frames, globals, and
+  /// trap context exactly as the interpreter loops do.
+  friend class Jit;
   Profile *Prof = nullptr;    ///< optional counters, not owned
 };
 

@@ -119,6 +119,10 @@ void Profile::accumulate(const Profile &O) {
   satInc(ExecNanos, O.ExecNanos);
   satInc(GuardHits, O.GuardHits);
   satInc(GuardMisses, O.GuardMisses);
+  satInc(JitEnters, O.JitEnters);
+  satInc(JitBails, O.JitBails);
+  satInc(JitFallbacks, O.JitFallbacks);
+  satInc(JitNanos, O.JitNanos);
   for (const auto &[Name, Site] : O.CallSites) {
     auto It = CallSites.find(Name);
     if (It == CallSites.end()) {
@@ -226,6 +230,16 @@ std::string Profile::report() const {
              G ? 100.0 * static_cast<double>(GuardHits) /
                      static_cast<double>(G)
                : 0.0);
+    Out += Line;
+  }
+  if (JitEnters || JitNanos) {
+    snprintf(Line, sizeof(Line),
+             "  native tier: %llu entries, %llu fuel bails, %llu fallbacks, "
+             "compile %.3f ms\n",
+             static_cast<unsigned long long>(JitEnters),
+             static_cast<unsigned long long>(JitBails),
+             static_cast<unsigned long long>(JitFallbacks),
+             static_cast<double>(JitNanos) / 1e6);
     Out += Line;
   }
   if (!CallSites.empty()) {

@@ -117,6 +117,18 @@ struct Profile {
   uint64_t GuardHits = 0;
   uint64_t GuardMisses = 0;
 
+  /// Native-tier outcomes (vm/Jit.h). JitEnters counts transitions from
+  /// the outer dispatcher into native code; JitBails counts fuel bails
+  /// (block-entry budget checks that handed the block to the decoded
+  /// loop, charging nothing); JitFallbacks counts the other native
+  /// exits into the interpreter (edges into uncompiled blocks and frame
+  /// switches into uncompiled code). JitNanos attributes first-compile
+  /// latency, mirroring DecodeNanos.
+  uint64_t JitEnters = 0;
+  uint64_t JitBails = 0;
+  uint64_t JitFallbacks = 0;
+  uint64_t JitNanos = 0;
+
   /// Per-call-site argument-value sampling, keyed by callee name. Opt-in
   /// on top of profiling itself (SampleArgs): rendering every argument
   /// has a real cost, so only consumers that feed a re-specialization
@@ -180,6 +192,8 @@ struct Profile {
     Calls = Traps = 0;
     DecodeNanos = ExecNanos = 0;
     GuardHits = GuardMisses = 0;
+    JitEnters = JitBails = JitFallbacks = 0;
+    JitNanos = 0;
   }
 
   /// Folds \p O into this profile, saturating every counter (two merged

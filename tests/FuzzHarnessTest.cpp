@@ -116,7 +116,7 @@ TEST(Differential, AllTiersAgreeOnPower) {
   ASSERT_FALSE(R.Skipped) << R.SkipReason;
   ASSERT_FALSE(R.Diverged) << R.Diverged->render();
   for (Tier T : {Tier::Oracle, Tier::Bytes, Tier::Decoded, Tier::Fused,
-                 Tier::Cached, Tier::Guarded}) {
+                 Tier::Native, Tier::Cached, Tier::Guarded}) {
     const TierOutcome &O = R.Tiers[static_cast<size_t>(T)];
     EXPECT_TRUE(O.Ran) << tierName(T);
     EXPECT_TRUE(O.Ok) << tierName(T) << ": " << O.Err;

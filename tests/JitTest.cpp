@@ -1,0 +1,298 @@
+//===- tests/JitTest.cpp - Native-tier template JIT unit tests --------------===//
+///
+/// \file
+/// The per-block template JIT (vm/Jit.h) below the dispatch-parity bar
+/// DecodedDispatchTest already holds it to: compile-shape invariants
+/// (which blocks compile, where re-entry is legal), the MakeClosure
+/// block-granularity fallback seam, exact fuel accounting across the
+/// bail path (a bailed block must charge nothing), and GC safety during
+/// native call-outs (the native code shares the machine's ValueStack, so
+/// a collection triggered inside a prim must see every live value).
+///
+/// Every behavioral assertion runs on any host: where the tier is absent
+/// (vm::jitAvailable() false) the JIT knob is a no-op and the
+/// jit-on/jit-off comparisons become trivially true. Assertions about
+/// the compiled artifact itself are gated on jitAvailable().
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "vm/Jit.h"
+#include "vm/Profile.h"
+#include "vm/Trap.h"
+
+using namespace pecomp;
+using namespace pecomp::test;
+using vm::TrapKind;
+using vm::Value;
+
+namespace {
+
+/// One linked program ready to call, with the machine's knobs exposed.
+struct Engine {
+  explicit Engine(World &W, bool NativeJit, uint64_t Fuel = 50'000'000,
+                  size_t MaxHeapBytes = 0)
+      : W(W), Store(W.Heap), Comp(Store, Globals), M(W.Heap) {
+    vm::Limits L;
+    L.Fuel = Fuel;
+    L.MaxHeapBytes = MaxHeapBytes;
+    M.setLimits(L);
+    M.setDecodedDispatch(true);
+    M.setFusion(true);
+    M.setNativeJit(NativeJit);
+    M.setProfile(&Prof);
+  }
+
+  /// Compiles and links \p Source; aborts the test on failure.
+  void load(const std::string &Source) {
+    auto P = W.parseAnf(Source);
+    ASSERT_TRUE(P.ok()) << P.error().render();
+    compiler::AnfCompiler AC(Comp);
+    CP = AC.compileProgram(*P);
+    auto Linked = compiler::linkProgramVerified(M, Globals, CP);
+    ASSERT_TRUE(Linked.ok()) << Linked.error().render();
+  }
+
+  Result<Value> call(const char *Fn, std::vector<Value> Args) {
+    return W.pinned(compiler::callGlobal(M, Globals, Symbol::intern(Fn),
+                                         Args));
+  }
+
+  const vm::CodeObject *find(const char *Fn) {
+    return CP.find(Symbol::intern(Fn));
+  }
+
+  World &W;
+  vm::CodeStore Store;
+  vm::GlobalTable Globals;
+  compiler::Compilators Comp;
+  compiler::CompiledProgram CP;
+  vm::Machine M;
+  vm::Profile Prof;
+};
+
+const char *SpinSource = R"((define (spin n acc)
+                              (if (< n 1) acc (spin (- n 1) (* acc 3)))))";
+
+/// Runs (Fn . Args) twice — native tier on and off — under the same
+/// limits, and requires the full trap-parity aspect set to match: ok-ness
+/// and value, or trap kind + faulting PC + opcode + message, plus the
+/// per-source-instruction count either way.
+void expectJitParity(const std::string &Source, const char *Fn,
+                     std::vector<int64_t> Args, uint64_t Fuel,
+                     size_t MaxHeapBytes = 0) {
+  World WOn, WOff;
+  Engine On(WOn, /*NativeJit=*/true, Fuel, MaxHeapBytes);
+  Engine Off(WOff, /*NativeJit=*/false, Fuel, MaxHeapBytes);
+  On.load(Source);
+  Off.load(Source);
+  std::vector<Value> V;
+  for (int64_t A : Args)
+    V.push_back(Value::fixnum(A));
+  Result<Value> ROn = On.call(Fn, V);
+  Result<Value> ROff = Off.call(Fn, V);
+  ASSERT_EQ(ROn.ok(), ROff.ok())
+      << (ROn.ok() ? ROff.error().render() : ROn.error().render());
+  if (ROn.ok()) {
+    EXPECT_EQ(vm::valueToString(*ROn), vm::valueToString(*ROff));
+  } else {
+    EXPECT_EQ(ROn.error().render(), ROff.error().render());
+    ASSERT_TRUE(On.M.lastTrap() && Off.M.lastTrap());
+    EXPECT_EQ(On.M.lastTrap()->Kind, Off.M.lastTrap()->Kind);
+    EXPECT_EQ(On.M.lastTrap()->PC, Off.M.lastTrap()->PC);
+    EXPECT_EQ(On.M.lastTrap()->Opcode, Off.M.lastTrap()->Opcode);
+  }
+  EXPECT_EQ(On.Prof.instructions(), Off.Prof.instructions())
+      << "fuel/opcode accounting drifted (fuel " << Fuel << ")";
+}
+
+// -- Compile shape ----------------------------------------------------------
+
+TEST(Jit, AvailabilityMatchesCompileResult) {
+  World W;
+  Engine E(W, true);
+  E.load(SpinSource);
+  const vm::CodeObject *CO = E.find("spin");
+  ASSERT_NE(CO, nullptr);
+  ASSERT_NE(CO->decoded(), nullptr);
+  const vm::JitCode *JC = CO->jit();
+  EXPECT_EQ(JC != nullptr, vm::jitAvailable());
+  EXPECT_TRUE(CO->jitAttempted());
+}
+
+TEST(Jit, BlockEntriesOnlyAtLeaders) {
+  if (!vm::jitAvailable())
+    GTEST_SKIP() << "native tier not built on this host";
+  World W;
+  Engine E(W, true);
+  E.load(SpinSource);
+  const vm::CodeObject *CO = E.find("spin");
+  const vm::JitCode *JC = CO->jit();
+  ASSERT_NE(JC, nullptr);
+  EXPECT_GT(JC->compiledBlocks(), 0u);
+  EXPECT_GT(JC->compiledInsns(), 0u);
+  EXPECT_GT(JC->codeBytes(), 0u);
+  // Index 0 is always a leader; an entry exists iff its block compiled.
+  EXPECT_NE(JC->blockEntry(0), nullptr);
+  // Out-of-range indices are never enterable.
+  EXPECT_EQ(JC->blockEntry(CO->decoded()->Insns.size()), nullptr);
+  // Entries exist only at block leaders: mid-block re-entry would skip
+  // the block-entry fuel and stack-capacity governance.
+  size_t Entries = 0;
+  for (size_t I = 0; I != CO->decoded()->Insns.size(); ++I)
+    Entries += JC->blockEntry(I) != nullptr;
+  EXPECT_LE(Entries, JC->compiledBlocks());
+}
+
+TEST(Jit, MakeClosureBlocksStayInterpreted) {
+  World W;
+  Engine E(W, true);
+  // The lambda forces a MakeClosure in the entry's instruction stream;
+  // that block must fall back to the decoded loop while the blocks after
+  // the (non-tail) call still run natively.
+  E.load(R"((define (mk n) (+ ((lambda (x) (+ x n)) 5) 1)))");
+  Result<Value> R = E.call("mk", {Value::fixnum(7)});
+  ASSERT_TRUE(R.ok()) << R.error().render();
+  EXPECT_EQ(vm::valueToString(*R), "13");
+  if (vm::jitAvailable()) {
+    const vm::JitCode *JC = E.find("mk")->jit();
+    ASSERT_NE(JC, nullptr);
+    // The closure-creating block is excluded from compilation.
+    EXPECT_LT(JC->compiledInsns(), E.find("mk")->decoded()->Insns.size());
+  }
+}
+
+TEST(Jit, WholeFunctionUncompilableStillRuns) {
+  World W;
+  Engine E(W, true);
+  // Entry is nothing but closure creation + call: every block contains a
+  // MakeClosure or runs through one, so the tier contributes little or
+  // nothing — and the result must be identical anyway.
+  E.load(R"((define (f n)
+              ((lambda (a) ((lambda (b) (+ a b)) (* a 2))) n)))");
+  Result<Value> R = E.call("f", {Value::fixnum(4)});
+  ASSERT_TRUE(R.ok()) << R.error().render();
+  EXPECT_EQ(vm::valueToString(*R), "12");
+}
+
+// -- Fuel accounting across the bail seam -----------------------------------
+
+TEST(Jit, FuelSweepExactParity) {
+  // Every budget from starvation through completion: the bail path must
+  // charge nothing for the abandoned block (the decoded loop re-runs it
+  // and traps at the exact source instruction), so instruction counts and
+  // trap PCs agree at every single budget.
+  for (uint64_t Fuel = 1; Fuel <= 90; ++Fuel)
+    expectJitParity(SpinSource, "spin", {6, 1}, Fuel);
+}
+
+TEST(Jit, FuelSweepAcrossCallOuts) {
+  // Same bar on a program whose hot path crosses Call/Return call-outs
+  // (non-tail recursion) rather than staying inside one native frame.
+  const char *Source = R"((define (sum n)
+                            (if (< n 1) 0 (+ n (sum (- n 1))))))";
+  for (uint64_t Fuel = 1; Fuel <= 70; ++Fuel)
+    expectJitParity(Source, "sum", {5}, Fuel);
+}
+
+TEST(Jit, BailDoesNotLiveLock) {
+  // A budget that exhausts mid-block: the native entry bails, the decoded
+  // loop re-runs the block and must trap rather than hand control back to
+  // the JIT for the same block forever.
+  World W;
+  Engine E(W, true, /*Fuel=*/64);
+  E.load(SpinSource);
+  Result<Value> R = E.call("spin", {Value::fixnum(100000), Value::fixnum(1)});
+  ASSERT_FALSE(R.ok());
+  ASSERT_TRUE(E.M.lastTrap());
+  EXPECT_EQ(E.M.lastTrap()->Kind, TrapKind::FuelExhausted);
+  EXPECT_EQ(E.Prof.instructions(), 64u);
+  if (vm::jitAvailable()) {
+    EXPECT_GT(E.Prof.JitEnters, 0u);
+    EXPECT_GT(E.Prof.JitBails, 0u);
+  }
+}
+
+// -- GC safety during native call-outs --------------------------------------
+
+TEST(Jit, GcDuringNativeCallOutSeesStackValues) {
+  // cons allocates inside a prim call-out while natively-pushed values
+  // sit on the shared ValueStack; with a collection forced on every
+  // allocation, any value the native code failed to publish (a stale
+  // Size, a register-only live value) would be swept and the structure
+  // corrupted. Compare against the jit-off run for the full value.
+  const char *Source = R"((define (build n acc)
+                            (if (< n 1) acc
+                                (build (- n 1) (cons n acc)))))";
+  World WOn, WOff;
+  Engine On(WOn, true), Off(WOff, false);
+  On.load(Source);
+  Off.load(Source);
+  WOn.Heap.setStressMode(true);
+  WOff.Heap.setStressMode(true);
+  Result<Value> ROn = On.call("build", {Value::fixnum(40), Value::nil()});
+  Result<Value> ROff = Off.call("build", {Value::fixnum(40), Value::nil()});
+  WOn.Heap.setStressMode(false);
+  WOff.Heap.setStressMode(false);
+  ASSERT_TRUE(ROn.ok()) << ROn.error().render();
+  ASSERT_TRUE(ROff.ok()) << ROff.error().render();
+  EXPECT_EQ(vm::valueToString(*ROn), vm::valueToString(*ROff));
+  EXPECT_EQ(On.Prof.instructions(), Off.Prof.instructions());
+}
+
+TEST(Jit, HeapExhaustionParityUnderNativeTier) {
+  // A budget small enough that cons faults the heap mid-run: the trap
+  // context must match the interpreted run exactly.
+  const char *Source = R"((define (build n acc)
+                            (if (< n 1) acc
+                                (build (- n 1) (cons n acc)))))";
+  expectJitParity(Source, "build", {100000, -1}, 50'000'000,
+                  /*MaxHeapBytes=*/64 * 1024);
+}
+
+// -- Profile attribution ----------------------------------------------------
+
+TEST(Jit, ProfileCountsNativeTier) {
+  if (!vm::jitAvailable())
+    GTEST_SKIP() << "native tier not built on this host";
+  World W;
+  Engine E(W, true);
+  E.load(SpinSource);
+  Result<Value> R = E.call("spin", {Value::fixnum(10), Value::fixnum(1)});
+  ASSERT_TRUE(R.ok()) << R.error().render();
+  EXPECT_EQ(vm::valueToString(*R), "59049");
+  EXPECT_GT(E.Prof.JitEnters, 0u);
+  EXPECT_EQ(E.Prof.JitBails, 0u);
+  // Eager link-time compilation attributes its latency to the profile.
+  EXPECT_GT(E.Prof.JitNanos, 0u);
+}
+
+TEST(Jit, SecondCallReusesCompiledCode) {
+  if (!vm::jitAvailable())
+    GTEST_SKIP() << "native tier not built on this host";
+  World W;
+  Engine E(W, true);
+  E.load(SpinSource);
+  const vm::JitCode *First = E.find("spin")->jit();
+  ASSERT_NE(First, nullptr);
+  Result<Value> R1 = E.call("spin", {Value::fixnum(5), Value::fixnum(1)});
+  Result<Value> R2 = E.call("spin", {Value::fixnum(5), Value::fixnum(1)});
+  ASSERT_TRUE(R1.ok() && R2.ok());
+  EXPECT_EQ(vm::valueToString(*R1), vm::valueToString(*R2));
+  // The cache is per-CodeObject and compile-once.
+  EXPECT_EQ(E.find("spin")->jit(), First);
+}
+
+TEST(Jit, KnobOffNeverEntersNative) {
+  World W;
+  Engine E(W, /*NativeJit=*/false);
+  E.load(SpinSource);
+  Result<Value> R = E.call("spin", {Value::fixnum(10), Value::fixnum(1)});
+  ASSERT_TRUE(R.ok()) << R.error().render();
+  EXPECT_EQ(E.Prof.JitEnters, 0u);
+  EXPECT_EQ(E.Prof.JitBails, 0u);
+  EXPECT_EQ(E.Prof.JitFallbacks, 0u);
+}
+
+} // namespace

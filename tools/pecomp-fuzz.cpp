@@ -54,6 +54,7 @@ int usage() {
           "  --no-perturb             skip resource-limit/heap-fault schedules\n"
           "  --no-partial-ops         exclude quotient/remainder from grammar\n"
           "  --no-guarded             skip the guarded-dispatch tier\n"
+          "  --no-native              skip the native template-JIT tier\n"
           "  --inject-bug=KIND        plant a bug: branch-flip | fuel\n"
           "  --store-hammer           round-trip every case's cached\n"
           "                           snapshot through a DiskStore in a\n"
@@ -462,6 +463,8 @@ int main(int argc, char **argv) {
       Opts.PartialOps = false;
     } else if (strcmp(A, "--no-guarded") == 0) {
       Opts.Guarded = false;
+    } else if (strcmp(A, "--no-native") == 0) {
+      Opts.Native = false;
     } else if (strcmp(A, "--store-hammer") == 0) {
       StoreHammer = true;
     } else if (strcmp(A, "--net-frames") == 0) {

@@ -87,6 +87,11 @@ int usageTo(FILE *Out) {
           "  --no-fuse      dispatch the decoded stream one source\n"
           "                 instruction at a time (superinstruction fusion\n"
           "                 is the default)\n"
+          "  --jit          enter straight-line blocks through the native\n"
+          "                 per-block template JIT (the default on x86-64;\n"
+          "                 a no-op elsewhere)\n"
+          "  --no-jit       keep every block on the interpreted dispatch\n"
+          "                 loops\n"
           "  --no-peephole  skip the byte-code peephole pass at link time\n"
           "  --cache[=N]    memoize specializations (specrun/serve) under\n"
           "                 an N-byte LRU budget (default 64 MiB, 0 = "
@@ -162,6 +167,7 @@ struct Session {
   bool Fusion = true;
 #endif
   bool Peephole = compiler::LinkOptions{}.Peephole;
+  bool NativeJit = compiler::LinkOptions{}.NativeJit;
   vm::Profile Prof;
   bool CacheEnabled = false;
   bool CacheStatsWanted = false;
@@ -209,6 +215,7 @@ struct Session {
     M.setLimits(Lim);
     M.setDecodedDispatch(DecodedDispatch);
     M.setFusion(Fusion);
+    M.setNativeJit(NativeJit);
     if (Profiling)
       M.setProfile(&Prof);
   }
@@ -217,6 +224,7 @@ struct Session {
   compiler::LinkOptions linkOptions() const {
     compiler::LinkOptions O;
     O.Peephole = Peephole;
+    O.NativeJit = NativeJit;
     return O;
   }
 
@@ -466,6 +474,7 @@ Result<pgg::RtcgOptions> serveOptions(Session &S) {
   O.CacheBytes = S.CacheBytes;
   O.Limits = S.Lim;
   O.Fusion = S.Fusion;
+  O.NativeJit = S.NativeJit;
   O.Peephole = S.Peephole;
   O.Store = S.Store;
   O.Respec.Enabled = S.Respec;
@@ -702,6 +711,10 @@ int main(int Argc, char **Argv) {
       S.DecodedDispatch = false;
     } else if (Opt == "--no-fuse") {
       S.Fusion = false;
+    } else if (Opt == "--jit") {
+      S.NativeJit = true;
+    } else if (Opt == "--no-jit") {
+      S.NativeJit = false;
     } else if (Opt == "--no-peephole") {
       S.Peephole = false;
     } else if (Opt == "--cache") {
